@@ -1,0 +1,33 @@
+//! End-to-end generation per query log (the Figure 6 pipeline), at a
+//! bounded search budget so criterion's repetitions stay tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pi2::{GenerationConfig, MctsConfig, Pi2};
+use pi2_workloads::{catalog, log, LogKind};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let config = GenerationConfig {
+        mcts: MctsConfig {
+            workers: 1,
+            max_iterations: 40,
+            early_stop: 15,
+            ..MctsConfig::default()
+        },
+        mapping: Default::default(),
+    };
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for kind in [LogKind::Explore, LogKind::Abstract, LogKind::Connect] {
+        let l = log(kind);
+        let queries: Vec<String> = l.queries.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(l.name), &queries, |b, qs| {
+            let pi2 = Pi2::new(catalog());
+            let refs: Vec<&str> = qs.iter().map(|s| s.as_str()).collect();
+            b.iter(|| std::hint::black_box(pi2.generate_with(&refs, &config).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Microbenchmark: executor throughput on the workload datasets, including
+//! the correlated-HAVING Sales queries the paper highlights (§7.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pi2_engine::{execute, ExecContext};
+use pi2_sql::parse_query;
+use pi2_workloads::{all_logs, catalog};
+
+fn bench_engine(c: &mut Criterion) {
+    let cat = catalog();
+    let ctx = ExecContext::new(&cat);
+    let mut group = c.benchmark_group("engine");
+    for log in all_logs() {
+        let queries: Vec<_> =
+            log.queries.iter().map(|q| parse_query(q).unwrap()).collect();
+        group.bench_with_input(BenchmarkId::new("execute_log", log.name), &queries, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    std::hint::black_box(execute(q, &ctx).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

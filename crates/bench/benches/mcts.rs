@@ -1,0 +1,50 @@
+//! Microbenchmark: MCTS search (§6.2) at a fixed iteration budget, plus the
+//! design ablations: the variance (third) UCT term of Eq. 1, and reward
+//! estimation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi2_difftree::Workload;
+use pi2_interface::{CostParams, MappingContext};
+use pi2_search::{estimate_reward, initial_state, mcts_search, MctsConfig};
+use pi2_sql::parse_query;
+use pi2_workloads::{catalog, log, LogKind};
+use rand::SeedableRng;
+
+fn workload(kind: LogKind) -> Workload {
+    let l = log(kind);
+    Workload::new(
+        l.queries.iter().map(|q| parse_query(q).unwrap()).collect(),
+        catalog(),
+    )
+}
+
+fn bench_mcts(c: &mut Criterion) {
+    let w = workload(LogKind::Explore);
+    let fixed = MctsConfig {
+        workers: 1,
+        max_iterations: 30,
+        early_stop: 30,
+        ..MctsConfig::default()
+    };
+
+    c.bench_function("mcts/explore_30iters", |b| {
+        b.iter(|| std::hint::black_box(mcts_search(&w, &fixed)))
+    });
+    // Ablation: without the variance term (d = 0 and c unchanged).
+    let no_variance = MctsConfig { d: 0.0, ..fixed.clone() };
+    c.bench_function("mcts/explore_30iters_no_variance_term", |b| {
+        b.iter(|| std::hint::black_box(mcts_search(&w, &no_variance)))
+    });
+
+    // Reward estimation (K = 5 mappings) on the initial state.
+    let state = initial_state(&w);
+    let ctx = MappingContext::build(&state, &w).unwrap();
+    let params = CostParams::default();
+    c.bench_function("mcts/reward_estimate_k5", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        b.iter(|| std::hint::black_box(estimate_reward(&ctx, &mut rng, &params, 5)))
+    });
+}
+
+criterion_group!(benches, bench_mcts);
+criterion_main!(benches);

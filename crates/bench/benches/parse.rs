@@ -1,0 +1,32 @@
+//! Microbenchmark: SQL parsing and Difftree (GST) construction per query
+//! log — the front half of the Figure 6 pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pi2_difftree::lower_query;
+use pi2_sql::parse_query;
+use pi2_workloads::all_logs;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    for log in all_logs() {
+        group.bench_with_input(BenchmarkId::new("sql", log.name), &log, |b, log| {
+            b.iter(|| {
+                for q in &log.queries {
+                    std::hint::black_box(parse_query(q).unwrap());
+                }
+            })
+        });
+        let parsed: Vec<_> = log.queries.iter().map(|q| parse_query(q).unwrap()).collect();
+        group.bench_with_input(BenchmarkId::new("lower", log.name), &parsed, |b, qs| {
+            b.iter(|| {
+                for q in qs {
+                    std::hint::black_box(lower_query(q));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Microbenchmark: transformation-rule machinery (§6.1) — candidate
+//! enumeration, validated application, canonicalization, and per-query
+//! binding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pi2_difftree::transform::canonicalize;
+use pi2_difftree::{applicable_actions, apply_action, candidate_actions, Forest, Rule, Workload};
+use pi2_sql::parse_query;
+use pi2_workloads::{catalog, log, LogKind};
+
+fn workload(kind: LogKind) -> Workload {
+    let l = log(kind);
+    Workload::new(
+        l.queries.iter().map(|q| parse_query(q).unwrap()).collect(),
+        catalog(),
+    )
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let w = workload(LogKind::Filter);
+    let f = Forest::from_workload(&w);
+
+    c.bench_function("transform/candidate_actions_filter", |b| {
+        b.iter(|| std::hint::black_box(candidate_actions(&f, &w)))
+    });
+    c.bench_function("transform/applicable_actions_filter", |b| {
+        b.iter(|| std::hint::black_box(applicable_actions(&f, &w)))
+    });
+    c.bench_function("transform/bind_all_filter", |b| {
+        b.iter(|| std::hint::black_box(f.bind_all(&w)))
+    });
+
+    // Merge + canonicalize the Explore pair (the Figure 12 pipeline).
+    let we = workload(LogKind::Explore);
+    let fe = Forest::from_workload(&we);
+    let merge = applicable_actions(&fe, &we)
+        .into_iter()
+        .find(|a| a.rule == Rule::Merge)
+        .expect("merge applicable");
+    c.bench_function("transform/merge_and_canonicalize_explore", |b| {
+        b.iter(|| {
+            let merged = apply_action(&fe, &we, merge).unwrap();
+            std::hint::black_box(canonicalize(&merged, &we, 24))
+        })
+    });
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

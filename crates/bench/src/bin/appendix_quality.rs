@@ -1,0 +1,78 @@
+//! Regenerate the appendix's Figures 18–19: non-optimal interfaces with
+//! quality above ≈0.85 are structurally near the optimum.
+//!
+//! The paper's examples come from alternative Difftree states: a Filter
+//! interface at quality 0.87 with one extra toggle, and a Sales interface
+//! at 0.893 with one extra static chart. We evaluate the same kind of
+//! alternatives explicitly — the searched optimum, the clustered-but-
+//! unrefined state, and the fully static one-chart-per-query state — and
+//! report each interface's quality and structure.
+//!
+//! Run with: `cargo run --release -p pi2-bench --bin appendix_quality`
+
+use pi2_bench::quality;
+use pi2_difftree::transform::canonicalize;
+use pi2_difftree::{Forest, Workload};
+use pi2_interface::MappingContext;
+use pi2_search::{best_interface, initial_state, mcts_search, MappingOptions, MctsConfig};
+use pi2_workloads::{catalog, log, LogKind};
+
+fn report(name: &str, state: &Forest, w: &Workload, best: &mut f64, rows: &mut Vec<String>) {
+    let Some(ctx) = MappingContext::build(state, w) else {
+        rows.push(format!("{name:<26} (not mappable)"));
+        return;
+    };
+    let opts = MappingOptions::default();
+    let Some((iface, cost)) = best_interface(&ctx, &opts) else {
+        rows.push(format!("{name:<26} (no interface)"));
+        return;
+    };
+    *best = best.min(cost);
+    rows.push(format!(
+        "{name:<26} cost {cost:>8.0}   {} views / {} widgets / {} vis interactions",
+        iface.views.len(),
+        iface.widget_count(),
+        iface.vis_interaction_count()
+    ));
+}
+
+fn main() {
+    println!("Appendix Figures 18-19: interface quality across alternative Difftree states");
+    for (kind, fig) in [(LogKind::Filter, "18"), (LogKind::Sales, "19")] {
+        let l = log(kind);
+        let queries = l.queries.iter().map(|s| pi2_sql::parse_query(s).unwrap()).collect();
+        let w = Workload::new(queries, catalog());
+
+        let (optimal, _) = mcts_search(&w, &MctsConfig::default());
+        let static_state = Forest::from_workload(&w);
+        let clustered = initial_state(&w);
+        let clustered_canon = canonicalize(&clustered, &w, 48);
+
+        let mut best = f64::INFINITY;
+        let mut rows = Vec::new();
+        report("searched optimum", &optimal, &w, &mut best, &mut rows);
+        report("clustered + canonicalized", &clustered_canon, &w, &mut best, &mut rows);
+        report("clustered (unrefined)", &clustered, &w, &mut best, &mut rows);
+        report("static (chart per query)", &static_state, &w, &mut best, &mut rows);
+
+        println!("\n=== Figure {fig} ({}) ===", l.name);
+        for row in rows {
+            // Re-derive quality from the printed cost.
+            if let Some(cost_str) = row.split("cost").nth(1) {
+                let cost: f64 = cost_str
+                    .split_whitespace()
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(f64::INFINITY);
+                println!("{row}   quality {:.3}", quality(cost, best));
+            } else {
+                println!("{row}");
+            }
+        }
+    }
+    println!(
+        "\npaper: quality 0.87 (Filter, one extra toggle) and 0.893 (Sales, one extra \
+         static chart) remain structurally near the optimal interfaces; states far from \
+         the optimum (one static chart per query) score much lower."
+    );
+}

@@ -1,0 +1,53 @@
+//! Regenerate Figure 14: the four interfaces expressing Yi et al.'s
+//! interaction taxonomy (Explore, Connect, Abstract, Filter — Listings 1–4).
+//!
+//! Run with: `cargo run --release -p pi2-bench --bin fig14 [-- explore|connect|abstract|filter]`
+
+use pi2::render::render_ascii;
+use pi2_bench::generate_default;
+use pi2_workloads::{log, LogKind};
+
+fn show(kind: LogKind, figure: &str, claim: &str) {
+    let l = log(kind);
+    println!("\n=== Figure 14{figure}: {} ===", l.name);
+    println!("paper: {claim}");
+    let g = generate_default(kind, 42);
+    println!("{}", g.describe());
+    println!("{}", render_ascii(&g.interface));
+}
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let figures: [(LogKind, &str, &str); 4] = [
+        (
+            LogKind::Explore,
+            "a",
+            "scatterplot; panning and zooming control the hp/mpg range predicates",
+        ),
+        (
+            LogKind::Connect,
+            "b",
+            "linked scatterplots; selecting points in one chart highlights rows in the other",
+        ),
+        (
+            LogKind::Abstract,
+            "c",
+            "overview and detail; brushing the date axis updates the filtered line chart",
+        ),
+        (
+            LogKind::Filter,
+            "d",
+            "cross-filtering: brushing one chart updates the other charts' predicates; \
+             clearing a brush disables the predicate",
+        ),
+    ];
+    for (kind, fig, claim) in figures {
+        if let Some(f) = &filter {
+            let name = log(kind).name;
+            if name != f {
+                continue;
+            }
+        }
+        show(kind, fig, claim);
+    }
+}

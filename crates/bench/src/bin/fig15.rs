@@ -1,0 +1,44 @@
+//! Regenerate Figure 15: the three §7.2 case studies (SDSS, Google's
+//! Covid-19 visualization, the sales dashboard — Listings 5–7).
+//!
+//! Run with: `cargo run --release -p pi2-bench --bin fig15 [-- sdss|covid|sales]`
+
+use pi2::render::render_ascii;
+use pi2_bench::generate_default;
+use pi2_workloads::{log, LogKind};
+
+fn main() {
+    let filter = std::env::args().nth(1);
+    let figures: [(LogKind, &str, &str); 3] = [
+        (
+            LogKind::Sdss,
+            "a",
+            "table for the 9-attribute join + scatterplot of star locations; \
+             pan/zoom on the scatterplot updates the table",
+        ),
+        (
+            LogKind::Covid,
+            "b",
+            "metric/state/date-interval controls over the case/death time series; \
+             the interval control matters only when the date filter is on",
+        ),
+        (
+            LogKind::Sales,
+            "c",
+            "sales-by-date chart with branch/product controls; the date range drives \
+             both the outer WHERE and the correlated HAVING subquery",
+        ),
+    ];
+    for (kind, fig, claim) in figures {
+        if let Some(f) = &filter {
+            if log(kind).name != f {
+                continue;
+            }
+        }
+        println!("\n=== Figure 15{fig}: {} ===", log(kind).name);
+        println!("paper: {claim}");
+        let g = generate_default(kind, 42);
+        println!("{}", g.describe());
+        println!("{}", render_ascii(&g.interface));
+    }
+}

@@ -1,0 +1,38 @@
+//! The paper's headline performance claim (§1, §9): PI2 generates
+//! interfaces in 2–19 s with a median of 6 s across the evaluation logs.
+//!
+//! Run with: `cargo run --release -p pi2-bench --bin headline`
+
+use pi2_bench::{generate_default, median};
+use pi2_workloads::{all_logs, LogKind};
+
+fn main() {
+    println!("End-to-end generation time per log (paper: 2–19 s, median 6 s)");
+    println!(
+        "{:>10} {:>9} {:>12} {:>12} {:>12} {:>7} {:>8} {:>8}",
+        "log", "queries", "mcts [s]", "map [s]", "total [s]", "views", "widgets", "vis-int"
+    );
+    let mut totals = Vec::new();
+    for (kind, log) in LogKind::ALL.into_iter().zip(all_logs()) {
+        let g = generate_default(kind, 42);
+        let total = g.total_time().as_secs_f64();
+        totals.push(total);
+        println!(
+            "{:>10} {:>9} {:>12.2} {:>12.2} {:>12.2} {:>7} {:>8} {:>8}",
+            log.name,
+            log.queries.len(),
+            g.mcts_stats.duration.as_secs_f64(),
+            g.mapping_time.as_secs_f64(),
+            total,
+            g.interface.views.len(),
+            g.interface.widget_count(),
+            g.interface.vis_interaction_count(),
+        );
+    }
+    let min = totals.iter().cloned().fold(f64::MAX, f64::min);
+    let max = totals.iter().cloned().fold(0.0, f64::max);
+    println!(
+        "\nmeasured: {min:.2} – {max:.2} s, median {:.2} s",
+        median(totals)
+    );
+}

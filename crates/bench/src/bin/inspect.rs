@@ -1,0 +1,36 @@
+//! Inspect the generated interface for one paper log: structure, layout,
+//! and multi-target interaction links.
+//!
+//! Run with: `cargo run --release -p pi2-bench --bin inspect -- <log>`
+//! where `<log>` ∈ {explore, abstract, connect, filter, covid, sales, sdss}.
+
+use pi2::{GenerationConfig, Pi2};
+use pi2_workloads::{catalog, log, LogKind};
+
+fn main() {
+    let pi2 = Pi2::new(catalog());
+    let l = log(match std::env::args().nth(1).as_deref() {
+        Some("abstract") => LogKind::Abstract,
+        Some("connect") => LogKind::Connect,
+        Some("filter") => LogKind::Filter,
+        Some("covid") => LogKind::Covid,
+        Some("sales") => LogKind::Sales,
+        Some("sdss") => LogKind::Sdss,
+        _ => LogKind::Explore,
+    });
+    let queries: Vec<&str> = l.queries.iter().map(|s| s.as_str()).collect();
+    let g = pi2
+        .generate_with(&queries, &GenerationConfig::default())
+        .expect("generation succeeds");
+    println!("{}", g.describe());
+    for i in &g.interface.interactions {
+        if !i.extra_targets.is_empty() {
+            println!(
+                "  (interaction on node {} also binds {:?})",
+                i.target_node,
+                i.extra_targets.iter().map(|t| (t.tree, t.node)).collect::<Vec<_>>()
+            );
+        }
+    }
+    println!("{}", pi2::render::render_ascii(&g.interface));
+}

@@ -1,0 +1,68 @@
+//! Regenerate the §7.3 scalability experiment: runtime as the number of
+//! input queries grows from 9 to 900 by duplicating the Filter log.
+//!
+//! The paper reports roughly linear growth (a few seconds → ≈2000 s at 900
+//! queries on their VMs), dominated by (1) more search states, (2) more
+//! expensive navigation-cost estimation, and (3) safety checking. The
+//! safety-check ablation the paper calls out is included (`--no-safety`
+//! column).
+//!
+//! Run with: `cargo run --release -p pi2-bench --bin scalability [-- --max 225]`
+
+use pi2::{GenerationConfig, MctsConfig, Pi2};
+use pi2_workloads::{catalog, logs::duplicated, LogKind};
+use std::time::Instant;
+
+fn run(n: usize, check_safety: bool) -> f64 {
+    let log = duplicated(LogKind::Filter, n);
+    let refs: Vec<&str> = log.queries.iter().map(|s| s.as_str()).collect();
+    let config = GenerationConfig {
+        mcts: MctsConfig {
+            check_safety,
+            // Bounded search budget so the experiment isolates per-query
+            // costs (binding, safety, navigation estimation).
+            max_iterations: 60,
+            early_stop: 15,
+            ..MctsConfig::default()
+        },
+        mapping: Default::default(),
+    };
+    let t0 = Instant::now();
+    let g = Pi2::new(catalog()).generate_with(&refs, &config).expect("generation");
+    let elapsed = t0.elapsed().as_secs_f64();
+    drop(g);
+    elapsed
+}
+
+fn main() {
+    let max: usize = std::env::args()
+        .skip_while(|a| a != "--max")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(900);
+    let sizes = [9usize, 45, 90, 225, 450, 900];
+    println!("§7.3 scalability: duplicated Filter log (9 → 900 queries)");
+    println!(
+        "{:>8} {:>16} {:>20} {:>10}",
+        "queries", "runtime [s]", "no-safety [s]", "s/query"
+    );
+    let mut base: Option<f64> = None;
+    for n in sizes {
+        if n > max {
+            break;
+        }
+        let t = run(n, true);
+        let t_nosafe = run(n, false);
+        println!("{:>8} {:>16.2} {:>20.2} {:>10.4}", n, t, t_nosafe, t / n as f64);
+        if let Some(b) = base {
+            let ratio = t / b;
+            let n_ratio = n as f64 / 9.0;
+            println!(
+                "         (×{:.1} queries → ×{:.1} runtime; linear would be ×{:.1})",
+                n_ratio, ratio, n_ratio
+            );
+        } else {
+            base = Some(t);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerate the paper's Table 1 (visualization schemas, FD constraints,
+//! and supported interactions) from the live registry.
+//!
+//! Run with: `cargo run -p pi2-bench --bin table1`
+
+use pi2::VisKind;
+
+fn main() {
+    println!("Table 1: Visualization schemas, FD constraints, and supported interactions");
+    println!("{:-<100}", "");
+    println!("{:<8} {:<44} {:<22} {}", "Vis", "Schema", "FDs", "Interactions".to_string());
+    println!("{:-<100}", "");
+    for kind in VisKind::ALL {
+        let schema = if kind == VisKind::Table {
+            "any schema".to_string()
+        } else {
+            let parts: Vec<String> = kind
+                .schema()
+                .iter()
+                .map(|s| {
+                    let ty = match (s.quantitative, s.categorical) {
+                        (true, true) => "Q|C",
+                        (true, false) => "Q",
+                        (false, true) => "C",
+                        (false, false) => "-",
+                    };
+                    format!("{}:{}{}", s.var, ty, if s.optional { "?" } else { "" })
+                })
+                .collect();
+            format!("<{}>", parts.join(", "))
+        };
+        let fds = if kind.fd_determinants().is_empty() {
+            "—".to_string()
+        } else {
+            let det: Vec<String> =
+                kind.fd_determinants().iter().map(|v| v.to_string()).collect();
+            format!("({}) → y", det.join(", "))
+        };
+        let interactions: Vec<String> = kind
+            .supported_interactions()
+            .iter()
+            .map(|i| i.to_string())
+            .collect();
+        println!(
+            "{:<8} {:<44} {:<22} {}",
+            kind.to_string(),
+            schema,
+            fds,
+            interactions.join(", ")
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerate the paper's Table 2 (widget schemas and constraints), plus
+//! the manipulation-cost polynomials the §5 model attaches to each widget.
+//!
+//! Run with: `cargo run -p pi2-bench --bin table2`
+
+use pi2::WidgetKind;
+use pi2_interface::widget_poly;
+
+fn main() {
+    println!("Table 2: Widget schemas and constraints");
+    println!("{:-<88}", "");
+    println!(
+        "{:<24} {:<18} {:<12} {}",
+        "Widget", "Schema", "Constraint", "Cm polynomial (a0, a1, a2) [ms]".to_string()
+    );
+    println!("{:-<88}", "");
+    let rows: [(&str, &str, &str, WidgetKind); 9] = [
+        ("Button", "<v:_>", "—", WidgetKind::Button),
+        ("Radio", "<v:_>", "—", WidgetKind::Radio),
+        ("Dropdown", "<v:_>", "—", WidgetKind::Dropdown),
+        ("Textbox", "<v:_>", "—", WidgetKind::Textbox),
+        ("Toggle", "<v:_?>", "—", WidgetKind::Toggle),
+        ("Checkbox", "<v:_*>", "—", WidgetKind::Checkbox),
+        ("Slider", "<v:num>", "—", WidgetKind::Slider),
+        ("RangeSlider", "<s:num,e:num>", "s ≤ e", WidgetKind::RangeSlider),
+        ("Adder", "<v:_*>", "—", WidgetKind::Adder),
+    ];
+    for (name, schema, constraint, kind) in rows {
+        let (a0, a1, a2) = widget_poly(kind);
+        println!(
+            "{:<24} {:<18} {:<12} ({a0}, {a1}, {a2})",
+            name, schema, constraint
+        );
+    }
+    println!("\n_ matches any schema or type expression (paper §4.2.1).");
+}

@@ -1,0 +1,44 @@
+//! Top-level error type.
+
+use std::fmt;
+
+/// Errors surfaced by the end-to-end API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pi2Error {
+    /// A query failed to parse.
+    Parse(String),
+    /// No input queries were provided.
+    EmptyWorkload,
+    /// The search could not produce a mappable interface.
+    NoInterface,
+    /// Runtime interaction errors (bad event payloads etc.).
+    Runtime(String),
+    /// Query execution failed.
+    Execution(String),
+}
+
+impl fmt::Display for Pi2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pi2Error::Parse(m) => write!(f, "parse error: {m}"),
+            Pi2Error::EmptyWorkload => write!(f, "no input queries"),
+            Pi2Error::NoInterface => write!(f, "no valid interface mapping found"),
+            Pi2Error::Runtime(m) => write!(f, "runtime error: {m}"),
+            Pi2Error::Execution(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Pi2Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(Pi2Error::Parse("x".into()).to_string().contains("parse"));
+        assert!(Pi2Error::EmptyWorkload.to_string().contains("queries"));
+        assert!(Pi2Error::NoInterface.to_string().contains("interface"));
+    }
+}

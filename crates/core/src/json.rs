@@ -1,0 +1,191 @@
+//! A compact JSON emitter for interface specifications.
+//!
+//! Deliberately dependency-free (≈150 lines instead of pulling in
+//! `serde_json`, see DESIGN.md §2): interfaces serialise to a stable spec a
+//! front-end could consume.
+
+use pi2_interface::{Interface, InteractionChoice, WidgetDomain};
+use std::fmt::Write;
+
+/// Escape a string for JSON.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Serialise an interface to a JSON specification.
+pub fn interface_to_json(iface: &Interface) -> String {
+    let mut out = String::new();
+    out.push_str("{\"views\":[");
+    for (i, v) in iface.views.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let assignments: Vec<String> = v
+            .vis
+            .assignments
+            .iter()
+            .map(|(c, var)| format!("{{\"column\":{c},\"channel\":\"{var}\"}}"))
+            .collect();
+        let bbox = iface.layout.vis_boxes.get(i).copied().unwrap_or_default();
+        let _ = write!(
+            out,
+            "{{\"tree\":{},\"mark\":\"{}\",\"encoding\":[{}],\"box\":[{},{},{},{}]}}",
+            v.tree,
+            v.vis.kind,
+            assignments.join(","),
+            fmt_f64(bbox.x),
+            fmt_f64(bbox.y),
+            fmt_f64(bbox.w),
+            fmt_f64(bbox.h),
+        );
+    }
+    out.push_str("],\"interactions\":[");
+    for (i, m) in iface.interactions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let cover: Vec<String> = m.cover.iter().map(|c| c.to_string()).collect();
+        match &m.choice {
+            InteractionChoice::Widget { kind, domain, label } => {
+                let bbox = iface.layout.widget_boxes.get(i).copied().unwrap_or_default();
+                let domain_json = match domain {
+                    WidgetDomain::Options(opts) => {
+                        let opts: Vec<String> =
+                            opts.iter().map(|o| format!("\"{}\"", escape(o))).collect();
+                        format!("{{\"options\":[{}]}}", opts.join(","))
+                    }
+                    WidgetDomain::Range { min, max } => {
+                        format!("{{\"min\":{},\"max\":{}}}", fmt_f64(*min), fmt_f64(*max))
+                    }
+                    WidgetDomain::Free => "{\"free\":true}".to_string(),
+                    WidgetDomain::Binary => "{\"binary\":true}".to_string(),
+                };
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"widget\",\"widget\":\"{}\",\"label\":\"{}\",\
+                     \"domain\":{},\"tree\":{},\"node\":{},\"cover\":[{}],\
+                     \"box\":[{},{},{},{}]}}",
+                    kind,
+                    escape(label),
+                    domain_json,
+                    m.target_tree,
+                    m.target_node,
+                    cover.join(","),
+                    fmt_f64(bbox.x),
+                    fmt_f64(bbox.y),
+                    fmt_f64(bbox.w),
+                    fmt_f64(bbox.h),
+                );
+            }
+            InteractionChoice::Vis { view, kind, event_cols } => {
+                let cols: Vec<String> = event_cols.iter().map(|c| c.to_string()).collect();
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"vis\",\"interaction\":\"{}\",\"view\":{},\
+                     \"eventColumns\":[{}],\"tree\":{},\"node\":{},\"cover\":[{}]}}",
+                    kind,
+                    view,
+                    cols.join(","),
+                    m.target_tree,
+                    m.target_node,
+                    cover.join(","),
+                );
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "],\"size\":[{},{}]}}",
+        fmt_f64(iface.layout.size.0),
+        fmt_f64(iface.layout.size.1)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_interface::{
+        InteractionInstance, LayoutNode, LayoutTree, Orientation, VisKind, VisMapping, View,
+        WidgetKind,
+    };
+
+    fn sample() -> Interface {
+        let interactions = vec![InteractionInstance {
+            target_tree: 0,
+            target_node: 7,
+            cover: vec![7],
+            extra_targets: vec![],
+            choice: InteractionChoice::Widget {
+                kind: WidgetKind::Radio,
+                domain: WidgetDomain::Options(vec!["a \"x\"".into(), "b".into()]),
+                label: "pick".into(),
+            },
+        }];
+        let root = LayoutNode::Group {
+            orientation: Orientation::Vertical,
+            children: vec![
+                LayoutNode::Vis { view: 0, size: (320.0, 240.0) },
+                LayoutNode::Widget { interaction: 0, size: (100.0, 40.0) },
+            ],
+        };
+        Interface {
+            views: vec![View {
+                tree: 0,
+                vis: VisMapping {
+                    kind: VisKind::Bar,
+                    assignments: vec![(0, pi2_interface::VisVar::X)],
+                },
+            }],
+            interactions,
+            layout: LayoutTree::place(root, 1, 1),
+        }
+    }
+
+    #[test]
+    fn emits_valid_looking_json() {
+        let j = interface_to_json(&sample());
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"mark\":\"bar chart\""));
+        assert!(j.contains("\"widget\":\"radio\""));
+        assert!(j.contains("\\\"x\\\""), "quotes escaped: {j}");
+        assert!(j.contains("\"cover\":[7]"));
+        // Balanced braces and brackets.
+        let braces =
+            j.chars().filter(|&c| c == '{').count() - j.chars().filter(|&c| c == '}').count();
+        assert_eq!(braces, 0);
+        let brackets =
+            j.chars().filter(|&c| c == '[').count() - j.chars().filter(|&c| c == ']').count();
+        assert_eq!(brackets, 0);
+    }
+
+    #[test]
+    fn escape_handles_control_characters() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\nb"), "a\\nb");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

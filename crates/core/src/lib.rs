@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! # PI2: end-to-end interactive visualization interface generation from queries
+//!
+//! A Rust reproduction of *PI2: End-to-end Interactive Visualization
+//! Interface Generation from Queries* (Chen & Wu, SIGMOD 2022). Given a
+//! small sequence of example analysis queries, PI2 generates a fully
+//! functional multi-view visual analysis interface: visualizations for each
+//! query cluster, widgets and in-visualization interactions (pan, zoom,
+//! brush, click) that transform the underlying queries, and a layout.
+//!
+//! ```no_run
+//! use pi2::{Pi2, GenerationConfig};
+//! use pi2_data::Catalog;
+//!
+//! let catalog = Catalog::new(); // add tables first
+//! let pi2 = Pi2::new(catalog);
+//! let generation = pi2
+//!     .generate(&[
+//!         "SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60",
+//!         "SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90",
+//!     ])
+//!     .unwrap();
+//! println!("{}", generation.describe());
+//! let mut runtime = generation.runtime().unwrap();
+//! // Drive the interface programmatically: widgets and chart interactions
+//! // rebind choice nodes, re-resolve SQL, and re-execute.
+//! ```
+//!
+//! The pipeline (paper Figure 6): parse queries into Difftrees
+//! (`pi2-difftree`), search the space of Difftree structures with MCTS
+//! (`pi2-search`), map the best structure to an interface — visualizations,
+//! interactions, layout (`pi2-interface`) — and return the lowest-cost
+//! interface under the §5 cost model.
+
+pub mod error;
+pub mod generation;
+pub mod json;
+pub mod render;
+pub mod runtime;
+
+pub use error::Pi2Error;
+pub use generation::{Generation, GenerationConfig, Pi2};
+pub use runtime::{Event, Runtime};
+
+// Re-export the sub-crates' key types so downstream users need one import.
+pub use pi2_data::{Catalog, DataType, Table, Value};
+pub use pi2_difftree::{Forest, Workload};
+pub use pi2_interface::{
+    Interface, InteractionChoice, InteractionKind, VisKind, WidgetKind,
+};
+pub use pi2_search::{MctsConfig, SearchStats};

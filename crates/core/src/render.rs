@@ -1,0 +1,291 @@
+//! ASCII interface rendering.
+//!
+//! The paper renders interfaces in a browser; our reproduction renders the
+//! same structure — charts, widgets, layout boxes — as text, which keeps
+//! the generated interfaces inspectable in tests, examples, and logs.
+
+use pi2_interface::{Interface, InteractionChoice, Rect};
+
+/// Character-cell scale: one column ≈ 8 px, one row ≈ 18 px.
+const PX_PER_COL: f64 = 8.0;
+const PX_PER_ROW: f64 = 18.0;
+
+/// Render the interface's layout as an ASCII box drawing.
+pub fn render_ascii(iface: &Interface) -> String {
+    let (w_px, h_px) = iface.layout.size;
+    let cols = ((w_px / PX_PER_COL).ceil() as usize + 2).clamp(10, 240);
+    let rows = ((h_px / PX_PER_ROW).ceil() as usize + 2).clamp(4, 120);
+    let mut grid = vec![vec![' '; cols]; rows];
+
+    let draw_box = |r: &Rect, label: &str, grid: &mut Vec<Vec<char>>| {
+        let x0 = (r.x / PX_PER_COL) as usize;
+        let y0 = (r.y / PX_PER_ROW) as usize;
+        let x1 = (((r.x + r.w) / PX_PER_COL) as usize).min(cols - 1).max(x0 + 2);
+        let y1 = (((r.y + r.h) / PX_PER_ROW) as usize).min(rows - 1).max(y0 + 1);
+        #[allow(clippy::needless_range_loop)]
+        for x in x0..=x1 {
+            if y0 < rows {
+                grid[y0][x] = if x == x0 || x == x1 { '+' } else { '-' };
+            }
+            if y1 < rows {
+                grid[y1][x] = if x == x0 || x == x1 { '+' } else { '-' };
+            }
+        }
+        for row in grid.iter_mut().take(y1).skip(y0 + 1) {
+            row[x0] = '|';
+            row[x1] = '|';
+        }
+        // Label inside the box.
+        let ly = y0 + 1;
+        if ly < y1 {
+            for (i, ch) in label.chars().enumerate() {
+                let lx = x0 + 1 + i;
+                if lx >= x1 {
+                    break;
+                }
+                grid[ly][lx] = ch;
+            }
+        }
+    };
+
+    for (i, view) in iface.views.iter().enumerate() {
+        if let Some(r) = iface.layout.vis_boxes.get(i) {
+            draw_box(r, &format!("[{}]", view.vis.kind), &mut grid);
+        }
+    }
+    for (i, inst) in iface.interactions.iter().enumerate() {
+        if let InteractionChoice::Widget { kind, label, .. } = &inst.choice {
+            if let Some(r) = iface.layout.widget_boxes.get(i) {
+                draw_box(r, &format!("{kind}: {label}"), &mut grid);
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    // Trim trailing blank lines.
+    while out.ends_with("\n\n") {
+        out.pop();
+    }
+    out
+}
+
+
+/// Render one view's result table as an ASCII chart with actual data marks
+/// (bars, points, or a line), using the view's visualization mapping.
+/// Tables render through [`pi2_data::Table`]'s own formatter.
+pub fn render_view(table: &pi2_data::Table, vis: &pi2_interface::VisMapping) -> String {
+    use pi2_interface::{VisKind, VisVar};
+    match vis.kind {
+        VisKind::Table => {
+            let mut t = table.clone();
+            t.rows.truncate(12);
+            let mut s = t.to_string();
+            if table.num_rows() > 12 {
+                s.push_str(&format!("… ({} more rows)\n", table.num_rows() - 12));
+            }
+            s
+        }
+        kind => {
+            let Some(x) = vis.column_for(VisVar::X) else {
+                return "(unmapped chart)\n".into();
+            };
+            let Some(y) = vis.column_for(VisVar::Y) else {
+                return "(unmapped chart)\n".into();
+            };
+            match kind {
+                VisKind::Bar => render_bars(table, x, y),
+                _ => render_points(table, x, y, kind == VisKind::Line),
+            }
+        }
+    }
+}
+
+/// Horizontal ASCII bars, one per (x, y) row.
+fn render_bars(table: &pi2_data::Table, x: usize, y: usize) -> String {
+    let mut rows: Vec<(String, f64)> = table
+        .rows
+        .iter()
+        .filter_map(|r| Some((r.get(x)?.to_string(), r.get(y)?.as_f64()?)))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows.truncate(20);
+    let max = rows.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-9);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(1);
+    let mut out = String::new();
+    for (label, v) in &rows {
+        let n = ((v / max) * 40.0).round().max(0.0) as usize;
+        out.push_str(&format!("{label:>label_w$} | {} {v}\n", "█".repeat(n)));
+    }
+    out
+}
+
+/// A character-grid scatterplot / line chart.
+fn render_points(table: &pi2_data::Table, x: usize, y: usize, connect: bool) -> String {
+    const W: usize = 56;
+    const H: usize = 14;
+    let pts: Vec<(f64, f64)> = table
+        .rows
+        .iter()
+        .filter_map(|r| Some((r.get(x)?.as_f64()?, r.get(y)?.as_f64()?)))
+        .collect();
+    if pts.is_empty() {
+        return "(no data)\n".into();
+    }
+    let (x0, x1) = pts.iter().fold((f64::MAX, f64::MIN), |(a, b), (v, _)| {
+        (a.min(*v), b.max(*v))
+    });
+    let (y0, y1) = pts.iter().fold((f64::MAX, f64::MIN), |(a, b), (_, v)| {
+        (a.min(*v), b.max(*v))
+    });
+    let sx = |v: f64| {
+        (((v - x0) / (x1 - x0).max(1e-9)) * (W - 1) as f64).round() as usize
+    };
+    let sy = |v: f64| {
+        H - 1 - (((v - y0) / (y1 - y0).max(1e-9)) * (H - 1) as f64).round() as usize
+    };
+    let mut grid = vec![vec![' '; W]; H];
+    let mut sorted = pts.clone();
+    if connect {
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in sorted.windows(2) {
+            // Sparse linear interpolation between consecutive points.
+            let (ax, ay) = (sx(pair[0].0) as f64, sy(pair[0].1) as f64);
+            let (bx, by) = (sx(pair[1].0) as f64, sy(pair[1].1) as f64);
+            let steps = ((bx - ax).abs().max((by - ay).abs()) as usize).max(1);
+            for s in 0..=steps {
+                let t = s as f64 / steps as f64;
+                let gx = (ax + (bx - ax) * t).round() as usize;
+                let gy = (ay + (by - ay) * t).round() as usize;
+                if gy < H && gx < W {
+                    grid[gy][gx] = '·';
+                }
+            }
+        }
+    }
+    for (px, py) in &pts {
+        let (gx, gy) = (sx(*px), sy(*py));
+        if gy < H && gx < W {
+            grid[gy][gx] = '●';
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("y: {y0:.1} – {y1:.1}\n"));
+    for row in grid {
+        out.push('|');
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(W));
+    out.push('\n');
+    out.push_str(&format!(" x: {x0:.1} – {x1:.1}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_interface::{
+        LayoutNode, LayoutTree, Orientation, VisKind, VisMapping, View, WidgetDomain,
+        WidgetKind,
+    };
+
+    fn sample_interface() -> Interface {
+        let interactions = vec![pi2_interface::InteractionInstance {
+            target_tree: 0,
+            target_node: 1,
+            cover: vec![1],
+            extra_targets: vec![],
+            choice: InteractionChoice::Widget {
+                kind: WidgetKind::Slider,
+                domain: WidgetDomain::Range { min: 0.0, max: 10.0 },
+                label: "hp".into(),
+            },
+        }];
+        let root = LayoutNode::Group {
+            orientation: Orientation::Vertical,
+            children: vec![
+                LayoutNode::Vis { view: 0, size: (320.0, 240.0) },
+                LayoutNode::Widget { interaction: 0, size: (160.0, 30.0) },
+            ],
+        };
+        Interface {
+            views: vec![View {
+                tree: 0,
+                vis: VisMapping { kind: VisKind::Point, assignments: vec![] },
+            }],
+            interactions,
+            layout: LayoutTree::place(root, 1, 1),
+        }
+    }
+
+    #[test]
+    fn ascii_contains_chart_and_widget_labels() {
+        let s = render_ascii(&sample_interface());
+        assert!(s.contains("[scatterplot]"), "{s}");
+        assert!(s.contains("slider: hp"), "{s}");
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    fn render_view_bars() {
+        use pi2_data::{DataType, Table, Value};
+        let t = Table::from_rows(
+            vec![("a", DataType::Int), ("count", DataType::Int)],
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(40)],
+                vec![Value::Int(3), Value::Int(20)],
+            ],
+        )
+        .unwrap();
+        let vis = VisMapping {
+            kind: VisKind::Bar,
+            assignments: vec![(0, pi2_interface::VisVar::X), (1, pi2_interface::VisVar::Y)],
+        };
+        let s = render_view(&t, &vis);
+        assert_eq!(s.lines().count(), 3);
+        // The largest bar belongs to x = 2.
+        let bar_len = |line: &str| line.chars().filter(|&c| c == '█').count();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(bar_len(lines[1]) > bar_len(lines[0]));
+        assert!(bar_len(lines[1]) > bar_len(lines[2]));
+    }
+
+    #[test]
+    fn render_view_scatter_and_table() {
+        use pi2_data::{DataType, Table, Value};
+        let t = Table::from_rows(
+            vec![("x", DataType::Int), ("y", DataType::Int)],
+            (0..30).map(|i| vec![Value::Int(i), Value::Int(i * i)]).collect(),
+        )
+        .unwrap();
+        let scatter = VisMapping {
+            kind: VisKind::Point,
+            assignments: vec![(0, pi2_interface::VisVar::X), (1, pi2_interface::VisVar::Y)],
+        };
+        let s = render_view(&t, &scatter);
+        assert!(s.contains('●'));
+        assert!(s.contains("x: 0.0 – 29.0"), "{s}");
+        let line = VisMapping {
+            kind: VisKind::Line,
+            assignments: scatter.assignments.clone(),
+        };
+        assert!(render_view(&t, &line).contains('·'));
+        let table = VisMapping { kind: VisKind::Table, assignments: vec![] };
+        let s = render_view(&t, &table);
+        assert!(s.contains("more rows"), "long tables truncate: {s}");
+    }
+
+    #[test]
+    fn ascii_is_bounded() {
+        let s = render_ascii(&sample_interface());
+        assert!(s.lines().count() <= 120);
+        assert!(s.lines().all(|l| l.len() <= 240));
+    }
+}

@@ -1,0 +1,667 @@
+//! The interactive runtime: what makes a generated interface "fully
+//! functional".
+//!
+//! Every interaction instance binds one or more choice nodes. Dispatching an
+//! event re-binds those nodes, re-resolves the owning Difftree to SQL,
+//! re-executes it, and updates the view's result table — exactly the
+//! query-level semantics the paper's browser front-end implements.
+
+use crate::error::Pi2Error;
+use crate::generation::Generation;
+use pi2_data::{date::format_iso_date, Table, Value};
+use pi2_difftree::{
+    infer_types, raise_query, resolve, Binding, BindingMap, DNode, Forest, NodeKind, SyntaxKind,
+    TypeMap, Workload,
+};
+use pi2_engine::{execute, ExecContext};
+use pi2_interface::{flatten_node, FlatSchema, Interface};
+use pi2_sql::ast::{Literal, Query};
+
+/// A user interaction event.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // inline variant fields are self-describing
+pub enum Event {
+    /// Choose option `option` of an enumerating widget (radio / dropdown /
+    /// buttons) or click the `option`-th alternative.
+    /// The select.
+    Select { interaction: usize, option: usize },
+    /// Turn a toggle on or off.
+    /// The toggle.
+    Toggle { interaction: usize, on: bool },
+    /// Set scalar values aligned with the interaction's flattened elements:
+    /// a slider sends one value, a range slider or brush two, a pan/zoom on
+    /// a scatterplot four (x-lo, x-hi, y-lo, y-hi), a click one per event
+    /// column.
+    /// The set values.
+    SetValues { interaction: usize, values: Vec<Value> },
+    /// Set the value set of a repeated element (checkbox over MULTI,
+    /// multi-click, adder).
+    /// The set set.
+    SetSet { interaction: usize, values: Vec<Value> },
+    /// Choose a subset of options (checkbox over SUBSET).
+    /// The select many.
+    SelectMany { interaction: usize, options: Vec<usize> },
+    /// Clear an optional interaction (e.g. clear a brush), removing the
+    /// controlled subtree from the query.
+    /// The clear.
+    Clear { interaction: usize },
+}
+
+impl Event {
+    /// Interaction.
+    pub fn interaction(&self) -> usize {
+        match self {
+            Event::Select { interaction, .. }
+            | Event::Toggle { interaction, .. }
+            | Event::SetValues { interaction, .. }
+            | Event::SetSet { interaction, .. }
+            | Event::SelectMany { interaction, .. }
+            | Event::Clear { interaction } => *interaction,
+        }
+    }
+}
+
+/// Interactive state over a generated interface.
+pub struct Runtime {
+    forest: Forest,
+    workload: Workload,
+    interface: Interface,
+    /// Per-tree current bindings (the UI state).
+    bindings: Vec<BindingMap>,
+    types: Vec<TypeMap>,
+    /// Per-interaction: displayed-option index → ANY child index.
+    option_maps: Vec<Vec<usize>>,
+}
+
+impl Runtime {
+    /// Initialise from a generation: every tree starts at the first input
+    /// query it expresses.
+    pub fn new(generation: &Generation) -> Result<Runtime, Pi2Error> {
+        let forest = generation.forest.clone();
+        let workload = generation.workload.clone();
+        let interface = generation.interface.clone();
+        let assignments = forest
+            .bind_all(&workload)
+            .ok_or_else(|| Pi2Error::Runtime("forest no longer expresses workload".into()))?;
+        let mut bindings: Vec<Option<BindingMap>> = vec![None; forest.trees.len()];
+        for a in &assignments {
+            if bindings[a.tree].is_none() {
+                bindings[a.tree] = Some(a.binding.clone());
+            }
+        }
+        let bindings: Vec<BindingMap> = bindings
+            .into_iter()
+            .map(|b| b.unwrap_or_default())
+            .collect();
+        let types = forest
+            .trees
+            .iter()
+            .map(|t| infer_types(t, &workload.catalog))
+            .collect();
+        let option_maps = interface
+            .interactions
+            .iter()
+            .map(|inst| {
+                forest.trees[inst.target_tree]
+                    .find(inst.target_node)
+                    .map(displayed_options)
+                    .unwrap_or_default()
+            })
+            .collect();
+        Ok(Runtime { forest, workload, interface, bindings, types, option_maps })
+    }
+
+    /// Interface.
+    pub fn interface(&self) -> &Interface {
+        &self.interface
+    }
+
+    /// The current SQL query of each tree.
+    pub fn queries(&self) -> Result<Vec<Query>, Pi2Error> {
+        (0..self.forest.trees.len()).map(|t| self.query_for_tree(t)).collect()
+    }
+
+    /// The current SQL query of one tree.
+    pub fn query_for_tree(&self, tree: usize) -> Result<Query, Pi2Error> {
+        let resolved = resolve(&self.forest.trees[tree], &self.bindings[tree])
+            .map_err(|e| Pi2Error::Runtime(e.to_string()))?;
+        raise_query(&resolved).map_err(|e| Pi2Error::Runtime(e.to_string()))
+    }
+
+    /// Execute the current query of every tree (one result table per view).
+    pub fn execute(&self) -> Result<Vec<Table>, Pi2Error> {
+        let ctx = ExecContext::new(&self.workload.catalog);
+        self.queries()?
+            .iter()
+            .map(|q| execute(q, &ctx).map_err(|e| Pi2Error::Execution(e.to_string())))
+            .collect()
+    }
+
+    /// Apply one event: rebind the targeted choice nodes and validate by
+    /// resolution. Invalid events leave the state unchanged.
+    pub fn dispatch(&mut self, event: Event) -> Result<(), Pi2Error> {
+        let ix = event.interaction();
+        let inst = self
+            .interface
+            .interactions
+            .get(ix)
+            .ok_or_else(|| Pi2Error::Runtime(format!("no interaction #{ix}")))?
+            .clone();
+        let tree = inst.target_tree;
+        let node = self.forest.trees[tree]
+            .find(inst.target_node)
+            .ok_or_else(|| Pi2Error::Runtime("stale target node".into()))?
+            .clone();
+        let mut next = self.bindings[tree].clone();
+
+        match &event {
+            Event::Select { option, .. } => {
+                let child = self
+                    .option_maps[ix]
+                    .get(*option)
+                    .copied()
+                    .ok_or_else(|| Pi2Error::Runtime(format!("no option {option}")))?;
+                if node.kind != NodeKind::Any {
+                    return Err(Pi2Error::Runtime("Select targets an ANY node".into()));
+                }
+                next.insert(node.id, Binding::Index(child));
+                // Nested choices of the newly chosen branch may be unbound;
+                // initialise them from any input query using that branch.
+                self.fill_missing(tree, &mut next);
+            }
+            Event::Toggle { on, .. } => {
+                let (present_idx, empty_idx) = opt_indices(&node)
+                    .ok_or_else(|| Pi2Error::Runtime("Toggle targets an OPT node".into()))?;
+                next.insert(node.id, Binding::Index(if *on { present_idx } else { empty_idx }));
+                if *on {
+                    self.fill_missing(tree, &mut next);
+                }
+            }
+            Event::SetValues { values, .. } => {
+                // Apply to every target (cross-filter brushes bind nodes in
+                // several trees); values tile over longer flat schemas (one
+                // (lo, hi) pair can drive co-varying range pairs).
+                let mut staged: Vec<(usize, BindingMap)> = Vec::new();
+                for (t_tree, t_node) in inst.all_targets() {
+                    let t_node = self.forest.trees[t_tree]
+                        .find(t_node)
+                        .ok_or_else(|| Pi2Error::Runtime("stale target node".into()))?
+                        .clone();
+                    let flat =
+                        flatten_node(&t_node, &self.types[t_tree]).ok_or_else(|| {
+                            Pi2Error::Runtime(
+                                "interaction target does not accept values".into(),
+                            )
+                        })?;
+                    if values.is_empty()
+                        || (values.len() != flat.len()
+                            && !flat.len().is_multiple_of(values.len()))
+                    {
+                        return Err(Pi2Error::Runtime(format!(
+                            "expected {} values, got {}",
+                            flat.len(),
+                            values.len()
+                        )));
+                    }
+                    // Tile the payload over co-varying pairs, snapping each
+                    // position against the first enumerable element so every
+                    // pair binds the same (expressible) value.
+                    let stride = values.len();
+                    let mut harmonised: Vec<Value> = values.clone();
+                    for (r, slot) in harmonised.iter_mut().enumerate() {
+                        for (j, elem) in flat.elems.iter().enumerate() {
+                            if j % stride != r {
+                                continue;
+                            }
+                            let Some(n) = t_node.find(elem.node_id) else { continue };
+                            if n.kind == NodeKind::Any {
+                                if let Some(v) = nearest_option_value(n, slot) {
+                                    *slot = v;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    let tiled: Vec<Value> = harmonised
+                        .iter()
+                        .cycle()
+                        .take(flat.len())
+                        .cloned()
+                        .collect();
+                    let mut t_next = if t_tree == tree {
+                        next.clone()
+                    } else {
+                        self.bindings[t_tree].clone()
+                    };
+                    bind_values(&t_node, &flat, &tiled, &mut t_next)?;
+                    staged.push((t_tree, t_next));
+                }
+                // Validate and commit all targets atomically.
+                for (t_tree, t_next) in &staged {
+                    let resolved = resolve(&self.forest.trees[*t_tree], t_next)
+                        .map_err(|e| {
+                            Pi2Error::Runtime(format!("event produced invalid state: {e}"))
+                        })?;
+                    raise_query(&resolved).map_err(|e| {
+                        Pi2Error::Runtime(format!("event produced invalid query: {e}"))
+                    })?;
+                }
+                for (t_tree, t_next) in staged {
+                    self.bindings[t_tree] = t_next;
+                }
+                return Ok(());
+            }
+            Event::SetSet { values, .. } => {
+                let multi = find_multi(&node)
+                    .ok_or_else(|| Pi2Error::Runtime("SetSet targets a MULTI node".into()))?;
+                let template = &multi.children[0];
+                let mut params = Vec::with_capacity(values.len());
+                for v in values {
+                    let mut sub = BindingMap::new();
+                    bind_template(template, v, &mut sub)?;
+                    params.push(sub);
+                }
+                next.insert(multi.id, Binding::List(params));
+            }
+            Event::SelectMany { options, .. } => {
+                if node.kind != NodeKind::Subset {
+                    return Err(Pi2Error::Runtime("SelectMany targets a SUBSET node".into()));
+                }
+                let mut sorted = options.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                if sorted.iter().any(|&o| o >= node.children.len()) {
+                    return Err(Pi2Error::Runtime("option out of range".into()));
+                }
+                next.insert(node.id, Binding::Indices(sorted));
+            }
+            Event::Clear { .. } => {
+                // Clear every target's optional subtree(s).
+                let mut staged: Vec<(usize, BindingMap)> = Vec::new();
+                for (t_tree, t_node_id) in inst.all_targets() {
+                    let t_node = self.forest.trees[t_tree]
+                        .find(t_node_id)
+                        .ok_or_else(|| Pi2Error::Runtime("stale target node".into()))?
+                        .clone();
+                    let flat = flatten_node(&t_node, &self.types[t_tree]);
+                    let controllers: Vec<u32> = match (&t_node.kind, flat) {
+                        (NodeKind::Any, _) if t_node.is_opt() => vec![t_node.id],
+                        (_, Some(flat)) => {
+                            let mut c: Vec<u32> = flat
+                                .elems
+                                .iter()
+                                .filter_map(|e| e.opt_controller)
+                                .collect();
+                            c.dedup();
+                            if c.is_empty() {
+                                return Err(Pi2Error::Runtime(
+                                    "interaction is not clearable".into(),
+                                ));
+                            }
+                            c
+                        }
+                        _ => {
+                            return Err(Pi2Error::Runtime(
+                                "interaction is not clearable".into(),
+                            ))
+                        }
+                    };
+                    let mut t_next = if t_tree == tree {
+                        next.clone()
+                    } else {
+                        self.bindings[t_tree].clone()
+                    };
+                    for id in controllers {
+                        let opt = self.forest.trees[t_tree]
+                            .find(id)
+                            .ok_or_else(|| Pi2Error::Runtime("stale OPT".into()))?;
+                        let (_, empty_idx) = opt_indices(opt)
+                            .ok_or_else(|| Pi2Error::Runtime("not an OPT".into()))?;
+                        t_next.insert(id, Binding::Index(empty_idx));
+                    }
+                    staged.push((t_tree, t_next));
+                }
+                for (t_tree, t_next) in &staged {
+                    let resolved = resolve(&self.forest.trees[*t_tree], t_next)
+                        .map_err(|e| {
+                            Pi2Error::Runtime(format!("event produced invalid state: {e}"))
+                        })?;
+                    raise_query(&resolved).map_err(|e| {
+                        Pi2Error::Runtime(format!("event produced invalid query: {e}"))
+                    })?;
+                }
+                for (t_tree, t_next) in staged {
+                    self.bindings[t_tree] = t_next;
+                }
+                return Ok(());
+            }
+        }
+
+        // Validate: the new binding must resolve to a well-formed query.
+        let resolved = resolve(&self.forest.trees[tree], &next)
+            .map_err(|e| Pi2Error::Runtime(format!("event produced invalid state: {e}")))?;
+        raise_query(&resolved)
+            .map_err(|e| Pi2Error::Runtime(format!("event produced invalid query: {e}")))?;
+        self.bindings[tree] = next;
+        Ok(())
+    }
+
+    /// Ensure every choice node of the tree has a binding, borrowing from
+    /// input-query assignments where the current state is missing one.
+    fn fill_missing(&self, tree: usize, map: &mut BindingMap) {
+        if let Some(assignments) = self.forest.bind_all(&self.workload) {
+            for a in assignments {
+                if a.tree != tree {
+                    continue;
+                }
+                for (id, b) in &a.binding {
+                    map.entry(*id).or_insert_with(|| b.clone());
+                }
+            }
+        }
+    }
+}
+
+/// The displayed options of an ANY node (skipping Empty alternatives and
+/// CO-OPT group markers), as child indices.
+fn displayed_options(node: &DNode) -> Vec<usize> {
+    match node.kind {
+        NodeKind::Any => node
+            .children
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                !(c.is_empty_node()
+                    || matches!(c.kind, NodeKind::CoOpt { .. }) && c.children.is_empty())
+            })
+            .map(|(i, _)| i)
+            .collect(),
+        _ => vec![],
+    }
+}
+
+/// (present child index, empty child index) of an OPT node.
+fn opt_indices(node: &DNode) -> Option<(usize, usize)> {
+    if node.kind != NodeKind::Any {
+        return None;
+    }
+    let empty = node.children.iter().position(|c| c.is_empty_node())?;
+    let present = node.children.iter().position(|c| {
+        !(c.is_empty_node()
+            || matches!(c.kind, NodeKind::CoOpt { .. }) && c.children.is_empty())
+    })?;
+    Some((present, empty))
+}
+
+/// Convert a runtime value to an AST literal for VAL bindings.
+pub fn value_to_literal(v: &Value) -> Literal {
+    match v {
+        Value::Int(i) => Literal::Int(*i),
+        Value::Float(f) => Literal::Float(*f),
+        Value::Str(s) => Literal::Str(s.clone()),
+        Value::Bool(b) => Literal::Bool(*b),
+        Value::Date(d) => Literal::Str(format_iso_date(*d)),
+        Value::Null => Literal::Null,
+    }
+}
+
+/// Bind scalar values to the flattened elements of a target node.
+fn bind_values(
+    root: &DNode,
+    flat: &FlatSchema,
+    values: &[Value],
+    map: &mut BindingMap,
+) -> Result<(), Pi2Error> {
+    for (elem, value) in flat.elems.iter().zip(values.iter()) {
+        let node = root
+            .find(elem.node_id)
+            .ok_or_else(|| Pi2Error::Runtime("stale element node".into()))?;
+        match &node.kind {
+            NodeKind::Val => {
+                map.insert(node.id, Binding::Value(value_to_literal(value)));
+            }
+            NodeKind::Any => {
+                // Enumerable ANY: choose the child literal equal to the
+                // value, or — for continuous events such as brushes — snap
+                // to the nearest expressible option (interfaces express a
+                // finite set of queries; the UI snaps to it).
+                let exact = node.children.iter().position(|c| match &c.kind {
+                    NodeKind::Syntax(SyntaxKind::Lit(l)) => {
+                        pi2_interface::literal_to_value(&l.0).sql_eq(value) == Some(true)
+                    }
+                    _ => false,
+                });
+                let pos = match exact {
+                    Some(p) => p,
+                    None => nearest_option(node, value).ok_or_else(|| {
+                        Pi2Error::Runtime(format!("value {value} is not an option"))
+                    })?,
+                };
+                map.insert(node.id, Binding::Index(pos));
+            }
+            other => {
+                return Err(Pi2Error::Runtime(format!(
+                    "cannot bind a value to {other:?}"
+                )))
+            }
+        }
+        // Setting a value implies presence for optional elements.
+        if let Some(ctrl) = elem.opt_controller {
+            let opt = root
+                .find(ctrl)
+                .ok_or_else(|| Pi2Error::Runtime("stale OPT controller".into()))?;
+            let (present, _) = opt_indices(opt)
+                .ok_or_else(|| Pi2Error::Runtime("controller is not an OPT".into()))?;
+            map.insert(ctrl, Binding::Index(present));
+        }
+    }
+    Ok(())
+}
+
+/// The value of the enumerable ANY option closest to `value`.
+fn nearest_option_value(node: &DNode, value: &Value) -> Option<Value> {
+    let i = nearest_option(node, value)?;
+    match &node.children[i].kind {
+        NodeKind::Syntax(SyntaxKind::Lit(l)) => Some(pi2_interface::literal_to_value(&l.0)),
+        _ => None,
+    }
+}
+
+/// The option of an enumerable ANY closest to `value` (numeric or date
+/// distance); `None` when the children aren't comparable literals.
+fn nearest_option(node: &DNode, value: &Value) -> Option<usize> {
+    let target = value
+        .coerce_to_date()
+        .and_then(|v| v.as_f64())
+        .or_else(|| value.as_f64())?;
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in node.children.iter().enumerate() {
+        let NodeKind::Syntax(SyntaxKind::Lit(l)) = &c.kind else { continue };
+        let v = pi2_interface::literal_to_value(&l.0);
+        let v = v.coerce_to_date().and_then(|v| v.as_f64()).or_else(|| v.as_f64())?;
+        let d = (v - target).abs();
+        if best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((i, d));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Bind one repetition of a MULTI template to a value.
+fn bind_template(template: &DNode, value: &Value, map: &mut BindingMap) -> Result<(), Pi2Error> {
+    match &template.kind {
+        NodeKind::Val => {
+            map.insert(template.id, Binding::Value(value_to_literal(value)));
+            Ok(())
+        }
+        NodeKind::Any => {
+            let pos = template.children.iter().position(|c| match &c.kind {
+                NodeKind::Syntax(SyntaxKind::Lit(l)) => {
+                    pi2_interface::literal_to_value(&l.0).sql_eq(value) == Some(true)
+                }
+                _ => pi2_difftree::sql_snippet(c) == value.to_string(),
+            });
+            let pos = pos.ok_or_else(|| {
+                Pi2Error::Runtime(format!("value {value} is not a template option"))
+            })?;
+            map.insert(template.id, Binding::Index(pos));
+            Ok(())
+        }
+        NodeKind::Syntax(_) if template.is_dynamic() => {
+            // Single dynamic descendant: bind through it.
+            let choices = template.choice_nodes();
+            if choices.len() == 1 {
+                bind_template(choices[0], value, map)
+            } else {
+                Err(Pi2Error::Runtime("ambiguous MULTI template".into()))
+            }
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Find the MULTI node at-or-below a target node.
+fn find_multi(node: &DNode) -> Option<&DNode> {
+    if node.kind == NodeKind::Multi {
+        return Some(node);
+    }
+    node.children.iter().find_map(find_multi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generation::{GenerationConfig, Pi2};
+    use pi2_data::{Catalog, DataType};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let rows: Vec<Vec<Value>> = (0..24)
+            .map(|i| vec![Value::Int(i % 4), Value::Int(10 * (i % 6))])
+            .collect();
+        let t = Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows)
+            .unwrap();
+        c.add_table("T", t, vec![]);
+        c
+    }
+
+    use pi2_data::Table;
+
+    fn generation() -> Generation {
+        Pi2::new(catalog())
+            .generate_with(
+                &[
+                    "SELECT a, count(*) FROM T WHERE b = 10 GROUP BY a",
+                    "SELECT a, count(*) FROM T WHERE b = 20 GROUP BY a",
+                ],
+                &GenerationConfig::quick(),
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn runtime_starts_at_first_query() {
+        let g = generation();
+        let rt = g.runtime().unwrap();
+        let queries = rt.queries().unwrap();
+        // One of the current queries equals the first input query.
+        assert!(queries.iter().any(|q| q == &g.workload.queries[0]));
+        let results = rt.execute().unwrap();
+        assert_eq!(results.len(), g.interface.views.len());
+    }
+
+    #[test]
+    fn dispatch_changes_the_query_and_result() {
+        let g = generation();
+        let mut rt = g.runtime().unwrap();
+        let before = rt.queries().unwrap();
+        // Drive whatever interaction the generator picked: enumerating
+        // widgets via Select, value-bearing interactions via SetValues.
+        let mut changed = false;
+        for (ix, inst) in g.interface.interactions.iter().enumerate() {
+            use pi2_interface::InteractionChoice;
+            let events: Vec<Event> = match &inst.choice {
+                InteractionChoice::Widget { kind, domain, .. } => match kind {
+                    pi2_interface::WidgetKind::Radio
+                    | pi2_interface::WidgetKind::Dropdown
+                    | pi2_interface::WidgetKind::Button
+                        if domain.size() >= 2 =>
+                    {
+                        vec![Event::Select { interaction: ix, option: 1 }]
+                    }
+                    pi2_interface::WidgetKind::Slider | pi2_interface::WidgetKind::Textbox => {
+                        vec![Event::SetValues { interaction: ix, values: vec![Value::Int(30)] }]
+                    }
+                    pi2_interface::WidgetKind::Toggle => {
+                        vec![
+                            Event::Toggle { interaction: ix, on: false },
+                            Event::Toggle { interaction: ix, on: true },
+                        ]
+                    }
+                    _ => continue,
+                },
+                InteractionChoice::Vis { .. } => {
+                    // Try a 1/2/4-value payload (slider/brush/pan shapes).
+                    vec![
+                        Event::SetValues { interaction: ix, values: vec![Value::Int(30)] },
+                        Event::SetValues {
+                            interaction: ix,
+                            values: vec![Value::Int(20), Value::Int(40)],
+                        },
+                        Event::SetValues {
+                            interaction: ix,
+                            values: vec![
+                                Value::Int(20),
+                                Value::Int(40),
+                                Value::Int(1),
+                                Value::Int(3),
+                            ],
+                        },
+                    ]
+                }
+            };
+            for event in events {
+                if rt.dispatch(event).is_ok() && rt.queries().unwrap() != before {
+                    changed = true;
+                    break;
+                }
+            }
+            if changed {
+                break;
+            }
+        }
+        assert!(changed, "no dispatchable interaction found:\n{}", g.describe());
+        let after = rt.queries().unwrap();
+        assert_ne!(before, after, "dispatch must change some query");
+        rt.execute().unwrap();
+    }
+
+    #[test]
+    fn invalid_events_are_rejected_without_state_change() {
+        let g = generation();
+        let mut rt = g.runtime().unwrap();
+        let before = rt.queries().unwrap();
+        assert!(rt
+            .dispatch(Event::Select { interaction: 999, option: 0 })
+            .is_err());
+        // Wrong payload arity.
+        for ix in 0..g.interface.interactions.len() {
+            let _ = rt.dispatch(Event::SetValues { interaction: ix, values: vec![] });
+        }
+        assert_eq!(rt.queries().unwrap(), before);
+    }
+
+    #[test]
+    fn value_literal_round_trip() {
+        assert_eq!(value_to_literal(&Value::Int(3)), Literal::Int(3));
+        assert_eq!(value_to_literal(&Value::Float(2.5)), Literal::Float(2.5));
+        assert_eq!(
+            value_to_literal(&Value::Str("CA".into())),
+            Literal::Str("CA".into())
+        );
+        assert_eq!(
+            value_to_literal(&Value::Date(0)),
+            Literal::Str("1970-01-01".into())
+        );
+    }
+}

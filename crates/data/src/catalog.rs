@@ -1,0 +1,272 @@
+//! The database catalogue.
+//!
+//! PI2 consults the catalogue for: fully-qualified attribute resolution and
+//! domains (§3.2.1 type inference), function return types, cardinality
+//! statistics (§4.1), and primary keys for functional-dependency checks
+//! (Table 1 constraints).
+
+use crate::error::DataError;
+use crate::stats::ColumnStats;
+use crate::table::Table;
+use crate::types::DataType;
+use std::collections::BTreeMap;
+
+/// Metadata + data for one base table.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    /// The name.
+    pub name: String,
+    /// The table.
+    pub table: Table,
+    /// Column names forming the primary key (may be empty).
+    pub primary_key: Vec<String>,
+    /// Per-column statistics, parallel to `table.schema.columns`.
+    pub stats: Vec<ColumnStats>,
+}
+
+/// Return-type signature for a SQL function known to the catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FunctionSig {
+    /// Always returns the given type (e.g. `count` → int).
+    Fixed(DataType),
+    /// Returns the type of its first argument (e.g. `min`, `max`, `sum`).
+    SameAsArg,
+    /// Numeric aggregate that returns float (e.g. `avg`).
+    Float,
+}
+
+/// An in-memory database catalogue: tables plus function signatures.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableMeta>,
+    functions: BTreeMap<String, FunctionSig>,
+    /// Cheap content fingerprint (names, schemas, row counts, domains) used
+    /// to key cross-catalogue caches such as the executor's result cache.
+    fingerprint: u64,
+}
+
+impl Catalog {
+    /// An empty catalogue pre-populated with the standard function library.
+    pub fn new() -> Self {
+        let mut c =
+            Catalog { tables: BTreeMap::new(), functions: BTreeMap::new(), fingerprint: 0 };
+        c.register_function("count", FunctionSig::Fixed(DataType::Int));
+        c.register_function("sum", FunctionSig::SameAsArg);
+        c.register_function("min", FunctionSig::SameAsArg);
+        c.register_function("max", FunctionSig::SameAsArg);
+        c.register_function("avg", FunctionSig::Float);
+        c.register_function("abs", FunctionSig::SameAsArg);
+        c.register_function("date", FunctionSig::Fixed(DataType::Date));
+        c.register_function("today", FunctionSig::Fixed(DataType::Date));
+        c
+    }
+
+    /// Register (or replace) a table, computing its statistics.
+    pub fn add_table(
+        &mut self,
+        name: impl Into<String>,
+        table: Table,
+        primary_key: Vec<&str>,
+    ) {
+        let name = name.into();
+        let stats = (0..table.num_columns())
+            .map(|i| ColumnStats::compute(&table, i))
+            .collect();
+        let meta = TableMeta {
+            name: name.clone(),
+            table,
+            primary_key: primary_key.into_iter().map(|s| s.to_string()).collect(),
+            stats,
+        };
+        // Update the fingerprint from cheap summaries; full row hashing is
+        // avoided on purpose (tables can be large).
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.fingerprint.hash(&mut h);
+        meta.name.hash(&mut h);
+        meta.table.num_rows().hash(&mut h);
+        for (i, c) in meta.table.schema.columns.iter().enumerate() {
+            c.name.hash(&mut h);
+            format!("{}", c.dtype).hash(&mut h);
+            if let Some(stat) = meta.stats.get(i) {
+                stat.distinct_count.hash(&mut h);
+                if let (Some(min), Some(max)) = (&stat.min, &stat.max) {
+                    min.hash(&mut h);
+                    max.hash(&mut h);
+                }
+            }
+        }
+        self.fingerprint = h.finish();
+        self.tables.insert(name.to_ascii_lowercase(), meta);
+    }
+
+    /// The catalogue's content fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Case-insensitive table lookup.
+    pub fn table(&self, name: &str) -> Option<&TableMeta> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Require table.
+    pub fn require_table(&self, name: &str) -> Result<&TableMeta, DataError> {
+        self.table(name).ok_or_else(|| DataError::UnknownTable(name.to_string()))
+    }
+
+    /// Table names.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.values().map(|m| m.name.as_str())
+    }
+
+    /// Look up the type of `table.column`; `None` if either is unknown.
+    pub fn column_type(&self, table: &str, column: &str) -> Option<DataType> {
+        let meta = self.table(table)?;
+        let idx = meta.table.schema.index_of(column)?;
+        Some(meta.table.schema.columns[idx].dtype)
+    }
+
+    /// Statistics for `table.column`.
+    pub fn column_stats(&self, table: &str, column: &str) -> Option<&ColumnStats> {
+        let meta = self.table(table)?;
+        let idx = meta.table.schema.index_of(column)?;
+        meta.stats.get(idx)
+    }
+
+    /// Find the unique table containing an unqualified column name. Errors
+    /// with `AmbiguousColumn` when several candidate tables define it.
+    pub fn resolve_column(&self, column: &str) -> Result<(&TableMeta, usize), DataError> {
+        let mut hit: Option<(&TableMeta, usize)> = None;
+        for meta in self.tables.values() {
+            if let Some(idx) = meta.table.schema.index_of(column) {
+                if hit.is_some() {
+                    return Err(DataError::AmbiguousColumn(column.to_string()));
+                }
+                hit = Some((meta, idx));
+            }
+        }
+        hit.ok_or_else(|| DataError::UnknownColumn(column.to_string()))
+    }
+
+    /// Whether `columns` is a superset of some table's primary key — i.e.
+    /// the projection is functionally determined by those columns.
+    pub fn covers_primary_key(&self, table: &str, columns: &[&str]) -> bool {
+        let Some(meta) = self.table(table) else { return false };
+        if meta.primary_key.is_empty() {
+            return false;
+        }
+        meta.primary_key.iter().all(|k| {
+            columns.iter().any(|c| c.eq_ignore_ascii_case(k))
+        })
+    }
+
+    /// Register function.
+    pub fn register_function(&mut self, name: &str, sig: FunctionSig) {
+        self.functions.insert(name.to_ascii_lowercase(), sig);
+    }
+
+    /// Function.
+    pub fn function(&self, name: &str) -> Option<FunctionSig> {
+        self.functions.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Return type of `name(arg_type)` per the signature registry; `None`
+    /// when the function is unknown.
+    pub fn function_return_type(
+        &self,
+        name: &str,
+        arg_type: Option<DataType>,
+    ) -> Option<DataType> {
+        match self.function(name)? {
+            FunctionSig::Fixed(t) => Some(t),
+            FunctionSig::SameAsArg => arg_type,
+            FunctionSig::Float => Some(DataType::Float),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn catalog_with_t() -> Catalog {
+        let mut c = Catalog::new();
+        let t = Table::from_rows(
+            vec![("p", DataType::Int), ("a", DataType::Int), ("b", DataType::Int)],
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Int(100)],
+                vec![Value::Int(2), Value::Int(20), Value::Int(200)],
+            ],
+        )
+        .unwrap();
+        c.add_table("T", t, vec!["p"]);
+        c
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let c = catalog_with_t();
+        assert!(c.table("t").is_some());
+        assert!(c.table("T").is_some());
+        assert_eq!(c.table("T").unwrap().name, "T");
+    }
+
+    #[test]
+    fn column_types_and_stats() {
+        let c = catalog_with_t();
+        assert_eq!(c.column_type("T", "a"), Some(DataType::Int));
+        assert_eq!(c.column_type("T", "zzz"), None);
+        let s = c.column_stats("t", "a").unwrap();
+        assert_eq!(s.min, Some(Value::Int(10)));
+        assert_eq!(s.max, Some(Value::Int(20)));
+    }
+
+    #[test]
+    fn resolve_unqualified_column() {
+        let c = catalog_with_t();
+        let (meta, idx) = c.resolve_column("b").unwrap();
+        assert_eq!(meta.name, "T");
+        assert_eq!(idx, 2);
+        assert_eq!(
+            c.resolve_column("missing").unwrap_err(),
+            DataError::UnknownColumn("missing".into())
+        );
+    }
+
+    #[test]
+    fn ambiguous_column_detected() {
+        let mut c = catalog_with_t();
+        let u = Table::from_rows(vec![("a", DataType::Int)], vec![]).unwrap();
+        c.add_table("U", u, vec![]);
+        assert_eq!(
+            c.resolve_column("a").unwrap_err(),
+            DataError::AmbiguousColumn("a".into())
+        );
+    }
+
+    #[test]
+    fn primary_key_coverage() {
+        let c = catalog_with_t();
+        assert!(c.covers_primary_key("T", &["p", "a"]));
+        assert!(!c.covers_primary_key("T", &["a"]));
+        assert!(!c.covers_primary_key("missing", &["p"]));
+    }
+
+    #[test]
+    fn function_signatures() {
+        let c = Catalog::new();
+        assert_eq!(
+            c.function_return_type("COUNT", None),
+            Some(DataType::Int)
+        );
+        assert_eq!(
+            c.function_return_type("sum", Some(DataType::Float)),
+            Some(DataType::Float)
+        );
+        assert_eq!(c.function_return_type("avg", Some(DataType::Int)), Some(DataType::Float));
+        assert_eq!(c.function_return_type("today", None), Some(DataType::Date));
+        assert_eq!(c.function_return_type("nope", None), None);
+    }
+}

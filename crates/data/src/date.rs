@@ -1,0 +1,176 @@
+//! Minimal proleptic-Gregorian calendar support.
+//!
+//! The Covid and Sales workloads (paper Listings 6–7) filter on dates and use
+//! `date(today(), '-30 days')` arithmetic. We avoid a calendar dependency by
+//! implementing the standard civil-date <-> day-number conversion (Howard
+//! Hinnant's `days_from_civil` algorithm). Dates are stored as `i64` days
+//! since 1970-01-01.
+
+/// A civil calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CivilDate {
+    /// The year.
+    pub year: i32,
+    /// The month.
+    pub month: u8,
+    /// The day.
+    pub day: u8,
+}
+
+/// Days in `month` of `year`, accounting for leap years.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Gregorian leap-year rule.
+pub fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Convert a civil date to days since 1970-01-01 (may be negative).
+pub fn civil_to_days(date: CivilDate) -> i64 {
+    let y = i64::from(date.year) - i64::from(date.month <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = i64::from(date.month);
+    let d = i64::from(date.day);
+    let doy = (153 * (m + if m > 2 { -3 } else { 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Convert days since 1970-01-01 back to a civil date.
+pub fn days_to_civil(days: i64) -> CivilDate {
+    let z = days + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    CivilDate {
+        year: (y + i64::from(m <= 2)) as i32,
+        month: m as u8,
+        day: d as u8,
+    }
+}
+
+/// Parse an ISO `YYYY-MM-DD` string into days since the epoch.
+pub fn parse_iso_date(s: &str) -> Option<i64> {
+    let mut parts = s.splitn(3, '-');
+    let year: i32 = parts.next()?.parse().ok()?;
+    let month: u8 = parts.next()?.parse().ok()?;
+    let day: u8 = parts.next()?.parse().ok()?;
+    if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+        return None;
+    }
+    Some(civil_to_days(CivilDate { year, month, day }))
+}
+
+/// Format days since the epoch as ISO `YYYY-MM-DD`.
+pub fn format_iso_date(days: i64) -> String {
+    let c = days_to_civil(days);
+    format!("{:04}-{:02}-{:02}", c.year, c.month, c.day)
+}
+
+/// Parse a relative-offset string such as `-30 days`, `+7 days`, or `-2
+/// months`, returning the signed day count. Months are approximated as 30
+/// days, matching the coarse interval semantics of the Covid workload.
+pub fn parse_day_offset(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (num, unit) = s.split_once(' ')?;
+    let n: i64 = num.parse().ok()?;
+    let unit = unit.trim().to_ascii_lowercase();
+    match unit.as_str() {
+        "day" | "days" => Some(n),
+        "week" | "weeks" => Some(n * 7),
+        "month" | "months" => Some(n * 30),
+        "year" | "years" => Some(n * 365),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(civil_to_days(CivilDate { year: 1970, month: 1, day: 1 }), 0);
+        assert_eq!(days_to_civil(0), CivilDate { year: 1970, month: 1, day: 1 });
+    }
+
+    #[test]
+    fn known_dates_round_trip() {
+        // 2000-03-01 is day 11017.
+        assert_eq!(civil_to_days(CivilDate { year: 2000, month: 3, day: 1 }), 11017);
+        // 2019-01-25 appears in the Sales workload.
+        let d = parse_iso_date("2019-01-25").unwrap();
+        assert_eq!(format_iso_date(d), "2019-01-25");
+    }
+
+    #[test]
+    fn round_trip_wide_range() {
+        for days in (-200_000..200_000).step_by(137) {
+            let c = days_to_civil(days);
+            assert_eq!(civil_to_days(c), days, "round trip failed at {days}");
+        }
+    }
+
+    #[test]
+    fn consecutive_days_are_consecutive_dates() {
+        let mut prev = days_to_civil(-1000);
+        for d in -999..1000 {
+            let c = days_to_civil(d);
+            assert!(c > prev, "dates must be strictly increasing");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn leap_year_rules() {
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+        assert!(is_leap(2020));
+        assert!(!is_leap(2021));
+        assert_eq!(days_in_month(2020, 2), 29);
+        assert_eq!(days_in_month(2021, 2), 28);
+        assert_eq!(days_in_month(2021, 4), 30);
+        assert_eq!(days_in_month(2021, 12), 31);
+    }
+
+    #[test]
+    fn parse_rejects_bad_dates() {
+        assert!(parse_iso_date("2021-02-29").is_none());
+        assert!(parse_iso_date("2021-13-01").is_none());
+        assert!(parse_iso_date("2021-00-10").is_none());
+        assert!(parse_iso_date("2021-04-31").is_none());
+        assert!(parse_iso_date("not a date").is_none());
+        assert!(parse_iso_date("2021-04").is_none());
+    }
+
+    #[test]
+    fn day_offsets() {
+        assert_eq!(parse_day_offset("-30 days"), Some(-30));
+        assert_eq!(parse_day_offset("-7 days"), Some(-7));
+        assert_eq!(parse_day_offset("+14 days"), Some(14));
+        assert_eq!(parse_day_offset("-2 weeks"), Some(-14));
+        assert_eq!(parse_day_offset("-1 month"), Some(-30));
+        assert_eq!(parse_day_offset("1 year"), Some(365));
+        assert_eq!(parse_day_offset("eleven days"), None);
+        assert_eq!(parse_day_offset("-30 parsecs"), None);
+    }
+}

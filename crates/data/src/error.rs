@@ -1,0 +1,65 @@
+//! Error type shared by the data substrate.
+
+use std::fmt;
+
+/// Errors raised by the data layer (value coercion, schema mismatches,
+/// catalogue lookups).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // inline variant fields are self-describing
+pub enum DataError {
+    /// A value could not be coerced to the requested type.
+    /// The mismatch.
+    /// The type mismatch.
+    TypeMismatch { expected: String, found: String },
+    /// Referenced table does not exist in the catalogue.
+    UnknownTable(String),
+    /// Referenced column does not exist in a table / schema.
+    UnknownColumn(String),
+    /// Column reference is ambiguous across tables in scope.
+    AmbiguousColumn(String),
+    /// A row's arity does not match its table's schema.
+    /// The arity mismatch.
+    ArityMismatch { expected: usize, found: usize },
+    /// Malformed literal (e.g. an unparseable date string).
+    BadLiteral(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DataError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            DataError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            DataError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            DataError::ArityMismatch { expected, found } => {
+                write!(f, "row arity mismatch: expected {expected} values, found {found}")
+            }
+            DataError::BadLiteral(s) => write!(f, "bad literal: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            DataError::TypeMismatch { expected: "num".into(), found: "str".into() }.to_string(),
+            "type mismatch: expected num, found str"
+        );
+        assert_eq!(DataError::UnknownTable("t".into()).to_string(), "unknown table: t");
+        assert_eq!(DataError::UnknownColumn("c".into()).to_string(), "unknown column: c");
+        assert_eq!(DataError::AmbiguousColumn("c".into()).to_string(), "ambiguous column: c");
+        assert_eq!(
+            DataError::ArityMismatch { expected: 2, found: 3 }.to_string(),
+            "row arity mismatch: expected 2 values, found 3"
+        );
+        assert_eq!(DataError::BadLiteral("x".into()).to_string(), "bad literal: x");
+    }
+}

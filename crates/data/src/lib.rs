@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! Data substrate for the PI2 reproduction: values, types, tables, the
+//! database catalogue, and column statistics.
+//!
+//! The PI2 paper (§1) states that the system "only needs access to the query
+//! grammar, a database connection to execute queries, and the database
+//! catalogue". This crate provides the value model and the catalogue; the
+//! query engine lives in `pi2-engine`.
+//!
+//! Everything here is deliberately self-contained: no external database is
+//! required, tables live in memory, and the catalogue exposes exactly the
+//! metadata PI2's mapping rules consume — attribute types, domains,
+//! cardinalities (for the categorical/quantitative decision in §4.1), and
+//! key-based functional dependencies (for the bar/line chart FD constraints
+//! in Table 1).
+
+pub mod catalog;
+pub mod date;
+pub mod error;
+pub mod stats;
+pub mod table;
+pub mod types;
+pub mod value;
+
+pub use catalog::{Catalog, FunctionSig, TableMeta};
+pub use error::DataError;
+pub use stats::ColumnStats;
+pub use table::{Column, Row, Schema, Table};
+pub use types::DataType;
+pub use value::Value;

@@ -1,0 +1,120 @@
+//! Column statistics backing the catalogue.
+//!
+//! PI2 consults these in three places: attribute-type domains for `VAL`
+//! generalisation (§2 "initialized with the minimum and maximum of attribute
+//! a and b's domains"), the cardinality-below-20 categorical rule (§4.1), and
+//! widget initialisation (radio/dropdown option lists).
+
+use crate::table::Table;
+use crate::value::Value;
+
+/// Per-column summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub distinct_count: usize,
+    /// Domain minimum (non-null), if the column is non-empty.
+    pub min: Option<Value>,
+    /// Domain maximum (non-null), if the column is non-empty.
+    pub max: Option<Value>,
+    /// The distinct values themselves, retained only when there are at most
+    /// [`ColumnStats::DISTINCT_RETENTION_LIMIT`]; enough for widget domains.
+    pub distinct_values: Option<Vec<Value>>,
+    /// Whether all non-null values are unique (candidate key).
+    pub unique: bool,
+}
+
+impl ColumnStats {
+    /// Retain explicit distinct-value lists only for low-cardinality columns.
+    /// The categorical cutoff in §4.1 is 20; we keep a little slack so that
+    /// widget domains for borderline columns remain available.
+    pub const DISTINCT_RETENTION_LIMIT: usize = 64;
+
+    /// Compute statistics for column `idx` of `table`.
+    pub fn compute(table: &Table, idx: usize) -> ColumnStats {
+        let distinct = table.distinct_values(idx);
+        let non_null_total = table.column_values(idx).filter(|v| !v.is_null()).count();
+        let min = distinct.first().cloned();
+        let max = distinct.last().cloned();
+        let unique = non_null_total == distinct.len();
+        let distinct_count = distinct.len();
+        let distinct_values = if distinct_count <= Self::DISTINCT_RETENTION_LIMIT {
+            Some(distinct)
+        } else {
+            None
+        };
+        ColumnStats { distinct_count, min, max, distinct_values, unique }
+    }
+
+    /// The §4.1 rule: a column is usable as a categorical visual variable
+    /// when its cardinality is below 20.
+    pub fn is_low_cardinality(&self) -> bool {
+        self.distinct_count > 0 && self.distinct_count < 20
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+    use crate::types::DataType;
+
+    fn table_with_ints(vals: Vec<i64>) -> Table {
+        Table::from_rows(
+            vec![("x", DataType::Int)],
+            vals.into_iter().map(|v| vec![Value::Int(v)]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_stats() {
+        let t = table_with_ints(vec![3, 1, 2, 2, 3]);
+        let s = ColumnStats::compute(&t, 0);
+        assert_eq!(s.distinct_count, 3);
+        assert_eq!(s.min, Some(Value::Int(1)));
+        assert_eq!(s.max, Some(Value::Int(3)));
+        assert!(!s.unique);
+        assert_eq!(
+            s.distinct_values,
+            Some(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn uniqueness_detected() {
+        let t = table_with_ints((0..10).collect());
+        let s = ColumnStats::compute(&t, 0);
+        assert!(s.unique);
+    }
+
+    #[test]
+    fn cardinality_rule_matches_paper_threshold() {
+        let t = table_with_ints((0..19).collect());
+        assert!(ColumnStats::compute(&t, 0).is_low_cardinality());
+        let t = table_with_ints((0..20).collect());
+        assert!(!ColumnStats::compute(&t, 0).is_low_cardinality());
+        // Empty columns are not categorical — there is nothing to enumerate.
+        let t = table_with_ints(vec![]);
+        assert!(!ColumnStats::compute(&t, 0).is_low_cardinality());
+    }
+
+    #[test]
+    fn high_cardinality_drops_value_list() {
+        let t = table_with_ints((0..100).collect());
+        let s = ColumnStats::compute(&t, 0);
+        assert_eq!(s.distinct_count, 100);
+        assert!(s.distinct_values.is_none());
+        assert_eq!(s.min, Some(Value::Int(0)));
+        assert_eq!(s.max, Some(Value::Int(99)));
+    }
+
+    #[test]
+    fn nulls_excluded_from_stats() {
+        let mut t = table_with_ints(vec![5]);
+        t.push_row(vec![Value::Null]).unwrap();
+        let s = ColumnStats::compute(&t, 0);
+        assert_eq!(s.distinct_count, 1);
+        assert!(s.unique);
+    }
+}

@@ -1,0 +1,275 @@
+//! In-memory relational tables.
+
+use crate::error::DataError;
+use crate::types::DataType;
+use crate::value::Value;
+use std::fmt;
+
+/// A named, typed output column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// The name.
+    pub name: String,
+    /// The dtype.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// New.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column { name: name.into(), dtype }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// The columns.
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    /// New.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Len.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Is empty.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Case-insensitive lookup of a column index by (optionally unqualified)
+    /// name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name.to_ascii_lowercase() == lower)
+    }
+
+    /// Column.
+    pub fn column(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Names.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+/// A row of values; arity always matches the owning table's schema.
+pub type Row = Vec<Value>;
+
+/// A row-oriented in-memory table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    /// The schema.
+    pub schema: Schema,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// New.
+    pub fn new(schema: Schema) -> Self {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// Build a table from `(name, type)` pairs and rows, validating arity.
+    pub fn from_rows(
+        columns: Vec<(&str, DataType)>,
+        rows: Vec<Row>,
+    ) -> Result<Self, DataError> {
+        let schema = Schema::new(
+            columns.into_iter().map(|(n, t)| Column::new(n, t)).collect(),
+        );
+        let mut t = Table::new(schema);
+        for row in rows {
+            t.push_row(row)?;
+        }
+        Ok(t)
+    }
+
+    /// Push row.
+    pub fn push_row(&mut self, row: Row) -> Result<(), DataError> {
+        if row.len() != self.schema.len() {
+            return Err(DataError::ArityMismatch {
+                expected: self.schema.len(),
+                found: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Num rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Num columns.
+    pub fn num_columns(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// All values in column `idx`.
+    pub fn column_values(&self, idx: usize) -> impl Iterator<Item = &Value> {
+        self.rows.iter().map(move |r| &r[idx])
+    }
+
+    /// Distinct non-null values in a column, sorted.
+    pub fn distinct_values(&self, idx: usize) -> Vec<Value> {
+        let mut vals: Vec<Value> = self
+            .column_values(idx)
+            .filter(|v| !v.is_null())
+            .cloned()
+            .collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// (min, max) of a column's non-null values, if any.
+    pub fn min_max(&self, idx: usize) -> Option<(Value, Value)> {
+        let mut iter = self.column_values(idx).filter(|v| !v.is_null());
+        let first = iter.next()?.clone();
+        let mut min = first.clone();
+        let mut max = first;
+        for v in iter {
+            if *v < min {
+                min = v.clone();
+            }
+            if *v > max {
+                max = v.clone();
+            }
+        }
+        Some((min, max))
+    }
+
+    /// Whether the values in the given column are unique (no duplicates among
+    /// non-null values). Used to infer functional dependencies (§4.1).
+    pub fn column_is_unique(&self, idx: usize) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        for v in self.column_values(idx) {
+            if v.is_null() {
+                continue;
+            }
+            if !seen.insert(v.clone()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Table {
+    /// Fixed-width text rendering, used by the table "visualization" and the
+    /// example binaries.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> =
+            self.schema.columns.iter().map(|c| c.name.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        for (i, c) in self.schema.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{:width$}", c.name, width = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-+-")?;
+            }
+            write!(f, "{}", "-".repeat(*w))?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{:width$}", cell, width = widths[i])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            vec![("a", DataType::Int), ("name", DataType::Str)],
+            vec![
+                vec![Value::Int(1), Value::Str("x".into())],
+                vec![Value::Int(2), Value::Str("y".into())],
+                vec![Value::Int(2), Value::Str("z".into())],
+                vec![Value::Null, Value::Str("w".into())],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arity_is_validated() {
+        let mut t = sample();
+        let err = t.push_row(vec![Value::Int(1)]).unwrap_err();
+        assert_eq!(err, DataError::ArityMismatch { expected: 2, found: 1 });
+    }
+
+    #[test]
+    fn index_of_is_case_insensitive() {
+        let t = sample();
+        assert_eq!(t.schema.index_of("A"), Some(0));
+        assert_eq!(t.schema.index_of("NAME"), Some(1));
+        assert_eq!(t.schema.index_of("missing"), None);
+    }
+
+    #[test]
+    fn distinct_skips_nulls_and_sorts() {
+        let t = sample();
+        assert_eq!(t.distinct_values(0), vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn min_max() {
+        let t = sample();
+        assert_eq!(t.min_max(0), Some((Value::Int(1), Value::Int(2))));
+        let empty = Table::from_rows(vec![("a", DataType::Int)], vec![]).unwrap();
+        assert_eq!(empty.min_max(0), None);
+    }
+
+    #[test]
+    fn uniqueness_check() {
+        let t = sample();
+        assert!(!t.column_is_unique(0)); // value 2 repeats
+        assert!(t.column_is_unique(1));
+    }
+
+    #[test]
+    fn display_renders_header_and_rows() {
+        let t = sample();
+        let s = t.to_string();
+        assert!(s.contains("a"));
+        assert!(s.contains("name"));
+        assert!(s.contains("NULL"));
+        assert_eq!(s.lines().count(), 2 + t.num_rows());
+    }
+}

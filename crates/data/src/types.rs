@@ -1,0 +1,96 @@
+//! Database column types.
+//!
+//! Note these are *storage* types. The Difftree type hierarchy of §3.2.1
+//! (`AST → str → num`, plus attribute types) lives in `pi2-difftree`; the
+//! mapping from storage types onto that hierarchy is `DataType::is_numeric`.
+
+use std::fmt;
+
+/// The storage type of a table column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DataType {
+    /// `Bool`.
+    Bool,
+    /// `Int`.
+    Int,
+    /// `Float`.
+    Float,
+    /// `Str`.
+    Str,
+    /// `Date`.
+    Date,
+}
+
+impl DataType {
+    /// Whether values of this type map to the `num` primitive in the paper's
+    /// type hierarchy. Dates count as numeric: they support range predicates,
+    /// sliders, and axis scales.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float | DataType::Date | DataType::Bool)
+    }
+
+    /// Least-common-supertype of two storage types, used when unioning result
+    /// schemas (§3.2.2). `None` means the union falls back to `str`-level
+    /// compatibility only if both are strings, otherwise the types are
+    /// union-incompatible at the storage level.
+    pub fn union(self, other: DataType) -> Option<DataType> {
+        use DataType::*;
+        if self == other {
+            return Some(self);
+        }
+        match (self, other) {
+            (Int, Float) | (Float, Int) => Some(Float),
+            (Bool, Int) | (Int, Bool) => Some(Int),
+            (Bool, Float) | (Float, Bool) => Some(Float),
+            (Date, Str) | (Str, Date) => Some(Str),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "bool",
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Str => "str",
+            DataType::Date => "date",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(DataType::Date.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent() {
+        use DataType::*;
+        for a in [Bool, Int, Float, Str, Date] {
+            assert_eq!(a.union(a), Some(a));
+            for b in [Bool, Int, Float, Str, Date] {
+                assert_eq!(a.union(b), b.union(a));
+            }
+        }
+    }
+
+    #[test]
+    fn int_float_union_is_float() {
+        assert_eq!(DataType::Int.union(DataType::Float), Some(DataType::Float));
+    }
+
+    #[test]
+    fn str_int_union_is_incompatible() {
+        assert_eq!(DataType::Str.union(DataType::Int), None);
+    }
+}

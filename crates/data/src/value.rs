@@ -1,0 +1,359 @@
+//! Runtime values flowing through tables, query evaluation, and interaction
+//! event streams.
+
+use crate::date::{format_iso_date, parse_iso_date};
+use crate::types::DataType;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A single SQL value.
+///
+/// `Date` carries days since 1970-01-01 (see [`crate::date`]). `Float` uses
+/// a total order (NaN sorts last) so values can live in sorted containers and
+/// group-by keys.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `Null`.
+    Null,
+    /// `Bool`.
+    Bool(bool),
+    /// `Int`.
+    Int(i64),
+    /// `Float`.
+    Float(f64),
+    /// `Str`.
+    Str(String),
+    /// `Date`.
+    Date(i64),
+}
+
+impl Value {
+    /// The concrete type of this value; `None` for `Null`.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// Is null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it has one. Dates are numeric (their day
+    /// number) so range predicates and sliders work uniformly over them.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Date(d) => Some(*d as f64),
+            _ => None,
+        }
+    }
+
+    /// As i64.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            Value::Bool(b) => Some(i64::from(*b)),
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// As str.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Int(i) => Some(*i != 0),
+            _ => None,
+        }
+    }
+
+    /// True when the value is `Int`, `Float`, or `Date` — the types that map
+    /// to quantitative visual variables (§4.1).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_) | Value::Date(_))
+    }
+
+    /// Interpret a string literal as a date when it parses as ISO
+    /// `YYYY-MM-DD`; used when comparing string literals to date attributes.
+    pub fn coerce_to_date(&self) -> Option<Value> {
+        match self {
+            Value::Date(d) => Some(Value::Date(*d)),
+            Value::Str(s) => parse_iso_date(s).map(Value::Date),
+            Value::Int(i) => Some(Value::Date(*i)),
+            _ => None,
+        }
+    }
+
+    /// SQL-comparison between two values. Returns `None` when either side is
+    /// `NULL` or the types are incomparable; numeric types compare through
+    /// `f64`, strings lexicographically, and ISO date strings compare with
+    /// date values.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Date(a), Value::Date(b)) => Some(a.cmp(b)),
+            (Value::Date(_), Value::Str(s)) => {
+                let d = parse_iso_date(s)?;
+                self.sql_cmp(&Value::Date(d))
+            }
+            (Value::Str(s), Value::Date(_)) => {
+                let d = parse_iso_date(s)?;
+                Value::Date(d).sql_cmp(other)
+            }
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// SQL equality (`None` for NULL comparisons).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        self.sql_cmp(other).map(|o| o == Ordering::Equal)
+    }
+
+    /// Total-order key used for sorting/grouping (NULL first, then by type).
+    fn total_key(&self) -> (u8, i64, u64, &str) {
+        match self {
+            Value::Null => (0, 0, 0, ""),
+            Value::Bool(b) => (1, i64::from(*b), 0, ""),
+            Value::Int(i) => (2, *i, 0, ""),
+            Value::Float(f) => {
+                // Map floats onto a monotone integer key (IEEE754 trick).
+                let bits = f.to_bits() as i64;
+                let key = if bits < 0 { i64::MIN ^ bits } else { bits };
+                (3, key, 0, "")
+            }
+            Value::Date(d) => (4, *d, 0, ""),
+            Value::Str(s) => (5, 0, 0, s.as_str()),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality (used for grouping keys); distinct from SQL
+        // equality, where NULL != NULL.
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Date(a), Value::Date(b)) => a == b,
+            // Int/Float cross-type equality keeps grouping keys stable when
+            // an aggregate produces Float for an Int column.
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                *b == *a as f64 && b.fract() == 0.0
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                4u8.hash(state);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Cross-numeric comparisons order by numeric value so ORDER BY over a
+        // mixed Int/Float column behaves sensibly.
+        if let (Some(a), Some(b)) = (self.as_f64(), other.as_f64()) {
+            if let Some(o) = a.partial_cmp(&b) {
+                if o != Ordering::Equal || std::mem::discriminant(self) == std::mem::discriminant(other) {
+                    return o;
+                }
+            }
+        }
+        self.total_key().cmp(&other.total_key())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{:.1}", x)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "{}", format_iso_date(*d)),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(Value::Int(3).sql_cmp(&Value::Float(3.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(3.5)), Some(Ordering::Less));
+        assert_eq!(Value::Float(4.5).sql_cmp(&Value::Int(4)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn date_string_comparison() {
+        let d = Value::Date(crate::date::parse_iso_date("2021-05-01").unwrap());
+        assert_eq!(d.sql_cmp(&Value::Str("2021-01-01".into())), Some(Ordering::Greater));
+        assert_eq!(Value::Str("2021-05-01".into()).sql_eq(&d), Some(true));
+    }
+
+    #[test]
+    fn string_comparison_is_lexicographic() {
+        assert_eq!(
+            Value::Str("CA".into()).sql_cmp(&Value::Str("NY".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Str("CA".into()).sql_eq(&Value::Str("CA".into())), Some(true));
+    }
+
+    #[test]
+    fn incomparable_types_return_none() {
+        assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn grouping_equality_treats_int_float_uniformly() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Value::Int(3));
+        assert!(s.contains(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn total_order_sorts_nulls_first() {
+        let mut vals = [Value::Int(5), Value::Null, Value::Int(-1), Value::Str("z".into())];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Int(-1));
+    }
+
+    #[test]
+    fn display_round_trips_key_formats() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Str("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        let d = crate::date::parse_iso_date("2019-01-25").unwrap();
+        assert_eq!(Value::Date(d).to_string(), "2019-01-25");
+    }
+
+    #[test]
+    fn as_f64_covers_numeric_types() {
+        assert_eq!(Value::Int(2).as_f64(), Some(2.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::Date(10).as_f64(), Some(10.0));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn coerce_to_date() {
+        assert_eq!(
+            Value::Str("1970-01-02".into()).coerce_to_date(),
+            Some(Value::Date(1))
+        );
+        assert_eq!(Value::Str("nope".into()).coerce_to_date(), None);
+        assert_eq!(Value::Date(7).coerce_to_date(), Some(Value::Date(7)));
+    }
+}

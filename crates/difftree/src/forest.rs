@@ -1,0 +1,446 @@
+//! The search state: a set of Difftrees plus the machinery to check that it
+//! still expresses every input query.
+//!
+//! The paper's guarantee (§6.1): "All rules are guaranteed to preserve or
+//! increase the expressiveness of the Difftrees; since the initial set of
+//! Difftrees directly corresponds to the input queries, any reachable set
+//! of Difftrees can also express those queries." We enforce this
+//! *operationally*: every candidate transform is validated by re-binding all
+//! input queries ([`Forest::bind_all`]), and resolutions are checked to
+//! reproduce the bound query exactly.
+
+use crate::bind::{bind_query, resolve, Binding, BindingMap};
+use crate::gst::{lower_query, raise_query, DNode};
+use crate::schema::{result_schema, ResultSchema};
+use pi2_data::Catalog;
+use pi2_engine::{analyze_query, QueryInfo};
+use pi2_sql::ast::Query;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Shared, immutable context for a generation session: the input queries and
+/// the catalogue. Separated from [`Forest`] so that search states stay cheap
+/// to clone.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The queries.
+    pub queries: Vec<Query>,
+    /// The gsts.
+    pub gsts: Vec<DNode>,
+    /// The catalog.
+    pub catalog: Catalog,
+}
+
+impl Workload {
+    /// New.
+    pub fn new(queries: Vec<Query>, catalog: Catalog) -> Workload {
+        let gsts = queries.iter().map(lower_query).collect();
+        Workload { queries, gsts, catalog }
+    }
+
+    /// Len.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// Per-query assignment: which tree expresses it, with which binding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// The tree.
+    pub tree: usize,
+    /// The binding.
+    pub binding: BindingMap,
+}
+
+/// A set of Difftrees — one MCTS search state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Forest {
+    /// The trees.
+    pub trees: Vec<DNode>,
+}
+
+impl Hash for Forest {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.trees.hash(state);
+    }
+}
+
+impl Forest {
+    /// Initial state: one (choice-free) Difftree per input query, ids
+    /// renumbered.
+    pub fn from_workload(w: &Workload) -> Forest {
+        let mut f = Forest { trees: w.gsts.clone() };
+        f.renumber();
+        f
+    }
+
+    /// Renumber node ids across all trees so they are globally unique.
+    pub fn renumber(&mut self) {
+        let mut next = 0;
+        for t in &mut self.trees {
+            next = t.renumber(next);
+        }
+    }
+
+    /// Total node count across trees.
+    pub fn size(&self) -> usize {
+        self.trees.iter().map(|t| t.size()).sum()
+    }
+
+    /// Total number of choice nodes.
+    pub fn choice_count(&self) -> usize {
+        self.trees.iter().map(|t| t.choice_nodes().len()).sum()
+    }
+
+    /// Bind every input query to some tree. Returns `None` if any query is
+    /// inexpressible (the candidate state violates the §6.1 guarantee).
+    /// Bindings are verified by resolving and comparing to the original.
+    ///
+    /// Results are memoized per (tree, query) in a thread-local cache:
+    /// search states share most of their trees, and bindings are stored with
+    /// root-relative node ids (DFS renumbering makes them position-stable),
+    /// so the cache transfers across states.
+    pub fn bind_all(&self, w: &Workload) -> Option<Vec<Assignment>> {
+        let mut out = Vec::with_capacity(w.gsts.len());
+        'queries: for gst in &w.gsts {
+            for (ti, tree) in self.trees.iter().enumerate() {
+                if let Some(binding) = bind_tree_cached(tree, gst) {
+                    out.push(Assignment { tree: ti, binding });
+                    continue 'queries;
+                }
+            }
+            return None;
+        }
+        Some(out)
+    }
+
+    /// §3.2.4 query bindings: for each node of `tree_idx`, the set of
+    /// distinct bindings needed across all input queries (descending into
+    /// `MULTI` sub-bindings).
+    pub fn node_bindings(
+        &self,
+        tree_idx: usize,
+        assignments: &[Assignment],
+    ) -> HashMap<u32, Vec<Binding>> {
+        let mut out: HashMap<u32, Vec<Binding>> = HashMap::new();
+        for a in assignments {
+            if a.tree != tree_idx {
+                continue;
+            }
+            accumulate_bindings(&a.binding, &mut out);
+        }
+        out
+    }
+
+    /// Queries (by index) expressed by each tree under `assignments`.
+    pub fn queries_per_tree(&self, assignments: &[Assignment]) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.trees.len()];
+        for (qi, a) in assignments.iter().enumerate() {
+            out[a.tree].push(qi);
+        }
+        out
+    }
+
+    /// The resolved (typed) queries a tree expresses for the input workload.
+    pub fn resolved_queries(
+        &self,
+        tree_idx: usize,
+        _w: &Workload,
+        assignments: &[Assignment],
+    ) -> Vec<(usize, Query)> {
+        let mut out = Vec::new();
+        for (qi, a) in assignments.iter().enumerate() {
+            if a.tree != tree_idx {
+                continue;
+            }
+            if let Ok(resolved) = resolve(&self.trees[tree_idx], &a.binding) {
+                if let Ok(q) = raise_query(&resolved) {
+                    out.push((qi, q));
+                }
+            }
+        }
+        out
+    }
+
+    /// Analyzed schema info for every input query a tree expresses.
+    pub fn tree_infos(
+        &self,
+        tree_idx: usize,
+        w: &Workload,
+        assignments: &[Assignment],
+    ) -> Vec<QueryInfo> {
+        self.resolved_queries(tree_idx, w, assignments)
+            .into_iter()
+            .filter_map(|(_, q)| analyze_query(&q, &w.catalog).ok())
+            .collect()
+    }
+
+    /// §3.2.2 result schema of a tree; `None` when undefined (not
+    /// union-compatible) or when the tree expresses no input query.
+    pub fn tree_result_schema(
+        &self,
+        tree_idx: usize,
+        w: &Workload,
+        assignments: &[Assignment],
+    ) -> Option<ResultSchema> {
+        let infos = self.tree_infos(tree_idx, w, assignments);
+        if infos.is_empty() {
+            return None;
+        }
+        result_schema(&infos)
+    }
+}
+
+thread_local! {
+    /// (tree hash, tree size, query hash) → verified root-relative binding.
+    static BIND_CACHE: std::cell::RefCell<HashMap<(u64, usize, u64), Option<BindingMap>>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+fn hash_of<T: Hash>(v: &T) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Shift every node id in a binding map by `delta` (including MULTI
+/// sub-maps), converting between absolute and root-relative keys.
+fn shift_map(map: &BindingMap, delta: i64) -> BindingMap {
+    map.iter()
+        .map(|(id, b)| {
+            let nid = (*id as i64 + delta) as u32;
+            let nb = match b {
+                Binding::List(params) => {
+                    Binding::List(params.iter().map(|p| shift_map(p, delta)).collect())
+                }
+                other => other.clone(),
+            };
+            (nid, nb)
+        })
+        .collect()
+}
+
+/// Cached, verified bind of one query against one tree.
+fn bind_tree_cached(tree: &DNode, gst: &DNode) -> Option<BindingMap> {
+    let key = (hash_of(tree), tree.size(), hash_of(gst));
+    let root = tree.id as i64;
+    let cached = BIND_CACHE.with(|c| c.borrow().get(&key).cloned());
+    if let Some(entry) = cached {
+        return entry.map(|rel| shift_map(&rel, root));
+    }
+    let result = bind_query(tree, gst).and_then(|binding| {
+        // Verify the round trip: resolve must reproduce the query.
+        match resolve(tree, &binding) {
+            Ok(resolved) if &resolved == gst => Some(binding),
+            _ => None,
+        }
+    });
+    BIND_CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.len() > 200_000 {
+            c.clear();
+        }
+        c.insert(key, result.as_ref().map(|b| shift_map(b, -root)));
+    });
+    result
+}
+
+/// Merge one query's binding map into the per-node accumulation, recursing
+/// into `MULTI` parameterisations.
+fn accumulate_bindings(map: &BindingMap, out: &mut HashMap<u32, Vec<Binding>>) {
+    for (id, b) in map {
+        if let Binding::List(params) = b {
+            for p in params {
+                accumulate_bindings(p, out);
+            }
+        }
+        let entry = out.entry(*id).or_default();
+        if !entry.contains(b) {
+            entry.push(b.clone());
+        }
+    }
+}
+
+/// Convenience for tests and examples: does this forest express the query?
+pub fn expresses(forest: &Forest, query: &Query) -> bool {
+    let gst = lower_query(query);
+    forest.trees.iter().any(|t| {
+        bind_query(t, &gst)
+            .and_then(|b| resolve(t, &b).ok())
+            .is_some_and(|r| r == gst)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gst::SyntaxKind;
+    use pi2_data::{DataType, Table, Value};
+    use pi2_sql::parse_query;
+
+    fn workload(sqls: &[&str]) -> Workload {
+        let mut catalog = Catalog::new();
+        let t = Table::from_rows(
+            vec![("p", DataType::Int), ("a", DataType::Int), ("b", DataType::Int)],
+            vec![
+                vec![Value::Int(1), Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(1), Value::Int(20)],
+                vec![Value::Int(3), Value::Int(2), Value::Int(30)],
+            ],
+        )
+        .unwrap();
+        catalog.add_table("T", t, vec!["p"]);
+        let queries = sqls.iter().map(|s| parse_query(s).unwrap()).collect();
+        Workload::new(queries, catalog)
+    }
+
+    #[test]
+    fn initial_forest_expresses_all_inputs() {
+        let w = workload(&[
+            "SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM T WHERE b = 2 GROUP BY p",
+            "SELECT a, count(*) FROM T GROUP BY a",
+        ]);
+        let f = Forest::from_workload(&w);
+        assert_eq!(f.trees.len(), 3);
+        let assignments = f.bind_all(&w).unwrap();
+        assert_eq!(assignments.len(), 3);
+        // Identity assignment: query i → tree i.
+        for (i, a) in assignments.iter().enumerate() {
+            assert_eq!(a.tree, i);
+            assert!(a.binding.is_empty());
+        }
+    }
+
+    #[test]
+    fn merged_forest_reassigns_queries() {
+        let w = workload(&[
+            "SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+            "SELECT p, count(*) FROM T WHERE b = 2 GROUP BY p",
+        ]);
+        let f0 = Forest::from_workload(&w);
+        let mut merged = Forest { trees: vec![DNode::any(f0.trees.clone())] };
+        merged.renumber();
+        let assignments = merged.bind_all(&w).unwrap();
+        assert_eq!(assignments[0].tree, 0);
+        assert_eq!(assignments[1].tree, 0);
+        assert_ne!(assignments[0].binding, assignments[1].binding);
+        let per_tree = merged.queries_per_tree(&assignments);
+        assert_eq!(per_tree, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn binding_failure_detected() {
+        let w = workload(&["SELECT p FROM T", "SELECT a FROM T"]);
+        // A forest holding only the first query cannot express the second.
+        let f = Forest { trees: vec![w.gsts[0].clone()] };
+        assert!(f.bind_all(&w).is_none());
+    }
+
+    #[test]
+    fn node_bindings_union_across_queries() {
+        let w = workload(&[
+            "SELECT p FROM T WHERE a = 1",
+            "SELECT p FROM T WHERE a = 2",
+        ]);
+        // Difftree: SELECT p FROM T WHERE a = VAL(1)
+        let mut tree = w.gsts[0].clone();
+        let pred = &mut tree.children[3].children[0];
+        let lit = pred.children[1].clone();
+        pred.children[1] = DNode::val(vec![lit]);
+        let mut f = Forest { trees: vec![tree] };
+        f.renumber();
+        let assignments = f.bind_all(&w).unwrap();
+        let val_id = f.trees[0].choice_nodes()[0].id;
+        let nb = f.node_bindings(0, &assignments);
+        let vals = nb.get(&val_id).unwrap();
+        assert_eq!(vals.len(), 2, "VAL should accumulate both literals");
+    }
+
+    #[test]
+    fn result_schema_of_merged_tree() {
+        let w = workload(&[
+            "SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
+            "SELECT a, count(*) FROM T GROUP BY a",
+        ]);
+        let f0 = Forest::from_workload(&w);
+        let mut merged = Forest { trees: vec![DNode::any(f0.trees.clone())] };
+        merged.renumber();
+        let assignments = merged.bind_all(&w).unwrap();
+        let rs = merged.tree_result_schema(0, &w, &assignments).unwrap();
+        assert_eq!(rs.cols.len(), 2);
+        assert_eq!(rs.cols[0].display_name(), "p∪a");
+    }
+
+    #[test]
+    fn expresses_helper() {
+        let w = workload(&["SELECT p FROM T WHERE a = 1"]);
+        let f = Forest::from_workload(&w);
+        assert!(expresses(&f, &parse_query("SELECT p FROM T WHERE a = 1").unwrap()));
+        assert!(!expresses(&f, &parse_query("SELECT p FROM T WHERE a = 2").unwrap()));
+    }
+
+    #[test]
+    fn forest_hash_ignores_ids() {
+        use std::collections::hash_map::DefaultHasher;
+        let w = workload(&["SELECT p FROM T"]);
+        let mut f1 = Forest::from_workload(&w);
+        let f2 = Forest::from_workload(&w);
+        f1.renumber();
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        f1.hash(&mut h1);
+        f2.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+        assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn size_and_choice_count() {
+        let w = workload(&["SELECT p FROM T WHERE a = 1"]);
+        let mut f = Forest::from_workload(&w);
+        assert!(f.size() > 5);
+        assert_eq!(f.choice_count(), 0);
+        let pred = &mut f.trees[0].children[3].children[0];
+        let lit = pred.children[1].clone();
+        pred.children[1] = DNode::val(vec![lit]);
+        f.renumber();
+        assert_eq!(f.choice_count(), 1);
+    }
+
+    #[test]
+    fn resolved_queries_round_trip() {
+        let w = workload(&[
+            "SELECT p FROM T WHERE a = 1",
+            "SELECT p FROM T WHERE a = 2",
+        ]);
+        let mut tree = w.gsts[0].clone();
+        let pred = &mut tree.children[3].children[0];
+        let lit = pred.children[1].clone();
+        pred.children[1] = DNode::val(vec![lit]);
+        let mut f = Forest { trees: vec![tree] };
+        f.renumber();
+        let assignments = f.bind_all(&w).unwrap();
+        let resolved = f.resolved_queries(0, &w, &assignments);
+        assert_eq!(resolved.len(), 2);
+        assert_eq!(resolved[0].1, w.queries[0]);
+        assert_eq!(resolved[1].1, w.queries[1]);
+    }
+
+    #[test]
+    fn empty_select_item_kind_sanity() {
+        // Guard against accidental SyntaxKind contract changes used by
+        // transforms.
+        assert!(SyntaxKind::Where.is_list());
+        assert!(SyntaxKind::SelectList.is_list());
+        assert!(!SyntaxKind::Query.is_list());
+        assert_eq!(SyntaxKind::Where.separator(), " AND ");
+        assert_eq!(SyntaxKind::SelectList.separator(), ", ");
+    }
+}

@@ -1,0 +1,1049 @@
+//! Generic syntax trees (GSTs) and Difftree nodes.
+//!
+//! The typed AST in `pi2-sql` is convenient for execution but awkward for
+//! tree diffing: PI2's choice nodes can replace *any* production, so we work
+//! over a uniform tree of [`DNode`]s. Lowering is canonicalising:
+//!
+//! * every query node always has the same eight clause children (missing
+//!   clauses become empty clause wrappers), so trees from different queries
+//!   align positionally;
+//! * `AND` chains are flattened into the `Where` clause's child list, making
+//!   conjunct presence/absence a list-alignment problem (handled by `OPT`).
+//!
+//! `raise_query` is the inverse: a choice-free GST back to a typed AST.
+
+use pi2_sql::ast::{BinOp, Expr, Literal, OrderItem, Query, SelectItem, TableRef, UnaryOp};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A literal wrapper giving [`Literal`] structural `Eq`/`Hash` (floats via
+/// bit patterns) so subtrees can be deduplicated and aligned.
+#[derive(Debug, Clone)]
+pub struct LitVal(pub Literal);
+
+impl PartialEq for LitVal {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (Literal::Float(a), Literal::Float(b)) => a.to_bits() == b.to_bits(),
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl Eq for LitVal {}
+
+impl Hash for LitVal {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match &self.0 {
+            Literal::Int(i) => (0u8, i).hash(state),
+            Literal::Float(f) => (1u8, f.to_bits()).hash(state),
+            Literal::Str(s) => (2u8, s).hash(state),
+            Literal::Bool(b) => (3u8, b).hash(state),
+            Literal::Null => 4u8.hash(state),
+        }
+    }
+}
+
+/// Comparison operators kept separate from logical/arithmetic ones in the
+/// GST so choice nodes can generalise over them cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`.
+    Eq,
+    /// `<>`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    LtEq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    GtEq,
+    /// `LIKE`.
+    Like,
+}
+
+impl CmpOp {
+    /// To binop.
+    pub fn to_binop(self) -> BinOp {
+        match self {
+            CmpOp::Eq => BinOp::Eq,
+            CmpOp::NotEq => BinOp::NotEq,
+            CmpOp::Lt => BinOp::Lt,
+            CmpOp::LtEq => BinOp::LtEq,
+            CmpOp::Gt => BinOp::Gt,
+            CmpOp::GtEq => BinOp::GtEq,
+            CmpOp::Like => BinOp::Like,
+        }
+    }
+
+    fn from_binop(op: BinOp) -> Option<CmpOp> {
+        Some(match op {
+            BinOp::Eq => CmpOp::Eq,
+            BinOp::NotEq => CmpOp::NotEq,
+            BinOp::Lt => CmpOp::Lt,
+            BinOp::LtEq => CmpOp::LtEq,
+            BinOp::Gt => CmpOp::Gt,
+            BinOp::GtEq => CmpOp::GtEq,
+            BinOp::Like => CmpOp::Like,
+            _ => return None,
+        })
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+}
+
+impl ArithOp {
+    /// To binop.
+    pub fn to_binop(self) -> BinOp {
+        match self {
+            ArithOp::Add => BinOp::Add,
+            ArithOp::Sub => BinOp::Sub,
+            ArithOp::Mul => BinOp::Mul,
+            ArithOp::Div => BinOp::Div,
+        }
+    }
+}
+
+/// Grammar production labels for non-choice nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // inline variant fields are self-describing
+pub enum SyntaxKind {
+    /// A query; children are exactly the eight clause wrappers, in order:
+    /// `DistinctFlag, SelectList, From, Where, GroupBy, Having, OrderBy,
+    /// Limit`.
+    Query,
+    /// `DistinctFlag`.
+    DistinctFlag(bool),
+    /// The projection list.
+    SelectList,
+    /// `expr [AS alias]`; children: `[expr]` or `[expr, AliasName]`.
+    SelectItem,
+    /// `AliasName`.
+    AliasName(String),
+    /// The `*` projection / `count(*)` argument.
+    Star,
+    /// The FROM clause (list of table references).
+    From,
+    /// A base table reference; children: `[TableName]` or `[TableName,
+    /// AliasName]`.
+    TableRef,
+    /// `TableName`.
+    TableName(String),
+    /// A subquery in FROM; children: `[Query]` or `[Query, AliasName]`.
+    SubqueryRef,
+    /// WHERE clause as an n-ary conjunct list (possibly empty).
+    Where,
+    /// The GROUP BY clause (list of grouping expressions).
+    GroupBy,
+    /// HAVING clause: zero or one child expression.
+    Having,
+    /// The ORDER BY clause (list of sort items).
+    OrderBy,
+    /// `expr [DESC]`; child: the sort expression.
+    /// The order item node.
+    OrderItemNode { desc: bool },
+    /// LIMIT clause: zero or one `Lit` child.
+    Limit,
+    /// n-ary conjunction (only nested under `Or`; top-level conjuncts live
+    /// directly under `Where`).
+    And,
+    /// n-ary disjunction.
+    Or,
+    /// Logical negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+    /// `Compare`.
+    Compare(CmpOp),
+    /// `Arith`.
+    Arith(ArithOp),
+    /// `Between`.
+    Between { negated: bool },
+    /// `expr IN (items…)`; children: `[expr, item1, …, itemk]`.
+    /// The in list.
+    InList { negated: bool },
+    /// `expr IN (subquery)`; children: `[expr, Query]`.
+    /// The in subquery.
+    InSubquery { negated: bool },
+    /// `IsNull`.
+    IsNull { negated: bool },
+    /// Function call; children are the arguments.
+    FuncCall(String),
+    /// `ColumnRef`.
+    ColumnRef { table: Option<String>, column: String },
+    /// `Lit`.
+    Lit(LitVal),
+    /// `ScalarSubquery`.
+    ScalarSubquery,
+    /// The empty subtree — only appears as a child of `ANY` (forming `OPT`).
+    Empty,
+}
+
+impl SyntaxKind {
+    /// List kinds have a variable number of ordered children; choice nodes
+    /// `MULTI`/`SUBSET` and `OPT` splicing apply inside them.
+    pub fn is_list(&self) -> bool {
+        matches!(
+            self,
+            SyntaxKind::SelectList
+                | SyntaxKind::From
+                | SyntaxKind::Where
+                | SyntaxKind::GroupBy
+                | SyntaxKind::Having
+                | SyntaxKind::OrderBy
+                | SyntaxKind::Limit
+                | SyntaxKind::And
+                | SyntaxKind::Or
+                | SyntaxKind::InList { .. }
+                | SyntaxKind::FuncCall(_)
+        )
+    }
+
+    /// The separator used when this list's children are joined — the `sep`
+    /// parameter of `MULTI[sep]` / `SUBSET[sep]` (§3.1).
+    pub fn separator(&self) -> &'static str {
+        match self {
+            SyntaxKind::Where | SyntaxKind::And => " AND ",
+            SyntaxKind::Or => " OR ",
+            _ => ", ",
+        }
+    }
+
+    /// Short display label.
+    pub fn label(&self) -> String {
+        match self {
+            SyntaxKind::Query => "Query".into(),
+            SyntaxKind::DistinctFlag(b) => format!("Distinct({b})"),
+            SyntaxKind::SelectList => "SelectList".into(),
+            SyntaxKind::SelectItem => "SelectItem".into(),
+            SyntaxKind::AliasName(a) => format!("Alias({a})"),
+            SyntaxKind::Star => "*".into(),
+            SyntaxKind::From => "From".into(),
+            SyntaxKind::TableRef => "TableRef".into(),
+            SyntaxKind::TableName(t) => format!("Table({t})"),
+            SyntaxKind::SubqueryRef => "SubqueryRef".into(),
+            SyntaxKind::Where => "Where".into(),
+            SyntaxKind::GroupBy => "GroupBy".into(),
+            SyntaxKind::Having => "Having".into(),
+            SyntaxKind::OrderBy => "OrderBy".into(),
+            SyntaxKind::OrderItemNode { desc } => format!("OrderItem(desc={desc})"),
+            SyntaxKind::Limit => "Limit".into(),
+            SyntaxKind::And => "AND".into(),
+            SyntaxKind::Or => "OR".into(),
+            SyntaxKind::Not => "NOT".into(),
+            SyntaxKind::Neg => "-".into(),
+            SyntaxKind::Compare(op) => op.to_binop().sql().into(),
+            SyntaxKind::Arith(op) => op.to_binop().sql().into(),
+            SyntaxKind::Between { negated } => {
+                if *negated { "NOT BETWEEN" } else { "BETWEEN" }.into()
+            }
+            SyntaxKind::InList { negated } | SyntaxKind::InSubquery { negated } => {
+                if *negated { "NOT IN" } else { "IN" }.into()
+            }
+            SyntaxKind::IsNull { negated } => {
+                if *negated { "IS NOT NULL" } else { "IS NULL" }.into()
+            }
+            SyntaxKind::FuncCall(f) => format!("{f}()"),
+            SyntaxKind::ColumnRef { table, column } => match table {
+                Some(t) => format!("{t}.{column}"),
+                None => column.clone(),
+            },
+            SyntaxKind::Lit(l) => l.0.to_string(),
+            SyntaxKind::ScalarSubquery => "Subquery".into(),
+            SyntaxKind::Empty => "ε".into(),
+        }
+    }
+}
+
+/// Difftree node kinds: a grammar production or one of the §3.1 choice
+/// nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // inline variant fields are self-describing
+pub enum NodeKind {
+    /// `Syntax`.
+    Syntax(SyntaxKind),
+    /// `ANY(c1,…,ck)` — choose one child. `OPT` is an `ANY` with an `Empty`
+    /// child.
+    Any,
+    /// `VAL(c1,…,ck)` — a pass-through literal; children are the observed
+    /// literals defining its (relaxable) domain.
+    Val,
+    /// `MULTI[sep](c)` — repeat the single child template 0+ times.
+    Multi,
+    /// `SUBSET[sep](c1,…,ck)` — keep an ordered subset of the children.
+    Subset,
+    /// Companion marker from `PushOPT1`: this subtree exists only when the
+    /// linked `OPT` (same `group`) is present.
+    /// The co opt.
+    CoOpt { group: u32 },
+}
+
+/// A Difftree node. `id` identifies the node within its forest (reassigned
+/// by [`crate::Forest::renumber`]); equality and hashing ignore it.
+#[derive(Debug, Clone)]
+pub struct DNode {
+    /// The id.
+    pub id: u32,
+    /// The kind.
+    pub kind: NodeKind,
+    /// The children.
+    pub children: Vec<DNode>,
+}
+
+impl PartialEq for DNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind && self.children == other.children
+    }
+}
+
+impl Eq for DNode {}
+
+impl Hash for DNode {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.kind.hash(state);
+        self.children.hash(state);
+    }
+}
+
+impl DNode {
+    /// Syntax.
+    pub fn syntax(kind: SyntaxKind, children: Vec<DNode>) -> DNode {
+        DNode { id: 0, kind: NodeKind::Syntax(kind), children }
+    }
+
+    /// Leaf.
+    pub fn leaf(kind: SyntaxKind) -> DNode {
+        DNode::syntax(kind, vec![])
+    }
+
+    /// Any.
+    pub fn any(children: Vec<DNode>) -> DNode {
+        DNode { id: 0, kind: NodeKind::Any, children }
+    }
+
+    /// Val.
+    pub fn val(children: Vec<DNode>) -> DNode {
+        DNode { id: 0, kind: NodeKind::Val, children }
+    }
+
+    /// Multi.
+    pub fn multi(child: DNode) -> DNode {
+        DNode { id: 0, kind: NodeKind::Multi, children: vec![child] }
+    }
+
+    /// Subset.
+    pub fn subset(children: Vec<DNode>) -> DNode {
+        DNode { id: 0, kind: NodeKind::Subset, children }
+    }
+
+    /// Empty.
+    pub fn empty() -> DNode {
+        DNode::leaf(SyntaxKind::Empty)
+    }
+
+    /// Is choice.
+    pub fn is_choice(&self) -> bool {
+        matches!(
+            self.kind,
+            NodeKind::Any | NodeKind::Val | NodeKind::Multi | NodeKind::Subset
+        )
+    }
+
+    /// Is empty node.
+    pub fn is_empty_node(&self) -> bool {
+        matches!(self.kind, NodeKind::Syntax(SyntaxKind::Empty))
+    }
+
+    /// `OPT` special case (§3.1): an `ANY` with exactly one `Empty` child
+    /// among its alternatives.
+    pub fn is_opt(&self) -> bool {
+        self.kind == NodeKind::Any && self.children.iter().any(|c| c.is_empty_node())
+    }
+
+    /// Whether this subtree contains any choice node (i.e. this node is
+    /// *dynamic* per §3.2.3).
+    pub fn is_dynamic(&self) -> bool {
+        self.is_choice() || self.children.iter().any(|c| c.is_dynamic())
+    }
+
+    /// DFS pre-order traversal.
+    pub fn walk<'a>(&'a self, out: &mut Vec<&'a DNode>) {
+        out.push(self);
+        for c in &self.children {
+            c.walk(out);
+        }
+    }
+
+    /// All choice nodes in DFS order (Algorithm 1's `clist`).
+    pub fn choice_nodes(&self) -> Vec<&DNode> {
+        let mut all = Vec::new();
+        self.walk(&mut all);
+        all.into_iter().filter(|n| n.is_choice()).collect()
+    }
+
+    /// Find a node by id.
+    pub fn find(&self, id: u32) -> Option<&DNode> {
+        if self.id == id {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(id))
+    }
+
+    /// Find a node by id, mutably.
+    pub fn find_mut(&mut self, id: u32) -> Option<&mut DNode> {
+        if self.id == id {
+            return Some(self);
+        }
+        self.children.iter_mut().find_map(|c| c.find_mut(id))
+    }
+
+    /// Renumber ids in DFS order starting at `next`; returns the next free
+    /// id.
+    pub fn renumber(&mut self, mut next: u32) -> u32 {
+        self.id = next;
+        next += 1;
+        for c in &mut self.children {
+            next = c.renumber(next);
+        }
+        next
+    }
+
+    /// Total node count.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Pretty multi-line tree rendering, used in debugging output and the
+    /// examples.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let label = match &self.kind {
+            NodeKind::Syntax(k) => k.label(),
+            NodeKind::Any => {
+                if self.is_opt() {
+                    "OPT".into()
+                } else {
+                    "ANY".into()
+                }
+            }
+            NodeKind::Val => "VAL".into(),
+            NodeKind::Multi => "MULTI".into(),
+            NodeKind::Subset => "SUBSET".into(),
+            NodeKind::CoOpt { group } => format!("CO-OPT#{group}"),
+        };
+        let _ = writeln!(out, "{}{}", "  ".repeat(depth), label);
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+}
+
+impl fmt::Display for DNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering: typed AST → GST
+// ---------------------------------------------------------------------------
+
+/// Lower a parsed query into its canonical GST.
+pub fn lower_query(q: &Query) -> DNode {
+    let distinct = DNode::leaf(SyntaxKind::DistinctFlag(q.distinct));
+    let select = DNode::syntax(
+        SyntaxKind::SelectList,
+        q.select.iter().map(lower_select_item).collect(),
+    );
+    let from = DNode::syntax(SyntaxKind::From, q.from.iter().map(lower_table_ref).collect());
+    let where_ = DNode::syntax(
+        SyntaxKind::Where,
+        q.where_clause.as_ref().map(lower_conjuncts).unwrap_or_default(),
+    );
+    let group_by =
+        DNode::syntax(SyntaxKind::GroupBy, q.group_by.iter().map(lower_expr).collect());
+    let having = DNode::syntax(
+        SyntaxKind::Having,
+        q.having.iter().map(lower_expr).collect(),
+    );
+    let order_by = DNode::syntax(
+        SyntaxKind::OrderBy,
+        q.order_by.iter().map(lower_order_item).collect(),
+    );
+    let limit = DNode::syntax(
+        SyntaxKind::Limit,
+        q.limit
+            .map(|l| vec![DNode::leaf(SyntaxKind::Lit(LitVal(Literal::Int(l as i64))))])
+            .unwrap_or_default(),
+    );
+    DNode::syntax(
+        SyntaxKind::Query,
+        vec![distinct, select, from, where_, group_by, having, order_by, limit],
+    )
+}
+
+fn lower_select_item(item: &SelectItem) -> DNode {
+    match item {
+        SelectItem::Star => DNode::syntax(SyntaxKind::SelectItem, vec![DNode::leaf(SyntaxKind::Star)]),
+        SelectItem::Expr { expr, alias } => {
+            let mut children = vec![lower_expr(expr)];
+            if let Some(a) = alias {
+                children.push(DNode::leaf(SyntaxKind::AliasName(a.clone())));
+            }
+            DNode::syntax(SyntaxKind::SelectItem, children)
+        }
+    }
+}
+
+fn lower_table_ref(t: &TableRef) -> DNode {
+    match t {
+        TableRef::Table { name, alias } => {
+            let mut children = vec![DNode::leaf(SyntaxKind::TableName(name.clone()))];
+            if let Some(a) = alias {
+                children.push(DNode::leaf(SyntaxKind::AliasName(a.clone())));
+            }
+            DNode::syntax(SyntaxKind::TableRef, children)
+        }
+        TableRef::Subquery { query, alias } => {
+            let mut children = vec![lower_query(query)];
+            if let Some(a) = alias {
+                children.push(DNode::leaf(SyntaxKind::AliasName(a.clone())));
+            }
+            DNode::syntax(SyntaxKind::SubqueryRef, children)
+        }
+    }
+}
+
+fn lower_order_item(o: &OrderItem) -> DNode {
+    DNode::syntax(SyntaxKind::OrderItemNode { desc: o.desc }, vec![lower_expr(&o.expr)])
+}
+
+/// Flatten an AND chain into a conjunct list (the `Where` node's children).
+fn lower_conjuncts(e: &Expr) -> Vec<DNode> {
+    match e {
+        Expr::Binary { left, op: BinOp::And, right } => {
+            let mut out = lower_conjuncts(left);
+            out.extend(lower_conjuncts(right));
+            out
+        }
+        other => vec![lower_expr(other)],
+    }
+}
+
+/// Flatten an OR chain.
+fn lower_disjuncts(e: &Expr) -> Vec<DNode> {
+    match e {
+        Expr::Binary { left, op: BinOp::Or, right } => {
+            let mut out = lower_disjuncts(left);
+            out.extend(lower_disjuncts(right));
+            out
+        }
+        other => vec![lower_expr(other)],
+    }
+}
+
+fn lower_expr(e: &Expr) -> DNode {
+    match e {
+        Expr::Column { table, name } => DNode::leaf(SyntaxKind::ColumnRef {
+            table: table.clone(),
+            column: name.clone(),
+        }),
+        Expr::Literal(l) => DNode::leaf(SyntaxKind::Lit(LitVal(l.clone()))),
+        Expr::Star => DNode::leaf(SyntaxKind::Star),
+        Expr::Unary { op, expr } => {
+            let kind = match op {
+                UnaryOp::Neg => SyntaxKind::Neg,
+                UnaryOp::Not => SyntaxKind::Not,
+            };
+            DNode::syntax(kind, vec![lower_expr(expr)])
+        }
+        Expr::Binary { left, op, right } => match op {
+            BinOp::And => DNode::syntax(SyntaxKind::And, lower_conjuncts(e)),
+            BinOp::Or => DNode::syntax(SyntaxKind::Or, lower_disjuncts(e)),
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                let aop = match op {
+                    BinOp::Add => ArithOp::Add,
+                    BinOp::Sub => ArithOp::Sub,
+                    BinOp::Mul => ArithOp::Mul,
+                    _ => ArithOp::Div,
+                };
+                DNode::syntax(SyntaxKind::Arith(aop), vec![lower_expr(left), lower_expr(right)])
+            }
+            other => {
+                let cmp = CmpOp::from_binop(*other).expect("comparison operator");
+                DNode::syntax(
+                    SyntaxKind::Compare(cmp),
+                    vec![lower_expr(left), lower_expr(right)],
+                )
+            }
+        },
+        Expr::Between { expr, negated, low, high } => DNode::syntax(
+            SyntaxKind::Between { negated: *negated },
+            vec![lower_expr(expr), lower_expr(low), lower_expr(high)],
+        ),
+        Expr::InList { expr, negated, list } => {
+            let mut children = vec![lower_expr(expr)];
+            children.extend(list.iter().map(lower_expr));
+            DNode::syntax(SyntaxKind::InList { negated: *negated }, children)
+        }
+        Expr::InSubquery { expr, negated, query } => DNode::syntax(
+            SyntaxKind::InSubquery { negated: *negated },
+            vec![lower_expr(expr), lower_query(query)],
+        ),
+        Expr::IsNull { expr, negated } => DNode::syntax(
+            SyntaxKind::IsNull { negated: *negated },
+            vec![lower_expr(expr)],
+        ),
+        Expr::Func { name, args } => DNode::syntax(
+            SyntaxKind::FuncCall(name.clone()),
+            args.iter().map(lower_expr).collect(),
+        ),
+        Expr::ScalarSubquery(q) => {
+            DNode::syntax(SyntaxKind::ScalarSubquery, vec![lower_query(q)])
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Raising: choice-free GST → typed AST
+// ---------------------------------------------------------------------------
+
+/// Error raised when a GST cannot be converted back into a typed AST — most
+/// commonly because a choice node was not resolved first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaiseError(pub String);
+
+impl fmt::Display for RaiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot raise GST to AST: {}", self.0)
+    }
+}
+
+impl std::error::Error for RaiseError {}
+
+/// Raise a choice-free GST back into a typed [`Query`].
+pub fn raise_query(node: &DNode) -> Result<Query, RaiseError> {
+    let NodeKind::Syntax(SyntaxKind::Query) = &node.kind else {
+        return Err(RaiseError(format!("expected Query root, got {:?}", node.kind)));
+    };
+    // Children may have been restructured by transforms; identify clauses by
+    // kind rather than position for robustness.
+    let mut q = Query::default();
+    for child in &node.children {
+        let NodeKind::Syntax(kind) = &child.kind else {
+            return Err(RaiseError("unresolved choice node in query".into()));
+        };
+        let kids: Vec<&DNode> =
+            child.children.iter().filter(|c| !c.is_empty_node()).collect();
+        match kind {
+            SyntaxKind::DistinctFlag(b) => q.distinct = *b,
+            SyntaxKind::SelectList => {
+                for item in kids {
+                    q.select.push(raise_select_item(item)?);
+                }
+            }
+            SyntaxKind::From => {
+                for t in kids {
+                    q.from.push(raise_table_ref(t)?);
+                }
+            }
+            SyntaxKind::Where => {
+                let conjuncts = kids
+                    .iter()
+                    .map(|c| raise_expr(c))
+                    .collect::<Result<Vec<_>, _>>()?;
+                q.where_clause = fold_and(conjuncts);
+            }
+            SyntaxKind::GroupBy => {
+                for g in kids {
+                    q.group_by.push(raise_expr(g)?);
+                }
+            }
+            SyntaxKind::Having => {
+                let conjuncts = kids
+                    .iter()
+                    .map(|c| raise_expr(c))
+                    .collect::<Result<Vec<_>, _>>()?;
+                q.having = fold_and(conjuncts);
+            }
+            SyntaxKind::OrderBy => {
+                for o in kids {
+                    let NodeKind::Syntax(SyntaxKind::OrderItemNode { desc }) = &o.kind else {
+                        return Err(RaiseError("bad ORDER BY item".into()));
+                    };
+                    let expr = raise_expr(
+                        o.children.first().ok_or_else(|| RaiseError("empty order item".into()))?,
+                    )?;
+                    q.order_by.push(OrderItem { expr, desc: *desc });
+                }
+            }
+            SyntaxKind::Limit => {
+                if let Some(l) = kids.first() {
+                    match &l.kind {
+                        NodeKind::Syntax(SyntaxKind::Lit(LitVal(Literal::Int(v))))
+                            if *v >= 0 =>
+                        {
+                            q.limit = Some(*v as u64)
+                        }
+                        _ => return Err(RaiseError("bad LIMIT value".into())),
+                    }
+                }
+            }
+            other => {
+                return Err(RaiseError(format!("unexpected clause {other:?}")));
+            }
+        }
+    }
+    if q.select.is_empty() {
+        return Err(RaiseError("query with empty select list".into()));
+    }
+    Ok(q)
+}
+
+fn fold_and(mut conjuncts: Vec<Expr>) -> Option<Expr> {
+    match conjuncts.len() {
+        0 => None,
+        1 => Some(conjuncts.pop().unwrap()),
+        _ => {
+            let mut iter = conjuncts.into_iter();
+            let first = iter.next().unwrap();
+            Some(iter.fold(first, |acc, e| Expr::bin(acc, BinOp::And, e)))
+        }
+    }
+}
+
+fn fold_or(mut disjuncts: Vec<Expr>) -> Option<Expr> {
+    match disjuncts.len() {
+        0 => None,
+        1 => Some(disjuncts.pop().unwrap()),
+        _ => {
+            let mut iter = disjuncts.into_iter();
+            let first = iter.next().unwrap();
+            Some(iter.fold(first, |acc, e| Expr::bin(acc, BinOp::Or, e)))
+        }
+    }
+}
+
+fn raise_select_item(node: &DNode) -> Result<SelectItem, RaiseError> {
+    let NodeKind::Syntax(SyntaxKind::SelectItem) = &node.kind else {
+        return Err(RaiseError(format!("expected SelectItem, got {:?}", node.kind)));
+    };
+    let kids: Vec<&DNode> = node.children.iter().filter(|c| !c.is_empty_node()).collect();
+    let first = kids.first().ok_or_else(|| RaiseError("empty select item".into()))?;
+    if matches!(first.kind, NodeKind::Syntax(SyntaxKind::Star)) && kids.len() == 1 {
+        return Ok(SelectItem::Star);
+    }
+    let expr = raise_expr(first)?;
+    let alias = match kids.get(1) {
+        Some(a) => match &a.kind {
+            NodeKind::Syntax(SyntaxKind::AliasName(name)) => Some(name.clone()),
+            _ => return Err(RaiseError("bad alias".into())),
+        },
+        None => None,
+    };
+    Ok(SelectItem::Expr { expr, alias })
+}
+
+fn raise_table_ref(node: &DNode) -> Result<TableRef, RaiseError> {
+    let kids: Vec<&DNode> = node.children.iter().filter(|c| !c.is_empty_node()).collect();
+    let alias = match kids.get(1) {
+        Some(a) => match &a.kind {
+            NodeKind::Syntax(SyntaxKind::AliasName(name)) => Some(name.clone()),
+            _ => return Err(RaiseError("bad table alias".into())),
+        },
+        None => None,
+    };
+    match &node.kind {
+        NodeKind::Syntax(SyntaxKind::TableRef) => {
+            let first =
+                kids.first().ok_or_else(|| RaiseError("empty table ref".into()))?;
+            match &first.kind {
+                NodeKind::Syntax(SyntaxKind::TableName(name)) => {
+                    Ok(TableRef::Table { name: name.clone(), alias })
+                }
+                _ => Err(RaiseError("bad table name".into())),
+            }
+        }
+        NodeKind::Syntax(SyntaxKind::SubqueryRef) => {
+            let first =
+                kids.first().ok_or_else(|| RaiseError("empty subquery ref".into()))?;
+            Ok(TableRef::Subquery { query: Box::new(raise_query(first)?), alias })
+        }
+        other => Err(RaiseError(format!("expected table ref, got {other:?}"))),
+    }
+}
+
+fn raise_expr(node: &DNode) -> Result<Expr, RaiseError> {
+    let NodeKind::Syntax(kind) = &node.kind else {
+        return Err(RaiseError(format!("unresolved choice node {:?}", node.kind)));
+    };
+    let kids: Vec<&DNode> = node.children.iter().filter(|c| !c.is_empty_node()).collect();
+    match kind {
+        SyntaxKind::ColumnRef { table, column } => {
+            Ok(Expr::Column { table: table.clone(), name: column.clone() })
+        }
+        SyntaxKind::Lit(LitVal(l)) => Ok(Expr::Literal(l.clone())),
+        SyntaxKind::Star => Ok(Expr::Star),
+        SyntaxKind::Neg => Ok(Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(raise_expr(
+                kids.first().ok_or_else(|| RaiseError("empty negation".into()))?,
+            )?),
+        }),
+        SyntaxKind::Not => Ok(Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(raise_expr(
+                kids.first().ok_or_else(|| RaiseError("empty NOT".into()))?,
+            )?),
+        }),
+        SyntaxKind::And => {
+            let parts =
+                kids.iter().map(|c| raise_expr(c)).collect::<Result<Vec<_>, _>>()?;
+            fold_and(parts).ok_or_else(|| RaiseError("empty AND".into()))
+        }
+        SyntaxKind::Or => {
+            let parts =
+                kids.iter().map(|c| raise_expr(c)).collect::<Result<Vec<_>, _>>()?;
+            fold_or(parts).ok_or_else(|| RaiseError("empty OR".into()))
+        }
+        SyntaxKind::Compare(op) => {
+            let (l, r) = two(&kids, "comparison")?;
+            Ok(Expr::bin(raise_expr(l)?, op.to_binop(), raise_expr(r)?))
+        }
+        SyntaxKind::Arith(op) => {
+            let (l, r) = two(&kids, "arithmetic")?;
+            Ok(Expr::bin(raise_expr(l)?, op.to_binop(), raise_expr(r)?))
+        }
+        SyntaxKind::Between { negated } => {
+            if kids.len() != 3 {
+                return Err(RaiseError("BETWEEN needs 3 children".into()));
+            }
+            Ok(Expr::Between {
+                expr: Box::new(raise_expr(kids[0])?),
+                negated: *negated,
+                low: Box::new(raise_expr(kids[1])?),
+                high: Box::new(raise_expr(kids[2])?),
+            })
+        }
+        SyntaxKind::InList { negated } => {
+            let first = kids.first().ok_or_else(|| RaiseError("empty IN".into()))?;
+            let list = kids[1..]
+                .iter()
+                .map(|c| raise_expr(c))
+                .collect::<Result<Vec<_>, _>>()?;
+            if list.is_empty() {
+                return Err(RaiseError("IN with empty list".into()));
+            }
+            Ok(Expr::InList { expr: Box::new(raise_expr(first)?), negated: *negated, list })
+        }
+        SyntaxKind::InSubquery { negated } => {
+            let (e, q) = two(&kids, "IN subquery")?;
+            Ok(Expr::InSubquery {
+                expr: Box::new(raise_expr(e)?),
+                negated: *negated,
+                query: Box::new(raise_query(q)?),
+            })
+        }
+        SyntaxKind::IsNull { negated } => Ok(Expr::IsNull {
+            expr: Box::new(raise_expr(
+                kids.first().ok_or_else(|| RaiseError("empty IS NULL".into()))?,
+            )?),
+            negated: *negated,
+        }),
+        SyntaxKind::FuncCall(name) => Ok(Expr::Func {
+            name: name.clone(),
+            args: kids.iter().map(|c| raise_expr(c)).collect::<Result<Vec<_>, _>>()?,
+        }),
+        SyntaxKind::ScalarSubquery => Ok(Expr::ScalarSubquery(Box::new(raise_query(
+            kids.first().ok_or_else(|| RaiseError("empty scalar subquery".into()))?,
+        )?))),
+        other => Err(RaiseError(format!("unexpected expression node {other:?}"))),
+    }
+}
+
+/// Best-effort SQL snippet for a choice-free subtree — used to label widget
+/// options ("a = 1", "SELECT …"). Falls back to the node's kind label.
+pub fn sql_snippet(node: &DNode) -> String {
+    if !node.is_dynamic() {
+        if let Ok(e) = raise_expr(node) {
+            return e.to_string();
+        }
+        if let Ok(q) = raise_query(node) {
+            let s = q.to_string();
+            return if s.len() > 40 { format!("{}…", &s[..40]) } else { s };
+        }
+    }
+    match &node.kind {
+        NodeKind::Syntax(k) => k.label(),
+        other => format!("{other:?}"),
+    }
+}
+
+fn two<'a>(kids: &[&'a DNode], what: &str) -> Result<(&'a DNode, &'a DNode), RaiseError> {
+    if kids.len() != 2 {
+        return Err(RaiseError(format!("{what} needs 2 children, got {}", kids.len())));
+    }
+    Ok((kids[0], kids[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_sql::parse_query;
+
+    fn round_trip(sql: &str) -> DNode {
+        let q = parse_query(sql).unwrap();
+        let gst = lower_query(&q);
+        let back = raise_query(&gst).unwrap();
+        assert_eq!(q, back, "lower/raise changed the query for {sql:?}");
+        gst
+    }
+
+    #[test]
+    fn query_always_has_eight_clause_children() {
+        let gst = round_trip("SELECT a FROM t");
+        assert_eq!(gst.children.len(), 8);
+        // WHERE is present but empty.
+        assert_eq!(gst.children[3].kind, NodeKind::Syntax(SyntaxKind::Where));
+        assert!(gst.children[3].children.is_empty());
+    }
+
+    #[test]
+    fn and_chains_flatten_into_where() {
+        let gst = round_trip(
+            "SELECT a FROM t WHERE a = 1 AND b = 2 AND c BETWEEN 3 AND 4",
+        );
+        assert_eq!(gst.children[3].children.len(), 3);
+    }
+
+    #[test]
+    fn nested_or_keeps_structure() {
+        let gst = round_trip("SELECT a FROM t WHERE a = 1 OR b = 2 OR c = 3");
+        let where_ = &gst.children[3];
+        assert_eq!(where_.children.len(), 1);
+        assert_eq!(where_.children[0].kind, NodeKind::Syntax(SyntaxKind::Or));
+        assert_eq!(where_.children[0].children.len(), 3);
+    }
+
+    #[test]
+    fn subquery_in_from_round_trips() {
+        round_trip("SELECT x FROM (SELECT a AS x FROM t WHERE a > 0) AS sq WHERE x < 5");
+    }
+
+    #[test]
+    fn correlated_having_round_trips() {
+        round_trip(
+            "SELECT city, sum(total) FROM sales AS ss GROUP BY city \
+             HAVING sum(total) >= (SELECT max(t) FROM (SELECT sum(total) AS t \
+             FROM sales AS s WHERE s.city = ss.city GROUP BY s.product) AS m)",
+        );
+    }
+
+    #[test]
+    fn distinct_order_limit_round_trip() {
+        round_trip("SELECT DISTINCT a FROM t ORDER BY a DESC LIMIT 3");
+    }
+
+    #[test]
+    fn in_list_and_functions_round_trip() {
+        round_trip(
+            "SELECT mpg, id IN (1, 2) AS color FROM Cars \
+             WHERE date > date(today(), '-30 days')",
+        );
+    }
+
+    #[test]
+    fn equality_ignores_ids() {
+        let mut a = round_trip("SELECT a FROM t WHERE a = 1");
+        let b = round_trip("SELECT a FROM t WHERE a = 1");
+        a.renumber(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn renumber_assigns_dfs_ids() {
+        let mut gst = round_trip("SELECT a FROM t");
+        let next = gst.renumber(0);
+        assert_eq!(next as usize, gst.size());
+        let mut all = Vec::new();
+        gst.walk(&mut all);
+        for (i, n) in all.iter().enumerate() {
+            assert_eq!(n.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn opt_detection() {
+        let opt = DNode::any(vec![DNode::leaf(SyntaxKind::Star), DNode::empty()]);
+        assert!(opt.is_opt());
+        assert!(opt.is_choice());
+        let any = DNode::any(vec![DNode::leaf(SyntaxKind::Star)]);
+        assert!(!any.is_opt());
+    }
+
+    #[test]
+    fn dynamic_detection() {
+        let mut gst = round_trip("SELECT a FROM t WHERE a = 1");
+        assert!(!gst.is_dynamic());
+        // Replace the literal with a VAL choice node.
+        let where_ = &mut gst.children[3];
+        where_.children[0].children[1] =
+            DNode::val(vec![DNode::leaf(SyntaxKind::Lit(LitVal(Literal::Int(1))))]);
+        assert!(gst.is_dynamic());
+        assert_eq!(gst.choice_nodes().len(), 1);
+    }
+
+    #[test]
+    fn raising_choice_node_fails() {
+        let any = DNode::any(vec![]);
+        assert!(raise_expr(&any).is_err());
+    }
+
+    #[test]
+    fn find_by_id() {
+        let mut gst = round_trip("SELECT a FROM t WHERE a = 1");
+        gst.renumber(0);
+        let n = gst.find(3).unwrap();
+        assert_eq!(n.id, 3);
+        assert!(gst.find(10_000).is_none());
+    }
+
+    #[test]
+    fn render_shows_tree_shape() {
+        let gst = round_trip("SELECT a FROM t WHERE a = 1");
+        let s = gst.render();
+        assert!(s.contains("Query"));
+        assert!(s.contains("Where"));
+        assert!(s.contains("="));
+    }
+
+    #[test]
+    fn litval_eq_and_hash_for_floats() {
+        use std::collections::HashSet;
+        let a = LitVal(Literal::Float(2.5));
+        let b = LitVal(Literal::Float(2.5));
+        assert_eq!(a, b);
+        let mut s = HashSet::new();
+        s.insert(a);
+        assert!(s.contains(&b));
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Difftrees: the PI2 paper's central data structure (§3).
+//!
+//! A Difftree extends an abstract syntax tree with four kinds of *choice
+//! nodes* — `ANY`, `VAL`, `MULTI`, and `SUBSET` (plus the `OPT` special case
+//! of `ANY` and the `CO-OPT` companion produced by `PushOPT1`) — that encode
+//! systematic variations between queries. Each choice node corresponds to a
+//! production rule in a PEG grammar, so any tree a Difftree expresses is
+//! syntactically valid.
+//!
+//! Module map:
+//! * [`gst`] — the generic syntax tree (GST) that mirrors the SQL grammar's
+//!   productions; lowering from / raising to `pi2-sql` ASTs,
+//! * [`bind`] — query bindings (§3.2.4): matching a concrete query against a
+//!   Difftree, and resolving a Difftree + bindings back to a query,
+//! * [`types`] — the `AST → str → num` type hierarchy with attribute types
+//!   (§3.2.1) and type inference over trees,
+//! * [`schema`] — node schemas (§3.2.3) and result schemas (§3.2.2),
+//! * [`transform`] — the four categories of transformation rules (§6.1,
+//!   Fig. 13) that define PI2's search space,
+//! * [`forest`] — a set of Difftrees plus the input queries they must keep
+//!   expressing (the search state).
+
+pub mod bind;
+pub mod forest;
+pub mod gst;
+pub mod schema;
+pub mod transform;
+pub mod types;
+
+pub use bind::{bind_query, resolve, Binding, BindingMap, ResolveError};
+pub use forest::{expresses, Assignment, Forest, Workload};
+pub use gst::{
+    lower_query, raise_query, sql_snippet, ArithOp, CmpOp, DNode, LitVal, NodeKind, SyntaxKind,
+};
+pub use transform::{applicable_actions, apply_action, candidate_actions, Action, Rule};
+pub use schema::{node_schema, result_schema, type_or_schema, NodeSchema, ResultCol, ResultSchema, SchemaExpr, TypeOrSchema};
+pub use types::{infer_types, AttrRef, NodeType, PrimType, TypeMap};

@@ -1,0 +1,570 @@
+//! The Difftree type hierarchy (§3.2.1) and type inference.
+//!
+//! The paper uses a trivial primitive hierarchy `AST → str → num` plus
+//! *attribute types*: a database attribute `T.a` specialises a primitive to
+//! `a`'s domain. Leaf nodes get specialised types; internal nodes are `AST`.
+//!
+//! Inference has two parts:
+//! 1. **Initialisation** from grammar annotations and the catalogue: numeric
+//!    literals are `num`, string literals `str`, function calls take their
+//!    catalogue return type, column references resolve to attribute types.
+//! 2. **Specialisation**: in comparison contexts (`attr = val`, `attr
+//!    BETWEEN lo AND hi`, `attr IN (…)`) the literal side inherits the
+//!    attribute's type — this is what lets a `VAL` node become a slider over
+//!    the attribute's domain (§2).
+
+use crate::gst::{DNode, NodeKind, SyntaxKind};
+use pi2_data::{Catalog, DataType, Value};
+use pi2_sql::ast::Literal;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Primitive types, ordered by specialisation: `num ⊂ str ⊂ AST`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrimType {
+    /// `Num`.
+    Num,
+    /// `Str`.
+    Str,
+    /// `Ast`.
+    Ast,
+}
+
+impl PrimType {
+    /// Least common ancestor in the hierarchy (the paper's type union).
+    pub fn union(self, other: PrimType) -> PrimType {
+        self.max(other)
+    }
+
+    /// `t1` is compatible with `t2` if its domain is a subset of `t2`'s.
+    pub fn compatible_with(self, other: PrimType) -> bool {
+        self <= other
+    }
+}
+
+impl fmt::Display for PrimType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrimType::Num => "num",
+            PrimType::Str => "str",
+            PrimType::Ast => "AST",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A fully qualified attribute reference.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrRef {
+    /// The table.
+    pub table: String,
+    /// The column.
+    pub column: String,
+    /// The dtype.
+    pub dtype: DataType,
+}
+
+impl AttrRef {
+    /// Qualified.
+    pub fn qualified(&self) -> String {
+        format!("{}.{}", self.table, self.column)
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.qualified())
+    }
+}
+
+/// A node type: a primitive plus the set of attributes it specialises.
+/// `attrs` empty means a bare primitive; multiple attrs arise from unions
+/// such as the `ANY(a, b)` example in §2 whose schema is `a ∪ b`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct NodeType {
+    /// The prim.
+    pub prim: Option<PrimTypeWrapper>,
+    /// The attrs.
+    pub attrs: BTreeSet<AttrRef>,
+}
+
+/// Wrapper to keep `NodeType::default()` meaning "AST".
+pub type PrimTypeWrapper = PrimType;
+
+impl NodeType {
+    /// Ast.
+    pub fn ast() -> NodeType {
+        NodeType { prim: Some(PrimType::Ast), attrs: BTreeSet::new() }
+    }
+
+    /// Num.
+    pub fn num() -> NodeType {
+        NodeType { prim: Some(PrimType::Num), attrs: BTreeSet::new() }
+    }
+
+    /// Str.
+    pub fn str_() -> NodeType {
+        NodeType { prim: Some(PrimType::Str), attrs: BTreeSet::new() }
+    }
+
+    /// Attr.
+    pub fn attr(table: &str, column: &str, dtype: DataType) -> NodeType {
+        let prim = if dtype.is_numeric() { PrimType::Num } else { PrimType::Str };
+        NodeType {
+            prim: Some(prim),
+            attrs: [AttrRef { table: table.into(), column: column.into(), dtype }]
+                .into_iter()
+                .collect(),
+        }
+    }
+
+    /// Prim.
+    pub fn prim(&self) -> PrimType {
+        self.prim.unwrap_or(PrimType::Ast)
+    }
+
+    /// Is num.
+    pub fn is_num(&self) -> bool {
+        self.prim() == PrimType::Num
+    }
+
+    /// The paper's type union `T1 ∪ T2`: least common ancestor of the
+    /// primitives, keeping attribute provenance from both sides.
+    pub fn union(&self, other: &NodeType) -> NodeType {
+        NodeType {
+            prim: Some(self.prim().union(other.prim())),
+            attrs: self.attrs.union(&other.attrs).cloned().collect(),
+        }
+    }
+
+    /// Domain (min, max) over all source attributes, from catalogue stats.
+    pub fn domain(&self, catalog: &Catalog) -> Option<(Value, Value)> {
+        let mut lo: Option<Value> = None;
+        let mut hi: Option<Value> = None;
+        for a in &self.attrs {
+            let stats = catalog.column_stats(&a.table, &a.column)?;
+            let (amin, amax) = (stats.min.clone()?, stats.max.clone()?);
+            lo = Some(match lo {
+                Some(v) if v <= amin => v,
+                _ => amin,
+            });
+            hi = Some(match hi {
+                Some(v) if v >= amax => v,
+                _ => amax,
+            });
+        }
+        Some((lo?, hi?))
+    }
+
+    /// Distinct values over all source attributes, when all are
+    /// low-cardinality enough to enumerate.
+    pub fn distinct_values(&self, catalog: &Catalog) -> Option<Vec<Value>> {
+        let mut out: BTreeSet<Value> = BTreeSet::new();
+        if self.attrs.is_empty() {
+            return None;
+        }
+        for a in &self.attrs {
+            let stats = catalog.column_stats(&a.table, &a.column)?;
+            out.extend(stats.distinct_values.clone()?);
+        }
+        Some(out.into_iter().collect())
+    }
+}
+
+impl fmt::Display for NodeType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.attrs.is_empty() {
+            write!(f, "{}", self.prim())
+        } else {
+            let names: Vec<String> = self.attrs.iter().map(|a| a.qualified()).collect();
+            write!(f, "{}", names.join("∪"))
+        }
+    }
+}
+
+/// Per-node type annotations, keyed by node id.
+pub type TypeMap = BTreeMap<u32, NodeType>;
+
+/// Infer types for every node of a Difftree (§3.2.1).
+pub fn infer_types(root: &DNode, catalog: &Catalog) -> TypeMap {
+    let aliases = collect_aliases(root);
+    let mut map = TypeMap::new();
+    assign_base_types(root, catalog, &aliases, &mut map);
+    specialise_in_comparisons(root, catalog, &aliases, &mut map);
+    map
+}
+
+/// Collect `alias → base table` from every FROM clause (including those in
+/// choice-node branches, best effort).
+fn collect_aliases(root: &DNode) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if let NodeKind::Syntax(SyntaxKind::TableRef) = n.kind {
+            let mut name: Option<&str> = None;
+            let mut alias: Option<&str> = None;
+            for c in &n.children {
+                match &c.kind {
+                    NodeKind::Syntax(SyntaxKind::TableName(t)) => name = Some(t),
+                    NodeKind::Syntax(SyntaxKind::AliasName(a)) => alias = Some(a),
+                    _ => {}
+                }
+            }
+            if let Some(t) = name {
+                out.insert(t.to_ascii_lowercase(), t.to_string());
+                if let Some(a) = alias {
+                    out.insert(a.to_ascii_lowercase(), t.to_string());
+                }
+            }
+        }
+        stack.extend(n.children.iter());
+    }
+    out
+}
+
+/// Resolve a column reference to an attribute type using the alias map, the
+/// catalogue, or unqualified search.
+fn resolve_column(
+    table: Option<&str>,
+    column: &str,
+    catalog: &Catalog,
+    aliases: &HashMap<String, String>,
+) -> Option<NodeType> {
+    if let Some(t) = table {
+        let base = aliases
+            .get(&t.to_ascii_lowercase())
+            .cloned()
+            .unwrap_or_else(|| t.to_string());
+        let dtype = catalog.column_type(&base, column)?;
+        let meta = catalog.table(&base)?;
+        return Some(NodeType::attr(&meta.name, column, dtype));
+    }
+    // Unqualified: try each aliased base table first, then the catalogue.
+    for base in aliases.values() {
+        if let Some(dtype) = catalog.column_type(base, column) {
+            let meta = catalog.table(base)?;
+            return Some(NodeType::attr(&meta.name, column, dtype));
+        }
+    }
+    let (meta, idx) = catalog.resolve_column(column).ok()?;
+    let c = &meta.table.schema.columns[idx];
+    Some(NodeType::attr(&meta.name, &c.name, c.dtype))
+}
+
+fn assign_base_types(
+    node: &DNode,
+    catalog: &Catalog,
+    aliases: &HashMap<String, String>,
+    map: &mut TypeMap,
+) {
+    let ty = match &node.kind {
+        NodeKind::Syntax(SyntaxKind::Lit(l)) => Some(match &l.0 {
+            Literal::Int(_) | Literal::Float(_) => NodeType::num(),
+            Literal::Bool(_) => NodeType::num(),
+            Literal::Str(_) | Literal::Null => NodeType::str_(),
+        }),
+        NodeKind::Syntax(SyntaxKind::ColumnRef { table, column }) => Some(
+            resolve_column(table.as_deref(), column, catalog, aliases)
+                .map(|attr| {
+                    // Column *references* are str-typed names (Example 2) but
+                    // we keep provenance so comparisons can specialise their
+                    // partners.
+                    NodeType { prim: Some(attr.prim()), attrs: attr.attrs }
+                })
+                .unwrap_or_else(NodeType::str_),
+        ),
+        NodeKind::Syntax(SyntaxKind::FuncCall(name)) => {
+            let dtype = catalog.function_return_type(name, None);
+            Some(match dtype {
+                Some(t) if t.is_numeric() => NodeType::num(),
+                Some(_) => NodeType::str_(),
+                None => NodeType::ast(),
+            })
+        }
+        NodeKind::Syntax(SyntaxKind::TableName(_))
+        | NodeKind::Syntax(SyntaxKind::AliasName(_)) => Some(NodeType::str_()),
+        NodeKind::Syntax(_) if node.children.is_empty() => Some(NodeType::ast()),
+        NodeKind::Syntax(_) => Some(NodeType::ast()),
+        // Choice nodes: typed below from their children.
+        _ => None,
+    };
+    if let Some(t) = ty {
+        map.insert(node.id, t);
+    }
+    for c in &node.children {
+        assign_base_types(c, catalog, aliases, map);
+    }
+    // Choice-node types: union of child types (leaf-level only).
+    if node.is_choice() {
+        let mut ty: Option<NodeType> = None;
+        for c in &node.children {
+            if c.is_empty_node() {
+                continue;
+            }
+            let ct = map.get(&c.id).cloned().unwrap_or_else(NodeType::ast);
+            let ct = if c.children.is_empty() || c.is_choice() { ct } else { NodeType::ast() };
+            ty = Some(match ty {
+                Some(t) => t.union(&ct),
+                None => ct,
+            });
+        }
+        map.insert(node.id, ty.unwrap_or_else(NodeType::ast));
+    }
+}
+
+/// Walk comparison structures and give literal-ish operands the attribute
+/// type of their column partner (Example 2's `1, 2 : T.a`).
+fn specialise_in_comparisons(
+    node: &DNode,
+    catalog: &Catalog,
+    aliases: &HashMap<String, String>,
+    map: &mut TypeMap,
+) {
+    match &node.kind {
+        NodeKind::Syntax(SyntaxKind::Compare(_)) if node.children.len() == 2 => {
+            let attr_left = column_attr(&node.children[0], catalog, aliases);
+            let attr_right = column_attr(&node.children[1], catalog, aliases);
+            if let Some(t) = attr_left {
+                propagate_attr(&node.children[1], &t, map);
+            } else if let Some(t) = attr_right {
+                propagate_attr(&node.children[0], &t, map);
+            }
+        }
+        NodeKind::Syntax(SyntaxKind::Between { .. }) if node.children.len() == 3 => {
+            if let Some(t) = column_attr(&node.children[0], catalog, aliases) {
+                propagate_attr(&node.children[1], &t, map);
+                propagate_attr(&node.children[2], &t, map);
+            }
+        }
+        NodeKind::Syntax(SyntaxKind::InList { .. }) if !node.children.is_empty() => {
+            if let Some(t) = column_attr(&node.children[0], catalog, aliases) {
+                for item in &node.children[1..] {
+                    propagate_attr(item, &t, map);
+                }
+            }
+        }
+        _ => {}
+    }
+    for c in &node.children {
+        specialise_in_comparisons(c, catalog, aliases, map);
+    }
+}
+
+/// The attribute type of a (possibly `ANY`-wrapped) column reference.
+fn column_attr(
+    node: &DNode,
+    catalog: &Catalog,
+    aliases: &HashMap<String, String>,
+) -> Option<NodeType> {
+    match &node.kind {
+        NodeKind::Syntax(SyntaxKind::ColumnRef { table, column }) => {
+            resolve_column(table.as_deref(), column, catalog, aliases)
+        }
+        NodeKind::Any | NodeKind::Val => {
+            // Union over alternatives that are column refs (the paper's
+            // "union type of a and b" case).
+            let mut ty: Option<NodeType> = None;
+            for c in &node.children {
+                let ct = column_attr(c, catalog, aliases)?;
+                ty = Some(match ty {
+                    Some(t) => t.union(&ct),
+                    None => ct,
+                });
+            }
+            ty
+        }
+        _ => None,
+    }
+}
+
+/// Assign the attribute type to literal-like nodes in a subtree (literals,
+/// `VAL` nodes, `ANY` nodes whose children are all literal-like, and
+/// repetition/subset structures over them).
+fn propagate_attr(node: &DNode, attr: &NodeType, map: &mut TypeMap) {
+    match &node.kind {
+        NodeKind::Syntax(SyntaxKind::Lit(_)) => {
+            map.insert(node.id, attr.clone());
+        }
+        NodeKind::Val => {
+            map.insert(node.id, attr.clone());
+            for c in &node.children {
+                propagate_attr(c, attr, map);
+            }
+        }
+        NodeKind::Any => {
+            let all_lits = node
+                .children
+                .iter()
+                .all(|c| matches!(c.kind, NodeKind::Syntax(SyntaxKind::Lit(_))) || c.is_empty_node());
+            if all_lits {
+                map.insert(node.id, attr.clone());
+                for c in &node.children {
+                    if !c.is_empty_node() {
+                        propagate_attr(c, attr, map);
+                    }
+                }
+            }
+        }
+        NodeKind::Multi | NodeKind::Subset => {
+            map.insert(node.id, attr.clone());
+            for c in &node.children {
+                propagate_attr(c, attr, map);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gst::lower_query;
+    use pi2_data::Table;
+    use pi2_sql::parse_query;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let t = Table::from_rows(
+            vec![("p", DataType::Int), ("a", DataType::Int), ("b", DataType::Int)],
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Int(7)],
+                vec![Value::Int(2), Value::Int(20), Value::Int(8)],
+            ],
+        )
+        .unwrap();
+        c.add_table("T", t, vec!["p"]);
+        c
+    }
+
+    fn typed(sql: &str) -> (DNode, TypeMap) {
+        let mut gst = lower_query(&parse_query(sql).unwrap());
+        gst.renumber(0);
+        let map = infer_types(&gst, &catalog());
+        (gst, map)
+    }
+
+    fn find_lit(node: &DNode, text: &str) -> u32 {
+        let mut all = Vec::new();
+        node.walk(&mut all);
+        all.iter()
+            .find(|n| match &n.kind {
+                NodeKind::Syntax(SyntaxKind::Lit(l)) => l.0.to_string() == text,
+                _ => false,
+            })
+            .unwrap_or_else(|| panic!("literal {text} not found"))
+            .id
+    }
+
+    #[test]
+    fn prim_hierarchy() {
+        assert_eq!(PrimType::Num.union(PrimType::Str), PrimType::Str);
+        assert_eq!(PrimType::Num.union(PrimType::Num), PrimType::Num);
+        assert_eq!(PrimType::Str.union(PrimType::Ast), PrimType::Ast);
+        assert!(PrimType::Num.compatible_with(PrimType::Str));
+        assert!(!PrimType::Str.compatible_with(PrimType::Num));
+        assert!(PrimType::Num.compatible_with(PrimType::Ast));
+    }
+
+    #[test]
+    fn equality_specialises_literal_to_attribute() {
+        // Example 2: in `a = 1`, the literal 1 gets type T.a.
+        let (gst, map) = typed("SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p");
+        let lit = find_lit(&gst, "1");
+        let t = map.get(&lit).unwrap();
+        assert_eq!(t.attrs.len(), 1);
+        assert_eq!(t.attrs.iter().next().unwrap().qualified(), "T.a");
+        assert!(t.is_num());
+    }
+
+    #[test]
+    fn between_specialises_bounds() {
+        let (gst, map) = typed("SELECT p FROM T WHERE a BETWEEN 3 AND 9");
+        for text in ["3", "9"] {
+            let t = map.get(&find_lit(&gst, text)).unwrap();
+            assert_eq!(t.attrs.iter().next().unwrap().qualified(), "T.a");
+        }
+    }
+
+    #[test]
+    fn in_list_specialises_items() {
+        let (gst, map) = typed("SELECT p FROM T WHERE a IN (10, 20)");
+        let t = map.get(&find_lit(&gst, "20")).unwrap();
+        assert_eq!(t.attrs.iter().next().unwrap().qualified(), "T.a");
+    }
+
+    #[test]
+    fn unrelated_literals_stay_primitive() {
+        let (gst, map) = typed("SELECT p FROM T LIMIT 5");
+        let t = map.get(&find_lit(&gst, "5")).unwrap();
+        assert!(t.attrs.is_empty());
+        assert!(t.is_num());
+    }
+
+    #[test]
+    fn string_literals_are_str() {
+        let (gst, map) = typed("SELECT p FROM T WHERE b = 1 AND p = 2");
+        // b and p both resolve; check the column ref type provenance.
+        let mut all = Vec::new();
+        gst.walk(&mut all);
+        let col_b = all
+            .iter()
+            .find(|n| {
+                matches!(&n.kind, NodeKind::Syntax(SyntaxKind::ColumnRef { column, .. }) if column == "b")
+            })
+            .unwrap();
+        let t = map.get(&col_b.id).unwrap();
+        assert_eq!(t.attrs.iter().next().unwrap().qualified(), "T.b");
+    }
+
+    #[test]
+    fn any_of_literals_under_compare_gets_union_attr_type() {
+        // Build: WHERE ANY(a, b) = ANY(1, 2) — Figure 3(b)'s shape.
+        let (mut gst, _) = typed("SELECT p FROM T WHERE a = 1");
+        let pred = &mut gst.children[3].children[0];
+        let col_a = pred.children[0].clone();
+        let col_b = DNode::leaf(SyntaxKind::ColumnRef { table: None, column: "b".into() });
+        let lit1 = pred.children[1].clone();
+        let lit2 = DNode::leaf(SyntaxKind::Lit(crate::gst::LitVal(Literal::Int(2))));
+        pred.children[0] = DNode::any(vec![col_a, col_b]);
+        pred.children[1] = DNode::any(vec![lit1, lit2]);
+        gst.renumber(0);
+        let map = infer_types(&gst, &catalog());
+        // The literal ANY gets the union type T.a ∪ T.b.
+        let lit_any = &gst.children[3].children[0].children[1];
+        let t = map.get(&lit_any.id).unwrap();
+        let names: Vec<String> = t.attrs.iter().map(|a| a.qualified()).collect();
+        assert_eq!(names, vec!["T.a", "T.b"]);
+        assert!(t.is_num());
+    }
+
+    #[test]
+    fn domain_and_distinct_values_from_catalog() {
+        let cat = catalog();
+        let t = NodeType::attr("T", "a", DataType::Int);
+        assert_eq!(t.domain(&cat), Some((Value::Int(10), Value::Int(20))));
+        assert_eq!(
+            t.distinct_values(&cat),
+            Some(vec![Value::Int(10), Value::Int(20)])
+        );
+        // Union domain covers both attributes.
+        let u = t.union(&NodeType::attr("T", "b", DataType::Int));
+        assert_eq!(u.domain(&cat), Some((Value::Int(7), Value::Int(20))));
+    }
+
+    #[test]
+    fn type_display() {
+        assert_eq!(NodeType::num().to_string(), "num");
+        assert_eq!(NodeType::attr("T", "a", DataType::Int).to_string(), "T.a");
+        assert_eq!(NodeType::ast().to_string(), "AST");
+    }
+
+    #[test]
+    fn aliased_column_resolution() {
+        let (gst, map) = typed("SELECT t1.a FROM T AS t1 WHERE t1.a = 3");
+        let lit = find_lit(&gst, "3");
+        assert_eq!(
+            map.get(&lit).unwrap().attrs.iter().next().unwrap().qualified(),
+            "T.a"
+        );
+    }
+}

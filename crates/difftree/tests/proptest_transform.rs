@@ -1,0 +1,102 @@
+//! Property tests for the §6.1 guarantee: any chain of applicable
+//! transformation rules preserves expressiveness, and bindings round-trip
+//! through resolution.
+
+use pi2_data::{Catalog, DataType, Table, Value};
+use pi2_difftree::{
+    applicable_actions, apply_action, bind_query, lower_query, raise_query, resolve, Forest,
+    Workload,
+};
+use pi2_sql::parse_query;
+use proptest::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let rows: Vec<Vec<Value>> = (0..30)
+        .map(|i| {
+            vec![
+                Value::Int(i % 5),
+                Value::Int(10 * (i % 7)),
+                Value::Int(i % 3),
+                Value::Str(["x", "y", "z"][(i % 3) as usize].into()),
+            ]
+        })
+        .collect();
+    let t = Table::from_rows(
+        vec![
+            ("p", DataType::Int),
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("s", DataType::Str),
+        ],
+        rows,
+    )
+    .unwrap();
+    c.add_table("T", t, vec![]);
+    c
+}
+
+/// A random simple analysis query over T.
+fn arb_query() -> impl Strategy<Value = String> {
+    let pred = (
+        prop_oneof![Just("a"), Just("b"), Just("p")],
+        prop_oneof![Just("="), Just(">"), Just("<")],
+        0i64..60,
+    )
+        .prop_map(|(c, op, v)| format!("{c} {op} {v}"));
+    let between = (prop_oneof![Just("a"), Just("b")], 0i64..30, 30i64..60)
+        .prop_map(|(c, lo, hi)| format!("{c} BETWEEN {lo} AND {hi}"));
+    let where_clause = prop_oneof![
+        Just(String::new()),
+        pred.clone().prop_map(|p| format!(" WHERE {p}")),
+        (pred, between.clone()).prop_map(|(p, b)| format!(" WHERE {p} AND {b}")),
+        between.prop_map(|b| format!(" WHERE {b}")),
+    ];
+    (prop_oneof![Just("p"), Just("a"), Just("s")], where_clause).prop_map(|(col, w)| {
+        format!("SELECT {col}, count(*) FROM T{w} GROUP BY {col}")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random action chains keep every input query expressible, with exact
+    /// resolution round trips.
+    #[test]
+    fn action_chains_preserve_expressiveness(
+        sqls in prop::collection::vec(arb_query(), 2..4),
+        picks in prop::collection::vec(0usize..64, 0..4),
+    ) {
+        let queries: Vec<_> = sqls.iter().map(|s| parse_query(s).unwrap()).collect();
+        let w = Workload::new(queries, catalog());
+        let mut state = Forest::from_workload(&w);
+        for pick in picks {
+            let actions = applicable_actions(&state, &w);
+            if actions.is_empty() {
+                break;
+            }
+            let action = actions[pick % actions.len()];
+            state = apply_action(&state, &w, action)
+                .expect("applicable actions must apply");
+            // The §6.1 guarantee, checked exactly:
+            let assignments = state.bind_all(&w).expect("state must express workload");
+            for (qi, a) in assignments.iter().enumerate() {
+                let resolved = resolve(&state.trees[a.tree], &a.binding).unwrap();
+                let raised = raise_query(&resolved).unwrap();
+                prop_assert_eq!(&raised, &w.queries[qi]);
+            }
+        }
+    }
+
+    /// lower → bind(identity) → resolve → raise is the identity on
+    /// arbitrary queries.
+    #[test]
+    fn identity_binding_round_trip(sql in arb_query()) {
+        let q = parse_query(&sql).unwrap();
+        let mut gst = lower_query(&q);
+        gst.renumber(0);
+        let map = bind_query(&gst, &gst).expect("tree expresses itself");
+        let resolved = resolve(&gst, &map).unwrap();
+        prop_assert_eq!(raise_query(&resolved).unwrap(), q);
+    }
+}

@@ -1,0 +1,58 @@
+//! Executor errors.
+
+use pi2_data::DataError;
+use std::fmt;
+
+/// Errors raised during analysis or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// `Data`.
+    Data(DataError),
+    /// A column reference could not be resolved in any visible scope.
+    UnresolvedColumn(String),
+    /// A function is unknown or applied to the wrong arguments.
+    BadFunction(String),
+    /// An expression evaluated to an unexpected type.
+    TypeError(String),
+    /// Aggregate used outside of an aggregate context (or nested).
+    MisplacedAggregate(String),
+    /// A scalar subquery returned more than one column.
+    NonScalarSubquery,
+    /// Feature not supported by the dialect executor.
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Data(e) => write!(f, "{e}"),
+            EngineError::UnresolvedColumn(c) => write!(f, "unresolved column: {c}"),
+            EngineError::BadFunction(m) => write!(f, "bad function call: {m}"),
+            EngineError::TypeError(m) => write!(f, "type error: {m}"),
+            EngineError::MisplacedAggregate(m) => write!(f, "misplaced aggregate: {m}"),
+            EngineError::NonScalarSubquery => write!(f, "scalar subquery must return one column"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<DataError> for EngineError {
+    fn from(e: DataError) -> Self {
+        EngineError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EngineError::UnresolvedColumn("x".into()).to_string().contains("x"));
+        assert!(EngineError::NonScalarSubquery.to_string().contains("one column"));
+        let e: EngineError = DataError::UnknownTable("t".into()).into();
+        assert_eq!(e.to_string(), "unknown table: t");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for executor invariants over random tables and queries.
+
+use pi2_data::{Catalog, DataType, Table, Value};
+use pi2_engine::{execute, ExecContext};
+use pi2_sql::parse_query;
+use proptest::prelude::*;
+
+fn catalog_from(rows: &[(i64, i64)]) -> Catalog {
+    let mut c = Catalog::new();
+    let t = Table::from_rows(
+        vec![("a", DataType::Int), ("b", DataType::Int)],
+        rows.iter().map(|(a, b)| vec![Value::Int(*a), Value::Int(*b)]).collect(),
+    )
+    .unwrap();
+    c.add_table("T", t, vec![]);
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// WHERE filters are sound and complete against direct predicate
+    /// evaluation.
+    #[test]
+    fn filter_matches_predicate(
+        rows in prop::collection::vec((0i64..20, 0i64..20), 0..40),
+        threshold in 0i64..20,
+    ) {
+        let c = catalog_from(&rows);
+        let ctx = ExecContext::new(&c);
+        let q = parse_query(&format!("SELECT a, b FROM T WHERE a > {threshold}")).unwrap();
+        let out = execute(&q, &ctx).unwrap();
+        let expected: Vec<(i64, i64)> =
+            rows.iter().copied().filter(|(a, _)| *a > threshold).collect();
+        prop_assert_eq!(out.num_rows(), expected.len());
+        for (row, (a, b)) in out.rows.iter().zip(expected.iter()) {
+            prop_assert_eq!(row[0].as_i64().unwrap(), *a);
+            prop_assert_eq!(row[1].as_i64().unwrap(), *b);
+        }
+    }
+
+    /// GROUP BY counts partition the filtered input: counts sum to the
+    /// total row count and keys are distinct.
+    #[test]
+    fn group_by_counts_partition(
+        rows in prop::collection::vec((0i64..6, 0i64..20), 1..50),
+    ) {
+        let c = catalog_from(&rows);
+        let ctx = ExecContext::new(&c);
+        let q = parse_query("SELECT a, count(*) FROM T GROUP BY a").unwrap();
+        let out = execute(&q, &ctx).unwrap();
+        let total: i64 = out.rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+        prop_assert_eq!(total as usize, rows.len());
+        let keys: Vec<i64> = out.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), keys.len(), "group keys must be distinct");
+    }
+
+    /// DISTINCT yields unique rows that all appear in the base data.
+    #[test]
+    fn distinct_is_unique_and_sound(
+        rows in prop::collection::vec((0i64..4, 0i64..4), 0..40),
+    ) {
+        let c = catalog_from(&rows);
+        let ctx = ExecContext::new(&c);
+        let q = parse_query("SELECT DISTINCT a, b FROM T").unwrap();
+        let out = execute(&q, &ctx).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for row in &out.rows {
+            let pair = (row[0].as_i64().unwrap(), row[1].as_i64().unwrap());
+            prop_assert!(seen.insert(pair), "duplicate row in DISTINCT output");
+            prop_assert!(rows.contains(&pair), "row not in base data");
+        }
+        let unique: std::collections::HashSet<_> = rows.iter().copied().collect();
+        prop_assert_eq!(out.num_rows(), unique.len());
+    }
+
+    /// Aggregates agree with direct computation.
+    #[test]
+    fn aggregates_match_direct_computation(
+        rows in prop::collection::vec((0i64..10, -50i64..50), 1..40),
+    ) {
+        let c = catalog_from(&rows);
+        let ctx = ExecContext::new(&c);
+        let q = parse_query("SELECT count(*), sum(b), min(b), max(b) FROM T").unwrap();
+        let out = execute(&q, &ctx).unwrap();
+        let bs: Vec<i64> = rows.iter().map(|(_, b)| *b).collect();
+        prop_assert_eq!(out.rows[0][0].as_i64().unwrap(), bs.len() as i64);
+        prop_assert_eq!(out.rows[0][1].as_i64().unwrap(), bs.iter().sum::<i64>());
+        prop_assert_eq!(out.rows[0][2].as_i64().unwrap(), *bs.iter().min().unwrap());
+        prop_assert_eq!(out.rows[0][3].as_i64().unwrap(), *bs.iter().max().unwrap());
+    }
+
+    /// ORDER BY ... LIMIT returns a sorted prefix.
+    #[test]
+    fn order_by_limit_is_sorted_prefix(
+        rows in prop::collection::vec((0i64..100, 0i64..100), 0..40),
+        limit in 0u64..20,
+    ) {
+        let c = catalog_from(&rows);
+        let ctx = ExecContext::new(&c);
+        let q = parse_query(&format!("SELECT a FROM T ORDER BY a LIMIT {limit}")).unwrap();
+        let out = execute(&q, &ctx).unwrap();
+        prop_assert!(out.num_rows() <= limit as usize);
+        let got: Vec<i64> = out.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let mut all: Vec<i64> = rows.iter().map(|(a, _)| *a).collect();
+        all.sort_unstable();
+        all.truncate(limit as usize);
+        prop_assert_eq!(got, all);
+    }
+}

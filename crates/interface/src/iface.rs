@@ -1,0 +1,621 @@
+//! The interface structure `I = (V, M, L)` and the mapping context that
+//! precomputes everything candidate generation needs for one search state.
+
+use crate::cost::{interface_cost, CostParams};
+use crate::flat::{flatten_node, FlatSchema};
+use crate::interaction::{
+    interaction_is_safe, vis_interaction_candidates, InteractionKind, VisInteractionCandidate,
+};
+use crate::layout::{widget_size, widget_tree_for, vis_size, LayoutNode, LayoutTree, Orientation};
+use crate::vis::{vis_mapping_candidates, VisMapping};
+use crate::widget::{bound_value, widget_candidates, BoundValue, WidgetCandidate, WidgetDomain, WidgetKind};
+use pi2_data::Table;
+use pi2_difftree::{infer_types, Assignment, BindingMap, Forest, ResultSchema, TypeMap, Workload};
+use pi2_engine::{execute_cached, ExecContext};
+use std::fmt;
+
+/// One view: a Difftree rendered by a visualization mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct View {
+    /// The tree.
+    pub tree: usize,
+    /// The vis.
+    pub vis: VisMapping,
+}
+
+/// What an interaction instance is: a widget or a visualization
+/// interaction.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // inline variant fields are self-describing
+pub enum InteractionChoice {
+    /// `Widget`.
+    Widget { kind: WidgetKind, domain: WidgetDomain, label: String },
+    /// `Vis`.
+    Vis { view: usize, kind: InteractionKind, event_cols: Vec<usize> },
+}
+
+/// One entry of the interaction mapping `M`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteractionInstance {
+    /// Primary target (widgets have exactly one; cross-filter brushes may
+    /// carry more in `extra_targets`).
+    pub target_tree: usize,
+    /// The target node.
+    pub target_node: u32,
+    /// Covered choice nodes (Algorithm 1's exact-cover elements), across
+    /// all targets.
+    pub cover: Vec<u32>,
+    /// Additional bound nodes beyond the primary (tree, node, cover).
+    pub extra_targets: Vec<crate::interaction::InteractionTarget>,
+    /// The choice.
+    pub choice: InteractionChoice,
+}
+
+impl InteractionInstance {
+    /// All (tree, node) targets, primary first.
+    pub fn all_targets(&self) -> Vec<(usize, u32)> {
+        let mut out = vec![(self.target_tree, self.target_node)];
+        out.extend(self.extra_targets.iter().map(|t| (t.tree, t.node)));
+        out
+    }
+
+    /// Whether this interaction binds nodes in the given tree.
+    pub fn targets_tree(&self, tree: usize) -> bool {
+        self.target_tree == tree || self.extra_targets.iter().any(|t| t.tree == tree)
+    }
+}
+
+/// A fully mapped interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interface {
+    /// The views.
+    pub views: Vec<View>,
+    /// The interactions.
+    pub interactions: Vec<InteractionInstance>,
+    /// The layout.
+    pub layout: LayoutTree,
+}
+
+impl Interface {
+    /// Number of widgets (non-vis interactions).
+    pub fn widget_count(&self) -> usize {
+        self.interactions
+            .iter()
+            .filter(|i| matches!(i.choice, InteractionChoice::Widget { .. }))
+            .count()
+    }
+
+    /// Number of visualization interactions.
+    pub fn vis_interaction_count(&self) -> usize {
+        self.interactions.len() - self.widget_count()
+    }
+}
+
+impl fmt::Display for Interface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, v) in self.views.iter().enumerate() {
+            writeln!(f, "view #{i}: {} (tree {})", v.vis, v.tree)?;
+        }
+        for (i, m) in self.interactions.iter().enumerate() {
+            match &m.choice {
+                InteractionChoice::Widget { kind, domain, label } => {
+                    writeln!(
+                        f,
+                        "interaction #{i}: {kind} [{label}] ({} options) → tree {} node {}",
+                        domain.size(),
+                        m.target_tree,
+                        m.target_node
+                    )?;
+                }
+                InteractionChoice::Vis { view, kind, .. } => {
+                    writeln!(
+                        f,
+                        "interaction #{i}: {kind} on view #{view} → tree {} node {}",
+                        m.target_tree, m.target_node
+                    )?;
+                }
+            }
+        }
+        write!(f, "{}", self.layout)
+    }
+}
+
+/// One entry of a candidate `M` before instantiation.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // inline variant fields are self-describing
+pub enum MappingEntry {
+    /// `Widget`.
+    Widget { tree: usize, cand: WidgetCandidate },
+    /// `Vis`.
+    Vis(VisInteractionCandidate),
+}
+
+impl MappingEntry {
+    /// Cover.
+    pub fn cover(&self) -> Vec<u32> {
+        match self {
+            MappingEntry::Widget { cand, .. } => cand.cover.clone(),
+            MappingEntry::Vis(v) => v.cover(),
+        }
+    }
+
+    /// Target.
+    pub fn target(&self) -> (usize, u32) {
+        match self {
+            MappingEntry::Widget { tree, cand } => (*tree, cand.target),
+            MappingEntry::Vis(v) => (v.primary().tree, v.primary().node),
+        }
+    }
+}
+
+/// Everything Algorithm 1 needs about one search state, precomputed:
+/// per-tree types, schemas, query bindings, executed results, and candidate
+/// pools.
+pub struct MappingContext<'a> {
+    /// The forest.
+    pub forest: &'a Forest,
+    /// The workload.
+    pub workload: &'a Workload,
+    /// The assignments.
+    pub assignments: Vec<Assignment>,
+    /// The types.
+    pub types: Vec<TypeMap>,
+    /// The schemas.
+    pub schemas: Vec<Option<ResultSchema>>,
+    /// Binding maps of the queries each tree expresses.
+    pub per_query_maps: Vec<Vec<BindingMap>>,
+    /// Executed result tables per tree (one per expressed query).
+    pub results: Vec<Vec<Table>>,
+    /// Candidate visualization mappings per tree (V candidates).
+    pub vis_cands: Vec<Vec<VisMapping>>,
+    /// Candidate widgets per tree.
+    pub widget_cands: Vec<Vec<WidgetCandidate>>,
+    /// Flattenable dynamic nodes per tree.
+    pub flats: Vec<Vec<(u32, FlatSchema)>>,
+    /// DFS-ordered choice node ids per tree (Algorithm 1's `clist`).
+    pub choice_ids: Vec<Vec<u32>>,
+    /// Skip the §4.2.2 safety check (scalability ablation).
+    pub check_safety: bool,
+}
+
+impl<'a> MappingContext<'a> {
+    /// Build the context; `None` when the forest cannot express the
+    /// workload or some tree has an undefined result schema.
+    pub fn build(forest: &'a Forest, workload: &'a Workload) -> Option<Self> {
+        let assignments = forest.bind_all(workload)?;
+        let n = forest.trees.len();
+        let mut types = Vec::with_capacity(n);
+        let mut schemas = Vec::with_capacity(n);
+        let mut per_query_maps: Vec<Vec<BindingMap>> = vec![Vec::new(); n];
+        let mut results: Vec<Vec<Table>> = vec![Vec::new(); n];
+        let mut vis_cands = Vec::with_capacity(n);
+        let mut widget_cands = Vec::with_capacity(n);
+        let mut flats = Vec::with_capacity(n);
+        let mut choice_ids = Vec::with_capacity(n);
+
+        for a in &assignments {
+            per_query_maps[a.tree].push(a.binding.clone());
+        }
+
+        let ctx = ExecContext::new(&workload.catalog);
+        for (t, tree) in forest.trees.iter().enumerate() {
+            let ty = infer_types(tree, &workload.catalog);
+            let schema = forest.tree_result_schema(t, workload, &assignments);
+            // Every tree must render something: a tree expressing no query
+            // or with an undefined schema cannot be mapped.
+            if per_query_maps[t].is_empty() || schema.is_none() {
+                return None;
+            }
+            for (_, q) in forest.resolved_queries(t, workload, &assignments) {
+                if let Ok(table) = execute_cached(&q, &ctx) {
+                    results[t].push(table);
+                }
+            }
+            let maps: Vec<&BindingMap> = per_query_maps[t].iter().collect();
+            let wc = widget_candidates(tree, &ty, &maps, &workload.catalog);
+            let schema = schema.unwrap();
+            let samples: Vec<&Table> = results[t].iter().collect();
+            vis_cands.push(vis_mapping_candidates(&schema, &samples));
+            schemas.push(Some(schema));
+            widget_cands.push(wc);
+            // Flatten every dynamic node.
+            let mut tree_flats = Vec::new();
+            let mut nodes = Vec::new();
+            tree.walk(&mut nodes);
+            for node in nodes {
+                if node.is_dynamic() {
+                    if let Some(flat) = flatten_node(node, &ty) {
+                        tree_flats.push((node.id, flat));
+                    }
+                }
+            }
+            flats.push(tree_flats);
+            choice_ids.push(tree.choice_nodes().iter().map(|c| c.id).collect());
+            types.push(ty);
+        }
+        Some(MappingContext {
+            forest,
+            workload,
+            assignments,
+            types,
+            schemas,
+            per_query_maps,
+            results,
+            vis_cands,
+            widget_cands,
+            flats,
+            choice_ids,
+            check_safety: true,
+        })
+    }
+
+    /// Total number of choice nodes across trees.
+    pub fn total_choices(&self) -> usize {
+        self.choice_ids.iter().map(|c| c.len()).sum()
+    }
+
+    /// The §3.2.4 binding tuples of a flattened node: one tuple per input
+    /// query the tree expresses.
+    pub fn binding_tuples(&self, tree: usize, flat: &FlatSchema) -> Vec<Vec<BoundValue>> {
+        self.per_query_maps[tree]
+            .iter()
+            .map(|map| {
+                flat.elems
+                    .iter()
+                    .map(|e| {
+                        self.forest.trees[tree]
+                            .find(e.node_id)
+                            .and_then(|n| bound_value(n, map))
+                            .unwrap_or(BoundValue::Absent)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// All *safe* visualization-interaction candidates under a chosen `V`
+    /// assignment (one `VisMapping` per tree). Recomputed per `V` because
+    /// event schemas depend on the visualization mapping (§4.2.1).
+    ///
+    /// Same-view brushes with identical event columns are additionally
+    /// offered as one *merged* candidate binding all their targets — this is
+    /// how one brush cross-filters several charts (§7.1 Filter).
+    pub fn safe_vis_interactions(
+        &self,
+        chosen_v: &[VisMapping],
+    ) -> Vec<VisInteractionCandidate> {
+        let mut out = Vec::new();
+        for (view, vis) in chosen_v.iter().enumerate() {
+            let Some(schema) = self.schemas[view].as_ref() else { continue };
+            for (t, tree_flats) in self.flats.iter().enumerate() {
+                for (node_id, flat) in tree_flats {
+                    let cands =
+                        vis_interaction_candidates(view, vis, schema, t, *node_id, flat);
+                    for cand in cands {
+                        if !self.check_safety || self.is_safe(&cand, flat) {
+                            out.push(cand);
+                        }
+                    }
+                }
+            }
+        }
+        // Merge same-view same-kind brushes over disjoint covers. One brush
+        // event drives every merged target with the same (lo, hi), so
+        // targets in the *same* tree are only merged when every input query
+        // binds them identically (cross-tree targets are driven by disjoint
+        // query sets — the cross-filtering case).
+        let mut merged: Vec<VisInteractionCandidate> = Vec::new();
+        for i in 0..out.len() {
+            let a = &out[i];
+            if !matches!(
+                a.kind,
+                InteractionKind::BrushX | InteractionKind::BrushY | InteractionKind::BrushXY
+            ) {
+                continue;
+            }
+            let mut combined = a.clone();
+            for b in out.iter().skip(i + 1) {
+                if b.view == a.view
+                    && b.kind == a.kind
+                    && b.event_cols == a.event_cols
+                    && b.targets.iter().all(|bt| {
+                        !combined
+                            .targets
+                            .iter()
+                            .any(|ct| ct.cover.iter().any(|id| bt.cover.contains(id)))
+                    })
+                    && b.targets.iter().all(|bt| {
+                        combined.targets.iter().all(|ct| self.targets_covary(ct, bt))
+                    })
+                {
+                    combined.targets.extend(b.targets.iter().cloned());
+                }
+            }
+            if combined.targets.len() > a.targets.len() {
+                merged.push(combined);
+            }
+        }
+        out.extend(merged);
+        out
+    }
+
+    /// Whether two interaction targets can share one event stream: targets
+    /// in different trees always can (their binding queries are disjoint);
+    /// same-tree targets require identical bound values in every input
+    /// query the tree expresses.
+    fn targets_covary(
+        &self,
+        a: &crate::interaction::InteractionTarget,
+        b: &crate::interaction::InteractionTarget,
+    ) -> bool {
+        if a.tree != b.tree {
+            return true;
+        }
+        let flat_of = |node: u32| {
+            self.flats[a.tree]
+                .iter()
+                .find(|(id, _)| *id == node)
+                .map(|(_, f)| f)
+        };
+        let (Some(fa), Some(fb)) = (flat_of(a.node), flat_of(b.node)) else {
+            return false;
+        };
+        let ta = self.binding_tuples(a.tree, fa);
+        let tb = self.binding_tuples(b.tree, fb);
+        ta == tb
+    }
+
+    fn is_safe(&self, cand: &VisInteractionCandidate, flat: &FlatSchema) -> bool {
+        let tuples = self.binding_tuples(cand.primary().tree, flat);
+        let view_results: Vec<&Table> = self.results[cand.view].iter().collect();
+        interaction_is_safe(cand, flat, &tuples, &view_results)
+    }
+
+    /// Instantiate an interface from chosen `V` and `M`, building the
+    /// default layout (§4.3) and placing bounding boxes.
+    pub fn build_interface(
+        &self,
+        chosen_v: Vec<VisMapping>,
+        mut entries: Vec<MappingEntry>,
+    ) -> Interface {
+        // Interactions in Difftree DFS order (§5: navigation follows the
+        // DFS traversal).
+        entries.sort_by_key(|e| {
+            let (t, n) = e.target();
+            (t, n)
+        });
+        let interactions: Vec<InteractionInstance> = entries
+            .iter()
+            .map(|e| match e {
+                MappingEntry::Widget { tree, cand } => InteractionInstance {
+                    target_tree: *tree,
+                    target_node: cand.target,
+                    cover: cand.cover.clone(),
+                    extra_targets: vec![],
+                    choice: InteractionChoice::Widget {
+                        kind: cand.kind,
+                        domain: cand.domain.clone(),
+                        label: cand.label.clone(),
+                    },
+                },
+                MappingEntry::Vis(v) => InteractionInstance {
+                    target_tree: v.primary().tree,
+                    target_node: v.primary().node,
+                    cover: v.cover(),
+                    extra_targets: v.targets[1..].to_vec(),
+                    choice: InteractionChoice::Vis {
+                        view: v.view,
+                        kind: v.kind,
+                        event_cols: v.event_cols.clone(),
+                    },
+                },
+            })
+            .collect();
+
+        let views: Vec<View> = chosen_v
+            .into_iter()
+            .enumerate()
+            .map(|(t, vis)| View { tree: t, vis })
+            .collect();
+
+        // Layout: per tree, the widget tree + the visualization.
+        let mut tree_layouts = Vec::new();
+        for (t, tree) in self.forest.trees.iter().enumerate() {
+            let widgets: Vec<(u32, usize, (f64, f64))> = interactions
+                .iter()
+                .enumerate()
+                .filter_map(|(ix, inst)| match &inst.choice {
+                    InteractionChoice::Widget { kind, domain, label }
+                        if inst.target_tree == t =>
+                    {
+                        Some((inst.target_node, ix, widget_size(*kind, domain, label)))
+                    }
+                    _ => None,
+                })
+                .collect();
+            let vis_leaf = LayoutNode::Vis { view: t, size: vis_size(views[t].vis.kind) };
+            let node = match widget_tree_for(tree, &widgets) {
+                Some(wt) => LayoutNode::Group {
+                    orientation: Orientation::Horizontal,
+                    children: vec![vis_leaf, wt],
+                },
+                None => vis_leaf,
+            };
+            tree_layouts.push(node);
+        }
+        let root = if tree_layouts.len() == 1 {
+            tree_layouts.pop().unwrap()
+        } else {
+            LayoutNode::Group { orientation: Orientation::Vertical, children: tree_layouts }
+        };
+        let layout = LayoutTree::place(root, interactions.len(), views.len());
+        Interface { views, interactions, layout }
+    }
+
+    /// The per-query manipulation sequences driving the §5 cost: for each
+    /// input query in order, the interactions (by index, in DFS order)
+    /// whose covered bindings change relative to the interface's previous
+    /// state.
+    pub fn manipulations(&self, iface: &Interface) -> Vec<crate::cost::QueryPlan> {
+        type Projection = Vec<(u32, Option<BoundValue>)>;
+        // Interface state per (interaction, target tree).
+        let mut last: std::collections::HashMap<(usize, usize), Projection> =
+            std::collections::HashMap::new();
+        let mut out = Vec::with_capacity(self.assignments.len());
+        for a in &self.assignments {
+            let mut manipulated = Vec::new();
+            for (ix, inst) in iface.interactions.iter().enumerate() {
+                if !inst.targets_tree(a.tree) {
+                    continue;
+                }
+                // Project this query's binding onto the covered nodes that
+                // live in its tree.
+                let proj: Projection = inst
+                    .cover
+                    .iter()
+                    .filter_map(|id| {
+                        let n = self.forest.trees[a.tree].find(*id)?;
+                        Some((*id, bound_value(n, &a.binding)))
+                    })
+                    .collect();
+                if proj.is_empty() {
+                    continue;
+                }
+                if last.get(&(ix, a.tree)) != Some(&proj) {
+                    manipulated.push(ix);
+                    last.insert((ix, a.tree), proj);
+                }
+            }
+            out.push(crate::cost::QueryPlan { view: a.tree, widgets: manipulated });
+        }
+        out
+    }
+
+    /// Cost of a fully built interface for this workload (§5).
+    pub fn cost(&self, iface: &Interface, params: &CostParams) -> f64 {
+        let plans = self.manipulations(iface);
+        interface_cost(iface, &plans, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_data::{Catalog, DataType, Value};
+    use pi2_difftree::DNode;
+    use pi2_sql::parse_query;
+
+    fn workload() -> Workload {
+        let mut c = Catalog::new();
+        let rows: Vec<Vec<Value>> =
+            (0..12).map(|i| vec![Value::Int(i % 4), Value::Int(10 * i)]).collect();
+        let t = pi2_data::Table::from_rows(
+            vec![("a", DataType::Int), ("b", DataType::Int)],
+            rows,
+        )
+        .unwrap();
+        c.add_table("T", t, vec![]);
+        Workload::new(
+            vec![
+                parse_query("SELECT a, count(*) FROM T WHERE b = 10 GROUP BY a").unwrap(),
+                parse_query("SELECT a, count(*) FROM T WHERE b = 20 GROUP BY a").unwrap(),
+            ],
+            c,
+        )
+    }
+
+    fn val_forest(w: &Workload) -> Forest {
+        // Single tree: SELECT a, count(*) FROM T WHERE b = VAL GROUP BY a
+        let mut tree = w.gsts[0].clone();
+        let pred = &mut tree.children[3].children[0];
+        let lit = pred.children[1].clone();
+        pred.children[1] = DNode::val(vec![lit]);
+        let mut f = Forest { trees: vec![tree] };
+        f.renumber();
+        f
+    }
+
+    #[test]
+    fn context_builds_with_candidates() {
+        let w = workload();
+        let f = val_forest(&w);
+        let ctx = MappingContext::build(&f, &w).unwrap();
+        assert_eq!(ctx.total_choices(), 1);
+        assert_eq!(ctx.per_query_maps[0].len(), 2);
+        assert_eq!(ctx.results[0].len(), 2);
+        assert!(!ctx.vis_cands[0].is_empty());
+        assert!(!ctx.widget_cands[0].is_empty());
+        // The VAL node flattens.
+        assert!(!ctx.flats[0].is_empty());
+    }
+
+    #[test]
+    fn unexpressive_forest_fails_to_build() {
+        let w = workload();
+        let f = Forest { trees: vec![w.gsts[0].clone()] };
+        assert!(MappingContext::build(&f, &w).is_none());
+    }
+
+    #[test]
+    fn interface_build_and_cost() {
+        let w = workload();
+        let f = val_forest(&w);
+        let ctx = MappingContext::build(&f, &w).unwrap();
+        let vis = ctx.vis_cands[0][0].clone();
+        let widget = ctx
+            .widget_cands[0]
+            .iter()
+            .find(|c| c.kind == WidgetKind::Textbox)
+            .unwrap()
+            .clone();
+        let iface = ctx.build_interface(
+            vec![vis],
+            vec![MappingEntry::Widget { tree: 0, cand: widget }],
+        );
+        assert_eq!(iface.views.len(), 1);
+        assert_eq!(iface.interactions.len(), 1);
+        assert_eq!(iface.widget_count(), 1);
+        let cost = ctx.cost(&iface, &CostParams::default());
+        assert!(cost > 0.0);
+        // Both queries change the VAL binding → 2 manipulations on view 0.
+        let manips = ctx.manipulations(&iface);
+        assert_eq!(manips.len(), 2);
+        assert!(manips.iter().all(|p| p.view == 0 && p.widgets == vec![0]));
+    }
+
+    #[test]
+    fn safe_vis_interactions_on_bar_chart() {
+        // A second tree whose bar chart click should bind the first tree's
+        // VAL (Figure 5 pattern). Here: single tree for simplicity — click
+        // binding b values requires a chart rendering b.
+        let w = workload();
+        let f = val_forest(&w);
+        let ctx = MappingContext::build(&f, &w).unwrap();
+        // Choose the table vis: click emits full records.
+        let table_vis = ctx.vis_cands[0]
+            .iter()
+            .find(|m| m.kind == crate::vis::VisKind::Table)
+            .unwrap()
+            .clone();
+        let cands = ctx.safe_vis_interactions(&[table_vis]);
+        // The chart renders (a, count); the VAL binds b values 10 and 20,
+        // which do not appear in any result column → no safe click.
+        assert!(cands.iter().all(|c| c.kind != InteractionKind::Click));
+    }
+
+    #[test]
+    fn display_renders_interface_summary() {
+        let w = workload();
+        let f = val_forest(&w);
+        let ctx = MappingContext::build(&f, &w).unwrap();
+        let vis = ctx.vis_cands[0][0].clone();
+        let widget = ctx.widget_cands[0][0].clone();
+        let iface = ctx.build_interface(
+            vec![vis],
+            vec![MappingEntry::Widget { tree: 0, cand: widget }],
+        );
+        let s = iface.to_string();
+        assert!(s.contains("view #0"));
+        assert!(s.contains("interaction #0"));
+    }
+}

@@ -1,0 +1,598 @@
+//! Single-player Monte Carlo Tree Search over Difftree states (§6.2).
+//!
+//! Each search-tree node is a set of Difftrees (a [`Forest`]); transitions
+//! are the §6.1 transformation rules plus a special `TERMINATE` rule valid
+//! in every state. Child selection uses the single-player UCT of Eq. 1 —
+//! mean reward + exploration term + variance term. Rewards are estimated by
+//! sampling K random interface mappings (§6.2.1 step 4) and negating the
+//! minimum cost.
+//!
+//! Two of the paper's optimisations are implemented:
+//! * **max-reward return** (Cadiaplayer): the search returns the best state
+//!   *encountered* (during rollouts and reward sampling), not the best mean
+//!   child;
+//! * **parallel workers** with a synchronisation interval `s` and early
+//!   stopping after `es` iterations without local improvement.
+
+use crate::random::estimate_reward;
+use parking_lot::Mutex;
+use pi2_difftree::transform::canonicalize;
+use pi2_difftree::{applicable_actions, apply_action, candidate_actions, Action, Forest, Workload};
+use pi2_interface::{CostParams, MappingContext};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// MCTS parameters. The paper's defaults: early stop `es = 30`, `p = 3`
+/// workers, synchronisation interval `s = 10` (§7.3).
+#[derive(Debug, Clone)]
+pub struct MctsConfig {
+    /// Exploration constant `c` of Eq. 1 (on normalised rewards).
+    pub c: f64,
+    /// Variance constant `d` of Eq. 1.
+    pub d: f64,
+    /// Random mappings per reward estimate (K).
+    pub k_mappings: usize,
+    /// Early stop after this many iterations without local improvement.
+    pub early_stop: usize,
+    /// Worker synchronisation interval (iterations).
+    pub sync_interval: usize,
+    /// Parallel workers (p).
+    pub workers: usize,
+    /// Hard iteration cap per worker.
+    pub max_iterations: usize,
+    /// Maximum random-playout depth.
+    pub rollout_depth: usize,
+    /// Probability a playout step chooses TERMINATE.
+    pub terminate_prob: f64,
+    /// The seed.
+    pub seed: u64,
+    /// §4.2.2 safety checking (disable for the scalability ablation).
+    pub check_safety: bool,
+    /// Cost model used during reward estimation.
+    pub params: CostParams,
+}
+
+impl Default for MctsConfig {
+    fn default() -> Self {
+        MctsConfig {
+            c: 0.8,
+            d: 1.0,
+            k_mappings: 5,
+            early_stop: 30,
+            sync_interval: 10,
+            workers: 3,
+            max_iterations: 400,
+            rollout_depth: 8,
+            terminate_prob: 0.15,
+            seed: 0x5eed,
+            check_safety: true,
+            params: CostParams::default(),
+        }
+    }
+}
+
+/// Search outcome statistics.
+#[derive(Debug, Clone)]
+pub struct SearchStats {
+    /// The iterations.
+    pub iterations: usize,
+    /// The duration.
+    pub duration: Duration,
+    /// Best (un-normalised) reward = −min estimated cost.
+    pub best_reward: f64,
+    /// The states evaluated.
+    pub states_evaluated: usize,
+}
+
+struct Node {
+    state: Forest,
+    children: Vec<usize>,
+    visits: u64,
+    sum: f64,
+    sum_sq: f64,
+    expanded: bool,
+    terminal: bool,
+}
+
+/// The search's initial state (§6.1 / §7.3: "Partition is used to initially
+/// cluster the input queries by their result schema"): queries whose result
+/// schemas are union compatible (same arity + unionable column types) start
+/// in one `ANY`-rooted Difftree; others stay separate. `Split`,
+/// `Partition`, and the other rules refine from there.
+pub fn initial_state(w: &Workload) -> Forest {
+    use pi2_difftree::DNode;
+    // Signature: arity + storage types (coarse, merge-friendly).
+    let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
+    for (qi, q) in w.queries.iter().enumerate() {
+        let sig = pi2_engine::analyze_query(q, &w.catalog)
+            .map(|info| {
+                let types: Vec<pi2_data::DataType> =
+                    info.cols.iter().map(|c| c.ty.dtype()).collect();
+                format!("{}:{types:?}", info.cols.len())
+            })
+            .unwrap_or_else(|_| format!("q{qi}"));
+        match groups.iter_mut().find(|(s, _)| *s == sig) {
+            Some((_, members)) => members.push(qi),
+            None => groups.push((sig, vec![qi])),
+        }
+    }
+    let mut trees = Vec::with_capacity(groups.len());
+    for (_, members) in groups {
+        if members.len() == 1 {
+            trees.push(w.gsts[members[0]].clone());
+        } else {
+            // Deduplicate identical queries (the scalability experiment
+            // replays the same log many times).
+            let mut alts: Vec<DNode> = Vec::new();
+            for qi in members {
+                if !alts.contains(&w.gsts[qi]) {
+                    alts.push(w.gsts[qi].clone());
+                }
+            }
+            if alts.len() == 1 {
+                trees.push(alts.pop().unwrap());
+            } else {
+                trees.push(DNode::any(alts));
+            }
+        }
+    }
+    let mut f = Forest { trees };
+    f.renumber();
+    // The clustered state must still express the workload; fall back to the
+    // identity state otherwise.
+    if f.bind_all(w).is_some() {
+        f
+    } else {
+        Forest::from_workload(w)
+    }
+}
+
+struct Worker<'w> {
+    workload: &'w Workload,
+    cfg: MctsConfig,
+    rng: StdRng,
+    nodes: Vec<Node>,
+    reward_memo: HashMap<Forest, f64>,
+    /// Normalisation scale: |reward of the initial state|.
+    scale: f64,
+    best: (f64, Forest),
+    stale: usize,
+    evaluated: usize,
+}
+
+impl<'w> Worker<'w> {
+    fn new(workload: &'w Workload, cfg: MctsConfig, seed: u64) -> Worker<'w> {
+        let root_state = initial_state(workload);
+        let mut w = Worker {
+            workload,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            nodes: vec![Node {
+                state: root_state.clone(),
+                children: vec![],
+                visits: 0,
+                sum: 0.0,
+                sum_sq: 0.0,
+                expanded: false,
+                terminal: false,
+            }],
+            reward_memo: HashMap::new(),
+            scale: 1.0,
+            best: (f64::NEG_INFINITY, root_state.clone()),
+            stale: 0,
+            evaluated: 0,
+        };
+        let root_reward = w.evaluate(&root_state);
+        w.scale = root_reward.abs().max(1.0);
+        w.best = (root_reward, root_state.clone());
+        w.evaluate_seeds(&root_state);
+        w
+    }
+
+    /// Evaluate scripted seed states covering the two macro-designs the
+    /// paper's search settles on quickly: the fully-canonicalized merged
+    /// root (single shared view per schema cluster) and the
+    /// Partition→Split→canonicalize refinement (one view per name-level
+    /// cluster, the cross-filtering shape). MCTS then refines from wherever
+    /// these land.
+    fn evaluate_seeds(&mut self, root: &Forest) {
+        let canon_root = canonicalize(root, self.workload, 48);
+        self.evaluate(&canon_root);
+
+        // Partition every ANY-rooted tree, split, then canonicalize.
+        let mut state = root.clone();
+        loop {
+            let actions = candidate_actions(&state, self.workload);
+            let Some(a) = actions.iter().find(|a| {
+                a.rule == pi2_difftree::Rule::Partition
+                    && state.trees[a.tree].id == a.node
+            }) else {
+                break;
+            };
+            match apply_action(&state, self.workload, *a) {
+                Some(next) => state = next,
+                None => break,
+            }
+        }
+        loop {
+            // Split only partition results (every alternative itself an
+            // ANY-rooted cluster) — not clusters down to single queries.
+            let actions = candidate_actions(&state, self.workload);
+            let Some(a) = actions.iter().find(|a| {
+                a.rule == pi2_difftree::Rule::Split
+                    && state.trees[a.tree]
+                        .children
+                        .iter()
+                        .all(|c| c.kind == pi2_difftree::NodeKind::Any)
+            }) else {
+                break;
+            };
+            match apply_action(&state, self.workload, *a) {
+                Some(next) => state = next,
+                None => break,
+            }
+        }
+        let split_canon = canonicalize(&state, self.workload, 64);
+        self.evaluate(&split_canon);
+        self.stale = 0;
+    }
+
+    /// Reward of a state: −min cost over K random mappings; unmappable
+    /// states get a strongly negative reward.
+    fn evaluate(&mut self, state: &Forest) -> f64 {
+        if let Some(&r) = self.reward_memo.get(state) {
+            return r;
+        }
+        self.evaluated += 1;
+        let r = match MappingContext::build(state, self.workload) {
+            Some(mut ctx) => {
+                ctx.check_safety = self.cfg.check_safety;
+                estimate_reward(&ctx, &mut self.rng, &self.cfg.params, self.cfg.k_mappings)
+                    .unwrap_or(-1e9)
+            }
+            None => -1e9,
+        };
+        self.reward_memo.insert(state.clone(), r);
+        if r > self.best.0 {
+            self.best = (r, state.clone());
+            self.stale = 0;
+        }
+        r
+    }
+
+    /// Eq. 1: mean + exploration + variance, on normalised rewards.
+    fn uct(&self, parent_visits: u64, child: &Node) -> f64 {
+        if child.visits == 0 {
+            return f64::INFINITY;
+        }
+        let n = child.visits as f64;
+        let mean = child.sum / n / self.scale;
+        let explore = self.cfg.c * ((parent_visits.max(1) as f64).ln() / n).sqrt();
+        let var = ((child.sum_sq / (self.scale * self.scale) - n * mean * mean)
+            .max(0.0)
+            / n
+            + self.cfg.d)
+            .sqrt()
+            / n.sqrt();
+        mean + explore + var
+    }
+
+    /// One MCTS iteration: select, expand, simulate, backpropagate.
+    fn iterate(&mut self) {
+        // 1. Selection.
+        let mut path = vec![0usize];
+        let mut cur = 0usize;
+        while self.nodes[cur].expanded && !self.nodes[cur].terminal {
+            if self.nodes[cur].children.is_empty() {
+                break;
+            }
+            let parent_visits = self.nodes[cur].visits;
+            let next = *self.nodes[cur]
+                .children
+                .iter()
+                .max_by(|&&a, &&b| {
+                    self.uct(parent_visits, &self.nodes[a])
+                        .total_cmp(&self.uct(parent_visits, &self.nodes[b]))
+                })
+                .expect("non-empty children");
+            path.push(next);
+            cur = next;
+        }
+
+        // 2. Expansion.
+        let start = if !self.nodes[cur].expanded && !self.nodes[cur].terminal {
+            let state = self.nodes[cur].state.clone();
+            let actions = applicable_actions(&state, self.workload);
+            let mut child_indices = Vec::with_capacity(actions.len() + 1);
+            for a in actions {
+                if let Some(next_state) = apply_action(&state, self.workload, a) {
+                    child_indices.push(self.push_node(next_state, false));
+                }
+            }
+            // The TERMINATE pseudo-rule: a terminal copy of this state.
+            child_indices.push(self.push_node(state, true));
+            self.nodes[cur].expanded = true;
+            self.nodes[cur].children = child_indices.clone();
+            let pick = *child_indices.choose(&mut self.rng).expect("children");
+            path.push(pick);
+            pick
+        } else {
+            cur
+        };
+
+        // 3. Simulation: random playout from the chosen child. Each step
+        // samples a rule-weighted random action, canonicalizes (§6.1 rules
+        // applied to a fixpoint as a policy), and evaluates the state so the
+        // Cadiaplayer max-reward tracking sees every state encountered.
+        let mut state = self.nodes[start].state.clone();
+        let mut reward = self.evaluate(&state);
+        if !self.nodes[start].terminal {
+            for _ in 0..self.cfg.rollout_depth {
+                if self.rng.gen_bool(self.cfg.terminate_prob) {
+                    break;
+                }
+                let mut candidates = candidate_actions(&state, self.workload);
+                // Rule-weighted shuffle: refactoring and generalisation
+                // rules are tried before structural merges/splits.
+                candidates.shuffle(&mut self.rng);
+                candidates.sort_by_cached_key(|a| match a.rule {
+                    pi2_difftree::Rule::PushAny | pi2_difftree::Rule::AnyToVal => 0,
+                    pi2_difftree::Rule::Merge
+                    | pi2_difftree::Rule::AnyToMulti
+                    | pi2_difftree::Rule::AnyToSubset => self.rng.gen_range(0..2),
+                    pi2_difftree::Rule::Noop | pi2_difftree::Rule::MergeAny => 1,
+                    _ => 2,
+                });
+                let mut applied = false;
+                for a in candidates.into_iter().take(8) {
+                    if let Some(next) = apply_action(&state, self.workload, a) {
+                        state = canonicalize(&next, self.workload, 24);
+                        applied = true;
+                        break;
+                    }
+                }
+                if !applied {
+                    break;
+                }
+                reward = reward.max(self.evaluate(&state));
+            }
+        }
+
+        // 4. Backpropagation.
+        for ix in path {
+            let n = &mut self.nodes[ix];
+            n.visits += 1;
+            n.sum += reward;
+            n.sum_sq += reward * reward;
+        }
+        self.stale += 1;
+    }
+
+    fn push_node(&mut self, state: Forest, terminal: bool) -> usize {
+        self.nodes.push(Node {
+            state,
+            children: vec![],
+            visits: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            expanded: false,
+            terminal,
+        });
+        self.nodes.len() - 1
+    }
+}
+
+/// Shared coordination state for parallel search.
+struct Shared {
+    best: Mutex<(f64, Option<Forest>)>,
+    stop_votes: AtomicUsize,
+    terminate: AtomicBool,
+}
+
+/// Run the MCTS search for a workload; returns the best Difftree state
+/// found (by maximum encountered reward, Cadiaplayer-style) and statistics.
+pub fn mcts_search(workload: &Workload, cfg: &MctsConfig) -> (Forest, SearchStats) {
+    let start = Instant::now();
+    let shared = Shared {
+        best: Mutex::new((f64::NEG_INFINITY, None)),
+        stop_votes: AtomicUsize::new(0),
+        terminate: AtomicBool::new(false),
+    };
+    let workers = cfg.workers.max(1);
+    let total_iterations = AtomicUsize::new(0);
+    let total_evaluated = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for wid in 0..workers {
+            let shared = &shared;
+            let total_iterations = &total_iterations;
+            let total_evaluated = &total_evaluated;
+            let cfg = cfg.clone();
+            scope.spawn(move || {
+                let seed = cfg.seed.wrapping_add(wid as u64 * 0x9e37_79b9);
+                let mut worker = Worker::new(workload, cfg.clone(), seed);
+                let mut iters = 0usize;
+                let mut voted = false;
+                'outer: while iters < cfg.max_iterations {
+                    for _ in 0..cfg.sync_interval.max(1) {
+                        if iters >= cfg.max_iterations {
+                            break;
+                        }
+                        worker.iterate();
+                        iters += 1;
+                        if worker.stale >= cfg.early_stop {
+                            break;
+                        }
+                    }
+                    // Synchronise best state with the coordinator.
+                    {
+                        let mut best = shared.best.lock();
+                        if worker.best.0 > best.0 {
+                            *best = (worker.best.0, Some(worker.best.1.clone()));
+                        }
+                    }
+                    if worker.stale >= cfg.early_stop && !voted {
+                        voted = true;
+                        shared.stop_votes.fetch_add(1, Ordering::SeqCst);
+                    }
+                    if shared.stop_votes.load(Ordering::SeqCst) >= workers {
+                        shared.terminate.store(true, Ordering::SeqCst);
+                    }
+                    if shared.terminate.load(Ordering::SeqCst) {
+                        break 'outer;
+                    }
+                    if worker.stale >= cfg.early_stop {
+                        // Keep contributing until everyone votes, but slow
+                        // down: single iterations per sync round.
+                        worker.iterate();
+                        iters += 1;
+                    }
+                }
+                // Final sync.
+                let mut best = shared.best.lock();
+                if worker.best.0 > best.0 {
+                    *best = (worker.best.0, Some(worker.best.1.clone()));
+                }
+                total_iterations.fetch_add(iters, Ordering::SeqCst);
+                total_evaluated.fetch_add(worker.evaluated, Ordering::SeqCst);
+            });
+        }
+    });
+
+    let (reward, state) = {
+        let best = shared.best.lock();
+        (best.0, best.1.clone())
+    };
+    let state = state.unwrap_or_else(|| Forest::from_workload(workload));
+    (
+        state,
+        SearchStats {
+            iterations: total_iterations.load(Ordering::SeqCst),
+            duration: start.elapsed(),
+            best_reward: reward,
+            states_evaluated: total_evaluated.load(Ordering::SeqCst),
+        },
+    )
+}
+
+/// Convenience: the set of transformation rules reachable from the initial
+/// state of a workload (used by tests and diagnostics).
+pub fn initial_actions(workload: &Workload) -> Vec<Action> {
+    let f = Forest::from_workload(workload);
+    applicable_actions(&f, workload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_data::{Catalog, DataType, Table, Value};
+    use pi2_sql::parse_query;
+
+    fn workload() -> Workload {
+        let mut c = Catalog::new();
+        let rows: Vec<Vec<Value>> = (0..24)
+            .map(|i| vec![Value::Int(i % 4), Value::Int(10 * (i % 6))])
+            .collect();
+        let t =
+            Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows).unwrap();
+        c.add_table("T", t, vec![]);
+        Workload::new(
+            vec![
+                parse_query("SELECT a, count(*) FROM T WHERE b = 10 GROUP BY a").unwrap(),
+                parse_query("SELECT a, count(*) FROM T WHERE b = 20 GROUP BY a").unwrap(),
+                parse_query("SELECT a, count(*) FROM T WHERE b = 30 GROUP BY a").unwrap(),
+            ],
+            c,
+        )
+    }
+
+    fn quick_cfg() -> MctsConfig {
+        MctsConfig {
+            workers: 1,
+            max_iterations: 40,
+            early_stop: 15,
+            sync_interval: 5,
+            ..MctsConfig::default()
+        }
+    }
+
+    #[test]
+    fn search_returns_an_expressive_state() {
+        let w = workload();
+        let (state, stats) = mcts_search(&w, &quick_cfg());
+        assert!(state.bind_all(&w).is_some(), "result must express all queries");
+        assert!(stats.iterations > 0);
+        assert!(stats.best_reward.is_finite());
+    }
+
+    #[test]
+    fn search_improves_over_initial_state() {
+        let w = workload();
+        // Initial: 3 separate static trees (no widgets, 3 charts). A merged
+        // tree with a VAL slider should cost less. Reward is -cost; the
+        // found state should be at least as good as the initial.
+        let initial = Forest::from_workload(&w);
+        let cfg = quick_cfg();
+        let mut worker = Worker::new(&w, cfg.clone(), 1);
+        let initial_reward = worker.evaluate(&initial);
+        let (state, stats) = mcts_search(&w, &cfg);
+        assert!(
+            stats.best_reward >= initial_reward - 1e-9,
+            "search must not return worse than the start: {} vs {initial_reward}",
+            stats.best_reward
+        );
+        // The found state should have merged the three queries (1 tree) or
+        // at least reduced the interface cost; both manifest as fewer trees
+        // or nonzero choice nodes.
+        assert!(state.trees.len() <= 3);
+    }
+
+    #[test]
+    fn parallel_search_is_deterministic_per_worker_seed() {
+        // With one worker and a fixed seed, two runs agree.
+        let w = workload();
+        let cfg = quick_cfg();
+        let (s1, st1) = mcts_search(&w, &cfg);
+        let (s2, st2) = mcts_search(&w, &cfg);
+        assert_eq!(s1, s2);
+        assert_eq!(st1.best_reward, st2.best_reward);
+    }
+
+    #[test]
+    fn multiple_workers_complete() {
+        let w = workload();
+        let cfg = MctsConfig { workers: 3, max_iterations: 20, ..quick_cfg() };
+        let (state, stats) = mcts_search(&w, &cfg);
+        assert!(state.bind_all(&w).is_some());
+        assert!(stats.iterations >= 20, "all workers contribute iterations");
+    }
+
+    #[test]
+    fn early_stop_bounds_iterations() {
+        let w = workload();
+        let cfg = MctsConfig {
+            workers: 1,
+            max_iterations: 10_000,
+            early_stop: 5,
+            sync_interval: 5,
+            ..MctsConfig::default()
+        };
+        let (_, stats) = mcts_search(&w, &cfg);
+        assert!(
+            stats.iterations < 10_000,
+            "early stopping must kick in: {} iterations",
+            stats.iterations
+        );
+    }
+
+    #[test]
+    fn initial_actions_include_merge() {
+        let w = workload();
+        let actions = initial_actions(&w);
+        assert!(actions.iter().any(|a| a.rule == pi2_difftree::Rule::Merge));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property test: the exact-cover dynamic programs `F`/`G` of Algorithm 1
+//! agree with brute-force enumeration on random instances.
+
+use pi2_search::WidgetDp;
+use proptest::prelude::*;
+
+/// Brute force: minimum-cost exact cover of `full` using subsets of items.
+fn brute_force_min(items: &[(u128, f64)], full: u128) -> f64 {
+    let n = items.len();
+    let mut best = f64::INFINITY;
+    for pick in 0u32..(1 << n) {
+        let mut mask = 0u128;
+        let mut cost = 0.0;
+        let mut overlap = false;
+        for (i, (m, c)) in items.iter().enumerate() {
+            if pick >> i & 1 == 1 {
+                if mask & m != 0 {
+                    overlap = true;
+                    break;
+                }
+                mask |= m;
+                cost += c;
+            }
+        }
+        if !overlap && mask == full && cost < best {
+            best = cost;
+        }
+    }
+    best
+}
+
+fn arb_items() -> impl Strategy<Value = (Vec<(u128, f64)>, u32)> {
+    (2u32..=8).prop_flat_map(|n_bits| {
+        let item = (1u128..(1 << n_bits), 1u32..100).prop_map(|(m, c)| (m, c as f64));
+        (prop::collection::vec(item, 1..12), Just(n_bits))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// G(full) equals the brute-force minimum exact cover cost.
+    #[test]
+    fn g_matches_brute_force((items, n_bits) in arb_items()) {
+        let full: u128 = (1 << n_bits) - 1;
+        let expected = brute_force_min(&items, full);
+        let mut dp = WidgetDp::new(items.clone(), n_bits, 10);
+        let got = dp.g(full);
+        if expected.is_finite() {
+            prop_assert!((got - expected).abs() < 1e-9, "G = {got}, brute = {expected}");
+        } else {
+            prop_assert!(got.is_infinite(), "G = {got} but no cover exists");
+        }
+    }
+
+    /// F(full) returns valid exact covers in ascending cost order, and its
+    /// best entry matches G.
+    #[test]
+    fn f_returns_sorted_exact_covers((items, n_bits) in arb_items()) {
+        let full: u128 = (1 << n_bits) - 1;
+        let mut dp = WidgetDp::new(items.clone(), n_bits, 10);
+        let covers = dp.f(full);
+        let g = dp.g(full);
+        if let Some((first_cost, _)) = covers.first() {
+            prop_assert!((first_cost - g).abs() < 1e-9, "F best {first_cost} != G {g}");
+        } else {
+            prop_assert!(g.is_infinite());
+        }
+        for (cost, picked) in &covers {
+            // Disjoint, complete, and correctly priced.
+            let mut mask = 0u128;
+            let mut total = 0.0;
+            for &i in picked {
+                prop_assert_eq!(mask & items[i].0, 0, "overlapping cover");
+                mask |= items[i].0;
+                total += items[i].1;
+            }
+            prop_assert_eq!(mask, full, "incomplete cover");
+            prop_assert!((total - cost).abs() < 1e-9);
+        }
+        for pair in covers.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "covers not sorted");
+        }
+    }
+}

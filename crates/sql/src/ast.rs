@@ -1,0 +1,660 @@
+//! Typed abstract syntax trees and their canonical SQL rendering.
+//!
+//! Every node implements `Display`; the printer output is the *canonical
+//! form* — parsing the printed text yields a structurally equal tree (see the
+//! property tests in `parser.rs`). PI2 leans on this: Difftree resolutions
+//! produce ASTs which are printed and re-executed.
+
+use std::fmt;
+
+/// A literal constant appearing in a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (single-quoted in SQL).
+    Str(String),
+    /// Boolean literal `TRUE`/`FALSE`.
+    Bool(bool),
+    /// The `NULL` literal.
+    Null,
+}
+
+impl Literal {
+    /// True for `Int`/`Float` literals.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Literal::Int(_) | Literal::Float(_))
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(i) => write!(f, "{i}"),
+            Literal::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Literal::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+/// Binary operators, ordered loosest-binding first in the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Logical `OR`.
+    Or,
+    /// Logical `AND`.
+    And,
+    /// `=`.
+    Eq,
+    /// `<>`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    LtEq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    GtEq,
+    /// `LIKE` pattern match.
+    Like,
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+}
+
+impl BinOp {
+    /// Is comparison.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    /// Is logical.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// Sql.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinOp::Or => "OR",
+            BinOp::And => "AND",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::Like => "LIKE",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        }
+    }
+
+    /// Binding power used by both the parser and the printer so parentheses
+    /// are inserted exactly where re-parsing needs them.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+            | BinOp::Like => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div => 6,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sql())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Arithmetic negation `-e`.
+    Neg,
+    /// Logical negation `NOT e`.
+    Not,
+}
+
+/// Scalar expressions.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // inline variant fields are self-describing
+pub enum Expr {
+    /// Optionally qualified column reference `t.c` / `c`.
+    /// The column.
+    Column { table: Option<String>, name: String },
+    /// `Literal`.
+    Literal(Literal),
+    /// `*` (only valid inside `count(*)` or as a bare select item).
+    Star,
+    /// `Unary`.
+    Unary { op: UnaryOp, expr: Box<Expr> },
+    /// `Binary`.
+    Binary { left: Box<Expr>, op: BinOp, right: Box<Expr> },
+    /// `e [NOT] BETWEEN lo AND hi`
+    /// The between.
+    Between { expr: Box<Expr>, negated: bool, low: Box<Expr>, high: Box<Expr> },
+    /// `e [NOT] IN (v1, v2, …)`
+    /// The in list.
+    InList { expr: Box<Expr>, negated: bool, list: Vec<Expr> },
+    /// `e [NOT] IN (SELECT …)`
+    /// The in subquery.
+    InSubquery { expr: Box<Expr>, negated: bool, query: Box<Query> },
+    /// `e IS [NOT] NULL`
+    /// The is null.
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `f(a, b, …)`; `count(*)` is `Func{name:"count", args:[Star]}`.
+    /// The func.
+    Func { name: String, args: Vec<Expr> },
+    /// `(SELECT …)` used as a scalar value.
+    ScalarSubquery(Box<Query>),
+}
+
+impl Expr {
+    /// Col.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { table: None, name: name.to_string() }
+    }
+
+    /// Qcol.
+    pub fn qcol(table: &str, name: &str) -> Expr {
+        Expr::Column { table: Some(table.to_string()), name: name.to_string() }
+    }
+
+    /// Int.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Literal::Int(v))
+    }
+
+    /// Float.
+    pub fn float(v: f64) -> Expr {
+        Expr::Literal(Literal::Float(v))
+    }
+
+    /// Str.
+    pub fn str(v: &str) -> Expr {
+        Expr::Literal(Literal::Str(v.to_string()))
+    }
+
+    /// Bin.
+    pub fn bin(left: Expr, op: BinOp, right: Expr) -> Expr {
+        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+    }
+
+    /// The expression's precedence for parenthesisation during printing.
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Binary { op, .. } => op.precedence(),
+            Expr::Between { .. } | Expr::InList { .. } | Expr::InSubquery { .. }
+            | Expr::IsNull { .. } => 3,
+            Expr::Unary { .. } => 7,
+            _ => 10,
+        }
+    }
+
+    fn fmt_child(&self, child: &Expr, f: &mut fmt::Formatter<'_>, parent_prec: u8, right_side: bool) -> fmt::Result {
+        let child_prec = child.precedence();
+        // Parenthesise when the child binds looser, or equally on the right
+        // of a left-associative operator.
+        let needs = child_prec < parent_prec || (child_prec == parent_prec && right_side);
+        if needs {
+            write!(f, "({child})")
+        } else {
+            write!(f, "{child}")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column { table, name } => match table {
+                Some(t) => write!(f, "{t}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Star => write!(f, "*"),
+            Expr::Unary { op, expr } => {
+                let op_str = match op {
+                    UnaryOp::Neg => "-",
+                    UnaryOp::Not => "NOT ",
+                };
+                if expr.precedence() < self.precedence() {
+                    write!(f, "{op_str}({expr})")
+                } else {
+                    write!(f, "{op_str}{expr}")
+                }
+            }
+            Expr::Binary { left, op, right } => {
+                self.fmt_child(left, f, op.precedence(), false)?;
+                write!(f, " {op} ")?;
+                self.fmt_child(right, f, op.precedence(), true)
+            }
+            Expr::Between { expr, negated, low, high } => {
+                self.fmt_child(expr, f, 4, false)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " BETWEEN ")?;
+                self.fmt_child(low, f, 5, false)?;
+                write!(f, " AND ")?;
+                self.fmt_child(high, f, 5, false)
+            }
+            Expr::InList { expr, negated, list } => {
+                self.fmt_child(expr, f, 4, false)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " IN (")?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::InSubquery { expr, negated, query } => {
+                self.fmt_child(expr, f, 4, false)?;
+                if *negated {
+                    write!(f, " NOT")?;
+                }
+                write!(f, " IN ({query})")
+            }
+            Expr::IsNull { expr, negated } => {
+                self.fmt_child(expr, f, 4, false)?;
+                write!(f, " IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+            Expr::Func { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+        }
+    }
+}
+
+/// One item of the projection list.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // inline variant fields are self-describing
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// `expr [AS alias]`
+    /// The expr.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Star => write!(f, "*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One source relation in the FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // inline variant fields are self-describing
+pub enum TableRef {
+    /// `name [AS alias]`
+    /// The table.
+    Table { name: String, alias: Option<String> },
+    /// `(SELECT …) [AS alias]`
+    /// The subquery.
+    Subquery { query: Box<Query>, alias: Option<String> },
+}
+
+impl TableRef {
+    /// The name the relation is visible under inside the query.
+    pub fn binding_name(&self) -> Option<&str> {
+        match self {
+            TableRef::Table { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            TableRef::Subquery { alias, .. } => alias.as_deref(),
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Table { name, alias } => {
+                write!(f, "{name}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableRef::Subquery { query, alias } => {
+                write!(f, "({query})")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// `expr [ASC|DESC]` in ORDER BY.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// The expr.
+    pub expr: Expr,
+    /// The desc.
+    pub desc: bool,
+}
+
+impl fmt::Display for OrderItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.expr)?;
+        if self.desc {
+            write!(f, " DESC")?;
+        }
+        Ok(())
+    }
+}
+
+/// A full SELECT query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Query {
+    /// The distinct.
+    pub distinct: bool,
+    /// The select.
+    pub select: Vec<SelectItem>,
+    /// The from.
+    pub from: Vec<TableRef>,
+    /// The where clause.
+    pub where_clause: Option<Expr>,
+    /// The group by.
+    pub group_by: Vec<Expr>,
+    /// The having.
+    pub having: Option<Expr>,
+    /// The order by.
+    pub order_by: Vec<OrderItem>,
+    /// The limit.
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// True when the query has a GROUP BY clause or any aggregate in its
+    /// projection (implicit single-group aggregation).
+    pub fn is_aggregate(&self) -> bool {
+        if !self.group_by.is_empty() {
+            return true;
+        }
+        self.select.iter().any(|item| match item {
+            SelectItem::Expr { expr, .. } => expr_contains_aggregate(expr),
+            SelectItem::Star => false,
+        })
+    }
+}
+
+/// Aggregate function names known to the dialect.
+pub const AGGREGATE_FUNCTIONS: &[&str] = &["count", "sum", "avg", "min", "max"];
+
+/// Whether `name` is an aggregate function.
+pub fn is_aggregate_function(name: &str) -> bool {
+    AGGREGATE_FUNCTIONS.iter().any(|a| a.eq_ignore_ascii_case(name))
+}
+
+/// Whether an expression contains an aggregate call at any depth (not
+/// descending into subqueries, which have their own aggregation scope).
+pub fn expr_contains_aggregate(expr: &Expr) -> bool {
+    match expr {
+        Expr::Func { name, args } => {
+            is_aggregate_function(name) || args.iter().any(expr_contains_aggregate)
+        }
+        Expr::Unary { expr, .. } => expr_contains_aggregate(expr),
+        Expr::Binary { left, right, .. } => {
+            expr_contains_aggregate(left) || expr_contains_aggregate(right)
+        }
+        Expr::Between { expr, low, high, .. } => {
+            expr_contains_aggregate(expr)
+                || expr_contains_aggregate(low)
+                || expr_contains_aggregate(high)
+        }
+        Expr::InList { expr, list, .. } => {
+            expr_contains_aggregate(expr) || list.iter().any(expr_contains_aggregate)
+        }
+        Expr::InSubquery { expr, .. } => expr_contains_aggregate(expr),
+        Expr::IsNull { expr, .. } => expr_contains_aggregate(expr),
+        _ => false,
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{o}")?;
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_display() {
+        assert_eq!(Literal::Int(5).to_string(), "5");
+        assert_eq!(Literal::Float(2.5).to_string(), "2.5");
+        assert_eq!(Literal::Float(3.0).to_string(), "3.0");
+        assert_eq!(Literal::Str("it's".into()).to_string(), "'it''s'");
+        assert_eq!(Literal::Bool(true).to_string(), "TRUE");
+        assert_eq!(Literal::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn expr_display_inserts_parens_for_or_under_and() {
+        // (a = 1 OR b = 2) AND c = 3 — the OR must keep its parens.
+        let e = Expr::bin(
+            Expr::bin(
+                Expr::bin(Expr::col("a"), BinOp::Eq, Expr::int(1)),
+                BinOp::Or,
+                Expr::bin(Expr::col("b"), BinOp::Eq, Expr::int(2)),
+            ),
+            BinOp::And,
+            Expr::bin(Expr::col("c"), BinOp::Eq, Expr::int(3)),
+        );
+        assert_eq!(e.to_string(), "(a = 1 OR b = 2) AND c = 3");
+    }
+
+    #[test]
+    fn arithmetic_parens() {
+        // a * (b + c)
+        let e = Expr::bin(
+            Expr::col("a"),
+            BinOp::Mul,
+            Expr::bin(Expr::col("b"), BinOp::Add, Expr::col("c")),
+        );
+        assert_eq!(e.to_string(), "a * (b + c)");
+        // a - (b - c) keeps parens on the right side
+        let e = Expr::bin(
+            Expr::col("a"),
+            BinOp::Sub,
+            Expr::bin(Expr::col("b"), BinOp::Sub, Expr::col("c")),
+        );
+        assert_eq!(e.to_string(), "a - (b - c)");
+    }
+
+    #[test]
+    fn between_display() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::qcol("s", "ra")),
+            negated: false,
+            low: Box::new(Expr::float(213.3)),
+            high: Box::new(Expr::float(214.1)),
+        };
+        assert_eq!(e.to_string(), "s.ra BETWEEN 213.3 AND 214.1");
+    }
+
+    #[test]
+    fn in_list_display() {
+        let e = Expr::InList {
+            expr: Box::new(Expr::col("id")),
+            negated: false,
+            list: vec![Expr::int(1), Expr::int(2)],
+        };
+        assert_eq!(e.to_string(), "id IN (1, 2)");
+    }
+
+    #[test]
+    fn count_star_display() {
+        let e = Expr::Func { name: "count".into(), args: vec![Expr::Star] };
+        assert_eq!(e.to_string(), "count(*)");
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        assert!(is_aggregate_function("COUNT"));
+        assert!(is_aggregate_function("sum"));
+        assert!(!is_aggregate_function("date"));
+        let e = Expr::bin(
+            Expr::Func { name: "sum".into(), args: vec![Expr::col("total")] },
+            BinOp::GtEq,
+            Expr::int(10),
+        );
+        assert!(expr_contains_aggregate(&e));
+        assert!(!expr_contains_aggregate(&Expr::col("total")));
+    }
+
+    #[test]
+    fn query_display_full_clause_order() {
+        let q = Query {
+            distinct: true,
+            select: vec![
+                SelectItem::Expr { expr: Expr::col("a"), alias: None },
+                SelectItem::Expr {
+                    expr: Expr::Func { name: "count".into(), args: vec![Expr::Star] },
+                    alias: Some("n".into()),
+                },
+            ],
+            from: vec![TableRef::Table { name: "T".into(), alias: Some("t".into()) }],
+            where_clause: Some(Expr::bin(Expr::col("b"), BinOp::Gt, Expr::int(0))),
+            group_by: vec![Expr::col("a")],
+            having: Some(Expr::bin(
+                Expr::Func { name: "count".into(), args: vec![Expr::Star] },
+                BinOp::Gt,
+                Expr::int(1),
+            )),
+            order_by: vec![OrderItem { expr: Expr::col("a"), desc: true }],
+            limit: Some(10),
+        };
+        assert_eq!(
+            q.to_string(),
+            "SELECT DISTINCT a, count(*) AS n FROM T AS t WHERE b > 0 \
+             GROUP BY a HAVING count(*) > 1 ORDER BY a DESC LIMIT 10"
+        );
+    }
+
+    #[test]
+    fn is_aggregate_query() {
+        let mut q = Query {
+            select: vec![SelectItem::Expr { expr: Expr::col("a"), alias: None }],
+            ..Query::default()
+        };
+        assert!(!q.is_aggregate());
+        q.group_by.push(Expr::col("a"));
+        assert!(q.is_aggregate());
+        let q2 = Query {
+            select: vec![SelectItem::Expr {
+                expr: Expr::Func { name: "count".into(), args: vec![Expr::Star] },
+                alias: None,
+            }],
+            ..Query::default()
+        };
+        assert!(q2.is_aggregate());
+    }
+
+    #[test]
+    fn binding_names() {
+        let t = TableRef::Table { name: "sales".into(), alias: Some("ss".into()) };
+        assert_eq!(t.binding_name(), Some("ss"));
+        let t = TableRef::Table { name: "sales".into(), alias: None };
+        assert_eq!(t.binding_name(), Some("sales"));
+        let t = TableRef::Subquery { query: Box::new(Query::default()), alias: None };
+        assert_eq!(t.binding_name(), None);
+    }
+}

@@ -1,0 +1,445 @@
+//! Tokenizer for the analysis-SQL dialect.
+
+use std::fmt;
+
+/// Lexical token kinds. Keywords are folded into `Keyword` with their
+/// upper-cased text so the parser can match case-insensitively.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An upper-cased SQL keyword.
+    Keyword(String),
+    /// An identifier (case preserved).
+    Ident(String),
+    /// A numeric literal (raw text).
+    Number(String),
+    /// A single-quoted string literal (unescaped).
+    StringLit(String),
+    /// `=`, `<>`, `!=`, `<`, `<=`, `>`, `>=`
+    Op(String),
+    /// `,`.
+    Comma,
+    /// `.` (qualified names).
+    Dot,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `*`.
+    Star,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `/`.
+    Slash,
+    /// `;`.
+    Semicolon,
+    /// End of input sentinel.
+    Eof,
+}
+
+/// A token plus its byte offset (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// Byte offset into the source (for error reporting).
+    pub offset: usize,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "LIMIT", "AS", "AND", "OR", "NOT", "BETWEEN", "IN", "IS", "NULL", "ASC",
+    "DESC", "LIKE", "TRUE", "FALSE", "JOIN", "ON", "INNER", "LEFT", "OUTER",
+];
+
+/// Streaming tokenizer; call [`Lexer::tokenize`] for the full vector.
+pub struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Lexer errors carry the byte offset of the offending character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the source (for error reporting).
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+impl<'a> Lexer<'a> {
+    /// New.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+    }
+
+    /// Tokenize the entire input, appending a final `Eof` token.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            let tok = self.next_token()?;
+            let is_eof = tok.kind == TokenKind::Eof;
+            out.push(tok);
+            if is_eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.pos += 1;
+                }
+                // `-- line comment`
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(b) = self.peek() {
+                        self.pos += 1;
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, LexError> {
+        self.skip_trivia();
+        let start = self.pos;
+        let Some(b) = self.peek() else {
+            return Ok(Token { kind: TokenKind::Eof, offset: start });
+        };
+        let kind = match b {
+            b',' => {
+                self.pos += 1;
+                TokenKind::Comma
+            }
+            b'.' => {
+                // `.5` is a number; `t.c` is a dot.
+                if self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                    return self.lex_number(start);
+                }
+                self.pos += 1;
+                TokenKind::Dot
+            }
+            b'(' => {
+                self.pos += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                self.pos += 1;
+                TokenKind::RParen
+            }
+            b'*' => {
+                self.pos += 1;
+                TokenKind::Star
+            }
+            b'+' => {
+                self.pos += 1;
+                TokenKind::Plus
+            }
+            b'-' => {
+                self.pos += 1;
+                TokenKind::Minus
+            }
+            b'/' => {
+                self.pos += 1;
+                TokenKind::Slash
+            }
+            b';' => {
+                self.pos += 1;
+                TokenKind::Semicolon
+            }
+            b'=' => {
+                self.pos += 1;
+                TokenKind::Op("=".into())
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.peek() {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        TokenKind::Op("<=".into())
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        TokenKind::Op("<>".into())
+                    }
+                    _ => TokenKind::Op("<".into()),
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Op(">=".into())
+                } else {
+                    TokenKind::Op(">".into())
+                }
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.peek() == Some(b'=') {
+                    self.pos += 1;
+                    TokenKind::Op("<>".into())
+                } else {
+                    return Err(LexError { message: "unexpected '!'".into(), offset: start });
+                }
+            }
+            b'\'' => return self.lex_string(start),
+            b'"' => return self.lex_quoted_ident(start),
+            b if b.is_ascii_digit() => return self.lex_number(start),
+            b if b.is_ascii_alphabetic() || b == b'_' => return Ok(self.lex_word(start)),
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {:?}", other as char),
+                    offset: start,
+                })
+            }
+        };
+        Ok(Token { kind, offset: start })
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<Token, LexError> {
+        let mut seen_dot = false;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() {
+                self.pos += 1;
+            } else if b == b'.' && !seen_dot && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                seen_dot = true;
+                self.pos += 1;
+            } else if b == b'.' && !seen_dot && !self.peek2().is_some_and(|c| c.is_ascii_alphabetic() || c == b'_') {
+                // trailing `1.` — accept as float
+                seen_dot = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        Ok(Token { kind: TokenKind::Number(text.to_string()), offset: start })
+    }
+
+    fn lex_string(&mut self, start: usize) -> Result<Token, LexError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'\'') => {
+                    // doubled quote = escaped quote
+                    if self.peek() == Some(b'\'') {
+                        self.pos += 1;
+                        out.push('\'');
+                    } else {
+                        return Ok(Token { kind: TokenKind::StringLit(out), offset: start });
+                    }
+                }
+                Some(b) => out.push(b as char),
+                None => {
+                    return Err(LexError {
+                        message: "unterminated string literal".into(),
+                        offset: start,
+                    })
+                }
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self, start: usize) -> Result<Token, LexError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(Token { kind: TokenKind::Ident(out), offset: start }),
+                Some(b) => out.push(b as char),
+                None => {
+                    return Err(LexError {
+                        message: "unterminated quoted identifier".into(),
+                        offset: start,
+                    })
+                }
+            }
+        }
+    }
+
+    fn lex_word(&mut self, start: usize) -> Token {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let upper = text.to_ascii_uppercase();
+        let kind = if KEYWORDS.contains(&upper.as_str()) {
+            TokenKind::Keyword(upper)
+        } else {
+            TokenKind::Ident(text.to_string())
+        };
+        Token { kind, offset: start }
+    }
+}
+
+/// Convenience: tokenize a full statement.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    Lexer::new(src).tokenize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("select SeLeCt SELECT"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_preserve_case() {
+        assert_eq!(
+            kinds("Cars hp"),
+            vec![
+                TokenKind::Ident("Cars".into()),
+                TokenKind::Ident("hp".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("1 2.5 0.1362 213.3"),
+            vec![
+                TokenKind::Number("1".into()),
+                TokenKind::Number("2.5".into()),
+                TokenKind::Number("0.1362".into()),
+                TokenKind::Number("213.3".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_numbers_lex_as_minus_then_number() {
+        assert_eq!(
+            kinds("-0.9"),
+            vec![TokenKind::Minus, TokenKind::Number("0.9".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(
+            kinds("'CA' 'it''s'"),
+            vec![
+                TokenKind::StringLit("CA".into()),
+                TokenKind::StringLit("it's".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![
+                TokenKind::Op("=".into()),
+                TokenKind::Op("<>".into()),
+                TokenKind::Op("<>".into()),
+                TokenKind::Op("<".into()),
+                TokenKind::Op("<=".into()),
+                TokenKind::Op(">".into()),
+                TokenKind::Op(">=".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_qualified_names() {
+        assert_eq!(
+            kinds("s.ra, count(*)"),
+            vec![
+                TokenKind::Ident("s".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("ra".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("count".into()),
+                TokenKind::LParen,
+                TokenKind::Star,
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_are_skipped() {
+        assert_eq!(
+            kinds("select -- comment\n 1"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Number("1".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = tokenize("select @").unwrap_err();
+        assert_eq!(err.offset, 7);
+        let err = tokenize("'unterminated").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        assert_eq!(
+            kinds("\"weird name\""),
+            vec![TokenKind::Ident("weird name".into()), TokenKind::Eof]
+        );
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! SQL front-end for the PI2 reproduction.
+//!
+//! PI2 treats queries syntactically: it parses them into abstract syntax
+//! trees (ASTs), diffs the trees, and later *unparses* transformed trees back
+//! into executable SQL. This crate provides that round trip:
+//!
+//! * [`lexer`] — tokenizer for the analysis-SQL dialect,
+//! * [`ast`] — typed abstract syntax trees,
+//! * [`parser`] — recursive-descent parser (PEG-style, one production per
+//!   method, mirroring the grammar PI2's choice nodes attach to),
+//! * printing — every AST node implements `Display`, producing canonical SQL
+//!   that re-parses to the same tree (enforced by property tests).
+//!
+//! The dialect covers everything the paper's workloads (Listings 1–7) use:
+//! `SELECT [DISTINCT] … FROM tables/subqueries WHERE … GROUP BY … HAVING …
+//! ORDER BY … LIMIT`, `BETWEEN`, `IN` (lists and subqueries), scalar
+//! subqueries (including correlated ones in `HAVING`), function calls,
+//! qualified names, and aliases.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{BinOp, Expr, Literal, OrderItem, Query, SelectItem, TableRef, UnaryOp};
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::{parse_expr, parse_query, ParseError};

@@ -1,0 +1,655 @@
+//! Recursive-descent parser.
+//!
+//! Each method corresponds to one production of the dialect grammar; PI2's
+//! choice nodes (`pi2-difftree`) attach to exactly these productions, so the
+//! parser is written production-per-method rather than with a combinator
+//! library.
+
+use crate::ast::{BinOp, Expr, Literal, OrderItem, Query, SelectItem, TableRef, UnaryOp};
+use crate::lexer::{tokenize, Token, TokenKind};
+use std::fmt;
+
+/// Parse errors with byte offsets into the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// The message.
+    pub message: String,
+    /// The offset.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a full SELECT statement (a trailing `;` is allowed).
+pub fn parse_query(src: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(src)
+        .map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.eat_kind(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse a standalone scalar expression (used by tests and by Difftree
+/// resolution checks).
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(src)
+        .map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek_kind(), TokenKind::Keyword(k) if k == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {kw}")))
+        }
+    }
+
+    fn eat_kind(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.eat_kind(kind) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.peek_kind() == &TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing input".to_string()))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        ParseError { message, offset: self.peek().offset }
+    }
+
+    // query := SELECT [DISTINCT] select_list [FROM table_refs] [WHERE expr]
+    //          [GROUP BY exprs] [HAVING expr] [ORDER BY order_items] [LIMIT n]
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let select = self.select_list()?;
+        let mut q = Query { distinct, select, ..Query::default() };
+        if self.eat_keyword("FROM") {
+            q.from = self.table_refs()?;
+        }
+        if self.eat_keyword("WHERE") {
+            q.where_clause = Some(self.expr()?);
+        }
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                q.group_by.push(self.expr()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_keyword("HAVING") {
+            q.having = Some(self.expr()?);
+        }
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_keyword("DESC") {
+                    true
+                } else {
+                    self.eat_keyword("ASC");
+                    false
+                };
+                q.order_by.push(OrderItem { expr, desc });
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_keyword("LIMIT") {
+            match self.bump().kind {
+                TokenKind::Number(n) => {
+                    let v: u64 = n
+                        .parse()
+                        .map_err(|_| self.error("LIMIT must be a non-negative integer".into()))?;
+                    q.limit = Some(v);
+                }
+                _ => return Err(self.error("expected integer after LIMIT".into())),
+            }
+        }
+        Ok(q)
+    }
+
+    // select_list := select_item (',' select_item)*
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    // select_item := '*' | expr [AS ident | ident]
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.peek_kind() == &TokenKind::Star {
+            self.bump();
+            return Ok(SelectItem::Star);
+        }
+        let expr = self.expr()?;
+        let alias = self.alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    // alias := [AS] ident
+    fn alias(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_keyword("AS") {
+            match self.bump().kind {
+                TokenKind::Ident(name) => return Ok(Some(name)),
+                _ => return Err(self.error("expected identifier after AS".into())),
+            }
+        }
+        // Bare alias: an identifier directly following (not a keyword).
+        if let TokenKind::Ident(name) = self.peek_kind() {
+            let name = name.clone();
+            self.bump();
+            return Ok(Some(name));
+        }
+        Ok(None)
+    }
+
+    // table_refs := table_ref (',' table_ref)* — comma joins, as the SDSS log uses
+    fn table_refs(&mut self) -> Result<Vec<TableRef>, ParseError> {
+        let mut refs = Vec::new();
+        loop {
+            refs.push(self.table_ref()?);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(refs)
+    }
+
+    // table_ref := ident [AS ident] | '(' query ')' [AS ident]
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        if self.eat_kind(&TokenKind::LParen) {
+            let query = Box::new(self.query()?);
+            self.expect_kind(&TokenKind::RParen, ")")?;
+            let alias = self.alias()?;
+            return Ok(TableRef::Subquery { query, alias });
+        }
+        match self.bump().kind {
+            TokenKind::Ident(name) => {
+                let alias = self.alias()?;
+                Ok(TableRef::Table { name, alias })
+            }
+            _ => Err(self.error("expected table name or subquery".into())),
+        }
+    }
+
+    // Pratt-style expression parsing over the BinOp precedence table.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.expr_bp(0)
+    }
+
+    fn expr_bp(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, bp) = match self.binary_op() {
+                Some(pair) => pair,
+                None => {
+                    // BETWEEN / IN / IS / NOT IN etc. bind at comparison level.
+                    if min_bp <= 3 {
+                        if let Some(e) = self.postfix_predicate(lhs.clone())? {
+                            lhs = e;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+            };
+            if bp < min_bp {
+                break;
+            }
+            self.bump_op(op);
+            let rhs = self.expr_bp(bp + 1)?;
+            lhs = Expr::Binary { left: Box::new(lhs), op, right: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    /// Peek at a binary operator without consuming it.
+    fn binary_op(&self) -> Option<(BinOp, u8)> {
+        let op = match self.peek_kind() {
+            TokenKind::Keyword(k) if k == "OR" => BinOp::Or,
+            TokenKind::Keyword(k) if k == "AND" => BinOp::And,
+            TokenKind::Keyword(k) if k == "LIKE" => BinOp::Like,
+            TokenKind::Op(o) => match o.as_str() {
+                "=" => BinOp::Eq,
+                "<>" => BinOp::NotEq,
+                "<" => BinOp::Lt,
+                "<=" => BinOp::LtEq,
+                ">" => BinOp::Gt,
+                ">=" => BinOp::GtEq,
+                _ => return None,
+            },
+            TokenKind::Plus => BinOp::Add,
+            TokenKind::Minus => BinOp::Sub,
+            TokenKind::Star => BinOp::Mul,
+            TokenKind::Slash => BinOp::Div,
+            _ => return None,
+        };
+        Some((op, op.precedence()))
+    }
+
+    fn bump_op(&mut self, _op: BinOp) {
+        self.bump();
+    }
+
+    // postfix_predicate := [NOT] BETWEEN e AND e | [NOT] IN (...) | IS [NOT] NULL
+    fn postfix_predicate(&mut self, lhs: Expr) -> Result<Option<Expr>, ParseError> {
+        let negated = if self.at_keyword("NOT") {
+            // Only treat NOT as predicate negation when followed by BETWEEN/IN.
+            let next = self.tokens.get(self.pos + 1).map(|t| &t.kind);
+            match next {
+                Some(TokenKind::Keyword(k)) if k == "BETWEEN" || k == "IN" => {
+                    self.bump();
+                    true
+                }
+                _ => return Ok(None),
+            }
+        } else {
+            false
+        };
+        if self.eat_keyword("BETWEEN") {
+            // Operands of BETWEEN are additive expressions (no AND).
+            let low = self.expr_bp(5)?;
+            self.expect_keyword("AND")?;
+            let high = self.expr_bp(5)?;
+            return Ok(Some(Expr::Between {
+                expr: Box::new(lhs),
+                negated,
+                low: Box::new(low),
+                high: Box::new(high),
+            }));
+        }
+        if self.eat_keyword("IN") {
+            self.expect_kind(&TokenKind::LParen, "( after IN")?;
+            if self.at_keyword("SELECT") {
+                let query = Box::new(self.query()?);
+                self.expect_kind(&TokenKind::RParen, ")")?;
+                return Ok(Some(Expr::InSubquery { expr: Box::new(lhs), negated, query }));
+            }
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(&TokenKind::RParen, ")")?;
+            return Ok(Some(Expr::InList { expr: Box::new(lhs), negated, list }));
+        }
+        if negated {
+            return Err(self.error("expected BETWEEN or IN after NOT".into()));
+        }
+        if self.at_keyword("IS") {
+            self.bump();
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Some(Expr::IsNull { expr: Box::new(lhs), negated }));
+        }
+        Ok(None)
+    }
+
+    // unary := ('-' | NOT)* primary
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kind(&TokenKind::Minus) {
+            // Fold negation into numeric literals for canonical trees.
+            let inner = self.unary()?;
+            return Ok(match inner {
+                Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
+                Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
+                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+            });
+        }
+        if self.eat_keyword("NOT") {
+            let inner = self.expr_bp(3)?;
+            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+        }
+        self.primary()
+    }
+
+    // primary := literal | func_call | column | '(' query ')' | '(' expr ')' | '*'
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Number(text) => {
+                self.bump();
+                if text.contains('.') {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| self.error(format!("bad float literal {text}")))?;
+                    Ok(Expr::Literal(Literal::Float(v)))
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| self.error(format!("bad int literal {text}")))?;
+                    Ok(Expr::Literal(Literal::Int(v)))
+                }
+            }
+            TokenKind::StringLit(s) => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Str(s)))
+            }
+            TokenKind::Keyword(k) if k == "NULL" => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Null))
+            }
+            TokenKind::Keyword(k) if k == "TRUE" => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(true)))
+            }
+            TokenKind::Keyword(k) if k == "FALSE" => {
+                self.bump();
+                Ok(Expr::Literal(Literal::Bool(false)))
+            }
+            TokenKind::Star => {
+                self.bump();
+                Ok(Expr::Star)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                if self.at_keyword("SELECT") {
+                    let q = self.query()?;
+                    self.expect_kind(&TokenKind::RParen, ")")?;
+                    return Ok(Expr::ScalarSubquery(Box::new(q)));
+                }
+                let e = self.expr()?;
+                self.expect_kind(&TokenKind::RParen, ")")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                // func call?
+                if self.peek_kind() == &TokenKind::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek_kind() != &TokenKind::RParen {
+                        loop {
+                            if self.peek_kind() == &TokenKind::Star {
+                                self.bump();
+                                args.push(Expr::Star);
+                            } else {
+                                args.push(self.expr()?);
+                            }
+                            if !self.eat_kind(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_kind(&TokenKind::RParen, ")")?;
+                    return Ok(Expr::Func { name, args });
+                }
+                // qualified column?
+                if self.eat_kind(&TokenKind::Dot) {
+                    match self.bump().kind {
+                        TokenKind::Ident(col) => {
+                            Ok(Expr::Column { table: Some(name), name: col })
+                        }
+                        // allow keywords as column names after the dot, e.g. s.dec
+                        TokenKind::Keyword(kw) => {
+                            Ok(Expr::Column { table: Some(name), name: kw.to_ascii_lowercase() })
+                        }
+                        _ => Err(self.error("expected column name after '.'".into())),
+                    }
+                } else {
+                    Ok(Expr::Column { table: None, name })
+                }
+            }
+            other => Err(self.error(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(src: &str) -> Query {
+        let q = parse_query(src).unwrap();
+        let printed = q.to_string();
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(q, q2, "round trip changed the tree for {src:?}");
+        q
+    }
+
+    #[test]
+    fn simple_select() {
+        let q = round_trip("SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p");
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.group_by.len(), 1);
+        assert!(q.is_aggregate());
+    }
+
+    #[test]
+    fn distinct_and_qualified_columns() {
+        let q = round_trip(
+            "SELECT DISTINCT gal.objID, gal.u, s.ra FROM galaxy AS gal, specObj AS s \
+             WHERE s.bestObjID = gal.objID",
+        );
+        assert!(q.distinct);
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[0].binding_name(), Some("gal"));
+    }
+
+    #[test]
+    fn between_chains_with_and() {
+        let q = round_trip(
+            "SELECT hp, mpg FROM Cars WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38",
+        );
+        // WHERE must be AND(between, between)
+        let Some(Expr::Binary { op: BinOp::And, left, right }) = q.where_clause else {
+            panic!("expected AND at top of WHERE");
+        };
+        assert!(matches!(*left, Expr::Between { .. }));
+        assert!(matches!(*right, Expr::Between { .. }));
+    }
+
+    #[test]
+    fn in_list_with_alias() {
+        let q = round_trip("SELECT mpg, disp, id IN (1, 2) AS color FROM Cars");
+        let SelectItem::Expr { expr, alias } = &q.select[2] else { panic!() };
+        assert!(matches!(expr, Expr::InList { .. }));
+        assert_eq!(alias.as_deref(), Some("color"));
+    }
+
+    #[test]
+    fn subquery_in_from() {
+        let q = round_trip("SELECT x, y FROM (SELECT x, y FROM base WHERE z > 0) AS sq");
+        assert!(matches!(q.from[0], TableRef::Subquery { .. }));
+    }
+
+    #[test]
+    fn correlated_having_subquery() {
+        let q = round_trip(
+            "SELECT city, product, sum(total) FROM sales AS ss GROUP BY city, product \
+             HAVING sum(total) >= (SELECT max(t) FROM (SELECT sum(total) AS t FROM sales AS s \
+             WHERE s.city = ss.city GROUP BY s.city, s.product) AS m)",
+        );
+        let Some(Expr::Binary { op: BinOp::GtEq, right, .. }) = q.having else {
+            panic!("expected >= in HAVING")
+        };
+        assert!(matches!(*right, Expr::ScalarSubquery(_)));
+    }
+
+    #[test]
+    fn date_function_calls() {
+        let q = round_trip(
+            "SELECT date, cases FROM covid WHERE state = 'CA' AND date > date(today(), '-30 days')",
+        );
+        let w = q.where_clause.unwrap().to_string();
+        assert!(w.contains("date(today(), '-30 days')"), "got {w}");
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let q = round_trip("SELECT a FROM t ORDER BY a DESC, b LIMIT 5");
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let q = round_trip("SELECT a FROM t WHERE dec BETWEEN -0.9 AND -0.2");
+        let Some(Expr::Between { low, .. }) = q.where_clause else { panic!() };
+        assert_eq!(*low, Expr::Literal(Literal::Float(-0.9)));
+    }
+
+    #[test]
+    fn keywords_after_dot_are_column_names() {
+        // SDSS queries use s.dec; DESC is a keyword.
+        let q = parse_query("SELECT s.dec FROM specObj AS s").unwrap();
+        let SelectItem::Expr { expr, .. } = &q.select[0] else { panic!() };
+        assert_eq!(expr, &Expr::qcol("s", "dec"));
+    }
+
+    #[test]
+    fn or_precedence() {
+        let q = round_trip("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3");
+        // AND binds tighter: OR(a=1, AND(b=2, c=3))
+        let Some(Expr::Binary { op: BinOp::Or, right, .. }) = q.where_clause else {
+            panic!()
+        };
+        assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn not_between() {
+        let q = round_trip("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 2");
+        assert!(matches!(
+            q.where_clause,
+            Some(Expr::Between { negated: true, .. })
+        ));
+    }
+
+    #[test]
+    fn not_in_subquery() {
+        let q = round_trip("SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)");
+        assert!(matches!(
+            q.where_clause,
+            Some(Expr::InSubquery { negated: true, .. })
+        ));
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let q = round_trip("SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL");
+        let Some(Expr::Binary { left, right, .. }) = q.where_clause else { panic!() };
+        assert!(matches!(*left, Expr::IsNull { negated: false, .. }));
+        assert!(matches!(*right, Expr::IsNull { negated: true, .. }));
+    }
+
+    #[test]
+    fn arithmetic_expression() {
+        let q = round_trip("SELECT a + b * 2 AS v FROM t");
+        let SelectItem::Expr { expr, .. } = &q.select[0] else { panic!() };
+        // * binds tighter than +
+        assert!(matches!(expr, Expr::Binary { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn select_star() {
+        let q = round_trip("SELECT * FROM t");
+        assert_eq!(q.select, vec![SelectItem::Star]);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_query("SELECT").is_err());
+        assert!(parse_query("SELECT a FROM").is_err());
+        assert!(parse_query("SELECT a FROM t WHERE").is_err());
+        assert!(parse_query("FROM t").is_err());
+        assert!(parse_query("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse_query("SELECT a FROM t extra garbage ,").is_err());
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse_query("SELECT a FROM t;").is_ok());
+    }
+
+    #[test]
+    fn standalone_expression_parsing() {
+        let e = parse_expr("a BETWEEN 1 AND 3").unwrap();
+        assert!(matches!(e, Expr::Between { .. }));
+        assert!(parse_expr("a BETWEEN").is_err());
+    }
+
+    #[test]
+    fn bare_aliases() {
+        let q = round_trip("SELECT sum(total) total FROM sales s");
+        let SelectItem::Expr { alias, .. } = &q.select[0] else { panic!() };
+        assert_eq!(alias.as_deref(), Some("total"));
+        assert_eq!(q.from[0].binding_name(), Some("s"));
+    }
+}

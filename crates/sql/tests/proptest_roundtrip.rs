@@ -1,0 +1,136 @@
+//! Property test: printing any well-formed AST and re-parsing it yields the
+//! same tree. PI2 relies on this round trip every time a Difftree resolution
+//! is turned back into an executable query.
+
+use pi2_sql::ast::{BinOp, Expr, Literal, OrderItem, Query, SelectItem, TableRef};
+use pi2_sql::parse_query;
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Identifiers that cannot collide with keywords.
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        !matches!(
+            s.to_ascii_uppercase().as_str(),
+            "SELECT" | "DISTINCT" | "FROM" | "WHERE" | "GROUP" | "BY" | "HAVING" | "ORDER"
+                | "LIMIT" | "AS" | "AND" | "OR" | "NOT" | "BETWEEN" | "IN" | "IS" | "NULL"
+                | "ASC" | "DESC" | "LIKE" | "TRUE" | "FALSE" | "JOIN" | "ON" | "INNER"
+                | "LEFT" | "OUTER"
+        )
+    })
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i32>().prop_map(|v| Literal::Int(v as i64)),
+        // Finite floats with short decimal expansions survive f64 round trips.
+        (-10_000i32..10_000, 0u8..100).prop_map(|(a, b)| {
+            Literal::Float(a as f64 + b as f64 / 100.0)
+        }),
+        "[ a-zA-Z0-9_']{0,8}".prop_map(Literal::Str),
+        any::<bool>().prop_map(Literal::Bool),
+        Just(Literal::Null),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_literal().prop_map(Expr::Literal),
+        arb_ident().prop_map(|name| Expr::Column { table: None, name }),
+        (arb_ident(), arb_ident())
+            .prop_map(|(t, name)| Expr::Column { table: Some(t), name }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), arb_binop(), inner.clone()).prop_map(|(l, op, r)| Expr::Binary {
+                left: Box::new(l),
+                op,
+                right: Box::new(r)
+            }),
+            (inner.clone(), any::<bool>(), inner.clone(), inner.clone()).prop_map(
+                |(e, negated, lo, hi)| Expr::Between {
+                    expr: Box::new(e),
+                    negated,
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                }
+            ),
+            (inner.clone(), any::<bool>(), prop::collection::vec(inner.clone(), 1..4))
+                .prop_map(|(e, negated, list)| Expr::InList {
+                    expr: Box::new(e),
+                    negated,
+                    list
+                }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (arb_ident(), prop::collection::vec(inner, 0..3))
+                .prop_map(|(name, args)| Expr::Func { name, args }),
+        ]
+    })
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Or),
+        Just(BinOp::And),
+        Just(BinOp::Eq),
+        Just(BinOp::NotEq),
+        Just(BinOp::Lt),
+        Just(BinOp::LtEq),
+        Just(BinOp::Gt),
+        Just(BinOp::GtEq),
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+    ]
+}
+
+prop_compose! {
+    fn arb_query()(
+        distinct in any::<bool>(),
+        select in prop::collection::vec(
+            (arb_expr(), prop::option::of(arb_ident())).prop_map(|(expr, alias)| {
+                SelectItem::Expr { expr, alias }
+            }),
+            1..4,
+        ),
+        table in arb_ident(),
+        alias in prop::option::of(arb_ident()),
+        where_clause in prop::option::of(arb_expr()),
+        group_by in prop::collection::vec(arb_ident().prop_map(|n| Expr::Column { table: None, name: n }), 0..3),
+        order_desc in prop::option::of((arb_ident(), any::<bool>())),
+        limit in prop::option::of(0u64..1000),
+    ) -> Query {
+        Query {
+            distinct,
+            select,
+            from: vec![TableRef::Table { name: table, alias }],
+            where_clause,
+            group_by,
+            having: None,
+            order_by: order_desc
+                .map(|(n, desc)| vec![OrderItem { expr: Expr::Column { table: None, name: n }, desc }])
+                .unwrap_or_default(),
+            limit,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn print_parse_round_trip(q in arb_query()) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse {printed:?}: {e}"));
+        prop_assert_eq!(q, reparsed, "printed form: {}", printed);
+    }
+
+    #[test]
+    fn printing_is_deterministic(q in arb_query()) {
+        prop_assert_eq!(q.to_string(), q.to_string());
+    }
+}

@@ -1,0 +1,336 @@
+//! Deterministic synthetic datasets standing in for the paper's evaluation
+//! data (DESIGN.md §2 documents each substitution).
+//!
+//! All generation flows from seeded `StdRng`s, so catalogues are identical
+//! across runs and machines.
+
+use pi2_data::date::parse_iso_date;
+use pi2_data::{Catalog, DataType, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The complete catalogue with every workload table registered.
+pub fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table("Cars", cars(), vec!["id"]);
+    c.add_table("sp500", sp500(), vec!["date"]);
+    c.add_table("flights", flights(), vec![]);
+    c.add_table("covid", covid(), vec![]);
+    c.add_table("sales", sales(), vec![]);
+    c.add_table("galaxy", galaxy(), vec!["objID"]);
+    c.add_table("specObj", spec_obj(), vec!["specObjID"]);
+    c
+}
+
+/// Cars(id, hp, mpg, disp, origin): ≈80 rows, hp 40–200, mpg 9–47,
+/// disp 70–455, origin ∈ {USA, Europe, Japan} (3 < 20 → categorical).
+pub fn cars() -> Table {
+    let mut rng = StdRng::seed_from_u64(0xCA25);
+    let origins = ["USA", "Europe", "Japan"];
+    let mut rows = Vec::new();
+    for id in 1..=80i64 {
+        let hp = rng.gen_range(40..=200);
+        // Inverse-ish correlation between hp and mpg, as in the real data.
+        let mpg = (47.0 - hp as f64 * 0.18 + rng.gen_range(-4.0..4.0)).clamp(9.0, 47.0);
+        let disp = (hp as f64 * 2.1 + rng.gen_range(-30.0..30.0)).clamp(70.0, 455.0);
+        let origin = origins[rng.gen_range(0..origins.len())];
+        rows.push(vec![
+            Value::Int(id),
+            Value::Int(hp),
+            Value::Float((mpg * 10.0).round() / 10.0),
+            Value::Float(disp.round()),
+            Value::Str(origin.to_string()),
+        ]);
+    }
+    Table::from_rows(
+        vec![
+            ("id", DataType::Int),
+            ("hp", DataType::Int),
+            ("mpg", DataType::Float),
+            ("disp", DataType::Float),
+            ("origin", DataType::Str),
+        ],
+        rows,
+    )
+    .expect("cars schema")
+}
+
+/// sp500(date, price): a ~4.5-year daily random walk starting 2000-01-01,
+/// covering the Listing 2 date windows (which brush up to 2003-02-01).
+pub fn sp500() -> Table {
+    let mut rng = StdRng::seed_from_u64(0x5500);
+    let start = parse_iso_date("2000-01-01").unwrap();
+    let mut price = 1320.0f64;
+    let mut rows = Vec::new();
+    for d in 0..1650i64 {
+        price = (price + rng.gen_range(-18.0..18.5)).max(650.0);
+        rows.push(vec![
+            Value::Date(start + d),
+            Value::Float((price * 100.0).round() / 100.0),
+        ]);
+    }
+    Table::from_rows(vec![("date", DataType::Date), ("price", DataType::Float)], rows)
+        .expect("sp500 schema")
+}
+
+/// flights(hour, delay, dist): 600 rows; binned domains keep each grouping
+/// attribute below the categorical threshold (hour: 18 values 6–23, delay:
+/// multiples of 10 in 0–70, dist: multiples of 100 in 0–900). The domains
+/// cover every range literal in Listing 4 (up to `delay ≤ 61` and
+/// `dist ≥ 10`) so chart extents can express all query bindings (§4.2.2).
+pub fn flights() -> Table {
+    let mut rng = StdRng::seed_from_u64(0xF115);
+    let mut rows = Vec::new();
+    for _ in 0..600 {
+        let hour = rng.gen_range(6..=23i64);
+        let delay = rng.gen_range(0..=7i64) * 10;
+        let dist = rng.gen_range(0..=9i64) * 100;
+        rows.push(vec![Value::Int(hour), Value::Int(delay), Value::Int(dist)]);
+    }
+    Table::from_rows(
+        vec![
+            ("hour", DataType::Int),
+            ("delay", DataType::Int),
+            ("dist", DataType::Int),
+        ],
+        rows,
+    )
+    .expect("flights schema")
+}
+
+/// covid(state, date, cases, deaths): five states × 150 days ending at the
+/// engine's fixed `today()` (2021-07-01), so `date(today(), '-30 days')`
+/// windows land inside the data.
+pub fn covid() -> Table {
+    let mut rng = StdRng::seed_from_u64(0xC051D);
+    let states = ["CA", "NY", "WA", "TX", "FL"];
+    let today = 18_809i64; // 2021-07-01, see ExecContext::new
+    let mut rows = Vec::new();
+    for state in states {
+        let mut cases = rng.gen_range(800..3000) as f64;
+        let mut deaths = cases * 0.02;
+        for d in (0..150).rev() {
+            cases = (cases * rng.gen_range(0.93..1.08)).clamp(50.0, 60_000.0);
+            deaths = (deaths * rng.gen_range(0.92..1.09)).clamp(0.0, 900.0);
+            rows.push(vec![
+                Value::Str(state.to_string()),
+                Value::Date(today - d),
+                Value::Int(cases as i64),
+                Value::Int(deaths as i64),
+            ]);
+        }
+    }
+    Table::from_rows(
+        vec![
+            ("state", DataType::Str),
+            ("date", DataType::Date),
+            ("cases", DataType::Int),
+            ("deaths", DataType::Int),
+        ],
+        rows,
+    )
+    .expect("covid schema")
+}
+
+/// sales(city, branch, product, date, total): the Kaggle supermarket-sales
+/// shape — 3 cities, 3 branches, 5 product lines, Jan–Mar 2019.
+pub fn sales() -> Table {
+    let mut rng = StdRng::seed_from_u64(0x5A1E5);
+    let cities = ["Yangon", "Naypyitaw", "Mandalay"];
+    let branches = ["A", "B", "C"];
+    let products = [
+        "Health and beauty",
+        "Electronics",
+        "Lifestyle",
+        "Food",
+        "Sports",
+    ];
+    let start = parse_iso_date("2019-01-01").unwrap();
+    let mut rows = Vec::new();
+    for _ in 0..500 {
+        let ci = rng.gen_range(0..cities.len());
+        // Branch correlates with city (each branch belongs to one city in
+        // the Kaggle data).
+        let bi = ci;
+        let product = products[rng.gen_range(0..products.len())];
+        let day = start + rng.gen_range(0..90i64);
+        let total = rng.gen_range(12.0..1050.0f64);
+        rows.push(vec![
+            Value::Str(cities[ci].to_string()),
+            Value::Str(branches[bi].to_string()),
+            Value::Str(product.to_string()),
+            Value::Date(day),
+            Value::Float((total * 100.0).round() / 100.0),
+        ]);
+    }
+    Table::from_rows(
+        vec![
+            ("city", DataType::Str),
+            ("branch", DataType::Str),
+            ("product", DataType::Str),
+            ("date", DataType::Date),
+            ("total", DataType::Float),
+        ],
+        rows,
+    )
+    .expect("sales schema")
+}
+
+/// galaxy(objID, u, g, r, i, z): photometric magnitudes for 300 objects.
+pub fn galaxy() -> Table {
+    let mut rng = StdRng::seed_from_u64(0x9A1A);
+    let mut rows = Vec::new();
+    for obj_id in 1..=300i64 {
+        let base = rng.gen_range(14.0..22.0f64);
+        let mag = |rng: &mut StdRng| {
+            let v: f64 = base + rng.gen_range(-1.2..1.2);
+            (v * 1000.0).round() / 1000.0
+        };
+        rows.push(vec![
+            Value::Int(obj_id),
+            Value::Float(mag(&mut rng)),
+            Value::Float(mag(&mut rng)),
+            Value::Float(mag(&mut rng)),
+            Value::Float(mag(&mut rng)),
+            Value::Float(mag(&mut rng)),
+        ]);
+    }
+    Table::from_rows(
+        vec![
+            ("objID", DataType::Int),
+            ("u", DataType::Float),
+            ("g", DataType::Float),
+            ("r", DataType::Float),
+            ("i", DataType::Float),
+            ("z", DataType::Float),
+        ],
+        rows,
+    )
+    .expect("galaxy schema")
+}
+
+/// specObj(specObjID, bestObjID, z, ra, dec): spectra matched to galaxy
+/// rows; celestial coordinates in the Listing 5 ranges (ra 213–214.2,
+/// dec −0.95–−0.05, z 0.13–0.15).
+pub fn spec_obj() -> Table {
+    let mut rng = StdRng::seed_from_u64(0x5D55);
+    let mut rows = Vec::new();
+    for spec_id in 1..=300i64 {
+        let best_obj = ((spec_id - 1) % 300) + 1;
+        let ra = 213.0 + rng.gen_range(0.0..1.2f64);
+        let dec = -0.95 + rng.gen_range(0.0..0.9f64);
+        let z = 0.13 + rng.gen_range(0.0..0.02f64);
+        rows.push(vec![
+            Value::Int(spec_id),
+            Value::Int(best_obj),
+            Value::Float((z * 10_000.0).round() / 10_000.0),
+            Value::Float((ra * 10_000.0).round() / 10_000.0),
+            Value::Float((dec * 10_000.0).round() / 10_000.0),
+        ]);
+    }
+    Table::from_rows(
+        vec![
+            ("specObjID", DataType::Int),
+            ("bestObjID", DataType::Int),
+            ("z", DataType::Float),
+            ("ra", DataType::Float),
+            ("dec", DataType::Float),
+        ],
+        rows,
+    )
+    .expect("specObj schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(cars(), cars());
+        assert_eq!(sp500(), sp500());
+        assert_eq!(covid(), covid());
+        assert_eq!(sales(), sales());
+    }
+
+    #[test]
+    fn catalog_registers_all_tables() {
+        let c = catalog();
+        for name in ["Cars", "sp500", "flights", "covid", "sales", "galaxy", "specObj"] {
+            assert!(c.table(name).is_some(), "missing table {name}");
+        }
+    }
+
+    #[test]
+    fn categorical_columns_stay_below_threshold() {
+        let c = catalog();
+        for (table, col) in [
+            ("Cars", "origin"),
+            ("covid", "state"),
+            ("sales", "city"),
+            ("sales", "branch"),
+            ("sales", "product"),
+            ("flights", "hour"),
+            ("flights", "delay"),
+            ("flights", "dist"),
+        ] {
+            let stats = c.column_stats(table, col).unwrap();
+            assert!(
+                stats.is_low_cardinality(),
+                "{table}.{col} has cardinality {}",
+                stats.distinct_count
+            );
+        }
+    }
+
+    #[test]
+    fn quantitative_domains_match_the_listings() {
+        let c = catalog();
+        // Listing 1 filters hp ∈ [50, 90]; the domain must cover it.
+        let hp = c.column_stats("Cars", "hp").unwrap();
+        assert!(hp.min.as_ref().unwrap().as_f64().unwrap() <= 50.0);
+        assert!(hp.max.as_ref().unwrap().as_f64().unwrap() >= 90.0);
+        // Listing 5 filters ra ∈ [213.2, 214.1].
+        let ra = c.column_stats("specObj", "ra").unwrap();
+        assert!(ra.min.as_ref().unwrap().as_f64().unwrap() <= 213.2);
+        assert!(ra.max.as_ref().unwrap().as_f64().unwrap() >= 214.0);
+    }
+
+    #[test]
+    fn covid_dates_cover_the_relative_windows() {
+        let c = catalog();
+        let stats = c.column_stats("covid", "date").unwrap();
+        let (Some(Value::Date(min)), Some(Value::Date(max))) =
+            (stats.min.clone(), stats.max.clone())
+        else {
+            panic!("covid date stats missing")
+        };
+        let today = 18_809i64;
+        assert!(max >= today - 1, "data must reach today()");
+        assert!(min <= today - 100, "data must cover -30/-14 day windows");
+    }
+
+    #[test]
+    fn sdss_join_produces_rows() {
+        let c = catalog();
+        let g = c.table("galaxy").unwrap();
+        let s = c.table("specObj").unwrap();
+        assert_eq!(g.table.num_rows(), 300);
+        assert_eq!(s.table.num_rows(), 300);
+        // bestObjID values reference galaxy objIDs.
+        let max_ref = s
+            .table
+            .column_values(1)
+            .filter_map(|v| v.as_i64())
+            .max()
+            .unwrap();
+        assert!(max_ref <= 300);
+    }
+
+    #[test]
+    fn cars_primary_key_is_unique() {
+        let c = catalog();
+        assert!(c.column_stats("Cars", "id").unwrap().unique);
+        assert!(c.covers_primary_key("Cars", &["id"]));
+    }
+}

@@ -1,0 +1,241 @@
+//! The seven query logs of the paper's evaluation (§7, Listings 1–7).
+//!
+//! Queries are reproduced from the listings with the paper's shorthand
+//! expanded (`BTWN a & b` → `BETWEEN a AND b`, `..` ellipses filled in).
+//! Where a listing says "many similar queries", representative members are
+//! included. The Sales listing's truncated Q1 (`WHERE ss.date` with no
+//! predicate) is normalised to the intended no-filter form.
+
+/// Which paper workload a log reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LogKind {
+    /// Listing 1 — Explore (Cars; pan/zoom over range predicates).
+    Explore,
+    /// Listing 2 — Abstract (sp500; overview + detail).
+    Abstract,
+    /// Listing 3 — Connect (Cars; linked selection).
+    Connect,
+    /// Listing 4 — Filter (flights; cross-filtering).
+    Filter,
+    /// Listing 5 — SDSS case study.
+    Sdss,
+    /// Listing 6 — Google Covid-19 visualization.
+    Covid,
+    /// Listing 7 — Sales analysis dashboard.
+    Sales,
+}
+
+impl LogKind {
+    /// All seven logs in the paper's presentation order.
+    pub const ALL: [LogKind; 7] = [
+        LogKind::Explore,
+        LogKind::Abstract,
+        LogKind::Connect,
+        LogKind::Filter,
+        LogKind::Sdss,
+        LogKind::Covid,
+        LogKind::Sales,
+    ];
+}
+
+/// A named sequence of example queries.
+#[derive(Debug, Clone)]
+pub struct QueryLog {
+    /// The name.
+    pub name: &'static str,
+    /// The kind.
+    pub kind: LogKind,
+    /// The queries.
+    pub queries: Vec<String>,
+}
+
+/// Fetch one log.
+pub fn log(kind: LogKind) -> QueryLog {
+    let (name, queries): (&'static str, Vec<&str>) = match kind {
+        LogKind::Explore => (
+            "explore",
+            vec![
+                "SELECT hp, mpg, origin FROM Cars \
+                 WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38",
+                "SELECT hp, mpg, origin FROM Cars \
+                 WHERE hp BETWEEN 60 AND 90 AND mpg BETWEEN 16 AND 30",
+            ],
+        ),
+        LogKind::Abstract => (
+            "abstract",
+            vec![
+                "SELECT date, price FROM sp500",
+                "SELECT date, price FROM sp500 \
+                 WHERE date > '2001-01-01' AND date < '2003-01-01'",
+                "SELECT date, price FROM sp500 \
+                 WHERE date > '2001-02-01' AND date < '2003-02-01'",
+            ],
+        ),
+        LogKind::Connect => (
+            "connect",
+            vec![
+                "SELECT hp, disp, id FROM Cars",
+                "SELECT mpg, disp, id IN (1, 2) AS color FROM Cars",
+                "SELECT mpg, disp, id IN (20, 22) AS color FROM Cars",
+            ],
+        ),
+        LogKind::Filter => (
+            "filter",
+            vec![
+                "SELECT hour, count(*) FROM flights GROUP BY hour",
+                "SELECT hour, count(*) FROM flights \
+                 WHERE delay BETWEEN 0 AND 50 AND dist BETWEEN 400 AND 800 GROUP BY hour",
+                "SELECT hour, count(*) FROM flights \
+                 WHERE delay BETWEEN 10 AND 60 AND dist BETWEEN 10 AND 300 GROUP BY hour",
+                "SELECT delay, count(*) FROM flights GROUP BY delay",
+                "SELECT delay, count(*) FROM flights \
+                 WHERE hour BETWEEN 10 AND 16 AND dist BETWEEN 400 AND 800 GROUP BY delay",
+                "SELECT delay, count(*) FROM flights \
+                 WHERE hour BETWEEN 15 AND 20 AND dist BETWEEN 200 AND 700 GROUP BY delay",
+                "SELECT dist, count(*) FROM flights GROUP BY dist",
+                "SELECT dist, count(*) FROM flights \
+                 WHERE hour BETWEEN 10 AND 16 AND delay BETWEEN 0 AND 50 GROUP BY dist",
+                "SELECT dist, count(*) FROM flights \
+                 WHERE hour BETWEEN 8 AND 19 AND delay BETWEEN 20 AND 61 GROUP BY dist",
+            ],
+        ),
+        LogKind::Sdss => (
+            "sdss",
+            vec![
+                "SELECT DISTINCT gal.objID, gal.u, gal.g, gal.r, gal.i, gal.z, \
+                 s.z AS sz, s.ra, s.dec FROM galaxy AS gal, specObj AS s \
+                 WHERE s.bestObjID = gal.objID AND s.z BETWEEN 0.1362 AND 0.141 \
+                 AND s.ra BETWEEN 213.3 AND 214.1 AND s.dec BETWEEN -0.9 AND -0.2",
+                "SELECT DISTINCT gal.objID, gal.u, gal.g, gal.r, gal.i, gal.z, \
+                 s.z AS sz, s.ra, s.dec FROM galaxy AS gal, specObj AS s \
+                 WHERE s.bestObjID = gal.objID AND s.z BETWEEN 0.1362 AND 0.141 \
+                 AND s.ra BETWEEN 213.4191 AND 213.9 AND s.dec BETWEEN -0.565 AND -0.3111",
+                "SELECT DISTINCT gal.objID, gal.u, gal.g, gal.r, gal.i, gal.z, \
+                 s.z AS sz, s.ra, s.dec FROM galaxy AS gal, specObj AS s \
+                 WHERE s.bestObjID = gal.objID AND s.z BETWEEN 0.1362 AND 0.141 \
+                 AND s.ra BETWEEN 213.5 AND 213.8 AND s.dec BETWEEN -0.34 AND -0.2",
+                "SELECT DISTINCT gal.objID, gal.u, gal.g, gal.r, gal.i, gal.z, \
+                 s.z AS sz, s.ra, s.dec FROM galaxy AS gal, specObj AS s \
+                 WHERE s.bestObjID = gal.objID AND s.z BETWEEN 0.1362 AND 0.141 \
+                 AND s.ra BETWEEN 213.2 AND 213.9 AND s.dec BETWEEN -0.8 AND -0.4",
+                "SELECT DISTINCT gal.objID, gal.u, gal.g, gal.r, gal.i, gal.z, \
+                 s.z AS sz, s.ra, s.dec FROM galaxy AS gal, specObj AS s \
+                 WHERE s.bestObjID = gal.objID AND s.z BETWEEN 0.1362 AND 0.141 \
+                 AND s.ra BETWEEN 213.3 AND 213.6 AND s.dec BETWEEN -0.5 AND -0.1",
+                "SELECT DISTINCT ra, dec FROM specObj \
+                 WHERE ra BETWEEN 213.2 AND 213.6 AND dec BETWEEN -0.3 AND -0.1",
+                "SELECT DISTINCT ra, dec FROM specObj \
+                 WHERE ra BETWEEN 213.0 AND 214.0 AND dec BETWEEN -0.8 AND -0.4",
+            ],
+        ),
+        LogKind::Covid => (
+            "covid",
+            vec![
+                "SELECT date, cases FROM covid WHERE state = 'CA'",
+                "SELECT date, cases FROM covid \
+                 WHERE state = 'WA' AND date > date(today(), '-30 days')",
+                "SELECT date, cases FROM covid \
+                 WHERE state = 'CA' AND date > date(today(), '-7 days')",
+                "SELECT date, deaths FROM covid WHERE state = 'CA'",
+                "SELECT date, deaths FROM covid WHERE state = 'NY'",
+                "SELECT date, deaths FROM covid \
+                 WHERE state = 'WA' AND date > date(today(), '-14 days')",
+                "SELECT date, deaths FROM covid \
+                 WHERE state = 'WA' AND date > date(today(), '-7 days')",
+                "SELECT date, deaths FROM covid \
+                 WHERE state = 'NY' AND date > date(today(), '-7 days')",
+            ],
+        ),
+        LogKind::Sales => (
+            "sales",
+            vec![
+                "SELECT city, product, sum(total) FROM sales AS ss \
+                 GROUP BY city, product \
+                 HAVING sum(total) >= (SELECT max(t) FROM (SELECT sum(total) AS t \
+                 FROM sales AS s WHERE s.city = ss.city \
+                 GROUP BY s.city, s.product) AS m)",
+                "SELECT city, product, sum(total) FROM sales AS ss \
+                 WHERE ss.date BETWEEN '2019-01-25' AND '2019-02-15' \
+                 GROUP BY city, product \
+                 HAVING sum(total) >= (SELECT max(t) FROM (SELECT sum(total) AS t \
+                 FROM sales AS s WHERE s.city = ss.city \
+                 AND s.date BETWEEN '2019-01-25' AND '2019-02-15' \
+                 GROUP BY s.city, s.product) AS m)",
+                "SELECT city, product, sum(total) FROM sales AS ss \
+                 WHERE ss.date BETWEEN '2019-02-10' AND '2019-03-05' \
+                 GROUP BY city, product \
+                 HAVING sum(total) >= (SELECT max(t) FROM (SELECT sum(total) AS t \
+                 FROM sales AS s WHERE s.city = ss.city \
+                 AND s.date BETWEEN '2019-02-10' AND '2019-03-05' \
+                 GROUP BY s.city, s.product) AS m)",
+                "SELECT date, sum(total) FROM sales \
+                 WHERE branch = 'A' AND product = 'Health and beauty' GROUP BY date",
+                "SELECT date, sum(total) FROM sales \
+                 WHERE branch = 'B' AND product = 'Electronics' GROUP BY date",
+                "SELECT date, sum(total) FROM sales \
+                 WHERE branch = 'C' AND product = 'Lifestyle' GROUP BY date",
+                "SELECT date, sum(total) FROM sales \
+                 WHERE branch = 'A' AND product = 'Food' GROUP BY date",
+            ],
+        ),
+    };
+    QueryLog {
+        name,
+        kind,
+        queries: queries.into_iter().map(str::to_string).collect(),
+    }
+}
+
+/// All seven logs in the paper's presentation order.
+pub fn all_logs() -> Vec<QueryLog> {
+    LogKind::ALL.into_iter().map(log).collect()
+}
+
+/// Duplicate a log's queries to `n` total (the §7.3 scalability experiment
+/// scales the Filter log from 9 to 900 queries by duplication).
+pub fn duplicated(kind: LogKind, n: usize) -> QueryLog {
+    let base = log(kind);
+    let mut queries = Vec::with_capacity(n);
+    while queries.len() < n {
+        for q in &base.queries {
+            if queries.len() >= n {
+                break;
+            }
+            queries.push(q.clone());
+        }
+    }
+    QueryLog { name: base.name, kind, queries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sizes_match_the_listings() {
+        assert_eq!(log(LogKind::Explore).queries.len(), 2);
+        assert_eq!(log(LogKind::Abstract).queries.len(), 3);
+        assert_eq!(log(LogKind::Connect).queries.len(), 3);
+        assert_eq!(log(LogKind::Filter).queries.len(), 9);
+        assert_eq!(log(LogKind::Covid).queries.len(), 8);
+        assert!(log(LogKind::Sdss).queries.len() >= 7);
+        assert!(log(LogKind::Sales).queries.len() >= 6);
+        assert_eq!(all_logs().len(), 7);
+    }
+
+    #[test]
+    fn duplication_reaches_target_counts() {
+        for n in [9, 45, 90, 900] {
+            assert_eq!(duplicated(LogKind::Filter, n).queries.len(), n);
+        }
+    }
+
+    #[test]
+    fn filter_log_describes_cross_filtering() {
+        // Three groups of three, each grouped by a different attribute.
+        let l = log(LogKind::Filter);
+        assert!(l.queries[0].contains("GROUP BY hour"));
+        assert!(l.queries[3].contains("GROUP BY delay"));
+        assert!(l.queries[6].contains("GROUP BY dist"));
+    }
+}

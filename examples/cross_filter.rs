@@ -1,0 +1,81 @@
+//! Cross-filtering from first principles (paper §7.1 Filter, Figure 14d,
+//! Listing 4).
+//!
+//! Nine queries group flights by hour, delay, and distance, each filtered by
+//! the other two attributes' ranges. PI2 derives cross-filtering: brushing
+//! one chart updates the range predicates of the other charts, and clearing
+//! a brush disables the predicate.
+//!
+//! Run with: `cargo run --release --example cross_filter`
+
+use pi2::{Event, GenerationConfig, Pi2, Value};
+use pi2_workloads::{catalog, log, LogKind};
+
+fn main() {
+    let pi2 = Pi2::new(catalog());
+    let queries = log(LogKind::Filter);
+    let refs: Vec<&str> = queries.queries.iter().map(|s| s.as_str()).collect();
+
+    println!("input queries ({}):", refs.len());
+    for q in &refs {
+        println!("  {q}");
+    }
+
+    let generation = pi2
+        .generate_with(&refs, &GenerationConfig::default())
+        .expect("generation succeeds");
+    println!("\n{}", generation.describe());
+
+    let mut runtime = generation.runtime().expect("runtime");
+    println!("initial queries:");
+    for q in runtime.queries().unwrap() {
+        println!("  {q}");
+    }
+
+    // Brush one of the range interactions and observe the linked queries.
+    let mut brushed = false;
+    for (ix, inst) in generation.interface.interactions.iter().enumerate() {
+        let is_range = matches!(
+            &inst.choice,
+            pi2::InteractionChoice::Vis {
+                kind: pi2::InteractionKind::BrushX
+                    | pi2::InteractionKind::BrushY
+                    | pi2::InteractionKind::BrushXY,
+                ..
+            }
+        ) || matches!(
+            &inst.choice,
+            pi2::InteractionChoice::Widget { kind: pi2::WidgetKind::RangeSlider, .. }
+        );
+        if !is_range {
+            continue;
+        }
+        let event = Event::SetValues {
+            interaction: ix,
+            values: vec![Value::Int(10), Value::Int(40)],
+        };
+        if runtime.dispatch(event).is_ok() {
+            println!("\nafter brushing interaction #{ix} to [10, 40]:");
+            for q in runtime.queries().unwrap() {
+                println!("  {q}");
+            }
+            // Clearing the brush disables the predicate (§7.1).
+            if runtime.dispatch(Event::Clear { interaction: ix }).is_ok() {
+                println!("after clearing the brush:");
+                for q in runtime.queries().unwrap() {
+                    println!("  {q}");
+                }
+            }
+            brushed = true;
+            break;
+        }
+    }
+    if !brushed {
+        println!("\n(no range interaction found to drive)");
+    }
+    let tables = runtime.execute().unwrap();
+    println!(
+        "\nresult sizes: {:?}",
+        tables.iter().map(|t| t.num_rows()).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,73 @@
+//! Linked selection (paper §7.1 Connect, Figure 14b, Listing 3).
+//!
+//! Two scatterplots over the Cars data: one shows hp/disp, the other
+//! mpg/disp with a boolean color derived from a set of row ids.
+//! Multi-clicking points in the first chart selects their ids, which rebinds
+//! the `id IN (…)` list of the second chart's query — the rows light up in
+//! the other view.
+//!
+//! Run with: `cargo run --release --example linked_selection`
+
+use pi2::render::render_view;
+use pi2::{Event, GenerationConfig, InteractionChoice, Pi2, Value};
+use pi2_workloads::{catalog, log, LogKind};
+
+fn main() {
+    let pi2 = Pi2::new(catalog());
+    let queries = log(LogKind::Connect);
+    let refs: Vec<&str> = queries.queries.iter().map(|s| s.as_str()).collect();
+
+    println!("input queries:");
+    for q in &refs {
+        println!("  {q}");
+    }
+
+    let generation = pi2
+        .generate_with(&refs, &GenerationConfig::default())
+        .expect("generation succeeds");
+    println!("\n{}", generation.describe());
+
+    let mut runtime = generation.runtime().expect("runtime");
+
+    // Render the charts with their data marks.
+    let tables = runtime.execute().unwrap();
+    for (view, table) in generation.interface.views.iter().zip(tables.iter()) {
+        println!("view (tree {}): {}", view.tree, view.vis);
+        println!("{}", render_view(table, &view.vis));
+    }
+
+    // Multi-click a set of points: select car ids 5, 6, and 7.
+    for (ix, inst) in generation.interface.interactions.iter().enumerate() {
+        if !matches!(
+            inst.choice,
+            InteractionChoice::Vis { kind: pi2::InteractionKind::MultiClick, .. }
+                | InteractionChoice::Vis { kind: pi2::InteractionKind::Click, .. }
+        ) {
+            continue;
+        }
+        let event = Event::SetSet {
+            interaction: ix,
+            values: vec![Value::Int(5), Value::Int(6), Value::Int(7)],
+        };
+        if runtime.dispatch(event).is_ok() {
+            println!("after multi-clicking cars 5, 6, 7:");
+            for q in runtime.queries().unwrap() {
+                println!("  {q}");
+            }
+            let tables = runtime.execute().unwrap();
+            // Count highlighted rows (color = true) in the linked chart.
+            for t in &tables {
+                if let Some(color) = t.schema.index_of("color") {
+                    let highlighted = t
+                        .rows
+                        .iter()
+                        .filter(|r| r[color].as_bool() == Some(true))
+                        .count();
+                    println!("highlighted rows in the linked chart: {highlighted}");
+                }
+            }
+            return;
+        }
+    }
+    println!("(no click interaction found to drive)");
+}

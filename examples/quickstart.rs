@@ -1,0 +1,70 @@
+//! Quickstart: generate an interactive interface from two example queries.
+//!
+//! Reproduces the paper's Explore workload (Listing 1): two queries over the
+//! Cars dataset that differ in their `hp`/`mpg` range predicates. PI2
+//! generates a scatterplot whose pan/zoom interaction controls the range
+//! predicates (Figure 14a), and this example then drives the interface
+//! programmatically: panning re-binds the predicates, re-resolves the SQL,
+//! and re-executes it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pi2::{Event, GenerationConfig, Pi2, Value};
+use pi2_workloads::{catalog, log, LogKind};
+
+fn main() {
+    let pi2 = Pi2::new(catalog());
+    let queries = log(LogKind::Explore);
+    let refs: Vec<&str> = queries.queries.iter().map(|s| s.as_str()).collect();
+
+    println!("input queries:");
+    for q in &refs {
+        println!("  {q}");
+    }
+
+    let generation = pi2
+        .generate_with(&refs, &GenerationConfig::default())
+        .expect("generation succeeds");
+    println!("\n{}", generation.describe());
+    println!("{}", pi2::render::render_ascii(&generation.interface));
+
+    // Drive the interface: pan the scatterplot to a new hp/mpg window.
+    let mut runtime = generation.runtime().expect("runtime");
+    println!("current query: {}", runtime.queries().unwrap()[0]);
+    let before_rows = runtime.execute().unwrap()[0].num_rows();
+    println!("rows rendered: {before_rows}");
+
+    // Find the pan/zoom/brush interaction and move the viewport.
+    let pan_ix = generation
+        .interface
+        .interactions
+        .iter()
+        .position(|i| matches!(i.choice, pi2::InteractionChoice::Vis { .. }))
+        .expect("a visualization interaction");
+    let event = Event::SetValues {
+        interaction: pan_ix,
+        values: vec![
+            Value::Int(100),
+            Value::Int(160),
+            Value::Float(10.0),
+            Value::Float(25.0),
+        ],
+    };
+    // Smaller payloads cover single-axis interactions.
+    let fallback = Event::SetValues {
+        interaction: pan_ix,
+        values: vec![Value::Int(100), Value::Int(160)],
+    };
+    if runtime.dispatch(event).is_err() {
+        runtime.dispatch(fallback).expect("pan dispatch");
+    }
+
+    println!("\nafter panning to hp ∈ [100, 160], mpg ∈ [10, 25]:");
+    println!("current query: {}", runtime.queries().unwrap()[0]);
+    let table = &runtime.execute().unwrap()[0];
+    println!("rows rendered: {}", table.num_rows());
+    println!(
+        "{}",
+        pi2::render::render_view(table, &generation.interface.views[0].vis)
+    );
+}

@@ -1,0 +1,70 @@
+//! Case study: a custom SDSS analysis interface from real-world-shaped
+//! queries (paper §7.2, Figure 15a, Listing 5).
+//!
+//! The Sloan Digital Sky Survey's web forms are text-based; PI2 turns a log
+//! of radial-search queries into an interactive interface: the 9-attribute
+//! join renders as a table, star locations render as a scatterplot, and
+//! panning/zooming the scatterplot updates the table's celestial-coordinate
+//! predicates.
+//!
+//! Run with: `cargo run --release --example sdss_explorer`
+
+use pi2::{Event, GenerationConfig, Pi2, Value};
+use pi2_workloads::{catalog, log, LogKind};
+
+fn main() {
+    let pi2 = Pi2::new(catalog());
+    let queries = log(LogKind::Sdss);
+    let refs: Vec<&str> = queries.queries.iter().map(|s| s.as_str()).collect();
+
+    println!("input queries ({}):", refs.len());
+    for q in refs.iter().take(2) {
+        println!("  {q}");
+    }
+    println!("  … and {} more", refs.len() - 2);
+
+    let generation = pi2
+        .generate_with(&refs, &GenerationConfig::default())
+        .expect("generation succeeds");
+    println!("\n{}", generation.describe());
+
+    let mut runtime = generation.runtime().expect("runtime");
+    let sizes: Vec<usize> =
+        runtime.execute().unwrap().iter().map(|t| t.num_rows()).collect();
+    println!("initial result sizes: {sizes:?}");
+
+    // Pan the sky viewport: (ra, dec) window moves, the table follows.
+    for (ix, inst) in generation.interface.interactions.iter().enumerate() {
+        if let pi2::InteractionChoice::Vis { kind, .. } = &inst.choice {
+            let payloads: Vec<Vec<Value>> = vec![
+                vec![
+                    Value::Float(213.4),
+                    Value::Float(213.9),
+                    Value::Float(-0.7),
+                    Value::Float(-0.3),
+                ],
+                vec![Value::Float(213.4), Value::Float(213.9)],
+            ];
+            for values in payloads {
+                if runtime
+                    .dispatch(Event::SetValues { interaction: ix, values })
+                    .is_ok()
+                {
+                    println!("\nafter {kind} to ra ∈ [213.4, 213.9], dec ∈ [-0.7, -0.3]:");
+                    for q in runtime.queries().unwrap() {
+                        println!("  {q}");
+                    }
+                    let sizes: Vec<usize> = runtime
+                        .execute()
+                        .unwrap()
+                        .iter()
+                        .map(|t| t.num_rows())
+                        .collect();
+                    println!("result sizes: {sizes:?}");
+                    return;
+                }
+            }
+        }
+    }
+    println!("(no visualization interaction found to drive)");
+}

@@ -1,0 +1,6 @@
+//! Umbrella crate for the PI2 reproduction workspace.
+//!
+//! This package exists to host workspace-level integration tests (`tests/`)
+//! and runnable examples (`examples/`); the actual system lives in the
+//! `pi2-*` crates under `crates/`.
+pub use pi2 as system;

@@ -1,0 +1,76 @@
+//! §7.2 case studies (Figure 15): SDSS, Google's Covid-19 visualization,
+//! and the sales dashboard.
+
+mod common;
+
+use common::{assert_exact_cover, generate};
+use pi2::{InteractionChoice, VisKind};
+use pi2_workloads::LogKind;
+
+/// SDSS (Listing 5, Figure 15a): the 9-attribute join renders as a table;
+/// the star locations as a scatterplot; a viewport/range interaction on the
+/// scatterplot drives the coordinate predicates.
+#[test]
+fn sdss_interface() {
+    let g = generate(LogKind::Sdss);
+    assert_exact_cover(&g);
+    let kinds: Vec<VisKind> = g.interface.views.iter().map(|v| v.vis.kind).collect();
+    assert!(
+        kinds.contains(&VisKind::Table),
+        "the 9-attribute query renders as a table: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&VisKind::Point),
+        "star locations render as a scatterplot: {kinds:?}"
+    );
+    assert!(
+        g.interface.vis_interaction_count() > 0,
+        "coordinates must be interactive on the chart:\n{}",
+        g.describe()
+    );
+}
+
+/// Covid (Listing 6, Figure 15b): state and date-interval controls; the
+/// date filter is optional (a toggle-like control or clearable brush).
+#[test]
+fn covid_interface() {
+    let g = generate(LogKind::Covid);
+    assert_exact_cover(&g);
+    // The state choice ('CA', 'WA', 'NY') surfaces as an enumerating widget.
+    let has_enumerating_widget = g.interface.interactions.iter().any(|i| {
+        matches!(
+            &i.choice,
+            InteractionChoice::Widget { domain, .. } if domain.size() >= 2
+        )
+    });
+    assert!(
+        has_enumerating_widget,
+        "state/metric choices must surface as enumerating widgets:\n{}",
+        g.describe()
+    );
+    // Queries with and without the date filter are both expressible.
+    let rt = g.runtime().unwrap();
+    rt.execute().unwrap();
+}
+
+/// Sales (Listing 7, Figure 15c): the correlated-HAVING queries are
+/// interactive, and the date window (outer + subquery copies) is driven by
+/// a single range interaction.
+#[test]
+fn sales_interface() {
+    let g = generate(LogKind::Sales);
+    assert_exact_cover(&g);
+    assert!(g.interface.views.len() >= 2, "dashboard has linked views:\n{}", g.describe());
+    assert!(
+        !g.interface.interactions.is_empty(),
+        "the dashboard must be interactive:\n{}",
+        g.describe()
+    );
+    // Some single interaction covers more than one choice node — the
+    // co-varying date ranges move together.
+    assert!(
+        g.interface.interactions.iter().any(|i| i.cover.len() >= 2),
+        "the repeated date range must be driven by one interaction:\n{}",
+        g.describe()
+    );
+}

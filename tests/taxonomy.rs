@@ -1,0 +1,108 @@
+//! §7.1: PI2 expresses the data-oriented interactions of Yi et al.'s
+//! taxonomy (Figure 14). Encode and Reconfigure are presentation-level and
+//! out of scope, exactly as in the paper; Select is supported by every
+//! generated visualization's click interaction.
+//!
+//! The structural assertions accept the near-optimal design variants the
+//! paper's appendix discusses (quality ≥ 0.85 interfaces "are nearly the
+//! same as the optimal"): what must hold is the *interaction semantics* —
+//! which query parts are interactive and through what class of interaction.
+
+mod common;
+
+use common::{assert_exact_cover, generate};
+use pi2::{InteractionChoice, InteractionKind, WidgetKind};
+use pi2_workloads::LogKind;
+
+/// Explore (Listing 1): panning/zooming controls the hp/mpg range
+/// predicates on a single scatterplot (Figure 14a).
+#[test]
+fn explore_pan_and_zoom() {
+    let g = generate(LogKind::Explore);
+    assert_exact_cover(&g);
+    assert_eq!(g.interface.views.len(), 1, "one merged scatterplot view");
+    assert!(
+        g.has_vis_interaction(InteractionKind::Pan)
+            || g.has_vis_interaction(InteractionKind::Zoom)
+            || g.has_vis_interaction(InteractionKind::BrushXY),
+        "range predicates must map to a viewport interaction:\n{}",
+        g.describe()
+    );
+    // All four range bounds are interactive.
+    assert_eq!(g.forest.choice_count(), 4, "\n{}", g.forest.trees[0].render());
+    // Selection is supported by every chart kind we chose.
+    for v in &g.interface.views {
+        assert!(v.vis.kind.supported_interactions().contains(&InteractionKind::Click));
+    }
+}
+
+/// Abstract (Listing 2): the date range is driven by a brush and can be
+/// cleared (the level-of-detail change of Figure 14c).
+#[test]
+fn abstract_overview_detail() {
+    let g = generate(LogKind::Abstract);
+    assert_exact_cover(&g);
+    let has_brush = g.has_vis_interaction(InteractionKind::BrushX)
+        || g.has_vis_interaction(InteractionKind::BrushXY);
+    assert!(
+        has_brush,
+        "the optional date window must map to a clearable brush:\n{}",
+        g.describe()
+    );
+}
+
+/// Connect (Listing 3): selecting records in one chart highlights the
+/// corresponding rows in the other (Figure 14b) — a visualization
+/// interaction on one view binds the other view's tree.
+#[test]
+fn connect_linked_selection() {
+    let g = generate(LogKind::Connect);
+    assert_exact_cover(&g);
+    assert!(g.interface.views.len() >= 2, "two linked views:\n{}", g.describe());
+    assert!(
+        g.has_cross_view_link(),
+        "an interaction on one chart must bind the other tree:\n{}",
+        g.describe()
+    );
+    assert!(
+        g.has_vis_interaction(InteractionKind::MultiClick)
+            || g.has_vis_interaction(InteractionKind::Click),
+        "the id set must bind through (multi-)click:\n{}",
+        g.describe()
+    );
+}
+
+/// Filter (Listing 4): cross-filtering across the three group-by charts —
+/// range interactions drive predicates in *other* trees.
+#[test]
+fn filter_cross_filtering() {
+    let g = generate(LogKind::Filter);
+    assert_exact_cover(&g);
+    assert!(g.interface.views.len() >= 2, "multiple charts:\n{}", g.describe());
+    // Some interaction must be a range control (brush or range slider), and
+    // some interaction must reach across trees.
+    let has_range = g.interface.interactions.iter().any(|i| {
+        matches!(
+            &i.choice,
+            InteractionChoice::Vis {
+                kind: InteractionKind::BrushX
+                    | InteractionKind::BrushY
+                    | InteractionKind::BrushXY,
+                ..
+            }
+        ) || matches!(
+            &i.choice,
+            InteractionChoice::Widget { kind: WidgetKind::RangeSlider, .. }
+        )
+    });
+    assert!(has_range, "range predicates need range interactions:\n{}", g.describe());
+    let crosses = g.interface.interactions.iter().any(|i| match &i.choice {
+        InteractionChoice::Vis { view, .. } => {
+            let host = g.interface.views[*view].tree;
+            i.target_tree != host
+                || i.extra_targets.iter().any(|t| t.tree != host)
+        }
+        _ => false,
+    });
+    assert!(crosses, "cross-filtering links charts:\n{}", g.describe());
+}
