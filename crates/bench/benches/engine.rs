@@ -11,15 +11,22 @@ fn bench_engine(c: &mut Criterion) {
     let ctx = ExecContext::new(&cat);
     let mut group = c.benchmark_group("engine");
     for log in all_logs() {
-        let queries: Vec<_> =
-            log.queries.iter().map(|q| parse_query(q).unwrap()).collect();
-        group.bench_with_input(BenchmarkId::new("execute_log", log.name), &queries, |b, qs| {
-            b.iter(|| {
-                for q in qs {
-                    std::hint::black_box(execute(q, &ctx).unwrap());
-                }
-            })
-        });
+        let queries: Vec<_> = log
+            .queries
+            .iter()
+            .map(|q| parse_query(q).unwrap())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("execute_log", log.name),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    for q in qs {
+                        std::hint::black_box(execute(q, &ctx).unwrap());
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }

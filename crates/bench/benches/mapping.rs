@@ -21,7 +21,10 @@ fn bench_mapping(c: &mut Criterion) {
     let ctx = MappingContext::build(&state, &w).expect("mappable state");
 
     let with = MappingOptions::default();
-    let without = MappingOptions { pruning: false, ..MappingOptions::default() };
+    let without = MappingOptions {
+        pruning: false,
+        ..MappingOptions::default()
+    };
 
     c.bench_function("mapping/algorithm1_pruned", |b| {
         b.iter(|| std::hint::black_box(generate_top_k(&ctx, &with)))

@@ -30,8 +30,15 @@ fn bench_mcts(c: &mut Criterion) {
     c.bench_function("mcts/explore_30iters", |b| {
         b.iter(|| std::hint::black_box(mcts_search(&w, &fixed)))
     });
+    let wa = workload(LogKind::Abstract);
+    c.bench_function("mcts/abstract_30iters", |b| {
+        b.iter(|| std::hint::black_box(mcts_search(&wa, &fixed)))
+    });
     // Ablation: without the variance term (d = 0 and c unchanged).
-    let no_variance = MctsConfig { d: 0.0, ..fixed.clone() };
+    let no_variance = MctsConfig {
+        d: 0.0,
+        ..fixed.clone()
+    };
     c.bench_function("mcts/explore_30iters_no_variance_term", |b| {
         b.iter(|| std::hint::black_box(mcts_search(&w, &no_variance)))
     });

@@ -16,7 +16,11 @@ fn bench_parse(c: &mut Criterion) {
                 }
             })
         });
-        let parsed: Vec<_> = log.queries.iter().map(|q| parse_query(q).unwrap()).collect();
+        let parsed: Vec<_> = log
+            .queries
+            .iter()
+            .map(|q| parse_query(q).unwrap())
+            .collect();
         group.bench_with_input(BenchmarkId::new("lower", log.name), &parsed, |b, qs| {
             b.iter(|| {
                 for q in qs {

@@ -40,7 +40,11 @@ fn main() {
     println!("Appendix Figures 18-19: interface quality across alternative Difftree states");
     for (kind, fig) in [(LogKind::Filter, "18"), (LogKind::Sales, "19")] {
         let l = log(kind);
-        let queries = l.queries.iter().map(|s| pi2_sql::parse_query(s).unwrap()).collect();
+        let queries = l
+            .queries
+            .iter()
+            .map(|s| pi2_sql::parse_query(s).unwrap())
+            .collect();
         let w = Workload::new(queries, catalog());
 
         let (optimal, _) = mcts_search(&w, &MctsConfig::default());
@@ -51,9 +55,27 @@ fn main() {
         let mut best = f64::INFINITY;
         let mut rows = Vec::new();
         report("searched optimum", &optimal, &w, &mut best, &mut rows);
-        report("clustered + canonicalized", &clustered_canon, &w, &mut best, &mut rows);
-        report("clustered (unrefined)", &clustered, &w, &mut best, &mut rows);
-        report("static (chart per query)", &static_state, &w, &mut best, &mut rows);
+        report(
+            "clustered + canonicalized",
+            &clustered_canon,
+            &w,
+            &mut best,
+            &mut rows,
+        );
+        report(
+            "clustered (unrefined)",
+            &clustered,
+            &w,
+            &mut best,
+            &mut rows,
+        );
+        report(
+            "static (chart per query)",
+            &static_state,
+            &w,
+            &mut best,
+            &mut rows,
+        );
 
         println!("\n=== Figure {fig} ({}) ===", l.name);
         for row in rows {

@@ -17,7 +17,12 @@ fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let (es_values, s_values, p_values, repeats): (Vec<usize>, Vec<usize>, Vec<usize>, u64) =
         if full {
-            (vec![5, 20, 35, 50, 75, 100], vec![5, 10, 50, 100], vec![1, 2, 3, 4], 3)
+            (
+                vec![5, 20, 35, 50, 75, 100],
+                vec![5, 10, 50, 100],
+                vec![1, 2, 3, 4],
+                3,
+            )
         } else {
             (vec![5, 30, 100], vec![5, 10, 50], vec![1, 3], 2)
         };
@@ -36,7 +41,10 @@ fn main() {
         }
     }
 
-    println!("Figure 16: runtime-quality trade-off ({} conditions)", measurements.len());
+    println!(
+        "Figure 16: runtime-quality trade-off ({} conditions)",
+        measurements.len()
+    );
     println!(
         "{:<10} {:>4} {:>4} {:>3} {:>12} {:>12} {:>12} {:>8}",
         "log", "es", "s", "p", "mcts [ms]", "map [ms]", "total [ms]", "quality"
@@ -62,8 +70,14 @@ fn main() {
         let name = pi2_workloads::log(kind).name;
         let subset: Vec<&(pi2_bench::Measurement, f64)> =
             scored.iter().filter(|(m, _)| m.log == name).collect();
-        let min_t = subset.iter().map(|(m, _)| m.total_time().as_secs_f64()).fold(f64::MAX, f64::min);
-        let max_t = subset.iter().map(|(m, _)| m.total_time().as_secs_f64()).fold(0.0, f64::max);
+        let min_t = subset
+            .iter()
+            .map(|(m, _)| m.total_time().as_secs_f64())
+            .fold(f64::MAX, f64::min);
+        let max_t = subset
+            .iter()
+            .map(|(m, _)| m.total_time().as_secs_f64())
+            .fold(0.0, f64::max);
         let min_q = subset.iter().map(|(_, q)| *q).fold(f64::MAX, f64::min);
         println!(
             "  {name:<10} runtime {:.2}s – {:.2}s, quality {:.3} – 1.000",

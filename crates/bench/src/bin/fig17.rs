@@ -13,12 +13,7 @@
 use pi2_bench::{qualities, run_condition, Measurement};
 use pi2_workloads::LogKind;
 
-fn sweep(
-    kind: LogKind,
-    vary: &str,
-    values: &[usize],
-    out: &mut Vec<(String, Measurement)>,
-) {
+fn sweep(kind: LogKind, vary: &str, values: &[usize], out: &mut Vec<(String, Measurement)>) {
     for &v in values {
         let (es, s, p) = match vary {
             "es" => (v, 10, 3),

@@ -28,7 +28,10 @@ fn main() {
             println!(
                 "  (interaction on node {} also binds {:?})",
                 i.target_node,
-                i.extra_targets.iter().map(|t| (t.tree, t.node)).collect::<Vec<_>>()
+                i.extra_targets
+                    .iter()
+                    .map(|t| (t.tree, t.node))
+                    .collect::<Vec<_>>()
             );
         }
     }

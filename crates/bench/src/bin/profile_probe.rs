@@ -1,0 +1,69 @@
+//! Hot-path cost breakdown for the search stack: per-call timings of the
+//! operations one MCTS iteration is made of (state cloning, hashing,
+//! binding, candidate enumeration, rule application, canonicalization,
+//! mapping-context construction, reward estimation). Run twice to see
+//! cold- vs warm-cache behaviour of the shared evaluation caches.
+
+use pi2_difftree::transform::canonicalize;
+use pi2_difftree::{applicable_actions, apply_action, candidate_actions, Forest, Workload};
+use pi2_interface::{CostParams, MappingContext};
+use pi2_search::{estimate_reward, initial_state};
+use pi2_sql::parse_query;
+use pi2_workloads::{catalog, log, LogKind};
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+fn time<T>(label: &str, n: usize, mut f: impl FnMut() -> T) {
+    let t = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(f());
+    }
+    println!("{label:<36} {:>12.3?} per call", t.elapsed() / n as u32);
+}
+
+fn main() {
+    for kind in [LogKind::Explore, LogKind::Abstract] {
+        let l = log(kind);
+        let w = Workload::new(
+            l.queries.iter().map(|q| parse_query(q).unwrap()).collect(),
+            catalog(),
+        );
+        println!("== {} ({} queries)", l.name, w.len());
+        let state = initial_state(&w);
+        println!(
+            "   state: {} trees, {} nodes",
+            state.trees.len(),
+            state.size()
+        );
+        time("initial_state", 20, || initial_state(&w));
+        time("Forest::clone", 1000, || state.clone());
+        time("Forest hash", 1000, || {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            state.hash(&mut h);
+            h.finish()
+        });
+        time("bind_all", 200, || state.bind_all(&w));
+        time("candidate_actions", 50, || candidate_actions(&state, &w));
+        time("applicable_actions", 10, || applicable_actions(&state, &w));
+        let acts = applicable_actions(&state, &w);
+        if let Some(a) = acts.first() {
+            time("apply_action", 100, || apply_action(&state, &w, *a));
+            let next = apply_action(&state, &w, *a).unwrap();
+            time("canonicalize(24)", 10, || canonicalize(&next, &w, 24));
+        }
+        time("MappingContext::build", 50, || {
+            MappingContext::build(&state, &w)
+        });
+        let ctx = MappingContext::build(&state, &w).unwrap();
+        let params = CostParams::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        time("estimate_reward k5", 50, || {
+            estimate_reward(&ctx, &mut rng, &params, 5)
+        });
+        let mut memo: HashMap<Forest, f64> = HashMap::new();
+        memo.insert(state.clone(), 1.0);
+        time("memo lookup (hit)", 1000, || *memo.get(&state).unwrap());
+    }
+}

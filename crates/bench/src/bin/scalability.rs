@@ -28,7 +28,9 @@ fn run(n: usize, check_safety: bool) -> f64 {
         mapping: Default::default(),
     };
     let t0 = Instant::now();
-    let g = Pi2::new(catalog()).generate_with(&refs, &config).expect("generation");
+    let g = Pi2::new(catalog())
+        .generate_with(&refs, &config)
+        .expect("generation");
     let elapsed = t0.elapsed().as_secs_f64();
     drop(g);
     elapsed
@@ -53,7 +55,13 @@ fn main() {
         }
         let t = run(n, true);
         let t_nosafe = run(n, false);
-        println!("{:>8} {:>16.2} {:>20.2} {:>10.4}", n, t, t_nosafe, t / n as f64);
+        println!(
+            "{:>8} {:>16.2} {:>20.2} {:>10.4}",
+            n,
+            t,
+            t_nosafe,
+            t / n as f64
+        );
         if let Some(b) = base {
             let ratio = t / b;
             let n_ratio = n as f64 / 9.0;

@@ -8,7 +8,7 @@ use pi2::VisKind;
 fn main() {
     println!("Table 1: Visualization schemas, FD constraints, and supported interactions");
     println!("{:-<100}", "");
-    println!("{:<8} {:<44} {:<22} {}", "Vis", "Schema", "FDs", "Interactions".to_string());
+    println!("{:<8} {:<44} {:<22} Interactions", "Vis", "Schema", "FDs");
     println!("{:-<100}", "");
     for kind in VisKind::ALL {
         let schema = if kind == VisKind::Table {
@@ -32,8 +32,11 @@ fn main() {
         let fds = if kind.fd_determinants().is_empty() {
             "—".to_string()
         } else {
-            let det: Vec<String> =
-                kind.fd_determinants().iter().map(|v| v.to_string()).collect();
+            let det: Vec<String> = kind
+                .fd_determinants()
+                .iter()
+                .map(|v| v.to_string())
+                .collect();
             format!("({}) → y", det.join(", "))
         };
         let interactions: Vec<String> = kind

@@ -10,8 +10,8 @@ fn main() {
     println!("Table 2: Widget schemas and constraints");
     println!("{:-<88}", "");
     println!(
-        "{:<24} {:<18} {:<12} {}",
-        "Widget", "Schema", "Constraint", "Cm polynomial (a0, a1, a2) [ms]".to_string()
+        "{:<24} {:<18} {:<12} Cm polynomial (a0, a1, a2) [ms]",
+        "Widget", "Schema", "Constraint"
     );
     println!("{:-<88}", "");
     let rows: [(&str, &str, &str, WidgetKind); 9] = [
@@ -22,7 +22,12 @@ fn main() {
         ("Toggle", "<v:_?>", "—", WidgetKind::Toggle),
         ("Checkbox", "<v:_*>", "—", WidgetKind::Checkbox),
         ("Slider", "<v:num>", "—", WidgetKind::Slider),
-        ("RangeSlider", "<s:num,e:num>", "s ≤ e", WidgetKind::RangeSlider),
+        (
+            "RangeSlider",
+            "<s:num,e:num>",
+            "s ≤ e",
+            WidgetKind::RangeSlider,
+        ),
         ("Adder", "<v:_*>", "—", WidgetKind::Adder),
     ];
     for (name, schema, constraint, kind) in rows {

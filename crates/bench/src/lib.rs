@@ -26,7 +26,12 @@ impl Measurement {
 
 /// The generation configuration for a §7.3 condition; defaults follow the
 /// paper (es = 30, p = 3, s = 10).
-pub fn condition_config(early_stop: usize, sync_interval: usize, workers: usize, seed: u64) -> GenerationConfig {
+pub fn condition_config(
+    early_stop: usize,
+    sync_interval: usize,
+    workers: usize,
+    seed: u64,
+) -> GenerationConfig {
     GenerationConfig {
         mcts: MctsConfig {
             early_stop,
@@ -51,7 +56,10 @@ pub fn run_condition(
     let refs: Vec<&str> = l.queries.iter().map(|s| s.as_str()).collect();
     let pi2 = Pi2::new(catalog());
     let g = pi2
-        .generate_with(&refs, &condition_config(early_stop, sync_interval, workers, seed))
+        .generate_with(
+            &refs,
+            &condition_config(early_stop, sync_interval, workers, seed),
+        )
         .unwrap_or_else(|e| panic!("[{}] {e}", l.name));
     Measurement {
         log: l.name,

@@ -4,7 +4,7 @@ use crate::error::Pi2Error;
 use crate::runtime::Runtime;
 use pi2_data::Catalog;
 use pi2_difftree::{Forest, Workload};
-use pi2_interface::{Interface, InteractionChoice, MappingContext};
+use pi2_interface::{InteractionChoice, Interface, MappingContext};
 use pi2_search::{best_interface, mcts_search, MappingOptions, MctsConfig, SearchStats};
 use pi2_sql::parse_query;
 use std::time::{Duration, Instant};
@@ -13,9 +13,9 @@ use std::time::{Duration, Instant};
 /// final mapping options (§6.2.2).
 #[derive(Debug, Clone, Default)]
 pub struct GenerationConfig {
-    /// The mcts.
+    /// §6.2 search parameters (workers, budgets, UCT constants).
     pub mcts: MctsConfig,
-    /// The mapping.
+    /// §6.2.2 final-mapping options (top-k, pruning, layout budget).
     pub mapping: MappingOptions,
 }
 
@@ -47,12 +47,12 @@ impl GenerationConfig {
 
 /// The PI2 system: a catalogue plus generation entry points.
 pub struct Pi2 {
-    /// The catalog.
+    /// The database catalogue queries are parsed and executed against.
     pub catalog: Catalog,
 }
 
 impl Pi2 {
-    /// New.
+    /// A PI2 instance over one catalogue.
     pub fn new(catalog: Catalog) -> Pi2 {
         Pi2 { catalog }
     }
@@ -116,17 +116,17 @@ fn map_state(
 /// The result of a generation run.
 #[derive(Debug, Clone)]
 pub struct Generation {
-    /// The interface.
+    /// The generated interface `I = (V, M, L)`.
     pub interface: Interface,
     /// Full §5 cost of the returned interface.
     pub cost: f64,
     /// The Difftree state the interface was mapped from.
     pub forest: Forest,
-    /// The workload.
+    /// The parsed input queries plus catalogue.
     pub workload: Workload,
-    /// The mcts stats.
+    /// Search statistics (iterations, duration, best reward).
     pub mcts_stats: SearchStats,
-    /// The mapping time.
+    /// Wall-clock time of the final §6.2.2 mapping phase.
     pub mapping_time: Duration,
 }
 
@@ -168,16 +168,18 @@ impl Generation {
     /// Whether some interaction is a visualization interaction of the given
     /// kind (used by taxonomy tests).
     pub fn has_vis_interaction(&self, kind: pi2_interface::InteractionKind) -> bool {
-        self.interface.interactions.iter().any(|i| {
-            matches!(&i.choice, InteractionChoice::Vis { kind: k, .. } if *k == kind)
-        })
+        self.interface
+            .interactions
+            .iter()
+            .any(|i| matches!(&i.choice, InteractionChoice::Vis { kind: k, .. } if *k == kind))
     }
 
     /// Whether some interaction is a widget of the given kind.
     pub fn has_widget(&self, kind: pi2_interface::WidgetKind) -> bool {
-        self.interface.interactions.iter().any(|i| {
-            matches!(&i.choice, InteractionChoice::Widget { kind: k, .. } if *k == kind)
-        })
+        self.interface
+            .interactions
+            .iter()
+            .any(|i| matches!(&i.choice, InteractionChoice::Widget { kind: k, .. } if *k == kind))
     }
 
     /// Whether a visualization interaction on one view targets a *different*
@@ -202,8 +204,7 @@ mod tests {
         let rows: Vec<Vec<Value>> = (0..24)
             .map(|i| vec![Value::Int(i % 4), Value::Int(10 * (i % 6))])
             .collect();
-        let t = Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows)
-            .unwrap();
+        let t = Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows).unwrap();
         c.add_table("T", t, vec![]);
         c
     }

@@ -4,7 +4,7 @@
 //! `serde_json`, see DESIGN.md §2): interfaces serialise to a stable spec a
 //! front-end could consume.
 
-use pi2_interface::{Interface, InteractionChoice, WidgetDomain};
+use pi2_interface::{InteractionChoice, Interface, WidgetDomain};
 use std::fmt::Write;
 
 /// Escape a string for JSON.
@@ -68,8 +68,17 @@ pub fn interface_to_json(iface: &Interface) -> String {
         }
         let cover: Vec<String> = m.cover.iter().map(|c| c.to_string()).collect();
         match &m.choice {
-            InteractionChoice::Widget { kind, domain, label } => {
-                let bbox = iface.layout.widget_boxes.get(i).copied().unwrap_or_default();
+            InteractionChoice::Widget {
+                kind,
+                domain,
+                label,
+            } => {
+                let bbox = iface
+                    .layout
+                    .widget_boxes
+                    .get(i)
+                    .copied()
+                    .unwrap_or_default();
                 let domain_json = match domain {
                     WidgetDomain::Options(opts) => {
                         let opts: Vec<String> =
@@ -99,7 +108,11 @@ pub fn interface_to_json(iface: &Interface) -> String {
                     fmt_f64(bbox.h),
                 );
             }
-            InteractionChoice::Vis { view, kind, event_cols } => {
+            InteractionChoice::Vis {
+                view,
+                kind,
+                event_cols,
+            } => {
                 let cols: Vec<String> = event_cols.iter().map(|c| c.to_string()).collect();
                 let _ = write!(
                     out,
@@ -128,7 +141,7 @@ pub fn interface_to_json(iface: &Interface) -> String {
 mod tests {
     use super::*;
     use pi2_interface::{
-        InteractionInstance, LayoutNode, LayoutTree, Orientation, VisKind, VisMapping, View,
+        InteractionInstance, LayoutNode, LayoutTree, Orientation, View, VisKind, VisMapping,
         WidgetKind,
     };
 
@@ -147,8 +160,14 @@ mod tests {
         let root = LayoutNode::Group {
             orientation: Orientation::Vertical,
             children: vec![
-                LayoutNode::Vis { view: 0, size: (320.0, 240.0) },
-                LayoutNode::Widget { interaction: 0, size: (100.0, 40.0) },
+                LayoutNode::Vis {
+                    view: 0,
+                    size: (320.0, 240.0),
+                },
+                LayoutNode::Widget {
+                    interaction: 0,
+                    size: (100.0, 40.0),
+                },
             ],
         };
         Interface {

@@ -45,7 +45,5 @@ pub use runtime::{Event, Runtime};
 // Re-export the sub-crates' key types so downstream users need one import.
 pub use pi2_data::{Catalog, DataType, Table, Value};
 pub use pi2_difftree::{Forest, Workload};
-pub use pi2_interface::{
-    Interface, InteractionChoice, InteractionKind, VisKind, WidgetKind,
-};
+pub use pi2_interface::{InteractionChoice, InteractionKind, Interface, VisKind, WidgetKind};
 pub use pi2_search::{MctsConfig, SearchStats};

@@ -4,7 +4,7 @@
 //! same structure — charts, widgets, layout boxes — as text, which keeps
 //! the generated interfaces inspectable in tests, examples, and logs.
 
-use pi2_interface::{Interface, InteractionChoice, Rect};
+use pi2_interface::{InteractionChoice, Interface, Rect};
 
 /// Character-cell scale: one column ≈ 8 px, one row ≈ 18 px.
 const PX_PER_COL: f64 = 8.0;
@@ -20,8 +20,12 @@ pub fn render_ascii(iface: &Interface) -> String {
     let draw_box = |r: &Rect, label: &str, grid: &mut Vec<Vec<char>>| {
         let x0 = (r.x / PX_PER_COL) as usize;
         let y0 = (r.y / PX_PER_ROW) as usize;
-        let x1 = (((r.x + r.w) / PX_PER_COL) as usize).min(cols - 1).max(x0 + 2);
-        let y1 = (((r.y + r.h) / PX_PER_ROW) as usize).min(rows - 1).max(y0 + 1);
+        let x1 = (((r.x + r.w) / PX_PER_COL) as usize)
+            .min(cols - 1)
+            .max(x0 + 2);
+        let y1 = (((r.y + r.h) / PX_PER_ROW) as usize)
+            .min(rows - 1)
+            .max(y0 + 1);
         #[allow(clippy::needless_range_loop)]
         for x in x0..=x1 {
             if y0 < rows {
@@ -74,7 +78,6 @@ pub fn render_ascii(iface: &Interface) -> String {
     out
 }
 
-
 /// Render one view's result table as an ASCII chart with actual data marks
 /// (bars, points, or a line), using the view's visualization mapping.
 /// Tables render through [`pi2_data::Table`]'s own formatter.
@@ -114,7 +117,11 @@ fn render_bars(table: &pi2_data::Table, x: usize, y: usize) -> String {
         .collect();
     rows.sort_by(|a, b| a.0.cmp(&b.0));
     rows.truncate(20);
-    let max = rows.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-9);
+    let max = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(1);
     let mut out = String::new();
     for (label, v) in &rows {
@@ -142,12 +149,8 @@ fn render_points(table: &pi2_data::Table, x: usize, y: usize, connect: bool) -> 
     let (y0, y1) = pts.iter().fold((f64::MAX, f64::MIN), |(a, b), (_, v)| {
         (a.min(*v), b.max(*v))
     });
-    let sx = |v: f64| {
-        (((v - x0) / (x1 - x0).max(1e-9)) * (W - 1) as f64).round() as usize
-    };
-    let sy = |v: f64| {
-        H - 1 - (((v - y0) / (y1 - y0).max(1e-9)) * (H - 1) as f64).round() as usize
-    };
+    let sx = |v: f64| (((v - x0) / (x1 - x0).max(1e-9)) * (W - 1) as f64).round() as usize;
+    let sy = |v: f64| H - 1 - (((v - y0) / (y1 - y0).max(1e-9)) * (H - 1) as f64).round() as usize;
     let mut grid = vec![vec![' '; W]; H];
     let mut sorted = pts.clone();
     if connect {
@@ -191,8 +194,7 @@ fn render_points(table: &pi2_data::Table, x: usize, y: usize, connect: bool) -> 
 mod tests {
     use super::*;
     use pi2_interface::{
-        LayoutNode, LayoutTree, Orientation, VisKind, VisMapping, View, WidgetDomain,
-        WidgetKind,
+        LayoutNode, LayoutTree, Orientation, View, VisKind, VisMapping, WidgetDomain, WidgetKind,
     };
 
     fn sample_interface() -> Interface {
@@ -203,21 +205,33 @@ mod tests {
             extra_targets: vec![],
             choice: InteractionChoice::Widget {
                 kind: WidgetKind::Slider,
-                domain: WidgetDomain::Range { min: 0.0, max: 10.0 },
+                domain: WidgetDomain::Range {
+                    min: 0.0,
+                    max: 10.0,
+                },
                 label: "hp".into(),
             },
         }];
         let root = LayoutNode::Group {
             orientation: Orientation::Vertical,
             children: vec![
-                LayoutNode::Vis { view: 0, size: (320.0, 240.0) },
-                LayoutNode::Widget { interaction: 0, size: (160.0, 30.0) },
+                LayoutNode::Vis {
+                    view: 0,
+                    size: (320.0, 240.0),
+                },
+                LayoutNode::Widget {
+                    interaction: 0,
+                    size: (160.0, 30.0),
+                },
             ],
         };
         Interface {
             views: vec![View {
                 tree: 0,
-                vis: VisMapping { kind: VisKind::Point, assignments: vec![] },
+                vis: VisMapping {
+                    kind: VisKind::Point,
+                    assignments: vec![],
+                },
             }],
             interactions,
             layout: LayoutTree::place(root, 1, 1),
@@ -262,7 +276,9 @@ mod tests {
         use pi2_data::{DataType, Table, Value};
         let t = Table::from_rows(
             vec![("x", DataType::Int), ("y", DataType::Int)],
-            (0..30).map(|i| vec![Value::Int(i), Value::Int(i * i)]).collect(),
+            (0..30)
+                .map(|i| vec![Value::Int(i), Value::Int(i * i)])
+                .collect(),
         )
         .unwrap();
         let scatter = VisMapping {
@@ -277,7 +293,10 @@ mod tests {
             assignments: scatter.assignments.clone(),
         };
         assert!(render_view(&t, &line).contains('·'));
-        let table = VisMapping { kind: VisKind::Table, assignments: vec![] };
+        let table = VisMapping {
+            kind: VisKind::Table,
+            assignments: vec![],
+        };
         let s = render_view(&t, &table);
         assert!(s.contains("more rows"), "long tables truncate: {s}");
     }

@@ -23,32 +23,35 @@ use pi2_sql::ast::{Literal, Query};
 pub enum Event {
     /// Choose option `option` of an enumerating widget (radio / dropdown /
     /// buttons) or click the `option`-th alternative.
-    /// The select.
     Select { interaction: usize, option: usize },
     /// Turn a toggle on or off.
-    /// The toggle.
     Toggle { interaction: usize, on: bool },
     /// Set scalar values aligned with the interaction's flattened elements:
     /// a slider sends one value, a range slider or brush two, a pan/zoom on
     /// a scatterplot four (x-lo, x-hi, y-lo, y-hi), a click one per event
     /// column.
-    /// The set values.
-    SetValues { interaction: usize, values: Vec<Value> },
+    SetValues {
+        interaction: usize,
+        values: Vec<Value>,
+    },
     /// Set the value set of a repeated element (checkbox over MULTI,
     /// multi-click, adder).
-    /// The set set.
-    SetSet { interaction: usize, values: Vec<Value> },
+    SetSet {
+        interaction: usize,
+        values: Vec<Value>,
+    },
     /// Choose a subset of options (checkbox over SUBSET).
-    /// The select many.
-    SelectMany { interaction: usize, options: Vec<usize> },
+    SelectMany {
+        interaction: usize,
+        options: Vec<usize>,
+    },
     /// Clear an optional interaction (e.g. clear a brush), removing the
     /// controlled subtree from the query.
-    /// The clear.
     Clear { interaction: usize },
 }
 
 impl Event {
-    /// Interaction.
+    /// Index of the interaction instance this event targets.
     pub fn interaction(&self) -> usize {
         match self {
             Event::Select { interaction, .. }
@@ -102,23 +105,32 @@ impl Runtime {
             .interactions
             .iter()
             .map(|inst| {
-                forest.trees[inst.target_tree]
-                    .find(inst.target_node)
+                forest
+                    .node_in_tree(inst.target_tree, inst.target_node)
                     .map(displayed_options)
                     .unwrap_or_default()
             })
             .collect();
-        Ok(Runtime { forest, workload, interface, bindings, types, option_maps })
+        Ok(Runtime {
+            forest,
+            workload,
+            interface,
+            bindings,
+            types,
+            option_maps,
+        })
     }
 
-    /// Interface.
+    /// The interface this runtime drives.
     pub fn interface(&self) -> &Interface {
         &self.interface
     }
 
     /// The current SQL query of each tree.
     pub fn queries(&self) -> Result<Vec<Query>, Pi2Error> {
-        (0..self.forest.trees.len()).map(|t| self.query_for_tree(t)).collect()
+        (0..self.forest.trees.len())
+            .map(|t| self.query_for_tree(t))
+            .collect()
     }
 
     /// The current SQL query of one tree.
@@ -148,16 +160,16 @@ impl Runtime {
             .ok_or_else(|| Pi2Error::Runtime(format!("no interaction #{ix}")))?
             .clone();
         let tree = inst.target_tree;
-        let node = self.forest.trees[tree]
-            .find(inst.target_node)
+        let node = self
+            .forest
+            .node_in_tree(tree, inst.target_node)
             .ok_or_else(|| Pi2Error::Runtime("stale target node".into()))?
             .clone();
         let mut next = self.bindings[tree].clone();
 
         match &event {
             Event::Select { option, .. } => {
-                let child = self
-                    .option_maps[ix]
+                let child = self.option_maps[ix]
                     .get(*option)
                     .copied()
                     .ok_or_else(|| Pi2Error::Runtime(format!("no option {option}")))?;
@@ -172,7 +184,10 @@ impl Runtime {
             Event::Toggle { on, .. } => {
                 let (present_idx, empty_idx) = opt_indices(&node)
                     .ok_or_else(|| Pi2Error::Runtime("Toggle targets an OPT node".into()))?;
-                next.insert(node.id, Binding::Index(if *on { present_idx } else { empty_idx }));
+                next.insert(
+                    node.id,
+                    Binding::Index(if *on { present_idx } else { empty_idx }),
+                );
                 if *on {
                     self.fill_missing(tree, &mut next);
                 }
@@ -183,19 +198,16 @@ impl Runtime {
                 // (lo, hi) pair can drive co-varying range pairs).
                 let mut staged: Vec<(usize, BindingMap)> = Vec::new();
                 for (t_tree, t_node) in inst.all_targets() {
-                    let t_node = self.forest.trees[t_tree]
-                        .find(t_node)
+                    let t_node = self
+                        .forest
+                        .node_in_tree(t_tree, t_node)
                         .ok_or_else(|| Pi2Error::Runtime("stale target node".into()))?
                         .clone();
-                    let flat =
-                        flatten_node(&t_node, &self.types[t_tree]).ok_or_else(|| {
-                            Pi2Error::Runtime(
-                                "interaction target does not accept values".into(),
-                            )
-                        })?;
+                    let flat = flatten_node(&t_node, &self.types[t_tree]).ok_or_else(|| {
+                        Pi2Error::Runtime("interaction target does not accept values".into())
+                    })?;
                     if values.is_empty()
-                        || (values.len() != flat.len()
-                            && !flat.len().is_multiple_of(values.len()))
+                        || (values.len() != flat.len() && !flat.len().is_multiple_of(values.len()))
                     {
                         return Err(Pi2Error::Runtime(format!(
                             "expected {} values, got {}",
@@ -213,7 +225,9 @@ impl Runtime {
                             if j % stride != r {
                                 continue;
                             }
-                            let Some(n) = t_node.find(elem.node_id) else { continue };
+                            let Some(n) = t_node.find(elem.node_id) else {
+                                continue;
+                            };
                             if n.kind == NodeKind::Any {
                                 if let Some(v) = nearest_option_value(n, slot) {
                                     *slot = v;
@@ -238,10 +252,9 @@ impl Runtime {
                 }
                 // Validate and commit all targets atomically.
                 for (t_tree, t_next) in &staged {
-                    let resolved = resolve(&self.forest.trees[*t_tree], t_next)
-                        .map_err(|e| {
-                            Pi2Error::Runtime(format!("event produced invalid state: {e}"))
-                        })?;
+                    let resolved = resolve(&self.forest.trees[*t_tree], t_next).map_err(|e| {
+                        Pi2Error::Runtime(format!("event produced invalid state: {e}"))
+                    })?;
                     raise_query(&resolved).map_err(|e| {
                         Pi2Error::Runtime(format!("event produced invalid query: {e}"))
                     })?;
@@ -279,19 +292,17 @@ impl Runtime {
                 // Clear every target's optional subtree(s).
                 let mut staged: Vec<(usize, BindingMap)> = Vec::new();
                 for (t_tree, t_node_id) in inst.all_targets() {
-                    let t_node = self.forest.trees[t_tree]
-                        .find(t_node_id)
+                    let t_node = self
+                        .forest
+                        .node_in_tree(t_tree, t_node_id)
                         .ok_or_else(|| Pi2Error::Runtime("stale target node".into()))?
                         .clone();
                     let flat = flatten_node(&t_node, &self.types[t_tree]);
                     let controllers: Vec<u32> = match (&t_node.kind, flat) {
                         (NodeKind::Any, _) if t_node.is_opt() => vec![t_node.id],
                         (_, Some(flat)) => {
-                            let mut c: Vec<u32> = flat
-                                .elems
-                                .iter()
-                                .filter_map(|e| e.opt_controller)
-                                .collect();
+                            let mut c: Vec<u32> =
+                                flat.elems.iter().filter_map(|e| e.opt_controller).collect();
                             c.dedup();
                             if c.is_empty() {
                                 return Err(Pi2Error::Runtime(
@@ -300,11 +311,7 @@ impl Runtime {
                             }
                             c
                         }
-                        _ => {
-                            return Err(Pi2Error::Runtime(
-                                "interaction is not clearable".into(),
-                            ))
-                        }
+                        _ => return Err(Pi2Error::Runtime("interaction is not clearable".into())),
                     };
                     let mut t_next = if t_tree == tree {
                         next.clone()
@@ -322,10 +329,9 @@ impl Runtime {
                     staged.push((t_tree, t_next));
                 }
                 for (t_tree, t_next) in &staged {
-                    let resolved = resolve(&self.forest.trees[*t_tree], t_next)
-                        .map_err(|e| {
-                            Pi2Error::Runtime(format!("event produced invalid state: {e}"))
-                        })?;
+                    let resolved = resolve(&self.forest.trees[*t_tree], t_next).map_err(|e| {
+                        Pi2Error::Runtime(format!("event produced invalid state: {e}"))
+                    })?;
                     raise_query(&resolved).map_err(|e| {
                         Pi2Error::Runtime(format!("event produced invalid query: {e}"))
                     })?;
@@ -387,8 +393,7 @@ fn opt_indices(node: &DNode) -> Option<(usize, usize)> {
     }
     let empty = node.children.iter().position(|c| c.is_empty_node())?;
     let present = node.children.iter().position(|c| {
-        !(c.is_empty_node()
-            || matches!(c.kind, NodeKind::CoOpt { .. }) && c.children.is_empty())
+        !(c.is_empty_node() || matches!(c.kind, NodeKind::CoOpt { .. }) && c.children.is_empty())
     })?;
     Some((present, empty))
 }
@@ -476,9 +481,14 @@ fn nearest_option(node: &DNode, value: &Value) -> Option<usize> {
         .or_else(|| value.as_f64())?;
     let mut best: Option<(usize, f64)> = None;
     for (i, c) in node.children.iter().enumerate() {
-        let NodeKind::Syntax(SyntaxKind::Lit(l)) = &c.kind else { continue };
+        let NodeKind::Syntax(SyntaxKind::Lit(l)) = &c.kind else {
+            continue;
+        };
         let v = pi2_interface::literal_to_value(&l.0);
-        let v = v.coerce_to_date().and_then(|v| v.as_f64()).or_else(|| v.as_f64())?;
+        let v = v
+            .coerce_to_date()
+            .and_then(|v| v.as_f64())
+            .or_else(|| v.as_f64())?;
         let d = (v - target).abs();
         if best.is_none_or(|(_, bd)| d < bd) {
             best = Some((i, d));
@@ -539,8 +549,7 @@ mod tests {
         let rows: Vec<Vec<Value>> = (0..24)
             .map(|i| vec![Value::Int(i % 4), Value::Int(10 * (i % 6))])
             .collect();
-        let t = Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows)
-            .unwrap();
+        let t = Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows).unwrap();
         c.add_table("T", t, vec![]);
         c
     }
@@ -587,15 +596,27 @@ mod tests {
                     | pi2_interface::WidgetKind::Button
                         if domain.size() >= 2 =>
                     {
-                        vec![Event::Select { interaction: ix, option: 1 }]
+                        vec![Event::Select {
+                            interaction: ix,
+                            option: 1,
+                        }]
                     }
                     pi2_interface::WidgetKind::Slider | pi2_interface::WidgetKind::Textbox => {
-                        vec![Event::SetValues { interaction: ix, values: vec![Value::Int(30)] }]
+                        vec![Event::SetValues {
+                            interaction: ix,
+                            values: vec![Value::Int(30)],
+                        }]
                     }
                     pi2_interface::WidgetKind::Toggle => {
                         vec![
-                            Event::Toggle { interaction: ix, on: false },
-                            Event::Toggle { interaction: ix, on: true },
+                            Event::Toggle {
+                                interaction: ix,
+                                on: false,
+                            },
+                            Event::Toggle {
+                                interaction: ix,
+                                on: true,
+                            },
                         ]
                     }
                     _ => continue,
@@ -603,7 +624,10 @@ mod tests {
                 InteractionChoice::Vis { .. } => {
                     // Try a 1/2/4-value payload (slider/brush/pan shapes).
                     vec![
-                        Event::SetValues { interaction: ix, values: vec![Value::Int(30)] },
+                        Event::SetValues {
+                            interaction: ix,
+                            values: vec![Value::Int(30)],
+                        },
                         Event::SetValues {
                             interaction: ix,
                             values: vec![Value::Int(20), Value::Int(40)],
@@ -630,7 +654,11 @@ mod tests {
                 break;
             }
         }
-        assert!(changed, "no dispatchable interaction found:\n{}", g.describe());
+        assert!(
+            changed,
+            "no dispatchable interaction found:\n{}",
+            g.describe()
+        );
         let after = rt.queries().unwrap();
         assert_ne!(before, after, "dispatch must change some query");
         rt.execute().unwrap();
@@ -642,11 +670,17 @@ mod tests {
         let mut rt = g.runtime().unwrap();
         let before = rt.queries().unwrap();
         assert!(rt
-            .dispatch(Event::Select { interaction: 999, option: 0 })
+            .dispatch(Event::Select {
+                interaction: 999,
+                option: 0
+            })
             .is_err());
         // Wrong payload arity.
         for ix in 0..g.interface.interactions.len() {
-            let _ = rt.dispatch(Event::SetValues { interaction: ix, values: vec![] });
+            let _ = rt.dispatch(Event::SetValues {
+                interaction: ix,
+                values: vec![],
+            });
         }
         assert_eq!(rt.queries().unwrap(), before);
     }

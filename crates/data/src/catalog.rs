@@ -48,8 +48,11 @@ pub struct Catalog {
 impl Catalog {
     /// An empty catalogue pre-populated with the standard function library.
     pub fn new() -> Self {
-        let mut c =
-            Catalog { tables: BTreeMap::new(), functions: BTreeMap::new(), fingerprint: 0 };
+        let mut c = Catalog {
+            tables: BTreeMap::new(),
+            functions: BTreeMap::new(),
+            fingerprint: 0,
+        };
         c.register_function("count", FunctionSig::Fixed(DataType::Int));
         c.register_function("sum", FunctionSig::SameAsArg);
         c.register_function("min", FunctionSig::SameAsArg);
@@ -62,12 +65,7 @@ impl Catalog {
     }
 
     /// Register (or replace) a table, computing its statistics.
-    pub fn add_table(
-        &mut self,
-        name: impl Into<String>,
-        table: Table,
-        primary_key: Vec<&str>,
-    ) {
+    pub fn add_table(&mut self, name: impl Into<String>, table: Table, primary_key: Vec<&str>) {
         let name = name.into();
         let stats = (0..table.num_columns())
             .map(|i| ColumnStats::compute(&table, i))
@@ -78,8 +76,11 @@ impl Catalog {
             primary_key: primary_key.into_iter().map(|s| s.to_string()).collect(),
             stats,
         };
-        // Update the fingerprint from cheap summaries; full row hashing is
-        // avoided on purpose (tables can be large).
+        // Update the content fingerprint. Process-global caches (executed
+        // results, mapping artifacts, type inference) key on it, so it must
+        // distinguish catalogues by *data*, not just by schema summaries —
+        // hash every cell. add_table already scans the table for statistics,
+        // so this stays a constant number of passes over the data.
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.fingerprint.hash(&mut h);
@@ -96,6 +97,12 @@ impl Catalog {
                 }
             }
         }
+        for row in &meta.table.rows {
+            for v in row {
+                v.hash(&mut h);
+            }
+        }
+        meta.primary_key.hash(&mut h);
         self.fingerprint = h.finish();
         self.tables.insert(name.to_ascii_lowercase(), meta);
     }
@@ -112,7 +119,8 @@ impl Catalog {
 
     /// Require table.
     pub fn require_table(&self, name: &str) -> Result<&TableMeta, DataError> {
-        self.table(name).ok_or_else(|| DataError::UnknownTable(name.to_string()))
+        self.table(name)
+            .ok_or_else(|| DataError::UnknownTable(name.to_string()))
     }
 
     /// Table names.
@@ -152,17 +160,27 @@ impl Catalog {
     /// Whether `columns` is a superset of some table's primary key — i.e.
     /// the projection is functionally determined by those columns.
     pub fn covers_primary_key(&self, table: &str, columns: &[&str]) -> bool {
-        let Some(meta) = self.table(table) else { return false };
+        let Some(meta) = self.table(table) else {
+            return false;
+        };
         if meta.primary_key.is_empty() {
             return false;
         }
-        meta.primary_key.iter().all(|k| {
-            columns.iter().any(|c| c.eq_ignore_ascii_case(k))
-        })
+        meta.primary_key
+            .iter()
+            .all(|k| columns.iter().any(|c| c.eq_ignore_ascii_case(k)))
     }
 
     /// Register function.
     pub fn register_function(&mut self, name: &str, sig: FunctionSig) {
+        // Function signatures feed type inference, whose results are cached
+        // by catalogue fingerprint — fold registrations in too.
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.fingerprint.hash(&mut h);
+        name.to_ascii_lowercase().hash(&mut h);
+        format!("{sig:?}").hash(&mut h);
+        self.fingerprint = h.finish();
         self.functions.insert(name.to_ascii_lowercase(), sig);
     }
 
@@ -173,11 +191,7 @@ impl Catalog {
 
     /// Return type of `name(arg_type)` per the signature registry; `None`
     /// when the function is unknown.
-    pub fn function_return_type(
-        &self,
-        name: &str,
-        arg_type: Option<DataType>,
-    ) -> Option<DataType> {
+    pub fn function_return_type(&self, name: &str, arg_type: Option<DataType>) -> Option<DataType> {
         match self.function(name)? {
             FunctionSig::Fixed(t) => Some(t),
             FunctionSig::SameAsArg => arg_type,
@@ -194,7 +208,11 @@ mod tests {
     fn catalog_with_t() -> Catalog {
         let mut c = Catalog::new();
         let t = Table::from_rows(
-            vec![("p", DataType::Int), ("a", DataType::Int), ("b", DataType::Int)],
+            vec![
+                ("p", DataType::Int),
+                ("a", DataType::Int),
+                ("b", DataType::Int),
+            ],
             vec![
                 vec![Value::Int(1), Value::Int(10), Value::Int(100)],
                 vec![Value::Int(2), Value::Int(20), Value::Int(200)],
@@ -257,15 +275,15 @@ mod tests {
     #[test]
     fn function_signatures() {
         let c = Catalog::new();
-        assert_eq!(
-            c.function_return_type("COUNT", None),
-            Some(DataType::Int)
-        );
+        assert_eq!(c.function_return_type("COUNT", None), Some(DataType::Int));
         assert_eq!(
             c.function_return_type("sum", Some(DataType::Float)),
             Some(DataType::Float)
         );
-        assert_eq!(c.function_return_type("avg", Some(DataType::Int)), Some(DataType::Float));
+        assert_eq!(
+            c.function_return_type("avg", Some(DataType::Int)),
+            Some(DataType::Float)
+        );
         assert_eq!(c.function_return_type("today", None), Some(DataType::Date));
         assert_eq!(c.function_return_type("nope", None), None);
     }

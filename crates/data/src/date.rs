@@ -109,14 +109,35 @@ mod tests {
 
     #[test]
     fn epoch_is_zero() {
-        assert_eq!(civil_to_days(CivilDate { year: 1970, month: 1, day: 1 }), 0);
-        assert_eq!(days_to_civil(0), CivilDate { year: 1970, month: 1, day: 1 });
+        assert_eq!(
+            civil_to_days(CivilDate {
+                year: 1970,
+                month: 1,
+                day: 1
+            }),
+            0
+        );
+        assert_eq!(
+            days_to_civil(0),
+            CivilDate {
+                year: 1970,
+                month: 1,
+                day: 1
+            }
+        );
     }
 
     #[test]
     fn known_dates_round_trip() {
         // 2000-03-01 is day 11017.
-        assert_eq!(civil_to_days(CivilDate { year: 2000, month: 3, day: 1 }), 11017);
+        assert_eq!(
+            civil_to_days(CivilDate {
+                year: 2000,
+                month: 3,
+                day: 1
+            }),
+            11017
+        );
         // 2019-01-25 appears in the Sales workload.
         let d = parse_iso_date("2019-01-25").unwrap();
         assert_eq!(format_iso_date(d), "2019-01-25");

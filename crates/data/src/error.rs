@@ -34,7 +34,10 @@ impl fmt::Display for DataError {
             DataError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             DataError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
             DataError::ArityMismatch { expected, found } => {
-                write!(f, "row arity mismatch: expected {expected} values, found {found}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} values, found {found}"
+                )
             }
             DataError::BadLiteral(s) => write!(f, "bad literal: {s}"),
         }
@@ -50,16 +53,36 @@ mod tests {
     #[test]
     fn display_formats_are_stable() {
         assert_eq!(
-            DataError::TypeMismatch { expected: "num".into(), found: "str".into() }.to_string(),
+            DataError::TypeMismatch {
+                expected: "num".into(),
+                found: "str".into()
+            }
+            .to_string(),
             "type mismatch: expected num, found str"
         );
-        assert_eq!(DataError::UnknownTable("t".into()).to_string(), "unknown table: t");
-        assert_eq!(DataError::UnknownColumn("c".into()).to_string(), "unknown column: c");
-        assert_eq!(DataError::AmbiguousColumn("c".into()).to_string(), "ambiguous column: c");
         assert_eq!(
-            DataError::ArityMismatch { expected: 2, found: 3 }.to_string(),
+            DataError::UnknownTable("t".into()).to_string(),
+            "unknown table: t"
+        );
+        assert_eq!(
+            DataError::UnknownColumn("c".into()).to_string(),
+            "unknown column: c"
+        );
+        assert_eq!(
+            DataError::AmbiguousColumn("c".into()).to_string(),
+            "ambiguous column: c"
+        );
+        assert_eq!(
+            DataError::ArityMismatch {
+                expected: 2,
+                found: 3
+            }
+            .to_string(),
             "row arity mismatch: expected 2 values, found 3"
         );
-        assert_eq!(DataError::BadLiteral("x".into()).to_string(), "bad literal: x");
+        assert_eq!(
+            DataError::BadLiteral("x".into()).to_string(),
+            "bad literal: x"
+        );
     }
 }

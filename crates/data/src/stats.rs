@@ -43,7 +43,13 @@ impl ColumnStats {
         } else {
             None
         };
-        ColumnStats { distinct_count, min, max, distinct_values, unique }
+        ColumnStats {
+            distinct_count,
+            min,
+            max,
+            distinct_values,
+            unique,
+        }
     }
 
     /// The §4.1 rule: a column is usable as a categorical visual variable

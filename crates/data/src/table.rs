@@ -17,7 +17,10 @@ pub struct Column {
 impl Column {
     /// New.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Column { name: name.into(), dtype }
+        Column {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -48,7 +51,9 @@ impl Schema {
     /// name.
     pub fn index_of(&self, name: &str) -> Option<usize> {
         let lower = name.to_ascii_lowercase();
-        self.columns.iter().position(|c| c.name.to_ascii_lowercase() == lower)
+        self.columns
+            .iter()
+            .position(|c| c.name.to_ascii_lowercase() == lower)
     }
 
     /// Column.
@@ -77,16 +82,19 @@ pub struct Table {
 impl Table {
     /// New.
     pub fn new(schema: Schema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Build a table from `(name, type)` pairs and rows, validating arity.
-    pub fn from_rows(
-        columns: Vec<(&str, DataType)>,
-        rows: Vec<Row>,
-    ) -> Result<Self, DataError> {
+    pub fn from_rows(columns: Vec<(&str, DataType)>, rows: Vec<Row>) -> Result<Self, DataError> {
         let schema = Schema::new(
-            columns.into_iter().map(|(n, t)| Column::new(n, t)).collect(),
+            columns
+                .into_iter()
+                .map(|(n, t)| Column::new(n, t))
+                .collect(),
         );
         let mut t = Table::new(schema);
         for row in rows {
@@ -171,8 +179,7 @@ impl fmt::Display for Table {
     /// Fixed-width text rendering, used by the table "visualization" and the
     /// example binaries.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut widths: Vec<usize> =
-            self.schema.columns.iter().map(|c| c.name.len()).collect();
+        let mut widths: Vec<usize> = self.schema.columns.iter().map(|c| c.name.len()).collect();
         let rendered: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -231,7 +238,13 @@ mod tests {
     fn arity_is_validated() {
         let mut t = sample();
         let err = t.push_row(vec![Value::Int(1)]).unwrap_err();
-        assert_eq!(err, DataError::ArityMismatch { expected: 2, found: 1 });
+        assert_eq!(
+            err,
+            DataError::ArityMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl DataType {
     /// type hierarchy. Dates count as numeric: they support range predicates,
     /// sliders, and axis scales.
     pub fn is_numeric(self) -> bool {
-        matches!(self, DataType::Int | DataType::Float | DataType::Date | DataType::Bool)
+        matches!(
+            self,
+            DataType::Int | DataType::Float | DataType::Date | DataType::Bool
+        )
     }
 
     /// Least-common-supertype of two storage types, used when unioning result

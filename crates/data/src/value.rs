@@ -215,7 +215,9 @@ impl Ord for Value {
         // mixed Int/Float column behaves sensibly.
         if let (Some(a), Some(b)) = (self.as_f64(), other.as_f64()) {
             if let Some(o) = a.partial_cmp(&b) {
-                if o != Ordering::Equal || std::mem::discriminant(self) == std::mem::discriminant(other) {
+                if o != Ordering::Equal
+                    || std::mem::discriminant(self) == std::mem::discriminant(other)
+                {
                     return o;
                 }
             }
@@ -275,9 +277,18 @@ mod tests {
 
     #[test]
     fn numeric_cross_type_comparison() {
-        assert_eq!(Value::Int(3).sql_cmp(&Value::Float(3.0)), Some(Ordering::Equal));
-        assert_eq!(Value::Int(2).sql_cmp(&Value::Float(3.5)), Some(Ordering::Less));
-        assert_eq!(Value::Float(4.5).sql_cmp(&Value::Int(4)), Some(Ordering::Greater));
+        assert_eq!(
+            Value::Int(3).sql_cmp(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(4.5).sql_cmp(&Value::Int(4)),
+            Some(Ordering::Greater)
+        );
     }
 
     #[test]
@@ -290,7 +301,10 @@ mod tests {
     #[test]
     fn date_string_comparison() {
         let d = Value::Date(crate::date::parse_iso_date("2021-05-01").unwrap());
-        assert_eq!(d.sql_cmp(&Value::Str("2021-01-01".into())), Some(Ordering::Greater));
+        assert_eq!(
+            d.sql_cmp(&Value::Str("2021-01-01".into())),
+            Some(Ordering::Greater)
+        );
         assert_eq!(Value::Str("2021-05-01".into()).sql_eq(&d), Some(true));
     }
 
@@ -300,7 +314,10 @@ mod tests {
             Value::Str("CA".into()).sql_cmp(&Value::Str("NY".into())),
             Some(Ordering::Less)
         );
-        assert_eq!(Value::Str("CA".into()).sql_eq(&Value::Str("CA".into())), Some(true));
+        assert_eq!(
+            Value::Str("CA".into()).sql_eq(&Value::Str("CA".into())),
+            Some(true)
+        );
     }
 
     #[test]
@@ -320,7 +337,12 @@ mod tests {
 
     #[test]
     fn total_order_sorts_nulls_first() {
-        let mut vals = [Value::Int(5), Value::Null, Value::Int(-1), Value::Str("z".into())];
+        let mut vals = [
+            Value::Int(5),
+            Value::Null,
+            Value::Int(-1),
+            Value::Str("z".into()),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Int(-1));

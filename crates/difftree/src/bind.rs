@@ -80,7 +80,9 @@ pub fn bind_query(difftree: &DNode, concrete: &DNode) -> Option<BindingMap> {
 fn match_node(delta: &DNode, conc: &DNode, out: &mut BindingMap) -> bool {
     match &delta.kind {
         NodeKind::Syntax(k) => {
-            let NodeKind::Syntax(ck) = &conc.kind else { return false };
+            let NodeKind::Syntax(ck) = &conc.kind else {
+                return false;
+            };
             if k != ck {
                 return false;
             }
@@ -120,7 +122,9 @@ fn match_node(delta: &DNode, conc: &DNode, out: &mut BindingMap) -> bool {
         // MULTI/SUBSET only make sense inside child lists; as a direct
         // single-node match they must express exactly one element.
         NodeKind::Multi => {
-            let Some(template) = delta.children.first() else { return false };
+            let Some(template) = delta.children.first() else {
+                return false;
+            };
             let mut sub = BindingMap::new();
             if match_node(template, conc, &mut sub) {
                 out.insert(delta.id, Binding::List(vec![sub]));
@@ -143,7 +147,9 @@ fn match_node(delta: &DNode, conc: &DNode, out: &mut BindingMap) -> bool {
         NodeKind::CoOpt { .. } => {
             // Present: match the wrapped subtree (childless group markers
             // never match a concrete node).
-            let Some(child) = delta.children.first() else { return false };
+            let Some(child) = delta.children.first() else {
+                return false;
+            };
             if match_node(child, conc, out) {
                 out.insert(delta.id, Binding::Index(1));
                 return true;
@@ -184,8 +190,12 @@ fn match_seq(ds: &[DNode], cs: &[DNode], out: &mut BindingMap) -> bool {
             false
         }
         NodeKind::Val => {
-            let Some((c0, rest_c)) = cs.split_first() else { return false };
-            let NodeKind::Syntax(SyntaxKind::Lit(lit)) = &c0.kind else { return false };
+            let Some((c0, rest_c)) = cs.split_first() else {
+                return false;
+            };
+            let NodeKind::Syntax(SyntaxKind::Lit(lit)) = &c0.kind else {
+                return false;
+            };
             if match_seq(rest_d, rest_c, out) {
                 out.insert(d.id, Binding::Value(lit.0.clone()));
                 true
@@ -246,8 +256,7 @@ fn match_seq(ds: &[DNode], cs: &[DNode], out: &mut BindingMap) -> bool {
                         let mark = snapshot(out);
                         if match_node(&children[j], c0, out) {
                             chosen.push(j);
-                            if try_subset(children, j + 1, rest_c, rest_d, chosen, subset_id, out)
-                            {
+                            if try_subset(children, j + 1, rest_c, rest_d, chosen, subset_id, out) {
                                 return true;
                             }
                             chosen.pop();
@@ -286,7 +295,9 @@ fn match_seq(ds: &[DNode], cs: &[DNode], out: &mut BindingMap) -> bool {
             false
         }
         NodeKind::Syntax(_) => {
-            let Some((c0, rest_c)) = cs.split_first() else { return false };
+            let Some((c0, rest_c)) = cs.split_first() else {
+                return false;
+            };
             let mark = snapshot(out);
             if match_node(d, c0, out) && match_seq(rest_d, rest_c, out) {
                 true
@@ -304,9 +315,7 @@ fn match_seq(ds: &[DNode], cs: &[DNode], out: &mut BindingMap) -> bool {
 fn bind_linked_opts_absent(node: &DNode, group: u32, out: &mut BindingMap) {
     if let NodeKind::Any = node.kind {
         if opt_group(node) == Some(group) {
-            if let Some(empty_idx) =
-                node.children.iter().position(|c| c.is_empty_node())
-            {
+            if let Some(empty_idx) = node.children.iter().position(|c| c.is_empty_node()) {
                 out.entry(node.id).or_insert(Binding::Index(empty_idx));
             }
         }
@@ -420,7 +429,9 @@ fn resolve_into(
             let Some(Binding::Value(lit)) = map.get(&node.id) else {
                 return Err(ResolveError::MissingBinding(node.id));
             };
-            out.push(DNode::leaf(SyntaxKind::Lit(crate::gst::LitVal(lit.clone()))));
+            out.push(DNode::leaf(SyntaxKind::Lit(crate::gst::LitVal(
+                lit.clone(),
+            ))));
             Ok(())
         }
         NodeKind::Multi => {
@@ -476,8 +487,8 @@ mod tests {
     /// Assert the Difftree expresses the query and the binding round-trips.
     fn assert_expresses(delta: &DNode, sql: &str) -> BindingMap {
         let conc = gst(sql);
-        let map = bind_query(delta, &conc)
-            .unwrap_or_else(|| panic!("difftree does not express {sql}"));
+        let map =
+            bind_query(delta, &conc).unwrap_or_else(|| panic!("difftree does not express {sql}"));
         let resolved = resolve(delta, &map).unwrap();
         assert_eq!(
             raise_query(&resolved).unwrap(),
@@ -513,7 +524,10 @@ mod tests {
 
         let m = assert_expresses(&delta, "SELECT p, count(*) FROM T WHERE a = 5 GROUP BY p");
         let val_id = delta.choice_nodes()[0].id;
-        assert_eq!(m.get(&val_id), Some(&Binding::Value(pi2_sql::ast::Literal::Int(5))));
+        assert_eq!(
+            m.get(&val_id),
+            Some(&Binding::Value(pi2_sql::ast::Literal::Int(5)))
+        );
         // Still cannot express structurally different queries.
         assert!(bind_query(&delta, &gst("SELECT p FROM T WHERE a = 5")).is_none());
     }
@@ -539,11 +553,11 @@ mod tests {
         let item = delta.children[1].children.remove(0);
         // Template: SELECT item choosing between columns a and b.
         let col_a = item.children[0].clone();
-        let col_b = DNode::leaf(SyntaxKind::ColumnRef { table: None, column: "b".into() });
-        let template = DNode::syntax(
-            SyntaxKind::SelectItem,
-            vec![DNode::any(vec![col_a, col_b])],
-        );
+        let col_b = DNode::leaf(SyntaxKind::ColumnRef {
+            table: None,
+            column: "b".into(),
+        });
+        let template = DNode::syntax(SyntaxKind::SelectItem, vec![DNode::any(vec![col_a, col_b])]);
         delta.children[1].children.push(DNode::multi(template));
         delta.renumber(0);
 
@@ -551,7 +565,9 @@ mod tests {
         assert_expresses(&delta, "SELECT a, a FROM T");
         let m = assert_expresses(&delta, "SELECT b, a, b FROM T");
         let multi_id = delta.choice_nodes()[0].id;
-        let Some(Binding::List(params)) = m.get(&multi_id) else { panic!() };
+        let Some(Binding::List(params)) = m.get(&multi_id) else {
+            panic!()
+        };
         assert_eq!(params.len(), 3);
         assert!(bind_query(&delta, &gst("SELECT c FROM T")).is_none());
     }
@@ -572,11 +588,7 @@ mod tests {
         let subset_id = delta.choice_nodes()[0].id;
         assert_eq!(m.get(&subset_id), Some(&Binding::Indices(vec![1])));
         // Out-of-order subsets are not expressible (sep order is fixed).
-        assert!(bind_query(
-            &delta,
-            &gst("SELECT p FROM T WHERE c = 3 AND a = 1")
-        )
-        .is_none());
+        assert!(bind_query(&delta, &gst("SELECT p FROM T WHERE c = 3 AND a = 1")).is_none());
     }
 
     /// Nested choices: ANY inside an OPT'd conjunct.
@@ -615,7 +627,10 @@ mod tests {
         delta.renumber(0);
         let mut map = BindingMap::new();
         map.insert(delta.id, Binding::Index(5));
-        assert!(matches!(resolve(&delta, &map), Err(ResolveError::BadBinding(_, _))));
+        assert!(matches!(
+            resolve(&delta, &map),
+            Err(ResolveError::BadBinding(_, _))
+        ));
     }
 
     /// The PushOPT1 pair: an OPT link controls a CO-OPT'd subtree elsewhere.
@@ -628,9 +643,17 @@ mod tests {
         let where_ = &mut delta.children[3];
         let second = where_.children.remove(1);
         let first = where_.children.remove(0);
-        let marker = DNode { id: 0, kind: NodeKind::CoOpt { group: 7 }, children: vec![] };
+        let marker = DNode {
+            id: 0,
+            kind: NodeKind::CoOpt { group: 7 },
+            children: vec![],
+        };
         let opt = DNode::any(vec![first, DNode::empty(), marker]);
-        let coopt = DNode { id: 0, kind: NodeKind::CoOpt { group: 7 }, children: vec![second] };
+        let coopt = DNode {
+            id: 0,
+            kind: NodeKind::CoOpt { group: 7 },
+            children: vec![second],
+        };
         where_.children.push(opt);
         where_.children.push(coopt);
         delta.renumber(0);

@@ -8,89 +8,276 @@
 //! *operationally*: every candidate transform is validated by re-binding all
 //! input queries ([`Forest::bind_all`]), and resolutions are checked to
 //! reproduce the bound query exactly.
+//!
+//! # State representation
+//!
+//! A [`Forest`] holds its Difftrees as [`Arc<Tree>`]: cloning a forest (the
+//! innermost MCTS operation) bumps reference counts instead of copying
+//! nodes, and a transform rule copies only the tree it rewrites while every
+//! other tree stays shared with the parent state. Each [`Tree`] carries a
+//! precomputed 64-bit structural fingerprint (ids excluded), computed once
+//! at construction; [`Forest::key`] combines them into a [`ForestKey`] used
+//! by the search's transposition table and by the per-(tree, query) binding
+//! cache — no tree is ever re-hashed on lookup.
+//!
+//! Node ids are **tree-local DFS positions**: every tree root has id 0 and
+//! ids follow pre-order within the tree. Bindings, actions, and type maps
+//! are therefore stable under edits to *sibling* trees. Layers that need
+//! forest-global ids (interface covers, exact-cover bookkeeping) offset
+//! local ids by [`Forest::base`].
 
 use crate::bind::{bind_query, resolve, Binding, BindingMap};
-use crate::gst::{lower_query, raise_query, DNode};
+use crate::gst::{lower_query, DNode};
 use crate::schema::{result_schema, ResultSchema};
 use pi2_data::Catalog;
 use pi2_engine::{analyze_query, QueryInfo};
 use pi2_sql::ast::Query;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Shared, immutable context for a generation session: the input queries and
-/// the catalogue. Separated from [`Forest`] so that search states stay cheap
-/// to clone.
+/// the catalogue, plus per-query artifacts that are pure functions of the
+/// workload (lowered GSTs, GST fingerprints, analyzed schema info) so the
+/// search never recomputes them per state.
 #[derive(Debug, Clone)]
 pub struct Workload {
-    /// The queries.
+    /// The input queries.
     pub queries: Vec<Query>,
-    /// The gsts.
+    /// The lowered GST of each query.
     pub gsts: Vec<DNode>,
-    /// The catalog.
+    /// Structural fingerprint of each GST (binding-cache keys).
+    pub gst_fps: Vec<u64>,
+    /// Analyzed schema info per query; `None` when analysis fails.
+    pub infos: Vec<Option<QueryInfo>>,
+    /// The catalogue the queries run against.
     pub catalog: Catalog,
 }
 
 impl Workload {
-    /// New.
+    /// Build a workload: lower every query and precompute its fingerprint
+    /// and schema analysis.
     pub fn new(queries: Vec<Query>, catalog: Catalog) -> Workload {
-        let gsts = queries.iter().map(lower_query).collect();
-        Workload { queries, gsts, catalog }
+        let gsts: Vec<DNode> = queries.iter().map(lower_query).collect();
+        let gst_fps = gsts.iter().map(structural_fingerprint).collect();
+        let infos = queries
+            .iter()
+            .map(|q| analyze_query(q, &catalog).ok())
+            .collect();
+        Workload {
+            queries,
+            gsts,
+            gst_fps,
+            infos,
+            catalog,
+        }
     }
 
-    /// Len.
+    /// Number of input queries.
     pub fn len(&self) -> usize {
         self.queries.len()
     }
 
-    /// Is empty.
+    /// Whether the workload has no queries.
     pub fn is_empty(&self) -> bool {
         self.queries.is_empty()
     }
 }
 
 /// Per-query assignment: which tree expresses it, with which binding.
+/// Binding keys are **local** to the assigned tree (root id 0).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
-    /// The tree.
+    /// Index of the tree expressing the query.
     pub tree: usize,
-    /// The binding.
+    /// The query's binding over that tree's choice nodes (tree-local ids).
     pub binding: BindingMap,
 }
 
-/// A set of Difftrees — one MCTS search state.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Forest {
-    /// The trees.
-    pub trees: Vec<DNode>,
+/// One Difftree with its cached structural fingerprint and DFS-local ids.
+///
+/// `Tree` is immutable once built: construction renumbers the root to
+/// tree-local DFS ids (root = 0) and fingerprints the structure. It derefs
+/// to [`DNode`], so read-only tree traversals work unchanged.
+#[derive(Debug)]
+pub struct Tree {
+    root: DNode,
+    fp: u64,
+    size: u32,
 }
+
+impl Tree {
+    /// Seal a node as a tree: assign DFS-local ids and fingerprint it.
+    pub fn new(mut root: DNode) -> Tree {
+        let size = root.renumber(0);
+        let fp = structural_fingerprint(&root);
+        Tree { root, fp, size }
+    }
+
+    /// The 64-bit structural fingerprint (ids excluded).
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
+    }
+
+    /// The tree's root node.
+    pub fn node(&self) -> &DNode {
+        &self.root
+    }
+
+    /// An owned copy of the root node (for building derived trees).
+    pub fn to_dnode(&self) -> DNode {
+        self.root.clone()
+    }
+
+    /// Node count (cached).
+    pub fn len(&self) -> u32 {
+        self.size
+    }
+
+    /// Whether the tree is empty (never true: a tree has ≥ 1 node).
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+}
+
+impl Deref for Tree {
+    type Target = DNode;
+
+    fn deref(&self) -> &DNode {
+        &self.root
+    }
+}
+
+impl PartialEq for Tree {
+    fn eq(&self, other: &Self) -> bool {
+        self.fp == other.fp && self.size == other.size && self.root == other.root
+    }
+}
+
+impl Eq for Tree {}
+
+impl Hash for Tree {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fp);
+    }
+}
+
+/// Deterministic structural fingerprint of a subtree: hashes kinds and
+/// shape, ignores ids. Equal trees always collide; unequal trees collide
+/// with probability ~2⁻⁶⁴ (all fingerprint consumers also key on size, and
+/// exact-correctness paths fall back to structural equality).
+pub fn structural_fingerprint(node: &DNode) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    node.hash(&mut h);
+    h.finish()
+}
+
+/// The transposition-table key of a forest: an order-sensitive combination
+/// of the per-tree fingerprints plus the total node count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ForestKey {
+    /// Combined structural hash across trees (order-sensitive).
+    pub hash: u64,
+    /// Total node count across trees.
+    pub size: u32,
+}
+
+impl ForestKey {
+    /// A stable 64-bit seed derived from the key (reward-sampling RNG).
+    pub fn seed(&self) -> u64 {
+        self.hash ^ ((self.size as u64) << 32)
+    }
+}
+
+/// A set of Difftrees — one MCTS search state. Trees are structurally
+/// shared ([`Arc`]); cloning a forest is O(#trees).
+#[derive(Debug, Clone)]
+pub struct Forest {
+    /// The trees. Always constructed through [`Forest::new`] /
+    /// [`Forest::from_trees`], which seal fingerprints.
+    pub trees: Vec<Arc<Tree>>,
+}
+
+impl PartialEq for Forest {
+    fn eq(&self, other: &Self) -> bool {
+        self.trees.len() == other.trees.len()
+            && self
+                .trees
+                .iter()
+                .zip(&other.trees)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a == b)
+    }
+}
+
+impl Eq for Forest {}
 
 impl Hash for Forest {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.trees.hash(state);
+        state.write_u64(self.key().hash);
     }
 }
 
 impl Forest {
-    /// Initial state: one (choice-free) Difftree per input query, ids
-    /// renumbered.
-    pub fn from_workload(w: &Workload) -> Forest {
-        let mut f = Forest { trees: w.gsts.clone() };
-        f.renumber();
-        f
-    }
-
-    /// Renumber node ids across all trees so they are globally unique.
-    pub fn renumber(&mut self) {
-        let mut next = 0;
-        for t in &mut self.trees {
-            next = t.renumber(next);
+    /// Seal a list of root nodes into a forest.
+    pub fn new(trees: Vec<DNode>) -> Forest {
+        Forest {
+            trees: trees.into_iter().map(|t| Arc::new(Tree::new(t))).collect(),
         }
     }
 
-    /// Total node count across trees.
+    /// Build from already-sealed trees (structural sharing across states).
+    pub fn from_trees(trees: Vec<Arc<Tree>>) -> Forest {
+        Forest { trees }
+    }
+
+    /// Initial state: one (choice-free) Difftree per input query.
+    pub fn from_workload(w: &Workload) -> Forest {
+        Forest::new(w.gsts.clone())
+    }
+
+    /// The forest's transposition key (O(#trees), no node hashing).
+    pub fn key(&self) -> ForestKey {
+        let mut hash: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut size: u32 = 0;
+        for t in &self.trees {
+            hash = (hash.rotate_left(7) ^ t.fp).wrapping_mul(0x100_0000_01b3);
+            size += t.size;
+        }
+        ForestKey { hash, size }
+    }
+
+    /// Global id of tree `i`'s root: the sum of preceding tree sizes.
+    /// Forest-global node ids are `base(tree) + local id`.
+    pub fn base(&self, i: usize) -> u32 {
+        self.trees[..i].iter().map(|t| t.size).sum()
+    }
+
+    /// Map a forest-global node id back to `(tree index, local id)`.
+    pub fn locate(&self, global: u32) -> Option<(usize, u32)> {
+        let mut base = 0u32;
+        for (i, t) in self.trees.iter().enumerate() {
+            if global < base + t.size {
+                return Some((i, global - base));
+            }
+            base += t.size;
+        }
+        None
+    }
+
+    /// The node with forest-global id `global`, if it lies in tree `tree`.
+    pub fn node_in_tree(&self, tree: usize, global: u32) -> Option<&DNode> {
+        let base = self.base(tree);
+        let local = global.checked_sub(base)?;
+        if local >= self.trees.get(tree)?.size {
+            return None;
+        }
+        self.trees[tree].find(local)
+    }
+
+    /// Total node count across trees (cached per tree).
     pub fn size(&self) -> usize {
-        self.trees.iter().map(|t| t.size()).sum()
+        self.trees.iter().map(|t| t.size as usize).sum()
     }
 
     /// Total number of choice nodes.
@@ -102,15 +289,15 @@ impl Forest {
     /// inexpressible (the candidate state violates the §6.1 guarantee).
     /// Bindings are verified by resolving and comparing to the original.
     ///
-    /// Results are memoized per (tree, query) in a thread-local cache:
-    /// search states share most of their trees, and bindings are stored with
-    /// root-relative node ids (DFS renumbering makes them position-stable),
-    /// so the cache transfers across states.
+    /// Results are memoized per (tree fingerprint, query fingerprint) in a
+    /// thread-local cache: search states share most of their trees, ids are
+    /// tree-local, and fingerprints are precomputed, so a cache probe costs
+    /// two u64 compares instead of re-hashing the tree.
     pub fn bind_all(&self, w: &Workload) -> Option<Vec<Assignment>> {
         let mut out = Vec::with_capacity(w.gsts.len());
-        'queries: for gst in &w.gsts {
+        'queries: for (qi, gst) in w.gsts.iter().enumerate() {
             for (ti, tree) in self.trees.iter().enumerate() {
-                if let Some(binding) = bind_tree_cached(tree, gst) {
+                if let Some(binding) = bind_tree_cached(tree, gst, w.gst_fps[qi]) {
                     out.push(Assignment { tree: ti, binding });
                     continue 'queries;
                 }
@@ -122,7 +309,7 @@ impl Forest {
 
     /// §3.2.4 query bindings: for each node of `tree_idx`, the set of
     /// distinct bindings needed across all input queries (descending into
-    /// `MULTI` sub-bindings).
+    /// `MULTI` sub-bindings). Keys are tree-local ids.
     pub fn node_bindings(
         &self,
         tree_idx: usize,
@@ -148,36 +335,37 @@ impl Forest {
     }
 
     /// The resolved (typed) queries a tree expresses for the input workload.
+    ///
+    /// Binding verification guarantees `resolve(tree, binding)` reproduces
+    /// the bound query *exactly*, so this is the identity on the workload's
+    /// queries — no re-resolution or re-raising per state.
     pub fn resolved_queries(
         &self,
         tree_idx: usize,
-        _w: &Workload,
+        w: &Workload,
         assignments: &[Assignment],
     ) -> Vec<(usize, Query)> {
-        let mut out = Vec::new();
-        for (qi, a) in assignments.iter().enumerate() {
-            if a.tree != tree_idx {
-                continue;
-            }
-            if let Ok(resolved) = resolve(&self.trees[tree_idx], &a.binding) {
-                if let Ok(q) = raise_query(&resolved) {
-                    out.push((qi, q));
-                }
-            }
-        }
-        out
+        assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.tree == tree_idx)
+            .map(|(qi, _)| (qi, w.queries[qi].clone()))
+            .collect()
     }
 
-    /// Analyzed schema info for every input query a tree expresses.
+    /// Analyzed schema info for every input query a tree expresses
+    /// (precomputed once per workload).
     pub fn tree_infos(
         &self,
         tree_idx: usize,
         w: &Workload,
         assignments: &[Assignment],
     ) -> Vec<QueryInfo> {
-        self.resolved_queries(tree_idx, w, assignments)
-            .into_iter()
-            .filter_map(|(_, q)| analyze_query(&q, &w.catalog).ok())
+        assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.tree == tree_idx)
+            .filter_map(|(qi, _)| w.infos[qi].clone())
             .collect()
     }
 
@@ -198,45 +386,23 @@ impl Forest {
 }
 
 thread_local! {
-    /// (tree hash, tree size, query hash) → verified root-relative binding.
-    static BIND_CACHE: std::cell::RefCell<HashMap<(u64, usize, u64), Option<BindingMap>>> =
+    /// (tree fp, tree size, query gst fp) → verified tree-local binding.
+    static BIND_CACHE: std::cell::RefCell<HashMap<(u64, u32, u64), Option<BindingMap>>> =
         std::cell::RefCell::new(HashMap::new());
 }
 
-fn hash_of<T: Hash>(v: &T) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    v.hash(&mut h);
-    h.finish()
-}
-
-/// Shift every node id in a binding map by `delta` (including MULTI
-/// sub-maps), converting between absolute and root-relative keys.
-fn shift_map(map: &BindingMap, delta: i64) -> BindingMap {
-    map.iter()
-        .map(|(id, b)| {
-            let nid = (*id as i64 + delta) as u32;
-            let nb = match b {
-                Binding::List(params) => {
-                    Binding::List(params.iter().map(|p| shift_map(p, delta)).collect())
-                }
-                other => other.clone(),
-            };
-            (nid, nb)
-        })
-        .collect()
-}
-
-/// Cached, verified bind of one query against one tree.
-fn bind_tree_cached(tree: &DNode, gst: &DNode) -> Option<BindingMap> {
-    let key = (hash_of(tree), tree.size(), hash_of(gst));
-    let root = tree.id as i64;
+/// Cached, verified bind of one query against one sealed tree. Bindings are
+/// tree-local (the tree root is id 0), so cache entries transfer between
+/// forests sharing the tree without any id shifting.
+fn bind_tree_cached(tree: &Tree, gst: &DNode, gst_fp: u64) -> Option<BindingMap> {
+    let key = (tree.fp, tree.size, gst_fp);
     let cached = BIND_CACHE.with(|c| c.borrow().get(&key).cloned());
     if let Some(entry) = cached {
-        return entry.map(|rel| shift_map(&rel, root));
+        return entry;
     }
-    let result = bind_query(tree, gst).and_then(|binding| {
+    let result = bind_query(tree.node(), gst).and_then(|binding| {
         // Verify the round trip: resolve must reproduce the query.
-        match resolve(tree, &binding) {
+        match resolve(tree.node(), &binding) {
             Ok(resolved) if &resolved == gst => Some(binding),
             _ => None,
         }
@@ -246,7 +412,7 @@ fn bind_tree_cached(tree: &DNode, gst: &DNode) -> Option<BindingMap> {
         if c.len() > 200_000 {
             c.clear();
         }
-        c.insert(key, result.as_ref().map(|b| shift_map(b, -root)));
+        c.insert(key, result.clone());
     });
     result
 }
@@ -271,8 +437,8 @@ fn accumulate_bindings(map: &BindingMap, out: &mut HashMap<u32, Vec<Binding>>) {
 pub fn expresses(forest: &Forest, query: &Query) -> bool {
     let gst = lower_query(query);
     forest.trees.iter().any(|t| {
-        bind_query(t, &gst)
-            .and_then(|b| resolve(t, &b).ok())
+        bind_query(t.node(), &gst)
+            .and_then(|b| resolve(t.node(), &b).ok())
             .is_some_and(|r| r == gst)
     })
 }
@@ -287,7 +453,11 @@ mod tests {
     fn workload(sqls: &[&str]) -> Workload {
         let mut catalog = Catalog::new();
         let t = Table::from_rows(
-            vec![("p", DataType::Int), ("a", DataType::Int), ("b", DataType::Int)],
+            vec![
+                ("p", DataType::Int),
+                ("a", DataType::Int),
+                ("b", DataType::Int),
+            ],
             vec![
                 vec![Value::Int(1), Value::Int(1), Value::Int(10)],
                 vec![Value::Int(2), Value::Int(1), Value::Int(20)],
@@ -324,9 +494,7 @@ mod tests {
             "SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
             "SELECT p, count(*) FROM T WHERE b = 2 GROUP BY p",
         ]);
-        let f0 = Forest::from_workload(&w);
-        let mut merged = Forest { trees: vec![DNode::any(f0.trees.clone())] };
-        merged.renumber();
+        let merged = Forest::new(vec![DNode::any(w.gsts.clone())]);
         let assignments = merged.bind_all(&w).unwrap();
         assert_eq!(assignments[0].tree, 0);
         assert_eq!(assignments[1].tree, 0);
@@ -339,23 +507,19 @@ mod tests {
     fn binding_failure_detected() {
         let w = workload(&["SELECT p FROM T", "SELECT a FROM T"]);
         // A forest holding only the first query cannot express the second.
-        let f = Forest { trees: vec![w.gsts[0].clone()] };
+        let f = Forest::new(vec![w.gsts[0].clone()]);
         assert!(f.bind_all(&w).is_none());
     }
 
     #[test]
     fn node_bindings_union_across_queries() {
-        let w = workload(&[
-            "SELECT p FROM T WHERE a = 1",
-            "SELECT p FROM T WHERE a = 2",
-        ]);
+        let w = workload(&["SELECT p FROM T WHERE a = 1", "SELECT p FROM T WHERE a = 2"]);
         // Difftree: SELECT p FROM T WHERE a = VAL(1)
         let mut tree = w.gsts[0].clone();
         let pred = &mut tree.children[3].children[0];
         let lit = pred.children[1].clone();
         pred.children[1] = DNode::val(vec![lit]);
-        let mut f = Forest { trees: vec![tree] };
-        f.renumber();
+        let f = Forest::new(vec![tree]);
         let assignments = f.bind_all(&w).unwrap();
         let val_id = f.trees[0].choice_nodes()[0].id;
         let nb = f.node_bindings(0, &assignments);
@@ -369,9 +533,7 @@ mod tests {
             "SELECT p, count(*) FROM T WHERE a = 1 GROUP BY p",
             "SELECT a, count(*) FROM T GROUP BY a",
         ]);
-        let f0 = Forest::from_workload(&w);
-        let mut merged = Forest { trees: vec![DNode::any(f0.trees.clone())] };
-        merged.renumber();
+        let merged = Forest::new(vec![DNode::any(w.gsts.clone())]);
         let assignments = merged.bind_all(&w).unwrap();
         let rs = merged.tree_result_schema(0, &w, &assignments).unwrap();
         assert_eq!(rs.cols.len(), 2);
@@ -382,50 +544,79 @@ mod tests {
     fn expresses_helper() {
         let w = workload(&["SELECT p FROM T WHERE a = 1"]);
         let f = Forest::from_workload(&w);
-        assert!(expresses(&f, &parse_query("SELECT p FROM T WHERE a = 1").unwrap()));
-        assert!(!expresses(&f, &parse_query("SELECT p FROM T WHERE a = 2").unwrap()));
+        assert!(expresses(
+            &f,
+            &parse_query("SELECT p FROM T WHERE a = 1").unwrap()
+        ));
+        assert!(!expresses(
+            &f,
+            &parse_query("SELECT p FROM T WHERE a = 2").unwrap()
+        ));
     }
 
     #[test]
-    fn forest_hash_ignores_ids() {
-        use std::collections::hash_map::DefaultHasher;
+    fn forest_key_is_structural() {
         let w = workload(&["SELECT p FROM T"]);
-        let mut f1 = Forest::from_workload(&w);
+        let f1 = Forest::from_workload(&w);
         let f2 = Forest::from_workload(&w);
-        f1.renumber();
-        let mut h1 = DefaultHasher::new();
-        let mut h2 = DefaultHasher::new();
-        f1.hash(&mut h1);
-        f2.hash(&mut h2);
-        assert_eq!(h1.finish(), h2.finish());
+        assert_eq!(f1.key(), f2.key());
         assert_eq!(f1, f2);
+        // Different structure → different key (with overwhelming probability).
+        let w2 = workload(&["SELECT a FROM T"]);
+        let f3 = Forest::from_workload(&w2);
+        assert_ne!(f1.key(), f3.key());
+    }
+
+    #[test]
+    fn forest_clone_shares_trees() {
+        let w = workload(&["SELECT p FROM T", "SELECT a FROM T"]);
+        let f = Forest::from_workload(&w);
+        let g = f.clone();
+        for (a, b) in f.trees.iter().zip(&g.trees) {
+            assert!(Arc::ptr_eq(a, b), "clone must share tree allocations");
+        }
+    }
+
+    #[test]
+    fn bases_and_locate_round_trip() {
+        let w = workload(&["SELECT p FROM T WHERE a = 1", "SELECT a FROM T"]);
+        let f = Forest::from_workload(&w);
+        assert_eq!(f.base(0), 0);
+        assert_eq!(f.base(1), f.trees[0].len());
+        let total = f.size() as u32;
+        for g in 0..total {
+            let (t, local) = f.locate(g).unwrap();
+            assert_eq!(f.base(t) + local, g);
+            assert_eq!(f.trees[t].find(local).unwrap().id, local);
+        }
+        assert!(f.locate(total).is_none());
+        // node_in_tree rejects ids outside the tree's range.
+        assert!(f.node_in_tree(0, f.base(1)).is_none());
+        assert!(f.node_in_tree(1, 0).is_none());
     }
 
     #[test]
     fn size_and_choice_count() {
         let w = workload(&["SELECT p FROM T WHERE a = 1"]);
-        let mut f = Forest::from_workload(&w);
+        let f = Forest::from_workload(&w);
         assert!(f.size() > 5);
         assert_eq!(f.choice_count(), 0);
-        let pred = &mut f.trees[0].children[3].children[0];
+        let mut tree = f.trees[0].to_dnode();
+        let pred = &mut tree.children[3].children[0];
         let lit = pred.children[1].clone();
         pred.children[1] = DNode::val(vec![lit]);
-        f.renumber();
+        let f = Forest::new(vec![tree]);
         assert_eq!(f.choice_count(), 1);
     }
 
     #[test]
     fn resolved_queries_round_trip() {
-        let w = workload(&[
-            "SELECT p FROM T WHERE a = 1",
-            "SELECT p FROM T WHERE a = 2",
-        ]);
+        let w = workload(&["SELECT p FROM T WHERE a = 1", "SELECT p FROM T WHERE a = 2"]);
         let mut tree = w.gsts[0].clone();
         let pred = &mut tree.children[3].children[0];
         let lit = pred.children[1].clone();
         pred.children[1] = DNode::val(vec![lit]);
-        let mut f = Forest { trees: vec![tree] };
-        f.renumber();
+        let f = Forest::new(vec![tree]);
         let assignments = f.bind_all(&w).unwrap();
         let resolved = f.resolved_queries(0, &w, &assignments);
         assert_eq!(resolved.len(), 2);

@@ -65,7 +65,7 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    /// To binop.
+    /// The corresponding AST binary operator.
     pub fn to_binop(self) -> BinOp {
         match self {
             CmpOp::Eq => BinOp::Eq,
@@ -106,7 +106,7 @@ pub enum ArithOp {
 }
 
 impl ArithOp {
-    /// To binop.
+    /// The corresponding AST binary operator.
     pub fn to_binop(self) -> BinOp {
         match self {
             ArithOp::Add => BinOp::Add,
@@ -153,7 +153,6 @@ pub enum SyntaxKind {
     /// The ORDER BY clause (list of sort items).
     OrderBy,
     /// `expr [DESC]`; child: the sort expression.
-    /// The order item node.
     OrderItemNode { desc: bool },
     /// LIMIT clause: zero or one `Lit` child.
     Limit,
@@ -173,17 +172,18 @@ pub enum SyntaxKind {
     /// `Between`.
     Between { negated: bool },
     /// `expr IN (items…)`; children: `[expr, item1, …, itemk]`.
-    /// The in list.
     InList { negated: bool },
     /// `expr IN (subquery)`; children: `[expr, Query]`.
-    /// The in subquery.
     InSubquery { negated: bool },
     /// `IsNull`.
     IsNull { negated: bool },
     /// Function call; children are the arguments.
     FuncCall(String),
     /// `ColumnRef`.
-    ColumnRef { table: Option<String>, column: String },
+    ColumnRef {
+        table: Option<String>,
+        column: String,
+    },
     /// `Lit`.
     Lit(LitVal),
     /// `ScalarSubquery`.
@@ -287,7 +287,6 @@ pub enum NodeKind {
     Subset,
     /// Companion marker from `PushOPT1`: this subtree exists only when the
     /// linked `OPT` (same `group`) is present.
-    /// The co opt.
     CoOpt { group: u32 },
 }
 
@@ -295,11 +294,11 @@ pub enum NodeKind {
 /// by [`crate::Forest::renumber`]); equality and hashing ignore it.
 #[derive(Debug, Clone)]
 pub struct DNode {
-    /// The id.
+    /// Tree-local DFS position (root = 0), assigned by `renumber`.
     pub id: u32,
-    /// The kind.
+    /// Grammar production or choice-node kind.
     pub kind: NodeKind,
-    /// The children.
+    /// Ordered child subtrees.
     pub children: Vec<DNode>,
 }
 
@@ -319,42 +318,62 @@ impl Hash for DNode {
 }
 
 impl DNode {
-    /// Syntax.
+    /// A grammar-production node.
     pub fn syntax(kind: SyntaxKind, children: Vec<DNode>) -> DNode {
-        DNode { id: 0, kind: NodeKind::Syntax(kind), children }
+        DNode {
+            id: 0,
+            kind: NodeKind::Syntax(kind),
+            children,
+        }
     }
 
-    /// Leaf.
+    /// A childless grammar node.
     pub fn leaf(kind: SyntaxKind) -> DNode {
         DNode::syntax(kind, vec![])
     }
 
-    /// Any.
+    /// An `ANY` choice over `children`.
     pub fn any(children: Vec<DNode>) -> DNode {
-        DNode { id: 0, kind: NodeKind::Any, children }
+        DNode {
+            id: 0,
+            kind: NodeKind::Any,
+            children,
+        }
     }
 
-    /// Val.
+    /// A `VAL` pass-through literal with observed-literal children.
     pub fn val(children: Vec<DNode>) -> DNode {
-        DNode { id: 0, kind: NodeKind::Val, children }
+        DNode {
+            id: 0,
+            kind: NodeKind::Val,
+            children,
+        }
     }
 
-    /// Multi.
+    /// A `MULTI` repetition over one template child.
     pub fn multi(child: DNode) -> DNode {
-        DNode { id: 0, kind: NodeKind::Multi, children: vec![child] }
+        DNode {
+            id: 0,
+            kind: NodeKind::Multi,
+            children: vec![child],
+        }
     }
 
-    /// Subset.
+    /// A `SUBSET` over ordered alternatives.
     pub fn subset(children: Vec<DNode>) -> DNode {
-        DNode { id: 0, kind: NodeKind::Subset, children }
+        DNode {
+            id: 0,
+            kind: NodeKind::Subset,
+            children,
+        }
     }
 
-    /// Empty.
+    /// The empty subtree `ε` (forms `OPT` under `ANY`).
     pub fn empty() -> DNode {
         DNode::leaf(SyntaxKind::Empty)
     }
 
-    /// Is choice.
+    /// Whether this node is one of the four choice kinds.
     pub fn is_choice(&self) -> bool {
         matches!(
             self.kind,
@@ -362,7 +381,7 @@ impl DNode {
         )
     }
 
-    /// Is empty node.
+    /// Whether this is the empty subtree `ε`.
     pub fn is_empty_node(&self) -> bool {
         matches!(self.kind, NodeKind::Syntax(SyntaxKind::Empty))
     }
@@ -474,13 +493,21 @@ pub fn lower_query(q: &Query) -> DNode {
         SyntaxKind::SelectList,
         q.select.iter().map(lower_select_item).collect(),
     );
-    let from = DNode::syntax(SyntaxKind::From, q.from.iter().map(lower_table_ref).collect());
+    let from = DNode::syntax(
+        SyntaxKind::From,
+        q.from.iter().map(lower_table_ref).collect(),
+    );
     let where_ = DNode::syntax(
         SyntaxKind::Where,
-        q.where_clause.as_ref().map(lower_conjuncts).unwrap_or_default(),
+        q.where_clause
+            .as_ref()
+            .map(lower_conjuncts)
+            .unwrap_or_default(),
     );
-    let group_by =
-        DNode::syntax(SyntaxKind::GroupBy, q.group_by.iter().map(lower_expr).collect());
+    let group_by = DNode::syntax(
+        SyntaxKind::GroupBy,
+        q.group_by.iter().map(lower_expr).collect(),
+    );
     let having = DNode::syntax(
         SyntaxKind::Having,
         q.having.iter().map(lower_expr).collect(),
@@ -497,13 +524,17 @@ pub fn lower_query(q: &Query) -> DNode {
     );
     DNode::syntax(
         SyntaxKind::Query,
-        vec![distinct, select, from, where_, group_by, having, order_by, limit],
+        vec![
+            distinct, select, from, where_, group_by, having, order_by, limit,
+        ],
     )
 }
 
 fn lower_select_item(item: &SelectItem) -> DNode {
     match item {
-        SelectItem::Star => DNode::syntax(SyntaxKind::SelectItem, vec![DNode::leaf(SyntaxKind::Star)]),
+        SelectItem::Star => {
+            DNode::syntax(SyntaxKind::SelectItem, vec![DNode::leaf(SyntaxKind::Star)])
+        }
         SelectItem::Expr { expr, alias } => {
             let mut children = vec![lower_expr(expr)];
             if let Some(a) = alias {
@@ -534,13 +565,20 @@ fn lower_table_ref(t: &TableRef) -> DNode {
 }
 
 fn lower_order_item(o: &OrderItem) -> DNode {
-    DNode::syntax(SyntaxKind::OrderItemNode { desc: o.desc }, vec![lower_expr(&o.expr)])
+    DNode::syntax(
+        SyntaxKind::OrderItemNode { desc: o.desc },
+        vec![lower_expr(&o.expr)],
+    )
 }
 
 /// Flatten an AND chain into a conjunct list (the `Where` node's children).
 fn lower_conjuncts(e: &Expr) -> Vec<DNode> {
     match e {
-        Expr::Binary { left, op: BinOp::And, right } => {
+        Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } => {
             let mut out = lower_conjuncts(left);
             out.extend(lower_conjuncts(right));
             out
@@ -552,7 +590,11 @@ fn lower_conjuncts(e: &Expr) -> Vec<DNode> {
 /// Flatten an OR chain.
 fn lower_disjuncts(e: &Expr) -> Vec<DNode> {
     match e {
-        Expr::Binary { left, op: BinOp::Or, right } => {
+        Expr::Binary {
+            left,
+            op: BinOp::Or,
+            right,
+        } => {
             let mut out = lower_disjuncts(left);
             out.extend(lower_disjuncts(right));
             out
@@ -586,7 +628,10 @@ fn lower_expr(e: &Expr) -> DNode {
                     BinOp::Mul => ArithOp::Mul,
                     _ => ArithOp::Div,
                 };
-                DNode::syntax(SyntaxKind::Arith(aop), vec![lower_expr(left), lower_expr(right)])
+                DNode::syntax(
+                    SyntaxKind::Arith(aop),
+                    vec![lower_expr(left), lower_expr(right)],
+                )
             }
             other => {
                 let cmp = CmpOp::from_binop(*other).expect("comparison operator");
@@ -596,16 +641,29 @@ fn lower_expr(e: &Expr) -> DNode {
                 )
             }
         },
-        Expr::Between { expr, negated, low, high } => DNode::syntax(
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => DNode::syntax(
             SyntaxKind::Between { negated: *negated },
             vec![lower_expr(expr), lower_expr(low), lower_expr(high)],
         ),
-        Expr::InList { expr, negated, list } => {
+        Expr::InList {
+            expr,
+            negated,
+            list,
+        } => {
             let mut children = vec![lower_expr(expr)];
             children.extend(list.iter().map(lower_expr));
             DNode::syntax(SyntaxKind::InList { negated: *negated }, children)
         }
-        Expr::InSubquery { expr, negated, query } => DNode::syntax(
+        Expr::InSubquery {
+            expr,
+            negated,
+            query,
+        } => DNode::syntax(
             SyntaxKind::InSubquery { negated: *negated },
             vec![lower_expr(expr), lower_query(query)],
         ),
@@ -617,9 +675,7 @@ fn lower_expr(e: &Expr) -> DNode {
             SyntaxKind::FuncCall(name.clone()),
             args.iter().map(lower_expr).collect(),
         ),
-        Expr::ScalarSubquery(q) => {
-            DNode::syntax(SyntaxKind::ScalarSubquery, vec![lower_query(q)])
-        }
+        Expr::ScalarSubquery(q) => DNode::syntax(SyntaxKind::ScalarSubquery, vec![lower_query(q)]),
     }
 }
 
@@ -643,7 +699,10 @@ impl std::error::Error for RaiseError {}
 /// Raise a choice-free GST back into a typed [`Query`].
 pub fn raise_query(node: &DNode) -> Result<Query, RaiseError> {
     let NodeKind::Syntax(SyntaxKind::Query) = &node.kind else {
-        return Err(RaiseError(format!("expected Query root, got {:?}", node.kind)));
+        return Err(RaiseError(format!(
+            "expected Query root, got {:?}",
+            node.kind
+        )));
     };
     // Children may have been restructured by transforms; identify clauses by
     // kind rather than position for robustness.
@@ -652,8 +711,11 @@ pub fn raise_query(node: &DNode) -> Result<Query, RaiseError> {
         let NodeKind::Syntax(kind) = &child.kind else {
             return Err(RaiseError("unresolved choice node in query".into()));
         };
-        let kids: Vec<&DNode> =
-            child.children.iter().filter(|c| !c.is_empty_node()).collect();
+        let kids: Vec<&DNode> = child
+            .children
+            .iter()
+            .filter(|c| !c.is_empty_node())
+            .collect();
         match kind {
             SyntaxKind::DistinctFlag(b) => q.distinct = *b,
             SyntaxKind::SelectList => {
@@ -691,7 +753,9 @@ pub fn raise_query(node: &DNode) -> Result<Query, RaiseError> {
                         return Err(RaiseError("bad ORDER BY item".into()));
                     };
                     let expr = raise_expr(
-                        o.children.first().ok_or_else(|| RaiseError("empty order item".into()))?,
+                        o.children
+                            .first()
+                            .ok_or_else(|| RaiseError("empty order item".into()))?,
                     )?;
                     q.order_by.push(OrderItem { expr, desc: *desc });
                 }
@@ -699,9 +763,7 @@ pub fn raise_query(node: &DNode) -> Result<Query, RaiseError> {
             SyntaxKind::Limit => {
                 if let Some(l) = kids.first() {
                     match &l.kind {
-                        NodeKind::Syntax(SyntaxKind::Lit(LitVal(Literal::Int(v))))
-                            if *v >= 0 =>
-                        {
+                        NodeKind::Syntax(SyntaxKind::Lit(LitVal(Literal::Int(v)))) if *v >= 0 => {
                             q.limit = Some(*v as u64)
                         }
                         _ => return Err(RaiseError("bad LIMIT value".into())),
@@ -745,10 +807,19 @@ fn fold_or(mut disjuncts: Vec<Expr>) -> Option<Expr> {
 
 fn raise_select_item(node: &DNode) -> Result<SelectItem, RaiseError> {
     let NodeKind::Syntax(SyntaxKind::SelectItem) = &node.kind else {
-        return Err(RaiseError(format!("expected SelectItem, got {:?}", node.kind)));
+        return Err(RaiseError(format!(
+            "expected SelectItem, got {:?}",
+            node.kind
+        )));
     };
-    let kids: Vec<&DNode> = node.children.iter().filter(|c| !c.is_empty_node()).collect();
-    let first = kids.first().ok_or_else(|| RaiseError("empty select item".into()))?;
+    let kids: Vec<&DNode> = node
+        .children
+        .iter()
+        .filter(|c| !c.is_empty_node())
+        .collect();
+    let first = kids
+        .first()
+        .ok_or_else(|| RaiseError("empty select item".into()))?;
     if matches!(first.kind, NodeKind::Syntax(SyntaxKind::Star)) && kids.len() == 1 {
         return Ok(SelectItem::Star);
     }
@@ -764,7 +835,11 @@ fn raise_select_item(node: &DNode) -> Result<SelectItem, RaiseError> {
 }
 
 fn raise_table_ref(node: &DNode) -> Result<TableRef, RaiseError> {
-    let kids: Vec<&DNode> = node.children.iter().filter(|c| !c.is_empty_node()).collect();
+    let kids: Vec<&DNode> = node
+        .children
+        .iter()
+        .filter(|c| !c.is_empty_node())
+        .collect();
     let alias = match kids.get(1) {
         Some(a) => match &a.kind {
             NodeKind::Syntax(SyntaxKind::AliasName(name)) => Some(name.clone()),
@@ -774,19 +849,25 @@ fn raise_table_ref(node: &DNode) -> Result<TableRef, RaiseError> {
     };
     match &node.kind {
         NodeKind::Syntax(SyntaxKind::TableRef) => {
-            let first =
-                kids.first().ok_or_else(|| RaiseError("empty table ref".into()))?;
+            let first = kids
+                .first()
+                .ok_or_else(|| RaiseError("empty table ref".into()))?;
             match &first.kind {
-                NodeKind::Syntax(SyntaxKind::TableName(name)) => {
-                    Ok(TableRef::Table { name: name.clone(), alias })
-                }
+                NodeKind::Syntax(SyntaxKind::TableName(name)) => Ok(TableRef::Table {
+                    name: name.clone(),
+                    alias,
+                }),
                 _ => Err(RaiseError("bad table name".into())),
             }
         }
         NodeKind::Syntax(SyntaxKind::SubqueryRef) => {
-            let first =
-                kids.first().ok_or_else(|| RaiseError("empty subquery ref".into()))?;
-            Ok(TableRef::Subquery { query: Box::new(raise_query(first)?), alias })
+            let first = kids
+                .first()
+                .ok_or_else(|| RaiseError("empty subquery ref".into()))?;
+            Ok(TableRef::Subquery {
+                query: Box::new(raise_query(first)?),
+                alias,
+            })
         }
         other => Err(RaiseError(format!("expected table ref, got {other:?}"))),
     }
@@ -794,19 +875,28 @@ fn raise_table_ref(node: &DNode) -> Result<TableRef, RaiseError> {
 
 fn raise_expr(node: &DNode) -> Result<Expr, RaiseError> {
     let NodeKind::Syntax(kind) = &node.kind else {
-        return Err(RaiseError(format!("unresolved choice node {:?}", node.kind)));
+        return Err(RaiseError(format!(
+            "unresolved choice node {:?}",
+            node.kind
+        )));
     };
-    let kids: Vec<&DNode> = node.children.iter().filter(|c| !c.is_empty_node()).collect();
+    let kids: Vec<&DNode> = node
+        .children
+        .iter()
+        .filter(|c| !c.is_empty_node())
+        .collect();
     match kind {
-        SyntaxKind::ColumnRef { table, column } => {
-            Ok(Expr::Column { table: table.clone(), name: column.clone() })
-        }
+        SyntaxKind::ColumnRef { table, column } => Ok(Expr::Column {
+            table: table.clone(),
+            name: column.clone(),
+        }),
         SyntaxKind::Lit(LitVal(l)) => Ok(Expr::Literal(l.clone())),
         SyntaxKind::Star => Ok(Expr::Star),
         SyntaxKind::Neg => Ok(Expr::Unary {
             op: UnaryOp::Neg,
             expr: Box::new(raise_expr(
-                kids.first().ok_or_else(|| RaiseError("empty negation".into()))?,
+                kids.first()
+                    .ok_or_else(|| RaiseError("empty negation".into()))?,
             )?),
         }),
         SyntaxKind::Not => Ok(Expr::Unary {
@@ -816,13 +906,17 @@ fn raise_expr(node: &DNode) -> Result<Expr, RaiseError> {
             )?),
         }),
         SyntaxKind::And => {
-            let parts =
-                kids.iter().map(|c| raise_expr(c)).collect::<Result<Vec<_>, _>>()?;
+            let parts = kids
+                .iter()
+                .map(|c| raise_expr(c))
+                .collect::<Result<Vec<_>, _>>()?;
             fold_and(parts).ok_or_else(|| RaiseError("empty AND".into()))
         }
         SyntaxKind::Or => {
-            let parts =
-                kids.iter().map(|c| raise_expr(c)).collect::<Result<Vec<_>, _>>()?;
+            let parts = kids
+                .iter()
+                .map(|c| raise_expr(c))
+                .collect::<Result<Vec<_>, _>>()?;
             fold_or(parts).ok_or_else(|| RaiseError("empty OR".into()))
         }
         SyntaxKind::Compare(op) => {
@@ -853,7 +947,11 @@ fn raise_expr(node: &DNode) -> Result<Expr, RaiseError> {
             if list.is_empty() {
                 return Err(RaiseError("IN with empty list".into()));
             }
-            Ok(Expr::InList { expr: Box::new(raise_expr(first)?), negated: *negated, list })
+            Ok(Expr::InList {
+                expr: Box::new(raise_expr(first)?),
+                negated: *negated,
+                list,
+            })
         }
         SyntaxKind::InSubquery { negated } => {
             let (e, q) = two(&kids, "IN subquery")?;
@@ -865,16 +963,21 @@ fn raise_expr(node: &DNode) -> Result<Expr, RaiseError> {
         }
         SyntaxKind::IsNull { negated } => Ok(Expr::IsNull {
             expr: Box::new(raise_expr(
-                kids.first().ok_or_else(|| RaiseError("empty IS NULL".into()))?,
+                kids.first()
+                    .ok_or_else(|| RaiseError("empty IS NULL".into()))?,
             )?),
             negated: *negated,
         }),
         SyntaxKind::FuncCall(name) => Ok(Expr::Func {
             name: name.clone(),
-            args: kids.iter().map(|c| raise_expr(c)).collect::<Result<Vec<_>, _>>()?,
+            args: kids
+                .iter()
+                .map(|c| raise_expr(c))
+                .collect::<Result<Vec<_>, _>>()?,
         }),
         SyntaxKind::ScalarSubquery => Ok(Expr::ScalarSubquery(Box::new(raise_query(
-            kids.first().ok_or_else(|| RaiseError("empty scalar subquery".into()))?,
+            kids.first()
+                .ok_or_else(|| RaiseError("empty scalar subquery".into()))?,
         )?))),
         other => Err(RaiseError(format!("unexpected expression node {other:?}"))),
     }
@@ -889,7 +992,11 @@ pub fn sql_snippet(node: &DNode) -> String {
         }
         if let Ok(q) = raise_query(node) {
             let s = q.to_string();
-            return if s.len() > 40 { format!("{}…", &s[..40]) } else { s };
+            // Truncate on a char boundary: byte-slicing panics mid-UTF-8.
+            return match s.char_indices().nth(40) {
+                Some((cut, _)) => format!("{}…", &s[..cut]),
+                None => s,
+            };
         }
     }
     match &node.kind {
@@ -900,7 +1007,10 @@ pub fn sql_snippet(node: &DNode) -> String {
 
 fn two<'a>(kids: &[&'a DNode], what: &str) -> Result<(&'a DNode, &'a DNode), RaiseError> {
     if kids.len() != 2 {
-        return Err(RaiseError(format!("{what} needs 2 children, got {}", kids.len())));
+        return Err(RaiseError(format!(
+            "{what} needs 2 children, got {}",
+            kids.len()
+        )));
     }
     Ok((kids[0], kids[1]))
 }
@@ -929,9 +1039,7 @@ mod tests {
 
     #[test]
     fn and_chains_flatten_into_where() {
-        let gst = round_trip(
-            "SELECT a FROM t WHERE a = 1 AND b = 2 AND c BETWEEN 3 AND 4",
-        );
+        let gst = round_trip("SELECT a FROM t WHERE a = 1 AND b = 2 AND c BETWEEN 3 AND 4");
         assert_eq!(gst.children[3].children.len(), 3);
     }
 

@@ -29,10 +29,15 @@ pub mod transform;
 pub mod types;
 
 pub use bind::{bind_query, resolve, Binding, BindingMap, ResolveError};
-pub use forest::{expresses, Assignment, Forest, Workload};
+pub use forest::{
+    expresses, structural_fingerprint, Assignment, Forest, ForestKey, Tree, Workload,
+};
 pub use gst::{
     lower_query, raise_query, sql_snippet, ArithOp, CmpOp, DNode, LitVal, NodeKind, SyntaxKind,
 };
+pub use schema::{
+    node_schema, result_schema, type_or_schema, NodeSchema, ResultCol, ResultSchema, SchemaExpr,
+    TypeOrSchema,
+};
 pub use transform::{applicable_actions, apply_action, candidate_actions, Action, Rule};
-pub use schema::{node_schema, result_schema, type_or_schema, NodeSchema, ResultCol, ResultSchema, SchemaExpr, TypeOrSchema};
-pub use types::{infer_types, AttrRef, NodeType, PrimType, TypeMap};
+pub use types::{infer_types, infer_types_cached, AttrRef, NodeType, PrimType, TypeMap};

@@ -105,17 +105,17 @@ impl fmt::Display for SchemaExpr {
 /// A node schema: an ordered list of type expressions.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NodeSchema {
-    /// The elems.
+    /// The ordered type expressions.
     pub elems: Vec<SchemaExpr>,
 }
 
 impl NodeSchema {
-    /// Len.
+    /// Number of schema elements.
     pub fn len(&self) -> usize {
         self.elems.len()
     }
 
-    /// Is empty.
+    /// Whether the schema has no elements.
     pub fn is_empty(&self) -> bool {
         self.elems.is_empty()
     }
@@ -184,16 +184,24 @@ pub fn node_schema(node: &DNode, types: &TypeMap) -> NodeSchema {
                         .collect(),
                 )
             };
-            let expr = if has_empty { SchemaExpr::Opt(Box::new(inner)) } else { inner };
+            let expr = if has_empty {
+                SchemaExpr::Opt(Box::new(inner))
+            } else {
+                inner
+            };
             NodeSchema { elems: vec![expr] }
         }
         NodeKind::Val => {
             let ty = types.get(&node.id).cloned().unwrap_or_else(NodeType::str_);
-            NodeSchema { elems: vec![SchemaExpr::Atom(TypeOrSchema::Type(ty))] }
+            NodeSchema {
+                elems: vec![SchemaExpr::Atom(TypeOrSchema::Type(ty))],
+            }
         }
         NodeKind::Multi => {
             let inner = SchemaExpr::Atom(type_or_schema(&node.children[0], types));
-            NodeSchema { elems: vec![SchemaExpr::Star(Box::new(inner))] }
+            NodeSchema {
+                elems: vec![SchemaExpr::Star(Box::new(inner))],
+            }
         }
         NodeKind::Subset => NodeSchema {
             elems: node
@@ -273,11 +281,11 @@ impl ResultCol {
 /// expressible queries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultSchema {
-    /// The cols.
+    /// The unioned output columns.
     pub cols: Vec<ResultCol>,
-    /// The is aggregate.
+    /// Every expressible query aggregates.
     pub is_aggregate: bool,
-    /// The group key indices.
+    /// Column indices forming the shared group key (empty if queries disagree).
     pub group_key_indices: Vec<usize>,
 }
 
@@ -287,11 +295,16 @@ impl ResultSchema {
     pub fn functionally_determines(&self, determinants: &[usize]) -> bool {
         if self.is_aggregate
             && !self.group_key_indices.is_empty()
-            && self.group_key_indices.iter().all(|k| determinants.contains(k))
+            && self
+                .group_key_indices
+                .iter()
+                .all(|k| determinants.contains(k))
         {
             return true;
         }
-        determinants.iter().any(|&i| self.cols.get(i).is_some_and(|c| c.unique))
+        determinants
+            .iter()
+            .any(|&i| self.cols.get(i).is_some_and(|c| c.unique))
     }
 }
 
@@ -316,7 +329,12 @@ pub fn result_schema(infos: &[QueryInfo]) -> Option<ResultSchema> {
             if !names.contains(&c.name) {
                 names.push(c.name.clone());
             }
-            if let ColType::Attr { table, column, dtype } = &c.ty {
+            if let ColType::Attr {
+                table,
+                column,
+                dtype,
+            } = &c.ty
+            {
                 attrs.insert(AttrRef {
                     table: table.clone(),
                     column: column.clone(),
@@ -353,7 +371,11 @@ pub fn result_schema(infos: &[QueryInfo]) -> Option<ResultSchema> {
     } else {
         vec![]
     };
-    Some(ResultSchema { cols, is_aggregate, group_key_indices })
+    Some(ResultSchema {
+        cols,
+        is_aggregate,
+        group_key_indices,
+    })
 }
 
 #[cfg(test)]
@@ -369,7 +391,11 @@ mod tests {
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
         let t = Table::from_rows(
-            vec![("p", DataType::Int), ("a", DataType::Int), ("b", DataType::Int)],
+            vec![
+                ("p", DataType::Int),
+                ("a", DataType::Int),
+                ("b", DataType::Int),
+            ],
             vec![
                 vec![Value::Int(1), Value::Int(10), Value::Int(7)],
                 vec![Value::Int(2), Value::Int(20), Value::Int(8)],
@@ -417,8 +443,7 @@ mod tests {
     /// product schema <a1:T.a, a2:T.a>.
     #[test]
     fn between_with_two_anys_has_two_element_schema() {
-        let mut gst =
-            lower_query(&parse_query("SELECT p FROM T WHERE a BETWEEN 1 AND 3").unwrap());
+        let mut gst = lower_query(&parse_query("SELECT p FROM T WHERE a BETWEEN 1 AND 3").unwrap());
         let pred = &mut gst.children[3].children[0];
         for i in [1usize, 2] {
             let lit = pred.children[i].clone();
@@ -453,7 +478,12 @@ mod tests {
     /// elements (Figure 7c).
     #[test]
     fn multi_and_subset_schemas() {
-        let col = |n: &str| DNode::leaf(SyntaxKind::ColumnRef { table: None, column: n.into() });
+        let col = |n: &str| {
+            DNode::leaf(SyntaxKind::ColumnRef {
+                table: None,
+                column: n.into(),
+            })
+        };
         let mut multi = DNode::multi(DNode::any(vec![col("a"), col("b")]));
         multi.renumber(0);
         let types = infer_types(&multi, &catalog());
@@ -479,7 +509,10 @@ mod tests {
         let lit2 = DNode::leaf(SyntaxKind::Lit(LitVal(Literal::Int(2))));
         pred.children[1] = DNode::any(vec![lit, lit2]);
         let inner_pred = gst.children[3].children[0].clone();
-        let other = DNode::leaf(SyntaxKind::ColumnRef { table: None, column: "b".into() });
+        let other = DNode::leaf(SyntaxKind::ColumnRef {
+            table: None,
+            column: "b".into(),
+        });
         gst.children[3].children[0] = DNode::any(vec![other, inner_pred]);
         gst.renumber(0);
         let types = infer_types(&gst, &catalog());
@@ -516,8 +549,7 @@ mod tests {
     #[test]
     fn incompatible_schemas_are_undefined() {
         let cat = catalog();
-        let q1 =
-            analyze_query(&parse_query("SELECT p FROM T").unwrap(), &cat).unwrap();
+        let q1 = analyze_query(&parse_query("SELECT p FROM T").unwrap(), &cat).unwrap();
         let q2 = analyze_query(&parse_query("SELECT p, a FROM T").unwrap(), &cat).unwrap();
         assert!(result_schema(&[q1.clone(), q2]).is_none());
         // Str vs Int is also incompatible.
@@ -547,7 +579,9 @@ mod tests {
     fn schema_display() {
         let s = NodeSchema {
             elems: vec![
-                SchemaExpr::Opt(Box::new(SchemaExpr::Atom(TypeOrSchema::Type(NodeType::num())))),
+                SchemaExpr::Opt(Box::new(SchemaExpr::Atom(TypeOrSchema::Type(
+                    NodeType::num(),
+                )))),
                 SchemaExpr::Star(Box::new(SchemaExpr::Atom(TypeOrSchema::Type(
                     NodeType::str_(),
                 )))),

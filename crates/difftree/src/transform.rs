@@ -16,13 +16,14 @@
 //! query becomes inexpressible — a runtime enforcement of the paper's §6.1
 //! guarantee.
 
-use crate::forest::{Forest, Workload};
+use crate::forest::{structural_fingerprint, Forest, Tree, Workload};
 use crate::gst::{DNode, NodeKind, SyntaxKind};
-use crate::types::infer_types;
+use crate::types::infer_types_cached;
 use pi2_data::DataType;
 use pi2_engine::analyze_query;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// The transformation rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -129,14 +130,20 @@ pub fn candidate_actions(forest: &Forest, w: &Workload) -> Vec<Action> {
     for i in 0..forest.trees.len() {
         for j in 0..forest.trees.len() {
             if i < j && merge_compatible_infos(&tree_infos[i], &tree_infos[j]) {
-                out.push(Action { rule: Rule::Merge, tree: i, node: 0, other_tree: j });
+                out.push(Action {
+                    rule: Rule::Merge,
+                    tree: i,
+                    node: 0,
+                    other_tree: j,
+                });
             }
         }
         if splittable(&forest.trees[i]) {
+            // Tree roots always have local id 0.
             out.push(Action {
                 rule: Rule::Split,
                 tree: i,
-                node: forest.trees[i].id,
+                node: 0,
                 other_tree: 0,
             });
         }
@@ -144,7 +151,7 @@ pub fn candidate_actions(forest: &Forest, w: &Workload) -> Vec<Action> {
 
     // Node-local rules.
     for (ti, tree) in forest.trees.iter().enumerate() {
-        let types = infer_types(tree, &w.catalog);
+        let types = infer_types_cached(tree, &w.catalog);
         let mut nodes = Vec::new();
         tree.walk(&mut nodes);
         for n in nodes {
@@ -173,13 +180,21 @@ pub fn candidate_actions(forest: &Forest, w: &Workload) -> Vec<Action> {
             }
             if n.kind == NodeKind::Any {
                 let alts: Vec<&DNode> = non_marker_children(n);
-                let non_empty: Vec<&DNode> =
-                    alts.iter().copied().filter(|c| !c.is_empty_node()).collect();
+                let non_empty: Vec<&DNode> = alts
+                    .iter()
+                    .copied()
+                    .filter(|c| !c.is_empty_node())
+                    .collect();
                 // Noop: single distinct child, no empty alternative.
                 let distinct: std::collections::HashSet<&DNode> =
                     non_empty.iter().copied().collect();
                 if distinct.len() == 1 && non_empty.len() == alts.len() {
-                    out.push(Action { rule: Rule::Noop, tree: ti, node: n.id, other_tree: 0 });
+                    out.push(Action {
+                        rule: Rule::Noop,
+                        tree: ti,
+                        node: n.id,
+                        other_tree: 0,
+                    });
                 }
                 // MergeANY: a cascade of ANY nodes.
                 if non_empty.iter().any(|c| c.kind == NodeKind::Any) {
@@ -207,8 +222,8 @@ pub fn candidate_actions(forest: &Forest, w: &Workload) -> Vec<Action> {
                 if non_empty.len() >= 3 && non_empty.len() == alts.len() {
                     let clusters = cluster_children(&non_empty, w);
                     let n_clusters = clusters.iter().max().map(|m| m + 1).unwrap_or(0);
-                    let has_nonsingular = (0..n_clusters)
-                        .any(|c| clusters.iter().filter(|&&x| x == c).count() >= 2);
+                    let has_nonsingular =
+                        (0..n_clusters).any(|c| clusters.iter().filter(|&&x| x == c).count() >= 2);
                     if n_clusters >= 2 && has_nonsingular {
                         out.push(Action {
                             rule: Rule::Partition,
@@ -283,17 +298,21 @@ pub fn candidate_actions(forest: &Forest, w: &Workload) -> Vec<Action> {
     out
 }
 
-/// Apply an action, returning the transformed (renumbered, validated)
-/// forest, or `None` if the action is invalid or breaks expressiveness.
+/// Apply an action, returning the transformed (validated) forest, or
+/// `None` if the action is invalid or breaks expressiveness.
+///
+/// Only the tree(s) an action rewrites are copied; every other tree is
+/// structurally shared with the input forest (`Arc`), so the cost of a
+/// rule application is proportional to the touched tree, not the state.
 pub fn apply_action(forest: &Forest, w: &Workload, action: Action) -> Option<Forest> {
-    let mut next = forest.clone();
+    let mut trees = forest.trees.clone();
     match action.rule {
         Rule::Merge => {
-            if action.other_tree >= next.trees.len() || action.tree >= next.trees.len() {
+            if action.other_tree >= trees.len() || action.tree >= trees.len() {
                 return None;
             }
-            let b = next.trees.remove(action.other_tree.max(action.tree));
-            let a = next.trees.remove(action.other_tree.min(action.tree));
+            let b = trees.remove(action.other_tree.max(action.tree));
+            let a = trees.remove(action.other_tree.min(action.tree));
             // Merging two ANY roots concatenates their children.
             let merged = match (&a.kind, &b.kind) {
                 (NodeKind::Any, NodeKind::Any) => {
@@ -303,35 +322,37 @@ pub fn apply_action(forest: &Forest, w: &Workload, action: Action) -> Option<For
                 }
                 (NodeKind::Any, _) => {
                     let mut children = a.children.clone();
-                    children.push(b);
+                    children.push(b.to_dnode());
                     DNode::any(children)
                 }
                 (_, NodeKind::Any) => {
-                    let mut children = vec![a];
+                    let mut children = vec![a.to_dnode()];
                     children.extend(b.children.clone());
                     DNode::any(children)
                 }
-                _ => DNode::any(vec![a, b]),
+                _ => DNode::any(vec![a.to_dnode(), b.to_dnode()]),
             };
-            next.trees.insert(0, merged);
+            trees.insert(0, Arc::new(Tree::new(merged)));
         }
         Rule::Split => {
-            let tree = next.trees.get(action.tree)?;
+            let tree = trees.get(action.tree)?;
             if tree.kind != NodeKind::Any {
                 return None;
             }
             let children = tree.children.clone();
-            next.trees.remove(action.tree);
+            trees.remove(action.tree);
             for (k, c) in children.into_iter().enumerate() {
                 if c.is_empty_node() {
                     return None;
                 }
-                next.trees.insert(action.tree + k, c);
+                trees.insert(action.tree + k, Arc::new(Tree::new(c)));
             }
         }
         _ => {
-            let tree = next.trees.get_mut(action.tree)?;
-            let target = tree.find_mut(action.node)?;
+            let tree = trees.get(action.tree)?;
+            // Copy only the tree this rule rewrites.
+            let mut root = tree.to_dnode();
+            let target = root.find_mut(action.node)?;
             let replacement = match action.rule {
                 Rule::Noop => rule_noop(target)?,
                 Rule::MergeAny => rule_merge_any(target)?,
@@ -345,9 +366,10 @@ pub fn apply_action(forest: &Forest, w: &Workload, action: Action) -> Option<For
                 _ => unreachable!(),
             };
             *target = replacement;
+            trees[action.tree] = Arc::new(Tree::new(root));
         }
     }
-    next.renumber();
+    let next = Forest::from_trees(trees);
     // Enforce §6.1: the new state must still express every input query.
     next.bind_all(w)?;
     // Reject the identity transformation (MCTS would loop on it).
@@ -423,9 +445,15 @@ fn non_marker_children(n: &DNode) -> Vec<&DNode> {
 }
 
 fn same_syntax_kind(children: &[&DNode]) -> bool {
-    let Some(first) = children.first() else { return false };
-    let NodeKind::Syntax(k0) = &first.kind else { return false };
-    children.iter().all(|c| matches!(&c.kind, NodeKind::Syntax(k) if k == k0))
+    let Some(first) = children.first() else {
+        return false;
+    };
+    let NodeKind::Syntax(k0) = &first.kind else {
+        return false;
+    };
+    children
+        .iter()
+        .all(|c| matches!(&c.kind, NodeKind::Syntax(k) if k == k0))
 }
 
 fn list_kind(node: &DNode) -> Option<&SyntaxKind> {
@@ -487,7 +515,9 @@ fn rule_push_any(target: &DNode) -> Option<DNode> {
     if !same_syntax_kind(&alts) || alts.len() < 2 {
         return None;
     }
-    let NodeKind::Syntax(kind) = &alts[0].kind else { return None };
+    let NodeKind::Syntax(kind) = &alts[0].kind else {
+        return None;
+    };
     if kind.is_list() {
         push_any_list(kind.clone(), &alts)
     } else {
@@ -529,7 +559,9 @@ fn merge_variants(mut variants: Vec<DNode>, missing: bool) -> DNode {
     } else {
         let refs: Vec<&DNode> = variants.iter().collect();
         if same_syntax_kind(&refs) {
-            let NodeKind::Syntax(kind) = &variants[0].kind else { unreachable!() };
+            let NodeKind::Syntax(kind) = &variants[0].kind else {
+                unreachable!()
+            };
             let pushed = if kind.is_list() {
                 push_any_list(kind.clone(), &refs)
             } else {
@@ -553,11 +585,7 @@ fn slot_signature(node: &DNode) -> String {
     fn head_column(n: &DNode) -> String {
         match &n.kind {
             NodeKind::Syntax(SyntaxKind::ColumnRef { column, .. }) => column.clone(),
-            _ => n
-                .children
-                .first()
-                .map(head_column)
-                .unwrap_or_default(),
+            _ => n.children.first().map(head_column).unwrap_or_default(),
         }
     }
     match &node.kind {
@@ -568,7 +596,13 @@ fn slot_signature(node: &DNode) -> String {
         NodeKind::Syntax(SyntaxKind::InList { .. }) => format!("in:{}", head_column(node)),
         NodeKind::Syntax(SyntaxKind::SelectItem) => {
             // Align select items by position-independent expression head.
-            format!("item:{}", node.children.first().map(slot_signature).unwrap_or_default())
+            format!(
+                "item:{}",
+                node.children
+                    .first()
+                    .map(slot_signature)
+                    .unwrap_or_default()
+            )
         }
         NodeKind::Syntax(SyntaxKind::ColumnRef { column, .. }) => format!("col:{column}"),
         NodeKind::Syntax(SyntaxKind::FuncCall(f)) => format!("func:{f}"),
@@ -579,7 +613,10 @@ fn slot_signature(node: &DNode) -> String {
         NodeKind::Any | NodeKind::CoOpt { .. } => node
             .children
             .iter()
-            .find(|c| !c.is_empty_node() && !c.children.is_empty() || matches!(c.kind, NodeKind::Syntax(_)) && !c.is_empty_node())
+            .find(|c| {
+                !c.is_empty_node() && !c.children.is_empty()
+                    || matches!(c.kind, NodeKind::Syntax(_)) && !c.is_empty_node()
+            })
             .map(slot_signature)
             .unwrap_or_else(|| "choice".into()),
         NodeKind::Val => "lit".into(),
@@ -597,7 +634,9 @@ fn slot_signature(node: &DNode) -> String {
 /// OPTs for slots missing from some alternatives (WHERE conjuncts come and
 /// go per query).
 fn push_any_list(kind: SyntaxKind, alts: &[&DNode]) -> Option<DNode> {
-    let same_len = alts.windows(2).all(|w| w[0].children.len() == w[1].children.len());
+    let same_len = alts
+        .windows(2)
+        .all(|w| w[0].children.len() == w[1].children.len());
     let is_where = matches!(kind, SyntaxKind::Where | SyntaxKind::And);
     if same_len && !is_where {
         return push_any_positional(kind, alts);
@@ -682,9 +721,7 @@ fn topo_sort(nodes: &[SlotKey], edges: &[(SlotKey, SlotKey)]) -> Option<Vec<Slot
                         let pos = nodes.iter().position(|x| x == b).unwrap_or(0);
                         let insert_at = ready
                             .iter()
-                            .position(|r| {
-                                nodes.iter().position(|x| x == *r).unwrap_or(0) > pos
-                            })
+                            .position(|r| nodes.iter().position(|x| x == *r).unwrap_or(0) > pos)
                             .unwrap_or(ready.len());
                         ready.insert(insert_at, b);
                     }
@@ -733,8 +770,7 @@ fn cluster_children(children: &[&DNode], w: &Workload) -> Vec<usize> {
     let mut keys: Vec<String> = Vec::with_capacity(children.len());
     for c in children {
         let key = if matches!(c.kind, NodeKind::Syntax(SyntaxKind::Query)) {
-            query_schema_signature(c, w)
-                .unwrap_or_else(|| format!("query:{}", c.children.len()))
+            query_schema_signature(c, w).unwrap_or_else(|| format!("query:{}", c.children.len()))
         } else {
             match &c.kind {
                 NodeKind::Syntax(k) => format!("k:{}", k.label()),
@@ -759,18 +795,38 @@ fn cluster_children(children: &[&DNode], w: &Workload) -> Vec<usize> {
 /// Signature of a choice-free query subtree: output arity + column names +
 /// types. Name-sensitive so that Partition separates e.g. the Filter log's
 /// three group-by attributes while still grouping literal-only variants.
+/// Memoized per (subtree fingerprint, catalogue) — the same query subtrees
+/// are re-clustered by every Partition candidate along a search path.
 fn query_schema_signature(node: &DNode, w: &Workload) -> Option<String> {
     if node.is_dynamic() {
         return None;
     }
-    let q = crate::gst::raise_query(node).ok()?;
-    let info = analyze_query(&q, &w.catalog).ok()?;
-    let types: Vec<(String, DataType)> = info
-        .cols
-        .iter()
-        .map(|c| (c.name.to_ascii_lowercase(), c.ty.dtype()))
-        .collect();
-    Some(format!("{}:{types:?}", info.cols.len()))
+    thread_local! {
+        static SIG_CACHE: std::cell::RefCell<HashMap<(u64, u64), Option<String>>> =
+            std::cell::RefCell::new(HashMap::new());
+    }
+    let key = (structural_fingerprint(node), w.catalog.fingerprint());
+    if let Some(hit) = SIG_CACHE.with(|c| c.borrow().get(&key).cloned()) {
+        return hit;
+    }
+    let sig = (|| {
+        let q = crate::gst::raise_query(node).ok()?;
+        let info = analyze_query(&q, &w.catalog).ok()?;
+        let types: Vec<(String, DataType)> = info
+            .cols
+            .iter()
+            .map(|c| (c.name.to_ascii_lowercase(), c.ty.dtype()))
+            .collect();
+        Some(format!("{}:{types:?}", info.cols.len()))
+    })();
+    SIG_CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.len() > 50_000 {
+            c.clear();
+        }
+        c.insert(key, sig.clone());
+    });
+    sig
 }
 
 /// ANY→VAL: relax a literal choice to its full (attribute-typed) domain.
@@ -811,8 +867,11 @@ fn rule_any_to_multi(target: &DNode) -> Option<DNode> {
         if items.is_empty() {
             return None;
         }
-        let template =
-            if items.len() == 1 { items.pop().unwrap() } else { DNode::any(items) };
+        let template = if items.len() == 1 {
+            items.pop().unwrap()
+        } else {
+            DNode::any(items)
+        };
         let mut children = head;
         children.push(DNode::multi(template));
         return Some(DNode::syntax(kind, children));
@@ -824,8 +883,11 @@ fn rule_any_to_multi(target: &DNode) -> Option<DNode> {
     if items.is_empty() {
         return None;
     }
-    let template =
-        if items.len() == 1 { items.into_iter().next().unwrap() } else { DNode::any(items) };
+    let template = if items.len() == 1 {
+        items.into_iter().next().unwrap()
+    } else {
+        DNode::any(items)
+    };
     let mut children = head;
     children.push(DNode::multi(template));
     Some(DNode::syntax(kind, children))
@@ -887,10 +949,9 @@ fn split_list_heads<'a>(
     // Alternatives with differing heads cannot share the generalisation;
     // signal by returning empty slots (callers then produce no items and
     // bail, or the rebind validation rejects the result).
-    let consistent = alts.iter().all(|a| {
-        a.children.len() >= head_len
-            && a.children.iter().take(head_len).eq(head.iter())
-    });
+    let consistent = alts
+        .iter()
+        .all(|a| a.children.len() >= head_len && a.children.iter().take(head_len).eq(head.iter()));
     if !consistent {
         return (head, vec![]);
     }
@@ -984,7 +1045,11 @@ fn wrap_first_choice(node: &mut DNode, group: u32) -> bool {
     for c in &mut node.children {
         if c.is_choice() {
             let choice = c.clone();
-            let marker = DNode { id: 0, kind: NodeKind::CoOpt { group }, children: vec![] };
+            let marker = DNode {
+                id: 0,
+                kind: NodeKind::CoOpt { group },
+                children: vec![],
+            };
             *c = DNode::any(vec![choice, DNode::empty(), marker]);
             return true;
         }
@@ -1025,7 +1090,11 @@ mod tests {
     fn workload(sqls: &[&str]) -> Workload {
         let mut catalog = Catalog::new();
         let t = Table::from_rows(
-            vec![("p", DataType::Int), ("a", DataType::Int), ("b", DataType::Int)],
+            vec![
+                ("p", DataType::Int),
+                ("a", DataType::Int),
+                ("b", DataType::Int),
+            ],
             vec![
                 vec![Value::Int(1), Value::Int(1), Value::Int(10)],
                 vec![Value::Int(2), Value::Int(1), Value::Int(20)],
@@ -1040,7 +1109,10 @@ mod tests {
         )
         .unwrap();
         catalog.add_table("C", c, vec![]);
-        Workload::new(sqls.iter().map(|s| parse_query(s).unwrap()).collect(), catalog)
+        Workload::new(
+            sqls.iter().map(|s| parse_query(s).unwrap()).collect(),
+            catalog,
+        )
     }
 
     fn act(forest: &Forest, w: &Workload, rule: Rule) -> Option<(Action, Forest)> {
@@ -1085,7 +1157,9 @@ mod tests {
         let w = workload(&["SELECT p FROM T", "SELECT p, a FROM T"]);
         let f = Forest::from_workload(&w);
         assert!(
-            !applicable_actions(&f, &w).iter().any(|a| a.rule == Rule::Merge),
+            !applicable_actions(&f, &w)
+                .iter()
+                .any(|a| a.rule == Rule::Merge),
             "incompatible schemas must not merge"
         );
     }
@@ -1182,12 +1256,12 @@ mod tests {
     #[test]
     fn noop_removes_single_child_any() {
         let w = workload(&["SELECT p FROM T"]);
-        let mut f = Forest::from_workload(&w);
-        let tree = f.trees[0].clone();
-        f.trees[0] = DNode::any(vec![tree]);
-        f.renumber();
+        let f = Forest::new(vec![DNode::any(vec![w.gsts[0].clone()])]);
         let (_, simplified) = act(&f, &w, Rule::Noop).expect("noop applicable");
-        assert_eq!(simplified.trees[0].kind, NodeKind::Syntax(SyntaxKind::Query));
+        assert_eq!(
+            simplified.trees[0].kind,
+            NodeKind::Syntax(SyntaxKind::Query)
+        );
     }
 
     #[test]
@@ -1197,14 +1271,10 @@ mod tests {
             "SELECT p FROM T WHERE a = 2",
             "SELECT p FROM T WHERE b = 1",
         ]);
-        let f = Forest::from_workload(&w);
-        let mut nested = Forest {
-            trees: vec![DNode::any(vec![
-                DNode::any(vec![f.trees[0].clone(), f.trees[1].clone()]),
-                f.trees[2].clone(),
-            ])],
-        };
-        nested.renumber();
+        let nested = Forest::new(vec![DNode::any(vec![
+            DNode::any(vec![w.gsts[0].clone(), w.gsts[1].clone()]),
+            w.gsts[2].clone(),
+        ])]);
         let (_, flat) = act(&nested, &w, Rule::MergeAny).expect("MergeANY applicable");
         assert_eq!(flat.trees[0].kind, NodeKind::Any);
         assert_eq!(flat.trees[0].children.len(), 3);
@@ -1217,20 +1287,18 @@ mod tests {
             "SELECT p, count(*) FROM T WHERE a = 2 GROUP BY p",
             "SELECT p FROM T",
         ]);
-        let f = Forest::from_workload(&w);
         // Merge q1 and q2 trees first (q3 has incompatible schema), then
         // force a 3-way ANY to exercise Partition.
-        let mut all = Forest {
-            trees: vec![DNode::any(f.trees.clone())],
-        };
-        all.renumber();
+        let all = Forest::new(vec![DNode::any(w.gsts.clone())]);
         let (_, part) = act(&all, &w, Rule::Partition).expect("partition applicable");
         let root = &part.trees[0];
         assert_eq!(root.kind, NodeKind::Any);
         assert_eq!(root.children.len(), 2, "{}", root.render());
         // One child is the 2-query cluster.
-        assert!(root.children.iter().any(|c| c.kind == NodeKind::Any
-            && c.children.len() == 2));
+        assert!(root
+            .children
+            .iter()
+            .any(|c| c.kind == NodeKind::Any && c.children.len() == 2));
     }
 
     #[test]
@@ -1257,10 +1325,7 @@ mod tests {
     fn push_any_list_alignment_subsumes_opt_distribution() {
         // The end-to-end behaviour PushOPT2 aims for: predicates become
         // independently optional after Merge + PushANY.
-        let w = workload(&[
-            "SELECT p FROM T WHERE a = 1 AND b = 2",
-            "SELECT p FROM T",
-        ]);
+        let w = workload(&["SELECT p FROM T WHERE a = 1 AND b = 2", "SELECT p FROM T"]);
         let f = Forest::from_workload(&w);
         let (_, merged) = act(&f, &w, Rule::Merge).unwrap();
         let (_, pushed) = act(&merged, &w, Rule::PushAny).unwrap();
@@ -1289,8 +1354,7 @@ mod tests {
         let lit2 = w.gsts[1].children[3].children[0].children[1].clone();
         pred.children[1] = DNode::any(vec![lit1, lit2]);
         tree.children[3].children = vec![DNode::any(vec![pred, DNode::empty()])];
-        let mut f = Forest { trees: vec![tree] };
-        f.renumber();
+        let f = Forest::new(vec![tree]);
         assert!(f.bind_all(&w).is_some());
         let (_, pushed) = act(&f, &w, Rule::PushOpt1).expect("PushOPT1 applicable");
         // The transformed tree still expresses all three queries.
@@ -1321,13 +1385,15 @@ mod tests {
         // Hoisting ANY over the whole Where clause: rebuild as Query whose
         // children[3] is ANY(Where, Where) — our matcher aligns clause
         // wrappers positionally, so this works.
-        let mut f2 = Forest { trees: vec![tree] };
-        f2.renumber();
+        let f2 = Forest::new(vec![tree]);
         assert!(f2.bind_all(&w).is_some());
         let (_, sub) = act(&f2, &w, Rule::AnyToSubset).expect("ANY→SUBSET applicable");
         // Subset generalises to dropping all predicates.
         assert!(expresses(&sub, &parse_query("SELECT p FROM T").unwrap()));
-        assert!(expresses(&sub, &parse_query("SELECT p FROM T WHERE b = 2").unwrap()));
+        assert!(expresses(
+            &sub,
+            &parse_query("SELECT p FROM T WHERE b = 2").unwrap()
+        ));
         let _ = f;
     }
 
@@ -1341,8 +1407,7 @@ mod tests {
         let g2 = DNode::syntax(SyntaxKind::GroupBy, w.gsts[1].children[4].children.clone());
         let mut tree = w.gsts[0].clone();
         tree.children[4] = DNode::any(vec![g1, g2]);
-        let mut f = Forest { trees: vec![tree] };
-        f.renumber();
+        let f = Forest::new(vec![tree]);
         assert!(f.bind_all(&w).is_some());
         let (_, multi) = act(&f, &w, Rule::AnyToMulti).expect("ANY→MULTI applicable");
         // MULTI generalises to grouping by both columns.
@@ -1357,10 +1422,20 @@ mod tests {
         let w = workload(&["SELECT p FROM T"]);
         let f = Forest::from_workload(&w);
         // Out-of-range node id.
-        let bogus = Action { rule: Rule::Noop, tree: 0, node: 9999, other_tree: 0 };
+        let bogus = Action {
+            rule: Rule::Noop,
+            tree: 0,
+            node: 9999,
+            other_tree: 0,
+        };
         assert!(apply_action(&f, &w, bogus).is_none());
         // Split on a non-ANY root.
-        let bogus = Action { rule: Rule::Split, tree: 0, node: f.trees[0].id, other_tree: 0 };
+        let bogus = Action {
+            rule: Rule::Split,
+            tree: 0,
+            node: 0,
+            other_tree: 0,
+        };
         assert!(apply_action(&f, &w, bogus).is_none());
     }
 
@@ -1383,10 +1458,7 @@ mod tests {
 
     #[test]
     fn gst_binding_sanity_for_merged_any() {
-        let w = workload(&[
-            "SELECT p FROM T WHERE a = 1",
-            "SELECT p FROM T WHERE a = 2",
-        ]);
+        let w = workload(&["SELECT p FROM T WHERE a = 1", "SELECT p FROM T WHERE a = 2"]);
         let f = Forest::from_workload(&w);
         let (_, merged) = act(&f, &w, Rule::Merge).unwrap();
         let b = bind_query(&merged.trees[0], &w.gsts[1]).unwrap();

@@ -56,16 +56,16 @@ impl fmt::Display for PrimType {
 /// A fully qualified attribute reference.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AttrRef {
-    /// The table.
+    /// Base table name.
     pub table: String,
-    /// The column.
+    /// Column name within the table.
     pub column: String,
-    /// The dtype.
+    /// The column's storage type.
     pub dtype: DataType,
 }
 
 impl AttrRef {
-    /// Qualified.
+    /// The `table.column` form.
     pub fn qualified(&self) -> String {
         format!("{}.{}", self.table, self.column)
     }
@@ -82,9 +82,9 @@ impl fmt::Display for AttrRef {
 /// such as the `ANY(a, b)` example in §2 whose schema is `a ∪ b`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct NodeType {
-    /// The prim.
+    /// The primitive (`num`/`str`/`AST`); `None` means `AST`.
     pub prim: Option<PrimTypeWrapper>,
-    /// The attrs.
+    /// Source attributes this type specialises (may be a union).
     pub attrs: BTreeSet<AttrRef>,
 }
 
@@ -92,38 +92,55 @@ pub struct NodeType {
 pub type PrimTypeWrapper = PrimType;
 
 impl NodeType {
-    /// Ast.
+    /// The top type `AST`.
     pub fn ast() -> NodeType {
-        NodeType { prim: Some(PrimType::Ast), attrs: BTreeSet::new() }
-    }
-
-    /// Num.
-    pub fn num() -> NodeType {
-        NodeType { prim: Some(PrimType::Num), attrs: BTreeSet::new() }
-    }
-
-    /// Str.
-    pub fn str_() -> NodeType {
-        NodeType { prim: Some(PrimType::Str), attrs: BTreeSet::new() }
-    }
-
-    /// Attr.
-    pub fn attr(table: &str, column: &str, dtype: DataType) -> NodeType {
-        let prim = if dtype.is_numeric() { PrimType::Num } else { PrimType::Str };
         NodeType {
-            prim: Some(prim),
-            attrs: [AttrRef { table: table.into(), column: column.into(), dtype }]
-                .into_iter()
-                .collect(),
+            prim: Some(PrimType::Ast),
+            attrs: BTreeSet::new(),
         }
     }
 
-    /// Prim.
+    /// The bare numeric primitive.
+    pub fn num() -> NodeType {
+        NodeType {
+            prim: Some(PrimType::Num),
+            attrs: BTreeSet::new(),
+        }
+    }
+
+    /// The bare string primitive.
+    pub fn str_() -> NodeType {
+        NodeType {
+            prim: Some(PrimType::Str),
+            attrs: BTreeSet::new(),
+        }
+    }
+
+    /// An attribute type specialising `table.column`.
+    pub fn attr(table: &str, column: &str, dtype: DataType) -> NodeType {
+        let prim = if dtype.is_numeric() {
+            PrimType::Num
+        } else {
+            PrimType::Str
+        };
+        NodeType {
+            prim: Some(prim),
+            attrs: [AttrRef {
+                table: table.into(),
+                column: column.into(),
+                dtype,
+            }]
+            .into_iter()
+            .collect(),
+        }
+    }
+
+    /// The primitive, defaulting to `AST`.
     pub fn prim(&self) -> PrimType {
         self.prim.unwrap_or(PrimType::Ast)
     }
 
-    /// Is num.
+    /// Whether the primitive is `num`.
     pub fn is_num(&self) -> bool {
         self.prim() == PrimType::Num
     }
@@ -191,6 +208,34 @@ pub fn infer_types(root: &DNode, catalog: &Catalog) -> TypeMap {
     let mut map = TypeMap::new();
     assign_base_types(root, catalog, &aliases, &mut map);
     specialise_in_comparisons(root, catalog, &aliases, &mut map);
+    map
+}
+
+/// [`infer_types`] memoized per (tree fingerprint, catalogue fingerprint).
+/// Search states share most of their trees and ids are tree-local, so the
+/// inferred map transfers between states unchanged; candidate enumeration
+/// calls this once per tree per state instead of re-walking every node.
+pub fn infer_types_cached(
+    tree: &crate::forest::Tree,
+    catalog: &Catalog,
+) -> std::sync::Arc<TypeMap> {
+    thread_local! {
+        static TYPE_CACHE: std::cell::RefCell<
+            std::collections::HashMap<(u64, u64), std::sync::Arc<TypeMap>>,
+        > = std::cell::RefCell::new(std::collections::HashMap::new());
+    }
+    let key = (tree.fingerprint(), catalog.fingerprint());
+    if let Some(hit) = TYPE_CACHE.with(|c| c.borrow().get(&key).cloned()) {
+        return hit;
+    }
+    let map = std::sync::Arc::new(infer_types(tree.node(), catalog));
+    TYPE_CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.len() > 20_000 {
+            c.clear();
+        }
+        c.insert(key, std::sync::Arc::clone(&map));
+    });
     map
 }
 
@@ -269,7 +314,10 @@ fn assign_base_types(
                     // Column *references* are str-typed names (Example 2) but
                     // we keep provenance so comparisons can specialise their
                     // partners.
-                    NodeType { prim: Some(attr.prim()), attrs: attr.attrs }
+                    NodeType {
+                        prim: Some(attr.prim()),
+                        attrs: attr.attrs,
+                    }
                 })
                 .unwrap_or_else(NodeType::str_),
         ),
@@ -281,8 +329,9 @@ fn assign_base_types(
                 None => NodeType::ast(),
             })
         }
-        NodeKind::Syntax(SyntaxKind::TableName(_))
-        | NodeKind::Syntax(SyntaxKind::AliasName(_)) => Some(NodeType::str_()),
+        NodeKind::Syntax(SyntaxKind::TableName(_)) | NodeKind::Syntax(SyntaxKind::AliasName(_)) => {
+            Some(NodeType::str_())
+        }
         NodeKind::Syntax(_) if node.children.is_empty() => Some(NodeType::ast()),
         NodeKind::Syntax(_) => Some(NodeType::ast()),
         // Choice nodes: typed below from their children.
@@ -302,7 +351,11 @@ fn assign_base_types(
                 continue;
             }
             let ct = map.get(&c.id).cloned().unwrap_or_else(NodeType::ast);
-            let ct = if c.children.is_empty() || c.is_choice() { ct } else { NodeType::ast() };
+            let ct = if c.children.is_empty() || c.is_choice() {
+                ct
+            } else {
+                NodeType::ast()
+            };
             ty = Some(match ty {
                 Some(t) => t.union(&ct),
                 None => ct,
@@ -392,10 +445,9 @@ fn propagate_attr(node: &DNode, attr: &NodeType, map: &mut TypeMap) {
             }
         }
         NodeKind::Any => {
-            let all_lits = node
-                .children
-                .iter()
-                .all(|c| matches!(c.kind, NodeKind::Syntax(SyntaxKind::Lit(_))) || c.is_empty_node());
+            let all_lits = node.children.iter().all(|c| {
+                matches!(c.kind, NodeKind::Syntax(SyntaxKind::Lit(_))) || c.is_empty_node()
+            });
             if all_lits {
                 map.insert(node.id, attr.clone());
                 for c in &node.children {
@@ -425,7 +477,11 @@ mod tests {
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
         let t = Table::from_rows(
-            vec![("p", DataType::Int), ("a", DataType::Int), ("b", DataType::Int)],
+            vec![
+                ("p", DataType::Int),
+                ("a", DataType::Int),
+                ("b", DataType::Int),
+            ],
             vec![
                 vec![Value::Int(1), Value::Int(10), Value::Int(7)],
                 vec![Value::Int(2), Value::Int(20), Value::Int(8)],
@@ -522,7 +578,10 @@ mod tests {
         let (mut gst, _) = typed("SELECT p FROM T WHERE a = 1");
         let pred = &mut gst.children[3].children[0];
         let col_a = pred.children[0].clone();
-        let col_b = DNode::leaf(SyntaxKind::ColumnRef { table: None, column: "b".into() });
+        let col_b = DNode::leaf(SyntaxKind::ColumnRef {
+            table: None,
+            column: "b".into(),
+        });
         let lit1 = pred.children[1].clone();
         let lit2 = DNode::leaf(SyntaxKind::Lit(crate::gst::LitVal(Literal::Int(2))));
         pred.children[0] = DNode::any(vec![col_a, col_b]);
@@ -563,7 +622,13 @@ mod tests {
         let (gst, map) = typed("SELECT t1.a FROM T AS t1 WHERE t1.a = 3");
         let lit = find_lit(&gst, "3");
         assert_eq!(
-            map.get(&lit).unwrap().attrs.iter().next().unwrap().qualified(),
+            map.get(&lit)
+                .unwrap()
+                .attrs
+                .iter()
+                .next()
+                .unwrap()
+                .qualified(),
             "T.a"
         );
     }

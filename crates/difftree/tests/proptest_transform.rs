@@ -3,6 +3,7 @@
 //! through resolution.
 
 use pi2_data::{Catalog, DataType, Table, Value};
+use pi2_difftree::transform::canonicalize;
 use pi2_difftree::{
     applicable_actions, apply_action, bind_query, lower_query, raise_query, resolve, Forest,
     Workload,
@@ -52,9 +53,8 @@ fn arb_query() -> impl Strategy<Value = String> {
         (pred, between.clone()).prop_map(|(p, b)| format!(" WHERE {p} AND {b}")),
         between.prop_map(|b| format!(" WHERE {b}")),
     ];
-    (prop_oneof![Just("p"), Just("a"), Just("s")], where_clause).prop_map(|(col, w)| {
-        format!("SELECT {col}, count(*) FROM T{w} GROUP BY {col}")
-    })
+    (prop_oneof![Just("p"), Just("a"), Just("s")], where_clause)
+        .prop_map(|(col, w)| format!("SELECT {col}, count(*) FROM T{w} GROUP BY {col}"))
 }
 
 proptest! {
@@ -98,5 +98,43 @@ proptest! {
         let map = bind_query(&gst, &gst).expect("tree expresses itself");
         let resolved = resolve(&gst, &map).unwrap();
         prop_assert_eq!(raise_query(&resolved).unwrap(), q);
+    }
+
+    /// ForestKey is a pure function of structure: equal (canonicalized)
+    /// states always share a key, and the incrementally maintained
+    /// fingerprints after a chain of `apply_action`s match a from-scratch
+    /// recompute of the same forest.
+    #[test]
+    fn forest_key_consistency(
+        sqls in prop::collection::vec(arb_query(), 2..4),
+        picks in prop::collection::vec(0usize..64, 1..4),
+    ) {
+        let queries: Vec<_> = sqls.iter().map(|s| parse_query(s).unwrap()).collect();
+        let w = Workload::new(queries, catalog());
+        let mut state = Forest::from_workload(&w);
+        for pick in picks {
+            let actions = applicable_actions(&state, &w);
+            if actions.is_empty() {
+                break;
+            }
+            state = apply_action(&state, &w, actions[pick % actions.len()])
+                .expect("applicable actions must apply");
+
+            // Incremental invariant: `apply_action` re-fingerprints only
+            // the tree(s) it touched; rebuilding every tree from owned
+            // copies must produce the identical key and equal forest.
+            let rebuilt = Forest::new(
+                state.trees.iter().map(|t| t.to_dnode()).collect(),
+            );
+            prop_assert_eq!(state.key(), rebuilt.key());
+            prop_assert!(state == rebuilt);
+
+            // Canonicalization is deterministic, so equal inputs yield
+            // equal canonical states with equal keys.
+            let c1 = canonicalize(&state, &w, 16);
+            let c2 = canonicalize(&rebuilt, &w, 16);
+            prop_assert!(c1 == c2);
+            prop_assert_eq!(c1.key(), c2.key());
+        }
     }
 }

@@ -18,7 +18,11 @@ use pi2_sql::ast::{is_aggregate_function, Expr, Literal, Query, SelectItem, Tabl
 pub enum ColType {
     /// Traces to base attribute `table.column`.
     /// The attr.
-    Attr { table: String, column: String, dtype: DataType },
+    Attr {
+        table: String,
+        column: String,
+        dtype: DataType,
+    },
     /// A computed value with no attribute provenance.
     Prim(DataType),
 }
@@ -81,7 +85,9 @@ impl QueryInfo {
         {
             return true;
         }
-        determinant_indices.iter().any(|&i| self.cols.get(i).is_some_and(|c| c.unique))
+        determinant_indices
+            .iter()
+            .any(|&i| self.cols.get(i).is_some_and(|c| c.unique))
     }
 }
 
@@ -143,7 +149,11 @@ fn analyze_with_outer(
         }
     }
 
-    let scope = Scope { catalog, bindings: &bindings, outer };
+    let scope = Scope {
+        catalog,
+        bindings: &bindings,
+        outer,
+    };
 
     // Which select items are group keys?
     let group_exprs = &query.group_by;
@@ -154,7 +164,10 @@ fn analyze_with_outer(
             SelectItem::Star => {
                 for b in &bindings {
                     for c in &b.cols {
-                        cols.push(OutCol { is_group_key: false, ..c.clone() });
+                        cols.push(OutCol {
+                            is_group_key: false,
+                            ..c.clone()
+                        });
                     }
                 }
             }
@@ -171,7 +184,11 @@ fn analyze_with_outer(
     }
 
     let is_aggregate = query.is_aggregate();
-    Ok(QueryInfo { cols, is_aggregate, group_key_indices })
+    Ok(QueryInfo {
+        cols,
+        is_aggregate,
+        group_key_indices,
+    })
 }
 
 /// Structural match between a GROUP BY expression and a select expression,
@@ -212,10 +229,16 @@ impl Scope<'_> {
                     .iter()
                     .find(|b| b.name.eq_ignore_ascii_case(t))
                     .and_then(|b| {
-                        b.cols.iter().find(|c| c.name.eq_ignore_ascii_case(name)).cloned()
+                        b.cols
+                            .iter()
+                            .find(|c| c.name.eq_ignore_ascii_case(name))
+                            .cloned()
                     }),
                 None => bindings.iter().find_map(|b| {
-                    b.cols.iter().find(|c| c.name.eq_ignore_ascii_case(name)).cloned()
+                    b.cols
+                        .iter()
+                        .find(|c| c.name.eq_ignore_ascii_case(name))
+                        .cloned()
                 }),
             }
         };
@@ -239,14 +262,20 @@ impl Scope<'_> {
                 Literal::Int(_) => prim(DataType::Int),
                 Literal::Float(_) => prim(DataType::Float),
                 Literal::Str(_) => prim(DataType::Str),
-                Literal::Bool(_) => OutCol { cardinality: Some(2), ..prim(DataType::Bool) },
+                Literal::Bool(_) => OutCol {
+                    cardinality: Some(2),
+                    ..prim(DataType::Bool)
+                },
                 Literal::Null => prim(DataType::Str),
             }),
             Expr::Star => Ok(prim(DataType::Int)),
             Expr::Unary { expr, .. } => self.type_of(expr),
             Expr::Binary { left, op, right } => {
                 if op.is_comparison() || op.is_logical() || *op == pi2_sql::BinOp::Like {
-                    Ok(OutCol { cardinality: Some(2), ..prim(DataType::Bool) })
+                    Ok(OutCol {
+                        cardinality: Some(2),
+                        ..prim(DataType::Bool)
+                    })
                 } else {
                     let lt = self.type_of(left)?.ty.dtype();
                     let rt = self.type_of(right)?.ty.dtype();
@@ -254,10 +283,13 @@ impl Scope<'_> {
                     Ok(prim(t))
                 }
             }
-            Expr::Between { .. } | Expr::IsNull { .. } | Expr::InList { .. }
-            | Expr::InSubquery { .. } => {
-                Ok(OutCol { cardinality: Some(2), ..prim(DataType::Bool) })
-            }
+            Expr::Between { .. }
+            | Expr::IsNull { .. }
+            | Expr::InList { .. }
+            | Expr::InSubquery { .. } => Ok(OutCol {
+                cardinality: Some(2),
+                ..prim(DataType::Bool)
+            }),
             Expr::Func { name, args } => {
                 if name.eq_ignore_ascii_case("count") {
                     return Ok(prim(DataType::Int));
@@ -277,12 +309,23 @@ impl Scope<'_> {
                 if (name.eq_ignore_ascii_case("min") || name.eq_ignore_ascii_case("max"))
                     && is_aggregate_function(name)
                 {
-                    if let Some(OutCol { ty: ColType::Attr { table, column, dtype }, .. }) =
-                        arg_col
+                    if let Some(OutCol {
+                        ty:
+                            ColType::Attr {
+                                table,
+                                column,
+                                dtype,
+                            },
+                        ..
+                    }) = arg_col
                     {
                         return Ok(OutCol {
                             name: String::new(),
-                            ty: ColType::Attr { table, column, dtype },
+                            ty: ColType::Attr {
+                                table,
+                                column,
+                                dtype,
+                            },
                             is_group_key: false,
                             unique: false,
                             cardinality: None,
@@ -316,10 +359,25 @@ mod tests {
                 ("d", DataType::Date),
             ],
             vec![
-                vec![Value::Int(1), Value::Int(10), Value::Str("x".into()), Value::Date(0)],
-                vec![Value::Int(2), Value::Int(20), Value::Str("y".into()), Value::Date(1)],
+                vec![
+                    Value::Int(1),
+                    Value::Int(10),
+                    Value::Str("x".into()),
+                    Value::Date(0),
+                ],
+                vec![
+                    Value::Int(2),
+                    Value::Int(20),
+                    Value::Str("y".into()),
+                    Value::Date(1),
+                ],
                 // a repeats so the non-key column is observably non-unique.
-                vec![Value::Int(3), Value::Int(20), Value::Str("y".into()), Value::Date(2)],
+                vec![
+                    Value::Int(3),
+                    Value::Int(20),
+                    Value::Str("y".into()),
+                    Value::Date(2),
+                ],
             ],
         )
         .unwrap();
@@ -337,7 +395,11 @@ mod tests {
         assert_eq!(info.cols.len(), 2);
         assert_eq!(
             info.cols[0].ty,
-            ColType::Attr { table: "T".into(), column: "a".into(), dtype: DataType::Int }
+            ColType::Attr {
+                table: "T".into(),
+                column: "a".into(),
+                dtype: DataType::Int
+            }
         );
         assert_eq!(info.cols[0].ty.qualified_attr().unwrap(), "T.a");
         assert!(!info.is_aggregate);

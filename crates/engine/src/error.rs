@@ -50,8 +50,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(EngineError::UnresolvedColumn("x".into()).to_string().contains("x"));
-        assert!(EngineError::NonScalarSubquery.to_string().contains("one column"));
+        assert!(EngineError::UnresolvedColumn("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(EngineError::NonScalarSubquery
+            .to_string()
+            .contains("one column"));
         let e: EngineError = DataError::UnknownTable("t".into()).into();
         assert_eq!(e.to_string(), "unknown table: t");
     }

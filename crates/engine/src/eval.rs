@@ -22,8 +22,7 @@ impl<'a> Scope<'a> {
     /// Lookup.
     pub fn lookup(&self, table: Option<&str>, name: &str) -> Option<&Value> {
         let found = self.cols.iter().position(|(b, c)| {
-            c.eq_ignore_ascii_case(name)
-                && table.is_none_or(|t| b.eq_ignore_ascii_case(t))
+            c.eq_ignore_ascii_case(name) && table.is_none_or(|t| b.eq_ignore_ascii_case(t))
         });
         match found {
             Some(i) => Some(&self.row[i]),
@@ -69,13 +68,22 @@ pub fn eval_expr(
             let r = eval_expr(right, scope, ctx)?;
             apply_binary(*op, l, r)
         }
-        Expr::Between { expr, negated, low, high } => {
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => {
             let v = eval_expr(expr, scope, ctx)?;
             let lo = eval_expr(low, scope, ctx)?;
             let hi = eval_expr(high, scope, ctx)?;
             eval_between(&v, &lo, &hi, *negated)
         }
-        Expr::InList { expr, negated, list } => {
+        Expr::InList {
+            expr,
+            negated,
+            list,
+        } => {
             let v = eval_expr(expr, scope, ctx)?;
             let mut any_null = false;
             for item in list {
@@ -92,7 +100,11 @@ pub fn eval_expr(
                 Ok(Value::Bool(*negated))
             }
         }
-        Expr::InSubquery { expr, negated, query } => {
+        Expr::InSubquery {
+            expr,
+            negated,
+            query,
+        } => {
             let v = eval_expr(expr, scope, ctx)?;
             let result = execute_with_scope(query, ctx, Some(scope))?;
             let mut any_null = false;
@@ -129,7 +141,11 @@ pub fn eval_expr(
             if result.schema.len() != 1 {
                 return Err(EngineError::NonScalarSubquery);
             }
-            Ok(result.rows.first().map(|r| r[0].clone()).unwrap_or(Value::Null))
+            Ok(result
+                .rows
+                .first()
+                .map(|r| r[0].clone())
+                .unwrap_or(Value::Null))
         }
     }
 }
@@ -163,7 +179,12 @@ pub fn eval_grouped(
             let r = eval_grouped(right, group, ctx)?;
             apply_binary(*op, l, r)
         }
-        Expr::Between { expr, negated, low, high } => {
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => {
             let v = eval_grouped(expr, group, ctx)?;
             let lo = eval_grouped(low, group, ctx)?;
             let hi = eval_grouped(high, group, ctx)?;
@@ -199,7 +220,11 @@ fn eval_aggregate(
     // Evaluate the argument per group row.
     let mut vals = Vec::with_capacity(group.rows.len());
     for row in &group.rows {
-        let scope = Scope { cols: group.cols, row, parent: group.parent };
+        let scope = Scope {
+            cols: group.cols,
+            row,
+            parent: group.parent,
+        };
         let v = eval_expr(arg, &scope, ctx)?;
         if !v.is_null() {
             vals.push(v);
@@ -314,7 +339,9 @@ fn apply_binary(op: BinOp, l: Value, r: Value) -> Result<Value, EngineError> {
         return Ok(Value::Null);
     }
     let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
-        return Err(EngineError::TypeError(format!("cannot apply {op} to {l} and {r}")));
+        return Err(EngineError::TypeError(format!(
+            "cannot apply {op} to {l} and {r}"
+        )));
     };
     let result = match op {
         BinOp::Add => a + b,
@@ -352,9 +379,7 @@ fn like_match(s: &str, pattern: &str) -> bool {
     fn inner(s: &[u8], p: &[u8]) -> bool {
         match p.first() {
             None => s.is_empty(),
-            Some(b'%') => {
-                (0..=s.len()).any(|i| inner(&s[i..], &p[1..]))
-            }
+            Some(b'%') => (0..=s.len()).any(|i| inner(&s[i..], &p[1..])),
             Some(b'_') => !s.is_empty() && inner(&s[1..], &p[1..]),
             Some(c) => s.first() == Some(c) && inner(&s[1..], &p[1..]),
         }
@@ -377,7 +402,9 @@ fn apply_scalar_function(
             let base = base
                 .coerce_to_date()
                 .ok_or_else(|| EngineError::TypeError(format!("not a date: {base}")))?;
-            let Value::Date(mut days) = base else { unreachable!() };
+            let Value::Date(mut days) = base else {
+                unreachable!()
+            };
             if let Some(off) = args.get(1) {
                 let s = off
                     .as_str()
@@ -415,11 +442,17 @@ mod tests {
 
     fn eval_str(src: &str) -> Value {
         let catalog = ctx_catalog();
-        let ctx = ExecContext { catalog: &catalog, today: 18_000 };
-        let cols: Vec<(String, String)> =
-            vec![("t".into(), "a".into()), ("t".into(), "b".into())];
+        let ctx = ExecContext {
+            catalog: &catalog,
+            today: 18_000,
+        };
+        let cols: Vec<(String, String)> = vec![("t".into(), "a".into()), ("t".into(), "b".into())];
         let row = vec![Value::Int(5), Value::Str("CA".into())];
-        let scope = Scope { cols: &cols, row: &row, parent: None };
+        let scope = Scope {
+            cols: &cols,
+            row: &row,
+            parent: None,
+        };
         eval_expr(&parse_expr(src).unwrap(), &scope, &ctx).unwrap()
     }
 
@@ -498,10 +531,17 @@ mod tests {
     #[test]
     fn misplaced_aggregate_is_an_error() {
         let catalog = ctx_catalog();
-        let ctx = ExecContext { catalog: &catalog, today: 0 };
+        let ctx = ExecContext {
+            catalog: &catalog,
+            today: 0,
+        };
         let cols: Vec<(String, String)> = vec![];
         let row: Vec<Value> = vec![];
-        let scope = Scope { cols: &cols, row: &row, parent: None };
+        let scope = Scope {
+            cols: &cols,
+            row: &row,
+            parent: None,
+        };
         let e = parse_expr("sum(1)").unwrap();
         assert!(matches!(
             eval_expr(&e, &scope, &ctx),
@@ -512,7 +552,10 @@ mod tests {
     #[test]
     fn aggregate_over_group() {
         let catalog = ctx_catalog();
-        let ctx = ExecContext { catalog: &catalog, today: 0 };
+        let ctx = ExecContext {
+            catalog: &catalog,
+            today: 0,
+        };
         let cols: Vec<(String, String)> = vec![("t".into(), "x".into())];
         let rows: Vec<Vec<Value>> = vec![
             vec![Value::Int(1)],
@@ -539,9 +582,16 @@ mod tests {
     #[test]
     fn aggregates_over_empty_groups() {
         let catalog = ctx_catalog();
-        let ctx = ExecContext { catalog: &catalog, today: 0 };
+        let ctx = ExecContext {
+            catalog: &catalog,
+            today: 0,
+        };
         let cols: Vec<(String, String)> = vec![("t".into(), "x".into())];
-        let group = GroupCtx { cols: &cols, rows: vec![], parent: None };
+        let group = GroupCtx {
+            cols: &cols,
+            rows: vec![],
+            parent: None,
+        };
         let agg = |src: &str| eval_grouped(&parse_expr(src).unwrap(), &group, &ctx).unwrap();
         assert_eq!(agg("count(*)"), Value::Int(0));
         assert_eq!(agg("sum(x)"), Value::Null);

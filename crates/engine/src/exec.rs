@@ -21,7 +21,10 @@ impl<'a> ExecContext<'a> {
     pub fn new(catalog: &'a Catalog) -> Self {
         // Default "today": 2021-07-01 (day 18809), inside the Covid
         // workload's date range.
-        ExecContext { catalog, today: 18_809 }
+        ExecContext {
+            catalog,
+            today: 18_809,
+        }
     }
 }
 
@@ -39,33 +42,6 @@ pub fn execute(query: &Query, ctx: &ExecContext<'_>) -> Result<Table, EngineErro
     execute_with_scope(query, ctx, None)
 }
 
-thread_local! {
-    /// (catalog fingerprint, today, SQL) → result. PI2's search re-executes
-    /// the same resolved queries for every candidate state's safety checks;
-    /// memoizing them is the paper's suggested "caching" optimisation for
-    /// the §7.3 scalability bottleneck.
-    static RESULT_CACHE: std::cell::RefCell<HashMap<(u64, i64, String), Table>> =
-        std::cell::RefCell::new(HashMap::new());
-}
-
-/// Execute with memoization keyed by (catalogue fingerprint, `today`, SQL
-/// text). Correlated/outer-scoped execution never goes through the cache.
-pub fn execute_cached(query: &Query, ctx: &ExecContext<'_>) -> Result<Table, EngineError> {
-    let key = (ctx.catalog.fingerprint(), ctx.today, query.to_string());
-    if let Some(hit) = RESULT_CACHE.with(|c| c.borrow().get(&key).cloned()) {
-        return Ok(hit);
-    }
-    let out = execute_with_scope(query, ctx, None)?;
-    RESULT_CACHE.with(|c| {
-        let mut c = c.borrow_mut();
-        if c.len() > 10_000 {
-            c.clear();
-        }
-        c.insert(key, out.clone());
-    });
-    Ok(out)
-}
-
 /// Execute with an optional outer scope (for correlated subqueries).
 pub fn execute_with_scope(
     query: &Query,
@@ -79,7 +55,11 @@ pub fn execute_with_scope(
     let mut kept: Vec<&Vec<Value>> = Vec::with_capacity(input.rows.len());
     if let Some(pred) = &query.where_clause {
         for row in &input.rows {
-            let scope = Scope { cols: &input.cols, row, parent: outer };
+            let scope = Scope {
+                cols: &input.cols,
+                row,
+                parent: outer,
+            };
             let v = eval_expr(pred, &scope, ctx)?;
             if v.as_bool() == Some(true) {
                 kept.push(row);
@@ -96,7 +76,11 @@ pub fn execute_with_scope(
         let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
         let mut groups: Vec<(Vec<Value>, Vec<&Vec<Value>>)> = Vec::new();
         for row in kept {
-            let scope = Scope { cols: &input.cols, row, parent: outer };
+            let scope = Scope {
+                cols: &input.cols,
+                row,
+                parent: outer,
+            };
             let key: Vec<Value> = query
                 .group_by
                 .iter()
@@ -129,13 +113,9 @@ pub fn execute_with_scope(
             for item in &query.select {
                 match item {
                     SelectItem::Star => {
-                        return Err(EngineError::Unsupported(
-                            "SELECT * with GROUP BY".into(),
-                        ))
+                        return Err(EngineError::Unsupported("SELECT * with GROUP BY".into()))
                     }
-                    SelectItem::Expr { expr, .. } => {
-                        out.push(eval_grouped(expr, &group, ctx)?)
-                    }
+                    SelectItem::Expr { expr, .. } => out.push(eval_grouped(expr, &group, ctx)?),
                 }
             }
             let keys = query
@@ -147,7 +127,11 @@ pub fn execute_with_scope(
         }
     } else {
         for row in kept {
-            let scope = Scope { cols: &input.cols, row, parent: outer };
+            let scope = Scope {
+                cols: &input.cols,
+                row,
+                parent: outer,
+            };
             let mut out = Vec::with_capacity(query.select.len());
             for item in &query.select {
                 match item {
@@ -287,7 +271,11 @@ fn eval_from(
             ));
         }
     }
-    let mut rel = Relation { cols: vec![], rows: vec![vec![]], types: vec![] };
+    let mut rel = Relation {
+        cols: vec![],
+        rows: vec![vec![]],
+        types: vec![],
+    };
     for (binding, table) in parts {
         rel = cross_product(rel, binding, table);
     }
@@ -298,7 +286,12 @@ fn eval_from(
 /// relations; returns the column indices (left, right).
 fn equijoin_columns(query: &Query, parts: &[(String, Table)]) -> Option<(usize, usize)> {
     fn conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
-        if let Expr::Binary { left, op: BinOp::And, right } = e {
+        if let Expr::Binary {
+            left,
+            op: BinOp::And,
+            right,
+        } = e
+        {
             conjuncts(left, out);
             conjuncts(right, out);
         } else {
@@ -309,9 +302,24 @@ fn equijoin_columns(query: &Query, parts: &[(String, Table)]) -> Option<(usize, 
     let mut cs = Vec::new();
     conjuncts(pred, &mut cs);
     for c in cs {
-        let Expr::Binary { left, op: BinOp::Eq, right } = c else { continue };
-        let (Expr::Column { table: lt, name: ln }, Expr::Column { table: rt, name: rn }) =
-            (left.as_ref(), right.as_ref())
+        let Expr::Binary {
+            left,
+            op: BinOp::Eq,
+            right,
+        } = c
+        else {
+            continue;
+        };
+        let (
+            Expr::Column {
+                table: lt,
+                name: ln,
+            },
+            Expr::Column {
+                table: rt,
+                name: rn,
+            },
+        ) = (left.as_ref(), right.as_ref())
         else {
             continue;
         };
@@ -402,12 +410,15 @@ fn cross_product(left: Relation, binding: String, right: Table) -> Relation {
 mod tests {
     use super::*;
     use pi2_sql::parse_query;
-    use crate::exec::execute_cached;
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
         let t = Table::from_rows(
-            vec![("p", DataType::Int), ("a", DataType::Int), ("b", DataType::Int)],
+            vec![
+                ("p", DataType::Int),
+                ("a", DataType::Int),
+                ("b", DataType::Int),
+            ],
             vec![
                 vec![Value::Int(1), Value::Int(1), Value::Int(10)],
                 vec![Value::Int(2), Value::Int(1), Value::Int(20)],
@@ -419,12 +430,32 @@ mod tests {
         .unwrap();
         c.add_table("T", t, vec!["p"]);
         let cities = Table::from_rows(
-            vec![("city", DataType::Str), ("product", DataType::Str), ("total", DataType::Int)],
             vec![
-                vec![Value::Str("NY".into()), Value::Str("x".into()), Value::Int(10)],
-                vec![Value::Str("NY".into()), Value::Str("y".into()), Value::Int(30)],
-                vec![Value::Str("LA".into()), Value::Str("x".into()), Value::Int(25)],
-                vec![Value::Str("LA".into()), Value::Str("y".into()), Value::Int(5)],
+                ("city", DataType::Str),
+                ("product", DataType::Str),
+                ("total", DataType::Int),
+            ],
+            vec![
+                vec![
+                    Value::Str("NY".into()),
+                    Value::Str("x".into()),
+                    Value::Int(10),
+                ],
+                vec![
+                    Value::Str("NY".into()),
+                    Value::Str("y".into()),
+                    Value::Int(30),
+                ],
+                vec![
+                    Value::Str("LA".into()),
+                    Value::Str("x".into()),
+                    Value::Int(25),
+                ],
+                vec![
+                    Value::Str("LA".into()),
+                    Value::Str("y".into()),
+                    Value::Int(5),
+                ],
             ],
         )
         .unwrap();
@@ -597,9 +628,7 @@ mod tests {
     #[test]
     fn equijoin_uses_hash_join_and_matches_cross_product() {
         // Same query via the join path and via an IN-subquery reference.
-        let t = run(
-            "SELECT t1.p, t2.b FROM T AS t1, T AS t2 WHERE t1.p = t2.p AND t2.b > 20",
-        );
+        let t = run("SELECT t1.p, t2.b FROM T AS t1, T AS t2 WHERE t1.p = t2.p AND t2.b > 20");
         assert_eq!(t.num_rows(), 3); // p = 3, 4, 5 have b > 20
         for row in &t.rows {
             assert!(row[1].as_i64().unwrap() > 20);
@@ -625,18 +654,6 @@ mod tests {
         let q = parse_query("SELECT A.k FROM A, B WHERE A.k = B.k2").unwrap();
         let t = execute(&q, &ctx).unwrap();
         assert_eq!(t.num_rows(), 1, "NULL join keys never match");
-    }
-
-    #[test]
-    fn cached_execution_matches_uncached() {
-        let catalog = catalog();
-        let ctx = ExecContext::new(&catalog);
-        let q = parse_query("SELECT a, count(*) FROM T GROUP BY a").unwrap();
-        let direct = execute(&q, &ctx).unwrap();
-        let first = execute_cached(&q, &ctx).unwrap();
-        let second = execute_cached(&q, &ctx).unwrap();
-        assert_eq!(direct, first);
-        assert_eq!(first, second);
     }
 
     #[test]

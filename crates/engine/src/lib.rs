@@ -25,4 +25,4 @@ pub mod exec;
 
 pub use analyze::{analyze_query, ColType, OutCol, QueryInfo};
 pub use error::EngineError;
-pub use exec::{execute, execute_cached, ExecContext};
+pub use exec::{execute, ExecContext};

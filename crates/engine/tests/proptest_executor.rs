@@ -9,7 +9,9 @@ fn catalog_from(rows: &[(i64, i64)]) -> Catalog {
     let mut c = Catalog::new();
     let t = Table::from_rows(
         vec![("a", DataType::Int), ("b", DataType::Int)],
-        rows.iter().map(|(a, b)| vec![Value::Int(*a), Value::Int(*b)]).collect(),
+        rows.iter()
+            .map(|(a, b)| vec![Value::Int(*a), Value::Int(*b)])
+            .collect(),
     )
     .unwrap();
     c.add_table("T", t, vec![]);

@@ -1,0 +1,241 @@
+//! Process-wide evaluation cache for mapping-context construction.
+//!
+//! Reward estimation (§6.2.1) builds a [`crate::MappingContext`] for every
+//! search state it evaluates. Almost everything in that context is a pure
+//! function of *(tree structure, the query set the tree expresses,
+//! catalogue)* — not of the particular forest — so this cache memoizes it
+//! per tree fingerprint and shares it across every search state **and every
+//! parallel worker** (the map is sharded by key to keep lock contention
+//! negligible). Executed query results are likewise cached once per input
+//! query, because binding verification guarantees a tree's resolved queries
+//! are exactly the workload's original queries.
+//!
+//! Cached artifacts store **tree-local** node ids (tree roots are id 0), so
+//! an artifact computed for a tree in one forest transfers unchanged to any
+//! other forest sharing that tree; [`crate::MappingContext::build`] offsets
+//! ids to forest-global space on assembly.
+
+use crate::flat::{flatten_node, FlatSchema};
+use crate::vis::{vis_mapping_candidates, VisMapping};
+use crate::widget::{widget_candidates, WidgetCandidate};
+use pi2_data::Table;
+use pi2_difftree::{
+    infer_types_cached, result_schema, BindingMap, ResultSchema, Tree, TypeMap, Workload,
+};
+use pi2_engine::{execute, ExecContext};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+const SHARDS: usize = 16;
+const MAX_ENTRIES_PER_SHARD: usize = 8_192;
+
+/// Everything about one (tree, expressed-query-set) pair that mapping
+/// candidate generation needs, with tree-local node ids.
+#[derive(Debug)]
+pub struct TreeArtifacts {
+    /// Inferred node types (tree-local ids).
+    pub types: Arc<TypeMap>,
+    /// §3.2.2 result schema over the expressed queries.
+    pub schema: ResultSchema,
+    /// Candidate visualization mappings.
+    pub vis_cands: Vec<VisMapping>,
+    /// Candidate widgets (tree-local target/cover ids).
+    pub widget_cands: Vec<WidgetCandidate>,
+    /// Flattenable dynamic nodes (tree-local ids).
+    pub flats: Vec<(u32, FlatSchema)>,
+    /// DFS-ordered choice node ids (tree-local).
+    pub choice_ids: Vec<u32>,
+    /// Executed result tables, one per expressed query (shared).
+    pub results: Vec<Arc<Table>>,
+}
+
+/// Lock-sharded memo: tree artifacts per (tree fp, query set, catalogue)
+/// and executed tables per (catalogue, query content).
+/// One artifact shard: (tree fp, qset hash, catalogue fp) → artifacts.
+type ArtifactShard = Mutex<HashMap<(u64, u64, u64), Option<Arc<TreeArtifacts>>>>;
+/// One result shard: (catalogue fp, query fp) → executed table.
+type ResultShard = Mutex<HashMap<(u64, u64), Option<Arc<Table>>>>;
+
+/// Lock-sharded memo shared process-wide: per-tree mapping artifacts and
+/// executed query results (see the module docs).
+pub struct EvalCache {
+    artifact_shards: Vec<ArtifactShard>,
+    result_shards: Vec<ResultShard>,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache {
+            artifact_shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            result_shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+}
+
+/// The process-wide cache instance every mapping-context build shares.
+pub fn global_eval_cache() -> &'static EvalCache {
+    static CACHE: OnceLock<EvalCache> = OnceLock::new();
+    CACHE.get_or_init(EvalCache::default)
+}
+
+/// Order-sensitive hash of a query set, over the queries' *content*
+/// fingerprints — never their workload indices, which collide between
+/// workloads sharing a catalogue.
+fn qset_hash(w: &Workload, queries: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &q in queries {
+        h = (h ^ w.gst_fps[q]).wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ (queries.len() as u64) << 48
+}
+
+impl EvalCache {
+    /// The executed result of input query `qi` (`None` when execution
+    /// fails), computed once per (catalogue, query content).
+    pub fn query_result(&self, w: &Workload, qi: usize) -> Option<Arc<Table>> {
+        let key = (w.catalog.fingerprint(), w.gst_fps[qi]);
+        let shard = &self.result_shards[(key.1 as usize ^ key.0 as usize) % SHARDS];
+        if let Some(hit) = shard.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            return hit.clone();
+        }
+        let ctx = ExecContext::new(&w.catalog);
+        let out = execute(&w.queries[qi], &ctx).ok().map(Arc::new);
+        let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.len() > MAX_ENTRIES_PER_SHARD {
+            guard.clear();
+        }
+        guard.insert(key, out.clone());
+        out
+    }
+
+    /// Artifacts for `tree` expressing `queries` (workload indices), with
+    /// `maps` the per-query bindings (tree-local). `None` when the tree has
+    /// no defined result schema — cached too, since the search revisits
+    /// unmappable trees.
+    pub fn tree_artifacts(
+        &self,
+        tree: &Tree,
+        queries: &[usize],
+        maps: &[&BindingMap],
+        w: &Workload,
+    ) -> Option<Arc<TreeArtifacts>> {
+        let key = (
+            tree.fingerprint(),
+            qset_hash(w, queries),
+            w.catalog.fingerprint(),
+        );
+        let shard = &self.artifact_shards[(key.0 as usize ^ key.1 as usize) % SHARDS];
+        if let Some(hit) = shard.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            return hit.clone();
+        }
+        let computed = self.compute_artifacts(tree, queries, maps, w);
+        let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
+        if guard.len() > MAX_ENTRIES_PER_SHARD {
+            guard.clear();
+        }
+        guard.insert(key, computed.clone());
+        computed
+    }
+
+    fn compute_artifacts(
+        &self,
+        tree: &Tree,
+        queries: &[usize],
+        maps: &[&BindingMap],
+        w: &Workload,
+    ) -> Option<Arc<TreeArtifacts>> {
+        // Result schema over the expressed queries' precomputed analyses.
+        let infos: Vec<_> = queries
+            .iter()
+            .filter_map(|&qi| w.infos[qi].clone())
+            .collect();
+        if infos.is_empty() {
+            return None;
+        }
+        let schema = result_schema(&infos)?;
+
+        let types = infer_types_cached(tree, &w.catalog);
+        let results: Vec<Arc<Table>> = queries
+            .iter()
+            .filter_map(|&qi| self.query_result(w, qi))
+            .collect();
+        let samples: Vec<&Table> = results.iter().map(|t| t.as_ref()).collect();
+        let vis_cands = vis_mapping_candidates(&schema, &samples);
+        let widget_cands = widget_candidates(tree.node(), &types, maps, &w.catalog);
+
+        let mut flats = Vec::new();
+        let mut nodes = Vec::new();
+        tree.walk(&mut nodes);
+        for node in nodes {
+            if node.is_dynamic() {
+                if let Some(flat) = flatten_node(node, &types) {
+                    flats.push((node.id, flat));
+                }
+            }
+        }
+        let choice_ids: Vec<u32> = tree.choice_nodes().iter().map(|c| c.id).collect();
+
+        Some(Arc::new(TreeArtifacts {
+            types,
+            schema,
+            vis_cands,
+            widget_cands,
+            flats,
+            choice_ids,
+            results,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_data::{Catalog, DataType, Value};
+    use pi2_difftree::Forest;
+    use pi2_sql::parse_query;
+
+    fn workload() -> Workload {
+        let mut c = Catalog::new();
+        let rows: Vec<Vec<Value>> = (0..12)
+            .map(|i| vec![Value::Int(i % 4), Value::Int(10 * i)])
+            .collect();
+        let t = Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows).unwrap();
+        c.add_table("T", t, vec![]);
+        Workload::new(
+            vec![
+                parse_query("SELECT a, count(*) FROM T WHERE b = 10 GROUP BY a").unwrap(),
+                parse_query("SELECT a, count(*) FROM T WHERE b = 20 GROUP BY a").unwrap(),
+            ],
+            c,
+        )
+    }
+
+    #[test]
+    fn query_results_are_shared() {
+        let w = workload();
+        let cache = EvalCache::default();
+        let a = cache.query_result(&w, 0).unwrap();
+        let b = cache.query_result(&w, 0).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        assert!(a.num_rows() > 0);
+    }
+
+    #[test]
+    fn tree_artifacts_are_shared_across_states() {
+        let w = workload();
+        let f = Forest::from_workload(&w);
+        let assignments = f.bind_all(&w).unwrap();
+        let cache = EvalCache::default();
+        let maps = [&assignments[0].binding];
+        let a = cache
+            .tree_artifacts(&f.trees[0], &[0], &maps, &w)
+            .expect("artifacts for a mappable tree");
+        // A second forest sharing the tree structure hits the same entry.
+        let f2 = Forest::from_workload(&w);
+        let b = cache.tree_artifacts(&f2.trees[0], &[0], &maps, &w).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.choice_ids.len(), 0);
+        assert_eq!(a.results.len(), 1);
+        assert!(!a.vis_cands.is_empty());
+    }
+}

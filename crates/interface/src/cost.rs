@@ -13,7 +13,7 @@
 //! * **Layout** `CL = α·(max(0, w−W) + max(0, h−H))` when the user supplies
 //!   a maximum screen size.
 
-use crate::iface::{Interface, InteractionChoice};
+use crate::iface::{InteractionChoice, Interface};
 use crate::layout::Rect;
 use crate::widget::WidgetKind;
 
@@ -185,7 +185,7 @@ pub fn interface_cost(iface: &Interface, plans: &[QueryPlan], params: &CostParam
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::iface::{Interface, InteractionChoice, InteractionInstance, View};
+    use crate::iface::{InteractionChoice, InteractionInstance, Interface, View};
     use crate::layout::{LayoutNode, LayoutTree, Orientation};
     use crate::vis::{VisKind, VisMapping};
     use crate::widget::WidgetDomain;
@@ -201,9 +201,7 @@ mod tests {
                 choice: InteractionChoice::Widget {
                     kind: *k,
                     domain: if *opts > 0 {
-                        WidgetDomain::Options(
-                            (0..*opts).map(|i| format!("o{i}")).collect(),
-                        )
+                        WidgetDomain::Options((0..*opts).map(|i| format!("o{i}")).collect())
                     } else {
                         WidgetDomain::Free
                     },
@@ -212,14 +210,23 @@ mod tests {
             })
             .collect();
         let children: Vec<LayoutNode> = (0..kinds.len())
-            .map(|i| LayoutNode::Widget { interaction: i, size: (100.0, 25.0) })
+            .map(|i| LayoutNode::Widget {
+                interaction: i,
+                size: (100.0, 25.0),
+            })
             .collect();
-        let root = LayoutNode::Group { orientation: Orientation::Vertical, children };
+        let root = LayoutNode::Group {
+            orientation: Orientation::Vertical,
+            children,
+        };
         let layout = LayoutTree::place(root, kinds.len(), 0);
         Interface {
             views: vec![View {
                 tree: 0,
-                vis: VisMapping { kind: VisKind::Point, assignments: vec![] },
+                vis: VisMapping {
+                    kind: VisKind::Point,
+                    assignments: vec![],
+                },
             }],
             interactions,
             layout,
@@ -257,10 +264,30 @@ mod tests {
     #[test]
     fn fitts_increases_with_distance_and_small_targets() {
         let p = CostParams::default();
-        let a = Rect { x: 0.0, y: 0.0, w: 100.0, h: 25.0 };
-        let near = Rect { x: 0.0, y: 30.0, w: 100.0, h: 25.0 };
-        let far = Rect { x: 0.0, y: 600.0, w: 100.0, h: 25.0 };
-        let tiny_far = Rect { x: 0.0, y: 600.0, w: 10.0, h: 10.0 };
+        let a = Rect {
+            x: 0.0,
+            y: 0.0,
+            w: 100.0,
+            h: 25.0,
+        };
+        let near = Rect {
+            x: 0.0,
+            y: 30.0,
+            w: 100.0,
+            h: 25.0,
+        };
+        let far = Rect {
+            x: 0.0,
+            y: 600.0,
+            w: 100.0,
+            h: 25.0,
+        };
+        let tiny_far = Rect {
+            x: 0.0,
+            y: 600.0,
+            w: 10.0,
+            h: 10.0,
+        };
         assert!(fitts_time(&a, &near, &p) < fitts_time(&a, &far, &p));
         assert!(fitts_time(&a, &far, &p) < fitts_time(&a, &tiny_far, &p));
         assert_eq!(fitts_time(&a, &a, &p), 0.0);
@@ -276,8 +303,7 @@ mod tests {
         let p = CostParams::default();
         // Example 9's pattern: w1, w2 for Q1, then w1, w2 again for Q2.
         let one = interface_cost(&iface, &[plan(0, vec![0, 1])], &p);
-        let two =
-            interface_cost(&iface, &[plan(0, vec![0, 1]), plan(0, vec![0, 1])], &p);
+        let two = interface_cost(&iface, &[plan(0, vec![0, 1]), plan(0, vec![0, 1])], &p);
         assert!(two > one * 1.8, "second query pays navigation back");
     }
 
@@ -297,15 +323,33 @@ mod tests {
         let root = LayoutNode::Group {
             orientation: Orientation::Vertical,
             children: vec![
-                LayoutNode::Vis { view: 0, size: (320.0, 240.0) },
-                LayoutNode::Vis { view: 1, size: (320.0, 240.0) },
+                LayoutNode::Vis {
+                    view: 0,
+                    size: (320.0, 240.0),
+                },
+                LayoutNode::Vis {
+                    view: 1,
+                    size: (320.0, 240.0),
+                },
             ],
         };
         let layout = LayoutTree::place(root, 0, 2);
         let iface = Interface {
             views: vec![
-                View { tree: 0, vis: VisMapping { kind: VisKind::Point, assignments: vec![] } },
-                View { tree: 1, vis: VisMapping { kind: VisKind::Point, assignments: vec![] } },
+                View {
+                    tree: 0,
+                    vis: VisMapping {
+                        kind: VisKind::Point,
+                        assignments: vec![],
+                    },
+                },
+                View {
+                    tree: 1,
+                    vis: VisMapping {
+                        kind: VisKind::Point,
+                        assignments: vec![],
+                    },
+                },
             ],
             interactions: vec![],
             layout,
@@ -324,7 +368,10 @@ mod tests {
     #[test]
     fn layout_penalty_applies_beyond_max_size() {
         let iface = widget_iface(&[(WidgetKind::Radio, 2)]);
-        let mut p = CostParams { max_size: Some((50.0, 10.0)), ..CostParams::default() };
+        let mut p = CostParams {
+            max_size: Some((50.0, 10.0)),
+            ..CostParams::default()
+        };
         let with_penalty = interface_cost(&iface, &[plan(0, vec![0])], &p);
         p.max_size = None;
         let without = interface_cost(&iface, &[plan(0, vec![0])], &p);

@@ -60,6 +60,27 @@ impl FlatSchema {
     pub fn all_numeric(&self) -> bool {
         self.elems.iter().all(|e| e.ty.is_num())
     }
+
+    /// The schema with every node id offset by `base` — converts a
+    /// tree-local flattening (from the shared evaluation cache) into the
+    /// forest-global id space of one particular state.
+    pub fn shifted(&self, base: u32) -> FlatSchema {
+        FlatSchema {
+            elems: self
+                .elems
+                .iter()
+                .map(|e| FlatElem {
+                    node_id: e.node_id + base,
+                    ty: e.ty.clone(),
+                    optional: e.optional,
+                    opt_controller: e.opt_controller.map(|id| id + base),
+                    repeated: e.repeated,
+                    enumerable: e.enumerable,
+                })
+                .collect(),
+            cover: self.cover.iter().map(|id| id + base).collect(),
+        }
+    }
 }
 
 /// Flatten a dynamic node into bindable elements. Returns `None` when the
@@ -102,12 +123,13 @@ fn flatten_into(
             let non_marker: Vec<&DNode> = node
                 .children
                 .iter()
-                .filter(|c| {
-                    !(matches!(c.kind, NodeKind::CoOpt { .. }) && c.children.is_empty())
-                })
+                .filter(|c| !(matches!(c.kind, NodeKind::CoOpt { .. }) && c.children.is_empty()))
                 .collect();
-            let non_empty: Vec<&DNode> =
-                non_marker.iter().copied().filter(|c| !c.is_empty_node()).collect();
+            let non_empty: Vec<&DNode> = non_marker
+                .iter()
+                .copied()
+                .filter(|c| !c.is_empty_node())
+                .collect();
             let has_empty = non_marker.len() != non_empty.len();
             if has_empty && non_empty.len() == 1 {
                 // OPT: flatten the alternative with optionality.
@@ -230,9 +252,8 @@ mod tests {
     /// An OPT'd BETWEEN flattens with optional elements (brush-clearable).
     #[test]
     fn opt_between_flattens_with_optionality() {
-        let mut gst = lower_query(
-            &parse_query("SELECT hp FROM Cars WHERE mpg BETWEEN 10 AND 20").unwrap(),
-        );
+        let mut gst =
+            lower_query(&parse_query("SELECT hp FROM Cars WHERE mpg BETWEEN 10 AND 20").unwrap());
         let where_ = &mut gst.children[3];
         let mut pred = where_.children.remove(0);
         for i in [1usize, 2] {
@@ -265,8 +286,7 @@ mod tests {
     /// ANY of literals flattens to one enumerable element.
     #[test]
     fn literal_any_flattens_enumerably() {
-        let mut gst =
-            lower_query(&parse_query("SELECT mpg FROM Cars WHERE hp = 50").unwrap());
+        let mut gst = lower_query(&parse_query("SELECT mpg FROM Cars WHERE hp = 50").unwrap());
         let pred = &mut gst.children[3].children[0];
         let lit = pred.children[1].clone();
         let lit2 = DNode::leaf(SyntaxKind::Lit(pi2_difftree::LitVal(

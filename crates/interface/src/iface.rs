@@ -1,18 +1,19 @@
 //! The interface structure `I = (V, M, L)` and the mapping context that
 //! precomputes everything candidate generation needs for one search state.
 
+use crate::cache::global_eval_cache;
 use crate::cost::{interface_cost, CostParams};
-use crate::flat::{flatten_node, FlatSchema};
+use crate::flat::FlatSchema;
 use crate::interaction::{
     interaction_is_safe, vis_interaction_candidates, InteractionKind, VisInteractionCandidate,
 };
-use crate::layout::{widget_size, widget_tree_for, vis_size, LayoutNode, LayoutTree, Orientation};
-use crate::vis::{vis_mapping_candidates, VisMapping};
-use crate::widget::{bound_value, widget_candidates, BoundValue, WidgetCandidate, WidgetDomain, WidgetKind};
+use crate::layout::{vis_size, widget_size, widget_tree_for, LayoutNode, LayoutTree, Orientation};
+use crate::vis::VisMapping;
+use crate::widget::{bound_value, BoundValue, WidgetCandidate, WidgetDomain, WidgetKind};
 use pi2_data::Table;
-use pi2_difftree::{infer_types, Assignment, BindingMap, Forest, ResultSchema, TypeMap, Workload};
-use pi2_engine::{execute_cached, ExecContext};
+use pi2_difftree::{Assignment, BindingMap, Forest, ResultSchema, TypeMap, Workload};
 use std::fmt;
+use std::sync::Arc;
 
 /// One view: a Difftree rendered by a visualization mapping.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,9 +30,17 @@ pub struct View {
 #[allow(missing_docs)] // inline variant fields are self-describing
 pub enum InteractionChoice {
     /// `Widget`.
-    Widget { kind: WidgetKind, domain: WidgetDomain, label: String },
+    Widget {
+        kind: WidgetKind,
+        domain: WidgetDomain,
+        label: String,
+    },
     /// `Vis`.
-    Vis { view: usize, kind: InteractionKind, event_cols: Vec<usize> },
+    Vis {
+        view: usize,
+        kind: InteractionKind,
+        event_cols: Vec<usize>,
+    },
 }
 
 /// One entry of the interaction mapping `M`.
@@ -98,7 +107,11 @@ impl fmt::Display for Interface {
         }
         for (i, m) in self.interactions.iter().enumerate() {
             match &m.choice {
-                InteractionChoice::Widget { kind, domain, label } => {
+                InteractionChoice::Widget {
+                    kind,
+                    domain,
+                    label,
+                } => {
                     writeln!(
                         f,
                         "interaction #{i}: {kind} [{label}] ({} options) → tree {} node {}",
@@ -148,31 +161,39 @@ impl MappingEntry {
     }
 }
 
-/// Everything Algorithm 1 needs about one search state, precomputed:
-/// per-tree types, schemas, query bindings, executed results, and candidate
-/// pools.
+/// Everything Algorithm 1 needs about one search state.
+///
+/// Per-tree artifacts are *borrowed* from the process-wide
+/// [`crate::EvalCache`] (shared across search states and parallel workers)
+/// rather than recomputed and owned per state; only the id-offset views
+/// (covers, flats, choice lists in forest-global id space) are
+/// materialised per state. Binding maps and type maps stay in tree-local
+/// id space — [`MappingContext::bases`] converts between the two.
 pub struct MappingContext<'a> {
     /// The forest.
     pub forest: &'a Forest,
     /// The workload.
     pub workload: &'a Workload,
-    /// The assignments.
+    /// Per-query assignments (tree-local binding ids).
     pub assignments: Vec<Assignment>,
-    /// The types.
-    pub types: Vec<TypeMap>,
+    /// Global id base of each tree: global id = base + local id.
+    pub bases: Vec<u32>,
+    /// Inferred node types per tree (tree-local ids, cache-shared).
+    pub types: Vec<Arc<TypeMap>>,
     /// The schemas.
     pub schemas: Vec<Option<ResultSchema>>,
-    /// Binding maps of the queries each tree expresses.
+    /// Binding maps of the queries each tree expresses (tree-local ids).
     pub per_query_maps: Vec<Vec<BindingMap>>,
-    /// Executed result tables per tree (one per expressed query).
-    pub results: Vec<Vec<Table>>,
+    /// Executed result tables per tree (one per expressed query, shared).
+    pub results: Vec<Vec<Arc<Table>>>,
     /// Candidate visualization mappings per tree (V candidates).
     pub vis_cands: Vec<Vec<VisMapping>>,
-    /// Candidate widgets per tree.
+    /// Candidate widgets per tree (forest-global target/cover ids).
     pub widget_cands: Vec<Vec<WidgetCandidate>>,
-    /// Flattenable dynamic nodes per tree.
+    /// Flattenable dynamic nodes per tree (forest-global ids).
     pub flats: Vec<Vec<(u32, FlatSchema)>>,
-    /// DFS-ordered choice node ids per tree (Algorithm 1's `clist`).
+    /// DFS-ordered choice node ids per tree (Algorithm 1's `clist`),
+    /// forest-global.
     pub choice_ids: Vec<Vec<u32>>,
     /// Skip the §4.2.2 safety check (scalability ablation).
     pub check_safety: bool,
@@ -184,59 +205,53 @@ impl<'a> MappingContext<'a> {
     pub fn build(forest: &'a Forest, workload: &'a Workload) -> Option<Self> {
         let assignments = forest.bind_all(workload)?;
         let n = forest.trees.len();
+        let cache = global_eval_cache();
+
+        let mut per_query_maps: Vec<Vec<BindingMap>> = vec![Vec::new(); n];
+        let mut queries_per_tree: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (qi, a) in assignments.iter().enumerate() {
+            per_query_maps[a.tree].push(a.binding.clone());
+            queries_per_tree[a.tree].push(qi);
+        }
+
+        let mut bases = Vec::with_capacity(n);
         let mut types = Vec::with_capacity(n);
         let mut schemas = Vec::with_capacity(n);
-        let mut per_query_maps: Vec<Vec<BindingMap>> = vec![Vec::new(); n];
-        let mut results: Vec<Vec<Table>> = vec![Vec::new(); n];
+        let mut results = Vec::with_capacity(n);
         let mut vis_cands = Vec::with_capacity(n);
         let mut widget_cands = Vec::with_capacity(n);
         let mut flats = Vec::with_capacity(n);
         let mut choice_ids = Vec::with_capacity(n);
 
-        for a in &assignments {
-            per_query_maps[a.tree].push(a.binding.clone());
-        }
-
-        let ctx = ExecContext::new(&workload.catalog);
+        let mut base = 0u32;
         for (t, tree) in forest.trees.iter().enumerate() {
-            let ty = infer_types(tree, &workload.catalog);
-            let schema = forest.tree_result_schema(t, workload, &assignments);
             // Every tree must render something: a tree expressing no query
             // or with an undefined schema cannot be mapped.
-            if per_query_maps[t].is_empty() || schema.is_none() {
+            if queries_per_tree[t].is_empty() {
                 return None;
             }
-            for (_, q) in forest.resolved_queries(t, workload, &assignments) {
-                if let Ok(table) = execute_cached(&q, &ctx) {
-                    results[t].push(table);
-                }
-            }
             let maps: Vec<&BindingMap> = per_query_maps[t].iter().collect();
-            let wc = widget_candidates(tree, &ty, &maps, &workload.catalog);
-            let schema = schema.unwrap();
-            let samples: Vec<&Table> = results[t].iter().collect();
-            vis_cands.push(vis_mapping_candidates(&schema, &samples));
-            schemas.push(Some(schema));
-            widget_cands.push(wc);
-            // Flatten every dynamic node.
-            let mut tree_flats = Vec::new();
-            let mut nodes = Vec::new();
-            tree.walk(&mut nodes);
-            for node in nodes {
-                if node.is_dynamic() {
-                    if let Some(flat) = flatten_node(node, &ty) {
-                        tree_flats.push((node.id, flat));
-                    }
-                }
-            }
-            flats.push(tree_flats);
-            choice_ids.push(tree.choice_nodes().iter().map(|c| c.id).collect());
-            types.push(ty);
+            let art = cache.tree_artifacts(tree, &queries_per_tree[t], &maps, workload)?;
+            bases.push(base);
+            types.push(Arc::clone(&art.types));
+            schemas.push(Some(art.schema.clone()));
+            results.push(art.results.clone());
+            vis_cands.push(art.vis_cands.clone());
+            widget_cands.push(art.widget_cands.iter().map(|c| c.shifted(base)).collect());
+            flats.push(
+                art.flats
+                    .iter()
+                    .map(|(id, f)| (id + base, f.shifted(base)))
+                    .collect(),
+            );
+            choice_ids.push(art.choice_ids.iter().map(|id| id + base).collect());
+            base += tree.len();
         }
         Some(MappingContext {
             forest,
             workload,
             assignments,
+            bases,
             types,
             schemas,
             per_query_maps,
@@ -255,7 +270,8 @@ impl<'a> MappingContext<'a> {
     }
 
     /// The §3.2.4 binding tuples of a flattened node: one tuple per input
-    /// query the tree expresses.
+    /// query the tree expresses. Flat element ids are forest-global;
+    /// bindings are tree-local.
     pub fn binding_tuples(&self, tree: usize, flat: &FlatSchema) -> Vec<Vec<BoundValue>> {
         self.per_query_maps[tree]
             .iter()
@@ -263,8 +279,8 @@ impl<'a> MappingContext<'a> {
                 flat.elems
                     .iter()
                     .map(|e| {
-                        self.forest.trees[tree]
-                            .find(e.node_id)
+                        self.forest
+                            .node_in_tree(tree, e.node_id)
                             .and_then(|n| bound_value(n, map))
                             .unwrap_or(BoundValue::Absent)
                     })
@@ -280,17 +296,15 @@ impl<'a> MappingContext<'a> {
     /// Same-view brushes with identical event columns are additionally
     /// offered as one *merged* candidate binding all their targets — this is
     /// how one brush cross-filters several charts (§7.1 Filter).
-    pub fn safe_vis_interactions(
-        &self,
-        chosen_v: &[VisMapping],
-    ) -> Vec<VisInteractionCandidate> {
+    pub fn safe_vis_interactions(&self, chosen_v: &[VisMapping]) -> Vec<VisInteractionCandidate> {
         let mut out = Vec::new();
         for (view, vis) in chosen_v.iter().enumerate() {
-            let Some(schema) = self.schemas[view].as_ref() else { continue };
+            let Some(schema) = self.schemas[view].as_ref() else {
+                continue;
+            };
             for (t, tree_flats) in self.flats.iter().enumerate() {
                 for (node_id, flat) in tree_flats {
-                    let cands =
-                        vis_interaction_candidates(view, vis, schema, t, *node_id, flat);
+                    let cands = vis_interaction_candidates(view, vis, schema, t, *node_id, flat);
                     for cand in cands {
                         if !self.check_safety || self.is_safe(&cand, flat) {
                             out.push(cand);
@@ -325,7 +339,10 @@ impl<'a> MappingContext<'a> {
                             .any(|ct| ct.cover.iter().any(|id| bt.cover.contains(id)))
                     })
                     && b.targets.iter().all(|bt| {
-                        combined.targets.iter().all(|ct| self.targets_covary(ct, bt))
+                        combined
+                            .targets
+                            .iter()
+                            .all(|ct| self.targets_covary(ct, bt))
                     })
                 {
                     combined.targets.extend(b.targets.iter().cloned());
@@ -367,7 +384,8 @@ impl<'a> MappingContext<'a> {
 
     fn is_safe(&self, cand: &VisInteractionCandidate, flat: &FlatSchema) -> bool {
         let tuples = self.binding_tuples(cand.primary().tree, flat);
-        let view_results: Vec<&Table> = self.results[cand.view].iter().collect();
+        let view_results: Vec<&Table> =
+            self.results[cand.view].iter().map(|t| t.as_ref()).collect();
         interaction_is_safe(cand, flat, &tuples, &view_results)
     }
 
@@ -418,22 +436,32 @@ impl<'a> MappingContext<'a> {
             .map(|(t, vis)| View { tree: t, vis })
             .collect();
 
-        // Layout: per tree, the widget tree + the visualization.
+        // Layout: per tree, the widget tree + the visualization. Interaction
+        // targets are forest-global; the widget layout walks one tree, so
+        // offset them back to tree-local ids.
         let mut tree_layouts = Vec::new();
         for (t, tree) in self.forest.trees.iter().enumerate() {
+            let base = self.bases[t];
             let widgets: Vec<(u32, usize, (f64, f64))> = interactions
                 .iter()
                 .enumerate()
                 .filter_map(|(ix, inst)| match &inst.choice {
-                    InteractionChoice::Widget { kind, domain, label }
-                        if inst.target_tree == t =>
-                    {
-                        Some((inst.target_node, ix, widget_size(*kind, domain, label)))
-                    }
+                    InteractionChoice::Widget {
+                        kind,
+                        domain,
+                        label,
+                    } if inst.target_tree == t => Some((
+                        inst.target_node - base,
+                        ix,
+                        widget_size(*kind, domain, label),
+                    )),
                     _ => None,
                 })
                 .collect();
-            let vis_leaf = LayoutNode::Vis { view: t, size: vis_size(views[t].vis.kind) };
+            let vis_leaf = LayoutNode::Vis {
+                view: t,
+                size: vis_size(views[t].vis.kind),
+            };
             let node = match widget_tree_for(tree, &widgets) {
                 Some(wt) => LayoutNode::Group {
                     orientation: Orientation::Horizontal,
@@ -446,10 +474,17 @@ impl<'a> MappingContext<'a> {
         let root = if tree_layouts.len() == 1 {
             tree_layouts.pop().unwrap()
         } else {
-            LayoutNode::Group { orientation: Orientation::Vertical, children: tree_layouts }
+            LayoutNode::Group {
+                orientation: Orientation::Vertical,
+                children: tree_layouts,
+            }
         };
         let layout = LayoutTree::place(root, interactions.len(), views.len());
-        Interface { views, interactions, layout }
+        Interface {
+            views,
+            interactions,
+            layout,
+        }
     }
 
     /// The per-query manipulation sequences driving the §5 cost: for each
@@ -474,7 +509,7 @@ impl<'a> MappingContext<'a> {
                     .cover
                     .iter()
                     .filter_map(|id| {
-                        let n = self.forest.trees[a.tree].find(*id)?;
+                        let n = self.forest.node_in_tree(a.tree, *id)?;
                         Some((*id, bound_value(n, &a.binding)))
                     })
                     .collect();
@@ -486,7 +521,10 @@ impl<'a> MappingContext<'a> {
                     last.insert((ix, a.tree), proj);
                 }
             }
-            out.push(crate::cost::QueryPlan { view: a.tree, widgets: manipulated });
+            out.push(crate::cost::QueryPlan {
+                view: a.tree,
+                widgets: manipulated,
+            });
         }
         out
     }
@@ -507,13 +545,11 @@ mod tests {
 
     fn workload() -> Workload {
         let mut c = Catalog::new();
-        let rows: Vec<Vec<Value>> =
-            (0..12).map(|i| vec![Value::Int(i % 4), Value::Int(10 * i)]).collect();
-        let t = pi2_data::Table::from_rows(
-            vec![("a", DataType::Int), ("b", DataType::Int)],
-            rows,
-        )
-        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..12)
+            .map(|i| vec![Value::Int(i % 4), Value::Int(10 * i)])
+            .collect();
+        let t = pi2_data::Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows)
+            .unwrap();
         c.add_table("T", t, vec![]);
         Workload::new(
             vec![
@@ -530,9 +566,7 @@ mod tests {
         let pred = &mut tree.children[3].children[0];
         let lit = pred.children[1].clone();
         pred.children[1] = DNode::val(vec![lit]);
-        let mut f = Forest { trees: vec![tree] };
-        f.renumber();
-        f
+        Forest::new(vec![tree])
     }
 
     #[test]
@@ -552,7 +586,7 @@ mod tests {
     #[test]
     fn unexpressive_forest_fails_to_build() {
         let w = workload();
-        let f = Forest { trees: vec![w.gsts[0].clone()] };
+        let f = Forest::new(vec![w.gsts[0].clone()]);
         assert!(MappingContext::build(&f, &w).is_none());
     }
 
@@ -562,15 +596,17 @@ mod tests {
         let f = val_forest(&w);
         let ctx = MappingContext::build(&f, &w).unwrap();
         let vis = ctx.vis_cands[0][0].clone();
-        let widget = ctx
-            .widget_cands[0]
+        let widget = ctx.widget_cands[0]
             .iter()
             .find(|c| c.kind == WidgetKind::Textbox)
             .unwrap()
             .clone();
         let iface = ctx.build_interface(
             vec![vis],
-            vec![MappingEntry::Widget { tree: 0, cand: widget }],
+            vec![MappingEntry::Widget {
+                tree: 0,
+                cand: widget,
+            }],
         );
         assert_eq!(iface.views.len(), 1);
         assert_eq!(iface.interactions.len(), 1);
@@ -612,7 +648,10 @@ mod tests {
         let widget = ctx.widget_cands[0][0].clone();
         let iface = ctx.build_interface(
             vec![vis],
-            vec![MappingEntry::Widget { tree: 0, cand: widget }],
+            vec![MappingEntry::Widget {
+                tree: 0,
+                cand: widget,
+            }],
         );
         let s = iface.to_string();
         assert!(s.contains("view #0"));

@@ -39,7 +39,10 @@ impl InteractionKind {
     /// Brushes can be cleared, expressing the *absence* of an optional
     /// subtree ("clearing the brush disables the predicate", §7.1 Filter).
     pub fn can_express_absence(self) -> bool {
-        matches!(self, InteractionKind::BrushX | InteractionKind::BrushY | InteractionKind::BrushXY)
+        matches!(
+            self,
+            InteractionKind::BrushX | InteractionKind::BrushY | InteractionKind::BrushXY
+        )
     }
 
     /// Two interactions conflict on the same view when both are brushes or
@@ -99,7 +102,10 @@ pub struct VisInteractionCandidate {
 impl VisInteractionCandidate {
     /// All covered choice node ids across targets.
     pub fn cover(&self) -> Vec<u32> {
-        self.targets.iter().flat_map(|t| t.cover.iter().copied()).collect()
+        self.targets
+            .iter()
+            .flat_map(|t| t.cover.iter().copied())
+            .collect()
     }
 
     /// The primary target (candidates always have at least one).
@@ -115,7 +121,10 @@ pub fn col_node_type(col: &ResultCol) -> NodeType {
     } else {
         pi2_difftree::PrimType::Str
     };
-    NodeType { prim: Some(prim), attrs: col.attrs.clone() }
+    NodeType {
+        prim: Some(prim),
+        attrs: col.attrs.clone(),
+    }
 }
 
 /// Enumerate candidate interactions on one view for one flattened dynamic
@@ -170,9 +179,9 @@ pub fn vis_interaction_candidates(
     let y_col = vis.column_for(VisVar::Y);
     let pair_matches = |elems: &[FlatElem], col: usize| -> bool {
         elems.len() == 2
-            && elems.iter().all(|e| {
-                !e.repeated && event_type_compatible(&col_types[col], &e.ty)
-            })
+            && elems
+                .iter()
+                .all(|e| !e.repeated && event_type_compatible(&col_types[col], &e.ty))
             && all_or_none_optional(elems)
     };
     // A brush's (lo, hi) may bind several co-varying range pairs at once
@@ -181,9 +190,9 @@ pub fn vis_interaction_candidates(
     let multi_pair_matches = |elems: &[FlatElem], col: usize| -> bool {
         !elems.is_empty()
             && elems.len().is_multiple_of(2)
-            && elems.iter().all(|e| {
-                !e.repeated && event_type_compatible(&col_types[col], &e.ty)
-            })
+            && elems
+                .iter()
+                .all(|e| !e.repeated && event_type_compatible(&col_types[col], &e.ty))
             && all_or_none_optional(elems)
     };
 
@@ -191,7 +200,11 @@ pub fn vis_interaction_candidates(
         if !supported.contains(&kind) {
             continue;
         }
-        let col = if kind == InteractionKind::BrushX { x_col } else { y_col };
+        let col = if kind == InteractionKind::BrushX {
+            x_col
+        } else {
+            y_col
+        };
         let Some(col) = col else { continue };
         if multi_pair_matches(&flat.elems, col) {
             out.push(make(kind, vec![col, col]));
@@ -200,7 +213,11 @@ pub fn vis_interaction_candidates(
 
     // Brush-xy / Pan / Zoom: (x, x, y, y) in either axis order, or a single
     // axis pair for pan/zoom on one dynamic axis.
-    for kind in [InteractionKind::BrushXY, InteractionKind::Pan, InteractionKind::Zoom] {
+    for kind in [
+        InteractionKind::BrushXY,
+        InteractionKind::Pan,
+        InteractionKind::Zoom,
+    ] {
         if !supported.contains(&kind) {
             continue;
         }
@@ -247,7 +264,9 @@ fn assign_columns(elems: &[FlatElem], col_types: &[NodeType]) -> Option<Vec<usiz
         used: &mut Vec<bool>,
         out: &mut Vec<usize>,
     ) -> bool {
-        let Some((e, rest)) = elems.split_first() else { return true };
+        let Some((e, rest)) = elems.split_first() else {
+            return true;
+        };
         for (c, ct) in col_types.iter().enumerate() {
             if used[c] || !event_type_compatible(ct, &e.ty) {
                 continue;
@@ -316,12 +335,15 @@ fn tuple_expressible(
                 return false;
             }
             table.rows.iter().any(|row| {
-                tuple.iter().zip(cand.event_cols.iter()).all(|(v, &c)| match v {
-                    BoundValue::Scalar(val) => row
-                        .get(c)
-                        .is_some_and(|cell| cell.sql_eq(val) == Some(true)),
-                    _ => false,
-                })
+                tuple
+                    .iter()
+                    .zip(cand.event_cols.iter())
+                    .all(|(v, &c)| match v {
+                        BoundValue::Scalar(val) => row
+                            .get(c)
+                            .is_some_and(|cell| cell.sql_eq(val) == Some(true)),
+                        _ => false,
+                    })
             })
         }
         InteractionKind::MultiClick => {
@@ -334,9 +356,7 @@ fn tuple_expressible(
                     }
                     _ => false,
                 }),
-                BoundValue::Scalar(val) => {
-                    values.iter().any(|cell| cell.sql_eq(val) == Some(true))
-                }
+                BoundValue::Scalar(val) => values.iter().any(|cell| cell.sql_eq(val) == Some(true)),
                 BoundValue::Absent => false,
                 _ => false,
             })
@@ -345,19 +365,24 @@ fn tuple_expressible(
             // Values must lie within the rendered extent; absence is
             // expressible by clearing the brush. Multi-pair targets reuse
             // the event columns cyclically.
-            let in_extent = tuple.iter().zip(cand.event_cols.iter().cycle()).all(|(v, &c)| {
-                match v {
-                    BoundValue::Absent => true,
-                    BoundValue::Scalar(val) => {
-                        let Some((min, max)) = table.min_max(c) else { return false };
-                        val.sql_cmp(&min).is_some_and(|o| o != std::cmp::Ordering::Less)
-                            && val
-                                .sql_cmp(&max)
-                                .is_some_and(|o| o != std::cmp::Ordering::Greater)
-                    }
-                    _ => false,
-                }
-            });
+            let in_extent =
+                tuple
+                    .iter()
+                    .zip(cand.event_cols.iter().cycle())
+                    .all(|(v, &c)| match v {
+                        BoundValue::Absent => true,
+                        BoundValue::Scalar(val) => {
+                            let Some((min, max)) = table.min_max(c) else {
+                                return false;
+                            };
+                            val.sql_cmp(&min)
+                                .is_some_and(|o| o != std::cmp::Ordering::Less)
+                                && val
+                                    .sql_cmp(&max)
+                                    .is_some_and(|o| o != std::cmp::Ordering::Greater)
+                        }
+                        _ => false,
+                    });
             // A single brush emits ONE (lo, hi): when it drives several
             // range pairs in one target, every pair must need identical
             // values (the Sales date window repeated in WHERE and HAVING) —
@@ -376,9 +401,9 @@ fn tuple_expressible(
         }
         // Pan and zoom shift a continuous viewport: any numeric range is
         // reachable.
-        InteractionKind::Pan | InteractionKind::Zoom => tuple.iter().all(|v| {
-            matches!(v, BoundValue::Scalar(val) if val.is_numeric())
-        }),
+        InteractionKind::Pan | InteractionKind::Zoom => tuple
+            .iter()
+            .all(|v| matches!(v, BoundValue::Scalar(val) if val.is_numeric())),
     }
 }
 
@@ -465,7 +490,10 @@ mod tests {
         assert!(kinds.contains(&InteractionKind::Pan), "kinds: {kinds:?}");
         assert!(kinds.contains(&InteractionKind::Zoom));
         assert!(kinds.contains(&InteractionKind::BrushXY));
-        let pan = cands.iter().find(|c| c.kind == InteractionKind::Pan).unwrap();
+        let pan = cands
+            .iter()
+            .find(|c| c.kind == InteractionKind::Pan)
+            .unwrap();
         assert_eq!(pan.event_cols, vec![0, 0, 1, 1]);
         assert_eq!(pan.cover().len(), 4);
     }
@@ -486,15 +514,17 @@ mod tests {
             .expect("mpg→x, hp→y scatterplot");
         let where_id = gst.children[3].id;
         let cands = vis_interaction_candidates(0, &vis, &schema, 0, where_id, &flat);
-        let pan = cands.iter().find(|c| c.kind == InteractionKind::Pan).unwrap();
+        let pan = cands
+            .iter()
+            .find(|c| c.kind == InteractionKind::Pan)
+            .unwrap();
         assert_eq!(pan.event_cols, vec![0, 0, 1, 1]);
     }
 
     #[test]
     fn click_binds_single_value_elements() {
         let cat = cars_catalog();
-        let mut gst =
-            lower_query(&parse_query("SELECT mpg FROM Cars WHERE hp = 52").unwrap());
+        let mut gst = lower_query(&parse_query("SELECT mpg FROM Cars WHERE hp = 52").unwrap());
         let pred = &mut gst.children[3].children[0];
         let lit = pred.children[1].clone();
         pred.children[1] = DNode::val(vec![lit]);
@@ -527,8 +557,7 @@ mod tests {
     fn brush_allows_optional_elements_but_pan_does_not() {
         let cat = cars_catalog();
         let mut gst = lower_query(
-            &parse_query("SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60")
-                .unwrap(),
+            &parse_query("SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60").unwrap(),
         );
         let where_ = &mut gst.children[3];
         let mut pred = where_.children.remove(0);
@@ -568,13 +597,19 @@ mod tests {
         // renders a = 1..4.
         let table = pi2_data::Table::from_rows(
             vec![("a", DataType::Int), ("count", DataType::Int)],
-            (1..=4).map(|i| vec![Value::Int(i), Value::Int(i * 30)]).collect(),
+            (1..=4)
+                .map(|i| vec![Value::Int(i), Value::Int(i * 30)])
+                .collect(),
         )
         .unwrap();
         let cand = VisInteractionCandidate {
             view: 0,
             kind: InteractionKind::Click,
-            targets: vec![InteractionTarget { tree: 0, node: 0, cover: vec![0] }],
+            targets: vec![InteractionTarget {
+                tree: 0,
+                node: 0,
+                cover: vec![0],
+            }],
             event_cols: vec![0],
         };
         let flat = FlatSchema::default();
@@ -608,7 +643,11 @@ mod tests {
         let cand = VisInteractionCandidate {
             view: 0,
             kind: InteractionKind::BrushX,
-            targets: vec![InteractionTarget { tree: 0, node: 0, cover: vec![0, 1] }],
+            targets: vec![InteractionTarget {
+                tree: 0,
+                node: 0,
+                cover: vec![0, 1],
+            }],
             event_cols: vec![0, 0],
         };
         let flat = FlatSchema::default();
@@ -616,7 +655,10 @@ mod tests {
             &cand,
             &flat,
             &[
-                vec![BoundValue::Scalar(Value::Int(20)), BoundValue::Scalar(Value::Int(80))],
+                vec![
+                    BoundValue::Scalar(Value::Int(20)),
+                    BoundValue::Scalar(Value::Int(80))
+                ],
                 vec![BoundValue::Absent, BoundValue::Absent],
             ],
             &[&table],
@@ -640,7 +682,11 @@ mod tests {
         let cand = VisInteractionCandidate {
             view: 0,
             kind: InteractionKind::Pan,
-            targets: vec![InteractionTarget { tree: 0, node: 0, cover: vec![] }],
+            targets: vec![InteractionTarget {
+                tree: 0,
+                node: 0,
+                cover: vec![],
+            }],
             event_cols: vec![0, 0],
         };
         let flat = FlatSchema::default();

@@ -64,11 +64,17 @@ impl Rect {
 #[allow(missing_docs)] // inline variant fields are self-describing
 pub enum LayoutNode {
     /// A widget leaf: the index into the interface's interaction list.
-    Widget { interaction: usize, size: (f64, f64) },
+    Widget {
+        interaction: usize,
+        size: (f64, f64),
+    },
     /// A visualization leaf: the index into the interface's view list.
     Vis { view: usize, size: (f64, f64) },
     /// An internal node laying out its children.
-    Group { orientation: Orientation, children: Vec<LayoutNode> },
+    Group {
+        orientation: Orientation,
+        children: Vec<LayoutNode>,
+    },
 }
 
 impl LayoutNode {
@@ -77,7 +83,10 @@ impl LayoutNode {
     pub fn size(&self) -> (f64, f64) {
         match self {
             LayoutNode::Widget { size, .. } | LayoutNode::Vis { size, .. } => *size,
-            LayoutNode::Group { orientation, children } => {
+            LayoutNode::Group {
+                orientation,
+                children,
+            } => {
                 let mut w: f64 = 0.0;
                 let mut h: f64 = 0.0;
                 for c in children {
@@ -163,15 +172,28 @@ impl LayoutTree {
         match node {
             LayoutNode::Widget { interaction, size } => {
                 if let Some(b) = self.widget_boxes.get_mut(*interaction) {
-                    *b = Rect { x, y, w: size.0, h: size.1 };
+                    *b = Rect {
+                        x,
+                        y,
+                        w: size.0,
+                        h: size.1,
+                    };
                 }
             }
             LayoutNode::Vis { view, size } => {
                 if let Some(b) = self.vis_boxes.get_mut(*view) {
-                    *b = Rect { x, y, w: size.0, h: size.1 };
+                    *b = Rect {
+                        x,
+                        y,
+                        w: size.0,
+                        h: size.1,
+                    };
                 }
             }
-            LayoutNode::Group { orientation, children } => {
+            LayoutNode::Group {
+                orientation,
+                children,
+            } => {
                 let mut cx = x;
                 let mut cy = y;
                 for c in children {
@@ -196,7 +218,10 @@ impl fmt::Display for LayoutTree {
                     writeln!(f, "{pad}widget #{interaction}")
                 }
                 LayoutNode::Vis { view, .. } => writeln!(f, "{pad}vis #{view}"),
-                LayoutNode::Group { orientation, children } => {
+                LayoutNode::Group {
+                    orientation,
+                    children,
+                } => {
                     writeln!(
                         f,
                         "{pad}{}",
@@ -225,16 +250,17 @@ impl fmt::Display for LayoutTree {
 pub fn widget_size(kind: WidgetKind, domain: &WidgetDomain, label: &str) -> (f64, f64) {
     const CHAR_W: f64 = 7.0;
     let longest_option = match domain {
-        WidgetDomain::Options(opts) => {
-            opts.iter().map(|o| o.len()).max().unwrap_or(4) as f64
-        }
+        WidgetDomain::Options(opts) => opts.iter().map(|o| o.len()).max().unwrap_or(4) as f64,
         _ => 8.0,
     };
     let label_w = label.len() as f64 * CHAR_W;
     match kind {
         WidgetKind::Radio | WidgetKind::Checkbox => {
             let n = domain.size().max(1) as f64;
-            ((longest_option * CHAR_W + 24.0).max(label_w), 18.0 * n + 18.0)
+            (
+                (longest_option * CHAR_W + 24.0).max(label_w),
+                18.0 * n + 18.0,
+            )
         }
         WidgetKind::Button => {
             let n = domain.size().max(1) as f64;
@@ -262,18 +288,19 @@ pub fn vis_size(kind: crate::vis::VisKind) -> (f64, f64) {
 /// every branching ancestor (the LCA of each widget pair).
 ///
 /// `widgets` maps Difftree node id → interaction index.
-pub fn widget_tree_for(
-    tree: &DNode,
-    widgets: &[(u32, usize, (f64, f64))],
-) -> Option<LayoutNode> {
+pub fn widget_tree_for(tree: &DNode, widgets: &[(u32, usize, (f64, f64))]) -> Option<LayoutNode> {
     fn go(node: &DNode, widgets: &[(u32, usize, (f64, f64))]) -> Vec<LayoutNode> {
         // A widget on this node is a leaf; widgets on descendants nest
         // beneath it ("layout widgets" such as toggles with dependent
         // controls).
-        let own: Option<LayoutNode> = widgets
-            .iter()
-            .find(|(id, _, _)| *id == node.id)
-            .map(|(_, ix, size)| LayoutNode::Widget { interaction: *ix, size: *size });
+        let own: Option<LayoutNode> =
+            widgets
+                .iter()
+                .find(|(id, _, _)| *id == node.id)
+                .map(|(_, ix, size)| LayoutNode::Widget {
+                    interaction: *ix,
+                    size: *size,
+                });
         let mut below: Vec<LayoutNode> = Vec::new();
         for c in &node.children {
             below.extend(go(c, widgets));
@@ -299,7 +326,10 @@ pub fn widget_tree_for(
     match nodes.len() {
         0 => None,
         1 => Some(nodes.pop().unwrap()),
-        _ => Some(LayoutNode::Group { orientation: Orientation::Vertical, children: nodes }),
+        _ => Some(LayoutNode::Group {
+            orientation: Orientation::Vertical,
+            children: nodes,
+        }),
     }
 }
 
@@ -308,7 +338,10 @@ mod tests {
     use super::*;
 
     fn w(ix: usize) -> LayoutNode {
-        LayoutNode::Widget { interaction: ix, size: (100.0, 20.0) }
+        LayoutNode::Widget {
+            interaction: ix,
+            size: (100.0, 20.0),
+        }
     }
 
     #[test]
@@ -332,7 +365,10 @@ mod tests {
         let root = LayoutNode::Group {
             orientation: Orientation::Vertical,
             children: vec![
-                LayoutNode::Vis { view: 0, size: (320.0, 240.0) },
+                LayoutNode::Vis {
+                    view: 0,
+                    size: (320.0, 240.0),
+                },
                 LayoutNode::Group {
                     orientation: Orientation::Horizontal,
                     children: vec![w(0), w(1)],
@@ -348,7 +384,12 @@ mod tests {
 
     #[test]
     fn fitts_width_is_min_extent() {
-        let r = Rect { x: 0.0, y: 0.0, w: 200.0, h: 20.0 };
+        let r = Rect {
+            x: 0.0,
+            y: 0.0,
+            w: 200.0,
+            h: 20.0,
+        };
         assert_eq!(r.fitts_width(), 20.0);
         assert_eq!(r.center(), (100.0, 10.0));
     }
@@ -381,9 +422,7 @@ mod tests {
         use pi2_sql::parse_query;
         // Tree with a choice node at WHERE and one deeper: build the covid
         // toggle+dropdown nesting shape artificially.
-        let mut gst = lower_query(
-            &parse_query("SELECT a FROM t WHERE b = 1").unwrap(),
-        );
+        let mut gst = lower_query(&parse_query("SELECT a FROM t WHERE b = 1").unwrap());
         let pred = &mut gst.children[3].children[0];
         let lit = pred.children[1].clone();
         pred.children[1] = DNode::any(vec![lit, DNode::empty()]);
@@ -392,17 +431,20 @@ mod tests {
         gst.renumber(0);
         let outer = gst.children[3].children[0].id;
         let inner = gst.children[3].children[0].children[0].children[1].id;
-        let widgets = vec![
-            (outer, 0, (46.0, 22.0)),
-            (inner, 1, (100.0, 26.0)),
-        ];
+        let widgets = vec![(outer, 0, (46.0, 22.0)), (inner, 1, (100.0, 26.0))];
         let tree = widget_tree_for(&gst, &widgets).unwrap();
         // The outer toggle heads a group containing the inner dropdown.
         let LayoutNode::Group { children, .. } = &tree else {
             panic!("expected group, got {tree:?}")
         };
-        assert!(matches!(children[0], LayoutNode::Widget { interaction: 0, .. }));
-        assert!(matches!(children[1], LayoutNode::Widget { interaction: 1, .. }));
+        assert!(matches!(
+            children[0],
+            LayoutNode::Widget { interaction: 0, .. }
+        ));
+        assert!(matches!(
+            children[1],
+            LayoutNode::Widget { interaction: 1, .. }
+        ));
     }
 
     #[test]
@@ -423,7 +465,9 @@ mod tests {
                 *orientation = Orientation::Horizontal;
             }
         }
-        let LayoutNode::Group { orientation, .. } = &root else { panic!() };
+        let LayoutNode::Group { orientation, .. } = &root else {
+            panic!()
+        };
         assert_eq!(*orientation, Orientation::Horizontal);
     }
 }

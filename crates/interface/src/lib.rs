@@ -23,6 +23,7 @@
 //! * [`cost`] — the §5 cost model `C(I, Q) = Cm + Cnav + CL` (SUPPLE
 //!   manipulation polynomial + Fitts'-law navigation + screen-size penalty).
 
+pub mod cache;
 pub mod cost;
 pub mod flat;
 pub mod iface;
@@ -31,16 +32,19 @@ pub mod layout;
 pub mod vis;
 pub mod widget;
 
+pub use cache::{global_eval_cache, EvalCache, TreeArtifacts};
 pub use cost::{fitts_time, interface_cost, manipulation_cost, widget_poly, CostParams};
 pub use flat::{event_type_compatible, flatten_node, FlatElem, FlatSchema};
 pub use iface::{
-    Interface, InteractionChoice, InteractionInstance, MappingContext, MappingEntry, View,
+    InteractionChoice, InteractionInstance, Interface, MappingContext, MappingEntry, View,
 };
 pub use interaction::{
     col_node_type, interaction_is_safe, vis_interaction_candidates, InteractionKind,
     VisInteractionCandidate,
 };
-pub use layout::{vis_size, widget_size, widget_tree_for, LayoutNode, LayoutTree, Orientation, Rect};
+pub use layout::{
+    vis_size, widget_size, widget_tree_for, LayoutNode, LayoutTree, Orientation, Rect,
+};
 pub use vis::{vis_mapping_candidates, VisKind, VisMapping, VisVar, VisVarSpec};
 pub use widget::{
     bound_value, literal_to_value, widget_candidates, BoundValue, WidgetCandidate, WidgetDomain,

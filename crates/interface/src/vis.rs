@@ -49,16 +49,56 @@ impl VisKind {
         match self {
             VisKind::Table => &[],
             VisKind::Point | VisKind::Line => &[
-                VisVarSpec { var: X, quantitative: true, categorical: true, optional: false },
-                VisVarSpec { var: Y, quantitative: true, categorical: false, optional: false },
-                VisVarSpec { var: Shape, quantitative: false, categorical: true, optional: true },
-                VisVarSpec { var: Size, quantitative: false, categorical: true, optional: true },
-                VisVarSpec { var: Color, quantitative: false, categorical: true, optional: true },
+                VisVarSpec {
+                    var: X,
+                    quantitative: true,
+                    categorical: true,
+                    optional: false,
+                },
+                VisVarSpec {
+                    var: Y,
+                    quantitative: true,
+                    categorical: false,
+                    optional: false,
+                },
+                VisVarSpec {
+                    var: Shape,
+                    quantitative: false,
+                    categorical: true,
+                    optional: true,
+                },
+                VisVarSpec {
+                    var: Size,
+                    quantitative: false,
+                    categorical: true,
+                    optional: true,
+                },
+                VisVarSpec {
+                    var: Color,
+                    quantitative: false,
+                    categorical: true,
+                    optional: true,
+                },
             ],
             VisKind::Bar => &[
-                VisVarSpec { var: X, quantitative: false, categorical: true, optional: false },
-                VisVarSpec { var: Y, quantitative: true, categorical: false, optional: false },
-                VisVarSpec { var: Color, quantitative: false, categorical: true, optional: true },
+                VisVarSpec {
+                    var: X,
+                    quantitative: false,
+                    categorical: true,
+                    optional: false,
+                },
+                VisVarSpec {
+                    var: Y,
+                    quantitative: true,
+                    categorical: false,
+                    optional: false,
+                },
+                VisVarSpec {
+                    var: Color,
+                    quantitative: false,
+                    categorical: true,
+                    optional: true,
+                },
             ],
         }
     }
@@ -140,12 +180,18 @@ pub struct VisMapping {
 impl VisMapping {
     /// The result column mapped to a visual variable, if any.
     pub fn column_for(&self, var: VisVar) -> Option<usize> {
-        self.assignments.iter().find(|(_, v)| *v == var).map(|(c, _)| *c)
+        self.assignments
+            .iter()
+            .find(|(_, v)| *v == var)
+            .map(|(c, _)| *c)
     }
 
     /// The visual variable a result column is mapped to.
     pub fn var_for(&self, col: usize) -> Option<VisVar> {
-        self.assignments.iter().find(|(c, _)| *c == col).map(|(_, v)| *v)
+        self.assignments
+            .iter()
+            .find(|(c, _)| *c == col)
+            .map(|(_, v)| *v)
     }
 }
 
@@ -186,7 +232,10 @@ pub fn vis_mapping_candidates(
 ) -> Vec<VisMapping> {
     let mut out = Vec::new();
     // Table accepts anything.
-    out.push(VisMapping { kind: VisKind::Table, assignments: vec![] });
+    out.push(VisMapping {
+        kind: VisKind::Table,
+        assignments: vec![],
+    });
 
     // Columns that may be skipped: hidden record ids.
     let skippable: Vec<bool> = schema
@@ -242,8 +291,10 @@ fn fd_holds_empirically(samples: &[&pi2_data::Table], det_cols: &[usize]) -> boo
         let mut seen: std::collections::HashMap<Vec<pi2_data::Value>, &Vec<pi2_data::Value>> =
             std::collections::HashMap::new();
         for row in &t.rows {
-            let key: Vec<pi2_data::Value> =
-                det_cols.iter().filter_map(|&c| row.get(c).cloned()).collect();
+            let key: Vec<pi2_data::Value> = det_cols
+                .iter()
+                .filter_map(|&c| row.get(c).cloned())
+                .collect();
             match seen.get(&key) {
                 Some(prev) if *prev != row => return false,
                 _ => {
@@ -283,7 +334,10 @@ fn enumerate(
         if !kind.fd_determinants().is_empty() {
             // The mapped determinants must determine y; unmapped optional
             // determinants (e.g. no color) are simply absent.
-            let y_col = assignment.iter().find(|(_, v)| *v == VisVar::Y).map(|(c, _)| *c);
+            let y_col = assignment
+                .iter()
+                .find(|(_, v)| *v == VisVar::Y)
+                .map(|(c, _)| *c);
             if y_col.is_some()
                 && !schema.functionally_determines(&determinant_cols)
                 && !fd_holds_empirically(samples, &determinant_cols)
@@ -291,7 +345,10 @@ fn enumerate(
                 return;
             }
         }
-        out.push(VisMapping { kind, assignments: assignment.clone() });
+        out.push(VisMapping {
+            kind,
+            assignments: assignment.clone(),
+        });
         return;
     }
     let c = &schema.cols[col];
@@ -300,17 +357,35 @@ fn enumerate(
         if assignment.iter().any(|(_, v)| *v == s.var) {
             continue;
         }
-        let compatible = (s.quantitative && c.is_quantitative())
-            || (s.categorical && c.is_categorical());
+        let compatible =
+            (s.quantitative && c.is_quantitative()) || (s.categorical && c.is_categorical());
         if compatible {
             assignment.push((col, s.var));
-            enumerate(kind, spec, schema, samples, skippable, col + 1, assignment, out);
+            enumerate(
+                kind,
+                spec,
+                schema,
+                samples,
+                skippable,
+                col + 1,
+                assignment,
+                out,
+            );
             assignment.pop();
         }
     }
     // Option 2: skip a hidden id column.
     if skippable[col] {
-        enumerate(kind, spec, schema, samples, skippable, col + 1, assignment, out);
+        enumerate(
+            kind,
+            spec,
+            schema,
+            samples,
+            skippable,
+            col + 1,
+            assignment,
+            out,
+        );
     }
 }
 
@@ -395,8 +470,9 @@ mod tests {
         // Bar needs categorical x; 1000 distinct > 20 → no bar.
         assert!(!cands.iter().any(|m| m.kind == VisKind::Bar));
         // Point accepts quantitative x.
-        assert!(cands.iter().any(|m| m.kind == VisKind::Point
-            && m.column_for(VisVar::X).is_some()));
+        assert!(cands
+            .iter()
+            .any(|m| m.kind == VisKind::Point && m.column_for(VisVar::X).is_some()));
     }
 
     #[test]
@@ -448,9 +524,14 @@ mod tests {
     #[test]
     fn too_many_columns_fall_back_to_table() {
         // 9 columns (SDSS): only the table can render them.
-        let cols: Vec<ResultCol> =
-            (0..9).map(|i| col(&format!("c{i}"), DataType::Float, None, false, false)).collect();
-        let schema = ResultSchema { cols, is_aggregate: false, group_key_indices: vec![] };
+        let cols: Vec<ResultCol> = (0..9)
+            .map(|i| col(&format!("c{i}"), DataType::Float, None, false, false))
+            .collect();
+        let schema = ResultSchema {
+            cols,
+            is_aggregate: false,
+            group_key_indices: vec![],
+        };
         let cands = vis_mapping_candidates(&schema, &[]);
         assert_eq!(cands.len(), 1);
         assert_eq!(cands[0].kind, VisKind::Table);
@@ -458,14 +539,19 @@ mod tests {
 
     #[test]
     fn table1_interaction_registry() {
-        assert_eq!(VisKind::Table.supported_interactions(), &[InteractionKind::Click]);
+        assert_eq!(
+            VisKind::Table.supported_interactions(),
+            &[InteractionKind::Click]
+        );
         assert!(VisKind::Point
             .supported_interactions()
             .contains(&InteractionKind::BrushXY));
         assert!(!VisKind::Bar
             .supported_interactions()
             .contains(&InteractionKind::Pan));
-        assert!(VisKind::Line.supported_interactions().contains(&InteractionKind::Pan));
+        assert!(VisKind::Line
+            .supported_interactions()
+            .contains(&InteractionKind::Pan));
         assert!(!VisKind::Line
             .supported_interactions()
             .contains(&InteractionKind::MultiClick));

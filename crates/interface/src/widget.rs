@@ -69,7 +69,6 @@ pub enum WidgetDomain {
     Options(Vec<String>),
     /// Continuous numeric range (sliders), initialised from the attribute
     /// domain per §2.
-    /// The range.
     Range { min: f64, max: f64 },
     /// Free-form entry (textbox, adder).
     Free,
@@ -94,8 +93,7 @@ impl WidgetDomain {
     pub fn reading_factor(&self) -> f64 {
         match self {
             WidgetDomain::Options(opts) if !opts.is_empty() => {
-                let avg = opts.iter().map(|o| o.len()).sum::<usize>() as f64
-                    / opts.len() as f64;
+                let avg = opts.iter().map(|o| o.len()).sum::<usize>() as f64 / opts.len() as f64;
                 1.0 + avg / 15.0
             }
             _ => 1.0,
@@ -116,6 +114,21 @@ pub struct WidgetCandidate {
     pub domain: WidgetDomain,
     /// Human-readable label derived from the node's context.
     pub label: String,
+}
+
+impl WidgetCandidate {
+    /// The candidate with every node id offset by `base` — converts a
+    /// tree-local candidate (from the shared evaluation cache) into the
+    /// forest-global id space of one particular state.
+    pub fn shifted(&self, base: u32) -> WidgetCandidate {
+        WidgetCandidate {
+            kind: self.kind,
+            target: self.target + base,
+            cover: self.cover.iter().map(|id| id + base).collect(),
+            domain: self.domain.clone(),
+            label: self.label.clone(),
+        }
+    }
 }
 
 /// The bound value of a choice node in a query binding, for constraint
@@ -139,15 +152,13 @@ pub fn bound_value(node: &DNode, map: &BindingMap) -> Option<BoundValue> {
     let b = lookup_binding(map, node.id)?;
     Some(match (&node.kind, b) {
         (NodeKind::Val, Binding::Value(lit)) => BoundValue::Scalar(literal_to_value(lit)),
-        (NodeKind::Any, Binding::Index(i)) => {
-            match node.children.get(*i).map(|c| &c.kind) {
-                Some(NodeKind::Syntax(SyntaxKind::Empty)) => BoundValue::Absent,
-                Some(NodeKind::Syntax(SyntaxKind::Lit(l))) => {
-                    BoundValue::Scalar(literal_to_value(&l.0))
-                }
-                _ => BoundValue::Index(*i),
+        (NodeKind::Any, Binding::Index(i)) => match node.children.get(*i).map(|c| &c.kind) {
+            Some(NodeKind::Syntax(SyntaxKind::Empty)) => BoundValue::Absent,
+            Some(NodeKind::Syntax(SyntaxKind::Lit(l))) => {
+                BoundValue::Scalar(literal_to_value(&l.0))
             }
-        }
+            _ => BoundValue::Index(*i),
+        },
         (NodeKind::Subset, Binding::Indices(ix)) => {
             BoundValue::Set(ix.iter().map(|i| BoundValue::Index(*i)).collect())
         }
@@ -229,8 +240,7 @@ pub fn widget_candidates(
             NodeKind::Val => val_candidates(node, types, catalog, &mut out),
             NodeKind::Multi => multi_candidates(node, types, catalog, &mut out),
             NodeKind::Subset => {
-                let options: Vec<String> =
-                    node.children.iter().map(sql_snippet).collect();
+                let options: Vec<String> = node.children.iter().map(sql_snippet).collect();
                 out.push(WidgetCandidate {
                     kind: WidgetKind::Checkbox,
                     target: node.id,
@@ -294,8 +304,11 @@ fn any_candidates(
         .iter()
         .filter(|c| !(matches!(c.kind, NodeKind::CoOpt { .. }) && c.children.is_empty()))
         .collect();
-    let non_empty: Vec<&DNode> =
-        non_marker.iter().copied().filter(|c| !c.is_empty_node()).collect();
+    let non_empty: Vec<&DNode> = non_marker
+        .iter()
+        .copied()
+        .filter(|c| !c.is_empty_node())
+        .collect();
     let is_opt = non_empty.len() != non_marker.len();
     if is_opt && non_empty.len() <= 1 {
         // OPT → toggle (Table 2: <v:_?>).
@@ -304,7 +317,10 @@ fn any_candidates(
             target: node.id,
             cover: vec![node.id],
             domain: WidgetDomain::Binary,
-            label: non_empty.first().map(|c| sql_snippet(c)).unwrap_or_default(),
+            label: non_empty
+                .first()
+                .map(|c| sql_snippet(c))
+                .unwrap_or_default(),
         });
         return;
     }
@@ -457,7 +473,9 @@ fn range_slider_candidates(
     ) {
         return;
     }
-    let Some(flat) = flatten_node(node, types) else { return };
+    let Some(flat) = flatten_node(node, types) else {
+        return;
+    };
     if flat.len() != 2 || !flat.all_numeric() || !flat.all_single() {
         return;
     }
@@ -469,7 +487,9 @@ fn range_slider_candidates(
     let lo_node = node.find(lo_id);
     let hi_node = node.find(hi_id);
     for map in per_query {
-        let (Some(lo_n), Some(hi_n)) = (lo_node, hi_node) else { return };
+        let (Some(lo_n), Some(hi_n)) = (lo_node, hi_node) else {
+            return;
+        };
         let lo = bound_value(lo_n, map);
         let hi = bound_value(hi_n, map);
         if let (Some(BoundValue::Scalar(a)), Some(BoundValue::Scalar(b))) = (lo, hi) {
@@ -483,7 +503,12 @@ fn range_slider_candidates(
     let union_ty = flat.elems[0].ty.union(&flat.elems[1].ty);
     let domain = union_ty
         .domain(catalog)
-        .and_then(|(lo, hi)| Some(WidgetDomain::Range { min: lo.as_f64()?, max: hi.as_f64()? }))
+        .and_then(|(lo, hi)| {
+            Some(WidgetDomain::Range {
+                min: lo.as_f64()?,
+                max: hi.as_f64()?,
+            })
+        })
         .unwrap_or(WidgetDomain::Free);
     out.push(WidgetCandidate {
         kind: WidgetKind::RangeSlider,
@@ -581,7 +606,13 @@ mod tests {
         let cat = catalog();
         let cands = candidates_for(&gst, &cat);
         let slider = cands.iter().find(|c| c.kind == WidgetKind::Slider).unwrap();
-        assert_eq!(slider.domain, WidgetDomain::Range { min: 10.0, max: 30.0 });
+        assert_eq!(
+            slider.domain,
+            WidgetDomain::Range {
+                min: 10.0,
+                max: 30.0
+            }
+        );
         // Textbox always available for VAL.
         assert!(cands.iter().any(|c| c.kind == WidgetKind::Textbox));
         // Dropdown over the 3 distinct attribute values.
@@ -610,8 +641,7 @@ mod tests {
             ],
             cat.clone(),
         );
-        let mut f = Forest { trees: vec![gst] };
-        f.renumber();
+        let f = Forest::new(vec![gst]);
         let assignments = f.bind_all(&w).unwrap();
         let maps: Vec<&BindingMap> = assignments.iter().map(|a| &a.binding).collect();
         let types = infer_types(&f.trees[0], &cat);
@@ -639,8 +669,7 @@ mod tests {
             vec![parse_query("SELECT p FROM T WHERE a BETWEEN 20 AND 10").unwrap()],
             cat.clone(),
         );
-        let mut f = Forest { trees: vec![gst] };
-        f.renumber();
+        let f = Forest::new(vec![gst]);
         let assignments = f.bind_all(&w).unwrap();
         let maps: Vec<&BindingMap> = assignments.iter().map(|a| &a.binding).collect();
         let types = infer_types(&f.trees[0], &cat);
@@ -650,7 +679,12 @@ mod tests {
 
     #[test]
     fn subset_gets_checkbox() {
-        let col = |n: &str| DNode::leaf(SyntaxKind::ColumnRef { table: None, column: n.into() });
+        let col = |n: &str| {
+            DNode::leaf(SyntaxKind::ColumnRef {
+                table: None,
+                column: n.into(),
+            })
+        };
         let pred = |c: &str, v: i64| {
             DNode::syntax(
                 SyntaxKind::Compare(pi2_difftree::gst::CmpOp::Eq),
@@ -664,7 +698,10 @@ mod tests {
         subset.renumber(0);
         let cat = catalog();
         let cands = candidates_for(&subset, &cat);
-        let cb = cands.iter().find(|c| c.kind == WidgetKind::Checkbox).unwrap();
+        let cb = cands
+            .iter()
+            .find(|c| c.kind == WidgetKind::Checkbox)
+            .unwrap();
         assert_eq!(cb.domain.size(), 2);
         if let WidgetDomain::Options(opts) = &cb.domain {
             assert_eq!(opts[0], "a = 1");
@@ -682,7 +719,10 @@ mod tests {
         let cat = catalog();
         let cands = candidates_for(&multi, &cat);
         assert!(cands.iter().any(|c| c.kind == WidgetKind::Adder));
-        let cb = cands.iter().find(|c| c.kind == WidgetKind::Checkbox).unwrap();
+        let cb = cands
+            .iter()
+            .find(|c| c.kind == WidgetKind::Checkbox)
+            .unwrap();
         assert_eq!(cb.domain.size(), 2);
         assert_eq!(cb.cover.len(), 2, "covers MULTI and inner ANY");
     }
@@ -706,7 +746,10 @@ mod tests {
 
     #[test]
     fn domain_size_for_cost() {
-        assert_eq!(WidgetDomain::Options(vec!["a".into(), "b".into()]).size(), 2);
+        assert_eq!(
+            WidgetDomain::Options(vec!["a".into(), "b".into()]).size(),
+            2
+        );
         assert_eq!(WidgetDomain::Range { min: 0.0, max: 1.0 }.size(), 0);
         assert_eq!(WidgetDomain::Free.size(), 0);
         assert_eq!(WidgetDomain::Binary.size(), 0);

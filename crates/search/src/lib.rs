@@ -18,6 +18,8 @@ pub mod mapping;
 pub mod mcts;
 pub mod random;
 
-pub use mapping::{best_interface, generate_top_k, optimise_layout, MappingOptions, ScoredMapping, WidgetDp};
+pub use mapping::{
+    best_interface, generate_top_k, optimise_layout, MappingOptions, ScoredMapping, WidgetDp,
+};
 pub use mcts::{initial_state, mcts_search, MctsConfig, SearchStats};
 pub use random::{estimate_reward, greedy_interface, random_interface};

@@ -56,11 +56,11 @@ impl Default for MappingOptions {
 /// A complete `(V, M)` candidate with its manipulation cost.
 #[derive(Debug, Clone)]
 pub struct ScoredMapping {
-    /// The v.
+    /// The visualization mapping per tree.
     pub v: Vec<VisMapping>,
-    /// The m.
+    /// The interaction mapping entries (exact cover of choice nodes).
     pub m: Vec<MappingEntry>,
-    /// The cm.
+    /// Manipulation cost `Cm` of this mapping.
     pub cm: f64,
 }
 
@@ -103,8 +103,8 @@ fn manip_count(ctx: &MappingContext<'_>, tree: usize, cover: &[u32]) -> usize {
             .map(|id| {
                 (
                     *id,
-                    ctx.forest.trees[tree]
-                        .find(*id)
+                    ctx.forest
+                        .node_in_tree(tree, *id)
                         .and_then(|n| pi2_interface::bound_value(n, &a.binding)),
                 )
             })
@@ -117,15 +117,10 @@ fn manip_count(ctx: &MappingContext<'_>, tree: usize, cover: &[u32]) -> usize {
     count.max(1)
 }
 
-
 /// The layout-independent per-V cost: view-switch attention and table
 /// reading over the query sequence (mirrors `interface_cost`'s view-visit
 /// logic minus the Fitts term).
-fn v_base_cost(
-    ctx: &MappingContext<'_>,
-    v: &[VisMapping],
-    params: &CostParams,
-) -> f64 {
+fn v_base_cost(ctx: &MappingContext<'_>, v: &[VisMapping], params: &CostParams) -> f64 {
     let mut total = 0.0;
     let mut current: Option<usize> = None;
     let view_factor = 1.0 + 0.15 * (v.len().saturating_sub(1) as f64);
@@ -134,7 +129,9 @@ fn v_base_cost(
             if current.is_some() {
                 total += params.view_read * view_factor;
             }
-            if v.get(a.tree).is_some_and(|m| m.kind == pi2_interface::VisKind::Table) {
+            if v.get(a.tree)
+                .is_some_and(|m| m.kind == pi2_interface::VisKind::Table)
+            {
                 total += params.table_read;
             }
             current = Some(a.tree);
@@ -187,7 +184,7 @@ pub struct WidgetDp {
 }
 
 impl WidgetDp {
-    /// New.
+    /// Build the DP over `(cover mask, cost)` items for `n_bits` choices.
     pub fn new(items: Vec<(Mask, f64)>, n_bits: u32, top_k: usize) -> Self {
         let mut by_first_bit: Vec<Vec<usize>> = vec![Vec::new(); n_bits as usize];
         for (i, (mask, _)) in items.iter().enumerate() {
@@ -197,7 +194,13 @@ impl WidgetDp {
             let first = mask.trailing_zeros() as usize;
             by_first_bit[first].push(i);
         }
-        WidgetDp { items, by_first_bit, g_memo: HashMap::new(), f_memo: HashMap::new(), top_k }
+        WidgetDp {
+            items,
+            by_first_bit,
+            g_memo: HashMap::new(),
+            f_memo: HashMap::new(),
+            top_k,
+        }
     }
 
     /// Candidates whose cover starts at `N`'s lowest bit and fits inside
@@ -264,7 +267,10 @@ struct TopK {
 
 impl TopK {
     fn new(k: usize) -> Self {
-        TopK { k, items: Vec::new() }
+        TopK {
+            k,
+            items: Vec::new(),
+        }
     }
 
     fn worst(&self) -> f64 {
@@ -284,7 +290,9 @@ impl TopK {
 
 /// Algorithm 1: the top-k `(V, M)` mappings by manipulation cost.
 pub fn generate_top_k(ctx: &MappingContext<'_>, opts: &MappingOptions) -> Vec<ScoredMapping> {
-    let Some(bits) = choice_bits(ctx) else { return Vec::new() };
+    let Some(bits) = choice_bits(ctx) else {
+        return Vec::new();
+    };
     let n_bits = bits.len() as u32;
     let mut heap = TopK::new(opts.top_k);
 
@@ -312,9 +320,14 @@ pub fn generate_top_k(ctx: &MappingContext<'_>, opts: &MappingOptions) -> Vec<Sc
     let mut all_widgets: Vec<Candidate> = Vec::new();
     for (t, cands) in ctx.widget_cands.iter().enumerate() {
         for c in cands {
-            let Some(mask) = cover_mask(&bits, &c.cover) else { continue };
+            let Some(mask) = cover_mask(&bits, &c.cover) else {
+                continue;
+            };
             all_widgets.push(Candidate {
-                entry: MappingEntry::Widget { tree: t, cand: c.clone() },
+                entry: MappingEntry::Widget {
+                    tree: t,
+                    cand: c.clone(),
+                },
                 mask,
                 cost: widget_cost(ctx, t, c, &opts.params),
             });
@@ -334,7 +347,11 @@ pub fn generate_top_k(ctx: &MappingContext<'_>, opts: &MappingOptions) -> Vec<Sc
             .filter_map(|cand| {
                 let mask = cover_mask(&bits, &cand.cover())?;
                 let cost = vis_cost(ctx, &cand, &opts.params);
-                Some(Candidate { entry: MappingEntry::Vis(cand), mask, cost })
+                Some(Candidate {
+                    entry: MappingEntry::Vis(cand),
+                    mask,
+                    cost,
+                })
             })
             .collect();
 
@@ -411,10 +428,16 @@ fn search_m(
         for (wcost, cover) in dp.f(pending) {
             let total = cost_so_far + wcost;
             if total < heap.worst() {
-                let mut m: Vec<MappingEntry> =
-                    chosen.iter().map(|&ix| ctx.vis_cands[ix].entry.clone()).collect();
+                let mut m: Vec<MappingEntry> = chosen
+                    .iter()
+                    .map(|&ix| ctx.vis_cands[ix].entry.clone())
+                    .collect();
                 m.extend(cover.iter().map(|&wi| ctx.widgets[wi].entry.clone()));
-                heap.push(ScoredMapping { v: ctx.v.to_vec(), m, cm: total });
+                heap.push(ScoredMapping {
+                    v: ctx.v.to_vec(),
+                    m,
+                    cm: total,
+                });
             }
         }
         return;
@@ -459,7 +482,16 @@ fn search_m(
         chosen.pop();
     }
     // Option B: leave this node to the widget cover (line 41).
-    search_m(ctx, dp, i + 1, used, pending | bit, cost_so_far, chosen, heap);
+    search_m(
+        ctx,
+        dp,
+        i + 1,
+        used,
+        pending | bit,
+        cost_so_far,
+        chosen,
+        heap,
+    );
 }
 
 /// Branch-and-bound layout optimisation (§6.2.2): assign H/V orientations
@@ -549,10 +581,7 @@ pub fn optimise_layout(
 
 /// Full §6.2.2 final mapping: top-k by `Cm`, then layout-optimise each and
 /// return the overall best interface with its full cost.
-pub fn best_interface(
-    ctx: &MappingContext<'_>,
-    opts: &MappingOptions,
-) -> Option<(Interface, f64)> {
+pub fn best_interface(ctx: &MappingContext<'_>, opts: &MappingOptions) -> Option<(Interface, f64)> {
     let top = generate_top_k(ctx, opts);
     let mut best: Option<(Interface, f64)> = None;
     for scored in top {
@@ -575,13 +604,10 @@ mod tests {
 
     fn workload() -> Workload {
         let mut c = Catalog::new();
-        let rows: Vec<Vec<Value>> =
-            (0..12).map(|i| vec![Value::Int(i % 4), Value::Int(10 * (i % 6))]).collect();
-        let t = Table::from_rows(
-            vec![("a", DataType::Int), ("b", DataType::Int)],
-            rows,
-        )
-        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..12)
+            .map(|i| vec![Value::Int(i % 4), Value::Int(10 * (i % 6))])
+            .collect();
+        let t = Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows).unwrap();
         c.add_table("T", t, vec![]);
         Workload::new(
             vec![
@@ -597,9 +623,7 @@ mod tests {
         let pred = &mut tree.children[3].children[0];
         let lit = pred.children[1].clone();
         pred.children[1] = DNode::val(vec![lit]);
-        let mut f = Forest { trees: vec![tree] };
-        f.renumber();
-        f
+        Forest::new(vec![tree])
     }
 
     #[test]
@@ -635,7 +659,10 @@ mod tests {
             panic!("expected widget");
         };
         assert!(
-            matches!(kind, WidgetKind::Slider | WidgetKind::Dropdown | WidgetKind::Textbox),
+            matches!(
+                kind,
+                WidgetKind::Slider | WidgetKind::Dropdown | WidgetKind::Textbox
+            ),
             "got {kind:?}"
         );
     }
@@ -689,8 +716,7 @@ mod tests {
             let lit = pred.children[i].clone();
             pred.children[i] = DNode::val(vec![lit]);
         }
-        let mut f = Forest { trees: vec![tree] };
-        f.renumber();
+        let f = Forest::new(vec![tree]);
         let ctx = MappingContext::build(&f, &w).unwrap();
         let opts = MappingOptions::default();
         let top = generate_top_k(&ctx, &opts);

@@ -13,17 +13,40 @@
 //!   child;
 //! * **parallel workers** with a synchronisation interval `s` and early
 //!   stopping after `es` iterations without local improvement.
+//!
+//! # State handling
+//!
+//! Search states are held as [`Arc<Forest>`] in a per-worker **arena**
+//! indexed by [`ForestKey`] (the forest's precomputed structural
+//! fingerprint): selection and rollout never clone a forest, reaching the
+//! same state through different action sequences reuses one arena node
+//! (transposition), and states created by [`apply_action`] share every
+//! untouched tree with their parent.
+//!
+//! Reward estimates live in a **lock-sharded transposition table shared by
+//! all `p` workers** (and, with the workload/config fingerprint in the key,
+//! by repeated searches in one process), so each state's K-mapping estimate
+//! is computed once fleet-wide. The estimate's sampling RNG is seeded from
+//! `cfg.seed ⊕ ForestKey` — a reward is a pure function of (state, config),
+//! so a table hit returns exactly the value the worker would have computed
+//! itself. Combined with schedule-independent per-worker stopping (each
+//! worker runs to its *own* early stop or the iteration cap), the whole
+//! search is deterministic for any worker count.
 
 use crate::random::estimate_reward;
 use parking_lot::Mutex;
 use pi2_difftree::transform::canonicalize;
-use pi2_difftree::{applicable_actions, apply_action, candidate_actions, Action, Forest, Workload};
+use pi2_difftree::{
+    applicable_actions, apply_action, candidate_actions, Action, Forest, ForestKey, Workload,
+};
 use pi2_interface::{CostParams, MappingContext};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// MCTS parameters. The paper's defaults: early stop `es = 30`, `p = 3`
@@ -48,7 +71,8 @@ pub struct MctsConfig {
     pub rollout_depth: usize,
     /// Probability a playout step chooses TERMINATE.
     pub terminate_prob: f64,
-    /// The seed.
+    /// Base RNG seed; worker streams and per-state reward streams derive
+    /// from it.
     pub seed: u64,
     /// §4.2.2 safety checking (disable for the scalability ablation).
     pub check_safety: bool,
@@ -78,18 +102,122 @@ impl Default for MctsConfig {
 /// Search outcome statistics.
 #[derive(Debug, Clone)]
 pub struct SearchStats {
-    /// The iterations.
+    /// Total iterations across workers.
     pub iterations: usize,
-    /// The duration.
+    /// Wall-clock search time.
     pub duration: Duration,
     /// Best (un-normalised) reward = −min estimated cost.
     pub best_reward: f64,
-    /// The states evaluated.
+    /// Reward estimates actually computed fleet-wide (transposition-table
+    /// misses; hits are shared across workers).
     pub states_evaluated: usize,
 }
 
+/// The number of shards in the shared tables: enough that `p ≤ 16` workers
+/// rarely contend on one lock.
+const SHARDS: usize = 16;
+
+/// Lock-sharded map shared by all workers (and all searches), keyed by
+/// (state key, search-context fingerprint).
+struct Sharded<V> {
+    shards: Vec<Mutex<HashMap<(ForestKey, u64), V>>>,
+}
+
+/// Cap per shard: a runaway session cannot grow the process-global tables
+/// without bound (entries are cheap; ~1M total across shards).
+const MAX_TT_ENTRIES_PER_SHARD: usize = 65_536;
+
+impl<V: Clone> Sharded<V> {
+    fn new() -> Self {
+        Sharded {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, key: &ForestKey) -> &Mutex<HashMap<(ForestKey, u64), V>> {
+        &self.shards[(key.hash as usize) % SHARDS]
+    }
+
+    fn get(&self, key: &ForestKey, ctx_fp: u64) -> Option<V> {
+        self.shard(key).lock().get(&(*key, ctx_fp)).cloned()
+    }
+
+    /// Insert, returning whether the key was new (first writer wins; all
+    /// writers would store the same value).
+    fn insert(&self, key: ForestKey, ctx_fp: u64, value: V) -> bool {
+        let mut guard = self.shard(&key).lock();
+        if guard.len() > MAX_TT_ENTRIES_PER_SHARD {
+            guard.clear();
+        }
+        guard.insert((key, ctx_fp), value).is_none()
+    }
+}
+
+/// The process-global transposition tables. Rewards and validated action
+/// sets are pure functions of (state, workload, config), so they are shared
+/// across parallel workers *and* across search invocations — repeated
+/// generations over the same workload re-derive nothing.
+struct SearchCaches {
+    /// Reward transposition table: state → estimated reward.
+    rewards: Sharded<f64>,
+    /// Validated expansion actions per state.
+    actions: Sharded<Arc<Vec<Action>>>,
+}
+
+fn search_caches() -> &'static SearchCaches {
+    static CACHES: OnceLock<SearchCaches> = OnceLock::new();
+    CACHES.get_or_init(|| SearchCaches {
+        rewards: Sharded::new(),
+        actions: Sharded::new(),
+    })
+}
+
+/// Fingerprint of everything besides the state that a reward depends on:
+/// the workload (queries + catalogue) and the reward-relevant config.
+fn context_fingerprint(w: &Workload, cfg: &MctsConfig) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    w.catalog.fingerprint().hash(&mut h);
+    w.gst_fps.hash(&mut h);
+    cfg.seed.hash(&mut h);
+    cfg.k_mappings.hash(&mut h);
+    cfg.check_safety.hash(&mut h);
+    // Cost parameters feed the estimate; hash their raw bits.
+    format!("{:?}", cfg.params).hash(&mut h);
+    h.finish()
+}
+
+/// Shared coordination state for one parallel search: the best state found
+/// so far (reward/action tables live in [`search_caches`]).
+struct Shared {
+    best: Mutex<(f64, Option<Arc<Forest>>)>,
+    computed: AtomicUsize,
+}
+
+/// Merge a worker's best into the shared best under a *total*,
+/// schedule-independent order: higher reward wins, and exact reward ties
+/// break on the smaller state key — so the search result cannot depend on
+/// which worker reaches the lock first.
+fn merge_best(best: &mut (f64, Option<Arc<Forest>>), reward: f64, state: &Arc<Forest>) {
+    let wins = reward > best.0
+        || (reward == best.0 && best.1.as_ref().is_none_or(|cur| state.key() < cur.key()));
+    if wins {
+        *best = (reward, Some(Arc::clone(state)));
+    }
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            best: Mutex::new((f64::NEG_INFINITY, None)),
+            computed: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// One arena node: a search state plus its UCT statistics. `state` is
+/// shared with every other node/rollout referencing the same forest.
 struct Node {
-    state: Forest,
+    state: Arc<Forest>,
     children: Vec<usize>,
     visits: u64,
     sum: f64,
@@ -107,14 +235,15 @@ pub fn initial_state(w: &Workload) -> Forest {
     use pi2_difftree::DNode;
     // Signature: arity + storage types (coarse, merge-friendly).
     let mut groups: Vec<(String, Vec<usize>)> = Vec::new();
-    for (qi, q) in w.queries.iter().enumerate() {
-        let sig = pi2_engine::analyze_query(q, &w.catalog)
+    for qi in 0..w.queries.len() {
+        let sig = w.infos[qi]
+            .as_ref()
             .map(|info| {
                 let types: Vec<pi2_data::DataType> =
                     info.cols.iter().map(|c| c.ty.dtype()).collect();
                 format!("{}:{types:?}", info.cols.len())
             })
-            .unwrap_or_else(|_| format!("q{qi}"));
+            .unwrap_or_else(|| format!("q{qi}"));
         match groups.iter_mut().find(|(s, _)| *s == sig) {
             Some((_, members)) => members.push(qi),
             None => groups.push((sig, vec![qi])),
@@ -140,8 +269,7 @@ pub fn initial_state(w: &Workload) -> Forest {
             }
         }
     }
-    let mut f = Forest { trees };
-    f.renumber();
+    let f = Forest::new(trees);
     // The clustered state must still express the workload; fall back to the
     // identity state otherwise.
     if f.bind_all(w).is_some() {
@@ -151,28 +279,88 @@ pub fn initial_state(w: &Workload) -> Forest {
     }
 }
 
+/// The scripted seed states every worker evaluates before searching: the
+/// fully-canonicalized merged root and the Partition→Split→canonicalize
+/// refinement (see [`Worker::new`]). Pure in (workload, initial state), so
+/// it is derived once per search and shared by all workers — only reward
+/// evaluation (already deduplicated by the transposition table) remains
+/// per worker.
+fn seed_states(workload: &Workload, root: &Forest) -> Vec<Arc<Forest>> {
+    let canon_root = Arc::new(canonicalize(root, workload, 48));
+
+    // Partition every ANY-rooted tree, split, then canonicalize.
+    let mut state: Forest = root.clone();
+    loop {
+        let actions = candidate_actions(&state, workload);
+        let Some(a) = actions
+            .iter()
+            .find(|a| a.rule == pi2_difftree::Rule::Partition && a.node == 0)
+        else {
+            break;
+        };
+        match apply_action(&state, workload, *a) {
+            Some(next) => state = next,
+            None => break,
+        }
+    }
+    loop {
+        // Split only partition results (every alternative itself an
+        // ANY-rooted cluster) — not clusters down to single queries.
+        let actions = candidate_actions(&state, workload);
+        let Some(a) = actions.iter().find(|a| {
+            a.rule == pi2_difftree::Rule::Split
+                && state.trees[a.tree]
+                    .children
+                    .iter()
+                    .all(|c| c.kind == pi2_difftree::NodeKind::Any)
+        }) else {
+            break;
+        };
+        match apply_action(&state, workload, *a) {
+            Some(next) => state = next,
+            None => break,
+        }
+    }
+    let split_canon = Arc::new(canonicalize(&state, workload, 64));
+    vec![canon_root, split_canon]
+}
+
 struct Worker<'w> {
     workload: &'w Workload,
     cfg: MctsConfig,
+    /// Drives search decisions only (expansion picks, rollout steps) —
+    /// never reward sampling, which is seeded per state.
     rng: StdRng,
     nodes: Vec<Node>,
-    reward_memo: HashMap<Forest, f64>,
+    /// Arena index: (state key, terminal?) → node. Reaching a state through
+    /// different action sequences shares one node and its statistics.
+    index: HashMap<(ForestKey, bool), usize>,
+    shared: &'w Shared,
+    /// Fingerprint qualifying transposition entries (workload + config).
+    ctx_fp: u64,
     /// Normalisation scale: |reward of the initial state|.
     scale: f64,
-    best: (f64, Forest),
+    best: (f64, Arc<Forest>),
     stale: usize,
-    evaluated: usize,
 }
 
 impl<'w> Worker<'w> {
-    fn new(workload: &'w Workload, cfg: MctsConfig, seed: u64) -> Worker<'w> {
-        let root_state = initial_state(workload);
+    fn new(
+        workload: &'w Workload,
+        cfg: MctsConfig,
+        seed: u64,
+        shared: &'w Shared,
+        root_state: Arc<Forest>,
+        seeds: &[Arc<Forest>],
+    ) -> Worker<'w> {
+        let root_key = root_state.key();
+        let ctx_fp = context_fingerprint(workload, &cfg);
         let mut w = Worker {
             workload,
             cfg,
             rng: StdRng::seed_from_u64(seed),
             nodes: vec![Node {
-                state: root_state.clone(),
+                state: Arc::clone(&root_state),
                 children: vec![],
                 visits: 0,
                 sum: 0.0,
@@ -180,88 +368,77 @@ impl<'w> Worker<'w> {
                 expanded: false,
                 terminal: false,
             }],
-            reward_memo: HashMap::new(),
+            index: HashMap::from([((root_key, false), 0)]),
+            shared,
+            ctx_fp,
             scale: 1.0,
-            best: (f64::NEG_INFINITY, root_state.clone()),
+            best: (f64::NEG_INFINITY, Arc::clone(&root_state)),
             stale: 0,
-            evaluated: 0,
         };
         let root_reward = w.evaluate(&root_state);
         w.scale = root_reward.abs().max(1.0);
-        w.best = (root_reward, root_state.clone());
-        w.evaluate_seeds(&root_state);
+        w.best = (root_reward, root_state);
+        // Evaluate the scripted seed states covering the two macro-designs
+        // the paper's search settles on quickly (single merged view;
+        // partitioned cross-filtering views). MCTS refines from wherever
+        // these land.
+        for seed_state in seeds {
+            w.evaluate(seed_state);
+        }
+        w.stale = 0;
         w
     }
 
-    /// Evaluate scripted seed states covering the two macro-designs the
-    /// paper's search settles on quickly: the fully-canonicalized merged
-    /// root (single shared view per schema cluster) and the
-    /// Partition→Split→canonicalize refinement (one view per name-level
-    /// cluster, the cross-filtering shape). MCTS then refines from wherever
-    /// these land.
-    fn evaluate_seeds(&mut self, root: &Forest) {
-        let canon_root = canonicalize(root, self.workload, 48);
-        self.evaluate(&canon_root);
-
-        // Partition every ANY-rooted tree, split, then canonicalize.
-        let mut state = root.clone();
-        loop {
-            let actions = candidate_actions(&state, self.workload);
-            let Some(a) = actions.iter().find(|a| {
-                a.rule == pi2_difftree::Rule::Partition
-                    && state.trees[a.tree].id == a.node
-            }) else {
-                break;
-            };
-            match apply_action(&state, self.workload, *a) {
-                Some(next) => state = next,
-                None => break,
+    /// Reward of a state: −min cost over K mappings sampled with a
+    /// state-seeded RNG; unmappable states get a strongly negative reward.
+    /// Estimates are shared fleet-wide through the transposition table, and
+    /// every sighting of an improvement updates this worker's best state
+    /// (Cadiaplayer max-reward tracking).
+    fn evaluate(&mut self, state: &Arc<Forest>) -> f64 {
+        let key = state.key();
+        let tables = search_caches();
+        let r = match tables.rewards.get(&key, self.ctx_fp) {
+            Some(r) => r,
+            None => {
+                let r = match MappingContext::build(state, self.workload) {
+                    Some(mut ctx) => {
+                        ctx.check_safety = self.cfg.check_safety;
+                        let mut reward_rng = StdRng::seed_from_u64(self.cfg.seed ^ key.seed());
+                        estimate_reward(
+                            &ctx,
+                            &mut reward_rng,
+                            &self.cfg.params,
+                            self.cfg.k_mappings,
+                        )
+                        .unwrap_or(-1e9)
+                    }
+                    None => -1e9,
+                };
+                if tables.rewards.insert(key, self.ctx_fp, r) {
+                    self.shared.computed.fetch_add(1, Ordering::Relaxed);
+                }
+                r
             }
-        }
-        loop {
-            // Split only partition results (every alternative itself an
-            // ANY-rooted cluster) — not clusters down to single queries.
-            let actions = candidate_actions(&state, self.workload);
-            let Some(a) = actions.iter().find(|a| {
-                a.rule == pi2_difftree::Rule::Split
-                    && state.trees[a.tree]
-                        .children
-                        .iter()
-                        .all(|c| c.kind == pi2_difftree::NodeKind::Any)
-            }) else {
-                break;
-            };
-            match apply_action(&state, self.workload, *a) {
-                Some(next) => state = next,
-                None => break,
-            }
-        }
-        let split_canon = canonicalize(&state, self.workload, 64);
-        self.evaluate(&split_canon);
-        self.stale = 0;
-    }
-
-    /// Reward of a state: −min cost over K random mappings; unmappable
-    /// states get a strongly negative reward.
-    fn evaluate(&mut self, state: &Forest) -> f64 {
-        if let Some(&r) = self.reward_memo.get(state) {
-            return r;
-        }
-        self.evaluated += 1;
-        let r = match MappingContext::build(state, self.workload) {
-            Some(mut ctx) => {
-                ctx.check_safety = self.cfg.check_safety;
-                estimate_reward(&ctx, &mut self.rng, &self.cfg.params, self.cfg.k_mappings)
-                    .unwrap_or(-1e9)
-            }
-            None => -1e9,
         };
-        self.reward_memo.insert(state.clone(), r);
         if r > self.best.0 {
-            self.best = (r, state.clone());
+            self.best = (r, Arc::clone(state));
             self.stale = 0;
         }
         r
+    }
+
+    /// Validated expansion actions for a state, computed once fleet-wide.
+    fn expansion_actions(&self, state: &Forest) -> Arc<Vec<Action>> {
+        let key = state.key();
+        let tables = search_caches();
+        if let Some(hit) = tables.actions.get(&key, self.ctx_fp) {
+            return hit;
+        }
+        let actions = Arc::new(applicable_actions(state, self.workload));
+        tables
+            .actions
+            .insert(key, self.ctx_fp, Arc::clone(&actions));
+        actions
     }
 
     /// Eq. 1: mean + exploration + variance, on normalised rewards.
@@ -272,21 +449,41 @@ impl<'w> Worker<'w> {
         let n = child.visits as f64;
         let mean = child.sum / n / self.scale;
         let explore = self.cfg.c * ((parent_visits.max(1) as f64).ln() / n).sqrt();
-        let var = ((child.sum_sq / (self.scale * self.scale) - n * mean * mean)
-            .max(0.0)
-            / n
+        let var = ((child.sum_sq / (self.scale * self.scale) - n * mean * mean).max(0.0) / n
             + self.cfg.d)
             .sqrt()
             / n.sqrt();
         mean + explore + var
     }
 
+    /// Intern a state in the arena, reusing the node when the same state
+    /// (and terminal flag) was already reached along another path.
+    fn intern_node(&mut self, state: Arc<Forest>, terminal: bool) -> usize {
+        let key = (state.key(), terminal);
+        if let Some(&ix) = self.index.get(&key) {
+            return ix;
+        }
+        self.nodes.push(Node {
+            state,
+            children: vec![],
+            visits: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            expanded: false,
+            terminal,
+        });
+        let ix = self.nodes.len() - 1;
+        self.index.insert(key, ix);
+        ix
+    }
+
     /// One MCTS iteration: select, expand, simulate, backpropagate.
     fn iterate(&mut self) {
-        // 1. Selection.
+        // 1. Selection. The arena is a DAG (transpositions), so the walk is
+        // depth-capped to stay finite even if actions form a cycle.
         let mut path = vec![0usize];
         let mut cur = 0usize;
-        while self.nodes[cur].expanded && !self.nodes[cur].terminal {
+        while self.nodes[cur].expanded && !self.nodes[cur].terminal && path.len() < 128 {
             if self.nodes[cur].children.is_empty() {
                 break;
             }
@@ -305,16 +502,22 @@ impl<'w> Worker<'w> {
 
         // 2. Expansion.
         let start = if !self.nodes[cur].expanded && !self.nodes[cur].terminal {
-            let state = self.nodes[cur].state.clone();
-            let actions = applicable_actions(&state, self.workload);
+            let state = Arc::clone(&self.nodes[cur].state);
+            let actions = self.expansion_actions(&state);
             let mut child_indices = Vec::with_capacity(actions.len() + 1);
-            for a in actions {
-                if let Some(next_state) = apply_action(&state, self.workload, a) {
-                    child_indices.push(self.push_node(next_state, false));
+            for a in actions.iter() {
+                if let Some(next_state) = apply_action(&state, self.workload, *a) {
+                    let ix = self.intern_node(Arc::new(next_state), false);
+                    if !child_indices.contains(&ix) {
+                        child_indices.push(ix);
+                    }
                 }
             }
-            // The TERMINATE pseudo-rule: a terminal copy of this state.
-            child_indices.push(self.push_node(state, true));
+            // The TERMINATE pseudo-rule: a terminal alias of this state.
+            let term = self.intern_node(state, true);
+            if !child_indices.contains(&term) {
+                child_indices.push(term);
+            }
             self.nodes[cur].expanded = true;
             self.nodes[cur].children = child_indices.clone();
             let pick = *child_indices.choose(&mut self.rng).expect("children");
@@ -328,7 +531,7 @@ impl<'w> Worker<'w> {
         // samples a rule-weighted random action, canonicalizes (§6.1 rules
         // applied to a fixpoint as a policy), and evaluates the state so the
         // Cadiaplayer max-reward tracking sees every state encountered.
-        let mut state = self.nodes[start].state.clone();
+        let mut state = Arc::clone(&self.nodes[start].state);
         let mut reward = self.evaluate(&state);
         if !self.nodes[start].terminal {
             for _ in 0..self.cfg.rollout_depth {
@@ -350,7 +553,7 @@ impl<'w> Worker<'w> {
                 let mut applied = false;
                 for a in candidates.into_iter().take(8) {
                     if let Some(next) = apply_action(&state, self.workload, a) {
-                        state = canonicalize(&next, self.workload, 24);
+                        state = Arc::new(canonicalize(&next, self.workload, 24));
                         applied = true;
                         break;
                     }
@@ -371,94 +574,55 @@ impl<'w> Worker<'w> {
         }
         self.stale += 1;
     }
-
-    fn push_node(&mut self, state: Forest, terminal: bool) -> usize {
-        self.nodes.push(Node {
-            state,
-            children: vec![],
-            visits: 0,
-            sum: 0.0,
-            sum_sq: 0.0,
-            expanded: false,
-            terminal,
-        });
-        self.nodes.len() - 1
-    }
-}
-
-/// Shared coordination state for parallel search.
-struct Shared {
-    best: Mutex<(f64, Option<Forest>)>,
-    stop_votes: AtomicUsize,
-    terminate: AtomicBool,
 }
 
 /// Run the MCTS search for a workload; returns the best Difftree state
 /// found (by maximum encountered reward, Cadiaplayer-style) and statistics.
 pub fn mcts_search(workload: &Workload, cfg: &MctsConfig) -> (Forest, SearchStats) {
     let start = Instant::now();
-    let shared = Shared {
-        best: Mutex::new((f64::NEG_INFINITY, None)),
-        stop_votes: AtomicUsize::new(0),
-        terminate: AtomicBool::new(false),
-    };
+    let shared = Shared::new();
     let workers = cfg.workers.max(1);
     let total_iterations = AtomicUsize::new(0);
-    let total_evaluated = AtomicUsize::new(0);
+    // The initial and scripted seed states are pure in the workload —
+    // derive them once instead of once per worker.
+    let root_state = Arc::new(initial_state(workload));
+    let seeds = seed_states(workload, &root_state);
 
     std::thread::scope(|scope| {
         for wid in 0..workers {
             let shared = &shared;
             let total_iterations = &total_iterations;
-            let total_evaluated = &total_evaluated;
             let cfg = cfg.clone();
+            let root_state = Arc::clone(&root_state);
+            let seeds = &seeds;
             scope.spawn(move || {
                 let seed = cfg.seed.wrapping_add(wid as u64 * 0x9e37_79b9);
-                let mut worker = Worker::new(workload, cfg.clone(), seed);
+                let mut worker =
+                    Worker::new(workload, cfg.clone(), seed, shared, root_state, seeds);
                 let mut iters = 0usize;
-                let mut voted = false;
-                'outer: while iters < cfg.max_iterations {
+                // Each worker runs to its own early stop or the iteration
+                // cap — never to a shared flag, so its trajectory (and the
+                // search result) is independent of thread scheduling. The
+                // sync interval only publishes the running best; reward
+                // estimates are already shared through the transposition
+                // table, so a fast worker's work still reaches stragglers.
+                while iters < cfg.max_iterations && worker.stale < cfg.early_stop {
                     for _ in 0..cfg.sync_interval.max(1) {
-                        if iters >= cfg.max_iterations {
+                        if iters >= cfg.max_iterations || worker.stale >= cfg.early_stop {
                             break;
                         }
                         worker.iterate();
                         iters += 1;
-                        if worker.stale >= cfg.early_stop {
-                            break;
-                        }
                     }
-                    // Synchronise best state with the coordinator.
                     {
                         let mut best = shared.best.lock();
-                        if worker.best.0 > best.0 {
-                            *best = (worker.best.0, Some(worker.best.1.clone()));
-                        }
-                    }
-                    if worker.stale >= cfg.early_stop && !voted {
-                        voted = true;
-                        shared.stop_votes.fetch_add(1, Ordering::SeqCst);
-                    }
-                    if shared.stop_votes.load(Ordering::SeqCst) >= workers {
-                        shared.terminate.store(true, Ordering::SeqCst);
-                    }
-                    if shared.terminate.load(Ordering::SeqCst) {
-                        break 'outer;
-                    }
-                    if worker.stale >= cfg.early_stop {
-                        // Keep contributing until everyone votes, but slow
-                        // down: single iterations per sync round.
-                        worker.iterate();
-                        iters += 1;
+                        merge_best(&mut best, worker.best.0, &worker.best.1);
                     }
                 }
                 // Final sync.
                 let mut best = shared.best.lock();
-                if worker.best.0 > best.0 {
-                    *best = (worker.best.0, Some(worker.best.1.clone()));
-                }
+                merge_best(&mut best, worker.best.0, &worker.best.1);
                 total_iterations.fetch_add(iters, Ordering::SeqCst);
-                total_evaluated.fetch_add(worker.evaluated, Ordering::SeqCst);
             });
         }
     });
@@ -467,14 +631,17 @@ pub fn mcts_search(workload: &Workload, cfg: &MctsConfig) -> (Forest, SearchStat
         let best = shared.best.lock();
         (best.0, best.1.clone())
     };
-    let state = state.unwrap_or_else(|| Forest::from_workload(workload));
+    let state = match state {
+        Some(s) => (*s).clone(),
+        None => Forest::from_workload(workload),
+    };
     (
         state,
         SearchStats {
             iterations: total_iterations.load(Ordering::SeqCst),
             duration: start.elapsed(),
             best_reward: reward,
-            states_evaluated: total_evaluated.load(Ordering::SeqCst),
+            states_evaluated: shared.computed.load(Ordering::SeqCst),
         },
     )
 }
@@ -497,8 +664,7 @@ mod tests {
         let rows: Vec<Vec<Value>> = (0..24)
             .map(|i| vec![Value::Int(i % 4), Value::Int(10 * (i % 6))])
             .collect();
-        let t =
-            Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows).unwrap();
+        let t = Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows).unwrap();
         c.add_table("T", t, vec![]);
         Workload::new(
             vec![
@@ -524,7 +690,10 @@ mod tests {
     fn search_returns_an_expressive_state() {
         let w = workload();
         let (state, stats) = mcts_search(&w, &quick_cfg());
-        assert!(state.bind_all(&w).is_some(), "result must express all queries");
+        assert!(
+            state.bind_all(&w).is_some(),
+            "result must express all queries"
+        );
         assert!(stats.iterations > 0);
         assert!(stats.best_reward.is_finite());
     }
@@ -535,9 +704,12 @@ mod tests {
         // Initial: 3 separate static trees (no widgets, 3 charts). A merged
         // tree with a VAL slider should cost less. Reward is -cost; the
         // found state should be at least as good as the initial.
-        let initial = Forest::from_workload(&w);
+        let initial = Arc::new(Forest::from_workload(&w));
         let cfg = quick_cfg();
-        let mut worker = Worker::new(&w, cfg.clone(), 1);
+        let shared = Shared::new();
+        let root = Arc::new(initial_state(&w));
+        let seeds = seed_states(&w, &root);
+        let mut worker = Worker::new(&w, cfg.clone(), 1, &shared, root, &seeds);
         let initial_reward = worker.evaluate(&initial);
         let (state, stats) = mcts_search(&w, &cfg);
         assert!(
@@ -563,9 +735,30 @@ mod tests {
     }
 
     #[test]
+    fn multi_worker_search_is_deterministic() {
+        // Rewards are pure functions of (state, config) — the shared
+        // transposition table cannot leak cross-worker timing into results,
+        // so even parallel searches return one deterministic best forest.
+        let w = workload();
+        let cfg = MctsConfig {
+            workers: 3,
+            max_iterations: 30,
+            ..quick_cfg()
+        };
+        let (s1, st1) = mcts_search(&w, &cfg);
+        let (s2, st2) = mcts_search(&w, &cfg);
+        assert_eq!(s1, s2);
+        assert_eq!(st1.best_reward, st2.best_reward);
+    }
+
+    #[test]
     fn multiple_workers_complete() {
         let w = workload();
-        let cfg = MctsConfig { workers: 3, max_iterations: 20, ..quick_cfg() };
+        let cfg = MctsConfig {
+            workers: 3,
+            max_iterations: 20,
+            ..quick_cfg()
+        };
         let (state, stats) = mcts_search(&w, &cfg);
         assert!(state.bind_all(&w).is_some());
         assert!(stats.iterations >= 20, "all workers contribute iterations");
@@ -594,5 +787,28 @@ mod tests {
         let w = workload();
         let actions = initial_actions(&w);
         assert!(actions.iter().any(|a| a.rule == pi2_difftree::Rule::Merge));
+    }
+
+    #[test]
+    fn transpositions_share_arena_nodes() {
+        let w = workload();
+        let shared = Shared::new();
+        let root = Arc::new(initial_state(&w));
+        let seeds = seed_states(&w, &root);
+        let mut worker = Worker::new(&w, quick_cfg(), 7, &shared, root, &seeds);
+        for _ in 0..25 {
+            worker.iterate();
+        }
+        // Reaching the same state along different paths must reuse nodes:
+        // the arena index is injective over (key, terminal).
+        assert_eq!(worker.index.len(), worker.nodes.len());
+        let mut keys: Vec<(ForestKey, bool)> = worker
+            .nodes
+            .iter()
+            .map(|n| (n.state.key(), n.terminal))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), worker.nodes.len(), "duplicate states in arena");
     }
 }

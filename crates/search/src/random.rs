@@ -60,8 +60,7 @@ pub fn random_interface<R: Rng>(
         let mut options: Vec<(usize, &pi2_interface::WidgetCandidate)> = Vec::new();
         for (t, cands) in ctx.widget_cands.iter().enumerate() {
             for c in cands {
-                if c.cover.contains(&id) && c.cover.iter().all(|cid| remaining.contains(cid))
-                {
+                if c.cover.contains(&id) && c.cover.iter().all(|cid| remaining.contains(cid)) {
                     options.push((t, c));
                 }
             }
@@ -70,7 +69,10 @@ pub fn random_interface<R: Rng>(
         for cid in &cand.cover {
             remaining.remove(cid);
         }
-        m.push(MappingEntry::Widget { tree: *t, cand: (*cand).clone() });
+        m.push(MappingEntry::Widget {
+            tree: *t,
+            cand: (*cand).clone(),
+        });
     }
 
     let iface = ctx.build_interface(v, m);
@@ -83,10 +85,7 @@ pub fn random_interface<R: Rng>(
 /// visualization interactions and fill the remainder with the cheapest
 /// widgets. Cheap but reliably finds the interaction-heavy designs random
 /// sampling can miss.
-pub fn greedy_interface(
-    ctx: &MappingContext<'_>,
-    params: &CostParams,
-) -> Option<(Interface, f64)> {
+pub fn greedy_interface(ctx: &MappingContext<'_>, params: &CostParams) -> Option<(Interface, f64)> {
     // Bounded V enumeration, charts before tables.
     let mut per_tree: Vec<Vec<pi2_interface::VisMapping>> = Vec::new();
     for cands in &ctx.vis_cands {
@@ -131,9 +130,7 @@ pub fn greedy_interface(
                 continue;
             }
             let conflict = m.iter().any(|e| match e {
-                MappingEntry::Vis(a) => {
-                    a.view == cand.view && a.kind.conflicts_with(cand.kind)
-                }
+                MappingEntry::Vis(a) => a.view == cand.view && a.kind.conflicts_with(cand.kind),
                 _ => false,
             });
             if conflict {
@@ -150,8 +147,7 @@ pub fn greedy_interface(
             let mut best_widget: Option<(f64, usize, &pi2_interface::WidgetCandidate)> = None;
             for (t, cands) in ctx.widget_cands.iter().enumerate() {
                 for c in cands {
-                    if !c.cover.contains(&id)
-                        || !c.cover.iter().all(|cid| remaining.contains(cid))
+                    if !c.cover.contains(&id) || !c.cover.iter().all(|cid| remaining.contains(cid))
                     {
                         continue;
                     }
@@ -168,7 +164,10 @@ pub fn greedy_interface(
                     for cid in &c.cover {
                         remaining.remove(cid);
                     }
-                    m.push(MappingEntry::Widget { tree: t, cand: c.clone() });
+                    m.push(MappingEntry::Widget {
+                        tree: t,
+                        cand: c.clone(),
+                    });
                 }
                 None => {
                     ok = false;
@@ -220,10 +219,10 @@ mod tests {
 
     fn setup() -> (Workload, Forest) {
         let mut c = Catalog::new();
-        let rows: Vec<Vec<Value>> =
-            (0..12).map(|i| vec![Value::Int(i % 4), Value::Int(10 * (i % 6))]).collect();
-        let t = Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows)
-            .unwrap();
+        let rows: Vec<Vec<Value>> = (0..12)
+            .map(|i| vec![Value::Int(i % 4), Value::Int(10 * (i % 6))])
+            .collect();
+        let t = Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows).unwrap();
         c.add_table("T", t, vec![]);
         let w = Workload::new(
             vec![
@@ -236,8 +235,7 @@ mod tests {
         let pred = &mut tree.children[3].children[0];
         let lit = pred.children[1].clone();
         pred.children[1] = DNode::val(vec![lit]);
-        let mut f = Forest { trees: vec![tree] };
-        f.renumber();
+        let f = Forest::new(vec![tree]);
         (w, f)
     }
 
@@ -250,8 +248,7 @@ mod tests {
         for _ in 0..20 {
             let (iface, cost) = random_interface(&ctx, &mut rng, &params).unwrap();
             assert!(cost.is_finite());
-            let covered: usize =
-                iface.interactions.iter().map(|i| i.cover.len()).sum();
+            let covered: usize = iface.interactions.iter().map(|i| i.cover.len()).sum();
             assert_eq!(covered, ctx.total_choices());
         }
     }

@@ -117,7 +117,12 @@ impl BinOp {
         match self {
             BinOp::Or => 1,
             BinOp::And => 2,
-            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+            BinOp::Eq
+            | BinOp::NotEq
+            | BinOp::Lt
+            | BinOp::LtEq
+            | BinOp::Gt
+            | BinOp::GtEq
             | BinOp::Like => 4,
             BinOp::Add | BinOp::Sub => 5,
             BinOp::Mul | BinOp::Div => 6,
@@ -154,16 +159,33 @@ pub enum Expr {
     /// `Unary`.
     Unary { op: UnaryOp, expr: Box<Expr> },
     /// `Binary`.
-    Binary { left: Box<Expr>, op: BinOp, right: Box<Expr> },
+    Binary {
+        left: Box<Expr>,
+        op: BinOp,
+        right: Box<Expr>,
+    },
     /// `e [NOT] BETWEEN lo AND hi`
     /// The between.
-    Between { expr: Box<Expr>, negated: bool, low: Box<Expr>, high: Box<Expr> },
+    Between {
+        expr: Box<Expr>,
+        negated: bool,
+        low: Box<Expr>,
+        high: Box<Expr>,
+    },
     /// `e [NOT] IN (v1, v2, …)`
     /// The in list.
-    InList { expr: Box<Expr>, negated: bool, list: Vec<Expr> },
+    InList {
+        expr: Box<Expr>,
+        negated: bool,
+        list: Vec<Expr>,
+    },
     /// `e [NOT] IN (SELECT …)`
     /// The in subquery.
-    InSubquery { expr: Box<Expr>, negated: bool, query: Box<Query> },
+    InSubquery {
+        expr: Box<Expr>,
+        negated: bool,
+        query: Box<Query>,
+    },
     /// `e IS [NOT] NULL`
     /// The is null.
     IsNull { expr: Box<Expr>, negated: bool },
@@ -177,12 +199,18 @@ pub enum Expr {
 impl Expr {
     /// Col.
     pub fn col(name: &str) -> Expr {
-        Expr::Column { table: None, name: name.to_string() }
+        Expr::Column {
+            table: None,
+            name: name.to_string(),
+        }
     }
 
     /// Qcol.
     pub fn qcol(table: &str, name: &str) -> Expr {
-        Expr::Column { table: Some(table.to_string()), name: name.to_string() }
+        Expr::Column {
+            table: Some(table.to_string()),
+            name: name.to_string(),
+        }
     }
 
     /// Int.
@@ -202,21 +230,33 @@ impl Expr {
 
     /// Bin.
     pub fn bin(left: Expr, op: BinOp, right: Expr) -> Expr {
-        Expr::Binary { left: Box::new(left), op, right: Box::new(right) }
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
     }
 
     /// The expression's precedence for parenthesisation during printing.
     fn precedence(&self) -> u8 {
         match self {
             Expr::Binary { op, .. } => op.precedence(),
-            Expr::Between { .. } | Expr::InList { .. } | Expr::InSubquery { .. }
+            Expr::Between { .. }
+            | Expr::InList { .. }
+            | Expr::InSubquery { .. }
             | Expr::IsNull { .. } => 3,
             Expr::Unary { .. } => 7,
             _ => 10,
         }
     }
 
-    fn fmt_child(&self, child: &Expr, f: &mut fmt::Formatter<'_>, parent_prec: u8, right_side: bool) -> fmt::Result {
+    fn fmt_child(
+        &self,
+        child: &Expr,
+        f: &mut fmt::Formatter<'_>,
+        parent_prec: u8,
+        right_side: bool,
+    ) -> fmt::Result {
         let child_prec = child.precedence();
         // Parenthesise when the child binds looser, or equally on the right
         // of a left-associative operator.
@@ -254,7 +294,12 @@ impl fmt::Display for Expr {
                 write!(f, " {op} ")?;
                 self.fmt_child(right, f, op.precedence(), true)
             }
-            Expr::Between { expr, negated, low, high } => {
+            Expr::Between {
+                expr,
+                negated,
+                low,
+                high,
+            } => {
                 self.fmt_child(expr, f, 4, false)?;
                 if *negated {
                     write!(f, " NOT")?;
@@ -264,7 +309,11 @@ impl fmt::Display for Expr {
                 write!(f, " AND ")?;
                 self.fmt_child(high, f, 5, false)
             }
-            Expr::InList { expr, negated, list } => {
+            Expr::InList {
+                expr,
+                negated,
+                list,
+            } => {
                 self.fmt_child(expr, f, 4, false)?;
                 if *negated {
                     write!(f, " NOT")?;
@@ -278,7 +327,11 @@ impl fmt::Display for Expr {
                 }
                 write!(f, ")")
             }
-            Expr::InSubquery { expr, negated, query } => {
+            Expr::InSubquery {
+                expr,
+                negated,
+                query,
+            } => {
                 self.fmt_child(expr, f, 4, false)?;
                 if *negated {
                     write!(f, " NOT")?;
@@ -339,7 +392,10 @@ pub enum TableRef {
     Table { name: String, alias: Option<String> },
     /// `(SELECT …) [AS alias]`
     /// The subquery.
-    Subquery { query: Box<Query>, alias: Option<String> },
+    Subquery {
+        query: Box<Query>,
+        alias: Option<String>,
+    },
 }
 
 impl TableRef {
@@ -432,7 +488,9 @@ pub const AGGREGATE_FUNCTIONS: &[&str] = &["count", "sum", "avg", "min", "max"];
 
 /// Whether `name` is an aggregate function.
 pub fn is_aggregate_function(name: &str) -> bool {
-    AGGREGATE_FUNCTIONS.iter().any(|a| a.eq_ignore_ascii_case(name))
+    AGGREGATE_FUNCTIONS
+        .iter()
+        .any(|a| a.eq_ignore_ascii_case(name))
 }
 
 /// Whether an expression contains an aggregate call at any depth (not
@@ -446,7 +504,9 @@ pub fn expr_contains_aggregate(expr: &Expr) -> bool {
         Expr::Binary { left, right, .. } => {
             expr_contains_aggregate(left) || expr_contains_aggregate(right)
         }
-        Expr::Between { expr, low, high, .. } => {
+        Expr::Between {
+            expr, low, high, ..
+        } => {
             expr_contains_aggregate(expr)
                 || expr_contains_aggregate(low)
                 || expr_contains_aggregate(high)
@@ -582,7 +642,10 @@ mod tests {
 
     #[test]
     fn count_star_display() {
-        let e = Expr::Func { name: "count".into(), args: vec![Expr::Star] };
+        let e = Expr::Func {
+            name: "count".into(),
+            args: vec![Expr::Star],
+        };
         assert_eq!(e.to_string(), "count(*)");
     }
 
@@ -592,7 +655,10 @@ mod tests {
         assert!(is_aggregate_function("sum"));
         assert!(!is_aggregate_function("date"));
         let e = Expr::bin(
-            Expr::Func { name: "sum".into(), args: vec![Expr::col("total")] },
+            Expr::Func {
+                name: "sum".into(),
+                args: vec![Expr::col("total")],
+            },
             BinOp::GtEq,
             Expr::int(10),
         );
@@ -605,21 +671,36 @@ mod tests {
         let q = Query {
             distinct: true,
             select: vec![
-                SelectItem::Expr { expr: Expr::col("a"), alias: None },
                 SelectItem::Expr {
-                    expr: Expr::Func { name: "count".into(), args: vec![Expr::Star] },
+                    expr: Expr::col("a"),
+                    alias: None,
+                },
+                SelectItem::Expr {
+                    expr: Expr::Func {
+                        name: "count".into(),
+                        args: vec![Expr::Star],
+                    },
                     alias: Some("n".into()),
                 },
             ],
-            from: vec![TableRef::Table { name: "T".into(), alias: Some("t".into()) }],
+            from: vec![TableRef::Table {
+                name: "T".into(),
+                alias: Some("t".into()),
+            }],
             where_clause: Some(Expr::bin(Expr::col("b"), BinOp::Gt, Expr::int(0))),
             group_by: vec![Expr::col("a")],
             having: Some(Expr::bin(
-                Expr::Func { name: "count".into(), args: vec![Expr::Star] },
+                Expr::Func {
+                    name: "count".into(),
+                    args: vec![Expr::Star],
+                },
                 BinOp::Gt,
                 Expr::int(1),
             )),
-            order_by: vec![OrderItem { expr: Expr::col("a"), desc: true }],
+            order_by: vec![OrderItem {
+                expr: Expr::col("a"),
+                desc: true,
+            }],
             limit: Some(10),
         };
         assert_eq!(
@@ -632,7 +713,10 @@ mod tests {
     #[test]
     fn is_aggregate_query() {
         let mut q = Query {
-            select: vec![SelectItem::Expr { expr: Expr::col("a"), alias: None }],
+            select: vec![SelectItem::Expr {
+                expr: Expr::col("a"),
+                alias: None,
+            }],
             ..Query::default()
         };
         assert!(!q.is_aggregate());
@@ -640,7 +724,10 @@ mod tests {
         assert!(q.is_aggregate());
         let q2 = Query {
             select: vec![SelectItem::Expr {
-                expr: Expr::Func { name: "count".into(), args: vec![Expr::Star] },
+                expr: Expr::Func {
+                    name: "count".into(),
+                    args: vec![Expr::Star],
+                },
                 alias: None,
             }],
             ..Query::default()
@@ -650,11 +737,20 @@ mod tests {
 
     #[test]
     fn binding_names() {
-        let t = TableRef::Table { name: "sales".into(), alias: Some("ss".into()) };
+        let t = TableRef::Table {
+            name: "sales".into(),
+            alias: Some("ss".into()),
+        };
         assert_eq!(t.binding_name(), Some("ss"));
-        let t = TableRef::Table { name: "sales".into(), alias: None };
+        let t = TableRef::Table {
+            name: "sales".into(),
+            alias: None,
+        };
         assert_eq!(t.binding_name(), Some("sales"));
-        let t = TableRef::Subquery { query: Box::new(Query::default()), alias: None };
+        let t = TableRef::Subquery {
+            query: Box::new(Query::default()),
+            alias: None,
+        };
         assert_eq!(t.binding_name(), None);
     }
 }

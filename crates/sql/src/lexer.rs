@@ -48,9 +48,9 @@ pub struct Token {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
-    "LIMIT", "AS", "AND", "OR", "NOT", "BETWEEN", "IN", "IS", "NULL", "ASC",
-    "DESC", "LIKE", "TRUE", "FALSE", "JOIN", "ON", "INNER", "LEFT", "OUTER",
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "AS", "AND",
+    "OR", "NOT", "BETWEEN", "IN", "IS", "NULL", "ASC", "DESC", "LIKE", "TRUE", "FALSE", "JOIN",
+    "ON", "INNER", "LEFT", "OUTER",
 ];
 
 /// Streaming tokenizer; call [`Lexer::tokenize`] for the full vector.
@@ -80,7 +80,11 @@ impl std::error::Error for LexError {}
 impl<'a> Lexer<'a> {
     /// New.
     pub fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     /// Tokenize the entire input, appending a final `Eof` token.
@@ -134,7 +138,10 @@ impl<'a> Lexer<'a> {
         self.skip_trivia();
         let start = self.pos;
         let Some(b) = self.peek() else {
-            return Ok(Token { kind: TokenKind::Eof, offset: start });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                offset: start,
+            });
         };
         let kind = match b {
             b',' => {
@@ -210,7 +217,10 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                     TokenKind::Op("<>".into())
                 } else {
-                    return Err(LexError { message: "unexpected '!'".into(), offset: start });
+                    return Err(LexError {
+                        message: "unexpected '!'".into(),
+                        offset: start,
+                    });
                 }
             }
             b'\'' => return self.lex_string(start),
@@ -224,7 +234,10 @@ impl<'a> Lexer<'a> {
                 })
             }
         };
-        Ok(Token { kind, offset: start })
+        Ok(Token {
+            kind,
+            offset: start,
+        })
     }
 
     fn lex_number(&mut self, start: usize) -> Result<Token, LexError> {
@@ -235,7 +248,12 @@ impl<'a> Lexer<'a> {
             } else if b == b'.' && !seen_dot && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
                 seen_dot = true;
                 self.pos += 1;
-            } else if b == b'.' && !seen_dot && !self.peek2().is_some_and(|c| c.is_ascii_alphabetic() || c == b'_') {
+            } else if b == b'.'
+                && !seen_dot
+                && !self
+                    .peek2()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == b'_')
+            {
                 // trailing `1.` — accept as float
                 seen_dot = true;
                 self.pos += 1;
@@ -244,7 +262,10 @@ impl<'a> Lexer<'a> {
             }
         }
         let text = &self.src[start..self.pos];
-        Ok(Token { kind: TokenKind::Number(text.to_string()), offset: start })
+        Ok(Token {
+            kind: TokenKind::Number(text.to_string()),
+            offset: start,
+        })
     }
 
     fn lex_string(&mut self, start: usize) -> Result<Token, LexError> {
@@ -258,7 +279,10 @@ impl<'a> Lexer<'a> {
                         self.pos += 1;
                         out.push('\'');
                     } else {
-                        return Ok(Token { kind: TokenKind::StringLit(out), offset: start });
+                        return Ok(Token {
+                            kind: TokenKind::StringLit(out),
+                            offset: start,
+                        });
                     }
                 }
                 Some(b) => out.push(b as char),
@@ -277,7 +301,12 @@ impl<'a> Lexer<'a> {
         let mut out = String::new();
         loop {
             match self.bump() {
-                Some(b'"') => return Ok(Token { kind: TokenKind::Ident(out), offset: start }),
+                Some(b'"') => {
+                    return Ok(Token {
+                        kind: TokenKind::Ident(out),
+                        offset: start,
+                    })
+                }
                 Some(b) => out.push(b as char),
                 None => {
                     return Err(LexError {
@@ -304,7 +333,10 @@ impl<'a> Lexer<'a> {
         } else {
             TokenKind::Ident(text.to_string())
         };
-        Token { kind, offset: start }
+        Token {
+            kind,
+            offset: start,
+        }
     }
 }
 
@@ -364,7 +396,11 @@ mod tests {
     fn negative_numbers_lex_as_minus_then_number() {
         assert_eq!(
             kinds("-0.9"),
-            vec![TokenKind::Minus, TokenKind::Number("0.9".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Minus,
+                TokenKind::Number("0.9".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -28,8 +28,10 @@ impl std::error::Error for ParseError {}
 
 /// Parse a full SELECT statement (a trailing `;` is allowed).
 pub fn parse_query(src: &str) -> Result<Query, ParseError> {
-    let tokens = tokenize(src)
-        .map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let tokens = tokenize(src).map_err(|e| ParseError {
+        message: e.message,
+        offset: e.offset,
+    })?;
     let mut p = Parser { tokens, pos: 0 };
     let q = p.query()?;
     p.eat_kind(&TokenKind::Semicolon);
@@ -40,8 +42,10 @@ pub fn parse_query(src: &str) -> Result<Query, ParseError> {
 /// Parse a standalone scalar expression (used by tests and by Difftree
 /// resolution checks).
 pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
-    let tokens = tokenize(src)
-        .map_err(|e| ParseError { message: e.message, offset: e.offset })?;
+    let tokens = tokenize(src).map_err(|e| ParseError {
+        message: e.message,
+        offset: e.offset,
+    })?;
     let mut p = Parser { tokens, pos: 0 };
     let e = p.expr()?;
     p.expect_eof()?;
@@ -117,7 +121,10 @@ impl Parser {
     }
 
     fn error(&self, message: String) -> ParseError {
-        ParseError { message, offset: self.peek().offset }
+        ParseError {
+            message,
+            offset: self.peek().offset,
+        }
     }
 
     // query := SELECT [DISTINCT] select_list [FROM table_refs] [WHERE expr]
@@ -126,7 +133,11 @@ impl Parser {
         self.expect_keyword("SELECT")?;
         let distinct = self.eat_keyword("DISTINCT");
         let select = self.select_list()?;
-        let mut q = Query { distinct, select, ..Query::default() };
+        let mut q = Query {
+            distinct,
+            select,
+            ..Query::default()
+        };
         if self.eat_keyword("FROM") {
             q.from = self.table_refs()?;
         }
@@ -270,7 +281,11 @@ impl Parser {
             }
             self.bump_op(op);
             let rhs = self.expr_bp(bp + 1)?;
-            lhs = Expr::Binary { left: Box::new(lhs), op, right: Box::new(rhs) };
+            lhs = Expr::Binary {
+                left: Box::new(lhs),
+                op,
+                right: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -335,7 +350,11 @@ impl Parser {
             if self.at_keyword("SELECT") {
                 let query = Box::new(self.query()?);
                 self.expect_kind(&TokenKind::RParen, ")")?;
-                return Ok(Some(Expr::InSubquery { expr: Box::new(lhs), negated, query }));
+                return Ok(Some(Expr::InSubquery {
+                    expr: Box::new(lhs),
+                    negated,
+                    query,
+                }));
             }
             let mut list = Vec::new();
             loop {
@@ -345,7 +364,11 @@ impl Parser {
                 }
             }
             self.expect_kind(&TokenKind::RParen, ")")?;
-            return Ok(Some(Expr::InList { expr: Box::new(lhs), negated, list }));
+            return Ok(Some(Expr::InList {
+                expr: Box::new(lhs),
+                negated,
+                list,
+            }));
         }
         if negated {
             return Err(self.error("expected BETWEEN or IN after NOT".into()));
@@ -354,7 +377,10 @@ impl Parser {
             self.bump();
             let negated = self.eat_keyword("NOT");
             self.expect_keyword("NULL")?;
-            return Ok(Some(Expr::IsNull { expr: Box::new(lhs), negated }));
+            return Ok(Some(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            }));
         }
         Ok(None)
     }
@@ -367,12 +393,18 @@ impl Parser {
             return Ok(match inner {
                 Expr::Literal(Literal::Int(i)) => Expr::Literal(Literal::Int(-i)),
                 Expr::Literal(Literal::Float(x)) => Expr::Literal(Literal::Float(-x)),
-                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
             });
         }
         if self.eat_keyword("NOT") {
             let inner = self.expr_bp(3)?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(inner) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            });
         }
         self.primary()
     }
@@ -450,13 +482,15 @@ impl Parser {
                 // qualified column?
                 if self.eat_kind(&TokenKind::Dot) {
                     match self.bump().kind {
-                        TokenKind::Ident(col) => {
-                            Ok(Expr::Column { table: Some(name), name: col })
-                        }
+                        TokenKind::Ident(col) => Ok(Expr::Column {
+                            table: Some(name),
+                            name: col,
+                        }),
                         // allow keywords as column names after the dot, e.g. s.dec
-                        TokenKind::Keyword(kw) => {
-                            Ok(Expr::Column { table: Some(name), name: kw.to_ascii_lowercase() })
-                        }
+                        TokenKind::Keyword(kw) => Ok(Expr::Column {
+                            table: Some(name),
+                            name: kw.to_ascii_lowercase(),
+                        }),
                         _ => Err(self.error("expected column name after '.'".into())),
                     }
                 } else {
@@ -475,8 +509,8 @@ mod tests {
     fn round_trip(src: &str) -> Query {
         let q = parse_query(src).unwrap();
         let printed = q.to_string();
-        let q2 = parse_query(&printed)
-            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        let q2 =
+            parse_query(&printed).unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
         assert_eq!(q, q2, "round trip changed the tree for {src:?}");
         q
     }
@@ -506,7 +540,12 @@ mod tests {
             "SELECT hp, mpg FROM Cars WHERE hp BETWEEN 50 AND 60 AND mpg BETWEEN 27 AND 38",
         );
         // WHERE must be AND(between, between)
-        let Some(Expr::Binary { op: BinOp::And, left, right }) = q.where_clause else {
+        let Some(Expr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        }) = q.where_clause
+        else {
             panic!("expected AND at top of WHERE");
         };
         assert!(matches!(*left, Expr::Between { .. }));
@@ -516,7 +555,9 @@ mod tests {
     #[test]
     fn in_list_with_alias() {
         let q = round_trip("SELECT mpg, disp, id IN (1, 2) AS color FROM Cars");
-        let SelectItem::Expr { expr, alias } = &q.select[2] else { panic!() };
+        let SelectItem::Expr { expr, alias } = &q.select[2] else {
+            panic!()
+        };
         assert!(matches!(expr, Expr::InList { .. }));
         assert_eq!(alias.as_deref(), Some("color"));
     }
@@ -534,7 +575,12 @@ mod tests {
              HAVING sum(total) >= (SELECT max(t) FROM (SELECT sum(total) AS t FROM sales AS s \
              WHERE s.city = ss.city GROUP BY s.city, s.product) AS m)",
         );
-        let Some(Expr::Binary { op: BinOp::GtEq, right, .. }) = q.having else {
+        let Some(Expr::Binary {
+            op: BinOp::GtEq,
+            right,
+            ..
+        }) = q.having
+        else {
             panic!("expected >= in HAVING")
         };
         assert!(matches!(*right, Expr::ScalarSubquery(_)));
@@ -561,7 +607,9 @@ mod tests {
     #[test]
     fn negative_literals_fold() {
         let q = round_trip("SELECT a FROM t WHERE dec BETWEEN -0.9 AND -0.2");
-        let Some(Expr::Between { low, .. }) = q.where_clause else { panic!() };
+        let Some(Expr::Between { low, .. }) = q.where_clause else {
+            panic!()
+        };
         assert_eq!(*low, Expr::Literal(Literal::Float(-0.9)));
     }
 
@@ -569,7 +617,9 @@ mod tests {
     fn keywords_after_dot_are_column_names() {
         // SDSS queries use s.dec; DESC is a keyword.
         let q = parse_query("SELECT s.dec FROM specObj AS s").unwrap();
-        let SelectItem::Expr { expr, .. } = &q.select[0] else { panic!() };
+        let SelectItem::Expr { expr, .. } = &q.select[0] else {
+            panic!()
+        };
         assert_eq!(expr, &Expr::qcol("s", "dec"));
     }
 
@@ -577,7 +627,12 @@ mod tests {
     fn or_precedence() {
         let q = round_trip("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3");
         // AND binds tighter: OR(a=1, AND(b=2, c=3))
-        let Some(Expr::Binary { op: BinOp::Or, right, .. }) = q.where_clause else {
+        let Some(Expr::Binary {
+            op: BinOp::Or,
+            right,
+            ..
+        }) = q.where_clause
+        else {
             panic!()
         };
         assert!(matches!(*right, Expr::Binary { op: BinOp::And, .. }));
@@ -604,7 +659,9 @@ mod tests {
     #[test]
     fn is_null_predicates() {
         let q = round_trip("SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL");
-        let Some(Expr::Binary { left, right, .. }) = q.where_clause else { panic!() };
+        let Some(Expr::Binary { left, right, .. }) = q.where_clause else {
+            panic!()
+        };
         assert!(matches!(*left, Expr::IsNull { negated: false, .. }));
         assert!(matches!(*right, Expr::IsNull { negated: true, .. }));
     }
@@ -612,7 +669,9 @@ mod tests {
     #[test]
     fn arithmetic_expression() {
         let q = round_trip("SELECT a + b * 2 AS v FROM t");
-        let SelectItem::Expr { expr, .. } = &q.select[0] else { panic!() };
+        let SelectItem::Expr { expr, .. } = &q.select[0] else {
+            panic!()
+        };
         // * binds tighter than +
         assert!(matches!(expr, Expr::Binary { op: BinOp::Add, .. }));
     }
@@ -648,7 +707,9 @@ mod tests {
     #[test]
     fn bare_aliases() {
         let q = round_trip("SELECT sum(total) total FROM sales s");
-        let SelectItem::Expr { alias, .. } = &q.select[0] else { panic!() };
+        let SelectItem::Expr { alias, .. } = &q.select[0] else {
+            panic!()
+        };
         assert_eq!(alias.as_deref(), Some("total"));
         assert_eq!(q.from[0].binding_name(), Some("s"));
     }

@@ -11,10 +11,33 @@ fn arb_ident() -> impl Strategy<Value = String> {
     "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
         !matches!(
             s.to_ascii_uppercase().as_str(),
-            "SELECT" | "DISTINCT" | "FROM" | "WHERE" | "GROUP" | "BY" | "HAVING" | "ORDER"
-                | "LIMIT" | "AS" | "AND" | "OR" | "NOT" | "BETWEEN" | "IN" | "IS" | "NULL"
-                | "ASC" | "DESC" | "LIKE" | "TRUE" | "FALSE" | "JOIN" | "ON" | "INNER"
-                | "LEFT" | "OUTER"
+            "SELECT"
+                | "DISTINCT"
+                | "FROM"
+                | "WHERE"
+                | "GROUP"
+                | "BY"
+                | "HAVING"
+                | "ORDER"
+                | "LIMIT"
+                | "AS"
+                | "AND"
+                | "OR"
+                | "NOT"
+                | "BETWEEN"
+                | "IN"
+                | "IS"
+                | "NULL"
+                | "ASC"
+                | "DESC"
+                | "LIKE"
+                | "TRUE"
+                | "FALSE"
+                | "JOIN"
+                | "ON"
+                | "INNER"
+                | "LEFT"
+                | "OUTER"
         )
     })
 }
@@ -23,9 +46,8 @@ fn arb_literal() -> impl Strategy<Value = Literal> {
     prop_oneof![
         any::<i32>().prop_map(|v| Literal::Int(v as i64)),
         // Finite floats with short decimal expansions survive f64 round trips.
-        (-10_000i32..10_000, 0u8..100).prop_map(|(a, b)| {
-            Literal::Float(a as f64 + b as f64 / 100.0)
-        }),
+        (-10_000i32..10_000, 0u8..100)
+            .prop_map(|(a, b)| { Literal::Float(a as f64 + b as f64 / 100.0) }),
         "[ a-zA-Z0-9_']{0,8}".prop_map(Literal::Str),
         any::<bool>().prop_map(Literal::Bool),
         Just(Literal::Null),
@@ -36,8 +58,10 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         arb_literal().prop_map(Expr::Literal),
         arb_ident().prop_map(|name| Expr::Column { table: None, name }),
-        (arb_ident(), arb_ident())
-            .prop_map(|(t, name)| Expr::Column { table: Some(t), name }),
+        (arb_ident(), arb_ident()).prop_map(|(t, name)| Expr::Column {
+            table: Some(t),
+            name
+        }),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
@@ -54,7 +78,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                     high: Box::new(hi),
                 }
             ),
-            (inner.clone(), any::<bool>(), prop::collection::vec(inner.clone(), 1..4))
+            (
+                inner.clone(),
+                any::<bool>(),
+                prop::collection::vec(inner.clone(), 1..4)
+            )
                 .prop_map(|(e, negated, list)| Expr::InList {
                     expr: Box::new(e),
                     negated,

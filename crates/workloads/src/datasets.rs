@@ -69,8 +69,11 @@ pub fn sp500() -> Table {
             Value::Float((price * 100.0).round() / 100.0),
         ]);
     }
-    Table::from_rows(vec![("date", DataType::Date), ("price", DataType::Float)], rows)
-        .expect("sp500 schema")
+    Table::from_rows(
+        vec![("date", DataType::Date), ("price", DataType::Float)],
+        rows,
+    )
+    .expect("sp500 schema")
 }
 
 /// flights(hour, delay, dist): 600 rows; binned domains keep each grouping
@@ -256,7 +259,9 @@ mod tests {
     #[test]
     fn catalog_registers_all_tables() {
         let c = catalog();
-        for name in ["Cars", "sp500", "flights", "covid", "sales", "galaxy", "specObj"] {
+        for name in [
+            "Cars", "sp500", "flights", "covid", "sales", "galaxy", "specObj",
+        ] {
             assert!(c.table(name).is_some(), "missing table {name}");
         }
     }

@@ -32,8 +32,7 @@ mod tests {
         let ctx = ExecContext::new(&catalog);
         for log in all_logs() {
             for sql in &log.queries {
-                let q = parse_query(sql)
-                    .unwrap_or_else(|e| panic!("[{}] {sql}: {e}", log.name));
+                let q = parse_query(sql).unwrap_or_else(|e| panic!("[{}] {sql}: {e}", log.name));
                 analyze_query(&q, &catalog)
                     .unwrap_or_else(|e| panic!("[{}] analyze {sql}: {e}", log.name));
                 let t = execute(&q, &ctx)
@@ -57,11 +56,7 @@ mod tests {
             for sql in &log.queries {
                 let q = parse_query(sql).unwrap();
                 let t = execute(&q, &ctx).unwrap();
-                assert!(
-                    t.num_rows() > 0,
-                    "[{}] {sql} returned no rows",
-                    log.name
-                );
+                assert!(t.num_rows() > 0, "[{}] {sql} returned no rows", log.name);
             }
         }
     }

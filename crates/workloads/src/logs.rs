@@ -204,7 +204,11 @@ pub fn duplicated(kind: LogKind, n: usize) -> QueryLog {
             queries.push(q.clone());
         }
     }
-    QueryLog { name: base.name, kind, queries }
+    QueryLog {
+        name: base.name,
+        kind,
+        queries,
+    }
 }
 
 #[cfg(test)]

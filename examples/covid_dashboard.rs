@@ -36,13 +36,24 @@ fn main() {
         println!("  {q}");
     }
     for (ix, inst) in generation.interface.interactions.iter().enumerate() {
-        if let pi2::InteractionChoice::Widget { kind, domain, label } = &inst.choice {
+        if let pi2::InteractionChoice::Widget {
+            kind,
+            domain,
+            label,
+        } = &inst.choice
+        {
             let options = match domain {
                 pi2_interface::WidgetDomain::Options(opts) => opts.len(),
                 _ => continue,
             };
             for option in 0..options.min(2) {
-                if runtime.dispatch(Event::Select { interaction: ix, option }).is_ok() {
+                if runtime
+                    .dispatch(Event::Select {
+                        interaction: ix,
+                        option,
+                    })
+                    .is_ok()
+                {
                     let q = runtime.query_for_tree(inst.target_tree).unwrap();
                     println!("{kind} [{label}] → option {option}: {q}");
                 }
@@ -53,10 +64,19 @@ fn main() {
     for (ix, inst) in generation.interface.interactions.iter().enumerate() {
         if matches!(
             inst.choice,
-            pi2::InteractionChoice::Widget { kind: pi2::WidgetKind::Toggle, .. }
+            pi2::InteractionChoice::Widget {
+                kind: pi2::WidgetKind::Toggle,
+                ..
+            }
         ) {
             for on in [false, true] {
-                if runtime.dispatch(Event::Toggle { interaction: ix, on }).is_ok() {
+                if runtime
+                    .dispatch(Event::Toggle {
+                        interaction: ix,
+                        on,
+                    })
+                    .is_ok()
+                {
                     let q = runtime.query_for_tree(inst.target_tree).unwrap();
                     println!("toggle {} → {q}", if on { "on" } else { "off" });
                 }
@@ -64,5 +84,8 @@ fn main() {
         }
     }
     let tables = runtime.execute().unwrap();
-    println!("\nfinal result sizes: {:?}", tables.iter().map(|t| t.num_rows()).collect::<Vec<_>>());
+    println!(
+        "\nfinal result sizes: {:?}",
+        tables.iter().map(|t| t.num_rows()).collect::<Vec<_>>()
+    );
 }

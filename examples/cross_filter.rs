@@ -45,7 +45,10 @@ fn main() {
             }
         ) || matches!(
             &inst.choice,
-            pi2::InteractionChoice::Widget { kind: pi2::WidgetKind::RangeSlider, .. }
+            pi2::InteractionChoice::Widget {
+                kind: pi2::WidgetKind::RangeSlider,
+                ..
+            }
         );
         if !is_range {
             continue;

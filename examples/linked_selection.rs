@@ -40,8 +40,13 @@ fn main() {
     for (ix, inst) in generation.interface.interactions.iter().enumerate() {
         if !matches!(
             inst.choice,
-            InteractionChoice::Vis { kind: pi2::InteractionKind::MultiClick, .. }
-                | InteractionChoice::Vis { kind: pi2::InteractionKind::Click, .. }
+            InteractionChoice::Vis {
+                kind: pi2::InteractionKind::MultiClick,
+                ..
+            } | InteractionChoice::Vis {
+                kind: pi2::InteractionKind::Click,
+                ..
+            }
         ) {
             continue;
         }

@@ -29,8 +29,12 @@ fn main() {
     println!("\n{}", generation.describe());
 
     let mut runtime = generation.runtime().expect("runtime");
-    let sizes: Vec<usize> =
-        runtime.execute().unwrap().iter().map(|t| t.num_rows()).collect();
+    let sizes: Vec<usize> = runtime
+        .execute()
+        .unwrap()
+        .iter()
+        .map(|t| t.num_rows())
+        .collect();
     println!("initial result sizes: {sizes:?}");
 
     // Pan the sky viewport: (ra, dec) window moves, the table follows.
@@ -47,7 +51,10 @@ fn main() {
             ];
             for values in payloads {
                 if runtime
-                    .dispatch(Event::SetValues { interaction: ix, values })
+                    .dispatch(Event::SetValues {
+                        interaction: ix,
+                        values,
+                    })
                     .is_ok()
                 {
                     println!("\nafter {kind} to ra ∈ [213.4, 213.9], dec ∈ [-0.7, -0.3]:");

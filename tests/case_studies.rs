@@ -60,7 +60,11 @@ fn covid_interface() {
 fn sales_interface() {
     let g = generate(LogKind::Sales);
     assert_exact_cover(&g);
-    assert!(g.interface.views.len() >= 2, "dashboard has linked views:\n{}", g.describe());
+    assert!(
+        g.interface.views.len() >= 2,
+        "dashboard has linked views:\n{}",
+        g.describe()
+    );
     assert!(
         !g.interface.interactions.is_empty(),
         "the dashboard must be interactive:\n{}",

@@ -19,6 +19,7 @@ pub fn test_config() -> GenerationConfig {
 }
 
 /// Generate an interface for one of the paper's query logs.
+#[allow(dead_code)] // not every integration-test binary calls every helper
 pub fn generate(kind: pi2_workloads::LogKind) -> pi2::Generation {
     let log = pi2_workloads::log(kind);
     let refs: Vec<&str> = log.queries.iter().map(|s| s.as_str()).collect();
@@ -28,6 +29,7 @@ pub fn generate(kind: pi2_workloads::LogKind) -> pi2::Generation {
 }
 
 /// Every interface must exactly cover the choice nodes of its forest.
+#[allow(dead_code)] // not every integration-test binary calls every helper
 pub fn assert_exact_cover(g: &pi2::Generation) {
     let covered: usize = g.interface.interactions.iter().map(|i| i.cover.len()).sum();
     assert_eq!(

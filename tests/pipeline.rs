@@ -112,7 +112,11 @@ fn explore_generalises_beyond_inputs() {
 #[test]
 fn initial_forest_invariant() {
     for log in all_logs() {
-        let queries = log.queries.iter().map(|s| parse_query(s).unwrap()).collect();
+        let queries = log
+            .queries
+            .iter()
+            .map(|s| parse_query(s).unwrap())
+            .collect();
         let w = Workload::new(queries, catalog());
         let f = Forest::from_workload(&w);
         assert!(f.bind_all(&w).is_some(), "[{}]", log.name);
@@ -133,12 +137,23 @@ fn runtime_round_trip_on_explore() {
         .position(|i| matches!(i.choice, pi2::InteractionChoice::Vis { .. }))
         .expect("vis interaction");
     let payloads = [
-        vec![Value::Int(100), Value::Int(160), Value::Float(10.0), Value::Float(25.0)],
+        vec![
+            Value::Int(100),
+            Value::Int(160),
+            Value::Float(10.0),
+            Value::Float(25.0),
+        ],
         vec![Value::Int(100), Value::Int(160)],
     ];
     let mut ok = false;
     for values in payloads {
-        if rt.dispatch(pi2::Event::SetValues { interaction: ix, values }).is_ok() {
+        if rt
+            .dispatch(pi2::Event::SetValues {
+                interaction: ix,
+                values,
+            })
+            .is_ok()
+        {
             ok = true;
             break;
         }

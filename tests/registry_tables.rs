@@ -30,7 +30,10 @@ fn table1_matches_the_paper() {
     assert!(VisKind::Point.fd_determinants().is_empty());
 
     // Bar <x:C, y:Q, color:C?>; (x, color) → y; Click, Multi-click, Brush-x.
-    assert_eq!(VisKind::Bar.supported_interactions(), &[Click, MultiClick, BrushX]);
+    assert_eq!(
+        VisKind::Bar.supported_interactions(),
+        &[Click, MultiClick, BrushX]
+    );
     let bar = VisKind::Bar.schema();
     let x = bar.iter().find(|s| s.var == VisVar::X).unwrap();
     assert!(x.categorical && !x.quantitative);
@@ -50,8 +53,12 @@ fn table1_matches_the_paper() {
 /// pay per option (`a1 > 0`), free/value widgets do not.
 #[test]
 fn table2_widget_cost_shape() {
-    for kind in [WidgetKind::Radio, WidgetKind::Dropdown, WidgetKind::Checkbox, WidgetKind::Button]
-    {
+    for kind in [
+        WidgetKind::Radio,
+        WidgetKind::Dropdown,
+        WidgetKind::Checkbox,
+        WidgetKind::Button,
+    ] {
         let (_, a1, _) = widget_poly(kind);
         assert!(a1 > 0.0, "{kind} is an enumerating widget");
     }
@@ -78,7 +85,11 @@ fn range_slider_constraint_is_public() {
 
     let mut c = Catalog::new();
     let rows: Vec<Vec<Value>> = (0..20).map(|i| vec![Value::Int(i)]).collect();
-    c.add_table("T", Table::from_rows(vec![("a", DataType::Int)], rows).unwrap(), vec![]);
+    c.add_table(
+        "T",
+        Table::from_rows(vec![("a", DataType::Int)], rows).unwrap(),
+        vec![],
+    );
     let w = Workload::new(
         vec![parse_query("SELECT a FROM T WHERE a BETWEEN 9 AND 3").unwrap()],
         c.clone(),
@@ -89,15 +100,15 @@ fn range_slider_constraint_is_public() {
         let lit = pred.children[i].clone();
         pred.children[i] = DNode::val(vec![lit]);
     }
-    let mut f = Forest { trees: vec![tree] };
-    f.renumber();
+    let f = Forest::new(vec![tree]);
     let assignments = f.bind_all(&w).unwrap();
-    let maps: Vec<&pi2_difftree::BindingMap> =
-        assignments.iter().map(|a| &a.binding).collect();
+    let maps: Vec<&pi2_difftree::BindingMap> = assignments.iter().map(|a| &a.binding).collect();
     let types = infer_types(&f.trees[0], &c);
     let cands = pi2_interface::widget_candidates(&f.trees[0], &types, &maps, &c);
     assert!(
-        !cands.iter().any(|cand| cand.kind == WidgetKind::RangeSlider),
+        !cands
+            .iter()
+            .any(|cand| cand.kind == WidgetKind::RangeSlider),
         "s > e query bindings violate the range slider constraint"
     );
 }

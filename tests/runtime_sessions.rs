@@ -33,7 +33,13 @@ fn explore_pan_session() {
         ];
         let mut ok = false;
         for values in payloads {
-            if rt.dispatch(Event::SetValues { interaction: ix, values }).is_ok() {
+            if rt
+                .dispatch(Event::SetValues {
+                    interaction: ix,
+                    values,
+                })
+                .is_ok()
+            {
                 ok = true;
                 break;
             }
@@ -48,7 +54,7 @@ fn explore_pan_session() {
             if let Some(col) = t.schema.index_of("hp") {
                 for row in &t.rows {
                     let hp = row[col].as_i64().unwrap();
-                    assert!(hp >= lo as i64 && hp <= hi as i64);
+                    assert!(hp >= lo && hp <= hi);
                 }
             }
         }
@@ -62,8 +68,7 @@ fn filter_cross_filter_session() {
     let g = generate(LogKind::Filter);
     let mut rt = g.runtime().unwrap();
     let baseline = rt.queries().unwrap();
-    let baseline_rows: Vec<usize> =
-        rt.execute().unwrap().iter().map(|t| t.num_rows()).collect();
+    let baseline_rows: Vec<usize> = rt.execute().unwrap().iter().map(|t| t.num_rows()).collect();
 
     // Find a range interaction and drive it.
     let mut driven = None;
@@ -75,7 +80,10 @@ fn filter_cross_filter_session() {
                     | pi2::InteractionKind::BrushY
                     | pi2::InteractionKind::BrushXY,
                 ..
-            } | InteractionChoice::Widget { kind: pi2::WidgetKind::RangeSlider, .. }
+            } | InteractionChoice::Widget {
+                kind: pi2::WidgetKind::RangeSlider,
+                ..
+            }
         );
         if !is_range {
             continue;
@@ -102,8 +110,12 @@ fn filter_cross_filter_session() {
 
     // Clearing the brush restores the unfiltered queries.
     if rt.dispatch(Event::Clear { interaction: ix }).is_ok() {
-        let cleared: String =
-            rt.queries().unwrap().iter().map(|q| q.to_string()).collect();
+        let cleared: String = rt
+            .queries()
+            .unwrap()
+            .iter()
+            .map(|q| q.to_string())
+            .collect();
         assert!(
             !cleared.contains("BETWEEN 10 AND 40"),
             "clear must remove the brushed predicate: {cleared}"
@@ -123,21 +135,45 @@ fn covid_widget_session() {
             InteractionChoice::Widget { kind, domain, .. } => match kind {
                 pi2::WidgetKind::Radio | pi2::WidgetKind::Dropdown | pi2::WidgetKind::Button => {
                     for option in 0..domain.size() {
-                        if rt.dispatch(Event::Select { interaction: ix, option }).is_ok() {
+                        if rt
+                            .dispatch(Event::Select {
+                                interaction: ix,
+                                option,
+                            })
+                            .is_ok()
+                        {
                             dispatched += 1;
                             rt.execute().unwrap();
                         }
                     }
                 }
                 pi2::WidgetKind::Toggle => {
-                    let before: String =
-                        rt.queries().unwrap().iter().map(|q| q.to_string()).collect();
-                    if rt.dispatch(Event::Toggle { interaction: ix, on: false }).is_ok()
-                        && rt.dispatch(Event::Toggle { interaction: ix, on: true }).is_ok()
+                    let before: String = rt
+                        .queries()
+                        .unwrap()
+                        .iter()
+                        .map(|q| q.to_string())
+                        .collect();
+                    if rt
+                        .dispatch(Event::Toggle {
+                            interaction: ix,
+                            on: false,
+                        })
+                        .is_ok()
+                        && rt
+                            .dispatch(Event::Toggle {
+                                interaction: ix,
+                                on: true,
+                            })
+                            .is_ok()
                     {
                         dispatched += 1;
-                        let after: String =
-                            rt.queries().unwrap().iter().map(|q| q.to_string()).collect();
+                        let after: String = rt
+                            .queries()
+                            .unwrap()
+                            .iter()
+                            .map(|q| q.to_string())
+                            .collect();
                         assert!(
                             after.len() >= before.len(),
                             "toggling on must add the optional subtree"
@@ -162,14 +198,12 @@ fn sales_having_semantics_hold() {
     let tables = rt.execute().unwrap();
     // Find the (city, product, sum) view.
     for (view, t) in tables.iter().enumerate() {
-        let Some(city_col) = t.schema.index_of("city") else { continue };
+        let Some(city_col) = t.schema.index_of("city") else {
+            continue;
+        };
         let _ = view;
         // At most one winner row per city (the max; ties can duplicate).
-        let mut cities: Vec<String> = t
-            .rows
-            .iter()
-            .map(|r| r[city_col].to_string())
-            .collect();
+        let mut cities: Vec<String> = t.rows.iter().map(|r| r[city_col].to_string()).collect();
         cities.sort();
         cities.dedup();
         assert!(

@@ -29,10 +29,19 @@ fn explore_pan_and_zoom() {
         g.describe()
     );
     // All four range bounds are interactive.
-    assert_eq!(g.forest.choice_count(), 4, "\n{}", g.forest.trees[0].render());
+    assert_eq!(
+        g.forest.choice_count(),
+        4,
+        "\n{}",
+        g.forest.trees[0].render()
+    );
     // Selection is supported by every chart kind we chose.
     for v in &g.interface.views {
-        assert!(v.vis.kind.supported_interactions().contains(&InteractionKind::Click));
+        assert!(v
+            .vis
+            .kind
+            .supported_interactions()
+            .contains(&InteractionKind::Click));
     }
 }
 
@@ -58,7 +67,11 @@ fn abstract_overview_detail() {
 fn connect_linked_selection() {
     let g = generate(LogKind::Connect);
     assert_exact_cover(&g);
-    assert!(g.interface.views.len() >= 2, "two linked views:\n{}", g.describe());
+    assert!(
+        g.interface.views.len() >= 2,
+        "two linked views:\n{}",
+        g.describe()
+    );
     assert!(
         g.has_cross_view_link(),
         "an interaction on one chart must bind the other tree:\n{}",
@@ -78,29 +91,37 @@ fn connect_linked_selection() {
 fn filter_cross_filtering() {
     let g = generate(LogKind::Filter);
     assert_exact_cover(&g);
-    assert!(g.interface.views.len() >= 2, "multiple charts:\n{}", g.describe());
+    assert!(
+        g.interface.views.len() >= 2,
+        "multiple charts:\n{}",
+        g.describe()
+    );
     // Some interaction must be a range control (brush or range slider), and
     // some interaction must reach across trees.
     let has_range = g.interface.interactions.iter().any(|i| {
         matches!(
             &i.choice,
             InteractionChoice::Vis {
-                kind: InteractionKind::BrushX
-                    | InteractionKind::BrushY
-                    | InteractionKind::BrushXY,
+                kind: InteractionKind::BrushX | InteractionKind::BrushY | InteractionKind::BrushXY,
                 ..
             }
         ) || matches!(
             &i.choice,
-            InteractionChoice::Widget { kind: WidgetKind::RangeSlider, .. }
+            InteractionChoice::Widget {
+                kind: WidgetKind::RangeSlider,
+                ..
+            }
         )
     });
-    assert!(has_range, "range predicates need range interactions:\n{}", g.describe());
+    assert!(
+        has_range,
+        "range predicates need range interactions:\n{}",
+        g.describe()
+    );
     let crosses = g.interface.interactions.iter().any(|i| match &i.choice {
         InteractionChoice::Vis { view, .. } => {
             let host = g.interface.views[*view].tree;
-            i.target_tree != host
-                || i.extra_targets.iter().any(|t| t.tree != host)
+            i.target_tree != host || i.extra_targets.iter().any(|t| t.tree != host)
         }
         _ => false,
     });

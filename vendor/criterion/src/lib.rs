@@ -1,0 +1,270 @@
+//! Vendored, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice it uses: [`Criterion::bench_function`], benchmark groups with
+//! `bench_with_input`, [`BenchmarkId`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: after a warm-up, each benchmark runs batches until a
+//! fixed time budget is spent and reports min / mean / median wall-clock
+//! time per iteration. `--save-baseline <name>` appends `name,bench,mean_ns`
+//! lines to `target/criterion-baselines.csv` so runs can be diffed; other
+//! CLI flags are accepted and ignored.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark harness.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+    /// Per-bench sample override (from `BenchmarkGroup::sample_size`).
+    sample_size: Option<usize>,
+    /// `--save-baseline` name, when given.
+    baseline: Option<String>,
+    /// Substring filter from the CLI, when given.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_secs(2),
+            sample_size: None,
+            baseline: None,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parse the benchmark CLI (`--save-baseline`, optional filter); every
+    /// unknown flag is accepted and ignored for compatibility.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--save-baseline" | "--baseline" | "--load-baseline" => {
+                    self.baseline = args.next();
+                }
+                "--measurement-time" => {
+                    if let Some(secs) = args.next().and_then(|s| s.parse::<f64>().ok()) {
+                        self.measurement = Duration::from_secs_f64(secs);
+                    }
+                }
+                "--bench" | "--test" | "--noplot" | "--quiet" | "--verbose" => {}
+                s if s.starts_with('-') => {
+                    // Unknown flag: skip (and its value if present).
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.measurement,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.report(name, self.baseline.as_deref());
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = Some(n);
+        self
+    }
+
+    /// Override the measurement time for benches in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.bench_function(&full, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (restores group-level overrides).
+    pub fn finish(&mut self) {
+        self.criterion.sample_size = None;
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function/parameter` form.
+    pub fn new(function: &str, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; measures the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+    sample_size: Option<usize>,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly until the time budget (or sample-count
+    /// override) is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.samples.clear();
+        // Warm-up and batch sizing: aim for ≥ 30 samples within budget.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let probe = t0.elapsed().max(Duration::from_nanos(50));
+        let target = self.sample_size.unwrap_or_else(|| {
+            let fit = (self.budget.as_nanos() / probe.as_nanos().max(1)) as usize;
+            fit.clamp(10, 300)
+        });
+        let deadline = Instant::now() + self.budget * 2;
+        for _ in 0..target {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed());
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str, baseline: Option<&str>) {
+        if self.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{name:<44} min {:>12?}  mean {:>12?}  median {:>12?}  ({} samples)",
+            min,
+            mean,
+            median,
+            sorted.len()
+        );
+        if let Some(base) = baseline {
+            use std::io::Write;
+            // Bench binaries run with the package as cwd; anchor the CSV in
+            // the enclosing cargo target directory (from the exe path).
+            let dir = std::env::current_exe()
+                .ok()
+                .and_then(|exe| {
+                    exe.ancestors()
+                        .find(|a| a.file_name().is_some_and(|n| n == "target"))
+                        .map(|p| p.to_path_buf())
+                })
+                .unwrap_or_else(|| std::path::PathBuf::from("target"));
+            let _ = std::fs::create_dir_all(&dir);
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dir.join("criterion-baselines.csv"))
+            {
+                let _ = writeln!(f, "{base},{name},{}", mean.as_nanos());
+            }
+        }
+    }
+}
+
+/// Re-export: benchmarks commonly use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Define a benchmark group function list.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(20),
+            ..Criterion::default()
+        };
+        let mut runs = 0usize;
+        c.bench_function("smoke/increment", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        assert!(runs >= 10);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion {
+            measurement: Duration::from_millis(10),
+            ..Criterion::default()
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(12);
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &n| b.iter(|| n * 2));
+        group.finish();
+        assert_eq!(format!("{}", BenchmarkId::from_parameter("x").0), "x");
+    }
+}

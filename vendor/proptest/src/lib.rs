@@ -1,0 +1,171 @@
+//! Vendored, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of proptest it uses: the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_filter` / `prop_flat_map` / `prop_recursive`,
+//! range / tuple / string-pattern strategies, `prop::collection::vec`,
+//! `prop::option::of`, and the `proptest!` / `prop_compose!` /
+//! `prop_oneof!` / `prop_assert*!` macros.
+//!
+//! Differences from upstream: failing cases are *not* shrunk — the failing
+//! inputs are printed verbatim — and value distributions are simpler (no
+//! bias toward edge cases). Case counts honour `ProptestConfig::with_cases`
+//! and sampling is fully deterministic per (test name, case index).
+
+pub mod strategy;
+
+/// Configuration and deterministic RNG plumbing for generated test fns.
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honoured by this subset.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-case RNG: seeded from the test name and case index.
+    pub fn case_rng(test_name: &str, case: u32) -> crate::strategy::TestRng {
+        use rand::SeedableRng;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        rand::rngs::StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9e37))
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::option::of`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+
+        /// A strategy for `Vec`s of `element` with a length drawn from
+        /// `size` (half-open range).
+        pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                min: size.start,
+                max: size.end.saturating_sub(1),
+            }
+        }
+    }
+
+    /// `Option` strategies.
+    pub mod option {
+        use crate::strategy::{OptionStrategy, Strategy};
+
+        /// A strategy yielding `None` ~25% of the time, `Some(inner)`
+        /// otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+}
+
+/// Run each property over `config.cases` deterministic random cases,
+/// printing the sampled inputs when a case fails (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
+                    let __vals = ( $( $crate::strategy::Strategy::sample(&$strat, &mut rng) ),+ , );
+                    let __repr = format!("{:?}", __vals);
+                    let ( $($arg),+ , ) = __vals;
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(e) = result {
+                        eprintln!(
+                            "proptest: {} failed at case {case}/{} with inputs:\n  {}",
+                            stringify!($name),
+                            config.cases,
+                            __repr,
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Compose a named strategy function from sub-strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)
+        ( $($arg:pat_param in $strat:expr),+ $(,)? ) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ( $($strat),+ , ),
+                move |( $($arg),+ , )| $body,
+            )
+        }
+    };
+}
+
+/// Uniform choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($s))),+
+        ])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($s))),+
+        ])
+    };
+}
+
+/// Assert inside a property (maps to `assert!`; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
