@@ -1,23 +1,29 @@
-//! Microbenchmark: executor throughput on the workload datasets, including
-//! the correlated-HAVING Sales queries the paper highlights (§7.2).
+//! Microbenchmarks for the query engine.
+//!
+//! `engine/execute_log/*` runs each paper workload log end to end with the
+//! default (vectorized) executor — including the correlated-HAVING Sales
+//! queries the paper highlights (§7.2).
+//!
+//! `engine/exec_*` isolates the three execution shapes the columnar
+//! refactor targets — filter-heavy (Covid predicates), aggregate-heavy
+//! (the cross-filtering Filter log), and join-heavy (SDSS equijoins) —
+//! and measures the vectorized executor against the row-at-a-time scalar
+//! interpreter on identical queries, so the speedup is tracked per run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pi2_engine::{execute, ExecContext};
+use pi2_engine::{execute, execute_scalar, ExecContext};
+use pi2_sql::ast::Query;
 use pi2_sql::parse_query;
-use pi2_workloads::{all_logs, catalog};
+use pi2_workloads::{all_logs, catalog, log, LogKind};
 
 fn bench_engine(c: &mut Criterion) {
     let cat = catalog();
     let ctx = ExecContext::new(&cat);
     let mut group = c.benchmark_group("engine");
-    for log in all_logs() {
-        let queries: Vec<_> = log
-            .queries
-            .iter()
-            .map(|q| parse_query(q).unwrap())
-            .collect();
+    for l in all_logs() {
+        let queries: Vec<_> = l.queries.iter().map(|q| parse_query(q).unwrap()).collect();
         group.bench_with_input(
-            BenchmarkId::new("execute_log", log.name),
+            BenchmarkId::new("execute_log", l.name),
             &queries,
             |b, qs| {
                 b.iter(|| {
@@ -31,5 +37,50 @@ fn bench_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// The three execution shapes, as (name, queries) pairs.
+fn shapes() -> Vec<(&'static str, Vec<Query>)> {
+    let parse_all = |qs: &[String]| qs.iter().map(|q| parse_query(q).unwrap()).collect();
+    vec![
+        // Filter-heavy: string/date predicates over the Covid time series.
+        ("exec_filter", parse_all(&log(LogKind::Covid).queries)),
+        // Aggregate-heavy: the cross-filtering Filter log (BETWEEN filters
+        // feeding GROUP BY count(*)).
+        ("exec_agg", parse_all(&log(LogKind::Filter).queries)),
+        // Join-heavy: SDSS equijoins with range predicates + DISTINCT.
+        ("exec_join", parse_all(&log(LogKind::Sdss).queries)),
+    ]
+}
+
+fn bench_exec_shapes(c: &mut Criterion) {
+    let cat = catalog();
+    let ctx = ExecContext::new(&cat);
+    for (name, queries) in shapes() {
+        let mut group = c.benchmark_group(&format!("engine/{name}"));
+        group.bench_with_input(
+            BenchmarkId::new("vectorized", queries.len()),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    for q in qs {
+                        std::hint::black_box(execute(q, &ctx).unwrap());
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scalar", queries.len()),
+            &queries,
+            |b, qs| {
+                b.iter(|| {
+                    for q in qs {
+                        std::hint::black_box(execute_scalar(q, &ctx).unwrap());
+                    }
+                })
+            },
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_engine, bench_exec_shapes);
 criterion_main!(benches);

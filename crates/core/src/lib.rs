@@ -43,7 +43,8 @@ pub use generation::{Generation, GenerationConfig, Pi2};
 pub use runtime::{Event, Runtime};
 
 // Re-export the sub-crates' key types so downstream users need one import.
-pub use pi2_data::{Catalog, DataType, Table, Value};
+pub use pi2_data::memo;
+pub use pi2_data::{Catalog, ColumnData, DataType, ShardedMemo, Table, Value};
 pub use pi2_difftree::{Forest, Workload};
 pub use pi2_interface::{InteractionChoice, InteractionKind, Interface, VisKind, WidgetKind};
 pub use pi2_search::{MctsConfig, SearchStats};

@@ -86,7 +86,7 @@ pub fn render_view(table: &pi2_data::Table, vis: &pi2_interface::VisMapping) -> 
     match vis.kind {
         VisKind::Table => {
             let mut t = table.clone();
-            t.rows.truncate(12);
+            t.truncate(12);
             let mut s = t.to_string();
             if table.num_rows() > 12 {
                 s.push_str(&format!("… ({} more rows)\n", table.num_rows() - 12));
@@ -111,8 +111,7 @@ pub fn render_view(table: &pi2_data::Table, vis: &pi2_interface::VisMapping) -> 
 /// Horizontal ASCII bars, one per (x, y) row.
 fn render_bars(table: &pi2_data::Table, x: usize, y: usize) -> String {
     let mut rows: Vec<(String, f64)> = table
-        .rows
-        .iter()
+        .iter_rows()
         .filter_map(|r| Some((r.get(x)?.to_string(), r.get(y)?.as_f64()?)))
         .collect();
     rows.sort_by(|a, b| a.0.cmp(&b.0));
@@ -136,8 +135,7 @@ fn render_points(table: &pi2_data::Table, x: usize, y: usize, connect: bool) -> 
     const W: usize = 56;
     const H: usize = 14;
     let pts: Vec<(f64, f64)> = table
-        .rows
-        .iter()
+        .iter_rows()
         .filter_map(|r| Some((r.get(x)?.as_f64()?, r.get(y)?.as_f64()?)))
         .collect();
     if pts.is_empty() {

@@ -97,10 +97,8 @@ impl Catalog {
                 }
             }
         }
-        for row in &meta.table.rows {
-            for v in row {
-                v.hash(&mut h);
-            }
+        for i in 0..meta.table.num_columns() {
+            meta.table.col(i).hash_content(&mut h);
         }
         meta.primary_key.hash(&mut h);
         self.fingerprint = h.finish();

@@ -1,0 +1,1005 @@
+//! Typed columnar storage with null bitmaps.
+//!
+//! [`ColumnData`] is the storage behind [`crate::Table`]: one typed vector
+//! per column (`Int64`/`Float64`/`Utf8`/`Bool`/`Date64`) plus a null bitmap,
+//! so profiling (distinct counts, min/max, uniqueness) and the vectorized
+//! query engine scan contiguous primitive slices instead of cloning
+//! [`Value`]s row by row. Columns whose values do not fit one storage type
+//! (rare: schema-less fallback outputs of correlated subqueries) degrade to
+//! the `Mixed` variant, which keeps exact row-interpreter semantics.
+//!
+//! Per-element `hash_value_into` / `eq_at` / `cmp_at` are bit-for-bit
+//! compatible with [`Value`]'s `Hash` / `PartialEq` / `Ord`, so hash
+//! aggregation and sorting over columns agree with the scalar interpreter.
+
+use crate::types::DataType;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+
+/// A null bitmap: bit set ⇒ the slot is NULL.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NullMask {
+    words: Vec<u64>,
+    len: usize,
+    nulls: usize,
+}
+
+impl NullMask {
+    /// An empty mask.
+    pub fn new() -> NullMask {
+        NullMask::default()
+    }
+
+    /// An all-valid mask of the given length.
+    pub fn all_valid(len: usize) -> NullMask {
+        NullMask {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            nulls: 0,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mask covers zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of NULL slots.
+    pub fn null_count(&self) -> usize {
+        self.nulls
+    }
+
+    /// Whether slot `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Append one slot.
+    #[inline]
+    pub fn push(&mut self, null: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if null {
+            self.words[self.len / 64] |= 1 << (self.len % 64);
+            self.nulls += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Keep only the first `n` slots.
+    pub fn truncate(&mut self, n: usize) {
+        if n >= self.len {
+            return;
+        }
+        for i in n..self.len {
+            if self.is_null(i) {
+                self.nulls -= 1;
+            }
+        }
+        self.len = n;
+        self.words.truncate(n.div_ceil(64));
+        if let (Some(last), rem) = (self.words.last_mut(), n % 64) {
+            if rem != 0 {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+
+    /// The mask restricted to the given slots, in order.
+    pub fn gather(&self, idx: &[u32]) -> NullMask {
+        let mut out = NullMask::all_valid(0);
+        if self.nulls == 0 {
+            return NullMask::all_valid(idx.len());
+        }
+        for &i in idx {
+            out.push(self.is_null(i as usize));
+        }
+        out
+    }
+}
+
+/// One column of typed values. See the module docs.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    Int64 {
+        /// Values (placeholder 0 at null slots).
+        values: Vec<i64>,
+        /// The null bitmap.
+        nulls: NullMask,
+    },
+    /// 64-bit floats.
+    Float64 {
+        /// Values (placeholder 0.0 at null slots).
+        values: Vec<f64>,
+        /// The null bitmap.
+        nulls: NullMask,
+    },
+    /// UTF-8 strings.
+    Utf8 {
+        /// Values (placeholder "" at null slots).
+        values: Vec<String>,
+        /// The null bitmap.
+        nulls: NullMask,
+    },
+    /// Booleans.
+    Bool {
+        /// Values (placeholder false at null slots).
+        values: Vec<bool>,
+        /// The null bitmap.
+        nulls: NullMask,
+    },
+    /// Dates as days since 1970-01-01.
+    Date64 {
+        /// Values (placeholder 0 at null slots).
+        values: Vec<i64>,
+        /// The null bitmap.
+        nulls: NullMask,
+    },
+    /// Heterogeneous escape hatch: exact [`Value`] storage.
+    Mixed(Vec<Value>),
+}
+
+/// Seed for [`row_hash`] (FNV-1a offset basis).
+pub const ROW_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold one row of several columns into a single cheap hash (see
+/// [`ColumnData::fold_hash`]). The one row-hash used by grouping, DISTINCT,
+/// and the empirical FD check, so the scheme cannot drift between them.
+pub fn row_hash<'a>(cols: impl IntoIterator<Item = &'a ColumnData>, i: usize) -> u64 {
+    cols.into_iter()
+        .fold(ROW_HASH_SEED, |h, c| c.fold_hash(i, h))
+}
+
+/// Hash-bucketed row interner over a set of key columns: the shared
+/// bucket/collision-probe loop behind grouping, DISTINCT, and the
+/// empirical FD check (one implementation, so [`row_hash`] and
+/// [`ColumnData::eq_at`] semantics cannot drift between them).
+pub struct RowInterner<'a> {
+    cols: Vec<&'a ColumnData>,
+    buckets: crate::hash::FastMap<u64, Vec<u32>>,
+}
+
+impl<'a> RowInterner<'a> {
+    /// An interner keyed by the given columns.
+    pub fn new(cols: Vec<&'a ColumnData>) -> RowInterner<'a> {
+        RowInterner {
+            cols,
+            buckets: crate::hash::FastMap::default(),
+        }
+    }
+
+    /// The first previously-interned row whose key columns equal row `i`'s
+    /// (`Value` equality), or `None` after interning `i` as a new
+    /// representative.
+    pub fn intern(&mut self, i: u32) -> Option<u32> {
+        let h = row_hash(self.cols.iter().copied(), i as usize);
+        let bucket = self.buckets.entry(h).or_default();
+        for &j in bucket.iter() {
+            if self.cols.iter().all(|c| c.eq_at(i as usize, c, j as usize)) {
+                return Some(j);
+            }
+        }
+        bucket.push(i);
+        None
+    }
+}
+
+/// Monotone integer key realizing the IEEE754 total order: positive floats
+/// keep their bit pattern, negative floats flip their low 63 bits (so more
+/// negative sorts smaller). Numeric order for all non-NaN values; -NaN
+/// sorts first and +NaN last.
+#[inline]
+pub fn f64_ord_key(f: f64) -> i64 {
+    let bits = f.to_bits() as i64;
+    bits ^ (((bits >> 63) as u64) >> 1) as i64
+}
+
+impl ColumnData {
+    /// An empty column of the given storage type.
+    pub fn new_typed(dtype: DataType) -> ColumnData {
+        match dtype {
+            DataType::Int => ColumnData::Int64 {
+                values: Vec::new(),
+                nulls: NullMask::new(),
+            },
+            DataType::Float => ColumnData::Float64 {
+                values: Vec::new(),
+                nulls: NullMask::new(),
+            },
+            DataType::Str => ColumnData::Utf8 {
+                values: Vec::new(),
+                nulls: NullMask::new(),
+            },
+            DataType::Bool => ColumnData::Bool {
+                values: Vec::new(),
+                nulls: NullMask::new(),
+            },
+            DataType::Date => ColumnData::Date64 {
+                values: Vec::new(),
+                nulls: NullMask::new(),
+            },
+        }
+    }
+
+    /// Build a column from values: typed storage when every value fits one
+    /// storage type (`hint` breaks the tie for all-NULL columns), `Mixed`
+    /// otherwise.
+    pub fn from_values(vals: Vec<Value>, hint: Option<DataType>) -> ColumnData {
+        let mut dtype: Option<DataType> = None;
+        for v in &vals {
+            match (v.data_type(), dtype) {
+                (None, _) => {}
+                (Some(t), None) => dtype = Some(t),
+                (Some(t), Some(d)) if t == d => {}
+                _ => return ColumnData::Mixed(vals),
+            }
+        }
+        let mut col = ColumnData::new_typed(dtype.or(hint).unwrap_or(DataType::Str));
+        for v in vals {
+            col.push(v);
+        }
+        col
+    }
+
+    /// A null-free integer column.
+    pub fn ints(values: Vec<i64>) -> ColumnData {
+        let nulls = NullMask::all_valid(values.len());
+        ColumnData::Int64 { values, nulls }
+    }
+
+    /// A null-free float column.
+    pub fn floats(values: Vec<f64>) -> ColumnData {
+        let nulls = NullMask::all_valid(values.len());
+        ColumnData::Float64 { values, nulls }
+    }
+
+    /// A null-free string column.
+    pub fn strs(values: Vec<String>) -> ColumnData {
+        let nulls = NullMask::all_valid(values.len());
+        ColumnData::Utf8 { values, nulls }
+    }
+
+    /// A null-free boolean column.
+    pub fn bools(values: Vec<bool>) -> ColumnData {
+        let nulls = NullMask::all_valid(values.len());
+        ColumnData::Bool { values, nulls }
+    }
+
+    /// A null-free date column (days since 1970-01-01).
+    pub fn dates(values: Vec<i64>) -> ColumnData {
+        let nulls = NullMask::all_valid(values.len());
+        ColumnData::Date64 { values, nulls }
+    }
+
+    /// A column of `n` copies of one value (typed when possible).
+    pub fn broadcast(v: &Value, n: usize) -> ColumnData {
+        match v {
+            Value::Int(x) => ColumnData::Int64 {
+                values: vec![*x; n],
+                nulls: NullMask::all_valid(n),
+            },
+            Value::Float(x) => ColumnData::Float64 {
+                values: vec![*x; n],
+                nulls: NullMask::all_valid(n),
+            },
+            Value::Str(x) => ColumnData::Utf8 {
+                values: vec![x.clone(); n],
+                nulls: NullMask::all_valid(n),
+            },
+            Value::Bool(x) => ColumnData::Bool {
+                values: vec![*x; n],
+                nulls: NullMask::all_valid(n),
+            },
+            Value::Date(x) => ColumnData::Date64 {
+                values: vec![*x; n],
+                nulls: NullMask::all_valid(n),
+            },
+            Value::Null => ColumnData::Mixed(vec![Value::Null; n]),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int64 { values, .. } | ColumnData::Date64 { values, .. } => values.len(),
+            ColumnData::Float64 { values, .. } => values.len(),
+            ColumnData::Utf8 { values, .. } => values.len(),
+            ColumnData::Bool { values, .. } => values.len(),
+            ColumnData::Mixed(values) => values.len(),
+        }
+    }
+
+    /// Whether the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The storage type; `None` for `Mixed`.
+    pub fn dtype(&self) -> Option<DataType> {
+        match self {
+            ColumnData::Int64 { .. } => Some(DataType::Int),
+            ColumnData::Float64 { .. } => Some(DataType::Float),
+            ColumnData::Utf8 { .. } => Some(DataType::Str),
+            ColumnData::Bool { .. } => Some(DataType::Bool),
+            ColumnData::Date64 { .. } => Some(DataType::Date),
+            ColumnData::Mixed(_) => None,
+        }
+    }
+
+    /// Number of NULL slots.
+    pub fn null_count(&self) -> usize {
+        match self {
+            ColumnData::Int64 { nulls, .. }
+            | ColumnData::Float64 { nulls, .. }
+            | ColumnData::Utf8 { nulls, .. }
+            | ColumnData::Bool { nulls, .. }
+            | ColumnData::Date64 { nulls, .. } => nulls.null_count(),
+            ColumnData::Mixed(values) => values.iter().filter(|v| v.is_null()).count(),
+        }
+    }
+
+    /// Whether row `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            ColumnData::Int64 { nulls, .. }
+            | ColumnData::Float64 { nulls, .. }
+            | ColumnData::Utf8 { nulls, .. }
+            | ColumnData::Bool { nulls, .. }
+            | ColumnData::Date64 { nulls, .. } => nulls.is_null(i),
+            ColumnData::Mixed(values) => values[i].is_null(),
+        }
+    }
+
+    /// Materialize row `i` as a [`Value`].
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnData::Int64 { values, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Int(values[i])
+                }
+            }
+            ColumnData::Float64 { values, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Float(values[i])
+                }
+            }
+            ColumnData::Utf8 { values, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Str(values[i].clone())
+                }
+            }
+            ColumnData::Bool { values, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Bool(values[i])
+                }
+            }
+            ColumnData::Date64 { values, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Date(values[i])
+                }
+            }
+            ColumnData::Mixed(values) => values[i].clone(),
+        }
+    }
+
+    /// Numeric view of row `i` (see [`Value::as_f64`]); `None` for NULL and
+    /// non-numeric values. No allocation.
+    #[inline]
+    pub fn numeric(&self, i: usize) -> Option<f64> {
+        match self {
+            ColumnData::Int64 { values, nulls } | ColumnData::Date64 { values, nulls } => {
+                (!nulls.is_null(i)).then(|| values[i] as f64)
+            }
+            ColumnData::Float64 { values, nulls } => (!nulls.is_null(i)).then(|| values[i]),
+            ColumnData::Bool { values, nulls } => {
+                (!nulls.is_null(i)).then(|| if values[i] { 1.0 } else { 0.0 })
+            }
+            ColumnData::Utf8 { .. } => None,
+            ColumnData::Mixed(values) => values[i].as_f64(),
+        }
+    }
+
+    /// String view of row `i` without cloning; `None` for NULL/non-strings.
+    #[inline]
+    pub fn str_at(&self, i: usize) -> Option<&str> {
+        match self {
+            ColumnData::Utf8 { values, nulls } => (!nulls.is_null(i)).then(|| values[i].as_str()),
+            ColumnData::Mixed(values) => values[i].as_str(),
+            _ => None,
+        }
+    }
+
+    /// Append one value. A value that does not fit the storage type demotes
+    /// the column to `Mixed` (exact round-trip is preserved over fast
+    /// typed storage).
+    pub fn push(&mut self, v: Value) {
+        match (&mut *self, v) {
+            (ColumnData::Int64 { values, nulls }, Value::Int(x)) => {
+                values.push(x);
+                nulls.push(false);
+            }
+            (ColumnData::Float64 { values, nulls }, Value::Float(x)) => {
+                values.push(x);
+                nulls.push(false);
+            }
+            (ColumnData::Utf8 { values, nulls }, Value::Str(x)) => {
+                values.push(x);
+                nulls.push(false);
+            }
+            (ColumnData::Bool { values, nulls }, Value::Bool(x)) => {
+                values.push(x);
+                nulls.push(false);
+            }
+            (ColumnData::Date64 { values, nulls }, Value::Date(x)) => {
+                values.push(x);
+                nulls.push(false);
+            }
+            (ColumnData::Int64 { values, nulls }, Value::Null)
+            | (ColumnData::Date64 { values, nulls }, Value::Null) => {
+                values.push(0);
+                nulls.push(true);
+            }
+            (ColumnData::Float64 { values, nulls }, Value::Null) => {
+                values.push(0.0);
+                nulls.push(true);
+            }
+            (ColumnData::Utf8 { values, nulls }, Value::Null) => {
+                values.push(String::new());
+                nulls.push(true);
+            }
+            (ColumnData::Bool { values, nulls }, Value::Null) => {
+                values.push(false);
+                nulls.push(true);
+            }
+            (ColumnData::Mixed(values), v) => values.push(v),
+            (_, v) => {
+                let mut vals: Vec<Value> = self.iter().collect();
+                vals.push(v);
+                *self = ColumnData::Mixed(vals);
+            }
+        }
+    }
+
+    /// Keep the first `n` rows.
+    pub fn truncate(&mut self, n: usize) {
+        match self {
+            ColumnData::Int64 { values, nulls } | ColumnData::Date64 { values, nulls } => {
+                values.truncate(n);
+                nulls.truncate(n);
+            }
+            ColumnData::Float64 { values, nulls } => {
+                values.truncate(n);
+                nulls.truncate(n);
+            }
+            ColumnData::Utf8 { values, nulls } => {
+                values.truncate(n);
+                nulls.truncate(n);
+            }
+            ColumnData::Bool { values, nulls } => {
+                values.truncate(n);
+                nulls.truncate(n);
+            }
+            ColumnData::Mixed(values) => values.truncate(n),
+        }
+    }
+
+    /// The column restricted to the given rows, in order.
+    pub fn gather(&self, idx: &[u32]) -> ColumnData {
+        fn take<T: Clone>(values: &[T], idx: &[u32]) -> Vec<T> {
+            idx.iter().map(|&i| values[i as usize].clone()).collect()
+        }
+        match self {
+            ColumnData::Int64 { values, nulls } => ColumnData::Int64 {
+                values: take(values, idx),
+                nulls: nulls.gather(idx),
+            },
+            ColumnData::Float64 { values, nulls } => ColumnData::Float64 {
+                values: take(values, idx),
+                nulls: nulls.gather(idx),
+            },
+            ColumnData::Utf8 { values, nulls } => ColumnData::Utf8 {
+                values: take(values, idx),
+                nulls: nulls.gather(idx),
+            },
+            ColumnData::Bool { values, nulls } => ColumnData::Bool {
+                values: take(values, idx),
+                nulls: nulls.gather(idx),
+            },
+            ColumnData::Date64 { values, nulls } => ColumnData::Date64 {
+                values: take(values, idx),
+                nulls: nulls.gather(idx),
+            },
+            ColumnData::Mixed(values) => ColumnData::Mixed(take(values, idx)),
+        }
+    }
+
+    /// Iterate materialized values.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.value(i))
+    }
+
+    /// Hash row `i` exactly as `Value::hash` would hash the materialized
+    /// value (ints hash through their `f64` bits so `Int(3)` and
+    /// `Float(3.0)` collide, as grouping equality requires).
+    #[inline]
+    pub fn hash_value_into<H: Hasher>(&self, i: usize, h: &mut H) {
+        match self {
+            ColumnData::Int64 { values, nulls } => {
+                if nulls.is_null(i) {
+                    0u8.hash(h);
+                } else {
+                    2u8.hash(h);
+                    (values[i] as f64).to_bits().hash(h);
+                }
+            }
+            ColumnData::Float64 { values, nulls } => {
+                if nulls.is_null(i) {
+                    0u8.hash(h);
+                } else {
+                    2u8.hash(h);
+                    values[i].to_bits().hash(h);
+                }
+            }
+            ColumnData::Utf8 { values, nulls } => {
+                if nulls.is_null(i) {
+                    0u8.hash(h);
+                } else {
+                    3u8.hash(h);
+                    values[i].hash(h);
+                }
+            }
+            ColumnData::Bool { values, nulls } => {
+                if nulls.is_null(i) {
+                    0u8.hash(h);
+                } else {
+                    1u8.hash(h);
+                    values[i].hash(h);
+                }
+            }
+            ColumnData::Date64 { values, nulls } => {
+                if nulls.is_null(i) {
+                    0u8.hash(h);
+                } else {
+                    4u8.hash(h);
+                    values[i].hash(h);
+                }
+            }
+            ColumnData::Mixed(values) => values[i].hash(h),
+        }
+    }
+
+    /// Hash the whole column's content (used for catalogue fingerprints).
+    pub fn hash_content<H: Hasher>(&self, h: &mut H) {
+        for i in 0..self.len() {
+            self.hash_value_into(i, h);
+        }
+    }
+
+    /// Fold row `i` into a cheap FNV-style hash state. Rows that are equal
+    /// under [`ColumnData::eq_at`] hash equally regardless of storage
+    /// representation (ints fold through their `f64` bits like
+    /// `Value::hash`), but this is much cheaper than a SipHash per row —
+    /// it is the grouping/distinct hot path.
+    #[inline]
+    pub fn fold_hash(&self, i: usize, h: u64) -> u64 {
+        #[inline]
+        fn mix(h: u64, x: u64) -> u64 {
+            (h ^ x).wrapping_mul(0x100_0000_01b3)
+        }
+        #[inline]
+        fn mix_str(mut h: u64, s: &str) -> u64 {
+            h = mix(h, 3);
+            for chunk in s.as_bytes().chunks(8) {
+                let mut buf = [0u8; 8];
+                buf[..chunk.len()].copy_from_slice(chunk);
+                h = mix(h, u64::from_le_bytes(buf));
+            }
+            mix(h, s.len() as u64)
+        }
+        match self {
+            ColumnData::Int64 { values, nulls } => {
+                if nulls.is_null(i) {
+                    mix(h, 0)
+                } else {
+                    mix(mix(h, 2), (values[i] as f64).to_bits())
+                }
+            }
+            ColumnData::Float64 { values, nulls } => {
+                if nulls.is_null(i) {
+                    mix(h, 0)
+                } else {
+                    mix(mix(h, 2), values[i].to_bits())
+                }
+            }
+            ColumnData::Utf8 { values, nulls } => {
+                if nulls.is_null(i) {
+                    mix(h, 0)
+                } else {
+                    mix_str(h, &values[i])
+                }
+            }
+            ColumnData::Bool { values, nulls } => {
+                if nulls.is_null(i) {
+                    mix(h, 0)
+                } else {
+                    mix(mix(h, 1), values[i] as u64)
+                }
+            }
+            ColumnData::Date64 { values, nulls } => {
+                if nulls.is_null(i) {
+                    mix(h, 0)
+                } else {
+                    mix(mix(h, 4), values[i] as u64)
+                }
+            }
+            ColumnData::Mixed(values) => match &values[i] {
+                Value::Null => mix(h, 0),
+                Value::Bool(b) => mix(mix(h, 1), *b as u64),
+                Value::Int(v) => mix(mix(h, 2), (*v as f64).to_bits()),
+                Value::Float(f) => mix(mix(h, 2), f.to_bits()),
+                Value::Str(s) => mix_str(h, s),
+                Value::Date(d) => mix(mix(h, 4), *d as u64),
+            },
+        }
+    }
+
+    /// SQL equality between `self[i]` and a value, matching
+    /// [`Value::sql_eq`] without materializing the cell (no string
+    /// clones): `None` for NULLs and incomparable types, numeric types
+    /// compare through `f64`, and ISO date strings compare with dates.
+    pub fn sql_eq_value(&self, i: usize, v: &Value) -> Option<bool> {
+        if self.is_null(i) || v.is_null() {
+            return None;
+        }
+        match self {
+            ColumnData::Mixed(values) => values[i].sql_eq(v),
+            ColumnData::Utf8 { values, .. } => match v {
+                Value::Str(s) => Some(values[i] == *s),
+                Value::Date(d) => crate::date::parse_iso_date(&values[i]).map(|x| x == *d),
+                _ => None,
+            },
+            ColumnData::Date64 { values, nulls } => {
+                if let Value::Str(s) = v {
+                    return crate::date::parse_iso_date(s).map(|d| values[i] == d);
+                }
+                let _ = nulls;
+                Some(self.numeric(i)? == v.as_f64()?)
+            }
+            _ => Some(self.numeric(i)? == v.as_f64()?),
+        }
+    }
+
+    /// Structural equality between `self[i]` and `other[j]`, matching
+    /// `Value::eq` (floats by bits; `Int`/`Float` cross-type equality).
+    pub fn eq_at(&self, i: usize, other: &ColumnData, j: usize) -> bool {
+        match (self, other) {
+            (
+                ColumnData::Int64 {
+                    values: a,
+                    nulls: na,
+                },
+                ColumnData::Int64 {
+                    values: b,
+                    nulls: nb,
+                },
+            ) => match (na.is_null(i), nb.is_null(j)) {
+                (true, true) => true,
+                (false, false) => a[i] == b[j],
+                _ => false,
+            },
+            (
+                ColumnData::Float64 {
+                    values: a,
+                    nulls: na,
+                },
+                ColumnData::Float64 {
+                    values: b,
+                    nulls: nb,
+                },
+            ) => match (na.is_null(i), nb.is_null(j)) {
+                (true, true) => true,
+                (false, false) => a[i].to_bits() == b[j].to_bits(),
+                _ => false,
+            },
+            (
+                ColumnData::Utf8 {
+                    values: a,
+                    nulls: na,
+                },
+                ColumnData::Utf8 {
+                    values: b,
+                    nulls: nb,
+                },
+            ) => match (na.is_null(i), nb.is_null(j)) {
+                (true, true) => true,
+                (false, false) => a[i] == b[j],
+                _ => false,
+            },
+            (
+                ColumnData::Bool {
+                    values: a,
+                    nulls: na,
+                },
+                ColumnData::Bool {
+                    values: b,
+                    nulls: nb,
+                },
+            ) => match (na.is_null(i), nb.is_null(j)) {
+                (true, true) => true,
+                (false, false) => a[i] == b[j],
+                _ => false,
+            },
+            (
+                ColumnData::Date64 {
+                    values: a,
+                    nulls: na,
+                },
+                ColumnData::Date64 {
+                    values: b,
+                    nulls: nb,
+                },
+            ) => match (na.is_null(i), nb.is_null(j)) {
+                (true, true) => true,
+                (false, false) => a[i] == b[j],
+                _ => false,
+            },
+            _ => self.value(i) == other.value(j),
+        }
+    }
+
+    /// Total-order comparison between `self[i]` and `other[j]`, matching
+    /// `Value::cmp` (NULL first; numeric types compare through `f64`).
+    pub fn cmp_at(&self, i: usize, other: &ColumnData, j: usize) -> Ordering {
+        match (self, other) {
+            (
+                ColumnData::Int64 {
+                    values: a,
+                    nulls: na,
+                },
+                ColumnData::Int64 {
+                    values: b,
+                    nulls: nb,
+                },
+            )
+            | (
+                ColumnData::Date64 {
+                    values: a,
+                    nulls: na,
+                },
+                ColumnData::Date64 {
+                    values: b,
+                    nulls: nb,
+                },
+            ) => match (na.is_null(i), nb.is_null(j)) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Less,
+                (false, true) => Ordering::Greater,
+                // Through f64 like Value::cmp (ties above 2^53 stay ties).
+                (false, false) => (a[i] as f64).total_cmp(&(b[j] as f64)),
+            },
+            (
+                ColumnData::Float64 {
+                    values: a,
+                    nulls: na,
+                },
+                ColumnData::Float64 {
+                    values: b,
+                    nulls: nb,
+                },
+            ) => match (na.is_null(i), nb.is_null(j)) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Less,
+                (false, true) => Ordering::Greater,
+                (false, false) => a[i]
+                    .partial_cmp(&b[j])
+                    .unwrap_or_else(|| f64_ord_key(a[i]).cmp(&f64_ord_key(b[j]))),
+            },
+            (
+                ColumnData::Utf8 {
+                    values: a,
+                    nulls: na,
+                },
+                ColumnData::Utf8 {
+                    values: b,
+                    nulls: nb,
+                },
+            ) => match (na.is_null(i), nb.is_null(j)) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Less,
+                (false, true) => Ordering::Greater,
+                (false, false) => a[i].cmp(&b[j]),
+            },
+            (
+                ColumnData::Bool {
+                    values: a,
+                    nulls: na,
+                },
+                ColumnData::Bool {
+                    values: b,
+                    nulls: nb,
+                },
+            ) => match (na.is_null(i), nb.is_null(j)) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Less,
+                (false, true) => Ordering::Greater,
+                (false, false) => a[i].cmp(&b[j]),
+            },
+            _ => self.value(i).cmp(&other.value(j)),
+        }
+    }
+
+    /// Value-level equality with another column (representation-agnostic:
+    /// a `Mixed` column equals a typed column holding the same values).
+    pub fn semantic_eq(&self, other: &ColumnData) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        (0..self.len()).all(|i| self.eq_at(i, other, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    #[test]
+    fn push_and_round_trip() {
+        let mut c = ColumnData::new_typed(DataType::Int);
+        c.push(Value::Int(1));
+        c.push(Value::Null);
+        c.push(Value::Int(3));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.value(0), Value::Int(1));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::Int(3));
+        assert!(matches!(c, ColumnData::Int64 { .. }));
+    }
+
+    #[test]
+    fn mismatched_push_demotes_to_mixed() {
+        let mut c = ColumnData::new_typed(DataType::Int);
+        c.push(Value::Int(1));
+        c.push(Value::Str("x".into()));
+        assert!(matches!(c, ColumnData::Mixed(_)));
+        assert_eq!(c.value(0), Value::Int(1));
+        assert_eq!(c.value(1), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn from_values_picks_typed_storage() {
+        let c = ColumnData::from_values(vec![Value::Null, Value::Float(2.5)], None);
+        assert!(matches!(c, ColumnData::Float64 { .. }));
+        assert_eq!(c.value(0), Value::Null);
+        let c = ColumnData::from_values(vec![Value::Int(1), Value::Float(2.5)], None);
+        assert!(matches!(c, ColumnData::Mixed(_)));
+        let c = ColumnData::from_values(vec![Value::Null], Some(DataType::Date));
+        assert!(matches!(c, ColumnData::Date64 { .. }));
+    }
+
+    #[test]
+    fn gather_and_truncate() {
+        let mut c = ColumnData::new_typed(DataType::Str);
+        for s in ["a", "b", "c"] {
+            c.push(Value::Str(s.into()));
+        }
+        c.push(Value::Null);
+        let g = c.gather(&[3, 1]);
+        assert_eq!(g.value(0), Value::Null);
+        assert_eq!(g.value(1), Value::Str("b".into()));
+        let mut t = c.clone();
+        t.truncate(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.null_count(), 0);
+    }
+
+    #[test]
+    fn hash_matches_value_hash() {
+        let vals = vec![
+            Value::Null,
+            Value::Int(7),
+            Value::Float(7.0),
+            Value::Str("x".into()),
+            Value::Bool(true),
+            Value::Date(3),
+        ];
+        let c = ColumnData::Mixed(vals.clone());
+        for (i, v) in vals.iter().enumerate() {
+            // Typed single-value columns hash like the Value itself.
+            let typed = ColumnData::from_values(vec![v.clone()], None);
+            let mut h1 = DefaultHasher::new();
+            typed.hash_value_into(0, &mut h1);
+            let mut h2 = DefaultHasher::new();
+            v.hash(&mut h2);
+            assert_eq!(h1.finish(), h2.finish(), "typed hash differs for {v}");
+            let mut h3 = DefaultHasher::new();
+            c.hash_value_into(i, &mut h3);
+            assert_eq!(h3.finish(), h2.finish(), "mixed hash differs for {v}");
+        }
+    }
+
+    #[test]
+    fn eq_and_cmp_match_value_semantics() {
+        let ints = ColumnData::from_values(vec![Value::Int(3), Value::Null], None);
+        let floats = ColumnData::from_values(vec![Value::Float(3.0), Value::Float(4.0)], None);
+        // Cross-representation equality goes through Value semantics.
+        assert!(ints.eq_at(0, &floats, 0));
+        assert!(!ints.eq_at(1, &floats, 0));
+        assert_eq!(ints.cmp_at(0, &floats, 1), Ordering::Less);
+        assert_eq!(ints.cmp_at(1, &ints, 0), Ordering::Less, "NULL sorts first");
+        let strs = ColumnData::from_values(vec![Value::Str("a".into())], None);
+        assert_eq!(strs.cmp_at(0, &strs, 0), Ordering::Equal);
+    }
+
+    #[test]
+    fn semantic_eq_is_representation_agnostic() {
+        let typed = ColumnData::from_values(vec![Value::Int(1), Value::Null], None);
+        let mixed = ColumnData::Mixed(vec![Value::Int(1), Value::Null]);
+        assert!(typed.semantic_eq(&mixed));
+        let other = ColumnData::Mixed(vec![Value::Int(2), Value::Null]);
+        assert!(!typed.semantic_eq(&other));
+    }
+
+    #[test]
+    fn f64_ord_key_is_monotone() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -5.0,
+            -1.0,
+            -0.05,
+            -0.0,
+            0.0,
+            0.05,
+            1.0,
+            5.0,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(
+                f64_ord_key(w[0]) <= f64_ord_key(w[1]),
+                "{} sorted after {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(f64_ord_key(f64::NAN) > f64_ord_key(f64::INFINITY));
+    }
+
+    #[test]
+    fn null_mask_truncate_clears_high_bits() {
+        let mut m = NullMask::new();
+        for i in 0..70 {
+            m.push(i % 3 == 0);
+        }
+        let nulls_before: Vec<usize> = (0..70).filter(|&i| m.is_null(i)).collect();
+        m.truncate(65);
+        for &i in nulls_before.iter().filter(|&&i| i < 65) {
+            assert!(m.is_null(i));
+        }
+        assert_eq!(
+            m.null_count(),
+            nulls_before.iter().filter(|&&i| i < 65).count()
+        );
+    }
+}

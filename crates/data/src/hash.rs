@@ -1,0 +1,96 @@
+//! Cheap non-cryptographic hashing for the columnar hot paths.
+//!
+//! `std`'s default SipHash costs more than the comparison it guards on the
+//! grouping/join/distinct paths, where keys are a few words. [`FastHasher`]
+//! is the Fx multiply-rotate hash (the rustc hasher); [`FastMap`] /
+//! [`FastSet`] are `HashMap`/`HashSet` aliases using it. Hash-flooding
+//! resistance is irrelevant here: inputs are the user's own table data.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-rotate hasher.
+#[derive(Default, Clone)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+        self.add(bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` with [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` with [`FastHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_sets_work() {
+        let mut m: FastMap<i64, usize> = FastMap::default();
+        for i in 0..1000i64 {
+            m.insert(i, i as usize * 2);
+        }
+        assert_eq!(m.get(&500), Some(&1000));
+        let mut s: FastSet<&str> = FastSet::default();
+        s.insert("a");
+        assert!(s.contains("a") && !s.contains("b"));
+    }
+
+    #[test]
+    fn distinct_inputs_hash_differently() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b: BuildHasherDefault<FastHasher> = BuildHasherDefault::default();
+        assert_ne!(b.hash_one(1u64), b.hash_one(2u64));
+        assert_ne!(b.hash_one("ab"), b.hash_one("ba"));
+    }
+}

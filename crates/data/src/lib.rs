@@ -15,15 +15,20 @@
 //! in Table 1).
 
 pub mod catalog;
+pub mod column;
 pub mod date;
 pub mod error;
+pub mod hash;
+pub mod memo;
 pub mod stats;
 pub mod table;
 pub mod types;
 pub mod value;
 
 pub use catalog::{Catalog, FunctionSig, TableMeta};
+pub use column::{ColumnData, NullMask};
 pub use error::DataError;
+pub use memo::ShardedMemo;
 pub use stats::ColumnStats;
 pub use table::{Column, Row, Schema, Table};
 pub use types::DataType;

@@ -30,10 +30,13 @@ impl ColumnStats {
     /// widget domains for borderline columns remain available.
     pub const DISTINCT_RETENTION_LIMIT: usize = 64;
 
-    /// Compute statistics for column `idx` of `table`.
+    /// Compute statistics for column `idx` of `table`. Runs over the typed
+    /// column storage: distinct values sort/dedup primitive slices and the
+    /// non-null count reads the null bitmap — no `Value` clones, no
+    /// `Value`-keyed hash sets.
     pub fn compute(table: &Table, idx: usize) -> ColumnStats {
         let distinct = table.distinct_values(idx);
-        let non_null_total = table.column_values(idx).filter(|v| !v.is_null()).count();
+        let non_null_total = table.non_null_count(idx);
         let min = distinct.first().cloned();
         let max = distinct.last().cloned();
         let unique = non_null_total == distinct.len();

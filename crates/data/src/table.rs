@@ -1,9 +1,11 @@
-//! In-memory relational tables.
+//! In-memory relational tables over typed columnar storage.
 
+use crate::column::{f64_ord_key, ColumnData};
 use crate::error::DataError;
 use crate::types::DataType;
 use crate::value::Value;
 use std::fmt;
+use std::sync::Arc;
 
 /// A named, typed output column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,10 +52,9 @@ impl Schema {
     /// Case-insensitive lookup of a column index by (optionally unqualified)
     /// name.
     pub fn index_of(&self, name: &str) -> Option<usize> {
-        let lower = name.to_ascii_lowercase();
         self.columns
             .iter()
-            .position(|c| c.name.to_ascii_lowercase() == lower)
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Column.
@@ -70,21 +71,43 @@ impl Schema {
 /// A row of values; arity always matches the owning table's schema.
 pub type Row = Vec<Value>;
 
-/// A row-oriented in-memory table.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// A column-oriented in-memory table: one typed [`ColumnData`] per schema
+/// column, shared by `Arc` so cloning a table (or scanning it from the
+/// query engine) never copies cell data.
+#[derive(Debug, Clone, Default)]
 pub struct Table {
     /// The schema.
     pub schema: Schema,
-    /// The rows.
-    pub rows: Vec<Row>,
+    cols: Vec<Arc<ColumnData>>,
+    len: usize,
+}
+
+impl PartialEq for Table {
+    /// Value-level equality: same schema and same cell values, regardless
+    /// of each column's storage representation (typed vs `Mixed`).
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.len == other.len
+            && self
+                .cols
+                .iter()
+                .zip(other.cols.iter())
+                .all(|(a, b)| a.semantic_eq(b))
+    }
 }
 
 impl Table {
     /// New.
     pub fn new(schema: Schema) -> Self {
+        let cols = schema
+            .columns
+            .iter()
+            .map(|c| Arc::new(ColumnData::new_typed(c.dtype)))
+            .collect();
         Table {
             schema,
-            rows: Vec::new(),
+            cols,
+            len: 0,
         }
     }
 
@@ -103,6 +126,30 @@ impl Table {
         Ok(t)
     }
 
+    /// Build a table directly from columns, validating count and lengths.
+    pub fn from_columns(schema: Schema, cols: Vec<ColumnData>) -> Result<Self, DataError> {
+        Self::from_arc_columns(schema, cols.into_iter().map(Arc::new).collect())
+    }
+
+    /// Like [`Table::from_columns`], but sharing already-`Arc`ed columns —
+    /// a projection of unmodified base columns is zero-copy.
+    pub fn from_arc_columns(schema: Schema, cols: Vec<Arc<ColumnData>>) -> Result<Self, DataError> {
+        if cols.len() != schema.len() {
+            return Err(DataError::ArityMismatch {
+                expected: schema.len(),
+                found: cols.len(),
+            });
+        }
+        let len = cols.first().map(|c| c.len()).unwrap_or(0);
+        if let Some(short) = cols.iter().find(|c| c.len() != len) {
+            return Err(DataError::ArityMismatch {
+                expected: len,
+                found: short.len(),
+            });
+        }
+        Ok(Table { schema, cols, len })
+    }
+
     /// Push row.
     pub fn push_row(&mut self, row: Row) -> Result<(), DataError> {
         if row.len() != self.schema.len() {
@@ -111,13 +158,16 @@ impl Table {
                 found: row.len(),
             });
         }
-        self.rows.push(row);
+        for (col, v) in self.cols.iter_mut().zip(row) {
+            Arc::make_mut(col).push(v);
+        }
+        self.len += 1;
         Ok(())
     }
 
     /// Num rows.
     pub fn num_rows(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// Num columns.
@@ -125,76 +175,282 @@ impl Table {
         self.schema.len()
     }
 
-    /// All values in column `idx`.
-    pub fn column_values(&self, idx: usize) -> impl Iterator<Item = &Value> {
-        self.rows.iter().map(move |r| &r[idx])
+    /// The storage column at `idx`.
+    pub fn col(&self, idx: usize) -> &ColumnData {
+        &self.cols[idx]
     }
 
-    /// Distinct non-null values in a column, sorted.
+    /// The shared storage column at `idx` (cheap to clone into the engine's
+    /// relations — scans are zero-copy).
+    pub fn col_arc(&self, idx: usize) -> &Arc<ColumnData> {
+        &self.cols[idx]
+    }
+
+    /// The cell at (`row`, `col`), materialized.
+    pub fn value(&self, row: usize, col: usize) -> Value {
+        self.cols[col].value(row)
+    }
+
+    /// Materialize row `i`.
+    pub fn row(&self, i: usize) -> Row {
+        self.cols.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Iterate materialized rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Row> + '_ {
+        (0..self.len).map(move |i| self.row(i))
+    }
+
+    /// Materialize every row (convenience for tests and small tables).
+    pub fn to_rows(&self) -> Vec<Row> {
+        self.iter_rows().collect()
+    }
+
+    /// Keep only the first `n` rows.
+    pub fn truncate(&mut self, n: usize) {
+        if n >= self.len {
+            return;
+        }
+        for col in &mut self.cols {
+            Arc::make_mut(col).truncate(n);
+        }
+        self.len = n;
+    }
+
+    /// All values in column `idx`, materialized.
+    pub fn column_values(&self, idx: usize) -> impl Iterator<Item = Value> + '_ {
+        self.cols[idx].iter()
+    }
+
+    /// Number of non-NULL values in column `idx` (O(1): from the bitmap).
+    pub fn non_null_count(&self, idx: usize) -> usize {
+        self.len - self.cols[idx].null_count()
+    }
+
+    /// Distinct non-null values in a column, sorted. Runs directly over the
+    /// typed storage (no `Value` materialization until the result).
     pub fn distinct_values(&self, idx: usize) -> Vec<Value> {
-        let mut vals: Vec<Value> = self
-            .column_values(idx)
-            .filter(|v| !v.is_null())
-            .cloned()
-            .collect();
-        vals.sort();
-        vals.dedup();
-        vals
+        match self.cols[idx].as_ref() {
+            ColumnData::Int64 { values, nulls } => {
+                let mut vals: Vec<i64> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !nulls.is_null(*i))
+                    .map(|(_, v)| *v)
+                    .collect();
+                vals.sort_unstable();
+                vals.dedup();
+                vals.into_iter().map(Value::Int).collect()
+            }
+            ColumnData::Date64 { values, nulls } => {
+                let mut vals: Vec<i64> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !nulls.is_null(*i))
+                    .map(|(_, v)| *v)
+                    .collect();
+                vals.sort_unstable();
+                vals.dedup();
+                vals.into_iter().map(Value::Date).collect()
+            }
+            ColumnData::Float64 { values, nulls } => {
+                let mut vals: Vec<f64> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !nulls.is_null(*i))
+                    .map(|(_, v)| *v)
+                    .collect();
+                vals.sort_unstable_by_key(|v| f64_ord_key(*v));
+                vals.dedup_by(|a, b| a.to_bits() == b.to_bits());
+                vals.into_iter().map(Value::Float).collect()
+            }
+            ColumnData::Utf8 { values, nulls } => {
+                let mut refs: Vec<&String> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !nulls.is_null(*i))
+                    .map(|(_, v)| v)
+                    .collect();
+                refs.sort_unstable();
+                refs.dedup();
+                refs.into_iter().map(|s| Value::Str(s.clone())).collect()
+            }
+            ColumnData::Bool { values, nulls } => {
+                let mut seen = [false, false];
+                for (i, v) in values.iter().enumerate() {
+                    if !nulls.is_null(i) {
+                        seen[*v as usize] = true;
+                    }
+                }
+                let mut out = Vec::new();
+                if seen[0] {
+                    out.push(Value::Bool(false));
+                }
+                if seen[1] {
+                    out.push(Value::Bool(true));
+                }
+                out
+            }
+            ColumnData::Mixed(values) => {
+                let mut vals: Vec<Value> =
+                    values.iter().filter(|v| !v.is_null()).cloned().collect();
+                vals.sort();
+                vals.dedup();
+                vals
+            }
+        }
     }
 
     /// (min, max) of a column's non-null values, if any.
     pub fn min_max(&self, idx: usize) -> Option<(Value, Value)> {
-        let mut iter = self.column_values(idx).filter(|v| !v.is_null());
-        let first = iter.next()?.clone();
-        let mut min = first.clone();
-        let mut max = first;
-        for v in iter {
-            if *v < min {
-                min = v.clone();
+        fn typed<T: Copy, F: Fn(T, T) -> std::cmp::Ordering>(
+            values: &[T],
+            nulls: &crate::column::NullMask,
+            cmp: F,
+        ) -> Option<(T, T)> {
+            let mut iter = values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !nulls.is_null(*i))
+                .map(|(_, v)| *v);
+            let first = iter.next()?;
+            let (mut min, mut max) = (first, first);
+            for v in iter {
+                if cmp(v, min).is_lt() {
+                    min = v;
+                }
+                if cmp(v, max).is_gt() {
+                    max = v;
+                }
             }
-            if *v > max {
-                max = v.clone();
+            Some((min, max))
+        }
+        match self.cols[idx].as_ref() {
+            ColumnData::Int64 { values, nulls } => {
+                typed(values, nulls, |a, b| a.cmp(&b)).map(|(a, b)| (Value::Int(a), Value::Int(b)))
+            }
+            ColumnData::Date64 { values, nulls } => typed(values, nulls, |a, b| a.cmp(&b))
+                .map(|(a, b)| (Value::Date(a), Value::Date(b))),
+            ColumnData::Float64 { values, nulls } => {
+                typed(values, nulls, |a, b| f64_ord_key(a).cmp(&f64_ord_key(b)))
+                    .map(|(a, b)| (Value::Float(a), Value::Float(b)))
+            }
+            ColumnData::Bool { values, nulls } => typed(values, nulls, |a, b| a.cmp(&b))
+                .map(|(a, b)| (Value::Bool(a), Value::Bool(b))),
+            ColumnData::Utf8 { values, nulls } => {
+                let mut iter = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !nulls.is_null(*i))
+                    .map(|(_, v)| v);
+                let first = iter.next()?;
+                let (mut min, mut max) = (first, first);
+                for v in iter {
+                    if v < min {
+                        min = v;
+                    }
+                    if v > max {
+                        max = v;
+                    }
+                }
+                Some((Value::Str(min.clone()), Value::Str(max.clone())))
+            }
+            ColumnData::Mixed(values) => {
+                let mut iter = values.iter().filter(|v| !v.is_null());
+                let first = iter.next()?.clone();
+                let mut min = first.clone();
+                let mut max = first;
+                for v in iter {
+                    if *v < min {
+                        min = v.clone();
+                    }
+                    if *v > max {
+                        max = v.clone();
+                    }
+                }
+                Some((min, max))
             }
         }
-        Some((min, max))
     }
 
     /// Whether the values in the given column are unique (no duplicates among
     /// non-null values). Used to infer functional dependencies (§4.1).
     pub fn column_is_unique(&self, idx: usize) -> bool {
-        let mut seen = std::collections::HashSet::new();
-        for v in self.column_values(idx) {
-            if v.is_null() {
-                continue;
+        use std::collections::HashSet;
+        match self.cols[idx].as_ref() {
+            ColumnData::Int64 { values, nulls } | ColumnData::Date64 { values, nulls } => {
+                let mut seen = HashSet::with_capacity(values.len());
+                values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !nulls.is_null(*i))
+                    .all(|(_, v)| seen.insert(*v))
             }
-            if !seen.insert(v.clone()) {
-                return false;
+            ColumnData::Float64 { values, nulls } => {
+                let mut seen = HashSet::with_capacity(values.len());
+                values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !nulls.is_null(*i))
+                    .all(|(_, v)| seen.insert(v.to_bits()))
+            }
+            ColumnData::Utf8 { values, nulls } => {
+                let mut seen = HashSet::with_capacity(values.len());
+                values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !nulls.is_null(*i))
+                    .all(|(_, v)| seen.insert(v.as_str()))
+            }
+            ColumnData::Bool { values, nulls } => {
+                let mut seen = HashSet::new();
+                values
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !nulls.is_null(*i))
+                    .all(|(_, v)| seen.insert(*v))
+            }
+            ColumnData::Mixed(values) => {
+                let mut seen = HashSet::new();
+                values
+                    .iter()
+                    .filter(|v| !v.is_null())
+                    .all(|v| seen.insert(v.clone()))
             }
         }
-        true
     }
 }
 
 impl fmt::Display for Table {
     /// Fixed-width text rendering, used by the table "visualization" and the
-    /// example binaries.
+    /// example binaries. Widths are measured in characters, not bytes, so
+    /// non-ASCII cells stay aligned.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut widths: Vec<usize> = self.schema.columns.iter().map(|c| c.name.len()).collect();
+        fn width(s: &str) -> usize {
+            s.chars().count()
+        }
+        let mut widths: Vec<usize> = self.schema.columns.iter().map(|c| width(&c.name)).collect();
         let rendered: Vec<Vec<String>> = self
-            .rows
-            .iter()
+            .iter_rows()
             .map(|r| r.iter().map(|v| v.to_string()).collect())
             .collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
+                widths[i] = widths[i].max(width(cell));
             }
         }
+        let pad = |f: &mut fmt::Formatter<'_>, s: &str, w: usize| -> fmt::Result {
+            write!(f, "{s}")?;
+            for _ in width(s)..w {
+                write!(f, " ")?;
+            }
+            Ok(())
+        };
         for (i, c) in self.schema.columns.iter().enumerate() {
             if i > 0 {
                 write!(f, " | ")?;
             }
-            write!(f, "{:width$}", c.name, width = widths[i])?;
+            pad(f, &c.name, widths[i])?;
         }
         writeln!(f)?;
         for (i, w) in widths.iter().enumerate() {
@@ -209,7 +465,7 @@ impl fmt::Display for Table {
                 if i > 0 {
                     write!(f, " | ")?;
                 }
-                write!(f, "{:width$}", cell, width = widths[i])?;
+                pad(f, cell, widths[i])?;
             }
             writeln!(f)?;
         }
@@ -284,5 +540,90 @@ mod tests {
         assert!(s.contains("name"));
         assert!(s.contains("NULL"));
         assert_eq!(s.lines().count(), 2 + t.num_rows());
+    }
+
+    #[test]
+    fn display_aligns_non_ascii_cells() {
+        let t = Table::from_rows(
+            vec![("city", DataType::Str), ("n", DataType::Int)],
+            vec![
+                vec![Value::Str("Zürich".into()), Value::Int(1)],
+                vec![Value::Str("Geneva".into()), Value::Int(2)],
+            ],
+        )
+        .unwrap();
+        let s = t.to_string();
+        // Both city names are 6 characters: every line must share one width.
+        let widths: Vec<usize> = s
+            .lines()
+            .map(|l| l.chars().position(|c| c == '|' || c == '+').unwrap())
+            .collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "separator column drifted: {widths:?}\n{s}"
+        );
+    }
+
+    #[test]
+    fn storage_is_typed_per_schema() {
+        let t = sample();
+        assert!(matches!(t.col(0), ColumnData::Int64 { .. }));
+        assert!(matches!(t.col(1), ColumnData::Utf8 { .. }));
+        assert_eq!(t.non_null_count(0), 3);
+        assert_eq!(t.row(3), vec![Value::Null, Value::Str("w".into())]);
+    }
+
+    #[test]
+    fn from_columns_validates_lengths() {
+        let schema = Schema::new(vec![Column::new("a", DataType::Int)]);
+        let col = ColumnData::from_values(vec![Value::Int(1)], None);
+        let t = Table::from_columns(schema.clone(), vec![col]).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert!(Table::from_columns(schema, vec![]).is_err());
+    }
+
+    #[test]
+    fn equality_is_representation_agnostic() {
+        let a = sample();
+        let mut b = Table::new(a.schema.clone());
+        for row in a.iter_rows() {
+            b.push_row(row).unwrap();
+        }
+        assert_eq!(a, b);
+        b.push_row(vec![Value::Int(9), Value::Str("q".into())])
+            .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn negative_floats_order_numerically() {
+        // Regression: the float ordering key must place negatives below
+        // positives and order negatives by value (the SDSS `dec` column is
+        // entirely negative).
+        let t = Table::from_rows(
+            vec![("x", DataType::Float)],
+            vec![
+                vec![Value::Float(1.0)],
+                vec![Value::Float(-5.0)],
+                vec![Value::Float(-0.05)],
+                vec![Value::Float(1.0)],
+                vec![Value::Float(-5.0)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.min_max(0), Some((Value::Float(-5.0), Value::Float(1.0))));
+        assert_eq!(
+            t.distinct_values(0),
+            vec![Value::Float(-5.0), Value::Float(-0.05), Value::Float(1.0)]
+        );
+        assert!(!t.column_is_unique(0));
+    }
+
+    #[test]
+    fn truncate_keeps_prefix() {
+        let mut t = sample();
+        t.truncate(2);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(1), vec![Value::Int(2), Value::Str("y".into())]);
     }
 }

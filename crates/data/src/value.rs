@@ -141,10 +141,9 @@ impl Value {
             Value::Bool(b) => (1, i64::from(*b), 0, ""),
             Value::Int(i) => (2, *i, 0, ""),
             Value::Float(f) => {
-                // Map floats onto a monotone integer key (IEEE754 trick).
-                let bits = f.to_bits() as i64;
-                let key = if bits < 0 { i64::MIN ^ bits } else { bits };
-                (3, key, 0, "")
+                // Map floats onto a monotone integer key (IEEE754 total
+                // order; same mapping as `column::f64_ord_key`).
+                (3, crate::column::f64_ord_key(*f), 0, "")
             }
             Value::Date(d) => (4, *d, 0, ""),
             Value::Str(s) => (5, 0, 0, s.as_str()),

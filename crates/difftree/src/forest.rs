@@ -385,36 +385,28 @@ impl Forest {
     }
 }
 
-thread_local! {
-    /// (tree fp, tree size, query gst fp) → verified tree-local binding.
-    static BIND_CACHE: std::cell::RefCell<HashMap<(u64, u32, u64), Option<BindingMap>>> =
-        std::cell::RefCell::new(HashMap::new());
-}
-
 /// Cached, verified bind of one query against one sealed tree. Bindings are
 /// tree-local (the tree root is id 0), so cache entries transfer between
-/// forests sharing the tree without any id shifting.
+/// forests sharing the tree without any id shifting. The memo is
+/// process-global and lock-sharded ([`pi2_data::ShardedMemo`]): binds are
+/// pure functions of (tree, query), so search workers share hits.
 fn bind_tree_cached(tree: &Tree, gst: &DNode, gst_fp: u64) -> Option<BindingMap> {
+    use pi2_data::ShardedMemo;
+    use std::sync::OnceLock;
+    /// (tree fp, tree size, query gst fp) → verified tree-local binding.
+    static BIND_CACHE: OnceLock<ShardedMemo<(u64, u32, u64), Option<BindingMap>>> = OnceLock::new();
+    let cache =
+        BIND_CACHE.get_or_init(|| ShardedMemo::new(200_000 / pi2_data::memo::DEFAULT_SHARDS));
     let key = (tree.fp, tree.size, gst_fp);
-    let cached = BIND_CACHE.with(|c| c.borrow().get(&key).cloned());
-    if let Some(entry) = cached {
-        return entry;
-    }
-    let result = bind_query(tree.node(), gst).and_then(|binding| {
-        // Verify the round trip: resolve must reproduce the query.
-        match resolve(tree.node(), &binding) {
-            Ok(resolved) if &resolved == gst => Some(binding),
-            _ => None,
-        }
-    });
-    BIND_CACHE.with(|c| {
-        let mut c = c.borrow_mut();
-        if c.len() > 200_000 {
-            c.clear();
-        }
-        c.insert(key, result.clone());
-    });
-    result
+    cache.get_or_insert_with(&key, || {
+        bind_query(tree.node(), gst).and_then(|binding| {
+            // Verify the round trip: resolve must reproduce the query.
+            match resolve(tree.node(), &binding) {
+                Ok(resolved) if &resolved == gst => Some(binding),
+                _ => None,
+            }
+        })
+    })
 }
 
 /// Merge one query's binding map into the per-node accumulation, recursing

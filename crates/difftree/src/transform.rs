@@ -801,15 +801,13 @@ fn query_schema_signature(node: &DNode, w: &Workload) -> Option<String> {
     if node.is_dynamic() {
         return None;
     }
-    thread_local! {
-        static SIG_CACHE: std::cell::RefCell<HashMap<(u64, u64), Option<String>>> =
-            std::cell::RefCell::new(HashMap::new());
-    }
+    use pi2_data::ShardedMemo;
+    use std::sync::OnceLock;
+    // Process-global lock-sharded memo (signatures are pure in the key).
+    static SIG_CACHE: OnceLock<ShardedMemo<(u64, u64), Option<String>>> = OnceLock::new();
+    let cache = SIG_CACHE.get_or_init(|| ShardedMemo::new(50_000 / pi2_data::memo::DEFAULT_SHARDS));
     let key = (structural_fingerprint(node), w.catalog.fingerprint());
-    if let Some(hit) = SIG_CACHE.with(|c| c.borrow().get(&key).cloned()) {
-        return hit;
-    }
-    let sig = (|| {
+    cache.get_or_insert_with(&key, || {
         let q = crate::gst::raise_query(node).ok()?;
         let info = analyze_query(&q, &w.catalog).ok()?;
         let types: Vec<(String, DataType)> = info
@@ -818,15 +816,7 @@ fn query_schema_signature(node: &DNode, w: &Workload) -> Option<String> {
             .map(|c| (c.name.to_ascii_lowercase(), c.ty.dtype()))
             .collect();
         Some(format!("{}:{types:?}", info.cols.len()))
-    })();
-    SIG_CACHE.with(|c| {
-        let mut c = c.borrow_mut();
-        if c.len() > 50_000 {
-            c.clear();
-        }
-        c.insert(key, sig.clone());
-    });
-    sig
+    })
 }
 
 /// ANY→VAL: relax a literal choice to its full (attribute-typed) domain.

@@ -219,24 +219,17 @@ pub fn infer_types_cached(
     tree: &crate::forest::Tree,
     catalog: &Catalog,
 ) -> std::sync::Arc<TypeMap> {
-    thread_local! {
-        static TYPE_CACHE: std::cell::RefCell<
-            std::collections::HashMap<(u64, u64), std::sync::Arc<TypeMap>>,
-        > = std::cell::RefCell::new(std::collections::HashMap::new());
-    }
+    use pi2_data::ShardedMemo;
+    use std::sync::OnceLock;
+    // Process-global, lock-sharded (shared across search workers; inference
+    // is a pure function of the key).
+    static TYPE_CACHE: OnceLock<ShardedMemo<(u64, u64), std::sync::Arc<TypeMap>>> = OnceLock::new();
+    let cache =
+        TYPE_CACHE.get_or_init(|| ShardedMemo::new(20_000 / pi2_data::memo::DEFAULT_SHARDS));
     let key = (tree.fingerprint(), catalog.fingerprint());
-    if let Some(hit) = TYPE_CACHE.with(|c| c.borrow().get(&key).cloned()) {
-        return hit;
-    }
-    let map = std::sync::Arc::new(infer_types(tree.node(), catalog));
-    TYPE_CACHE.with(|c| {
-        let mut c = c.borrow_mut();
-        if c.len() > 20_000 {
-            c.clear();
-        }
-        c.insert(key, std::sync::Arc::clone(&map));
-    });
-    map
+    cache.get_or_insert_with(&key, || {
+        std::sync::Arc::new(infer_types(tree.node(), catalog))
+    })
 }
 
 /// Collect `alias → base table` from every FROM clause (including those in

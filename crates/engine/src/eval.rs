@@ -108,8 +108,12 @@ pub fn eval_expr(
             let v = eval_expr(expr, scope, ctx)?;
             let result = execute_with_scope(query, ctx, Some(scope))?;
             let mut any_null = false;
-            for row in &result.rows {
-                let item = row.first().cloned().unwrap_or(Value::Null);
+            for i in 0..result.num_rows() {
+                let item = if result.num_columns() > 0 {
+                    result.value(i, 0)
+                } else {
+                    Value::Null
+                };
                 match v.sql_eq(&item) {
                     Some(true) => return Ok(Value::Bool(!negated)),
                     Some(false) => {}
@@ -141,11 +145,11 @@ pub fn eval_expr(
             if result.schema.len() != 1 {
                 return Err(EngineError::NonScalarSubquery);
             }
-            Ok(result
-                .rows
-                .first()
-                .map(|r| r[0].clone())
-                .unwrap_or(Value::Null))
+            Ok(if result.num_rows() > 0 {
+                result.value(0, 0)
+            } else {
+                Value::Null
+            })
         }
     }
 }
@@ -252,7 +256,7 @@ fn eval_aggregate(
     }
 }
 
-fn literal_value(l: &Literal) -> Value {
+pub(crate) fn literal_value(l: &Literal) -> Value {
     match l {
         Literal::Int(i) => Value::Int(*i),
         Literal::Float(f) => Value::Float(*f),
@@ -262,7 +266,7 @@ fn literal_value(l: &Literal) -> Value {
     }
 }
 
-fn apply_unary(op: UnaryOp, v: Value) -> Result<Value, EngineError> {
+pub(crate) fn apply_unary(op: UnaryOp, v: Value) -> Result<Value, EngineError> {
     if v.is_null() {
         return Ok(Value::Null);
     }
@@ -279,7 +283,7 @@ fn apply_unary(op: UnaryOp, v: Value) -> Result<Value, EngineError> {
     }
 }
 
-fn eval_logical(
+pub(crate) fn eval_logical(
     op: BinOp,
     left: Value,
     right: impl FnOnce() -> Result<Value, EngineError>,
@@ -309,7 +313,7 @@ fn eval_logical(
     }
 }
 
-fn apply_binary(op: BinOp, l: Value, r: Value) -> Result<Value, EngineError> {
+pub(crate) fn apply_binary(op: BinOp, l: Value, r: Value) -> Result<Value, EngineError> {
     use std::cmp::Ordering;
     if op.is_comparison() {
         let cmp = l.sql_cmp(&r);
@@ -365,7 +369,12 @@ fn apply_binary(op: BinOp, l: Value, r: Value) -> Result<Value, EngineError> {
     }
 }
 
-fn eval_between(v: &Value, lo: &Value, hi: &Value, negated: bool) -> Result<Value, EngineError> {
+pub(crate) fn eval_between(
+    v: &Value,
+    lo: &Value,
+    hi: &Value,
+    negated: bool,
+) -> Result<Value, EngineError> {
     let ge = v.sql_cmp(lo).map(|o| o != std::cmp::Ordering::Less);
     let le = v.sql_cmp(hi).map(|o| o != std::cmp::Ordering::Greater);
     Ok(match (ge, le) {
@@ -375,7 +384,7 @@ fn eval_between(v: &Value, lo: &Value, hi: &Value, negated: bool) -> Result<Valu
 }
 
 /// SQL LIKE with `%` and `_` wildcards.
-fn like_match(s: &str, pattern: &str) -> bool {
+pub(crate) fn like_match(s: &str, pattern: &str) -> bool {
     fn inner(s: &[u8], p: &[u8]) -> bool {
         match p.first() {
             None => s.is_empty(),
@@ -387,7 +396,7 @@ fn like_match(s: &str, pattern: &str) -> bool {
     inner(s.as_bytes(), pattern.as_bytes())
 }
 
-fn apply_scalar_function(
+pub(crate) fn apply_scalar_function(
     name: &str,
     args: &[Value],
     ctx: &ExecContext<'_>,
@@ -445,6 +454,7 @@ mod tests {
         let ctx = ExecContext {
             catalog: &catalog,
             today: 18_000,
+            scalar_only: false,
         };
         let cols: Vec<(String, String)> = vec![("t".into(), "a".into()), ("t".into(), "b".into())];
         let row = vec![Value::Int(5), Value::Str("CA".into())];
@@ -534,6 +544,7 @@ mod tests {
         let ctx = ExecContext {
             catalog: &catalog,
             today: 0,
+            scalar_only: false,
         };
         let cols: Vec<(String, String)> = vec![];
         let row: Vec<Value> = vec![];
@@ -555,6 +566,7 @@ mod tests {
         let ctx = ExecContext {
             catalog: &catalog,
             today: 0,
+            scalar_only: false,
         };
         let cols: Vec<(String, String)> = vec![("t".into(), "x".into())];
         let rows: Vec<Vec<Value>> = vec![
@@ -585,6 +597,7 @@ mod tests {
         let ctx = ExecContext {
             catalog: &catalog,
             today: 0,
+            scalar_only: false,
         };
         let cols: Vec<(String, String)> = vec![("t".into(), "x".into())];
         let group = GroupCtx {

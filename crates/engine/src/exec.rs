@@ -1,11 +1,28 @@
 //! Query execution.
+//!
+//! Two executors share one semantics:
+//!
+//! * the **vectorized executor** (this module + [`crate::vector`]) — the
+//!   default. Tables stay columnar end to end: predicates evaluate over
+//!   column slices into selection vectors, grouping hashes key columns
+//!   batch-wise, sort/distinct/limit permute row indices, and joins build
+//!   on key columns. Expressions containing correlated subqueries drop to
+//!   a per-row scalar fallback.
+//! * the **scalar interpreter** ([`crate::scalar`], via
+//!   [`execute_scalar`]) — the original row-at-a-time tree-walker, kept as
+//!   the reference implementation; the differential property tests pin
+//!   both executors to identical outputs.
 
 use crate::analyze::{analyze_query, default_name};
 use crate::error::EngineError;
-use crate::eval::{eval_expr, eval_grouped, GroupCtx, Scope};
+use crate::eval::Scope;
+use crate::vector::{eval_grouped_vec, eval_vec, truthy_indices, VecRelation, Vector};
+use pi2_data::column::{ColumnData, RowInterner};
+use pi2_data::hash::FastMap;
 use pi2_data::{Catalog, Column, DataType, Schema, Table, Value};
 use pi2_sql::ast::{BinOp, Expr, Query, SelectItem, TableRef};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Execution context: the catalogue (which owns the table data) and the
 /// fixed "today" used by `today()` so runs are deterministic.
@@ -14,6 +31,9 @@ pub struct ExecContext<'a> {
     pub catalog: &'a Catalog,
     /// Days since 1970-01-01 returned by `today()`.
     pub today: i64,
+    /// Route every (sub)query through the scalar reference interpreter
+    /// instead of the vectorized executor.
+    pub scalar_only: bool,
 }
 
 impl<'a> ExecContext<'a> {
@@ -24,22 +44,34 @@ impl<'a> ExecContext<'a> {
         ExecContext {
             catalog,
             today: 18_809,
+            scalar_only: false,
         }
     }
-}
 
-/// An intermediate relation during execution: tagged columns + rows.
-struct Relation {
-    /// `(binding, column)` pairs.
-    cols: Vec<(String, String)>,
-    rows: Vec<Vec<Value>>,
-    /// Storage type per column (used to label untyped outputs).
-    types: Vec<DataType>,
+    /// A context whose executions all use the scalar interpreter.
+    pub fn scalar(catalog: &'a Catalog) -> Self {
+        ExecContext {
+            scalar_only: true,
+            ..ExecContext::new(catalog)
+        }
+    }
 }
 
 /// Execute a query to a result [`Table`].
 pub fn execute(query: &Query, ctx: &ExecContext<'_>) -> Result<Table, EngineError> {
     execute_with_scope(query, ctx, None)
+}
+
+/// Execute a query with the row-at-a-time reference interpreter (including
+/// every nested subquery). Used by the differential tests and benchmarks;
+/// behaviorally identical to [`execute`].
+pub fn execute_scalar(query: &Query, ctx: &ExecContext<'_>) -> Result<Table, EngineError> {
+    let scalar_ctx = ExecContext {
+        catalog: ctx.catalog,
+        today: ctx.today,
+        scalar_only: true,
+    };
+    crate::scalar::execute_scalar_with_scope(query, &scalar_ctx, None)
 }
 
 /// Execute with an optional outer scope (for correlated subqueries).
@@ -48,113 +80,194 @@ pub fn execute_with_scope(
     ctx: &ExecContext<'_>,
     outer: Option<&Scope<'_>>,
 ) -> Result<Table, EngineError> {
-    // 1. FROM: build the (cross-product) input relation.
-    let input = eval_from(query, ctx, outer)?;
+    if ctx.scalar_only {
+        return crate::scalar::execute_scalar_with_scope(query, ctx, outer);
+    }
+    execute_vectorized(query, ctx, outer)
+}
 
-    // 2. WHERE: filter rows.
-    let mut kept: Vec<&Vec<Value>> = Vec::with_capacity(input.rows.len());
-    if let Some(pred) = &query.where_clause {
-        for row in &input.rows {
-            let scope = Scope {
-                cols: &input.cols,
-                row,
-                parent: outer,
-            };
-            let v = eval_expr(pred, &scope, ctx)?;
-            if v.as_bool() == Some(true) {
-                kept.push(row);
+fn execute_vectorized(
+    query: &Query,
+    ctx: &ExecContext<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Table, EngineError> {
+    // 1. FROM: build the input relation (zero-copy for base-table scans).
+    let mut rel = eval_from_vec(query, ctx, outer)?;
+
+    // 2. WHERE: predicate → selection vector → compacted relation. Skipped
+    // on zero rows (the scalar interpreter never evaluates it then).
+    if rel.len > 0 {
+        if let Some(pred) = &query.where_clause {
+            let v = eval_vec(pred, &rel, ctx, outer)?;
+            let sel = truthy_indices(&v, rel.len);
+            if sel.len() < rel.len {
+                rel = rel.gather(&sel);
             }
         }
-    } else {
-        kept.extend(input.rows.iter());
     }
 
-    // 3. Projection (+ GROUP BY / HAVING) with ORDER BY keys computed inline.
-    let mut out_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (row, sort keys)
     if query.is_aggregate() {
-        // Group rows by the GROUP BY key (single group when absent).
-        let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
-        let mut groups: Vec<(Vec<Value>, Vec<&Vec<Value>>)> = Vec::new();
-        for row in kept {
-            let scope = Scope {
-                cols: &input.cols,
-                row,
-                parent: outer,
-            };
-            let key: Vec<Value> = query
-                .group_by
-                .iter()
-                .map(|g| eval_expr(g, &scope, ctx))
-                .collect::<Result<_, _>>()?;
-            match group_index.get(&key) {
-                Some(&i) => groups[i].1.push(row),
-                None => {
-                    group_index.insert(key.clone(), groups.len());
-                    groups.push((key, vec![row]));
-                }
-            }
-        }
-        // An implicit single group (no GROUP BY) aggregates even zero rows.
-        if query.group_by.is_empty() && groups.is_empty() {
-            groups.push((vec![], vec![]));
-        }
-        for (_, rows) in &groups {
-            let group = GroupCtx {
-                cols: &input.cols,
-                rows: rows.iter().map(|r| r.as_slice()).collect(),
-                parent: outer,
-            };
-            if let Some(h) = &query.having {
-                if eval_grouped(h, &group, ctx)?.as_bool() != Some(true) {
-                    continue;
-                }
-            }
-            let mut out = Vec::with_capacity(query.select.len());
-            for item in &query.select {
-                match item {
-                    SelectItem::Star => {
-                        return Err(EngineError::Unsupported("SELECT * with GROUP BY".into()))
-                    }
-                    SelectItem::Expr { expr, .. } => out.push(eval_grouped(expr, &group, ctx)?),
-                }
-            }
-            let keys = query
-                .order_by
-                .iter()
-                .map(|o| eval_grouped(&o.expr, &group, ctx))
-                .collect::<Result<Vec<_>, _>>()?;
-            out_rows.push((out, keys));
-        }
+        exec_aggregate(query, &rel, ctx, outer)
     } else {
-        for row in kept {
-            let scope = Scope {
-                cols: &input.cols,
-                row,
-                parent: outer,
-            };
-            let mut out = Vec::with_capacity(query.select.len());
-            for item in &query.select {
-                match item {
-                    SelectItem::Star => out.extend(row.iter().cloned()),
-                    SelectItem::Expr { expr, .. } => out.push(eval_expr(expr, &scope, ctx)?),
+        exec_projection(query, &rel, ctx, outer)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate lane: vectorized grouping, per-group evaluation
+// ---------------------------------------------------------------------------
+
+/// Group the relation's rows by the GROUP BY key columns (batch-wise
+/// hashing; equality and hashing match `Value` semantics). Groups are in
+/// first-encounter order, like the scalar interpreter's.
+fn build_groups(
+    query: &Query,
+    rel: &VecRelation,
+    ctx: &ExecContext<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Vec<Vec<u32>>, EngineError> {
+    if query.group_by.is_empty() {
+        // An implicit single group (no GROUP BY) aggregates even zero rows.
+        return Ok(vec![(0..rel.len as u32).collect()]);
+    }
+    let keycols: Vec<Arc<ColumnData>> = query
+        .group_by
+        .iter()
+        .map(|g| Ok(eval_vec(g, rel, ctx, outer)?.into_column(rel.len)))
+        .collect::<Result<_, EngineError>>()?;
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    // Single typed key: group through a direct typed map.
+    if keycols.len() == 1 {
+        match keycols[0].as_ref() {
+            ColumnData::Int64 { values, nulls } | ColumnData::Date64 { values, nulls } => {
+                let mut map: FastMap<i64, usize> = FastMap::default();
+                let mut null_group: Option<usize> = None;
+                for (i, v) in values.iter().enumerate() {
+                    let g = if nulls.is_null(i) {
+                        *null_group.get_or_insert_with(|| {
+                            groups.push(Vec::new());
+                            groups.len() - 1
+                        })
+                    } else {
+                        *map.entry(*v).or_insert_with(|| {
+                            groups.push(Vec::new());
+                            groups.len() - 1
+                        })
+                    };
+                    groups[g].push(i as u32);
                 }
+                return Ok(groups);
             }
-            let keys = query
-                .order_by
-                .iter()
-                .map(|o| eval_expr(&o.expr, &scope, ctx))
-                .collect::<Result<Vec<_>, _>>()?;
-            out_rows.push((out, keys));
+            ColumnData::Utf8 { values, nulls } => {
+                let mut map: FastMap<&str, usize> = FastMap::default();
+                let mut null_group: Option<usize> = None;
+                for (i, v) in values.iter().enumerate() {
+                    let g = if nulls.is_null(i) {
+                        *null_group.get_or_insert_with(|| {
+                            groups.push(Vec::new());
+                            groups.len() - 1
+                        })
+                    } else {
+                        *map.entry(v.as_str()).or_insert_with(|| {
+                            groups.push(Vec::new());
+                            groups.len() - 1
+                        })
+                    };
+                    groups[g].push(i as u32);
+                }
+                return Ok(groups);
+            }
+            _ => {}
         }
     }
+    // General case: intern each row's key (cheap batch hash + `Value`
+    // equality on collisions, shared with DISTINCT and the FD check).
+    let mut interner = RowInterner::new(keycols.iter().map(|c| c.as_ref()).collect());
+    let mut group_of: FastMap<u32, usize> = FastMap::default();
+    for i in 0..rel.len as u32 {
+        match interner.intern(i) {
+            Some(rep) => groups[group_of[&rep]].push(i),
+            None => {
+                group_of.insert(i, groups.len());
+                groups.push(vec![i]);
+            }
+        }
+    }
+    Ok(groups)
+}
 
-    // 4. DISTINCT.
+fn exec_aggregate(
+    query: &Query,
+    rel: &VecRelation,
+    ctx: &ExecContext<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Table, EngineError> {
+    let mut groups = build_groups(query, rel, ctx, outer)?;
+    let mut compacted: Option<VecRelation> = None;
+    if let Some(h) = &query.having {
+        let keep = eval_grouped_vec(h, rel, &groups, ctx, outer)?;
+        groups = groups
+            .into_iter()
+            .zip(keep)
+            .filter(|(_, v)| v.as_bool() == Some(true))
+            .map(|(g, _)| g)
+            .collect();
+        // Compact to the surviving groups' rows: dense aggregate-argument
+        // evaluation must never touch rows of dropped groups (the scalar
+        // interpreter never evaluates select expressions on them, and a
+        // dropped row could be one that errors).
+        let total: usize = groups.iter().map(Vec::len).sum();
+        if total < rel.len {
+            let mut sel: Vec<u32> = groups.iter().flatten().copied().collect();
+            sel.sort_unstable();
+            let mut remap = vec![0u32; rel.len];
+            for (new, &old) in sel.iter().enumerate() {
+                remap[old as usize] = new as u32;
+            }
+            for g in &mut groups {
+                for i in g.iter_mut() {
+                    *i = remap[*i as usize];
+                }
+            }
+            compacted = Some(rel.gather(&sel));
+        }
+    }
+    let rel = compacted.as_ref().unwrap_or(rel);
+    // With no groups (empty input under GROUP BY, or HAVING dropped them
+    // all) the scalar interpreter's per-group loop never runs; evaluate
+    // nothing — not even `SELECT *`'s unsupported-shape error.
+    let mut sel_vals: Vec<Vec<Value>> = Vec::with_capacity(query.select.len());
+    for item in &query.select {
+        match item {
+            SelectItem::Star if !groups.is_empty() => {
+                return Err(EngineError::Unsupported("SELECT * with GROUP BY".into()))
+            }
+            SelectItem::Star => {}
+            SelectItem::Expr { expr, .. } => {
+                sel_vals.push(eval_grouped_vec(expr, rel, &groups, ctx, outer)?)
+            }
+        }
+    }
+    let key_vals: Vec<Vec<Value>> = query
+        .order_by
+        .iter()
+        .map(|o| eval_grouped_vec(&o.expr, rel, &groups, ctx, outer))
+        .collect::<Result<_, _>>()?;
+    let mut out_rows: Vec<(Vec<Value>, Vec<Value>)> = (0..groups.len())
+        .map(|g| {
+            (
+                sel_vals.iter().map(|c| c[g].clone()).collect(),
+                key_vals.iter().map(|c| c[g].clone()).collect(),
+            )
+        })
+        .collect();
+
+    // DISTINCT / ORDER BY / LIMIT on the (small) per-group rows, exactly as
+    // the scalar interpreter orders them.
     if query.distinct {
         let mut seen = std::collections::HashSet::new();
         out_rows.retain(|(row, _)| seen.insert(row.clone()));
     }
-
-    // 5. ORDER BY.
     if !query.order_by.is_empty() {
         let descs: Vec<bool> = query.order_by.iter().map(|o| o.desc).collect();
         out_rows.sort_by(|(_, ka), (_, kb)| {
@@ -168,78 +281,141 @@ pub fn execute_with_scope(
             std::cmp::Ordering::Equal
         });
     }
-
-    // 6. LIMIT.
     if let Some(l) = query.limit {
         out_rows.truncate(l as usize);
     }
 
-    // 7. Build the output schema. Prefer static analysis; fall back to the
-    // first row's value types (correlated subqueries can defeat analysis).
-    let schema = match analyze_query(query, ctx.catalog) {
-        Ok(info) => Schema::new(
-            info.cols
-                .iter()
-                .map(|c| Column::new(c.name.clone(), c.ty.dtype()))
-                .collect(),
-        ),
-        Err(_) => fallback_schema(query, &input, out_rows.first().map(|(r, _)| r)),
-    };
-
+    let schema = derive_schema(
+        query,
+        ctx,
+        &rel.cols,
+        &rel.types,
+        out_rows.first().map(|(r, _)| r.as_slice()),
+    );
     let mut table = Table::new(schema);
     for (row, _) in out_rows {
-        // Coerce date-typed string columns so downstream ordering works.
-        table.rows.push(coerce_row(row, &table.schema));
+        table.push_row(coerce_row(row, &table.schema))?;
     }
     Ok(table)
 }
 
-/// Coerce values to their declared column types where lossless (ISO date
-/// strings → dates, ints → floats for float columns).
-fn coerce_row(row: Vec<Value>, schema: &Schema) -> Vec<Value> {
-    row.into_iter()
-        .zip(schema.columns.iter())
-        .map(|(v, c)| match (c.dtype, &v) {
-            (DataType::Date, Value::Str(_)) => v.coerce_to_date().unwrap_or(v),
-            (DataType::Float, Value::Int(i)) => Value::Float(*i as f64),
-            _ => v,
-        })
-        .collect()
-}
+// ---------------------------------------------------------------------------
+// Non-aggregate lane: fully columnar projection / distinct / order / limit
+// ---------------------------------------------------------------------------
 
-fn fallback_schema(query: &Query, input: &Relation, first: Option<&Vec<Value>>) -> Schema {
-    let mut cols = Vec::new();
-    let mut idx = 0;
+fn exec_projection(
+    query: &Query,
+    rel: &VecRelation,
+    ctx: &ExecContext<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Table, EngineError> {
+    // Zero input rows: the scalar interpreter's per-row loops never run, so
+    // no expression (not even an erroring constant) may be evaluated.
+    if rel.len == 0 {
+        let schema = derive_schema(query, ctx, &rel.cols, &rel.types, None);
+        return Ok(Table::new(schema));
+    }
+    let mut out_vecs: Vec<Vector> = Vec::with_capacity(query.select.len());
     for item in &query.select {
         match item {
             SelectItem::Star => {
-                for (i, (_, name)) in input.cols.iter().enumerate() {
-                    cols.push(Column::new(name.clone(), input.types[i]));
-                    idx += 1;
+                for c in &rel.columns {
+                    out_vecs.push(Vector::Col(Arc::clone(c)));
                 }
             }
-            SelectItem::Expr { expr, alias } => {
-                let name = alias.clone().unwrap_or_else(|| default_name(expr));
-                let dtype = first
-                    .and_then(|r| r.get(idx))
-                    .and_then(|v| v.data_type())
-                    .unwrap_or(DataType::Str);
-                cols.push(Column::new(name, dtype));
-                idx += 1;
-            }
+            SelectItem::Expr { expr, .. } => out_vecs.push(eval_vec(expr, rel, ctx, outer)?),
         }
     }
-    Schema::new(cols)
+    let key_vecs: Vec<Vector> = query
+        .order_by
+        .iter()
+        .map(|o| eval_vec(&o.expr, rel, ctx, outer))
+        .collect::<Result<_, _>>()?;
+
+    let mut idx: Vec<u32> = (0..rel.len as u32).collect();
+    if query.distinct {
+        idx = distinct_indices(&out_vecs, &idx);
+    }
+    if !query.order_by.is_empty() {
+        let descs: Vec<bool> = query.order_by.iter().map(|o| o.desc).collect();
+        // Stable sort on a row permutation: equal keys keep input order,
+        // like the scalar interpreter's Vec::sort_by.
+        idx.sort_by(|&a, &b| {
+            for (k, key) in key_vecs.iter().enumerate() {
+                let ord = vec_cmp_at(key, a as usize, b as usize);
+                let ord = if descs[k] { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(l) = query.limit {
+        idx.truncate(l as usize);
+    }
+
+    let first: Option<Vec<Value>> = idx
+        .first()
+        .map(|&i| out_vecs.iter().map(|v| v.value(i as usize)).collect());
+    let schema = derive_schema(query, ctx, &rel.cols, &rel.types, first.as_deref());
+
+    let identity = idx.len() == rel.len && idx.iter().enumerate().all(|(k, &i)| i == k as u32);
+    let cols: Vec<Arc<ColumnData>> = out_vecs
+        .into_iter()
+        .enumerate()
+        .map(|(k, v)| {
+            let col = match v {
+                Vector::Col(c) if identity => c,
+                Vector::Col(c) => Arc::new(c.gather(&idx)),
+                Vector::Const(val) => Arc::new(ColumnData::broadcast(&val, idx.len())),
+            };
+            match schema.columns.get(k) {
+                Some(sc) => coerce_column(col, sc.dtype),
+                None => col,
+            }
+        })
+        .collect();
+    Table::from_arc_columns(schema, cols).map_err(Into::into)
 }
+
+/// First-occurrence row indices under row-wise distinctness of the output
+/// vectors (hashing and equality match `Value` semantics).
+fn distinct_indices(out_vecs: &[Vector], idx: &[u32]) -> Vec<u32> {
+    // Constants are equal on every row; they cannot split rows.
+    let cols: Vec<&ColumnData> = out_vecs
+        .iter()
+        .filter_map(|v| match v {
+            Vector::Col(c) => Some(c.as_ref()),
+            Vector::Const(_) => None,
+        })
+        .collect();
+    let mut interner = RowInterner::new(cols);
+    idx.iter()
+        .copied()
+        .filter(|&i| interner.intern(i).is_none())
+        .collect()
+}
+
+fn vec_cmp_at(v: &Vector, a: usize, b: usize) -> std::cmp::Ordering {
+    match v {
+        Vector::Col(c) => c.cmp_at(a, c, b),
+        Vector::Const(_) => std::cmp::Ordering::Equal,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FROM: scans, hash joins, cross products
+// ---------------------------------------------------------------------------
 
 /// Evaluate the FROM clause into a single relation. Two-table FROM clauses
 /// with an equality conjunct between the tables (the SDSS `s.bestObjID =
 /// gal.objID` shape) use a hash equijoin instead of a cross product.
-fn eval_from(
+fn eval_from_vec(
     query: &Query,
     ctx: &ExecContext<'_>,
     outer: Option<&Scope<'_>>,
-) -> Result<Relation, EngineError> {
+) -> Result<VecRelation, EngineError> {
     let mut parts: Vec<(String, Table)> = Vec::with_capacity(query.from.len());
     for tref in &query.from {
         let (binding, table) = match tref {
@@ -247,7 +423,7 @@ fn eval_from(
                 let meta = ctx.catalog.require_table(name)?;
                 (
                     alias.clone().unwrap_or_else(|| name.clone()),
-                    meta.table.clone(),
+                    meta.table.clone(), // cheap: Arc-shared columns
                 )
             }
             TableRef::Subquery { query: subq, alias } => {
@@ -261,30 +437,31 @@ fn eval_from(
         if let Some((lc, rc)) = equijoin_columns(query, &parts) {
             let (right_binding, right_table) = parts.pop().unwrap();
             let (left_binding, left_table) = parts.pop().unwrap();
-            return Ok(hash_join(
-                left_binding,
-                left_table,
+            return Ok(hash_join_vec(
+                &left_binding,
+                &left_table,
                 lc,
-                right_binding,
-                right_table,
+                &right_binding,
+                &right_table,
                 rc,
             ));
         }
     }
-    let mut rel = Relation {
+    let mut rel = VecRelation {
         cols: vec![],
-        rows: vec![vec![]],
         types: vec![],
+        columns: vec![],
+        len: 1,
     };
     for (binding, table) in parts {
-        rel = cross_product(rel, binding, table);
+        rel = cross_product_vec(rel, &binding, &table);
     }
     Ok(rel)
 }
 
 /// Find a top-level equality conjunct `a.x = b.y` joining the two FROM
 /// relations; returns the column indices (left, right).
-fn equijoin_columns(query: &Query, parts: &[(String, Table)]) -> Option<(usize, usize)> {
+pub(crate) fn equijoin_columns(query: &Query, parts: &[(String, Table)]) -> Option<(usize, usize)> {
     fn conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
         if let Expr::Binary {
             left,
@@ -345,65 +522,291 @@ fn equijoin_columns(query: &Query, parts: &[(String, Table)]) -> Option<(usize, 
     None
 }
 
-/// Hash equijoin of two tables (NULL keys never match, per SQL semantics).
-fn hash_join(
-    left_binding: String,
-    left: Table,
+/// Hash equijoin building directly on the key columns (NULL keys never
+/// match, per SQL semantics). Same-typed integer/date keys index by `i64`,
+/// string keys by `&str`; anything else falls back to `Value` keys, which
+/// replicate the scalar join's cross-type equality.
+fn hash_join_vec(
+    left_binding: &str,
+    left: &Table,
     left_col: usize,
-    right_binding: String,
-    right: Table,
+    right_binding: &str,
+    right: &Table,
     right_col: usize,
-) -> Relation {
+) -> VecRelation {
     let mut cols = Vec::with_capacity(left.num_columns() + right.num_columns());
     let mut types = Vec::with_capacity(cols.capacity());
     for c in &left.schema.columns {
-        cols.push((left_binding.clone(), c.name.clone()));
+        cols.push((left_binding.to_string(), c.name.clone()));
         types.push(c.dtype);
     }
     for c in &right.schema.columns {
-        cols.push((right_binding.clone(), c.name.clone()));
+        cols.push((right_binding.to_string(), c.name.clone()));
         types.push(c.dtype);
     }
-    let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
-    for (i, row) in right.rows.iter().enumerate() {
-        let key = &row[right_col];
-        if !key.is_null() {
-            index.entry(key.clone()).or_default().push(i);
+
+    let lkey = left.col(left_col);
+    let rkey = right.col(right_col);
+    let mut lidx: Vec<u32> = Vec::new();
+    let mut ridx: Vec<u32> = Vec::new();
+    // Build-side index: key → first matching right row, with duplicates
+    // chained through `next` (one map entry + no per-key Vec allocations).
+    // Building in reverse keeps each chain in ascending right-row order,
+    // matching the scalar join's match order.
+    const NONE: u32 = u32::MAX;
+    let rn_rows = right.num_rows();
+    let mut next: Vec<u32> = vec![NONE; rn_rows];
+    fn probe(next: &[u32], lidx: &mut Vec<u32>, ridx: &mut Vec<u32>, i: u32, mut r: u32) {
+        while r != NONE {
+            lidx.push(i);
+            ridx.push(r);
+            r = next[r as usize];
         }
     }
-    let mut rows = Vec::new();
-    for lrow in &left.rows {
-        let key = &lrow[left_col];
-        if key.is_null() {
-            continue;
+    match (lkey, rkey) {
+        (
+            ColumnData::Int64 {
+                values: lv,
+                nulls: ln,
+            },
+            ColumnData::Int64 {
+                values: rv,
+                nulls: rn,
+            },
+        )
+        | (
+            ColumnData::Date64 {
+                values: lv,
+                nulls: ln,
+            },
+            ColumnData::Date64 {
+                values: rv,
+                nulls: rn,
+            },
+        ) => {
+            let mut head: FastMap<i64, u32> = FastMap::default();
+            for (i, v) in rv.iter().enumerate().rev() {
+                if !rn.is_null(i) {
+                    if let Some(&h) = head.get(v) {
+                        next[i] = h;
+                    }
+                    head.insert(*v, i as u32);
+                }
+            }
+            for (i, v) in lv.iter().enumerate() {
+                if !ln.is_null(i) {
+                    if let Some(&r) = head.get(v) {
+                        probe(&next, &mut lidx, &mut ridx, i as u32, r);
+                    }
+                }
+            }
         }
-        if let Some(matches) = index.get(key) {
-            for &ri in matches {
-                let mut row = lrow.clone();
-                row.extend(right.rows[ri].iter().cloned());
-                rows.push(row);
+        (
+            ColumnData::Utf8 {
+                values: lv,
+                nulls: ln,
+            },
+            ColumnData::Utf8 {
+                values: rv,
+                nulls: rn,
+            },
+        ) => {
+            let mut head: FastMap<&str, u32> = FastMap::default();
+            for (i, v) in rv.iter().enumerate().rev() {
+                if !rn.is_null(i) {
+                    if let Some(&h) = head.get(v.as_str()) {
+                        next[i] = h;
+                    }
+                    head.insert(v.as_str(), i as u32);
+                }
+            }
+            for (i, v) in lv.iter().enumerate() {
+                if !ln.is_null(i) {
+                    if let Some(&r) = head.get(v.as_str()) {
+                        probe(&next, &mut lidx, &mut ridx, i as u32, r);
+                    }
+                }
+            }
+        }
+        _ => {
+            // Generic keys replicate the scalar join's `Value` hash/equality
+            // (including Int/Float cross-type equality).
+            let mut head: HashMap<Value, u32> = HashMap::new();
+            for i in (0..rn_rows).rev() {
+                let key = rkey.value(i);
+                if !key.is_null() {
+                    if let Some(&h) = head.get(&key) {
+                        next[i] = h;
+                    }
+                    head.insert(key, i as u32);
+                }
+            }
+            for i in 0..left.num_rows() {
+                let key = lkey.value(i);
+                if key.is_null() {
+                    continue;
+                }
+                if let Some(&r) = head.get(&key) {
+                    probe(&next, &mut lidx, &mut ridx, i as u32, r);
+                }
             }
         }
     }
-    Relation { cols, rows, types }
+
+    let mut columns: Vec<Arc<ColumnData>> =
+        Vec::with_capacity(left.num_columns() + right.num_columns());
+    for i in 0..left.num_columns() {
+        columns.push(Arc::new(left.col(i).gather(&lidx)));
+    }
+    for i in 0..right.num_columns() {
+        columns.push(Arc::new(right.col(i).gather(&ridx)));
+    }
+    VecRelation {
+        cols,
+        types,
+        columns,
+        len: lidx.len(),
+    }
 }
 
-fn cross_product(left: Relation, binding: String, right: Table) -> Relation {
+fn cross_product_vec(left: VecRelation, binding: &str, right: &Table) -> VecRelation {
     let mut cols = left.cols;
     let mut types = left.types;
     for c in &right.schema.columns {
-        cols.push((binding.clone(), c.name.clone()));
+        cols.push((binding.to_string(), c.name.clone()));
         types.push(c.dtype);
     }
-    let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len().max(1));
-    for l in &left.rows {
-        for r in &right.rows {
-            let mut row = l.clone();
-            row.extend(r.iter().cloned());
-            rows.push(row);
+    let (ln, rn) = (left.len, right.num_rows());
+    // Unit left relation: the result *is* the right table (zero-copy scan).
+    if ln == 1 && left.columns.is_empty() {
+        let columns = (0..right.num_columns())
+            .map(|i| Arc::clone(right.col_arc(i)))
+            .collect();
+        return VecRelation {
+            cols,
+            types,
+            columns,
+            len: rn,
+        };
+    }
+    let n = ln * rn;
+    let mut lidx = Vec::with_capacity(n);
+    let mut ridx = Vec::with_capacity(n);
+    for l in 0..ln as u32 {
+        for r in 0..rn as u32 {
+            lidx.push(l);
+            ridx.push(r);
         }
     }
-    Relation { cols, rows, types }
+    let mut columns: Vec<Arc<ColumnData>> = Vec::with_capacity(cols.len());
+    for c in &left.columns {
+        columns.push(Arc::new(c.gather(&lidx)));
+    }
+    for i in 0..right.num_columns() {
+        columns.push(Arc::new(right.col(i).gather(&ridx)));
+    }
+    VecRelation {
+        cols,
+        types,
+        columns,
+        len: n,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Output shaping shared by both executors
+// ---------------------------------------------------------------------------
+
+/// Coerce values to their declared column types where lossless (ISO date
+/// strings → dates, ints → floats for float columns).
+pub(crate) fn coerce_row(row: Vec<Value>, schema: &Schema) -> Vec<Value> {
+    row.into_iter()
+        .zip(schema.columns.iter())
+        .map(|(v, c)| match (c.dtype, &v) {
+            (DataType::Date, Value::Str(_)) => v.coerce_to_date().unwrap_or(v),
+            (DataType::Float, Value::Int(i)) => Value::Float(*i as f64),
+            _ => v,
+        })
+        .collect()
+}
+
+/// Column-wise [`coerce_row`]: casts whole columns when the representation
+/// allows (Int64 → Float64), per-value otherwise.
+fn coerce_column(col: Arc<ColumnData>, dtype: DataType) -> Arc<ColumnData> {
+    match (dtype, col.as_ref()) {
+        (DataType::Float, ColumnData::Int64 { values, nulls }) => Arc::new(ColumnData::Float64 {
+            values: values.iter().map(|v| *v as f64).collect(),
+            nulls: nulls.clone(),
+        }),
+        (DataType::Date, ColumnData::Utf8 { .. })
+        | (DataType::Date, ColumnData::Mixed(_))
+        | (DataType::Float, ColumnData::Mixed(_)) => {
+            let vals: Vec<Value> = col
+                .iter()
+                .map(|v| match (dtype, &v) {
+                    (DataType::Date, Value::Str(_)) => v.coerce_to_date().unwrap_or(v),
+                    (DataType::Float, Value::Int(i)) => Value::Float(*i as f64),
+                    _ => v,
+                })
+                .collect();
+            Arc::new(ColumnData::from_values(vals, Some(dtype)))
+        }
+        _ => col,
+    }
+}
+
+/// Output schema for a query: static analysis when it succeeds, else
+/// [`fallback_schema`] from the first output row. The one derivation both
+/// executors use, so their output schemas cannot diverge.
+pub(crate) fn derive_schema(
+    query: &Query,
+    ctx: &ExecContext<'_>,
+    input_cols: &[(String, String)],
+    input_types: &[DataType],
+    first: Option<&[Value]>,
+) -> Schema {
+    match analyze_query(query, ctx.catalog) {
+        Ok(info) => Schema::new(
+            info.cols
+                .iter()
+                .map(|c| Column::new(c.name.clone(), c.ty.dtype()))
+                .collect(),
+        ),
+        Err(_) => fallback_schema(query, input_cols, input_types, first),
+    }
+}
+
+/// Output schema when static analysis fails: names from the select list,
+/// types from the first output row (correlated subqueries can defeat
+/// analysis).
+pub(crate) fn fallback_schema(
+    query: &Query,
+    input_cols: &[(String, String)],
+    input_types: &[DataType],
+    first: Option<&[Value]>,
+) -> Schema {
+    let mut cols = Vec::new();
+    let mut idx = 0;
+    for item in &query.select {
+        match item {
+            SelectItem::Star => {
+                for (i, (_, name)) in input_cols.iter().enumerate() {
+                    cols.push(Column::new(name.clone(), input_types[i]));
+                    idx += 1;
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                let name = alias.clone().unwrap_or_else(|| default_name(expr));
+                let dtype = first
+                    .and_then(|r| r.get(idx))
+                    .and_then(|v| v.data_type())
+                    .unwrap_or(DataType::Str);
+                cols.push(Column::new(name, dtype));
+                idx += 1;
+            }
+        }
+    }
+    Schema::new(cols)
 }
 
 #[cfg(test)]
@@ -463,10 +866,16 @@ mod tests {
         c
     }
 
+    /// Execute with both engines, pin them equal, return the vectorized
+    /// result — every test below is a differential test.
     fn run(sql: &str) -> Table {
         let catalog = catalog();
         let ctx = ExecContext::new(&catalog);
-        execute(&parse_query(sql).unwrap(), &ctx).unwrap()
+        let q = parse_query(sql).unwrap();
+        let vectorized = execute(&q, &ctx).unwrap();
+        let scalar = execute_scalar(&q, &ctx).unwrap();
+        assert_eq!(vectorized, scalar, "executors disagree on {sql}");
+        vectorized
     }
 
     #[test]
@@ -474,15 +883,15 @@ mod tests {
         let t = run("SELECT p, b FROM T WHERE a = 2");
         assert_eq!(t.num_rows(), 3);
         assert_eq!(t.schema.names(), vec!["p", "b"]);
-        assert_eq!(t.rows[0], vec![Value::Int(3), Value::Int(30)]);
+        assert_eq!(t.row(0), vec![Value::Int(3), Value::Int(30)]);
     }
 
     #[test]
     fn group_by_count() {
         let t = run("SELECT a, count(*) FROM T GROUP BY a");
         assert_eq!(t.num_rows(), 2);
-        assert_eq!(t.rows[0], vec![Value::Int(1), Value::Int(2)]);
-        assert_eq!(t.rows[1], vec![Value::Int(2), Value::Int(3)]);
+        assert_eq!(t.row(0), vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(t.row(1), vec![Value::Int(2), Value::Int(3)]);
         assert_eq!(t.schema.names(), vec!["a", "count"]);
     }
 
@@ -490,7 +899,7 @@ mod tests {
     fn aggregates_without_group_by() {
         let t = run("SELECT count(*), sum(b), avg(b), min(b), max(b) FROM T");
         assert_eq!(
-            t.rows[0],
+            t.row(0),
             vec![
                 Value::Int(5),
                 Value::Int(150),
@@ -505,14 +914,14 @@ mod tests {
     fn empty_input_aggregate_returns_one_row() {
         let t = run("SELECT count(*) FROM T WHERE a = 99");
         assert_eq!(t.num_rows(), 1);
-        assert_eq!(t.rows[0], vec![Value::Int(0)]);
+        assert_eq!(t.row(0), vec![Value::Int(0)]);
     }
 
     #[test]
     fn having_filters_groups() {
         let t = run("SELECT a, count(*) FROM T GROUP BY a HAVING count(*) > 2");
         assert_eq!(t.num_rows(), 1);
-        assert_eq!(t.rows[0], vec![Value::Int(2), Value::Int(3)]);
+        assert_eq!(t.row(0), vec![Value::Int(2), Value::Int(3)]);
     }
 
     #[test]
@@ -524,13 +933,13 @@ mod tests {
     #[test]
     fn order_by_desc_and_limit() {
         let t = run("SELECT p FROM T ORDER BY b DESC LIMIT 2");
-        assert_eq!(t.rows, vec![vec![Value::Int(5)], vec![Value::Int(4)]]);
+        assert_eq!(t.to_rows(), vec![vec![Value::Int(5)], vec![Value::Int(4)]]);
     }
 
     #[test]
     fn order_by_aggregate() {
         let t = run("SELECT a FROM T GROUP BY a ORDER BY count(*) DESC");
-        assert_eq!(t.rows, vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
+        assert_eq!(t.to_rows(), vec![vec![Value::Int(2)], vec![Value::Int(1)]]);
     }
 
     #[test]
@@ -542,7 +951,7 @@ mod tests {
     #[test]
     fn subquery_in_from() {
         let t = run("SELECT x FROM (SELECT b AS x FROM T WHERE a = 1) AS sq WHERE x > 15");
-        assert_eq!(t.rows, vec![vec![Value::Int(20)]]);
+        assert_eq!(t.to_rows(), vec![vec![Value::Int(20)]]);
         assert_eq!(t.schema.names(), vec!["x"]);
     }
 
@@ -561,7 +970,7 @@ mod tests {
     #[test]
     fn scalar_subquery() {
         let t = run("SELECT p FROM T WHERE b = (SELECT max(b) FROM T)");
-        assert_eq!(t.rows, vec![vec![Value::Int(5)]]);
+        assert_eq!(t.to_rows(), vec![vec![Value::Int(5)]]);
     }
 
     #[test]
@@ -575,8 +984,7 @@ mod tests {
         );
         assert_eq!(t.num_rows(), 2);
         let mut got: Vec<(String, String, i64)> = t
-            .rows
-            .iter()
+            .iter_rows()
             .map(|r| {
                 (
                     r[0].as_str().unwrap().to_string(),
@@ -602,15 +1010,15 @@ mod tests {
     #[test]
     fn expression_projection() {
         let t = run("SELECT b / 10 AS tens FROM T WHERE p = 3");
-        assert_eq!(t.rows[0][0], Value::Float(3.0));
+        assert_eq!(t.value(0, 0), Value::Float(3.0));
         assert_eq!(t.schema.columns[0].name, "tens");
     }
 
     #[test]
     fn boolean_projection() {
         let t = run("SELECT p, a IN (1) AS flag FROM T ORDER BY p");
-        assert_eq!(t.rows[0][1], Value::Bool(true));
-        assert_eq!(t.rows[4][1], Value::Bool(false));
+        assert_eq!(t.value(0, 1), Value::Bool(true));
+        assert_eq!(t.value(4, 1), Value::Bool(false));
         assert_eq!(t.schema.columns[1].dtype, DataType::Bool);
     }
 
@@ -623,6 +1031,10 @@ mod tests {
             execute(&q, &ctx),
             Err(EngineError::Data(pi2_data::DataError::UnknownTable(_)))
         ));
+        assert!(matches!(
+            execute_scalar(&q, &ctx),
+            Err(EngineError::Data(pi2_data::DataError::UnknownTable(_)))
+        ));
     }
 
     #[test]
@@ -630,7 +1042,7 @@ mod tests {
         // Same query via the join path and via an IN-subquery reference.
         let t = run("SELECT t1.p, t2.b FROM T AS t1, T AS t2 WHERE t1.p = t2.p AND t2.b > 20");
         assert_eq!(t.num_rows(), 3); // p = 3, 4, 5 have b > 20
-        for row in &t.rows {
+        for row in t.iter_rows() {
             assert!(row[1].as_i64().unwrap() > 20);
         }
     }
@@ -654,11 +1066,168 @@ mod tests {
         let q = parse_query("SELECT A.k FROM A, B WHERE A.k = B.k2").unwrap();
         let t = execute(&q, &ctx).unwrap();
         assert_eq!(t.num_rows(), 1, "NULL join keys never match");
+        assert_eq!(t, execute_scalar(&q, &ctx).unwrap());
     }
 
     #[test]
     fn group_by_multiple_keys() {
         let t = run("SELECT city, product, sum(total) FROM sales GROUP BY city, product");
         assert_eq!(t.num_rows(), 4);
+    }
+
+    #[test]
+    fn projection_of_base_columns_shares_storage() {
+        // SELECT a, b FROM T with no filtering must not copy column data.
+        let catalog = catalog();
+        let ctx = ExecContext::new(&catalog);
+        let q = parse_query("SELECT p, a, b FROM T").unwrap();
+        let t = execute(&q, &ctx).unwrap();
+        let base = &catalog.table("T").unwrap().table;
+        for i in 0..3 {
+            assert!(
+                Arc::ptr_eq(t.col_arc(i), base.col_arc(i)),
+                "column {i} was copied"
+            );
+        }
+    }
+
+    #[test]
+    fn nulls_flow_through_filters_and_aggregates() {
+        let mut catalog = Catalog::new();
+        let t = Table::from_rows(
+            vec![("x", DataType::Int), ("s", DataType::Str)],
+            vec![
+                vec![Value::Int(1), Value::Str("a".into())],
+                vec![Value::Null, Value::Str("a".into())],
+                vec![Value::Int(3), Value::Null],
+                vec![Value::Int(1), Value::Str("b".into())],
+            ],
+        )
+        .unwrap();
+        catalog.add_table("N", t, vec![]);
+        let ctx = ExecContext::new(&catalog);
+        for sql in [
+            "SELECT x FROM N WHERE x > 0",
+            "SELECT count(x), count(*), sum(x), min(x) FROM N",
+            "SELECT s, count(*) FROM N GROUP BY s",
+            "SELECT x FROM N WHERE x IS NOT NULL ORDER BY x DESC",
+            "SELECT x FROM N WHERE s IS NULL",
+            "SELECT DISTINCT x FROM N",
+            "SELECT x FROM N WHERE x IN (1, 3)",
+            "SELECT x, x IS NULL FROM N",
+        ] {
+            let q = parse_query(sql).unwrap();
+            assert_eq!(
+                execute(&q, &ctx).unwrap(),
+                execute_scalar(&q, &ctx).unwrap(),
+                "executors disagree on {sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn having_dropped_groups_are_never_evaluated() {
+        // A group dropped by HAVING contains a row whose select expression
+        // errors (a Str in an Int-declared column, so `s + 1` is a type
+        // error). The scalar interpreter never evaluates select expressions
+        // on dropped groups; the vectorized executor must not either.
+        let mut catalog = Catalog::new();
+        let mut t = Table::from_rows(
+            vec![("g", DataType::Int), ("s", DataType::Int)],
+            vec![
+                vec![Value::Int(2), Value::Int(3)],
+                vec![Value::Int(2), Value::Int(4)],
+            ],
+        )
+        .unwrap();
+        t.push_row(vec![Value::Int(1), Value::Str("x".into())])
+            .unwrap();
+        catalog.add_table("T", t, vec![]);
+        let ctx = ExecContext::new(&catalog);
+        let q = parse_query("SELECT g, sum(s + 1) FROM T GROUP BY g HAVING count(*) > 1").unwrap();
+        let vectorized = execute(&q, &ctx).unwrap();
+        let scalar = execute_scalar(&q, &ctx).unwrap();
+        assert_eq!(vectorized, scalar);
+        assert_eq!(vectorized.row(0), vec![Value::Int(2), Value::Int(9)]);
+    }
+
+    #[test]
+    fn short_circuited_groups_are_never_evaluated() {
+        // The right side of a grouped AND must only see the rows of groups
+        // whose left side did not short-circuit; the g=1 group holds the
+        // row that would make `s + 1` a type error.
+        let mut catalog = Catalog::new();
+        let mut t = Table::from_rows(
+            vec![("g", DataType::Int), ("s", DataType::Int)],
+            vec![
+                vec![Value::Int(2), Value::Int(3)],
+                vec![Value::Int(2), Value::Int(4)],
+            ],
+        )
+        .unwrap();
+        t.push_row(vec![Value::Int(1), Value::Str("x".into())])
+            .unwrap();
+        catalog.add_table("T", t, vec![]);
+        let ctx = ExecContext::new(&catalog);
+        let q = parse_query(
+            "SELECT g, count(*) FROM T GROUP BY g HAVING count(*) > 1 AND sum(s + 1) > 0",
+        )
+        .unwrap();
+        let vectorized = execute(&q, &ctx).unwrap();
+        assert_eq!(vectorized, execute_scalar(&q, &ctx).unwrap());
+        assert_eq!(
+            vectorized.to_rows(),
+            vec![vec![Value::Int(2), Value::Int(2)]]
+        );
+    }
+
+    #[test]
+    fn empty_inputs_never_evaluate_expressions() {
+        // With zero input rows (or zero groups) the scalar interpreter's
+        // per-row/per-group loops never run, so even erroring constant
+        // expressions and the SELECT-*-with-GROUP-BY shape must not raise.
+        let catalog = catalog();
+        let ctx = ExecContext::new(&catalog);
+        for sql in [
+            "SELECT 'a' + 1 FROM T WHERE a = 99",
+            "SELECT * FROM T WHERE a = 99 GROUP BY a",
+            "SELECT a, 'a' + 1 FROM T WHERE a = 99 GROUP BY a",
+        ] {
+            let q = parse_query(sql).unwrap();
+            let vectorized = execute(&q, &ctx).unwrap();
+            let scalar = execute_scalar(&q, &ctx).unwrap();
+            assert_eq!(vectorized, scalar, "executors disagree on {sql}");
+            assert_eq!(vectorized.num_rows(), 0);
+        }
+    }
+
+    #[test]
+    fn dates_and_strings_compare_vectorized() {
+        let mut catalog = Catalog::new();
+        let t = Table::from_rows(
+            vec![("d", DataType::Date), ("s", DataType::Str)],
+            vec![
+                vec![Value::Date(10), Value::Str("CA".into())],
+                vec![Value::Date(20), Value::Str("NY".into())],
+                vec![Value::Date(30), Value::Str("CA".into())],
+            ],
+        )
+        .unwrap();
+        catalog.add_table("D", t, vec![]);
+        let ctx = ExecContext::new(&catalog);
+        for sql in [
+            "SELECT d FROM D WHERE d > '1970-01-15'",
+            "SELECT d FROM D WHERE s = 'CA'",
+            "SELECT d FROM D WHERE s LIKE 'C%'",
+            "SELECT d + 5 FROM D",
+            "SELECT d FROM D WHERE d BETWEEN '1970-01-05' AND '1970-01-25'",
+        ] {
+            let q = parse_query(sql).unwrap();
+            assert_eq!(
+                execute(&q, &ctx).unwrap(),
+                execute_scalar(&q, &ctx).unwrap(),
+                "executors disagree on {sql}"
+            );
+        }
     }
 }

@@ -22,7 +22,9 @@ pub mod analyze;
 pub mod error;
 pub mod eval;
 pub mod exec;
+mod scalar;
+mod vector;
 
 pub use analyze::{analyze_query, ColType, OutCol, QueryInfo};
 pub use error::EngineError;
-pub use exec::{execute, ExecContext};
+pub use exec::{execute, execute_scalar, ExecContext};

@@ -1,0 +1,1107 @@
+//! Vectorized expression evaluation over column slices.
+//!
+//! [`eval_vec`] evaluates a row-level expression against a whole
+//! [`VecRelation`] at once, producing a [`Vector`] — either a column of
+//! results or a broadcast constant. Typed fast paths cover the hot shapes
+//! (numeric/string comparisons against literals, column-column arithmetic,
+//! `IN` membership over integer/string sets); everything else falls back to
+//! per-element evaluation through the *same* scalar kernels the row
+//! interpreter uses ([`crate::eval`]), so both executors agree by
+//! construction.
+//!
+//! Expressions containing **correlated subqueries** (detected by static
+//! analysis failing to resolve their columns internally) cannot be
+//! vectorized; they drop to a per-row scalar fallback that materializes one
+//! row at a time — exactly what the row interpreter would have done.
+//! Uncorrelated subqueries are hoisted: executed once and folded into a
+//! constant (scalar subqueries) or a membership set (`IN`).
+//!
+//! [`eval_grouped_vec`] is the group-level counterpart: aggregates consume
+//! dense argument columns through per-group selection indices; the
+//! per-group combination logic (a few values per group) reuses the scalar
+//! kernels.
+
+use crate::error::EngineError;
+use crate::eval::{
+    self, apply_binary, apply_scalar_function, apply_unary, eval_between, eval_logical, like_match,
+    literal_value, Scope,
+};
+use crate::exec::{execute_with_scope, ExecContext};
+use pi2_data::column::{ColumnData, NullMask};
+use pi2_data::{DataType, Value};
+use pi2_sql::ast::{is_aggregate_function, BinOp, Expr, Query, UnaryOp};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// A relation during vectorized execution: tagged, typed, `Arc`-shared
+/// columns (scans of base tables are zero-copy).
+pub(crate) struct VecRelation {
+    /// `(binding, column)` pairs.
+    pub cols: Vec<(String, String)>,
+    /// Storage type per column (used to label untyped outputs).
+    pub types: Vec<DataType>,
+    /// The columns, parallel to `cols`.
+    pub columns: Vec<Arc<ColumnData>>,
+    /// Row count (kept separately: a FROM-less relation has one row and no
+    /// columns).
+    pub len: usize,
+}
+
+impl VecRelation {
+    /// Column index for a (possibly qualified) name, with the same
+    /// first-match semantics as [`Scope::lookup`].
+    pub fn lookup(&self, table: Option<&str>, name: &str) -> Option<usize> {
+        self.cols.iter().position(|(b, c)| {
+            c.eq_ignore_ascii_case(name) && table.is_none_or(|t| b.eq_ignore_ascii_case(t))
+        })
+    }
+
+    /// Materialize row `i`.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// The relation restricted to the given rows.
+    pub fn gather(&self, idx: &[u32]) -> VecRelation {
+        VecRelation {
+            cols: self.cols.clone(),
+            types: self.types.clone(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| Arc::new(c.gather(idx)))
+                .collect(),
+            len: idx.len(),
+        }
+    }
+}
+
+/// A vectorized evaluation result: a column, or a constant broadcast over
+/// the relation's rows.
+#[derive(Clone)]
+pub(crate) enum Vector {
+    /// One value per row.
+    Col(Arc<ColumnData>),
+    /// The same value for every row.
+    Const(Value),
+}
+
+impl Vector {
+    pub(crate) fn owned(col: ColumnData) -> Vector {
+        Vector::Col(Arc::new(col))
+    }
+
+    /// The value at row `i`.
+    pub(crate) fn value(&self, i: usize) -> Value {
+        match self {
+            Vector::Col(c) => c.value(i),
+            Vector::Const(v) => v.clone(),
+        }
+    }
+
+    /// The vector as a full column of `n` rows.
+    pub(crate) fn into_column(self, n: usize) -> Arc<ColumnData> {
+        match self {
+            Vector::Col(c) => c,
+            Vector::Const(v) => Arc::new(ColumnData::broadcast(&v, n)),
+        }
+    }
+
+    /// SQL truthiness at row `i` (matches `Value::as_bool` + NULL rules).
+    fn truthy(&self, i: usize) -> bool {
+        match self {
+            Vector::Const(v) => v.as_bool() == Some(true),
+            Vector::Col(c) => match c.as_ref() {
+                ColumnData::Bool { values, nulls } => values[i] && !nulls.is_null(i),
+                ColumnData::Int64 { values, nulls } => values[i] != 0 && !nulls.is_null(i),
+                ColumnData::Mixed(values) => values[i].as_bool() == Some(true),
+                _ => false,
+            },
+        }
+    }
+
+    /// Three-valued boolean view at row `i`.
+    fn bool3(&self, i: usize) -> Option<bool> {
+        match self {
+            Vector::Const(v) => v.as_bool(),
+            Vector::Col(c) => match c.as_ref() {
+                ColumnData::Bool { values, nulls } => (!nulls.is_null(i)).then(|| values[i]),
+                ColumnData::Int64 { values, nulls } => (!nulls.is_null(i)).then(|| values[i] != 0),
+                ColumnData::Mixed(values) => values[i].as_bool(),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Row indices where the predicate vector is true.
+pub(crate) fn truthy_indices(v: &Vector, n: usize) -> Vec<u32> {
+    match v {
+        Vector::Const(c) => {
+            if c.as_bool() == Some(true) {
+                (0..n as u32).collect()
+            } else {
+                Vec::new()
+            }
+        }
+        Vector::Col(c) => match c.as_ref() {
+            ColumnData::Bool { values, nulls } if nulls.null_count() == 0 => values
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v)
+                .map(|(i, _)| i as u32)
+                .collect(),
+            _ => (0..n as u32).filter(|&i| v.truthy(i as usize)).collect(),
+        },
+    }
+}
+
+/// Accumulates a nullable boolean column.
+struct BoolBuilder {
+    values: Vec<bool>,
+    nulls: NullMask,
+}
+
+impl BoolBuilder {
+    fn with_capacity(n: usize) -> BoolBuilder {
+        BoolBuilder {
+            values: Vec::with_capacity(n),
+            nulls: NullMask::new(),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, v: Option<bool>) {
+        self.values.push(v.unwrap_or(false));
+        self.nulls.push(v.is_none());
+    }
+
+    fn finish(self) -> Vector {
+        Vector::owned(ColumnData::Bool {
+            values: self.values,
+            nulls: self.nulls,
+        })
+    }
+}
+
+/// Evaluate a row-level expression over a relation.
+pub(crate) fn eval_vec(
+    expr: &Expr,
+    rel: &VecRelation,
+    ctx: &ExecContext<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Vector, EngineError> {
+    match expr {
+        Expr::Literal(l) => Ok(Vector::Const(literal_value(l))),
+        Expr::Column { table, name } => match rel.lookup(table.as_deref(), name) {
+            Some(i) => Ok(Vector::Col(Arc::clone(&rel.columns[i]))),
+            None => outer
+                .and_then(|s| s.lookup(table.as_deref(), name))
+                .map(|v| Vector::Const(v.clone()))
+                .ok_or_else(|| EngineError::UnresolvedColumn(expr.to_string())),
+        },
+        Expr::Star => Err(EngineError::Unsupported("bare * outside count(*)".into())),
+        Expr::Unary { op, expr: inner } => {
+            let v = eval_vec(inner, rel, ctx, outer)?;
+            unary_vec(*op, v, rel.len)
+        }
+        Expr::Binary { left, op, right } => {
+            if *op == BinOp::And || *op == BinOp::Or {
+                let l = eval_vec(left, rel, ctx, outer)?;
+                return logical_vec(*op, l, right, expr, rel, ctx, outer);
+            }
+            let l = eval_vec(left, rel, ctx, outer)?;
+            let r = eval_vec(right, rel, ctx, outer)?;
+            binary_vec(*op, &l, &r, rel.len)
+        }
+        Expr::Between {
+            expr: inner,
+            negated,
+            low,
+            high,
+        } => {
+            let v = eval_vec(inner, rel, ctx, outer)?;
+            let lo = eval_vec(low, rel, ctx, outer)?;
+            let hi = eval_vec(high, rel, ctx, outer)?;
+            between_vec(&v, &lo, &hi, *negated, rel.len)
+        }
+        Expr::InList {
+            expr: inner,
+            negated,
+            list,
+        } => {
+            let v = eval_vec(inner, rel, ctx, outer)?;
+            let mut items = Vec::with_capacity(list.len());
+            for item in list {
+                match eval_vec(item, rel, ctx, outer) {
+                    Ok(Vector::Const(c)) => items.push(c),
+                    // Non-constant or failing items: evaluate the whole IN
+                    // per row (preserves the interpreter's lazy item order).
+                    _ => return eval_per_row(expr, rel, ctx, outer),
+                }
+            }
+            Ok(membership_vec(&v, &items, *negated, rel.len))
+        }
+        Expr::InSubquery {
+            expr: inner,
+            negated,
+            query,
+        } => {
+            if !is_uncorrelated(query, ctx) {
+                return eval_per_row(expr, rel, ctx, outer);
+            }
+            let v = eval_vec(inner, rel, ctx, outer)?;
+            let result = execute_with_scope(query, ctx, None)?;
+            let items: Vec<Value> = if result.num_columns() > 0 {
+                result.column_values(0).collect()
+            } else {
+                vec![Value::Null; result.num_rows()]
+            };
+            Ok(membership_vec(&v, &items, *negated, rel.len))
+        }
+        Expr::IsNull {
+            expr: inner,
+            negated,
+        } => {
+            let v = eval_vec(inner, rel, ctx, outer)?;
+            Ok(match v {
+                Vector::Const(c) => Vector::Const(Value::Bool(c.is_null() != *negated)),
+                Vector::Col(c) => {
+                    let values: Vec<bool> =
+                        (0..rel.len).map(|i| c.is_null(i) != *negated).collect();
+                    Vector::owned(ColumnData::Bool {
+                        values,
+                        nulls: NullMask::all_valid(rel.len),
+                    })
+                }
+            })
+        }
+        Expr::Func { name, args } => {
+            if is_aggregate_function(name) {
+                return Err(EngineError::MisplacedAggregate(expr.to_string()));
+            }
+            let argv = args
+                .iter()
+                .map(|a| eval_vec(a, rel, ctx, outer))
+                .collect::<Result<Vec<_>, _>>()?;
+            if argv.iter().all(|v| matches!(v, Vector::Const(_))) {
+                let vals: Vec<Value> = argv.iter().map(|v| v.value(0)).collect();
+                return Ok(Vector::Const(apply_scalar_function(name, &vals, ctx)?));
+            }
+            let mut out = Vec::with_capacity(rel.len);
+            for i in 0..rel.len {
+                let vals: Vec<Value> = argv.iter().map(|v| v.value(i)).collect();
+                out.push(apply_scalar_function(name, &vals, ctx)?);
+            }
+            Ok(Vector::owned(ColumnData::from_values(out, None)))
+        }
+        Expr::ScalarSubquery(q) => {
+            if !is_uncorrelated(q, ctx) {
+                return eval_per_row(expr, rel, ctx, outer);
+            }
+            let result = execute_with_scope(q, ctx, None)?;
+            if result.schema.len() != 1 {
+                return Err(EngineError::NonScalarSubquery);
+            }
+            Ok(Vector::Const(if result.num_rows() > 0 {
+                result.value(0, 0)
+            } else {
+                Value::Null
+            }))
+        }
+    }
+}
+
+/// Whether a subquery's columns all resolve against its own FROM clause —
+/// i.e. it can be hoisted out of the per-row loop. Analysis failing for any
+/// reason keeps the (always-correct) per-row path.
+fn is_uncorrelated(q: &Query, ctx: &ExecContext<'_>) -> bool {
+    crate::analyze::analyze_query(q, ctx.catalog).is_ok()
+}
+
+/// Fallback: evaluate `expr` per row through the scalar interpreter,
+/// materializing one row at a time (used for correlated subqueries and any
+/// shape the vectorized kernels refuse).
+fn eval_per_row(
+    expr: &Expr,
+    rel: &VecRelation,
+    ctx: &ExecContext<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Vector, EngineError> {
+    let mut out = Vec::with_capacity(rel.len);
+    for i in 0..rel.len {
+        let row = rel.row(i);
+        let scope = Scope {
+            cols: &rel.cols,
+            row: &row,
+            parent: outer,
+        };
+        out.push(eval::eval_expr(expr, &scope, ctx)?);
+    }
+    Ok(Vector::owned(ColumnData::from_values(out, None)))
+}
+
+fn unary_vec(op: UnaryOp, v: Vector, n: usize) -> Result<Vector, EngineError> {
+    match v {
+        Vector::Const(c) => Ok(Vector::Const(apply_unary(op, c)?)),
+        Vector::Col(c) => match (op, c.as_ref()) {
+            (UnaryOp::Neg, ColumnData::Int64 { values, nulls }) => {
+                Ok(Vector::owned(ColumnData::Int64 {
+                    values: values.iter().map(|v| -v).collect(),
+                    nulls: nulls.clone(),
+                }))
+            }
+            (UnaryOp::Neg, ColumnData::Float64 { values, nulls }) => {
+                Ok(Vector::owned(ColumnData::Float64 {
+                    values: values.iter().map(|v| -v).collect(),
+                    nulls: nulls.clone(),
+                }))
+            }
+            (UnaryOp::Not, ColumnData::Bool { values, nulls }) => {
+                Ok(Vector::owned(ColumnData::Bool {
+                    values: values.iter().map(|v| !v).collect(),
+                    nulls: nulls.clone(),
+                }))
+            }
+            _ => {
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(apply_unary(op, c.value(i))?);
+                }
+                Ok(Vector::owned(ColumnData::from_values(out, None)))
+            }
+        },
+    }
+}
+
+/// Numeric accessor classification for comparison/arithmetic fast paths.
+enum NumSide<'a> {
+    Col(&'a ColumnData),
+    Const(Option<f64>),
+}
+
+impl NumSide<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> Option<f64> {
+        match self {
+            NumSide::Col(c) => c.numeric(i),
+            NumSide::Const(v) => *v,
+        }
+    }
+}
+
+/// Classify a vector as a numeric side for fast-path loops. Date columns
+/// compared against ISO date string constants fold the parse to once.
+fn numeric_side<'a>(v: &'a Vector, other_is_date: bool) -> Option<NumSide<'a>> {
+    match v {
+        Vector::Col(c) => match c.as_ref() {
+            ColumnData::Int64 { .. }
+            | ColumnData::Float64 { .. }
+            | ColumnData::Date64 { .. }
+            | ColumnData::Bool { .. } => Some(NumSide::Col(c)),
+            _ => None,
+        },
+        Vector::Const(c) => match c {
+            Value::Int(_) | Value::Float(_) | Value::Bool(_) | Value::Date(_) => {
+                Some(NumSide::Const(c.as_f64()))
+            }
+            // `date_col > '2021-01-01'`: coerce the literal once.
+            Value::Str(s) if other_is_date => Some(NumSide::Const(
+                pi2_data::date::parse_iso_date(s).map(|d| d as f64),
+            )),
+            _ => None,
+        },
+    }
+}
+
+fn is_date_vector(v: &Vector) -> bool {
+    match v {
+        Vector::Col(c) => matches!(c.as_ref(), ColumnData::Date64 { .. }),
+        Vector::Const(c) => matches!(c, Value::Date(_)),
+    }
+}
+
+fn str_side<'a>(v: &'a Vector) -> Option<StrSide<'a>> {
+    match v {
+        Vector::Col(c) => match c.as_ref() {
+            ColumnData::Utf8 { .. } => Some(StrSide::Col(c)),
+            _ => None,
+        },
+        Vector::Const(Value::Str(s)) => Some(StrSide::Const(s)),
+        _ => None,
+    }
+}
+
+enum StrSide<'a> {
+    Col(&'a ColumnData),
+    Const(&'a str),
+}
+
+impl StrSide<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> Option<&str> {
+        match self {
+            StrSide::Col(c) => c.str_at(i),
+            StrSide::Const(s) => Some(s),
+        }
+    }
+}
+
+/// Null-free numeric column vs. numeric constant: the comparison compiles
+/// to one autovectorizable slice loop per operator. `swapped` flips the
+/// operator when the constant is on the left. Returns `None` when the
+/// shape doesn't fit (nulls, NaN, non-numeric), deferring to the general
+/// paths.
+fn cmp_const_fast(op: BinOp, col: &Vector, konst: &Vector, swapped: bool) -> Option<Vector> {
+    let Vector::Const(c) = konst else { return None };
+    let Vector::Col(col) = col else { return None };
+    let c = match c {
+        Value::Int(_) | Value::Float(_) | Value::Bool(_) | Value::Date(_) => c.as_f64()?,
+        Value::Str(s) if matches!(col.as_ref(), ColumnData::Date64 { .. }) => {
+            pi2_data::date::parse_iso_date(s)? as f64
+        }
+        _ => return None,
+    };
+    if c.is_nan() {
+        return None;
+    }
+    let op = if swapped {
+        match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::LtEq => BinOp::GtEq,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::GtEq => BinOp::LtEq,
+            other => other,
+        }
+    } else {
+        op
+    };
+    fn loop_op<T: Copy>(values: &[T], conv: impl Fn(T) -> f64, c: f64, op: BinOp) -> Vec<bool> {
+        match op {
+            BinOp::Eq => values.iter().map(|&v| conv(v) == c).collect(),
+            BinOp::NotEq => values.iter().map(|&v| conv(v) != c).collect(),
+            BinOp::Lt => values.iter().map(|&v| conv(v) < c).collect(),
+            BinOp::LtEq => values.iter().map(|&v| conv(v) <= c).collect(),
+            BinOp::Gt => values.iter().map(|&v| conv(v) > c).collect(),
+            BinOp::GtEq => values.iter().map(|&v| conv(v) >= c).collect(),
+            _ => unreachable!("non-comparison in cmp_const_fast"),
+        }
+    }
+    let out = match col.as_ref() {
+        ColumnData::Int64 { values, nulls } | ColumnData::Date64 { values, nulls }
+            if nulls.null_count() == 0 =>
+        {
+            loop_op(values, |v| v as f64, c, op)
+        }
+        ColumnData::Float64 { values, nulls }
+            if nulls.null_count() == 0 && !values.iter().any(|v| v.is_nan()) =>
+        {
+            loop_op(values, |v| v, c, op)
+        }
+        _ => return None,
+    };
+    let n = out.len();
+    Some(Vector::owned(ColumnData::Bool {
+        values: out,
+        nulls: NullMask::all_valid(n),
+    }))
+}
+
+/// Both sides null-free boolean columns → direct slice combine.
+fn bool_cols_fast<'a>(a: &'a Vector, b: &'a Vector) -> Option<(&'a [bool], &'a [bool])> {
+    let get = |v: &'a Vector| match v {
+        Vector::Col(c) => match c.as_ref() {
+            ColumnData::Bool { values, nulls } if nulls.null_count() == 0 => {
+                Some(values.as_slice())
+            }
+            _ => None,
+        },
+        _ => None,
+    };
+    Some((get(a)?, get(b)?))
+}
+
+#[inline]
+fn cmp_result(op: BinOp, ord: Option<Ordering>) -> Option<bool> {
+    ord.map(|o| match op {
+        BinOp::Eq => o == Ordering::Equal,
+        BinOp::NotEq => o != Ordering::Equal,
+        BinOp::Lt => o == Ordering::Less,
+        BinOp::LtEq => o != Ordering::Greater,
+        BinOp::Gt => o == Ordering::Greater,
+        BinOp::GtEq => o != Ordering::Less,
+        _ => unreachable!("cmp_result on non-comparison"),
+    })
+}
+
+/// Vectorized binary operator (comparisons, LIKE, arithmetic; logical ops
+/// go through [`logical_vec`]). Matches `apply_binary` exactly; typed fast
+/// paths cover numeric/string columns, everything else evaluates
+/// element-wise through the scalar kernel.
+pub(crate) fn binary_vec(
+    op: BinOp,
+    l: &Vector,
+    r: &Vector,
+    n: usize,
+) -> Result<Vector, EngineError> {
+    if let (Vector::Const(a), Vector::Const(b)) = (l, r) {
+        return Ok(Vector::Const(apply_binary(op, a.clone(), b.clone())?));
+    }
+    if op.is_comparison() {
+        // Hot path: a null-free numeric column against a numeric constant —
+        // one tight slice loop with the comparison hoisted out.
+        if let Some(v) = cmp_const_fast(op, l, r, false).or_else(|| cmp_const_fast(op, r, l, true))
+        {
+            return Ok(v);
+        }
+        // Numeric × numeric (dates are numeric; date↔string coerces once).
+        if let (Some(a), Some(b)) = (
+            numeric_side(l, is_date_vector(r)),
+            numeric_side(r, is_date_vector(l)),
+        ) {
+            let mut out = BoolBuilder::with_capacity(n);
+            for i in 0..n {
+                let ord = match (a.get(i), b.get(i)) {
+                    (Some(x), Some(y)) => x.partial_cmp(&y),
+                    _ => None,
+                };
+                out.push(cmp_result(op, ord));
+            }
+            return Ok(out.finish());
+        }
+        // String × string.
+        if let (Some(a), Some(b)) = (str_side(l), str_side(r)) {
+            let mut out = BoolBuilder::with_capacity(n);
+            for i in 0..n {
+                let ord = match (a.get(i), b.get(i)) {
+                    (Some(x), Some(y)) => Some(x.cmp(y)),
+                    _ => None,
+                };
+                out.push(cmp_result(op, ord));
+            }
+            return Ok(out.finish());
+        }
+        // Generic: element-wise through Value::sql_cmp.
+        let mut out = BoolBuilder::with_capacity(n);
+        for i in 0..n {
+            out.push(cmp_result(op, l.value(i).sql_cmp(&r.value(i))));
+        }
+        return Ok(out.finish());
+    }
+    if op == BinOp::Like {
+        if let (Some(a), Some(b)) = (str_side(l), str_side(r)) {
+            let mut out = BoolBuilder::with_capacity(n);
+            for i in 0..n {
+                // NULL propagates; non-string non-null is a type error,
+                // which the str fast path cannot produce.
+                let v = match (l.value_is_null(i), r.value_is_null(i)) {
+                    (false, false) => match (a.get(i), b.get(i)) {
+                        (Some(s), Some(p)) => Some(like_match(s, p)),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                out.push(v);
+            }
+            return Ok(out.finish());
+        }
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(apply_binary(op, l.value(i), r.value(i))?);
+        }
+        return Ok(Vector::owned(ColumnData::from_values(out, None)));
+    }
+    // Arithmetic. Result typing follows the scalar kernel: date on the left
+    // of +/- stays a date, int⊕int stays int for +,-,*, everything else is
+    // float (division always).
+    let l_int = is_int_vector(l);
+    let r_int = is_int_vector(r);
+    let l_date = is_date_vector(l);
+    if let (Some(a), Some(b)) = (numeric_side(l, false), numeric_side(r, false)) {
+        let mut values = Vec::with_capacity(n);
+        let mut nulls = NullMask::new();
+        for i in 0..n {
+            match (a.get(i), b.get(i)) {
+                (Some(x), Some(y)) => {
+                    let v = match op {
+                        BinOp::Add => Some(x + y),
+                        BinOp::Sub => Some(x - y),
+                        BinOp::Mul => Some(x * y),
+                        BinOp::Div => (y != 0.0).then(|| x / y),
+                        _ => unreachable!("non-arithmetic op"),
+                    };
+                    values.push(v.unwrap_or(0.0));
+                    nulls.push(v.is_none());
+                }
+                _ => {
+                    values.push(0.0);
+                    nulls.push(true);
+                }
+            }
+        }
+        let col = if l_date && matches!(op, BinOp::Add | BinOp::Sub) {
+            ColumnData::Date64 {
+                values: values.iter().map(|v| *v as i64).collect(),
+                nulls,
+            }
+        } else if l_int && r_int && matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) {
+            ColumnData::Int64 {
+                values: values.iter().map(|v| *v as i64).collect(),
+                nulls,
+            }
+        } else {
+            ColumnData::Float64 { values, nulls }
+        };
+        return Ok(Vector::owned(col));
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(apply_binary(op, l.value(i), r.value(i))?);
+    }
+    Ok(Vector::owned(ColumnData::from_values(out, None)))
+}
+
+fn is_int_vector(v: &Vector) -> bool {
+    match v {
+        Vector::Col(c) => matches!(c.as_ref(), ColumnData::Int64 { .. }),
+        Vector::Const(c) => matches!(c, Value::Int(_)),
+    }
+}
+
+impl Vector {
+    #[inline]
+    fn value_is_null(&self, i: usize) -> bool {
+        match self {
+            Vector::Const(v) => v.is_null(),
+            Vector::Col(c) => c.is_null(i),
+        }
+    }
+}
+
+/// Three-valued AND/OR. The left side is already evaluated; the right side
+/// only evaluates when the left cannot short-circuit it away, and a right
+/// side that fails to vectorize drops the whole expression to the per-row
+/// path (preserving the interpreter's lazy short-circuit errors).
+#[allow(clippy::too_many_arguments)]
+fn logical_vec(
+    op: BinOp,
+    l: Vector,
+    right: &Expr,
+    whole: &Expr,
+    rel: &VecRelation,
+    ctx: &ExecContext<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Vector, EngineError> {
+    if let Vector::Const(c) = &l {
+        let lb = c.as_bool();
+        match (op, lb) {
+            (BinOp::And, Some(false)) => return Ok(Vector::Const(Value::Bool(false))),
+            (BinOp::Or, Some(true)) => return Ok(Vector::Const(Value::Bool(true))),
+            _ => {}
+        }
+    }
+    let r = match eval_vec(right, rel, ctx, outer) {
+        Ok(r) => r,
+        Err(_) => return eval_per_row(whole, rel, ctx, outer),
+    };
+    if let Some((a, b)) = bool_cols_fast(&l, &r) {
+        let values: Vec<bool> = match op {
+            BinOp::And => a.iter().zip(b).map(|(&x, &y)| x && y).collect(),
+            _ => a.iter().zip(b).map(|(&x, &y)| x || y).collect(),
+        };
+        return Ok(Vector::owned(ColumnData::Bool {
+            values,
+            nulls: NullMask::all_valid(rel.len),
+        }));
+    }
+    let mut out = BoolBuilder::with_capacity(rel.len);
+    for i in 0..rel.len {
+        let a = l.bool3(i);
+        let b = r.bool3(i);
+        let v = match op {
+            BinOp::And => match (a, b) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            BinOp::Or => match (a, b) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            _ => unreachable!("logical_vec on non-logical op"),
+        };
+        out.push(v);
+    }
+    Ok(out.finish())
+}
+
+/// `v BETWEEN lo AND hi`: NULL when either bound comparison is unknown,
+/// else `(ge && le) != negated` — matching the scalar `eval_between`.
+fn between_vec(
+    v: &Vector,
+    lo: &Vector,
+    hi: &Vector,
+    negated: bool,
+    n: usize,
+) -> Result<Vector, EngineError> {
+    let ge = binary_vec(BinOp::GtEq, v, lo, n)?;
+    let le = binary_vec(BinOp::LtEq, v, hi, n)?;
+    if let (Vector::Const(a), Vector::Const(b)) = (&ge, &le) {
+        return Ok(Vector::Const(eval_between_bools(
+            a.as_bool(),
+            b.as_bool(),
+            negated,
+        )));
+    }
+    if let Some((a, b)) = bool_cols_fast(&ge, &le) {
+        let values: Vec<bool> = a
+            .iter()
+            .zip(b)
+            .map(|(&x, &y)| (x && y) != negated)
+            .collect();
+        return Ok(Vector::owned(ColumnData::Bool {
+            values,
+            nulls: NullMask::all_valid(n),
+        }));
+    }
+    let mut out = BoolBuilder::with_capacity(n);
+    for i in 0..n {
+        match eval_between_bools(ge.bool3(i), le.bool3(i), negated) {
+            Value::Bool(b) => out.push(Some(b)),
+            _ => out.push(None),
+        }
+    }
+    Ok(out.finish())
+}
+
+fn eval_between_bools(ge: Option<bool>, le: Option<bool>, negated: bool) -> Value {
+    match (ge, le) {
+        (Some(a), Some(b)) => Value::Bool((a && b) != negated),
+        _ => Value::Null,
+    }
+}
+
+/// Membership of each row of `v` in a constant item set: any match ⇒
+/// `!negated`; otherwise NULL if any comparison was unknown, else
+/// `negated`. Typed fast paths hash integer and string sets.
+fn membership_vec(v: &Vector, items: &[Value], negated: bool, n: usize) -> Vector {
+    use std::collections::HashSet;
+    let any_null_item = items.iter().any(|c| c.is_null());
+    // Fast path: integer-like column probed against an all-integer set
+    // (bit-exact with the scalar f64 comparison: i64→f64 casts never
+    // produce -0.0 or NaN).
+    if let Vector::Col(c) = v {
+        if let ColumnData::Int64 { values, nulls } | ColumnData::Date64 { values, nulls } =
+            c.as_ref()
+        {
+            if items
+                .iter()
+                .all(|c| matches!(c, Value::Int(_) | Value::Date(_) | Value::Null))
+            {
+                // Date↔Int comparison is numeric in `sql_eq`, so a joint
+                // f64-bits set is exact.
+                let set: HashSet<u64> = items
+                    .iter()
+                    .filter_map(|c| c.as_f64())
+                    .map(|f| f.to_bits())
+                    .collect();
+                let mut out = BoolBuilder::with_capacity(n);
+                for (i, x) in values.iter().enumerate() {
+                    if nulls.is_null(i) {
+                        out.push(None);
+                    } else if set.contains(&(*x as f64).to_bits()) {
+                        out.push(Some(!negated));
+                    } else if any_null_item {
+                        out.push(None);
+                    } else {
+                        out.push(Some(negated));
+                    }
+                }
+                return out.finish();
+            }
+        }
+        if let ColumnData::Utf8 { values, nulls } = c.as_ref() {
+            if items
+                .iter()
+                .all(|c| matches!(c, Value::Str(_) | Value::Null))
+            {
+                let set: HashSet<&str> = items.iter().filter_map(|c| c.as_str()).collect();
+                let mut out = BoolBuilder::with_capacity(n);
+                for (i, x) in values.iter().enumerate() {
+                    if nulls.is_null(i) {
+                        out.push(None);
+                    } else if set.contains(x.as_str()) {
+                        out.push(Some(!negated));
+                    } else if any_null_item {
+                        out.push(None);
+                    } else {
+                        out.push(Some(negated));
+                    }
+                }
+                return out.finish();
+            }
+        }
+    }
+    // Generic scan replicating the scalar IN loop.
+    let one = |val: Value| -> Option<bool> {
+        let mut saw_null = false;
+        for item in items {
+            match val.sql_eq(item) {
+                Some(true) => return Some(!negated),
+                Some(false) => {}
+                None => saw_null = true,
+            }
+        }
+        if saw_null {
+            None
+        } else {
+            Some(negated)
+        }
+    };
+    match v {
+        Vector::Const(c) => match one(c.clone()) {
+            Some(b) => Vector::Const(Value::Bool(b)),
+            None => Vector::Const(Value::Null),
+        },
+        _ => {
+            let mut out = BoolBuilder::with_capacity(n);
+            for i in 0..n {
+                out.push(one(v.value(i)));
+            }
+            out.finish()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Group-level evaluation
+// ---------------------------------------------------------------------------
+
+/// Evaluate an expression in aggregate context, producing one value per
+/// group. Aggregate arguments are evaluated densely over the whole
+/// relation once; per-group combination uses the scalar kernels (a few
+/// values per group). Expressions the scalar interpreter evaluates against
+/// the representative row — columns, literals, correlated subqueries —
+/// do the same here.
+pub(crate) fn eval_grouped_vec(
+    expr: &Expr,
+    rel: &VecRelation,
+    groups: &[Vec<u32>],
+    ctx: &ExecContext<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Vec<Value>, EngineError> {
+    // No groups ⇒ the scalar interpreter's per-group loop never runs and
+    // no sub-expression (even an erroring one) is evaluated.
+    if groups.is_empty() {
+        return Ok(Vec::new());
+    }
+    match expr {
+        Expr::Func { name, args } if is_aggregate_function(name) => {
+            eval_aggregate_vec(name, args, rel, groups, ctx, outer)
+        }
+        Expr::Unary { op, expr: inner } => {
+            let vals = eval_grouped_vec(inner, rel, groups, ctx, outer)?;
+            vals.into_iter().map(|v| apply_unary(*op, v)).collect()
+        }
+        Expr::Binary { left, op, right } => {
+            let lvals = eval_grouped_vec(left, rel, groups, ctx, outer)?;
+            if *op == BinOp::And || *op == BinOp::Or {
+                // Eager right side when it evaluates cleanly; lazy per-group
+                // fallback preserves short-circuit on errors.
+                return match eval_grouped_vec(right, rel, groups, ctx, outer) {
+                    Ok(rvals) => lvals
+                        .into_iter()
+                        .zip(rvals)
+                        .map(|(l, r)| eval_logical(*op, l, || Ok(r)))
+                        .collect(),
+                    Err(_) => lvals
+                        .into_iter()
+                        .enumerate()
+                        .map(|(g, l)| {
+                            eval_logical(*op, l, || {
+                                // Evaluate the right side over THIS group's
+                                // rows only: dense aggregate arguments must
+                                // not touch rows of groups whose left side
+                                // short-circuited (the scalar interpreter
+                                // never evaluates them, and another group's
+                                // row could be one that errors).
+                                let sub = rel.gather(&groups[g]);
+                                let local: Vec<u32> = (0..sub.len as u32).collect();
+                                eval_grouped_vec(right, &sub, &[local], ctx, outer)
+                                    .map(|mut v| v.pop().expect("one group in, one value out"))
+                            })
+                        })
+                        .collect(),
+                };
+            }
+            let rvals = eval_grouped_vec(right, rel, groups, ctx, outer)?;
+            lvals
+                .into_iter()
+                .zip(rvals)
+                .map(|(l, r)| apply_binary(*op, l, r))
+                .collect()
+        }
+        Expr::Between {
+            expr: inner,
+            negated,
+            low,
+            high,
+        } => {
+            let v = eval_grouped_vec(inner, rel, groups, ctx, outer)?;
+            let lo = eval_grouped_vec(low, rel, groups, ctx, outer)?;
+            let hi = eval_grouped_vec(high, rel, groups, ctx, outer)?;
+            v.into_iter()
+                .zip(lo.into_iter().zip(hi))
+                .map(|(v, (lo, hi))| eval_between(&v, &lo, &hi, *negated))
+                .collect()
+        }
+        Expr::Func { name, args } => {
+            let argvals = args
+                .iter()
+                .map(|a| eval_grouped_vec(a, rel, groups, ctx, outer))
+                .collect::<Result<Vec<_>, _>>()?;
+            (0..groups.len())
+                .map(|g| {
+                    let vals: Vec<Value> = argvals.iter().map(|a| a[g].clone()).collect();
+                    apply_scalar_function(name, &vals, ctx)
+                })
+                .collect()
+        }
+        Expr::Literal(l) => Ok(vec![literal_value(l); groups.len()]),
+        Expr::Column { table, name } if rel.lookup(table.as_deref(), name).is_some() => {
+            let ci = rel.lookup(table.as_deref(), name).expect("checked");
+            let col = &rel.columns[ci];
+            Ok(groups
+                .iter()
+                .map(|idx| match idx.first() {
+                    Some(&i) => col.value(i as usize),
+                    // Empty group + bare column: the scalar interpreter
+                    // indexes an empty representative row here and panics;
+                    // match its Scope semantics short of the panic.
+                    None => Value::Null,
+                })
+                .collect())
+        }
+        // Representative-row semantics (correlated subqueries, IN, IS NULL,
+        // outer columns): one scalar evaluation per group.
+        other => groups
+            .iter()
+            .map(|idx| {
+                let row: Vec<Value> = match idx.first() {
+                    Some(&i) => rel.row(i as usize),
+                    None => Vec::new(),
+                };
+                let scope = Scope {
+                    cols: &rel.cols,
+                    row: &row,
+                    parent: outer,
+                };
+                eval::eval_expr(other, &scope, ctx)
+            })
+            .collect(),
+    }
+}
+
+fn eval_aggregate_vec(
+    name: &str,
+    args: &[Expr],
+    rel: &VecRelation,
+    groups: &[Vec<u32>],
+    ctx: &ExecContext<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<Vec<Value>, EngineError> {
+    let lname = name.to_ascii_lowercase();
+    // count(*) counts rows including NULLs.
+    if lname == "count" && matches!(args.first(), Some(Expr::Star) | None) {
+        return Ok(groups
+            .iter()
+            .map(|idx| Value::Int(idx.len() as i64))
+            .collect());
+    }
+    let arg = args
+        .first()
+        .ok_or_else(|| EngineError::BadFunction(format!("{name} needs an argument")))?;
+    // Evaluate the argument densely, once for all groups.
+    let argv = eval_vec(arg, rel, ctx, outer)?;
+    let col = argv.into_column(rel.len);
+    let mut out = Vec::with_capacity(groups.len());
+    for idx in groups {
+        out.push(aggregate_over(&lname, name, &col, idx)?);
+    }
+    Ok(out)
+}
+
+/// One aggregate over one group's rows of a dense argument column,
+/// matching the scalar `eval_aggregate` (NULLs skipped; `sum` stays Int
+/// only when every non-null value is an Int; min/max keep the scalar
+/// iterator's first-min/last-max tie behavior).
+fn aggregate_over(
+    lname: &str,
+    name: &str,
+    col: &ColumnData,
+    idx: &[u32],
+) -> Result<Value, EngineError> {
+    match lname {
+        "count" => Ok(Value::Int(
+            idx.iter().filter(|&&i| !col.is_null(i as usize)).count() as i64,
+        )),
+        "min" | "max" => {
+            let want_min = lname == "min";
+            let mut best: Option<u32> = None;
+            for &i in idx {
+                if col.is_null(i as usize) {
+                    continue;
+                }
+                best = Some(match best {
+                    None => i,
+                    Some(b) => {
+                        let ord = col.cmp_at(i as usize, col, b as usize);
+                        let replace = if want_min {
+                            ord == Ordering::Less
+                        } else {
+                            ord != Ordering::Less
+                        };
+                        if replace {
+                            i
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            Ok(best.map(|i| col.value(i as usize)).unwrap_or(Value::Null))
+        }
+        "sum" | "avg" => {
+            let mut count = 0usize;
+            let mut total = 0.0f64;
+            let all_int_col = matches!(col, ColumnData::Int64 { .. });
+            let mut all_int = true;
+            for &i in idx {
+                let i = i as usize;
+                if col.is_null(i) {
+                    continue;
+                }
+                count += 1;
+                if let Some(f) = col.numeric(i) {
+                    total += f;
+                }
+                if !all_int_col {
+                    all_int &=
+                        matches!(col, ColumnData::Mixed(vals) if matches!(vals[i], Value::Int(_)));
+                }
+            }
+            if count == 0 {
+                return Ok(Value::Null);
+            }
+            if lname == "avg" {
+                Ok(Value::Float(total / count as f64))
+            } else if all_int_col || all_int {
+                Ok(Value::Int(total as i64))
+            } else {
+                Ok(Value::Float(total))
+            }
+        }
+        _ => Err(EngineError::BadFunction(name.to_string())),
+    }
+}

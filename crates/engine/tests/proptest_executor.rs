@@ -35,7 +35,7 @@ proptest! {
         let expected: Vec<(i64, i64)> =
             rows.iter().copied().filter(|(a, _)| *a > threshold).collect();
         prop_assert_eq!(out.num_rows(), expected.len());
-        for (row, (a, b)) in out.rows.iter().zip(expected.iter()) {
+        for (row, (a, b)) in out.iter_rows().zip(expected.iter()) {
             prop_assert_eq!(row[0].as_i64().unwrap(), *a);
             prop_assert_eq!(row[1].as_i64().unwrap(), *b);
         }
@@ -51,9 +51,9 @@ proptest! {
         let ctx = ExecContext::new(&c);
         let q = parse_query("SELECT a, count(*) FROM T GROUP BY a").unwrap();
         let out = execute(&q, &ctx).unwrap();
-        let total: i64 = out.rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+        let total: i64 = out.iter_rows().map(|r| r[1].as_i64().unwrap()).sum();
         prop_assert_eq!(total as usize, rows.len());
-        let keys: Vec<i64> = out.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let keys: Vec<i64> = out.iter_rows().map(|r| r[0].as_i64().unwrap()).collect();
         let mut dedup = keys.clone();
         dedup.sort_unstable();
         dedup.dedup();
@@ -70,7 +70,7 @@ proptest! {
         let q = parse_query("SELECT DISTINCT a, b FROM T").unwrap();
         let out = execute(&q, &ctx).unwrap();
         let mut seen = std::collections::HashSet::new();
-        for row in &out.rows {
+        for row in out.iter_rows() {
             let pair = (row[0].as_i64().unwrap(), row[1].as_i64().unwrap());
             prop_assert!(seen.insert(pair), "duplicate row in DISTINCT output");
             prop_assert!(rows.contains(&pair), "row not in base data");
@@ -89,10 +89,10 @@ proptest! {
         let q = parse_query("SELECT count(*), sum(b), min(b), max(b) FROM T").unwrap();
         let out = execute(&q, &ctx).unwrap();
         let bs: Vec<i64> = rows.iter().map(|(_, b)| *b).collect();
-        prop_assert_eq!(out.rows[0][0].as_i64().unwrap(), bs.len() as i64);
-        prop_assert_eq!(out.rows[0][1].as_i64().unwrap(), bs.iter().sum::<i64>());
-        prop_assert_eq!(out.rows[0][2].as_i64().unwrap(), *bs.iter().min().unwrap());
-        prop_assert_eq!(out.rows[0][3].as_i64().unwrap(), *bs.iter().max().unwrap());
+        prop_assert_eq!(out.value(0, 0).as_i64().unwrap(), bs.len() as i64);
+        prop_assert_eq!(out.value(0, 1).as_i64().unwrap(), bs.iter().sum::<i64>());
+        prop_assert_eq!(out.value(0, 2).as_i64().unwrap(), *bs.iter().min().unwrap());
+        prop_assert_eq!(out.value(0, 3).as_i64().unwrap(), *bs.iter().max().unwrap());
     }
 
     /// ORDER BY ... LIMIT returns a sorted prefix.
@@ -106,7 +106,7 @@ proptest! {
         let q = parse_query(&format!("SELECT a FROM T ORDER BY a LIMIT {limit}")).unwrap();
         let out = execute(&q, &ctx).unwrap();
         prop_assert!(out.num_rows() <= limit as usize);
-        let got: Vec<i64> = out.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        let got: Vec<i64> = out.iter_rows().map(|r| r[0].as_i64().unwrap()).collect();
         let mut all: Vec<i64> = rows.iter().map(|(a, _)| *a).collect();
         all.sort_unstable();
         all.truncate(limit as usize);

@@ -18,15 +18,13 @@
 use crate::flat::{flatten_node, FlatSchema};
 use crate::vis::{vis_mapping_candidates, VisMapping};
 use crate::widget::{widget_candidates, WidgetCandidate};
-use pi2_data::Table;
+use pi2_data::{ShardedMemo, Table};
 use pi2_difftree::{
     infer_types_cached, result_schema, BindingMap, ResultSchema, Tree, TypeMap, Workload,
 };
 use pi2_engine::{execute, ExecContext};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
-const SHARDS: usize = 16;
 const MAX_ENTRIES_PER_SHARD: usize = 8_192;
 
 /// Everything about one (tree, expressed-query-set) pair that mapping
@@ -49,25 +47,20 @@ pub struct TreeArtifacts {
     pub results: Vec<Arc<Table>>,
 }
 
-/// Lock-sharded memo: tree artifacts per (tree fp, query set, catalogue)
-/// and executed tables per (catalogue, query content).
-/// One artifact shard: (tree fp, qset hash, catalogue fp) → artifacts.
-type ArtifactShard = Mutex<HashMap<(u64, u64, u64), Option<Arc<TreeArtifacts>>>>;
-/// One result shard: (catalogue fp, query fp) → executed table.
-type ResultShard = Mutex<HashMap<(u64, u64), Option<Arc<Table>>>>;
-
-/// Lock-sharded memo shared process-wide: per-tree mapping artifacts and
-/// executed query results (see the module docs).
+/// Lock-sharded memo shared process-wide: per-tree mapping artifacts keyed
+/// by (tree fp, qset hash, catalogue fp), and executed query results keyed
+/// by (catalogue fp, query fp). Both are the generic cap-checked
+/// [`ShardedMemo`] from `pi2-data` (see the module docs).
 pub struct EvalCache {
-    artifact_shards: Vec<ArtifactShard>,
-    result_shards: Vec<ResultShard>,
+    artifacts: ShardedMemo<(u64, u64, u64), Option<Arc<TreeArtifacts>>>,
+    results: ShardedMemo<(u64, u64), Option<Arc<Table>>>,
 }
 
 impl Default for EvalCache {
     fn default() -> Self {
         EvalCache {
-            artifact_shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-            result_shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            artifacts: ShardedMemo::new(MAX_ENTRIES_PER_SHARD),
+            results: ShardedMemo::new(MAX_ENTRIES_PER_SHARD),
         }
     }
 }
@@ -94,18 +87,10 @@ impl EvalCache {
     /// fails), computed once per (catalogue, query content).
     pub fn query_result(&self, w: &Workload, qi: usize) -> Option<Arc<Table>> {
         let key = (w.catalog.fingerprint(), w.gst_fps[qi]);
-        let shard = &self.result_shards[(key.1 as usize ^ key.0 as usize) % SHARDS];
-        if let Some(hit) = shard.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
-            return hit.clone();
-        }
-        let ctx = ExecContext::new(&w.catalog);
-        let out = execute(&w.queries[qi], &ctx).ok().map(Arc::new);
-        let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
-        if guard.len() > MAX_ENTRIES_PER_SHARD {
-            guard.clear();
-        }
-        guard.insert(key, out.clone());
-        out
+        self.results.get_or_insert_with(&key, || {
+            let ctx = ExecContext::new(&w.catalog);
+            execute(&w.queries[qi], &ctx).ok().map(Arc::new)
+        })
     }
 
     /// Artifacts for `tree` expressing `queries` (workload indices), with
@@ -124,17 +109,8 @@ impl EvalCache {
             qset_hash(w, queries),
             w.catalog.fingerprint(),
         );
-        let shard = &self.artifact_shards[(key.0 as usize ^ key.1 as usize) % SHARDS];
-        if let Some(hit) = shard.lock().unwrap_or_else(|e| e.into_inner()).get(&key) {
-            return hit.clone();
-        }
-        let computed = self.compute_artifacts(tree, queries, maps, w);
-        let mut guard = shard.lock().unwrap_or_else(|e| e.into_inner());
-        if guard.len() > MAX_ENTRIES_PER_SHARD {
-            guard.clear();
-        }
-        guard.insert(key, computed.clone());
-        computed
+        self.artifacts
+            .get_or_insert_with(&key, || self.compute_artifacts(tree, queries, maps, w))
     }
 
     fn compute_artifacts(

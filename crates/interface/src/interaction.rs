@@ -334,29 +334,33 @@ fn tuple_expressible(
             if tuple.iter().any(|v| matches!(v, BoundValue::Absent)) {
                 return false;
             }
-            table.rows.iter().any(|row| {
+            // Allocation-free probe: compare through the column storage
+            // rather than materializing each cell.
+            (0..table.num_rows()).any(|row| {
                 tuple
                     .iter()
                     .zip(cand.event_cols.iter())
                     .all(|(v, &c)| match v {
-                        BoundValue::Scalar(val) => row
-                            .get(c)
-                            .is_some_and(|cell| cell.sql_eq(val) == Some(true)),
+                        BoundValue::Scalar(val) => {
+                            c < table.num_columns()
+                                && table.col(c).sql_eq_value(row, val) == Some(true)
+                        }
                         _ => false,
                     })
             })
         }
         InteractionKind::MultiClick => {
             let col = cand.event_cols[0];
-            let values: Vec<_> = table.column_values(col).collect();
+            let column = table.col(col);
+            let contains = |val: &pi2_data::Value| -> bool {
+                (0..table.num_rows()).any(|row| column.sql_eq_value(row, val) == Some(true))
+            };
             tuple.iter().all(|v| match v {
                 BoundValue::Set(items) => items.iter().all(|i| match i {
-                    BoundValue::Scalar(val) => {
-                        values.iter().any(|cell| cell.sql_eq(val) == Some(true))
-                    }
+                    BoundValue::Scalar(val) => contains(val),
                     _ => false,
                 }),
-                BoundValue::Scalar(val) => values.iter().any(|cell| cell.sql_eq(val) == Some(true)),
+                BoundValue::Scalar(val) => contains(val),
                 BoundValue::Absent => false,
                 _ => false,
             })

@@ -287,18 +287,21 @@ fn fd_holds_empirically(samples: &[&pi2_data::Table], det_cols: &[usize]) -> boo
     if samples.is_empty() {
         return false;
     }
+    // Hash the determinant columns batch-wise and compare rows through the
+    // column storage — no per-row `Value` clones.
     samples.iter().all(|t| {
-        let mut seen: std::collections::HashMap<Vec<pi2_data::Value>, &Vec<pi2_data::Value>> =
-            std::collections::HashMap::new();
-        for row in &t.rows {
-            let key: Vec<pi2_data::Value> = det_cols
-                .iter()
-                .filter_map(|&c| row.get(c).cloned())
-                .collect();
-            match seen.get(&key) {
-                Some(prev) if *prev != row => return false,
-                _ => {
-                    seen.insert(key, row);
+        let det: Vec<_> = det_cols
+            .iter()
+            .filter(|&&c| c < t.num_columns())
+            .map(|&c| t.col(c))
+            .collect();
+        let all: Vec<_> = (0..t.num_columns()).map(|c| t.col(c)).collect();
+        // An equal-key row that differs anywhere breaks the FD.
+        let mut interner = pi2_data::column::RowInterner::new(det);
+        for i in 0..t.num_rows() as u32 {
+            if let Some(j) = interner.intern(i) {
+                if !all.iter().all(|c| c.eq_at(i as usize, c, j as usize)) {
+                    return false;
                 }
             }
         }

@@ -35,6 +35,7 @@
 
 use crate::random::estimate_reward;
 use parking_lot::Mutex;
+use pi2_data::ShardedMemo;
 use pi2_difftree::transform::canonicalize;
 use pi2_difftree::{
     applicable_actions, apply_action, candidate_actions, Action, Forest, ForestKey, Workload,
@@ -113,45 +114,15 @@ pub struct SearchStats {
     pub states_evaluated: usize,
 }
 
-/// The number of shards in the shared tables: enough that `p ≤ 16` workers
-/// rarely contend on one lock.
-const SHARDS: usize = 16;
-
-/// Lock-sharded map shared by all workers (and all searches), keyed by
-/// (state key, search-context fingerprint).
-struct Sharded<V> {
-    shards: Vec<Mutex<HashMap<(ForestKey, u64), V>>>,
-}
-
 /// Cap per shard: a runaway session cannot grow the process-global tables
 /// without bound (entries are cheap; ~1M total across shards).
 const MAX_TT_ENTRIES_PER_SHARD: usize = 65_536;
 
-impl<V: Clone> Sharded<V> {
-    fn new() -> Self {
-        Sharded {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
-        }
-    }
-
-    fn shard(&self, key: &ForestKey) -> &Mutex<HashMap<(ForestKey, u64), V>> {
-        &self.shards[(key.hash as usize) % SHARDS]
-    }
-
-    fn get(&self, key: &ForestKey, ctx_fp: u64) -> Option<V> {
-        self.shard(key).lock().get(&(*key, ctx_fp)).cloned()
-    }
-
-    /// Insert, returning whether the key was new (first writer wins; all
-    /// writers would store the same value).
-    fn insert(&self, key: ForestKey, ctx_fp: u64, value: V) -> bool {
-        let mut guard = self.shard(&key).lock();
-        if guard.len() > MAX_TT_ENTRIES_PER_SHARD {
-            guard.clear();
-        }
-        guard.insert((key, ctx_fp), value).is_none()
-    }
-}
+/// Lock-sharded map shared by all workers (and all searches), keyed by
+/// (state key, search-context fingerprint). The generic cap-checked memo
+/// from `pi2-data` — the same utility behind the mapping-artifact and
+/// difftree caches.
+type Sharded<V> = ShardedMemo<(ForestKey, u64), V>;
 
 /// The process-global transposition tables. Rewards and validated action
 /// sets are pure functions of (state, workload, config), so they are shared
@@ -167,8 +138,8 @@ struct SearchCaches {
 fn search_caches() -> &'static SearchCaches {
     static CACHES: OnceLock<SearchCaches> = OnceLock::new();
     CACHES.get_or_init(|| SearchCaches {
-        rewards: Sharded::new(),
-        actions: Sharded::new(),
+        rewards: ShardedMemo::new(MAX_TT_ENTRIES_PER_SHARD),
+        actions: ShardedMemo::new(MAX_TT_ENTRIES_PER_SHARD),
     })
 }
 
@@ -397,7 +368,7 @@ impl<'w> Worker<'w> {
     fn evaluate(&mut self, state: &Arc<Forest>) -> f64 {
         let key = state.key();
         let tables = search_caches();
-        let r = match tables.rewards.get(&key, self.ctx_fp) {
+        let r = match tables.rewards.get(&(key, self.ctx_fp)) {
             Some(r) => r,
             None => {
                 let r = match MappingContext::build(state, self.workload) {
@@ -414,7 +385,7 @@ impl<'w> Worker<'w> {
                     }
                     None => -1e9,
                 };
-                if tables.rewards.insert(key, self.ctx_fp, r) {
+                if tables.rewards.insert((key, self.ctx_fp), r) {
                     self.shared.computed.fetch_add(1, Ordering::Relaxed);
                 }
                 r
@@ -431,13 +402,13 @@ impl<'w> Worker<'w> {
     fn expansion_actions(&self, state: &Forest) -> Arc<Vec<Action>> {
         let key = state.key();
         let tables = search_caches();
-        if let Some(hit) = tables.actions.get(&key, self.ctx_fp) {
+        if let Some(hit) = tables.actions.get(&(key, self.ctx_fp)) {
             return hit;
         }
         let actions = Arc::new(applicable_actions(state, self.workload));
         tables
             .actions
-            .insert(key, self.ctx_fp, Arc::clone(&actions));
+            .insert((key, self.ctx_fp), Arc::clone(&actions));
         actions
     }
 

@@ -2,10 +2,12 @@
 //! data (DESIGN.md §2 documents each substitution).
 //!
 //! All generation flows from seeded `StdRng`s, so catalogues are identical
-//! across runs and machines.
+//! across runs and machines. Tables are built column-at-a-time into typed
+//! [`ColumnData`] storage — the loaders feed the columnar engine directly,
+//! with no intermediate `Vec<Value>` rows.
 
 use pi2_data::date::parse_iso_date;
-use pi2_data::{Catalog, DataType, Table, Value};
+use pi2_data::{Catalog, Column, ColumnData, DataType, Schema, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,37 +24,40 @@ pub fn catalog() -> Catalog {
     c
 }
 
+fn table(cols: Vec<(&str, DataType, ColumnData)>) -> Table {
+    let schema = Schema::new(cols.iter().map(|(n, t, _)| Column::new(*n, *t)).collect());
+    Table::from_columns(schema, cols.into_iter().map(|(_, _, c)| c).collect())
+        .expect("workload column lengths agree")
+}
+
 /// Cars(id, hp, mpg, disp, origin): ≈80 rows, hp 40–200, mpg 9–47,
 /// disp 70–455, origin ∈ {USA, Europe, Japan} (3 < 20 → categorical).
 pub fn cars() -> Table {
     let mut rng = StdRng::seed_from_u64(0xCA25);
     let origins = ["USA", "Europe", "Japan"];
-    let mut rows = Vec::new();
-    for id in 1..=80i64 {
+    let n = 80usize;
+    let (mut ids, mut hps) = (Vec::with_capacity(n), Vec::with_capacity(n));
+    let (mut mpgs, mut disps) = (Vec::with_capacity(n), Vec::with_capacity(n));
+    let mut origin_col = Vec::with_capacity(n);
+    for id in 1..=n as i64 {
         let hp = rng.gen_range(40..=200);
         // Inverse-ish correlation between hp and mpg, as in the real data.
         let mpg = (47.0 - hp as f64 * 0.18 + rng.gen_range(-4.0..4.0)).clamp(9.0, 47.0);
         let disp = (hp as f64 * 2.1 + rng.gen_range(-30.0..30.0)).clamp(70.0, 455.0);
         let origin = origins[rng.gen_range(0..origins.len())];
-        rows.push(vec![
-            Value::Int(id),
-            Value::Int(hp),
-            Value::Float((mpg * 10.0).round() / 10.0),
-            Value::Float(disp.round()),
-            Value::Str(origin.to_string()),
-        ]);
+        ids.push(id);
+        hps.push(hp);
+        mpgs.push((mpg * 10.0).round() / 10.0);
+        disps.push(disp.round());
+        origin_col.push(origin.to_string());
     }
-    Table::from_rows(
-        vec![
-            ("id", DataType::Int),
-            ("hp", DataType::Int),
-            ("mpg", DataType::Float),
-            ("disp", DataType::Float),
-            ("origin", DataType::Str),
-        ],
-        rows,
-    )
-    .expect("cars schema")
+    table(vec![
+        ("id", DataType::Int, ColumnData::ints(ids)),
+        ("hp", DataType::Int, ColumnData::ints(hps)),
+        ("mpg", DataType::Float, ColumnData::floats(mpgs)),
+        ("disp", DataType::Float, ColumnData::floats(disps)),
+        ("origin", DataType::Str, ColumnData::strs(origin_col)),
+    ])
 }
 
 /// sp500(date, price): a ~4.5-year daily random walk starting 2000-01-01,
@@ -61,19 +66,18 @@ pub fn sp500() -> Table {
     let mut rng = StdRng::seed_from_u64(0x5500);
     let start = parse_iso_date("2000-01-01").unwrap();
     let mut price = 1320.0f64;
-    let mut rows = Vec::new();
-    for d in 0..1650i64 {
+    let n = 1650usize;
+    let mut dates = Vec::with_capacity(n);
+    let mut prices = Vec::with_capacity(n);
+    for d in 0..n as i64 {
         price = (price + rng.gen_range(-18.0..18.5)).max(650.0);
-        rows.push(vec![
-            Value::Date(start + d),
-            Value::Float((price * 100.0).round() / 100.0),
-        ]);
+        dates.push(start + d);
+        prices.push((price * 100.0).round() / 100.0);
     }
-    Table::from_rows(
-        vec![("date", DataType::Date), ("price", DataType::Float)],
-        rows,
-    )
-    .expect("sp500 schema")
+    table(vec![
+        ("date", DataType::Date, ColumnData::dates(dates)),
+        ("price", DataType::Float, ColumnData::floats(prices)),
+    ])
 }
 
 /// flights(hour, delay, dist): 600 rows; binned domains keep each grouping
@@ -83,22 +87,22 @@ pub fn sp500() -> Table {
 /// `dist ≥ 10`) so chart extents can express all query bindings (§4.2.2).
 pub fn flights() -> Table {
     let mut rng = StdRng::seed_from_u64(0xF115);
-    let mut rows = Vec::new();
-    for _ in 0..600 {
-        let hour = rng.gen_range(6..=23i64);
-        let delay = rng.gen_range(0..=7i64) * 10;
-        let dist = rng.gen_range(0..=9i64) * 100;
-        rows.push(vec![Value::Int(hour), Value::Int(delay), Value::Int(dist)]);
+    let n = 600usize;
+    let (mut hours, mut delays, mut dists) = (
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+    );
+    for _ in 0..n {
+        hours.push(rng.gen_range(6..=23i64));
+        delays.push(rng.gen_range(0..=7i64) * 10);
+        dists.push(rng.gen_range(0..=9i64) * 100);
     }
-    Table::from_rows(
-        vec![
-            ("hour", DataType::Int),
-            ("delay", DataType::Int),
-            ("dist", DataType::Int),
-        ],
-        rows,
-    )
-    .expect("flights schema")
+    table(vec![
+        ("hour", DataType::Int, ColumnData::ints(hours)),
+        ("delay", DataType::Int, ColumnData::ints(delays)),
+        ("dist", DataType::Int, ColumnData::ints(dists)),
+    ])
 }
 
 /// covid(state, date, cases, deaths): five states × 150 days ending at the
@@ -108,31 +112,28 @@ pub fn covid() -> Table {
     let mut rng = StdRng::seed_from_u64(0xC051D);
     let states = ["CA", "NY", "WA", "TX", "FL"];
     let today = 18_809i64; // 2021-07-01, see ExecContext::new
-    let mut rows = Vec::new();
+    let n = states.len() * 150;
+    let mut state_col = Vec::with_capacity(n);
+    let mut dates = Vec::with_capacity(n);
+    let (mut case_col, mut death_col) = (Vec::with_capacity(n), Vec::with_capacity(n));
     for state in states {
         let mut cases = rng.gen_range(800..3000) as f64;
         let mut deaths = cases * 0.02;
         for d in (0..150).rev() {
             cases = (cases * rng.gen_range(0.93..1.08)).clamp(50.0, 60_000.0);
             deaths = (deaths * rng.gen_range(0.92..1.09)).clamp(0.0, 900.0);
-            rows.push(vec![
-                Value::Str(state.to_string()),
-                Value::Date(today - d),
-                Value::Int(cases as i64),
-                Value::Int(deaths as i64),
-            ]);
+            state_col.push(state.to_string());
+            dates.push(today - d);
+            case_col.push(cases as i64);
+            death_col.push(deaths as i64);
         }
     }
-    Table::from_rows(
-        vec![
-            ("state", DataType::Str),
-            ("date", DataType::Date),
-            ("cases", DataType::Int),
-            ("deaths", DataType::Int),
-        ],
-        rows,
-    )
-    .expect("covid schema")
+    table(vec![
+        ("state", DataType::Str, ColumnData::strs(state_col)),
+        ("date", DataType::Date, ColumnData::dates(dates)),
+        ("cases", DataType::Int, ColumnData::ints(case_col)),
+        ("deaths", DataType::Int, ColumnData::ints(death_col)),
+    ])
 }
 
 /// sales(city, branch, product, date, total): the Kaggle supermarket-sales
@@ -149,8 +150,13 @@ pub fn sales() -> Table {
         "Sports",
     ];
     let start = parse_iso_date("2019-01-01").unwrap();
-    let mut rows = Vec::new();
-    for _ in 0..500 {
+    let n = 500usize;
+    let mut city_col = Vec::with_capacity(n);
+    let mut branch_col = Vec::with_capacity(n);
+    let mut product_col = Vec::with_capacity(n);
+    let mut dates = Vec::with_capacity(n);
+    let mut totals = Vec::with_capacity(n);
+    for _ in 0..n {
         let ci = rng.gen_range(0..cities.len());
         // Branch correlates with city (each branch belongs to one city in
         // the Kaggle data).
@@ -158,58 +164,47 @@ pub fn sales() -> Table {
         let product = products[rng.gen_range(0..products.len())];
         let day = start + rng.gen_range(0..90i64);
         let total = rng.gen_range(12.0..1050.0f64);
-        rows.push(vec![
-            Value::Str(cities[ci].to_string()),
-            Value::Str(branches[bi].to_string()),
-            Value::Str(product.to_string()),
-            Value::Date(day),
-            Value::Float((total * 100.0).round() / 100.0),
-        ]);
+        city_col.push(cities[ci].to_string());
+        branch_col.push(branches[bi].to_string());
+        product_col.push(product.to_string());
+        dates.push(day);
+        totals.push((total * 100.0).round() / 100.0);
     }
-    Table::from_rows(
-        vec![
-            ("city", DataType::Str),
-            ("branch", DataType::Str),
-            ("product", DataType::Str),
-            ("date", DataType::Date),
-            ("total", DataType::Float),
-        ],
-        rows,
-    )
-    .expect("sales schema")
+    table(vec![
+        ("city", DataType::Str, ColumnData::strs(city_col)),
+        ("branch", DataType::Str, ColumnData::strs(branch_col)),
+        ("product", DataType::Str, ColumnData::strs(product_col)),
+        ("date", DataType::Date, ColumnData::dates(dates)),
+        ("total", DataType::Float, ColumnData::floats(totals)),
+    ])
 }
 
 /// galaxy(objID, u, g, r, i, z): photometric magnitudes for 300 objects.
 pub fn galaxy() -> Table {
     let mut rng = StdRng::seed_from_u64(0x9A1A);
-    let mut rows = Vec::new();
-    for obj_id in 1..=300i64 {
+    let n = 300usize;
+    let mut ids = Vec::with_capacity(n);
+    let mut bands: [Vec<f64>; 5] = Default::default();
+    for obj_id in 1..=n as i64 {
         let base = rng.gen_range(14.0..22.0f64);
         let mag = |rng: &mut StdRng| {
             let v: f64 = base + rng.gen_range(-1.2..1.2);
             (v * 1000.0).round() / 1000.0
         };
-        rows.push(vec![
-            Value::Int(obj_id),
-            Value::Float(mag(&mut rng)),
-            Value::Float(mag(&mut rng)),
-            Value::Float(mag(&mut rng)),
-            Value::Float(mag(&mut rng)),
-            Value::Float(mag(&mut rng)),
-        ]);
+        ids.push(obj_id);
+        for band in bands.iter_mut() {
+            band.push(mag(&mut rng));
+        }
     }
-    Table::from_rows(
-        vec![
-            ("objID", DataType::Int),
-            ("u", DataType::Float),
-            ("g", DataType::Float),
-            ("r", DataType::Float),
-            ("i", DataType::Float),
-            ("z", DataType::Float),
-        ],
-        rows,
-    )
-    .expect("galaxy schema")
+    let [u, g, r, i, z] = bands;
+    table(vec![
+        ("objID", DataType::Int, ColumnData::ints(ids)),
+        ("u", DataType::Float, ColumnData::floats(u)),
+        ("g", DataType::Float, ColumnData::floats(g)),
+        ("r", DataType::Float, ColumnData::floats(r)),
+        ("i", DataType::Float, ColumnData::floats(i)),
+        ("z", DataType::Float, ColumnData::floats(z)),
+    ])
 }
 
 /// specObj(specObjID, bestObjID, z, ra, dec): spectra matched to galaxy
@@ -217,36 +212,38 @@ pub fn galaxy() -> Table {
 /// dec −0.95–−0.05, z 0.13–0.15).
 pub fn spec_obj() -> Table {
     let mut rng = StdRng::seed_from_u64(0x5D55);
-    let mut rows = Vec::new();
-    for spec_id in 1..=300i64 {
+    let n = 300usize;
+    let mut spec_ids = Vec::with_capacity(n);
+    let mut best_objs = Vec::with_capacity(n);
+    let (mut zs, mut ras, mut decs) = (
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+    );
+    for spec_id in 1..=n as i64 {
         let best_obj = ((spec_id - 1) % 300) + 1;
         let ra = 213.0 + rng.gen_range(0.0..1.2f64);
         let dec = -0.95 + rng.gen_range(0.0..0.9f64);
         let z = 0.13 + rng.gen_range(0.0..0.02f64);
-        rows.push(vec![
-            Value::Int(spec_id),
-            Value::Int(best_obj),
-            Value::Float((z * 10_000.0).round() / 10_000.0),
-            Value::Float((ra * 10_000.0).round() / 10_000.0),
-            Value::Float((dec * 10_000.0).round() / 10_000.0),
-        ]);
+        spec_ids.push(spec_id);
+        best_objs.push(best_obj);
+        zs.push((z * 10_000.0).round() / 10_000.0);
+        ras.push((ra * 10_000.0).round() / 10_000.0);
+        decs.push((dec * 10_000.0).round() / 10_000.0);
     }
-    Table::from_rows(
-        vec![
-            ("specObjID", DataType::Int),
-            ("bestObjID", DataType::Int),
-            ("z", DataType::Float),
-            ("ra", DataType::Float),
-            ("dec", DataType::Float),
-        ],
-        rows,
-    )
-    .expect("specObj schema")
+    table(vec![
+        ("specObjID", DataType::Int, ColumnData::ints(spec_ids)),
+        ("bestObjID", DataType::Int, ColumnData::ints(best_objs)),
+        ("z", DataType::Float, ColumnData::floats(zs)),
+        ("ra", DataType::Float, ColumnData::floats(ras)),
+        ("dec", DataType::Float, ColumnData::floats(decs)),
+    ])
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pi2_data::Value;
 
     #[test]
     fn generation_is_deterministic() {
@@ -264,6 +261,16 @@ mod tests {
         ] {
             assert!(c.table(name).is_some(), "missing table {name}");
         }
+    }
+
+    #[test]
+    fn loaders_build_typed_columns() {
+        let t = cars();
+        assert!(matches!(t.col(0), ColumnData::Int64 { .. }));
+        assert!(matches!(t.col(2), ColumnData::Float64 { .. }));
+        assert!(matches!(t.col(4), ColumnData::Utf8 { .. }));
+        let t = covid();
+        assert!(matches!(t.col(1), ColumnData::Date64 { .. }));
     }
 
     #[test]

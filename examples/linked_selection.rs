@@ -64,8 +64,7 @@ fn main() {
             for t in &tables {
                 if let Some(color) = t.schema.index_of("color") {
                     let highlighted = t
-                        .rows
-                        .iter()
+                        .iter_rows()
                         .filter(|r| r[color].as_bool() == Some(true))
                         .count();
                     println!("highlighted rows in the linked chart: {highlighted}");

@@ -52,7 +52,7 @@ fn explore_pan_session() {
         let tables = rt.execute().unwrap();
         for t in &tables {
             if let Some(col) = t.schema.index_of("hp") {
-                for row in &t.rows {
+                for row in t.iter_rows() {
                     let hp = row[col].as_i64().unwrap();
                     assert!(hp >= lo && hp <= hi);
                 }
@@ -203,7 +203,7 @@ fn sales_having_semantics_hold() {
         };
         let _ = view;
         // At most one winner row per city (the max; ties can duplicate).
-        let mut cities: Vec<String> = t.rows.iter().map(|r| r[city_col].to_string()).collect();
+        let mut cities: Vec<String> = t.iter_rows().map(|r| r[city_col].to_string()).collect();
         cities.sort();
         cities.dedup();
         assert!(
