@@ -1,4 +1,8 @@
 //! Top-level error type.
+//!
+//! Dispatch errors are *structured* (not stringly) so the session service
+//! can map them to stable wire-protocol error codes ([`Pi2Error::code`])
+//! without parsing messages.
 
 use std::fmt;
 
@@ -11,10 +15,62 @@ pub enum Pi2Error {
     EmptyWorkload,
     /// The search could not produce a mappable interface.
     NoInterface,
-    /// Runtime interaction errors (bad event payloads etc.).
+    /// An event referenced an interaction index the interface doesn't have.
+    UnknownInteraction {
+        /// The out-of-range interaction index the event carried.
+        interaction: usize,
+    },
+    /// An interaction's target node no longer exists in the forest (the
+    /// interface and the forest disagree — a stale generation artifact).
+    StaleNode,
+    /// An event was well-addressed but its payload cannot apply: wrong
+    /// payload shape for the target, an out-of-range option, a value that
+    /// is not expressible, or a rebinding that resolves to an invalid
+    /// query. The state is left unchanged.
+    InvalidEvent {
+        /// Why the event was rejected.
+        reason: String,
+    },
+    /// A session or protocol request referenced a workload name the
+    /// service has no registration for.
+    UnknownWorkload(String),
+    /// A protocol request referenced a wire-session id the service does
+    /// not hold (never opened, or already closed).
+    UnknownSession(u64),
+    /// A protocol message failed to parse or violated the versioned spec.
+    Protocol(String),
+    /// Other runtime failures (e.g. a generation whose forest no longer
+    /// expresses its workload).
     Runtime(String),
     /// Query execution failed.
     Execution(String),
+}
+
+impl Pi2Error {
+    /// Shorthand for an [`Pi2Error::InvalidEvent`].
+    pub fn invalid(reason: impl Into<String>) -> Pi2Error {
+        Pi2Error::InvalidEvent {
+            reason: reason.into(),
+        }
+    }
+
+    /// The stable wire-protocol error code of this error (see the protocol
+    /// spec in README.md): front-ends switch on this, never on messages.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Pi2Error::Parse(_) => "parse",
+            Pi2Error::EmptyWorkload => "empty_workload",
+            Pi2Error::NoInterface => "no_interface",
+            Pi2Error::UnknownInteraction { .. } => "unknown_interaction",
+            Pi2Error::StaleNode => "stale_node",
+            Pi2Error::InvalidEvent { .. } => "invalid_event",
+            Pi2Error::UnknownWorkload(_) => "unknown_workload",
+            Pi2Error::UnknownSession(_) => "unknown_session",
+            Pi2Error::Protocol(_) => "protocol",
+            Pi2Error::Runtime(_) => "runtime",
+            Pi2Error::Execution(_) => "execution",
+        }
+    }
 }
 
 impl fmt::Display for Pi2Error {
@@ -23,6 +79,14 @@ impl fmt::Display for Pi2Error {
             Pi2Error::Parse(m) => write!(f, "parse error: {m}"),
             Pi2Error::EmptyWorkload => write!(f, "no input queries"),
             Pi2Error::NoInterface => write!(f, "no valid interface mapping found"),
+            Pi2Error::UnknownInteraction { interaction } => {
+                write!(f, "no interaction #{interaction}")
+            }
+            Pi2Error::StaleNode => write!(f, "stale target node"),
+            Pi2Error::InvalidEvent { reason } => write!(f, "invalid event: {reason}"),
+            Pi2Error::UnknownWorkload(name) => write!(f, "unknown workload '{name}'"),
+            Pi2Error::UnknownSession(id) => write!(f, "unknown session #{id}"),
+            Pi2Error::Protocol(m) => write!(f, "protocol error: {m}"),
             Pi2Error::Runtime(m) => write!(f, "runtime error: {m}"),
             Pi2Error::Execution(m) => write!(f, "execution error: {m}"),
         }
@@ -40,5 +104,34 @@ mod tests {
         assert!(Pi2Error::Parse("x".into()).to_string().contains("parse"));
         assert!(Pi2Error::EmptyWorkload.to_string().contains("queries"));
         assert!(Pi2Error::NoInterface.to_string().contains("interface"));
+        assert!(Pi2Error::UnknownInteraction { interaction: 7 }
+            .to_string()
+            .contains("#7"));
+        assert!(Pi2Error::invalid("bad payload")
+            .to_string()
+            .contains("bad payload"));
+        assert!(Pi2Error::UnknownWorkload("covid".into())
+            .to_string()
+            .contains("covid"));
+    }
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errors = [
+            Pi2Error::Parse("x".into()),
+            Pi2Error::EmptyWorkload,
+            Pi2Error::NoInterface,
+            Pi2Error::UnknownInteraction { interaction: 0 },
+            Pi2Error::StaleNode,
+            Pi2Error::invalid("r"),
+            Pi2Error::UnknownWorkload("w".into()),
+            Pi2Error::UnknownSession(1),
+            Pi2Error::Protocol("p".into()),
+            Pi2Error::Runtime("r".into()),
+            Pi2Error::Execution("e".into()),
+        ];
+        let codes: std::collections::HashSet<&str> = errors.iter().map(|e| e.code()).collect();
+        assert_eq!(codes.len(), errors.len(), "codes must be distinct");
+        assert_eq!(Pi2Error::StaleNode.code(), "stale_node");
     }
 }

@@ -2,11 +2,13 @@
 
 use crate::error::Pi2Error;
 use crate::runtime::Runtime;
+use crate::service::Session;
 use pi2_data::Catalog;
 use pi2_difftree::{Forest, Workload};
 use pi2_interface::{InteractionChoice, Interface, MappingContext};
 use pi2_search::{best_interface, mcts_search, MappingOptions, MctsConfig, SearchStats};
 use pi2_sql::parse_query;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration for one generation run: the MCTS parameters (§6.2) and the
@@ -93,10 +95,10 @@ impl Pi2 {
         let (interface, cost) = mapped;
 
         Ok(Generation {
-            interface,
+            interface: Arc::new(interface),
             cost,
-            forest,
-            workload,
+            forest: Arc::new(forest),
+            workload: Arc::new(workload),
             mcts_stats,
             mapping_time,
         })
@@ -114,16 +116,21 @@ fn map_state(
 }
 
 /// The result of a generation run.
+///
+/// Cheaply shareable: the interface, forest, and workload live behind
+/// `Arc`s, so cloning a generation (e.g. to open another [`Session`], or
+/// to register it with a [`crate::Pi2Service`]) copies three pointers, not
+/// the artifacts. Field access is unchanged — the `Arc`s deref.
 #[derive(Debug, Clone)]
 pub struct Generation {
-    /// The generated interface `I = (V, M, L)`.
-    pub interface: Interface,
+    /// The generated interface `I = (V, M, L)` (shared).
+    pub interface: Arc<Interface>,
     /// Full §5 cost of the returned interface.
     pub cost: f64,
-    /// The Difftree state the interface was mapped from.
-    pub forest: Forest,
-    /// The parsed input queries plus catalogue.
-    pub workload: Workload,
+    /// The Difftree state the interface was mapped from (shared).
+    pub forest: Arc<Forest>,
+    /// The parsed input queries plus catalogue (shared).
+    pub workload: Arc<Workload>,
     /// Search statistics (iterations, duration, best reward).
     pub mcts_stats: SearchStats,
     /// Wall-clock time of the final §6.2.2 mapping phase.
@@ -136,9 +143,15 @@ impl Generation {
         self.mcts_stats.duration + self.mapping_time
     }
 
-    /// Create an interactive runtime over the generated interface.
+    /// Create an interactive runtime over the generated interface (the
+    /// legacy one-shot API; a shim over [`Session`]).
     pub fn runtime(&self) -> Result<Runtime, Pi2Error> {
         Runtime::new(self)
+    }
+
+    /// Open a delta-dispatch session over this (shared) generation.
+    pub fn session(&self) -> Result<Session, Pi2Error> {
+        Session::open(self)
     }
 
     /// A human-readable interface summary (views, interactions, layout).

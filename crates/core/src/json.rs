@@ -1,32 +1,22 @@
-//! A compact JSON emitter for interface specifications.
+//! A compact, dependency-free JSON layer: the interface-spec emitter plus a
+//! small parser.
 //!
-//! Deliberately dependency-free (≈150 lines instead of pulling in
-//! `serde_json`, see DESIGN.md §2): interfaces serialise to a stable spec a
-//! front-end could consume.
+//! Deliberately dependency-free (≈350 lines instead of pulling in
+//! `serde_json`, see README.md): interfaces and protocol messages serialise
+//! to a stable spec a front-end can consume, and inbound protocol requests
+//! parse into [`Json`] values. Numbers keep integer precision: a literal
+//! without `.`/exponent that fits `i64` parses as [`Json::Int`], so table
+//! cells and event payloads round-trip exactly.
 
+use crate::error::Pi2Error;
 use pi2_interface::{InteractionChoice, Interface, WidgetDomain};
 use std::fmt::Write;
 
-/// Escape a string for JSON.
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
+// One escaper serves the whole workspace: `pi2_data::wire` owns it (the
+// columnar table encoding lives there), this module re-uses it.
+pub(crate) use pi2_data::wire::json_escape as escape;
 
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v.fract() == 0.0 && v.abs() < 1e15 {
         format!("{}", v as i64)
     } else {
@@ -34,7 +24,374 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-/// Serialise an interface to a JSON specification.
+// ---------------------------------------------------------------------------
+// Parsed JSON values
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Object fields keep their document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number with no fractional part that fits `i64` (exact).
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (ordered key/value pairs; duplicate keys keep the first).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json, Pi2Error> {
+        let mut p = Parser {
+            text,
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// The value of an object field, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Integer content ([`Json::Int`] only — floats don't silently
+    /// truncate).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer content.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Int(i) if *i >= 0 => Some(*i as usize),
+            _ => None,
+        }
+    }
+
+    /// Numeric content (integers widen to `f64`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object fields, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::Float(v) => {
+                if !v.is_finite() {
+                    // JSON has no non-finite numbers; `null` keeps the
+                    // emitted document parseable (protocol value encoding
+                    // tags floats instead, so nothing is lost there).
+                    write!(f, "null")
+                } else if v.fract() == 0.0 {
+                    // Keep the float type through a re-parse: "1" would
+                    // come back as Int(1).
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Json::Str(s) => write!(f, "\"{}\"", escape(s)),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "\"{}\":{v}", escape(k))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, what: &str) -> Pi2Error {
+        Pi2Error::Protocol(format!("{what} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Pi2Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, Pi2Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, Pi2Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, Pi2Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, Pi2Error> {
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            if !fields.iter().any(|(k, _)| *k == key) {
+                fields.push((key, value));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Pi2Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require a trailing \uXXXX.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("lone surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar. `pos` always sits on a char
+                    // boundary (the scanner only ever advances by whole
+                    // chars or ASCII), so slicing the source &str here is
+                    // valid — and decodes just the next scalar, not the
+                    // whole remainder.
+                    let c = self.text[self.pos..].chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Pi2Error> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("short \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, Pi2Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interface-spec emission (part of the versioned protocol: the `spec` body
+// of `interface` responses — see README.md for the message envelope).
+// ---------------------------------------------------------------------------
+
+/// Serialise an interface to its JSON specification (the `spec` body of the
+/// protocol's `interface` message; the `v`ersion lives on the envelope).
 pub fn interface_to_json(iface: &Interface) -> String {
     let mut out = String::new();
     out.push_str("{\"views\":[");
@@ -201,10 +558,105 @@ mod tests {
     }
 
     #[test]
+    fn interface_spec_parses_with_own_parser() {
+        let j = interface_to_json(&sample());
+        let parsed = Json::parse(&j).expect("spec parses");
+        let views = parsed.get("views").and_then(Json::as_arr).unwrap();
+        assert_eq!(views.len(), 1);
+        assert_eq!(
+            views[0].get("mark").and_then(Json::as_str),
+            Some("bar chart")
+        );
+        let interactions = parsed.get("interactions").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            interactions[0].get("widget").and_then(Json::as_str),
+            Some("radio")
+        );
+    }
+
+    #[test]
     fn escape_handles_control_characters() {
         assert_eq!(escape("a\"b"), "a\\\"b");
         assert_eq!(escape("a\nb"), "a\\nb");
         assert_eq!(escape("a\\b"), "a\\\\b");
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn parser_round_trips_scalars() {
+        for text in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-7",
+            "9007199254740993",
+            "2.5",
+            "-0.125",
+            "\"hi \\\"there\\\"\"",
+            "[1,2,[3]]",
+            "{\"a\":1,\"b\":{\"c\":[true,null]}}",
+        ] {
+            let v = Json::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            let emitted = v.to_string();
+            let again = Json::parse(&emitted).unwrap();
+            assert_eq!(v, again, "{text} → {emitted}");
+        }
+        // Integer precision beyond f64: stays exact.
+        assert_eq!(
+            Json::parse("9007199254740993").unwrap(),
+            Json::Int(9007199254740993)
+        );
+    }
+
+    #[test]
+    fn display_preserves_float_typing() {
+        assert_eq!(Json::Float(1.0).to_string(), "1.0");
+        assert_eq!(
+            Json::parse(&Json::Float(1.0).to_string()).unwrap(),
+            Json::Float(1.0),
+            "integral floats must re-parse as floats"
+        );
+        assert_eq!(Json::Float(2.5).to_string(), "2.5");
+        // Non-finite floats cannot be JSON numbers; Display stays parseable.
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        assert_eq!(
+            Json::parse("\"a\\u0041\\n\\t\\\\\"").unwrap(),
+            Json::Str("aA\n\t\\".into())
+        );
+        // Surrogate pair → 🂡 (U+1F0A1).
+        assert_eq!(
+            Json::parse("\"\\ud83c\\udca1\"").unwrap(),
+            Json::Str("\u{1F0A1}".into())
+        );
+        assert_eq!(Json::parse("\"héllo\"").unwrap(), Json::Str("héllo".into()));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "1.2.3",
+            "\"unterminated",
+            "[1] x",
+            "{\"a\":}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "must reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_object_keys_keep_the_first() {
+        let v = Json::parse("{\"a\":1,\"a\":2}").unwrap();
+        assert_eq!(v.get("a"), Some(&Json::Int(1)));
     }
 }

@@ -31,20 +31,41 @@
 //! (`pi2-search`), map the best structure to an interface — visualizations,
 //! interactions, layout (`pi2-interface`) — and return the lowest-cost
 //! interface under the §5 cost model.
+//!
+//! ## Serving many analysts: the session service
+//!
+//! The scalable surface is [`Pi2Service`]: register a workload once
+//! (generation + cache pre-warm), then open any number of [`Session`]s
+//! over the shared [`Generation`]. `Session::dispatch` returns a delta
+//! [`Patch`] — only the views whose resolved query changed — and the
+//! versioned JSON wire protocol in [`protocol`]
+//! ([`Pi2Service::handle_json`]) lets any HTTP/WebSocket front-end drive
+//! the system. `Pi2::generate` and [`Runtime`] survive as thin shims.
 
 pub mod error;
 pub mod generation;
 pub mod json;
+pub mod protocol;
 pub mod render;
 pub mod runtime;
+pub mod service;
 
 pub use error::Pi2Error;
 pub use generation::{Generation, GenerationConfig, Pi2};
+pub use json::Json;
+pub use protocol::{
+    event_from_json, event_to_json, patch_from_json, patch_to_json, request_from_json,
+    request_to_json, Request, PROTOCOL_VERSION,
+};
 pub use runtime::{Event, Runtime};
+pub use service::{Patch, PatchView, Pi2Service, ServiceMetrics, Session, WorkloadMetrics};
 
 // Re-export the sub-crates' key types so downstream users need one import.
 pub use pi2_data::memo;
 pub use pi2_data::{Catalog, ColumnData, DataType, ShardedMemo, Table, Value};
 pub use pi2_difftree::{Forest, Workload};
-pub use pi2_interface::{InteractionChoice, InteractionKind, Interface, VisKind, WidgetKind};
+pub use pi2_interface::{
+    global_eval_cache, CacheStats, InteractionChoice, InteractionKind, Interface, VisKind,
+    WidgetKind,
+};
 pub use pi2_search::{MctsConfig, SearchStats};

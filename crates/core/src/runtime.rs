@@ -1,21 +1,25 @@
-//! The interactive runtime: what makes a generated interface "fully
-//! functional".
+//! Events and the event-application engine: what makes a generated
+//! interface "fully functional".
 //!
-//! Every interaction instance binds one or more choice nodes. Dispatching an
-//! event re-binds those nodes, re-resolves the owning Difftree to SQL,
-//! re-executes it, and updates the view's result table — exactly the
-//! query-level semantics the paper's browser front-end implements.
+//! Every interaction instance binds one or more choice nodes. Applying an
+//! event re-binds those nodes and re-resolves the owning Difftree(s) to
+//! SQL — exactly the query-level semantics the paper's browser front-end
+//! implements. The engine ([`EventEngine`]) is pure staging: it returns the
+//! validated per-tree binding maps and raised queries an event produces,
+//! and *never* mutates state, so [`crate::Session`] can commit the change,
+//! diff resolved-query fingerprints, and emit a delta patch.
+//!
+//! [`Runtime`] survives as a thin shim over [`crate::Session`] for callers
+//! of the original one-shot API.
 
 use crate::error::Pi2Error;
 use crate::generation::Generation;
+use crate::service::Session;
 use pi2_data::{date::format_iso_date, Table, Value};
-use pi2_difftree::{
-    infer_types, raise_query, resolve, Binding, BindingMap, DNode, Forest, NodeKind, SyntaxKind,
-    TypeMap, Workload,
-};
-use pi2_engine::{execute, ExecContext};
+use pi2_difftree::{Assignment, Binding, BindingMap, DNode, Forest, NodeKind, SyntaxKind, TypeMap};
 use pi2_interface::{flatten_node, FlatSchema, Interface};
 use pi2_sql::ast::{Literal, Query};
+use std::sync::Arc;
 
 /// A user interaction event.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,126 +68,77 @@ impl Event {
     }
 }
 
-/// Interactive state over a generated interface.
-pub struct Runtime {
-    forest: Forest,
-    workload: Workload,
-    interface: Interface,
-    /// Per-tree current bindings (the UI state).
-    bindings: Vec<BindingMap>,
-    types: Vec<TypeMap>,
-    /// Per-interaction: displayed-option index → ANY child index.
-    option_maps: Vec<Vec<usize>>,
+/// The pure event-application engine: borrows one session's state, stages
+/// the trees an event touches. Staging is *syntactic* — the session
+/// validates each staged binding by resolution (or a resolved-binding
+/// cache hit) before committing anything, all-or-nothing.
+pub(crate) struct EventEngine<'a> {
+    pub forest: &'a Forest,
+    /// The workload's input-query assignments over this forest, computed
+    /// once at session open (they are a pure function of (forest,
+    /// workload) — re-binding per dispatch would repeat that work).
+    pub assignments: &'a [Assignment],
+    pub interface: &'a Interface,
+    pub types: &'a [Arc<TypeMap>],
+    pub option_maps: &'a [Vec<usize>],
+    pub bindings: &'a [BindingMap],
 }
 
-impl Runtime {
-    /// Initialise from a generation: every tree starts at the first input
-    /// query it expresses.
-    pub fn new(generation: &Generation) -> Result<Runtime, Pi2Error> {
-        let forest = generation.forest.clone();
-        let workload = generation.workload.clone();
-        let interface = generation.interface.clone();
-        let assignments = forest
-            .bind_all(&workload)
-            .ok_or_else(|| Pi2Error::Runtime("forest no longer expresses workload".into()))?;
-        let mut bindings: Vec<Option<BindingMap>> = vec![None; forest.trees.len()];
-        for a in &assignments {
-            if bindings[a.tree].is_none() {
-                bindings[a.tree] = Some(a.binding.clone());
-            }
-        }
-        let bindings: Vec<BindingMap> = bindings
-            .into_iter()
-            .map(|b| b.unwrap_or_default())
-            .collect();
-        let types = forest
-            .trees
-            .iter()
-            .map(|t| infer_types(t, &workload.catalog))
-            .collect();
-        let option_maps = interface
-            .interactions
-            .iter()
-            .map(|inst| {
-                forest
-                    .node_in_tree(inst.target_tree, inst.target_node)
-                    .map(displayed_options)
-                    .unwrap_or_default()
-            })
-            .collect();
-        Ok(Runtime {
-            forest,
-            workload,
-            interface,
-            bindings,
-            types,
-            option_maps,
-        })
-    }
-
-    /// The interface this runtime drives.
-    pub fn interface(&self) -> &Interface {
-        &self.interface
-    }
-
-    /// The current SQL query of each tree.
-    pub fn queries(&self) -> Result<Vec<Query>, Pi2Error> {
-        (0..self.forest.trees.len())
-            .map(|t| self.query_for_tree(t))
-            .collect()
-    }
-
-    /// The current SQL query of one tree.
-    pub fn query_for_tree(&self, tree: usize) -> Result<Query, Pi2Error> {
-        let resolved = resolve(&self.forest.trees[tree], &self.bindings[tree])
-            .map_err(|e| Pi2Error::Runtime(e.to_string()))?;
-        raise_query(&resolved).map_err(|e| Pi2Error::Runtime(e.to_string()))
-    }
-
-    /// Execute the current query of every tree (one result table per view).
-    pub fn execute(&self) -> Result<Vec<Table>, Pi2Error> {
-        let ctx = ExecContext::new(&self.workload.catalog);
-        self.queries()?
-            .iter()
-            .map(|q| execute(q, &ctx).map_err(|e| Pi2Error::Execution(e.to_string())))
-            .collect()
-    }
-
-    /// Apply one event: rebind the targeted choice nodes and validate by
-    /// resolution. Invalid events leave the state unchanged.
-    pub fn dispatch(&mut self, event: Event) -> Result<(), Pi2Error> {
+impl EventEngine<'_> {
+    /// Stage one event: the per-tree binding maps it produces. Trees the
+    /// event does not touch are absent.
+    pub fn apply(&self, event: &Event) -> Result<Vec<(usize, BindingMap)>, Pi2Error> {
         let ix = event.interaction();
         let inst = self
             .interface
             .interactions
             .get(ix)
-            .ok_or_else(|| Pi2Error::Runtime(format!("no interaction #{ix}")))?
+            .ok_or(Pi2Error::UnknownInteraction { interaction: ix })?
             .clone();
         let tree = inst.target_tree;
         let node = self
             .forest
             .node_in_tree(tree, inst.target_node)
-            .ok_or_else(|| Pi2Error::Runtime("stale target node".into()))?
+            .ok_or(Pi2Error::StaleNode)?
             .clone();
-        let mut next = self.bindings[tree].clone();
 
-        match &event {
+        // Per-tree staged maps; same-tree targets accumulate into one map.
+        let mut staged: Vec<(usize, BindingMap)> = Vec::new();
+        let staged_map = |staged: &Vec<(usize, BindingMap)>, t: usize| -> BindingMap {
+            staged
+                .iter()
+                .find(|(st, _)| *st == t)
+                .map(|(_, m)| m.clone())
+                .unwrap_or_else(|| self.bindings[t].clone())
+        };
+        let commit = |staged: &mut Vec<(usize, BindingMap)>, t: usize, map: BindingMap| {
+            if let Some(slot) = staged.iter_mut().find(|(st, _)| *st == t) {
+                slot.1 = map;
+            } else {
+                staged.push((t, map));
+            }
+        };
+
+        match event {
             Event::Select { option, .. } => {
                 let child = self.option_maps[ix]
                     .get(*option)
                     .copied()
-                    .ok_or_else(|| Pi2Error::Runtime(format!("no option {option}")))?;
+                    .ok_or_else(|| Pi2Error::invalid(format!("no option {option}")))?;
                 if node.kind != NodeKind::Any {
-                    return Err(Pi2Error::Runtime("Select targets an ANY node".into()));
+                    return Err(Pi2Error::invalid("Select targets an ANY node"));
                 }
+                let mut next = staged_map(&mut staged, tree);
                 next.insert(node.id, Binding::Index(child));
                 // Nested choices of the newly chosen branch may be unbound;
                 // initialise them from any input query using that branch.
                 self.fill_missing(tree, &mut next);
+                commit(&mut staged, tree, next);
             }
             Event::Toggle { on, .. } => {
                 let (present_idx, empty_idx) = opt_indices(&node)
-                    .ok_or_else(|| Pi2Error::Runtime("Toggle targets an OPT node".into()))?;
+                    .ok_or_else(|| Pi2Error::invalid("Toggle targets an OPT node"))?;
+                let mut next = staged_map(&mut staged, tree);
                 next.insert(
                     node.id,
                     Binding::Index(if *on { present_idx } else { empty_idx }),
@@ -191,25 +146,25 @@ impl Runtime {
                 if *on {
                     self.fill_missing(tree, &mut next);
                 }
+                commit(&mut staged, tree, next);
             }
             Event::SetValues { values, .. } => {
                 // Apply to every target (cross-filter brushes bind nodes in
                 // several trees); values tile over longer flat schemas (one
                 // (lo, hi) pair can drive co-varying range pairs).
-                let mut staged: Vec<(usize, BindingMap)> = Vec::new();
                 for (t_tree, t_node) in inst.all_targets() {
                     let t_node = self
                         .forest
                         .node_in_tree(t_tree, t_node)
-                        .ok_or_else(|| Pi2Error::Runtime("stale target node".into()))?
+                        .ok_or(Pi2Error::StaleNode)?
                         .clone();
                     let flat = flatten_node(&t_node, &self.types[t_tree]).ok_or_else(|| {
-                        Pi2Error::Runtime("interaction target does not accept values".into())
+                        Pi2Error::invalid("interaction target does not accept values")
                     })?;
                     if values.is_empty()
                         || (values.len() != flat.len() && !flat.len().is_multiple_of(values.len()))
                     {
-                        return Err(Pi2Error::Runtime(format!(
+                        return Err(Pi2Error::invalid(format!(
                             "expected {} values, got {}",
                             flat.len(),
                             values.len()
@@ -242,31 +197,14 @@ impl Runtime {
                         .take(flat.len())
                         .cloned()
                         .collect();
-                    let mut t_next = if t_tree == tree {
-                        next.clone()
-                    } else {
-                        self.bindings[t_tree].clone()
-                    };
+                    let mut t_next = staged_map(&mut staged, t_tree);
                     bind_values(&t_node, &flat, &tiled, &mut t_next)?;
-                    staged.push((t_tree, t_next));
+                    commit(&mut staged, t_tree, t_next);
                 }
-                // Validate and commit all targets atomically.
-                for (t_tree, t_next) in &staged {
-                    let resolved = resolve(&self.forest.trees[*t_tree], t_next).map_err(|e| {
-                        Pi2Error::Runtime(format!("event produced invalid state: {e}"))
-                    })?;
-                    raise_query(&resolved).map_err(|e| {
-                        Pi2Error::Runtime(format!("event produced invalid query: {e}"))
-                    })?;
-                }
-                for (t_tree, t_next) in staged {
-                    self.bindings[t_tree] = t_next;
-                }
-                return Ok(());
             }
             Event::SetSet { values, .. } => {
                 let multi = find_multi(&node)
-                    .ok_or_else(|| Pi2Error::Runtime("SetSet targets a MULTI node".into()))?;
+                    .ok_or_else(|| Pi2Error::invalid("SetSet targets a MULTI node"))?;
                 let template = &multi.children[0];
                 let mut params = Vec::with_capacity(values.len());
                 for v in values {
@@ -274,28 +212,31 @@ impl Runtime {
                     bind_template(template, v, &mut sub)?;
                     params.push(sub);
                 }
+                let mut next = staged_map(&mut staged, tree);
                 next.insert(multi.id, Binding::List(params));
+                commit(&mut staged, tree, next);
             }
             Event::SelectMany { options, .. } => {
                 if node.kind != NodeKind::Subset {
-                    return Err(Pi2Error::Runtime("SelectMany targets a SUBSET node".into()));
+                    return Err(Pi2Error::invalid("SelectMany targets a SUBSET node"));
                 }
                 let mut sorted = options.clone();
                 sorted.sort_unstable();
                 sorted.dedup();
                 if sorted.iter().any(|&o| o >= node.children.len()) {
-                    return Err(Pi2Error::Runtime("option out of range".into()));
+                    return Err(Pi2Error::invalid("option out of range"));
                 }
+                let mut next = staged_map(&mut staged, tree);
                 next.insert(node.id, Binding::Indices(sorted));
+                commit(&mut staged, tree, next);
             }
             Event::Clear { .. } => {
                 // Clear every target's optional subtree(s).
-                let mut staged: Vec<(usize, BindingMap)> = Vec::new();
                 for (t_tree, t_node_id) in inst.all_targets() {
                     let t_node = self
                         .forest
                         .node_in_tree(t_tree, t_node_id)
-                        .ok_or_else(|| Pi2Error::Runtime("stale target node".into()))?
+                        .ok_or(Pi2Error::StaleNode)?
                         .clone();
                     let flat = flatten_node(&t_node, &self.types[t_tree]);
                     let controllers: Vec<u32> = match (&t_node.kind, flat) {
@@ -305,64 +246,38 @@ impl Runtime {
                                 flat.elems.iter().filter_map(|e| e.opt_controller).collect();
                             c.dedup();
                             if c.is_empty() {
-                                return Err(Pi2Error::Runtime(
-                                    "interaction is not clearable".into(),
-                                ));
+                                return Err(Pi2Error::invalid("interaction is not clearable"));
                             }
                             c
                         }
-                        _ => return Err(Pi2Error::Runtime("interaction is not clearable".into())),
+                        _ => return Err(Pi2Error::invalid("interaction is not clearable")),
                     };
-                    let mut t_next = if t_tree == tree {
-                        next.clone()
-                    } else {
-                        self.bindings[t_tree].clone()
-                    };
+                    let mut t_next = staged_map(&mut staged, t_tree);
                     for id in controllers {
                         let opt = self.forest.trees[t_tree]
                             .find(id)
-                            .ok_or_else(|| Pi2Error::Runtime("stale OPT".into()))?;
-                        let (_, empty_idx) = opt_indices(opt)
-                            .ok_or_else(|| Pi2Error::Runtime("not an OPT".into()))?;
+                            .ok_or(Pi2Error::StaleNode)?;
+                        let (_, empty_idx) =
+                            opt_indices(opt).ok_or_else(|| Pi2Error::invalid("not an OPT"))?;
                         t_next.insert(id, Binding::Index(empty_idx));
                     }
-                    staged.push((t_tree, t_next));
+                    commit(&mut staged, t_tree, t_next);
                 }
-                for (t_tree, t_next) in &staged {
-                    let resolved = resolve(&self.forest.trees[*t_tree], t_next).map_err(|e| {
-                        Pi2Error::Runtime(format!("event produced invalid state: {e}"))
-                    })?;
-                    raise_query(&resolved).map_err(|e| {
-                        Pi2Error::Runtime(format!("event produced invalid query: {e}"))
-                    })?;
-                }
-                for (t_tree, t_next) in staged {
-                    self.bindings[t_tree] = t_next;
-                }
-                return Ok(());
             }
         }
 
-        // Validate: the new binding must resolve to a well-formed query.
-        let resolved = resolve(&self.forest.trees[tree], &next)
-            .map_err(|e| Pi2Error::Runtime(format!("event produced invalid state: {e}")))?;
-        raise_query(&resolved)
-            .map_err(|e| Pi2Error::Runtime(format!("event produced invalid query: {e}")))?;
-        self.bindings[tree] = next;
-        Ok(())
+        Ok(staged)
     }
 
     /// Ensure every choice node of the tree has a binding, borrowing from
     /// input-query assignments where the current state is missing one.
     fn fill_missing(&self, tree: usize, map: &mut BindingMap) {
-        if let Some(assignments) = self.forest.bind_all(&self.workload) {
-            for a in assignments {
-                if a.tree != tree {
-                    continue;
-                }
-                for (id, b) in &a.binding {
-                    map.entry(*id).or_insert_with(|| b.clone());
-                }
+        for a in self.assignments {
+            if a.tree != tree {
+                continue;
+            }
+            for (id, b) in &a.binding {
+                map.entry(*id).or_insert_with(|| b.clone());
             }
         }
     }
@@ -370,7 +285,7 @@ impl Runtime {
 
 /// The displayed options of an ANY node (skipping Empty alternatives and
 /// CO-OPT group markers), as child indices.
-fn displayed_options(node: &DNode) -> Vec<usize> {
+pub(crate) fn displayed_options(node: &DNode) -> Vec<usize> {
     match node.kind {
         NodeKind::Any => node
             .children
@@ -418,9 +333,7 @@ fn bind_values(
     map: &mut BindingMap,
 ) -> Result<(), Pi2Error> {
     for (elem, value) in flat.elems.iter().zip(values.iter()) {
-        let node = root
-            .find(elem.node_id)
-            .ok_or_else(|| Pi2Error::Runtime("stale element node".into()))?;
+        let node = root.find(elem.node_id).ok_or(Pi2Error::StaleNode)?;
         match &node.kind {
             NodeKind::Val => {
                 map.insert(node.id, Binding::Value(value_to_literal(value)));
@@ -439,24 +352,22 @@ fn bind_values(
                 let pos = match exact {
                     Some(p) => p,
                     None => nearest_option(node, value).ok_or_else(|| {
-                        Pi2Error::Runtime(format!("value {value} is not an option"))
+                        Pi2Error::invalid(format!("value {value} is not an option"))
                     })?,
                 };
                 map.insert(node.id, Binding::Index(pos));
             }
             other => {
-                return Err(Pi2Error::Runtime(format!(
+                return Err(Pi2Error::invalid(format!(
                     "cannot bind a value to {other:?}"
                 )))
             }
         }
         // Setting a value implies presence for optional elements.
         if let Some(ctrl) = elem.opt_controller {
-            let opt = root
-                .find(ctrl)
-                .ok_or_else(|| Pi2Error::Runtime("stale OPT controller".into()))?;
-            let (present, _) = opt_indices(opt)
-                .ok_or_else(|| Pi2Error::Runtime("controller is not an OPT".into()))?;
+            let opt = root.find(ctrl).ok_or(Pi2Error::StaleNode)?;
+            let (present, _) =
+                opt_indices(opt).ok_or_else(|| Pi2Error::invalid("controller is not an OPT"))?;
             map.insert(ctrl, Binding::Index(present));
         }
     }
@@ -512,7 +423,7 @@ fn bind_template(template: &DNode, value: &Value, map: &mut BindingMap) -> Resul
                 _ => pi2_difftree::sql_snippet(c) == value.to_string(),
             });
             let pos = pos.ok_or_else(|| {
-                Pi2Error::Runtime(format!("value {value} is not a template option"))
+                Pi2Error::invalid(format!("value {value} is not a template option"))
             })?;
             map.insert(template.id, Binding::Index(pos));
             Ok(())
@@ -523,7 +434,7 @@ fn bind_template(template: &DNode, value: &Value, map: &mut BindingMap) -> Resul
             if choices.len() == 1 {
                 bind_template(choices[0], value, map)
             } else {
-                Err(Pi2Error::Runtime("ambiguous MULTI template".into()))
+                Err(Pi2Error::invalid("ambiguous MULTI template"))
             }
         }
         _ => Ok(()),
@@ -536,6 +447,75 @@ fn find_multi(node: &DNode) -> Option<&DNode> {
         return Some(node);
     }
     node.children.iter().find_map(find_multi)
+}
+
+// ---------------------------------------------------------------------------
+// The legacy one-shot API, as a shim over the session layer.
+// ---------------------------------------------------------------------------
+
+/// Interactive state over a generated interface.
+///
+/// A thin shim over [`Session`]: `dispatch` discards the delta
+/// [`crate::Patch`] and `execute` returns the full per-view result set
+/// (served from the shared result memo — unchanged views never
+/// re-execute). New code should open a [`Session`] directly.
+pub struct Runtime {
+    session: Session,
+}
+
+impl Runtime {
+    /// Initialise from a generation: every tree starts at the first input
+    /// query it expresses.
+    pub fn new(generation: &Generation) -> Result<Runtime, Pi2Error> {
+        Ok(Runtime {
+            session: Session::open(generation)?,
+        })
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The underlying session, mutably (e.g. to read patches after all).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// Unwrap into the underlying session.
+    pub fn into_session(self) -> Session {
+        self.session
+    }
+
+    /// The interface this runtime drives.
+    pub fn interface(&self) -> &Interface {
+        self.session.interface()
+    }
+
+    /// The current SQL query of each tree.
+    pub fn queries(&self) -> Result<Vec<Query>, Pi2Error> {
+        Ok(self.session.queries())
+    }
+
+    /// The current SQL query of one tree.
+    pub fn query_for_tree(&self, tree: usize) -> Result<Query, Pi2Error> {
+        self.session
+            .query_for_tree(tree)
+            .cloned()
+            .ok_or_else(|| Pi2Error::Runtime(format!("no tree #{tree}")))
+    }
+
+    /// Execute the current query of every tree (one result table per view),
+    /// served through the shared result memo.
+    pub fn execute(&self) -> Result<Vec<Table>, Pi2Error> {
+        self.session.execute()
+    }
+
+    /// Apply one event: rebind the targeted choice nodes and validate by
+    /// resolution. Invalid events leave the state unchanged.
+    pub fn dispatch(&mut self, event: Event) -> Result<(), Pi2Error> {
+        self.session.dispatch(&event).map(|_| ())
+    }
 }
 
 #[cfg(test)]
@@ -553,8 +533,6 @@ mod tests {
         c.add_table("T", t, vec![]);
         c
     }
-
-    use pi2_data::Table;
 
     fn generation() -> Generation {
         Pi2::new(catalog())
@@ -669,18 +647,26 @@ mod tests {
         let g = generation();
         let mut rt = g.runtime().unwrap();
         let before = rt.queries().unwrap();
-        assert!(rt
-            .dispatch(Event::Select {
+        assert_eq!(
+            rt.dispatch(Event::Select {
                 interaction: 999,
                 option: 0
             })
-            .is_err());
-        // Wrong payload arity.
+            .unwrap_err(),
+            Pi2Error::UnknownInteraction { interaction: 999 }
+        );
+        // Wrong payload arity → structured InvalidEvent.
         for ix in 0..g.interface.interactions.len() {
-            let _ = rt.dispatch(Event::SetValues {
-                interaction: ix,
-                values: vec![],
-            });
+            let err = rt
+                .dispatch(Event::SetValues {
+                    interaction: ix,
+                    values: vec![],
+                })
+                .unwrap_err();
+            assert!(
+                matches!(err, Pi2Error::InvalidEvent { .. }),
+                "expected InvalidEvent, got {err:?}"
+            );
         }
         assert_eq!(rt.queries().unwrap(), before);
     }

@@ -64,6 +64,17 @@ impl Hasher for FastHasher {
     }
 }
 
+/// FNV-1a over a byte string: the stable 64-bit fingerprint used for
+/// wire-level and cache keys (e.g. resolved-SQL fingerprints), where the
+/// value must not depend on hasher seeding or process state.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// `HashMap` with [`FastHasher`].
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 

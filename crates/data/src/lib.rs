@@ -24,6 +24,7 @@ pub mod stats;
 pub mod table;
 pub mod types;
 pub mod value;
+pub mod wire;
 
 pub use catalog::{Catalog, FunctionSig, TableMeta};
 pub use column::{ColumnData, NullMask};

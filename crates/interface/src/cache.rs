@@ -18,11 +18,14 @@
 use crate::flat::{flatten_node, FlatSchema};
 use crate::vis::{vis_mapping_candidates, VisMapping};
 use crate::widget::{widget_candidates, WidgetCandidate};
-use pi2_data::{ShardedMemo, Table};
+use pi2_data::hash::fnv1a_64;
+use pi2_data::{Catalog, ShardedMemo, Table};
 use pi2_difftree::{
-    infer_types_cached, result_schema, BindingMap, ResultSchema, Tree, TypeMap, Workload,
+    infer_types_cached, result_schema, BindingMap, Forest, ResultSchema, Tree, TypeMap, Workload,
 };
 use pi2_engine::{execute, ExecContext};
+use pi2_sql::ast::Query;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 const MAX_ENTRIES_PER_SHARD: usize = 8_192;
@@ -47,13 +50,30 @@ pub struct TreeArtifacts {
     pub results: Vec<Arc<Table>>,
 }
 
+/// Hit/miss counters of the executed-result memo, surfaced through the
+/// session service's metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that had to execute the query.
+    pub misses: u64,
+}
+
 /// Lock-sharded memo shared process-wide: per-tree mapping artifacts keyed
 /// by (tree fp, qset hash, catalogue fp), and executed query results keyed
-/// by (catalogue fp, query fp). Both are the generic cap-checked
-/// [`ShardedMemo`] from `pi2-data` (see the module docs).
+/// by (catalogue fp, resolved-SQL fingerprint). Both are the generic
+/// cap-checked [`ShardedMemo`] from `pi2-data` (see the module docs).
+///
+/// The result memo is keyed by the *text* of the resolved query, so every
+/// interaction state a session can reach shares one execution with every
+/// other session (and with the search phase, whose initial queries resolve
+/// to the workload's original SQL).
 pub struct EvalCache {
     artifacts: ShardedMemo<(u64, u64, u64), Option<Arc<TreeArtifacts>>>,
     results: ShardedMemo<(u64, u64), Option<Arc<Table>>>,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
 }
 
 impl Default for EvalCache {
@@ -61,6 +81,8 @@ impl Default for EvalCache {
         EvalCache {
             artifacts: ShardedMemo::new(MAX_ENTRIES_PER_SHARD),
             results: ShardedMemo::new(MAX_ENTRIES_PER_SHARD),
+            result_hits: AtomicU64::new(0),
+            result_misses: AtomicU64::new(0),
         }
     }
 }
@@ -86,11 +108,70 @@ impl EvalCache {
     /// The executed result of input query `qi` (`None` when execution
     /// fails), computed once per (catalogue, query content).
     pub fn query_result(&self, w: &Workload, qi: usize) -> Option<Arc<Table>> {
-        let key = (w.catalog.fingerprint(), w.gst_fps[qi]);
-        self.results.get_or_insert_with(&key, || {
-            let ctx = ExecContext::new(&w.catalog);
-            execute(&w.queries[qi], &ctx).ok().map(Arc::new)
-        })
+        self.resolved_result(&w.catalog, &w.queries[qi])
+    }
+
+    /// The executed result of an arbitrary resolved query (`None` when
+    /// execution fails), computed once per (catalogue, resolved-SQL
+    /// fingerprint) and shared across every session and worker. This is the
+    /// memo behind `Session` patch fills: identical interaction states in
+    /// different sessions pay for one execution.
+    pub fn resolved_result(&self, catalog: &Catalog, query: &Query) -> Option<Arc<Table>> {
+        self.resolved_result_fp(catalog, fnv1a_64(query.to_string().as_bytes()), query)
+    }
+
+    /// Like [`EvalCache::resolved_result`], but with the resolved-SQL
+    /// fingerprint (`fnv1a_64` over the query's SQL text) precomputed by
+    /// the caller — sessions cache it per tree, so the memo-warm path
+    /// never re-serialises the query.
+    pub fn resolved_result_fp(
+        &self,
+        catalog: &Catalog,
+        sql_fp: u64,
+        query: &Query,
+    ) -> Option<Arc<Table>> {
+        let key = (catalog.fingerprint(), sql_fp);
+        if let Some(hit) = self.results.get(&key) {
+            self.result_hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        self.result_misses.fetch_add(1, Ordering::Relaxed);
+        let ctx = ExecContext::new(catalog);
+        let value = execute(query, &ctx).ok().map(Arc::new);
+        self.results.insert(key, value.clone());
+        value
+    }
+
+    /// Pre-warm the result memo with every input query of a workload
+    /// (registration-time entry point). Returns how many executed
+    /// successfully. Sessions start at the input queries, so their first
+    /// patches are memo-warm.
+    pub fn warm_workload(&self, w: &Workload) -> usize {
+        (0..w.queries.len())
+            .filter(|&qi| self.query_result(w, qi).is_some())
+            .count()
+    }
+
+    /// Pre-warm the per-tree mapping artifacts of a forest (types, schemas,
+    /// candidates, flats) by building a throwaway mapping context. Returns
+    /// whether the forest was mappable. Registration calls this once so
+    /// concurrent sessions never rebuild artifacts.
+    pub fn warm_forest(&self, forest: &Forest, w: &Workload) -> bool {
+        crate::iface::MappingContext::build(forest, w).is_some()
+    }
+
+    /// Hit/miss counters of the executed-result memo.
+    pub fn result_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.result_hits.load(Ordering::Relaxed),
+            misses: self.result_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop every cached executed result (benchmark cold-start path; the
+    /// hit/miss counters are left running).
+    pub fn clear_results(&self) {
+        self.results.clear();
     }
 
     /// Artifacts for `tree` expressing `queries` (workload indices), with

@@ -143,6 +143,15 @@ fn search_caches() -> &'static SearchCaches {
     })
 }
 
+/// Current entry counts of the process-global transposition tables
+/// `(reward estimates, validated action sets)` — the session service
+/// surfaces these in its metrics so operators can watch what repeated
+/// registrations are actually sharing.
+pub fn transposition_table_sizes() -> (usize, usize) {
+    let caches = search_caches();
+    (caches.rewards.len(), caches.actions.len())
+}
+
 /// Fingerprint of everything besides the state that a reward depends on:
 /// the workload (queries + catalogue) and the reward-relevant config.
 fn context_fingerprint(w: &Workload, cfg: &MctsConfig) -> u64 {

@@ -1,19 +1,22 @@
 //! Case study: reproduce Google's Covid-19 visualization (paper §7.2,
-//! Figure 15b, Listing 6).
+//! Figure 15b, Listing 6), served through the session service.
 //!
 //! Eight queries report daily cases or deaths for different states over
 //! different trailing windows. PI2 merges them into an interface with
 //! controls for the metric, the state, and the (optional) date interval —
 //! the paper highlights the nested interaction: the interval control only
-//! matters when the date filter is enabled.
+//! matters when the date filter is enabled. Each dispatch below returns a
+//! delta patch: only the view whose SQL actually changed re-ships, and the
+//! result comes from the shared memo when any session has been there
+//! before.
 //!
 //! Run with: `cargo run --release --example covid_dashboard`
 
-use pi2::{Event, GenerationConfig, Pi2};
+use pi2::{Event, GenerationConfig, Pi2Service};
 use pi2_workloads::{catalog, log, LogKind};
 
 fn main() {
-    let pi2 = Pi2::new(catalog());
+    let service = Pi2Service::new();
     let queries = log(LogKind::Covid);
     let refs: Vec<&str> = queries.queries.iter().map(|s| s.as_str()).collect();
 
@@ -22,17 +25,17 @@ fn main() {
         println!("  {q}");
     }
 
-    let generation = pi2
-        .generate_with(&refs, &GenerationConfig::default())
+    let generation = service
+        .register("covid", catalog(), &refs, &GenerationConfig::default())
         .expect("generation succeeds");
     println!("\n{}", generation.describe());
     println!("{}", pi2::render::render_ascii(&generation.interface));
 
     // Drive every enumerating widget through its options and report how the
     // SQL changes — the "fully functional" part of the paper's title.
-    let mut runtime = generation.runtime().expect("runtime");
+    let mut session = service.open("covid").expect("session");
     println!("initial queries:");
-    for q in runtime.queries().unwrap() {
+    for q in session.queries() {
         println!("  {q}");
     }
     for (ix, inst) in generation.interface.interactions.iter().enumerate() {
@@ -47,15 +50,15 @@ fn main() {
                 _ => continue,
             };
             for option in 0..options.min(2) {
-                if runtime
-                    .dispatch(Event::Select {
-                        interaction: ix,
-                        option,
-                    })
-                    .is_ok()
-                {
-                    let q = runtime.query_for_tree(inst.target_tree).unwrap();
-                    println!("{kind} [{label}] → option {option}: {q}");
+                if let Ok(patch) = session.dispatch(&Event::Select {
+                    interaction: ix,
+                    option,
+                }) {
+                    let q = session.query_for_tree(inst.target_tree).unwrap();
+                    println!(
+                        "{kind} [{label}] → option {option} ({} view(s) changed): {q}",
+                        patch.views.len()
+                    );
                 }
             }
         }
@@ -70,22 +73,30 @@ fn main() {
             }
         ) {
             for on in [false, true] {
-                if runtime
-                    .dispatch(Event::Toggle {
+                if session
+                    .dispatch(&Event::Toggle {
                         interaction: ix,
                         on,
                     })
                     .is_ok()
                 {
-                    let q = runtime.query_for_tree(inst.target_tree).unwrap();
+                    let q = session.query_for_tree(inst.target_tree).unwrap();
                     println!("toggle {} → {q}", if on { "on" } else { "off" });
                 }
             }
         }
     }
-    let tables = runtime.execute().unwrap();
+    let full = session.refresh().unwrap();
     println!(
         "\nfinal result sizes: {:?}",
-        tables.iter().map(|t| t.num_rows()).collect::<Vec<_>>()
+        full.views
+            .iter()
+            .map(|pv| pv.table.num_rows())
+            .collect::<Vec<_>>()
+    );
+    let m = service.metrics();
+    println!(
+        "result memo after the tour: {} hits / {} misses",
+        m.result_cache.hits, m.result_cache.misses
     );
 }

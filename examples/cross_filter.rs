@@ -1,18 +1,20 @@
 //! Cross-filtering from first principles (paper §7.1 Filter, Figure 14d,
-//! Listing 4).
+//! Listing 4), served through the session service.
 //!
 //! Nine queries group flights by hour, delay, and distance, each filtered by
 //! the other two attributes' ranges. PI2 derives cross-filtering: brushing
 //! one chart updates the range predicates of the other charts, and clearing
-//! a brush disables the predicate.
+//! a brush disables the predicate. The delta patches make the linkage
+//! visible: one brush event ships updates for *several* views — exactly the
+//! ones whose SQL changed — and nothing else.
 //!
 //! Run with: `cargo run --release --example cross_filter`
 
-use pi2::{Event, GenerationConfig, Pi2, Value};
+use pi2::{Event, GenerationConfig, Pi2Service, Value};
 use pi2_workloads::{catalog, log, LogKind};
 
 fn main() {
-    let pi2 = Pi2::new(catalog());
+    let service = Pi2Service::new();
     let queries = log(LogKind::Filter);
     let refs: Vec<&str> = queries.queries.iter().map(|s| s.as_str()).collect();
 
@@ -21,14 +23,14 @@ fn main() {
         println!("  {q}");
     }
 
-    let generation = pi2
-        .generate_with(&refs, &GenerationConfig::default())
+    let generation = service
+        .register("filter", catalog(), &refs, &GenerationConfig::default())
         .expect("generation succeeds");
     println!("\n{}", generation.describe());
 
-    let mut runtime = generation.runtime().expect("runtime");
+    let mut session = service.open("filter").expect("session");
     println!("initial queries:");
-    for q in runtime.queries().unwrap() {
+    for q in session.queries() {
         println!("  {q}");
     }
 
@@ -57,15 +59,23 @@ fn main() {
             interaction: ix,
             values: vec![Value::Int(10), Value::Int(40)],
         };
-        if runtime.dispatch(event).is_ok() {
-            println!("\nafter brushing interaction #{ix} to [10, 40]:");
-            for q in runtime.queries().unwrap() {
+        if let Ok(patch) = session.dispatch(&event) {
+            println!(
+                "\nafter brushing interaction #{ix} to [10, 40] \
+                 (patch updates {} of {} views):",
+                patch.views.len(),
+                generation.interface.views.len()
+            );
+            for q in session.queries() {
                 println!("  {q}");
             }
             // Clearing the brush disables the predicate (§7.1).
-            if runtime.dispatch(Event::Clear { interaction: ix }).is_ok() {
-                println!("after clearing the brush:");
-                for q in runtime.queries().unwrap() {
+            if let Ok(patch) = session.dispatch(&Event::Clear { interaction: ix }) {
+                println!(
+                    "after clearing the brush ({} view(s) changed back):",
+                    patch.views.len()
+                );
+                for q in session.queries() {
                     println!("  {q}");
                 }
             }
@@ -76,9 +86,12 @@ fn main() {
     if !brushed {
         println!("\n(no range interaction found to drive)");
     }
-    let tables = runtime.execute().unwrap();
+    let full = session.refresh().unwrap();
     println!(
         "\nresult sizes: {:?}",
-        tables.iter().map(|t| t.num_rows()).collect::<Vec<_>>()
+        full.views
+            .iter()
+            .map(|pv| pv.table.num_rows())
+            .collect::<Vec<_>>()
     );
 }

@@ -1,19 +1,20 @@
-//! Linked selection (paper §7.1 Connect, Figure 14b, Listing 3).
+//! Linked selection (paper §7.1 Connect, Figure 14b, Listing 3), served
+//! through the session service.
 //!
 //! Two scatterplots over the Cars data: one shows hp/disp, the other
 //! mpg/disp with a boolean color derived from a set of row ids.
 //! Multi-clicking points in the first chart selects their ids, which rebinds
 //! the `id IN (…)` list of the second chart's query — the rows light up in
-//! the other view.
+//! the other view. The delta patch carries only the linked chart.
 //!
 //! Run with: `cargo run --release --example linked_selection`
 
 use pi2::render::render_view;
-use pi2::{Event, GenerationConfig, InteractionChoice, Pi2, Value};
+use pi2::{Event, GenerationConfig, InteractionChoice, Pi2Service, Value};
 use pi2_workloads::{catalog, log, LogKind};
 
 fn main() {
-    let pi2 = Pi2::new(catalog());
+    let service = Pi2Service::new();
     let queries = log(LogKind::Connect);
     let refs: Vec<&str> = queries.queries.iter().map(|s| s.as_str()).collect();
 
@@ -22,18 +23,20 @@ fn main() {
         println!("  {q}");
     }
 
-    let generation = pi2
-        .generate_with(&refs, &GenerationConfig::default())
+    let generation = service
+        .register("connect", catalog(), &refs, &GenerationConfig::default())
         .expect("generation succeeds");
     println!("\n{}", generation.describe());
 
-    let mut runtime = generation.runtime().expect("runtime");
+    let mut session = service.open("connect").expect("session");
 
-    // Render the charts with their data marks.
-    let tables = runtime.execute().unwrap();
-    for (view, table) in generation.interface.views.iter().zip(tables.iter()) {
+    // Render the charts with their data marks (the full-state patch a
+    // front-end receives on connect).
+    let full = session.refresh().unwrap();
+    for pv in &full.views {
+        let view = &generation.interface.views[pv.view];
         println!("view (tree {}): {}", view.tree, view.vis);
-        println!("{}", render_view(table, &view.vis));
+        println!("{}", render_view(&pv.table, &view.vis));
     }
 
     // Multi-click a set of points: select car ids 5, 6, and 7.
@@ -54,16 +57,21 @@ fn main() {
             interaction: ix,
             values: vec![Value::Int(5), Value::Int(6), Value::Int(7)],
         };
-        if runtime.dispatch(event).is_ok() {
+        if let Ok(patch) = session.dispatch(&event) {
             println!("after multi-clicking cars 5, 6, 7:");
-            for q in runtime.queries().unwrap() {
+            for q in session.queries() {
                 println!("  {q}");
             }
-            let tables = runtime.execute().unwrap();
+            println!(
+                "delta patch updates {} of {} views (the linked chart only)",
+                patch.views.len(),
+                generation.interface.views.len()
+            );
             // Count highlighted rows (color = true) in the linked chart.
-            for t in &tables {
-                if let Some(color) = t.schema.index_of("color") {
-                    let highlighted = t
+            for pv in &patch.views {
+                if let Some(color) = pv.table.schema.index_of("color") {
+                    let highlighted = pv
+                        .table
                         .iter_rows()
                         .filter(|r| r[color].as_bool() == Some(true))
                         .count();

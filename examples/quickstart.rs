@@ -1,19 +1,21 @@
-//! Quickstart: generate an interactive interface from two example queries.
+//! Quickstart: generate an interactive interface from two example queries
+//! and serve it through the session service.
 //!
 //! Reproduces the paper's Explore workload (Listing 1): two queries over the
 //! Cars dataset that differ in their `hp`/`mpg` range predicates. PI2
 //! generates a scatterplot whose pan/zoom interaction controls the range
-//! predicates (Figure 14a), and this example then drives the interface
-//! programmatically: panning re-binds the predicates, re-resolves the SQL,
-//! and re-executes it.
+//! predicates (Figure 14a). This example registers the workload with a
+//! [`pi2::Pi2Service`], opens a session, and drives it twice — once through
+//! the typed API (panning returns a delta [`pi2::Patch`]) and once through
+//! the JSON wire protocol an HTTP/WebSocket front-end would speak.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use pi2::{Event, GenerationConfig, Pi2, Value};
+use pi2::{Event, GenerationConfig, Pi2Service, Value};
 use pi2_workloads::{catalog, log, LogKind};
 
 fn main() {
-    let pi2 = Pi2::new(catalog());
+    let service = Pi2Service::new();
     let queries = log(LogKind::Explore);
     let refs: Vec<&str> = queries.queries.iter().map(|s| s.as_str()).collect();
 
@@ -22,16 +24,20 @@ fn main() {
         println!("  {q}");
     }
 
-    let generation = pi2
-        .generate_with(&refs, &GenerationConfig::default())
+    // Registration parses, generates, and pre-warms the shared caches once;
+    // every session opened afterwards shares the generation.
+    let generation = service
+        .register("explore", catalog(), &refs, &GenerationConfig::default())
         .expect("generation succeeds");
     println!("\n{}", generation.describe());
     println!("{}", pi2::render::render_ascii(&generation.interface));
 
     // Drive the interface: pan the scatterplot to a new hp/mpg window.
-    let mut runtime = generation.runtime().expect("runtime");
-    println!("current query: {}", runtime.queries().unwrap()[0]);
-    let before_rows = runtime.execute().unwrap()[0].num_rows();
+    let mut session = service.open("explore").expect("session");
+    println!("current query: {}", session.queries()[0]);
+    let before_rows = session.refresh().expect("refresh").views[0]
+        .table
+        .num_rows();
     println!("rows rendered: {before_rows}");
 
     // Find the pan/zoom/brush interaction and move the viewport.
@@ -55,16 +61,53 @@ fn main() {
         interaction: pan_ix,
         values: vec![Value::Int(100), Value::Int(160)],
     };
-    if runtime.dispatch(event).is_err() {
-        runtime.dispatch(fallback).expect("pan dispatch");
-    }
+    let patch = session
+        .dispatch(&event)
+        .or_else(|_| session.dispatch(&fallback))
+        .expect("pan dispatch");
 
     println!("\nafter panning to hp ∈ [100, 160], mpg ∈ [10, 25]:");
-    println!("current query: {}", runtime.queries().unwrap()[0]);
-    let table = &runtime.execute().unwrap()[0];
-    println!("rows rendered: {}", table.num_rows());
+    println!("current query: {}", session.queries()[0]);
+    println!(
+        "patch #{}: {} changed view(s)",
+        patch.seq,
+        patch.views.len()
+    );
+    for pv in &patch.views {
+        println!(
+            "  view #{} ({} rows): {}",
+            pv.view,
+            pv.table.num_rows(),
+            pv.sql
+        );
+    }
+    let table = &patch.views[0].table;
     println!(
         "{}",
         pi2::render::render_view(table, &generation.interface.views[0].vis)
+    );
+
+    // The same dialogue over the JSON wire protocol (what a browser
+    // front-end sends): open → event → patch.
+    println!("--- wire protocol ---");
+    let opened = service.handle_json("{\"v\":1,\"type\":\"open\",\"workload\":\"explore\"}");
+    println!("open → {}…", &opened[..opened.len().min(120)]);
+    let session_id = pi2::Json::parse(&opened)
+        .ok()
+        .and_then(|j| j.get("session").and_then(pi2::Json::as_i64))
+        .expect("session id");
+    let request = pi2::request_to_json(&pi2::Request::Event {
+        session: session_id as u64,
+        event,
+    });
+    println!("event → {request}");
+    let response = service.handle_json(&request);
+    println!("patch ← {}…", &response[..response.len().min(160)]);
+    let patch = pi2::patch_from_json(&response).expect("patch parses");
+    println!(
+        "decoded patch #{} with {} view(s) — a second session reaches the \
+         same state through the shared result memo",
+        patch.seq,
+        patch.views.len()
     );
 }

@@ -1,20 +1,22 @@
 //! Case study: authoring a sales-analysis dashboard that existing tools
-//! cannot express (paper §7.2, Figure 15c, Listing 7).
+//! cannot express (paper §7.2, Figure 15c, Listing 7), served through the
+//! session service.
 //!
 //! The first queries carry a correlated scalar subquery in `HAVING` —
 //! "products with the maximum total sales per city" — with a date window
 //! repeated in the outer `WHERE` *and* inside the subquery. Metabase
 //! parameterises only `WHERE` literals and Tableau does not parameterise
 //! custom SQL; PI2 transforms arbitrary syntax, so one date-range
-//! interaction drives both copies of the predicate at once.
+//! interaction drives both copies of the predicate at once — and the
+//! session's delta patch shows it as a single view update.
 //!
 //! Run with: `cargo run --release --example sales_dashboard`
 
-use pi2::{Event, GenerationConfig, Pi2, Value};
+use pi2::{Event, GenerationConfig, Pi2Service, Value};
 use pi2_workloads::{catalog, log, LogKind};
 
 fn main() {
-    let pi2 = Pi2::new(catalog());
+    let service = Pi2Service::new();
     let queries = log(LogKind::Sales);
     let refs: Vec<&str> = queries.queries.iter().map(|s| s.as_str()).collect();
 
@@ -22,14 +24,14 @@ fn main() {
     println!("  {}", refs[0]);
     println!("  … and {} more", refs.len() - 1);
 
-    let generation = pi2
-        .generate_with(&refs, &GenerationConfig::default())
+    let generation = service
+        .register("sales", catalog(), &refs, &GenerationConfig::default())
         .expect("generation succeeds");
     println!("\n{}", generation.describe());
 
-    let mut runtime = generation.runtime().expect("runtime");
+    let mut session = service.open("sales").expect("session");
     println!("initial queries:");
-    for q in runtime.queries().unwrap() {
+    for q in session.queries() {
         println!("  {q}");
     }
 
@@ -38,16 +40,18 @@ fn main() {
     // the nearest expressible option when the choice is enumerated.
     let date_lo = Value::Str("2019-02-01".into());
     let date_hi = Value::Str("2019-02-20".into());
-    let before = runtime.queries().unwrap();
+    let before: Vec<String> = session.queries().iter().map(|q| q.to_string()).collect();
     for (ix, inst) in generation.interface.interactions.iter().enumerate() {
         let event = Event::SetValues {
             interaction: ix,
             values: vec![date_lo.clone(), date_hi.clone()],
         };
-        if runtime.dispatch(event).is_ok() {
-            let q = runtime.query_for_tree(inst.target_tree).unwrap();
-            if before.iter().all(|b| b != &q) && q.to_string().contains("BETWEEN") {
-                let q = q.to_string();
+        if session.dispatch(&event).is_ok() {
+            let q = session
+                .sql_for_tree(inst.target_tree)
+                .expect("target tree")
+                .to_string();
+            if before.iter().all(|b| b != &q) && q.contains("BETWEEN") {
                 println!("\nafter brushing the date range toward [2019-02-01, 2019-02-20]:");
                 println!("  {q}");
                 // Extract the bound lower date and count its occurrences:
@@ -64,9 +68,12 @@ fn main() {
             }
         }
     }
-    let tables = runtime.execute().unwrap();
+    let full = session.refresh().unwrap();
     println!(
         "\nresult sizes: {:?}",
-        tables.iter().map(|t| t.num_rows()).collect::<Vec<_>>()
+        full.views
+            .iter()
+            .map(|pv| pv.table.num_rows())
+            .collect::<Vec<_>>()
     );
 }

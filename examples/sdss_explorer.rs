@@ -1,19 +1,21 @@
 //! Case study: a custom SDSS analysis interface from real-world-shaped
-//! queries (paper §7.2, Figure 15a, Listing 5).
+//! queries (paper §7.2, Figure 15a, Listing 5), served through the session
+//! service.
 //!
 //! The Sloan Digital Sky Survey's web forms are text-based; PI2 turns a log
 //! of radial-search queries into an interactive interface: the 9-attribute
 //! join renders as a table, star locations render as a scatterplot, and
 //! panning/zooming the scatterplot updates the table's celestial-coordinate
-//! predicates.
+//! predicates. The pan's delta patch carries exactly the views whose
+//! predicates moved.
 //!
 //! Run with: `cargo run --release --example sdss_explorer`
 
-use pi2::{Event, GenerationConfig, Pi2, Value};
+use pi2::{Event, GenerationConfig, Pi2Service, Value};
 use pi2_workloads::{catalog, log, LogKind};
 
 fn main() {
-    let pi2 = Pi2::new(catalog());
+    let service = Pi2Service::new();
     let queries = log(LogKind::Sdss);
     let refs: Vec<&str> = queries.queries.iter().map(|s| s.as_str()).collect();
 
@@ -23,17 +25,18 @@ fn main() {
     }
     println!("  … and {} more", refs.len() - 2);
 
-    let generation = pi2
-        .generate_with(&refs, &GenerationConfig::default())
+    let generation = service
+        .register("sdss", catalog(), &refs, &GenerationConfig::default())
         .expect("generation succeeds");
     println!("\n{}", generation.describe());
 
-    let mut runtime = generation.runtime().expect("runtime");
-    let sizes: Vec<usize> = runtime
-        .execute()
+    let mut session = service.open("sdss").expect("session");
+    let sizes: Vec<usize> = session
+        .refresh()
         .unwrap()
+        .views
         .iter()
-        .map(|t| t.num_rows())
+        .map(|pv| pv.table.num_rows())
         .collect();
     println!("initial result sizes: {sizes:?}");
 
@@ -50,24 +53,24 @@ fn main() {
                 vec![Value::Float(213.4), Value::Float(213.9)],
             ];
             for values in payloads {
-                if runtime
-                    .dispatch(Event::SetValues {
-                        interaction: ix,
-                        values,
-                    })
-                    .is_ok()
-                {
+                if let Ok(patch) = session.dispatch(&Event::SetValues {
+                    interaction: ix,
+                    values,
+                }) {
                     println!("\nafter {kind} to ra ∈ [213.4, 213.9], dec ∈ [-0.7, -0.3]:");
-                    for q in runtime.queries().unwrap() {
+                    for q in session.queries() {
                         println!("  {q}");
                     }
-                    let sizes: Vec<usize> = runtime
-                        .execute()
-                        .unwrap()
-                        .iter()
-                        .map(|t| t.num_rows())
-                        .collect();
-                    println!("result sizes: {sizes:?}");
+                    println!(
+                        "patch #{} updates {} view(s); sizes: {:?}",
+                        patch.seq,
+                        patch.views.len(),
+                        patch
+                            .views
+                            .iter()
+                            .map(|pv| pv.table.num_rows())
+                            .collect::<Vec<_>>()
+                    );
                     return;
                 }
             }

@@ -1,0 +1,250 @@
+//! The session-service contract, end to end: N threads driving independent
+//! sessions over one shared `Generation` produce byte-identical patch
+//! streams to the single-threaded run; patches are exact deltas (a view
+//! appears iff its resolved SQL changed); the legacy `Runtime` shim tracks
+//! the session layer; and the JSON wire protocol drives the same machinery.
+
+mod common;
+
+use common::generate;
+use pi2::{Event, Generation, InteractionChoice, Pi2Service, Value, WidgetKind};
+use pi2_workloads::LogKind;
+use std::sync::OnceLock;
+
+/// One covid generation shared by the tests in this binary (search is the
+/// expensive part; the service layer is what's under test).
+fn covid() -> &'static Generation {
+    static G: OnceLock<Generation> = OnceLock::new();
+    G.get_or_init(|| generate(LogKind::Covid))
+}
+
+/// A deterministic event script exercising every interaction of an
+/// interface, including events that must fail (errors are part of the
+/// deterministic stream).
+fn script_for(g: &Generation) -> Vec<Event> {
+    let mut script = Vec::new();
+    for (ix, inst) in g.interface.interactions.iter().enumerate() {
+        match &inst.choice {
+            InteractionChoice::Widget { kind, domain, .. } => match kind {
+                WidgetKind::Radio | WidgetKind::Dropdown | WidgetKind::Button => {
+                    for option in 0..domain.size().min(3) {
+                        script.push(Event::Select {
+                            interaction: ix,
+                            option,
+                        });
+                    }
+                }
+                WidgetKind::Toggle => {
+                    for on in [false, true, true] {
+                        script.push(Event::Toggle {
+                            interaction: ix,
+                            on,
+                        });
+                    }
+                }
+                _ => {
+                    script.push(Event::SetValues {
+                        interaction: ix,
+                        values: vec![Value::Int(30)],
+                    });
+                    script.push(Event::SetValues {
+                        interaction: ix,
+                        values: vec![Value::Int(20), Value::Int(40)],
+                    });
+                }
+            },
+            InteractionChoice::Vis { .. } => {
+                script.push(Event::SetValues {
+                    interaction: ix,
+                    values: vec![Value::Int(20), Value::Int(40)],
+                });
+                script.push(Event::SetValues {
+                    interaction: ix,
+                    values: vec![Value::Int(20), Value::Int(40), Value::Int(1), Value::Int(3)],
+                });
+                script.push(Event::Clear { interaction: ix });
+            }
+        }
+    }
+    // Deterministically-failing events belong in the stream too.
+    script.push(Event::Select {
+        interaction: g.interface.interactions.len() + 7,
+        option: 0,
+    });
+    script.push(Event::SetValues {
+        interaction: 0,
+        values: vec![],
+    });
+    script
+}
+
+/// Replay a script on a fresh session, serialising every outcome (patch or
+/// structured error code) — the byte stream a wire client would observe.
+fn replay(g: &Generation, script: &[Event]) -> Vec<String> {
+    let mut session = g.session().expect("session opens");
+    script
+        .iter()
+        .map(|event| match session.dispatch(event) {
+            Ok(patch) => pi2::patch_to_json(&patch),
+            Err(err) => format!("error:{}", err.code()),
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_sessions_are_byte_identical_to_single_threaded() {
+    let g = covid();
+    let script = script_for(g);
+    let reference = replay(g, &script);
+    assert!(
+        reference
+            .iter()
+            .any(|s| s.contains("\"views\":[{") && s.contains("\"table\"")),
+        "the script must produce at least one non-empty patch"
+    );
+
+    const THREADS: usize = 4;
+    let streams: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let generation = g.clone(); // Arc-backed, cheap
+                let script = &script;
+                scope.spawn(move || replay(&generation, script))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (t, stream) in streams.iter().enumerate() {
+        assert_eq!(
+            stream, &reference,
+            "thread {t} diverged from the single-threaded patch stream"
+        );
+    }
+}
+
+#[test]
+fn patches_contain_exactly_the_changed_views() {
+    let g = generate(LogKind::Filter);
+    let mut session = g.session().unwrap();
+    let views = &g.interface.views;
+    let sql_of = |s: &pi2::Session| -> Vec<String> {
+        views
+            .iter()
+            .map(|v| s.sql_for_tree(v.tree).unwrap().to_string())
+            .collect()
+    };
+    let mut last = sql_of(&session);
+    let mut nonempty = 0;
+    for event in script_for(&g) {
+        let Ok(patch) = session.dispatch(&event) else {
+            continue;
+        };
+        let now = sql_of(&session);
+        let changed: Vec<usize> = (0..views.len()).filter(|&i| now[i] != last[i]).collect();
+        let patched: Vec<usize> = patch.views.iter().map(|pv| pv.view).collect();
+        assert_eq!(
+            patched, changed,
+            "patch must list exactly the views whose SQL changed"
+        );
+        // And the shipped SQL must be the view's current SQL.
+        for pv in &patch.views {
+            assert_eq!(pv.sql, now[pv.view]);
+            assert!(pv.table.num_columns() > 0);
+        }
+        if !patch.is_empty() {
+            nonempty += 1;
+        }
+        last = now;
+    }
+    assert!(nonempty > 0, "some event must change some view");
+}
+
+#[test]
+fn runtime_shim_tracks_the_session_layer() {
+    let g = covid();
+    let script = script_for(g);
+    let mut rt = g.runtime().unwrap();
+    let mut session = g.session().unwrap();
+    for event in &script {
+        let shim = rt.dispatch(event.clone());
+        let svc = session.dispatch(event);
+        assert_eq!(shim.is_ok(), svc.is_ok(), "shim and session must agree");
+        assert_eq!(
+            rt.queries().unwrap(),
+            session.queries(),
+            "shim state must equal session state after {event:?}"
+        );
+    }
+    // Execute through the shim serves the same tables as a refresh.
+    let tables = rt.execute().unwrap();
+    let patch = session.refresh().unwrap();
+    assert_eq!(tables.len(), g.interface.views.len());
+    for pv in &patch.views {
+        assert_eq!(tables[pv.tree].num_rows(), pv.table.num_rows());
+    }
+}
+
+#[test]
+fn wire_protocol_drives_the_service_end_to_end() {
+    let g = covid().clone();
+    let service = Pi2Service::new();
+    service.register_generation("covid", g.clone()).unwrap();
+
+    // open → opened (session id + spec + full patch)
+    let opened = service.handle_json("{\"v\":1,\"type\":\"open\",\"workload\":\"covid\"}");
+    let opened_json = pi2::Json::parse(&opened).expect("opened parses");
+    assert_eq!(
+        opened_json.get("type").and_then(pi2::Json::as_str),
+        Some("opened")
+    );
+    let session_id = opened_json
+        .get("session")
+        .and_then(pi2::Json::as_i64)
+        .expect("session id") as u64;
+    let full = opened_json.get("patch").expect("initial patch");
+    assert_eq!(
+        full.get("views").and_then(pi2::Json::as_arr).unwrap().len(),
+        g.interface.views.len(),
+        "the opened response carries a full-state patch"
+    );
+
+    // Drive the script over the wire; every response is a versioned
+    // patch or error message, and patch responses parse with the client
+    // codec.
+    let mut patches = 0;
+    for event in script_for(&g) {
+        let request = pi2::request_to_json(&pi2::Request::Event {
+            session: session_id,
+            event,
+        });
+        let response = service.handle_json(&request);
+        if response.contains("\"type\":\"patch\"") {
+            let patch = pi2::patch_from_json(&response).expect("patch parses");
+            patches += 1;
+            for pv in &patch.views {
+                assert!(pv.view < g.interface.views.len());
+            }
+        } else {
+            assert!(response.contains("\"type\":\"error\""), "{response}");
+            assert!(response.contains("\"code\":\""), "{response}");
+        }
+    }
+    assert!(patches > 0);
+
+    // Metrics reflect the traffic; close ends the session.
+    let metrics = service.handle_json("{\"v\":1,\"type\":\"metrics\"}");
+    assert!(
+        metrics.contains("\"workloads\":[{\"name\":\"covid\""),
+        "{metrics}"
+    );
+    assert!(metrics.contains("\"resultCache\""), "{metrics}");
+    let closed = service.handle_json(&format!(
+        "{{\"v\":1,\"type\":\"close\",\"session\":{session_id}}}"
+    ));
+    assert!(closed.contains("\"type\":\"closed\""), "{closed}");
+    let gone = service.handle_json(&format!(
+        "{{\"v\":1,\"type\":\"event\",\"session\":{session_id},\
+         \"kind\":\"clear\",\"interaction\":0}}"
+    ));
+    assert!(gone.contains("\"code\":\"unknown_session\""), "{gone}");
+}
