@@ -1,0 +1,265 @@
+//! The CI perf-regression gate.
+//!
+//! The vendored criterion shim appends `baseline,bench,mean_ns` lines to
+//! `target/criterion-baselines.csv` under `--save-baseline <name>`. The
+//! gate compares such a freshly-measured baseline against the committed
+//! `BENCH_baseline.json` (a flat `{"bench": mean_ns}` object regenerated
+//! whenever a PR moves the numbers) and fails when any **gated** bench —
+//! `mcts/*`, `engine/exec_*`, `service/session_throughput/*` — regresses
+//! by more than the threshold (default 25%). Ungated benches are reported
+//! but never fail the job (per-log end-to-end numbers are tracked through
+//! the emitted snapshot instead).
+//!
+//! Used by `tools/bench_gate.rs` (the `bench_gate` binary the `bench-smoke`
+//! CI job runs), which also emits the fresh means as a `BENCH_PR<n>.json`
+//! artifact so the perf trajectory stays machine-readable per PR.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Bench-name prefixes whose regressions fail the gate.
+pub const GATED_PREFIXES: [&str; 3] = ["mcts/", "engine/exec_", "service/session_throughput/"];
+
+/// Default regression threshold: fail when `fresh > committed * 1.25`.
+pub const DEFAULT_THRESHOLD: f64 = 1.25;
+
+/// One gate finding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Finding {
+    /// A gated bench regressed beyond the threshold.
+    Regression {
+        /// Bench name.
+        bench: String,
+        /// Committed mean (ns).
+        committed: f64,
+        /// Fresh mean (ns).
+        fresh: f64,
+    },
+    /// A gated bench present in the committed baseline is missing from the
+    /// fresh run (a silently-dropped bench must not pass the gate).
+    Missing {
+        /// Bench name.
+        bench: String,
+    },
+}
+
+/// Parse the criterion shim's CSV (`baseline,bench,mean_ns` per line),
+/// keeping only rows for `baseline_name`. Later lines win: re-running a
+/// bench appends, and the freshest measurement is the one to gate.
+pub fn parse_csv(csv: &str, baseline_name: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in csv.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // The bench name may not contain commas (group/fn/param only), so
+        // a 3-way split is exact.
+        let mut parts = line.splitn(3, ',');
+        let (Some(name), Some(bench), Some(mean)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        if name != baseline_name {
+            continue;
+        }
+        if let Ok(mean) = mean.trim().parse::<f64>() {
+            out.insert(bench.to_string(), mean);
+        }
+    }
+    out
+}
+
+/// Parse a committed `BENCH_baseline.json` — a flat `{"bench": mean_ns}`
+/// object.
+pub fn parse_baseline_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let parsed = pi2::Json::parse(text).map_err(|e| e.to_string())?;
+    let pi2::Json::Obj(entries) = &parsed else {
+        return Err("baseline JSON must be an object".into());
+    };
+    let mut out = BTreeMap::new();
+    for (bench, v) in entries {
+        let mean = v
+            .as_f64()
+            .ok_or_else(|| format!("bench {bench:?} has a non-numeric mean"))?;
+        out.insert(bench.clone(), mean);
+    }
+    Ok(out)
+}
+
+/// Serialise means as the flat JSON object both baseline files use.
+pub fn means_to_json(means: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (bench, mean)) in means.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let _ = write!(out, "  \"{}\": {}", bench, *mean as u64);
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Whether a bench participates in the gate.
+pub fn is_gated(bench: &str) -> bool {
+    GATED_PREFIXES.iter().any(|p| bench.starts_with(p))
+}
+
+/// Compare fresh means against the committed baseline. Only gated benches
+/// produce findings; a gated bench missing from the fresh run is a finding
+/// too. Benches new in the fresh run pass (they have no baseline yet).
+pub fn check(
+    committed: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    threshold: f64,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (bench, &base) in committed {
+        if !is_gated(bench) {
+            continue;
+        }
+        match fresh.get(bench) {
+            None => findings.push(Finding::Missing {
+                bench: bench.clone(),
+            }),
+            Some(&now) if base > 0.0 && now > base * threshold => {
+                findings.push(Finding::Regression {
+                    bench: bench.clone(),
+                    committed: base,
+                    fresh: now,
+                })
+            }
+            Some(_) => {}
+        }
+    }
+    findings
+}
+
+/// Human-readable report of a gate run (one line per gated bench).
+pub fn report(
+    committed: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    threshold: f64,
+) -> String {
+    let mut out = String::new();
+    for (bench, &now) in fresh {
+        let gated = if is_gated(bench) { "gated" } else { "info " };
+        match committed.get(bench) {
+            Some(&base) if base > 0.0 => {
+                let ratio = now / base;
+                let verdict = if !is_gated(bench) {
+                    "-"
+                } else if ratio > threshold {
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                let _ = writeln!(
+                    out,
+                    "{gated} {bench:<44} {base:>12.0} -> {now:>12.0} ns  ({ratio:>5.2}x)  {verdict}"
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "{gated} {bench:<44} {:>12} -> {now:>12.0} ns  (new)",
+                    "-"
+                );
+            }
+        }
+    }
+    for f in check(committed, fresh, threshold) {
+        if let Finding::Missing { bench } = f {
+            let _ = writeln!(out, "gated {bench:<44} MISSING from fresh run  FAIL");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn means(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn csv_parses_and_later_lines_win() {
+        let csv = "ci,mcts/explore_30iters,1000\n\
+                   other,mcts/explore_30iters,9\n\
+                   ci,engine/exec_filter/vectorized/8,500\n\
+                   ci,mcts/explore_30iters,1100\n";
+        let m = parse_csv(csv, "ci");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["mcts/explore_30iters"], 1100.0);
+        assert_eq!(m["engine/exec_filter/vectorized/8"], 500.0);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let m = means(&[("mcts/a", 123.0), ("engine/exec_b", 77.0)]);
+        let j = means_to_json(&m);
+        assert_eq!(parse_baseline_json(&j).unwrap(), m);
+    }
+
+    #[test]
+    fn gating_prefixes() {
+        assert!(is_gated("mcts/explore_30iters"));
+        assert!(is_gated("engine/exec_filter/vectorized/8"));
+        assert!(is_gated("service/session_throughput/covid/warm"));
+        // Per-log end-to-end benches are informational, not gated — and
+        // `engine/exec_` must not swallow `engine/execute_log/*`.
+        assert!(!is_gated("engine/execute_log/sdss"));
+        assert!(!is_gated("transform/bind_all_filter"));
+    }
+
+    #[test]
+    fn regressions_beyond_threshold_fail() {
+        let committed = means(&[("mcts/a", 1000.0), ("engine/exec_b/v/1", 100.0)]);
+        // 20% slower passes at a 25% threshold; 30% slower fails.
+        let fresh = means(&[("mcts/a", 1200.0), ("engine/exec_b/v/1", 130.0)]);
+        let f = check(&committed, &fresh, DEFAULT_THRESHOLD);
+        assert_eq!(
+            f,
+            vec![Finding::Regression {
+                bench: "engine/exec_b/v/1".into(),
+                committed: 100.0,
+                fresh: 130.0,
+            }]
+        );
+    }
+
+    #[test]
+    fn improvements_and_ungated_changes_pass() {
+        let committed = means(&[
+            ("mcts/a", 1000.0),
+            ("engine/execute_log/sales", 100.0), // ungated
+        ]);
+        let fresh = means(&[
+            ("mcts/a", 400.0),                    // improvement
+            ("engine/execute_log/sales", 9000.0), // ungated regression
+        ]);
+        assert!(check(&committed, &fresh, DEFAULT_THRESHOLD).is_empty());
+    }
+
+    #[test]
+    fn missing_gated_bench_fails() {
+        let committed = means(&[("mcts/a", 1000.0)]);
+        let fresh = means(&[]);
+        assert_eq!(
+            check(&committed, &fresh, DEFAULT_THRESHOLD),
+            vec![Finding::Missing {
+                bench: "mcts/a".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn inflated_fresh_entry_is_reported_in_text() {
+        let committed = means(&[("mcts/a", 1000.0)]);
+        let fresh = means(&[("mcts/a", 10_000.0)]);
+        let r = report(&committed, &fresh, DEFAULT_THRESHOLD);
+        assert!(r.contains("FAIL"), "{r}");
+    }
+}

@@ -2,6 +2,8 @@
 //! figures (§7). Each binary in `src/bin/` prints one artifact;
 //! EXPERIMENTS.md records paper-vs-measured values.
 
+pub mod gate;
+
 use pi2::{Generation, GenerationConfig, MctsConfig, Pi2};
 use pi2_workloads::{catalog, log, LogKind};
 use std::time::Duration;

@@ -286,14 +286,18 @@ pub fn patch_to_json(patch: &Patch) -> String {
 }
 
 /// Decode a columnar-encoded table (the inverse of
-/// `pi2_data::wire::table_to_json`).
+/// `pi2_data::wire::table_to_json`). Each column carries either the plain
+/// `"values"` array or the dictionary form `"dict"` + `"codes"`; the
+/// latter rebuilds a dictionary-encoded column, so encode → decode →
+/// encode is byte-identical for both forms.
 pub fn table_from_json(j: &Json) -> Result<Table, Pi2Error> {
+    use pi2_data::{Column, ColumnData, Schema};
     let rows = usize_field(j, "rows")?;
     let columns = field(j, "columns")?
         .as_arr()
         .ok_or_else(|| proto_err("field 'columns' must be an array"))?;
-    let mut schema: Vec<(String, DataType)> = Vec::with_capacity(columns.len());
-    let mut data: Vec<Vec<Value>> = Vec::with_capacity(columns.len());
+    let mut schema: Vec<Column> = Vec::with_capacity(columns.len());
+    let mut data: Vec<ColumnData> = Vec::with_capacity(columns.len());
     for col in columns {
         let name = field(col, "name")?
             .as_str()
@@ -304,27 +308,78 @@ pub fn table_from_json(j: &Json) -> Result<Table, Pi2Error> {
             .ok_or_else(|| proto_err("column 'type' must be a string"))?;
         let dtype = dtype_from_name(tname)
             .ok_or_else(|| proto_err(format!("unknown column type {tname:?}")))?;
-        let values = field(col, "values")?
-            .as_arr()
-            .ok_or_else(|| proto_err("column 'values' must be an array"))?;
-        if values.len() != rows {
-            return Err(proto_err(format!(
-                "column '{name}' has {} values, table declares {rows} rows",
-                values.len()
-            )));
-        }
-        let cells = values
-            .iter()
-            .map(|v| cell_from_json(v, dtype))
-            .collect::<Result<Vec<Value>, _>>()?;
-        schema.push((name, dtype));
-        data.push(cells);
+        let decoded = if let Some(dict) = col.get("dict") {
+            if dtype != DataType::Str {
+                return Err(proto_err(format!(
+                    "column '{name}': dictionary encoding requires type \"str\", got {tname:?}"
+                )));
+            }
+            let dict = dict
+                .as_arr()
+                .ok_or_else(|| proto_err("column 'dict' must be an array"))?
+                .iter()
+                .map(|d| {
+                    d.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| proto_err("'dict' entries must be strings"))
+                })
+                .collect::<Result<Vec<String>, _>>()?;
+            let codes = field(col, "codes")?
+                .as_arr()
+                .ok_or_else(|| proto_err("column 'codes' must be an array"))?;
+            if codes.len() != rows {
+                return Err(proto_err(format!(
+                    "column '{name}' has {} codes, table declares {rows} rows",
+                    codes.len()
+                )));
+            }
+            let codes = codes
+                .iter()
+                .map(|c| match c {
+                    Json::Null => Ok(None),
+                    _ => c
+                        .as_usize()
+                        .and_then(|c| u32::try_from(c).ok())
+                        .map(Some)
+                        .ok_or_else(|| proto_err("'codes' entries must be u32 indices or null")),
+                })
+                .collect::<Result<Vec<Option<u32>>, _>>()?;
+            ColumnData::dict_from_parts(dict, codes).ok_or_else(|| {
+                proto_err(format!(
+                    "column '{name}': bad dictionary (code out of range or duplicate entry)"
+                ))
+            })?
+        } else {
+            let values = field(col, "values")?
+                .as_arr()
+                .ok_or_else(|| proto_err("column 'values' must be an array"))?;
+            if values.len() != rows {
+                return Err(proto_err(format!(
+                    "column '{name}' has {} values, table declares {rows} rows",
+                    values.len()
+                )));
+            }
+            // Replicate `Table::push_row`: start typed per the declared
+            // dtype, demote to `Mixed` on the first mismatched cell.
+            let mut out = ColumnData::new_typed(dtype);
+            for v in values {
+                out.push(cell_from_json(v, dtype)?);
+            }
+            out
+        };
+        schema.push(Column::new(name, dtype));
+        data.push(decoded);
     }
-    let row_vals: Vec<Vec<Value>> = (0..rows)
-        .map(|r| data.iter().map(|col| col[r].clone()).collect())
-        .collect();
-    let cols: Vec<(&str, DataType)> = schema.iter().map(|(n, t)| (n.as_str(), *t)).collect();
-    Table::from_rows(cols, row_vals).map_err(|e| proto_err(format!("bad table: {e}")))
+    if schema.is_empty() {
+        // A zero-column table still declares a row count.
+        let mut t = Table::new(Schema::default());
+        for _ in 0..rows {
+            t.push_row(Vec::new())
+                .map_err(|e| proto_err(format!("bad table: {e}")))?;
+        }
+        return Ok(t);
+    }
+    Table::from_columns(Schema::new(schema), data).map_err(|e| proto_err(format!("bad table: {e}")))
 }
 
 /// Decode one table cell under its column's declared type (the inverse of

@@ -4,7 +4,7 @@
 //! Every interaction instance binds one or more choice nodes. Applying an
 //! event re-binds those nodes and re-resolves the owning Difftree(s) to
 //! SQL — exactly the query-level semantics the paper's browser front-end
-//! implements. The engine ([`EventEngine`]) is pure staging: it returns the
+//! implements. The engine (`EventEngine`) is pure staging: it returns the
 //! validated per-tree binding maps and raised queries an event produces,
 //! and *never* mutates state, so [`crate::Session`] can commit the change,
 //! diff resolved-query fingerprints, and emit a delta patch.

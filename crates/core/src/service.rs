@@ -9,7 +9,7 @@
 //! so opening a session never copies the forest, workload, or interface).
 //!
 //! Dispatch is a *delta*: [`Session::dispatch`] stages an event through the
-//! pure [`crate::runtime::EventEngine`], commits only the trees whose
+//! pure `EventEngine` (see `crate::runtime`), commits only the trees whose
 //! binding actually changed, diffs resolved-SQL fingerprints, and returns a
 //! [`Patch`] containing only the views whose query changed — with result
 //! tables fetched through the per-(catalogue, resolved-SQL fingerprint)

@@ -106,7 +106,64 @@ fn arb_patch() -> impl Strategy<Value = Patch> {
         })
 }
 
+/// A string column built from a small alphabet (so the dictionary cutoff
+/// triggers), returned in both representations over identical data.
+fn arb_string_column() -> impl Strategy<Value = (pi2::ColumnData, pi2::ColumnData)> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(None),
+            prop_oneof![
+                Just("NY"),
+                Just("LA"),
+                Just("SF"),
+                Just("a \"b\""),
+                Just("é☃")
+            ]
+            .prop_map(Some)
+        ],
+        0..24,
+    )
+    .prop_map(|cells| {
+        let mut plain = pi2::ColumnData::new_typed(DataType::Str);
+        for c in &cells {
+            plain.push(match c {
+                None => Value::Null,
+                Some(s) => Value::Str(s.to_string()),
+            });
+        }
+        let dict = plain.clone().dict_encode();
+        (plain, dict)
+    })
+}
+
 proptest! {
+    /// Dictionary wire form round-trips: encoding a dict column, decoding
+    /// it, and re-encoding is byte-identical — and decodes to the same
+    /// *values* as the plain `Utf8` encoding of identical data.
+    #[test]
+    fn dict_wire_form_round_trips((plain, dict) in arb_string_column()) {
+        use pi2_data::{Column, Schema};
+        let schema = Schema::new(vec![Column::new("s", DataType::Str)]);
+        let plain_table = Table::from_columns(schema.clone(), vec![plain]).unwrap();
+        let dict_table = Table::from_columns(schema, vec![dict]).unwrap();
+        let plain_json = pi2_data::wire::table_to_json(&plain_table);
+        let dict_json = pi2_data::wire::table_to_json(&dict_table);
+        let decode = |j: &str| {
+            let parsed = pi2::Json::parse(j).unwrap();
+            pi2::protocol::table_from_json(&parsed)
+                .unwrap_or_else(|e| panic!("decode of {j} failed: {e}"))
+        };
+        // Both forms decode to value-equal tables (Table::eq is
+        // representation-agnostic).
+        let from_plain = decode(&plain_json);
+        let from_dict = decode(&dict_json);
+        prop_assert_eq!(&from_plain, &from_dict);
+        prop_assert_eq!(&from_plain, &plain_table);
+        // Each form re-encodes byte-identically.
+        prop_assert_eq!(pi2_data::wire::table_to_json(&from_plain), plain_json);
+        prop_assert_eq!(pi2_data::wire::table_to_json(&from_dict), dict_json);
+    }
+
     #[test]
     fn event_json_round_trip(event in arb_event()) {
         let json = event_to_json(&event);

@@ -16,6 +16,7 @@ use crate::types::DataType;
 use crate::value::Value;
 use std::cmp::Ordering;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A null bitmap: bit set ⇒ the slot is NULL.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -130,6 +131,21 @@ pub enum ColumnData {
         /// The null bitmap.
         nulls: NullMask,
     },
+    /// Dictionary-encoded UTF-8 strings: one `u32` code per row indexing a
+    /// shared dictionary. Invariants: the dictionary is sorted ascending and
+    /// duplicate-free (so code order *is* string order — a sorted-code
+    /// permutation computed once at build time), every non-null code is in
+    /// range, and null slots hold the placeholder code 0. Gathering shares
+    /// the dictionary `Arc`, so filters/joins over string columns copy
+    /// `u32`s, never strings.
+    Dict {
+        /// One dictionary code per row (placeholder 0 at null slots).
+        codes: Vec<u32>,
+        /// The sorted, deduplicated dictionary.
+        dict: Arc<Vec<String>>,
+        /// The null bitmap.
+        nulls: NullMask,
+    },
     /// Booleans.
     Bool {
         /// Values (placeholder false at null slots).
@@ -147,6 +163,10 @@ pub enum ColumnData {
     /// Heterogeneous escape hatch: exact [`Value`] storage.
     Mixed(Vec<Value>),
 }
+
+/// The `(codes, dictionary, nulls)` view of a dictionary column, as
+/// returned by [`ColumnData::dict_parts`].
+pub type DictParts<'a> = (&'a [u32], &'a Arc<Vec<String>>, &'a NullMask);
 
 /// Seed for [`row_hash`] (FNV-1a offset basis).
 pub const ROW_HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
@@ -268,6 +288,118 @@ impl ColumnData {
         ColumnData::Utf8 { values, nulls }
     }
 
+    /// A null-free string column, dictionary-encoded when the cardinality
+    /// cutoff allows (see [`ColumnData::dict_encode`]).
+    pub fn strs_dict(values: Vec<String>) -> ColumnData {
+        ColumnData::strs(values).dict_encode()
+    }
+
+    /// Dictionary-encode a `Utf8` column when at most half its rows are
+    /// distinct (the load-time cardinality cutoff: near-unique string
+    /// columns would pay dictionary indirection for no dedup win). Any
+    /// other column — including one already dictionary-encoded — is
+    /// returned unchanged.
+    pub fn dict_encode(self) -> ColumnData {
+        let ColumnData::Utf8 { values, nulls } = self else {
+            return self;
+        };
+        let mut dict: Vec<&str> = values
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !nulls.is_null(*i))
+            .map(|(_, v)| v.as_str())
+            .collect();
+        dict.sort_unstable();
+        dict.dedup();
+        if dict.len() * 2 > values.len() {
+            return ColumnData::Utf8 { values, nulls };
+        }
+        let codes: Vec<u32> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                if nulls.is_null(i) {
+                    0
+                } else {
+                    dict.binary_search(&v.as_str()).expect("value in dict") as u32
+                }
+            })
+            .collect();
+        let dict: Vec<String> = dict.into_iter().map(str::to_string).collect();
+        ColumnData::Dict {
+            codes,
+            dict: Arc::new(dict),
+            nulls,
+        }
+    }
+
+    /// Build a dictionary column from wire parts: `codes[i] = None` marks a
+    /// NULL slot. Returns `None` when a code is out of range. The dictionary
+    /// is re-canonicalised (sorted, codes remapped) so the column upholds
+    /// the sorted-dictionary invariant regardless of the input order;
+    /// duplicate dictionary entries are rejected (they would make the
+    /// code ↔ string mapping ambiguous).
+    pub fn dict_from_parts(dict: Vec<String>, codes: Vec<Option<u32>>) -> Option<ColumnData> {
+        let mut order: Vec<u32> = (0..dict.len() as u32).collect();
+        order.sort_by(|&a, &b| dict[a as usize].cmp(&dict[b as usize]));
+        if order
+            .windows(2)
+            .any(|w| dict[w[0] as usize] == dict[w[1] as usize])
+        {
+            return None;
+        }
+        // rank[old code] = canonical (sorted) code.
+        let mut rank = vec![0u32; dict.len()];
+        for (new, &old) in order.iter().enumerate() {
+            rank[old as usize] = new as u32;
+        }
+        let mut nulls = NullMask::new();
+        let mut out = Vec::with_capacity(codes.len());
+        for c in codes {
+            match c {
+                None => {
+                    out.push(0);
+                    nulls.push(true);
+                }
+                Some(c) => {
+                    out.push(*rank.get(c as usize)?);
+                    nulls.push(false);
+                }
+            }
+        }
+        let mut sorted: Vec<String> = Vec::with_capacity(dict.len());
+        let mut dict = dict;
+        for &old in &order {
+            sorted.push(std::mem::take(&mut dict[old as usize]));
+        }
+        Some(ColumnData::Dict {
+            codes: out,
+            dict: Arc::new(sorted),
+            nulls,
+        })
+    }
+
+    /// The `(codes, dictionary, nulls)` of a dictionary column.
+    pub fn dict_parts(&self) -> Option<DictParts<'_>> {
+        match self {
+            ColumnData::Dict { codes, dict, nulls } => Some((codes, dict, nulls)),
+            _ => None,
+        }
+    }
+
+    /// The dictionary code of a string in a dictionary column, or `Err`
+    /// with the partition point (how many entries sort before `s`) when the
+    /// string is absent — callers use it for order predicates.
+    pub fn dict_code_of(&self, s: &str) -> Option<Result<u32, u32>> {
+        let ColumnData::Dict { dict, .. } = self else {
+            return None;
+        };
+        Some(match dict.binary_search_by(|d| d.as_str().cmp(s)) {
+            Ok(i) => Ok(i as u32),
+            Err(i) => Err(i as u32),
+        })
+    }
+
     /// A null-free boolean column.
     pub fn bools(values: Vec<bool>) -> ColumnData {
         let nulls = NullMask::all_valid(values.len());
@@ -313,6 +445,7 @@ impl ColumnData {
             ColumnData::Int64 { values, .. } | ColumnData::Date64 { values, .. } => values.len(),
             ColumnData::Float64 { values, .. } => values.len(),
             ColumnData::Utf8 { values, .. } => values.len(),
+            ColumnData::Dict { codes, .. } => codes.len(),
             ColumnData::Bool { values, .. } => values.len(),
             ColumnData::Mixed(values) => values.len(),
         }
@@ -328,7 +461,7 @@ impl ColumnData {
         match self {
             ColumnData::Int64 { .. } => Some(DataType::Int),
             ColumnData::Float64 { .. } => Some(DataType::Float),
-            ColumnData::Utf8 { .. } => Some(DataType::Str),
+            ColumnData::Utf8 { .. } | ColumnData::Dict { .. } => Some(DataType::Str),
             ColumnData::Bool { .. } => Some(DataType::Bool),
             ColumnData::Date64 { .. } => Some(DataType::Date),
             ColumnData::Mixed(_) => None,
@@ -341,6 +474,7 @@ impl ColumnData {
             ColumnData::Int64 { nulls, .. }
             | ColumnData::Float64 { nulls, .. }
             | ColumnData::Utf8 { nulls, .. }
+            | ColumnData::Dict { nulls, .. }
             | ColumnData::Bool { nulls, .. }
             | ColumnData::Date64 { nulls, .. } => nulls.null_count(),
             ColumnData::Mixed(values) => values.iter().filter(|v| v.is_null()).count(),
@@ -354,6 +488,7 @@ impl ColumnData {
             ColumnData::Int64 { nulls, .. }
             | ColumnData::Float64 { nulls, .. }
             | ColumnData::Utf8 { nulls, .. }
+            | ColumnData::Dict { nulls, .. }
             | ColumnData::Bool { nulls, .. }
             | ColumnData::Date64 { nulls, .. } => nulls.is_null(i),
             ColumnData::Mixed(values) => values[i].is_null(),
@@ -382,6 +517,13 @@ impl ColumnData {
                     Value::Null
                 } else {
                     Value::Str(values[i].clone())
+                }
+            }
+            ColumnData::Dict { codes, dict, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Str(dict[codes[i] as usize].clone())
                 }
             }
             ColumnData::Bool { values, nulls } => {
@@ -414,7 +556,7 @@ impl ColumnData {
             ColumnData::Bool { values, nulls } => {
                 (!nulls.is_null(i)).then(|| if values[i] { 1.0 } else { 0.0 })
             }
-            ColumnData::Utf8 { .. } => None,
+            ColumnData::Utf8 { .. } | ColumnData::Dict { .. } => None,
             ColumnData::Mixed(values) => values[i].as_f64(),
         }
     }
@@ -424,6 +566,9 @@ impl ColumnData {
     pub fn str_at(&self, i: usize) -> Option<&str> {
         match self {
             ColumnData::Utf8 { values, nulls } => (!nulls.is_null(i)).then(|| values[i].as_str()),
+            ColumnData::Dict { codes, dict, nulls } => {
+                (!nulls.is_null(i)).then(|| dict[codes[i] as usize].as_str())
+            }
             ColumnData::Mixed(values) => values[i].as_str(),
             _ => None,
         }
@@ -467,6 +612,38 @@ impl ColumnData {
                 values.push(String::new());
                 nulls.push(true);
             }
+            (ColumnData::Dict { codes, nulls, .. }, Value::Null) => {
+                codes.push(0);
+                nulls.push(true);
+            }
+            (ColumnData::Dict { codes, dict, nulls }, Value::Str(x)) => {
+                // A string already in the dictionary appends as its code; a
+                // new string would break the sorted-dictionary invariant,
+                // so the column decodes back to plain `Utf8` first.
+                match dict.binary_search(&x) {
+                    Ok(c) => {
+                        codes.push(c as u32);
+                        nulls.push(false);
+                    }
+                    Err(_) => {
+                        let mut values: Vec<String> = codes
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &c)| {
+                                if nulls.is_null(i) {
+                                    String::new()
+                                } else {
+                                    dict[c as usize].clone()
+                                }
+                            })
+                            .collect();
+                        values.push(x);
+                        let mut nulls = nulls.clone();
+                        nulls.push(false);
+                        *self = ColumnData::Utf8 { values, nulls };
+                    }
+                }
+            }
             (ColumnData::Bool { values, nulls }, Value::Null) => {
                 values.push(false);
                 nulls.push(true);
@@ -495,6 +672,10 @@ impl ColumnData {
                 values.truncate(n);
                 nulls.truncate(n);
             }
+            ColumnData::Dict { codes, nulls, .. } => {
+                codes.truncate(n);
+                nulls.truncate(n);
+            }
             ColumnData::Bool { values, nulls } => {
                 values.truncate(n);
                 nulls.truncate(n);
@@ -519,6 +700,13 @@ impl ColumnData {
             },
             ColumnData::Utf8 { values, nulls } => ColumnData::Utf8 {
                 values: take(values, idx),
+                nulls: nulls.gather(idx),
+            },
+            // The dictionary is shared, not copied: a filtered/joined view
+            // of a string column costs one u32 per row.
+            ColumnData::Dict { codes, dict, nulls } => ColumnData::Dict {
+                codes: take(codes, idx),
+                dict: Arc::clone(dict),
                 nulls: nulls.gather(idx),
             },
             ColumnData::Bool { values, nulls } => ColumnData::Bool {
@@ -566,6 +754,14 @@ impl ColumnData {
                 } else {
                     3u8.hash(h);
                     values[i].hash(h);
+                }
+            }
+            ColumnData::Dict { codes, dict, nulls } => {
+                if nulls.is_null(i) {
+                    0u8.hash(h);
+                } else {
+                    3u8.hash(h);
+                    dict[codes[i] as usize].hash(h);
                 }
             }
             ColumnData::Bool { values, nulls } => {
@@ -638,6 +834,13 @@ impl ColumnData {
                     mix_str(h, &values[i])
                 }
             }
+            ColumnData::Dict { codes, dict, nulls } => {
+                if nulls.is_null(i) {
+                    mix(h, 0)
+                } else {
+                    mix_str(h, &dict[codes[i] as usize])
+                }
+            }
             ColumnData::Bool { values, nulls } => {
                 if nulls.is_null(i) {
                     mix(h, 0)
@@ -678,6 +881,14 @@ impl ColumnData {
                 Value::Date(d) => crate::date::parse_iso_date(&values[i]).map(|x| x == *d),
                 _ => None,
             },
+            ColumnData::Dict { codes, dict, .. } => {
+                let s = &dict[codes[i] as usize];
+                match v {
+                    Value::Str(x) => Some(s == x),
+                    Value::Date(d) => crate::date::parse_iso_date(s).map(|x| x == *d),
+                    _ => None,
+                }
+            }
             ColumnData::Date64 { values, nulls } => {
                 if let Value::Str(s) = v {
                     return crate::date::parse_iso_date(s).map(|d| values[i] == d);
@@ -735,6 +946,32 @@ impl ColumnData {
                 (false, false) => a[i] == b[j],
                 _ => false,
             },
+            (
+                ColumnData::Dict {
+                    codes: a,
+                    dict: da,
+                    nulls: na,
+                },
+                ColumnData::Dict {
+                    codes: b,
+                    dict: db,
+                    nulls: nb,
+                },
+            ) => match (na.is_null(i), nb.is_null(j)) {
+                (true, true) => true,
+                // Shared dictionary ⇒ string equality is code equality.
+                (false, false) if Arc::ptr_eq(da, db) => a[i] == b[j],
+                (false, false) => da[a[i] as usize] == db[b[j] as usize],
+                _ => false,
+            },
+            (ColumnData::Dict { .. }, ColumnData::Utf8 { .. })
+            | (ColumnData::Utf8 { .. }, ColumnData::Dict { .. }) => {
+                match (self.str_at(i), other.str_at(j)) {
+                    (Some(a), Some(b)) => a == b,
+                    (None, None) => true,
+                    _ => false,
+                }
+            }
             (
                 ColumnData::Bool {
                     values: a,
@@ -829,6 +1066,34 @@ impl ColumnData {
                 (false, true) => Ordering::Greater,
                 (false, false) => a[i].cmp(&b[j]),
             },
+            (
+                ColumnData::Dict {
+                    codes: a,
+                    dict: da,
+                    nulls: na,
+                },
+                ColumnData::Dict {
+                    codes: b,
+                    dict: db,
+                    nulls: nb,
+                },
+            ) => match (na.is_null(i), nb.is_null(j)) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Less,
+                (false, true) => Ordering::Greater,
+                // Sorted dictionary ⇒ string order is code order.
+                (false, false) if Arc::ptr_eq(da, db) => a[i].cmp(&b[j]),
+                (false, false) => da[a[i] as usize].cmp(&db[b[j] as usize]),
+            },
+            (ColumnData::Dict { .. }, ColumnData::Utf8 { .. })
+            | (ColumnData::Utf8 { .. }, ColumnData::Dict { .. }) => {
+                match (self.str_at(i), other.str_at(j)) {
+                    (Some(a), Some(b)) => a.cmp(b),
+                    (None, None) => Ordering::Equal,
+                    (None, Some(_)) => Ordering::Less,
+                    (Some(_), None) => Ordering::Greater,
+                }
+            }
             (
                 ColumnData::Bool {
                     values: a,
@@ -984,6 +1249,114 @@ mod tests {
             );
         }
         assert!(f64_ord_key(f64::NAN) > f64_ord_key(f64::INFINITY));
+    }
+
+    #[test]
+    fn dict_encode_round_trips_and_respects_cutoff() {
+        let vals: Vec<String> = ["b", "a", "b", "a", "c", "b"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let plain = ColumnData::strs(vals.clone());
+        let dict = ColumnData::strs_dict(vals);
+        assert!(matches!(dict, ColumnData::Dict { .. }));
+        assert!(plain.semantic_eq(&dict));
+        // Sorted-dictionary invariant: codes order = string order.
+        let (codes, d, _) = dict.dict_parts().unwrap();
+        assert_eq!(d.as_slice(), &["a", "b", "c"]);
+        assert_eq!(codes, &[1, 0, 1, 0, 2, 1]);
+        // Near-unique columns stay plain Utf8.
+        let unique = ColumnData::strs_dict(vec!["x".into(), "y".into(), "z".into()]);
+        assert!(matches!(unique, ColumnData::Utf8 { .. }));
+    }
+
+    #[test]
+    fn dict_handles_nulls_and_push() {
+        let mut c = ColumnData::strs_dict(vec!["a".into(), "b".into(), "a".into(), "a".into()]);
+        c.push(Value::Null);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.value(4), Value::Null);
+        assert!(matches!(c, ColumnData::Dict { .. }));
+        // Pushing a known string keeps the encoding; an unknown one decodes
+        // back to plain Utf8 with identical values.
+        c.push(Value::Str("b".into()));
+        assert!(matches!(c, ColumnData::Dict { .. }));
+        let before: Vec<Value> = c.iter().collect();
+        c.push(Value::Str("zzz".into()));
+        assert!(matches!(c, ColumnData::Utf8 { .. }));
+        let after: Vec<Value> = c.iter().collect();
+        assert_eq!(&after[..before.len()], &before[..]);
+        assert_eq!(after.last(), Some(&Value::Str("zzz".into())));
+    }
+
+    #[test]
+    fn dict_hash_eq_cmp_match_utf8_semantics() {
+        let vals = vec![
+            Value::Str("b".into()),
+            Value::Null,
+            Value::Str("a".into()),
+            Value::Str("b".into()),
+        ];
+        let plain = ColumnData::from_values(vals.clone(), None);
+        let dict = plain.clone().dict_encode();
+        assert!(matches!(dict, ColumnData::Dict { .. }));
+        for i in 0..vals.len() {
+            // Hashing matches Value::hash through either representation.
+            let mut h1 = DefaultHasher::new();
+            dict.hash_value_into(i, &mut h1);
+            let mut h2 = DefaultHasher::new();
+            vals[i].hash(&mut h2);
+            assert_eq!(h1.finish(), h2.finish(), "hash differs at {i}");
+            assert_eq!(dict.fold_hash(i, 7), plain.fold_hash(i, 7));
+            for j in 0..vals.len() {
+                assert_eq!(dict.eq_at(i, &dict, j), vals[i] == vals[j]);
+                assert_eq!(dict.eq_at(i, &plain, j), vals[i] == vals[j]);
+                assert_eq!(plain.eq_at(i, &dict, j), vals[i] == vals[j]);
+                assert_eq!(dict.cmp_at(i, &dict, j), vals[i].cmp(&vals[j]));
+                assert_eq!(dict.cmp_at(i, &plain, j), vals[i].cmp(&vals[j]));
+            }
+        }
+        assert!(dict.semantic_eq(&plain));
+    }
+
+    #[test]
+    fn dict_gather_shares_dictionary() {
+        let c = ColumnData::strs_dict(vec!["a".into(), "b".into(), "a".into(), "b".into()]);
+        let g = c.gather(&[3, 0]);
+        let (_, d1, _) = c.dict_parts().unwrap();
+        let (codes, d2, _) = g.dict_parts().unwrap();
+        assert!(Arc::ptr_eq(d1, d2), "gather must share the dictionary");
+        assert_eq!(codes, &[1, 0]);
+    }
+
+    #[test]
+    fn dict_from_parts_canonicalizes_and_validates() {
+        // Unsorted wire dictionary: re-sorted, codes remapped.
+        let c = ColumnData::dict_from_parts(
+            vec!["b".into(), "a".into()],
+            vec![Some(0), Some(1), None, Some(0)],
+        )
+        .unwrap();
+        assert_eq!(c.value(0), Value::Str("b".into()));
+        assert_eq!(c.value(1), Value::Str("a".into()));
+        assert_eq!(c.value(2), Value::Null);
+        let (_, d, _) = c.dict_parts().unwrap();
+        assert_eq!(d.as_slice(), &["a", "b"]);
+        // Out-of-range codes and duplicate entries are rejected.
+        assert!(ColumnData::dict_from_parts(vec!["a".into()], vec![Some(1)]).is_none());
+        assert!(ColumnData::dict_from_parts(vec!["a".into(), "a".into()], vec![Some(0)]).is_none());
+    }
+
+    #[test]
+    fn dict_sql_eq_and_code_lookup() {
+        let c = ColumnData::strs_dict(vec!["a".into(), "b".into(), "a".into(), "b".into()]);
+        assert_eq!(c.sql_eq_value(0, &Value::Str("a".into())), Some(true));
+        assert_eq!(c.sql_eq_value(1, &Value::Str("a".into())), Some(false));
+        assert_eq!(c.sql_eq_value(0, &Value::Int(1)), None);
+        assert_eq!(c.dict_code_of("a"), Some(Ok(0)));
+        assert_eq!(c.dict_code_of("b"), Some(Ok(1)));
+        assert_eq!(c.dict_code_of("aa"), Some(Err(1)));
+        assert_eq!(c.dict_code_of("z"), Some(Err(2)));
     }
 
     #[test]

@@ -275,6 +275,22 @@ impl Table {
                 refs.dedup();
                 refs.into_iter().map(|s| Value::Str(s.clone())).collect()
             }
+            ColumnData::Dict { codes, dict, nulls } => {
+                // The dictionary is sorted, so marking the codes in use
+                // yields the distinct values already ordered — no sort, no
+                // string comparisons.
+                let mut seen = vec![false; dict.len()];
+                for (i, &c) in codes.iter().enumerate() {
+                    if !nulls.is_null(i) {
+                        seen[c as usize] = true;
+                    }
+                }
+                dict.iter()
+                    .enumerate()
+                    .filter(|(c, _)| seen[*c])
+                    .map(|(_, s)| Value::Str(s.clone()))
+                    .collect()
+            }
             ColumnData::Bool { values, nulls } => {
                 let mut seen = [false, false];
                 for (i, v) in values.iter().enumerate() {
@@ -355,6 +371,15 @@ impl Table {
                 }
                 Some((Value::Str(min.clone()), Value::Str(max.clone())))
             }
+            ColumnData::Dict { codes, dict, nulls } => {
+                // Sorted dictionary: min/max string = min/max code in use.
+                typed(codes, nulls, |a, b| a.cmp(&b)).map(|(a, b)| {
+                    (
+                        Value::Str(dict[a as usize].clone()),
+                        Value::Str(dict[b as usize].clone()),
+                    )
+                })
+            }
             ColumnData::Mixed(values) => {
                 let mut iter = values.iter().filter(|v| !v.is_null());
                 let first = iter.next()?.clone();
@@ -401,6 +426,14 @@ impl Table {
                     .enumerate()
                     .filter(|(i, _)| !nulls.is_null(*i))
                     .all(|(_, v)| seen.insert(v.as_str()))
+            }
+            ColumnData::Dict { codes, dict, nulls } => {
+                let mut seen = vec![false; dict.len()];
+                codes
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !nulls.is_null(*i))
+                    .all(|(_, &c)| !std::mem::replace(&mut seen[c as usize], true))
             }
             ColumnData::Bool { values, nulls } => {
                 let mut seen = HashSet::new();
@@ -617,6 +650,34 @@ mod tests {
             vec![Value::Float(-5.0), Value::Float(-0.05), Value::Float(1.0)]
         );
         assert!(!t.column_is_unique(0));
+    }
+
+    #[test]
+    fn dict_profiling_matches_utf8() {
+        let vals = ["NY", "LA", "NY", "SF", "LA", "NY"];
+        let plain = Table::from_columns(
+            Schema::new(vec![Column::new("city", DataType::Str)]),
+            vec![ColumnData::strs(
+                vals.iter().map(|s| s.to_string()).collect(),
+            )],
+        )
+        .unwrap();
+        let dict = Table::from_columns(
+            Schema::new(vec![Column::new("city", DataType::Str)]),
+            vec![ColumnData::strs_dict(
+                vals.iter().map(|s| s.to_string()).collect(),
+            )],
+        )
+        .unwrap();
+        assert!(matches!(dict.col(0), ColumnData::Dict { .. }));
+        assert_eq!(dict.distinct_values(0), plain.distinct_values(0));
+        assert_eq!(dict.min_max(0), plain.min_max(0));
+        assert_eq!(dict.column_is_unique(0), plain.column_is_unique(0));
+        assert_eq!(dict.non_null_count(0), plain.non_null_count(0));
+        let mut with_null = dict.clone();
+        with_null.push_row(vec![Value::Null]).unwrap();
+        assert_eq!(with_null.non_null_count(0), 6);
+        assert_eq!(with_null.distinct_values(0).len(), 3);
     }
 
     #[test]

@@ -125,6 +125,12 @@ fn push_cell(out: &mut String, v: &Value, dtype: DataType) {
 
 /// Serialise a table to the columnar wire shape:
 /// `{"rows":N,"columns":[{"name":…,"type":…,"values":[…]},…]}`.
+///
+/// Dictionary-encoded string columns keep their encoding on the wire:
+/// instead of `"values"`, the column carries `"dict":[…]` (the shared
+/// string dictionary) and `"codes":[…]` (one index per row, `null` for SQL
+/// NULL), so repeated strings are shipped once. Decoders accept both
+/// forms; see `pi2_core::protocol::table_from_json`.
 pub fn table_to_json(t: &Table) -> String {
     let mut out = String::with_capacity(64 + t.num_rows() * t.num_columns() * 8);
     let _ = write!(out, "{{\"rows\":{},\"columns\":[", t.num_rows());
@@ -135,17 +141,41 @@ pub fn table_to_json(t: &Table) -> String {
         let col = t.schema.column(idx).expect("schema column");
         let _ = write!(
             out,
-            "{{\"name\":\"{}\",\"type\":\"{}\",\"values\":[",
+            "{{\"name\":\"{}\",\"type\":\"{}\",",
             json_escape(&col.name),
             dtype_name(col.dtype)
         );
-        for (row, v) in t.column_values(idx).enumerate() {
-            if row > 0 {
-                out.push(',');
+        if let Some((codes, dict, nulls)) = t.col(idx).dict_parts() {
+            out.push_str("\"dict\":[");
+            for (k, s) in dict.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", json_escape(s));
             }
-            push_cell(&mut out, &v, col.dtype);
+            out.push_str("],\"codes\":[");
+            for (row, c) in codes.iter().enumerate() {
+                if row > 0 {
+                    out.push(',');
+                }
+                if nulls.is_null(row) {
+                    out.push_str("null");
+                } else {
+                    let _ = write!(out, "{c}");
+                }
+            }
+            out.push(']');
+        } else {
+            out.push_str("\"values\":[");
+            for (row, v) in t.column_values(idx).enumerate() {
+                if row > 0 {
+                    out.push(',');
+                }
+                push_cell(&mut out, &v, col.dtype);
+            }
+            out.push(']');
         }
-        out.push_str("]}");
+        out.push('}');
     }
     out.push_str("]}");
     out
@@ -196,6 +226,26 @@ mod tests {
         let j = table_to_json(&t);
         assert!(j.contains("\"1970-01-01\""), "{j}");
         assert!(j.contains("2.5"), "{j}");
+    }
+
+    #[test]
+    fn dict_columns_ship_dict_and_codes() {
+        use crate::column::ColumnData;
+        use crate::table::{Column, Schema};
+        let mut col =
+            ColumnData::strs_dict(vec!["NY".into(), "LA".into(), "NY".into(), "LA".into()]);
+        col.push(Value::Null);
+        let t = Table::from_columns(
+            Schema::new(vec![Column::new("city", DataType::Str)]),
+            vec![col],
+        )
+        .unwrap();
+        let j = table_to_json(&t);
+        assert_eq!(
+            j,
+            "{\"rows\":5,\"columns\":[{\"name\":\"city\",\"type\":\"str\",\
+             \"dict\":[\"LA\",\"NY\"],\"codes\":[1,0,1,0,null]}]}"
+        );
     }
 
     #[test]

@@ -291,7 +291,7 @@ pub enum NodeKind {
 }
 
 /// A Difftree node. `id` identifies the node within its forest (reassigned
-/// by [`crate::Forest::renumber`]); equality and hashing ignore it.
+/// by `DNode::renumber` during forest construction); equality and hashing ignore it.
 #[derive(Debug, Clone)]
 pub struct DNode {
     /// Tree-local DFS position (root = 0), assigned by `renumber`.

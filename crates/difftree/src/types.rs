@@ -156,10 +156,21 @@ impl NodeType {
 
     /// Domain (min, max) over all source attributes, from catalogue stats.
     pub fn domain(&self, catalog: &Catalog) -> Option<(Value, Value)> {
+        self.domain_via(&mut |t, c| catalog.column_stats(t, c))
+    }
+
+    /// [`NodeType::domain`] with an injected stats lookup, so callers
+    /// iterating many candidate nodes can memoize the per-column catalogue
+    /// resolution (table lookup + case-insensitive column scan) instead of
+    /// re-resolving per candidate.
+    pub fn domain_via<'a>(
+        &self,
+        lookup: &mut dyn FnMut(&str, &str) -> Option<&'a pi2_data::ColumnStats>,
+    ) -> Option<(Value, Value)> {
         let mut lo: Option<Value> = None;
         let mut hi: Option<Value> = None;
         for a in &self.attrs {
-            let stats = catalog.column_stats(&a.table, &a.column)?;
+            let stats = lookup(&a.table, &a.column)?;
             let (amin, amax) = (stats.min.clone()?, stats.max.clone()?);
             lo = Some(match lo {
                 Some(v) if v <= amin => v,
@@ -176,12 +187,21 @@ impl NodeType {
     /// Distinct values over all source attributes, when all are
     /// low-cardinality enough to enumerate.
     pub fn distinct_values(&self, catalog: &Catalog) -> Option<Vec<Value>> {
+        self.distinct_values_via(&mut |t, c| catalog.column_stats(t, c))
+    }
+
+    /// [`NodeType::distinct_values`] with an injected stats lookup (see
+    /// [`NodeType::domain_via`]).
+    pub fn distinct_values_via<'a>(
+        &self,
+        lookup: &mut dyn FnMut(&str, &str) -> Option<&'a pi2_data::ColumnStats>,
+    ) -> Option<Vec<Value>> {
         let mut out: BTreeSet<Value> = BTreeSet::new();
         if self.attrs.is_empty() {
             return None;
         }
         for a in &self.attrs {
-            let stats = catalog.column_stats(&a.table, &a.column)?;
+            let stats = lookup(&a.table, &a.column)?;
             out.extend(stats.distinct_values.clone()?);
         }
         Some(out.into_iter().collect())

@@ -2,22 +2,22 @@
 //!
 //! Two executors share one semantics:
 //!
-//! * the **vectorized executor** (this module + [`crate::vector`]) — the
+//! * the **vectorized executor** (this module + `crate::vector`) — the
 //!   default. Tables stay columnar end to end: predicates evaluate over
 //!   column slices into selection vectors, grouping hashes key columns
 //!   batch-wise, sort/distinct/limit permute row indices, and joins build
 //!   on key columns. Expressions containing correlated subqueries drop to
 //!   a per-row scalar fallback.
-//! * the **scalar interpreter** ([`crate::scalar`], via
+//! * the **scalar interpreter** (`crate::scalar`, via
 //!   [`execute_scalar`]) — the original row-at-a-time tree-walker, kept as
 //!   the reference implementation; the differential property tests pin
 //!   both executors to identical outputs.
 
-use crate::analyze::{analyze_query, default_name};
+use crate::analyze::{analyze_query_cached, default_name};
 use crate::error::EngineError;
 use crate::eval::Scope;
-use crate::vector::{eval_grouped_vec, eval_vec, truthy_indices, VecRelation, Vector};
-use pi2_data::column::{ColumnData, RowInterner};
+use crate::vector::{eval_grouped_vec, eval_vec, truthy_indices, LazyCol, VecRelation, Vector};
+use pi2_data::column::{ColumnData, NullMask, RowInterner};
 use pi2_data::hash::FastMap;
 use pi2_data::{Catalog, Column, DataType, Schema, Table, Value};
 use pi2_sql::ast::{BinOp, Expr, Query, SelectItem, TableRef};
@@ -92,12 +92,15 @@ fn execute_vectorized(
     outer: Option<&Scope<'_>>,
 ) -> Result<Table, EngineError> {
     // 1. FROM: build the input relation (zero-copy for base-table scans).
-    let mut rel = eval_from_vec(query, ctx, outer)?;
+    // Equijoins consume the join conjunct and push provably-safe
+    // single-side conjuncts below the join; `residual` is what remains of
+    // the WHERE clause.
+    let (mut rel, residual) = eval_from_vec(query, ctx, outer)?;
 
     // 2. WHERE: predicate → selection vector → compacted relation. Skipped
     // on zero rows (the scalar interpreter never evaluates it then).
     if rel.len > 0 {
-        if let Some(pred) = &query.where_clause {
+        if let Some(pred) = residual.as_deref() {
             let v = eval_vec(pred, &rel, ctx, outer)?;
             let sel = truthy_indices(&v, rel.len);
             if sel.len() < rel.len {
@@ -177,8 +180,36 @@ fn build_groups(
                 }
                 return Ok(groups);
             }
+            ColumnData::Dict { codes, dict, nulls } => {
+                // Group on dictionary codes: a dense code → group table, no
+                // hashing and no string reads at all.
+                let mut of_code: Vec<Option<usize>> = vec![None; dict.len()];
+                let mut null_group: Option<usize> = None;
+                for (i, &c) in codes.iter().enumerate() {
+                    let g = if nulls.is_null(i) {
+                        *null_group.get_or_insert_with(|| {
+                            groups.push(Vec::new());
+                            groups.len() - 1
+                        })
+                    } else {
+                        *of_code[c as usize].get_or_insert_with(|| {
+                            groups.push(Vec::new());
+                            groups.len() - 1
+                        })
+                    };
+                    groups[g].push(i as u32);
+                }
+                return Ok(groups);
+            }
             _ => {}
         }
+    }
+    // Multi-key fast path: every key column yields exact per-row integer
+    // keys (ints/dates by value, floats by bits, bools, dictionary codes),
+    // so grouping hashes and compares u64 tuples — no string hashing, no
+    // `Value` materialization.
+    if let Some(groups) = group_by_exact_keys(&keycols, rel.len) {
+        return Ok(groups);
     }
     // General case: intern each row's key (cheap batch hash + `Value`
     // equality on collisions, shared with DISTINCT and the FD check).
@@ -194,6 +225,92 @@ fn build_groups(
         }
     }
     Ok(groups)
+}
+
+/// A key column whose rows reduce to exact `u64` ids: two rows of the
+/// *same* column are [`ColumnData::eq_at`]-equal iff their ids (and null
+/// flags) are equal. Strings and `Mixed` columns don't qualify.
+enum ExactKeyCol<'a> {
+    /// i64-valued (Int64/Date64).
+    I64(&'a [i64], &'a NullMask),
+    /// Floats compare by bits under `eq_at`.
+    F64(&'a [f64], &'a NullMask),
+    /// Booleans.
+    Bool(&'a [bool], &'a NullMask),
+    /// Dictionary codes (one shared dictionary per column).
+    Code(&'a [u32], &'a NullMask),
+}
+
+impl ExactKeyCol<'_> {
+    fn of(c: &ColumnData) -> Option<ExactKeyCol<'_>> {
+        match c {
+            ColumnData::Int64 { values, nulls } | ColumnData::Date64 { values, nulls } => {
+                Some(ExactKeyCol::I64(values, nulls))
+            }
+            ColumnData::Float64 { values, nulls } => Some(ExactKeyCol::F64(values, nulls)),
+            ColumnData::Bool { values, nulls } => Some(ExactKeyCol::Bool(values, nulls)),
+            ColumnData::Dict { codes, nulls, .. } => Some(ExactKeyCol::Code(codes, nulls)),
+            ColumnData::Utf8 { .. } | ColumnData::Mixed(_) => None,
+        }
+    }
+
+    /// The row's exact id; `None` marks NULL.
+    #[inline]
+    fn key(&self, i: usize) -> Option<u64> {
+        match self {
+            ExactKeyCol::I64(v, n) => (!n.is_null(i)).then(|| v[i] as u64),
+            ExactKeyCol::F64(v, n) => (!n.is_null(i)).then(|| v[i].to_bits()),
+            ExactKeyCol::Bool(v, n) => (!n.is_null(i)).then(|| v[i] as u64),
+            ExactKeyCol::Code(v, n) => (!n.is_null(i)).then(|| v[i] as u64),
+        }
+    }
+}
+
+/// FNV-style fold of one row's exact keys (the one hashing scheme the
+/// exact-key grouping and DISTINCT paths share, so they cannot drift).
+#[inline]
+fn hash_exact_keys(keyers: &[ExactKeyCol<'_>], i: usize) -> u64 {
+    #[inline]
+    fn mix(h: u64, x: u64) -> u64 {
+        (h ^ x).wrapping_mul(0x100_0000_01b3)
+    }
+    let mut h = pi2_data::column::ROW_HASH_SEED;
+    for k in keyers {
+        h = match k.key(i) {
+            Some(v) => mix(mix(h, 1), v),
+            None => mix(h, 0),
+        };
+    }
+    h
+}
+
+/// Group rows by exact integer key tuples (see [`ExactKeyCol`]); `None`
+/// when some key column doesn't qualify. Groups are in first-encounter
+/// order, like every other grouping path.
+fn group_by_exact_keys(keycols: &[Arc<ColumnData>], n: usize) -> Option<Vec<Vec<u32>>> {
+    let keyers: Vec<ExactKeyCol<'_>> = keycols
+        .iter()
+        .map(|c| ExactKeyCol::of(c))
+        .collect::<Option<_>>()?;
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    // bucket entries: (representative row, group index).
+    let mut buckets: FastMap<u64, Vec<(u32, u32)>> = FastMap::default();
+    for i in 0..n {
+        let h = hash_exact_keys(&keyers, i);
+        let bucket = buckets.entry(h).or_default();
+        let hit = bucket
+            .iter()
+            .find(|(rep, _)| keyers.iter().all(|k| k.key(i) == k.key(*rep as usize)))
+            .map(|(_, g)| *g);
+        match hit {
+            Some(g) => groups[g as usize].push(i as u32),
+            None => {
+                bucket.push((i as u32, groups.len() as u32));
+                groups.push(vec![i as u32]);
+            }
+        }
+    }
+    Some(groups)
 }
 
 fn exec_aggregate(
@@ -253,27 +370,38 @@ fn exec_aggregate(
         .iter()
         .map(|o| eval_grouped_vec(&o.expr, rel, &groups, ctx, outer))
         .collect::<Result<_, _>>()?;
-    let mut out_rows: Vec<(Vec<Value>, Vec<Value>)> = (0..groups.len())
-        .map(|g| {
-            (
-                sel_vals.iter().map(|c| c[g].clone()).collect(),
-                key_vals.iter().map(|c| c[g].clone()).collect(),
-            )
-        })
-        .collect();
 
-    // DISTINCT / ORDER BY / LIMIT on the (small) per-group rows, exactly as
-    // the scalar interpreter orders them.
+    if groups.is_empty() {
+        // No surviving groups: no rows, and no expressions were evaluated.
+        let schema = derive_schema(query, ctx, &rel.cols, &rel.types, None);
+        return Ok(Table::new(schema));
+    }
+
+    // Columnar output shaping: per-group value lists become typed columns
+    // once; DISTINCT / ORDER BY / LIMIT permute group indices (matching the
+    // scalar interpreter's row order exactly — `cmp_at`/`eq_at` mirror
+    // `Value` semantics); the final gather builds each output column in a
+    // single pass. No per-group `Value` row tuples are materialized, so
+    // high-cardinality GROUP BY stays columnar end to end.
+    let sel_cols: Vec<ColumnData> = sel_vals
+        .into_iter()
+        .map(|v| ColumnData::from_values(v, None))
+        .collect();
+    let key_cols: Vec<ColumnData> = key_vals
+        .into_iter()
+        .map(|v| ColumnData::from_values(v, None))
+        .collect();
+    let mut order: Vec<u32> = (0..groups.len() as u32).collect();
     if query.distinct {
-        let mut seen = std::collections::HashSet::new();
-        out_rows.retain(|(row, _)| seen.insert(row.clone()));
+        let mut interner = RowInterner::new(sel_cols.iter().collect());
+        order.retain(|&g| interner.intern(g).is_none());
     }
     if !query.order_by.is_empty() {
         let descs: Vec<bool> = query.order_by.iter().map(|o| o.desc).collect();
-        out_rows.sort_by(|(_, ka), (_, kb)| {
-            for (i, (a, b)) in ka.iter().zip(kb.iter()).enumerate() {
-                let ord = a.cmp(b);
-                let ord = if descs[i] { ord.reverse() } else { ord };
+        order.sort_by(|&a, &b| {
+            for (k, key) in key_cols.iter().enumerate() {
+                let ord = key.cmp_at(a as usize, key, b as usize);
+                let ord = if descs[k] { ord.reverse() } else { ord };
                 if ord != std::cmp::Ordering::Equal {
                     return ord;
                 }
@@ -282,21 +410,31 @@ fn exec_aggregate(
         });
     }
     if let Some(l) = query.limit {
-        out_rows.truncate(l as usize);
+        order.truncate(l as usize);
     }
 
-    let schema = derive_schema(
-        query,
-        ctx,
-        &rel.cols,
-        &rel.types,
-        out_rows.first().map(|(r, _)| r.as_slice()),
-    );
-    let mut table = Table::new(schema);
-    for (row, _) in out_rows {
-        table.push_row(coerce_row(row, &table.schema))?;
-    }
-    Ok(table)
+    let first: Option<Vec<Value>> = order
+        .first()
+        .map(|&g| sel_cols.iter().map(|c| c.value(g as usize)).collect());
+    let schema = derive_schema(query, ctx, &rel.cols, &rel.types, first.as_deref());
+    let identity =
+        order.len() == groups.len() && order.iter().enumerate().all(|(k, &g)| g == k as u32);
+    let cols: Vec<Arc<ColumnData>> = sel_cols
+        .into_iter()
+        .enumerate()
+        .map(|(k, c)| {
+            let col = if identity {
+                Arc::new(c)
+            } else {
+                Arc::new(c.gather(&order))
+            };
+            match schema.columns.get(k) {
+                Some(sc) => coerce_column(col, sc.dtype),
+                None => col,
+            }
+        })
+        .collect();
+    Table::from_arc_columns(schema, cols).map_err(Into::into)
 }
 
 // ---------------------------------------------------------------------------
@@ -319,8 +457,8 @@ fn exec_projection(
     for item in &query.select {
         match item {
             SelectItem::Star => {
-                for c in &rel.columns {
-                    out_vecs.push(Vector::Col(Arc::clone(c)));
+                for i in 0..rel.columns.len() {
+                    out_vecs.push(Vector::Col(Arc::clone(rel.column(i))));
                 }
             }
             SelectItem::Expr { expr, .. } => out_vecs.push(eval_vec(expr, rel, ctx, outer)?),
@@ -390,6 +528,41 @@ fn distinct_indices(out_vecs: &[Vector], idx: &[u32]) -> Vec<u32> {
             Vector::Const(_) => None,
         })
         .collect();
+    // Exact-key fast path: every column reduces rows to exact u64 ids
+    // (ints/dates, float bits, bools, dictionary codes) — dedup on id
+    // tuples with a chained index, no per-bucket allocations.
+    if let Some(keyers) = cols
+        .iter()
+        .map(|c| ExactKeyCol::of(c))
+        .collect::<Option<Vec<ExactKeyCol<'_>>>>()
+    {
+        const NONE: u32 = u32::MAX;
+        let mut head: FastMap<u64, u32> =
+            FastMap::with_capacity_and_hasher(idx.len(), Default::default());
+        let mut next: Vec<u32> = vec![NONE; idx.len()];
+        let mut out: Vec<u32> = Vec::new();
+        for &i in idx {
+            let h = hash_exact_keys(&keyers, i as usize);
+            let first = head.entry(h).or_insert(NONE);
+            let mut p = *first;
+            let mut dup = false;
+            while p != NONE {
+                let rep = out[p as usize] as usize;
+                if keyers.iter().all(|k| k.key(i as usize) == k.key(rep)) {
+                    dup = true;
+                    break;
+                }
+                p = next[p as usize];
+            }
+            if !dup {
+                let pos = out.len() as u32;
+                next[pos as usize] = *first;
+                *first = pos;
+                out.push(i);
+            }
+        }
+        return out;
+    }
     let mut interner = RowInterner::new(cols);
     idx.iter()
         .copied()
@@ -408,77 +581,212 @@ fn vec_cmp_at(v: &Vector, a: usize, b: usize) -> std::cmp::Ordering {
 // FROM: scans, hash joins, cross products
 // ---------------------------------------------------------------------------
 
-/// Evaluate the FROM clause into a single relation. Two-table FROM clauses
-/// with an equality conjunct between the tables (the SDSS `s.bestObjID =
-/// gal.objID` shape) use a hash equijoin instead of a cross product.
-fn eval_from_vec(
-    query: &Query,
-    ctx: &ExecContext<'_>,
-    outer: Option<&Scope<'_>>,
-) -> Result<VecRelation, EngineError> {
-    let mut parts: Vec<(String, Table)> = Vec::with_capacity(query.from.len());
-    for tref in &query.from {
-        let (binding, table) = match tref {
-            TableRef::Table { name, alias } => {
-                let meta = ctx.catalog.require_table(name)?;
-                (
-                    alias.clone().unwrap_or_else(|| name.clone()),
-                    meta.table.clone(), // cheap: Arc-shared columns
-                )
-            }
-            TableRef::Subquery { query: subq, alias } => {
-                let t = execute_with_scope(subq, ctx, outer)?;
-                (alias.clone().unwrap_or_default(), t)
-            }
-        };
-        parts.push((binding, table));
-    }
-    if parts.len() == 2 {
-        if let Some((lc, rc)) = equijoin_columns(query, &parts) {
-            let (right_binding, right_table) = parts.pop().unwrap();
-            let (left_binding, left_table) = parts.pop().unwrap();
-            return Ok(hash_join_vec(
-                &left_binding,
-                &left_table,
-                lc,
-                &right_binding,
-                &right_table,
-                rc,
-            ));
-        }
-    }
-    let mut rel = VecRelation {
-        cols: vec![],
-        types: vec![],
-        columns: vec![],
-        len: 1,
-    };
-    for (binding, table) in parts {
-        rel = cross_product_vec(rel, &binding, &table);
-    }
-    Ok(rel)
-}
-
-/// Find a top-level equality conjunct `a.x = b.y` joining the two FROM
-/// relations; returns the column indices (left, right).
-pub(crate) fn equijoin_columns(query: &Query, parts: &[(String, Table)]) -> Option<(usize, usize)> {
-    fn conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+/// Split an AND tree into its conjuncts, left to right.
+pub(crate) fn split_conjuncts(e: &Expr) -> Vec<&Expr> {
+    fn go<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
         if let Expr::Binary {
             left,
             op: BinOp::And,
             right,
         } = e
         {
-            conjuncts(left, out);
-            conjuncts(right, out);
+            go(left, out);
+            go(right, out);
         } else {
             out.push(e);
         }
     }
-    let pred = query.where_clause.as_ref()?;
-    let mut cs = Vec::new();
-    conjuncts(pred, &mut cs);
-    for c in cs {
+    let mut out = Vec::new();
+    go(e, &mut out);
+    out
+}
+
+/// A base-table (or subquery result) as a dense relation.
+fn scan_rel(binding: &str, table: &Table) -> VecRelation {
+    let mut cols = Vec::with_capacity(table.num_columns());
+    let mut types = Vec::with_capacity(table.num_columns());
+    let mut columns = Vec::with_capacity(table.num_columns());
+    for (i, c) in table.schema.columns.iter().enumerate() {
+        cols.push((binding.to_string(), c.name.clone()));
+        types.push(c.dtype);
+        columns.push(LazyCol::dense(Arc::clone(table.col_arc(i))));
+    }
+    VecRelation {
+        cols: Arc::new(cols),
+        types: Arc::new(types),
+        columns,
+        len: table.num_rows(),
+    }
+}
+
+/// Which join sides (bit 0 = left, bit 1 = right) a column/literal atom
+/// references, via the caller's joined-relation resolution; `None` for
+/// anything that is not a plain column or literal.
+fn atom_side_mask(e: &Expr, resolve: &dyn Fn(Option<&str>, &str) -> Option<u8>) -> Option<u8> {
+    match e {
+        Expr::Literal(_) => Some(0),
+        Expr::Column { table, name } => resolve(table.as_deref(), name),
+        _ => None,
+    }
+}
+
+/// Side mask of a conjunct that is provably safe to evaluate below the
+/// join: comparisons / BETWEEN / literal IN lists / IS NULL over plain
+/// columns and literals, combined with AND/OR. These shapes never raise
+/// (comparison kernels are total — unknowns become SQL NULL), so hoisting
+/// them out of the WHERE clause cannot surface an error the row-at-a-time
+/// interpreter would not. Anything else — arithmetic, LIKE, functions,
+/// subqueries, unresolvable columns — returns `None` and stays above the
+/// join.
+fn pushdown_side_mask(e: &Expr, resolve: &dyn Fn(Option<&str>, &str) -> Option<u8>) -> Option<u8> {
+    match e {
+        Expr::Binary { left, op, right } if op.is_comparison() => {
+            Some(atom_side_mask(left, resolve)? | atom_side_mask(right, resolve)?)
+        }
+        Expr::Binary { left, op, right } if *op == BinOp::And || *op == BinOp::Or => {
+            Some(pushdown_side_mask(left, resolve)? | pushdown_side_mask(right, resolve)?)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => Some(
+            atom_side_mask(expr, resolve)?
+                | atom_side_mask(low, resolve)?
+                | atom_side_mask(high, resolve)?,
+        ),
+        Expr::InList { expr, list, .. } if list.iter().all(|i| matches!(i, Expr::Literal(_))) => {
+            atom_side_mask(expr, resolve)
+        }
+        Expr::IsNull { expr, .. } => atom_side_mask(expr, resolve),
+        _ => None,
+    }
+}
+
+/// Filter a single-side relation by pushed-down conjuncts, in conjunct
+/// order (selection vectors compose lazily).
+fn apply_side_filter(
+    mut rel: VecRelation,
+    conjuncts: &[&Expr],
+    ctx: &ExecContext<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<VecRelation, EngineError> {
+    for c in conjuncts {
+        if rel.len == 0 {
+            break;
+        }
+        let v = eval_vec(c, &rel, ctx, outer)?;
+        let sel = truthy_indices(&v, rel.len);
+        if sel.len() < rel.len {
+            rel = rel.gather(&sel);
+        }
+    }
+    Ok(rel)
+}
+
+/// Evaluate the FROM clause into a single relation. Two-table FROM clauses
+/// with an equality conjunct between the tables (the SDSS `s.bestObjID =
+/// gal.objID` shape) use a hash equijoin instead of a cross product; the
+/// join consumes its conjunct and pulls provably-safe single-side
+/// conjuncts below the join, so the returned residual predicate is what
+/// the WHERE step still has to evaluate.
+fn eval_from_vec<'q>(
+    query: &'q Query,
+    ctx: &ExecContext<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Result<(VecRelation, Option<std::borrow::Cow<'q, Expr>>), EngineError> {
+    use std::borrow::Cow;
+    let mut parts: Vec<(String, Cow<'_, Table>)> = Vec::with_capacity(query.from.len());
+    for tref in &query.from {
+        let (binding, table) = match tref {
+            TableRef::Table { name, alias } => {
+                let meta = ctx.catalog.require_table(name)?;
+                (
+                    alias.clone().unwrap_or_else(|| name.clone()),
+                    Cow::Borrowed(&meta.table), // zero-copy scan
+                )
+            }
+            TableRef::Subquery { query: subq, alias } => {
+                let t = execute_with_scope(subq, ctx, outer)?;
+                (alias.clone().unwrap_or_default(), Cow::Owned(t))
+            }
+        };
+        parts.push((binding, table));
+    }
+    let residual_all = || query.where_clause.as_ref().map(Cow::Borrowed);
+    if parts.len() == 2 {
+        let conjuncts = query
+            .where_clause
+            .as_ref()
+            .map(|p| split_conjuncts(p))
+            .unwrap_or_default();
+        if let Some((cj, lc, rc)) = equijoin_columns(&conjuncts, &parts) {
+            // Joined-relation name resolution (first match over left cols,
+            // then right cols) as a side mask.
+            let resolve = |t: Option<&str>, n: &str| -> Option<u8> {
+                for (pi, (binding, table)) in parts.iter().enumerate() {
+                    if t.is_none_or(|t| t.eq_ignore_ascii_case(binding))
+                        && table.schema.index_of(n).is_some()
+                    {
+                        return Some(1 << pi);
+                    }
+                }
+                None
+            };
+            let mut left_push: Vec<&Expr> = Vec::new();
+            let mut right_push: Vec<&Expr> = Vec::new();
+            let mut residual: Vec<&Expr> = Vec::new();
+            for (k, c) in conjuncts.iter().enumerate() {
+                if k == cj {
+                    continue; // consumed by the hash join
+                }
+                match pushdown_side_mask(c, &resolve) {
+                    Some(1) => left_push.push(c),
+                    Some(2) => right_push.push(c),
+                    _ => residual.push(c),
+                }
+            }
+            let (right_binding, right_table) = parts.pop().unwrap();
+            let (left_binding, left_table) = parts.pop().unwrap();
+            let left_rel = apply_side_filter(
+                scan_rel(&left_binding, left_table.as_ref()),
+                &left_push,
+                ctx,
+                outer,
+            )?;
+            let right_rel = apply_side_filter(
+                scan_rel(&right_binding, right_table.as_ref()),
+                &right_push,
+                ctx,
+                outer,
+            )?;
+            let rel = hash_join_rel(left_rel, lc, right_rel, rc);
+            let residual = residual.into_iter().cloned().reduce(|a, b| Expr::Binary {
+                left: Box::new(a),
+                op: BinOp::And,
+                right: Box::new(b),
+            });
+            return Ok((rel, residual.map(Cow::Owned)));
+        }
+    }
+    let mut rel = VecRelation {
+        cols: Arc::new(vec![]),
+        types: Arc::new(vec![]),
+        columns: vec![],
+        len: 1,
+    };
+    for (binding, table) in parts {
+        rel = cross_product_vec(rel, &binding, table.as_ref());
+    }
+    Ok((rel, residual_all()))
+}
+
+/// Find a top-level equality conjunct `a.x = b.y` joining the two FROM
+/// relations; returns the conjunct's index and the column indices
+/// (left, right).
+pub(crate) fn equijoin_columns<T: std::borrow::Borrow<Table>>(
+    conjuncts: &[&Expr],
+    parts: &[(String, T)],
+) -> Option<(usize, usize, usize)> {
+    for (k, c) in conjuncts.iter().enumerate() {
         let Expr::Binary {
             left,
             op: BinOp::Eq,
@@ -503,7 +811,7 @@ pub(crate) fn equijoin_columns(query: &Query, parts: &[(String, Table)]) -> Opti
         let resolve = |t: &Option<String>, n: &str| -> Option<(usize, usize)> {
             for (pi, (binding, table)) in parts.iter().enumerate() {
                 if t.as_deref().is_none_or(|t| t.eq_ignore_ascii_case(binding)) {
-                    if let Some(ci) = table.schema.index_of(n) {
+                    if let Some(ci) = table.borrow().schema.index_of(n) {
                         return Some((pi, ci));
                     }
                 }
@@ -513,40 +821,32 @@ pub(crate) fn equijoin_columns(query: &Query, parts: &[(String, Table)]) -> Opti
         let (lp, lc) = resolve(lt, ln)?;
         let (rp, rc) = resolve(rt, rn)?;
         if lp == 0 && rp == 1 {
-            return Some((lc, rc));
+            return Some((k, lc, rc));
         }
         if lp == 1 && rp == 0 {
-            return Some((rc, lc));
+            return Some((k, rc, lc));
         }
     }
     None
 }
 
-/// Hash equijoin building directly on the key columns (NULL keys never
-/// match, per SQL semantics). Same-typed integer/date keys index by `i64`,
-/// string keys by `&str`; anything else falls back to `Value` keys, which
-/// replicate the scalar join's cross-type equality.
-fn hash_join_vec(
-    left_binding: &str,
-    left: &Table,
+/// Hash equijoin over two (possibly pre-filtered) relations, building
+/// directly on the key columns (NULL keys never match, per SQL semantics).
+/// Integer/date keys whose build-side range is dense use a direct-indexed
+/// array instead of a hash map; dictionary keys join on codes through a
+/// once-computed dictionary translation; mixed string representations
+/// probe by `&str`; anything else falls back to `Value` keys, which
+/// replicate the scalar join's cross-type equality. The joined relation
+/// records both row mappings as lazy selections — no column is gathered
+/// until something reads it.
+fn hash_join_rel(
+    left: VecRelation,
     left_col: usize,
-    right_binding: &str,
-    right: &Table,
+    right: VecRelation,
     right_col: usize,
 ) -> VecRelation {
-    let mut cols = Vec::with_capacity(left.num_columns() + right.num_columns());
-    let mut types = Vec::with_capacity(cols.capacity());
-    for c in &left.schema.columns {
-        cols.push((left_binding.to_string(), c.name.clone()));
-        types.push(c.dtype);
-    }
-    for c in &right.schema.columns {
-        cols.push((right_binding.to_string(), c.name.clone()));
-        types.push(c.dtype);
-    }
-
-    let lkey = left.col(left_col);
-    let rkey = right.col(right_col);
+    let lkey = Arc::clone(left.column(left_col));
+    let rkey = Arc::clone(right.column(right_col));
     let mut lidx: Vec<u32> = Vec::new();
     let mut ridx: Vec<u32> = Vec::new();
     // Build-side index: key → first matching right row, with duplicates
@@ -554,7 +854,7 @@ fn hash_join_vec(
     // Building in reverse keeps each chain in ascending right-row order,
     // matching the scalar join's match order.
     const NONE: u32 = u32::MAX;
-    let rn_rows = right.num_rows();
+    let rn_rows = right.len;
     let mut next: Vec<u32> = vec![NONE; rn_rows];
     fn probe(next: &[u32], lidx: &mut Vec<u32>, ridx: &mut Vec<u32>, i: u32, mut r: u32) {
         while r != NONE {
@@ -563,7 +863,7 @@ fn hash_join_vec(
             r = next[r as usize];
         }
     }
-    match (lkey, rkey) {
+    match (lkey.as_ref(), rkey.as_ref()) {
         (
             ColumnData::Int64 {
                 values: lv,
@@ -584,45 +884,134 @@ fn hash_join_vec(
                 nulls: rn,
             },
         ) => {
-            let mut head: FastMap<i64, u32> = FastMap::default();
-            for (i, v) in rv.iter().enumerate().rev() {
+            // Dense build-side key range (primary-key-style ids): a
+            // direct-indexed head array beats any hash map.
+            let (mut min, mut max) = (i64::MAX, i64::MIN);
+            for (i, v) in rv.iter().enumerate() {
                 if !rn.is_null(i) {
-                    if let Some(&h) = head.get(v) {
-                        next[i] = h;
-                    }
-                    head.insert(*v, i as u32);
+                    min = min.min(*v);
+                    max = max.max(*v);
                 }
             }
-            for (i, v) in lv.iter().enumerate() {
-                if !ln.is_null(i) {
-                    if let Some(&r) = head.get(v) {
+            let span = if min <= max {
+                (max as i128 - min as i128) as u128 + 1
+            } else {
+                0
+            };
+            if span > 0 && span <= (4 * rn_rows as u128).max(1024) {
+                let mut head: Vec<u32> = vec![NONE; span as usize];
+                for (i, v) in rv.iter().enumerate().rev() {
+                    if !rn.is_null(i) {
+                        let slot = (*v as i128 - min as i128) as usize;
+                        if head[slot] != NONE {
+                            next[i] = head[slot];
+                        }
+                        head[slot] = i as u32;
+                    }
+                }
+                for (i, v) in lv.iter().enumerate() {
+                    if !ln.is_null(i) && *v >= min && *v <= max {
+                        let r = head[(*v as i128 - min as i128) as usize];
+                        if r != NONE {
+                            probe(&next, &mut lidx, &mut ridx, i as u32, r);
+                        }
+                    }
+                }
+            } else {
+                let mut head: FastMap<i64, u32> =
+                    FastMap::with_capacity_and_hasher(rn_rows, Default::default());
+                for (i, v) in rv.iter().enumerate().rev() {
+                    if !rn.is_null(i) {
+                        if let Some(&h) = head.get(v) {
+                            next[i] = h;
+                        }
+                        head.insert(*v, i as u32);
+                    }
+                }
+                for (i, v) in lv.iter().enumerate() {
+                    if !ln.is_null(i) {
+                        if let Some(&r) = head.get(v) {
+                            probe(&next, &mut lidx, &mut ridx, i as u32, r);
+                        }
+                    }
+                }
+            }
+        }
+        (
+            ColumnData::Dict {
+                codes: lc,
+                dict: ld,
+                nulls: ln,
+            },
+            ColumnData::Dict {
+                codes: rc,
+                dict: rd,
+                nulls: rn,
+            },
+        ) => {
+            // Build on right-side codes (dense by construction — a code
+            // array the size of the dictionary); probe through a
+            // once-computed left-dict → right-code translation (identity
+            // when both sides share one dictionary Arc). The probe loop
+            // never reads a string.
+            let mut head: Vec<u32> = vec![NONE; rd.len()];
+            for (i, c) in rc.iter().enumerate().rev() {
+                if !rn.is_null(i) {
+                    let slot = *c as usize;
+                    if head[slot] != NONE {
+                        next[i] = head[slot];
+                    }
+                    head[slot] = i as u32;
+                }
+            }
+            let trans: Option<Vec<Option<u32>>> = if Arc::ptr_eq(ld, rd) {
+                None
+            } else {
+                Some(
+                    ld.iter()
+                        .map(|s| {
+                            rd.binary_search_by(|d| d.as_str().cmp(s))
+                                .ok()
+                                .map(|c| c as u32)
+                        })
+                        .collect(),
+                )
+            };
+            for (i, c) in lc.iter().enumerate() {
+                if ln.is_null(i) {
+                    continue;
+                }
+                let rc = match &trans {
+                    None => Some(*c),
+                    Some(t) => t[*c as usize],
+                };
+                if let Some(rc) = rc {
+                    let r = head[rc as usize];
+                    if r != NONE {
                         probe(&next, &mut lidx, &mut ridx, i as u32, r);
                     }
                 }
             }
         }
         (
-            ColumnData::Utf8 {
-                values: lv,
-                nulls: ln,
-            },
-            ColumnData::Utf8 {
-                values: rv,
-                nulls: rn,
-            },
+            ColumnData::Utf8 { .. } | ColumnData::Dict { .. },
+            ColumnData::Utf8 { .. } | ColumnData::Dict { .. },
         ) => {
-            let mut head: FastMap<&str, u32> = FastMap::default();
-            for (i, v) in rv.iter().enumerate().rev() {
-                if !rn.is_null(i) {
-                    if let Some(&h) = head.get(v.as_str()) {
+            // Mixed string representations: probe by &str views (NULLs are
+            // `None` and never match).
+            let mut head: FastMap<&str, u32> =
+                FastMap::with_capacity_and_hasher(rn_rows, Default::default());
+            for i in (0..rn_rows).rev() {
+                if let Some(s) = rkey.str_at(i) {
+                    if let Some(&h) = head.get(s) {
                         next[i] = h;
                     }
-                    head.insert(v.as_str(), i as u32);
+                    head.insert(s, i as u32);
                 }
             }
-            for (i, v) in lv.iter().enumerate() {
-                if !ln.is_null(i) {
-                    if let Some(&r) = head.get(v.as_str()) {
+            for i in 0..left.len {
+                if let Some(s) = lkey.str_at(i) {
+                    if let Some(&r) = head.get(s) {
                         probe(&next, &mut lidx, &mut ridx, i as u32, r);
                     }
                 }
@@ -641,7 +1030,7 @@ fn hash_join_vec(
                     head.insert(key, i as u32);
                 }
             }
-            for i in 0..left.num_rows() {
+            for i in 0..left.len {
                 let key = lkey.value(i);
                 if key.is_null() {
                     continue;
@@ -652,26 +1041,29 @@ fn hash_join_vec(
             }
         }
     }
+    drop(lkey);
+    drop(rkey);
 
-    let mut columns: Vec<Arc<ColumnData>> =
-        Vec::with_capacity(left.num_columns() + right.num_columns());
-    for i in 0..left.num_columns() {
-        columns.push(Arc::new(left.col(i).gather(&lidx)));
-    }
-    for i in 0..right.num_columns() {
-        columns.push(Arc::new(right.col(i).gather(&ridx)));
-    }
+    let len = lidx.len();
+    let l = left.gather(&lidx);
+    let r = right.gather(&ridx);
+    let mut cols = (*l.cols).clone();
+    let mut types = (*l.types).clone();
+    let mut columns = l.columns;
+    cols.extend(r.cols.iter().cloned());
+    types.extend(r.types.iter().copied());
+    columns.extend(r.columns);
     VecRelation {
-        cols,
-        types,
+        cols: Arc::new(cols),
+        types: Arc::new(types),
         columns,
-        len: lidx.len(),
+        len,
     }
 }
 
 fn cross_product_vec(left: VecRelation, binding: &str, right: &Table) -> VecRelation {
-    let mut cols = left.cols;
-    let mut types = left.types;
+    let mut cols = (*left.cols).clone();
+    let mut types = (*left.types).clone();
     for c in &right.schema.columns {
         cols.push((binding.to_string(), c.name.clone()));
         types.push(c.dtype);
@@ -680,11 +1072,11 @@ fn cross_product_vec(left: VecRelation, binding: &str, right: &Table) -> VecRela
     // Unit left relation: the result *is* the right table (zero-copy scan).
     if ln == 1 && left.columns.is_empty() {
         let columns = (0..right.num_columns())
-            .map(|i| Arc::clone(right.col_arc(i)))
+            .map(|i| LazyCol::dense(Arc::clone(right.col_arc(i))))
             .collect();
         return VecRelation {
-            cols,
-            types,
+            cols: Arc::new(cols),
+            types: Arc::new(types),
             columns,
             len: rn,
         };
@@ -698,16 +1090,18 @@ fn cross_product_vec(left: VecRelation, binding: &str, right: &Table) -> VecRela
             ridx.push(r);
         }
     }
-    let mut columns: Vec<Arc<ColumnData>> = Vec::with_capacity(cols.len());
-    for c in &left.columns {
-        columns.push(Arc::new(c.gather(&lidx)));
-    }
+    let ridx: Arc<Vec<u32>> = Arc::new(ridx);
+    let left = left.gather(&lidx);
+    let mut columns: Vec<LazyCol> = left.columns;
     for i in 0..right.num_columns() {
-        columns.push(Arc::new(right.col(i).gather(&ridx)));
+        columns.push(LazyCol::selected(
+            Arc::clone(right.col_arc(i)),
+            Arc::clone(&ridx),
+        ));
     }
     VecRelation {
-        cols,
-        types,
+        cols: Arc::new(cols),
+        types: Arc::new(types),
         columns,
         len: n,
     }
@@ -739,6 +1133,7 @@ fn coerce_column(col: Arc<ColumnData>, dtype: DataType) -> Arc<ColumnData> {
             nulls: nulls.clone(),
         }),
         (DataType::Date, ColumnData::Utf8 { .. })
+        | (DataType::Date, ColumnData::Dict { .. })
         | (DataType::Date, ColumnData::Mixed(_))
         | (DataType::Float, ColumnData::Mixed(_)) => {
             let vals: Vec<Value> = col
@@ -765,7 +1160,7 @@ pub(crate) fn derive_schema(
     input_types: &[DataType],
     first: Option<&[Value]>,
 ) -> Schema {
-    match analyze_query(query, ctx.catalog) {
+    match analyze_query_cached(query, ctx.catalog).as_ref() {
         Ok(info) => Schema::new(
             info.cols
                 .iter()

@@ -204,7 +204,12 @@ fn eval_from(
         parts.push((binding, table));
     }
     if parts.len() == 2 {
-        if let Some((lc, rc)) = equijoin_columns(query, &parts) {
+        let conjuncts = query
+            .where_clause
+            .as_ref()
+            .map(crate::exec::split_conjuncts)
+            .unwrap_or_default();
+        if let Some((_, lc, rc)) = equijoin_columns(&conjuncts, &parts) {
             let (right_binding, right_table) = parts.pop().unwrap();
             let (left_binding, left_table) = parts.pop().unwrap();
             return Ok(hash_join(

@@ -33,15 +33,109 @@ use pi2_sql::ast::{is_aggregate_function, BinOp, Expr, Query, UnaryOp};
 use std::cmp::Ordering;
 use std::sync::Arc;
 
+/// A shared selection vector: row indices into a base column, deferred
+/// until (and unless) the column is actually read.
+pub(crate) type SelVec = Arc<Vec<u32>>;
+
+/// One column of a [`VecRelation`], possibly behind a pending selection
+/// vector. `WHERE`, joins, and HAVING compaction only *record* the row
+/// mapping; the gather runs once, on first read, and only for columns a
+/// projection/aggregate/predicate actually touches — wide relations with
+/// selective predicates never pay one gather per untouched column.
+pub(crate) struct LazyCol {
+    /// The underlying storage (a base-table column or a prior result).
+    base: Arc<ColumnData>,
+    /// Pending row selection into `base`; `None` means the column is dense.
+    sel: Option<SelVec>,
+    /// The materialized (gathered) column, filled on first read.
+    cache: std::cell::OnceCell<Arc<ColumnData>>,
+}
+
+impl LazyCol {
+    /// A dense column (no pending selection).
+    pub fn dense(base: Arc<ColumnData>) -> LazyCol {
+        LazyCol {
+            base,
+            sel: None,
+            cache: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// A column viewed through a selection vector.
+    pub fn selected(base: Arc<ColumnData>, sel: SelVec) -> LazyCol {
+        LazyCol {
+            base,
+            sel: Some(sel),
+            cache: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// The materialized column (gathers through the pending selection once,
+    /// then caches).
+    fn get(&self) -> &Arc<ColumnData> {
+        match &self.sel {
+            None => &self.base,
+            Some(sel) => self.cache.get_or_init(|| Arc::new(self.base.gather(sel))),
+        }
+    }
+
+    /// One cell, without materializing the whole column.
+    fn value(&self, i: usize) -> Value {
+        match (&self.sel, self.cache.get()) {
+            (Some(_), Some(c)) => c.value(i),
+            (Some(sel), None) => self.base.value(sel[i] as usize),
+            (None, _) => self.base.value(i),
+        }
+    }
+
+    /// This column further restricted to `idx` (rows of the *current*
+    /// view). Composes selection vectors without touching cell data;
+    /// `memo` shares the composed vector between columns that share one.
+    fn narrowed(&self, idx: &SelVec, memo: &mut ComposeMemo) -> LazyCol {
+        match (&self.sel, self.cache.get()) {
+            // Already materialized: restart from the gathered column.
+            (Some(_), Some(c)) => LazyCol::selected(Arc::clone(c), Arc::clone(idx)),
+            (Some(sel), None) => {
+                let composed = memo.compose(sel, idx);
+                LazyCol::selected(Arc::clone(&self.base), composed)
+            }
+            (None, _) => LazyCol::selected(Arc::clone(&self.base), Arc::clone(idx)),
+        }
+    }
+}
+
+/// Memo for composing selection vectors during [`VecRelation::gather`]:
+/// columns of one relation typically share a handful of selection vectors
+/// (one per join side), so each composition runs once.
+#[derive(Default)]
+struct ComposeMemo {
+    entries: Vec<(*const Vec<u32>, SelVec)>,
+}
+
+impl ComposeMemo {
+    fn compose(&mut self, old: &SelVec, idx: &SelVec) -> SelVec {
+        let key = Arc::as_ptr(old);
+        if let Some((_, composed)) = self.entries.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(composed);
+        }
+        let composed: SelVec = Arc::new(idx.iter().map(|&i| old[i as usize]).collect());
+        self.entries.push((key, Arc::clone(&composed)));
+        composed
+    }
+}
+
 /// A relation during vectorized execution: tagged, typed, `Arc`-shared
-/// columns (scans of base tables are zero-copy).
+/// columns (scans of base tables are zero-copy) behind lazy selection
+/// vectors (filters/joins defer their gathers until a column is read).
 pub(crate) struct VecRelation {
-    /// `(binding, column)` pairs.
-    pub cols: Vec<(String, String)>,
-    /// Storage type per column (used to label untyped outputs).
-    pub types: Vec<DataType>,
+    /// `(binding, column)` pairs (shared: narrowing a relation never
+    /// re-allocates the name tags).
+    pub cols: Arc<Vec<(String, String)>>,
+    /// Storage type per column (used to label untyped outputs; shared like
+    /// `cols`).
+    pub types: Arc<Vec<DataType>>,
     /// The columns, parallel to `cols`.
-    pub columns: Vec<Arc<ColumnData>>,
+    pub columns: Vec<LazyCol>,
     /// Row count (kept separately: a FROM-less relation has one row and no
     /// columns).
     pub len: usize,
@@ -56,20 +150,36 @@ impl VecRelation {
         })
     }
 
-    /// Materialize row `i`.
+    /// The materialized column at `i` (runs the pending gather on first
+    /// read).
+    pub fn column(&self, i: usize) -> &Arc<ColumnData> {
+        self.columns[i].get()
+    }
+
+    /// One cell of column `i`, read through any pending selection without
+    /// materializing the column.
+    pub fn cell(&self, col: usize, row: usize) -> Value {
+        self.columns[col].value(row)
+    }
+
+    /// Materialize row `i` (reads through pending selections; used by the
+    /// per-row scalar fallback and group representatives).
     pub fn row(&self, i: usize) -> Vec<Value> {
         self.columns.iter().map(|c| c.value(i)).collect()
     }
 
-    /// The relation restricted to the given rows.
+    /// The relation restricted to the given rows — lazily: selection
+    /// vectors compose, no cell data moves until a column is read.
     pub fn gather(&self, idx: &[u32]) -> VecRelation {
+        let idx: SelVec = Arc::new(idx.to_vec());
+        let mut memo = ComposeMemo::default();
         VecRelation {
-            cols: self.cols.clone(),
-            types: self.types.clone(),
+            cols: Arc::clone(&self.cols),
+            types: Arc::clone(&self.types),
             columns: self
                 .columns
                 .iter()
-                .map(|c| Arc::new(c.gather(idx)))
+                .map(|c| c.narrowed(&idx, &mut memo))
                 .collect(),
             len: idx.len(),
         }
@@ -194,7 +304,7 @@ pub(crate) fn eval_vec(
     match expr {
         Expr::Literal(l) => Ok(Vector::Const(literal_value(l))),
         Expr::Column { table, name } => match rel.lookup(table.as_deref(), name) {
-            Some(i) => Ok(Vector::Col(Arc::clone(&rel.columns[i]))),
+            Some(i) => Ok(Vector::Col(Arc::clone(rel.column(i)))),
             None => outer
                 .and_then(|s| s.lookup(table.as_deref(), name))
                 .map(|v| Vector::Const(v.clone()))
@@ -316,7 +426,7 @@ pub(crate) fn eval_vec(
 /// i.e. it can be hoisted out of the per-row loop. Analysis failing for any
 /// reason keeps the (always-correct) per-row path.
 fn is_uncorrelated(q: &Query, ctx: &ExecContext<'_>) -> bool {
-    crate::analyze::analyze_query(q, ctx.catalog).is_ok()
+    crate::analyze::analyze_query_cached(q, ctx.catalog).is_ok()
 }
 
 /// Fallback: evaluate `expr` per row through the scalar interpreter,
@@ -424,7 +534,7 @@ fn is_date_vector(v: &Vector) -> bool {
 fn str_side<'a>(v: &'a Vector) -> Option<StrSide<'a>> {
     match v {
         Vector::Col(c) => match c.as_ref() {
-            ColumnData::Utf8 { .. } => Some(StrSide::Col(c)),
+            ColumnData::Utf8 { .. } | ColumnData::Dict { .. } => Some(StrSide::Col(c)),
             _ => None,
         },
         Vector::Const(Value::Str(s)) => Some(StrSide::Const(s)),
@@ -507,6 +617,75 @@ fn cmp_const_fast(op: BinOp, col: &Vector, konst: &Vector, swapped: bool) -> Opt
     }))
 }
 
+/// Dictionary column vs. string constant: the constant resolves to a
+/// dictionary code (or a partition point when absent) once, and the
+/// comparison runs over integer codes — no string compares at all. The
+/// sorted-dictionary invariant makes order predicates code-order
+/// predicates. `swapped` flips the operator when the constant is on the
+/// left.
+fn dict_cmp_const_fast(op: BinOp, col: &Vector, konst: &Vector, swapped: bool) -> Option<Vector> {
+    let Vector::Const(Value::Str(s)) = konst else {
+        return None;
+    };
+    let Vector::Col(c) = col else { return None };
+    let target = c.dict_code_of(s)?;
+    let (codes, _, nulls) = c.dict_parts().expect("dict_code_of implies dict");
+    let op = if swapped {
+        match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::LtEq => BinOp::GtEq,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::GtEq => BinOp::LtEq,
+            other => other,
+        }
+    } else {
+        op
+    };
+    // `pt` = number of dictionary entries sorting strictly before `s`.
+    let (present, pt) = match target {
+        Ok(t) => (true, t),
+        Err(p) => (false, p),
+    };
+    let test: Box<dyn Fn(u32) -> bool> = match op {
+        BinOp::Eq => Box::new(move |c| present && c == pt),
+        BinOp::NotEq => Box::new(move |c| !(present && c == pt)),
+        BinOp::Lt => Box::new(move |c| c < pt),
+        BinOp::LtEq => Box::new(move |c| if present { c <= pt } else { c < pt }),
+        BinOp::Gt => Box::new(move |c| if present { c > pt } else { c >= pt }),
+        BinOp::GtEq => Box::new(move |c| c >= pt),
+        _ => return None,
+    };
+    if nulls.null_count() == 0 {
+        let values: Vec<bool> = codes.iter().map(|&c| test(c)).collect();
+        let n = values.len();
+        return Some(Vector::owned(ColumnData::Bool {
+            values,
+            nulls: NullMask::all_valid(n),
+        }));
+    }
+    let mut out = BoolBuilder::with_capacity(codes.len());
+    for (i, &c) in codes.iter().enumerate() {
+        out.push((!nulls.is_null(i)).then(|| test(c)));
+    }
+    Some(out.finish())
+}
+
+/// Dictionary column LIKE constant pattern: the pattern matches each
+/// dictionary entry once; rows map codes through the precomputed table.
+fn dict_like_fast(l: &Vector, r: &Vector) -> Option<Vector> {
+    let Vector::Const(Value::Str(pattern)) = r else {
+        return None;
+    };
+    let Vector::Col(c) = l else { return None };
+    let (codes, dict, nulls) = c.dict_parts()?;
+    let table: Vec<bool> = dict.iter().map(|s| like_match(s, pattern)).collect();
+    let mut out = BoolBuilder::with_capacity(codes.len());
+    for (i, &code) in codes.iter().enumerate() {
+        out.push((!nulls.is_null(i)).then(|| table[code as usize]));
+    }
+    Some(out.finish())
+}
+
 /// Both sides null-free boolean columns → direct slice combine.
 fn bool_cols_fast<'a>(a: &'a Vector, b: &'a Vector) -> Option<(&'a [bool], &'a [bool])> {
     let get = |v: &'a Vector| match v {
@@ -554,6 +733,12 @@ pub(crate) fn binary_vec(
         {
             return Ok(v);
         }
+        // Dictionary column against a string constant: compare codes.
+        if let Some(v) =
+            dict_cmp_const_fast(op, l, r, false).or_else(|| dict_cmp_const_fast(op, r, l, true))
+        {
+            return Ok(v);
+        }
         // Numeric × numeric (dates are numeric; date↔string coerces once).
         if let (Some(a), Some(b)) = (
             numeric_side(l, is_date_vector(r)),
@@ -589,6 +774,9 @@ pub(crate) fn binary_vec(
         return Ok(out.finish());
     }
     if op == BinOp::Like {
+        if let Some(v) = dict_like_fast(l, r) {
+            return Ok(v);
+        }
         if let (Some(a), Some(b)) = (str_side(l), str_side(r)) {
             let mut out = BoolBuilder::with_capacity(n);
             for i in 0..n {
@@ -821,6 +1009,33 @@ fn membership_vec(v: &Vector, items: &[Value], negated: bool, n: usize) -> Vecto
                 return out.finish();
             }
         }
+        if let ColumnData::Dict { codes, nulls, .. } = c.as_ref() {
+            if items
+                .iter()
+                .all(|c| matches!(c, Value::Str(_) | Value::Null))
+            {
+                // Resolve each item to a dictionary code once; the probe
+                // loop then tests integer codes only.
+                let set: HashSet<u32> = items
+                    .iter()
+                    .filter_map(|c| c.as_str())
+                    .filter_map(|s| c.dict_code_of(s)?.ok())
+                    .collect();
+                let mut out = BoolBuilder::with_capacity(n);
+                for (i, code) in codes.iter().enumerate() {
+                    if nulls.is_null(i) {
+                        out.push(None);
+                    } else if set.contains(code) {
+                        out.push(Some(!negated));
+                    } else if any_null_item {
+                        out.push(None);
+                    } else {
+                        out.push(Some(negated));
+                    }
+                }
+                return out.finish();
+            }
+        }
         if let ColumnData::Utf8 { values, nulls } = c.as_ref() {
             if items
                 .iter()
@@ -971,11 +1186,10 @@ pub(crate) fn eval_grouped_vec(
         Expr::Literal(l) => Ok(vec![literal_value(l); groups.len()]),
         Expr::Column { table, name } if rel.lookup(table.as_deref(), name).is_some() => {
             let ci = rel.lookup(table.as_deref(), name).expect("checked");
-            let col = &rel.columns[ci];
             Ok(groups
                 .iter()
                 .map(|idx| match idx.first() {
-                    Some(&i) => col.value(i as usize),
+                    Some(&i) => rel.cell(ci, i as usize),
                     // Empty group + bare column: the scalar interpreter
                     // indexes an empty representative row here and panics;
                     // match its Scope semantics short of the panic.

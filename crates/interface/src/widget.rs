@@ -230,15 +230,19 @@ pub fn widget_candidates(
     let mut out = Vec::new();
     let mut nodes = Vec::new();
     tree.walk(&mut nodes);
+    // One stats resolver for the whole candidate loop: each (table, column)
+    // pair resolves against the catalogue (case-folded table lookup +
+    // column scan) once, not once per candidate node.
+    let mut stats = ColumnStatsMemo::new(catalog);
     for node in nodes {
         if !node.is_dynamic() {
             continue;
         }
         let before = out.len();
         match &node.kind {
-            NodeKind::Any => any_candidates(node, types, catalog, &mut out),
-            NodeKind::Val => val_candidates(node, types, catalog, &mut out),
-            NodeKind::Multi => multi_candidates(node, types, catalog, &mut out),
+            NodeKind::Any => any_candidates(node, &mut out),
+            NodeKind::Val => val_candidates(node, types, &mut stats, &mut out),
+            NodeKind::Multi => multi_candidates(node, types, &mut stats, &mut out),
             NodeKind::Subset => {
                 let options: Vec<String> = node.children.iter().map(sql_snippet).collect();
                 out.push(WidgetCandidate {
@@ -253,7 +257,7 @@ pub fn widget_candidates(
             NodeKind::Syntax(_) => {
                 // Multi-element value nodes: range slider over a flattened
                 // <num, num> schema (Example 6).
-                range_slider_candidates(node, types, per_query, catalog, &mut out);
+                range_slider_candidates(node, types, per_query, &mut stats, &mut out);
             }
         }
         // Improve generic labels using the enclosing predicate's column.
@@ -293,12 +297,40 @@ fn ancestor_column(tree: &DNode, id: u32) -> Option<String> {
     go(tree, id, None)
 }
 
-fn any_candidates(
-    node: &DNode,
-    types: &TypeMap,
-    catalog: &Catalog,
-    out: &mut Vec<WidgetCandidate>,
-) {
+/// Memoized `(table, column) → &ColumnStats` resolution for one
+/// `widget_candidates` call: the candidate generators consult attribute
+/// domains and distinct-value lists per node, and the underlying catalogue
+/// lookup (case-folded table name + case-insensitive `Schema::index_of`
+/// scan) would otherwise re-run per candidate. Linear scan: a workload
+/// references a handful of distinct columns.
+struct ColumnStatsMemo<'a> {
+    catalog: &'a Catalog,
+    cache: Vec<(String, String, Option<&'a pi2_data::ColumnStats>)>,
+}
+
+impl<'a> ColumnStatsMemo<'a> {
+    fn new(catalog: &'a Catalog) -> ColumnStatsMemo<'a> {
+        ColumnStatsMemo {
+            catalog,
+            cache: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, table: &str, column: &str) -> Option<&'a pi2_data::ColumnStats> {
+        if let Some((_, _, s)) = self
+            .cache
+            .iter()
+            .find(|(t, c, _)| t.eq_ignore_ascii_case(table) && c.eq_ignore_ascii_case(column))
+        {
+            return *s;
+        }
+        let s = self.catalog.column_stats(table, column);
+        self.cache.push((table.to_string(), column.to_string(), s));
+        s
+    }
+}
+
+fn any_candidates(node: &DNode, out: &mut Vec<WidgetCandidate>) {
     let non_marker: Vec<&DNode> = node
         .children
         .iter()
@@ -350,17 +382,13 @@ fn any_candidates(
             domain: WidgetDomain::Free,
             label: context_label(node),
         });
-        // Numeric literal ANYs with an attribute domain also admit sliders
-        // (snapped to the enumerated options).
-        let _ = types;
-        let _ = catalog;
     }
 }
 
 fn val_candidates(
     node: &DNode,
     types: &TypeMap,
-    catalog: &Catalog,
+    stats: &mut ColumnStatsMemo<'_>,
     out: &mut Vec<WidgetCandidate>,
 ) {
     let ty = types.get(&node.id);
@@ -376,7 +404,7 @@ fn val_candidates(
     // Slider: numeric VAL with a known attribute domain (§2: "initialized
     // with the minimum and maximum of attribute a and b's domains").
     if ty.is_num() {
-        if let Some((min, max)) = ty.domain(catalog) {
+        if let Some((min, max)) = ty.domain_via(&mut |t, c| stats.get(t, c)) {
             if let (Some(lo), Some(hi)) = (min.as_f64(), max.as_f64()) {
                 out.push(WidgetCandidate {
                     kind: WidgetKind::Slider,
@@ -389,7 +417,7 @@ fn val_candidates(
         }
     }
     // Dropdown over the attribute's distinct values when enumerable.
-    if let Some(values) = ty.distinct_values(catalog) {
+    if let Some(values) = ty.distinct_values_via(&mut |t, c| stats.get(t, c)) {
         if !values.is_empty() && values.len() <= 30 {
             let options: Vec<String> = values.iter().map(|v| v.to_string()).collect();
             out.push(WidgetCandidate {
@@ -413,7 +441,7 @@ fn val_candidates(
 fn multi_candidates(
     node: &DNode,
     types: &TypeMap,
-    catalog: &Catalog,
+    stats: &mut ColumnStatsMemo<'_>,
     out: &mut Vec<WidgetCandidate>,
 ) {
     let mut cover = vec![node.id];
@@ -440,7 +468,7 @@ fn multi_candidates(
         ),
         NodeKind::Val => types
             .get(&template.id)
-            .and_then(|t| t.distinct_values(catalog))
+            .and_then(|t| t.distinct_values_via(&mut |tb, c| stats.get(tb, c)))
             .filter(|v| !v.is_empty() && v.len() <= 30)
             .map(|v| v.iter().map(|x| x.to_string()).collect()),
         NodeKind::Syntax(_) if !template.is_dynamic() => Some(vec![sql_snippet(template)]),
@@ -461,7 +489,7 @@ fn range_slider_candidates(
     node: &DNode,
     types: &TypeMap,
     per_query: &[&BindingMap],
-    catalog: &Catalog,
+    stats: &mut ColumnStatsMemo<'_>,
     out: &mut Vec<WidgetCandidate>,
 ) {
     // Only consider compact value nodes, not whole clauses/queries.
@@ -502,7 +530,7 @@ fn range_slider_candidates(
     // when the catalogue lacks statistics.
     let union_ty = flat.elems[0].ty.union(&flat.elems[1].ty);
     let domain = union_ty
-        .domain(catalog)
+        .domain_via(&mut |t, c| stats.get(t, c))
         .and_then(|(lo, hi)| {
             Some(WidgetDomain::Range {
                 min: lo.as_f64()?,

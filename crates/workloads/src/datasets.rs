@@ -56,7 +56,7 @@ pub fn cars() -> Table {
         ("hp", DataType::Int, ColumnData::ints(hps)),
         ("mpg", DataType::Float, ColumnData::floats(mpgs)),
         ("disp", DataType::Float, ColumnData::floats(disps)),
-        ("origin", DataType::Str, ColumnData::strs(origin_col)),
+        ("origin", DataType::Str, ColumnData::strs_dict(origin_col)),
     ])
 }
 
@@ -129,7 +129,7 @@ pub fn covid() -> Table {
         }
     }
     table(vec![
-        ("state", DataType::Str, ColumnData::strs(state_col)),
+        ("state", DataType::Str, ColumnData::strs_dict(state_col)),
         ("date", DataType::Date, ColumnData::dates(dates)),
         ("cases", DataType::Int, ColumnData::ints(case_col)),
         ("deaths", DataType::Int, ColumnData::ints(death_col)),
@@ -171,9 +171,9 @@ pub fn sales() -> Table {
         totals.push((total * 100.0).round() / 100.0);
     }
     table(vec![
-        ("city", DataType::Str, ColumnData::strs(city_col)),
-        ("branch", DataType::Str, ColumnData::strs(branch_col)),
-        ("product", DataType::Str, ColumnData::strs(product_col)),
+        ("city", DataType::Str, ColumnData::strs_dict(city_col)),
+        ("branch", DataType::Str, ColumnData::strs_dict(branch_col)),
+        ("product", DataType::Str, ColumnData::strs_dict(product_col)),
         ("date", DataType::Date, ColumnData::dates(dates)),
         ("total", DataType::Float, ColumnData::floats(totals)),
     ])
@@ -268,9 +268,15 @@ mod tests {
         let t = cars();
         assert!(matches!(t.col(0), ColumnData::Int64 { .. }));
         assert!(matches!(t.col(2), ColumnData::Float64 { .. }));
-        assert!(matches!(t.col(4), ColumnData::Utf8 { .. }));
+        // Low-cardinality string columns dictionary-encode at load time.
+        assert!(matches!(t.col(4), ColumnData::Dict { .. }));
         let t = covid();
         assert!(matches!(t.col(1), ColumnData::Date64 { .. }));
+        assert!(matches!(t.col(0), ColumnData::Dict { .. }));
+        let t = sales();
+        for i in [0, 1, 2] {
+            assert!(matches!(t.col(i), ColumnData::Dict { .. }), "column {i}");
+        }
     }
 
     #[test]

@@ -56,10 +56,14 @@ const TABLES: &[TableSpec] = &[
 ];
 
 /// One WHERE atom over the chosen table, driven by generated integers.
+/// String atoms (equality, ordering, IN lists, LIKE) run against the
+/// dictionary-encoded categorical columns of the workload tables, so the
+/// code-compare / code-membership / pattern-table fast paths are all in
+/// the generated space alongside the numeric ones.
 fn atom(t: &TableSpec, kind: u8, col_pick: usize, a: i64, b: i64) -> String {
     let num = t.nums[col_pick % t.nums.len()];
     let (lo, hi) = (a.min(b), a.max(b));
-    match kind % 6 {
+    match kind % 8 {
         0 => format!("{num} > {a}"),
         1 => format!("{num} BETWEEN {lo} AND {hi}"),
         2 => format!("{num} IN ({a}, {b}, {lo})"),
@@ -74,6 +78,32 @@ fn atom(t: &TableSpec, kind: u8, col_pick: usize, a: i64, b: i64) -> String {
                 format!("{d} > date(today(), '-{} days')", a.unsigned_abs() % 200)
             } else {
                 format!("{d} >= '2019-01-{:02}'", 1 + a.unsigned_abs() % 28)
+            }
+        }
+        5 if !t.cats.is_empty() => {
+            let (c, vals) = &t.cats[col_pick % t.cats.len()];
+            let v = vals[a.unsigned_abs() as usize % vals.len()];
+            match b.unsigned_abs() % 4 {
+                // Ordering over strings (dict code-order fast path).
+                0 => format!("{c} >= '{v}'"),
+                1 => format!("{c} < '{v}'"),
+                // Membership sets resolve to dictionary codes.
+                2 => format!(
+                    "{c} IN ('{v}', '{}')",
+                    vals[b.unsigned_abs() as usize % vals.len()]
+                ),
+                _ => format!("{c} != '{v}'"),
+            }
+        }
+        6 if !t.cats.is_empty() => {
+            let (c, vals) = &t.cats[col_pick % t.cats.len()];
+            let v = vals[a.unsigned_abs() as usize % vals.len()];
+            // LIKE over a dictionary column: prefix / suffix / char classes.
+            let first = v.chars().next().unwrap_or('x');
+            match b.unsigned_abs() % 3 {
+                0 => format!("{c} LIKE '{first}%'"),
+                1 => format!("{c} LIKE '%{}'", v.chars().last().unwrap_or('x')),
+                _ => format!("{c} LIKE '_{}%'", v.chars().nth(1).unwrap_or('x')),
             }
         }
         _ => format!("{num} <= {hi}"),
@@ -99,9 +129,12 @@ fn build_query(
     let mut sql = String::from("SELECT ");
     let group_col: String;
     if aggregate {
-        // Group by a low-cardinality column (or the first numeric), with a
-        // mix of aggregates over a numeric column.
-        group_col = if let Some((g, _)) = t.cats.first() {
+        // Group by one or two low-cardinality columns (two exercises the
+        // exact-key multi-key grouping over dictionary codes), or the
+        // first numeric when the table has no categorical column.
+        group_col = if t.cats.len() >= 2 && k1 % 2 == 1 {
+            format!("{}, {}", t.cats[0].0, t.cats[1].0)
+        } else if let Some((g, _)) = t.cats.first() {
             (*g).to_string()
         } else {
             t.nums[p1 % t.nums.len()].to_string()
@@ -117,7 +150,15 @@ fn build_query(
         }
         let c1 = t.nums[p1 % t.nums.len()];
         let c2 = t.nums[p2 % t.nums.len()];
-        sql.push_str(&format!("{c1}, {c2}, {c1} + {c2} AS s"));
+        // Project a categorical (dictionary) column alongside the numeric
+        // ones when available: DISTINCT / ORDER BY / output columns then
+        // flow through dict storage and the lazy-selection gathers.
+        match t.cats.first() {
+            Some((cat, _)) if p1 % 2 == 1 => {
+                sql.push_str(&format!("{cat}, {c1}, {c2}, {c1} + {c2} AS s"))
+            }
+            _ => sql.push_str(&format!("{c1}, {c2}, {c1} + {c2} AS s")),
+        }
     }
     sql.push_str(&format!(" FROM {}", t.name));
     if n_atoms > 0 {
@@ -138,7 +179,12 @@ fn build_query(
             sql.push_str(" ORDER BY count(*) DESC");
         }
     } else if !order.is_multiple_of(3) {
-        let oc = t.nums[p2 % t.nums.len()];
+        // Order by a numeric column, or by a categorical (dictionary)
+        // column when the table has one (string sort via code order).
+        let oc = match t.cats.first() {
+            Some((cat, _)) if order == 5 => *cat,
+            _ => t.nums[p2 % t.nums.len()],
+        };
         sql.push_str(&format!(
             " ORDER BY {oc}{}",
             if order.is_multiple_of(2) { " DESC" } else { "" }

@@ -1,0 +1,111 @@
+//! CI perf-regression gate binary (see `pi2_bench::gate` for the logic).
+//!
+//! ```text
+//! bench_gate check <criterion.csv> <BENCH_baseline.json> <out.json> \
+//!     [--baseline-name ci] [--threshold 1.25]
+//! bench_gate write-baseline <criterion.csv> <out.json> [--baseline-name ci]
+//! ```
+//!
+//! `check` compares the freshly-measured `--save-baseline` means in the
+//! CSV against the committed baseline JSON, writes the fresh means to
+//! `<out.json>` (the per-PR artifact), prints a per-bench report, and
+//! exits non-zero when a gated bench (`mcts/*`, `engine/exec_*`,
+//! `service/session_throughput/*`) regressed by more than the threshold —
+//! or went missing. `write-baseline` regenerates the committed baseline
+//! file from a fresh run.
+
+use pi2_bench::gate;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  bench_gate check <criterion.csv> <BENCH_baseline.json> <out.json> \
+         [--baseline-name ci] [--threshold 1.25]\n  bench_gate write-baseline \
+         <criterion.csv> <out.json> [--baseline-name ci]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut baseline_name = "ci".to_string();
+    let mut threshold = gate::DEFAULT_THRESHOLD;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline-name" => match it.next() {
+                Some(v) => baseline_name = v.clone(),
+                None => return usage(),
+            },
+            "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => threshold = v,
+                None => return usage(),
+            },
+            other => positional.push(other),
+        }
+    }
+    let read = |path: &str| -> Result<String, ExitCode> {
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            ExitCode::from(2)
+        })
+    };
+    match positional.as_slice() {
+        ["check", csv_path, baseline_path, out_path] => {
+            let (csv, baseline) = match (read(csv_path), read(baseline_path)) {
+                (Ok(c), Ok(b)) => (c, b),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            let fresh = gate::parse_csv(&csv, &baseline_name);
+            if fresh.is_empty() {
+                eprintln!("bench_gate: no '{baseline_name}' rows in {csv_path}");
+                return ExitCode::from(2);
+            }
+            let committed = match gate::parse_baseline_json(&baseline) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("bench_gate: bad baseline {baseline_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            if let Err(e) = std::fs::write(out_path, gate::means_to_json(&fresh)) {
+                eprintln!("bench_gate: cannot write {out_path}: {e}");
+                return ExitCode::from(2);
+            }
+            print!("{}", gate::report(&committed, &fresh, threshold));
+            let findings = gate::check(&committed, &fresh, threshold);
+            if findings.is_empty() {
+                println!(
+                    "bench_gate: OK ({} fresh benches, threshold {threshold}x)",
+                    fresh.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "bench_gate: FAIL — {} gated bench(es) regressed beyond {threshold}x",
+                    findings.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        ["write-baseline", csv_path, out_path] => {
+            let csv = match read(csv_path) {
+                Ok(c) => c,
+                Err(e) => return e,
+            };
+            let fresh = gate::parse_csv(&csv, &baseline_name);
+            if fresh.is_empty() {
+                eprintln!("bench_gate: no '{baseline_name}' rows in {csv_path}");
+                return ExitCode::from(2);
+            }
+            if let Err(e) = std::fs::write(out_path, gate::means_to_json(&fresh)) {
+                eprintln!("bench_gate: cannot write {out_path}: {e}");
+                return ExitCode::from(2);
+            }
+            println!("bench_gate: wrote {} means to {out_path}", fresh.len());
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -9,7 +9,8 @@
 //!
 //! Differences from upstream: failing cases are *not* shrunk — the failing
 //! inputs are printed verbatim — and value distributions are simpler (no
-//! bias toward edge cases). Case counts honour `ProptestConfig::with_cases`
+//! bias toward edge cases). Case counts honour `ProptestConfig::with_cases`,
+//! overridable via the `PROPTEST_CASES` environment variable,
 //! and sampling is fully deterministic per (test name, case index).
 
 pub mod strategy;
@@ -34,6 +35,14 @@ pub mod test_runner {
         fn default() -> Self {
             ProptestConfig { cases: 64 }
         }
+    }
+
+    /// Case-count override from the `PROPTEST_CASES` environment variable
+    /// (like upstream's env-configurable default): the scheduled
+    /// `proptest-deep` CI job sets it to run the same properties at depth
+    /// while the PR-path run stays fast.
+    pub fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
     }
 
     /// Deterministic per-case RNG: seeded from the test name and case index.
@@ -105,7 +114,8 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $cfg;
-                for case in 0..config.cases {
+                let cases = $crate::test_runner::env_cases().unwrap_or(config.cases);
+                for case in 0..cases {
                     let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
                     let __vals = ( $( $crate::strategy::Strategy::sample(&$strat, &mut rng) ),+ , );
                     let __repr = format!("{:?}", __vals);
@@ -117,7 +127,7 @@ macro_rules! __proptest_impl {
                         eprintln!(
                             "proptest: {} failed at case {case}/{} with inputs:\n  {}",
                             stringify!($name),
-                            config.cases,
+                            cases,
                             __repr,
                         );
                         ::std::panic::resume_unwind(e);
