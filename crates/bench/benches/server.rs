@@ -1,0 +1,91 @@
+//! HTTP-server throughput: events/sec through the full transport stack.
+//!
+//! `service/server_throughput/covid` measures one lap of the recorded
+//! covid event mix replayed concurrently by 8 keep-alive connections
+//! (one wire session each) against an in-process `pi2::server` over
+//! loopback TCP — acceptor, reactors, HTTP parsing, per-session
+//! mailboxes, worker dispatch, and response writing all on the measured
+//! path. Compare with `service/session_throughput/covid_warm_8_sessions`
+//! (same event mix, in-process dispatch) to read off the transport
+//! overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pi2::server::{Http1Client, ServerConfig};
+use pi2::{Pi2Service, Request};
+use pi2_bench::load::{event_cycle, generation_for, open_session};
+use pi2_workloads::LogKind;
+use std::sync::Arc;
+
+fn bench_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+
+    let generation = generation_for(LogKind::Covid);
+    let cycle = event_cycle(&generation);
+    let service = Arc::new(Pi2Service::new());
+    service
+        .register_generation("covid", generation)
+        .expect("register covid");
+    let server = pi2::serve(
+        Arc::clone(&service),
+        ServerConfig {
+            reactors: 2,
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.local_addr();
+
+    const CONNS: usize = 8;
+    let mut clients: Vec<(Http1Client, u64)> = (0..CONNS)
+        .map(|_| {
+            let mut client = Http1Client::connect(addr).expect("connect");
+            let session = open_session(&mut client, "covid").expect("open");
+            (client, session)
+        })
+        .collect();
+    // Warm the shared result memo so laps measure the serving path, not
+    // first-touch query execution (mirrors `<log>_warm` in the service
+    // bench).
+    for (client, session) in clients.iter_mut() {
+        for event in &cycle {
+            let body = pi2::request_to_json(&Request::Event {
+                session: *session,
+                event: event.clone(),
+            });
+            let resp = client.post("/v1", &body).expect("warm event");
+            assert_eq!(resp.status, 200, "{}", resp.body);
+        }
+    }
+
+    group.bench_with_input(
+        BenchmarkId::new("server_throughput", "covid"),
+        &cycle,
+        |b, cycle| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for (client, session) in clients.iter_mut() {
+                        let session = *session;
+                        scope.spawn(move || {
+                            for event in cycle {
+                                let body = pi2::request_to_json(&Request::Event {
+                                    session,
+                                    event: event.clone(),
+                                });
+                                let resp = client.post("/v1", &body).expect("event");
+                                assert_eq!(resp.status, 200, "{}", resp.body);
+                            }
+                        });
+                    }
+                });
+            })
+        },
+    );
+    group.finish();
+    drop(clients);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

@@ -19,134 +19,10 @@
 //!   nothing, so this lap also exercises the no-op fast path.)
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pi2::{Event, Generation, GenerationConfig, MctsConfig, Pi2, Session, Value};
+use pi2::Session;
+use pi2_bench::load::{event_cycle, generation_for};
 use pi2_interface::global_eval_cache;
-use pi2_workloads::{catalog, log, LogKind};
-
-fn config() -> GenerationConfig {
-    GenerationConfig {
-        mcts: MctsConfig {
-            workers: 2,
-            max_iterations: 120,
-            early_stop: 25,
-            sync_interval: 10,
-            seed: 42,
-            ..MctsConfig::default()
-        },
-        mapping: Default::default(),
-    }
-}
-
-fn generation_for(kind: LogKind) -> Generation {
-    let l = log(kind);
-    let refs: Vec<&str> = l.queries.iter().map(|s| s.as_str()).collect();
-    Pi2::new(catalog())
-        .generate_with(&refs, &config())
-        .unwrap_or_else(|e| panic!("generation failed for {}: {e}", l.name))
-}
-
-/// Whether a pair of events truly alternates session state: both must
-/// dispatch, and on a second lap each must still produce a non-empty
-/// patch. (Continuous payloads snap to the nearest *expressible* option —
-/// two payloads can land on the same option and stop alternating, which
-/// would silently bench an empty loop.)
-fn alternates(probe: &mut Session, pair: &[Event; 2]) -> bool {
-    if probe.dispatch(&pair[0]).is_err() || probe.dispatch(&pair[1]).is_err() {
-        return false;
-    }
-    let again_a = probe.dispatch(&pair[0]);
-    let again_b = probe.dispatch(&pair[1]);
-    matches!((again_a, again_b), (Ok(pa), Ok(pb)) if !pa.is_empty() && !pb.is_empty())
-}
-
-/// An alternating event cycle: for each drivable interaction, pairs of
-/// events toggling it between two distinct states, validated by probing a
-/// scratch session. Replaying the cycle forever keeps changing queries, so
-/// every dispatch emits a patch.
-fn event_cycle(g: &Generation) -> Vec<Event> {
-    let mut probe = g.session().expect("probe session");
-    let mut cycle = Vec::new();
-    for (ix, inst) in g.interface.interactions.iter().enumerate() {
-        use pi2::InteractionChoice;
-        let pairs: Vec<[Event; 2]> = match &inst.choice {
-            InteractionChoice::Widget { kind, domain, .. } => match kind {
-                pi2::WidgetKind::Toggle => vec![[
-                    Event::Toggle {
-                        interaction: ix,
-                        on: false,
-                    },
-                    Event::Toggle {
-                        interaction: ix,
-                        on: true,
-                    },
-                ]],
-                _ if domain.size() >= 2 => vec![[
-                    Event::Select {
-                        interaction: ix,
-                        option: 0,
-                    },
-                    Event::Select {
-                        interaction: ix,
-                        option: 1,
-                    },
-                ]],
-                _ => vec![],
-            },
-            InteractionChoice::Vis { .. } => {
-                let ints = |a: i64, b: i64| Event::SetValues {
-                    interaction: ix,
-                    values: vec![Value::Int(a), Value::Int(b)],
-                };
-                let dates = |a: &str, b: &str| Event::SetValues {
-                    interaction: ix,
-                    values: vec![Value::Str(a.into()), Value::Str(b.into())],
-                };
-                vec![
-                    [ints(20, 40), ints(30, 60)],
-                    [ints(0, 10), ints(70, 100)],
-                    [
-                        dates("2019-01-01", "2019-01-31"),
-                        dates("2019-02-01", "2019-02-28"),
-                    ],
-                    [
-                        dates("2019-01-25", "2019-02-15"),
-                        dates("2019-02-01", "2019-02-20"),
-                    ],
-                    [
-                        Event::SetValues {
-                            interaction: ix,
-                            values: vec![
-                                Value::Int(20),
-                                Value::Int(40),
-                                Value::Int(1),
-                                Value::Int(3),
-                            ],
-                        },
-                        Event::SetValues {
-                            interaction: ix,
-                            values: vec![
-                                Value::Int(30),
-                                Value::Int(60),
-                                Value::Int(2),
-                                Value::Int(4),
-                            ],
-                        },
-                    ],
-                ]
-            }
-        };
-        // Keep every truly-alternating pair (not just the first): the
-        // expensive views — e.g. the Sales correlated-HAVING tree — must
-        // take part for the cold numbers to mean anything.
-        for pair in pairs {
-            if alternates(&mut probe, &pair) {
-                cycle.extend(pair);
-            }
-        }
-    }
-    assert!(!cycle.is_empty(), "no drivable interaction pair found");
-    cycle
-}
+use pi2_workloads::{log, LogKind};
 
 fn bench_service(c: &mut Criterion) {
     let mut group = c.benchmark_group("service");

@@ -4,11 +4,13 @@
 //! `target/criterion-baselines.csv` under `--save-baseline <name>`. The
 //! gate compares such a freshly-measured baseline against the committed
 //! `BENCH_baseline.json` (a flat `{"bench": mean_ns}` object regenerated
-//! whenever a PR moves the numbers) and fails when any **gated** bench —
-//! `mcts/*`, `engine/exec_*`, `service/session_throughput/*` — regresses
-//! by more than the threshold (default 25%). Ungated benches are reported
-//! but never fail the job (per-log end-to-end numbers are tracked through
-//! the emitted snapshot instead).
+//! whenever a PR moves the numbers, plus an optional `"runners"` section
+//! of per-runner-label overrides — see [`parse_baseline_json_for`]) and
+//! fails when any **gated** bench — `mcts/*`, `engine/exec_*`,
+//! `service/session_throughput/*`, `service/server_throughput/*` —
+//! regresses by more than the threshold (default 25%). Ungated benches
+//! are reported but never fail the job (per-log end-to-end numbers are
+//! tracked through the emitted snapshot instead).
 //!
 //! Used by `tools/bench_gate.rs` (the `bench_gate` binary the `bench-smoke`
 //! CI job runs), which also emits the fresh means as a `BENCH_PR<n>.json`
@@ -18,7 +20,12 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Bench-name prefixes whose regressions fail the gate.
-pub const GATED_PREFIXES: [&str; 3] = ["mcts/", "engine/exec_", "service/session_throughput/"];
+pub const GATED_PREFIXES: [&str; 4] = [
+    "mcts/",
+    "engine/exec_",
+    "service/session_throughput/",
+    "service/server_throughput/",
+];
 
 /// Default regression threshold: fail when `fresh > committed * 1.25`.
 pub const DEFAULT_THRESHOLD: f64 = 1.25;
@@ -70,31 +77,130 @@ pub fn parse_csv(csv: &str, baseline_name: &str) -> BTreeMap<String, f64> {
     out
 }
 
-/// Parse a committed `BENCH_baseline.json` — a flat `{"bench": mean_ns}`
-/// object.
+/// Parse a committed `BENCH_baseline.json` without runner selection —
+/// shorthand for [`parse_baseline_json_for`] with no runner label.
 pub fn parse_baseline_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    parse_baseline_json_for(text, None)
+}
+
+/// Parse a committed `BENCH_baseline.json`, selecting per-runner
+/// overrides.
+///
+/// The file is a flat `{"bench": mean_ns}` object, optionally holding one
+/// special `"runners"` key: `{"<label>": {"bench": mean_ns, …}, …}`. When
+/// `runner` names a label with an entry, that label's means override the
+/// flat ones *bench by bench* — a bench with no per-runner mean falls back
+/// to the unlabeled (dev-machine) baseline, so committing per-runner
+/// numbers is incremental: promote them from a CI run's `BENCH_PR.json`
+/// artifact one bench at a time, and everything not yet promoted keeps
+/// gating against the dev numbers under the wide threshold.
+pub fn parse_baseline_json_for(
+    text: &str,
+    runner: Option<&str>,
+) -> Result<BTreeMap<String, f64>, String> {
     let parsed = pi2::Json::parse(text).map_err(|e| e.to_string())?;
     let pi2::Json::Obj(entries) = &parsed else {
         return Err("baseline JSON must be an object".into());
     };
     let mut out = BTreeMap::new();
+    let mut overrides = BTreeMap::new();
     for (bench, v) in entries {
+        if bench == "runners" {
+            let pi2::Json::Obj(runners) = v else {
+                return Err("'runners' must be an object of per-runner baselines".into());
+            };
+            let Some(label) = runner else { continue };
+            let Some((_, per_runner)) = runners.iter().find(|(name, _)| name == label) else {
+                continue;
+            };
+            let pi2::Json::Obj(means) = per_runner else {
+                return Err(format!("runner {label:?} baseline must be an object"));
+            };
+            for (bench, mean) in means {
+                let mean = mean.as_f64().ok_or_else(|| {
+                    format!("runner {label:?} bench {bench:?} has a non-numeric mean")
+                })?;
+                overrides.insert(bench.clone(), mean);
+            }
+            continue;
+        }
         let mean = v
             .as_f64()
             .ok_or_else(|| format!("bench {bench:?} has a non-numeric mean"))?;
         out.insert(bench.clone(), mean);
     }
+    out.extend(overrides);
     Ok(out)
 }
 
 /// Serialise means as the flat JSON object both baseline files use.
 pub fn means_to_json(means: &BTreeMap<String, f64>) -> String {
+    baseline_to_json(means, &BTreeMap::new())
+}
+
+/// Per-runner baseline overrides: runner label → bench → mean (ns).
+pub type RunnerBaselines = BTreeMap<String, BTreeMap<String, f64>>;
+
+/// Extract a baseline file's `"runners"` section (empty when absent).
+/// `write-baseline` uses this to carry hand-promoted per-runner entries
+/// through a regeneration instead of silently deleting them.
+pub fn parse_runners(text: &str) -> Result<RunnerBaselines, String> {
+    let parsed = pi2::Json::parse(text).map_err(|e| e.to_string())?;
+    let pi2::Json::Obj(entries) = &parsed else {
+        return Err("baseline JSON must be an object".into());
+    };
+    let mut out = RunnerBaselines::new();
+    let Some((_, runners)) = entries.iter().find(|(name, _)| name == "runners") else {
+        return Ok(out);
+    };
+    let pi2::Json::Obj(runners) = runners else {
+        return Err("'runners' must be an object of per-runner baselines".into());
+    };
+    for (label, per_runner) in runners {
+        let pi2::Json::Obj(means) = per_runner else {
+            return Err(format!("runner {label:?} baseline must be an object"));
+        };
+        let mut parsed_means = BTreeMap::new();
+        for (bench, mean) in means {
+            let mean = mean.as_f64().ok_or_else(|| {
+                format!("runner {label:?} bench {bench:?} has a non-numeric mean")
+            })?;
+            parsed_means.insert(bench.clone(), mean);
+        }
+        out.insert(label.clone(), parsed_means);
+    }
+    Ok(out)
+}
+
+/// Serialise a full baseline file: flat means plus (when non-empty) the
+/// `"runners"` override section.
+pub fn baseline_to_json(means: &BTreeMap<String, f64>, runners: &RunnerBaselines) -> String {
     let mut out = String::from("{\n");
     for (i, (bench, mean)) in means.iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
         }
         let _ = write!(out, "  \"{}\": {}", bench, *mean as u64);
+    }
+    if !runners.is_empty() {
+        if !means.is_empty() {
+            out.push_str(",\n");
+        }
+        out.push_str("  \"runners\": {\n");
+        for (i, (label, per_runner)) in runners.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            let _ = writeln!(out, "    \"{}\": {{", label);
+            for (j, (bench, mean)) in per_runner.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(",\n");
+                }
+                let _ = write!(out, "      \"{}\": {}", bench, *mean as u64);
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  }");
     }
     out.push_str("\n}\n");
     out
@@ -203,11 +309,95 @@ mod tests {
         assert_eq!(parse_baseline_json(&j).unwrap(), m);
     }
 
+    const RUNNER_KEYED: &str = r#"{
+        "mcts/a": 1000,
+        "engine/exec_b": 200,
+        "runners": {
+            "ubuntu-latest": { "mcts/a": 3000 },
+            "macos-14": { "mcts/a": 1500, "engine/exec_b": 400 }
+        }
+    }"#;
+
+    #[test]
+    fn runner_label_overrides_bench_by_bench() {
+        let m = parse_baseline_json_for(RUNNER_KEYED, Some("ubuntu-latest")).unwrap();
+        assert_eq!(m["mcts/a"], 3000.0, "per-runner mean wins");
+        assert_eq!(
+            m["engine/exec_b"], 200.0,
+            "unlisted bench falls back to the flat baseline"
+        );
+        let m = parse_baseline_json_for(RUNNER_KEYED, Some("macos-14")).unwrap();
+        assert_eq!((m["mcts/a"], m["engine/exec_b"]), (1500.0, 400.0));
+    }
+
+    #[test]
+    fn unknown_or_absent_runner_falls_back_entirely() {
+        let flat = means(&[("mcts/a", 1000.0), ("engine/exec_b", 200.0)]);
+        assert_eq!(
+            parse_baseline_json_for(RUNNER_KEYED, Some("windows-2022")).unwrap(),
+            flat,
+            "label with no entry keeps the committed dev-machine numbers"
+        );
+        assert_eq!(
+            parse_baseline_json_for(RUNNER_KEYED, None).unwrap(),
+            flat,
+            "no label ignores the runners section"
+        );
+        // A baseline with no runners section accepts any label.
+        let j = means_to_json(&flat);
+        assert_eq!(
+            parse_baseline_json_for(&j, Some("ubuntu-latest")).unwrap(),
+            flat
+        );
+    }
+
+    #[test]
+    fn baseline_serializer_round_trips_runners() {
+        let flat = means(&[("mcts/a", 1000.0), ("engine/exec_b", 200.0)]);
+        let runners: RunnerBaselines =
+            [("ubuntu-latest".to_string(), means(&[("mcts/a", 3000.0)]))]
+                .into_iter()
+                .collect();
+        let j = baseline_to_json(&flat, &runners);
+        // The flat section parses as before; the runners section survives
+        // a parse → re-serialise cycle (what write-baseline relies on to
+        // not delete hand-promoted entries).
+        assert_eq!(parse_baseline_json(&j).unwrap(), flat);
+        assert_eq!(parse_runners(&j).unwrap(), runners);
+        assert_eq!(baseline_to_json(&flat, &parse_runners(&j).unwrap()), j);
+        let m = parse_baseline_json_for(&j, Some("ubuntu-latest")).unwrap();
+        assert_eq!(m["mcts/a"], 3000.0);
+        // Runner-less files yield an empty section, and means_to_json is
+        // the runner-less special case.
+        assert_eq!(
+            parse_runners(&means_to_json(&flat)).unwrap(),
+            RunnerBaselines::new()
+        );
+        assert_eq!(
+            baseline_to_json(&flat, &RunnerBaselines::new()),
+            means_to_json(&flat)
+        );
+    }
+
+    #[test]
+    fn malformed_runner_sections_error() {
+        assert!(parse_baseline_json_for(r#"{"runners": 5}"#, None).is_err());
+        assert!(
+            parse_baseline_json_for(r#"{"runners": {"x": 5}}"#, Some("x")).is_err(),
+            "a runner entry must be an object"
+        );
+        assert!(
+            parse_baseline_json_for(r#"{"runners": {"x": {"b": "fast"}}}"#, Some("x")).is_err(),
+            "runner means must be numeric"
+        );
+    }
+
     #[test]
     fn gating_prefixes() {
         assert!(is_gated("mcts/explore_30iters"));
         assert!(is_gated("engine/exec_filter/vectorized/8"));
         assert!(is_gated("service/session_throughput/covid/warm"));
+        assert!(is_gated("service/server_throughput/covid"));
         // Per-log end-to-end benches are informational, not gated — and
         // `engine/exec_` must not swallow `engine/execute_log/*`.
         assert!(!is_gated("engine/execute_log/sdss"));

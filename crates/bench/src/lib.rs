@@ -3,6 +3,7 @@
 //! EXPERIMENTS.md records paper-vs-measured values.
 
 pub mod gate;
+pub mod load;
 
 use pi2::{Generation, GenerationConfig, MctsConfig, Pi2};
 use pi2_workloads::{catalog, log, LogKind};

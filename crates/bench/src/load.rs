@@ -1,0 +1,422 @@
+//! The load-generation harness behind the `loadgen` binary
+//! (`tools/loadgen.rs`) and the `service/server_throughput` bench.
+//!
+//! Three pieces, each unit-testable without a network: building a
+//! *recorded event mix* for a workload (an alternating cycle in which
+//! every event changes some view's resolved query — replaying it forever
+//! keeps producing non-empty patches), replaying that mix over N
+//! concurrent keep-alive connections against a running server
+//! ([`run_load`]), and summarizing per-request latencies into a
+//! [`LoadReport`] (throughput + p50/p95/p99).
+
+use pi2::server::Http1Client;
+use pi2::{
+    Event, Generation, GenerationConfig, InteractionChoice, Json, MctsConfig, Pi2, Request,
+    Session, Value, WidgetKind,
+};
+use pi2_workloads::{catalog, log, LogKind};
+use std::fmt;
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// The deterministic, CI-sized generation configuration the load and
+/// service benches share.
+pub fn bench_config() -> GenerationConfig {
+    GenerationConfig {
+        mcts: MctsConfig {
+            workers: 2,
+            max_iterations: 120,
+            early_stop: 25,
+            sync_interval: 10,
+            seed: 42,
+            ..MctsConfig::default()
+        },
+        mapping: Default::default(),
+    }
+}
+
+/// Generate one of the paper workloads under [`bench_config`].
+pub fn generation_for(kind: LogKind) -> Generation {
+    let l = log(kind);
+    let refs: Vec<&str> = l.queries.iter().map(|s| s.as_str()).collect();
+    Pi2::new(catalog())
+        .generate_with(&refs, &bench_config())
+        .unwrap_or_else(|e| panic!("generation failed for {}: {e}", l.name))
+}
+
+/// Whether a pair of events truly alternates session state: both must
+/// dispatch, and on a second lap each must still produce a non-empty
+/// patch. (Continuous payloads snap to the nearest *expressible* option —
+/// two payloads can land on the same option and stop alternating, which
+/// would silently bench an empty loop.)
+fn alternates(probe: &mut Session, pair: &[Event; 2]) -> bool {
+    if probe.dispatch(&pair[0]).is_err() || probe.dispatch(&pair[1]).is_err() {
+        return false;
+    }
+    let again_a = probe.dispatch(&pair[0]);
+    let again_b = probe.dispatch(&pair[1]);
+    matches!((again_a, again_b), (Ok(pa), Ok(pb)) if !pa.is_empty() && !pb.is_empty())
+}
+
+/// An alternating event cycle: for each drivable interaction, pairs of
+/// events toggling it between two distinct states, validated by probing a
+/// scratch session. Replaying the cycle forever keeps changing queries, so
+/// every dispatch emits a patch.
+pub fn event_cycle(g: &Generation) -> Vec<Event> {
+    let mut probe = g.session().expect("probe session");
+    let mut cycle = Vec::new();
+    for (ix, inst) in g.interface.interactions.iter().enumerate() {
+        let pairs: Vec<[Event; 2]> = match &inst.choice {
+            InteractionChoice::Widget { kind, domain, .. } => match kind {
+                WidgetKind::Toggle => vec![[
+                    Event::Toggle {
+                        interaction: ix,
+                        on: false,
+                    },
+                    Event::Toggle {
+                        interaction: ix,
+                        on: true,
+                    },
+                ]],
+                _ if domain.size() >= 2 => vec![[
+                    Event::Select {
+                        interaction: ix,
+                        option: 0,
+                    },
+                    Event::Select {
+                        interaction: ix,
+                        option: 1,
+                    },
+                ]],
+                // Continuous widgets (sliders over a range) take value
+                // payloads; the probe below keeps only pairs that truly
+                // alternate.
+                _ => vec![
+                    [
+                        Event::SetValues {
+                            interaction: ix,
+                            values: vec![Value::Int(10)],
+                        },
+                        Event::SetValues {
+                            interaction: ix,
+                            values: vec![Value::Int(20)],
+                        },
+                    ],
+                    [
+                        Event::SetValues {
+                            interaction: ix,
+                            values: vec![Value::Int(0)],
+                        },
+                        Event::SetValues {
+                            interaction: ix,
+                            values: vec![Value::Int(40)],
+                        },
+                    ],
+                ],
+            },
+            InteractionChoice::Vis { .. } => {
+                let ints = |a: i64, b: i64| Event::SetValues {
+                    interaction: ix,
+                    values: vec![Value::Int(a), Value::Int(b)],
+                };
+                let dates = |a: &str, b: &str| Event::SetValues {
+                    interaction: ix,
+                    values: vec![Value::Str(a.into()), Value::Str(b.into())],
+                };
+                vec![
+                    [ints(20, 40), ints(30, 60)],
+                    [ints(0, 10), ints(70, 100)],
+                    [
+                        dates("2019-01-01", "2019-01-31"),
+                        dates("2019-02-01", "2019-02-28"),
+                    ],
+                    [
+                        dates("2019-01-25", "2019-02-15"),
+                        dates("2019-02-01", "2019-02-20"),
+                    ],
+                    [
+                        Event::SetValues {
+                            interaction: ix,
+                            values: vec![
+                                Value::Int(20),
+                                Value::Int(40),
+                                Value::Int(1),
+                                Value::Int(3),
+                            ],
+                        },
+                        Event::SetValues {
+                            interaction: ix,
+                            values: vec![
+                                Value::Int(30),
+                                Value::Int(60),
+                                Value::Int(2),
+                                Value::Int(4),
+                            ],
+                        },
+                    ],
+                ]
+            }
+        };
+        // Keep every truly-alternating pair (not just the first): the
+        // expensive views — e.g. the Sales correlated-HAVING tree — must
+        // take part for the numbers to mean anything.
+        for pair in pairs {
+            if alternates(&mut probe, &pair) {
+                cycle.extend(pair);
+            }
+        }
+    }
+    assert!(!cycle.is_empty(), "no drivable interaction pair found");
+    cycle
+}
+
+/// `pct`-th percentile (0–100] of an ascending-sorted sample, by the
+/// nearest-rank method. Empty samples yield 0.
+pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The result of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Concurrent sessions (connections) driven.
+    pub sessions: usize,
+    /// Total event requests sent.
+    pub events: usize,
+    /// Responses that were not `200` patches (protocol errors, transport
+    /// rejections). A healthy run reports zero.
+    pub errors: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Event latency percentiles, in nanoseconds (request write → full
+    /// response read).
+    pub p50_ns: u64,
+    /// 95th percentile latency (ns).
+    pub p95_ns: u64,
+    /// 99th percentile latency (ns).
+    pub p99_ns: u64,
+}
+
+impl LoadReport {
+    /// Sustained events/second across all sessions.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.events as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Merge per-session latency samples into a report.
+    pub fn from_latencies(
+        sessions: usize,
+        mut latencies_ns: Vec<u64>,
+        errors: usize,
+        elapsed: Duration,
+    ) -> LoadReport {
+        latencies_ns.sort_unstable();
+        LoadReport {
+            sessions,
+            events: latencies_ns.len(),
+            errors,
+            elapsed,
+            p50_ns: percentile(&latencies_ns, 50.0),
+            p95_ns: percentile(&latencies_ns, 95.0),
+            p99_ns: percentile(&latencies_ns, 99.0),
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    }
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sessions · {} events in {:.2}s · {:.0} events/s · \
+             p50 {} · p95 {} · p99 {} · {} errors",
+            self.sessions,
+            self.events,
+            self.elapsed.as_secs_f64(),
+            self.throughput(),
+            fmt_ns(self.p50_ns),
+            fmt_ns(self.p95_ns),
+            fmt_ns(self.p99_ns),
+            self.errors,
+        )
+    }
+}
+
+/// Open a wire session over one connection; returns the session id.
+pub fn open_session(client: &mut Http1Client, workload: &str) -> io::Result<u64> {
+    let body = pi2::request_to_json(&Request::Open {
+        workload: workload.to_string(),
+    });
+    let resp = client.post("/v1", &body)?;
+    let parsed = Json::parse(&resp.body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if resp.status != 200 {
+        return Err(io::Error::other(format!(
+            "open failed with {}: {}",
+            resp.status, resp.body
+        )));
+    }
+    parsed
+        .get("session")
+        .and_then(Json::as_i64)
+        .map(|id| id as u64)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "opened response lacks session"))
+}
+
+/// Replay `events_per_session` events (cycling through `cycle`) on one
+/// open keep-alive connection; returns per-event latencies (ns) and the
+/// error count.
+pub fn replay_session(
+    client: &mut Http1Client,
+    session: u64,
+    cycle: &[Event],
+    events_per_session: usize,
+) -> io::Result<(Vec<u64>, usize)> {
+    let mut latencies = Vec::with_capacity(events_per_session);
+    let mut errors = 0;
+    for i in 0..events_per_session {
+        let body = pi2::request_to_json(&Request::Event {
+            session,
+            event: cycle[i % cycle.len()].clone(),
+        });
+        let start = Instant::now();
+        let resp = client.post("/v1", &body)?;
+        latencies.push(start.elapsed().as_nanos() as u64);
+        if resp.status != 200 || !resp.body.contains("\"type\":\"patch\"") {
+            errors += 1;
+        }
+    }
+    Ok((latencies, errors))
+}
+
+/// Drive `sessions` concurrent keep-alive connections against a running
+/// server: each opens its own wire session over `workload`, replays
+/// `events_per_session` events from the recorded `cycle`, and closes.
+pub fn run_load(
+    addr: SocketAddr,
+    workload: &str,
+    cycle: &[Event],
+    sessions: usize,
+    events_per_session: usize,
+) -> io::Result<LoadReport> {
+    let start = Instant::now();
+    let results: Vec<io::Result<(Vec<u64>, usize)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Http1Client::connect(addr)?;
+                    let session = open_session(&mut client, workload)?;
+                    let out = replay_session(&mut client, session, cycle, events_per_session)?;
+                    let close = pi2::request_to_json(&Request::Close { session });
+                    let resp = client.post("/v1", &close)?;
+                    if resp.status != 200 {
+                        return Err(io::Error::other(format!(
+                            "close failed with {}: {}",
+                            resp.status, resp.body
+                        )));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let mut latencies = Vec::with_capacity(sessions * events_per_session);
+    let mut errors = 0;
+    for result in results {
+        let (lats, errs) = result?;
+        latencies.extend(lats);
+        errors += errs;
+    }
+    Ok(LoadReport::from_latencies(
+        sessions, latencies, errors, elapsed,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2::server::ServerConfig;
+    use pi2::{Pi2Service, Table};
+    use pi2_data::{Catalog, DataType};
+    use std::sync::Arc;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sample: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sample, 50.0), 50);
+        assert_eq!(percentile(&sample, 95.0), 95);
+        assert_eq!(percentile(&sample, 99.0), 99);
+        assert_eq!(percentile(&sample, 100.0), 100);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&[], 99.0), 0);
+    }
+
+    #[test]
+    fn report_summarizes_and_formats() {
+        let report = LoadReport::from_latencies(
+            4,
+            vec![5_000, 1_000, 3_000, 2_000_000],
+            1,
+            Duration::from_secs(2),
+        );
+        assert_eq!(report.events, 4);
+        assert_eq!(report.p50_ns, 3_000);
+        assert_eq!(report.p99_ns, 2_000_000);
+        assert_eq!(report.throughput(), 2.0);
+        let text = report.to_string();
+        assert!(text.contains("p99 2.00ms"), "{text}");
+        assert!(text.contains("1 errors"), "{text}");
+    }
+
+    /// End to end over loopback on a tiny synthetic workload: N sessions
+    /// replay a recorded mix with zero protocol errors.
+    #[test]
+    fn load_run_over_tcp_reports_zero_errors() {
+        let mut catalog = Catalog::new();
+        let rows: Vec<Vec<pi2::Value>> = (0..24)
+            .map(|i| vec![pi2::Value::Int(i % 4), pi2::Value::Int(10 * (i % 6))])
+            .collect();
+        let t = Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows).unwrap();
+        catalog.add_table("T", t, vec![]);
+        let service = Arc::new(Pi2Service::new());
+        let generation = service
+            .register(
+                "tiny",
+                catalog,
+                &[
+                    "SELECT a, count(*) FROM T WHERE b = 10 GROUP BY a",
+                    "SELECT a, count(*) FROM T WHERE b = 20 GROUP BY a",
+                ],
+                &GenerationConfig::quick(),
+            )
+            .unwrap();
+        let cycle = event_cycle(&generation);
+        let server = pi2::serve(Arc::clone(&service), ServerConfig::default()).unwrap();
+        let report = run_load(server.local_addr(), "tiny", &cycle, 4, 12).unwrap();
+        assert_eq!(report.sessions, 4);
+        assert_eq!(report.events, 48);
+        assert_eq!(report.errors, 0, "{report}");
+        assert!(report.p99_ns >= report.p50_ns);
+        server.shutdown();
+    }
+}

@@ -41,14 +41,23 @@
 //! versioned JSON wire protocol in [`protocol`]
 //! ([`Pi2Service::handle_json`]) lets any HTTP/WebSocket front-end drive
 //! the system. `Pi2::generate` and [`Runtime`] survive as thin shims.
+//!
+//! The bundled HTTP front-end is [`server`] (the `pi2-server` crate):
+//! [`serve`] boots a dependency-free concurrent HTTP/1.1 server — per-
+//! session mailboxes keep one session's events ordered while sessions
+//! dispatch in parallel, bounded queues answer `429 backpressure`, and an
+//! admission gate answers `503 overloaded` — speaking the same protocol,
+//! byte for byte, as the in-process entry point.
 
 pub mod error;
 pub mod generation;
 pub mod json;
 pub mod protocol;
+pub mod registry;
 pub mod render;
 pub mod runtime;
 pub mod service;
+pub mod serving;
 
 pub use error::Pi2Error;
 pub use generation::{Generation, GenerationConfig, Pi2};
@@ -57,8 +66,16 @@ pub use protocol::{
     event_from_json, event_to_json, patch_from_json, patch_to_json, request_from_json,
     request_to_json, Request, PROTOCOL_VERSION,
 };
+pub use registry::SessionRegistry;
 pub use runtime::{Event, Runtime};
 pub use service::{Patch, PatchView, Pi2Service, ServiceMetrics, Session, WorkloadMetrics};
+pub use serving::serve;
+
+/// The HTTP transport layer (the `pi2-server` crate re-exported): the
+/// concurrent wire-protocol server, its configuration, and the minimal
+/// blocking client used by tests and the load generator. See
+/// [`crate::serving`] for the glue that makes [`Pi2Service`] servable.
+pub use pi2_server as server;
 
 // Re-export the sub-crates' key types so downstream users need one import.
 pub use pi2_data::memo;

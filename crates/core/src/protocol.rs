@@ -575,7 +575,7 @@ fn opened_response(id: u64, workload: &str, session: &Session, patch: &Patch) ->
     out
 }
 
-fn metrics_response(m: &ServiceMetrics) -> String {
+pub(crate) fn metrics_response(m: &ServiceMetrics) -> String {
     let mut out = format!("{{\"v\":{PROTOCOL_VERSION},\"type\":\"metrics\",\"workloads\":[");
     for (i, w) in m.workloads.iter().enumerate() {
         if i > 0 {
@@ -615,14 +615,19 @@ impl Pi2Service {
     /// every failure encodes as a versioned `error` response with a stable
     /// code.
     pub fn handle_json(&self, request: &str) -> String {
-        match self.handle_inner(request) {
+        match request_from_json(request).and_then(|r| self.handle_request(r)) {
             Ok(response) => response,
             Err(e) => error_to_json(&e),
         }
     }
 
-    fn handle_inner(&self, request: &str) -> Result<String, Pi2Error> {
-        match request_from_json(request)? {
+    /// Serve one already-decoded request, returning the JSON response body
+    /// or the structured error. This is the transport-agnostic core of
+    /// [`Pi2Service::handle_json`]; the HTTP server (`pi2::server`) parses
+    /// once for mailbox routing and dispatches here — responses are
+    /// byte-identical across both entry points by construction.
+    pub fn handle_request(&self, request: Request) -> Result<String, Pi2Error> {
+        match request {
             Request::Open { workload } => {
                 let (id, slot) = self.open_wire(&workload)?;
                 let session = slot.lock();

@@ -20,6 +20,7 @@
 
 use crate::error::Pi2Error;
 use crate::generation::{Generation, GenerationConfig, Pi2};
+use crate::registry::SessionRegistry;
 use crate::runtime::{displayed_options, Event, EventEngine};
 use parking_lot::{Mutex, RwLock};
 use pi2_data::hash::fnv1a_64;
@@ -362,8 +363,9 @@ struct Registered {
 #[derive(Default)]
 pub struct Pi2Service {
     workloads: RwLock<HashMap<String, Registered>>,
-    pub(crate) wire_sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
-    next_session: AtomicU64,
+    /// Wire sessions, sharded (see [`SessionRegistry`]): the id lookup
+    /// never crosses a global map lock.
+    sessions: SessionRegistry,
     sessions_opened: AtomicU64,
 }
 
@@ -436,20 +438,17 @@ impl Pi2Service {
     /// `open` request). The session lives until [`Pi2Service::close_wire`].
     pub fn open_wire(&self, name: &str) -> Result<(u64, Arc<Mutex<Session>>), Pi2Error> {
         let session = self.open(name)?;
-        let id = self.next_session.fetch_add(1, Ordering::Relaxed) + 1;
-        let slot = Arc::new(Mutex::new(session));
-        self.wire_sessions.lock().insert(id, Arc::clone(&slot));
-        Ok((id, slot))
+        Ok(self.sessions.insert(session))
     }
 
     /// The service-held session with the given wire id.
     pub fn wire_session(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
-        self.wire_sessions.lock().get(&id).cloned()
+        self.sessions.get(id)
     }
 
     /// Close a service-held session; returns whether it existed.
     pub fn close_wire(&self, id: u64) -> bool {
-        self.wire_sessions.lock().remove(&id).is_some()
+        self.sessions.remove(id)
     }
 
     /// Service-wide metrics: per-workload search/cost/warm stats plus the
@@ -475,7 +474,7 @@ impl Pi2Service {
         ServiceMetrics {
             workloads,
             sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
-            open_wire_sessions: self.wire_sessions.lock().len(),
+            open_wire_sessions: self.sessions.len(),
             result_cache: global_eval_cache().result_stats(),
             reward_table_entries: reward_entries,
             action_table_entries: action_entries,

@@ -1,0 +1,153 @@
+//! Serving glue: [`Pi2Service`] as the protocol backend of the HTTP
+//! server.
+//!
+//! `pi2-server` is protocol-blind — it parses HTTP, orders requests
+//! through per-session mailboxes, and applies backpressure; everything it
+//! needs to know about the v1 JSON protocol it asks through
+//! [`pi2_server::WireService`], implemented here. The response body for a
+//! `POST /v1` is exactly what [`Pi2Service::handle_json`] would return for
+//! the same message (the server goes through
+//! [`Pi2Service::handle_request`], the shared core), and every
+//! transport-generated rejection — unknown path, oversized body,
+//! backpressure, overload — is phrased as a standard protocol `error`
+//! message with a stable code, so clients never need a second error
+//! vocabulary.
+//!
+//! ```no_run
+//! use pi2::{serve, Pi2Service};
+//! use pi2::server::ServerConfig;
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(Pi2Service::new());
+//! // … register workloads …
+//! let server = serve(service, ServerConfig::default()).unwrap();
+//! println!("serving on http://{}", server.local_addr());
+//! ```
+
+use crate::error::Pi2Error;
+use crate::protocol::{error_to_json, metrics_response, request_from_json, Request};
+use crate::service::Pi2Service;
+use pi2_server::{Reject, Server, ServerConfig, WireService};
+use std::sync::Arc;
+
+impl WireService for Pi2Service {
+    type Request = Request;
+
+    fn parse(&self, body: &str) -> Result<Request, (u16, String)> {
+        request_from_json(body).map_err(|e| (e.http_status(), error_to_json(&e)))
+    }
+
+    fn session_of(&self, request: &Request) -> Option<u64> {
+        match request {
+            // Events and closes mutate session state: they order through
+            // the session's mailbox. Opens/describes/metrics are
+            // session-free and dispatch on any worker.
+            Request::Event { session, .. } | Request::Close { session } => Some(*session),
+            Request::Open { .. } | Request::Describe { .. } | Request::Metrics => None,
+        }
+    }
+
+    fn handle(&self, request: Request) -> (u16, String) {
+        match self.handle_request(request) {
+            Ok(body) => (200, body),
+            Err(e) => (e.http_status(), error_to_json(&e)),
+        }
+    }
+
+    fn metrics_body(&self) -> String {
+        metrics_response(&self.metrics())
+    }
+
+    fn reject_body(&self, reject: &Reject) -> String {
+        error_to_json(&match reject {
+            Reject::BadRequest(detail) => Pi2Error::Protocol(detail.clone()),
+            Reject::NotFound(path) => Pi2Error::Protocol(format!(
+                "no such endpoint {path:?} (POST /v1, GET /metrics, GET /healthz)"
+            )),
+            Reject::MethodNotAllowed(method) => {
+                Pi2Error::Protocol(format!("method {method} not allowed on this endpoint"))
+            }
+            Reject::PayloadTooLarge { limit } => {
+                Pi2Error::Protocol(format!("request body exceeds the {limit}-byte limit"))
+            }
+            Reject::Backpressure { session } => Pi2Error::Backpressure { session: *session },
+            Reject::Overloaded(detail) => Pi2Error::Overloaded(detail.clone()),
+            Reject::ShuttingDown => Pi2Error::Overloaded("server is shutting down".into()),
+            Reject::Internal(detail) => Pi2Error::Runtime(detail.clone()),
+        })
+    }
+}
+
+/// Boot the HTTP server over a service. Equivalent to
+/// [`Server::start`] — this alias just keeps the common case one import.
+pub fn serve(
+    service: Arc<Pi2Service>,
+    config: ServerConfig,
+) -> std::io::Result<Server<Pi2Service>> {
+    Server::start(service, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejections_speak_the_protocol_error_space() {
+        let service = Pi2Service::new();
+        let cases: Vec<(Reject, u16, &str)> = vec![
+            (Reject::BadRequest("x".into()), 400, "protocol"),
+            (Reject::NotFound("/x".into()), 404, "protocol"),
+            (Reject::MethodNotAllowed("PUT".into()), 405, "protocol"),
+            (Reject::PayloadTooLarge { limit: 64 }, 413, "protocol"),
+            (Reject::Backpressure { session: 7 }, 429, "backpressure"),
+            (Reject::Overloaded("full".into()), 503, "overloaded"),
+            (Reject::ShuttingDown, 503, "overloaded"),
+            (Reject::Internal("boom".into()), 500, "runtime"),
+        ];
+        for (reject, status, code) in cases {
+            assert_eq!(reject.status(), status, "{reject:?}");
+            let body = service.reject_body(&reject);
+            assert!(
+                body.contains(&format!("\"code\":\"{code}\"")),
+                "{reject:?}: {body}"
+            );
+            assert!(body.contains("\"type\":\"error\""), "{body}");
+        }
+    }
+
+    #[test]
+    fn parse_failures_match_handle_json_bytes() {
+        let service = Pi2Service::new();
+        for bad in ["not json", "{\"v\":1}", "{\"v\":9,\"type\":\"metrics\"}"] {
+            let (status, body) = match WireService::parse(&service, bad) {
+                Err(pair) => pair,
+                Ok(_) => panic!("{bad:?} must not parse"),
+            };
+            assert_eq!(status, 400);
+            assert_eq!(
+                body,
+                service.handle_json(bad),
+                "transport and in-process bodies must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn handle_matches_handle_json_bytes() {
+        let service = Pi2Service::new();
+        // Unknown workload / unknown session flow through handle() with
+        // the same bytes handle_json produces, plus the right status.
+        let open = "{\"v\":1,\"type\":\"open\",\"workload\":\"nope\"}";
+        let parsed = WireService::parse(&service, open).unwrap();
+        let (status, body) = WireService::handle(&service, parsed);
+        assert_eq!(status, 404);
+        assert_eq!(body, service.handle_json(open));
+        let event =
+            "{\"v\":1,\"type\":\"event\",\"session\":5,\"kind\":\"clear\",\"interaction\":0}";
+        let parsed = WireService::parse(&service, event).unwrap();
+        assert_eq!(WireService::session_of(&service, &parsed), Some(5));
+        let (status, body) = WireService::handle(&service, parsed);
+        assert_eq!(status, 404);
+        assert_eq!(body, service.handle_json(event));
+    }
+}

@@ -1,0 +1,92 @@
+//! A minimal blocking HTTP/1.1 keep-alive client.
+//!
+//! Just enough to drive the server from tests, the load generator, and
+//! examples: persistent connections, explicit pipelining
+//! ([`Http1Client::send`] + [`Http1Client::read_response`]), and the
+//! request/response framing of [`crate::http`]. Not a general-purpose
+//! client — it assumes `Content-Length` responses, which this server
+//! always produces.
+
+use crate::http::{parse_response, HttpResponse, ParsedResponse};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One persistent connection to a server.
+pub struct Http1Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Http1Client {
+    /// Connect, with `TCP_NODELAY` and a read timeout (so a hung server
+    /// fails a test instead of wedging it).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Http1Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Http1Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Override the read timeout.
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+
+    /// Write one request without waiting for its response (pipelining).
+    pub fn send(&mut self, method: &str, path: &str, body: &str) -> io::Result<()> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: pi2\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())
+    }
+
+    /// Block until the next pipelined response is complete.
+    pub fn read_response(&mut self) -> io::Result<HttpResponse> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match parse_response(&self.buf) {
+                ParsedResponse::Complete(resp, consumed) => {
+                    self.buf.drain(..consumed);
+                    return Ok(resp);
+                }
+                ParsedResponse::Partial => {}
+                ParsedResponse::Invalid(reason) => {
+                    return Err(io::Error::new(ErrorKind::InvalidData, reason));
+                }
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed mid-response",
+                    ));
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One synchronous request/response exchange.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.send(method, path, body)?;
+        self.read_response()
+    }
+
+    /// `POST /v1`-style shorthand.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.request("POST", path, body)
+    }
+
+    /// `GET`-style shorthand.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.request("GET", path, "")
+    }
+}

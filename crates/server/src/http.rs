@@ -1,0 +1,438 @@
+//! Minimal HTTP/1.1 message parsing and serialization.
+//!
+//! Exactly the subset the wire protocol needs: request parsing with
+//! keep-alive and pipelining (a buffer may hold several complete requests;
+//! [`parse_request`] consumes one at a time), `Content-Length` bodies with
+//! an oversize rejection *before* the body arrives, and response encoding
+//! with correct `Connection` semantics. Chunked transfer encoding is not
+//! supported (requests carrying it are rejected with 501) — protocol
+//! messages are small JSON documents with known lengths.
+
+/// Hard cap on the request head (request line + headers): a head that grows
+/// beyond this without terminating is rejected with 431.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target, e.g. `/v1`.
+    pub path: String,
+    /// Whether the connection stays open after the response
+    /// (HTTP/1.1 default unless `Connection: close`; HTTP/1.0 default
+    /// unless `Connection: keep-alive`).
+    pub keep_alive: bool,
+    /// Decoded UTF-8 body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+/// Outcome of one [`parse_request`] step over an inbound buffer.
+#[derive(Debug)]
+pub enum Parsed {
+    /// A complete request; `usize` is how many buffer bytes it consumed
+    /// (drain them and parse again — pipelined requests queue back to
+    /// back).
+    Complete(Box<HttpRequest>, usize),
+    /// The buffer holds only a prefix of a request; read more bytes.
+    Partial,
+    /// The bytes cannot become a valid request. The connection must send
+    /// the error response and close (request framing is lost).
+    Invalid {
+        /// HTTP status to respond with (400, 413, 431, 501, 505).
+        status: u16,
+        /// Human-readable reason (becomes the error body's message).
+        reason: String,
+    },
+}
+
+fn invalid(status: u16, reason: impl Into<String>) -> Parsed {
+    Parsed::Invalid {
+        status,
+        reason: reason.into(),
+    }
+}
+
+/// Position of the first `\r\n\r\n` in `buf`.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parse one request from the front of `buf`. Bodies larger than
+/// `max_body` are rejected with 413 as soon as the declared
+/// `Content-Length` is visible — the server never buffers an oversized
+/// body.
+pub fn parse_request(buf: &[u8], max_body: usize) -> Parsed {
+    let Some(head_len) = head_end(buf) else {
+        if buf.len() > MAX_HEADER_BYTES {
+            return invalid(431, "request head exceeds 8192 bytes");
+        }
+        return Parsed::Partial;
+    };
+    if head_len > MAX_HEADER_BYTES {
+        return invalid(431, "request head exceeds 8192 bytes");
+    }
+    let Ok(head) = std::str::from_utf8(&buf[..head_len]) else {
+        return invalid(400, "request head is not valid UTF-8");
+    };
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return invalid(400, format!("malformed request line {request_line:?}"));
+    };
+    if method.is_empty() || path.is_empty() {
+        return invalid(400, format!("malformed request line {request_line:?}"));
+    }
+    let mut keep_alive = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return invalid(505, format!("unsupported HTTP version {other:?}")),
+    };
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return invalid(400, format!("malformed header line {line:?}"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<usize>() {
+                // Conflicting lengths are a request-smuggling vector when
+                // an intermediary picks the other one (RFC 7230 §3.3.3
+                // requires rejection); identical repeats are legal.
+                Ok(n) => {
+                    if content_length.is_some_and(|prev| prev != n) {
+                        return invalid(400, "conflicting Content-Length headers");
+                    }
+                    content_length = Some(n);
+                }
+                Err(_) => return invalid(400, format!("bad Content-Length {value:?}")),
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return invalid(501, "chunked transfer encoding is not supported");
+        }
+    }
+    let content_length = content_length.unwrap_or(0);
+    if content_length > max_body {
+        return invalid(
+            413,
+            format!("request body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        );
+    }
+    let body_start = head_len + 4;
+    if buf.len() < body_start + content_length {
+        return Parsed::Partial;
+    }
+    let Ok(body) = std::str::from_utf8(&buf[body_start..body_start + content_length]) else {
+        return invalid(400, "request body is not valid UTF-8");
+    };
+    Parsed::Complete(
+        Box::new(HttpRequest {
+            method: method.to_string(),
+            path: path.to_string(),
+            keep_alive,
+            body: body.to_string(),
+        }),
+        body_start + content_length,
+    )
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize one response. The body is always JSON (the wire protocol's
+/// only content type); `keep_alive: false` adds `Connection: close`.
+pub fn encode_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        status_text(status),
+        body.len(),
+    );
+    if !keep_alive {
+        out.push_str("Connection: close\r\n");
+    }
+    out.push_str("\r\n");
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
+}
+
+/// One parsed HTTP response (the client half; see [`crate::client`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// UTF-8 body.
+    pub body: String,
+    /// Whether the server announced `Connection: close`.
+    pub close: bool,
+}
+
+/// Outcome of one [`parse_response`] step over a client's inbound buffer.
+#[derive(Debug)]
+pub enum ParsedResponse {
+    /// A complete response and the bytes it consumed.
+    Complete(HttpResponse, usize),
+    /// Read more bytes.
+    Partial,
+    /// The bytes cannot become a valid response.
+    Invalid(String),
+}
+
+/// Parse one response from the front of a client buffer. Responses must
+/// carry `Content-Length` (this server always does).
+pub fn parse_response(buf: &[u8]) -> ParsedResponse {
+    let Some(head_len) = head_end(buf) else {
+        return ParsedResponse::Partial;
+    };
+    let Ok(head) = std::str::from_utf8(&buf[..head_len]) else {
+        return ParsedResponse::Invalid("response head is not valid UTF-8".into());
+    };
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let mut parts = status_line.splitn(3, ' ');
+    let (Some(version), Some(status), _) = (parts.next(), parts.next(), parts.next()) else {
+        return ParsedResponse::Invalid(format!("malformed status line {status_line:?}"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ParsedResponse::Invalid(format!("unsupported version {version:?}"));
+    }
+    let Ok(status) = status.parse::<u16>() else {
+        return ParsedResponse::Invalid(format!("bad status code in {status_line:?}"));
+    };
+    let mut content_length: Option<usize> = None;
+    let mut close = false;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return ParsedResponse::Invalid(format!("malformed header line {line:?}"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            match value.parse::<usize>() {
+                Ok(n) => content_length = Some(n),
+                Err(_) => return ParsedResponse::Invalid(format!("bad Content-Length {value:?}")),
+            }
+        } else if name.eq_ignore_ascii_case("connection") && value.eq_ignore_ascii_case("close") {
+            close = true;
+        }
+    }
+    let Some(content_length) = content_length else {
+        return ParsedResponse::Invalid("response lacks Content-Length".into());
+    };
+    let body_start = head_len + 4;
+    // The length is server-supplied: guard the add, or a hostile peer's
+    // huge Content-Length panics the client on overflow.
+    let Some(body_end) = body_start.checked_add(content_length) else {
+        return ParsedResponse::Invalid(format!("absurd Content-Length {content_length}"));
+    };
+    if buf.len() < body_end {
+        return ParsedResponse::Partial;
+    }
+    let Ok(body) = std::str::from_utf8(&buf[body_start..body_end]) else {
+        return ParsedResponse::Invalid("response body is not valid UTF-8".into());
+    };
+    ParsedResponse::Complete(
+        HttpResponse {
+            status,
+            body: body.to_string(),
+            close,
+        },
+        body_start + content_length,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAX_BODY: usize = 1024;
+
+    fn complete(buf: &[u8]) -> (HttpRequest, usize) {
+        match parse_request(buf, MAX_BODY) {
+            Parsed::Complete(req, n) => (*req, n),
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1 HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"v\":1}";
+        let (req, n) = complete(raw);
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1");
+        assert_eq!(req.body, "{\"v\":1}");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(n, raw.len());
+    }
+
+    #[test]
+    fn truncated_requests_are_partial_at_every_prefix() {
+        let raw = b"POST /v1 HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"v\":1}";
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(parse_request(&raw[..cut], MAX_BODY), Parsed::Partial),
+                "prefix of {cut} bytes must be Partial"
+            );
+        }
+        assert!(matches!(
+            parse_request(raw, MAX_BODY),
+            Parsed::Complete(_, _)
+        ));
+    }
+
+    #[test]
+    fn pipelined_requests_parse_back_to_back() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"POST /v1 HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc");
+        buf.extend_from_slice(b"GET /healthz HTTP/1.1\r\n\r\n");
+        buf.extend_from_slice(b"POST /v1 HTTP/1.1\r\nContent-Length: 2\r\n\r\nxy");
+        let (first, n1) = complete(&buf);
+        assert_eq!(first.body, "abc");
+        buf.drain(..n1);
+        let (second, n2) = complete(&buf);
+        assert_eq!(
+            (second.method.as_str(), second.path.as_str()),
+            ("GET", "/healthz")
+        );
+        buf.drain(..n2);
+        let (third, n3) = complete(&buf);
+        assert_eq!(third.body, "xy");
+        assert_eq!(n3, buf.len());
+    }
+
+    #[test]
+    fn oversized_declared_body_is_413_before_the_body_arrives() {
+        // Only the head is present; the declared length alone must reject.
+        let raw = b"POST /v1 HTTP/1.1\r\nContent-Length: 2048\r\n\r\n";
+        match parse_request(raw, MAX_BODY) {
+            Parsed::Invalid { status, reason } => {
+                assert_eq!(status, 413);
+                assert!(reason.contains("2048"), "{reason}");
+            }
+            other => panic!("expected Invalid(413), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let (req, _) =
+            complete(b"POST /v1 HTTP/1.1\r\nConnection: close\r\nContent-Length: 0\r\n\r\n");
+        assert!(!req.keep_alive);
+        let (req, _) = complete(b"GET /metrics HTTP/1.0\r\n\r\n");
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        let (req, _) = complete(b"GET /metrics HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn malformed_heads_are_invalid() {
+        let cases: [(&[u8], u16); 5] = [
+            (b"NONSENSE\r\n\r\n", 400),
+            (b"POST /v1 HTTP/2\r\n\r\n", 505),
+            (b"POST /v1 HTTP/1.1\r\nContent-Length: pony\r\n\r\n", 400),
+            (b"POST /v1 HTTP/1.1\r\nbroken header\r\n\r\n", 400),
+            (
+                b"POST /v1 HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                501,
+            ),
+        ];
+        for (raw, want) in cases {
+            match parse_request(raw, MAX_BODY) {
+                Parsed::Invalid { status, .. } => assert_eq!(status, want),
+                other => panic!("{:?}: expected Invalid({want}), got {other:?}", raw),
+            }
+        }
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        let raw = b"POST /v1 HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 30\r\n\r\nhello";
+        match parse_request(raw, MAX_BODY) {
+            Parsed::Invalid { status, reason } => {
+                assert_eq!(status, 400);
+                assert!(reason.contains("conflicting"), "{reason}");
+            }
+            other => panic!("expected Invalid(400), got {other:?}"),
+        }
+        // Identical repeats are legal (RFC 7230 §3.3.3).
+        let raw = b"POST /v1 HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        let (req, _) = complete(raw);
+        assert_eq!(req.body, "hello");
+    }
+
+    #[test]
+    fn runaway_head_is_431() {
+        let raw = vec![b'A'; MAX_HEADER_BYTES + 100];
+        assert!(matches!(
+            parse_request(&raw, MAX_BODY),
+            Parsed::Invalid { status: 431, .. }
+        ));
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let bytes = encode_response(200, "{\"ok\":true}", true);
+        match parse_response(&bytes) {
+            ParsedResponse::Complete(resp, n) => {
+                assert_eq!(resp.status, 200);
+                assert_eq!(resp.body, "{\"ok\":true}");
+                assert!(!resp.close);
+                assert_eq!(n, bytes.len());
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+        let bytes = encode_response(503, "{}", false);
+        match parse_response(&bytes) {
+            ParsedResponse::Complete(resp, _) => {
+                assert_eq!(resp.status, 503);
+                assert!(resp.close, "Connection: close must be announced");
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_response_content_length_is_invalid_not_a_panic() {
+        let raw = format!("HTTP/1.1 200 OK\r\nContent-Length: {}\r\n\r\n", usize::MAX);
+        assert!(matches!(
+            parse_response(raw.as_bytes()),
+            ParsedResponse::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn truncated_response_is_partial() {
+        let bytes = encode_response(200, "{\"ok\":true}", true);
+        for cut in 0..bytes.len() {
+            assert!(matches!(
+                parse_response(&bytes[..cut]),
+                ParsedResponse::Partial
+            ));
+        }
+    }
+}

@@ -1,0 +1,490 @@
+#![warn(missing_docs)]
+//! # pi2-server: a dependency-free concurrent wire-protocol server
+//!
+//! The transport layer of the PI2 session service: a std-only HTTP/1.1
+//! keep-alive server built for the v1 JSON protocol, with a staged
+//! concurrent runtime instead of thread-per-connection:
+//!
+//! 1. an **acceptor** thread applies the admission gate (`503` beyond
+//!    `max_connections`) and hands non-blocking connections to
+//! 2. a fixed pool of **reactor** threads that parse pipelined HTTP/1.1
+//!    requests and write responses back in request order, routing protocol
+//!    work through
+//! 3. **per-session bounded mailboxes** (`429` when full — backpressure,
+//!    never unbounded queueing) drained by
+//! 4. a fixed pool of **worker** threads, at most one per session at a
+//!    time — so one session's events stay ordered while different sessions
+//!    dispatch fully in parallel.
+//!
+//! Endpoints: `POST /v1` (the versioned JSON protocol), `GET /metrics`
+//! (service + server counters), `GET /healthz`.
+//!
+//! The crate is protocol-blind: everything protocol-specific goes through
+//! the [`WireService`] trait, which `pi2-core` implements for
+//! `Pi2Service` (and re-exports this crate as `pi2::server`). Graceful
+//! shutdown drains mailboxes and flushes responses before closing; see
+//! [`Server::shutdown`].
+
+pub mod client;
+pub mod http;
+pub mod mailbox;
+pub mod server;
+pub mod wire;
+
+pub use client::Http1Client;
+pub use server::{Server, ServerConfig, ServerStats};
+pub use wire::{Reject, WireService};
+
+#[cfg(test)]
+mod tests {
+    //! End-to-end tests over a protocol-free echo service: the transport
+    //! contract (keep-alive, pipelining, per-session ordering, 404/405,
+    //! backpressure, admission, shutdown drain) without the cost of a real
+    //! generation.
+
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Request format: `session:<id>:<payload>` orders under session
+    /// `<id>`; `direct:<payload>` runs sessionless; `slow:<millis>`
+    /// sleeps (sessionless) to hold a worker busy. Responses echo the
+    /// payload with a per-service monotone stamp.
+    struct Echo {
+        stamp: AtomicU64,
+        delay: Duration,
+    }
+
+    impl Echo {
+        fn new(delay: Duration) -> Echo {
+            Echo {
+                stamp: AtomicU64::new(0),
+                delay,
+            }
+        }
+    }
+
+    impl WireService for Echo {
+        type Request = String;
+
+        fn parse(&self, body: &str) -> Result<String, (u16, String)> {
+            if body.starts_with("bad") {
+                Err((
+                    400,
+                    format!("{{\"error\":\"unparsable\",\"got\":\"{body}\"}}"),
+                ))
+            } else {
+                Ok(body.to_string())
+            }
+        }
+
+        fn session_of(&self, request: &String) -> Option<u64> {
+            request
+                .strip_prefix("session:")?
+                .split(':')
+                .next()?
+                .parse()
+                .ok()
+        }
+
+        fn handle(&self, request: String) -> (u16, String) {
+            std::thread::sleep(self.delay);
+            if request.ends_with(":panic") {
+                panic!("echo handler asked to panic");
+            }
+            let stamp = self.stamp.fetch_add(1, Ordering::SeqCst);
+            (200, format!("{{\"echo\":\"{request}\",\"stamp\":{stamp}}}"))
+        }
+
+        fn metrics_body(&self) -> String {
+            format!("{{\"handled\":{}}}", self.stamp.load(Ordering::SeqCst))
+        }
+
+        fn reject_body(&self, reject: &Reject) -> String {
+            let code = match reject {
+                Reject::BadRequest(_) => "bad_request",
+                Reject::NotFound(_) => "not_found",
+                Reject::MethodNotAllowed(_) => "method_not_allowed",
+                Reject::PayloadTooLarge { .. } => "payload_too_large",
+                Reject::Backpressure { .. } => "backpressure",
+                Reject::Overloaded(_) => "overloaded",
+                Reject::ShuttingDown => "shutting_down",
+                Reject::Internal(_) => "internal",
+            };
+            format!("{{\"error\":\"{code}\"}}")
+        }
+    }
+
+    fn start(delay: Duration, config: ServerConfig) -> Server<Echo> {
+        Server::start(Arc::new(Echo::new(delay)), config).expect("server starts")
+    }
+
+    fn small_config() -> ServerConfig {
+        ServerConfig {
+            reactors: 2,
+            workers: 4,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn keep_alive_round_trips_and_endpoints() {
+        let server = start(Duration::ZERO, small_config());
+        let mut client = Http1Client::connect(server.local_addr()).unwrap();
+        // Several requests over one connection.
+        for i in 0..5 {
+            let resp = client.post("/v1", &format!("direct:{i}")).unwrap();
+            assert_eq!(resp.status, 200);
+            assert!(
+                resp.body.contains(&format!("\"echo\":\"direct:{i}\"")),
+                "{}",
+                resp.body
+            );
+            assert!(!resp.close);
+        }
+        let health = client.get("/healthz").unwrap();
+        assert_eq!(
+            (health.status, health.body.as_str()),
+            (200, "{\"status\":\"ok\"}")
+        );
+        let metrics = client.get("/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        assert!(
+            metrics.body.contains("\"type\":\"server_metrics\""),
+            "{}",
+            metrics.body
+        );
+        assert!(
+            metrics.body.contains("\"service\":{\"handled\":"),
+            "{}",
+            metrics.body
+        );
+        // Unknown path and wrong method map to the service's error space.
+        let missing = client.get("/nope").unwrap();
+        assert_eq!(
+            (missing.status, missing.body.as_str()),
+            (404, "{\"error\":\"not_found\"}")
+        );
+        let wrong = client.post("/healthz", "").unwrap();
+        assert_eq!(wrong.status, 405);
+        // Parse rejections surface the service's own error body.
+        let bad = client.post("/v1", "bad payload").unwrap();
+        assert_eq!(bad.status, 400);
+        assert!(bad.body.contains("unparsable"), "{}", bad.body);
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_responses_come_back_in_request_order() {
+        let server = start(Duration::from_millis(2), small_config());
+        let mut client = Http1Client::connect(server.local_addr()).unwrap();
+        // Mix sessionless (parallel, any completion order) and session
+        // requests; responses must still arrive in request order.
+        const N: usize = 24;
+        for i in 0..N {
+            let body = if i % 3 == 0 {
+                format!("direct:{i}")
+            } else {
+                format!("session:{}:{i}", i % 2)
+            };
+            client.send("POST", "/v1", &body).unwrap();
+        }
+        for i in 0..N {
+            let resp = client.read_response().unwrap();
+            assert_eq!(resp.status, 200);
+            assert!(
+                resp.body.contains(&format!(":{i}\"")),
+                "response {i} out of order: {}",
+                resp.body
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn one_sessions_events_serialize_while_sessions_parallelize() {
+        let server = start(Duration::from_millis(5), small_config());
+        // 4 clients on 4 sessions, each sending 6 ordered events.
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..4u64)
+            .map(|session| {
+                std::thread::spawn(move || {
+                    let mut client = Http1Client::connect(addr).unwrap();
+                    for i in 0..6 {
+                        client
+                            .send("POST", "/v1", &format!("session:{session}:{i}"))
+                            .unwrap();
+                    }
+                    (0..6)
+                        .map(|_| client.read_response().unwrap().body)
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let streams: Vec<Vec<String>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (session, stream) in streams.iter().enumerate() {
+            // Per-session arrival order is preserved...
+            for (i, body) in stream.iter().enumerate() {
+                assert!(
+                    body.contains(&format!("\"echo\":\"session:{session}:{i}\"")),
+                    "session {session} event {i}: {body}"
+                );
+            }
+            // ...and the handler stamps within a session are strictly
+            // increasing (no two workers ever interleaved one session).
+            let stamps: Vec<u64> = stream
+                .iter()
+                .map(|b| {
+                    b.rsplit("\"stamp\":")
+                        .next()
+                        .unwrap()
+                        .trim_end_matches('}')
+                        .parse()
+                        .unwrap()
+                })
+                .collect();
+            assert!(
+                stamps.windows(2).all(|w| w[0] < w[1]),
+                "session {session} stamps not monotone: {stamps:?}"
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_mailbox_answers_429_without_hanging() {
+        let server = start(
+            Duration::from_millis(30),
+            ServerConfig {
+                mailbox_cap: 2,
+                workers: 2,
+                ..small_config()
+            },
+        );
+        let mut client = Http1Client::connect(server.local_addr()).unwrap();
+        // Pipeline far more events at one session than cap+in-flight can
+        // hold while the handler sleeps.
+        const N: usize = 12;
+        for i in 0..N {
+            client
+                .send("POST", "/v1", &format!("session:9:{i}"))
+                .unwrap();
+        }
+        let mut ok = 0;
+        let mut rejected = 0;
+        for _ in 0..N {
+            let resp = client.read_response().unwrap();
+            match resp.status {
+                200 => ok += 1,
+                429 => {
+                    assert_eq!(resp.body, "{\"error\":\"backpressure\"}");
+                    rejected += 1;
+                }
+                other => panic!("unexpected status {other}: {}", resp.body),
+            }
+        }
+        assert_eq!(ok + rejected, N);
+        assert!(rejected > 0, "cap 2 with a slow handler must shed load");
+        assert!(ok >= 1, "accepted work must still complete");
+        assert_eq!(server.stats().backpressure_rejections, rejected as u64);
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_panicking_handler_answers_500_and_the_session_survives() {
+        let server = start(Duration::ZERO, small_config());
+        let mut client = Http1Client::connect(server.local_addr()).unwrap();
+        let resp = client.post("/v1", "session:5:panic").unwrap();
+        assert_eq!(resp.status, 500);
+        assert_eq!(resp.body, "{\"error\":\"internal\"}");
+        // The session's turn token and the worker both survived: later
+        // events on the same session still execute.
+        let resp = client.post("/v1", "session:5:after").unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        assert!(resp.body.contains("session:5:after"), "{}", resp.body);
+        assert_eq!(
+            server.stats().pending_jobs,
+            0,
+            "a panic must not leak its pending-job claim"
+        );
+        // And shutdown stays prompt (no leaked claim to wait on).
+        let started = std::time::Instant::now();
+        server.shutdown();
+        assert!(started.elapsed() < Duration::from_secs(4));
+    }
+
+    #[test]
+    fn global_pending_cap_sheds_sessionless_floods_with_503() {
+        // Sessionless requests have no mailbox; the global pending cap is
+        // what keeps the run queue bounded.
+        let server = start(
+            Duration::from_millis(30),
+            ServerConfig {
+                workers: 1,
+                pending_cap: 2,
+                ..small_config()
+            },
+        );
+        let mut client = Http1Client::connect(server.local_addr()).unwrap();
+        const N: usize = 10;
+        for i in 0..N {
+            client.send("POST", "/v1", &format!("direct:{i}")).unwrap();
+        }
+        let mut ok = 0;
+        let mut shed = 0;
+        for _ in 0..N {
+            let resp = client.read_response().unwrap();
+            match resp.status {
+                200 => ok += 1,
+                503 => {
+                    assert_eq!(resp.body, "{\"error\":\"overloaded\"}");
+                    shed += 1;
+                }
+                other => panic!("unexpected status {other}: {}", resp.body),
+            }
+        }
+        assert_eq!(ok + shed, N);
+        assert!(shed > 0, "a flood beyond the cap must shed load");
+        assert!(ok >= 1, "admitted work must still complete");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_abandons_wedged_handlers_after_drain_timeout() {
+        // The handler sleeps far longer than the drain timeout: shutdown
+        // must give up on the straggler and return instead of joining
+        // forever.
+        let server = start(
+            Duration::from_secs(20),
+            ServerConfig {
+                drain_timeout: Duration::from_millis(200),
+                ..small_config()
+            },
+        );
+        let mut client = Http1Client::connect(server.local_addr()).unwrap();
+        client.send("POST", "/v1", "session:1:wedged").unwrap();
+        // Let the request route and a worker start sleeping in handle().
+        std::thread::sleep(Duration::from_millis(100));
+        let started = std::time::Instant::now();
+        server.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "shutdown hung on a wedged handler ({:?})",
+            started.elapsed()
+        );
+        // The abandoned connection is closed without its response.
+        assert!(client.read_response().is_err());
+    }
+
+    #[test]
+    fn admission_gate_rejects_connections_beyond_the_limit() {
+        let server = start(
+            Duration::ZERO,
+            ServerConfig {
+                max_connections: 2,
+                ..small_config()
+            },
+        );
+        let addr = server.local_addr();
+        let mut a = Http1Client::connect(addr).unwrap();
+        let mut b = Http1Client::connect(addr).unwrap();
+        assert_eq!(a.get("/healthz").unwrap().status, 200);
+        assert_eq!(b.get("/healthz").unwrap().status, 200);
+        let mut c = Http1Client::connect(addr).unwrap();
+        let resp = c.read_response().unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.body, "{\"error\":\"overloaded\"}");
+        assert!(resp.close, "rejected connections are closed");
+        let stats = server.stats();
+        assert_eq!(stats.rejected_connections, 1);
+        // Closing an accepted connection frees a slot.
+        drop(a);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Ok(mut d) = Http1Client::connect(addr) {
+                if let Ok(resp) = d.get("/healthz") {
+                    if resp.status == 200 {
+                        break;
+                    }
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "slot never freed after close"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_before_closing() {
+        let server = start(Duration::from_millis(10), small_config());
+        let addr = server.local_addr();
+        let mut client = Http1Client::connect(addr).unwrap();
+        const N: usize = 8;
+        for i in 0..N {
+            client
+                .send("POST", "/v1", &format!("session:1:{i}"))
+                .unwrap();
+        }
+        // Shut down while most of those are still queued.
+        let reader = std::thread::spawn(move || {
+            (0..N)
+                .map(|_| client.read_response().map(|r| r.status))
+                .collect::<Vec<_>>()
+        });
+        std::thread::sleep(Duration::from_millis(15));
+        server.shutdown();
+        let statuses = reader.join().unwrap();
+        for (i, status) in statuses.iter().enumerate() {
+            assert_eq!(
+                status.as_ref().ok(),
+                Some(&200),
+                "queued request {i} was dropped: {statuses:?}"
+            );
+        }
+        // The port no longer accepts work.
+        match Http1Client::connect(addr) {
+            Err(_) => {}
+            Ok(mut c) => {
+                // A racing OS-level accept queue may take the connection;
+                // any request on it must fail (no thread will serve it).
+                assert!(
+                    c.get("/healthz").is_err(),
+                    "server still serving after shutdown"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_and_malformed_requests_close_with_an_error() {
+        let server = start(
+            Duration::ZERO,
+            ServerConfig {
+                max_body_bytes: 64,
+                ..small_config()
+            },
+        );
+        let mut client = Http1Client::connect(server.local_addr()).unwrap();
+        client.send("POST", "/v1", &"x".repeat(100)).unwrap();
+        let resp = client.read_response().unwrap();
+        assert_eq!(resp.status, 413);
+        assert_eq!(resp.body, "{\"error\":\"payload_too_large\"}");
+        assert!(resp.close);
+        // Framing is gone: a broken head on a fresh connection gets 400
+        // and the connection closes after the error response.
+        use std::io::{Read, Write};
+        let mut raw = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        raw.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        let mut bytes = Vec::new();
+        raw.read_to_end(&mut bytes).unwrap(); // server closes → EOF
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 400 "), "{text}");
+        assert!(text.contains("{\"error\":\"bad_request\"}"), "{text}");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,287 @@
+//! Per-session bounded mailboxes and the worker run queue.
+//!
+//! The concurrency contract of the server: requests addressed to one
+//! session execute in arrival order, requests addressed to different
+//! sessions execute fully in parallel. A [`Mailboxes`] map (lock-sharded in
+//! the style of `pi2_data::ShardedMemo`) holds one bounded FIFO per active
+//! session; a session with queued work holds exactly one *turn token* in
+//! the [`RunQueue`], so at most one worker drives a given session at a
+//! time — ordering needs no per-session mutex wait, and a slow session
+//! never blocks a worker that could serve another one.
+//!
+//! Bounded queues are the backpressure primitive: when a session's mailbox
+//! is full, [`Mailboxes::enqueue`] refuses and the server answers 429
+//! immediately instead of queueing without bound.
+
+use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Shard count for the mailbox map (matches `pi2_data::memo::DEFAULT_SHARDS`).
+const SHARDS: usize = 16;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A worker panicking while holding a shard poisons the std mutex; the
+    // map itself is still consistent (every critical section is a few
+    // pushes/pops), so serving continues.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct Mailbox<T> {
+    queue: VecDeque<T>,
+    /// Whether a turn token for this session is live (queued or held by a
+    /// worker). Invariant: at most one token per session exists.
+    running: bool,
+}
+
+/// Outcome of an [`Mailboxes::enqueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueued {
+    /// Queued; the caller must schedule a turn token for this session.
+    MustSchedule,
+    /// Queued behind earlier work; a token is already live.
+    Queued,
+    /// The mailbox is at capacity — reject with backpressure.
+    Full,
+}
+
+/// The sharded session-id → bounded-FIFO map.
+pub struct Mailboxes<T> {
+    shards: Vec<Mutex<HashMap<u64, Mailbox<T>>>>,
+    cap: usize,
+}
+
+impl<T> Mailboxes<T> {
+    /// A map whose per-session queues hold at most `cap` items.
+    pub fn new(cap: usize) -> Mailboxes<T> {
+        Mailboxes {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Mailbox<T>>> {
+        let h = BuildHasherDefault::<DefaultHasher>::default().hash_one(key);
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Append an item to `key`'s mailbox.
+    pub fn enqueue(&self, key: u64, item: T) -> Enqueued {
+        let mut shard = lock(self.shard(key));
+        let boxed = shard.entry(key).or_insert_with(|| Mailbox {
+            queue: VecDeque::new(),
+            running: false,
+        });
+        if boxed.queue.len() >= self.cap {
+            return Enqueued::Full;
+        }
+        boxed.queue.push_back(item);
+        if boxed.running {
+            Enqueued::Queued
+        } else {
+            boxed.running = true;
+            Enqueued::MustSchedule
+        }
+    }
+
+    /// Take the next item of `key`'s mailbox. Only the holder of `key`'s
+    /// turn token calls this, so per-session pops are ordered.
+    pub fn pop(&self, key: u64) -> Option<T> {
+        lock(self.shard(key))
+            .get_mut(&key)
+            .and_then(|m| m.queue.pop_front())
+    }
+
+    /// Finish one turn for `key`: returns `true` when more work is queued
+    /// (the caller must reschedule the token) and `false` when the mailbox
+    /// emptied (the token dies and the entry is dropped, keeping the map
+    /// bounded by *active* sessions).
+    pub fn finish_turn(&self, key: u64) -> bool {
+        let mut shard = lock(self.shard(key));
+        match shard.get_mut(&key) {
+            Some(m) if m.queue.is_empty() => {
+                shard.remove(&key);
+                false
+            }
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    /// Total queued items across every mailbox.
+    pub fn queued(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock(s).values().map(|m| m.queue.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Whether no mailbox holds queued work or a live token.
+    pub fn is_idle(&self) -> bool {
+        self.shards.iter().all(|s| lock(s).is_empty())
+    }
+}
+
+/// What a worker pulls off the run queue.
+#[derive(Debug)]
+pub enum Runnable<J> {
+    /// A turn token: serve one item from this session's mailbox.
+    Turn(u64),
+    /// A sessionless job (open/describe/metrics): serve it directly.
+    Job(J),
+    /// Shut down this worker.
+    Stop,
+}
+
+/// The blocking MPMC queue feeding the worker pool.
+pub struct RunQueue<J> {
+    queue: Mutex<VecDeque<Runnable<J>>>,
+    ready: Condvar,
+}
+
+impl<J> RunQueue<J> {
+    /// An empty queue.
+    pub fn new() -> RunQueue<J> {
+        RunQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Append a runnable and wake one worker.
+    pub fn push(&self, item: Runnable<J>) {
+        lock(&self.queue).push_back(item);
+        self.ready.notify_one();
+    }
+
+    /// Block until a runnable is available.
+    pub fn pop(&self) -> Runnable<J> {
+        let mut guard = lock(&self.queue);
+        loop {
+            if let Some(item) = guard.pop_front() {
+                return item;
+            }
+            guard = self
+                .ready
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Currently queued runnables.
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<J> Default for RunQueue<J> {
+    fn default() -> Self {
+        RunQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn first_enqueue_schedules_later_ones_queue() {
+        let boxes: Mailboxes<u32> = Mailboxes::new(8);
+        assert_eq!(boxes.enqueue(1, 10), Enqueued::MustSchedule);
+        assert_eq!(boxes.enqueue(1, 11), Enqueued::Queued);
+        assert_eq!(
+            boxes.enqueue(2, 20),
+            Enqueued::MustSchedule,
+            "other key is independent"
+        );
+        assert_eq!(boxes.pop(1), Some(10));
+        assert!(boxes.finish_turn(1), "one item left: token must reschedule");
+        assert_eq!(boxes.pop(1), Some(11));
+        assert!(!boxes.finish_turn(1), "empty: token dies");
+        // Entry removed: the next enqueue schedules a fresh token.
+        assert_eq!(boxes.enqueue(1, 12), Enqueued::MustSchedule);
+    }
+
+    #[test]
+    fn full_mailbox_rejects() {
+        let boxes: Mailboxes<u32> = Mailboxes::new(2);
+        assert_eq!(boxes.enqueue(7, 0), Enqueued::MustSchedule);
+        assert_eq!(boxes.enqueue(7, 1), Enqueued::Queued);
+        assert_eq!(boxes.enqueue(7, 2), Enqueued::Full);
+        assert_eq!(boxes.queued(), 2, "rejected item is not queued");
+        // Draining reopens capacity.
+        assert_eq!(boxes.pop(7), Some(0));
+        assert_eq!(boxes.enqueue(7, 3), Enqueued::Queued);
+    }
+
+    #[test]
+    fn tokens_serialize_one_key_across_workers() {
+        // 4 workers × interleaved turn tokens must drain each key's items
+        // in order, with at most one worker per key at a time.
+        let boxes: Arc<Mailboxes<usize>> = Arc::new(Mailboxes::new(1024));
+        let queue: Arc<RunQueue<()>> = Arc::new(RunQueue::new());
+        let popped: Arc<Vec<Mutex<Vec<usize>>>> =
+            Arc::new((0..4).map(|_| Mutex::new(Vec::new())).collect());
+        let active: Arc<Vec<AtomicUsize>> = Arc::new((0..4).map(|_| AtomicUsize::new(0)).collect());
+        for key in 0..4u64 {
+            for i in 0..100usize {
+                if boxes.enqueue(key, i) == Enqueued::MustSchedule {
+                    queue.push(Runnable::Turn(key));
+                }
+            }
+        }
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let (boxes, queue, popped, active) = (
+                    Arc::clone(&boxes),
+                    Arc::clone(&queue),
+                    Arc::clone(&popped),
+                    Arc::clone(&active),
+                );
+                std::thread::spawn(move || loop {
+                    match queue.pop() {
+                        Runnable::Stop => break,
+                        Runnable::Turn(key) => {
+                            let k = key as usize;
+                            assert_eq!(
+                                active[k].fetch_add(1, Ordering::SeqCst),
+                                0,
+                                "two workers drove key {key} at once"
+                            );
+                            if let Some(item) = boxes.pop(key) {
+                                popped[k].lock().unwrap().push(item);
+                            }
+                            active[k].fetch_sub(1, Ordering::SeqCst);
+                            if boxes.finish_turn(key) {
+                                queue.push(Runnable::Turn(key));
+                            }
+                        }
+                        Runnable::Job(()) => {}
+                    }
+                })
+            })
+            .collect();
+        while !boxes.is_idle() {
+            std::thread::yield_now();
+        }
+        for _ in 0..4 {
+            queue.push(Runnable::Stop);
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        for k in 0..4 {
+            let got = popped[k].lock().unwrap();
+            assert_eq!(*got, (0..100).collect::<Vec<_>>(), "key {k} lost order");
+        }
+    }
+}

@@ -1,0 +1,836 @@
+//! The staged concurrent runtime: acceptor → reactors → mailboxes →
+//! workers.
+//!
+//! One **acceptor** thread owns the listening socket. It applies the
+//! admission gate (over `max_connections`, a connection is answered `503`
+//! and closed immediately — load sheds at the edge, before any parsing)
+//! and hands accepted connections, set non-blocking, to a fixed pool of
+//! **reactor** threads round-robin.
+//!
+//! Each reactor owns its connections outright: it reads available bytes,
+//! parses complete HTTP requests (pipelining included), routes them, and
+//! writes finished responses back *in request order* per connection (a
+//! reorder buffer keyed by request sequence number absorbs out-of-order
+//! completion). Reactors never *dispatch* protocol work — they do decode
+//! `POST /v1` bodies inline (the session key that picks the mailbox comes
+//! from the decoded request), which is microseconds for the protocol's
+//! small event messages but is a head-of-line cost for near-limit bodies;
+//! see ROADMAP if that ever matters.
+//!
+//! Routing is where the ordering contract lives: a request addressed to a
+//! session goes through that session's bounded mailbox (see
+//! [`crate::mailbox`]) and at most one **worker** drives a session at a
+//! time, so one session's events serialize while different sessions
+//! dispatch fully in parallel. Sessionless requests go straight to the
+//! worker pool. Nothing queues without bound: a full mailbox answers
+//! `429` with the protocol's stable `backpressure` code, the global job
+//! queue is capped by [`ServerConfig::pending_cap`] (`503` beyond it),
+//! and a connection whose unwritten responses exceed a 256 KiB soft cap
+//! stops being read until the client drains.
+//!
+//! [`Server::shutdown`] drains: the acceptor stops, freshly-parsed
+//! requests answer `503` ([`Reject::ShuttingDown`] — `Pi2Service` phrases
+//! it with wire code `overloaded`), already-accepted work runs to
+//! completion, responses flush, and only then do connections close and
+//! threads join (bounded: stragglers are abandoned after the drain
+//! deadlines rather than hanging the caller).
+
+use crate::http::{encode_response, parse_request, HttpRequest, Parsed};
+use crate::mailbox::{Enqueued, Mailboxes, RunQueue, Runnable};
+use crate::wire::{Reject, WireService};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Reactor (connection I/O) threads.
+    pub reactors: usize,
+    /// Worker (protocol dispatch) threads.
+    pub workers: usize,
+    /// Admission gate: connections beyond this are answered `503` and
+    /// closed at accept time.
+    pub max_connections: usize,
+    /// Per-session mailbox capacity; a full mailbox answers `429`.
+    pub mailbox_cap: usize,
+    /// Global cap on jobs queued or executing across the whole server
+    /// (sessionless requests included — the run queue is bounded too);
+    /// beyond it new requests answer `503`.
+    pub pending_cap: usize,
+    /// Largest accepted request body; larger declared lengths answer `413`.
+    pub max_body_bytes: usize,
+    /// How long [`Server::shutdown`] waits for queued work to drain before
+    /// giving up on stragglers.
+    pub drain_timeout: Duration,
+    /// Reactor poll interval: the upper bound on how long newly-arrived
+    /// bytes can sit before a reactor notices them when otherwise idle.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            reactors: 2,
+            workers: 4,
+            max_connections: 1024,
+            mailbox_cap: 64,
+            pending_cap: 1024,
+            max_body_bytes: 1 << 20,
+            drain_timeout: Duration::from_secs(5),
+            poll_interval: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Point-in-time server counters (`GET /metrics` embeds them; tests poll
+/// them).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted past the admission gate.
+    pub accepted_connections: u64,
+    /// Connections answered `503` at accept time.
+    pub rejected_connections: u64,
+    /// Connections currently open.
+    pub active_connections: usize,
+    /// Well-formed HTTP requests routed (all endpoints, including ones
+    /// rejected by policy — backpressure, overload, 404/405). Requests
+    /// whose HTTP framing is itself invalid are not counted.
+    pub requests: u64,
+    /// Requests answered `429` because a session mailbox was full.
+    pub backpressure_rejections: u64,
+    /// Responses serialized onto connections.
+    pub responses: u64,
+    /// Jobs currently queued (mailboxes + run queue) or executing.
+    pub pending_jobs: usize,
+    /// Whether the server is draining for shutdown.
+    pub shutting_down: bool,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A finished response travelling from a worker (or the router) back to
+/// the owning reactor.
+struct Done {
+    conn: u64,
+    seq: u64,
+    status: u16,
+    body: String,
+    /// Close the connection after this response is flushed.
+    close_after: bool,
+}
+
+/// What a worker executes.
+enum JobKind<R> {
+    /// A decoded wire request.
+    Request(R),
+    /// `GET /metrics`: compose service metrics with server counters.
+    Metrics,
+}
+
+struct Job<R> {
+    conn: u64,
+    seq: u64,
+    reactor: usize,
+    keep_alive: bool,
+    kind: JobKind<R>,
+}
+
+/// Per-reactor mail: new connections from the acceptor, finished
+/// responses from workers.
+struct ReactorInbox {
+    new_conns: Vec<(u64, TcpStream)>,
+    done: Vec<Done>,
+}
+
+struct ReactorShared {
+    inbox: Mutex<ReactorInbox>,
+    wake: Condvar,
+}
+
+struct Counters {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    active: AtomicUsize,
+    requests: AtomicU64,
+    backpressure: AtomicU64,
+    responses: AtomicU64,
+    pending_jobs: AtomicUsize,
+}
+
+struct Inner<S: WireService> {
+    service: Arc<S>,
+    config: ServerConfig,
+    mailboxes: Mailboxes<Job<S::Request>>,
+    run_queue: RunQueue<Job<S::Request>>,
+    reactors: Vec<ReactorShared>,
+    counters: Counters,
+    shutting_down: AtomicBool,
+    /// Set when a shutdown drain timed out: reactors drop connections
+    /// without waiting for straggler responses or stalled flushes.
+    abandon: AtomicBool,
+    /// Serving threads still running (incremented before spawn,
+    /// decremented by a drop guard in each thread): shutdown joins only
+    /// when this reaches zero in time, and detaches otherwise.
+    live_threads: AtomicUsize,
+}
+
+/// Decrements the live-thread count when a serving thread exits (even by
+/// panic).
+struct LiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl<S: WireService> Inner<S> {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            accepted_connections: self.counters.accepted.load(Ordering::Relaxed),
+            rejected_connections: self.counters.rejected.load(Ordering::Relaxed),
+            active_connections: self.counters.active.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            backpressure_rejections: self.counters.backpressure.load(Ordering::Relaxed),
+            responses: self.counters.responses.load(Ordering::Relaxed),
+            pending_jobs: self.counters.pending_jobs.load(Ordering::Relaxed),
+            shutting_down: self.shutting_down.load(Ordering::SeqCst),
+        }
+    }
+
+    fn reject(&self, reject: Reject) -> (u16, String) {
+        (reject.status(), self.service.reject_body(&reject))
+    }
+
+    /// Route one parsed HTTP request. `Some(done)` is an immediate
+    /// response the reactor queues itself; `None` means a job was handed
+    /// to the worker pool and its `Done` arrives via the reactor inbox.
+    fn route(&self, reactor: usize, conn: u64, seq: u64, req: HttpRequest) -> Option<Done> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = req.keep_alive;
+        // Claim a pending-job slot *before* checking the shutdown flag:
+        // the drain loop starts strictly after the flag store, so any
+        // request that saw the flag clear is already visible to the drain.
+        // Every immediate-response branch releases the claim; job branches
+        // keep it until the worker delivers the `Done`.
+        self.counters.pending_jobs.fetch_add(1, Ordering::SeqCst);
+        let immediate = |status: u16, body: String| {
+            self.counters.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+            Some(Done {
+                conn,
+                seq,
+                status,
+                body,
+                close_after: !keep_alive,
+            })
+        };
+        if self.shutting_down.load(Ordering::SeqCst) {
+            let (status, body) = self.reject(Reject::ShuttingDown);
+            return immediate(status, body);
+        }
+        // Global admission: the run queue must stay bounded too —
+        // sessionless requests (open/describe/metrics) have no mailbox
+        // cap, so a pipelining client must not be able to queue without
+        // bound.
+        if self.counters.pending_jobs.load(Ordering::SeqCst) > self.config.pending_cap {
+            let (status, body) = self.reject(Reject::Overloaded(format!(
+                "server job queue is full ({} pending)",
+                self.config.pending_cap
+            )));
+            return immediate(status, body);
+        }
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => immediate(200, "{\"status\":\"ok\"}".to_string()),
+            ("GET", "/metrics") => {
+                self.run_queue.push(Runnable::Job(Job {
+                    conn,
+                    seq,
+                    reactor,
+                    keep_alive,
+                    kind: JobKind::Metrics,
+                }));
+                None
+            }
+            ("POST", "/v1") => {
+                let request = match self.service.parse(&req.body) {
+                    Ok(r) => r,
+                    Err((status, body)) => return immediate(status, body),
+                };
+                match self.service.session_of(&request) {
+                    Some(session) => {
+                        let job = Job {
+                            conn,
+                            seq,
+                            reactor,
+                            keep_alive,
+                            kind: JobKind::Request(request),
+                        };
+                        match self.mailboxes.enqueue(session, job) {
+                            Enqueued::MustSchedule => {
+                                self.run_queue.push(Runnable::Turn(session));
+                                None
+                            }
+                            Enqueued::Queued => None,
+                            Enqueued::Full => {
+                                self.counters.backpressure.fetch_add(1, Ordering::Relaxed);
+                                let (status, body) = self.reject(Reject::Backpressure { session });
+                                immediate(status, body)
+                            }
+                        }
+                    }
+                    None => {
+                        self.run_queue.push(Runnable::Job(Job {
+                            conn,
+                            seq,
+                            reactor,
+                            keep_alive,
+                            kind: JobKind::Request(request),
+                        }));
+                        None
+                    }
+                }
+            }
+            (_, "/v1") | (_, "/metrics") | (_, "/healthz") => {
+                let (status, body) = self.reject(Reject::MethodNotAllowed(req.method));
+                immediate(status, body)
+            }
+            (_, path) => {
+                let (status, body) = self.reject(Reject::NotFound(path.to_string()));
+                immediate(status, body)
+            }
+        }
+    }
+
+    /// Deliver a finished response to the reactor that owns the
+    /// connection.
+    fn complete(&self, reactor: usize, done: Done) {
+        let shared = &self.reactors[reactor];
+        lock(&shared.inbox).done.push(done);
+        shared.wake.notify_all();
+    }
+
+    fn metrics_json(&self) -> String {
+        let s = self.stats();
+        format!(
+            "{{\"v\":1,\"type\":\"server_metrics\",\"server\":{{\
+             \"acceptedConnections\":{},\"rejectedConnections\":{},\
+             \"activeConnections\":{},\"requests\":{},\
+             \"backpressureRejections\":{},\"responses\":{},\
+             \"pendingJobs\":{},\"shuttingDown\":{}}},\"service\":{}}}",
+            s.accepted_connections,
+            s.rejected_connections,
+            s.active_connections,
+            s.requests,
+            s.backpressure_rejections,
+            s.responses,
+            s.pending_jobs,
+            s.shutting_down,
+            self.service.metrics_body(),
+        )
+    }
+
+    fn execute(&self, job: Job<S::Request>) {
+        let Job {
+            conn,
+            seq,
+            reactor,
+            keep_alive,
+            kind,
+        } = job;
+        // Unwind isolation: a panicking handler must not take the worker
+        // with it — that would strand the session's turn token (wedging
+        // the session behind 429s forever), leak the pending-jobs claim
+        // (stalling every future drain), and shrink the pool. The request
+        // dies with a 500 instead; the worker, token, and claim survive.
+        let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match kind {
+            JobKind::Request(request) => self.service.handle(request),
+            JobKind::Metrics => (200, self.metrics_json()),
+        }));
+        let (status, body) = handled.unwrap_or_else(|_| {
+            let reject = Reject::Internal("request handler panicked".into());
+            (reject.status(), self.service.reject_body(&reject))
+        });
+        let done = Done {
+            conn,
+            seq,
+            status,
+            body,
+            close_after: !keep_alive,
+        };
+        self.complete(reactor, done);
+        // Decrement only after the Done is visible to the reactor: when
+        // pending_jobs reads 0 during a drain, every response is already
+        // in an inbox.
+        self.counters.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection state (reactor-owned)
+// ---------------------------------------------------------------------------
+
+/// When a connection's unwritten output exceeds this, the reactor stops
+/// reading (and therefore parsing) from it until the client drains — a
+/// pipelining client that never reads responses cannot grow server
+/// memory without bound.
+const OUTBUF_SOFT_CAP: usize = 256 * 1024;
+
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed inbound bytes.
+    inbuf: Vec<u8>,
+    /// Serialized outbound bytes not yet written.
+    outbuf: Vec<u8>,
+    /// Next request sequence number to assign.
+    next_seq: u64,
+    /// Next response sequence number to serialize (pipelined responses go
+    /// out in request order).
+    next_write: u64,
+    /// Finished responses waiting for their turn.
+    ready: BTreeMap<u64, Done>,
+    /// Requests routed whose response has not been serialized yet.
+    inflight: usize,
+    /// Peer closed its write half (or read errored).
+    read_closed: bool,
+    /// Request framing is broken; stop parsing, close after the error
+    /// response flushes.
+    parse_dead: bool,
+    /// A serialized response demanded close (error, `Connection: close`).
+    close_when_flushed: bool,
+}
+
+enum ReadOutcome {
+    Progress,
+    Idle,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            next_seq: 0,
+            next_write: 0,
+            ready: BTreeMap::new(),
+            inflight: 0,
+            read_closed: false,
+            parse_dead: false,
+            close_when_flushed: false,
+        }
+    }
+
+    /// Pull whatever the socket has without blocking.
+    fn read_available(&mut self) -> ReadOutcome {
+        let mut chunk = [0u8; 4096];
+        let mut progress = ReadOutcome::Idle;
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    return ReadOutcome::Progress;
+                }
+                Ok(n) => {
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    progress = ReadOutcome::Progress;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return progress,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.read_closed = true;
+                    return ReadOutcome::Progress;
+                }
+            }
+        }
+    }
+
+    /// Serialize in-order ready responses and push bytes to the socket.
+    fn flush(&mut self, responses: &AtomicU64) -> bool {
+        let mut progress = false;
+        while let Some(done) = self.ready.remove(&self.next_write) {
+            self.next_write += 1;
+            self.inflight = self.inflight.saturating_sub(1);
+            let close = done.close_after;
+            self.outbuf
+                .extend_from_slice(&encode_response(done.status, &done.body, !close));
+            responses.fetch_add(1, Ordering::Relaxed);
+            progress = true;
+            if close {
+                self.close_when_flushed = true;
+                self.ready.clear();
+                self.inflight = 0;
+                break;
+            }
+        }
+        while !self.outbuf.is_empty() {
+            match self.stream.write(&self.outbuf) {
+                Ok(0) => {
+                    self.read_closed = true; // peer gone
+                    self.outbuf.clear();
+                    break;
+                }
+                Ok(n) => {
+                    self.outbuf.drain(..n);
+                    progress = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.read_closed = true;
+                    self.outbuf.clear();
+                    break;
+                }
+            }
+        }
+        progress
+    }
+
+    fn should_close(&self, shutting_down: bool) -> bool {
+        if !self.outbuf.is_empty() {
+            return false;
+        }
+        if self.close_when_flushed {
+            return true;
+        }
+        let quiescent = self.inflight == 0 && self.ready.is_empty();
+        quiescent && (self.read_closed || shutting_down)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+fn acceptor_loop<S: WireService>(inner: &Inner<S>, listener: TcpListener) {
+    let reactors = inner.reactors.len();
+    let mut next_conn: u64 = 0;
+    for stream in listener.incoming() {
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        if inner.counters.active.load(Ordering::SeqCst) >= inner.config.max_connections {
+            // Shed load at the edge: answer 503 on the still-blocking
+            // socket and close. The write is tiny; a peer that never reads
+            // cannot stall the acceptor meaningfully thanks to the socket
+            // buffer.
+            inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            let (status, body) = inner.reject(Reject::Overloaded(format!(
+                "connection limit of {} reached",
+                inner.config.max_connections
+            )));
+            let _ = stream.write_all(&encode_response(status, &body, false));
+            continue;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        inner.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        inner.counters.active.fetch_add(1, Ordering::SeqCst);
+        let id = next_conn;
+        next_conn += 1;
+        let shared = &inner.reactors[(id as usize) % reactors];
+        lock(&shared.inbox).new_conns.push((id, stream));
+        shared.wake.notify_all();
+    }
+}
+
+fn reactor_loop<S: WireService>(inner: &Inner<S>, idx: usize) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut closed: Vec<u64> = Vec::new();
+    loop {
+        let mut progress = false;
+        {
+            let mut inbox = lock(&inner.reactors[idx].inbox);
+            for (id, stream) in inbox.new_conns.drain(..) {
+                conns.insert(id, Conn::new(stream));
+                progress = true;
+            }
+            for done in inbox.done.drain(..) {
+                if let Some(conn) = conns.get_mut(&done.conn) {
+                    if !conn.close_when_flushed {
+                        conn.ready.insert(done.seq, done);
+                    }
+                    progress = true;
+                }
+            }
+        }
+        let shutting = inner.shutting_down.load(Ordering::SeqCst);
+        let abandon = inner.abandon.load(Ordering::SeqCst);
+        for (&id, conn) in conns.iter_mut() {
+            // Stop reading from a client that is not draining its
+            // responses: the unwritten output buffer is the signal, and
+            // not reading propagates backpressure through TCP.
+            let throttled = conn.outbuf.len() > OUTBUF_SOFT_CAP;
+            if !conn.parse_dead && !conn.close_when_flushed && !throttled {
+                // Keep parsing buffered bytes even after EOF: a client may
+                // half-close after pipelining its requests and still read
+                // the responses.
+                if !conn.read_closed && matches!(conn.read_available(), ReadOutcome::Progress) {
+                    progress = true;
+                }
+                loop {
+                    match parse_request(&conn.inbuf, inner.config.max_body_bytes) {
+                        Parsed::Complete(req, consumed) => {
+                            conn.inbuf.drain(..consumed);
+                            let seq = conn.next_seq;
+                            conn.next_seq += 1;
+                            conn.inflight += 1;
+                            if let Some(done) = inner.route(idx, id, seq, *req) {
+                                conn.ready.insert(done.seq, done);
+                            }
+                            progress = true;
+                        }
+                        Parsed::Partial => break,
+                        Parsed::Invalid { status, reason } => {
+                            // Framing is lost: answer once, then close.
+                            let seq = conn.next_seq;
+                            conn.next_seq += 1;
+                            conn.inflight += 1;
+                            conn.parse_dead = true;
+                            let reject = if status == 413 {
+                                Reject::PayloadTooLarge {
+                                    limit: inner.config.max_body_bytes,
+                                }
+                            } else {
+                                Reject::BadRequest(reason)
+                            };
+                            let body = inner.service.reject_body(&reject);
+                            conn.ready.insert(
+                                seq,
+                                Done {
+                                    conn: id,
+                                    seq,
+                                    status,
+                                    body,
+                                    close_after: true,
+                                },
+                            );
+                            progress = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if conn.flush(&inner.counters.responses) {
+                progress = true;
+            }
+            if abandon || conn.should_close(shutting) {
+                closed.push(id);
+            }
+        }
+        for id in closed.drain(..) {
+            conns.remove(&id);
+            inner.counters.active.fetch_sub(1, Ordering::SeqCst);
+            progress = true;
+        }
+        if shutting && conns.is_empty() {
+            let inbox = lock(&inner.reactors[idx].inbox);
+            if inbox.new_conns.is_empty() && inbox.done.is_empty() {
+                break;
+            }
+            continue;
+        }
+        if !progress {
+            let shared = &inner.reactors[idx];
+            let inbox = lock(&shared.inbox);
+            if inbox.new_conns.is_empty() && inbox.done.is_empty() {
+                // Sleep until a worker/acceptor wakes us or the poll
+                // interval elapses (sockets have no waker without an OS
+                // selector; the interval bounds added read latency).
+                let _ = shared.wake.wait_timeout(inbox, inner.config.poll_interval);
+            }
+        }
+    }
+}
+
+fn worker_loop<S: WireService>(inner: &Inner<S>) {
+    loop {
+        match inner.run_queue.pop() {
+            Runnable::Stop => break,
+            Runnable::Job(job) => inner.execute(job),
+            Runnable::Turn(session) => {
+                if let Some(job) = inner.mailboxes.pop(session) {
+                    inner.execute(job);
+                }
+                if inner.mailboxes.finish_turn(session) {
+                    inner.run_queue.push(Runnable::Turn(session));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handle
+// ---------------------------------------------------------------------------
+
+/// A running server. Dropping the handle without calling
+/// [`Server::shutdown`] detaches the serving threads (they keep serving
+/// for the life of the process).
+pub struct Server<S: WireService> {
+    inner: Arc<Inner<S>>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<S: WireService> Server<S> {
+    /// Bind `config.addr` and start the acceptor, reactor, and worker
+    /// threads over `service`.
+    pub fn start(service: Arc<S>, config: ServerConfig) -> std::io::Result<Server<S>> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let reactors = config.reactors.max(1);
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            mailboxes: Mailboxes::new(config.mailbox_cap),
+            run_queue: RunQueue::new(),
+            reactors: (0..reactors)
+                .map(|_| ReactorShared {
+                    inbox: Mutex::new(ReactorInbox {
+                        new_conns: Vec::new(),
+                        done: Vec::new(),
+                    }),
+                    wake: Condvar::new(),
+                })
+                .collect(),
+            counters: Counters {
+                accepted: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+                active: AtomicUsize::new(0),
+                requests: AtomicU64::new(0),
+                backpressure: AtomicU64::new(0),
+                responses: AtomicU64::new(0),
+                pending_jobs: AtomicUsize::new(0),
+            },
+            shutting_down: AtomicBool::new(false),
+            abandon: AtomicBool::new(false),
+            live_threads: AtomicUsize::new(0),
+            service,
+            config,
+        });
+        let mut threads = Vec::with_capacity(1 + reactors + workers);
+        {
+            let inner = Arc::clone(&inner);
+            inner.live_threads.fetch_add(1, Ordering::SeqCst);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("pi2-acceptor".into())
+                    .spawn(move || {
+                        let _live = LiveGuard(&inner.live_threads);
+                        acceptor_loop(&inner, listener)
+                    })?,
+            );
+        }
+        for i in 0..reactors {
+            let inner = Arc::clone(&inner);
+            inner.live_threads.fetch_add(1, Ordering::SeqCst);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pi2-reactor-{i}"))
+                    .spawn(move || {
+                        let _live = LiveGuard(&inner.live_threads);
+                        reactor_loop(&inner, i)
+                    })?,
+            );
+        }
+        for i in 0..workers {
+            let inner = Arc::clone(&inner);
+            inner.live_threads.fetch_add(1, Ordering::SeqCst);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pi2-worker-{i}"))
+                    .spawn(move || {
+                        let _live = LiveGuard(&inner.live_threads);
+                        worker_loop(&inner)
+                    })?,
+            );
+        }
+        Ok(Server {
+            inner,
+            addr,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, answer new requests `503
+    /// shutting_down`, drain queued work (bounded by
+    /// [`ServerConfig::drain_timeout`]), flush responses, close
+    /// connections, join every thread.
+    ///
+    /// If work is still pending or flushes are still stalled past the
+    /// deadlines (a handler wedged inside the service, or a client that
+    /// never reads its responses), shutdown *abandons*: connections are
+    /// dropped as-is and the serving threads are detached instead of
+    /// joined — shutdown always returns within roughly
+    /// 2 × [`ServerConfig::drain_timeout`].
+    pub fn shutdown(self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        // Wait for queued/executing jobs to drain: every response must be
+        // in a reactor inbox before workers stop.
+        let deadline = Instant::now() + self.inner.config.drain_timeout;
+        while self.inner.counters.pending_jobs.load(Ordering::SeqCst) > 0
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for _ in 0..self.inner.config.workers.max(1) {
+            self.inner.run_queue.push(Runnable::Stop);
+        }
+        // Reactors flush pending responses, close their connections, and
+        // exit on their own once the flag is up. Give them one more
+        // drain_timeout of grace: a wedged worker (its job never produces
+        // a `Done`) or a client that never reads its responses (flush
+        // stalls on WouldBlock forever) would otherwise make a join block
+        // indefinitely.
+        let deadline = Instant::now() + self.inner.config.drain_timeout;
+        loop {
+            for shared in &self.inner.reactors {
+                shared.wake.notify_all();
+            }
+            if self.inner.live_threads.load(Ordering::SeqCst) == 0 {
+                // Every serving thread exited; joins return immediately.
+                for t in self.threads {
+                    let _ = t.join();
+                }
+                return;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Stragglers: tell reactors to drop connections as-is and leave
+        // the threads detached — they exit as soon as they can, and a
+        // truly stuck worker leaks for the life of the process (which
+        // shutdown callers are usually about to end).
+        self.inner.abandon.store(true, Ordering::SeqCst);
+        for shared in &self.inner.reactors {
+            shared.wake.notify_all();
+        }
+    }
+}

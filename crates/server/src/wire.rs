@@ -1,0 +1,102 @@
+//! The contract between the transport and the protocol it serves.
+//!
+//! The server is deliberately protocol-blind: it parses HTTP, enforces
+//! ordering and backpressure, and asks a [`WireService`] for everything
+//! else — how to decode a `POST /v1` body, which session (if any) a
+//! request must be ordered under, how to serve it, and how to phrase the
+//! transport-generated rejections so their error codes stay part of the
+//! one protocol namespace. `pi2-core` implements this trait for
+//! `Pi2Service`, which keeps this crate free of any dependency on the
+//! protocol crates (and lets `pi2-core` re-export it as `pi2::server`).
+
+/// A protocol backend the server can host.
+pub trait WireService: Send + Sync + 'static {
+    /// A decoded `POST /v1` request body.
+    type Request: Send + 'static;
+
+    /// Decode a request body, or produce the full `(status, error body)`
+    /// response for an undecodable one. The error body must be what the
+    /// in-process entry point would return for the same input — transport
+    /// and in-process callers must report identically.
+    fn parse(&self, body: &str) -> Result<Self::Request, (u16, String)>;
+
+    /// The session a request must be ordered under, if any. Requests with
+    /// a session key are routed through that session's mailbox (events for
+    /// one session stay ordered); requests without one dispatch on any
+    /// free worker.
+    fn session_of(&self, request: &Self::Request) -> Option<u64>;
+
+    /// Serve one decoded request, returning `(status, response body)`.
+    fn handle(&self, request: Self::Request) -> (u16, String);
+
+    /// The service half of the `GET /metrics` response (the server nests
+    /// it beside its own counters).
+    fn metrics_body(&self) -> String;
+
+    /// The error body for a transport-generated rejection. Implementations
+    /// map each [`Reject`] onto the protocol's structured error space so
+    /// clients switch on one set of stable codes.
+    fn reject_body(&self, reject: &Reject) -> String;
+}
+
+/// Everything the transport itself can reject a request for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reject {
+    /// The HTTP request was malformed (bad framing, bad version, bad
+    /// length, unsupported transfer encoding…).
+    BadRequest(String),
+    /// No such endpoint.
+    NotFound(String),
+    /// Known endpoint, wrong method.
+    MethodNotAllowed(String),
+    /// Declared body length exceeds the configured limit.
+    PayloadTooLarge {
+        /// The configured body limit in bytes.
+        limit: usize,
+    },
+    /// The target session's mailbox is full: the client is producing
+    /// events faster than the session dispatches them.
+    Backpressure {
+        /// The session whose mailbox was full.
+        session: u64,
+    },
+    /// The server refused a new connection (admission gate).
+    Overloaded(String),
+    /// The server is draining for shutdown and takes no new work.
+    ShuttingDown,
+    /// The handler itself failed (panicked); the request died server-side.
+    Internal(String),
+}
+
+impl Reject {
+    /// The HTTP status this rejection maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            Reject::BadRequest(_) => 400,
+            Reject::NotFound(_) => 404,
+            Reject::MethodNotAllowed(_) => 405,
+            Reject::PayloadTooLarge { .. } => 413,
+            Reject::Backpressure { .. } => 429,
+            Reject::Overloaded(_) => 503,
+            Reject::ShuttingDown => 503,
+            Reject::Internal(_) => 500,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statuses_match_the_http_semantics() {
+        assert_eq!(Reject::BadRequest("x".into()).status(), 400);
+        assert_eq!(Reject::NotFound("/x".into()).status(), 404);
+        assert_eq!(Reject::MethodNotAllowed("PUT".into()).status(), 405);
+        assert_eq!(Reject::PayloadTooLarge { limit: 1 }.status(), 413);
+        assert_eq!(Reject::Backpressure { session: 1 }.status(), 429);
+        assert_eq!(Reject::Overloaded("full".into()).status(), 503);
+        assert_eq!(Reject::ShuttingDown.status(), 503);
+        assert_eq!(Reject::Internal("boom".into()).status(), 500);
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bench_gate check <criterion.csv> <BENCH_baseline.json> <out.json> \
-//!     [--baseline-name ci] [--threshold 1.25]
+//!     [--baseline-name ci] [--threshold 1.25] [--runner <label>]
 //! bench_gate write-baseline <criterion.csv> <out.json> [--baseline-name ci]
 //! ```
 //!
@@ -10,9 +10,14 @@
 //! CSV against the committed baseline JSON, writes the fresh means to
 //! `<out.json>` (the per-PR artifact), prints a per-bench report, and
 //! exits non-zero when a gated bench (`mcts/*`, `engine/exec_*`,
-//! `service/session_throughput/*`) regressed by more than the threshold —
-//! or went missing. `write-baseline` regenerates the committed baseline
-//! file from a fresh run.
+//! `service/session_throughput/*`, `service/server_throughput/*`)
+//! regressed by more than the threshold — or went missing. With
+//! `--runner <label>`, per-runner means under the baseline's `"runners"`
+//! section override the flat (dev-machine) numbers bench by bench;
+//! benches with no per-runner entry fall back to the flat baseline.
+//! `write-baseline` regenerates the committed baseline file from a fresh
+//! run (flat section only; per-runner entries are promoted by hand from
+//! CI's `BENCH_PR.json` artifacts).
 
 use pi2_bench::gate;
 use std::process::ExitCode;
@@ -20,8 +25,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  bench_gate check <criterion.csv> <BENCH_baseline.json> <out.json> \
-         [--baseline-name ci] [--threshold 1.25]\n  bench_gate write-baseline \
-         <criterion.csv> <out.json> [--baseline-name ci]"
+         [--baseline-name ci] [--threshold 1.25] [--runner <label>]\n  bench_gate \
+         write-baseline <criterion.csv> <out.json> [--baseline-name ci]"
     );
     ExitCode::from(2)
 }
@@ -31,6 +36,7 @@ fn main() -> ExitCode {
     let mut positional: Vec<&str> = Vec::new();
     let mut baseline_name = "ci".to_string();
     let mut threshold = gate::DEFAULT_THRESHOLD;
+    let mut runner: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -40,6 +46,10 @@ fn main() -> ExitCode {
             },
             "--threshold" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(v) => threshold = v,
+                None => return usage(),
+            },
+            "--runner" => match it.next() {
+                Some(v) => runner = Some(v.clone()),
                 None => return usage(),
             },
             other => positional.push(other),
@@ -62,13 +72,16 @@ fn main() -> ExitCode {
                 eprintln!("bench_gate: no '{baseline_name}' rows in {csv_path}");
                 return ExitCode::from(2);
             }
-            let committed = match gate::parse_baseline_json(&baseline) {
+            let committed = match gate::parse_baseline_json_for(&baseline, runner.as_deref()) {
                 Ok(c) => c,
                 Err(e) => {
                     eprintln!("bench_gate: bad baseline {baseline_path}: {e}");
                     return ExitCode::from(2);
                 }
             };
+            if let Some(label) = &runner {
+                println!("bench_gate: gating against runner label {label:?} (flat fallback)");
+            }
             if let Err(e) = std::fs::write(out_path, gate::means_to_json(&fresh)) {
                 eprintln!("bench_gate: cannot write {out_path}: {e}");
                 return ExitCode::from(2);
@@ -99,11 +112,32 @@ fn main() -> ExitCode {
                 eprintln!("bench_gate: no '{baseline_name}' rows in {csv_path}");
                 return ExitCode::from(2);
             }
-            if let Err(e) = std::fs::write(out_path, gate::means_to_json(&fresh)) {
+            // Regeneration replaces the flat (dev-machine) means but must
+            // carry hand-promoted per-runner entries through. A malformed
+            // existing file is an error, not an empty section — silently
+            // dropping promoted entries would quietly widen the CI gate.
+            let runners = match std::fs::read_to_string(out_path) {
+                Ok(existing) => match gate::parse_runners(&existing) {
+                    Ok(runners) => runners,
+                    Err(e) => {
+                        eprintln!(
+                            "bench_gate: refusing to regenerate {out_path}: existing \
+                             baseline is malformed ({e}); fix or remove it first"
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                Err(_) => Default::default(), // no existing baseline file
+            };
+            if let Err(e) = std::fs::write(out_path, gate::baseline_to_json(&fresh, &runners)) {
                 eprintln!("bench_gate: cannot write {out_path}: {e}");
                 return ExitCode::from(2);
             }
-            println!("bench_gate: wrote {} means to {out_path}", fresh.len());
+            println!(
+                "bench_gate: wrote {} means to {out_path} ({} per-runner baseline(s) preserved)",
+                fresh.len(),
+                runners.len()
+            );
             ExitCode::SUCCESS
         }
         _ => usage(),

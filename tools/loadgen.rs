@@ -1,0 +1,148 @@
+//! Load generator for the PI2 HTTP server (logic in `pi2_bench::load`).
+//!
+//! ```text
+//! loadgen [--workload covid|sales|…] [--sessions 8] [--events 200]
+//!         [--addr HOST:PORT] [--fail-on-errors]
+//! ```
+//!
+//! Without `--addr`, boots an in-process `pi2::server` over loopback,
+//! registers the workload, and drives it — the self-contained mode CI's
+//! `server-smoke` step uses. With `--addr`, targets an already-running
+//! server that has the same workload registered under the same name (the
+//! event mix is still recorded from a local generation with the bench
+//! seed, so both sides agree on the interface).
+//!
+//! Each of the N sessions opens its own keep-alive connection, replays the
+//! recorded event mix, and closes; the report prints throughput and
+//! p50/p95/p99 per-event latency. Exit status is non-zero under
+//! `--fail-on-errors` when any response was not a `200` patch.
+
+use pi2::server::ServerConfig;
+use pi2::Pi2Service;
+use pi2_bench::load;
+use pi2_workloads::{all_logs, log, LogKind};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: loadgen [--workload covid] [--sessions 8] [--events 200] \
+         [--addr HOST:PORT] [--fail-on-errors]"
+    );
+    ExitCode::from(2)
+}
+
+fn kind_by_name(name: &str) -> Option<LogKind> {
+    all_logs()
+        .iter()
+        .map(|l| l.kind)
+        .find(|k| log(*k).name == name)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workload = "covid".to_string();
+    let mut sessions: usize = 8;
+    let mut events: usize = 200;
+    let mut addr: Option<String> = None;
+    let mut fail_on_errors = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workload" => match it.next() {
+                Some(v) => workload = v.clone(),
+                None => return usage(),
+            },
+            "--sessions" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => sessions = v,
+                None => return usage(),
+            },
+            "--events" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => events = v,
+                None => return usage(),
+            },
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => return usage(),
+            },
+            "--fail-on-errors" => fail_on_errors = true,
+            _ => return usage(),
+        }
+    }
+    let Some(kind) = kind_by_name(&workload) else {
+        eprintln!(
+            "loadgen: unknown workload {workload:?} (known: {})",
+            all_logs()
+                .iter()
+                .map(|l| l.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::from(2);
+    };
+
+    eprintln!("loadgen: generating {workload} interface (bench config)…");
+    let generation = load::generation_for(kind);
+    let cycle = load::event_cycle(&generation);
+    eprintln!(
+        "loadgen: recorded event mix of {} events over {} interactions",
+        cycle.len(),
+        generation.interface.interactions.len()
+    );
+
+    // Self-contained mode boots a server; --addr targets an external one.
+    let (target, local) = match addr {
+        Some(external) => {
+            let Ok(mut resolved) = std::net::ToSocketAddrs::to_socket_addrs(&external.as_str())
+            else {
+                eprintln!("loadgen: cannot resolve {external}");
+                return ExitCode::from(2);
+            };
+            let Some(target) = resolved.next() else {
+                eprintln!("loadgen: {external} resolved to nothing");
+                return ExitCode::from(2);
+            };
+            (target, None)
+        }
+        None => {
+            let service = Arc::new(Pi2Service::new());
+            if let Err(e) = service.register_generation(&workload, generation) {
+                eprintln!("loadgen: register failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            let server = match pi2::serve(service, ServerConfig::default()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("loadgen: server failed to start: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "loadgen: serving {workload} on http://{}",
+                server.local_addr()
+            );
+            (server.local_addr(), Some(server))
+        }
+    };
+
+    let result = load::run_load(target, &workload, &cycle, sessions, events);
+    let code = match result {
+        Ok(report) => {
+            println!("loadgen[{workload}]: {report}");
+            if fail_on_errors && report.errors > 0 {
+                eprintln!("loadgen: FAIL — {} protocol errors", report.errors);
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("loadgen: run failed: {e}");
+            ExitCode::FAILURE
+        }
+    };
+    if let Some(server) = local {
+        server.shutdown();
+    }
+    code
+}
