@@ -1,0 +1,83 @@
+//! Big-tier benchmarks: morsel-driven parallel execution over the
+//! 10⁷-row synthetic tier (`pi2_workloads::big`), 1 thread vs 8.
+//!
+//! Three shapes, one query each: `engine/exec_big_filter` (selective
+//! scan and count), `engine/exec_big_agg` (dict-key grouping with null-aware
+//! aggregates), `engine/exec_big_join` (sparse-int partitioned hash join).
+//! Each runs at `t1` (parallelism forced to 1 — the single-threaded
+//! vectorized path) and `t8` (8 workers). Parallelism is set per-query via
+//! `ExecContext` overrides, so the numbers are independent of `PI2_*` env
+//! vars; the row threshold is pinned low so scaled-down runs (see below)
+//! still take the parallel path at `t8`.
+//!
+//! This lives in its own bench binary (not `engine.rs`) because the
+//! vendored criterion shim applies its CLI filter inside `bench_function`
+//! — table construction in an unrelated bench binary would still pay the
+//! 10⁷-row build. `PI2_BIG_BENCH_ROWS` scales the tier down (CI uses
+//! this to bound job time); the committed flat baseline is measured at
+//! the full [`BIG_ROWS`].
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pi2_data::Catalog;
+use pi2_engine::{execute, ExecContext};
+use pi2_sql::ast::Query;
+use pi2_sql::parse_query;
+use pi2_workloads::big::{big_catalog, BIG_ROWS};
+
+fn tier_rows() -> usize {
+    std::env::var("PI2_BIG_BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(BIG_ROWS)
+}
+
+/// The three big-tier shapes, as (name, query) pairs.
+fn shapes() -> Vec<(&'static str, Query)> {
+    let q = |sql: &str| parse_query(sql).unwrap();
+    vec![
+        (
+            "exec_big_filter",
+            q("SELECT count(*) FROM covid_big WHERE cases > 30000 AND deaths > 700"),
+        ),
+        (
+            "exec_big_agg",
+            q("SELECT state, count(*), sum(cases), avg(deaths) FROM covid_big GROUP BY state"),
+        ),
+        (
+            "exec_big_join",
+            q(
+                "SELECT c.segment, count(*), sum(o.amount) FROM orders AS o, customers AS c \
+               WHERE o.customer_id = c.id GROUP BY c.segment",
+            ),
+        ),
+    ]
+}
+
+/// An [`ExecContext`] pinned to `width` workers regardless of environment.
+fn ctx_at(cat: &Catalog, width: usize) -> ExecContext<'_> {
+    ExecContext::new(cat)
+        .with_parallelism(width)
+        .with_parallel_row_threshold(1024)
+}
+
+fn bench_big(c: &mut Criterion) {
+    let cat = big_catalog(tier_rows());
+    for (name, query) in shapes() {
+        let mut group = c.benchmark_group(&format!("engine/{name}"));
+        for width in [1usize, 8] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("t{width}")),
+                &query,
+                |b, q| {
+                    let ctx = ctx_at(&cat, width);
+                    b.iter(|| std::hint::black_box(execute(q, &ctx).unwrap()))
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_big);
+criterion_main!(benches);

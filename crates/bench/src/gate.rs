@@ -20,9 +20,10 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Bench-name prefixes whose regressions fail the gate.
-pub const GATED_PREFIXES: [&str; 4] = [
+pub const GATED_PREFIXES: [&str; 5] = [
     "mcts/",
     "engine/exec_",
+    "engine/exec_big_",
     "service/session_throughput/",
     "service/server_throughput/",
 ];
@@ -211,6 +212,39 @@ pub fn is_gated(bench: &str) -> bool {
     GATED_PREFIXES.iter().any(|p| bench.starts_with(p))
 }
 
+/// Promote a CI run's fresh means (a `BENCH_PR<n>.json` artifact) into the
+/// committed baseline's `"runners"` section under `label`, returning the
+/// rewritten baseline file.
+///
+/// Only **gated** benches are promoted — ungated benches never fail the
+/// gate, so per-runner overrides for them would be dead weight. Promoted
+/// means replace the label's previous entry for the same bench; benches
+/// the artifact does not measure keep their existing per-runner mean, and
+/// the flat (dev-machine) section is untouched. This is the maintained
+/// path for turning "CI gates runner numbers against dev numbers under a
+/// wide threshold" into apples-to-apples per-runner gating.
+pub fn promote(
+    baseline_text: &str,
+    pr_means: &BTreeMap<String, f64>,
+    label: &str,
+) -> Result<String, String> {
+    let flat = parse_baseline_json(baseline_text)?;
+    let mut runners = parse_runners(baseline_text)?;
+    let promoted: BTreeMap<String, f64> = pr_means
+        .iter()
+        .filter(|(bench, _)| is_gated(bench))
+        .map(|(bench, &mean)| (bench.clone(), mean))
+        .collect();
+    if promoted.is_empty() {
+        return Err("artifact holds no gated benches to promote".into());
+    }
+    runners
+        .entry(label.to_string())
+        .or_default()
+        .extend(promoted);
+    Ok(baseline_to_json(&flat, &runners))
+}
+
 /// Compare fresh means against the committed baseline. Only gated benches
 /// produce findings; a gated bench missing from the fresh run is a finding
 /// too. Benches new in the fresh run pass (they have no baseline yet).
@@ -396,12 +430,51 @@ mod tests {
     fn gating_prefixes() {
         assert!(is_gated("mcts/explore_30iters"));
         assert!(is_gated("engine/exec_filter/vectorized/8"));
+        assert!(is_gated("engine/exec_big_filter/t8"));
+        assert!(is_gated("engine/exec_big_join/t1"));
         assert!(is_gated("service/session_throughput/covid/warm"));
         assert!(is_gated("service/server_throughput/covid"));
         // Per-log end-to-end benches are informational, not gated — and
         // `engine/exec_` must not swallow `engine/execute_log/*`.
         assert!(!is_gated("engine/execute_log/sdss"));
         assert!(!is_gated("transform/bind_all_filter"));
+    }
+
+    #[test]
+    fn promote_adds_gated_benches_under_runner_label() {
+        let baseline = baseline_to_json(
+            &means(&[("mcts/a", 1000.0), ("engine/exec_big_filter/t8", 500.0)]),
+            &[("macos-14".to_string(), means(&[("mcts/a", 1500.0)]))]
+                .into_iter()
+                .collect(),
+        );
+        let artifact = means(&[
+            ("mcts/a", 3000.0),
+            ("engine/exec_big_filter/t8", 900.0),
+            ("engine/execute_log/sdss", 7.0), // ungated: not promoted
+        ]);
+        let rewritten = promote(&baseline, &artifact, "ubuntu-latest").unwrap();
+        // Flat section untouched; new label holds only the gated benches.
+        assert_eq!(
+            parse_baseline_json(&rewritten).unwrap(),
+            parse_baseline_json(&baseline).unwrap()
+        );
+        let runners = parse_runners(&rewritten).unwrap();
+        assert_eq!(
+            runners["ubuntu-latest"],
+            means(&[("mcts/a", 3000.0), ("engine/exec_big_filter/t8", 900.0)])
+        );
+        // Pre-existing labels survive; re-promoting overwrites per bench.
+        assert_eq!(runners["macos-14"], means(&[("mcts/a", 1500.0)]));
+        let again = promote(&rewritten, &means(&[("mcts/a", 2800.0)]), "ubuntu-latest").unwrap();
+        let runners = parse_runners(&again).unwrap();
+        assert_eq!(runners["ubuntu-latest"]["mcts/a"], 2800.0);
+        assert_eq!(runners["ubuntu-latest"]["engine/exec_big_filter/t8"], 900.0);
+        // A gate under the promoted label now uses the CI numbers.
+        let m = parse_baseline_json_for(&again, Some("ubuntu-latest")).unwrap();
+        assert_eq!(m["mcts/a"], 2800.0);
+        // An artifact with nothing gated is an error, not a no-op.
+        assert!(promote(&baseline, &means(&[("transform/x", 1.0)]), "l").is_err());
     }
 
     #[test]

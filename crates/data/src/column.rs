@@ -105,6 +105,68 @@ impl NullMask {
         }
         out
     }
+
+    /// The packed bitmap words (bit set ⇒ NULL; the tail word's unused
+    /// high bits are zero). Word-level kernels read these directly.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The mask restricted to the contiguous slot range `[lo, hi)` —
+    /// word-level: each output word is stitched from (at most) two input
+    /// words by shifts, not rebuilt bit by bit.
+    pub fn slice(&self, lo: usize, hi: usize) -> NullMask {
+        debug_assert!(lo <= hi && hi <= self.len);
+        let n = hi - lo;
+        if self.nulls == 0 {
+            return NullMask::all_valid(n);
+        }
+        let (base, shift) = (lo / 64, lo % 64);
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for (w, out) in words.iter_mut().enumerate() {
+            let low = self.words.get(base + w).copied().unwrap_or(0) >> shift;
+            let high = if shift == 0 {
+                0
+            } else {
+                self.words.get(base + w + 1).copied().unwrap_or(0) << (64 - shift)
+            };
+            *out = low | high;
+        }
+        if let (Some(last), rem @ 1..) = (words.last_mut(), n % 64) {
+            *last &= (1u64 << rem) - 1;
+        }
+        let nulls = words.iter().map(|w| w.count_ones() as usize).sum();
+        NullMask {
+            words,
+            len: n,
+            nulls,
+        }
+    }
+
+    /// NULL wherever either input is NULL (the validity *intersection*,
+    /// as binary operations with NULL-propagating semantics need) —
+    /// word-level OR over the packed bitmaps.
+    pub fn union(&self, other: &NullMask) -> NullMask {
+        debug_assert_eq!(self.len, other.len);
+        if self.nulls == 0 {
+            return other.clone();
+        }
+        if other.nulls == 0 {
+            return self.clone();
+        }
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        let nulls = words.iter().map(|w| w.count_ones() as usize).sum();
+        NullMask {
+            words,
+            len: self.len,
+            nulls,
+        }
+    }
 }
 
 /// One column of typed values. See the module docs.
@@ -718,6 +780,42 @@ impl ColumnData {
                 nulls: nulls.gather(idx),
             },
             ColumnData::Mixed(values) => ColumnData::Mixed(take(values, idx)),
+        }
+    }
+
+    /// The column restricted to the contiguous row range `[lo, hi)`.
+    /// Cheaper than [`ColumnData::gather`] over `lo..hi`: values are copied
+    /// with `memcpy`-able slice clones, the null bitmap is stitched at word
+    /// level ([`NullMask::slice`]), and dictionaries are shared.
+    pub fn slice(&self, lo: usize, hi: usize) -> ColumnData {
+        debug_assert!(lo <= hi && hi <= self.len());
+        match self {
+            ColumnData::Int64 { values, nulls } => ColumnData::Int64 {
+                values: values[lo..hi].to_vec(),
+                nulls: nulls.slice(lo, hi),
+            },
+            ColumnData::Float64 { values, nulls } => ColumnData::Float64 {
+                values: values[lo..hi].to_vec(),
+                nulls: nulls.slice(lo, hi),
+            },
+            ColumnData::Utf8 { values, nulls } => ColumnData::Utf8 {
+                values: values[lo..hi].to_vec(),
+                nulls: nulls.slice(lo, hi),
+            },
+            ColumnData::Dict { codes, dict, nulls } => ColumnData::Dict {
+                codes: codes[lo..hi].to_vec(),
+                dict: Arc::clone(dict),
+                nulls: nulls.slice(lo, hi),
+            },
+            ColumnData::Bool { values, nulls } => ColumnData::Bool {
+                values: values[lo..hi].to_vec(),
+                nulls: nulls.slice(lo, hi),
+            },
+            ColumnData::Date64 { values, nulls } => ColumnData::Date64 {
+                values: values[lo..hi].to_vec(),
+                nulls: nulls.slice(lo, hi),
+            },
+            ColumnData::Mixed(values) => ColumnData::Mixed(values[lo..hi].to_vec()),
         }
     }
 

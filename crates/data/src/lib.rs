@@ -19,6 +19,7 @@ pub mod column;
 pub mod date;
 pub mod error;
 pub mod hash;
+pub mod kernels;
 pub mod memo;
 pub mod stats;
 pub mod table;

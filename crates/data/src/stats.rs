@@ -5,6 +5,8 @@
 //! a and b's domains"), the cardinality-below-20 categorical rule (§4.1), and
 //! widget initialisation (radio/dropdown option lists).
 
+use crate::column::{f64_ord_key, ColumnData};
+use crate::hash::FastSet;
 use crate::table::Table;
 use crate::value::Value;
 
@@ -30,28 +32,133 @@ impl ColumnStats {
     /// widget domains for borderline columns remain available.
     pub const DISTINCT_RETENTION_LIMIT: usize = 64;
 
-    /// Compute statistics for column `idx` of `table`. Runs over the typed
-    /// column storage: distinct values sort/dedup primitive slices and the
-    /// non-null count reads the null bitmap — no `Value` clones, no
-    /// `Value`-keyed hash sets.
+    /// Compute statistics for column `idx` of `table` in one O(rows) pass
+    /// over the typed storage: distinct values go through a primitive-keyed
+    /// hash set (not a whole-column sort/dedup, which allocated a full copy
+    /// and cost O(rows · log rows) on the 10⁷-row tier), min/max fold
+    /// inline, and the non-null count reads the null bitmap. Only the
+    /// retained distinct-value *list* (at most
+    /// [`ColumnStats::DISTINCT_RETENTION_LIMIT`] entries) is ever sorted.
+    /// The column is read in place — morsel-chunked scans elsewhere never
+    /// re-materialize it here.
     pub fn compute(table: &Table, idx: usize) -> ColumnStats {
-        let distinct = table.distinct_values(idx);
+        // Fold one column variant: `K: the primitive distinct key`, ordered
+        // by `ord`, materialized by `val`. Returns the finished stats so
+        // every variant shares the retention/uniqueness logic.
+        fn fold<K, I, Ord2, V>(rows: I, ord: Ord2, val: V, non_null_total: usize) -> ColumnStats
+        where
+            K: Copy + Eq + std::hash::Hash,
+            I: Iterator<Item = K>,
+            Ord2: Fn(&K, &K) -> std::cmp::Ordering,
+            V: Fn(K) -> Value,
+        {
+            let mut seen: FastSet<K> = FastSet::default();
+            let (mut min, mut max): (Option<K>, Option<K>) = (None, None);
+            for k in rows {
+                seen.insert(k);
+                match &mut min {
+                    Some(m) if ord(&k, m).is_lt() => *m = k,
+                    None => min = Some(k),
+                    _ => {}
+                }
+                match &mut max {
+                    Some(m) if ord(&k, m).is_ge() => *m = k,
+                    None => max = Some(k),
+                    _ => {}
+                }
+            }
+            let distinct_count = seen.len();
+            let distinct_values =
+                (distinct_count <= ColumnStats::DISTINCT_RETENTION_LIMIT).then(|| {
+                    let mut keys: Vec<K> = seen.into_iter().collect();
+                    keys.sort_unstable_by(&ord);
+                    keys.into_iter().map(&val).collect()
+                });
+            ColumnStats {
+                distinct_count,
+                min: min.map(&val),
+                max: max.map(&val),
+                distinct_values,
+                unique: non_null_total == distinct_count,
+            }
+        }
+
+        // Non-null items of a typed column, in row order.
+        fn valid<'a, T>(
+            values: &'a [T],
+            nulls: &'a crate::column::NullMask,
+        ) -> impl Iterator<Item = &'a T> + 'a {
+            values
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !nulls.is_null(*i))
+                .map(|(_, v)| v)
+        }
+
         let non_null_total = table.non_null_count(idx);
-        let min = distinct.first().cloned();
-        let max = distinct.last().cloned();
-        let unique = non_null_total == distinct.len();
-        let distinct_count = distinct.len();
-        let distinct_values = if distinct_count <= Self::DISTINCT_RETENTION_LIMIT {
-            Some(distinct)
-        } else {
-            None
-        };
-        ColumnStats {
-            distinct_count,
-            min,
-            max,
-            distinct_values,
-            unique,
+        match table.col(idx) {
+            ColumnData::Int64 { values, nulls } => fold(
+                valid(values, nulls).copied(),
+                i64::cmp,
+                Value::Int,
+                non_null_total,
+            ),
+            ColumnData::Date64 { values, nulls } => fold(
+                valid(values, nulls).copied(),
+                i64::cmp,
+                Value::Date,
+                non_null_total,
+            ),
+            // Floats key by bit pattern (NaNs and -0.0/0.0 stay distinct,
+            // matching `Table::distinct_values`) and order by the IEEE754
+            // total order.
+            ColumnData::Float64 { values, nulls } => fold(
+                valid(values, nulls).map(|v| v.to_bits()),
+                |a, b| f64_ord_key(f64::from_bits(*a)).cmp(&f64_ord_key(f64::from_bits(*b))),
+                |bits| Value::Float(f64::from_bits(bits)),
+                non_null_total,
+            ),
+            ColumnData::Utf8 { values, nulls } => fold(
+                valid(values, nulls).map(String::as_str),
+                |a, b| a.cmp(b),
+                |s| Value::Str(s.to_string()),
+                non_null_total,
+            ),
+            // Dictionary codes already order like their strings (sorted
+            // dictionary invariant), so a seen-bitmap replaces the hash set.
+            ColumnData::Dict { codes, dict, nulls } => {
+                let mut seen = vec![false; dict.len()];
+                for (i, &c) in codes.iter().enumerate() {
+                    if !nulls.is_null(i) {
+                        seen[c as usize] = true;
+                    }
+                }
+                let used: Vec<u32> = (0..dict.len() as u32)
+                    .filter(|&c| seen[c as usize])
+                    .collect();
+                fold(
+                    used.into_iter(),
+                    u32::cmp,
+                    |c| Value::Str(dict[c as usize].clone()),
+                    non_null_total,
+                )
+            }
+            ColumnData::Bool { values, nulls } => fold(
+                valid(values, nulls).copied(),
+                bool::cmp,
+                Value::Bool,
+                non_null_total,
+            ),
+            // The rare heterogeneous escape hatch pays `Value` clones.
+            ColumnData::Mixed(values) => {
+                let vals: Vec<Value> = values.iter().filter(|v| !v.is_null()).cloned().collect();
+                fold(
+                    vals.iter().collect::<Vec<&Value>>().into_iter(),
+                    |a, b| a.cmp(b),
+                    |v| v.clone(),
+                    non_null_total,
+                )
+            }
         }
     }
 
@@ -65,7 +172,7 @@ impl ColumnStats {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::table::Table;
+    use crate::table::{Column, Table};
     use crate::types::DataType;
 
     fn table_with_ints(vals: Vec<i64>) -> Table {
@@ -116,6 +223,31 @@ mod tests {
         assert!(s.distinct_values.is_none());
         assert_eq!(s.min, Some(Value::Int(0)));
         assert_eq!(s.max, Some(Value::Int(99)));
+    }
+
+    /// The single-pass rewrite on a 10⁷-row generated column: exact
+    /// distinct count, min/max, and no retained value list — without the
+    /// old whole-column sort (this test is why `compute` must stay
+    /// O(rows)).
+    #[test]
+    fn ten_million_row_column_single_pass() {
+        let n = 10_000_000usize;
+        let mut seed = 0x5EEDu64;
+        let values: Vec<i64> = (0..n)
+            .map(|_| {
+                seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let z = (seed ^ (seed >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                (z % 1000) as i64
+            })
+            .collect();
+        let schema = crate::table::Schema::new(vec![Column::new("x", DataType::Int)]);
+        let t = Table::from_columns(schema, vec![ColumnData::ints(values)]).unwrap();
+        let s = ColumnStats::compute(&t, 0);
+        assert_eq!(s.distinct_count, 1000);
+        assert_eq!(s.min, Some(Value::Int(0)));
+        assert_eq!(s.max, Some(Value::Int(999)));
+        assert!(s.distinct_values.is_none());
+        assert!(!s.unique);
     }
 
     #[test]

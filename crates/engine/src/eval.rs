@@ -452,9 +452,8 @@ mod tests {
     fn eval_str(src: &str) -> Value {
         let catalog = ctx_catalog();
         let ctx = ExecContext {
-            catalog: &catalog,
             today: 18_000,
-            scalar_only: false,
+            ..ExecContext::new(&catalog)
         };
         let cols: Vec<(String, String)> = vec![("t".into(), "a".into()), ("t".into(), "b".into())];
         let row = vec![Value::Int(5), Value::Str("CA".into())];
@@ -542,9 +541,8 @@ mod tests {
     fn misplaced_aggregate_is_an_error() {
         let catalog = ctx_catalog();
         let ctx = ExecContext {
-            catalog: &catalog,
             today: 0,
-            scalar_only: false,
+            ..ExecContext::new(&catalog)
         };
         let cols: Vec<(String, String)> = vec![];
         let row: Vec<Value> = vec![];
@@ -564,9 +562,8 @@ mod tests {
     fn aggregate_over_group() {
         let catalog = ctx_catalog();
         let ctx = ExecContext {
-            catalog: &catalog,
             today: 0,
-            scalar_only: false,
+            ..ExecContext::new(&catalog)
         };
         let cols: Vec<(String, String)> = vec![("t".into(), "x".into())];
         let rows: Vec<Vec<Value>> = vec![
@@ -595,9 +592,8 @@ mod tests {
     fn aggregates_over_empty_groups() {
         let catalog = ctx_catalog();
         let ctx = ExecContext {
-            catalog: &catalog,
             today: 0,
-            scalar_only: false,
+            ..ExecContext::new(&catalog)
         };
         let cols: Vec<(String, String)> = vec![("t".into(), "x".into())];
         let group = GroupCtx {

@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 /// Execution context: the catalogue (which owns the table data) and the
 /// fixed "today" used by `today()` so runs are deterministic.
+#[derive(Clone, Copy)]
 pub struct ExecContext<'a> {
     /// The catalog.
     pub catalog: &'a Catalog,
@@ -34,6 +35,14 @@ pub struct ExecContext<'a> {
     /// Route every (sub)query through the scalar reference interpreter
     /// instead of the vectorized executor.
     pub scalar_only: bool,
+    /// Per-query override of the engine-wide `parallelism` knob
+    /// (`Some(1)` pins this query single-threaded; see
+    /// [`crate::pool::EngineConfig`]).
+    pub parallelism: Option<usize>,
+    /// Per-query override of the engine-wide parallel row threshold.
+    pub parallel_row_threshold: Option<usize>,
+    /// Per-query override of the engine-wide morsel size.
+    pub morsel_rows: Option<usize>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -45,6 +54,9 @@ impl<'a> ExecContext<'a> {
             catalog,
             today: 18_809,
             scalar_only: false,
+            parallelism: None,
+            parallel_row_threshold: None,
+            morsel_rows: None,
         }
     }
 
@@ -54,6 +66,26 @@ impl<'a> ExecContext<'a> {
             scalar_only: true,
             ..ExecContext::new(catalog)
         }
+    }
+
+    /// Pin this query's worker width (overrides the engine-wide knob;
+    /// `0` = one per available core).
+    pub fn with_parallelism(mut self, width: usize) -> Self {
+        self.parallelism = Some(width);
+        self
+    }
+
+    /// Override the row-count threshold below which this query stays on the
+    /// single-threaded path.
+    pub fn with_parallel_row_threshold(mut self, rows: usize) -> Self {
+        self.parallel_row_threshold = Some(rows);
+        self
+    }
+
+    /// Override the rows-per-morsel grain for this query.
+    pub fn with_morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = Some(rows);
+        self
     }
 }
 
@@ -67,9 +99,8 @@ pub fn execute(query: &Query, ctx: &ExecContext<'_>) -> Result<Table, EngineErro
 /// behaviorally identical to [`execute`].
 pub fn execute_scalar(query: &Query, ctx: &ExecContext<'_>) -> Result<Table, EngineError> {
     let scalar_ctx = ExecContext {
-        catalog: ctx.catalog,
-        today: ctx.today,
         scalar_only: true,
+        ..*ctx
     };
     crate::scalar::execute_scalar_with_scope(query, &scalar_ctx, None)
 }
@@ -101,8 +132,13 @@ fn execute_vectorized(
     // on zero rows (the scalar interpreter never evaluates it then).
     if rel.len > 0 {
         if let Some(pred) = residual.as_deref() {
-            let v = eval_vec(pred, &rel, ctx, outer)?;
-            let sel = truthy_indices(&v, rel.len);
+            let sel = match crate::par::parallel_truthy(pred, &rel, ctx, outer) {
+                Some(sel) => sel?,
+                None => {
+                    let v = eval_vec(pred, &rel, ctx, outer)?;
+                    truthy_indices(&v, rel.len)
+                }
+            };
             if sel.len() < rel.len {
                 rel = rel.gather(&sel);
             }
@@ -138,6 +174,12 @@ fn build_groups(
         .iter()
         .map(|g| Ok(eval_vec(g, rel, ctx, outer)?.into_column(rel.len)))
         .collect::<Result<_, EngineError>>()?;
+    // Parallel path: per-morsel partial tables merged in morsel order
+    // (identical first-encounter group order). Engages only over the row
+    // threshold and when every key column yields exact integer keys.
+    if let Some(groups) = crate::par::parallel_group_exact(&keycols, rel.len, ctx) {
+        return Ok(groups);
+    }
     let mut groups: Vec<Vec<u32>> = Vec::new();
     // Single typed key: group through a direct typed map.
     if keycols.len() == 1 {
@@ -230,7 +272,7 @@ fn build_groups(
 /// A key column whose rows reduce to exact `u64` ids: two rows of the
 /// *same* column are [`ColumnData::eq_at`]-equal iff their ids (and null
 /// flags) are equal. Strings and `Mixed` columns don't qualify.
-enum ExactKeyCol<'a> {
+pub(crate) enum ExactKeyCol<'a> {
     /// i64-valued (Int64/Date64).
     I64(&'a [i64], &'a NullMask),
     /// Floats compare by bits under `eq_at`.
@@ -242,7 +284,7 @@ enum ExactKeyCol<'a> {
 }
 
 impl ExactKeyCol<'_> {
-    fn of(c: &ColumnData) -> Option<ExactKeyCol<'_>> {
+    pub(crate) fn of(c: &ColumnData) -> Option<ExactKeyCol<'_>> {
         match c {
             ColumnData::Int64 { values, nulls } | ColumnData::Date64 { values, nulls } => {
                 Some(ExactKeyCol::I64(values, nulls))
@@ -256,7 +298,7 @@ impl ExactKeyCol<'_> {
 
     /// The row's exact id; `None` marks NULL.
     #[inline]
-    fn key(&self, i: usize) -> Option<u64> {
+    pub(crate) fn key(&self, i: usize) -> Option<u64> {
         match self {
             ExactKeyCol::I64(v, n) => (!n.is_null(i)).then(|| v[i] as u64),
             ExactKeyCol::F64(v, n) => (!n.is_null(i)).then(|| v[i].to_bits()),
@@ -269,7 +311,7 @@ impl ExactKeyCol<'_> {
 /// FNV-style fold of one row's exact keys (the one hashing scheme the
 /// exact-key grouping and DISTINCT paths share, so they cannot drift).
 #[inline]
-fn hash_exact_keys(keyers: &[ExactKeyCol<'_>], i: usize) -> u64 {
+pub(crate) fn hash_exact_keys(keyers: &[ExactKeyCol<'_>], i: usize) -> u64 {
     #[inline]
     fn mix(h: u64, x: u64) -> u64 {
         (h ^ x).wrapping_mul(0x100_0000_01b3)
@@ -478,7 +520,7 @@ fn exec_projection(
         let descs: Vec<bool> = query.order_by.iter().map(|o| o.desc).collect();
         // Stable sort on a row permutation: equal keys keep input order,
         // like the scalar interpreter's Vec::sort_by.
-        idx.sort_by(|&a, &b| {
+        let cmp = |a: u32, b: u32| {
             for (k, key) in key_vecs.iter().enumerate() {
                 let ord = vec_cmp_at(key, a as usize, b as usize);
                 let ord = if descs[k] { ord.reverse() } else { ord };
@@ -487,7 +529,11 @@ fn exec_projection(
                 }
             }
             std::cmp::Ordering::Equal
-        });
+        };
+        let limit = query.limit.map(|l| l as usize);
+        if !crate::par::parallel_sort_idx(&mut idx, &cmp, limit, ctx) {
+            idx.sort_by(|&a, &b| cmp(a, b));
+        }
     }
     if let Some(l) = query.limit {
         idx.truncate(l as usize);
@@ -673,8 +719,13 @@ fn apply_side_filter(
         if rel.len == 0 {
             break;
         }
-        let v = eval_vec(c, &rel, ctx, outer)?;
-        let sel = truthy_indices(&v, rel.len);
+        let sel = match crate::par::parallel_truthy(c, &rel, ctx, outer) {
+            Some(sel) => sel?,
+            None => {
+                let v = eval_vec(c, &rel, ctx, outer)?;
+                truthy_indices(&v, rel.len)
+            }
+        };
         if sel.len() < rel.len {
             rel = rel.gather(&sel);
         }
@@ -758,7 +809,7 @@ fn eval_from_vec<'q>(
                 ctx,
                 outer,
             )?;
-            let rel = hash_join_rel(left_rel, lc, right_rel, rc);
+            let rel = hash_join_rel(left_rel, lc, right_rel, rc, ctx);
             let residual = residual.into_iter().cloned().reduce(|a, b| Expr::Binary {
                 left: Box::new(a),
                 op: BinOp::And,
@@ -844,6 +895,7 @@ fn hash_join_rel(
     left_col: usize,
     right: VecRelation,
     right_col: usize,
+    ctx: &ExecContext<'_>,
 ) -> VecRelation {
     let lkey = Arc::clone(left.column(left_col));
     let rkey = Arc::clone(right.column(right_col));
@@ -862,6 +914,26 @@ fn hash_join_rel(
             ridx.push(r);
             r = next[r as usize];
         }
+    }
+    // Probe driver: over the threshold, left-side morsels probe in
+    // parallel and concatenate in morsel order (identical to the
+    // sequential ascending-row scan); otherwise one inline loop. Generic
+    // so the sequential loop stays monomorphized — paper-scale joins never
+    // pay a dyn call per probed row.
+    let n_left = left.len;
+    fn run_probe<F: Fn(usize, &mut Vec<u32>, &mut Vec<u32>) + Sync>(
+        n_left: usize,
+        ctx: &ExecContext<'_>,
+        f: F,
+    ) -> (Vec<u32>, Vec<u32>) {
+        if let Some(out) = crate::par::parallel_probe(n_left, ctx, &f) {
+            return out;
+        }
+        let (mut l, mut r) = (Vec::new(), Vec::new());
+        for i in 0..n_left {
+            f(i, &mut l, &mut r);
+        }
+        (l, r)
     }
     match (lkey.as_ref(), rkey.as_ref()) {
         (
@@ -909,32 +981,48 @@ fn hash_join_rel(
                         head[slot] = i as u32;
                     }
                 }
-                for (i, v) in lv.iter().enumerate() {
-                    if !ln.is_null(i) && *v >= min && *v <= max {
-                        let r = head[(*v as i128 - min as i128) as usize];
+                let (li, ri) = run_probe(n_left, ctx, |i, lidx, ridx| {
+                    let v = lv[i];
+                    if !ln.is_null(i) && v >= min && v <= max {
+                        let r = head[(v as i128 - min as i128) as usize];
                         if r != NONE {
-                            probe(&next, &mut lidx, &mut ridx, i as u32, r);
+                            probe(&next, lidx, ridx, i as u32, r);
                         }
                     }
-                }
+                });
+                (lidx, ridx) = (li, ri);
             } else {
-                let mut head: FastMap<i64, u32> =
-                    FastMap::with_capacity_and_hasher(rn_rows, Default::default());
-                for (i, v) in rv.iter().enumerate().rev() {
-                    if !rn.is_null(i) {
-                        if let Some(&h) = head.get(v) {
-                            next[i] = h;
+                // Sparse keys: partitioned parallel build over the
+                // threshold (per-worker partial tables whose chains land in
+                // disjoint `next` slots), else one sequential map. Lookups
+                // route by the same key→partition function either way.
+                let heads: Vec<FastMap<i64, u32>> =
+                    match crate::par::parallel_int_build(rv, rn, &mut next, ctx) {
+                        Some(heads) => heads,
+                        None => {
+                            let mut head: FastMap<i64, u32> =
+                                FastMap::with_capacity_and_hasher(rn_rows, Default::default());
+                            for (i, v) in rv.iter().enumerate().rev() {
+                                if !rn.is_null(i) {
+                                    if let Some(&h) = head.get(v) {
+                                        next[i] = h;
+                                    }
+                                    head.insert(*v, i as u32);
+                                }
+                            }
+                            vec![head]
                         }
-                        head.insert(*v, i as u32);
-                    }
-                }
-                for (i, v) in lv.iter().enumerate() {
+                    };
+                let (li, ri) = run_probe(n_left, ctx, |i, lidx, ridx| {
                     if !ln.is_null(i) {
-                        if let Some(&r) = head.get(v) {
-                            probe(&next, &mut lidx, &mut ridx, i as u32, r);
+                        let v = lv[i];
+                        let p = crate::par::int_partition(v, heads.len());
+                        if let Some(&r) = heads[p].get(&v) {
+                            probe(&next, lidx, ridx, i as u32, r);
                         }
                     }
-                }
+                });
+                (lidx, ridx) = (li, ri);
             }
         }
         (
@@ -977,21 +1065,22 @@ fn hash_join_rel(
                         .collect(),
                 )
             };
-            for (i, c) in lc.iter().enumerate() {
+            let (li, ri) = run_probe(n_left, ctx, |i, lidx, ridx| {
                 if ln.is_null(i) {
-                    continue;
+                    return;
                 }
                 let rc = match &trans {
-                    None => Some(*c),
-                    Some(t) => t[*c as usize],
+                    None => Some(lc[i]),
+                    Some(t) => t[lc[i] as usize],
                 };
                 if let Some(rc) = rc {
                     let r = head[rc as usize];
                     if r != NONE {
-                        probe(&next, &mut lidx, &mut ridx, i as u32, r);
+                        probe(&next, lidx, ridx, i as u32, r);
                     }
                 }
-            }
+            });
+            (lidx, ridx) = (li, ri);
         }
         (
             ColumnData::Utf8 { .. } | ColumnData::Dict { .. },
@@ -1009,13 +1098,14 @@ fn hash_join_rel(
                     head.insert(s, i as u32);
                 }
             }
-            for i in 0..left.len {
+            let (li, ri) = run_probe(n_left, ctx, |i, lidx, ridx| {
                 if let Some(s) = lkey.str_at(i) {
                     if let Some(&r) = head.get(s) {
-                        probe(&next, &mut lidx, &mut ridx, i as u32, r);
+                        probe(&next, lidx, ridx, i as u32, r);
                     }
                 }
-            }
+            });
+            (lidx, ridx) = (li, ri);
         }
         _ => {
             // Generic keys replicate the scalar join's `Value` hash/equality

@@ -22,9 +22,12 @@ pub mod analyze;
 pub mod error;
 pub mod eval;
 pub mod exec;
+mod par;
+pub mod pool;
 mod scalar;
 mod vector;
 
 pub use analyze::{analyze_query, ColType, OutCol, QueryInfo};
 pub use error::EngineError;
 pub use exec::{execute, execute_scalar, ExecContext};
+pub use pool::{engine_config, set_engine_config, EngineConfig};

@@ -1,0 +1,502 @@
+//! Morsel-driven parallel execution.
+//!
+//! Every helper here is a *drop-in* parallelization of one sequential stage
+//! of the vectorized executor, engineered to be bit-identical to it for any
+//! worker width (the differential tests pin widths 1, 2 and 8 against the
+//! scalar reference):
+//!
+//! * results concatenate in **morsel order**, which equals the sequential
+//!   ascending-row order because morsels are contiguous ranges;
+//! * grouping merges per-morsel partial tables in morsel order, which
+//!   reproduces the sequential first-encounter group order;
+//! * per-group aggregation chunks whole groups (a group's rows are never
+//!   split, so float accumulation never reassociates);
+//! * the first error by morsel order is reported, which is the first error
+//!   by row order — exactly what the sequential loop raises;
+//! * ORDER BY sorts contiguous chunks and merges preferring the earliest
+//!   chunk on ties, reproducing a stable sort of the whole permutation.
+//!
+//! Each helper returns `None` (or `false`) when the stage should stay on
+//! the sequential path: below the row threshold, at width 1, or already
+//! inside a pool worker. Columns are shared with workers as `Arc`s; worker
+//! morsels view them through [`LazyCol::windowed`] — no copies.
+
+use crate::error::EngineError;
+use crate::eval::Scope;
+use crate::exec::{hash_exact_keys, ExactKeyCol, ExecContext};
+use crate::pool::{self, engine_config, resolve_parallelism};
+use crate::vector::{aggregate_over, eval_vec, truthy_indices, LazyCol, SelVec, VecRelation};
+use pi2_data::column::{ColumnData, NullMask};
+use pi2_data::hash::FastMap;
+use pi2_data::kernels::morsel_ranges;
+use pi2_data::{DataType, Value};
+use pi2_sql::ast::Expr;
+use std::sync::Arc;
+
+/// The resolved per-query parallel configuration: engine-wide knobs with
+/// the [`ExecContext`] per-query overrides applied.
+pub(crate) struct ParCfg {
+    width: usize,
+    threshold: usize,
+    morsel: usize,
+}
+
+impl ParCfg {
+    fn of(ctx: &ExecContext<'_>) -> ParCfg {
+        let cfg = engine_config();
+        ParCfg {
+            width: resolve_parallelism(ctx.parallelism.unwrap_or(cfg.parallelism)),
+            threshold: ctx
+                .parallel_row_threshold
+                .unwrap_or(cfg.parallel_row_threshold),
+            morsel: ctx.morsel_rows.unwrap_or(cfg.morsel_rows).max(1),
+        }
+    }
+
+    /// Whether the parallel path engages for a stage over `rows` input
+    /// rows. Never inside a pool worker: nested stages run inline there,
+    /// so the windowing scaffolding would be pure overhead.
+    fn engages(&self, rows: usize) -> bool {
+        self.width > 1 && rows >= self.threshold && !pool::in_worker()
+    }
+}
+
+/// Send/Sync snapshot of a relation for worker-local morsel windows: each
+/// column as its `(storage, selection)` parts plus the shared header.
+struct RelSnapshot {
+    cols: Arc<Vec<(String, String)>>,
+    types: Arc<Vec<DataType>>,
+    parts: Vec<(Arc<ColumnData>, Option<SelVec>)>,
+}
+
+impl RelSnapshot {
+    fn of(rel: &VecRelation) -> RelSnapshot {
+        RelSnapshot {
+            cols: Arc::clone(&rel.cols),
+            types: Arc::clone(&rel.types),
+            parts: rel.columns.iter().map(LazyCol::parts).collect(),
+        }
+    }
+
+    /// The rows `[lo, hi)` of the snapshot as a worker-local relation.
+    /// Dense columns become lazy windows (sliced only if read); selected
+    /// columns narrow their selection, shared across columns that share
+    /// one selection vector.
+    fn window(&self, lo: usize, hi: usize) -> VecRelation {
+        let mut memo: Vec<(*const Vec<u32>, SelVec)> = Vec::new();
+        let columns = self
+            .parts
+            .iter()
+            .map(|(base, sel)| match sel {
+                None => LazyCol::windowed(Arc::clone(base), lo, hi),
+                Some(sel) => {
+                    let key: *const Vec<u32> = Arc::as_ptr(sel);
+                    let win = match memo.iter().find(|(k, _)| *k == key) {
+                        Some((_, w)) => Arc::clone(w),
+                        None => {
+                            let w: SelVec = Arc::new(sel[lo..hi].to_vec());
+                            memo.push((key, Arc::clone(&w)));
+                            w
+                        }
+                    };
+                    LazyCol::selected(Arc::clone(base), win)
+                }
+            })
+            .collect();
+        VecRelation {
+            cols: Arc::clone(&self.cols),
+            types: Arc::clone(&self.types),
+            columns,
+            len: hi - lo,
+        }
+    }
+}
+
+/// Parallel WHERE: evaluate `pred` over morsel windows of `rel` and
+/// concatenate the per-morsel selection vectors (offset back to relation
+/// rows) in morsel order. `None` when the stage stays sequential.
+pub(crate) fn parallel_truthy(
+    pred: &Expr,
+    rel: &VecRelation,
+    ctx: &ExecContext<'_>,
+    outer: Option<&Scope<'_>>,
+) -> Option<Result<Vec<u32>, EngineError>> {
+    let cfg = ParCfg::of(ctx);
+    if !cfg.engages(rel.len) {
+        return None;
+    }
+    let ranges = morsel_ranges(rel.len, cfg.morsel);
+    if ranges.len() < 2 {
+        return None;
+    }
+    let snap = RelSnapshot::of(rel);
+    let results = pool::run_morsels(cfg.width, ranges.len(), |m| {
+        let (lo, hi) = ranges[m];
+        let w = snap.window(lo, hi);
+        let v = eval_vec(pred, &w, ctx, outer)?;
+        let mut sel = truthy_indices(&v, w.len);
+        for s in &mut sel {
+            *s += lo as u32;
+        }
+        Ok::<_, EngineError>(sel)
+    });
+    let mut out = Vec::new();
+    for r in results {
+        match r {
+            Ok(sel) => out.extend(sel),
+            // First error by morsel order = first error by row order.
+            Err(e) => return Some(Err(e)),
+        }
+    }
+    Some(Ok(out))
+}
+
+/// Parallel exact-key grouping: per-morsel partial tables, then a merge in
+/// morsel order. Local groups keep their first-encounter order and their
+/// ascending row order; merging morsels in order therefore reproduces the
+/// sequential global first-encounter group order with ascending rows.
+/// `None` when some key column has no exact integer keys or the stage
+/// stays sequential.
+pub(crate) fn parallel_group_exact(
+    keycols: &[Arc<ColumnData>],
+    n: usize,
+    ctx: &ExecContext<'_>,
+) -> Option<Vec<Vec<u32>>> {
+    let cfg = ParCfg::of(ctx);
+    if !cfg.engages(n) {
+        return None;
+    }
+    // Every key column must qualify (checked once, on the caller's thread).
+    keycols
+        .iter()
+        .map(|c| ExactKeyCol::of(c))
+        .collect::<Option<Vec<_>>>()?;
+    let ranges = morsel_ranges(n, cfg.morsel);
+    if ranges.len() < 2 {
+        return None;
+    }
+    // Phase 1: per-morsel partial tables — (representative row, rows).
+    let partials: Vec<Vec<(u32, Vec<u32>)>> = pool::run_morsels(cfg.width, ranges.len(), |m| {
+        let keyers: Vec<ExactKeyCol<'_>> = keycols
+            .iter()
+            .map(|c| ExactKeyCol::of(c).expect("checked above"))
+            .collect();
+        let (lo, hi) = ranges[m];
+        let mut buckets: FastMap<u64, Vec<(u32, u32)>> = FastMap::default();
+        let mut local: Vec<(u32, Vec<u32>)> = Vec::new();
+        for i in lo..hi {
+            let h = hash_exact_keys(&keyers, i);
+            let bucket = buckets.entry(h).or_default();
+            let hit = bucket
+                .iter()
+                .find(|(rep, _)| keyers.iter().all(|k| k.key(i) == k.key(*rep as usize)))
+                .map(|(_, g)| *g);
+            match hit {
+                Some(g) => local[g as usize].1.push(i as u32),
+                None => {
+                    bucket.push((i as u32, local.len() as u32));
+                    local.push((i as u32, vec![i as u32]));
+                }
+            }
+        }
+        local
+    });
+    // Phase 2: merge partials in morsel order.
+    let keyers: Vec<ExactKeyCol<'_>> = keycols
+        .iter()
+        .map(|c| ExactKeyCol::of(c).expect("checked above"))
+        .collect();
+    let mut groups: Vec<Vec<u32>> = Vec::new();
+    let mut buckets: FastMap<u64, Vec<(u32, u32)>> = FastMap::default();
+    for local in partials {
+        for (rep, rows) in local {
+            let h = hash_exact_keys(&keyers, rep as usize);
+            let bucket = buckets.entry(h).or_default();
+            let hit = bucket
+                .iter()
+                .find(|(r, _)| {
+                    keyers
+                        .iter()
+                        .all(|k| k.key(rep as usize) == k.key(*r as usize))
+                })
+                .map(|(_, g)| *g);
+            match hit {
+                Some(g) => groups[g as usize].extend(rows),
+                None => {
+                    bucket.push((rep, groups.len() as u32));
+                    groups.push(rows);
+                }
+            }
+        }
+    }
+    Some(groups)
+}
+
+/// Parallel per-group aggregation: contiguous chunks of whole groups run
+/// concurrently and concatenate in chunk order. Values are independent per
+/// group, and the first error by chunk order is the first error by group
+/// order. `None` when the stage stays sequential (gated on the *row* count
+/// feeding the groups, not the group count).
+pub(crate) fn parallel_aggregate_over(
+    lname: &str,
+    name: &str,
+    col: &ColumnData,
+    groups: &[Vec<u32>],
+    total_rows: usize,
+    ctx: &ExecContext<'_>,
+) -> Option<Result<Vec<Value>, EngineError>> {
+    let cfg = ParCfg::of(ctx);
+    if groups.len() < 2 || !cfg.engages(total_rows) {
+        return None;
+    }
+    // A few chunks per worker so one heavy group doesn't serialize its
+    // whole chunk's siblings behind it.
+    let per_chunk = groups.len().div_ceil(cfg.width * 4).max(1);
+    let ranges = morsel_ranges(groups.len(), per_chunk);
+    if ranges.len() < 2 {
+        return None;
+    }
+    let results = pool::run_morsels(cfg.width, ranges.len(), |m| {
+        let (lo, hi) = ranges[m];
+        let mut out = Vec::with_capacity(hi - lo);
+        for idx in &groups[lo..hi] {
+            out.push(aggregate_over(lname, name, col, idx)?);
+        }
+        Ok::<_, EngineError>(out)
+    });
+    let mut out = Vec::with_capacity(groups.len());
+    for r in results {
+        match r {
+            Ok(vals) => out.extend(vals),
+            Err(e) => return Some(Err(e)),
+        }
+    }
+    Some(Ok(out))
+}
+
+/// Parallel stable ORDER BY on a row permutation: sort contiguous chunks
+/// concurrently, then merge preferring the earliest chunk on ties. Because
+/// chunks partition the input in order, "earliest chunk wins ties" is
+/// exactly the stable-sort tie rule. With a LIMIT each chunk pre-truncates
+/// (a row outside its own chunk's top-l cannot be in the global top-l).
+/// Returns `false` when the stage stays sequential (`idx` untouched).
+pub(crate) fn parallel_sort_idx(
+    idx: &mut Vec<u32>,
+    cmp: &(dyn Fn(u32, u32) -> std::cmp::Ordering + Sync),
+    limit: Option<usize>,
+    ctx: &ExecContext<'_>,
+) -> bool {
+    let cfg = ParCfg::of(ctx);
+    if !cfg.engages(idx.len()) {
+        return false;
+    }
+    // One chunk per worker: sorting dominates, and fewer runs make the
+    // sequential merge cheaper.
+    let per_chunk = idx.len().div_ceil(cfg.width).max(1);
+    let ranges = morsel_ranges(idx.len(), per_chunk);
+    if ranges.len() < 2 {
+        return false;
+    }
+    let idx_ref: &[u32] = idx;
+    let chunks: Vec<Vec<u32>> = pool::run_morsels(cfg.width, ranges.len(), |m| {
+        let (lo, hi) = ranges[m];
+        let mut part = idx_ref[lo..hi].to_vec();
+        part.sort_by(|&a, &b| cmp(a, b));
+        if let Some(l) = limit {
+            part.truncate(l);
+        }
+        part
+    });
+    let total: usize = chunks.iter().map(Vec::len).sum();
+    let keep = limit.map_or(total, |l| l.min(total));
+    let mut pos = vec![0usize; chunks.len()];
+    let mut out = Vec::with_capacity(keep);
+    while out.len() < keep {
+        let mut best: Option<usize> = None;
+        for (c, chunk) in chunks.iter().enumerate() {
+            if pos[c] >= chunk.len() {
+                continue;
+            }
+            best = Some(match best {
+                None => c,
+                Some(b) if cmp(chunk[pos[c]], chunks[b][pos[b]]).is_lt() => c,
+                Some(b) => b,
+            });
+        }
+        match best {
+            Some(b) => {
+                out.push(chunks[b][pos[b]]);
+                pos[b] += 1;
+            }
+            None => break,
+        }
+    }
+    *idx = out;
+    true
+}
+
+/// Parallel hash-join probe: left-side morsels probe the (finished, shared)
+/// build index concurrently; per-morsel `(lidx, ridx)` pairs concatenate in
+/// morsel order, which is the sequential ascending-left-row probe order.
+/// `None` when the stage stays sequential.
+pub(crate) type ProbeFn<'a> = &'a (dyn Fn(usize, &mut Vec<u32>, &mut Vec<u32>) + Sync);
+
+pub(crate) fn parallel_probe(
+    n_left: usize,
+    ctx: &ExecContext<'_>,
+    probe_one: ProbeFn<'_>,
+) -> Option<(Vec<u32>, Vec<u32>)> {
+    let cfg = ParCfg::of(ctx);
+    if !cfg.engages(n_left) {
+        return None;
+    }
+    let ranges = morsel_ranges(n_left, cfg.morsel);
+    if ranges.len() < 2 {
+        return None;
+    }
+    let parts = pool::run_morsels(cfg.width, ranges.len(), |m| {
+        let (lo, hi) = ranges[m];
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        for i in lo..hi {
+            probe_one(i, &mut l, &mut r);
+        }
+        (l, r)
+    });
+    let matches: usize = parts.iter().map(|(l, _)| l.len()).sum();
+    let mut lidx = Vec::with_capacity(matches);
+    let mut ridx = Vec::with_capacity(matches);
+    for (l, r) in parts {
+        lidx.extend(l);
+        ridx.extend(r);
+    }
+    Some((lidx, ridx))
+}
+
+/// The build-side partition of an integer join key. Any deterministic
+/// function of the value works — a key's whole duplicate chain lands in
+/// one partition, so the chains (and every probe result) are identical for
+/// any partition count.
+#[inline]
+pub(crate) fn int_partition(v: i64, partitions: usize) -> usize {
+    if partitions <= 1 {
+        return 0;
+    }
+    ((v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 32) as usize % partitions
+}
+
+/// Disjoint-slot writer for the shared join `next` array: partitions write
+/// only their own rows' slots, so concurrent writes never alias.
+struct DisjointWriter {
+    ptr: *mut u32,
+    len: usize,
+}
+
+// SAFETY: every `set` target index belongs to exactly one partition (see
+// `int_partition`), and each partition is claimed by exactly one pool task,
+// so no two threads ever write the same slot; the caller joins all tasks
+// before reading.
+unsafe impl Sync for DisjointWriter {}
+
+impl DisjointWriter {
+    fn new(v: &mut [u32]) -> DisjointWriter {
+        DisjointWriter {
+            ptr: v.as_mut_ptr(),
+            len: v.len(),
+        }
+    }
+
+    #[inline]
+    fn set(&self, i: usize, val: u32) {
+        debug_assert!(i < self.len);
+        // SAFETY: `i < len`, and slot disjointness per the invariant above.
+        unsafe { *self.ptr.add(i) = val };
+    }
+}
+
+/// Partitioned parallel build of the sparse-integer join index: right-side
+/// morsels route their non-null rows to key partitions, then each partition
+/// builds its own hash table, chaining duplicates through the shared `next`
+/// array (disjoint slots per partition). The per-key chains are identical
+/// to the sequential single-map build. `None` when the build stays
+/// sequential.
+pub(crate) fn parallel_int_build(
+    rv: &[i64],
+    rn: &NullMask,
+    next: &mut [u32],
+    ctx: &ExecContext<'_>,
+) -> Option<Vec<FastMap<i64, u32>>> {
+    let cfg = ParCfg::of(ctx);
+    let n = rv.len();
+    if !cfg.engages(n) {
+        return None;
+    }
+    let ranges = morsel_ranges(n, cfg.morsel);
+    if ranges.len() < 2 {
+        return None;
+    }
+    let partitions = cfg.width;
+    // Phase 1: route rows to partitions, morsel-parallel.
+    let routed: Vec<Vec<Vec<u32>>> = pool::run_morsels(cfg.width, ranges.len(), |m| {
+        let (lo, hi) = ranges[m];
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); partitions];
+        for i in lo..hi {
+            if !rn.is_null(i) {
+                buckets[int_partition(rv[i], partitions)].push(i as u32);
+            }
+        }
+        buckets
+    });
+    // Concatenating morsels in order keeps each partition's rows ascending.
+    let mut part_rows: Vec<Vec<u32>> = vec![Vec::new(); partitions];
+    for morsel in routed {
+        for (p, rows) in morsel.into_iter().enumerate() {
+            part_rows[p].extend(rows);
+        }
+    }
+    // Phase 2: per-partition chain build (reverse row order keeps chains
+    // ascending, matching the sequential build).
+    let writer = DisjointWriter::new(next);
+    let heads: Vec<FastMap<i64, u32>> = pool::run_morsels(cfg.width, partitions, |p| {
+        let rows = &part_rows[p];
+        let mut head: FastMap<i64, u32> =
+            FastMap::with_capacity_and_hasher(rows.len(), Default::default());
+        for &i in rows.iter().rev() {
+            let v = rv[i as usize];
+            if let Some(&h) = head.get(&v) {
+                writer.set(i as usize, h);
+            }
+            head.insert(v, i);
+        }
+        head
+    });
+    Some(heads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_partition_is_stable_and_in_range() {
+        for parts in [1usize, 2, 3, 8] {
+            for v in [-5i64, -1, 0, 1, 7, 1 << 40, i64::MIN, i64::MAX] {
+                let p = int_partition(v, parts);
+                assert!(p < parts.max(1));
+                assert_eq!(p, int_partition(v, parts));
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_writer_writes_slots() {
+        let mut v = vec![0u32; 8];
+        {
+            let w = DisjointWriter::new(&mut v);
+            w.set(3, 42);
+            w.set(7, 9);
+        }
+        assert_eq!(v[3], 42);
+        assert_eq!(v[7], 9);
+    }
+}

@@ -1,0 +1,340 @@
+//! The shared engine thread pool and the engine-wide parallelism config.
+//!
+//! Morsel-driven execution (see `par`) splits a query's row range into
+//! fixed-size morsels and runs them on this pool with dynamic dispatch:
+//! a job exposes one atomic claim counter, every participating thread
+//! (pool workers *and* the submitting thread) repeatedly claims the next
+//! unclaimed morsel until none remain. Fast workers therefore steal load
+//! from slow ones without per-worker queues — the work-stealing effect
+//! with none of the deque machinery.
+//!
+//! The pool is process-wide and lazy: threads spawn on first use, grow up
+//! to the requested width (capped at [`MAX_POOL_THREADS`]), and are shared
+//! by every session. Nested submissions from a worker thread run inline,
+//! so the pool cannot deadlock on itself.
+//!
+//! [`EngineConfig`] carries the three knobs — `parallelism` (0 = one per
+//! available core), `parallel_row_threshold` (below it queries stay on the
+//! proven single-threaded path, keeping µs-scale warm dispatch intact),
+//! and `morsel_rows` — seeded from the `PI2_PARALLELISM`,
+//! `PI2_PARALLEL_THRESHOLD`, and `PI2_MORSEL_ROWS` environment variables
+//! and settable at runtime (e.g. by `Pi2Service`).
+
+use pi2_data::kernels::MORSEL_ROWS;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
+
+/// Hard cap on pool threads, over any requested width.
+pub const MAX_POOL_THREADS: usize = 32;
+
+/// Default row-count threshold below which queries run single-threaded.
+pub const DEFAULT_PARALLEL_ROW_THRESHOLD: usize = 131_072;
+
+/// Engine-wide execution knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker width for intra-query parallelism; `0` = one per available
+    /// core. `1` disables parallel execution entirely.
+    pub parallelism: usize,
+    /// Input row count a query stage must reach before the parallel path
+    /// engages; below it the single-threaded vectorized path runs.
+    pub parallel_row_threshold: usize,
+    /// Rows per morsel (the unit of dynamic dispatch).
+    pub morsel_rows: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            parallelism: 0,
+            parallel_row_threshold: DEFAULT_PARALLEL_ROW_THRESHOLD,
+            morsel_rows: MORSEL_ROWS,
+        }
+    }
+}
+
+static ENV_INIT: Once = Once::new();
+static PARALLELISM: AtomicUsize = AtomicUsize::new(0);
+static THRESHOLD: AtomicUsize = AtomicUsize::new(DEFAULT_PARALLEL_ROW_THRESHOLD);
+static MORSEL: AtomicUsize = AtomicUsize::new(MORSEL_ROWS);
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn init_from_env() {
+    ENV_INIT.call_once(|| {
+        if let Some(v) = env_usize("PI2_PARALLELISM") {
+            PARALLELISM.store(v, Ordering::Relaxed);
+        }
+        if let Some(v) = env_usize("PI2_PARALLEL_THRESHOLD") {
+            THRESHOLD.store(v, Ordering::Relaxed);
+        }
+        if let Some(v) = env_usize("PI2_MORSEL_ROWS") {
+            MORSEL.store(v.max(1), Ordering::Relaxed);
+        }
+    });
+}
+
+/// The current engine-wide config (environment overrides applied once, on
+/// first read).
+pub fn engine_config() -> EngineConfig {
+    init_from_env();
+    EngineConfig {
+        parallelism: PARALLELISM.load(Ordering::Relaxed),
+        parallel_row_threshold: THRESHOLD.load(Ordering::Relaxed),
+        morsel_rows: MORSEL.load(Ordering::Relaxed),
+    }
+}
+
+/// Replace the engine-wide config (e.g. from `Pi2Service`'s `parallelism`
+/// knob). Applies to queries started after the call.
+pub fn set_engine_config(cfg: EngineConfig) {
+    init_from_env();
+    PARALLELISM.store(cfg.parallelism, Ordering::Relaxed);
+    THRESHOLD.store(cfg.parallel_row_threshold, Ordering::Relaxed);
+    MORSEL.store(cfg.morsel_rows.max(1), Ordering::Relaxed);
+}
+
+/// Resolve a `parallelism` knob value to a concrete thread width:
+/// `0` becomes the machine's available parallelism, and everything is
+/// capped at [`MAX_POOL_THREADS`].
+///
+/// The core count is read once and cached: `available_parallelism` re-reads
+/// cgroup limits from the filesystem on every call on Linux (µs-scale),
+/// and this resolver sits on the per-stage dispatch path of every query.
+pub fn resolve_parallelism(parallelism: usize) -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    let width = if parallelism == 0 {
+        *CORES.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    } else {
+        parallelism
+    };
+    width.clamp(1, MAX_POOL_THREADS)
+}
+
+/// One submitted fan-out: `n` tasks behind a single claim counter.
+struct Job {
+    /// The task body, lifetime-erased. Sound because [`run_tasks`] blocks
+    /// until every claimed index has finished before its borrow ends, and
+    /// no thread can claim once `next >= n`.
+    task: &'static (dyn Fn(usize) + Sync),
+    n: usize,
+    /// Next unclaimed task index (dynamic dispatch / work stealing).
+    next: AtomicUsize,
+    /// Completed task count.
+    done: AtomicUsize,
+    /// Completion latch.
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+    /// First captured panic, rethrown on the submitting thread.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Job {
+    /// Claim and run tasks until none remain, then flip the latch if this
+    /// thread completed the last one.
+    fn run_some(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| (self.task)(i))) {
+                let mut slot = self.panic.lock().unwrap();
+                slot.get_or_insert(p);
+            }
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+                *self.finished.lock().unwrap() = true;
+                self.finished_cv.notify_all();
+            }
+        }
+    }
+}
+
+struct PoolState {
+    queue: VecDeque<Arc<Job>>,
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            queue: VecDeque::new(),
+            spawned: 0,
+        }),
+        work_cv: Condvar::new(),
+    })
+}
+
+thread_local! {
+    /// Set on pool worker threads; nested submissions run inline.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the current thread is a pool worker (nested parallel stages run
+/// inline there, so callers can skip building parallel scaffolding at all).
+pub(crate) fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+fn worker_loop(pool: &'static Pool) {
+    IN_WORKER.with(|w| w.set(true));
+    loop {
+        let job = {
+            let mut st = pool.state.lock().unwrap();
+            loop {
+                // Drop exhausted jobs, claim the oldest live one.
+                match st.queue.front() {
+                    Some(j) if j.next.load(Ordering::Relaxed) >= j.n => {
+                        st.queue.pop_front();
+                    }
+                    Some(j) => break Arc::clone(j),
+                    None => st = pool.work_cv.wait(st).unwrap(),
+                }
+            }
+        };
+        job.run_some();
+    }
+}
+
+/// Run `f(0..n)` across up to `width` threads (this thread included),
+/// blocking until every task has finished. Panics in tasks are rethrown
+/// here. Tasks are claimed dynamically, so an expensive task index does
+/// not serialize the cheap ones behind it.
+pub fn run_tasks(width: usize, n: usize, f: &(dyn Fn(usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let width = width.min(n);
+    if width <= 1 || IN_WORKER.with(|w| w.get()) {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    // SAFETY: the erased borrow is only dereferenced by `run_some`, which
+    // no thread can enter for this job after `next >= n`; we block on the
+    // completion latch (all `done`) below, so `f` outlives every use.
+    let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f) };
+    let job = Arc::new(Job {
+        task,
+        n,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        finished: Mutex::new(false),
+        finished_cv: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    let pool = pool();
+    {
+        let mut st = pool.state.lock().unwrap();
+        st.queue.push_back(Arc::clone(&job));
+        // Grow toward `width - 1` helpers (the submitter participates too).
+        while st.spawned < (width - 1).min(MAX_POOL_THREADS) {
+            st.spawned += 1;
+            let id = st.spawned;
+            std::thread::Builder::new()
+                .name(format!("pi2-engine-{id}"))
+                .spawn(move || worker_loop(crate::pool::pool()))
+                .expect("spawn engine pool worker");
+        }
+    }
+    pool.work_cv.notify_all();
+    job.run_some();
+    let mut fin = job.finished.lock().unwrap();
+    while !*fin {
+        fin = job.finished_cv.wait(fin).unwrap();
+    }
+    drop(fin);
+    // Hygiene: drop our finished job from the queue without waiting for a
+    // worker to walk past it.
+    let mut st = pool.state.lock().unwrap();
+    if let Some(pos) = st.queue.iter().position(|j| Arc::ptr_eq(j, &job)) {
+        st.queue.remove(pos);
+    }
+    drop(st);
+    let panic = job.panic.lock().unwrap().take();
+    if let Some(p) = panic {
+        resume_unwind(p);
+    }
+}
+
+/// [`run_tasks`] with per-task results, returned in task order (index `i`'s
+/// result at slot `i`, regardless of which thread ran it).
+pub fn run_morsels<R: Send>(width: usize, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    run_tasks(width, n, &|i| {
+        *slots[i].lock().unwrap() = Some(f(i));
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("task ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_task_order() {
+        let out = run_morsels(4, 100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_width_runs_inline() {
+        let out = run_morsels(1, 5, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn nested_submissions_do_not_deadlock() {
+        let out = run_morsels(4, 8, |i| run_morsels(4, 4, move |j| i * 4 + j));
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(*inner, (0..4).map(|j| i * 4 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn task_panics_propagate_to_submitter() {
+        let r = std::panic::catch_unwind(|| {
+            run_tasks(4, 16, &|i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn config_roundtrip_and_resolution() {
+        let before = engine_config();
+        set_engine_config(EngineConfig {
+            parallelism: 3,
+            parallel_row_threshold: 10,
+            morsel_rows: 7,
+        });
+        assert_eq!(engine_config().parallelism, 3);
+        assert_eq!(resolve_parallelism(3), 3);
+        assert!(resolve_parallelism(0) >= 1);
+        assert_eq!(resolve_parallelism(1000), MAX_POOL_THREADS);
+        set_engine_config(before);
+        assert_eq!(engine_config(), before);
+    }
+}

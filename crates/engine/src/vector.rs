@@ -47,7 +47,10 @@ pub(crate) struct LazyCol {
     base: Arc<ColumnData>,
     /// Pending row selection into `base`; `None` means the column is dense.
     sel: Option<SelVec>,
-    /// The materialized (gathered) column, filled on first read.
+    /// Pending contiguous window `[lo, hi)` into `base` (used by worker
+    /// morsels); mutually exclusive with `sel`.
+    range: Option<(usize, usize)>,
+    /// The materialized (gathered/sliced) column, filled on first read.
     cache: std::cell::OnceCell<Arc<ColumnData>>,
 }
 
@@ -57,6 +60,7 @@ impl LazyCol {
         LazyCol {
             base,
             sel: None,
+            range: None,
             cache: std::cell::OnceCell::new(),
         }
     }
@@ -66,25 +70,58 @@ impl LazyCol {
         LazyCol {
             base,
             sel: Some(sel),
+            range: None,
             cache: std::cell::OnceCell::new(),
         }
     }
 
-    /// The materialized column (gathers through the pending selection once,
-    /// then caches).
+    /// A column viewed through a contiguous row window `[lo, hi)` of the
+    /// base: the morsel view. Materializes (only if read) through the
+    /// word-level [`ColumnData::slice`], not a per-row gather.
+    pub fn windowed(base: Arc<ColumnData>, lo: usize, hi: usize) -> LazyCol {
+        debug_assert!(lo <= hi && hi <= base.len());
+        LazyCol {
+            base,
+            sel: None,
+            range: Some((lo, hi)),
+            cache: std::cell::OnceCell::new(),
+        }
+    }
+
+    /// The materialized column (gathers/slices through the pending view
+    /// once, then caches).
     fn get(&self) -> &Arc<ColumnData> {
-        match &self.sel {
-            None => &self.base,
-            Some(sel) => self.cache.get_or_init(|| Arc::new(self.base.gather(sel))),
+        match (&self.sel, self.range) {
+            (None, None) => &self.base,
+            (Some(sel), _) => self.cache.get_or_init(|| Arc::new(self.base.gather(sel))),
+            (None, Some((lo, hi))) => self.cache.get_or_init(|| Arc::new(self.base.slice(lo, hi))),
         }
     }
 
     /// One cell, without materializing the whole column.
     fn value(&self, i: usize) -> Value {
-        match (&self.sel, self.cache.get()) {
-            (Some(_), Some(c)) => c.value(i),
-            (Some(sel), None) => self.base.value(sel[i] as usize),
-            (None, _) => self.base.value(i),
+        if let Some(c) = self.cache.get() {
+            return c.value(i);
+        }
+        match (&self.sel, self.range) {
+            (Some(sel), _) => self.base.value(sel[i] as usize),
+            (None, Some((lo, _))) => self.base.value(lo + i),
+            (None, None) => self.base.value(i),
+        }
+    }
+
+    /// Snapshot of the column as Send/Sync `(storage, selection)` parts, for
+    /// building worker-local morsel windows: the cached materialization when
+    /// present, else the base plus its pending selection. A range window
+    /// (only built inside workers, which never re-window) materializes.
+    pub(crate) fn parts(&self) -> (Arc<ColumnData>, Option<SelVec>) {
+        if self.range.is_some() {
+            return (Arc::clone(self.get()), None);
+        }
+        match (self.cache.get(), &self.sel) {
+            (Some(c), _) => (Arc::clone(c), None),
+            (None, Some(sel)) => (Arc::clone(&self.base), Some(Arc::clone(sel))),
+            (None, None) => (Arc::clone(&self.base), None),
         }
     }
 
@@ -92,14 +129,20 @@ impl LazyCol {
     /// view). Composes selection vectors without touching cell data;
     /// `memo` shares the composed vector between columns that share one.
     fn narrowed(&self, idx: &SelVec, memo: &mut ComposeMemo) -> LazyCol {
-        match (&self.sel, self.cache.get()) {
+        if let Some(c) = self.cache.get() {
             // Already materialized: restart from the gathered column.
-            (Some(_), Some(c)) => LazyCol::selected(Arc::clone(c), Arc::clone(idx)),
-            (Some(sel), None) => {
+            return LazyCol::selected(Arc::clone(c), Arc::clone(idx));
+        }
+        match (&self.sel, self.range) {
+            (Some(sel), _) => {
                 let composed = memo.compose(sel, idx);
                 LazyCol::selected(Arc::clone(&self.base), composed)
             }
-            (None, _) => LazyCol::selected(Arc::clone(&self.base), Arc::clone(idx)),
+            (None, Some((lo, _))) => LazyCol::selected(
+                Arc::clone(&self.base),
+                Arc::new(idx.iter().map(|&i| lo as u32 + i).collect()),
+            ),
+            (None, None) => LazyCol::selected(Arc::clone(&self.base), Arc::clone(idx)),
         }
     }
 }
@@ -255,12 +298,11 @@ pub(crate) fn truthy_indices(v: &Vector, n: usize) -> Vec<u32> {
             }
         }
         Vector::Col(c) => match c.as_ref() {
-            ColumnData::Bool { values, nulls } if nulls.null_count() == 0 => values
-                .iter()
-                .enumerate()
-                .filter(|(_, &v)| v)
-                .map(|(i, _)| i as u32)
-                .collect(),
+            // Word-level kernel: predicate bytes → bitmap, AND validity,
+            // bits → indices (64 rows per step; see `pi2_data::kernels`).
+            ColumnData::Bool { values, nulls } => {
+                pi2_data::kernels::bool_selection(values, nulls, 0)
+            }
             _ => (0..n as u32).filter(|&i| v.truthy(i as usize)).collect(),
         },
     }
@@ -1239,6 +1281,12 @@ fn eval_aggregate_vec(
     // Evaluate the argument densely, once for all groups.
     let argv = eval_vec(arg, rel, ctx, outer)?;
     let col = argv.into_column(rel.len);
+    // Parallel path: contiguous chunks of whole groups (a group's rows are
+    // never split, so float accumulation order is untouched).
+    if let Some(out) = crate::par::parallel_aggregate_over(&lname, name, &col, groups, rel.len, ctx)
+    {
+        return out;
+    }
     let mut out = Vec::with_capacity(groups.len());
     for idx in groups {
         out.push(aggregate_over(&lname, name, &col, idx)?);
@@ -1250,7 +1298,7 @@ fn eval_aggregate_vec(
 /// matching the scalar `eval_aggregate` (NULLs skipped; `sum` stays Int
 /// only when every non-null value is an Int; min/max keep the scalar
 /// iterator's first-min/last-max tie behavior).
-fn aggregate_over(
+pub(crate) fn aggregate_over(
     lname: &str,
     name: &str,
     col: &ColumnData,

@@ -11,6 +11,7 @@
 //! primary keys, and the join/grouping shapes the queries exercise. See
 //! DESIGN.md §2 for the substitution rationale.
 
+pub mod big;
 pub mod datasets;
 pub mod logs;
 

@@ -1,0 +1,184 @@
+//! Differential property tests for morsel-driven parallel execution: the
+//! vectorized executor with the parallel paths *forced on* must return
+//! exactly the table the scalar reference interpreter returns, at every
+//! pool width.
+//!
+//! The parallel row threshold is pinned to 1 and the morsel size to a tiny
+//! 17 rows, so even the paper-scale tables split into many morsels and the
+//! parallel filter / grouping / aggregation / sort / join-build paths all
+//! engage. Widths {1, 2, 8} pin the three regimes: forced single-thread,
+//! the smallest real fan-out, and more workers than this container has
+//! cores (oversubscription must not change results). Per-query
+//! `ExecContext` overrides take precedence over `PI2_*` env vars, so the
+//! suite is environment-independent; CI still runs it under both
+//! `PI2_PARALLELISM=1` and the default width as a belt-and-braces check of
+//! the global-config plumbing.
+
+use pi2_engine::{execute, execute_scalar, ExecContext};
+use pi2_sql::parse_query;
+use pi2_workloads::big::big_catalog;
+use pi2_workloads::{all_logs, catalog};
+use proptest::prelude::*;
+
+mod querygen;
+use querygen::{build_query, TABLES};
+
+/// Pool widths pinned by the suite (see module docs).
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+/// An [`ExecContext`] on `cat` with the parallel paths forced to engage at
+/// `width` workers on even the smallest tables.
+fn forced_parallel<'a>(cat: &'a pi2_data::Catalog, width: usize) -> ExecContext<'a> {
+    ExecContext::new(cat)
+        .with_parallelism(width)
+        .with_parallel_row_threshold(1)
+        .with_morsel_rows(17)
+}
+
+/// Assert the scalar reference and the forced-parallel vectorized executor
+/// agree on `sql` over `cat`, at every width in [`WIDTHS`].
+fn assert_parallel_agrees(cat: &pi2_data::Catalog, sql: &str) {
+    let q = parse_query(sql).unwrap_or_else(|e| panic!("generated bad SQL {sql}: {e}"));
+    let reference = execute_scalar(&q, &ExecContext::new(cat));
+    for width in WIDTHS {
+        let parallel = execute(&q, &forced_parallel(cat, width));
+        match (&parallel, &reference) {
+            (Ok(p), Ok(r)) => {
+                assert_eq!(
+                    p.schema, r.schema,
+                    "schemas disagree on {sql} at width {width}\nparallel: {p}\nscalar: {r}"
+                );
+                assert_eq!(
+                    p, r,
+                    "tables disagree on {sql} at width {width}\nparallel: {p}\nscalar: {r}"
+                );
+            }
+            (Err(pe), Err(re)) => {
+                assert_eq!(pe, re, "errors disagree on {sql} at width {width}")
+            }
+            (p, r) => {
+                panic!(
+                    "one executor failed on {sql} at width {width}: parallel {p:?}, scalar {r:?}"
+                )
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Generated single-table queries: parallel execution at every width
+    /// matches the scalar reference row for row.
+    #[test]
+    fn parallel_matches_scalar_on_generated_queries(
+        tbl in 0usize..4,
+        // bit 0: aggregate, bit 1: distinct
+        flags in 0u8..4,
+        n_atoms in 0usize..3,
+        k1 in 0u8..8,
+        k2 in 0u8..8,
+        p1 in 0usize..8,
+        p2 in 0usize..8,
+        a in -20i64..1200,
+        b in -20i64..1200,
+        c in -20i64..1200,
+        d in -20i64..1200,
+        // order = ol % 6, limit = ol / 6
+        ol in 0usize..18,
+    ) {
+        let t = &TABLES[tbl % TABLES.len()];
+        let sql = build_query(
+            t,
+            flags & 1 != 0,
+            flags & 2 != 0,
+            n_atoms,
+            (k1, k2),
+            (p1, p2),
+            (a, b, c, d),
+            (ol % 6) as u8,
+            (ol / 6) as u8,
+        );
+        let cat = catalog();
+        assert_parallel_agrees(&cat, &sql);
+    }
+
+    /// Generated equijoins: the morsel-parallel probe (and partitioned
+    /// build on the sparse-key path) matches the scalar join.
+    #[test]
+    fn parallel_matches_scalar_on_joins(
+        lo in 140.0f64..220.0,
+        span in 1.0f64..40.0,
+    ) {
+        let sql = format!(
+            "SELECT s.class, count(*) FROM galaxy AS g, specObj AS s \
+             WHERE g.specObjID = s.specObjID \
+             AND g.ra BETWEEN {lo} AND {hi} GROUP BY s.class",
+            hi = lo + span,
+        );
+        let cat = catalog();
+        assert_parallel_agrees(&cat, &sql);
+    }
+}
+
+/// All seven paper query logs, forced-parallel at every width.
+#[test]
+fn parallel_matches_scalar_on_all_workload_logs() {
+    let cat = catalog();
+    for log in all_logs() {
+        for sql in &log.queries {
+            assert_parallel_agrees(&cat, sql);
+        }
+    }
+}
+
+/// Fixed queries over the big-tier catalog at toy scale (identical data
+/// distribution to the 10⁷-row tier): parallel filter, exact-key grouping
+/// with null-aware aggregates, the sparse-int partitioned join build, and
+/// ORDER BY / LIMIT merge.
+#[test]
+fn parallel_matches_scalar_on_big_tier_shapes() {
+    let cat = big_catalog(12_000);
+    for sql in [
+        // Morsel-parallel filter + word-level selection build.
+        "SELECT count(*) FROM covid_big WHERE cases > 30000",
+        "SELECT state, date, cases FROM covid_big WHERE cases > 58000 AND deaths > 1100",
+        // Exact-key grouping (dict keys) + chunked aggregation over a
+        // column with ~1% NULLs.
+        "SELECT state, count(*), sum(cases), avg(deaths) FROM covid_big GROUP BY state",
+        "SELECT city, product, sum(total) FROM sales_big \
+         WHERE quantity >= 5 GROUP BY city, product",
+        // Sparse customer ids force the partitioned hash-map join build.
+        "SELECT c.segment, count(*), sum(o.amount) FROM orders AS o, customers AS c \
+         WHERE o.customer_id = c.id GROUP BY c.segment",
+        "SELECT o.id, o.amount, c.score FROM orders AS o, customers AS c \
+         WHERE o.customer_id = c.id AND c.score > 95 AND o.amount > 4500",
+        // Parallel chunk-sort + earliest-chunk-wins merge, with and
+        // without LIMIT.
+        "SELECT state, cases FROM covid_big WHERE deaths > 900 ORDER BY cases DESC LIMIT 25",
+        "SELECT product, sum(quantity) FROM sales_big GROUP BY product ORDER BY sum(quantity) DESC",
+    ] {
+        assert_parallel_agrees(&cat, sql);
+    }
+}
+
+/// Repeated runs at width 8 are bit-identical (like
+/// `tests/search_determinism.rs` for the planner): dynamic morsel dispatch
+/// must never leak scheduling order into results.
+#[test]
+fn parallel_execution_is_deterministic_across_runs() {
+    let cat = big_catalog(6_000);
+    for sql in [
+        "SELECT state, sum(cases), avg(deaths) FROM covid_big \
+         WHERE cases > 1000 GROUP BY state ORDER BY sum(cases) DESC",
+        "SELECT c.segment, count(*) FROM orders AS o, customers AS c \
+         WHERE o.customer_id = c.id GROUP BY c.segment",
+    ] {
+        let q = parse_query(sql).unwrap();
+        let first = execute(&q, &forced_parallel(&cat, 8)).unwrap();
+        for run in 0..5 {
+            let again = execute(&q, &forced_parallel(&cat, 8)).unwrap();
+            assert_eq!(first, again, "run {run} diverged on {sql}");
+        }
+    }
+}

@@ -4,6 +4,7 @@
 //! bench_gate check <criterion.csv> <BENCH_baseline.json> <out.json> \
 //!     [--baseline-name ci] [--threshold 1.25] [--runner <label>]
 //! bench_gate write-baseline <criterion.csv> <out.json> [--baseline-name ci]
+//! bench_gate promote <BENCH_PR.json> <BENCH_baseline.json> --runner <label>
 //! ```
 //!
 //! `check` compares the freshly-measured `--save-baseline` means in the
@@ -16,8 +17,12 @@
 //! section override the flat (dev-machine) numbers bench by bench;
 //! benches with no per-runner entry fall back to the flat baseline.
 //! `write-baseline` regenerates the committed baseline file from a fresh
-//! run (flat section only; per-runner entries are promoted by hand from
-//! CI's `BENCH_PR.json` artifacts).
+//! run (flat section only; per-runner entries are carried through).
+//! `promote` folds a CI run's `BENCH_PR<n>.json` artifact into the
+//! committed baseline's `"runners"` section under `--runner <label>`, so
+//! per-runner gating numbers come from the runner itself instead of the
+//! dev machine: download the artifact from the CI run, run `promote`, and
+//! commit the rewritten baseline.
 
 use pi2_bench::gate;
 use std::process::ExitCode;
@@ -26,7 +31,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  bench_gate check <criterion.csv> <BENCH_baseline.json> <out.json> \
          [--baseline-name ci] [--threshold 1.25] [--runner <label>]\n  bench_gate \
-         write-baseline <criterion.csv> <out.json> [--baseline-name ci]"
+         write-baseline <criterion.csv> <out.json> [--baseline-name ci]\n  bench_gate \
+         promote <BENCH_PR.json> <BENCH_baseline.json> --runner <label>"
     );
     ExitCode::from(2)
 }
@@ -139,6 +145,41 @@ fn main() -> ExitCode {
                 runners.len()
             );
             ExitCode::SUCCESS
+        }
+        ["promote", artifact_path, baseline_path] => {
+            let Some(label) = runner else {
+                eprintln!("bench_gate: promote requires --runner <label>");
+                return usage();
+            };
+            let (artifact, baseline) = match (read(artifact_path), read(baseline_path)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => return e,
+            };
+            let pr_means = match gate::parse_baseline_json(&artifact) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("bench_gate: bad artifact {artifact_path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match gate::promote(&baseline, &pr_means, &label) {
+                Ok(rewritten) => {
+                    if let Err(e) = std::fs::write(baseline_path, &rewritten) {
+                        eprintln!("bench_gate: cannot write {baseline_path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                    let gated = pr_means.keys().filter(|b| gate::is_gated(b)).count();
+                    println!(
+                        "bench_gate: promoted {gated} gated bench(es) from {artifact_path} \
+                         into {baseline_path} under runner {label:?}"
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("bench_gate: promote failed: {e}");
+                    ExitCode::from(2)
+                }
+            }
         }
         _ => usage(),
     }
