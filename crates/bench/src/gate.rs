@@ -7,26 +7,38 @@
 //! whenever a PR moves the numbers, plus an optional `"runners"` section
 //! of per-runner-label overrides — see [`parse_baseline_json_for`]) and
 //! fails when any **gated** bench — `mcts/*`, `engine/exec_*`,
-//! `service/session_throughput/*`, `service/server_throughput/*` —
-//! regresses by more than the threshold (default 25%). Ungated benches
-//! are reported but never fail the job (per-log end-to-end numbers are
-//! tracked through the emitted snapshot instead).
+//! `data/kernels_*`, `service/session_throughput/*`,
+//! `service/server_throughput/*` — regresses by more than the threshold
+//! (default 25%). Ungated benches are reported but never fail the job
+//! (per-log end-to-end numbers are tracked through the emitted snapshot
+//! instead). Runner-sensitive tiers (`engine/exec_big_*`, `data/kernels_*`)
+//! only warn when no per-runner baseline entry backs them — their numbers
+//! don't transfer across machines (see [`check`]).
 //!
 //! Used by `tools/bench_gate.rs` (the `bench_gate` binary the `bench-smoke`
 //! CI job runs), which also emits the fresh means as a `BENCH_PR<n>.json`
 //! artifact so the perf trajectory stays machine-readable per PR.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 /// Bench-name prefixes whose regressions fail the gate.
-pub const GATED_PREFIXES: [&str; 5] = [
+pub const GATED_PREFIXES: [&str; 6] = [
     "mcts/",
     "engine/exec_",
     "engine/exec_big_",
+    "data/kernels_",
     "service/session_throughput/",
     "service/server_throughput/",
 ];
+
+/// Bench-name prefixes whose absolute numbers depend on the runner's core
+/// count and SIMD level (the big parallel tier and the kernel microbenches).
+/// Comparing these against another machine's flat baseline is meaningless
+/// — a single-core container's `t8` being flat is oversubscription, not a
+/// regression — so without a per-runner baseline entry they warn instead
+/// of failing the gate (see [`check`]).
+pub const RUNNER_SENSITIVE_PREFIXES: [&str; 2] = ["engine/exec_big_", "data/kernels_"];
 
 /// Default regression threshold: fail when `fresh > committed * 1.25`.
 pub const DEFAULT_THRESHOLD: f64 = 1.25;
@@ -49,6 +61,25 @@ pub enum Finding {
         /// Bench name.
         bench: String,
     },
+    /// A runner-sensitive bench moved beyond the threshold against a mean
+    /// measured on a *different* machine (no per-runner baseline entry):
+    /// reported, never fatal. Promote the runner's own numbers (`bench_gate
+    /// promote`) to turn these into real [`Finding::Regression`]s.
+    Warning {
+        /// Bench name.
+        bench: String,
+        /// Committed mean (ns) — from the flat, other-machine baseline.
+        committed: f64,
+        /// Fresh mean (ns).
+        fresh: f64,
+    },
+}
+
+impl Finding {
+    /// Whether this finding fails the gate (warnings never do).
+    pub fn is_fatal(&self) -> bool {
+        !matches!(self, Finding::Warning { .. })
+    }
 }
 
 /// Parse the criterion shim's CSV (`baseline,bench,mean_ns` per line),
@@ -212,6 +243,32 @@ pub fn is_gated(bench: &str) -> bool {
     GATED_PREFIXES.iter().any(|p| bench.starts_with(p))
 }
 
+/// Whether a bench's numbers are only comparable on the machine that
+/// measured the baseline (see [`RUNNER_SENSITIVE_PREFIXES`]).
+pub fn runner_sensitive(bench: &str) -> bool {
+    RUNNER_SENSITIVE_PREFIXES
+        .iter()
+        .any(|p| bench.starts_with(p))
+}
+
+/// The benches whose committed mean under `runner` comes from a per-runner
+/// override (empty with no label, or a label with no entry). [`check`]
+/// uses this provenance to decide whether a runner-sensitive bench gates
+/// hard or merely warns.
+pub fn runner_backed(
+    baseline_text: &str,
+    runner: Option<&str>,
+) -> Result<BTreeSet<String>, String> {
+    let Some(label) = runner else {
+        return Ok(BTreeSet::new());
+    };
+    let runners = parse_runners(baseline_text)?;
+    Ok(runners
+        .get(label)
+        .map(|means| means.keys().cloned().collect())
+        .unwrap_or_default())
+}
+
 /// Promote a CI run's fresh means (a `BENCH_PR<n>.json` artifact) into the
 /// committed baseline's `"runners"` section under `label`, returning the
 /// rewritten baseline file.
@@ -248,10 +305,19 @@ pub fn promote(
 /// Compare fresh means against the committed baseline. Only gated benches
 /// produce findings; a gated bench missing from the fresh run is a finding
 /// too. Benches new in the fresh run pass (they have no baseline yet).
+///
+/// `runner_backed` is the provenance set from [`runner_backed`]: a
+/// [`runner_sensitive`] bench whose committed mean did **not** come from a
+/// per-runner entry produces a non-fatal [`Finding::Warning`] instead of a
+/// regression — its baseline was measured on a different machine, and e.g.
+/// a flat `t1`→`t8` curve on a single-core container is oversubscription,
+/// not a regression. Benches whose numbers are machine-portable (and any
+/// bench with a promoted per-runner mean) still fail hard.
 pub fn check(
     committed: &BTreeMap<String, f64>,
     fresh: &BTreeMap<String, f64>,
     threshold: f64,
+    runner_backed: &BTreeSet<String>,
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
     for (bench, &base) in committed {
@@ -263,11 +329,19 @@ pub fn check(
                 bench: bench.clone(),
             }),
             Some(&now) if base > 0.0 && now > base * threshold => {
-                findings.push(Finding::Regression {
-                    bench: bench.clone(),
-                    committed: base,
-                    fresh: now,
-                })
+                if runner_sensitive(bench) && !runner_backed.contains(bench) {
+                    findings.push(Finding::Warning {
+                        bench: bench.clone(),
+                        committed: base,
+                        fresh: now,
+                    })
+                } else {
+                    findings.push(Finding::Regression {
+                        bench: bench.clone(),
+                        committed: base,
+                        fresh: now,
+                    })
+                }
             }
             Some(_) => {}
         }
@@ -280,6 +354,7 @@ pub fn report(
     committed: &BTreeMap<String, f64>,
     fresh: &BTreeMap<String, f64>,
     threshold: f64,
+    runner_backed: &BTreeSet<String>,
 ) -> String {
     let mut out = String::new();
     for (bench, &now) in fresh {
@@ -289,10 +364,12 @@ pub fn report(
                 let ratio = now / base;
                 let verdict = if !is_gated(bench) {
                     "-"
-                } else if ratio > threshold {
-                    "FAIL"
-                } else {
+                } else if ratio <= threshold {
                     "ok"
+                } else if runner_sensitive(bench) && !runner_backed.contains(bench) {
+                    "warn (no per-runner baseline)"
+                } else {
+                    "FAIL"
                 };
                 let _ = writeln!(
                     out,
@@ -308,7 +385,7 @@ pub fn report(
             }
         }
     }
-    for f in check(committed, fresh, threshold) {
+    for f in check(committed, fresh, threshold, runner_backed) {
         if let Finding::Missing { bench } = f {
             let _ = writeln!(out, "gated {bench:<44} MISSING from fresh run  FAIL");
         }
@@ -482,7 +559,7 @@ mod tests {
         let committed = means(&[("mcts/a", 1000.0), ("engine/exec_b/v/1", 100.0)]);
         // 20% slower passes at a 25% threshold; 30% slower fails.
         let fresh = means(&[("mcts/a", 1200.0), ("engine/exec_b/v/1", 130.0)]);
-        let f = check(&committed, &fresh, DEFAULT_THRESHOLD);
+        let f = check(&committed, &fresh, DEFAULT_THRESHOLD, &BTreeSet::new());
         assert_eq!(
             f,
             vec![Finding::Regression {
@@ -503,7 +580,7 @@ mod tests {
             ("mcts/a", 400.0),                    // improvement
             ("engine/execute_log/sales", 9000.0), // ungated regression
         ]);
-        assert!(check(&committed, &fresh, DEFAULT_THRESHOLD).is_empty());
+        assert!(check(&committed, &fresh, DEFAULT_THRESHOLD, &BTreeSet::new()).is_empty());
     }
 
     #[test]
@@ -511,7 +588,7 @@ mod tests {
         let committed = means(&[("mcts/a", 1000.0)]);
         let fresh = means(&[]);
         assert_eq!(
-            check(&committed, &fresh, DEFAULT_THRESHOLD),
+            check(&committed, &fresh, DEFAULT_THRESHOLD, &BTreeSet::new()),
             vec![Finding::Missing {
                 bench: "mcts/a".into()
             }]
@@ -519,10 +596,95 @@ mod tests {
     }
 
     #[test]
+    fn runner_sensitive_prefixes() {
+        assert!(runner_sensitive("engine/exec_big_filter/t8"));
+        assert!(runner_sensitive("data/kernels_filter/avx2"));
+        assert!(is_gated("data/kernels_agg/t1"), "kernels benches are gated");
+        assert!(!runner_sensitive("mcts/explore_30iters"));
+        assert!(!runner_sensitive("engine/exec_filter/vectorized/8"));
+    }
+
+    #[test]
+    fn runner_sensitive_regression_without_runner_entry_warns() {
+        let committed = means(&[
+            ("engine/exec_big_filter/t8", 100.0),
+            ("data/kernels_agg/sum_i64", 50.0),
+            ("mcts/a", 1000.0),
+        ]);
+        // Everything 10x slower: the dev-container numbers against a dev
+        // machine's flat baseline.
+        let fresh = means(&[
+            ("engine/exec_big_filter/t8", 1000.0),
+            ("data/kernels_agg/sum_i64", 500.0),
+            ("mcts/a", 10_000.0),
+        ]);
+        let f = check(&committed, &fresh, DEFAULT_THRESHOLD, &BTreeSet::new());
+        // The machine-portable mcts bench still fails hard; the two
+        // runner-sensitive tiers warn.
+        let fatal: Vec<_> = f.iter().filter(|f| f.is_fatal()).collect();
+        assert_eq!(
+            fatal,
+            vec![&Finding::Regression {
+                bench: "mcts/a".into(),
+                committed: 1000.0,
+                fresh: 10_000.0,
+            }]
+        );
+        assert_eq!(f.iter().filter(|f| !f.is_fatal()).count(), 2);
+        assert!(f.contains(&Finding::Warning {
+            bench: "engine/exec_big_filter/t8".into(),
+            committed: 100.0,
+            fresh: 1000.0,
+        }));
+        // The report marks the warn verdict distinctly from FAIL.
+        let r = report(&committed, &fresh, DEFAULT_THRESHOLD, &BTreeSet::new());
+        assert!(r.contains("warn (no per-runner baseline)"), "{r}");
+    }
+
+    #[test]
+    fn runner_backed_entry_turns_warning_into_regression() {
+        let committed = means(&[("engine/exec_big_filter/t8", 100.0)]);
+        let fresh = means(&[("engine/exec_big_filter/t8", 1000.0)]);
+        let backed: BTreeSet<String> = ["engine/exec_big_filter/t8".to_string()].into();
+        let f = check(&committed, &fresh, DEFAULT_THRESHOLD, &backed);
+        assert_eq!(
+            f,
+            vec![Finding::Regression {
+                bench: "engine/exec_big_filter/t8".into(),
+                committed: 100.0,
+                fresh: 1000.0,
+            }]
+        );
+        // A runner-sensitive bench missing from the fresh run still fails:
+        // the warn path is about untrustworthy numbers, not dropped benches.
+        let f = check(&committed, &means(&[]), DEFAULT_THRESHOLD, &BTreeSet::new());
+        assert!(f.iter().all(Finding::is_fatal));
+    }
+
+    #[test]
+    fn runner_backed_reads_provenance_from_baseline_text() {
+        let baseline = baseline_to_json(
+            &means(&[("engine/exec_big_filter/t8", 100.0)]),
+            &[(
+                "ubuntu-latest".to_string(),
+                means(&[("engine/exec_big_filter/t8", 900.0)]),
+            )]
+            .into_iter()
+            .collect(),
+        );
+        let backed = runner_backed(&baseline, Some("ubuntu-latest")).unwrap();
+        assert!(backed.contains("engine/exec_big_filter/t8"));
+        assert!(runner_backed(&baseline, None).unwrap().is_empty());
+        assert!(runner_backed(&baseline, Some("macos-14"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
     fn inflated_fresh_entry_is_reported_in_text() {
         let committed = means(&[("mcts/a", 1000.0)]);
         let fresh = means(&[("mcts/a", 10_000.0)]);
-        let r = report(&committed, &fresh, DEFAULT_THRESHOLD);
+        let r = report(&committed, &fresh, DEFAULT_THRESHOLD, &BTreeSet::new());
         assert!(r.contains("FAIL"), "{r}");
     }
 }

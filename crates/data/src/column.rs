@@ -112,6 +112,19 @@ impl NullMask {
         &self.words
     }
 
+    /// A mask assembled from packed bitmap words (bit set ⇒ NULL) covering
+    /// `len` slots — the inverse of [`NullMask::words`], used by word-level
+    /// kernels that compute whole null words at a time. Tail bits beyond
+    /// `len` are cleared here, so callers need not mask them.
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> NullMask {
+        debug_assert_eq!(words.len(), len.div_ceil(64));
+        if let (Some(last), rem @ 1..) = (words.last_mut(), len % 64) {
+            *last &= (1u64 << rem) - 1;
+        }
+        let nulls = words.iter().map(|w| w.count_ones() as usize).sum();
+        NullMask { words, len, nulls }
+    }
+
     /// The mask restricted to the contiguous slot range `[lo, hi)` —
     /// word-level: each output word is stitched from (at most) two input
     /// words by shifts, not rebuilt bit by bit.

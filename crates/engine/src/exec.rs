@@ -156,6 +156,13 @@ fn execute_vectorized(
 // Aggregate lane: vectorized grouping, per-group evaluation
 // ---------------------------------------------------------------------------
 
+/// Group index vectors plus the optional per-row group id vector
+/// (`gid[row] == g` ⇔ `row ∈ groups[g]`). The ids come for free from the
+/// sequential single-typed-key grouping paths, where the id is already in
+/// hand per row; they feed the fused single-pass aggregates. `None`
+/// whenever a grouping path doesn't materialize them.
+type GroupsAndIds = (Vec<Vec<u32>>, Option<Vec<u32>>);
+
 /// Group the relation's rows by the GROUP BY key columns (batch-wise
 /// hashing; equality and hashing match `Value` semantics). Groups are in
 /// first-encounter order, like the scalar interpreter's.
@@ -164,10 +171,10 @@ fn build_groups(
     rel: &VecRelation,
     ctx: &ExecContext<'_>,
     outer: Option<&Scope<'_>>,
-) -> Result<Vec<Vec<u32>>, EngineError> {
+) -> Result<GroupsAndIds, EngineError> {
     if query.group_by.is_empty() {
         // An implicit single group (no GROUP BY) aggregates even zero rows.
-        return Ok(vec![(0..rel.len as u32).collect()]);
+        return Ok((vec![(0..rel.len as u32).collect()], None));
     }
     let keycols: Vec<Arc<ColumnData>> = query
         .group_by
@@ -178,7 +185,7 @@ fn build_groups(
     // (identical first-encounter group order). Engages only over the row
     // threshold and when every key column yields exact integer keys.
     if let Some(groups) = crate::par::parallel_group_exact(&keycols, rel.len, ctx) {
-        return Ok(groups);
+        return Ok((groups, None));
     }
     let mut groups: Vec<Vec<u32>> = Vec::new();
     // Single typed key: group through a direct typed map.
@@ -187,6 +194,7 @@ fn build_groups(
             ColumnData::Int64 { values, nulls } | ColumnData::Date64 { values, nulls } => {
                 let mut map: FastMap<i64, usize> = FastMap::default();
                 let mut null_group: Option<usize> = None;
+                let mut gid: Vec<u32> = Vec::with_capacity(values.len());
                 for (i, v) in values.iter().enumerate() {
                     let g = if nulls.is_null(i) {
                         *null_group.get_or_insert_with(|| {
@@ -200,12 +208,14 @@ fn build_groups(
                         })
                     };
                     groups[g].push(i as u32);
+                    gid.push(g as u32);
                 }
-                return Ok(groups);
+                return Ok((groups, Some(gid)));
             }
             ColumnData::Utf8 { values, nulls } => {
                 let mut map: FastMap<&str, usize> = FastMap::default();
                 let mut null_group: Option<usize> = None;
+                let mut gid: Vec<u32> = Vec::with_capacity(values.len());
                 for (i, v) in values.iter().enumerate() {
                     let g = if nulls.is_null(i) {
                         *null_group.get_or_insert_with(|| {
@@ -219,14 +229,16 @@ fn build_groups(
                         })
                     };
                     groups[g].push(i as u32);
+                    gid.push(g as u32);
                 }
-                return Ok(groups);
+                return Ok((groups, Some(gid)));
             }
             ColumnData::Dict { codes, dict, nulls } => {
                 // Group on dictionary codes: a dense code → group table, no
                 // hashing and no string reads at all.
                 let mut of_code: Vec<Option<usize>> = vec![None; dict.len()];
                 let mut null_group: Option<usize> = None;
+                let mut gid: Vec<u32> = Vec::with_capacity(codes.len());
                 for (i, &c) in codes.iter().enumerate() {
                     let g = if nulls.is_null(i) {
                         *null_group.get_or_insert_with(|| {
@@ -240,8 +252,9 @@ fn build_groups(
                         })
                     };
                     groups[g].push(i as u32);
+                    gid.push(g as u32);
                 }
-                return Ok(groups);
+                return Ok((groups, Some(gid)));
             }
             _ => {}
         }
@@ -251,7 +264,7 @@ fn build_groups(
     // so grouping hashes and compares u64 tuples — no string hashing, no
     // `Value` materialization.
     if let Some(groups) = group_by_exact_keys(&keycols, rel.len) {
-        return Ok(groups);
+        return Ok((groups, None));
     }
     // General case: intern each row's key (cheap batch hash + `Value`
     // equality on collisions, shared with DISTINCT and the FD check).
@@ -266,7 +279,7 @@ fn build_groups(
             }
         }
     }
-    Ok(groups)
+    Ok((groups, None))
 }
 
 /// A key column whose rows reduce to exact `u64` ids: two rows of the
@@ -361,10 +374,13 @@ fn exec_aggregate(
     ctx: &ExecContext<'_>,
     outer: Option<&Scope<'_>>,
 ) -> Result<Table, EngineError> {
-    let mut groups = build_groups(query, rel, ctx, outer)?;
+    let (mut groups, mut gid) = build_groups(query, rel, ctx, outer)?;
     let mut compacted: Option<VecRelation> = None;
     if let Some(h) = &query.having {
-        let keep = eval_grouped_vec(h, rel, &groups, ctx, outer)?;
+        let keep = eval_grouped_vec(h, rel, &groups, gid.as_deref(), ctx, outer)?;
+        // Surviving groups are renumbered (and their rows possibly
+        // remapped), so the per-row group ids no longer apply.
+        gid = None;
         groups = groups
             .into_iter()
             .zip(keep)
@@ -402,15 +418,20 @@ fn exec_aggregate(
                 return Err(EngineError::Unsupported("SELECT * with GROUP BY".into()))
             }
             SelectItem::Star => {}
-            SelectItem::Expr { expr, .. } => {
-                sel_vals.push(eval_grouped_vec(expr, rel, &groups, ctx, outer)?)
-            }
+            SelectItem::Expr { expr, .. } => sel_vals.push(eval_grouped_vec(
+                expr,
+                rel,
+                &groups,
+                gid.as_deref(),
+                ctx,
+                outer,
+            )?),
         }
     }
     let key_vals: Vec<Vec<Value>> = query
         .order_by
         .iter()
-        .map(|o| eval_grouped_vec(&o.expr, rel, &groups, ctx, outer))
+        .map(|o| eval_grouped_vec(&o.expr, rel, &groups, gid.as_deref(), ctx, outer))
         .collect::<Result<_, _>>()?;
 
     if groups.is_empty() {
@@ -899,8 +920,8 @@ fn hash_join_rel(
 ) -> VecRelation {
     let lkey = Arc::clone(left.column(left_col));
     let rkey = Arc::clone(right.column(right_col));
-    let mut lidx: Vec<u32> = Vec::new();
-    let mut ridx: Vec<u32> = Vec::new();
+    let lidx: Vec<u32>;
+    let ridx: Vec<u32>;
     // Build-side index: key → first matching right row, with duplicates
     // chained through `next` (one map entry + no per-key Vec allocations).
     // Building in reverse keeps each chain in ascending right-row order,
@@ -1120,15 +1141,16 @@ fn hash_join_rel(
                     head.insert(key, i as u32);
                 }
             }
-            for i in 0..left.len {
+            let (li, ri) = run_probe(n_left, ctx, |i, lidx, ridx| {
                 let key = lkey.value(i);
                 if key.is_null() {
-                    continue;
+                    return;
                 }
                 if let Some(&r) = head.get(&key) {
-                    probe(&next, &mut lidx, &mut ridx, i as u32, r);
+                    probe(&next, lidx, ridx, i as u32, r);
                 }
-            }
+            });
+            (lidx, ridx) = (li, ri);
         }
     }
     drop(lkey);

@@ -274,6 +274,45 @@ pub(crate) fn parallel_aggregate_over(
     Some(Ok(out))
 }
 
+/// Parallel grouped-expression evaluation: contiguous chunks of whole
+/// groups evaluate concurrently through `eval_range` (a closure producing
+/// the values for groups `[lo, hi)`), concatenating in chunk order. Groups
+/// are independent per value, so chunk-order concatenation reproduces the
+/// sequential ascending-group order, and the first error by chunk order is
+/// the first error by group order. Gated on the *row* count feeding the
+/// groups — per-group work is proportional to rows, not groups. `None`
+/// when the stage stays sequential.
+pub(crate) fn parallel_grouped_eval(
+    n_groups: usize,
+    total_rows: usize,
+    ctx: &ExecContext<'_>,
+    eval_range: &(dyn Fn(usize, usize) -> Result<Vec<Value>, EngineError> + Sync),
+) -> Option<Result<Vec<Value>, EngineError>> {
+    let cfg = ParCfg::of(ctx);
+    if n_groups < 2 || !cfg.engages(total_rows) {
+        return None;
+    }
+    // A few chunks per worker so one heavy group doesn't serialize its
+    // whole chunk's siblings behind it.
+    let per_chunk = n_groups.div_ceil(cfg.width * 4).max(1);
+    let ranges = morsel_ranges(n_groups, per_chunk);
+    if ranges.len() < 2 {
+        return None;
+    }
+    let results = pool::run_morsels(cfg.width, ranges.len(), |m| {
+        let (lo, hi) = ranges[m];
+        eval_range(lo, hi)
+    });
+    let mut out = Vec::with_capacity(n_groups);
+    for r in results {
+        match r {
+            Ok(vals) => out.extend(vals),
+            Err(e) => return Some(Err(e)),
+        }
+    }
+    Some(Ok(out))
+}
+
 /// Parallel stable ORDER BY on a row permutation: sort contiguous chunks
 /// concurrently, then merge preferring the earliest chunk on ties. Because
 /// chunks partition the input in order, "earliest chunk wins ties" is

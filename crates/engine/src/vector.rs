@@ -28,6 +28,7 @@ use crate::eval::{
 };
 use crate::exec::{execute_with_scope, ExecContext};
 use pi2_data::column::{ColumnData, NullMask};
+use pi2_data::kernels::{self, CmpOp, Kleene};
 use pi2_data::{DataType, Value};
 use pi2_sql::ast::{is_aggregate_function, BinOp, Expr, Query, UnaryOp};
 use std::cmp::Ordering;
@@ -419,8 +420,19 @@ pub(crate) fn eval_vec(
             Ok(match v {
                 Vector::Const(c) => Vector::Const(Value::Bool(c.is_null() != *negated)),
                 Vector::Col(c) => {
-                    let values: Vec<bool> =
-                        (0..rel.len).map(|i| c.is_null(i) != *negated).collect();
+                    // Typed columns: IS [NOT] NULL comes straight off the
+                    // null-bitmap words; only Mixed walks rows.
+                    let values = match c.as_ref() {
+                        ColumnData::Int64 { nulls, .. }
+                        | ColumnData::Float64 { nulls, .. }
+                        | ColumnData::Date64 { nulls, .. }
+                        | ColumnData::Bool { nulls, .. }
+                        | ColumnData::Utf8 { nulls, .. }
+                        | ColumnData::Dict { nulls, .. } => kernels::null_flags(nulls, *negated),
+                        ColumnData::Mixed(_) => {
+                            (0..rel.len).map(|i| c.is_null(i) != *negated).collect()
+                        }
+                    };
                     Vector::owned(ColumnData::Bool {
                         values,
                         nulls: NullMask::all_valid(rel.len),
@@ -599,11 +611,14 @@ impl StrSide<'_> {
     }
 }
 
-/// Null-free numeric column vs. numeric constant: the comparison compiles
-/// to one autovectorizable slice loop per operator. `swapped` flips the
-/// operator when the constant is on the left. Returns `None` when the
-/// shape doesn't fit (nulls, NaN, non-numeric), deferring to the general
-/// paths.
+/// Numeric column vs. numeric constant: the comparison runs through the
+/// SIMD filter kernels (`pi2_data::kernels`), with NULL slots knocked out
+/// afterwards at word level — nullable columns take the same fast path as
+/// null-free ones. `swapped` flips the operator when the constant is on
+/// the left. Returns `None` when the shape doesn't fit (NaN anywhere,
+/// non-numeric), deferring to the general paths: NaN comparisons are NULL
+/// (not false) under the engine's `partial_cmp` semantics, which the IEEE
+/// kernels cannot express.
 fn cmp_const_fast(op: BinOp, col: &Vector, konst: &Vector, swapped: bool) -> Option<Vector> {
     let Vector::Const(c) = konst else { return None };
     let Vector::Col(col) = col else { return None };
@@ -628,35 +643,36 @@ fn cmp_const_fast(op: BinOp, col: &Vector, konst: &Vector, swapped: bool) -> Opt
     } else {
         op
     };
-    fn loop_op<T: Copy>(values: &[T], conv: impl Fn(T) -> f64, c: f64, op: BinOp) -> Vec<bool> {
-        match op {
-            BinOp::Eq => values.iter().map(|&v| conv(v) == c).collect(),
-            BinOp::NotEq => values.iter().map(|&v| conv(v) != c).collect(),
-            BinOp::Lt => values.iter().map(|&v| conv(v) < c).collect(),
-            BinOp::LtEq => values.iter().map(|&v| conv(v) <= c).collect(),
-            BinOp::Gt => values.iter().map(|&v| conv(v) > c).collect(),
-            BinOp::GtEq => values.iter().map(|&v| conv(v) >= c).collect(),
-            _ => unreachable!("non-comparison in cmp_const_fast"),
+    let kop = cmp_op_kernel(op)?;
+    let (mut out, nulls) = match col.as_ref() {
+        ColumnData::Int64 { values, nulls } | ColumnData::Date64 { values, nulls } => {
+            (kernels::cmp_i64(values, c, kop), nulls)
         }
-    }
-    let out = match col.as_ref() {
-        ColumnData::Int64 { values, nulls } | ColumnData::Date64 { values, nulls }
-            if nulls.null_count() == 0 =>
-        {
-            loop_op(values, |v| v as f64, c, op)
-        }
-        ColumnData::Float64 { values, nulls }
-            if nulls.null_count() == 0 && !values.iter().any(|v| v.is_nan()) =>
-        {
-            loop_op(values, |v| v, c, op)
+        ColumnData::Float64 { values, nulls } if !kernels::has_nan(values) => {
+            (kernels::cmp_f64(values, c, kop), nulls)
         }
         _ => return None,
     };
-    let n = out.len();
+    // NULL comparisons are NULL with a false placeholder, exactly what the
+    // general per-row path produces.
+    kernels::zero_nulls(&mut out, nulls);
     Some(Vector::owned(ColumnData::Bool {
         values: out,
-        nulls: NullMask::all_valid(n),
+        nulls: nulls.clone(),
     }))
+}
+
+/// The kernel operator for a SQL comparison, if it is one.
+fn cmp_op_kernel(op: BinOp) -> Option<CmpOp> {
+    Some(match op {
+        BinOp::Eq => CmpOp::Eq,
+        BinOp::NotEq => CmpOp::Ne,
+        BinOp::Lt => CmpOp::Lt,
+        BinOp::LtEq => CmpOp::Le,
+        BinOp::Gt => CmpOp::Gt,
+        BinOp::GtEq => CmpOp::Ge,
+        _ => return None,
+    })
 }
 
 /// Dictionary column vs. string constant: the constant resolves to a
@@ -688,28 +704,25 @@ fn dict_cmp_const_fast(op: BinOp, col: &Vector, konst: &Vector, swapped: bool) -
         Ok(t) => (true, t),
         Err(p) => (false, p),
     };
-    let test: Box<dyn Fn(u32) -> bool> = match op {
-        BinOp::Eq => Box::new(move |c| present && c == pt),
-        BinOp::NotEq => Box::new(move |c| !(present && c == pt)),
-        BinOp::Lt => Box::new(move |c| c < pt),
-        BinOp::LtEq => Box::new(move |c| if present { c <= pt } else { c < pt }),
-        BinOp::Gt => Box::new(move |c| if present { c > pt } else { c >= pt }),
-        BinOp::GtEq => Box::new(move |c| c >= pt),
+    // An absent constant shifts the effective operator: `= absent` is
+    // uniformly false, `<= absent` is `< partition point`, and so on. The
+    // code compare itself is one SIMD u32-filter kernel call.
+    let mut out = match op {
+        BinOp::Eq if !present => vec![false; codes.len()],
+        BinOp::NotEq if !present => vec![true; codes.len()],
+        BinOp::Eq => kernels::cmp_u32(codes, pt, CmpOp::Eq),
+        BinOp::NotEq => kernels::cmp_u32(codes, pt, CmpOp::Ne),
+        BinOp::Lt => kernels::cmp_u32(codes, pt, CmpOp::Lt),
+        BinOp::LtEq => kernels::cmp_u32(codes, pt, if present { CmpOp::Le } else { CmpOp::Lt }),
+        BinOp::Gt => kernels::cmp_u32(codes, pt, if present { CmpOp::Gt } else { CmpOp::Ge }),
+        BinOp::GtEq => kernels::cmp_u32(codes, pt, CmpOp::Ge),
         _ => return None,
     };
-    if nulls.null_count() == 0 {
-        let values: Vec<bool> = codes.iter().map(|&c| test(c)).collect();
-        let n = values.len();
-        return Some(Vector::owned(ColumnData::Bool {
-            values,
-            nulls: NullMask::all_valid(n),
-        }));
-    }
-    let mut out = BoolBuilder::with_capacity(codes.len());
-    for (i, &c) in codes.iter().enumerate() {
-        out.push((!nulls.is_null(i)).then(|| test(c)));
-    }
-    Some(out.finish())
+    kernels::zero_nulls(&mut out, nulls);
+    Some(Vector::owned(ColumnData::Bool {
+        values: out,
+        nulls: nulls.clone(),
+    }))
 }
 
 /// Dictionary column LIKE constant pattern: the pattern matches each
@@ -726,6 +739,18 @@ fn dict_like_fast(l: &Vector, r: &Vector) -> Option<Vector> {
         out.push((!nulls.is_null(i)).then(|| table[code as usize]));
     }
     Some(out.finish())
+}
+
+/// A boolean column's value/null slices (any null count), for the
+/// word-level three-valued kernels.
+fn bool_col_parts(v: &Vector) -> Option<(&[bool], &NullMask)> {
+    match v {
+        Vector::Col(c) => match c.as_ref() {
+            ColumnData::Bool { values, nulls } => Some((values, nulls)),
+            _ => None,
+        },
+        _ => None,
+    }
 }
 
 /// Both sides null-free boolean columns → direct slice combine.
@@ -944,6 +969,18 @@ fn logical_vec(
             nulls: NullMask::all_valid(rel.len),
         }));
     }
+    // Nullable boolean columns: word-level Kleene kernel, 64 rows per step
+    // (the per-row three-valued loop below only remains for Const/Int64
+    // operands).
+    if let (Some((av, an)), Some((bv, bn))) = (bool_col_parts(&l), bool_col_parts(&r)) {
+        let k = if op == BinOp::And {
+            Kleene::And
+        } else {
+            Kleene::Or
+        };
+        let (values, nulls) = kernels::kleene(k, av, an, bv, bn);
+        return Ok(Vector::owned(ColumnData::Bool { values, nulls }));
+    }
     let mut out = BoolBuilder::with_capacity(rel.len);
     for i in 0..rel.len {
         let a = l.bool3(i);
@@ -994,6 +1031,11 @@ fn between_vec(
             values,
             nulls: NullMask::all_valid(n),
         }));
+    }
+    // Nullable bound predicates: word-level BETWEEN combiner.
+    if let (Some((av, an)), Some((bv, bn))) = (bool_col_parts(&ge), bool_col_parts(&le)) {
+        let (values, nulls) = kernels::between_combine(av, an, bv, bn, negated);
+        return Ok(Vector::owned(ColumnData::Bool { values, nulls }));
     }
     let mut out = BoolBuilder::with_capacity(n);
     for i in 0..n {
@@ -1057,22 +1099,38 @@ fn membership_vec(v: &Vector, items: &[Value], negated: bool, n: usize) -> Vecto
                 .all(|c| matches!(c, Value::Str(_) | Value::Null))
             {
                 // Resolve each item to a dictionary code once; the probe
-                // loop then tests integer codes only.
-                let set: HashSet<u32> = items
+                // then tests integer codes only.
+                let mut set: Vec<u32> = items
                     .iter()
                     .filter_map(|c| c.as_str())
                     .filter_map(|s| c.dict_code_of(s)?.ok())
                     .collect();
+                set.sort_unstable();
+                set.dedup();
+                if !any_null_item {
+                    // SIMD IN kernel: misses are plain `negated`, so the
+                    // result is contains-XOR-negated with NULLs knocked out.
+                    let mut out = kernels::in_set_u32(codes, &set);
+                    if negated {
+                        for v in out.iter_mut() {
+                            *v = !*v;
+                        }
+                    }
+                    kernels::zero_nulls(&mut out, nulls);
+                    return Vector::owned(ColumnData::Bool {
+                        values: out,
+                        nulls: nulls.clone(),
+                    });
+                }
                 let mut out = BoolBuilder::with_capacity(n);
                 for (i, code) in codes.iter().enumerate() {
                     if nulls.is_null(i) {
                         out.push(None);
-                    } else if set.contains(code) {
+                    } else if set.binary_search(code).is_ok() {
                         out.push(Some(!negated));
-                    } else if any_null_item {
-                        out.push(None);
                     } else {
-                        out.push(Some(negated));
+                        // A NULL item makes every miss unknown.
+                        out.push(None);
                     }
                 }
                 return out.finish();
@@ -1145,6 +1203,7 @@ pub(crate) fn eval_grouped_vec(
     expr: &Expr,
     rel: &VecRelation,
     groups: &[Vec<u32>],
+    gid: Option<&[u32]>,
     ctx: &ExecContext<'_>,
     outer: Option<&Scope<'_>>,
 ) -> Result<Vec<Value>, EngineError> {
@@ -1155,18 +1214,18 @@ pub(crate) fn eval_grouped_vec(
     }
     match expr {
         Expr::Func { name, args } if is_aggregate_function(name) => {
-            eval_aggregate_vec(name, args, rel, groups, ctx, outer)
+            eval_aggregate_vec(name, args, rel, groups, gid, ctx, outer)
         }
         Expr::Unary { op, expr: inner } => {
-            let vals = eval_grouped_vec(inner, rel, groups, ctx, outer)?;
+            let vals = eval_grouped_vec(inner, rel, groups, gid, ctx, outer)?;
             vals.into_iter().map(|v| apply_unary(*op, v)).collect()
         }
         Expr::Binary { left, op, right } => {
-            let lvals = eval_grouped_vec(left, rel, groups, ctx, outer)?;
+            let lvals = eval_grouped_vec(left, rel, groups, gid, ctx, outer)?;
             if *op == BinOp::And || *op == BinOp::Or {
                 // Eager right side when it evaluates cleanly; lazy per-group
                 // fallback preserves short-circuit on errors.
-                return match eval_grouped_vec(right, rel, groups, ctx, outer) {
+                return match eval_grouped_vec(right, rel, groups, gid, ctx, outer) {
                     Ok(rvals) => lvals
                         .into_iter()
                         .zip(rvals)
@@ -1185,14 +1244,14 @@ pub(crate) fn eval_grouped_vec(
                                 // row could be one that errors).
                                 let sub = rel.gather(&groups[g]);
                                 let local: Vec<u32> = (0..sub.len as u32).collect();
-                                eval_grouped_vec(right, &sub, &[local], ctx, outer)
+                                eval_grouped_vec(right, &sub, &[local], None, ctx, outer)
                                     .map(|mut v| v.pop().expect("one group in, one value out"))
                             })
                         })
                         .collect(),
                 };
             }
-            let rvals = eval_grouped_vec(right, rel, groups, ctx, outer)?;
+            let rvals = eval_grouped_vec(right, rel, groups, gid, ctx, outer)?;
             lvals
                 .into_iter()
                 .zip(rvals)
@@ -1205,9 +1264,9 @@ pub(crate) fn eval_grouped_vec(
             low,
             high,
         } => {
-            let v = eval_grouped_vec(inner, rel, groups, ctx, outer)?;
-            let lo = eval_grouped_vec(low, rel, groups, ctx, outer)?;
-            let hi = eval_grouped_vec(high, rel, groups, ctx, outer)?;
+            let v = eval_grouped_vec(inner, rel, groups, gid, ctx, outer)?;
+            let lo = eval_grouped_vec(low, rel, groups, gid, ctx, outer)?;
+            let hi = eval_grouped_vec(high, rel, groups, gid, ctx, outer)?;
             v.into_iter()
                 .zip(lo.into_iter().zip(hi))
                 .map(|(v, (lo, hi))| eval_between(&v, &lo, &hi, *negated))
@@ -1216,14 +1275,24 @@ pub(crate) fn eval_grouped_vec(
         Expr::Func { name, args } => {
             let argvals = args
                 .iter()
-                .map(|a| eval_grouped_vec(a, rel, groups, ctx, outer))
+                .map(|a| eval_grouped_vec(a, rel, groups, gid, ctx, outer))
                 .collect::<Result<Vec<_>, _>>()?;
-            (0..groups.len())
-                .map(|g| {
-                    let vals: Vec<Value> = argvals.iter().map(|a| a[g].clone()).collect();
-                    apply_scalar_function(name, &vals, ctx)
-                })
-                .collect()
+            // One closure serves both paths: the pool runs it over chunks
+            // of whole groups, the sequential fallback over [0, len).
+            let eval_range = |lo: usize, hi: usize| {
+                (lo..hi)
+                    .map(|g| {
+                        let vals: Vec<Value> = argvals.iter().map(|a| a[g].clone()).collect();
+                        apply_scalar_function(name, &vals, ctx)
+                    })
+                    .collect::<Result<Vec<Value>, EngineError>>()
+            };
+            if let Some(out) =
+                crate::par::parallel_grouped_eval(groups.len(), rel.len, ctx, &eval_range)
+            {
+                return out;
+            }
+            eval_range(0, groups.len())
         }
         Expr::Literal(l) => Ok(vec![literal_value(l); groups.len()]),
         Expr::Column { table, name } if rel.lookup(table.as_deref(), name).is_some() => {
@@ -1240,22 +1309,38 @@ pub(crate) fn eval_grouped_vec(
                 .collect())
         }
         // Representative-row semantics (correlated subqueries, IN, IS NULL,
-        // outer columns): one scalar evaluation per group.
-        other => groups
-            .iter()
-            .map(|idx| {
-                let row: Vec<Value> = match idx.first() {
+        // outer columns): one scalar evaluation per group. Representative
+        // rows materialize up front so the pool can share them (the lazy
+        // column cache is not Sync); the sequential fallback pays the same
+        // per-group row cost it always did.
+        other => {
+            let rows: Vec<Vec<Value>> = groups
+                .iter()
+                .map(|idx| match idx.first() {
                     Some(&i) => rel.row(i as usize),
                     None => Vec::new(),
-                };
-                let scope = Scope {
-                    cols: &rel.cols,
-                    row: &row,
-                    parent: outer,
-                };
-                eval::eval_expr(other, &scope, ctx)
-            })
-            .collect(),
+                })
+                .collect();
+            let cols = &rel.cols;
+            let eval_range = |lo: usize, hi: usize| {
+                (lo..hi)
+                    .map(|g| {
+                        let scope = Scope {
+                            cols,
+                            row: &rows[g],
+                            parent: outer,
+                        };
+                        eval::eval_expr(other, &scope, ctx)
+                    })
+                    .collect::<Result<Vec<Value>, EngineError>>()
+            };
+            if let Some(out) =
+                crate::par::parallel_grouped_eval(groups.len(), rel.len, ctx, &eval_range)
+            {
+                return out;
+            }
+            eval_range(0, groups.len())
+        }
     }
 }
 
@@ -1264,6 +1349,7 @@ fn eval_aggregate_vec(
     args: &[Expr],
     rel: &VecRelation,
     groups: &[Vec<u32>],
+    gid: Option<&[u32]>,
     ctx: &ExecContext<'_>,
     outer: Option<&Scope<'_>>,
 ) -> Result<Vec<Value>, EngineError> {
@@ -1281,6 +1367,17 @@ fn eval_aggregate_vec(
     // Evaluate the argument densely, once for all groups.
     let argv = eval_vec(arg, rel, ctx, outer)?;
     let col = argv.into_column(rel.len);
+    // Fused path: when grouping produced per-row group ids, sum/avg/count
+    // accumulate all groups in ONE sequential pass over the column instead
+    // of one strided gather per group — the per-group gathers each touch
+    // cache lines spread across the whole column, so at 10⁷ rows this is
+    // an order of magnitude less memory traffic. Per-group accumulation
+    // order is ascending row order, exactly the per-group fold's.
+    if let Some(gid) = gid {
+        if let Some(out) = aggregate_fused(&lname, &col, groups.len(), gid) {
+            return Ok(out);
+        }
+    }
     // Parallel path: contiguous chunks of whole groups (a group's rows are
     // never split, so float accumulation order is untouched).
     if let Some(out) = crate::par::parallel_aggregate_over(&lname, name, &col, groups, rel.len, ctx)
@@ -1294,6 +1391,89 @@ fn eval_aggregate_vec(
     Ok(out)
 }
 
+/// Single-pass grouped sum/avg/count over a typed numeric column using
+/// per-row group ids, bit-identical to [`aggregate_over`] run per group:
+/// rows accumulate into their group's slot in ascending row order — the
+/// same f64 additions, in the same order, as the per-group fold (the
+/// `sum_i64` kernel's integer fast path only engages when those additions
+/// are all exact, so its results coincide too). `None` defers to the
+/// per-group paths.
+fn aggregate_fused(
+    lname: &str,
+    col: &ColumnData,
+    n_groups: usize,
+    gid: &[u32],
+) -> Option<Vec<Value>> {
+    enum Kind {
+        Int,
+        Date,
+        Float,
+    }
+    let (kind, nulls) = match col {
+        ColumnData::Int64 { nulls, .. } => (Kind::Int, nulls),
+        ColumnData::Date64 { nulls, .. } => (Kind::Date, nulls),
+        ColumnData::Float64 { nulls, .. } => (Kind::Float, nulls),
+        _ => return None,
+    };
+    if !matches!(lname, "sum" | "avg" | "count") {
+        return None;
+    }
+    debug_assert_eq!(gid.len(), col.len());
+    if lname == "count" {
+        // Count of non-null rows per group; order-independent.
+        let mut counts = vec![0i64; n_groups];
+        for (i, &g) in gid.iter().enumerate() {
+            counts[g as usize] += !nulls.is_null(i) as i64;
+        }
+        return Some(counts.into_iter().map(Value::Int).collect());
+    }
+    let mut totals = vec![0.0f64; n_groups];
+    let mut counts = vec![0i64; n_groups];
+    match col {
+        ColumnData::Int64 { values, nulls } | ColumnData::Date64 { values, nulls } => {
+            for (i, &v) in values.iter().enumerate() {
+                if nulls.is_null(i) {
+                    continue;
+                }
+                let g = gid[i] as usize;
+                totals[g] += v as f64;
+                counts[g] += 1;
+            }
+        }
+        ColumnData::Float64 { values, nulls } => {
+            for (i, &v) in values.iter().enumerate() {
+                if nulls.is_null(i) {
+                    continue;
+                }
+                let g = gid[i] as usize;
+                totals[g] += v;
+                counts[g] += 1;
+            }
+        }
+        _ => unreachable!("matched above"),
+    }
+    let avg = lname == "avg";
+    Some(
+        totals
+            .into_iter()
+            .zip(counts)
+            .map(|(total, count)| {
+                if count == 0 {
+                    Value::Null
+                } else if avg {
+                    Value::Float(total / count as f64)
+                } else {
+                    match kind {
+                        Kind::Int => Value::Int(total as i64),
+                        // Date sums degrade to Float in the generic fold.
+                        Kind::Date | Kind::Float => Value::Float(total),
+                    }
+                }
+            })
+            .collect(),
+    )
+}
+
 /// One aggregate over one group's rows of a dense argument column,
 /// matching the scalar `eval_aggregate` (NULLs skipped; `sum` stays Int
 /// only when every non-null value is an Int; min/max keep the scalar
@@ -1304,6 +1484,9 @@ pub(crate) fn aggregate_over(
     col: &ColumnData,
     idx: &[u32],
 ) -> Result<Value, EngineError> {
+    if let Some(v) = aggregate_over_typed(lname, col, idx) {
+        return Ok(v);
+    }
     match lname {
         "count" => Ok(Value::Int(
             idx.iter().filter(|&&i| !col.is_null(i as usize)).count() as i64,
@@ -1365,5 +1548,67 @@ pub(crate) fn aggregate_over(
             }
         }
         _ => Err(EngineError::BadFunction(name.to_string())),
+    }
+}
+
+/// Typed SIMD-kernel fast paths for [`aggregate_over`], bit-identical to
+/// the generic folds (the integer-sum and min/max kernels prove a 2⁵³
+/// exactness bound before skipping the sequential f64 accumulation; f64
+/// sums are never reassociated). `None` defers to the generic code.
+fn aggregate_over_typed(lname: &str, col: &ColumnData, idx: &[u32]) -> Option<Value> {
+    match col {
+        ColumnData::Int64 { values, nulls } | ColumnData::Date64 { values, nulls } => {
+            let is_int = matches!(col, ColumnData::Int64 { .. });
+            match lname {
+                "count" => Some(Value::Int(kernels::count_valid(nulls, idx) as i64)),
+                "min" | "max" => Some(
+                    kernels::min_max_i64(values, nulls, idx, lname == "min")
+                        .map(|v| {
+                            if is_int {
+                                Value::Int(v)
+                            } else {
+                                Value::Date(v)
+                            }
+                        })
+                        .unwrap_or(Value::Null),
+                ),
+                "sum" | "avg" => {
+                    let (total, count) = kernels::sum_i64(values, nulls, idx);
+                    if count == 0 {
+                        return Some(Value::Null);
+                    }
+                    Some(if lname == "avg" {
+                        Value::Float(total / count as f64)
+                    } else if is_int {
+                        Value::Int(total as i64)
+                    } else {
+                        // Date sums degrade to Float in the generic fold.
+                        Value::Float(total)
+                    })
+                }
+                _ => None,
+            }
+        }
+        ColumnData::Float64 { values, nulls } => match lname {
+            "count" => Some(Value::Int(kernels::count_valid(nulls, idx) as i64)),
+            "min" | "max" => Some(
+                kernels::min_max_f64(values, nulls, idx, lname == "min")
+                    .map(Value::Float)
+                    .unwrap_or(Value::Null),
+            ),
+            "sum" | "avg" => {
+                let (total, count) = kernels::sum_f64(values, nulls, idx);
+                if count == 0 {
+                    return Some(Value::Null);
+                }
+                Some(if lname == "avg" {
+                    Value::Float(total / count as f64)
+                } else {
+                    Value::Float(total)
+                })
+            }
+            _ => None,
+        },
+        _ => None,
     }
 }

@@ -162,6 +162,72 @@ fn parallel_matches_scalar_on_big_tier_shapes() {
     }
 }
 
+/// Every SIMD dispatch tier is bit-identical: the same forced-parallel
+/// queries return the same tables with the kernels forced to the scalar
+/// fallback, SSE2 and AVX2 (each clamped to what the host supports, so the
+/// sweep is safe on any machine). Covers the typed comparison filters,
+/// dict equality/IN, Kleene AND/OR, BETWEEN, IS NULL and the typed
+/// aggregation kernels — including the order-pinned f64 sum.
+#[test]
+fn parallel_matches_scalar_at_every_simd_level() {
+    use pi2_data::kernels::{set_simd_level, SimdLevel};
+    let cat = big_catalog(9_000);
+    let queries = [
+        "SELECT count(*) FROM covid_big WHERE cases > 30000 AND deaths > 600",
+        "SELECT state, date FROM covid_big WHERE deaths IS NULL AND cases > 55000",
+        "SELECT count(*) FROM customers WHERE score > 95.5 OR score < 1.5",
+        "SELECT count(*) FROM covid_big WHERE state = 'California' OR state = 'Texas'",
+        "SELECT count(*) FROM covid_big WHERE state IN ('California', 'Texas', 'Nowhere')",
+        "SELECT count(*) FROM covid_big WHERE cases BETWEEN 10000 AND 40000",
+        "SELECT state, count(*), sum(cases), min(deaths), max(deaths) \
+         FROM covid_big GROUP BY state",
+        "SELECT city, sum(total), avg(total), min(total), max(total) \
+         FROM sales_big GROUP BY city",
+    ];
+    for forced in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+        set_simd_level(Some(forced));
+        for sql in queries {
+            assert_parallel_agrees(&cat, sql);
+        }
+    }
+    set_simd_level(None);
+}
+
+/// Grouped-expression evaluation on the pool: non-aggregate functions of
+/// grouped values and representative-row expressions (correlated scalar
+/// subqueries) evaluate over whole-group chunks and must match the scalar
+/// reference at every width.
+#[test]
+fn parallel_grouped_expression_evaluation_matches_scalar() {
+    let cat = big_catalog(5_000);
+    for sql in [
+        // Non-aggregate Func over grouped aggregate arguments.
+        "SELECT state, abs(min(deaths) - max(deaths)) FROM covid_big GROUP BY state",
+        "SELECT city, abs(sum(total) - 500000.0) FROM sales_big GROUP BY city",
+        // Representative-row semantics: one correlated subquery per group.
+        "SELECT state, (SELECT max(c2.cases) FROM covid_big AS c2 \
+         WHERE c2.state = covid_big.state) FROM covid_big GROUP BY state",
+    ] {
+        assert_parallel_agrees(&cat, sql);
+    }
+}
+
+/// Float64 join keys take the generic `Value`-typed probe arm, now
+/// morsel-parallel: matches must concatenate in the sequential ascending
+/// left-row order, with the scalar join's Int/Float cross-type equality.
+#[test]
+fn parallel_value_typed_join_matches_scalar() {
+    let cat = big_catalog(4_000);
+    for sql in [
+        "SELECT count(*) FROM sales_big AS a, sales_big AS b \
+         WHERE a.total = b.total AND a.quantity > 8 AND b.quantity > 8",
+        "SELECT o.id, c.segment FROM orders AS o, customers AS c \
+         WHERE o.amount = c.score",
+    ] {
+        assert_parallel_agrees(&cat, sql);
+    }
+}
+
 /// Repeated runs at width 8 are bit-identical (like
 /// `tests/search_determinism.rs` for the planner): dynamic morsel dispatch
 /// must never leak scheduling order into results.

@@ -1,8 +1,8 @@
 //! Load generator for the PI2 HTTP server (logic in `pi2_bench::load`).
 //!
 //! ```text
-//! loadgen [--workload covid|sales|…] [--sessions 8] [--events 200]
-//!         [--addr HOST:PORT] [--fail-on-errors]
+//! loadgen [--workload covid|sales|…] [--rows N] [--sessions 8]
+//!         [--events 200] [--addr HOST:PORT] [--fail-on-errors]
 //! ```
 //!
 //! Without `--addr`, boots an in-process `pi2::server` over loopback,
@@ -11,6 +11,12 @@
 //! server that has the same workload registered under the same name (the
 //! event mix is still recorded from a local generation with the bench
 //! seed, so both sides agree on the interface).
+//!
+//! `--rows N` swaps the paper workload for the big tier: the interface is
+//! generated over `big_catalog(N)` (registered as workload `big`), so the
+//! reported latencies measure end-to-end serving when every widget event
+//! answers against N-row tables — the in-engine `engine/exec_big_*`
+//! numbers with the wire protocol and session machinery on top.
 //!
 //! Each of the N sessions opens its own keep-alive connection, replays the
 //! recorded event mix, and closes; the report prints throughput and
@@ -26,7 +32,7 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: loadgen [--workload covid] [--sessions 8] [--events 200] \
+        "usage: loadgen [--workload covid] [--rows N] [--sessions 8] [--events 200] \
          [--addr HOST:PORT] [--fail-on-errors]"
     );
     ExitCode::from(2)
@@ -42,6 +48,7 @@ fn kind_by_name(name: &str) -> Option<LogKind> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut workload = "covid".to_string();
+    let mut rows: Option<usize> = None;
     let mut sessions: usize = 8;
     let mut events: usize = 200;
     let mut addr: Option<String> = None;
@@ -51,6 +58,10 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--workload" => match it.next() {
                 Some(v) => workload = v.clone(),
+                None => return usage(),
+            },
+            "--rows" => match it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                Some(v) => rows = Some(v),
                 None => return usage(),
             },
             "--sessions" => match it.next().and_then(|v| v.parse().ok()) {
@@ -69,20 +80,28 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
-    let Some(kind) = kind_by_name(&workload) else {
-        eprintln!(
-            "loadgen: unknown workload {workload:?} (known: {})",
-            all_logs()
-                .iter()
-                .map(|l| l.name)
-                .collect::<Vec<_>>()
-                .join(", ")
-        );
-        return ExitCode::from(2);
+    let generation = match rows {
+        Some(n) => {
+            workload = "big".to_string();
+            eprintln!("loadgen: generating big-tier interface over {n} rows (bench config)…");
+            load::big_generation(n)
+        }
+        None => {
+            let Some(kind) = kind_by_name(&workload) else {
+                eprintln!(
+                    "loadgen: unknown workload {workload:?} (known: {})",
+                    all_logs()
+                        .iter()
+                        .map(|l| l.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::from(2);
+            };
+            eprintln!("loadgen: generating {workload} interface (bench config)…");
+            load::generation_for(kind)
+        }
     };
-
-    eprintln!("loadgen: generating {workload} interface (bench config)…");
-    let generation = load::generation_for(kind);
     let cycle = load::event_cycle(&generation);
     eprintln!(
         "loadgen: recorded event mix of {} events over {} interactions",
