@@ -8,11 +8,19 @@
 //! path. Compare with `service/session_throughput/covid_warm_8_sessions`
 //! (same event mix, in-process dispatch) to read off the transport
 //! overhead.
+//!
+//! `service/ws_push_fanout/covid` measures the streaming path: one
+//! WebSocket writer replays the same mix while 4 subscribed peer
+//! sessions each receive every patch as a server-initiated frame — the
+//! per-peer event replay, the subscription hub, and the push lane
+//! through the reactors are all on the measured path. One lap is
+//! `cycle × (1 writer response + 4 pushes)`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pi2::server::{Http1Client, ServerConfig};
+use pi2::server::client::WsMessage;
+use pi2::server::{Http1Client, ServerConfig, WsClient};
 use pi2::{Pi2Service, Request};
-use pi2_bench::load::{event_cycle, generation_for, open_session};
+use pi2_bench::load::{event_cycle, generation_for, open_session, open_ws_session};
 use pi2_workloads::LogKind;
 use std::sync::Arc;
 
@@ -82,8 +90,69 @@ fn bench_server(c: &mut Criterion) {
             })
         },
     );
+    // --- WebSocket push fan-out: 1 writer, 4 subscribed peers ---------
+    const SUBS: usize = 4;
+    let mut writer = WsClient::connect(addr).expect("ws connect");
+    let writer_session = open_ws_session(&mut writer, "covid").expect("ws open");
+    let mut subs: Vec<WsClient> = (0..SUBS)
+        .map(|_| {
+            let mut peer = WsClient::connect(addr).expect("ws connect");
+            let session = open_ws_session(&mut peer, "covid").expect("ws open");
+            let resp = peer
+                .round_trip(&pi2::request_to_json(&Request::Subscribe { session }))
+                .expect("subscribe");
+            assert!(resp.contains("\"type\":\"subscribed\""), "{resp}");
+            peer
+        })
+        .collect();
+    // Warm lap (the peers' sessions run the mix for the first time here).
+    for event in &cycle {
+        let body = pi2::request_to_json(&Request::Event {
+            session: writer_session,
+            event: event.clone(),
+        });
+        writer.round_trip(&body).expect("warm ws event");
+        for peer in subs.iter_mut() {
+            assert!(matches!(
+                peer.read_message().expect("warm push"),
+                WsMessage::Text(_)
+            ));
+        }
+    }
+
+    group.bench_with_input(
+        BenchmarkId::new("ws_push_fanout", "covid"),
+        &cycle,
+        |b, cycle| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    let laps = cycle.len();
+                    for peer in subs.iter_mut() {
+                        scope.spawn(move || {
+                            for _ in 0..laps {
+                                match peer.read_message().expect("push") {
+                                    WsMessage::Text(_) => {}
+                                    other => panic!("unexpected {other:?}"),
+                                }
+                            }
+                        });
+                    }
+                    for event in cycle {
+                        let body = pi2::request_to_json(&Request::Event {
+                            session: writer_session,
+                            event: event.clone(),
+                        });
+                        let resp = writer.round_trip(&body).expect("event");
+                        assert!(resp.contains("\"type\":\"patch\""), "{resp}");
+                    }
+                });
+            })
+        },
+    );
     group.finish();
     drop(clients);
+    drop(subs);
+    drop(writer);
     server.shutdown();
 }
 

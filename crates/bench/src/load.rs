@@ -9,7 +9,7 @@
 //! ([`run_load`]), and summarizing per-request latencies into a
 //! [`LoadReport`] (throughput + p50/p95/p99).
 
-use pi2::server::Http1Client;
+use pi2::server::{Http1Client, WsClient};
 use pi2::{
     Event, Generation, GenerationConfig, InteractionChoice, Json, MctsConfig, Pi2, Request,
     Session, Value, WidgetKind,
@@ -283,6 +283,196 @@ impl fmt::Display for LoadReport {
     }
 }
 
+/// The result of one WebSocket push-load run: request latency (the
+/// writer's send → own response) and push latency (the writer's send →
+/// a subscriber receiving its fanned-out patch) are separate
+/// distributions — the second includes per-peer replay and the push lane
+/// through the reactor.
+#[derive(Debug, Clone)]
+pub struct WsLoadReport {
+    /// Subscribed peer connections (the writer is one more).
+    pub subscribers: usize,
+    /// Events the writer dispatched.
+    pub events: usize,
+    /// Pushed messages received across all subscribers (a clean run
+    /// receives `subscribers × events`).
+    pub pushes: usize,
+    /// Writer responses or pushed messages that were not patches.
+    pub errors: usize,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// Writer request latency percentiles (ns).
+    pub request_p50_ns: u64,
+    /// 95th percentile writer request latency (ns).
+    pub request_p95_ns: u64,
+    /// 99th percentile writer request latency (ns).
+    pub request_p99_ns: u64,
+    /// Push latency percentiles (ns): writer send → subscriber receive.
+    pub push_p50_ns: u64,
+    /// 95th percentile push latency (ns).
+    pub push_p95_ns: u64,
+    /// 99th percentile push latency (ns).
+    pub push_p99_ns: u64,
+}
+
+impl WsLoadReport {
+    /// Pushed messages delivered per second across all subscribers.
+    pub fn push_throughput(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.pushes as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+impl fmt::Display for WsLoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "1 writer + {} subscribers · {} events · {} pushes in {:.2}s · \
+             {:.0} pushes/s · request p50 {} p95 {} p99 {} · \
+             push p50 {} p95 {} p99 {} · {} errors",
+            self.subscribers,
+            self.events,
+            self.pushes,
+            self.elapsed.as_secs_f64(),
+            self.push_throughput(),
+            fmt_ns(self.request_p50_ns),
+            fmt_ns(self.request_p95_ns),
+            fmt_ns(self.request_p99_ns),
+            fmt_ns(self.push_p50_ns),
+            fmt_ns(self.push_p95_ns),
+            fmt_ns(self.push_p99_ns),
+            self.errors,
+        )
+    }
+}
+
+/// Open a wire session over one WebSocket connection; returns the
+/// session id.
+pub fn open_ws_session(client: &mut WsClient, workload: &str) -> io::Result<u64> {
+    let body = pi2::request_to_json(&Request::Open {
+        workload: workload.to_string(),
+    });
+    let resp = client.round_trip(&body)?;
+    let parsed = Json::parse(&resp)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    parsed
+        .get("session")
+        .and_then(Json::as_i64)
+        .map(|id| id as u64)
+        .ok_or_else(|| io::Error::other(format!("open over ws failed: {resp}")))
+}
+
+/// Drive the protocol v2 push fan-out against a running server: one
+/// writer session replays `events` events from `cycle` while
+/// `subscribers` WebSocket peers — each with its own wire session
+/// subscribed to the shared workload channel — receive every resulting
+/// patch as a server-initiated frame. Reports request and push latency
+/// separately.
+pub fn run_ws_load(
+    addr: SocketAddr,
+    workload: &str,
+    cycle: &[Event],
+    subscribers: usize,
+    events: usize,
+) -> io::Result<WsLoadReport> {
+    let mut writer = WsClient::connect(addr)?;
+    let writer_session = open_ws_session(&mut writer, workload)?;
+    // Subscribe every peer before the first event so no push is missed.
+    let mut peers: Vec<WsClient> = Vec::with_capacity(subscribers);
+    for _ in 0..subscribers {
+        let mut peer = WsClient::connect(addr)?;
+        let session = open_ws_session(&mut peer, workload)?;
+        let resp = peer.round_trip(&pi2::request_to_json(&Request::Subscribe { session }))?;
+        if !resp.contains("\"type\":\"subscribed\"") {
+            return Err(io::Error::other(format!("subscribe failed: {resp}")));
+        }
+        peers.push(peer);
+    }
+
+    // The writer stamps each event's send instant before writing it, so a
+    // subscriber can compute push latency for the i-th push it receives
+    // (pushes arrive in dispatch order per peer).
+    let send_times: std::sync::Mutex<Vec<Instant>> = std::sync::Mutex::new(Vec::new());
+    let start = Instant::now();
+    let (request_result, push_results) = std::thread::scope(|scope| {
+        let send_times = &send_times;
+        let peer_handles: Vec<_> = peers
+            .iter_mut()
+            .map(|peer| {
+                scope.spawn(move || -> io::Result<(Vec<u64>, usize)> {
+                    let mut latencies = Vec::with_capacity(events);
+                    let mut errors = 0;
+                    for i in 0..events {
+                        let msg = match peer.read_message()? {
+                            pi2::server::client::WsMessage::Text(msg) => msg,
+                            pi2::server::client::WsMessage::Closed(code) => {
+                                return Err(io::Error::other(format!(
+                                    "subscriber closed (code {code:?}) after {i} pushes"
+                                )));
+                            }
+                        };
+                        let sent = send_times.lock().unwrap()[i];
+                        latencies.push(sent.elapsed().as_nanos() as u64);
+                        if !msg.contains("\"type\":\"patch\"") {
+                            errors += 1;
+                        }
+                    }
+                    Ok((latencies, errors))
+                })
+            })
+            .collect();
+        let writer_result: io::Result<(Vec<u64>, usize)> = (|| {
+            let mut latencies = Vec::with_capacity(events);
+            let mut errors = 0;
+            for i in 0..events {
+                let body = pi2::request_to_json(&Request::Event {
+                    session: writer_session,
+                    event: cycle[i % cycle.len()].clone(),
+                });
+                let sent = Instant::now();
+                send_times.lock().unwrap().push(sent);
+                let resp = writer.round_trip(&body)?;
+                latencies.push(sent.elapsed().as_nanos() as u64);
+                if !resp.contains("\"type\":\"patch\"") {
+                    errors += 1;
+                }
+            }
+            Ok((latencies, errors))
+        })();
+        let push_results: Vec<io::Result<(Vec<u64>, usize)>> = peer_handles
+            .into_iter()
+            .map(|h| h.join().expect("subscriber thread panicked"))
+            .collect();
+        (writer_result, push_results)
+    });
+    let elapsed = start.elapsed();
+    let (mut request_lat, mut errors) = request_result?;
+    let mut push_lat = Vec::with_capacity(subscribers * events);
+    for result in push_results {
+        let (lats, errs) = result?;
+        push_lat.extend(lats);
+        errors += errs;
+    }
+    let pushes = push_lat.len();
+    request_lat.sort_unstable();
+    push_lat.sort_unstable();
+    Ok(WsLoadReport {
+        subscribers,
+        events,
+        pushes,
+        errors,
+        elapsed,
+        request_p50_ns: percentile(&request_lat, 50.0),
+        request_p95_ns: percentile(&request_lat, 95.0),
+        request_p99_ns: percentile(&request_lat, 99.0),
+        push_p50_ns: percentile(&push_lat, 50.0),
+        push_p95_ns: percentile(&push_lat, 95.0),
+        push_p99_ns: percentile(&push_lat, 99.0),
+    })
+}
+
 /// Open a wire session over one connection; returns the session id.
 pub fn open_session(client: &mut Http1Client, workload: &str) -> io::Result<u64> {
     let body = pi2::request_to_json(&Request::Open {
@@ -455,6 +645,41 @@ mod tests {
         assert_eq!(report.events, 48);
         assert_eq!(report.errors, 0, "{report}");
         assert!(report.p99_ns >= report.p50_ns);
+        server.shutdown();
+    }
+
+    /// The WebSocket push path end to end: one writer, N subscribed
+    /// peers, every dispatch fanned out to every peer with zero errors.
+    #[test]
+    fn ws_load_run_fans_out_every_event() {
+        let mut catalog = Catalog::new();
+        let rows: Vec<Vec<pi2::Value>> = (0..24)
+            .map(|i| vec![pi2::Value::Int(i % 4), pi2::Value::Int(10 * (i % 6))])
+            .collect();
+        let t = Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows).unwrap();
+        catalog.add_table("T", t, vec![]);
+        let service = Arc::new(Pi2Service::new());
+        let generation = service
+            .register(
+                "tiny",
+                catalog,
+                &[
+                    "SELECT a, count(*) FROM T WHERE b = 10 GROUP BY a",
+                    "SELECT a, count(*) FROM T WHERE b = 20 GROUP BY a",
+                ],
+                &GenerationConfig::quick(),
+            )
+            .unwrap();
+        let cycle = event_cycle(&generation);
+        let server = pi2::serve(Arc::clone(&service), ServerConfig::default()).unwrap();
+        let report = run_ws_load(server.local_addr(), "tiny", &cycle, 3, 8).unwrap();
+        assert_eq!(report.subscribers, 3);
+        assert_eq!(report.events, 8);
+        assert_eq!(report.pushes, 24, "{report}");
+        assert_eq!(report.errors, 0, "{report}");
+        assert!(report.push_p99_ns >= report.push_p50_ns);
+        let text = report.to_string();
+        assert!(text.contains("push p50"), "{text}");
         server.shutdown();
     }
 }

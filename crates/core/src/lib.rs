@@ -53,6 +53,7 @@ pub mod error;
 pub mod generation;
 pub mod json;
 pub mod protocol;
+pub mod push;
 pub mod registry;
 pub mod render;
 pub mod runtime;
@@ -64,8 +65,9 @@ pub use generation::{Generation, GenerationConfig, Pi2};
 pub use json::Json;
 pub use protocol::{
     event_from_json, event_to_json, patch_from_json, patch_to_json, request_from_json,
-    request_to_json, Request, PROTOCOL_VERSION,
+    request_to_json, Request, PROTOCOL_VERSION, PROTOCOL_VERSION_V2,
 };
+pub use push::{PushHub, PushStats};
 pub use registry::SessionRegistry;
 pub use runtime::{Event, Runtime};
 pub use service::{Patch, PatchView, Pi2Service, ServiceMetrics, Session, WorkloadMetrics};

@@ -22,11 +22,21 @@ use pi2_data::date::{format_iso_date, parse_iso_date};
 use pi2_data::wire::{dtype_from_name, table_to_json};
 use pi2_data::{DataType, Table, Value};
 use pi2_interface::Interface;
+use pi2_server::PushLink;
 use std::fmt::Write;
 use std::sync::Arc;
 
-/// The wire-protocol version every message carries in `"v"`.
+/// The wire-protocol version of the core request/response message set
+/// (`open`, `describe`, `event`, `close`, `metrics`, and their
+/// responses).
 pub const PROTOCOL_VERSION: i64 = 1;
+
+/// The protocol version of the streaming extension: `subscribe` /
+/// `unsubscribe` / `negotiate` requests and server-initiated pushed
+/// patches. Each message *type* belongs to exactly one version — a v1
+/// type sent with `"v":2` is a protocol error, and vice versa — so a v1
+/// client can never observe v2 behaviour by accident.
+pub const PROTOCOL_VERSION_V2: i64 = 2;
 
 fn proto_err(msg: impl Into<String>) -> Pi2Error {
     Pi2Error::Protocol(msg.into())
@@ -39,6 +49,23 @@ fn check_version(j: &Json) -> Result<(), Pi2Error> {
         Some(v) if v.as_i64() == Some(PROTOCOL_VERSION) => Ok(()),
         Some(v) => Err(proto_err(format!(
             "unsupported protocol version {v} (this backend speaks {PROTOCOL_VERSION})"
+        ))),
+    }
+}
+
+/// Check a request's `"v"` field against the one version its type
+/// belongs to.
+fn check_request_version(j: &Json, ty: &str, want: i64) -> Result<(), Pi2Error> {
+    match j.get("v").map(Json::as_i64) {
+        None => Err(proto_err("missing protocol version field 'v'")),
+        Some(Some(got)) if got == want => Ok(()),
+        Some(Some(got)) if got == PROTOCOL_VERSION || got == PROTOCOL_VERSION_V2 => Err(proto_err(
+            format!("message type {ty:?} is a protocol v{want} message (got v={got})"),
+        )),
+        Some(_) => Err(proto_err(format!(
+            "unsupported protocol version {} (this backend speaks \
+             {PROTOCOL_VERSION} and {PROTOCOL_VERSION_V2})",
+            j.get("v").expect("checked above")
         ))),
     }
 }
@@ -477,6 +504,23 @@ pub enum Request {
     },
     /// Fetch service metrics.
     Metrics,
+    /// Subscribe a session's patch stream to the requesting connection
+    /// (protocol v2; requires a push-capable transport — WebSocket).
+    /// Events dispatched by *other* sessions sharing the workload channel
+    /// replay on this session, and each resulting patch is pushed.
+    Subscribe {
+        /// Wire-session id to subscribe.
+        session: u64,
+    },
+    /// Drop a subscription previously made over this connection
+    /// (protocol v2).
+    Unsubscribe {
+        /// Wire-session id to unsubscribe.
+        session: u64,
+    },
+    /// Ask which protocol versions and streaming features this backend
+    /// (and this connection) supports (protocol v2).
+    Negotiate,
 }
 
 /// Encode a request (the client half of the two-way protocol).
@@ -502,6 +546,13 @@ pub fn request_to_json(request: &Request) -> String {
             format!("{{\"v\":{PROTOCOL_VERSION},\"type\":\"close\",\"session\":{session}}}")
         }
         Request::Metrics => format!("{{\"v\":{PROTOCOL_VERSION},\"type\":\"metrics\"}}"),
+        Request::Subscribe { session } => {
+            format!("{{\"v\":{PROTOCOL_VERSION_V2},\"type\":\"subscribe\",\"session\":{session}}}")
+        }
+        Request::Unsubscribe { session } => format!(
+            "{{\"v\":{PROTOCOL_VERSION_V2},\"type\":\"unsubscribe\",\"session\":{session}}}"
+        ),
+        Request::Negotiate => format!("{{\"v\":{PROTOCOL_VERSION_V2},\"type\":\"negotiate\"}}"),
     }
 }
 
@@ -509,7 +560,6 @@ pub fn request_to_json(request: &Request) -> String {
 /// this).
 pub fn request_from_json(text: &str) -> Result<Request, Pi2Error> {
     let j = Json::parse(text)?;
-    check_version(&j)?;
     let workload_of = |j: &Json| -> Result<String, Pi2Error> {
         Ok(field(j, "workload")?
             .as_str()
@@ -523,21 +573,57 @@ pub fn request_from_json(text: &str) -> Result<Request, Pi2Error> {
             .map(|s| s as u64)
             .ok_or_else(|| proto_err("field 'session' must be a non-negative integer"))
     };
-    match field(&j, "type")?.as_str() {
-        Some("open") => Ok(Request::Open {
-            workload: workload_of(&j)?,
-        }),
-        Some("describe") => Ok(Request::Describe {
-            workload: workload_of(&j)?,
-        }),
-        Some("event") => Ok(Request::Event {
-            session: session_of(&j)?,
-            event: event_from_value(&j)?,
-        }),
-        Some("close") => Ok(Request::Close {
-            session: session_of(&j)?,
-        }),
-        Some("metrics") => Ok(Request::Metrics),
+    // The version check is per *type*: every message type belongs to
+    // exactly one protocol version (see [`PROTOCOL_VERSION_V2`]).
+    let ty = field(&j, "type")?.as_str();
+    let v1 = |ty: &str| check_request_version(&j, ty, PROTOCOL_VERSION);
+    let v2 = |ty: &str| check_request_version(&j, ty, PROTOCOL_VERSION_V2);
+    match ty {
+        Some("open") => {
+            v1("open")?;
+            Ok(Request::Open {
+                workload: workload_of(&j)?,
+            })
+        }
+        Some("describe") => {
+            v1("describe")?;
+            Ok(Request::Describe {
+                workload: workload_of(&j)?,
+            })
+        }
+        Some("event") => {
+            v1("event")?;
+            Ok(Request::Event {
+                session: session_of(&j)?,
+                event: event_from_value(&j)?,
+            })
+        }
+        Some("close") => {
+            v1("close")?;
+            Ok(Request::Close {
+                session: session_of(&j)?,
+            })
+        }
+        Some("metrics") => {
+            v1("metrics")?;
+            Ok(Request::Metrics)
+        }
+        Some("subscribe") => {
+            v2("subscribe")?;
+            Ok(Request::Subscribe {
+                session: session_of(&j)?,
+            })
+        }
+        Some("unsubscribe") => {
+            v2("unsubscribe")?;
+            Ok(Request::Unsubscribe {
+                session: session_of(&j)?,
+            })
+        }
+        Some("negotiate") => {
+            v2("negotiate")?;
+            Ok(Request::Negotiate)
+        }
         other => Err(proto_err(format!("unknown request type {other:?}"))),
     }
 }
@@ -598,13 +684,17 @@ pub(crate) fn metrics_response(m: &ServiceMetrics) -> String {
         out,
         "],\"sessionsOpened\":{},\"openWireSessions\":{},\
          \"resultCache\":{{\"hits\":{},\"misses\":{}}},\
-         \"rewardTableEntries\":{},\"actionTableEntries\":{}}}",
+         \"rewardTableEntries\":{},\"actionTableEntries\":{},\
+         \"push\":{{\"subscriptions\":{},\"delivered\":{},\"evicted\":{}}}}}",
         m.sessions_opened,
         m.open_wire_sessions,
         m.result_cache.hits,
         m.result_cache.misses,
         m.reward_table_entries,
         m.action_table_entries,
+        m.push.subscriptions,
+        m.push.delivered,
+        m.push.evicted,
     );
     out
 }
@@ -623,10 +713,25 @@ impl Pi2Service {
 
     /// Serve one already-decoded request, returning the JSON response body
     /// or the structured error. This is the transport-agnostic core of
-    /// [`Pi2Service::handle_json`]; the HTTP server (`pi2::server`) parses
-    /// once for mailbox routing and dispatches here — responses are
-    /// byte-identical across both entry points by construction.
+    /// [`Pi2Service::handle_json`]; the HTTP server (`pi2::server`) decodes
+    /// on a worker and dispatches here — responses are byte-identical
+    /// across both entry points by construction. Equivalent to
+    /// [`Pi2Service::handle_request_link`] with no transport context, so
+    /// v2 `subscribe` requests report the push-capability error.
     pub fn handle_request(&self, request: Request) -> Result<String, Pi2Error> {
+        self.handle_request_link(request, None)
+    }
+
+    /// [`Pi2Service::handle_request`] with the transport context of the
+    /// connection the request arrived on: `Some` for push-capable
+    /// (WebSocket) connections, `None` for HTTP and in-process callers.
+    /// The context gates the v2 subscription requests and tells
+    /// `negotiate` whether pushes can actually be delivered.
+    pub fn handle_request_link(
+        &self,
+        request: Request,
+        link: Option<&PushLink>,
+    ) -> Result<String, Pi2Error> {
         match request {
             Request::Open { workload } => {
                 let (id, slot) = self.open_wire(&workload)?;
@@ -645,6 +750,11 @@ impl Pi2Service {
                     .wire_session(session)
                     .ok_or(Pi2Error::UnknownSession(session))?;
                 let patch = slot.lock().dispatch(&event)?;
+                // The originating dispatch succeeded: replay the event on
+                // subscribed peers sharing the workload channel and push
+                // each peer its own patch (their lock is released before
+                // this; fan-out never nests session locks).
+                self.fanout_event(session, &event);
                 Ok(patch_to_json(&patch))
             }
             Request::Close { session } => {
@@ -657,6 +767,72 @@ impl Pi2Service {
                 }
             }
             Request::Metrics => Ok(metrics_response(&self.metrics())),
+            Request::Subscribe { session } => {
+                let link = link.ok_or_else(|| {
+                    proto_err("subscribe requires a push-capable (WebSocket) connection")
+                })?;
+                let slot = self
+                    .wire_session(session)
+                    .ok_or(Pi2Error::UnknownSession(session))?;
+                // Snapshot the seq under the session lock so the client
+                // knows exactly which state its push stream starts after.
+                let seq = slot.lock().seq();
+                if !self
+                    .push_hub()
+                    .subscribe(session, link.conn, Arc::clone(&link.sender))
+                {
+                    return Err(Pi2Error::UnknownSession(session));
+                }
+                Ok(format!(
+                    "{{\"v\":{PROTOCOL_VERSION_V2},\"type\":\"subscribed\",\
+                     \"session\":{session},\"seq\":{seq}}}"
+                ))
+            }
+            Request::Unsubscribe { session } => {
+                let link = link.ok_or_else(|| {
+                    proto_err("unsubscribe requires a push-capable (WebSocket) connection")
+                })?;
+                if self.wire_session(session).is_none() {
+                    return Err(Pi2Error::UnknownSession(session));
+                }
+                // Idempotent: unsubscribing a session that was never
+                // subscribed (or subscribed elsewhere) is not an error.
+                let dropped = self.push_hub().unsubscribe(session, link.conn);
+                Ok(format!(
+                    "{{\"v\":{PROTOCOL_VERSION_V2},\"type\":\"unsubscribed\",\
+                     \"session\":{session},\"dropped\":{dropped}}}"
+                ))
+            }
+            Request::Negotiate => Ok(format!(
+                "{{\"v\":{PROTOCOL_VERSION_V2},\"type\":\"protocols\",\
+                 \"versions\":[{PROTOCOL_VERSION},{PROTOCOL_VERSION_V2}],\"push\":{}}}",
+                link.is_some()
+            )),
+        }
+    }
+
+    /// Replay `event` on every subscribed peer of `origin`'s workload
+    /// channel and push each peer its own resulting patch (or error) —
+    /// exactly the bytes that peer's `handle_json` would return for the
+    /// same event. The send happens under the peer's session lock, so
+    /// push order matches that peer's sequence numbers.
+    fn fanout_event(&self, origin: u64, event: &Event) {
+        for (session, conn, sender) in self.push_hub().peers_of(origin) {
+            let Some(slot) = self.wire_session(session) else {
+                // Closed since the snapshot; drop the stale subscription.
+                self.push_hub().drop_session(session);
+                continue;
+            };
+            let mut peer = slot.lock();
+            let body = match peer.dispatch(event) {
+                Ok(patch) => patch_to_json(&patch),
+                Err(e) => error_to_json(&e),
+            };
+            if sender(conn, body) {
+                self.push_hub().note_delivered();
+            } else {
+                self.push_hub().evict(session, conn);
+            }
         }
     }
 }

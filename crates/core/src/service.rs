@@ -20,6 +20,7 @@
 
 use crate::error::Pi2Error;
 use crate::generation::{Generation, GenerationConfig, Pi2};
+use crate::push::{PushHub, PushStats};
 use crate::registry::SessionRegistry;
 use crate::runtime::{displayed_options, Event, EventEngine};
 use parking_lot::{Mutex, RwLock};
@@ -367,6 +368,8 @@ pub struct Pi2Service {
     /// never crosses a global map lock.
     sessions: SessionRegistry,
     sessions_opened: AtomicU64,
+    /// Protocol-v2 shared-session subscriptions (see [`crate::push`]).
+    push: PushHub,
 }
 
 impl Pi2Service {
@@ -451,9 +454,13 @@ impl Pi2Service {
 
     /// Open a service-held session and return its wire id (the protocol's
     /// `open` request). The session lives until [`Pi2Service::close_wire`].
+    /// The session is bound to its workload's push channel, so a later v2
+    /// `subscribe` can join it to the shared patch stream.
     pub fn open_wire(&self, name: &str) -> Result<(u64, Arc<Mutex<Session>>), Pi2Error> {
         let session = self.open(name)?;
-        Ok(self.sessions.insert(session))
+        let (id, slot) = self.sessions.insert(session);
+        self.push.bind(id, name);
+        Ok((id, slot))
     }
 
     /// The service-held session with the given wire id.
@@ -461,9 +468,17 @@ impl Pi2Service {
         self.sessions.get(id)
     }
 
-    /// Close a service-held session; returns whether it existed.
+    /// Close a service-held session; returns whether it existed. Any
+    /// subscription the session held is dropped with it.
     pub fn close_wire(&self, id: u64) -> bool {
+        self.push.drop_session(id);
         self.sessions.remove(id)
+    }
+
+    /// The shared-session subscription registry (protocol v2; see
+    /// [`crate::push`]).
+    pub fn push_hub(&self) -> &PushHub {
+        &self.push
     }
 
     /// Service-wide metrics: per-workload search/cost/warm stats plus the
@@ -493,6 +508,7 @@ impl Pi2Service {
             result_cache: global_eval_cache().result_stats(),
             reward_table_entries: reward_entries,
             action_table_entries: action_entries,
+            push: self.push.stats(),
         }
     }
 }
@@ -529,6 +545,8 @@ pub struct ServiceMetrics {
     pub reward_table_entries: usize,
     /// Entries in the process-global validated-action table.
     pub action_table_entries: usize,
+    /// Shared-session subscription counters (protocol v2 push).
+    pub push: PushStats,
 }
 
 #[cfg(test)]

@@ -27,7 +27,7 @@
 use crate::error::Pi2Error;
 use crate::protocol::{error_to_json, metrics_response, request_from_json, Request};
 use crate::service::Pi2Service;
-use pi2_server::{Reject, Server, ServerConfig, WireService};
+use pi2_server::{PushLink, Reject, Server, ServerConfig, WireService};
 use std::sync::Arc;
 
 impl WireService for Pi2Service {
@@ -37,13 +37,34 @@ impl WireService for Pi2Service {
         request_from_json(body).map_err(|e| (e.http_status(), error_to_json(&e)))
     }
 
+    fn route_key(&self, body: &str) -> Option<u64> {
+        // Reactor-side routing: one substring find plus a digit scan over
+        // the raw body — no JSON decode. Every session-addressed request
+        // type (`event`, `close`, `subscribe`, `unsubscribe`) carries a
+        // top-level `"session": <int>` member; nothing else in a request
+        // uses that key. A false positive (e.g. the word in a string
+        // payload) only costs mailbox placement — the worker still
+        // decodes and validates the real request.
+        let at = body.find("\"session\"")?;
+        let rest = body[at + "\"session\"".len()..].trim_start();
+        let rest = rest.strip_prefix(':')?.trim_start();
+        let digits = rest.split(|c: char| !c.is_ascii_digit()).next()?;
+        digits.parse().ok()
+    }
+
     fn session_of(&self, request: &Request) -> Option<u64> {
         match request {
-            // Events and closes mutate session state: they order through
-            // the session's mailbox. Opens/describes/metrics are
-            // session-free and dispatch on any worker.
-            Request::Event { session, .. } | Request::Close { session } => Some(*session),
+            // Session-addressed requests mutate or read session state:
+            // they order through the session's mailbox (subscribe too, so
+            // a subscription serializes against the session's own event
+            // stream). Opens/describes/metrics/negotiate are session-free
+            // and dispatch on any worker.
+            Request::Event { session, .. }
+            | Request::Close { session }
+            | Request::Subscribe { session }
+            | Request::Unsubscribe { session } => Some(*session),
             Request::Open { .. } | Request::Describe { .. } | Request::Metrics => None,
+            Request::Negotiate => None,
         }
     }
 
@@ -54,6 +75,17 @@ impl WireService for Pi2Service {
         }
     }
 
+    fn handle_link(&self, request: Request, link: Option<&PushLink>) -> (u16, String) {
+        match self.handle_request_link(request, link) {
+            Ok(body) => (200, body),
+            Err(e) => (e.http_status(), error_to_json(&e)),
+        }
+    }
+
+    fn connection_closed(&self, conn: u64) {
+        self.push_hub().drop_conn(conn);
+    }
+
     fn metrics_body(&self) -> String {
         metrics_response(&self.metrics())
     }
@@ -62,7 +94,7 @@ impl WireService for Pi2Service {
         error_to_json(&match reject {
             Reject::BadRequest(detail) => Pi2Error::Protocol(detail.clone()),
             Reject::NotFound(path) => Pi2Error::Protocol(format!(
-                "no such endpoint {path:?} (POST /v1, GET /metrics, GET /healthz)"
+                "no such endpoint {path:?} (POST /v1, GET /ws, GET /metrics, GET /healthz)"
             )),
             Reject::MethodNotAllowed(method) => {
                 Pi2Error::Protocol(format!("method {method} not allowed on this endpoint"))

@@ -8,6 +8,7 @@
 //! always produces.
 
 use crate::http::{parse_response, HttpResponse, ParsedResponse};
+use crate::ws;
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -88,5 +89,209 @@ impl Http1Client {
     /// `GET`-style shorthand.
     pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
         self.request("GET", path, "")
+    }
+}
+
+/// What [`WsClient::read_message`] hands back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WsMessage {
+    /// A complete text message (fragments reassembled).
+    Text(String),
+    /// The server closed the stream (close frame code, or `None` on a
+    /// bare EOF).
+    Closed(Option<u16>),
+}
+
+/// A minimal blocking WebSocket client speaking the server's dialect:
+/// text frames carrying JSON, client-to-server masking, transparent
+/// ping/pong.
+pub struct WsClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Deterministic masking-key generator (RFC 6455 requires masks; it
+    /// does not require them to be unpredictable for a test client).
+    mask_state: u32,
+}
+
+impl WsClient {
+    /// Connect and complete the `GET /ws` upgrade handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<WsClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        // A fixed request key is fine for a test client; the handshake
+        // digest is an echo-integrity check, not authentication.
+        let key = "cGkyLXdzLWNsaWVudC1rZXk=";
+        let head = format!(
+            "GET /ws HTTP/1.1\r\nHost: pi2\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Key: {key}\r\nSec-WebSocket-Version: 13\r\n\r\n"
+        );
+        stream.write_all(head.as_bytes())?;
+        // Read until the end of the 101 head (it has no body).
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed during the WebSocket handshake",
+                    ))
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        let head_text = String::from_utf8_lossy(&buf[..head_end]).to_string();
+        if !head_text.starts_with("HTTP/1.1 101 ") {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!(
+                    "upgrade refused: {}",
+                    head_text.lines().next().unwrap_or("")
+                ),
+            ));
+        }
+        let accept = head_text
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.trim()
+                    .eq_ignore_ascii_case("sec-websocket-accept")
+                    .then(|| value.trim().to_string())
+            })
+            .unwrap_or_default();
+        if accept != ws::accept_key(key) {
+            return Err(io::Error::new(
+                ErrorKind::InvalidData,
+                format!("bad Sec-WebSocket-Accept {accept:?}"),
+            ));
+        }
+        buf.drain(..head_end);
+        Ok(WsClient {
+            stream,
+            buf,
+            mask_state: 0x9e37_79b9,
+        })
+    }
+
+    /// Override the read timeout.
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+
+    fn next_mask(&mut self) -> [u8; 4] {
+        // xorshift32: cheap, deterministic, never the degenerate all-zero
+        // state.
+        let mut x = self.mask_state;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.mask_state = x;
+        x.to_be_bytes()
+    }
+
+    /// Send one masked text frame.
+    pub fn send_text(&mut self, text: &str) -> io::Result<()> {
+        let mask = self.next_mask();
+        let frame = ws::encode_frame(ws::Opcode::Text, text.as_bytes(), true, Some(mask));
+        self.stream.write_all(&frame)
+    }
+
+    /// Send a close frame (initiating the close handshake).
+    pub fn send_close(&mut self, code: u16) -> io::Result<()> {
+        let mask = self.next_mask();
+        let payload = code.to_be_bytes();
+        let frame = ws::encode_frame(ws::Opcode::Close, &payload, true, Some(mask));
+        self.stream.write_all(&frame)
+    }
+
+    /// Block until the next complete text message (or the close of the
+    /// stream). Pings are answered transparently; pongs are skipped.
+    pub fn read_message(&mut self) -> io::Result<WsMessage> {
+        let mut fragments: Vec<u8> = Vec::new();
+        let mut fragmenting = false;
+        let mut chunk = [0u8; 4096];
+        loop {
+            // Server-to-client frames are unmasked.
+            match ws::parse_frame(&self.buf, 16 << 20, false) {
+                ws::ParsedFrame::Invalid(reason) => {
+                    return Err(io::Error::new(ErrorKind::InvalidData, reason));
+                }
+                ws::ParsedFrame::Complete(frame, consumed) => {
+                    self.buf.drain(..consumed);
+                    match frame.opcode {
+                        ws::Opcode::Ping => {
+                            let mask = self.next_mask();
+                            let pong = ws::encode_frame(
+                                ws::Opcode::Pong,
+                                &frame.payload,
+                                true,
+                                Some(mask),
+                            );
+                            self.stream.write_all(&pong)?;
+                        }
+                        ws::Opcode::Pong => {}
+                        ws::Opcode::Close => {
+                            let code = (frame.payload.len() >= 2)
+                                .then(|| u16::from_be_bytes([frame.payload[0], frame.payload[1]]));
+                            return Ok(WsMessage::Closed(code));
+                        }
+                        ws::Opcode::Binary => {
+                            return Err(io::Error::new(
+                                ErrorKind::InvalidData,
+                                "unexpected binary frame",
+                            ));
+                        }
+                        ws::Opcode::Text | ws::Opcode::Continuation => {
+                            if frame.opcode == ws::Opcode::Text && frame.fin && !fragmenting {
+                                let text = String::from_utf8(frame.payload).map_err(|_| {
+                                    io::Error::new(ErrorKind::InvalidData, "non-UTF-8 text frame")
+                                })?;
+                                return Ok(WsMessage::Text(text));
+                            }
+                            fragments.extend_from_slice(&frame.payload);
+                            fragmenting = !frame.fin;
+                            if frame.fin {
+                                let text = String::from_utf8(std::mem::take(&mut fragments))
+                                    .map_err(|_| {
+                                        io::Error::new(
+                                            ErrorKind::InvalidData,
+                                            "non-UTF-8 text message",
+                                        )
+                                    })?;
+                                return Ok(WsMessage::Text(text));
+                            }
+                        }
+                    }
+                    continue;
+                }
+                ws::ParsedFrame::Partial => {}
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(WsMessage::Closed(None)),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One synchronous request/response exchange over the socket (sends
+    /// a text message, waits for the next text reply). Pushed frames may
+    /// arrive first — callers needing to distinguish should use
+    /// [`WsClient::read_message`] directly.
+    pub fn round_trip(&mut self, text: &str) -> io::Result<String> {
+        self.send_text(text)?;
+        match self.read_message()? {
+            WsMessage::Text(reply) => Ok(reply),
+            WsMessage::Closed(code) => Err(io::Error::new(
+                ErrorKind::UnexpectedEof,
+                format!("connection closed (code {code:?}) awaiting a reply"),
+            )),
+        }
     }
 }

@@ -25,6 +25,20 @@ pub struct HttpRequest {
     pub keep_alive: bool,
     /// Decoded UTF-8 body (empty when no `Content-Length`).
     pub body: String,
+    /// A WebSocket upgrade ask (RFC 6455 §4.2.1): present when the
+    /// request carried `Upgrade: websocket`, `Connection: … upgrade …`,
+    /// and a `Sec-WebSocket-Key`.
+    pub upgrade: Option<WsUpgrade>,
+}
+
+/// The parts of a WebSocket upgrade request the handshake needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WsUpgrade {
+    /// The client's `Sec-WebSocket-Key` (base64 nonce, echoed back
+    /// through the accept digest).
+    pub key: String,
+    /// The declared `Sec-WebSocket-Version` (must be `13`).
+    pub version: String,
 }
 
 /// Outcome of one [`parse_request`] step over an inbound buffer.
@@ -92,6 +106,10 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Parsed {
         other => return invalid(505, format!("unsupported HTTP version {other:?}")),
     };
     let mut content_length: Option<usize> = None;
+    let mut upgrade_websocket = false;
+    let mut connection_upgrade = false;
+    let mut ws_key: Option<String> = None;
+    let mut ws_version: Option<String> = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             return invalid(400, format!("malformed header line {line:?}"));
@@ -111,15 +129,36 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Parsed {
                 Err(_) => return invalid(400, format!("bad Content-Length {value:?}")),
             }
         } else if name.eq_ignore_ascii_case("connection") {
-            if value.eq_ignore_ascii_case("close") {
-                keep_alive = false;
-            } else if value.eq_ignore_ascii_case("keep-alive") {
-                keep_alive = true;
+            // Connection is a token list (e.g. `keep-alive, Upgrade`).
+            for token in value.split(',').map(str::trim) {
+                if token.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                } else if token.eq_ignore_ascii_case("upgrade") {
+                    connection_upgrade = true;
+                }
             }
+        } else if name.eq_ignore_ascii_case("upgrade") {
+            upgrade_websocket = value
+                .split(',')
+                .map(str::trim)
+                .any(|t| t.eq_ignore_ascii_case("websocket"));
+        } else if name.eq_ignore_ascii_case("sec-websocket-key") {
+            ws_key = Some(value.to_string());
+        } else if name.eq_ignore_ascii_case("sec-websocket-version") {
+            ws_version = Some(value.to_string());
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return invalid(501, "chunked transfer encoding is not supported");
         }
     }
+    let upgrade = match (upgrade_websocket && connection_upgrade, ws_key) {
+        (true, Some(key)) => Some(WsUpgrade {
+            key,
+            version: ws_version.unwrap_or_default(),
+        }),
+        _ => None,
+    };
     let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         return invalid(
@@ -140,6 +179,7 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Parsed {
             path: path.to_string(),
             keep_alive,
             body: body.to_string(),
+            upgrade,
         }),
         body_start + content_length,
     )
@@ -148,6 +188,7 @@ pub fn parse_request(buf: &[u8], max_body: usize) -> Parsed {
 /// Canonical reason phrase for the status codes this server emits.
 pub fn status_text(status: u16) -> &'static str {
     match status {
+        101 => "Switching Protocols",
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
@@ -180,6 +221,16 @@ pub fn encode_response(status: u16, body: &str, keep_alive: bool) -> Vec<u8> {
     let mut bytes = out.into_bytes();
     bytes.extend_from_slice(body.as_bytes());
     bytes
+}
+
+/// Serialize the `101 Switching Protocols` half of a WebSocket
+/// handshake; `accept` is the digest from [`crate::ws::accept_key`].
+pub fn encode_upgrade_response(accept: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 101 Switching Protocols\r\nUpgrade: websocket\r\n\
+         Connection: Upgrade\r\nSec-WebSocket-Accept: {accept}\r\n\r\n"
+    )
+    .into_bytes()
 }
 
 /// One parsed HTTP response (the client half; see [`crate::client`]).
@@ -392,6 +443,42 @@ mod tests {
             parse_request(&raw, MAX_BODY),
             Parsed::Invalid { status: 431, .. }
         ));
+    }
+
+    #[test]
+    fn websocket_upgrade_heads_are_detected() {
+        let raw = b"GET /ws HTTP/1.1\r\nHost: x\r\nUpgrade: websocket\r\n\
+                    Connection: keep-alive, Upgrade\r\n\
+                    Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n\
+                    Sec-WebSocket-Version: 13\r\n\r\n";
+        let (req, _) = complete(raw);
+        let up = req.upgrade.expect("upgrade detected");
+        assert_eq!(up.key, "dGhlIHNhbXBsZSBub25jZQ==");
+        assert_eq!(up.version, "13");
+        assert!(req.keep_alive);
+        // Without the Connection token the ask is not an upgrade.
+        let raw = b"GET /ws HTTP/1.1\r\nUpgrade: websocket\r\n\
+                    Sec-WebSocket-Key: abc\r\n\r\n";
+        let (req, _) = complete(raw);
+        assert!(req.upgrade.is_none());
+        // Plain requests never carry one.
+        let (req, _) = complete(b"POST /v1 HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        assert!(req.upgrade.is_none());
+    }
+
+    #[test]
+    fn upgrade_response_encodes_the_accept_digest() {
+        let bytes = encode_upgrade_response("s3pPLMBiTxaQ9kYGzzhZRbK+xOo=");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 101 Switching Protocols\r\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("Sec-WebSocket-Accept: s3pPLMBiTxaQ9kYGzzhZRbK+xOo=\r\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("\r\n\r\n"));
     }
 
     #[test]

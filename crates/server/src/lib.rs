@@ -16,8 +16,14 @@
 //!    time — so one session's events stay ordered while different sessions
 //!    dispatch fully in parallel.
 //!
-//! Endpoints: `POST /v1` (the versioned JSON protocol), `GET /metrics`
-//! (service + server counters), `GET /healthz`.
+//! Reactors drive their connections off a pluggable readiness
+//! [`Selector`](poll::Selector): epoll on Linux (idle connections cost
+//! zero CPU), a portable timed tick elsewhere — see [`poll`].
+//!
+//! Endpoints: `POST /v1` (the versioned JSON protocol), `GET /ws`
+//! (RFC 6455 upgrade — text frames carry the same JSON protocol, plus
+//! server-initiated pushes; see [`ws`]), `GET /metrics` (service +
+//! server counters), `GET /healthz`.
 //!
 //! The crate is protocol-blind: everything protocol-specific goes through
 //! the [`WireService`] trait, which `pi2-core` implements for
@@ -28,12 +34,15 @@
 pub mod client;
 pub mod http;
 pub mod mailbox;
+pub mod poll;
 pub mod server;
 pub mod wire;
+pub mod ws;
 
-pub use client::Http1Client;
+pub use client::{Http1Client, WsClient};
+pub use poll::SelectorKind;
 pub use server::{Server, ServerConfig, ServerStats};
-pub use wire::{Reject, WireService};
+pub use wire::{PushLink, PushSender, Reject, WireService};
 
 #[cfg(test)]
 mod tests {
@@ -43,17 +52,22 @@ mod tests {
     //! generation.
 
     use super::*;
+    use crate::client::WsMessage;
+    use crate::wire::PushLink;
     use std::sync::atomic::{AtomicU64, Ordering};
-    use std::sync::Arc;
+    use std::sync::{Arc, Mutex};
     use std::time::Duration;
 
     /// Request format: `session:<id>:<payload>` orders under session
     /// `<id>`; `direct:<payload>` runs sessionless; `slow:<millis>`
     /// sleeps (sessionless) to hold a worker busy. Responses echo the
-    /// payload with a per-service monotone stamp.
+    /// payload with a per-service monotone stamp. Push-capable requests:
+    /// `...:subscribe` binds the arrival connection as a push target,
+    /// `...:notify:<msg>` pushes `<msg>` to every bound target.
     struct Echo {
         stamp: AtomicU64,
         delay: Duration,
+        links: Mutex<Vec<PushLink>>,
     }
 
     impl Echo {
@@ -61,6 +75,7 @@ mod tests {
             Echo {
                 stamp: AtomicU64::new(0),
                 delay,
+                links: Mutex::new(Vec::new()),
             }
         }
     }
@@ -79,13 +94,16 @@ mod tests {
             }
         }
 
-        fn session_of(&self, request: &String) -> Option<u64> {
-            request
-                .strip_prefix("session:")?
+        fn route_key(&self, body: &str) -> Option<u64> {
+            body.strip_prefix("session:")?
                 .split(':')
                 .next()?
                 .parse()
                 .ok()
+        }
+
+        fn session_of(&self, request: &String) -> Option<u64> {
+            self.route_key(request)
         }
 
         fn handle(&self, request: String) -> (u16, String) {
@@ -93,8 +111,36 @@ mod tests {
             if request.ends_with(":panic") {
                 panic!("echo handler asked to panic");
             }
+            if let Some((_, msg)) = request.split_once(":notify:") {
+                let links = self.links.lock().unwrap();
+                let mut delivered = 0;
+                for link in links.iter() {
+                    if (link.sender)(link.conn, format!("{{\"pushed\":\"{msg}\"}}")) {
+                        delivered += 1;
+                    }
+                }
+                return (200, format!("{{\"notified\":{delivered}}}"));
+            }
             let stamp = self.stamp.fetch_add(1, Ordering::SeqCst);
             (200, format!("{{\"echo\":\"{request}\",\"stamp\":{stamp}}}"))
+        }
+
+        fn handle_link(&self, request: String, link: Option<&PushLink>) -> (u16, String) {
+            if request.ends_with(":subscribe") {
+                if let Some(link) = link {
+                    self.links.lock().unwrap().push(link.clone());
+                    return (200, "{\"subscribed\":true}".to_string());
+                }
+                return (
+                    400,
+                    "{\"error\":\"not a push-capable connection\"}".to_string(),
+                );
+            }
+            self.handle(request)
+        }
+
+        fn connection_closed(&self, conn: u64) {
+            self.links.lock().unwrap().retain(|l| l.conn != conn);
         }
 
         fn metrics_body(&self) -> String {
@@ -303,11 +349,17 @@ mod tests {
         let resp = client.post("/v1", "session:5:after").unwrap();
         assert_eq!(resp.status, 200, "{}", resp.body);
         assert!(resp.body.contains("session:5:after"), "{}", resp.body);
-        assert_eq!(
-            server.stats().pending_jobs,
-            0,
-            "a panic must not leak its pending-job claim"
-        );
+        // The claim is released moments *after* the response is visible
+        // (the worker decrements only once the Done is in an inbox), so
+        // give it a beat.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while server.stats().pending_jobs != 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "a panic must not leak its pending-job claim"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
         // And shutdown stays prompt (no leaked claim to wait on).
         let started = std::time::Instant::now();
         server.shutdown();
@@ -485,6 +537,106 @@ mod tests {
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.starts_with("HTTP/1.1 400 "), "{text}");
         assert!(text.contains("{\"error\":\"bad_request\"}"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn websocket_upgrade_carries_the_same_protocol() {
+        let server = start(Duration::ZERO, small_config());
+        let mut ws = WsClient::connect(server.local_addr()).unwrap();
+        // Same routing as POST /v1: sessionless, sessions, parse errors.
+        let reply = ws.round_trip("direct:hello").unwrap();
+        assert!(reply.contains("\"echo\":\"direct:hello\""), "{reply}");
+        let reply = ws.round_trip("session:3:first").unwrap();
+        assert!(reply.contains("\"echo\":\"session:3:first\""), "{reply}");
+        let reply = ws.round_trip("bad payload").unwrap();
+        assert!(reply.contains("unparsable"), "{reply}");
+        assert_eq!(server.stats().ws_connections, 1);
+        // Close handshake: the server echoes the code and closes.
+        ws.send_close(1000).unwrap();
+        assert_eq!(ws.read_message().unwrap(), WsMessage::Closed(Some(1000)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn websocket_push_reaches_a_subscribed_connection() {
+        let server = start(Duration::ZERO, small_config());
+        let addr = server.local_addr();
+        let mut subscriber = WsClient::connect(addr).unwrap();
+        assert_eq!(
+            subscriber.round_trip("direct:subscribe").unwrap(),
+            "{\"subscribed\":true}"
+        );
+        // Notify from a *different* transport entirely: the push still
+        // lands on the subscribed WS connection.
+        let mut http = Http1Client::connect(addr).unwrap();
+        let resp = http.post("/v1", "direct:notify:wave").unwrap();
+        assert_eq!((resp.status, resp.body.as_str()), (200, "{\"notified\":1}"));
+        assert_eq!(
+            subscriber.read_message().unwrap(),
+            WsMessage::Text("{\"pushed\":\"wave\"}".to_string())
+        );
+        let stats = server.stats();
+        assert_eq!(stats.pushes, 1);
+        // Subscribing over plain HTTP is refused (no push link).
+        let resp = http.post("/v1", "direct:subscribe").unwrap();
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        // Dropping the subscriber unbinds it: the next notify delivers 0.
+        drop(subscriber);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let resp = http.post("/v1", "direct:notify:gone").unwrap();
+            if resp.body == "{\"notified\":0}" {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "connection_closed never unbound the subscriber: {}",
+                resp.body
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn websocket_transport_works_on_the_tick_selector_too() {
+        let server = start(
+            Duration::ZERO,
+            ServerConfig {
+                selector: SelectorKind::Tick,
+                ..small_config()
+            },
+        );
+        assert_eq!(server.stats().selector, "tick");
+        let mut ws = WsClient::connect(server.local_addr()).unwrap();
+        let reply = ws.round_trip("direct:tick").unwrap();
+        assert!(reply.contains("\"echo\":\"direct:tick\""), "{reply}");
+        let metrics = Http1Client::connect(server.local_addr())
+            .unwrap()
+            .get("/metrics")
+            .unwrap();
+        assert!(
+            metrics.body.contains("\"selector\":\"tick\""),
+            "{}",
+            metrics.body
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_bad_upgrade_request_is_refused_without_killing_http() {
+        let server = start(Duration::ZERO, small_config());
+        let mut client = Http1Client::connect(server.local_addr()).unwrap();
+        // GET /ws without upgrade headers: 400, connection stays usable.
+        let resp = client.get("/ws").unwrap();
+        assert_eq!(resp.status, 400, "{}", resp.body);
+        assert_eq!(resp.body, "{\"error\":\"bad_request\"}");
+        let resp = client.get("/healthz").unwrap();
+        assert_eq!(resp.status, 200);
+        // Wrong method on /ws maps to 405 like the other endpoints.
+        let resp = client.post("/ws", "x").unwrap();
+        assert_eq!(resp.status, 405, "{}", resp.body);
         server.shutdown();
     }
 }

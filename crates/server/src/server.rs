@@ -7,15 +7,31 @@
 //! and hands accepted connections, set non-blocking, to a fixed pool of
 //! **reactor** threads round-robin.
 //!
-//! Each reactor owns its connections outright: it reads available bytes,
-//! parses complete HTTP requests (pipelining included), routes them, and
-//! writes finished responses back *in request order* per connection (a
-//! reorder buffer keyed by request sequence number absorbs out-of-order
-//! completion). Reactors never *dispatch* protocol work — they do decode
-//! `POST /v1` bodies inline (the session key that picks the mailbox comes
-//! from the decoded request), which is microseconds for the protocol's
-//! small event messages but is a head-of-line cost for near-limit bodies;
-//! see ROADMAP if that ever matters.
+//! Each reactor owns its connections outright and drives them off a
+//! readiness [`Selector`]: on Linux an
+//! epoll-backed one (idle connections cost zero CPU — the reactor only
+//! touches connections the kernel reports ready, and the per-reactor
+//! `connScans` counter in `/metrics` proves it), elsewhere (or under
+//! `PI2_SELECTOR=tick`) the portable timed scan. It reads available
+//! bytes, parses complete HTTP requests (pipelining included), routes
+//! them, and writes finished responses back *in request order* per
+//! connection (a reorder buffer keyed by request sequence number absorbs
+//! out-of-order completion). Reactors never decode protocol bodies: a
+//! `POST /v1` body is routed by [`WireService::route_key`] — a cheap
+//! session-key scan — and decoded on a worker, so a near-limit body
+//! cannot head-of-line block its reactor.
+//!
+//! `GET /ws` upgrades a connection to a **WebSocket** (RFC 6455; see
+//! [`crate::ws`]). Complete text frames carry exactly the `POST /v1`
+//! JSON messages and route identically (same mailboxes, same per-session
+//! ordering, same reorder buffer); responses return as text frames. A
+//! WS connection can also receive **server-initiated pushes**: workers
+//! call back through a [`PushSender`] that enqueues a frame on the
+//! owning reactor's inbox. Push output shares the connection's outbound
+//! buffer; a subscriber that stops draining past
+//! [`ServerConfig::push_buffer_bytes`] is *evicted* (close frame
+//! attempted, connection dropped, `connection_closed` notified) rather
+//! than buffering without bound.
 //!
 //! Routing is where the ordering contract lives: a request addressed to a
 //! session goes through that session's bounded mailbox (see
@@ -35,14 +51,16 @@
 //! threads join (bounded: stragglers are abandoned after the drain
 //! deadlines rather than hanging the caller).
 
-use crate::http::{encode_response, parse_request, HttpRequest, Parsed};
+use crate::http::{encode_response, encode_upgrade_response, parse_request, HttpRequest, Parsed};
 use crate::mailbox::{Enqueued, Mailboxes, RunQueue, Runnable};
-use crate::wire::{Reject, WireService};
-use std::collections::{BTreeMap, HashMap};
+use crate::poll::{self, Interest, Selector, SelectorKind, Waker, Wakeup};
+use crate::wire::{PushLink, PushSender, Reject, WireService};
+use crate::ws;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -65,14 +83,27 @@ pub struct ServerConfig {
     /// (sessionless requests included — the run queue is bounded too);
     /// beyond it new requests answer `503`.
     pub pending_cap: usize,
-    /// Largest accepted request body; larger declared lengths answer `413`.
+    /// Largest accepted request body (HTTP) or message (WS frame /
+    /// assembled fragments); larger declared lengths answer `413` (HTTP)
+    /// or fail the connection (WS).
     pub max_body_bytes: usize,
     /// How long [`Server::shutdown`] waits for queued work to drain before
     /// giving up on stragglers.
     pub drain_timeout: Duration,
-    /// Reactor poll interval: the upper bound on how long newly-arrived
-    /// bytes can sit before a reactor notices them when otherwise idle.
+    /// Tick-selector poll interval: the upper bound on how long
+    /// newly-arrived bytes can sit before a reactor notices them when
+    /// otherwise idle. Readiness selectors (epoll) ignore it — their
+    /// wakeups are event-driven.
     pub poll_interval: Duration,
+    /// Which readiness backend the reactors use; `Auto` picks epoll on
+    /// Linux (honouring the `PI2_SELECTOR` env override) and the timed
+    /// tick elsewhere.
+    pub selector: SelectorKind,
+    /// Outbound-buffer bound for server-initiated pushes: a WebSocket
+    /// subscriber whose unwritten output exceeds this when another push
+    /// arrives is evicted (slow-consumer policy) instead of buffering
+    /// without bound.
+    pub push_buffer_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +118,8 @@ impl Default for ServerConfig {
             max_body_bytes: 1 << 20,
             drain_timeout: Duration::from_secs(5),
             poll_interval: Duration::from_micros(500),
+            selector: SelectorKind::Auto,
+            push_buffer_bytes: 256 * 1024,
         }
     }
 }
@@ -102,17 +135,31 @@ pub struct ServerStats {
     /// Connections currently open.
     pub active_connections: usize,
     /// Well-formed HTTP requests routed (all endpoints, including ones
-    /// rejected by policy — backpressure, overload, 404/405). Requests
-    /// whose HTTP framing is itself invalid are not counted.
+    /// rejected by policy — backpressure, overload, 404/405) plus
+    /// complete WebSocket text messages. Requests whose framing is
+    /// itself invalid are not counted.
     pub requests: u64,
     /// Requests answered `429` because a session mailbox was full.
     pub backpressure_rejections: u64,
-    /// Responses serialized onto connections.
+    /// Responses serialized onto connections (WS: response frames).
     pub responses: u64,
     /// Jobs currently queued (mailboxes + run queue) or executing.
     pub pending_jobs: usize,
     /// Whether the server is draining for shutdown.
     pub shutting_down: bool,
+    /// Connections currently speaking WebSocket.
+    pub ws_connections: usize,
+    /// Server-initiated push frames serialized onto connections.
+    pub pushes: u64,
+    /// WebSocket connections evicted as slow push consumers.
+    pub push_evictions: u64,
+    /// Connection processing passes across all reactors. Under the tick
+    /// selector this grows with connections × ticks; under epoll an idle
+    /// server holds it flat — the acceptance check for "idle connections
+    /// cost zero CPU".
+    pub conn_scans: u64,
+    /// The readiness backend actually in use (`"epoll"` / `"tick"`).
+    pub selector: &'static str,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -131,31 +178,36 @@ struct Done {
 }
 
 /// What a worker executes.
-enum JobKind<R> {
-    /// A decoded wire request.
-    Request(R),
+enum JobKind {
+    /// A raw request body — decoded on the worker, never the reactor.
+    Request(String),
     /// `GET /metrics`: compose service metrics with server counters.
     Metrics,
 }
 
-struct Job<R> {
+struct Job {
     conn: u64,
     seq: u64,
     reactor: usize,
     keep_alive: bool,
-    kind: JobKind<R>,
+    /// The request arrived over a WebSocket: hand the service a
+    /// [`PushLink`] so it can bind subscriptions to the connection.
+    ws: bool,
+    kind: JobKind,
 }
 
 /// Per-reactor mail: new connections from the acceptor, finished
-/// responses from workers.
+/// responses from workers, push frames from the fan-out.
 struct ReactorInbox {
     new_conns: Vec<(u64, TcpStream)>,
     done: Vec<Done>,
+    /// Server-initiated `(conn, text)` frames for WS connections.
+    pushes: Vec<(u64, String)>,
 }
 
 struct ReactorShared {
     inbox: Mutex<ReactorInbox>,
-    wake: Condvar,
+    waker: Waker,
 }
 
 struct Counters {
@@ -166,15 +218,28 @@ struct Counters {
     backpressure: AtomicU64,
     responses: AtomicU64,
     pending_jobs: AtomicUsize,
+    ws_active: AtomicUsize,
+    pushes: AtomicU64,
+    push_evictions: AtomicU64,
+    conn_scans: AtomicU64,
 }
 
 struct Inner<S: WireService> {
     service: Arc<S>,
     config: ServerConfig,
-    mailboxes: Mailboxes<Job<S::Request>>,
-    run_queue: RunQueue<Job<S::Request>>,
+    mailboxes: Mailboxes<Job>,
+    run_queue: RunQueue<Job>,
     reactors: Vec<ReactorShared>,
     counters: Counters,
+    /// The readiness backend the reactor pool actually runs.
+    selector_kind: SelectorKind,
+    /// Connections currently speaking WebSocket (push targets):
+    /// [`Inner::push_text`] refuses sends to anything else so stale
+    /// subscriptions unwind eagerly.
+    ws_live: Mutex<HashSet<u64>>,
+    /// The closure workers hand to the service inside a [`PushLink`];
+    /// set once at startup (holds only a `Weak` back-reference).
+    push_sender: OnceLock<PushSender>,
     shutting_down: AtomicBool,
     /// Set when a shutdown drain timed out: reactors drop connections
     /// without waiting for straggler responses or stalled flushes.
@@ -196,6 +261,13 @@ impl Drop for LiveGuard<'_> {
 }
 
 impl<S: WireService> Inner<S> {
+    fn selector_name(&self) -> &'static str {
+        match self.selector_kind {
+            SelectorKind::Epoll => "epoll",
+            _ => "tick",
+        }
+    }
+
     fn stats(&self) -> ServerStats {
         ServerStats {
             accepted_connections: self.counters.accepted.load(Ordering::Relaxed),
@@ -206,6 +278,11 @@ impl<S: WireService> Inner<S> {
             responses: self.counters.responses.load(Ordering::Relaxed),
             pending_jobs: self.counters.pending_jobs.load(Ordering::Relaxed),
             shutting_down: self.shutting_down.load(Ordering::SeqCst),
+            ws_connections: self.counters.ws_active.load(Ordering::Relaxed),
+            pushes: self.counters.pushes.load(Ordering::Relaxed),
+            push_evictions: self.counters.push_evictions.load(Ordering::Relaxed),
+            conn_scans: self.counters.conn_scans.load(Ordering::Relaxed),
+            selector: self.selector_name(),
         }
     }
 
@@ -258,50 +335,13 @@ impl<S: WireService> Inner<S> {
                     seq,
                     reactor,
                     keep_alive,
+                    ws: false,
                     kind: JobKind::Metrics,
                 }));
                 None
             }
-            ("POST", "/v1") => {
-                let request = match self.service.parse(&req.body) {
-                    Ok(r) => r,
-                    Err((status, body)) => return immediate(status, body),
-                };
-                match self.service.session_of(&request) {
-                    Some(session) => {
-                        let job = Job {
-                            conn,
-                            seq,
-                            reactor,
-                            keep_alive,
-                            kind: JobKind::Request(request),
-                        };
-                        match self.mailboxes.enqueue(session, job) {
-                            Enqueued::MustSchedule => {
-                                self.run_queue.push(Runnable::Turn(session));
-                                None
-                            }
-                            Enqueued::Queued => None,
-                            Enqueued::Full => {
-                                self.counters.backpressure.fetch_add(1, Ordering::Relaxed);
-                                let (status, body) = self.reject(Reject::Backpressure { session });
-                                immediate(status, body)
-                            }
-                        }
-                    }
-                    None => {
-                        self.run_queue.push(Runnable::Job(Job {
-                            conn,
-                            seq,
-                            reactor,
-                            keep_alive,
-                            kind: JobKind::Request(request),
-                        }));
-                        None
-                    }
-                }
-            }
-            (_, "/v1") | (_, "/metrics") | (_, "/healthz") => {
+            ("POST", "/v1") => self.enqueue_body(reactor, conn, seq, keep_alive, false, req.body),
+            (_, "/v1") | (_, "/metrics") | (_, "/healthz") | (_, "/ws") => {
                 let (status, body) = self.reject(Reject::MethodNotAllowed(req.method));
                 immediate(status, body)
             }
@@ -312,12 +352,102 @@ impl<S: WireService> Inner<S> {
         }
     }
 
+    /// Route one complete WebSocket text message (same admission and
+    /// mailbox path as `POST /v1`; responses never close the socket —
+    /// errors are just messages on a live stream).
+    fn route_ws(&self, reactor: usize, conn: u64, seq: u64, body: String) -> Option<Done> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.pending_jobs.fetch_add(1, Ordering::SeqCst);
+        let immediate = |status: u16, body: String| {
+            self.counters.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+            Some(Done {
+                conn,
+                seq,
+                status,
+                body,
+                close_after: false,
+            })
+        };
+        if self.shutting_down.load(Ordering::SeqCst) {
+            let (status, body) = self.reject(Reject::ShuttingDown);
+            return immediate(status, body);
+        }
+        if self.counters.pending_jobs.load(Ordering::SeqCst) > self.config.pending_cap {
+            let (status, body) = self.reject(Reject::Overloaded(format!(
+                "server job queue is full ({} pending)",
+                self.config.pending_cap
+            )));
+            return immediate(status, body);
+        }
+        self.enqueue_body(reactor, conn, seq, true, true, body)
+    }
+
+    /// Hand a raw protocol body to the worker pool, ordered under the
+    /// session its routing key names. The caller holds a pending-job
+    /// claim; immediate branches release it.
+    fn enqueue_body(
+        &self,
+        reactor: usize,
+        conn: u64,
+        seq: u64,
+        keep_alive: bool,
+        ws: bool,
+        body: String,
+    ) -> Option<Done> {
+        let session = self.service.route_key(&body);
+        let job = Job {
+            conn,
+            seq,
+            reactor,
+            keep_alive,
+            ws,
+            kind: JobKind::Request(body),
+        };
+        match session {
+            Some(session) => match self.mailboxes.enqueue(session, job) {
+                Enqueued::MustSchedule => {
+                    self.run_queue.push(Runnable::Turn(session));
+                    None
+                }
+                Enqueued::Queued => None,
+                Enqueued::Full => {
+                    self.counters.backpressure.fetch_add(1, Ordering::Relaxed);
+                    self.counters.pending_jobs.fetch_sub(1, Ordering::SeqCst);
+                    let (status, body) = self.reject(Reject::Backpressure { session });
+                    Some(Done {
+                        conn,
+                        seq,
+                        status,
+                        body,
+                        close_after: !keep_alive,
+                    })
+                }
+            },
+            None => {
+                self.run_queue.push(Runnable::Job(job));
+                None
+            }
+        }
+    }
+
     /// Deliver a finished response to the reactor that owns the
     /// connection.
     fn complete(&self, reactor: usize, done: Done) {
         let shared = &self.reactors[reactor];
         lock(&shared.inbox).done.push(done);
-        shared.wake.notify_all();
+        shared.waker.wake();
+    }
+
+    /// Enqueue a server-initiated text frame on the reactor owning
+    /// `conn`. `false` when the connection is not a live WebSocket.
+    fn push_text(&self, conn: u64, text: String) -> bool {
+        if !lock(&self.ws_live).contains(&conn) {
+            return false;
+        }
+        let shared = &self.reactors[(conn as usize) % self.reactors.len()];
+        lock(&shared.inbox).pushes.push((conn, text));
+        shared.waker.wake();
+        true
     }
 
     fn metrics_json(&self) -> String {
@@ -327,7 +457,9 @@ impl<S: WireService> Inner<S> {
              \"acceptedConnections\":{},\"rejectedConnections\":{},\
              \"activeConnections\":{},\"requests\":{},\
              \"backpressureRejections\":{},\"responses\":{},\
-             \"pendingJobs\":{},\"shuttingDown\":{}}},\"service\":{}}}",
+             \"pendingJobs\":{},\"shuttingDown\":{},\
+             \"wsConnections\":{},\"pushes\":{},\"pushEvictions\":{},\
+             \"connScans\":{},\"selector\":\"{}\"}},\"service\":{}}}",
             s.accepted_connections,
             s.rejected_connections,
             s.active_connections,
@@ -336,25 +468,45 @@ impl<S: WireService> Inner<S> {
             s.responses,
             s.pending_jobs,
             s.shutting_down,
+            s.ws_connections,
+            s.pushes,
+            s.push_evictions,
+            s.conn_scans,
+            s.selector,
             self.service.metrics_body(),
         )
     }
 
-    fn execute(&self, job: Job<S::Request>) {
+    fn execute(&self, job: Job) {
         let Job {
             conn,
             seq,
             reactor,
             keep_alive,
+            ws,
             kind,
         } = job;
+        // A request that arrived over a WebSocket carries its transport
+        // context so the service can bind subscriptions to the
+        // connection and push back through it later.
+        let link = if ws {
+            self.push_sender.get().map(|sender| PushLink {
+                conn,
+                sender: Arc::clone(sender),
+            })
+        } else {
+            None
+        };
         // Unwind isolation: a panicking handler must not take the worker
         // with it — that would strand the session's turn token (wedging
         // the session behind 429s forever), leak the pending-jobs claim
         // (stalling every future drain), and shrink the pool. The request
         // dies with a 500 instead; the worker, token, and claim survive.
         let handled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match kind {
-            JobKind::Request(request) => self.service.handle(request),
+            JobKind::Request(body) => match self.service.parse(&body) {
+                Ok(request) => self.service.handle_link(request, link.as_ref()),
+                Err(rejected) => rejected,
+            },
             JobKind::Metrics => (200, self.metrics_json()),
         }));
         let (status, body) = handled.unwrap_or_else(|_| {
@@ -386,6 +538,21 @@ impl<S: WireService> Inner<S> {
 /// memory without bound.
 const OUTBUF_SOFT_CAP: usize = 256 * 1024;
 
+/// Which protocol the connection currently speaks.
+enum ConnMode {
+    Http,
+    Ws(WsState),
+}
+
+/// Fragmented-message assembly for an upgraded connection.
+#[derive(Default)]
+struct WsState {
+    /// Accumulated payload of an in-progress fragmented message.
+    fragments: Vec<u8>,
+    /// Set while a fragmented message is in progress.
+    fragmenting: bool,
+}
+
 struct Conn {
     stream: TcpStream,
     /// Unparsed inbound bytes.
@@ -406,8 +573,23 @@ struct Conn {
     /// Request framing is broken; stop parsing, close after the error
     /// response flushes.
     parse_dead: bool,
-    /// A serialized response demanded close (error, `Connection: close`).
+    /// A serialized response demanded close (error, `Connection: close`,
+    /// WS close handshake).
     close_when_flushed: bool,
+    /// Drop the connection now, without waiting for the outbuf to drain
+    /// (slow-consumer eviction).
+    kill: bool,
+    /// HTTP vs upgraded WebSocket.
+    mode: ConnMode,
+    /// The upgrade request's sequence number: that `Done` serializes as
+    /// the `101` head, later ones as text frames, earlier ones as plain
+    /// HTTP responses (pipelined pre-upgrade requests still flush
+    /// correctly).
+    ws_from_seq: Option<u64>,
+    /// Last interest handed to the selector.
+    interest: Interest,
+    /// Whether the stream is currently registered with the selector.
+    registered: bool,
 }
 
 enum ReadOutcome {
@@ -428,7 +610,32 @@ impl Conn {
             read_closed: false,
             parse_dead: false,
             close_when_flushed: false,
+            kill: false,
+            mode: ConnMode::Http,
+            ws_from_seq: None,
+            interest: Interest::default(),
+            registered: false,
         }
+    }
+
+    /// Parsing buffered bytes is allowed (reading too, unless the peer
+    /// already EOF'd).
+    fn can_read(&self) -> bool {
+        !self.parse_dead
+            && !self.close_when_flushed
+            && !self.kill
+            && self.outbuf.len() <= OUTBUF_SOFT_CAP
+    }
+
+    /// Fail a WebSocket connection: queue a close frame, stop parsing,
+    /// drop pending work, and close once the frame flushes.
+    fn fail_ws(&mut self, code: u16, reason: &str) {
+        self.outbuf
+            .extend_from_slice(&ws::close_frame(code, reason));
+        self.parse_dead = true;
+        self.close_when_flushed = true;
+        self.ready.clear();
+        self.inflight = 0;
     }
 
     /// Pull whatever the socket has without blocking.
@@ -462,8 +669,27 @@ impl Conn {
             self.next_write += 1;
             self.inflight = self.inflight.saturating_sub(1);
             let close = done.close_after;
-            self.outbuf
-                .extend_from_slice(&encode_response(done.status, &done.body, !close));
+            match self.ws_from_seq {
+                Some(from) if done.seq == from => {
+                    // The upgrade acceptance: `body` is the accept digest.
+                    self.outbuf
+                        .extend_from_slice(&encode_upgrade_response(&done.body));
+                }
+                Some(from) if done.seq > from => {
+                    self.outbuf.extend_from_slice(&ws::text_frame(&done.body));
+                    if close {
+                        self.outbuf
+                            .extend_from_slice(&ws::close_frame(1001, "going away"));
+                    }
+                }
+                _ => {
+                    self.outbuf.extend_from_slice(&encode_response(
+                        done.status,
+                        &done.body,
+                        !close,
+                    ));
+                }
+            }
             responses.fetch_add(1, Ordering::Relaxed);
             progress = true;
             if close {
@@ -497,6 +723,9 @@ impl Conn {
     }
 
     fn should_close(&self, shutting_down: bool) -> bool {
+        if self.kill {
+            return true;
+        }
         if !self.outbuf.is_empty() {
             return false;
         }
@@ -543,114 +772,379 @@ fn acceptor_loop<S: WireService>(inner: &Inner<S>, listener: TcpListener) {
         next_conn += 1;
         let shared = &inner.reactors[(id as usize) % reactors];
         lock(&shared.inbox).new_conns.push((id, stream));
-        shared.wake.notify_all();
+        shared.waker.wake();
     }
 }
 
-fn reactor_loop<S: WireService>(inner: &Inner<S>, idx: usize) {
-    let mut conns: HashMap<u64, Conn> = HashMap::new();
-    let mut closed: Vec<u64> = Vec::new();
-    loop {
-        let mut progress = false;
-        {
-            let mut inbox = lock(&inner.reactors[idx].inbox);
-            for (id, stream) in inbox.new_conns.drain(..) {
-                conns.insert(id, Conn::new(stream));
-                progress = true;
+/// Serve a `GET /ws` request: validate the handshake and switch the
+/// connection to WebSocket mode. The `101` (or the refusal) rides the
+/// reorder buffer like any response, so pipelined earlier requests still
+/// flush first — but the *parser* switches immediately, since the bytes
+/// after the upgrade head are already frames.
+fn upgrade_request<S: WireService>(inner: &Inner<S>, id: u64, conn: &mut Conn, req: HttpRequest) {
+    inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    conn.inflight += 1;
+    let mut refuse = |reject: Reject| {
+        let (status, body) = inner.reject(reject);
+        conn.ready.insert(
+            seq,
+            Done {
+                conn: id,
+                seq,
+                status,
+                body,
+                close_after: !req.keep_alive,
+            },
+        );
+    };
+    if inner.shutting_down.load(Ordering::SeqCst) {
+        return refuse(Reject::ShuttingDown);
+    }
+    let Some(upgrade) = req.upgrade.as_ref() else {
+        return refuse(Reject::BadRequest(
+            "the /ws endpoint requires a WebSocket upgrade handshake".into(),
+        ));
+    };
+    if upgrade.version.trim() != "13" {
+        return refuse(Reject::BadRequest(format!(
+            "unsupported WebSocket version {:?} (this server speaks 13)",
+            upgrade.version
+        )));
+    }
+    conn.ready.insert(
+        seq,
+        Done {
+            conn: id,
+            seq,
+            status: 101,
+            body: ws::accept_key(&upgrade.key),
+            close_after: false,
+        },
+    );
+    conn.mode = ConnMode::Ws(WsState::default());
+    conn.ws_from_seq = Some(seq);
+    inner.counters.ws_active.fetch_add(1, Ordering::SeqCst);
+    lock(&inner.ws_live).insert(id);
+}
+
+/// Parse buffered bytes as HTTP requests until the buffer runs dry, the
+/// framing dies, or an upgrade switches the mode.
+fn parse_http<S: WireService>(inner: &Inner<S>, idx: usize, id: u64, conn: &mut Conn) {
+    while matches!(conn.mode, ConnMode::Http) && !conn.parse_dead && !conn.close_when_flushed {
+        match parse_request(&conn.inbuf, inner.config.max_body_bytes) {
+            Parsed::Complete(req, consumed) => {
+                conn.inbuf.drain(..consumed);
+                if req.method == "GET" && req.path == "/ws" {
+                    upgrade_request(inner, id, conn, *req);
+                    continue;
+                }
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                conn.inflight += 1;
+                if let Some(done) = inner.route(idx, id, seq, *req) {
+                    conn.ready.insert(done.seq, done);
+                }
             }
-            for done in inbox.done.drain(..) {
-                if let Some(conn) = conns.get_mut(&done.conn) {
-                    if !conn.close_when_flushed {
-                        conn.ready.insert(done.seq, done);
+            Parsed::Partial => break,
+            Parsed::Invalid { status, reason } => {
+                // Framing is lost: answer once, then close.
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                conn.inflight += 1;
+                conn.parse_dead = true;
+                let reject = if status == 413 {
+                    Reject::PayloadTooLarge {
+                        limit: inner.config.max_body_bytes,
                     }
-                    progress = true;
+                } else {
+                    Reject::BadRequest(reason)
+                };
+                let body = inner.service.reject_body(&reject);
+                conn.ready.insert(
+                    seq,
+                    Done {
+                        conn: id,
+                        seq,
+                        status,
+                        body,
+                        close_after: true,
+                    },
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// Advance fragmented-message assembly with one data frame. `Ok(Some)`
+/// is a complete message payload, `Ok(None)` waits for more fragments,
+/// `Err` is a protocol violation (close code + reason).
+fn ws_assemble(
+    state: &mut WsState,
+    frame: ws::Frame,
+    max_message: usize,
+) -> Result<Option<Vec<u8>>, (u16, String)> {
+    match (frame.opcode, state.fragmenting) {
+        (ws::Opcode::Text, true) => {
+            return Err((1002, "new data frame inside a fragmented message".into()))
+        }
+        (ws::Opcode::Continuation, false) => {
+            return Err((
+                1002,
+                "continuation frame without a fragmented message".into(),
+            ))
+        }
+        _ => {}
+    }
+    if frame.opcode == ws::Opcode::Text && frame.fin && state.fragments.is_empty() {
+        return Ok(Some(frame.payload)); // unfragmented fast path
+    }
+    if state.fragments.len() + frame.payload.len() > max_message {
+        return Err((
+            1009,
+            format!("fragmented message exceeds the {max_message}-byte limit"),
+        ));
+    }
+    state.fragments.extend_from_slice(&frame.payload);
+    if !frame.fin {
+        state.fragmenting = true;
+        return Ok(None);
+    }
+    state.fragmenting = false;
+    Ok(Some(std::mem::take(&mut state.fragments)))
+}
+
+/// Parse buffered bytes as WebSocket frames, routing complete text
+/// messages exactly like `POST /v1` bodies.
+fn parse_ws<S: WireService>(inner: &Inner<S>, idx: usize, id: u64, conn: &mut Conn) {
+    loop {
+        if conn.parse_dead || conn.close_when_flushed || !matches!(conn.mode, ConnMode::Ws(_)) {
+            break;
+        }
+        match ws::parse_frame(&conn.inbuf, inner.config.max_body_bytes, true) {
+            ws::ParsedFrame::Partial => break,
+            ws::ParsedFrame::Invalid(reason) => {
+                conn.fail_ws(1002, &reason);
+                break;
+            }
+            ws::ParsedFrame::Complete(frame, consumed) => {
+                conn.inbuf.drain(..consumed);
+                match frame.opcode {
+                    ws::Opcode::Ping => {
+                        conn.outbuf
+                            .extend_from_slice(&ws::pong_frame(&frame.payload));
+                    }
+                    ws::Opcode::Pong => {}
+                    ws::Opcode::Close => {
+                        // Echo the close handshake, then drop the
+                        // connection once it flushes.
+                        let code = if frame.payload.len() >= 2 {
+                            u16::from_be_bytes([frame.payload[0], frame.payload[1]])
+                        } else {
+                            1000
+                        };
+                        conn.fail_ws(code, "");
+                    }
+                    ws::Opcode::Binary => {
+                        conn.fail_ws(1003, "binary frames are not supported (JSON text only)");
+                    }
+                    ws::Opcode::Text | ws::Opcode::Continuation => {
+                        let assembled = match &mut conn.mode {
+                            ConnMode::Ws(state) => {
+                                ws_assemble(state, frame, inner.config.max_body_bytes)
+                            }
+                            ConnMode::Http => unreachable!("checked above"),
+                        };
+                        match assembled {
+                            Err((code, reason)) => conn.fail_ws(code, &reason),
+                            Ok(None) => {}
+                            Ok(Some(bytes)) => match String::from_utf8(bytes) {
+                                Err(_) => conn.fail_ws(1007, "text message is not valid UTF-8"),
+                                Ok(text) => {
+                                    let seq = conn.next_seq;
+                                    conn.next_seq += 1;
+                                    conn.inflight += 1;
+                                    if let Some(done) = inner.route_ws(idx, id, seq, text) {
+                                        conn.ready.insert(done.seq, done);
+                                    }
+                                }
+                            },
+                        }
+                    }
                 }
             }
         }
-        let shutting = inner.shutting_down.load(Ordering::SeqCst);
-        let abandon = inner.abandon.load(Ordering::SeqCst);
-        for (&id, conn) in conns.iter_mut() {
-            // Stop reading from a client that is not draining its
-            // responses: the unwritten output buffer is the signal, and
-            // not reading propagates backpressure through TCP.
-            let throttled = conn.outbuf.len() > OUTBUF_SOFT_CAP;
-            if !conn.parse_dead && !conn.close_when_flushed && !throttled {
+    }
+}
+
+/// One full processing pass over a connection: read, parse (in whichever
+/// mode the connection is in, following an upgrade mid-pass), flush —
+/// and go around again if flushing released the read throttle with
+/// bytes still buffered.
+fn process_conn<S: WireService>(inner: &Inner<S>, idx: usize, id: u64, conn: &mut Conn) {
+    loop {
+        let was_readable = conn.can_read();
+        if was_readable {
+            if !conn.read_closed {
                 // Keep parsing buffered bytes even after EOF: a client may
                 // half-close after pipelining its requests and still read
                 // the responses.
-                if !conn.read_closed && matches!(conn.read_available(), ReadOutcome::Progress) {
-                    progress = true;
+                conn.read_available();
+            }
+            loop {
+                let was_http = matches!(conn.mode, ConnMode::Http);
+                if was_http {
+                    parse_http(inner, idx, id, conn);
+                } else {
+                    parse_ws(inner, idx, id, conn);
                 }
-                loop {
-                    match parse_request(&conn.inbuf, inner.config.max_body_bytes) {
-                        Parsed::Complete(req, consumed) => {
-                            conn.inbuf.drain(..consumed);
-                            let seq = conn.next_seq;
-                            conn.next_seq += 1;
-                            conn.inflight += 1;
-                            if let Some(done) = inner.route(idx, id, seq, *req) {
-                                conn.ready.insert(done.seq, done);
-                            }
-                            progress = true;
-                        }
-                        Parsed::Partial => break,
-                        Parsed::Invalid { status, reason } => {
-                            // Framing is lost: answer once, then close.
-                            let seq = conn.next_seq;
-                            conn.next_seq += 1;
-                            conn.inflight += 1;
-                            conn.parse_dead = true;
-                            let reject = if status == 413 {
-                                Reject::PayloadTooLarge {
-                                    limit: inner.config.max_body_bytes,
-                                }
-                            } else {
-                                Reject::BadRequest(reason)
-                            };
-                            let body = inner.service.reject_body(&reject);
-                            conn.ready.insert(
-                                seq,
-                                Done {
-                                    conn: id,
-                                    seq,
-                                    status,
-                                    body,
-                                    close_after: true,
-                                },
-                            );
-                            progress = true;
-                            break;
-                        }
-                    }
+                // An upgrade switched modes mid-buffer: the remaining
+                // bytes are frames — parse them now, in the new mode.
+                if was_http == matches!(conn.mode, ConnMode::Http) {
+                    break;
                 }
             }
-            if conn.flush(&inner.counters.responses) {
-                progress = true;
+        }
+        conn.flush(&inner.counters.responses);
+        if conn.can_read() && !was_readable && !conn.inbuf.is_empty() {
+            continue; // flush released the read throttle; drain the rest
+        }
+        break;
+    }
+}
+
+/// Recompute what the selector should watch for this connection and
+/// apply the change (deregistering entirely when nothing is wanted, so a
+/// hung peer cannot spin the reactor through always-on HUP readiness).
+fn update_interest(selector: &mut dyn Selector, id: u64, conn: &mut Conn) {
+    let desired = Interest {
+        read: !conn.read_closed && conn.can_read(),
+        write: !conn.outbuf.is_empty(),
+    };
+    if desired.is_empty() {
+        if conn.registered {
+            let _ = selector.deregister(&conn.stream);
+            conn.registered = false;
+        }
+    } else if !conn.registered {
+        conn.registered = selector.register(&conn.stream, id, desired).is_ok();
+    } else if desired != conn.interest {
+        let _ = selector.reregister(&conn.stream, id, desired);
+    }
+    conn.interest = desired;
+}
+
+fn reactor_loop<S: WireService>(inner: &Inner<S>, idx: usize, mut selector: Box<dyn Selector>) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut closed: Vec<u64> = Vec::new();
+    let mut ready: Vec<u64> = Vec::new();
+    let mut touched: Vec<u64> = Vec::new();
+    // Epoll waits are event-driven; the bound is only a safety net (and
+    // the shutdown waker interrupts it anyway). The tick selector's wait
+    // *is* the poll interval.
+    let wait_bound = match inner.selector_kind {
+        SelectorKind::Tick => inner.config.poll_interval,
+        _ => Duration::from_millis(100),
+    };
+    loop {
+        ready.clear();
+        let wake = selector.wait(&mut ready, wait_bound);
+        let (new_conns, dones, pushes) = {
+            let mut inbox = lock(&inner.reactors[idx].inbox);
+            (
+                std::mem::take(&mut inbox.new_conns),
+                std::mem::take(&mut inbox.done),
+                std::mem::take(&mut inbox.pushes),
+            )
+        };
+        let shutting = inner.shutting_down.load(Ordering::SeqCst);
+        let abandon = inner.abandon.load(Ordering::SeqCst);
+        touched.clear();
+        if matches!(wake, Wakeup::All) || shutting || abandon {
+            touched.extend(conns.keys().copied());
+        } else {
+            touched.extend(ready.iter().copied());
+        }
+        for (id, stream) in new_conns {
+            let mut conn = Conn::new(stream);
+            conn.interest = Interest {
+                read: true,
+                write: false,
+            };
+            conn.registered = selector.register(&conn.stream, id, conn.interest).is_ok();
+            conns.insert(id, conn);
+            touched.push(id);
+        }
+        for done in dones {
+            if let Some(conn) = conns.get_mut(&done.conn) {
+                if !conn.close_when_flushed {
+                    touched.push(done.conn);
+                    conn.ready.insert(done.seq, done);
+                }
             }
+        }
+        for (conn_id, text) in pushes {
+            let Some(conn) = conns.get_mut(&conn_id) else {
+                continue;
+            };
+            if conn.close_when_flushed || conn.parse_dead || conn.kill {
+                continue;
+            }
+            touched.push(conn_id);
+            if conn.outbuf.len() > inner.config.push_buffer_bytes {
+                // Slow-consumer eviction: the socket is not draining and
+                // pushes keep coming. Best-effort close frame straight to
+                // the socket, then drop — never buffer without bound.
+                inner
+                    .counters
+                    .push_evictions
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = conn.stream.write(&ws::close_frame(
+                    1008,
+                    "slow consumer: push backlog exceeded",
+                ));
+                conn.kill = true;
+            } else {
+                conn.outbuf.extend_from_slice(&ws::text_frame(&text));
+                inner.counters.pushes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for &id in &touched {
+            let Some(conn) = conns.get_mut(&id) else {
+                continue;
+            };
+            inner.counters.conn_scans.fetch_add(1, Ordering::Relaxed);
+            process_conn(inner, idx, id, conn);
             if abandon || conn.should_close(shutting) {
                 closed.push(id);
+            } else {
+                update_interest(&mut *selector, id, conn);
             }
         }
         for id in closed.drain(..) {
-            conns.remove(&id);
+            if let Some(conn) = conns.remove(&id) {
+                if conn.registered {
+                    let _ = selector.deregister(&conn.stream);
+                }
+                if conn.ws_from_seq.is_some() {
+                    inner.counters.ws_active.fetch_sub(1, Ordering::SeqCst);
+                    lock(&inner.ws_live).remove(&id);
+                    // Unsubscribe anything bound to the connection — the
+                    // service side of slow-consumer eviction and normal
+                    // disconnects alike.
+                    inner.service.connection_closed(id);
+                }
+            }
             inner.counters.active.fetch_sub(1, Ordering::SeqCst);
-            progress = true;
         }
         if shutting && conns.is_empty() {
             let inbox = lock(&inner.reactors[idx].inbox);
-            if inbox.new_conns.is_empty() && inbox.done.is_empty() {
+            if inbox.new_conns.is_empty() && inbox.done.is_empty() && inbox.pushes.is_empty() {
                 break;
-            }
-            continue;
-        }
-        if !progress {
-            let shared = &inner.reactors[idx];
-            let inbox = lock(&shared.inbox);
-            if inbox.new_conns.is_empty() && inbox.done.is_empty() {
-                // Sleep until a worker/acceptor wakes us or the poll
-                // interval elapses (sockets have no waker without an OS
-                // selector; the interval bounds added read latency).
-                let _ = shared.wake.wait_timeout(inbox, inner.config.poll_interval);
             }
         }
     }
@@ -694,16 +1188,19 @@ impl<S: WireService> Server<S> {
         let addr = listener.local_addr()?;
         let reactors = config.reactors.max(1);
         let workers = config.workers.max(1);
+        let (selector_kind, selectors) = poll::build(config.selector, reactors);
         let inner = Arc::new(Inner {
             mailboxes: Mailboxes::new(config.mailbox_cap),
             run_queue: RunQueue::new(),
-            reactors: (0..reactors)
-                .map(|_| ReactorShared {
+            reactors: selectors
+                .iter()
+                .map(|selector| ReactorShared {
                     inbox: Mutex::new(ReactorInbox {
                         new_conns: Vec::new(),
                         done: Vec::new(),
+                        pushes: Vec::new(),
                     }),
-                    wake: Condvar::new(),
+                    waker: selector.waker(),
                 })
                 .collect(),
             counters: Counters {
@@ -714,13 +1211,29 @@ impl<S: WireService> Server<S> {
                 backpressure: AtomicU64::new(0),
                 responses: AtomicU64::new(0),
                 pending_jobs: AtomicUsize::new(0),
+                ws_active: AtomicUsize::new(0),
+                pushes: AtomicU64::new(0),
+                push_evictions: AtomicU64::new(0),
+                conn_scans: AtomicU64::new(0),
             },
+            selector_kind,
+            ws_live: Mutex::new(HashSet::new()),
+            push_sender: OnceLock::new(),
             shutting_down: AtomicBool::new(false),
             abandon: AtomicBool::new(false),
             live_threads: AtomicUsize::new(0),
             service,
             config,
         });
+        // The sender workers hand to the service. Holds only a Weak so a
+        // service that outlives the server cannot keep it alive (pushes
+        // to a gone server report dead connections).
+        let weak = Arc::downgrade(&inner);
+        let sender: PushSender = Arc::new(move |conn, text| {
+            weak.upgrade()
+                .is_some_and(|inner| inner.push_text(conn, text))
+        });
+        let _ = inner.push_sender.set(sender);
         let mut threads = Vec::with_capacity(1 + reactors + workers);
         {
             let inner = Arc::clone(&inner);
@@ -734,7 +1247,7 @@ impl<S: WireService> Server<S> {
                     })?,
             );
         }
-        for i in 0..reactors {
+        for (i, selector) in selectors.into_iter().enumerate() {
             let inner = Arc::clone(&inner);
             inner.live_threads.fetch_add(1, Ordering::SeqCst);
             threads.push(
@@ -742,7 +1255,7 @@ impl<S: WireService> Server<S> {
                     .name(format!("pi2-reactor-{i}"))
                     .spawn(move || {
                         let _live = LiveGuard(&inner.live_threads);
-                        reactor_loop(&inner, i)
+                        reactor_loop(&inner, i, selector)
                     })?,
             );
         }
@@ -810,7 +1323,7 @@ impl<S: WireService> Server<S> {
         let deadline = Instant::now() + self.inner.config.drain_timeout;
         loop {
             for shared in &self.inner.reactors {
-                shared.wake.notify_all();
+                shared.waker.wake();
             }
             if self.inner.live_threads.load(Ordering::SeqCst) == 0 {
                 // Every serving thread exited; joins return immediately.
@@ -830,7 +1343,7 @@ impl<S: WireService> Server<S> {
         // shutdown callers are usually about to end).
         self.inner.abandon.store(true, Ordering::SeqCst);
         for shared in &self.inner.reactors {
-            shared.wake.notify_all();
+            shared.waker.wake();
         }
     }
 }

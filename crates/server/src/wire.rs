@@ -9,6 +9,26 @@
 //! `Pi2Service`, which keeps this crate free of any dependency on the
 //! protocol crates (and lets `pi2-core` re-export it as `pi2::server`).
 
+use std::sync::Arc;
+
+/// Delivers a server-initiated text frame to a live push-capable
+/// (WebSocket) connection: `sender(conn, text)` enqueues the frame on
+/// the reactor that owns `conn`. Returns `false` when the connection is
+/// already gone — callers should drop whatever subscription produced
+/// the push.
+pub type PushSender = Arc<dyn Fn(u64, String) -> bool + Send + Sync>;
+
+/// The transport context of a request that arrived over a push-capable
+/// connection: services use it to bind subscriptions to the connection
+/// so later pushes know where to go.
+#[derive(Clone)]
+pub struct PushLink {
+    /// The server's id for the connection the request arrived on.
+    pub conn: u64,
+    /// How to push a text frame back to any connection on this server.
+    pub sender: PushSender,
+}
+
 /// A protocol backend the server can host.
 pub trait WireService: Send + Sync + 'static {
     /// A decoded `POST /v1` request body.
@@ -17,17 +37,41 @@ pub trait WireService: Send + Sync + 'static {
     /// Decode a request body, or produce the full `(status, error body)`
     /// response for an undecodable one. The error body must be what the
     /// in-process entry point would return for the same input — transport
-    /// and in-process callers must report identically.
+    /// and in-process callers must report identically. Runs on a worker
+    /// thread, never on a reactor.
     fn parse(&self, body: &str) -> Result<Self::Request, (u16, String)>;
 
-    /// The session a request must be ordered under, if any. Requests with
-    /// a session key are routed through that session's mailbox (events for
-    /// one session stay ordered); requests without one dispatch on any
-    /// free worker.
+    /// Cheap scan of a *raw* body for the session routing key. This runs
+    /// on the reactor thread — before any full decode — so it must be a
+    /// single O(len) pass with no allocation to speak of. A wrong answer
+    /// only costs ordering: the request is still fully decoded and
+    /// validated on a worker, it just queues under the wrong mailbox (or
+    /// none).
+    fn route_key(&self, body: &str) -> Option<u64>;
+
+    /// The session a decoded request must be ordered under, if any.
+    /// [`WireService::route_key`] is the routing fast path; this is the
+    /// decoded-side truth (tests pin the two agree on valid bodies).
     fn session_of(&self, request: &Self::Request) -> Option<u64>;
 
     /// Serve one decoded request, returning `(status, response body)`.
     fn handle(&self, request: Self::Request) -> (u16, String);
+
+    /// Serve one decoded request with its transport context. `link` is
+    /// `Some` when the request arrived over a push-capable (WebSocket)
+    /// connection; the default ignores it and delegates to
+    /// [`WireService::handle`], so plain request/response services need
+    /// not care.
+    fn handle_link(&self, request: Self::Request, link: Option<&PushLink>) -> (u16, String) {
+        let _ = link;
+        self.handle(request)
+    }
+
+    /// A push-capable connection closed (or was evicted): drop any
+    /// subscriptions bound to it. Default: nothing to drop.
+    fn connection_closed(&self, conn: u64) {
+        let _ = conn;
+    }
 
     /// The service half of the `GET /metrics` response (the server nests
     /// it beside its own counters).

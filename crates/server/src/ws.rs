@@ -1,0 +1,490 @@
+//! RFC 6455 WebSocket framing, plus the SHA-1 and base64 the upgrade
+//! handshake needs (in-tree: the build has no network and the server
+//! crate stays dependency-free).
+//!
+//! Exactly the subset the wire protocol uses: text frames carrying JSON
+//! messages (fragmentation and both masked/unmasked payloads handled),
+//! ping/pong, and the close handshake. Binary data frames are refused
+//! with close code 1003 by the server (the protocol is JSON text).
+
+/// The protocol GUID every `Sec-WebSocket-Accept` digest mixes in
+/// (RFC 6455 §1.3).
+pub const WS_GUID: &str = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11";
+
+/// Compute the `Sec-WebSocket-Accept` header value for a client's
+/// `Sec-WebSocket-Key`.
+pub fn accept_key(client_key: &str) -> String {
+    let mut input = Vec::with_capacity(client_key.len() + WS_GUID.len());
+    input.extend_from_slice(client_key.trim().as_bytes());
+    input.extend_from_slice(WS_GUID.as_bytes());
+    base64(&sha1(&input))
+}
+
+/// SHA-1 digest (FIPS 180-1). Used only for the WebSocket handshake —
+/// RFC 6455 mandates it there and its known weaknesses are irrelevant to
+/// that (non-security) use.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+    // Message padding: 0x80, zeros to 56 mod 64, then the bit length.
+    let mut message = data.to_vec();
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    message.push(0x80);
+    while message.len() % 64 != 56 {
+        message.push(0);
+    }
+    message.extend_from_slice(&bit_len.to_be_bytes());
+    let mut w = [0u32; 80];
+    for block in message.chunks_exact(64) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = h;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+    let mut out = [0u8; 20];
+    for (chunk, word) in out.chunks_exact_mut(4).zip(h) {
+        chunk.copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Standard base64 (RFC 4648, with padding).
+pub fn base64(data: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Frame opcodes (RFC 6455 §5.2). Reserved opcodes parse as invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    /// Continuation of a fragmented message.
+    Continuation,
+    /// UTF-8 text data frame.
+    Text,
+    /// Binary data frame.
+    Binary,
+    /// Close-handshake control frame.
+    Close,
+    /// Ping control frame (answered with a pong echoing the payload).
+    Ping,
+    /// Pong control frame.
+    Pong,
+}
+
+impl Opcode {
+    fn from_bits(bits: u8) -> Option<Opcode> {
+        match bits {
+            0x0 => Some(Opcode::Continuation),
+            0x1 => Some(Opcode::Text),
+            0x2 => Some(Opcode::Binary),
+            0x8 => Some(Opcode::Close),
+            0x9 => Some(Opcode::Ping),
+            0xA => Some(Opcode::Pong),
+            _ => None,
+        }
+    }
+
+    fn bits(self) -> u8 {
+        match self {
+            Opcode::Continuation => 0x0,
+            Opcode::Text => 0x1,
+            Opcode::Binary => 0x2,
+            Opcode::Close => 0x8,
+            Opcode::Ping => 0x9,
+            Opcode::Pong => 0xA,
+        }
+    }
+
+    /// Control frames (close/ping/pong) must fit one unfragmented frame.
+    pub fn is_control(self) -> bool {
+        matches!(self, Opcode::Close | Opcode::Ping | Opcode::Pong)
+    }
+}
+
+/// One parsed frame, payload unmasked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Final fragment of its message?
+    pub fin: bool,
+    /// Frame opcode.
+    pub opcode: Opcode,
+    /// Unmasked payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Outcome of one [`parse_frame`] step over an inbound buffer.
+#[derive(Debug)]
+pub enum ParsedFrame {
+    /// A complete frame and how many buffer bytes it consumed.
+    Complete(Frame, usize),
+    /// Only a prefix of a frame is buffered; read more bytes.
+    Partial,
+    /// The bytes violate the framing rules; the connection must fail
+    /// (send a close frame with code 1002 and drop).
+    Invalid(String),
+}
+
+fn invalid(reason: impl Into<String>) -> ParsedFrame {
+    ParsedFrame::Invalid(reason.into())
+}
+
+/// Parse one frame from the front of `buf`. `max_payload` bounds a
+/// single frame's payload (larger declares are invalid before their
+/// bytes arrive); `require_mask` enforces the client-to-server masking
+/// rule (RFC 6455 §5.1 — servers must fail unmasked client frames).
+pub fn parse_frame(buf: &[u8], max_payload: usize, require_mask: bool) -> ParsedFrame {
+    if buf.len() < 2 {
+        return ParsedFrame::Partial;
+    }
+    let (b0, b1) = (buf[0], buf[1]);
+    if b0 & 0x70 != 0 {
+        return invalid("reserved frame bits set without a negotiated extension");
+    }
+    let fin = b0 & 0x80 != 0;
+    let Some(opcode) = Opcode::from_bits(b0 & 0x0F) else {
+        return invalid(format!("reserved opcode {:#x}", b0 & 0x0F));
+    };
+    let masked = b1 & 0x80 != 0;
+    let mut offset = 2usize;
+    let len7 = b1 & 0x7F;
+    let len: u64 = match len7 {
+        126 => {
+            if buf.len() < offset + 2 {
+                return ParsedFrame::Partial;
+            }
+            let n = u64::from(u16::from_be_bytes([buf[2], buf[3]]));
+            offset += 2;
+            n
+        }
+        127 => {
+            if buf.len() < offset + 8 {
+                return ParsedFrame::Partial;
+            }
+            let mut eight = [0u8; 8];
+            eight.copy_from_slice(&buf[2..10]);
+            offset += 8;
+            let n = u64::from_be_bytes(eight);
+            if n & (1 << 63) != 0 {
+                return invalid("64-bit payload length with the high bit set");
+            }
+            n
+        }
+        n => u64::from(n),
+    };
+    if opcode.is_control() {
+        if !fin {
+            return invalid(format!("fragmented {opcode:?} control frame"));
+        }
+        if len > 125 {
+            return invalid(format!("{opcode:?} control frame payload of {len} bytes"));
+        }
+    }
+    if len > max_payload as u64 {
+        return invalid(format!(
+            "frame payload of {len} bytes exceeds the {max_payload}-byte limit"
+        ));
+    }
+    let len = len as usize;
+    if require_mask && !masked && !opcode.is_control() {
+        return invalid("unmasked client data frame");
+    }
+    let mask: Option<[u8; 4]> = if masked {
+        if buf.len() < offset + 4 {
+            return ParsedFrame::Partial;
+        }
+        let key = [
+            buf[offset],
+            buf[offset + 1],
+            buf[offset + 2],
+            buf[offset + 3],
+        ];
+        offset += 4;
+        Some(key)
+    } else {
+        None
+    };
+    if buf.len() < offset + len {
+        return ParsedFrame::Partial;
+    }
+    let mut payload = buf[offset..offset + len].to_vec();
+    if let Some(key) = mask {
+        for (i, byte) in payload.iter_mut().enumerate() {
+            *byte ^= key[i % 4];
+        }
+    }
+    ParsedFrame::Complete(
+        Frame {
+            fin,
+            opcode,
+            payload,
+        },
+        offset + len,
+    )
+}
+
+/// Serialize one frame. `mask: Some(key)` produces a client-to-server
+/// frame (payload XOR-masked); `None` a server frame.
+pub fn encode_frame(opcode: Opcode, payload: &[u8], fin: bool, mask: Option<[u8; 4]>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 14);
+    out.push(u8::from(fin) << 7 | opcode.bits());
+    let mask_bit = u8::from(mask.is_some()) << 7;
+    match payload.len() {
+        n if n < 126 => out.push(mask_bit | n as u8),
+        n if n <= 0xFFFF => {
+            out.push(mask_bit | 126);
+            out.extend_from_slice(&(n as u16).to_be_bytes());
+        }
+        n => {
+            out.push(mask_bit | 127);
+            out.extend_from_slice(&(n as u64).to_be_bytes());
+        }
+    }
+    match mask {
+        Some(key) => {
+            out.extend_from_slice(&key);
+            out.extend(payload.iter().enumerate().map(|(i, b)| b ^ key[i % 4]));
+        }
+        None => out.extend_from_slice(payload),
+    }
+    out
+}
+
+/// A single unmasked text frame (the server's response/push shape).
+pub fn text_frame(text: &str) -> Vec<u8> {
+    encode_frame(Opcode::Text, text.as_bytes(), true, None)
+}
+
+/// An unmasked close frame with a status code and (truncated) reason.
+pub fn close_frame(code: u16, reason: &str) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(2 + reason.len().min(123));
+    payload.extend_from_slice(&code.to_be_bytes());
+    // Control payloads are capped at 125 bytes; keep the reason whole
+    // UTF-8 by truncating at a char boundary.
+    let mut cut = reason.len().min(123);
+    while cut > 0 && !reason.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    payload.extend_from_slice(&reason.as_bytes()[..cut]);
+    encode_frame(Opcode::Close, &payload, true, None)
+}
+
+/// An unmasked pong echoing a ping's payload.
+pub fn pong_frame(payload: &[u8]) -> Vec<u8> {
+    encode_frame(Opcode::Pong, payload, true, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(buf: &[u8], require_mask: bool) -> (Frame, usize) {
+        match parse_frame(buf, 1 << 20, require_mask) {
+            ParsedFrame::Complete(f, n) => (f, n),
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sha1_matches_known_vectors() {
+        let hex = |d: [u8; 20]| d.iter().map(|b| format!("{b:02x}")).collect::<String>();
+        assert_eq!(
+            hex(sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(hex(sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex(sha1(b"The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn base64_matches_known_vectors() {
+        assert_eq!(base64(b""), "");
+        assert_eq!(base64(b"f"), "Zg==");
+        assert_eq!(base64(b"fo"), "Zm8=");
+        assert_eq!(base64(b"foo"), "Zm9v");
+        assert_eq!(base64(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn accept_key_matches_the_rfc_example() {
+        // RFC 6455 §1.3's worked handshake.
+        assert_eq!(
+            accept_key("dGhlIHNhbXBsZSBub25jZQ=="),
+            "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        );
+    }
+
+    #[test]
+    fn text_frames_round_trip_masked_and_unmasked() {
+        let frame = text_frame("{\"v\":1}");
+        let (parsed, n) = complete(&frame, false);
+        assert_eq!(n, frame.len());
+        assert_eq!(parsed.opcode, Opcode::Text);
+        assert!(parsed.fin);
+        assert_eq!(parsed.payload, b"{\"v\":1}");
+
+        let masked = encode_frame(Opcode::Text, b"{\"v\":1}", true, Some([7, 0, 255, 3]));
+        assert_ne!(
+            &masked[6..],
+            b"{\"v\":1}",
+            "payload must be masked on the wire"
+        );
+        let (parsed, _) = complete(&masked, true);
+        assert_eq!(parsed.payload, b"{\"v\":1}");
+    }
+
+    #[test]
+    fn length_encodings_use_the_three_forms() {
+        // 125 → 7-bit, 126 → 16-bit, 65536 → 64-bit.
+        let f125 = encode_frame(Opcode::Text, &[b'a'; 125], true, None);
+        assert_eq!(f125[1] & 0x7F, 125);
+        let f126 = encode_frame(Opcode::Text, &[b'a'; 126], true, None);
+        assert_eq!(f126[1] & 0x7F, 126);
+        assert_eq!(u16::from_be_bytes([f126[2], f126[3]]), 126);
+        let f65535 = encode_frame(Opcode::Text, &vec![b'a'; 65535], true, None);
+        assert_eq!(f65535[1] & 0x7F, 126);
+        let big = encode_frame(Opcode::Text, &vec![b'a'; 65536], true, None);
+        assert_eq!(big[1] & 0x7F, 127);
+        let mut eight = [0u8; 8];
+        eight.copy_from_slice(&big[2..10]);
+        assert_eq!(u64::from_be_bytes(eight), 65536);
+        for raw in [f125, f126, f65535, big] {
+            let (frame, n) = complete(&raw, false);
+            assert_eq!(n, raw.len());
+            assert!(frame.payload.iter().all(|&b| b == b'a'));
+        }
+    }
+
+    #[test]
+    fn every_prefix_of_a_frame_is_partial() {
+        let raw = encode_frame(Opcode::Text, b"hello websocket", true, Some([1, 2, 3, 4]));
+        for cut in 0..raw.len() {
+            assert!(
+                matches!(
+                    parse_frame(&raw[..cut], 1 << 20, true),
+                    ParsedFrame::Partial
+                ),
+                "prefix of {cut} bytes must be Partial"
+            );
+        }
+    }
+
+    #[test]
+    fn servers_reject_unmasked_client_data_frames() {
+        let raw = text_frame("x");
+        assert!(matches!(
+            parse_frame(&raw, 1 << 20, true),
+            ParsedFrame::Invalid(_)
+        ));
+        // ...but a masked one passes the same gate.
+        let raw = encode_frame(Opcode::Text, b"x", true, Some([9, 9, 9, 9]));
+        assert!(matches!(
+            parse_frame(&raw, 1 << 20, true),
+            ParsedFrame::Complete(_, _)
+        ));
+    }
+
+    #[test]
+    fn control_frames_must_be_small_and_unfragmented() {
+        let long = encode_frame(Opcode::Ping, &[0u8; 126], true, None);
+        assert!(matches!(
+            parse_frame(&long, 1 << 20, false),
+            ParsedFrame::Invalid(_)
+        ));
+        let fragmented = encode_frame(Opcode::Ping, b"x", false, None);
+        assert!(matches!(
+            parse_frame(&fragmented, 1 << 20, false),
+            ParsedFrame::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn reserved_bits_and_opcodes_are_invalid() {
+        let mut raw = text_frame("x");
+        raw[0] |= 0x40; // RSV1
+        assert!(matches!(
+            parse_frame(&raw, 1 << 20, false),
+            ParsedFrame::Invalid(_)
+        ));
+        let raw = [0x83u8, 0x00]; // FIN + opcode 0x3 (reserved)
+        assert!(matches!(
+            parse_frame(&raw, 1 << 20, false),
+            ParsedFrame::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_payload_is_invalid_before_the_bytes_arrive() {
+        // Head only: declared 16-bit length beyond the cap must reject.
+        let raw = [0x81u8, 126, 0xFF, 0xFF];
+        assert!(matches!(
+            parse_frame(&raw, 1024, false),
+            ParsedFrame::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn close_frames_carry_code_and_reason() {
+        let raw = close_frame(1002, "protocol error");
+        let (frame, _) = complete(&raw, false);
+        assert_eq!(frame.opcode, Opcode::Close);
+        assert_eq!(
+            u16::from_be_bytes([frame.payload[0], frame.payload[1]]),
+            1002
+        );
+        assert_eq!(&frame.payload[2..], b"protocol error");
+        // Long reasons truncate to keep the control-frame cap.
+        let raw = close_frame(1009, &"x".repeat(500));
+        let (frame, _) = complete(&raw, false);
+        assert!(frame.payload.len() <= 125);
+    }
+}

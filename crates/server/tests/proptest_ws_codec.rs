@@ -1,0 +1,171 @@
+//! Property tests for the RFC 6455 frame codec: `encode_frame` →
+//! `parse_frame` is the identity over payload, opcode, fin, and masking;
+//! fragmented messages reassemble to the original payload; and no strict
+//! prefix of a frame ever parses as complete (the streaming invariant the
+//! reactor's read loop relies on).
+
+use pi2_server::ws::{encode_frame, parse_frame, Frame, Opcode, ParsedFrame};
+use proptest::prelude::*;
+
+const MAX_PAYLOAD: usize = 1 << 20;
+
+fn complete(buf: &[u8], require_mask: bool) -> (Frame, usize) {
+    match parse_frame(buf, MAX_PAYLOAD, require_mask) {
+        ParsedFrame::Complete(frame, n) => (frame, n),
+        other => panic!("expected a complete frame, got {other:?}"),
+    }
+}
+
+/// Payload sizes spanning all three length encodings, weighted toward the
+/// exact boundaries (125 = last 7-bit, 126 = first 16-bit, 65535 = last
+/// 16-bit, 65536 = first 64-bit).
+fn arb_len() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        0usize..200,
+        Just(125usize),
+        Just(126usize),
+        Just(65535usize),
+        Just(65536usize),
+        65000usize..66000,
+    ]
+}
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    (arb_len(), any::<u8>()).prop_map(|(len, seed)| {
+        // A cheap deterministic byte pattern: sized exactly, varied enough
+        // that masking bugs (wrong key rotation) cannot cancel out.
+        (0..len)
+            .map(|i| seed.wrapping_add(i as u8).wrapping_mul(31))
+            .collect()
+    })
+}
+
+fn arb_data_opcode() -> impl Strategy<Value = Opcode> {
+    prop_oneof![Just(Opcode::Text), Just(Opcode::Binary)]
+}
+
+fn arb_mask() -> impl Strategy<Value = Option<[u8; 4]>> {
+    prop::option::of(
+        (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c, d)| [a, b, c, d]),
+    )
+}
+
+proptest! {
+    /// Any single data frame round-trips exactly, masked or not, at every
+    /// length-encoding boundary, consuming exactly the encoded bytes.
+    #[test]
+    fn single_frames_round_trip(
+        payload in arb_payload(),
+        opcode in arb_data_opcode(),
+        fin in any::<bool>(),
+        mask in arb_mask(),
+    ) {
+        let raw = encode_frame(opcode, &payload, fin, mask);
+        let (frame, consumed) = complete(&raw, false);
+        prop_assert_eq!(consumed, raw.len());
+        prop_assert_eq!(frame.opcode, opcode);
+        prop_assert_eq!(frame.fin, fin);
+        prop_assert_eq!(frame.payload, payload.clone());
+        // With every key byte nonzero, each payload byte changes on the
+        // wire (b ^ k != b for k != 0), so the cleartext cannot appear.
+        if let Some(key) = mask {
+            if key.iter().all(|&b| b != 0) && !payload.is_empty() {
+                prop_assert!(!raw.ends_with(&payload));
+            }
+        }
+    }
+
+    /// A message split into arbitrary fragments (first frame Text, the
+    /// rest Continuation, only the last with FIN) reassembles to the
+    /// original payload, with frame boundaries independent of where the
+    /// buffer is cut.
+    #[test]
+    fn fragmented_messages_reassemble(
+        payload in arb_payload(),
+        cuts in prop::collection::vec(0usize..=200, 0..4),
+        mask in arb_mask(),
+    ) {
+        // Turn the random cuts into ascending split points.
+        let mut points: Vec<usize> = cuts
+            .into_iter()
+            .map(|c| if payload.is_empty() { 0 } else { c % payload.len() })
+            .collect();
+        points.sort_unstable();
+        points.dedup();
+        let mut wire = Vec::new();
+        let mut frames = 0usize;
+        let mut start = 0usize;
+        let bounds: Vec<usize> = points.into_iter().chain([payload.len()]).collect();
+        for (i, &end) in bounds.iter().enumerate() {
+            let opcode = if i == 0 { Opcode::Text } else { Opcode::Continuation };
+            let fin = end == payload.len() && i == bounds.len() - 1;
+            wire.extend_from_slice(&encode_frame(opcode, &payload[start..end], fin, mask));
+            frames += 1;
+            start = end;
+        }
+        // Parse the concatenated stream frame by frame and reassemble.
+        let mut out = Vec::new();
+        let mut rest: &[u8] = &wire;
+        for i in 0..frames {
+            let (frame, n) = complete(rest, false);
+            prop_assert_eq!(
+                frame.opcode,
+                if i == 0 { Opcode::Text } else { Opcode::Continuation }
+            );
+            prop_assert_eq!(frame.fin, i == frames - 1);
+            out.extend_from_slice(&frame.payload);
+            rest = &rest[n..];
+        }
+        prop_assert!(rest.is_empty());
+        prop_assert_eq!(out, payload);
+    }
+
+    /// No strict prefix of an encoded frame is ever Complete or Invalid:
+    /// a partial read must always answer Partial so the reactor keeps the
+    /// bytes buffered and waits for more.
+    #[test]
+    fn strict_prefixes_stay_partial(
+        payload in (0usize..300, any::<u8>())
+            .prop_map(|(len, seed)| (0..len).map(|i| seed ^ (i as u8)).collect::<Vec<u8>>()),
+        opcode in arb_data_opcode(),
+        mask in arb_mask(),
+        cut_seed in any::<u16>(),
+    ) {
+        let raw = encode_frame(opcode, &payload, true, mask);
+        // Probe a handful of prefixes (always including the header-length
+        // boundaries) rather than all of them, to keep case cost flat.
+        let mut cuts = vec![0, 1, raw.len().min(2), raw.len().min(4), raw.len().min(10),
+                            raw.len().min(14), raw.len() - 1];
+        cuts.push(cut_seed as usize % raw.len());
+        for cut in cuts {
+            if cut >= raw.len() {
+                continue;
+            }
+            prop_assert!(
+                matches!(parse_frame(&raw[..cut], MAX_PAYLOAD, false), ParsedFrame::Partial),
+                "prefix of {} / {} bytes must be Partial",
+                cut,
+                raw.len()
+            );
+        }
+    }
+
+    /// The server-side masking rule: with `require_mask`, a masked data
+    /// frame parses and an unmasked one is Invalid — for every payload
+    /// shape, not just the unit-test examples.
+    #[test]
+    fn require_mask_accepts_only_masked_data_frames(
+        payload in arb_payload(),
+        opcode in arb_data_opcode(),
+        key in (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(a, b, c, d)| [a, b, c, d]),
+    ) {
+        let masked = encode_frame(opcode, &payload, true, Some(key));
+        let (frame, _) = complete(&masked, true);
+        prop_assert_eq!(frame.payload, payload.clone());
+        let bare = encode_frame(opcode, &payload, true, None);
+        prop_assert!(matches!(
+            parse_frame(&bare, MAX_PAYLOAD, true),
+            ParsedFrame::Invalid(_)
+        ));
+    }
+}

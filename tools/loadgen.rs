@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! loadgen [--workload covid|sales|…] [--rows N] [--sessions 8]
-//!         [--events 200] [--addr HOST:PORT] [--fail-on-errors]
+//!         [--events 200] [--addr HOST:PORT] [--ws] [--fail-on-errors]
 //! ```
 //!
 //! Without `--addr`, boots an in-process `pi2::server` over loopback,
@@ -22,6 +22,14 @@
 //! recorded event mix, and closes; the report prints throughput and
 //! p50/p95/p99 per-event latency. Exit status is non-zero under
 //! `--fail-on-errors` when any response was not a `200` patch.
+//!
+//! `--ws` switches to the protocol v2 push mode: one writer session
+//! replays the mix over a WebSocket while `--sessions` subscriber
+//! connections (each with its own wire session, subscribed to the shared
+//! workload channel) receive every resulting patch as a server-initiated
+//! frame. The report then carries *two* latency distributions — request
+//! (writer send → own response) and push (writer send → subscriber
+//! receive) — since push latency is the figure of merit for streaming.
 
 use pi2::server::ServerConfig;
 use pi2::Pi2Service;
@@ -33,7 +41,7 @@ use std::sync::Arc;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: loadgen [--workload covid] [--rows N] [--sessions 8] [--events 200] \
-         [--addr HOST:PORT] [--fail-on-errors]"
+         [--addr HOST:PORT] [--ws] [--fail-on-errors]"
     );
     ExitCode::from(2)
 }
@@ -52,6 +60,7 @@ fn main() -> ExitCode {
     let mut sessions: usize = 8;
     let mut events: usize = 200;
     let mut addr: Option<String> = None;
+    let mut ws = false;
     let mut fail_on_errors = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -76,6 +85,7 @@ fn main() -> ExitCode {
                 Some(v) => addr = Some(v.clone()),
                 None => return usage(),
             },
+            "--ws" => ws = true,
             "--fail-on-errors" => fail_on_errors = true,
             _ => return usage(),
         }
@@ -144,20 +154,43 @@ fn main() -> ExitCode {
         }
     };
 
-    let result = load::run_load(target, &workload, &cycle, sessions, events);
-    let code = match result {
-        Ok(report) => {
-            println!("loadgen[{workload}]: {report}");
-            if fail_on_errors && report.errors > 0 {
-                eprintln!("loadgen: FAIL — {} protocol errors", report.errors);
+    let code = if ws {
+        match load::run_ws_load(target, &workload, &cycle, sessions, events) {
+            Ok(report) => {
+                println!("loadgen[{workload},ws]: {report}");
+                let short = report.pushes != sessions * events;
+                if fail_on_errors && (report.errors > 0 || short) {
+                    eprintln!(
+                        "loadgen: FAIL — {} errors, {}/{} pushes",
+                        report.errors,
+                        report.pushes,
+                        sessions * events
+                    );
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("loadgen: ws run failed: {e}");
                 ExitCode::FAILURE
-            } else {
-                ExitCode::SUCCESS
             }
         }
-        Err(e) => {
-            eprintln!("loadgen: run failed: {e}");
-            ExitCode::FAILURE
+    } else {
+        match load::run_load(target, &workload, &cycle, sessions, events) {
+            Ok(report) => {
+                println!("loadgen[{workload}]: {report}");
+                if fail_on_errors && report.errors > 0 {
+                    eprintln!("loadgen: FAIL — {} protocol errors", report.errors);
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("loadgen: run failed: {e}");
+                ExitCode::FAILURE
+            }
         }
     };
     if let Some(server) = local {
