@@ -1,0 +1,136 @@
+//! One fleet member: a full PI2 node — HTTP front, peer listener,
+//! shared-cache tiers — as a standalone process.
+//!
+//! ```text
+//! pi2-node --node I --peers ADDR0,ADDR1,… [--http ADDR] [--workload covid]
+//! ```
+//!
+//! `--peers` lists every node's *peer-protocol* address, index-aligned
+//! with ring indices; `--node I` says which entry is this process (its
+//! own peer listener binds there). `--http` is the client-facing
+//! address (default `127.0.0.1:0`). The workload is registered with
+//! `GenerationConfig::quick()` — deterministic across nodes, so every
+//! fleet member generates the identical interface and the shared caches
+//! agree on keys.
+//!
+//! Once serving, the process prints a single machine-readable line:
+//!
+//! ```text
+//! READY <http addr> <peer addr>
+//! ```
+//!
+//! and runs until killed. The fleet integration test and
+//! `loadgen --cluster N` both drive nodes through this binary — real
+//! processes, so each has its own process-wide caches, like production.
+
+use pi2::server::ServerConfig;
+use pi2::{GenerationConfig, Pi2Service};
+use pi2_cluster::{proxy_handler, Cluster, ClusterConfig, ClusterService, PeerServer};
+use pi2_workloads::{all_logs, catalog, log};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pi2-node --node I --peers ADDR0,ADDR1,… [--http ADDR] [--workload covid]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut node: Option<u16> = None;
+    let mut peers: Vec<String> = Vec::new();
+    let mut http = "127.0.0.1:0".to_string();
+    let mut workload = "covid".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--node" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => node = Some(v),
+                None => return usage(),
+            },
+            "--peers" => match it.next() {
+                Some(v) => peers = v.split(',').map(str::to_string).collect(),
+                None => return usage(),
+            },
+            "--http" => match it.next() {
+                Some(v) => http = v.clone(),
+                None => return usage(),
+            },
+            "--workload" => match it.next() {
+                Some(v) => workload = v.clone(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(node) = node else { return usage() };
+    if peers.is_empty() || (node as usize) >= peers.len() {
+        eprintln!("pi2-node: --node {node} needs a --peers list that includes it");
+        return ExitCode::from(2);
+    }
+    let Some(kind) = all_logs()
+        .iter()
+        .map(|l| l.kind)
+        .find(|k| log(*k).name == workload)
+    else {
+        eprintln!(
+            "pi2-node: unknown workload {workload:?} (known: {})",
+            all_logs()
+                .iter()
+                .map(|l| l.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::from(2);
+    };
+
+    let service = Arc::new(Pi2Service::new());
+    // Join before registering: the registration warm-up already reads
+    // through (and publishes to) the fleet.
+    let peer_addr = peers[node as usize].clone();
+    let cluster = Cluster::join(&service, ClusterConfig::new(node, peers));
+    let peer_server = match PeerServer::start(
+        &peer_addr,
+        proxy_handler(Arc::clone(&service), Arc::clone(&cluster)),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pi2-node: peer listener failed on {peer_addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let queries = log(kind).queries;
+    let sqls: Vec<&str> = queries.iter().map(String::as_str).collect();
+    if let Err(e) = service.register(&workload, catalog(), &sqls, &GenerationConfig::quick()) {
+        eprintln!("pi2-node: register {workload} failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let front = ClusterService::new(Arc::clone(&service), cluster);
+    let http_server = match pi2::server::Server::start(
+        Arc::new(front),
+        ServerConfig {
+            addr: http,
+            ..ServerConfig::default()
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pi2-node: http server failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "READY {} {}",
+        http_server.local_addr(),
+        peer_server.local_addr()
+    );
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-peer circuit breaker.
+//!
+//! The fleet is a cache, never a correctness dependency — so a dead or
+//! slow peer must cost at most one timeout, not one timeout *per
+//! lookup*. After `threshold` consecutive failures the breaker opens
+//! and every call is refused locally (callers fall back to local
+//! computation) until `cooldown` elapses; the first call after the
+//! cooldown is the half-open probe — its outcome re-closes or re-opens
+//! the breaker.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct State {
+    consecutive_failures: u32,
+    open_until: Option<Instant>,
+}
+
+/// A circuit breaker guarding one peer connection.
+#[derive(Debug)]
+pub struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    state: Mutex<State>,
+}
+
+impl Breaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// failures and probes again after `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: Mutex::new(State {
+                consecutive_failures: 0,
+                open_until: None,
+            }),
+        }
+    }
+
+    /// Whether a call may proceed. While open this returns `false`;
+    /// once the cooldown has elapsed it returns `true` exactly once
+    /// (the half-open probe) until the probe's outcome is recorded.
+    pub fn allow(&self) -> bool {
+        let mut s = self.state.lock().unwrap();
+        match s.open_until {
+            None => true,
+            Some(until) if Instant::now() >= until => {
+                // Half-open: let one probe through; a failure re-opens.
+                s.open_until = None;
+                s.consecutive_failures = self.threshold.saturating_sub(1);
+                true
+            }
+            Some(_) => false,
+        }
+    }
+
+    /// Record a successful call: the breaker closes fully.
+    pub fn record_success(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.consecutive_failures = 0;
+        s.open_until = None;
+    }
+
+    /// Record a failed call; opens the breaker at the threshold.
+    pub fn record_failure(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.consecutive_failures = s.consecutive_failures.saturating_add(1);
+        if s.consecutive_failures >= self.threshold {
+            s.open_until = Some(Instant::now() + self.cooldown);
+        }
+    }
+
+    /// Whether the breaker is currently refusing calls.
+    pub fn is_open(&self) -> bool {
+        let s = self.state.lock().unwrap();
+        matches!(s.open_until, Some(until) if Instant::now() < until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_at_threshold_and_probes_after_cooldown() {
+        let b = Breaker::new(3, Duration::from_millis(30));
+        assert!(b.allow());
+        b.record_failure();
+        b.record_failure();
+        assert!(b.allow(), "below threshold stays closed");
+        b.record_failure();
+        assert!(!b.allow(), "threshold reached: open");
+        assert!(b.is_open());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.allow(), "cooldown elapsed: half-open probe");
+        // A failing probe re-opens immediately…
+        b.record_failure();
+        assert!(!b.allow());
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.allow());
+        // …a succeeding probe closes fully.
+        b.record_success();
+        assert!(b.allow());
+        b.record_failure();
+        b.record_failure();
+        assert!(b.allow(), "success reset the failure count");
+    }
+}

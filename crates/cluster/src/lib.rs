@@ -1,0 +1,285 @@
+#![warn(missing_docs)]
+//! # pi2-cluster: N processes, one fleet
+//!
+//! The multi-node layer of the PI2 session service. Each node runs the
+//! full stack — generation, sessions, HTTP front — and the fleet shares
+//! what is *expensive and deterministic*: the cross-session result memo
+//! and the MCTS reward transposition table, sharded over the nodes by a
+//! rendezvous consistent-hash [`ring`], so a query result (or a state
+//! reward) computed anywhere is computed once fleet-wide.
+//!
+//! Three pieces:
+//!
+//! * **Shared caches** ([`tier`]) — a local cache miss consults the
+//!   key's owning node over the binary peer protocol ([`wire`]) before
+//!   computing (read-through); local computes are shipped to the owner
+//!   by a background publisher (write-behind). Peer lookups ride
+//!   persistent connections with tight timeouts and a per-peer circuit
+//!   [`breaker`]; any failure falls back to local computation — **the
+//!   fleet is a cache, never a correctness dependency**.
+//! * **The peer protocol** ([`wire`], [`server`]) — compact
+//!   length-prefixed binary frames; table payloads reuse the columnar
+//!   `{dict, codes}` JSON form from `pi2_data::wire`. Every node's peer
+//!   listener is a single reactor thread multiplexed on the same
+//!   pluggable `Selector` infrastructure as the HTTP server
+//!   (`pi2_server::poll`).
+//! * **Sticky session routing** ([`route`]) — session ids carry their
+//!   birth node in the top 16 bits; a front node serves its own
+//!   sessions locally and proxies dispatches for sessions another node
+//!   owns, relaying the owner's response byte-for-byte. A serializable
+//!   [`route::RouteMap`] snapshot supports migration and failover.
+//!
+//! Wire it up with [`Cluster::join`] before registering workloads:
+//!
+//! ```no_run
+//! use pi2::{Pi2Service, server::ServerConfig};
+//! use pi2_cluster::{Cluster, ClusterConfig, ClusterService, PeerServer};
+//! use std::sync::Arc;
+//!
+//! let service = Arc::new(Pi2Service::new());
+//! let config = ClusterConfig::new(0, vec![
+//!     "127.0.0.1:7100".into(), // this node's peer listener
+//!     "127.0.0.1:7101".into(),
+//! ]);
+//! let cluster = Cluster::join(&service, config);
+//! let _peers = PeerServer::start(
+//!     "127.0.0.1:7100",
+//!     pi2_cluster::proxy_handler(Arc::clone(&service), Arc::clone(&cluster)),
+//! ).unwrap();
+//! // … register workloads, then serve the fleet-aware front:
+//! let front = ClusterService::new(Arc::clone(&service), cluster);
+//! let _http = pi2::server::Server::start(Arc::new(front), ServerConfig::default()).unwrap();
+//! ```
+
+pub mod breaker;
+pub mod metrics;
+pub mod peer;
+pub mod ring;
+pub mod route;
+pub mod server;
+pub mod tier;
+pub mod wire;
+
+pub use metrics::ClusterMetrics;
+pub use ring::Ring;
+pub use route::{proxy_handler, ClusterService, RouteMap};
+pub use server::{PeerServer, ProxyHandler};
+pub use wire::Frame;
+
+use peer::PeerClient;
+use pi2::Pi2Service;
+use std::io;
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tier::{ClusterResultTier, ClusterRewardTier, Publish};
+use wire::Frame as WireFrame;
+
+/// Static fleet membership plus the failure-handling knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// This node's ring index.
+    pub node: u16,
+    /// Peer-protocol addresses, index-aligned with ring indices
+    /// (`peers[node]` is this node's own listener; it is never dialed).
+    pub peers: Vec<String>,
+    /// Per-call peer I/O timeout (connect, read, write).
+    pub peer_timeout: Duration,
+    /// Consecutive failures before a peer's circuit breaker opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker refuses calls before probing again.
+    pub breaker_cooldown: Duration,
+    /// Write-behind queue capacity (publishes drop beyond it).
+    pub publish_queue: usize,
+}
+
+impl ClusterConfig {
+    /// A config with the default failure knobs: 250 ms peer timeout,
+    /// breaker opens after 3 failures and probes after 500 ms.
+    pub fn new(node: u16, peers: Vec<String>) -> ClusterConfig {
+        ClusterConfig {
+            node,
+            peers,
+            peer_timeout: Duration::from_millis(250),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(500),
+            publish_queue: 1024,
+        }
+    }
+}
+
+/// One node's handle on the fleet: the ring, the peer clients, the
+/// route map, and the counters.
+pub struct Cluster {
+    node: u16,
+    ring: Ring,
+    peers: Arc<Vec<Option<PeerClient>>>,
+    metrics: Arc<ClusterMetrics>,
+    routes: RouteMap,
+    publish_tx: Mutex<SyncSender<Publish>>,
+}
+
+impl Cluster {
+    /// Join the fleet: build peer clients, start the write-behind
+    /// publisher, install the shared-cache tiers into the cache layers,
+    /// and hook the counters (and the session-id node prefix) into the
+    /// service's metrics.
+    ///
+    /// Call this **before** registering workloads, so registration's
+    /// cache warm-up already reads through and publishes to the fleet.
+    /// The cache-tier hooks are process-wide one-shots; a second
+    /// `join` in the same process keeps the first tiers.
+    pub fn join(service: &Arc<Pi2Service>, config: ClusterConfig) -> Arc<Cluster> {
+        let metrics = Arc::new(ClusterMetrics::default());
+        let peers: Arc<Vec<Option<PeerClient>>> = Arc::new(
+            config
+                .peers
+                .iter()
+                .enumerate()
+                .map(|(i, addr)| {
+                    if i as u16 == config.node {
+                        None
+                    } else {
+                        Some(PeerClient::new(
+                            config.node,
+                            i as u16,
+                            addr.clone(),
+                            config.peer_timeout,
+                            config.breaker_threshold,
+                            config.breaker_cooldown,
+                            Arc::clone(&metrics),
+                        ))
+                    }
+                })
+                .collect(),
+        );
+        let (publish_tx, publish_rx) = sync_channel(config.publish_queue.max(1));
+        {
+            let peers = Arc::clone(&peers);
+            let _ = std::thread::Builder::new()
+                .name("pi2-peer-publish".into())
+                .spawn(move || tier::publisher_loop(publish_rx, peers));
+        }
+        let cluster = Arc::new(Cluster {
+            node: config.node,
+            ring: Ring::new(config.peers.len()),
+            peers,
+            metrics: Arc::clone(&metrics),
+            routes: RouteMap::new(),
+            publish_tx: Mutex::new(publish_tx),
+        });
+        pi2_interface::set_remote_result_tier(Arc::new(ClusterResultTier {
+            cluster: Arc::clone(&cluster),
+        }));
+        pi2_search::set_remote_reward_tier(Arc::new(ClusterRewardTier {
+            cluster: Arc::clone(&cluster),
+        }));
+        let nodes = cluster.ring.len();
+        let node = cluster.node;
+        let m = Arc::clone(&metrics);
+        service.set_cluster_stats(node, Box::new(move || m.snapshot(node, nodes)));
+        cluster
+    }
+
+    /// This node's ring index.
+    pub fn node(&self) -> u16 {
+        self.node
+    }
+
+    /// The ownership ring.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The fleet counters.
+    pub fn metrics(&self) -> &Arc<ClusterMetrics> {
+        &self.metrics
+    }
+
+    /// The sticky-routing binding map.
+    pub fn routes(&self) -> &RouteMap {
+        &self.routes
+    }
+
+    /// The client for a *remote* node: `None` for this node itself and
+    /// for out-of-range indices.
+    pub fn peer(&self, node: u16) -> Option<&PeerClient> {
+        self.peers.get(node as usize).and_then(|p| p.as_ref())
+    }
+
+    /// The owner of a session if it is some *other* node: an explicit
+    /// route-map binding wins, otherwise the id's node bits. Sessions
+    /// owned here — or with bits no configured node matches — answer
+    /// `None` and are served locally.
+    pub fn remote_owner(&self, session: u64) -> Option<u16> {
+        let owner = self
+            .routes
+            .lookup(session)
+            .unwrap_or((session >> 48) as u16);
+        (owner != self.node && (owner as usize) < self.ring.len()).then_some(owner)
+    }
+
+    /// Forward a protocol request body to `owner` and return its
+    /// verbatim `(status, body)` answer.
+    pub fn proxy(&self, owner: u16, body: &str) -> io::Result<(u16, String)> {
+        let peer = self
+            .peer(owner)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no peer {owner}")))?;
+        match peer.call(&WireFrame::ProxyRequest {
+            body: body.as_bytes().to_vec(),
+        })? {
+            WireFrame::ProxyResponse { status, body } => {
+                let body = String::from_utf8(body).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 proxy response")
+                })?;
+                Ok((status, body))
+            }
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected proxy answer {other:?}"),
+            )),
+        }
+    }
+
+    /// Queue a write-behind publish (lossy beyond the queue bound).
+    pub(crate) fn enqueue(&self, item: Publish) {
+        match self.publish_tx.lock().unwrap().try_send(item) {
+            Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_owner_honours_bits_bindings_and_bounds() {
+        let service = Arc::new(Pi2Service::new());
+        let cluster = Cluster::join(
+            &service,
+            ClusterConfig::new(
+                1,
+                vec![
+                    "127.0.0.1:1".into(),
+                    "127.0.0.1:2".into(),
+                    "127.0.0.1:3".into(),
+                ],
+            ),
+        );
+        // Id bits: node 0 and 2 are remote, node 1 is local.
+        assert_eq!(cluster.remote_owner(7), Some(0));
+        assert_eq!(cluster.remote_owner((1 << 48) | 7), None);
+        assert_eq!(cluster.remote_owner((2 << 48) | 7), Some(2));
+        // Out-of-fleet bits serve locally rather than proxying nowhere.
+        assert_eq!(cluster.remote_owner((9 << 48) | 7), None);
+        // An explicit binding (migration) overrides the bits.
+        cluster.routes().bind((2 << 48) | 7, 1);
+        assert_eq!(cluster.remote_owner((2 << 48) | 7), None);
+        cluster.routes().bind(7, 2);
+        assert_eq!(cluster.remote_owner(7), Some(2));
+        // The service now reports fleet counters through /metrics.
+        let stats = service.cluster_stats().expect("cluster stats installed");
+        assert_eq!((stats.node, stats.nodes), (1, 3));
+    }
+}

@@ -1,0 +1,38 @@
+//! Fleet counters, surfaced through `GET /metrics` via
+//! [`pi2::Pi2Service::set_cluster_stats`].
+
+use pi2::ClusterStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic counters for one node's view of the fleet.
+#[derive(Debug, Default)]
+pub struct ClusterMetrics {
+    /// Cache lookups answered by a remote owner.
+    pub cluster_hits: AtomicU64,
+    /// Cache lookups the remote owner also missed (computed locally).
+    pub cluster_misses: AtomicU64,
+    /// Peer calls that failed — timeouts, connection errors, or an open
+    /// circuit breaker.
+    pub peer_timeouts: AtomicU64,
+    /// Session-addressed requests forwarded to their owning node.
+    pub proxied_dispatches: AtomicU64,
+}
+
+impl ClusterMetrics {
+    /// Snapshot into the service-level stats struct.
+    pub fn snapshot(&self, node: u16, nodes: usize) -> ClusterStats {
+        ClusterStats {
+            node,
+            nodes,
+            cluster_hits: self.cluster_hits.load(Ordering::Relaxed),
+            cluster_misses: self.cluster_misses.load(Ordering::Relaxed),
+            peer_timeouts: self.peer_timeouts.load(Ordering::Relaxed),
+            proxied_dispatches: self.proxied_dispatches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bump a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,212 @@
+//! The peer *client*: one persistent connection per remote node.
+//!
+//! Each remote peer gets a lazily-connected, mutex-guarded blocking
+//! `TcpStream` with aggressive timeouts. The mutex enforces the wire
+//! discipline (one outstanding request per connection); any I/O error
+//! drops the connection (the next call reconnects) and feeds the
+//! per-peer [`Breaker`], so a dead peer degrades to a fast local
+//! refusal instead of a timeout per lookup. Every failure — timeout,
+//! refused connection, open breaker — bumps `peerTimeouts`.
+
+use crate::breaker::Breaker;
+use crate::metrics::ClusterMetrics;
+use crate::wire::{read_frame, write_frame, Frame};
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A handle to one remote fleet member.
+pub struct PeerClient {
+    addr: String,
+    /// Ring index of the remote node.
+    pub remote: u16,
+    node: u16,
+    timeout: Duration,
+    conn: Mutex<Option<TcpStream>>,
+    breaker: Breaker,
+    metrics: Arc<ClusterMetrics>,
+}
+
+fn resolve(addr: &str) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{addr} resolves to nothing"),
+        )
+    })
+}
+
+impl PeerClient {
+    /// A client for the peer at `addr` (not connected yet).
+    pub fn new(
+        node: u16,
+        remote: u16,
+        addr: String,
+        timeout: Duration,
+        breaker_threshold: u32,
+        breaker_cooldown: Duration,
+        metrics: Arc<ClusterMetrics>,
+    ) -> PeerClient {
+        PeerClient {
+            addr,
+            remote,
+            node,
+            timeout,
+            conn: Mutex::new(None),
+            breaker: Breaker::new(breaker_threshold, breaker_cooldown),
+            metrics,
+        }
+    }
+
+    /// Whether this peer's circuit breaker is currently open.
+    pub fn is_open(&self) -> bool {
+        self.breaker.is_open()
+    }
+
+    fn connect(&self) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&resolve(&self.addr)?, self.timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let mut stream = stream;
+        write_frame(&mut stream, &Frame::Hello { node: self.node })?;
+        Ok(stream)
+    }
+
+    /// Run `f` over the (re)connected stream under the connection lock,
+    /// recording the outcome with the breaker and the fleet counters.
+    fn with_conn<T>(&self, f: impl FnOnce(&mut TcpStream) -> io::Result<T>) -> io::Result<T> {
+        if !self.breaker.allow() {
+            ClusterMetrics::bump(&self.metrics.peer_timeouts);
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("circuit open for peer {}", self.remote),
+            ));
+        }
+        let mut guard = self.conn.lock().unwrap();
+        let result = (|| {
+            if guard.is_none() {
+                *guard = Some(self.connect()?);
+            }
+            f(guard.as_mut().unwrap())
+        })();
+        match result {
+            Ok(v) => {
+                self.breaker.record_success();
+                Ok(v)
+            }
+            Err(e) => {
+                // The stream may hold half a response; never reuse it.
+                *guard = None;
+                self.breaker.record_failure();
+                ClusterMetrics::bump(&self.metrics.peer_timeouts);
+                Err(e)
+            }
+        }
+    }
+
+    /// One request frame, one response frame.
+    pub fn call(&self, request: &Frame) -> io::Result<Frame> {
+        self.with_conn(|s| {
+            write_frame(s, request)?;
+            read_frame(s)
+        })
+    }
+
+    /// One one-way frame (the write-behind puts).
+    pub fn send(&self, frame: &Frame) -> io::Result<()> {
+        self.with_conn(|s| write_frame(s, frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn metrics() -> Arc<ClusterMetrics> {
+        Arc::new(ClusterMetrics::default())
+    }
+
+    #[test]
+    fn round_trips_against_a_scripted_peer() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            assert_eq!(read_frame(&mut s).unwrap(), Frame::Hello { node: 0 });
+            match read_frame(&mut s).unwrap() {
+                Frame::MemoGet { catalog_fp, sql_fp } => {
+                    assert_eq!((catalog_fp, sql_fp), (7, 8));
+                    write_frame(&mut s, &Frame::MemoMiss).unwrap();
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+            // The one-way put arrives on the same connection.
+            assert!(matches!(
+                read_frame(&mut s).unwrap(),
+                Frame::RewardPut { reward, .. } if reward == 0.5
+            ));
+        });
+        let m = metrics();
+        let peer = PeerClient::new(
+            0,
+            1,
+            addr.to_string(),
+            Duration::from_secs(5),
+            3,
+            Duration::from_millis(100),
+            m.clone(),
+        );
+        let reply = peer
+            .call(&Frame::MemoGet {
+                catalog_fp: 7,
+                sql_fp: 8,
+            })
+            .unwrap();
+        assert_eq!(reply, Frame::MemoMiss);
+        peer.send(&Frame::RewardPut {
+            state_hash: 1,
+            state_size: 2,
+            ctx_fp: 3,
+            reward: 0.5,
+        })
+        .unwrap();
+        server.join().unwrap();
+        assert_eq!(
+            m.peer_timeouts.load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+    }
+
+    #[test]
+    fn a_dead_peer_opens_the_breaker_and_fails_fast() {
+        // A bound-then-dropped listener leaves a port nothing listens on.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let m = metrics();
+        let peer = PeerClient::new(
+            0,
+            1,
+            addr.to_string(),
+            Duration::from_millis(100),
+            2,
+            Duration::from_secs(60),
+            m.clone(),
+        );
+        assert!(peer.call(&Frame::MemoMiss).is_err());
+        assert!(peer.call(&Frame::MemoMiss).is_err());
+        // Breaker open: refusals are local now.
+        assert!(peer.is_open());
+        let t0 = std::time::Instant::now();
+        assert!(peer.call(&Frame::MemoMiss).is_err());
+        assert!(t0.elapsed() < Duration::from_millis(50), "must not dial");
+        assert_eq!(
+            m.peer_timeouts.load(std::sync::atomic::Ordering::Relaxed),
+            3
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! The consistent-hash ring: which node owns which cache key.
+//!
+//! The fleet shards its two cross-session caches — the result memo and
+//! the reward transposition table — by key ownership: every key has
+//! exactly one *owner* node, the only node consulted on a miss and the
+//! only node a computed value is published to. Ownership is computed by
+//! **rendezvous (highest-random-weight) hashing**: the owner of key `k`
+//! in a fleet of nodes `n₀ … nₘ` is `argmaxᵢ mix(k, nᵢ)`.
+//!
+//! Rendezvous was chosen over a virtual-node token ring and over jump
+//! consistent hashing deliberately:
+//!
+//! * fleets here are small (single digits), so the O(N) per-lookup scan
+//!   is a handful of multiplies — there is nothing for a token ring's
+//!   O(log N) binary search to win;
+//! * it needs **no tuning**: a token ring needs a virtual-node count
+//!   chosen to balance variance against table size, rendezvous is
+//!   uniform by construction;
+//! * unlike jump hashing it takes **arbitrary node ids**, so a node can
+//!   drop out of the live set without renumbering the survivors — keys
+//!   owned by the dead node redistribute evenly over the rest and every
+//!   other key keeps its owner (minimal disruption, same guarantee a
+//!   token ring gives);
+//! * it is **coordination-free**: every node computes the same owner
+//!   from the same member list, no ring state is exchanged.
+
+/// A 64-bit mix of (key, node) — SplitMix64's finalizer over the pair.
+/// Any stateless avalanche function works; this one is already the
+/// fleet-wide convention (`pi2_workloads::big::SplitMix64`).
+fn mix(key: u64, node: u16) -> u64 {
+    let mut z = key ^ (u64::from(node).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Fold two 64-bit cache-key components into one ring key.
+pub fn combine(a: u64, b: u64) -> u64 {
+    mix(a ^ b.rotate_left(32), 0x5eed)
+}
+
+/// The fleet's ownership function over a fixed member list.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    nodes: Vec<u16>,
+}
+
+impl Ring {
+    /// A ring over nodes `0..n`.
+    pub fn new(n: usize) -> Ring {
+        Ring {
+            nodes: (0..n as u16).collect(),
+        }
+    }
+
+    /// A ring over an explicit member list (for failover: the live
+    /// subset of the configured fleet).
+    pub fn with_members(nodes: Vec<u16>) -> Ring {
+        Ring { nodes }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The owner of `key`: the member with the highest rendezvous
+    /// weight. Panics on an empty ring.
+    pub fn owner(&self, key: u64) -> u16 {
+        *self
+            .nodes
+            .iter()
+            .max_by_key(|&&n| mix(key, n))
+            .expect("ring must have members")
+    }
+
+    /// The owner of a result-memo entry.
+    pub fn memo_owner(&self, catalog_fp: u64, sql_fp: u64) -> u16 {
+        self.owner(combine(catalog_fp, sql_fp))
+    }
+
+    /// The owner of a reward-table entry.
+    pub fn reward_owner(&self, state_hash: u64, state_size: u32, ctx_fp: u64) -> u16 {
+        self.owner(combine(state_hash, ctx_fp ^ u64::from(state_size)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_deterministic_and_total() {
+        let ring = Ring::new(3);
+        for key in 0..1000u64 {
+            let owner = ring.owner(key);
+            assert!(owner < 3);
+            assert_eq!(owner, ring.owner(key), "same key, same owner");
+        }
+    }
+
+    #[test]
+    fn keys_spread_roughly_evenly() {
+        let ring = Ring::new(4);
+        let mut counts = [0usize; 4];
+        for key in 0..4000u64 {
+            counts[ring.owner(mix(key, 7)) as usize] += 1;
+        }
+        for (node, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&c),
+                "node {node} owns {c} of 4000 keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_member_only_moves_its_own_keys() {
+        // The rendezvous guarantee: dropping node 2 reassigns exactly the
+        // keys node 2 owned; every other key keeps its owner.
+        let full = Ring::new(3);
+        let survivors = Ring::with_members(vec![0, 1]);
+        let mut moved = 0;
+        for key in 0..2000u64 {
+            let before = full.owner(key);
+            let after = survivors.owner(key);
+            if before != 2 {
+                assert_eq!(before, after, "key {key} moved needlessly");
+            } else {
+                moved += 1;
+                assert_ne!(after, 2);
+            }
+        }
+        assert!(moved > 0, "node 2 must have owned something");
+    }
+
+    #[test]
+    fn memo_and_reward_keys_use_both_components() {
+        let ring = Ring::new(3);
+        // Distinct fingerprints must be able to land on distinct owners.
+        let owners: std::collections::HashSet<u16> =
+            (0..64u64).map(|i| ring.memo_owner(i, i ^ 41)).collect();
+        assert!(owners.len() > 1, "memo keys all collapsed to one owner");
+        let owners: std::collections::HashSet<u16> = (0..64u64)
+            .map(|i| ring.reward_owner(i, (i % 7) as u32, 99))
+            .collect();
+        assert!(owners.len() > 1, "reward keys all collapsed to one owner");
+    }
+}

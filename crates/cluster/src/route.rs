@@ -1,0 +1,277 @@
+//! Sticky session routing: serve locally or forward to the owner.
+//!
+//! Session ids already encode their birth node (the service's registry
+//! stamps `node << 48` into every id), so any node can compute a
+//! session's owner from the id alone. The [`RouteMap`] layers explicit
+//! bindings on top of those id bits — a serializable session → node
+//! snapshot that supports *migration* (rebind a session to a new owner
+//! and load the snapshot fleet-wide) and failover bookkeeping.
+//!
+//! [`ClusterService`] wraps the node's `Pi2Service` behind the same
+//! [`WireService`] contract the HTTP server hosts: session-addressed
+//! requests whose owner is another node are re-encoded with
+//! `request_to_json` and forwarded over the peer protocol; the owner's
+//! `(status, body)` comes back verbatim, so a proxied dispatch is
+//! byte-identical to asking the owner directly. Everything session-free
+//! (open, describe, metrics, negotiate) serves locally. If the owner
+//! cannot be reached the client sees `Pi2Error::PeerUnavailable` (503)
+//! — and a peer asked to serve a session it does not own answers
+//! `Pi2Error::WrongShard` (307) rather than guessing.
+//!
+//! One documented limitation: `subscribe`/`unsubscribe` bind a push
+//! channel to the *arrival* connection, which a remote owner cannot
+//! push to — cross-node subscriptions answer `WrongShard { owner }` so
+//! the client reconnects its WebSocket to the owning node.
+
+use crate::metrics::ClusterMetrics;
+use crate::server::ProxyHandler;
+use crate::Cluster;
+use pi2::protocol::{error_to_json, request_to_json};
+use pi2::server::{PushLink, Reject, WireService};
+use pi2::{Json, Pi2Error, Pi2Service, Request};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// The serializable session → owning-node binding map.
+#[derive(Debug, Default)]
+pub struct RouteMap {
+    map: Mutex<HashMap<u64, u16>>,
+}
+
+impl RouteMap {
+    /// An empty map (id bits alone decide ownership).
+    pub fn new() -> RouteMap {
+        RouteMap::default()
+    }
+
+    /// Bind a session to a node, overriding its id bits.
+    pub fn bind(&self, session: u64, node: u16) {
+        self.map.lock().unwrap().insert(session, node);
+    }
+
+    /// Drop a binding (the id bits take over again).
+    pub fn unbind(&self, session: u64) {
+        self.map.lock().unwrap().remove(&session);
+    }
+
+    /// The explicit binding for a session, if any.
+    pub fn lookup(&self, session: u64) -> Option<u16> {
+        self.map.lock().unwrap().get(&session).copied()
+    }
+
+    /// Number of explicit bindings.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the map holds no explicit bindings.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A deterministic JSON snapshot of every binding, suitable for
+    /// shipping to a joining or recovering node.
+    pub fn snapshot_json(&self) -> String {
+        let mut bindings: Vec<(u64, u16)> = self
+            .map
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&s, &n)| (s, n))
+            .collect();
+        bindings.sort_unstable();
+        let mut out = String::from("{\"v\":1,\"type\":\"routes\",\"bindings\":[");
+        for (i, (session, node)) in bindings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{session},{node}]");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Replace the bindings with a snapshot produced by
+    /// [`RouteMap::snapshot_json`]; returns how many were loaded.
+    pub fn load_snapshot(&self, json: &str) -> Result<usize, Pi2Error> {
+        let j = Json::parse(json).map_err(|e| Pi2Error::Protocol(format!("routes: {e}")))?;
+        let bindings = j
+            .get("bindings")
+            .and_then(|b| b.as_arr())
+            .ok_or_else(|| Pi2Error::Protocol("routes: missing bindings".into()))?;
+        let mut parsed = HashMap::with_capacity(bindings.len());
+        for pair in bindings {
+            let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                Pi2Error::Protocol("routes: binding must be [session, node]".into())
+            })?;
+            let session = pair[0]
+                .as_i64()
+                .filter(|&s| s >= 0)
+                .ok_or_else(|| Pi2Error::Protocol("routes: bad session id".into()))?
+                as u64;
+            let node = pair[1]
+                .as_i64()
+                .filter(|&n| (0..=i64::from(u16::MAX)).contains(&n))
+                .ok_or_else(|| Pi2Error::Protocol("routes: bad node index".into()))?;
+            parsed.insert(session, node as u16);
+        }
+        let n = parsed.len();
+        *self.map.lock().unwrap() = parsed;
+        Ok(n)
+    }
+}
+
+/// Raw scan for the `"session": <int>` member of a response body —
+/// the same no-decode trick the HTTP reactor's `route_key` uses.
+fn scan_session(body: &str) -> Option<u64> {
+    let at = body.find("\"session\"")?;
+    let rest = body[at + "\"session\"".len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let digits = rest.split(|c: char| !c.is_ascii_digit()).next()?;
+    digits.parse().ok()
+}
+
+/// The fleet-aware [`WireService`]: `Pi2Service` plus sticky routing.
+pub struct ClusterService {
+    inner: Arc<Pi2Service>,
+    cluster: Arc<Cluster>,
+}
+
+impl ClusterService {
+    /// Wrap a node's service with the fleet's routing layer.
+    pub fn new(inner: Arc<Pi2Service>, cluster: Arc<Cluster>) -> ClusterService {
+        ClusterService { inner, cluster }
+    }
+}
+
+impl WireService for ClusterService {
+    type Request = Request;
+
+    fn parse(&self, body: &str) -> Result<Request, (u16, String)> {
+        self.inner.parse(body)
+    }
+
+    fn route_key(&self, body: &str) -> Option<u64> {
+        self.inner.route_key(body)
+    }
+
+    fn session_of(&self, request: &Request) -> Option<u64> {
+        self.inner.session_of(request)
+    }
+
+    fn handle(&self, request: Request) -> (u16, String) {
+        self.handle_link(request, None)
+    }
+
+    fn handle_link(&self, request: Request, link: Option<&PushLink>) -> (u16, String) {
+        if let Some(session) = self.inner.session_of(&request) {
+            if let Some(owner) = self.cluster.remote_owner(session) {
+                if matches!(
+                    request,
+                    Request::Subscribe { .. } | Request::Unsubscribe { .. }
+                ) {
+                    // Cross-node push is unsupported: send the client to
+                    // the owner's own WebSocket endpoint.
+                    let e = Pi2Error::WrongShard { owner };
+                    return (e.http_status(), error_to_json(&e));
+                }
+                ClusterMetrics::bump(&self.cluster.metrics().proxied_dispatches);
+                let body = request_to_json(&request);
+                return match self.cluster.proxy(owner, &body) {
+                    Ok(answer) => answer,
+                    Err(e) => {
+                        let e = Pi2Error::PeerUnavailable(format!("node {owner}: {e}"));
+                        (e.http_status(), error_to_json(&e))
+                    }
+                };
+            }
+        }
+        let is_open = matches!(request, Request::Open { .. });
+        let (status, body) = self.inner.handle_link(request, link);
+        if is_open && status == 200 {
+            if let Some(session) = scan_session(&body) {
+                self.cluster.routes().bind(session, self.cluster.node());
+            }
+        }
+        (status, body)
+    }
+
+    fn connection_closed(&self, conn: u64) {
+        self.inner.connection_closed(conn);
+    }
+
+    fn metrics_body(&self) -> String {
+        self.inner.metrics_body()
+    }
+
+    fn reject_body(&self, reject: &Reject) -> String {
+        self.inner.reject_body(reject)
+    }
+}
+
+/// The owner-side half of proxying: serve a forwarded request body
+/// exactly as this node's HTTP front would, but answer `WrongShard` for
+/// sessions some other node owns (a misdirected proxy must not guess).
+pub fn proxy_handler(service: Arc<Pi2Service>, cluster: Arc<Cluster>) -> ProxyHandler {
+    Arc::new(move |body: &str| match service.parse(body) {
+        Ok(request) => {
+            if let Some(session) = service.session_of(&request) {
+                if let Some(owner) = cluster.remote_owner(session) {
+                    let e = Pi2Error::WrongShard { owner };
+                    return (e.http_status(), error_to_json(&e));
+                }
+            }
+            service.handle_link(request, None)
+        }
+        Err(answer) => answer,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_map_snapshots_round_trip() {
+        let map = RouteMap::new();
+        map.bind(1 << 48 | 7, 1);
+        map.bind(2 << 48 | 1, 0); // migrated: id bits say 2, binding says 0
+        map.bind(3, 2);
+        let snapshot = map.snapshot_json();
+        assert_eq!(
+            snapshot,
+            format!(
+                "{{\"v\":1,\"type\":\"routes\",\"bindings\":[[3,2],[{},1],[{},0]]}}",
+                (1u64 << 48) | 7,
+                (2u64 << 48) | 1,
+            )
+        );
+        let restored = RouteMap::new();
+        assert_eq!(restored.load_snapshot(&snapshot).unwrap(), 3);
+        assert_eq!(restored.lookup(3), Some(2));
+        assert_eq!(restored.lookup((2 << 48) | 1), Some(0));
+        assert_eq!(restored.snapshot_json(), snapshot);
+        // Unbinding falls back to id bits (the caller's concern).
+        restored.unbind(3);
+        assert_eq!(restored.lookup(3), None);
+    }
+
+    #[test]
+    fn bad_snapshots_are_rejected() {
+        let map = RouteMap::new();
+        assert!(map.load_snapshot("not json").is_err());
+        assert!(map.load_snapshot("{\"v\":1}").is_err());
+        assert!(map.load_snapshot("{\"bindings\":[[1,2,3]]}").is_err());
+        assert!(map.load_snapshot("{\"bindings\":[[1,99999]]}").is_err());
+    }
+
+    #[test]
+    fn session_scan_matches_protocol_bodies() {
+        assert_eq!(
+            scan_session("{\"v\":1,\"type\":\"opened\",\"session\": 281474976710663,…"),
+            Some(281474976710663)
+        );
+        assert_eq!(scan_session("{\"v\":1,\"type\":\"error\"}"), None);
+    }
+}

@@ -1,0 +1,559 @@
+//! The peer *server*: every node's listening half of the fleet.
+//!
+//! One accept thread admits peer connections and hands them — made
+//! non-blocking — to a single reactor thread multiplexed on the same
+//! pluggable readiness [`Selector`] infrastructure the HTTP server's
+//! reactors use (`pi2_server::poll`): epoll on Linux, the portable
+//! timed tick elsewhere, honouring `PI2_SELECTOR`.
+//!
+//! Cache lookups (`MemoGet`/`RewardGet`) and write-behind publishes
+//! (`MemoPut`/`RewardPut`) are answered *inline on the reactor*: they
+//! are pure peeks/inserts into this node's local cache shards and never
+//! touch the network, so they cannot stall the loop. `ProxyRequest` is
+//! the exception — serving a forwarded dispatch runs real session work
+//! and could itself consult remote cache tiers, so it is offloaded to a
+//! worker thread and its response is delivered back to the reactor
+//! through a completion channel + waker. That offload also breaks the
+//! A→B/B→A distributed-deadlock cycle two single-threaded reactors
+//! proxying at each other would otherwise form.
+
+use crate::wire::{decode_buf, Frame};
+use pi2::protocol::table_from_json;
+use pi2::Json;
+use pi2_data::wire::table_to_json;
+use pi2_interface::global_eval_cache;
+use pi2_server::poll::{build, Interest, Selector, SelectorKind, Waker, Wakeup};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Serves one forwarded protocol request body, returning the exact
+/// `(status, body)` the owner would answer over its own HTTP front.
+pub type ProxyHandler = Arc<dyn Fn(&str) -> (u16, String) + Send + Sync>;
+
+/// A running peer listener.
+pub struct PeerServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    waker: Waker,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    reactor_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+struct PeerConn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    outbuf: Vec<u8>,
+    want_write: bool,
+    closed: bool,
+}
+
+impl PeerServer {
+    /// Bind `addr` and start serving the peer protocol. `proxy` serves
+    /// forwarded dispatches on worker threads.
+    pub fn start(addr: &str, proxy: ProxyHandler) -> io::Result<PeerServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (_, mut selectors) = build(SelectorKind::Auto, 1);
+        let mut selector = selectors.pop().expect("build returns one selector");
+        let waker = selector.waker();
+
+        // New connections travel accept thread → reactor through this
+        // channel; a waker nudge makes the reactor drain it promptly.
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        // Proxy workers deliver finished responses the same way.
+        let (done_tx, done_rx) = mpsc::channel::<(u64, Frame)>();
+
+        let accept_thread = {
+            let shutdown = shutdown.clone();
+            let waker = waker.clone();
+            std::thread::Builder::new()
+                .name("pi2-peer-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        if stream.set_nonblocking(true).is_err()
+                            || stream.set_nodelay(true).is_err()
+                        {
+                            continue;
+                        }
+                        if conn_tx.send(stream).is_err() {
+                            break;
+                        }
+                        waker.wake();
+                    }
+                })?
+        };
+
+        let reactor_thread = {
+            let shutdown = shutdown.clone();
+            let waker = waker.clone();
+            std::thread::Builder::new()
+                .name("pi2-peer-reactor".into())
+                .spawn(move || {
+                    reactor_loop(
+                        selector.as_mut(),
+                        &shutdown,
+                        &conn_rx,
+                        &done_rx,
+                        done_tx,
+                        waker,
+                        proxy,
+                    )
+                })?
+        };
+
+        Ok(PeerServer {
+            local_addr,
+            shutdown,
+            waker,
+            accept_thread: Some(accept_thread),
+            reactor_thread: Some(reactor_thread),
+        })
+    }
+
+    /// The bound peer-protocol address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting and close every peer connection.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection and the
+        // reactor with its waker.
+        let _ = TcpStream::connect(self.local_addr);
+        self.waker.wake();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.reactor_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for PeerServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn reactor_loop(
+    selector: &mut dyn Selector,
+    shutdown: &AtomicBool,
+    conn_rx: &mpsc::Receiver<TcpStream>,
+    done_rx: &mpsc::Receiver<(u64, Frame)>,
+    done_tx: mpsc::Sender<(u64, Frame)>,
+    waker: Waker,
+    proxy: ProxyHandler,
+) {
+    let mut conns: HashMap<u64, PeerConn> = HashMap::new();
+    let mut next_token: u64 = 0;
+    let mut ready: Vec<u64> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        // Admit new connections.
+        while let Ok(stream) = conn_rx.try_recv() {
+            let token = next_token;
+            next_token += 1;
+            if selector
+                .register(
+                    &stream,
+                    token,
+                    Interest {
+                        read: true,
+                        write: false,
+                    },
+                )
+                .is_ok()
+            {
+                conns.insert(
+                    token,
+                    PeerConn {
+                        stream,
+                        inbuf: Vec::new(),
+                        outbuf: Vec::new(),
+                        want_write: false,
+                        closed: false,
+                    },
+                );
+            }
+        }
+        // Deliver finished proxy responses.
+        while let Ok((token, frame)) = done_rx.try_recv() {
+            if let Some(conn) = conns.get_mut(&token) {
+                conn.outbuf.extend_from_slice(&frame.encode());
+                flush(selector, token, conn);
+            }
+        }
+        ready.clear();
+        let scan_all = match selector.wait(&mut ready, Duration::from_millis(25)) {
+            Wakeup::All => true,
+            Wakeup::Ready => false,
+        };
+        let tokens: Vec<u64> = if scan_all {
+            conns.keys().copied().collect()
+        } else {
+            ready.clone()
+        };
+        for token in tokens {
+            let Some(conn) = conns.get_mut(&token) else {
+                continue;
+            };
+            if conn.want_write {
+                flush(selector, token, conn);
+            }
+            service_reads(selector, token, conn, &done_tx, &waker, &proxy);
+            if conn.closed {
+                let conn = conns.remove(&token).unwrap();
+                let _ = selector.deregister(&conn.stream);
+            }
+        }
+    }
+    for (_, conn) in conns.drain() {
+        let _ = selector.deregister(&conn.stream);
+    }
+}
+
+/// Write as much buffered output as the socket takes; track whether the
+/// selector still needs to watch for writability.
+fn flush(selector: &mut dyn Selector, token: u64, conn: &mut PeerConn) {
+    while !conn.outbuf.is_empty() {
+        match conn.stream.write(&conn.outbuf) {
+            Ok(0) => {
+                conn.closed = true;
+                return;
+            }
+            Ok(n) => {
+                conn.outbuf.drain(..n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.closed = true;
+                return;
+            }
+        }
+    }
+    let want_write = !conn.outbuf.is_empty();
+    if want_write != conn.want_write {
+        conn.want_write = want_write;
+        let _ = selector.reregister(
+            &conn.stream,
+            token,
+            Interest {
+                read: true,
+                write: want_write,
+            },
+        );
+    }
+}
+
+fn service_reads(
+    selector: &mut dyn Selector,
+    token: u64,
+    conn: &mut PeerConn,
+    done_tx: &mpsc::Sender<(u64, Frame)>,
+    waker: &Waker,
+    proxy: &ProxyHandler,
+) {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.closed = true;
+                break;
+            }
+            Ok(n) => conn.inbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.closed = true;
+                break;
+            }
+        }
+    }
+    loop {
+        match decode_buf(&conn.inbuf) {
+            Ok(Some((frame, used))) => {
+                conn.inbuf.drain(..used);
+                if let Some(response) = handle_frame(frame, token, done_tx, waker, proxy) {
+                    conn.outbuf.extend_from_slice(&response.encode());
+                }
+            }
+            Ok(None) => break,
+            Err(_) => {
+                // A peer speaking garbage is cut off.
+                conn.closed = true;
+                break;
+            }
+        }
+    }
+    if !conn.outbuf.is_empty() {
+        flush(selector, token, conn);
+    }
+}
+
+/// Serve one frame. Gets and puts are pure local cache operations and
+/// answer inline; proxies are offloaded.
+fn handle_frame(
+    frame: Frame,
+    token: u64,
+    done_tx: &mpsc::Sender<(u64, Frame)>,
+    waker: &Waker,
+    proxy: &ProxyHandler,
+) -> Option<Frame> {
+    match frame {
+        Frame::Hello { .. } => None,
+        Frame::MemoGet { catalog_fp, sql_fp } => {
+            Some(match global_eval_cache().peek_result(catalog_fp, sql_fp) {
+                Some(table) => Frame::MemoHit {
+                    table_json: table_to_json(&table).into_bytes(),
+                },
+                None => Frame::MemoMiss,
+            })
+        }
+        Frame::MemoPut {
+            catalog_fp,
+            sql_fp,
+            table_json,
+        } => {
+            if let Some(table) = std::str::from_utf8(&table_json)
+                .ok()
+                .and_then(|s| Json::parse(s).ok())
+                .and_then(|j| table_from_json(&j).ok())
+            {
+                global_eval_cache().admit_result(catalog_fp, sql_fp, Arc::new(table));
+            }
+            None
+        }
+        Frame::RewardGet {
+            state_hash,
+            state_size,
+            ctx_fp,
+        } => Some(
+            match pi2_search::reward_table_peek(state_hash, state_size, ctx_fp) {
+                Some(reward) => Frame::RewardHit { reward },
+                None => Frame::RewardMiss,
+            },
+        ),
+        Frame::RewardPut {
+            state_hash,
+            state_size,
+            ctx_fp,
+            reward,
+        } => {
+            pi2_search::admit_remote_reward(state_hash, state_size, ctx_fp, reward);
+            None
+        }
+        Frame::ProxyRequest { body } => {
+            let proxy = proxy.clone();
+            let done_tx = done_tx.clone();
+            let waker = waker.clone();
+            std::thread::spawn(move || {
+                let (status, body) = match std::str::from_utf8(&body) {
+                    Ok(text) => proxy(text),
+                    Err(_) => (400, String::from("{\"type\":\"error\"}")),
+                };
+                let _ = done_tx.send((
+                    token,
+                    Frame::ProxyResponse {
+                        status,
+                        body: body.into_bytes(),
+                    },
+                ));
+                waker.wake();
+            });
+            None
+        }
+        // Response frames arriving at a server are a protocol violation;
+        // answering nothing lets the client's read time out and its
+        // breaker handle the rest.
+        Frame::MemoHit { .. }
+        | Frame::MemoMiss
+        | Frame::RewardHit { .. }
+        | Frame::RewardMiss
+        | Frame::ProxyResponse { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peer::PeerClient;
+    use crate::wire::{read_frame, write_frame};
+    use pi2_data::{DataType, Table, Value};
+
+    fn null_proxy() -> ProxyHandler {
+        Arc::new(|_body: &str| (200, String::from("{\"ok\":true}")))
+    }
+
+    #[test]
+    fn serves_memo_lookups_and_accepts_publishes() {
+        let mut server = PeerServer::start("127.0.0.1:0", null_proxy()).unwrap();
+        let metrics = Arc::new(crate::metrics::ClusterMetrics::default());
+        let peer = PeerClient::new(
+            1,
+            0,
+            server.local_addr().to_string(),
+            Duration::from_secs(5),
+            3,
+            Duration::from_millis(100),
+            metrics,
+        );
+        // Unknown key: miss.
+        let reply = peer
+            .call(&Frame::MemoGet {
+                catalog_fp: 0xfeed,
+                sql_fp: 0xbead,
+            })
+            .unwrap();
+        assert_eq!(reply, Frame::MemoMiss);
+        // Publish a table, then read it back through the wire.
+        let table = Table::from_rows(
+            vec![("a", DataType::Int)],
+            vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        )
+        .unwrap();
+        peer.send(&Frame::MemoPut {
+            catalog_fp: 0xfeed,
+            sql_fp: 0xbead,
+            table_json: table_to_json(&table).into_bytes(),
+        })
+        .unwrap();
+        // The put is one-way; poll until the reactor has applied it.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let got = loop {
+            match peer
+                .call(&Frame::MemoGet {
+                    catalog_fp: 0xfeed,
+                    sql_fp: 0xbead,
+                })
+                .unwrap()
+            {
+                Frame::MemoHit { table_json } => break table_json,
+                Frame::MemoMiss if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5))
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        assert_eq!(got, table_to_json(&table).into_bytes());
+        // Rewards travel the same way.
+        peer.send(&Frame::RewardPut {
+            state_hash: 11,
+            state_size: 3,
+            ctx_fp: 1,
+            reward: 0.75,
+        })
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match peer
+                .call(&Frame::RewardGet {
+                    state_hash: 11,
+                    state_size: 3,
+                    ctx_fp: 1,
+                })
+                .unwrap()
+            {
+                Frame::RewardHit { reward } => {
+                    assert_eq!(reward, 0.75);
+                    break;
+                }
+                Frame::RewardMiss if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5))
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn proxies_run_off_reactor_and_garbage_closes_the_connection() {
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let b2 = barrier.clone();
+        let proxy: ProxyHandler = Arc::new(move |body: &str| {
+            // Park the proxy worker until the test has proven the
+            // reactor still answers gets.
+            b2.wait();
+            (207, format!("{{\"echo\":{body}}}"))
+        });
+        let mut server = PeerServer::start("127.0.0.1:0", proxy).unwrap();
+        let addr = server.local_addr();
+        let metrics = Arc::new(crate::metrics::ClusterMetrics::default());
+        let slow = PeerClient::new(
+            1,
+            0,
+            addr.to_string(),
+            Duration::from_secs(10),
+            3,
+            Duration::from_millis(100),
+            Arc::clone(&metrics),
+        );
+        let proxy_call = std::thread::spawn(move || {
+            slow.call(&Frame::ProxyRequest {
+                body: b"42".to_vec(),
+            })
+            .unwrap()
+        });
+        // While the proxy is parked, a second connection's gets answer.
+        let fast = PeerClient::new(
+            2,
+            0,
+            addr.to_string(),
+            Duration::from_secs(5),
+            3,
+            Duration::from_millis(100),
+            metrics,
+        );
+        assert_eq!(
+            fast.call(&Frame::RewardGet {
+                state_hash: 424242,
+                state_size: 1,
+                ctx_fp: 0,
+            })
+            .unwrap(),
+            Frame::RewardMiss
+        );
+        barrier.wait();
+        assert_eq!(
+            proxy_call.join().unwrap(),
+            Frame::ProxyResponse {
+                status: 207,
+                body: b"{\"echo\":42}".to_vec(),
+            }
+        );
+        // A garbage frame gets the connection dropped, not the server.
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&[0xFF; 16]).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut sink = Vec::new();
+        let _ = raw.read_to_end(&mut sink); // server closes → EOF (or reset)
+        let mut again = TcpStream::connect(addr).unwrap();
+        write_frame(&mut again, &Frame::Hello { node: 9 }).unwrap();
+        write_frame(
+            &mut again,
+            &Frame::MemoGet {
+                catalog_fp: 5,
+                sql_fp: 6,
+            },
+        )
+        .unwrap();
+        again
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(read_frame(&mut again).unwrap(), Frame::MemoMiss);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,188 @@
+//! The read-through / write-behind cache tiers.
+//!
+//! These implement the hooks the cache layers expose —
+//! [`pi2_interface::RemoteResultTier`] for the cross-session result
+//! memo and [`pi2_search::RemoteRewardTier`] for the MCTS reward
+//! transposition table — against the fleet. A local miss consults the
+//! key's ring owner (read-through) before computing; a local compute is
+//! queued to a background publisher thread that ships it to the owner
+//! (write-behind, one-way frames), so the hot path never blocks on a
+//! publish. The queue is bounded and lossy: the fleet is a cache, and
+//! dropping a publish under pressure costs at most a recompute.
+
+use crate::metrics::ClusterMetrics;
+use crate::peer::PeerClient;
+use crate::wire::Frame;
+use crate::Cluster;
+use pi2::protocol::table_from_json;
+use pi2::Json;
+use pi2_data::{wire::table_to_json, Table};
+use pi2_interface::RemoteResultTier;
+use pi2_search::RemoteRewardTier;
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+
+/// One queued write-behind publish.
+pub(crate) enum Publish {
+    /// A computed query result, headed for `owner`.
+    Memo {
+        owner: u16,
+        catalog_fp: u64,
+        sql_fp: u64,
+        table: Arc<Table>,
+    },
+    /// A computed MCTS reward, headed for `owner`.
+    Reward {
+        owner: u16,
+        state_hash: u64,
+        state_size: u32,
+        ctx_fp: u64,
+        reward: f64,
+    },
+}
+
+/// Drain the publish queue onto peer connections. Table encoding
+/// happens here, off the dispatch path. Exits when every sender is
+/// dropped.
+pub(crate) fn publisher_loop(rx: Receiver<Publish>, peers: Arc<Vec<Option<PeerClient>>>) {
+    let peer = |owner: u16| peers.get(owner as usize).and_then(|p| p.as_ref());
+    for item in rx {
+        match item {
+            Publish::Memo {
+                owner,
+                catalog_fp,
+                sql_fp,
+                table,
+            } => {
+                if let Some(peer) = peer(owner) {
+                    let _ = peer.send(&Frame::MemoPut {
+                        catalog_fp,
+                        sql_fp,
+                        table_json: table_to_json(&table).into_bytes(),
+                    });
+                }
+            }
+            Publish::Reward {
+                owner,
+                state_hash,
+                state_size,
+                ctx_fp,
+                reward,
+            } => {
+                if let Some(peer) = peer(owner) {
+                    let _ = peer.send(&Frame::RewardPut {
+                        state_hash,
+                        state_size,
+                        ctx_fp,
+                        reward,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The result-memo tier: shards `(catalog_fp, sql_fp)` over the ring.
+pub struct ClusterResultTier {
+    pub(crate) cluster: Arc<Cluster>,
+}
+
+impl RemoteResultTier for ClusterResultTier {
+    fn fetch(&self, catalog_fp: u64, sql_fp: u64) -> Option<Table> {
+        let owner = self.cluster.ring().memo_owner(catalog_fp, sql_fp);
+        let peer = self.cluster.peer(owner)?; // self-owned keys: the local miss is final
+        let m = self.cluster.metrics();
+        match peer.call(&Frame::MemoGet { catalog_fp, sql_fp }) {
+            Ok(Frame::MemoHit { table_json }) => {
+                let table = std::str::from_utf8(&table_json)
+                    .ok()
+                    .and_then(|s| Json::parse(s).ok())
+                    .and_then(|j| table_from_json(&j).ok());
+                match table {
+                    Some(t) => {
+                        ClusterMetrics::bump(&m.cluster_hits);
+                        Some(t)
+                    }
+                    None => {
+                        ClusterMetrics::bump(&m.cluster_misses);
+                        None
+                    }
+                }
+            }
+            Ok(_) => {
+                ClusterMetrics::bump(&m.cluster_misses);
+                None
+            }
+            // Timeout / refused / open breaker: already counted as a
+            // peer failure by the client; degrade to local computation.
+            Err(_) => {
+                ClusterMetrics::bump(&m.cluster_misses);
+                None
+            }
+        }
+    }
+
+    fn publish(&self, catalog_fp: u64, sql_fp: u64, table: &Arc<Table>) {
+        let owner = self.cluster.ring().memo_owner(catalog_fp, sql_fp);
+        if self.cluster.peer(owner).is_none() {
+            return; // we own it: the local insert was the publish
+        }
+        self.cluster.enqueue(Publish::Memo {
+            owner,
+            catalog_fp,
+            sql_fp,
+            table: Arc::clone(table),
+        });
+    }
+}
+
+/// The reward-table tier: shards `(ForestKey, ctx_fp)` over the ring.
+pub struct ClusterRewardTier {
+    pub(crate) cluster: Arc<Cluster>,
+}
+
+impl RemoteRewardTier for ClusterRewardTier {
+    fn fetch(&self, state_hash: u64, state_size: u32, ctx_fp: u64) -> Option<f64> {
+        let owner = self
+            .cluster
+            .ring()
+            .reward_owner(state_hash, state_size, ctx_fp);
+        let peer = self.cluster.peer(owner)?;
+        let m = self.cluster.metrics();
+        match peer.call(&Frame::RewardGet {
+            state_hash,
+            state_size,
+            ctx_fp,
+        }) {
+            Ok(Frame::RewardHit { reward }) => {
+                ClusterMetrics::bump(&m.cluster_hits);
+                Some(reward)
+            }
+            Ok(_) => {
+                ClusterMetrics::bump(&m.cluster_misses);
+                None
+            }
+            Err(_) => {
+                ClusterMetrics::bump(&m.cluster_misses);
+                None
+            }
+        }
+    }
+
+    fn publish(&self, state_hash: u64, state_size: u32, ctx_fp: u64, reward: f64) {
+        let owner = self
+            .cluster
+            .ring()
+            .reward_owner(state_hash, state_size, ctx_fp);
+        if self.cluster.peer(owner).is_none() {
+            return;
+        }
+        self.cluster.enqueue(Publish::Reward {
+            owner,
+            state_hash,
+            state_size,
+            ctx_fp,
+            reward,
+        });
+    }
+}

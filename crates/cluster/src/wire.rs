@@ -1,0 +1,401 @@
+//! The compact binary peer protocol.
+//!
+//! Peers speak length-prefixed binary frames over persistent TCP
+//! connections: a little-endian `u32` payload length, a one-byte tag,
+//! then fixed-width key fields followed by at most one variable-length
+//! trailing field. Table payloads reuse `pi2_data::wire`'s columnar
+//! `{dict, codes}` JSON form (the same bytes the HTTP protocol ships to
+//! browsers), so the peer tier adds no second table encoding — a
+//! `MemoHit` body decodes with `pi2_core::protocol::table_from_json`.
+//!
+//! The request/response discipline is deliberately simple: a client
+//! holds one outstanding request per connection (gets and proxies expect
+//! exactly one response frame, in order), and the write-behind `*Put`
+//! frames are **one-way** — no acknowledgement — so publishes never
+//! interleave with a pending response. Responses therefore carry no
+//! correlation ids and no echoed keys.
+
+use std::io::{self, Read, Write};
+
+/// Refuse frames above this size (a corrupt length prefix must not
+/// allocate gigabytes).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// One peer-protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Connection preamble: the sender's node index.
+    Hello {
+        /// Ring index of the connecting node.
+        node: u16,
+    },
+    /// Look up a result-memo entry on its owner.
+    MemoGet {
+        /// Catalogue fingerprint half of the memo key.
+        catalog_fp: u64,
+        /// SQL fingerprint half of the memo key.
+        sql_fp: u64,
+    },
+    /// Owner answer: the memoised table, as columnar wire JSON.
+    MemoHit {
+        /// `pi2_data::wire::table_to_json` bytes.
+        table_json: Vec<u8>,
+    },
+    /// Owner answer: not cached here.
+    MemoMiss,
+    /// Write-behind publish of a computed result to its owner (one-way).
+    MemoPut {
+        /// Catalogue fingerprint half of the memo key.
+        catalog_fp: u64,
+        /// SQL fingerprint half of the memo key.
+        sql_fp: u64,
+        /// `pi2_data::wire::table_to_json` bytes.
+        table_json: Vec<u8>,
+    },
+    /// Look up a reward-table entry on its owner.
+    RewardGet {
+        /// `ForestKey::hash` of the Difftree state.
+        state_hash: u64,
+        /// `ForestKey::size` of the Difftree state.
+        state_size: u32,
+        /// Search-context fingerprint (workload ⊕ MCTS config).
+        ctx_fp: u64,
+    },
+    /// Owner answer: the memoised reward.
+    RewardHit {
+        /// The reward value.
+        reward: f64,
+    },
+    /// Owner answer: not cached here.
+    RewardMiss,
+    /// Write-behind publish of a computed reward to its owner (one-way).
+    RewardPut {
+        /// `ForestKey::hash` of the Difftree state.
+        state_hash: u64,
+        /// `ForestKey::size` of the Difftree state.
+        state_size: u32,
+        /// Search-context fingerprint (workload ⊕ MCTS config).
+        ctx_fp: u64,
+        /// The reward value.
+        reward: f64,
+    },
+    /// Serve this protocol request locally and return the response: the
+    /// sticky-routing forward of a `POST /v1` / WebSocket dispatch whose
+    /// session this peer owns. The body is the JSON request.
+    ProxyRequest {
+        /// JSON protocol request bytes.
+        body: Vec<u8>,
+    },
+    /// The owner's verbatim `(status, body)` answer to a proxy.
+    ProxyResponse {
+        /// HTTP status the owner would have answered.
+        status: u16,
+        /// Response body bytes, relayed to the client untouched.
+        body: Vec<u8>,
+    },
+}
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_MEMO_GET: u8 = 0x10;
+const TAG_MEMO_HIT: u8 = 0x11;
+const TAG_MEMO_MISS: u8 = 0x12;
+const TAG_MEMO_PUT: u8 = 0x13;
+const TAG_REWARD_GET: u8 = 0x20;
+const TAG_REWARD_HIT: u8 = 0x21;
+const TAG_REWARD_MISS: u8 = 0x22;
+const TAG_REWARD_PUT: u8 = 0x23;
+const TAG_PROXY_REQUEST: u8 = 0x30;
+const TAG_PROXY_RESPONSE: u8 = 0x31;
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("peer frame: {what}"))
+}
+
+impl Frame {
+    /// Encode into a length-prefixed byte vector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p: Vec<u8> = Vec::with_capacity(32);
+        match self {
+            Frame::Hello { node } => {
+                p.push(TAG_HELLO);
+                p.extend_from_slice(&node.to_le_bytes());
+            }
+            Frame::MemoGet { catalog_fp, sql_fp } => {
+                p.push(TAG_MEMO_GET);
+                p.extend_from_slice(&catalog_fp.to_le_bytes());
+                p.extend_from_slice(&sql_fp.to_le_bytes());
+            }
+            Frame::MemoHit { table_json } => {
+                p.reserve(table_json.len());
+                p.push(TAG_MEMO_HIT);
+                p.extend_from_slice(table_json);
+            }
+            Frame::MemoMiss => p.push(TAG_MEMO_MISS),
+            Frame::MemoPut {
+                catalog_fp,
+                sql_fp,
+                table_json,
+            } => {
+                p.reserve(table_json.len() + 17);
+                p.push(TAG_MEMO_PUT);
+                p.extend_from_slice(&catalog_fp.to_le_bytes());
+                p.extend_from_slice(&sql_fp.to_le_bytes());
+                p.extend_from_slice(table_json);
+            }
+            Frame::RewardGet {
+                state_hash,
+                state_size,
+                ctx_fp,
+            } => {
+                p.push(TAG_REWARD_GET);
+                p.extend_from_slice(&state_hash.to_le_bytes());
+                p.extend_from_slice(&state_size.to_le_bytes());
+                p.extend_from_slice(&ctx_fp.to_le_bytes());
+            }
+            Frame::RewardHit { reward } => {
+                p.push(TAG_REWARD_HIT);
+                p.extend_from_slice(&reward.to_le_bytes());
+            }
+            Frame::RewardMiss => p.push(TAG_REWARD_MISS),
+            Frame::RewardPut {
+                state_hash,
+                state_size,
+                ctx_fp,
+                reward,
+            } => {
+                p.push(TAG_REWARD_PUT);
+                p.extend_from_slice(&state_hash.to_le_bytes());
+                p.extend_from_slice(&state_size.to_le_bytes());
+                p.extend_from_slice(&ctx_fp.to_le_bytes());
+                p.extend_from_slice(&reward.to_le_bytes());
+            }
+            Frame::ProxyRequest { body } => {
+                p.reserve(body.len());
+                p.push(TAG_PROXY_REQUEST);
+                p.extend_from_slice(body);
+            }
+            Frame::ProxyResponse { status, body } => {
+                p.reserve(body.len() + 3);
+                p.push(TAG_PROXY_RESPONSE);
+                p.extend_from_slice(&status.to_le_bytes());
+                p.extend_from_slice(body);
+            }
+        }
+        let mut out = Vec::with_capacity(4 + p.len());
+        out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        out.extend_from_slice(&p);
+        out
+    }
+
+    /// Decode one frame from a complete payload (the bytes after the
+    /// length prefix).
+    pub fn decode_payload(p: &[u8]) -> io::Result<Frame> {
+        let (&tag, rest) = p.split_first().ok_or_else(|| bad("empty payload"))?;
+        let fixed = |n: usize| -> io::Result<(&[u8], &[u8])> {
+            if rest.len() < n {
+                Err(bad("truncated fields"))
+            } else {
+                Ok(rest.split_at(n))
+            }
+        };
+        let u64_at = |b: &[u8], at: usize| u64::from_le_bytes(b[at..at + 8].try_into().unwrap());
+        Ok(match tag {
+            TAG_HELLO => {
+                let (f, _) = fixed(2)?;
+                Frame::Hello {
+                    node: u16::from_le_bytes(f.try_into().unwrap()),
+                }
+            }
+            TAG_MEMO_GET => {
+                let (f, _) = fixed(16)?;
+                Frame::MemoGet {
+                    catalog_fp: u64_at(f, 0),
+                    sql_fp: u64_at(f, 8),
+                }
+            }
+            TAG_MEMO_HIT => Frame::MemoHit {
+                table_json: rest.to_vec(),
+            },
+            TAG_MEMO_MISS => Frame::MemoMiss,
+            TAG_MEMO_PUT => {
+                let (f, body) = fixed(16)?;
+                Frame::MemoPut {
+                    catalog_fp: u64_at(f, 0),
+                    sql_fp: u64_at(f, 8),
+                    table_json: body.to_vec(),
+                }
+            }
+            TAG_REWARD_GET => {
+                let (f, _) = fixed(20)?;
+                Frame::RewardGet {
+                    state_hash: u64_at(f, 0),
+                    state_size: u32::from_le_bytes(f[8..12].try_into().unwrap()),
+                    ctx_fp: u64_at(f, 12),
+                }
+            }
+            TAG_REWARD_HIT => {
+                let (f, _) = fixed(8)?;
+                Frame::RewardHit {
+                    reward: f64::from_le_bytes(f.try_into().unwrap()),
+                }
+            }
+            TAG_REWARD_MISS => Frame::RewardMiss,
+            TAG_REWARD_PUT => {
+                let (f, _) = fixed(28)?;
+                Frame::RewardPut {
+                    state_hash: u64_at(f, 0),
+                    state_size: u32::from_le_bytes(f[8..12].try_into().unwrap()),
+                    ctx_fp: u64_at(f, 12),
+                    reward: f64::from_le_bytes(f[20..28].try_into().unwrap()),
+                }
+            }
+            TAG_PROXY_REQUEST => Frame::ProxyRequest {
+                body: rest.to_vec(),
+            },
+            TAG_PROXY_RESPONSE => {
+                let (f, body) = fixed(2)?;
+                Frame::ProxyResponse {
+                    status: u16::from_le_bytes(f.try_into().unwrap()),
+                    body: body.to_vec(),
+                }
+            }
+            other => return Err(bad(&format!("unknown tag {other:#04x}"))),
+        })
+    }
+}
+
+/// Incremental decode for a reactor's read buffer: `Ok(Some((frame,
+/// consumed)))` when a complete frame is buffered, `Ok(None)` when more
+/// bytes are needed, `Err` on a malformed or oversized frame.
+pub fn decode_buf(buf: &[u8]) -> io::Result<Option<(Frame, usize)>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return Err(bad(&format!("length {len} exceeds {MAX_FRAME}")));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let frame = Frame::decode_payload(&buf[4..4 + len])?;
+    Ok(Some((frame, 4 + len)))
+}
+
+/// Blocking: write one frame.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    w.write_all(&frame.encode())
+}
+
+/// Blocking: read exactly one frame (used by the peer *client*, whose
+/// sockets stay in blocking mode with a read timeout).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Frame> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(bad(&format!("length {len} exceeds {MAX_FRAME}")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Frame::decode_payload(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { node: 2 },
+            Frame::MemoGet {
+                catalog_fp: 0xdead_beef,
+                sql_fp: 41,
+            },
+            Frame::MemoHit {
+                table_json: b"{\"dict\":[],\"codes\":[]}".to_vec(),
+            },
+            Frame::MemoMiss,
+            Frame::MemoPut {
+                catalog_fp: 1,
+                sql_fp: u64::MAX,
+                table_json: b"{}".to_vec(),
+            },
+            Frame::RewardGet {
+                state_hash: 7,
+                state_size: 3,
+                ctx_fp: 99,
+            },
+            Frame::RewardHit { reward: -0.125 },
+            Frame::RewardMiss,
+            Frame::RewardPut {
+                state_hash: 8,
+                state_size: 0,
+                ctx_fp: 1,
+                reward: 2.5,
+            },
+            Frame::ProxyRequest {
+                body: b"{\"v\":1,\"type\":\"metrics\"}".to_vec(),
+            },
+            Frame::ProxyResponse {
+                status: 503,
+                body: b"{\"type\":\"error\"}".to_vec(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in all_frames() {
+            let bytes = frame.encode();
+            let (decoded, used) = decode_buf(&bytes).unwrap().expect("complete");
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, frame);
+            // And through the blocking reader.
+            let mut cursor = std::io::Cursor::new(bytes);
+            assert_eq!(read_frame(&mut cursor).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn a_stream_of_frames_decodes_incrementally() {
+        let frames = all_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        // Feed the buffer one byte at a time; frames pop out whole.
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        for b in stream {
+            buf.push(b);
+            while let Some((frame, used)) = decode_buf(&buf).unwrap() {
+                buf.drain(..used);
+                out.push(frame);
+            }
+        }
+        assert!(buf.is_empty());
+        assert_eq!(out, frames);
+    }
+
+    #[test]
+    fn malformed_frames_error_instead_of_allocating() {
+        // Oversized length prefix.
+        let mut huge = ((MAX_FRAME + 1) as u32).to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0; 8]);
+        assert!(decode_buf(&huge).is_err());
+        // Unknown tag.
+        let mut unknown = 1u32.to_le_bytes().to_vec();
+        unknown.push(0xEE);
+        assert!(decode_buf(&unknown).is_err());
+        // Truncated fixed fields.
+        let short = Frame::MemoGet {
+            catalog_fp: 1,
+            sql_fp: 2,
+        }
+        .encode();
+        let mut cut = short[..8].to_vec();
+        cut[0..4].copy_from_slice(&4u32.to_le_bytes());
+        assert!(decode_buf(&cut).is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Three-process fleet test: real `pi2-node` processes (separate
+//! address spaces, separate process-wide caches — like production),
+//! booted over loopback.
+//!
+//! Pins the tentpole behaviours end to end:
+//! * a proxied dispatch answers **byte-identical** to asking the owner
+//!   directly;
+//! * a warm cross-node cache hit serves a result computed on another
+//!   node (`clusterHits > 0`) instead of re-executing locally;
+//! * killing a peer mid-run degrades to local computation with zero
+//!   client-visible errors on locally-owned sessions (`peerTimeouts`
+//!   counts the failures), and proxying to the dead owner answers the
+//!   structured `peer_unavailable` 503;
+//! * `negotiate` advertises the cluster capability.
+
+use pi2::server::Http1Client;
+use pi2::{
+    request_to_json, Event, GenerationConfig, InteractionChoice, Json, Pi2, Request, Value,
+    WidgetKind,
+};
+use std::io::BufRead;
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Kills the node processes even when an assertion panics.
+struct Fleet {
+    nodes: Vec<Child>,
+    http: Vec<SocketAddr>,
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for child in &mut self.nodes {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn free_addrs(n: usize) -> Vec<String> {
+    // Bind-then-drop: the OS hands out distinct free ports. (A small
+    // reuse race is possible but harmless at test scale.)
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect()
+}
+
+fn boot_fleet(n: usize) -> Fleet {
+    let peers = free_addrs(n).join(",");
+    let mut nodes = Vec::new();
+    let mut http = Vec::new();
+    for node in 0..n {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_pi2-node"))
+            .args([
+                "--node",
+                &node.to_string(),
+                "--peers",
+                &peers,
+                "--workload",
+                "covid",
+            ])
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn pi2-node");
+        let stdout = child.stdout.take().unwrap();
+        nodes.push(child);
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("node announces READY");
+        let mut parts = line.split_whitespace();
+        assert_eq!(parts.next(), Some("READY"), "node {node} said {line:?}");
+        http.push(parts.next().unwrap().parse().unwrap());
+    }
+    Fleet { nodes, http }
+}
+
+/// The identical interface every node generated (quick config is
+/// deterministic), probed for a sequence of dispatchable events.
+fn covid_events() -> Vec<Event> {
+    let generation = Pi2::new(pi2_workloads::catalog())
+        .generate_with(
+            &pi2_workloads::log(pi2_workloads::LogKind::Covid)
+                .queries
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>(),
+            &GenerationConfig::quick(),
+        )
+        .expect("covid generates");
+    let mut probe = generation.session().unwrap();
+    let mut events = Vec::new();
+    for (ix, inst) in generation.interface.interactions.iter().enumerate() {
+        let candidates = match &inst.choice {
+            InteractionChoice::Widget { kind, domain, .. } => match kind {
+                WidgetKind::Toggle => vec![
+                    Event::Toggle {
+                        interaction: ix,
+                        on: false,
+                    },
+                    Event::Toggle {
+                        interaction: ix,
+                        on: true,
+                    },
+                ],
+                _ if domain.size() >= 2 => vec![
+                    Event::Select {
+                        interaction: ix,
+                        option: 0,
+                    },
+                    Event::Select {
+                        interaction: ix,
+                        option: 1,
+                    },
+                ],
+                _ => vec![
+                    Event::SetValues {
+                        interaction: ix,
+                        values: vec![Value::Int(10)],
+                    },
+                    Event::SetValues {
+                        interaction: ix,
+                        values: vec![Value::Int(20)],
+                    },
+                ],
+            },
+            InteractionChoice::Vis { .. } => vec![
+                Event::SetValues {
+                    interaction: ix,
+                    values: vec![Value::Int(20), Value::Int(40)],
+                },
+                Event::SetValues {
+                    interaction: ix,
+                    values: vec![Value::Int(0), Value::Int(70)],
+                },
+            ],
+        };
+        for event in candidates {
+            if probe.dispatch(&event).is_ok() {
+                events.push(event);
+            }
+        }
+    }
+    assert!(
+        !events.is_empty(),
+        "the covid interface must expose dispatchable interactions"
+    );
+    events
+}
+
+fn open_session(client: &mut Http1Client, workload: &str) -> u64 {
+    let resp = client
+        .post(
+            "/v1",
+            &format!("{{\"v\":1,\"type\":\"open\",\"workload\":\"{workload}\"}}"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let at = resp.body.find("\"session\":").expect("opened has session");
+    resp.body[at + 10..]
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+fn dispatch(client: &mut Http1Client, session: u64, event: &Event) -> (u16, String) {
+    let body = request_to_json(&Request::Event {
+        session,
+        event: event.clone(),
+    });
+    let resp = client.post("/v1", &body).unwrap();
+    (resp.status, resp.body)
+}
+
+fn cluster_counter(client: &mut Http1Client, name: &str) -> i64 {
+    let resp = client.get("/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    Json::parse(&resp.body)
+        .expect("metrics parse")
+        .get("service")
+        .and_then(|s| s.get("cluster"))
+        .and_then(|c| c.get(name))
+        .and_then(|v| v.as_i64())
+        .unwrap_or_else(|| panic!("no cluster.{name} in {}", resp.body))
+}
+
+#[test]
+fn three_process_fleet_shares_caches_proxies_and_survives_a_kill() {
+    let mut fleet = boot_fleet(3);
+    let (addr_a, addr_b) = (fleet.http[0], fleet.http[1]);
+    let events = covid_events();
+
+    // Give registration-time breaker trips time to cool down (peers
+    // come up in sequence, so early cross-node dials may have failed).
+    std::thread::sleep(Duration::from_millis(700));
+
+    // --- negotiate advertises the fleet -------------------------------
+    let mut a = Http1Client::connect(addr_a).unwrap();
+    let resp = a.post("/v1", "{\"v\":2,\"type\":\"negotiate\"}").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let caps = Json::parse(&resp.body)
+        .unwrap()
+        .get("capabilities")
+        .cloned()
+        .expect("negotiate has capabilities");
+    assert_eq!(caps.get("cluster").and_then(Json::as_bool), Some(true));
+
+    // --- proxied dispatch is byte-identical to owner-local ------------
+    // Both sessions are owned by node B; s1 is driven through B itself,
+    // s2 through A (which must forward every event to B). The patch
+    // bodies carry no session id, so the responses must match exactly.
+    let mut b = Http1Client::connect(addr_b).unwrap();
+    let s1 = open_session(&mut b, "covid");
+    let s2 = open_session(&mut b, "covid");
+    assert_eq!(s1 >> 48, 1, "node B stamps its ring index into ids");
+    assert_eq!(s2 >> 48, 1);
+    let proxied_before = cluster_counter(&mut a, "proxiedDispatches");
+    for event in &events {
+        let direct = dispatch(&mut b, s1, event);
+        let proxied = dispatch(&mut a, s2, event);
+        assert_eq!(proxied, direct, "proxy must relay the owner verbatim");
+    }
+    let proxied_after = cluster_counter(&mut a, "proxiedDispatches");
+    assert!(
+        proxied_after - proxied_before >= events.len() as i64,
+        "every event through A was a proxy ({proxied_before} -> {proxied_after})"
+    );
+
+    // --- warm cross-node hits: computed on B, served to A -------------
+    // B's dispatches above computed the event-state results; the ring
+    // owners now hold them. A's *own* session dispatching the same
+    // events misses locally and reads through to the owners.
+    let s3 = open_session(&mut a, "covid");
+    assert_eq!(s3 >> 48, 0, "node A stamps its ring index into ids");
+    for event in &events {
+        let (status, body) = dispatch(&mut a, s3, event);
+        assert_eq!(status, 200, "{body}");
+    }
+    let hits = cluster_counter(&mut a, "clusterHits");
+    assert!(hits > 0, "A must serve some results computed on B");
+
+    // --- kill a peer: local fallback, zero client-visible errors ------
+    fleet.nodes[2].kill().unwrap();
+    fleet.nodes[2].wait().unwrap();
+    let s4 = open_session(&mut a, "covid");
+    // A fresh session replaying the events in reverse order walks new
+    // cumulative states, forcing fresh lookups (some owned by dead C).
+    for event in events.iter().rev() {
+        let (status, body) = dispatch(&mut a, s4, event);
+        assert_eq!(status, 200, "killed peer must not surface: {body}");
+    }
+    // Proxying to the dead owner is the one path that *requires* C: it
+    // answers the structured 503 rather than hanging or guessing.
+    let fake_c_session = (2u64 << 48) | 12345;
+    let (status, body) = dispatch(&mut a, fake_c_session, &Event::Clear { interaction: 0 });
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"code\":\"peer_unavailable\""), "{body}");
+    let timeouts = cluster_counter(&mut a, "peerTimeouts");
+    assert!(timeouts > 0, "failed dials to C must be counted");
+}

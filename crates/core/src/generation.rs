@@ -1,7 +1,6 @@
 //! The end-to-end generation pipeline (paper Figure 6).
 
 use crate::error::Pi2Error;
-use crate::runtime::Runtime;
 use crate::service::Session;
 use pi2_data::Catalog;
 use pi2_difftree::{Forest, Workload};
@@ -57,11 +56,6 @@ impl Pi2 {
     /// A PI2 instance over one catalogue.
     pub fn new(catalog: Catalog) -> Pi2 {
         Pi2 { catalog }
-    }
-
-    /// Generate an interface from example queries with default settings.
-    pub fn generate(&self, sqls: &[&str]) -> Result<Generation, Pi2Error> {
-        self.generate_with(sqls, &GenerationConfig::default())
     }
 
     /// Generate with explicit configuration.
@@ -141,12 +135,6 @@ impl Generation {
     /// Total wall-clock generation time (search + mapping).
     pub fn total_time(&self) -> Duration {
         self.mcts_stats.duration + self.mapping_time
-    }
-
-    /// Create an interactive runtime over the generated interface (the
-    /// legacy one-shot API; a shim over [`Session`]).
-    pub fn runtime(&self) -> Result<Runtime, Pi2Error> {
-        Runtime::new(self)
     }
 
     /// Open a delta-dispatch session over this (shared) generation.
@@ -246,13 +234,19 @@ mod tests {
     #[test]
     fn empty_workload_is_an_error() {
         let pi2 = Pi2::new(catalog());
-        assert_eq!(pi2.generate(&[]).unwrap_err(), Pi2Error::EmptyWorkload);
+        assert_eq!(
+            pi2.generate_with(&[], &GenerationConfig::quick())
+                .unwrap_err(),
+            Pi2Error::EmptyWorkload
+        );
     }
 
     #[test]
     fn parse_errors_are_reported() {
         let pi2 = Pi2::new(catalog());
-        let err = pi2.generate(&["SELECT FROM"]).unwrap_err();
+        let err = pi2
+            .generate_with(&["SELECT FROM"], &GenerationConfig::quick())
+            .unwrap_err();
         assert!(matches!(err, Pi2Error::Parse(_)));
     }
 

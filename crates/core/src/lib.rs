@@ -9,21 +9,27 @@
 //! brush, click) that transform the underlying queries, and a layout.
 //!
 //! ```no_run
-//! use pi2::{Pi2, GenerationConfig};
+//! use pi2::{Event, Pi2Service, GenerationConfig};
 //! use pi2_data::Catalog;
 //!
 //! let catalog = Catalog::new(); // add tables first
-//! let pi2 = Pi2::new(catalog);
-//! let generation = pi2
-//!     .generate(&[
-//!         "SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60",
-//!         "SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90",
-//!     ])
+//! let service = Pi2Service::new();
+//! let generation = service
+//!     .register(
+//!         "cars",
+//!         catalog,
+//!         &[
+//!             "SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 50 AND 60",
+//!             "SELECT hp, mpg, origin FROM Cars WHERE hp BETWEEN 60 AND 90",
+//!         ],
+//!         &GenerationConfig::default(),
+//!     )
 //!     .unwrap();
 //! println!("{}", generation.describe());
-//! let mut runtime = generation.runtime().unwrap();
-//! // Drive the interface programmatically: widgets and chart interactions
-//! // rebind choice nodes, re-resolve SQL, and re-execute.
+//! // Drive the interface programmatically: dispatch returns a delta
+//! // patch — only the views whose resolved query changed.
+//! let mut session = service.open("cars").unwrap();
+//! let _patch = session.dispatch(&Event::Select { interaction: 0, option: 1 });
 //! ```
 //!
 //! The pipeline (paper Figure 6): parse queries into Difftrees
@@ -40,7 +46,9 @@
 //! [`Patch`] — only the views whose resolved query changed — and the
 //! versioned JSON wire protocol in [`protocol`]
 //! ([`Pi2Service::handle_json`]) lets any HTTP/WebSocket front-end drive
-//! the system. `Pi2::generate` and [`Runtime`] survive as thin shims.
+//! the system. (The pre-session `Pi2::generate`/`Runtime` shims are gone;
+//! [`Pi2::generate_with`] remains the config-explicit pipeline entry for
+//! callers that don't need a service.)
 //!
 //! The bundled HTTP front-end is [`server`] (the `pi2-server` crate):
 //! [`serve`] boots a dependency-free concurrent HTTP/1.1 server — per-
@@ -69,7 +77,8 @@ pub use protocol::{
 };
 pub use push::{PushHub, PushStats};
 pub use registry::SessionRegistry;
-pub use runtime::{Event, Runtime};
+pub use runtime::Event;
+pub use service::ClusterStats;
 pub use service::{Patch, PatchView, Pi2Service, ServiceMetrics, Session, WorkloadMetrics};
 pub use serving::serve;
 

@@ -685,7 +685,7 @@ pub(crate) fn metrics_response(m: &ServiceMetrics) -> String {
         "],\"sessionsOpened\":{},\"openWireSessions\":{},\
          \"resultCache\":{{\"hits\":{},\"misses\":{}}},\
          \"rewardTableEntries\":{},\"actionTableEntries\":{},\
-         \"push\":{{\"subscriptions\":{},\"delivered\":{},\"evicted\":{}}}}}",
+         \"push\":{{\"subscriptions\":{},\"delivered\":{},\"evicted\":{}}}",
         m.sessions_opened,
         m.open_wire_sessions,
         m.result_cache.hits,
@@ -696,6 +696,20 @@ pub(crate) fn metrics_response(m: &ServiceMetrics) -> String {
         m.push.delivered,
         m.push.evicted,
     );
+    if let Some(c) = &m.cluster {
+        let _ = write!(
+            out,
+            ",\"cluster\":{{\"node\":{},\"nodes\":{},\"clusterHits\":{},\
+             \"clusterMisses\":{},\"peerTimeouts\":{},\"proxiedDispatches\":{}}}",
+            c.node,
+            c.nodes,
+            c.cluster_hits,
+            c.cluster_misses,
+            c.peer_timeouts,
+            c.proxied_dispatches,
+        );
+    }
+    out.push('}');
     out
 }
 
@@ -803,11 +817,23 @@ impl Pi2Service {
                      \"session\":{session},\"dropped\":{dropped}}}"
                 ))
             }
-            Request::Negotiate => Ok(format!(
-                "{{\"v\":{PROTOCOL_VERSION_V2},\"type\":\"protocols\",\
-                 \"versions\":[{PROTOCOL_VERSION},{PROTOCOL_VERSION_V2}],\"push\":{}}}",
-                link.is_some()
-            )),
+            Request::Negotiate => {
+                // The structured capability object replaces endpoint
+                // probing: `versions` lists every protocol version this
+                // server speaks, `ws_push` reports whether *this
+                // connection* can deliver pushes, and `cluster` whether
+                // the process is part of a fleet. The legacy top-level
+                // `push` flag is kept for v2 clients that predate
+                // capabilities.
+                Ok(format!(
+                    "{{\"v\":{PROTOCOL_VERSION_V2},\"type\":\"protocols\",\
+                     \"versions\":[{PROTOCOL_VERSION},{PROTOCOL_VERSION_V2}],\"push\":{push},\
+                     \"capabilities\":{{\"versions\":[{PROTOCOL_VERSION},{PROTOCOL_VERSION_V2}],\
+                     \"ws_push\":{push},\"cluster\":{cluster}}}}}",
+                    push = link.is_some(),
+                    cluster = self.cluster_stats().is_some(),
+                ))
+            }
         }
     }
 

@@ -8,17 +8,12 @@
 //! validated per-tree binding maps and raised queries an event produces,
 //! and *never* mutates state, so [`crate::Session`] can commit the change,
 //! diff resolved-query fingerprints, and emit a delta patch.
-//!
-//! [`Runtime`] survives as a thin shim over [`crate::Session`] for callers
-//! of the original one-shot API.
 
 use crate::error::Pi2Error;
-use crate::generation::Generation;
-use crate::service::Session;
-use pi2_data::{date::format_iso_date, Table, Value};
+use pi2_data::{date::format_iso_date, Value};
 use pi2_difftree::{Assignment, Binding, BindingMap, DNode, Forest, NodeKind, SyntaxKind, TypeMap};
 use pi2_interface::{flatten_node, FlatSchema, Interface};
-use pi2_sql::ast::{Literal, Query};
+use pi2_sql::ast::Literal;
 use std::sync::Arc;
 
 /// A user interaction event.
@@ -449,80 +444,11 @@ fn find_multi(node: &DNode) -> Option<&DNode> {
     node.children.iter().find_map(find_multi)
 }
 
-// ---------------------------------------------------------------------------
-// The legacy one-shot API, as a shim over the session layer.
-// ---------------------------------------------------------------------------
-
-/// Interactive state over a generated interface.
-///
-/// A thin shim over [`Session`]: `dispatch` discards the delta
-/// [`crate::Patch`] and `execute` returns the full per-view result set
-/// (served from the shared result memo — unchanged views never
-/// re-execute). New code should open a [`Session`] directly.
-pub struct Runtime {
-    session: Session,
-}
-
-impl Runtime {
-    /// Initialise from a generation: every tree starts at the first input
-    /// query it expresses.
-    pub fn new(generation: &Generation) -> Result<Runtime, Pi2Error> {
-        Ok(Runtime {
-            session: Session::open(generation)?,
-        })
-    }
-
-    /// The underlying session.
-    pub fn session(&self) -> &Session {
-        &self.session
-    }
-
-    /// The underlying session, mutably (e.g. to read patches after all).
-    pub fn session_mut(&mut self) -> &mut Session {
-        &mut self.session
-    }
-
-    /// Unwrap into the underlying session.
-    pub fn into_session(self) -> Session {
-        self.session
-    }
-
-    /// The interface this runtime drives.
-    pub fn interface(&self) -> &Interface {
-        self.session.interface()
-    }
-
-    /// The current SQL query of each tree.
-    pub fn queries(&self) -> Result<Vec<Query>, Pi2Error> {
-        Ok(self.session.queries())
-    }
-
-    /// The current SQL query of one tree.
-    pub fn query_for_tree(&self, tree: usize) -> Result<Query, Pi2Error> {
-        self.session
-            .query_for_tree(tree)
-            .cloned()
-            .ok_or_else(|| Pi2Error::Runtime(format!("no tree #{tree}")))
-    }
-
-    /// Execute the current query of every tree (one result table per view),
-    /// served through the shared result memo.
-    pub fn execute(&self) -> Result<Vec<Table>, Pi2Error> {
-        self.session.execute()
-    }
-
-    /// Apply one event: rebind the targeted choice nodes and validate by
-    /// resolution. Invalid events leave the state unchanged.
-    pub fn dispatch(&mut self, event: Event) -> Result<(), Pi2Error> {
-        self.session.dispatch(&event).map(|_| ())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generation::{GenerationConfig, Pi2};
-    use pi2_data::{Catalog, DataType};
+    use crate::generation::{Generation, GenerationConfig, Pi2};
+    use pi2_data::{Catalog, DataType, Table};
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -547,10 +473,10 @@ mod tests {
     }
 
     #[test]
-    fn runtime_starts_at_first_query() {
+    fn session_starts_at_first_query() {
         let g = generation();
-        let rt = g.runtime().unwrap();
-        let queries = rt.queries().unwrap();
+        let rt = g.session().unwrap();
+        let queries = rt.queries();
         // One of the current queries equals the first input query.
         assert!(queries.iter().any(|q| q == &g.workload.queries[0]));
         let results = rt.execute().unwrap();
@@ -560,8 +486,8 @@ mod tests {
     #[test]
     fn dispatch_changes_the_query_and_result() {
         let g = generation();
-        let mut rt = g.runtime().unwrap();
-        let before = rt.queries().unwrap();
+        let mut rt = g.session().unwrap();
+        let before = rt.queries();
         // Drive whatever interaction the generator picked: enumerating
         // widgets via Select, value-bearing interactions via SetValues.
         let mut changed = false;
@@ -623,7 +549,7 @@ mod tests {
                 }
             };
             for event in events {
-                if rt.dispatch(event).is_ok() && rt.queries().unwrap() != before {
+                if rt.dispatch(&event).is_ok() && rt.queries() != before {
                     changed = true;
                     break;
                 }
@@ -637,7 +563,7 @@ mod tests {
             "no dispatchable interaction found:\n{}",
             g.describe()
         );
-        let after = rt.queries().unwrap();
+        let after = rt.queries();
         assert_ne!(before, after, "dispatch must change some query");
         rt.execute().unwrap();
     }
@@ -645,10 +571,10 @@ mod tests {
     #[test]
     fn invalid_events_are_rejected_without_state_change() {
         let g = generation();
-        let mut rt = g.runtime().unwrap();
-        let before = rt.queries().unwrap();
+        let mut rt = g.session().unwrap();
+        let before = rt.queries();
         assert_eq!(
-            rt.dispatch(Event::Select {
+            rt.dispatch(&Event::Select {
                 interaction: 999,
                 option: 0
             })
@@ -658,7 +584,7 @@ mod tests {
         // Wrong payload arity → structured InvalidEvent.
         for ix in 0..g.interface.interactions.len() {
             let err = rt
-                .dispatch(Event::SetValues {
+                .dispatch(&Event::SetValues {
                     interaction: ix,
                     values: vec![],
                 })
@@ -668,7 +594,7 @@ mod tests {
                 "expected InvalidEvent, got {err:?}"
             );
         }
-        assert_eq!(rt.queries().unwrap(), before);
+        assert_eq!(rt.queries(), before);
     }
 
     #[test]

@@ -205,3 +205,41 @@ proptest! {
         }
     }
 }
+
+/// The v2 `negotiate` answer is a compatibility contract: clients switch
+/// on the structured `capabilities` object, so its shape is pinned
+/// byte-exactly. `ws_push` reflects the connection (none here) and
+/// `cluster` whether the process joined a fleet (it has not); the legacy
+/// top-level `push` flag stays for v2 clients that predate capabilities.
+#[test]
+fn negotiate_capabilities_shape_is_pinned() {
+    let service = pi2::Pi2Service::new();
+    let answer = service.handle_json("{\"v\":2,\"type\":\"negotiate\"}");
+    assert_eq!(
+        answer,
+        "{\"v\":2,\"type\":\"protocols\",\"versions\":[1,2],\"push\":false,\
+         \"capabilities\":{\"versions\":[1,2],\"ws_push\":false,\"cluster\":false}}"
+    );
+    // The object stays machine-readable through the parser too.
+    let caps = pi2::Json::parse(&answer)
+        .unwrap()
+        .get("capabilities")
+        .cloned()
+        .expect("capabilities present");
+    assert_eq!(
+        caps.get("cluster").and_then(pi2::Json::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        caps.get("ws_push").and_then(pi2::Json::as_bool),
+        Some(false)
+    );
+    let versions: Vec<i64> = caps
+        .get("versions")
+        .and_then(|v| v.as_arr())
+        .expect("versions array")
+        .iter()
+        .filter_map(pi2::Json::as_i64)
+        .collect();
+    assert_eq!(versions, [1, 2]);
+}

@@ -143,6 +143,52 @@ fn search_caches() -> &'static SearchCaches {
     })
 }
 
+/// A remote tier behind the reward transposition table: in a fleet, each
+/// `(state key, context fp)` has one owning node, consulted on a local
+/// miss before the (expensive) reward estimate, and fed locally computed
+/// estimates afterwards. Purely a cache — any failure reads as a miss and
+/// the estimate is computed locally. The state key travels as its raw
+/// [`ForestKey`] parts (`hash`, `size`), which are already
+/// network-compact.
+pub trait RemoteRewardTier: Send + Sync {
+    /// Look a reward up on the owning peer; `None` on miss or failure.
+    fn fetch(&self, state_hash: u64, state_size: u32, ctx_fp: u64) -> Option<f64>;
+    /// Hand a locally computed reward to the owning peer (best-effort).
+    fn publish(&self, state_hash: u64, state_size: u32, ctx_fp: u64, reward: f64);
+}
+
+static REMOTE_REWARDS: OnceLock<Arc<dyn RemoteRewardTier>> = OnceLock::new();
+
+/// Install the process-wide remote reward tier (one-shot; returns whether
+/// this call installed it). `pi2-cluster` calls this when joining a fleet.
+pub fn set_remote_reward_tier(tier: Arc<dyn RemoteRewardTier>) -> bool {
+    REMOTE_REWARDS.set(tier).is_ok()
+}
+
+fn remote_reward_tier() -> Option<&'static Arc<dyn RemoteRewardTier>> {
+    REMOTE_REWARDS.get()
+}
+
+/// Local-only reward-table lookup by raw key parts — the cluster peer
+/// server answers `RewardGet` frames with this (never recursing into the
+/// remote tier).
+pub fn reward_table_peek(state_hash: u64, state_size: u32, ctx_fp: u64) -> Option<f64> {
+    let key = ForestKey {
+        hash: state_hash,
+        size: state_size,
+    };
+    search_caches().rewards.get(&(key, ctx_fp))
+}
+
+/// Admit a reward computed on (and pushed by) a remote peer.
+pub fn admit_remote_reward(state_hash: u64, state_size: u32, ctx_fp: u64, reward: f64) {
+    let key = ForestKey {
+        hash: state_hash,
+        size: state_size,
+    };
+    search_caches().rewards.insert((key, ctx_fp), reward);
+}
+
 /// Current entry counts of the process-global transposition tables
 /// `(reward estimates, validated action sets)` — the session service
 /// surfaces these in its metrics so operators can watch what repeated
@@ -379,26 +425,41 @@ impl<'w> Worker<'w> {
         let tables = search_caches();
         let r = match tables.rewards.get(&(key, self.ctx_fp)) {
             Some(r) => r,
-            None => {
-                let r = match MappingContext::build(state, self.workload) {
-                    Some(mut ctx) => {
-                        ctx.check_safety = self.cfg.check_safety;
-                        let mut reward_rng = StdRng::seed_from_u64(self.cfg.seed ^ key.seed());
-                        estimate_reward(
-                            &ctx,
-                            &mut reward_rng,
-                            &self.cfg.params,
-                            self.cfg.k_mappings,
-                        )
-                        .unwrap_or(-1e9)
-                    }
-                    None => -1e9,
-                };
-                if tables.rewards.insert((key, self.ctx_fp), r) {
-                    self.shared.computed.fetch_add(1, Ordering::Relaxed);
+            // Local miss: a fleet peer may have estimated this state
+            // already (read-through; estimates are pure in the key, so a
+            // remote value is the value).
+            None => match remote_reward_tier()
+                .and_then(|t| t.fetch(key.hash, key.size, self.ctx_fp))
+            {
+                Some(r) => {
+                    tables.rewards.insert((key, self.ctx_fp), r);
+                    r
                 }
-                r
-            }
+                None => {
+                    let r = match MappingContext::build(state, self.workload) {
+                        Some(mut ctx) => {
+                            ctx.check_safety = self.cfg.check_safety;
+                            let mut reward_rng = StdRng::seed_from_u64(self.cfg.seed ^ key.seed());
+                            estimate_reward(
+                                &ctx,
+                                &mut reward_rng,
+                                &self.cfg.params,
+                                self.cfg.k_mappings,
+                            )
+                            .unwrap_or(-1e9)
+                        }
+                        None => -1e9,
+                    };
+                    if tables.rewards.insert((key, self.ctx_fp), r) {
+                        self.shared.computed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Write-behind: share the estimate with its owner.
+                    if let Some(t) = remote_reward_tier() {
+                        t.publish(key.hash, key.size, self.ctx_fp, r);
+                    }
+                    r
+                }
+            },
         };
         if r > self.best.0 {
             self.best = (r, Arc::clone(state));

@@ -3,4 +3,14 @@
 //! This package exists to host workspace-level integration tests (`tests/`)
 //! and runnable examples (`examples/`); the actual system lives in the
 //! `pi2-*` crates under `crates/`.
+//!
+//! The documented entry point is the session API: build a
+//! [`system::Pi2Service`], register workloads, and open
+//! [`system::Session`]s (or speak the JSON wire protocol via
+//! [`system::Pi2Service::handle_json`] / [`system::serve`]). The legacy
+//! one-shot `Pi2::generate` + `Runtime` shims are gone.
 pub use pi2 as system;
+
+pub use pi2::{
+    serve, Event, Generation, GenerationConfig, Patch, PatchView, Pi2Error, Pi2Service, Session,
+};

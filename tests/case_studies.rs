@@ -49,7 +49,7 @@ fn covid_interface() {
         g.describe()
     );
     // Queries with and without the date filter are both expressible.
-    let rt = g.runtime().unwrap();
+    let rt = g.session().unwrap();
     rt.execute().unwrap();
 }
 

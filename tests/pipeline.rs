@@ -123,13 +123,13 @@ fn initial_forest_invariant() {
     }
 }
 
-/// The runtime round trip: dispatching a value event changes the SQL, and
+/// The session round trip: dispatching a value event changes the SQL, and
 /// re-executing yields a valid table.
 #[test]
-fn runtime_round_trip_on_explore() {
+fn session_round_trip_on_explore() {
     let g = generate(LogKind::Explore);
-    let mut rt = g.runtime().unwrap();
-    let before = rt.queries().unwrap();
+    let mut rt = g.session().unwrap();
+    let before = rt.queries();
     let ix = g
         .interface
         .interactions
@@ -148,7 +148,7 @@ fn runtime_round_trip_on_explore() {
     let mut ok = false;
     for values in payloads {
         if rt
-            .dispatch(pi2::Event::SetValues {
+            .dispatch(&pi2::Event::SetValues {
                 interaction: ix,
                 values,
             })
@@ -159,7 +159,7 @@ fn runtime_round_trip_on_explore() {
         }
     }
     assert!(ok, "pan dispatch failed");
-    assert_ne!(rt.queries().unwrap(), before);
+    assert_ne!(rt.queries(), before);
     let tables = rt.execute().unwrap();
     assert_eq!(tables.len(), g.interface.views.len());
 }

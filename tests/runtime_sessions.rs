@@ -13,7 +13,7 @@ use pi2_workloads::LogKind;
 #[test]
 fn explore_pan_session() {
     let g = generate(LogKind::Explore);
-    let mut rt = g.runtime().unwrap();
+    let mut rt = g.session().unwrap();
     let ix = g
         .interface
         .interactions
@@ -34,7 +34,7 @@ fn explore_pan_session() {
         let mut ok = false;
         for values in payloads {
             if rt
-                .dispatch(Event::SetValues {
+                .dispatch(&Event::SetValues {
                     interaction: ix,
                     values,
                 })
@@ -45,7 +45,7 @@ fn explore_pan_session() {
             }
         }
         assert!(ok, "pan to [{lo}, {hi}] failed");
-        let q = rt.queries().unwrap();
+        let q = rt.queries();
         let sql = q.iter().map(|x| x.to_string()).collect::<String>();
         assert!(sql.contains(&format!("BETWEEN {lo} AND {hi}")), "{sql}");
         // The rendered rows satisfy the panned predicate.
@@ -66,8 +66,8 @@ fn explore_pan_session() {
 #[test]
 fn filter_cross_filter_session() {
     let g = generate(LogKind::Filter);
-    let mut rt = g.runtime().unwrap();
-    let baseline = rt.queries().unwrap();
+    let mut rt = g.session().unwrap();
+    let baseline = rt.queries();
     let baseline_rows: Vec<usize> = rt.execute().unwrap().iter().map(|t| t.num_rows()).collect();
 
     // Find a range interaction and drive it.
@@ -92,13 +92,13 @@ fn filter_cross_filter_session() {
             interaction: ix,
             values: vec![Value::Int(10), Value::Int(40)],
         };
-        if rt.dispatch(event).is_ok() {
+        if rt.dispatch(&event).is_ok() {
             driven = Some(ix);
             break;
         }
     }
     let ix = driven.expect("a drivable range interaction");
-    let brushed = rt.queries().unwrap();
+    let brushed = rt.queries();
     assert_ne!(brushed, baseline, "brush must rewrite some query");
     let brushed_sql: String = brushed.iter().map(|q| q.to_string()).collect();
     assert!(brushed_sql.contains("BETWEEN 10 AND 40"), "{brushed_sql}");
@@ -109,13 +109,8 @@ fn filter_cross_filter_session() {
     }
 
     // Clearing the brush restores the unfiltered queries.
-    if rt.dispatch(Event::Clear { interaction: ix }).is_ok() {
-        let cleared: String = rt
-            .queries()
-            .unwrap()
-            .iter()
-            .map(|q| q.to_string())
-            .collect();
+    if rt.dispatch(&Event::Clear { interaction: ix }).is_ok() {
+        let cleared: String = rt.queries().iter().map(|q| q.to_string()).collect();
         assert!(
             !cleared.contains("BETWEEN 10 AND 40"),
             "clear must remove the brushed predicate: {cleared}"
@@ -128,7 +123,7 @@ fn filter_cross_filter_session() {
 #[test]
 fn covid_widget_session() {
     let g = generate(LogKind::Covid);
-    let mut rt = g.runtime().unwrap();
+    let mut rt = g.session().unwrap();
     let mut dispatched = 0;
     for (ix, inst) in g.interface.interactions.iter().enumerate() {
         match &inst.choice {
@@ -136,7 +131,7 @@ fn covid_widget_session() {
                 pi2::WidgetKind::Radio | pi2::WidgetKind::Dropdown | pi2::WidgetKind::Button => {
                     for option in 0..domain.size() {
                         if rt
-                            .dispatch(Event::Select {
+                            .dispatch(&Event::Select {
                                 interaction: ix,
                                 option,
                             })
@@ -148,32 +143,22 @@ fn covid_widget_session() {
                     }
                 }
                 pi2::WidgetKind::Toggle => {
-                    let before: String = rt
-                        .queries()
-                        .unwrap()
-                        .iter()
-                        .map(|q| q.to_string())
-                        .collect();
+                    let before: String = rt.queries().iter().map(|q| q.to_string()).collect();
                     if rt
-                        .dispatch(Event::Toggle {
+                        .dispatch(&Event::Toggle {
                             interaction: ix,
                             on: false,
                         })
                         .is_ok()
                         && rt
-                            .dispatch(Event::Toggle {
+                            .dispatch(&Event::Toggle {
                                 interaction: ix,
                                 on: true,
                             })
                             .is_ok()
                     {
                         dispatched += 1;
-                        let after: String = rt
-                            .queries()
-                            .unwrap()
-                            .iter()
-                            .map(|q| q.to_string())
-                            .collect();
+                        let after: String = rt.queries().iter().map(|q| q.to_string()).collect();
                         assert!(
                             after.len() >= before.len(),
                             "toggling on must add the optional subtree"
@@ -194,7 +179,7 @@ fn covid_widget_session() {
 #[test]
 fn sales_having_semantics_hold() {
     let g = generate(LogKind::Sales);
-    let rt = g.runtime().unwrap();
+    let rt = g.session().unwrap();
     let tables = rt.execute().unwrap();
     // Find the (city, product, sum) view.
     for (view, t) in tables.iter().enumerate() {

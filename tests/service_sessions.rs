@@ -1,8 +1,8 @@
 //! The session-service contract, end to end: N threads driving independent
 //! sessions over one shared `Generation` produce byte-identical patch
 //! streams to the single-threaded run; patches are exact deltas (a view
-//! appears iff its resolved SQL changed); the legacy `Runtime` shim tracks
-//! the session layer; and the JSON wire protocol drives the same machinery.
+//! appears iff its resolved SQL changed); and the JSON wire protocol
+//! drives the same machinery.
 
 mod common;
 
@@ -157,31 +157,6 @@ fn patches_contain_exactly_the_changed_views() {
         last = now;
     }
     assert!(nonempty > 0, "some event must change some view");
-}
-
-#[test]
-fn runtime_shim_tracks_the_session_layer() {
-    let g = covid();
-    let script = script_for(g);
-    let mut rt = g.runtime().unwrap();
-    let mut session = g.session().unwrap();
-    for event in &script {
-        let shim = rt.dispatch(event.clone());
-        let svc = session.dispatch(event);
-        assert_eq!(shim.is_ok(), svc.is_ok(), "shim and session must agree");
-        assert_eq!(
-            rt.queries().unwrap(),
-            session.queries(),
-            "shim state must equal session state after {event:?}"
-        );
-    }
-    // Execute through the shim serves the same tables as a refresh.
-    let tables = rt.execute().unwrap();
-    let patch = session.refresh().unwrap();
-    assert_eq!(tables.len(), g.interface.views.len());
-    for pv in &patch.views {
-        assert_eq!(tables[pv.tree].num_rows(), pv.table.num_rows());
-    }
 }
 
 #[test]
