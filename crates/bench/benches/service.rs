@@ -18,11 +18,19 @@
 //!   a dispatch that lands on a state the session is already in commits
 //!   nothing, so this lap also exercises the no-op fast path.)
 
+//!
+//! `service/append_dispatch/covid` measures one live append through the
+//! service (epoch bump, fingerprint fold, stats merge, eviction sweep)
+//! plus one warm open session absorbing the delta via `data_patch` — the
+//! IVM fast path: supported view shapes execute only the appended chunk
+//! and merge into the memoised result instead of re-running the query.
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pi2::Session;
+use pi2::{Pi2Service, Session};
 use pi2_bench::load::{event_cycle, generation_for};
 use pi2_interface::global_eval_cache;
 use pi2_workloads::{log, LogKind};
+use std::sync::Arc;
 
 fn bench_service(c: &mut Criterion) {
     let mut group = c.benchmark_group("service");
@@ -78,6 +86,37 @@ fn bench_service(c: &mut Criterion) {
                         let s = &mut sessions[i % 8];
                         std::hint::black_box(s.dispatch(event).unwrap());
                     }
+                })
+            },
+        );
+    }
+
+    // Live append dispatch: 1-row append + one session's warm IVM fetch.
+    {
+        let generation = generation_for(LogKind::Covid);
+        let session = generation.session().unwrap();
+        let delta = generation
+            .live
+            .snapshot()
+            .table("covid")
+            .expect("covid table")
+            .table
+            .slice_rows(0, 1);
+        let service = Arc::new(Pi2Service::new());
+        service
+            .register_generation("covid", generation)
+            .expect("register covid");
+        // First fetch pays full execution; every lap after rides the memo.
+        session.execute().unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("append_dispatch", "covid"),
+            &delta,
+            |b, delta| {
+                b.iter(|| {
+                    service
+                        .append("covid", "covid", delta.clone())
+                        .expect("append commits");
+                    std::hint::black_box(session.data_patch("covid").unwrap());
                 })
             },
         );

@@ -8,7 +8,8 @@
 //! of per-runner-label overrides — see [`parse_baseline_json_for`]) and
 //! fails when any **gated** bench — `mcts/*`, `engine/exec_*`,
 //! `data/kernels_*`, `service/session_throughput/*`,
-//! `service/server_throughput/*`, `service/ws_push_fanout/*` — regresses
+//! `service/server_throughput/*`, `service/ws_push_fanout/*`,
+//! `service/append_dispatch/*` — regresses
 //! by more than the threshold
 //! (default 25%). Ungated benches are reported but never fail the job
 //! (per-log end-to-end numbers are tracked through the emitted snapshot
@@ -24,7 +25,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 /// Bench-name prefixes whose regressions fail the gate.
-pub const GATED_PREFIXES: [&str; 7] = [
+pub const GATED_PREFIXES: [&str; 8] = [
     "mcts/",
     "engine/exec_",
     "engine/exec_big_",
@@ -32,6 +33,7 @@ pub const GATED_PREFIXES: [&str; 7] = [
     "service/session_throughput/",
     "service/server_throughput/",
     "service/ws_push_fanout/",
+    "service/append_dispatch/",
 ];
 
 /// Bench-name prefixes whose absolute numbers depend on the runner's core
@@ -514,6 +516,7 @@ mod tests {
         assert!(is_gated("service/session_throughput/covid/warm"));
         assert!(is_gated("service/server_throughput/covid"));
         assert!(is_gated("service/ws_push_fanout/covid"));
+        assert!(is_gated("service/append_dispatch/covid"));
         // Per-log end-to-end benches are informational, not gated — and
         // `engine/exec_` must not swallow `engine/execute_log/*`.
         assert!(!is_gated("engine/execute_log/sdss"));

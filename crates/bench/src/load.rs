@@ -12,7 +12,7 @@
 use pi2::server::{Http1Client, WsClient};
 use pi2::{
     Event, Generation, GenerationConfig, InteractionChoice, Json, MctsConfig, Pi2, Request,
-    Session, Value, WidgetKind,
+    Session, Table, Value, WidgetKind,
 };
 use pi2_workloads::big::big_catalog;
 use pi2_workloads::{catalog, log, LogKind};
@@ -568,6 +568,194 @@ pub fn run_load(
     ))
 }
 
+/// Synthesize the append payload for a mixed (read/write) run: the first
+/// catalogue table the workload's queries actually read (so every append
+/// invalidates at least one view), with its first row duplicated as a
+/// one-row delta — the schema matches by construction. `None` when no
+/// referenced table has rows to clone.
+pub fn append_payload(g: &Generation) -> Option<(String, Table)> {
+    let referenced: std::collections::BTreeSet<String> = g
+        .workload
+        .queries
+        .iter()
+        .flat_map(pi2_engine::referenced_tables)
+        .collect();
+    let catalog = g.live.snapshot();
+    for name in referenced {
+        let Some(meta) = catalog.table(&name) else {
+            continue;
+        };
+        if meta.table.num_rows() == 0 {
+            continue;
+        }
+        let schema: Vec<(&str, pi2::DataType)> = meta
+            .table
+            .schema
+            .columns
+            .iter()
+            .map(|c| (c.name.as_str(), c.dtype))
+            .collect();
+        let ncols = schema.len();
+        let row: Vec<Value> = (0..ncols).map(|c| meta.table.value(0, c)).collect();
+        let delta = Table::from_rows(schema, vec![row]).ok()?;
+        return Some((meta.name.clone(), delta));
+    }
+    None
+}
+
+/// The read-vs-write split of a mixed load run. The two halves are
+/// summarized separately because their latency profiles differ by
+/// design: a read answers from the result memo (or IVM), while a write
+/// pays catalogue versioning, eviction, and subscriber fan-out.
+#[derive(Debug, Clone)]
+pub struct MixedLoadReport {
+    /// The read half — replayed widget events; `events` counts reads.
+    pub read: LoadReport,
+    /// The write half — interleaved appends; `events` counts appends.
+    pub write: LoadReport,
+}
+
+impl MixedLoadReport {
+    /// Total non-200 / wrong-shape responses across both halves.
+    pub fn errors(&self) -> usize {
+        self.read.errors + self.write.errors
+    }
+}
+
+impl fmt::Display for MixedLoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "reads: {} | appends: {}", self.read, self.write)
+    }
+}
+
+/// One connection's half of a mixed run: latency samples and error
+/// count per side.
+#[derive(Debug, Default)]
+pub struct MixedSamples {
+    /// Per-read latencies (ns).
+    pub reads: Vec<u64>,
+    /// Per-append latencies (ns).
+    pub writes: Vec<u64>,
+    /// Non-200 / wrong-shape event responses.
+    pub read_errors: usize,
+    /// Non-200 / wrong-shape append responses.
+    pub write_errors: usize,
+}
+
+/// Replay `events_per_session` requests on one keep-alive connection,
+/// every `append_every`-th being a v2 `append` of `delta` to `table`
+/// instead of a widget event.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_session_mixed(
+    client: &mut Http1Client,
+    session: u64,
+    workload: &str,
+    cycle: &[Event],
+    events_per_session: usize,
+    append_every: usize,
+    table: &str,
+    delta: &Table,
+) -> io::Result<MixedSamples> {
+    let mut out = MixedSamples::default();
+    for i in 0..events_per_session {
+        let write = append_every > 0 && (i + 1) % append_every == 0;
+        let (body, expect) = if write {
+            (
+                pi2::request_to_json(&Request::Append {
+                    workload: workload.to_string(),
+                    table: table.to_string(),
+                    rows: delta.clone(),
+                }),
+                "\"type\":\"appended\"",
+            )
+        } else {
+            (
+                pi2::request_to_json(&Request::Event {
+                    session,
+                    event: cycle[i % cycle.len()].clone(),
+                }),
+                "\"type\":\"patch\"",
+            )
+        };
+        let start = Instant::now();
+        let resp = client.post("/v1", &body)?;
+        let ns = start.elapsed().as_nanos() as u64;
+        let bad = resp.status != 200 || !resp.body.contains(expect);
+        if write {
+            out.writes.push(ns);
+            out.write_errors += bad as usize;
+        } else {
+            out.reads.push(ns);
+            out.read_errors += bad as usize;
+        }
+    }
+    Ok(out)
+}
+
+/// The mixed-load counterpart of [`run_load`]: `sessions` concurrent
+/// connections each replay the recorded mix with every `append_every`-th
+/// request swapped for an append of `delta` to `table`. Read and write
+/// latencies are reported as separate distributions.
+#[allow(clippy::too_many_arguments)]
+pub fn run_mixed_load(
+    addr: SocketAddr,
+    workload: &str,
+    cycle: &[Event],
+    sessions: usize,
+    events_per_session: usize,
+    append_every: usize,
+    table: &str,
+    delta: &Table,
+) -> io::Result<MixedLoadReport> {
+    let start = Instant::now();
+    let results: Vec<io::Result<MixedSamples>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Http1Client::connect(addr)?;
+                    let session = open_session(&mut client, workload)?;
+                    let out = replay_session_mixed(
+                        &mut client,
+                        session,
+                        workload,
+                        cycle,
+                        events_per_session,
+                        append_every,
+                        table,
+                        delta,
+                    )?;
+                    let close = pi2::request_to_json(&Request::Close { session });
+                    let resp = client.post("/v1", &close)?;
+                    if resp.status != 200 {
+                        return Err(io::Error::other(format!(
+                            "close failed with {}: {}",
+                            resp.status, resp.body
+                        )));
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load thread panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    let mut merged = MixedSamples::default();
+    for result in results {
+        let samples = result?;
+        merged.reads.extend(samples.reads);
+        merged.writes.extend(samples.writes);
+        merged.read_errors += samples.read_errors;
+        merged.write_errors += samples.write_errors;
+    }
+    Ok(MixedLoadReport {
+        read: LoadReport::from_latencies(sessions, merged.reads, merged.read_errors, elapsed),
+        write: LoadReport::from_latencies(sessions, merged.writes, merged.write_errors, elapsed),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -645,6 +833,58 @@ mod tests {
         assert_eq!(report.events, 48);
         assert_eq!(report.errors, 0, "{report}");
         assert!(report.p99_ns >= report.p50_ns);
+        server.shutdown();
+    }
+
+    /// The `--append-every` path end to end: every third request is an
+    /// append, both halves report separately, and nothing errors — the
+    /// append-mix smoke CI runs at larger scale.
+    #[test]
+    fn mixed_load_run_splits_reads_from_writes() {
+        let mut catalog = Catalog::new();
+        let rows: Vec<Vec<pi2::Value>> = (0..24)
+            .map(|i| vec![pi2::Value::Int(i % 4), pi2::Value::Int(10 * (i % 6))])
+            .collect();
+        let t = Table::from_rows(vec![("a", DataType::Int), ("b", DataType::Int)], rows).unwrap();
+        catalog.add_table("T", t, vec![]);
+        let service = Arc::new(Pi2Service::new());
+        let generation = service
+            .register(
+                "tiny",
+                catalog,
+                &[
+                    "SELECT a, count(*) FROM T WHERE b = 10 GROUP BY a",
+                    "SELECT a, count(*) FROM T WHERE b = 20 GROUP BY a",
+                ],
+                &GenerationConfig::quick(),
+            )
+            .unwrap();
+        let cycle = event_cycle(&generation);
+        let (table, delta) = append_payload(&generation).expect("T is referenced and non-empty");
+        assert_eq!(table, "T");
+        assert_eq!(delta.num_rows(), 1);
+        let server = pi2::serve(Arc::clone(&service), ServerConfig::default()).unwrap();
+        let report = run_mixed_load(
+            server.local_addr(),
+            "tiny",
+            &cycle,
+            3,
+            12,
+            3,
+            &table,
+            &delta,
+        )
+        .unwrap();
+        // Every 3rd of 12 requests per session is an append: 4 writes,
+        // 8 reads, times 3 sessions.
+        assert_eq!(report.write.events, 12, "{report}");
+        assert_eq!(report.read.events, 24, "{report}");
+        assert_eq!(report.errors(), 0, "{report}");
+        let text = report.to_string();
+        assert!(
+            text.contains("reads: ") && text.contains("appends: "),
+            "{text}"
+        );
         server.shutdown();
     }
 

@@ -241,6 +241,31 @@ impl Cluster {
         }
     }
 
+    /// The node that owns appends to `(workload, table)` — see
+    /// [`Ring::append_owner`].
+    pub fn append_owner(&self, workload: &str, table: &str) -> u16 {
+        self.ring.append_owner(workload, table)
+    }
+
+    /// Best-effort one-way broadcast of an applied append to every peer
+    /// (the owner calls this after committing locally). A peer that
+    /// cannot be reached simply misses the delta — its own catalogue
+    /// epoch stays behind and its memo entries for the old fingerprint
+    /// remain valid for the data it still holds; failures are counted
+    /// like any other peer timeout.
+    pub fn broadcast_append(&self, body: &str) {
+        for peer in self.peers.iter().flatten() {
+            if peer
+                .send(&WireFrame::AppendApply {
+                    body: body.as_bytes().to_vec(),
+                })
+                .is_err()
+            {
+                ClusterMetrics::bump(&self.metrics.peer_timeouts);
+            }
+        }
+    }
+
     /// Queue a write-behind publish (lossy beyond the queue bound).
     pub(crate) fn enqueue(&self, item: Publish) {
         match self.publish_tx.lock().unwrap().try_send(item) {

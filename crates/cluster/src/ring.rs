@@ -39,6 +39,17 @@ pub fn combine(a: u64, b: u64) -> u64 {
     mix(a ^ b.rotate_left(32), 0x5eed)
 }
 
+/// FNV-1a over a byte string — the ring key for *named* resources
+/// (workload and table names), which have no numeric fingerprint.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// The fleet's ownership function over a fixed member list.
 #[derive(Debug, Clone)]
 pub struct Ring {
@@ -87,6 +98,18 @@ impl Ring {
     /// The owner of a reward-table entry.
     pub fn reward_owner(&self, state_hash: u64, state_size: u32, ctx_fp: u64) -> u16 {
         self.owner(combine(state_hash, ctx_fp ^ u64::from(state_size)))
+    }
+
+    /// The owner of a live table's appends: every `append` to
+    /// `(workload, table)` funnels through one node, which serializes
+    /// concurrent writers and broadcasts the applied delta to the rest
+    /// of the fleet. Table names hash case-insensitively, matching the
+    /// catalogue's lookup semantics.
+    pub fn append_owner(&self, workload: &str, table: &str) -> u16 {
+        self.owner(combine(
+            fnv1a(workload.as_bytes()),
+            fnv1a(table.to_lowercase().as_bytes()),
+        ))
     }
 }
 
@@ -137,6 +160,19 @@ mod tests {
             }
         }
         assert!(moved > 0, "node 2 must have owned something");
+    }
+
+    #[test]
+    fn append_owners_are_deterministic_and_case_insensitive() {
+        let ring = Ring::new(3);
+        let owner = ring.append_owner("covid", "covid");
+        assert_eq!(owner, ring.append_owner("covid", "COVID"));
+        assert_eq!(owner, ring.append_owner("covid", "Covid"));
+        // Distinct tables can land on distinct owners.
+        let owners: std::collections::HashSet<u16> = (0..32)
+            .map(|i| ring.append_owner("w", &format!("t{i}")))
+            .collect();
+        assert!(owners.len() > 1, "append keys all collapsed to one owner");
     }
 
     #[test]

@@ -165,6 +165,33 @@ impl WireService for ClusterService {
     }
 
     fn handle_link(&self, request: Request, link: Option<&PushLink>) -> (u16, String) {
+        // Live appends route by data ownership, not session ownership:
+        // one node serializes all writers of a (workload, table) pair,
+        // commits, answers the client, and broadcasts the delta so every
+        // replica's catalogue advances.
+        if let Request::Append {
+            workload, table, ..
+        } = &request
+        {
+            let owner = self.cluster.append_owner(workload, table);
+            if owner != self.cluster.node() {
+                ClusterMetrics::bump(&self.cluster.metrics().proxied_dispatches);
+                let body = request_to_json(&request);
+                return match self.cluster.proxy(owner, &body) {
+                    Ok(answer) => answer,
+                    Err(e) => {
+                        let e = Pi2Error::PeerUnavailable(format!("node {owner}: {e}"));
+                        (e.http_status(), error_to_json(&e))
+                    }
+                };
+            }
+            let body = request_to_json(&request);
+            let (status, answer) = self.inner.handle_link(request, link);
+            if status == 200 {
+                self.cluster.broadcast_append(&body);
+            }
+            return (status, answer);
+        }
         if let Some(session) = self.inner.session_of(&request) {
             if let Some(owner) = self.cluster.remote_owner(session) {
                 if matches!(
@@ -216,6 +243,24 @@ impl WireService for ClusterService {
 pub fn proxy_handler(service: Arc<Pi2Service>, cluster: Arc<Cluster>) -> ProxyHandler {
     Arc::new(move |body: &str| match service.parse(body) {
         Ok(request) => {
+            // Appends arrive here two ways: a `ProxyRequest` forwarded
+            // by a non-owner front (this node is the owner — commit and
+            // broadcast), or an `AppendApply` broadcast by the owner
+            // (this node is a replica — commit quietly). Re-broadcasting
+            // only as the owner is what keeps the fan-out loop-free.
+            if let Request::Append {
+                workload, table, ..
+            } = &request
+            {
+                let owner = cluster.append_owner(workload, table);
+                let is_owner = owner == cluster.node();
+                let forwarded = body.to_string();
+                let (status, answer) = service.handle_link(request, None);
+                if status == 200 && is_owner {
+                    cluster.broadcast_append(&forwarded);
+                }
+                return (status, answer);
+            }
             if let Some(session) = service.session_of(&request) {
                 if let Some(owner) = cluster.remote_owner(session) {
                     let e = Pi2Error::WrongShard { owner };

@@ -375,6 +375,21 @@ fn handle_frame(
             });
             None
         }
+        Frame::AppendApply { body } => {
+            // Apply the owner's committed append to this node's replica.
+            // One-way by contract: no response frame, and — like a
+            // proxy — the catalogue mutation and subscriber fan-out run
+            // off the reactor. The handler only re-broadcasts when this
+            // node owns the append key, which the broadcasting owner
+            // does not, so replicas never echo.
+            let proxy = proxy.clone();
+            std::thread::spawn(move || {
+                if let Ok(text) = std::str::from_utf8(&body) {
+                    let _ = proxy(text);
+                }
+            });
+            None
+        }
         // Response frames arriving at a server are a protocol violation;
         // answering nothing lets the client's read time out and its
         // breaker handle the rest.

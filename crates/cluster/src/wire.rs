@@ -93,6 +93,14 @@ pub enum Frame {
         /// Response body bytes, relayed to the client untouched.
         body: Vec<u8>,
     },
+    /// Apply an already-committed live append to this node's replica of
+    /// the workload's catalogue (one-way — the append owner broadcasts
+    /// it after serving the client; replicas apply without replying and
+    /// never re-broadcast). The body is the JSON `append` request.
+    AppendApply {
+        /// JSON protocol request bytes.
+        body: Vec<u8>,
+    },
 }
 
 const TAG_HELLO: u8 = 0x01;
@@ -106,6 +114,7 @@ const TAG_REWARD_MISS: u8 = 0x22;
 const TAG_REWARD_PUT: u8 = 0x23;
 const TAG_PROXY_REQUEST: u8 = 0x30;
 const TAG_PROXY_RESPONSE: u8 = 0x31;
+const TAG_APPEND_APPLY: u8 = 0x32;
 
 fn bad(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("peer frame: {what}"))
@@ -178,6 +187,11 @@ impl Frame {
                 p.reserve(body.len() + 3);
                 p.push(TAG_PROXY_RESPONSE);
                 p.extend_from_slice(&status.to_le_bytes());
+                p.extend_from_slice(body);
+            }
+            Frame::AppendApply { body } => {
+                p.reserve(body.len());
+                p.push(TAG_APPEND_APPLY);
                 p.extend_from_slice(body);
             }
         }
@@ -259,6 +273,9 @@ impl Frame {
                     body: body.to_vec(),
                 }
             }
+            TAG_APPEND_APPLY => Frame::AppendApply {
+                body: rest.to_vec(),
+            },
             other => return Err(bad(&format!("unknown tag {other:#04x}"))),
         })
     }
@@ -340,6 +357,9 @@ mod tests {
             Frame::ProxyResponse {
                 status: 503,
                 body: b"{\"type\":\"error\"}".to_vec(),
+            },
+            Frame::AppendApply {
+                body: b"{\"v\":2,\"type\":\"append\",\"workload\":\"w\",\"table\":\"t\"}".to_vec(),
             },
         ]
     }

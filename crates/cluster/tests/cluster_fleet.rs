@@ -18,6 +18,7 @@ use pi2::{
     request_to_json, Event, GenerationConfig, InteractionChoice, Json, Pi2, Request, Value,
     WidgetKind,
 };
+use pi2_cluster::Ring;
 use std::io::BufRead;
 use std::net::{SocketAddr, TcpListener};
 use std::process::{Child, Command, Stdio};
@@ -179,6 +180,18 @@ fn dispatch(client: &mut Http1Client, session: u64, event: &Event) -> (u16, Stri
     (resp.status, resp.body)
 }
 
+fn live_counter(client: &mut Http1Client, name: &str) -> i64 {
+    let resp = client.get("/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    Json::parse(&resp.body)
+        .expect("metrics parse")
+        .get("service")
+        .and_then(|s| s.get("live"))
+        .and_then(|c| c.get(name))
+        .and_then(|v| v.as_i64())
+        .unwrap_or_else(|| panic!("no live.{name} in {}", resp.body))
+}
+
 fn cluster_counter(client: &mut Http1Client, name: &str) -> i64 {
     let resp = client.get("/metrics").unwrap();
     assert_eq!(resp.status, 200);
@@ -189,6 +202,53 @@ fn cluster_counter(client: &mut Http1Client, name: &str) -> i64 {
         .and_then(|c| c.get(name))
         .and_then(|v| v.as_i64())
         .unwrap_or_else(|| panic!("no cluster.{name} in {}", resp.body))
+}
+
+#[test]
+fn appends_forward_to_their_owner_and_replicate_fleet_wide() {
+    let fleet = boot_fleet(2);
+    std::thread::sleep(Duration::from_millis(700));
+
+    // Every node computes the same rendezvous owner for the pair; drive
+    // the append through the OTHER node so the proxy path is exercised.
+    let owner = Ring::new(2).append_owner("covid", "covid") as usize;
+    let front = 1 - owner;
+    let delta = pi2_workloads::catalog()
+        .table("covid")
+        .expect("covid registered")
+        .table
+        .slice_rows(0, 1);
+    let body = request_to_json(&Request::Append {
+        workload: "covid".into(),
+        table: "covid".into(),
+        rows: delta,
+    });
+
+    let mut f = Http1Client::connect(fleet.http[front]).unwrap();
+    let proxied_before = cluster_counter(&mut f, "proxiedDispatches");
+    let resp = f.post("/v1", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"type\":\"appended\""), "{}", resp.body);
+    assert!(resp.body.contains("\"epoch\":1"), "{}", resp.body);
+    assert!(
+        cluster_counter(&mut f, "proxiedDispatches") > proxied_before,
+        "the non-owner must forward appends to the owner"
+    );
+
+    // The owner committed synchronously before answering; the broadcast
+    // back to the front node is one-way and asynchronous — poll briefly.
+    let mut o = Http1Client::connect(fleet.http[owner]).unwrap();
+    assert_eq!(live_counter(&mut o, "appendRows"), 1);
+    assert_eq!(live_counter(&mut o, "epochBumps"), 1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while live_counter(&mut f, "appendRows") < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "replica never applied the broadcast append"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(live_counter(&mut f, "epochBumps"), 1);
 }
 
 #[test]

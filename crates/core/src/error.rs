@@ -54,6 +54,10 @@ pub enum Pi2Error {
     Runtime(String),
     /// Query execution failed.
     Execution(String),
+    /// A live-data append was rejected by the catalogue: unknown table,
+    /// arity mismatch, or rows the target schema cannot hold. The
+    /// catalogue version is unchanged.
+    Append(String),
     /// A cluster peer that a request *requires* (the owner of a proxied
     /// session) could not be reached: connection refused, timed out, or
     /// its circuit breaker is open. Shared-cache misses never surface
@@ -92,6 +96,7 @@ impl Pi2Error {
             Pi2Error::Overloaded(_) => "overloaded",
             Pi2Error::Runtime(_) => "runtime",
             Pi2Error::Execution(_) => "execution",
+            Pi2Error::Append(_) => "append",
             Pi2Error::PeerUnavailable(_) => "peer_unavailable",
             Pi2Error::WrongShard { .. } => "wrong_shard",
         }
@@ -114,7 +119,8 @@ impl Pi2Error {
             // Well-formed but semantically unservable.
             Pi2Error::NoInterface
             | Pi2Error::UnknownInteraction { .. }
-            | Pi2Error::InvalidEvent { .. } => 422,
+            | Pi2Error::InvalidEvent { .. }
+            | Pi2Error::Append(_) => 422,
             Pi2Error::Backpressure { .. } => 429,
             Pi2Error::Runtime(_) | Pi2Error::Execution(_) => 500,
             Pi2Error::Overloaded(_) | Pi2Error::PeerUnavailable(_) => 503,
@@ -147,6 +153,7 @@ impl fmt::Display for Pi2Error {
             Pi2Error::Overloaded(m) => write!(f, "server overloaded: {m}"),
             Pi2Error::Runtime(m) => write!(f, "runtime error: {m}"),
             Pi2Error::Execution(m) => write!(f, "execution error: {m}"),
+            Pi2Error::Append(m) => write!(f, "append rejected: {m}"),
             Pi2Error::PeerUnavailable(m) => write!(f, "cluster peer unavailable: {m}"),
             Pi2Error::WrongShard { owner } => {
                 write!(f, "session is owned by node #{owner}; retry there")
@@ -205,6 +212,7 @@ mod tests {
             (Pi2Error::Overloaded("o".into()), "overloaded", 503),
             (Pi2Error::Runtime("r".into()), "runtime", 500),
             (Pi2Error::Execution("e".into()), "execution", 500),
+            (Pi2Error::Append("no such table".into()), "append", 422),
             (
                 Pi2Error::PeerUnavailable("node 2".into()),
                 "peer_unavailable",

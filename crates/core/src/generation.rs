@@ -2,7 +2,7 @@
 
 use crate::error::Pi2Error;
 use crate::service::Session;
-use pi2_data::Catalog;
+use pi2_data::{Catalog, LiveCatalog};
 use pi2_difftree::{Forest, Workload};
 use pi2_interface::{InteractionChoice, Interface, MappingContext};
 use pi2_search::{best_interface, mcts_search, MappingOptions, MctsConfig, SearchStats};
@@ -88,11 +88,13 @@ impl Pi2 {
         let mapping_time = t0.elapsed();
         let (interface, cost) = mapped;
 
+        let live = Arc::new(LiveCatalog::new(workload.catalog.clone()));
         Ok(Generation {
             interface: Arc::new(interface),
             cost,
             forest: Arc::new(forest),
             workload: Arc::new(workload),
+            live,
             mcts_stats,
             mapping_time,
         })
@@ -125,6 +127,11 @@ pub struct Generation {
     pub forest: Arc<Forest>,
     /// The parsed input queries plus catalogue (shared).
     pub workload: Arc<Workload>,
+    /// The live (appendable) catalogue: starts at the workload's base
+    /// catalogue and advances one epoch per append. Shared by every
+    /// session over this generation — sessions fetch results against
+    /// [`LiveCatalog::snapshot`], so an append is visible to all of them.
+    pub live: Arc<LiveCatalog>,
     /// Search statistics (iterations, duration, best reward).
     pub mcts_stats: SearchStats,
     /// Wall-clock time of the final §6.2.2 mapping phase.

@@ -79,7 +79,9 @@ pub use push::{PushHub, PushStats};
 pub use registry::SessionRegistry;
 pub use runtime::Event;
 pub use service::ClusterStats;
-pub use service::{Patch, PatchView, Pi2Service, ServiceMetrics, Session, WorkloadMetrics};
+pub use service::{
+    AppendOutcome, Patch, PatchView, Pi2Service, ServiceMetrics, Session, WorkloadMetrics,
+};
 pub use serving::serve;
 
 /// The HTTP transport layer (the `pi2-server` crate re-exported): the
@@ -90,7 +92,7 @@ pub use pi2_server as server;
 
 // Re-export the sub-crates' key types so downstream users need one import.
 pub use pi2_data::memo;
-pub use pi2_data::{Catalog, ColumnData, DataType, ShardedMemo, Table, Value};
+pub use pi2_data::{Catalog, ColumnData, DataType, LiveCatalog, ShardedMemo, Table, Value};
 pub use pi2_difftree::{Forest, Workload};
 pub use pi2_engine::{engine_config, set_engine_config, EngineConfig};
 pub use pi2_interface::{

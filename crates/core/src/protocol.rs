@@ -521,6 +521,19 @@ pub enum Request {
     /// Ask which protocol versions and streaming features this backend
     /// (and this connection) supports (protocol v2).
     Negotiate,
+    /// Append rows to a registered workload's live table (protocol v2).
+    /// The rows travel in the same columnar table encoding patches use.
+    /// On success the catalogue epoch advances and every subscriber of
+    /// the workload channel is pushed a data patch covering the views the
+    /// append affected.
+    Append {
+        /// Registration name.
+        workload: String,
+        /// Target table (case-insensitive, as registered).
+        table: String,
+        /// The rows to append, columnar-encoded.
+        rows: Table,
+    },
 }
 
 /// Encode a request (the client half of the two-way protocol).
@@ -553,6 +566,17 @@ pub fn request_to_json(request: &Request) -> String {
             "{{\"v\":{PROTOCOL_VERSION_V2},\"type\":\"unsubscribe\",\"session\":{session}}}"
         ),
         Request::Negotiate => format!("{{\"v\":{PROTOCOL_VERSION_V2},\"type\":\"negotiate\"}}"),
+        Request::Append {
+            workload,
+            table,
+            rows,
+        } => format!(
+            "{{\"v\":{PROTOCOL_VERSION_V2},\"type\":\"append\",\"workload\":\"{}\",\
+             \"table\":\"{}\",\"rows\":{}}}",
+            escape(workload),
+            escape(table),
+            table_to_json(rows)
+        ),
     }
 }
 
@@ -623,6 +647,17 @@ pub fn request_from_json(text: &str) -> Result<Request, Pi2Error> {
         Some("negotiate") => {
             v2("negotiate")?;
             Ok(Request::Negotiate)
+        }
+        Some("append") => {
+            v2("append")?;
+            Ok(Request::Append {
+                workload: workload_of(&j)?,
+                table: field(&j, "table")?
+                    .as_str()
+                    .ok_or_else(|| proto_err("field 'table' must be a string"))?
+                    .to_string(),
+                rows: table_from_json(field(&j, "rows")?)?,
+            })
         }
         other => Err(proto_err(format!("unknown request type {other:?}"))),
     }
@@ -695,6 +730,16 @@ pub(crate) fn metrics_response(m: &ServiceMetrics) -> String {
         m.push.subscriptions,
         m.push.delivered,
         m.push.evicted,
+    );
+    let _ = write!(
+        out,
+        ",\"live\":{{\"appendRows\":{},\"epochBumps\":{},\"ivmHits\":{},\
+         \"ivmFallbacks\":{},\"invalidatedViews\":{}}}",
+        m.live.append_rows,
+        m.live.epoch_bumps,
+        m.live.ivm_hits,
+        m.live.ivm_fallbacks,
+        m.live.invalidated_views,
     );
     if let Some(c) = &m.cluster {
         let _ = write!(
@@ -821,17 +866,42 @@ impl Pi2Service {
                 // The structured capability object replaces endpoint
                 // probing: `versions` lists every protocol version this
                 // server speaks, `ws_push` reports whether *this
-                // connection* can deliver pushes, and `cluster` whether
-                // the process is part of a fleet. The legacy top-level
-                // `push` flag is kept for v2 clients that predate
-                // capabilities.
+                // connection* can deliver pushes, `cluster` whether the
+                // process is part of a fleet, and `live` the append
+                // endpoint plus the query shapes served incrementally.
+                // The legacy top-level `push` flag is kept for v2 clients
+                // that predate capabilities.
                 Ok(format!(
                     "{{\"v\":{PROTOCOL_VERSION_V2},\"type\":\"protocols\",\
                      \"versions\":[{PROTOCOL_VERSION},{PROTOCOL_VERSION_V2}],\"push\":{push},\
                      \"capabilities\":{{\"versions\":[{PROTOCOL_VERSION},{PROTOCOL_VERSION_V2}],\
-                     \"ws_push\":{push},\"cluster\":{cluster}}}}}",
+                     \"ws_push\":{push},\"cluster\":{cluster},\
+                     \"live\":{{\"append\":true,\
+                     \"ivm\":[\"filter\",\"group\",\"aggregate\",\"project\"]}}}}}}",
                     push = link.is_some(),
                     cluster = self.cluster_stats().is_some(),
+                ))
+            }
+            Request::Append {
+                workload,
+                table,
+                rows,
+            } => {
+                let outcome = self.append(&workload, &table, rows)?;
+                // The append is committed: push every subscriber of the
+                // workload channel its own data patch (the views whose
+                // query references the appended table — untouched views
+                // produce no entry).
+                self.fanout_append(&workload, &outcome.table);
+                Ok(format!(
+                    "{{\"v\":{PROTOCOL_VERSION_V2},\"type\":\"appended\",\
+                     \"workload\":\"{}\",\"table\":\"{}\",\"epoch\":{},\
+                     \"rows\":{},\"totalRows\":{}}}",
+                    escape(&workload),
+                    escape(&outcome.table),
+                    outcome.epoch,
+                    outcome.rows,
+                    outcome.total_rows,
                 ))
             }
         }
@@ -851,6 +921,31 @@ impl Pi2Service {
             };
             let mut peer = slot.lock();
             let body = match peer.dispatch(event) {
+                Ok(patch) => patch_to_json(&patch),
+                Err(e) => error_to_json(&e),
+            };
+            if sender(conn, body) {
+                self.push_hub().note_delivered();
+            } else {
+                self.push_hub().evict(session, conn);
+            }
+        }
+    }
+
+    /// Push every subscriber of `workload`'s channel the data patch a
+    /// committed append produced for *its own* session — exactly the bytes
+    /// that session's next refresh would carry for the affected views.
+    /// Sessions whose current queries don't reference the appended table
+    /// get nothing (their patch would be empty).
+    fn fanout_append(&self, workload: &str, table: &str) {
+        for (session, conn, sender) in self.push_hub().subscribers_of(workload) {
+            let Some(slot) = self.wire_session(session) else {
+                self.push_hub().drop_session(session);
+                continue;
+            };
+            let peer = slot.lock();
+            let body = match peer.data_patch(table) {
+                Ok(patch) if patch.is_empty() => continue,
                 Ok(patch) => patch_to_json(&patch),
                 Err(e) => error_to_json(&e),
             };

@@ -171,6 +171,24 @@ impl PushHub {
         peers
     }
 
+    /// Every subscription in `channel`: `(session, conn, sender)`
+    /// snapshots sorted by session id. The live-append fan-out pushes
+    /// each subscriber its own data patch through these — unlike
+    /// [`PushHub::peers_of`] there is no originating session to exclude;
+    /// the data changed underneath everyone.
+    pub fn subscribers_of(&self, channel: &str) -> Vec<(u64, u64, PushSender)> {
+        let inner = lock(&self.inner);
+        let Some(subs) = inner.subscribers.get(channel) else {
+            return Vec::new();
+        };
+        let mut peers: Vec<(u64, u64, PushSender)> = subs
+            .iter()
+            .map(|(session, sub)| (*session, sub.conn, sub.sender.clone()))
+            .collect();
+        peers.sort_by_key(|(session, ..)| *session);
+        peers
+    }
+
     /// Record one successful delivery.
     pub fn note_delivered(&self) {
         self.delivered.fetch_add(1, Ordering::Relaxed);

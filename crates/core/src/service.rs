@@ -28,7 +28,7 @@ use pi2_data::hash::fnv1a_64;
 use pi2_data::{Catalog, Table};
 use pi2_difftree::{infer_types_cached, raise_query, resolve, Assignment, BindingMap, TypeMap};
 use pi2_engine::{execute, ExecContext};
-use pi2_interface::{global_eval_cache, CacheStats, Interface};
+use pi2_interface::{global_eval_cache, CacheStats, Interface, LiveStats};
 use pi2_search::SearchStats;
 use pi2_sql::ast::Query;
 use std::collections::HashMap;
@@ -226,9 +226,10 @@ impl Session {
 
         // Fill the patch for the dirty trees (resolved SQL changed) from
         // the staged state, *before* committing: a failed event — however
-        // it fails — leaves the whole session unchanged.
+        // it fails — leaves the whole session unchanged. Results come from
+        // the *live* catalogue snapshot, so appended rows are visible.
         let cache = global_eval_cache();
-        let catalog = &self.generation.workload.catalog;
+        let catalog = self.generation.live.snapshot();
         let mut views = Vec::new();
         for (v, view) in self.generation.interface.views.iter().enumerate() {
             let staged_for_view = commits
@@ -236,7 +237,7 @@ impl Session {
                 .find(|(tree, _, _, _, fp)| *tree == view.tree && *fp != self.fps[*tree]);
             if let Some((tree, _, query, sql, fp)) = staged_for_view {
                 let table = cache
-                    .resolved_result_fp(catalog, *fp, query)
+                    .resolved_result_fp(&catalog, *fp, query)
                     .ok_or_else(|| self.execution_error(*tree, query))?;
                 views.push(PatchView {
                     view: v,
@@ -272,16 +273,36 @@ impl Session {
         })
     }
 
+    /// The patch a live append produces for this session: every view whose
+    /// *current* query references the appended table, freshly fetched
+    /// against the live catalogue (the memo's IVM path serves supported
+    /// shapes from the delta alone). Views over other tables are omitted
+    /// — untouched views produce no patch entry. The sequence number does
+    /// not advance: no event was dispatched; the data moved underneath
+    /// the same interaction state.
+    pub fn data_patch(&self, changed: &str) -> Result<Patch, Pi2Error> {
+        let changed = changed.to_lowercase();
+        let affected: Vec<bool> = self
+            .queries
+            .iter()
+            .map(|q| pi2_engine::referenced_tables(q).contains(&changed))
+            .collect();
+        Ok(Patch {
+            seq: self.seq,
+            views: self.patch_views(|tree| affected[tree])?,
+        })
+    }
+
     /// Execute the current query of every tree (one result table per view),
     /// served through the shared result memo — unchanged queries never
     /// re-execute.
     pub fn execute(&self) -> Result<Vec<Table>, Pi2Error> {
         let cache = global_eval_cache();
-        let catalog = &self.generation.workload.catalog;
+        let catalog = self.generation.live.snapshot();
         (0..self.queries.len())
             .map(|t| {
                 cache
-                    .resolved_result_fp(catalog, self.fps[t], &self.queries[t])
+                    .resolved_result_fp(&catalog, self.fps[t], &self.queries[t])
                     .map(|table| (*table).clone())
                     .ok_or_else(|| self.execution_error(t, &self.queries[t]))
             })
@@ -320,14 +341,14 @@ impl Session {
         mut include: impl FnMut(usize) -> bool,
     ) -> Result<Vec<PatchView>, Pi2Error> {
         let cache = global_eval_cache();
-        let catalog = &self.generation.workload.catalog;
+        let catalog = self.generation.live.snapshot();
         let mut out = Vec::new();
         for (v, view) in self.generation.interface.views.iter().enumerate() {
             if !include(view.tree) {
                 continue;
             }
             let table = cache
-                .resolved_result_fp(catalog, self.fps[view.tree], &self.queries[view.tree])
+                .resolved_result_fp(&catalog, self.fps[view.tree], &self.queries[view.tree])
                 .ok_or_else(|| self.execution_error(view.tree, &self.queries[view.tree]))?;
             out.push(PatchView {
                 view: v,
@@ -342,7 +363,8 @@ impl Session {
     /// The memo caches failures as `None`; re-run uncached to surface the
     /// engine's actual message (rare path).
     fn execution_error(&self, tree: usize, query: &Query) -> Pi2Error {
-        let ctx = ExecContext::new(&self.generation.workload.catalog);
+        let catalog = self.generation.live.snapshot();
+        let ctx = ExecContext::new(&catalog);
         match execute(query, &ctx) {
             Err(e) => Pi2Error::Execution(format!("view over tree {tree}: {e}")),
             Ok(_) => Pi2Error::Execution("cached execution failed".into()),
@@ -522,6 +544,45 @@ impl Pi2Service {
         self.cluster.get().map(|f| f())
     }
 
+    /// Append rows to a registered workload's live catalogue: advance the
+    /// epoch, fold the append into the catalogue fingerprint, record the
+    /// live counters, and sweep memo entries keyed to the fingerprint the
+    /// append retired (two epochs old — in-flight dispatches and IVM
+    /// prev-state reads get one epoch of grace). Open sessions see the
+    /// new rows on their next result fetch; pushing data patches to
+    /// subscribers is the protocol layer's job
+    /// (`handle_request_link` fans out after a wire append succeeds).
+    pub fn append(
+        &self,
+        workload: &str,
+        table: &str,
+        rows: Table,
+    ) -> Result<AppendOutcome, Pi2Error> {
+        let generation = self
+            .generation(workload)
+            .ok_or_else(|| Pi2Error::UnknownWorkload(workload.to_string()))?;
+        let receipt = generation
+            .live
+            .append(table, rows)
+            .map_err(|e| Pi2Error::Append(e.to_string()))?;
+        let cache = global_eval_cache();
+        cache.note_append(receipt.rows);
+        if let Some(fp) = receipt.evict_fingerprint {
+            cache.evict_catalog(fp);
+        }
+        let total_rows = receipt
+            .catalog
+            .table(&receipt.table)
+            .map(|m| m.table.num_rows())
+            .unwrap_or(0);
+        Ok(AppendOutcome {
+            table: receipt.table,
+            epoch: receipt.epoch,
+            rows: receipt.rows,
+            total_rows,
+        })
+    }
+
     /// Service-wide metrics: per-workload search/cost/warm stats plus the
     /// shared-cache counters session traffic exercises.
     pub fn metrics(&self) -> ServiceMetrics {
@@ -550,9 +611,24 @@ impl Pi2Service {
             reward_table_entries: reward_entries,
             action_table_entries: action_entries,
             push: self.push.stats(),
+            live: global_eval_cache().live_stats(),
             cluster: self.cluster_stats(),
         }
     }
+}
+
+/// What a successful [`Pi2Service::append`] did, echoed in the protocol's
+/// `appended` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// The table appended to, in its registered case.
+    pub table: String,
+    /// The catalogue epoch the append produced.
+    pub epoch: u64,
+    /// Rows appended.
+    pub rows: usize,
+    /// The table's total row count after the append.
+    pub total_rows: usize,
 }
 
 /// Snapshot of one registered workload for [`ServiceMetrics`].
@@ -589,6 +665,9 @@ pub struct ServiceMetrics {
     pub action_table_entries: usize,
     /// Shared-session subscription counters (protocol v2 push).
     pub push: PushStats,
+    /// Live-data counters (appends, epoch bumps, IVM hits/fallbacks,
+    /// invalidated views).
+    pub live: LiveStats,
     /// Cluster counters, when this process is part of a fleet.
     pub cluster: Option<ClusterStats>,
 }

@@ -64,7 +64,10 @@ impl WireService for Pi2Service {
             | Request::Subscribe { session }
             | Request::Unsubscribe { session } => Some(*session),
             Request::Open { .. } | Request::Describe { .. } | Request::Metrics => None,
-            Request::Negotiate => None,
+            // Appends address a workload's live catalogue, not a session:
+            // the catalogue's own lock serializes concurrent appends, and
+            // subscriber fan-out takes each session's lock as it goes.
+            Request::Negotiate | Request::Append { .. } => None,
         }
     }
 

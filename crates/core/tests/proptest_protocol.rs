@@ -190,6 +190,23 @@ proptest! {
         prop_assert_eq!(patch_to_json(&back), json);
     }
 
+    /// The v2 `append` request round-trips through the codec: the rows
+    /// table survives value-exactly and the re-encoded request is
+    /// byte-identical (same canonical-equality contract as patches).
+    #[test]
+    fn append_request_round_trips(
+        workload in "[a-z]{1,8}",
+        table in "[a-zA-Z_]{1,8}",
+        rows in arb_table(),
+    ) {
+        let request = pi2::Request::Append { workload, table, rows };
+        let json = pi2::request_to_json(&request);
+        let back = pi2::request_from_json(&json)
+            .unwrap_or_else(|e| panic!("decode of {json} failed: {e}"));
+        prop_assert_eq!(&back, &request, "wire form: {}", &json);
+        prop_assert_eq!(pi2::request_to_json(&back), json);
+    }
+
     #[test]
     fn patch_decode_rejects_truncations(patch in arb_patch()) {
         let json = patch_to_json(&patch);
@@ -218,7 +235,8 @@ fn negotiate_capabilities_shape_is_pinned() {
     assert_eq!(
         answer,
         "{\"v\":2,\"type\":\"protocols\",\"versions\":[1,2],\"push\":false,\
-         \"capabilities\":{\"versions\":[1,2],\"ws_push\":false,\"cluster\":false}}"
+         \"capabilities\":{\"versions\":[1,2],\"ws_push\":false,\"cluster\":false,\
+         \"live\":{\"append\":true,\"ivm\":[\"filter\",\"group\",\"aggregate\",\"project\"]}}}"
     );
     // The object stays machine-readable through the parser too.
     let caps = pi2::Json::parse(&answer)
@@ -242,4 +260,14 @@ fn negotiate_capabilities_shape_is_pinned() {
         .filter_map(pi2::Json::as_i64)
         .collect();
     assert_eq!(versions, [1, 2]);
+    let live = caps.get("live").expect("live capability present");
+    assert_eq!(live.get("append").and_then(pi2::Json::as_bool), Some(true));
+    let ivm: Vec<&str> = live
+        .get("ivm")
+        .and_then(|v| v.as_arr())
+        .expect("ivm shape list")
+        .iter()
+        .filter_map(pi2::Json::as_str)
+        .collect();
+    assert_eq!(ivm, ["filter", "group", "aggregate", "project"]);
 }

@@ -10,6 +10,7 @@ use crate::stats::ColumnStats;
 use crate::table::Table;
 use crate::types::DataType;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Metadata + data for one base table.
 #[derive(Debug, Clone)]
@@ -35,6 +36,28 @@ pub enum FunctionSig {
     Float,
 }
 
+/// The rows one table gained in a single append, relative to a known base.
+#[derive(Debug, Clone)]
+pub struct TableDelta {
+    /// Row count of the table *before* the append.
+    pub base_rows: usize,
+    /// The appended rows as a standalone (flat) table chunk.
+    pub rows: Arc<Table>,
+}
+
+/// What changed between a catalogue version and its predecessor — enough
+/// for incremental view maintenance to execute only the delta and for
+/// caches to carry entries forward across an append that missed them.
+#[derive(Debug, Clone)]
+pub struct CatalogDelta {
+    /// Fingerprint of the catalogue this delta was applied to.
+    pub prev_fingerprint: u64,
+    /// Epoch of the catalogue carrying this delta (predecessor epoch + 1).
+    pub epoch: u64,
+    /// Per-table appended rows, keyed by lowercased table name.
+    pub tables: BTreeMap<String, TableDelta>,
+}
+
 /// An in-memory database catalogue: tables plus function signatures.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
@@ -43,6 +66,13 @@ pub struct Catalog {
     /// Cheap content fingerprint (names, schemas, row counts, domains) used
     /// to key cross-catalogue caches such as the executor's result cache.
     fingerprint: u64,
+    /// Monotone append counter; bumped by [`Catalog::append_rows`] and
+    /// folded into the fingerprint so every memo keyed on it invalidates
+    /// for free.
+    epoch: u64,
+    /// What the latest [`Catalog::append_rows`] changed, or `None` when
+    /// this catalogue version was not produced by an append.
+    delta: Option<Arc<CatalogDelta>>,
 }
 
 impl Catalog {
@@ -52,6 +82,8 @@ impl Catalog {
             tables: BTreeMap::new(),
             functions: BTreeMap::new(),
             fingerprint: 0,
+            epoch: 0,
+            delta: None,
         };
         c.register_function("count", FunctionSig::Fixed(DataType::Int));
         c.register_function("sum", FunctionSig::SameAsArg);
@@ -102,12 +134,91 @@ impl Catalog {
         }
         meta.primary_key.hash(&mut h);
         self.fingerprint = h.finish();
+        // A wholesale (re)registration is not an append: deltas describe a
+        // single append step and this isn't one.
+        self.delta = None;
         self.tables.insert(name.to_ascii_lowercase(), meta);
+    }
+
+    /// Append `delta` rows to table `name`, returning the *next* catalogue
+    /// version. The receiver is untouched (readers keep scanning their
+    /// snapshot); the new version shares all existing chunk storage by
+    /// `Arc`, merges column statistics incrementally, and folds the delta's
+    /// content into the fingerprint in O(appended rows). The fold is
+    /// content-based — two catalogues that apply identical appends converge
+    /// to identical fingerprints, which keeps a fleet's shared caches
+    /// coherent.
+    pub fn append_rows(&self, name: &str, delta: Table) -> Result<Catalog, DataError> {
+        let meta = self.require_table(name)?;
+        if delta.num_columns() != meta.table.num_columns() {
+            return Err(DataError::ArityMismatch {
+                expected: meta.table.num_columns(),
+                found: delta.num_columns(),
+            });
+        }
+        let base_rows = meta.table.num_rows();
+        let appended = meta
+            .table
+            .append_table(&delta, crate::table::chunk_rows())?;
+        // Per-column stats: one O(delta) pass over the appended rows, then
+        // an O(distinct) merge — never a rescan of the base table.
+        let delta_stats: Vec<ColumnStats> = (0..delta.num_columns())
+            .map(|i| ColumnStats::compute(&delta, i))
+            .collect();
+        let stats: Vec<ColumnStats> = meta
+            .stats
+            .iter()
+            .zip(delta_stats.iter())
+            .enumerate()
+            .map(|(i, (base, extra))| {
+                base.merge(extra, meta.table.non_null_count(i), delta.non_null_count(i))
+            })
+            .collect();
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.fingerprint.hash(&mut h);
+        (self.epoch + 1).hash(&mut h);
+        "append".hash(&mut h);
+        let key = name.to_ascii_lowercase();
+        key.hash(&mut h);
+        appended.num_rows().hash(&mut h);
+        for i in 0..delta.num_columns() {
+            delta.col(i).hash_content(&mut h);
+        }
+        let mut next = self.clone();
+        next.fingerprint = h.finish();
+        next.epoch = self.epoch + 1;
+        let delta = Arc::new(delta);
+        next.delta = Some(Arc::new(CatalogDelta {
+            prev_fingerprint: self.fingerprint,
+            epoch: next.epoch,
+            tables: BTreeMap::from([(
+                key.clone(),
+                TableDelta {
+                    base_rows,
+                    rows: Arc::clone(&delta),
+                },
+            )]),
+        }));
+        let slot = next.tables.get_mut(&key).expect("checked above");
+        slot.table = appended;
+        slot.stats = stats;
+        Ok(next)
     }
 
     /// The catalogue's content fingerprint.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The append epoch: 0 at registration, +1 per [`Catalog::append_rows`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// What the latest append changed, when this version came from one.
+    pub fn delta(&self) -> Option<&Arc<CatalogDelta>> {
+        self.delta.as_ref()
     }
 
     /// Case-insensitive table lookup.
@@ -179,6 +290,7 @@ impl Catalog {
         name.to_ascii_lowercase().hash(&mut h);
         format!("{sig:?}").hash(&mut h);
         self.fingerprint = h.finish();
+        self.delta = None;
         self.functions.insert(name.to_ascii_lowercase(), sig);
     }
 
@@ -268,6 +380,93 @@ mod tests {
         assert!(c.covers_primary_key("T", &["p", "a"]));
         assert!(!c.covers_primary_key("T", &["a"]));
         assert!(!c.covers_primary_key("missing", &["p"]));
+    }
+
+    fn delta_rows(vals: &[(i64, i64, i64)]) -> Table {
+        Table::from_rows(
+            vec![
+                ("p", DataType::Int),
+                ("a", DataType::Int),
+                ("b", DataType::Int),
+            ],
+            vals.iter()
+                .map(|(p, a, b)| vec![Value::Int(*p), Value::Int(*a), Value::Int(*b)])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn append_rows_is_functional_and_bumps_epoch() {
+        let c0 = catalog_with_t();
+        assert_eq!(c0.epoch(), 0);
+        assert!(c0.delta().is_none());
+        let c1 = c0.append_rows("t", delta_rows(&[(3, 30, 300)])).unwrap();
+        assert_eq!(c0.table("T").unwrap().table.num_rows(), 2, "base untouched");
+        assert_eq!(c1.table("T").unwrap().table.num_rows(), 3);
+        assert_eq!(c1.epoch(), 1);
+        assert_ne!(c0.fingerprint(), c1.fingerprint());
+        let d = c1.delta().expect("append records a delta");
+        assert_eq!(d.prev_fingerprint, c0.fingerprint());
+        assert_eq!(d.tables["t"].base_rows, 2);
+        assert_eq!(d.tables["t"].rows.num_rows(), 1);
+    }
+
+    #[test]
+    fn append_fingerprint_is_content_deterministic() {
+        // Two nodes applying the same append to the same catalogue must
+        // converge — shared caches across a fleet key on the fingerprint.
+        let a = catalog_with_t()
+            .append_rows("T", delta_rows(&[(3, 30, 300)]))
+            .unwrap();
+        let b = catalog_with_t()
+            .append_rows("T", delta_rows(&[(3, 30, 300)]))
+            .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = catalog_with_t()
+            .append_rows("T", delta_rows(&[(3, 31, 300)]))
+            .unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn append_merges_stats_incrementally() {
+        let c = catalog_with_t()
+            .append_rows("T", delta_rows(&[(3, 5, 300), (4, 20, 999)]))
+            .unwrap();
+        let s = c.column_stats("T", "a").unwrap();
+        assert_eq!(s.min, Some(Value::Int(5)));
+        assert_eq!(s.max, Some(Value::Int(20)));
+        assert_eq!(s.distinct_count, 3, "10, 20, 5 — 20 repeats");
+        assert!(!s.unique);
+        let p = c.column_stats("T", "p").unwrap();
+        assert!(p.unique, "primary key stays unique through the merge");
+        assert_eq!(p.distinct_count, 4);
+    }
+
+    #[test]
+    fn append_validates_table_and_arity() {
+        let c = catalog_with_t();
+        assert!(c.append_rows("missing", delta_rows(&[])).is_err());
+        let narrow = Table::from_rows(vec![("p", DataType::Int)], vec![]).unwrap();
+        assert_eq!(
+            c.append_rows("T", narrow).unwrap_err(),
+            DataError::ArityMismatch {
+                expected: 3,
+                found: 1
+            }
+        );
+    }
+
+    #[test]
+    fn registration_clears_the_delta() {
+        let mut c1 = catalog_with_t()
+            .append_rows("T", delta_rows(&[(3, 30, 300)]))
+            .unwrap();
+        assert!(c1.delta().is_some());
+        let u = Table::from_rows(vec![("z", DataType::Int)], vec![]).unwrap();
+        c1.add_table("U", u, vec![]);
+        assert!(c1.delta().is_none(), "add_table is not an append");
     }
 
     #[test]

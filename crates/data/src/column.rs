@@ -475,6 +475,189 @@ impl ColumnData {
         })
     }
 
+    /// Concatenate several parts of one logical column into a single
+    /// column (the scan-side materialization of a chunked live table).
+    ///
+    /// Same-variant typed parts extend their storage directly. All-`Dict`
+    /// parts merge into the sorted union of their dictionaries with a
+    /// per-part code remap (so appends against a dictionary column keep
+    /// the sorted-dictionary invariant); a `Dict`/`Utf8` mixture decodes
+    /// to `Utf8`. Anything else falls back to
+    /// [`ColumnData::from_values`] over the materialized cells.
+    pub fn concat(parts: &[&ColumnData]) -> ColumnData {
+        match parts {
+            [] => return ColumnData::Mixed(Vec::new()),
+            [one] => return (*one).clone(),
+            _ => {}
+        }
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        if parts.iter().all(|p| matches!(p, ColumnData::Dict { .. })) {
+            return Self::concat_dicts(parts, total);
+        }
+        if parts
+            .iter()
+            .all(|p| matches!(p, ColumnData::Dict { .. } | ColumnData::Utf8 { .. }))
+        {
+            // A Dict/Utf8 mixture decodes to plain strings.
+            let mut values: Vec<String> = Vec::with_capacity(total);
+            let mut nulls = NullMask::new();
+            for p in parts {
+                match p {
+                    ColumnData::Utf8 {
+                        values: v,
+                        nulls: n,
+                    } => {
+                        values.extend_from_slice(v);
+                        for i in 0..v.len() {
+                            nulls.push(n.is_null(i));
+                        }
+                    }
+                    ColumnData::Dict {
+                        codes,
+                        dict,
+                        nulls: n,
+                    } => {
+                        for (i, &c) in codes.iter().enumerate() {
+                            let null = n.is_null(i);
+                            values.push(if null {
+                                String::new()
+                            } else {
+                                dict[c as usize].clone()
+                            });
+                            nulls.push(null);
+                        }
+                    }
+                    _ => unreachable!("only Dict/Utf8 parts reach here"),
+                }
+            }
+            return ColumnData::Utf8 { values, nulls };
+        }
+        macro_rules! same_variant {
+            ($variant:ident) => {{
+                let mut values = Vec::with_capacity(total);
+                let mut nulls = NullMask::new();
+                for p in parts {
+                    if let ColumnData::$variant {
+                        values: v,
+                        nulls: n,
+                    } = p
+                    {
+                        values.extend_from_slice(v);
+                        for i in 0..v.len() {
+                            nulls.push(n.is_null(i));
+                        }
+                    }
+                }
+                ColumnData::$variant { values, nulls }
+            }};
+        }
+        if parts.iter().all(|p| matches!(p, ColumnData::Int64 { .. })) {
+            return same_variant!(Int64);
+        }
+        if parts
+            .iter()
+            .all(|p| matches!(p, ColumnData::Float64 { .. }))
+        {
+            return same_variant!(Float64);
+        }
+        if parts.iter().all(|p| matches!(p, ColumnData::Bool { .. })) {
+            return same_variant!(Bool);
+        }
+        if parts.iter().all(|p| matches!(p, ColumnData::Date64 { .. })) {
+            return same_variant!(Date64);
+        }
+        // Mismatched variants: materialize and let from_values re-type
+        // (a purely representational mismatch still yields typed storage).
+        let hint = parts.iter().find_map(|p| p.dtype());
+        let mut vals: Vec<Value> = Vec::with_capacity(total);
+        for p in parts {
+            vals.extend(p.iter());
+        }
+        ColumnData::from_values(vals, hint)
+    }
+
+    /// [`ColumnData::concat`] over all-`Dict` parts: sorted-union
+    /// dictionary, per-part code remap, null slots kept at code 0.
+    fn concat_dicts(parts: &[&ColumnData], total: usize) -> ColumnData {
+        let first_dict = match parts[0] {
+            ColumnData::Dict { dict, .. } => dict,
+            _ => unreachable!("caller checked all parts are Dict"),
+        };
+        let shared = parts
+            .iter()
+            .all(|p| matches!(p, ColumnData::Dict { dict, .. } if Arc::ptr_eq(dict, first_dict)));
+        if shared {
+            // One shared dictionary: codes concatenate verbatim.
+            let mut codes = Vec::with_capacity(total);
+            let mut nulls = NullMask::new();
+            for p in parts {
+                if let ColumnData::Dict {
+                    codes: c, nulls: n, ..
+                } = p
+                {
+                    codes.extend_from_slice(c);
+                    for i in 0..c.len() {
+                        nulls.push(n.is_null(i));
+                    }
+                }
+            }
+            return ColumnData::Dict {
+                codes,
+                dict: Arc::clone(first_dict),
+                nulls,
+            };
+        }
+        // Sorted union of the (each sorted, deduped) dictionaries.
+        let mut union: Vec<String> = Vec::new();
+        for p in parts {
+            if let ColumnData::Dict { dict, .. } = p {
+                let mut merged = Vec::with_capacity(union.len() + dict.len());
+                let (mut a, mut b) = (union.into_iter().peekable(), dict.iter().peekable());
+                loop {
+                    match (a.peek(), b.peek()) {
+                        (Some(x), Some(y)) => match x.as_str().cmp(y.as_str()) {
+                            Ordering::Less => merged.push(a.next().unwrap()),
+                            Ordering::Greater => merged.push(b.next().unwrap().clone()),
+                            Ordering::Equal => {
+                                merged.push(a.next().unwrap());
+                                b.next();
+                            }
+                        },
+                        (Some(_), None) => merged.push(a.next().unwrap()),
+                        (None, Some(_)) => merged.push(b.next().unwrap().clone()),
+                        (None, None) => break,
+                    }
+                }
+                union = merged;
+            }
+        }
+        let mut codes = Vec::with_capacity(total);
+        let mut nulls = NullMask::new();
+        for p in parts {
+            if let ColumnData::Dict {
+                codes: c,
+                dict,
+                nulls: n,
+            } = p
+            {
+                let remap: Vec<u32> = dict
+                    .iter()
+                    .map(|s| union.binary_search(s).expect("union holds every entry") as u32)
+                    .collect();
+                for (i, &code) in c.iter().enumerate() {
+                    let null = n.is_null(i);
+                    codes.push(if null { 0 } else { remap[code as usize] });
+                    nulls.push(null);
+                }
+            }
+        }
+        ColumnData::Dict {
+            codes,
+            dict: Arc::new(union),
+            nulls,
+        }
+    }
+
     /// A null-free boolean column.
     pub fn bools(values: Vec<bool>) -> ColumnData {
         let nulls = NullMask::all_valid(values.len());

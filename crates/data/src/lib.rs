@@ -20,6 +20,7 @@ pub mod date;
 pub mod error;
 pub mod hash;
 pub mod kernels;
+pub mod live;
 pub mod memo;
 pub mod stats;
 pub mod table;
@@ -27,11 +28,12 @@ pub mod types;
 pub mod value;
 pub mod wire;
 
-pub use catalog::{Catalog, FunctionSig, TableMeta};
+pub use catalog::{Catalog, CatalogDelta, FunctionSig, TableDelta, TableMeta};
 pub use column::{ColumnData, NullMask};
 pub use error::DataError;
+pub use live::{AppendReceipt, LiveCatalog};
 pub use memo::ShardedMemo;
 pub use stats::ColumnStats;
-pub use table::{Column, Row, Schema, Table};
+pub use table::{chunk_rows, Column, Row, Schema, Table, DEFAULT_CHUNK_ROWS};
 pub use types::DataType;
 pub use value::Value;

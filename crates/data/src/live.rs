@@ -1,0 +1,165 @@
+//! The live-catalogue cell: versioned, appendable, snapshot-consistent.
+//!
+//! A [`LiveCatalog`] holds the *current* [`Catalog`] behind an `Arc` swap.
+//! Readers take a [`LiveCatalog::snapshot`] — an `Arc<Catalog>` that stays
+//! immutable and consistent for as long as they hold it, no matter how many
+//! appends land concurrently. Writers go through [`LiveCatalog::append`],
+//! which builds the next catalogue version functionally (sharing all
+//! existing chunk storage by `Arc`, see [`Table::append_table`]) and swaps
+//! it in under a short write lock.
+//!
+//! Each append also reports which *old* catalogue fingerprint is now safe
+//! to evict from process-wide memos: the version two epochs back. The
+//! immediately-previous fingerprint is deliberately spared one round —
+//! in-flight dispatches may still be reading that snapshot, and the
+//! incremental view maintenance path reuses its cached results as the base
+//! it folds the delta into.
+
+use crate::catalog::Catalog;
+use crate::error::DataError;
+use crate::table::Table;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// What one successful [`LiveCatalog::append`] produced.
+#[derive(Debug, Clone)]
+pub struct AppendReceipt {
+    /// The new catalogue version (already installed as current).
+    pub catalog: Arc<Catalog>,
+    /// Its epoch (predecessor epoch + 1).
+    pub epoch: u64,
+    /// How many rows the append added.
+    pub rows: usize,
+    /// The table the rows were appended to (as registered, original case).
+    pub table: String,
+    /// Catalogue fingerprint now two epochs stale — safe to sweep from
+    /// every memo. `None` for the first two appends after registration.
+    pub evict_fingerprint: Option<u64>,
+}
+
+#[derive(Debug)]
+struct LiveInner {
+    current: Arc<Catalog>,
+    /// Fingerprint one epoch back, pending eviction after the *next* append.
+    prev_fingerprint: Option<u64>,
+}
+
+/// A shared, mutable handle to the current catalogue version.
+#[derive(Debug)]
+pub struct LiveCatalog {
+    inner: RwLock<LiveInner>,
+}
+
+impl LiveCatalog {
+    /// Wrap a catalogue as the initial live version.
+    pub fn new(catalog: Catalog) -> Self {
+        LiveCatalog {
+            inner: RwLock::new(LiveInner {
+                current: Arc::new(catalog),
+                prev_fingerprint: None,
+            }),
+        }
+    }
+
+    /// The current catalogue version. Cheap (`Arc` clone under a read
+    /// lock); the returned snapshot never changes under the caller.
+    pub fn snapshot(&self) -> Arc<Catalog> {
+        Arc::clone(&self.inner.read().current)
+    }
+
+    /// Append `rows` to `table`, installing the next catalogue version.
+    /// Existing snapshots are untouched. Returns the receipt a service
+    /// layer needs: the new version, its epoch, and which old fingerprint
+    /// can now be swept from caches.
+    pub fn append(&self, table: &str, rows: Table) -> Result<AppendReceipt, DataError> {
+        let mut guard = self.inner.write();
+        let added = rows.num_rows();
+        let next = guard.current.append_rows(table, rows)?;
+        let name = next
+            .require_table(table)
+            .expect("append_rows succeeded")
+            .name
+            .clone();
+        let evict = guard.prev_fingerprint;
+        guard.prev_fingerprint = Some(guard.current.fingerprint());
+        let next = Arc::new(next);
+        guard.current = Arc::clone(&next);
+        Ok(AppendReceipt {
+            epoch: next.epoch(),
+            rows: added,
+            table: name,
+            catalog: next,
+            evict_fingerprint: evict,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+    use crate::value::Value;
+
+    fn seed() -> Catalog {
+        let mut c = Catalog::new();
+        let t = Table::from_rows(
+            vec![("id", DataType::Int), ("v", DataType::Int)],
+            vec![vec![Value::Int(1), Value::Int(10)]],
+        )
+        .unwrap();
+        c.add_table("T", t, vec!["id"]);
+        c
+    }
+
+    fn one_row(id: i64, v: i64) -> Table {
+        Table::from_rows(
+            vec![("id", DataType::Int), ("v", DataType::Int)],
+            vec![vec![Value::Int(id), Value::Int(v)]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshots_are_immutable_under_appends() {
+        let live = LiveCatalog::new(seed());
+        let before = live.snapshot();
+        let receipt = live.append("t", one_row(2, 20)).unwrap();
+        assert_eq!(before.table("T").unwrap().table.num_rows(), 1);
+        assert_eq!(receipt.catalog.table("T").unwrap().table.num_rows(), 2);
+        assert_eq!(receipt.epoch, 1);
+        assert_eq!(receipt.rows, 1);
+        assert_eq!(receipt.table, "T");
+        assert_ne!(before.fingerprint(), receipt.catalog.fingerprint());
+        assert_eq!(live.snapshot().fingerprint(), receipt.catalog.fingerprint());
+    }
+
+    #[test]
+    fn eviction_lags_two_epochs() {
+        let live = LiveCatalog::new(seed());
+        let fp0 = live.snapshot().fingerprint();
+        let r1 = live.append("T", one_row(2, 20)).unwrap();
+        assert_eq!(r1.evict_fingerprint, None, "fp0 still one epoch back");
+        let r2 = live.append("T", one_row(3, 30)).unwrap();
+        assert_eq!(r2.evict_fingerprint, Some(fp0));
+        let r3 = live.append("T", one_row(4, 40)).unwrap();
+        assert_eq!(r3.evict_fingerprint, Some(r1.catalog.fingerprint()));
+    }
+
+    #[test]
+    fn append_to_unknown_table_fails() {
+        let live = LiveCatalog::new(seed());
+        assert!(live.append("missing", one_row(1, 1)).is_err());
+        assert_eq!(live.snapshot().epoch(), 0);
+    }
+
+    #[test]
+    fn delta_records_the_append() {
+        let live = LiveCatalog::new(seed());
+        let r = live.append("T", one_row(2, 20)).unwrap();
+        let delta = r.catalog.delta().expect("append leaves a delta");
+        assert_eq!(delta.epoch, 1);
+        let td = delta.tables.get("t").expect("keyed lowercased");
+        assert_eq!(td.base_rows, 1);
+        assert_eq!(td.rows.num_rows(), 1);
+    }
+}

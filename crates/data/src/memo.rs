@@ -91,6 +91,15 @@ impl<K: Hash + Eq + Clone, V: Clone> ShardedMemo<K, V> {
             s.lock().clear();
         }
     }
+
+    /// Keep only the entries for which `keep` returns true — the eviction
+    /// sweep behind catalogue-epoch invalidation. Runs shard by shard so
+    /// readers on other shards are never blocked behind the whole sweep.
+    pub fn retain(&self, mut keep: impl FnMut(&K, &mut V) -> bool) {
+        for s in &self.shards {
+            s.lock().retain(|k, v| keep(k, v));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -167,6 +167,60 @@ impl ColumnStats {
     pub fn is_low_cardinality(&self) -> bool {
         self.distinct_count > 0 && self.distinct_count < 20
     }
+
+    /// Merge the stats of an appended chunk into a base column's stats
+    /// incrementally (O(distinct), never O(rows)). Min/max are exact.
+    /// When both sides retained their distinct-value lists the merged
+    /// distinct count (and uniqueness, given the non-null totals) stays
+    /// exact; otherwise the distinct count is the lower bound
+    /// `max(base, delta)` and uniqueness degrades to `false` — stats are
+    /// advisory (widget domains, categorical cutoffs), executor
+    /// correctness never depends on them.
+    pub fn merge(
+        &self,
+        delta: &ColumnStats,
+        base_non_null: usize,
+        delta_non_null: usize,
+    ) -> ColumnStats {
+        fn tighter(a: &Option<Value>, b: &Option<Value>, keep_lt: bool) -> Option<Value> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(if (y < x) == keep_lt {
+                    y.clone()
+                } else {
+                    x.clone()
+                }),
+                (Some(x), None) => Some(x.clone()),
+                (None, Some(y)) => Some(y.clone()),
+                (None, None) => None,
+            }
+        }
+        let min = tighter(&self.min, &delta.min, true);
+        let max = tighter(&self.max, &delta.max, false);
+        match (&self.distinct_values, &delta.distinct_values) {
+            (Some(a), Some(b)) => {
+                let mut union: Vec<Value> = a.iter().chain(b.iter()).cloned().collect();
+                union.sort();
+                union.dedup();
+                let distinct_count = union.len();
+                let unique = distinct_count == base_non_null + delta_non_null;
+                ColumnStats {
+                    distinct_count,
+                    min,
+                    max,
+                    distinct_values: (distinct_count <= Self::DISTINCT_RETENTION_LIMIT)
+                        .then_some(union),
+                    unique,
+                }
+            }
+            _ => ColumnStats {
+                distinct_count: self.distinct_count.max(delta.distinct_count),
+                min,
+                max,
+                distinct_values: None,
+                unique: false,
+            },
+        }
+    }
 }
 
 #[cfg(test)]

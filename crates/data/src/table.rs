@@ -5,7 +5,29 @@ use crate::error::DataError;
 use crate::types::DataType;
 use crate::value::Value;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Default append-chunk granularity (rows per chunk).
+pub const DEFAULT_CHUNK_ROWS: usize = 65_536;
+
+/// Appends smaller than this coalesce into the tail chunk instead of
+/// starting a new one, so high-frequency single-row appends cannot grow
+/// the chunk list unboundedly. The copy this implies is bounded by
+/// `min(chunk_rows, COALESCE_CAP)` rows.
+const COALESCE_CAP: usize = 4_096;
+
+/// The configured append-chunk granularity: `PI2_CHUNK_ROWS` (clamped to
+/// at least 16), default [`DEFAULT_CHUNK_ROWS`]. Read once per process.
+pub fn chunk_rows() -> usize {
+    static ROWS: OnceLock<usize> = OnceLock::new();
+    *ROWS.get_or_init(|| {
+        std::env::var("PI2_CHUNK_ROWS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.max(16))
+            .unwrap_or(DEFAULT_CHUNK_ROWS)
+    })
+}
 
 /// A named, typed output column.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,27 +93,53 @@ impl Schema {
 /// A row of values; arity always matches the owning table's schema.
 pub type Row = Vec<Value>;
 
+/// Physical storage of a table: either one flat column vector, or — for
+/// live (appendable) tables — a list of immutable `Arc`-shared chunks
+/// with a lazily consolidated flat view. Appends share every existing
+/// chunk and only the *scan side* pays the consolidation, once, the
+/// first time a full execution needs flat columns.
+#[derive(Debug, Clone)]
+enum Repr {
+    /// One flat column vector (every table starts here).
+    Flat(Vec<Arc<ColumnData>>),
+    /// Immutable chunks (each itself a flat table) plus the cached
+    /// consolidated columns.
+    Chunked {
+        chunks: Vec<Arc<Table>>,
+        flat: OnceLock<Vec<Arc<ColumnData>>>,
+    },
+}
+
+impl Default for Repr {
+    fn default() -> Repr {
+        Repr::Flat(Vec::new())
+    }
+}
+
 /// A column-oriented in-memory table: one typed [`ColumnData`] per schema
 /// column, shared by `Arc` so cloning a table (or scanning it from the
-/// query engine) never copies cell data.
+/// query engine) never copies cell data. Tables grown by
+/// [`Table::append_table`] hold their history as immutable chunks; see
+/// the private `Repr` enum.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
     /// The schema.
     pub schema: Schema,
-    cols: Vec<Arc<ColumnData>>,
+    repr: Repr,
     len: usize,
 }
 
 impl PartialEq for Table {
     /// Value-level equality: same schema and same cell values, regardless
-    /// of each column's storage representation (typed vs `Mixed`).
+    /// of each column's storage representation (typed vs `Mixed`,
+    /// chunked vs flat).
     fn eq(&self, other: &Self) -> bool {
         self.schema == other.schema
             && self.len == other.len
             && self
-                .cols
+                .cols()
                 .iter()
-                .zip(other.cols.iter())
+                .zip(other.cols().iter())
                 .all(|(a, b)| a.semantic_eq(b))
     }
 }
@@ -106,9 +154,163 @@ impl Table {
             .collect();
         Table {
             schema,
-            cols,
+            repr: Repr::Flat(cols),
             len: 0,
         }
+    }
+
+    /// The flat column vector, consolidating chunks on first use (cached;
+    /// concurrent scans consolidate once).
+    fn cols(&self) -> &[Arc<ColumnData>] {
+        match &self.repr {
+            Repr::Flat(cols) => cols,
+            Repr::Chunked { chunks, flat } => {
+                flat.get_or_init(|| Self::consolidate(&self.schema, chunks))
+            }
+        }
+    }
+
+    /// Concatenate per-column storage across chunks (or empty typed
+    /// columns when there are no chunks).
+    fn consolidate(schema: &Schema, chunks: &[Arc<Table>]) -> Vec<Arc<ColumnData>> {
+        if chunks.is_empty() {
+            return schema
+                .columns
+                .iter()
+                .map(|c| Arc::new(ColumnData::new_typed(c.dtype)))
+                .collect();
+        }
+        if let [only] = chunks {
+            return only.cols().to_vec();
+        }
+        (0..schema.len())
+            .map(|i| {
+                let parts: Vec<&ColumnData> = chunks.iter().map(|c| c.col(i)).collect();
+                Arc::new(ColumnData::concat(&parts))
+            })
+            .collect()
+    }
+
+    /// Switch to flat storage in place (mutating paths need `&mut`
+    /// columns; chunked history is consolidated and dropped).
+    fn make_flat(&mut self) {
+        if matches!(self.repr, Repr::Flat(_)) {
+            return;
+        }
+        let cols = self.cols().to_vec();
+        self.repr = Repr::Flat(cols);
+    }
+
+    /// The flat columns, mutably (consolidating first if chunked).
+    fn cols_mut(&mut self) -> &mut Vec<Arc<ColumnData>> {
+        self.make_flat();
+        match &mut self.repr {
+            Repr::Flat(cols) => cols,
+            Repr::Chunked { .. } => unreachable!("make_flat just ran"),
+        }
+    }
+
+    /// Number of storage chunks: 1 for flat tables (even empty ones),
+    /// the chunk count for appended tables.
+    pub fn num_chunks(&self) -> usize {
+        match &self.repr {
+            Repr::Flat(_) => 1,
+            Repr::Chunked { chunks, .. } => chunks.len().max(1),
+        }
+    }
+
+    /// The storage chunks of an appended table (empty slice for flat
+    /// tables). Each chunk is itself a flat table.
+    pub fn chunks(&self) -> &[Arc<Table>] {
+        match &self.repr {
+            Repr::Flat(_) => &[],
+            Repr::Chunked { chunks, .. } => chunks,
+        }
+    }
+
+    /// The rows in `lo..hi` as a new flat table. Column storage is sliced
+    /// per [`ColumnData::slice`]; dictionary columns share their
+    /// dictionary `Arc`.
+    pub fn slice_rows(&self, lo: usize, hi: usize) -> Table {
+        let hi = hi.min(self.len);
+        let lo = lo.min(hi);
+        let cols = self
+            .cols()
+            .iter()
+            .map(|c| Arc::new(c.slice(lo, hi)))
+            .collect();
+        Table {
+            schema: self.schema.clone(),
+            repr: Repr::Flat(cols),
+            len: hi - lo,
+        }
+    }
+
+    /// Append `delta`'s rows *without copying existing data*: prior
+    /// storage is shared by `Arc` as immutable chunks and the delta lands
+    /// as new chunk(s) split at `chunk_rows` boundaries. A small tail
+    /// chunk (at most `min(chunk_rows, 4096)` rows after the merge) is
+    /// coalesced with the incoming rows — the one bounded copy — so
+    /// high-frequency single-row appends keep the chunk list short.
+    /// Dictionary columns coalesce through [`ColumnData::concat`], which
+    /// remaps codes against the sorted union of the dictionaries.
+    pub fn append_table(&self, delta: &Table, chunk_rows: usize) -> Result<Table, DataError> {
+        if delta.num_columns() != self.num_columns() {
+            return Err(DataError::ArityMismatch {
+                expected: self.num_columns(),
+                found: delta.num_columns(),
+            });
+        }
+        let chunk_rows = chunk_rows.max(1);
+        let mut chunks: Vec<Arc<Table>> = match &self.repr {
+            Repr::Flat(_) if self.len == 0 => Vec::new(),
+            Repr::Flat(_) => vec![Arc::new(self.clone())],
+            Repr::Chunked { chunks, .. } => chunks.clone(),
+        };
+        let added = delta.num_rows();
+        let cap = chunk_rows.min(COALESCE_CAP);
+        let coalesce = added > 0
+            && added <= cap
+            && chunks
+                .last()
+                .is_some_and(|tail| tail.num_rows() + added <= cap);
+        if coalesce {
+            let tail = chunks.pop().expect("coalesce requires a tail");
+            let merged_cols: Vec<Arc<ColumnData>> = (0..self.num_columns())
+                .map(|i| Arc::new(ColumnData::concat(&[tail.col(i), delta.col(i)])))
+                .collect();
+            let merged = Table {
+                schema: self.schema.clone(),
+                repr: Repr::Flat(merged_cols),
+                len: tail.num_rows() + added,
+            };
+            chunks.push(Arc::new(merged));
+        } else {
+            let mut lo = 0;
+            while lo < added {
+                let hi = (lo + chunk_rows).min(added);
+                chunks.push(Arc::new(delta.slice_rows(lo, hi)));
+                lo = hi;
+            }
+        }
+        Ok(Table {
+            schema: self.schema.clone(),
+            repr: Repr::Chunked {
+                chunks,
+                flat: OnceLock::new(),
+            },
+            len: self.len + added,
+        })
+    }
+
+    /// [`Table::append_table`] over materialized rows (arity-checked,
+    /// value storage typed per the schema).
+    pub fn append_rows(&self, rows: Vec<Row>, chunk_rows: usize) -> Result<Table, DataError> {
+        let mut delta = Table::new(self.schema.clone());
+        for row in rows {
+            delta.push_row(row)?;
+        }
+        self.append_table(&delta, chunk_rows)
     }
 
     /// Build a table from `(name, type)` pairs and rows, validating arity.
@@ -147,7 +349,11 @@ impl Table {
                 found: short.len(),
             });
         }
-        Ok(Table { schema, cols, len })
+        Ok(Table {
+            schema,
+            repr: Repr::Flat(cols),
+            len,
+        })
     }
 
     /// Push row.
@@ -158,7 +364,7 @@ impl Table {
                 found: row.len(),
             });
         }
-        for (col, v) in self.cols.iter_mut().zip(row) {
+        for (col, v) in self.cols_mut().iter_mut().zip(row) {
             Arc::make_mut(col).push(v);
         }
         self.len += 1;
@@ -175,25 +381,26 @@ impl Table {
         self.schema.len()
     }
 
-    /// The storage column at `idx`.
+    /// The storage column at `idx` (consolidating a chunked table's
+    /// storage on first use).
     pub fn col(&self, idx: usize) -> &ColumnData {
-        &self.cols[idx]
+        &self.cols()[idx]
     }
 
     /// The shared storage column at `idx` (cheap to clone into the engine's
     /// relations — scans are zero-copy).
     pub fn col_arc(&self, idx: usize) -> &Arc<ColumnData> {
-        &self.cols[idx]
+        &self.cols()[idx]
     }
 
     /// The cell at (`row`, `col`), materialized.
     pub fn value(&self, row: usize, col: usize) -> Value {
-        self.cols[col].value(row)
+        self.cols()[col].value(row)
     }
 
     /// Materialize row `i`.
     pub fn row(&self, i: usize) -> Row {
-        self.cols.iter().map(|c| c.value(i)).collect()
+        self.cols().iter().map(|c| c.value(i)).collect()
     }
 
     /// Iterate materialized rows.
@@ -211,7 +418,7 @@ impl Table {
         if n >= self.len {
             return;
         }
-        for col in &mut self.cols {
+        for col in self.cols_mut() {
             Arc::make_mut(col).truncate(n);
         }
         self.len = n;
@@ -219,18 +426,18 @@ impl Table {
 
     /// All values in column `idx`, materialized.
     pub fn column_values(&self, idx: usize) -> impl Iterator<Item = Value> + '_ {
-        self.cols[idx].iter()
+        self.cols()[idx].iter()
     }
 
     /// Number of non-NULL values in column `idx` (O(1): from the bitmap).
     pub fn non_null_count(&self, idx: usize) -> usize {
-        self.len - self.cols[idx].null_count()
+        self.len - self.cols()[idx].null_count()
     }
 
     /// Distinct non-null values in a column, sorted. Runs directly over the
     /// typed storage (no `Value` materialization until the result).
     pub fn distinct_values(&self, idx: usize) -> Vec<Value> {
-        match self.cols[idx].as_ref() {
+        match self.cols()[idx].as_ref() {
             ColumnData::Int64 { values, nulls } => {
                 let mut vals: Vec<i64> = values
                     .iter()
@@ -341,7 +548,7 @@ impl Table {
             }
             Some((min, max))
         }
-        match self.cols[idx].as_ref() {
+        match self.cols()[idx].as_ref() {
             ColumnData::Int64 { values, nulls } => {
                 typed(values, nulls, |a, b| a.cmp(&b)).map(|(a, b)| (Value::Int(a), Value::Int(b)))
             }
@@ -402,7 +609,7 @@ impl Table {
     /// non-null values). Used to infer functional dependencies (§4.1).
     pub fn column_is_unique(&self, idx: usize) -> bool {
         use std::collections::HashSet;
-        match self.cols[idx].as_ref() {
+        match self.cols()[idx].as_ref() {
             ColumnData::Int64 { values, nulls } | ColumnData::Date64 { values, nulls } => {
                 let mut seen = HashSet::with_capacity(values.len());
                 values
@@ -686,5 +893,122 @@ mod tests {
         t.truncate(2);
         assert_eq!(t.num_rows(), 2);
         assert_eq!(t.row(1), vec![Value::Int(2), Value::Str("y".into())]);
+    }
+
+    fn int_table(n: usize) -> Table {
+        Table::from_rows(
+            vec![("a", DataType::Int)],
+            (0..n).map(|i| vec![Value::Int(i as i64)]).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn append_equals_rebuilt_from_scratch() {
+        let base = int_table(10);
+        let delta = Table::from_rows(
+            vec![("a", DataType::Int)],
+            (10..50).map(|i| vec![Value::Int(i)]).collect(),
+        )
+        .unwrap();
+        let appended = base.append_table(&delta, 16).unwrap();
+        let rebuilt = int_table(50);
+        assert_eq!(appended.num_rows(), 50);
+        assert!(appended.num_chunks() > 1, "40-row delta at 16/chunk splits");
+        assert_eq!(appended, rebuilt);
+        assert_eq!(appended.min_max(0), rebuilt.min_max(0));
+        assert_eq!(appended.distinct_values(0), rebuilt.distinct_values(0));
+    }
+
+    #[test]
+    fn append_shares_existing_storage_by_arc() {
+        // A base past the coalesce cap is never rewritten by an append.
+        let base = int_table(5_000);
+        let first = base.append_table(&int_table(1), 65_536).unwrap();
+        assert!(Arc::ptr_eq(base.col_arc(0), first.chunks()[0].col_arc(0)));
+        // A second small append coalesces only the 1-row tail; the big
+        // chunk's Arc itself is reused.
+        let second = first.append_table(&int_table(1), 65_536).unwrap();
+        assert!(Arc::ptr_eq(&first.chunks()[0], &second.chunks()[0]));
+        assert_eq!(second.num_rows(), 5_002);
+        assert_eq!(second.num_chunks(), 2, "tail coalesced, not appended");
+    }
+
+    #[test]
+    fn append_rows_builds_the_delta_chunk() {
+        let base = sample();
+        let appended = base
+            .append_rows(vec![vec![Value::Int(7), Value::Str("q".into())]], 1024)
+            .unwrap();
+        assert_eq!(appended.num_rows(), 5);
+        assert_eq!(appended.row(4), vec![Value::Int(7), Value::Str("q".into())]);
+        // The original is untouched (functional update).
+        assert_eq!(base.num_rows(), 4);
+    }
+
+    #[test]
+    fn dict_columns_survive_chunked_appends() {
+        let schema = Schema::new(vec![Column::new("city", DataType::Str)]);
+        let mk = |vals: &[&str]| {
+            Table::from_columns(
+                schema.clone(),
+                vec![ColumnData::strs_dict(
+                    vals.iter().map(|s| s.to_string()).collect(),
+                )],
+            )
+            .unwrap()
+        };
+        // Enough repetition that the dict_encode cardinality cutoff keeps
+        // both sides dictionary-encoded.
+        let base = mk(&["NY", "LA", "NY", "SF", "NY", "LA"]);
+        assert!(matches!(base.col(0), ColumnData::Dict { .. }));
+        // A delta whose dictionary overlaps but also extends the base's:
+        // the sorted-union remap path.
+        let delta = mk(&["SF", "AMS", "NY", "AMS", "AMS", "NY"]);
+        assert!(matches!(delta.col(0), ColumnData::Dict { .. }));
+        let appended = base.append_table(&delta, 6).unwrap();
+        let rebuilt = mk(&[
+            "NY", "LA", "NY", "SF", "NY", "LA", "SF", "AMS", "NY", "AMS", "AMS", "NY",
+        ]);
+        assert_eq!(appended, rebuilt);
+        // Consolidated storage keeps the dictionary encoding.
+        assert!(matches!(appended.col(0), ColumnData::Dict { .. }));
+        assert_eq!(appended.distinct_values(0), rebuilt.distinct_values(0));
+        assert_eq!(appended.min_max(0), rebuilt.min_max(0));
+    }
+
+    #[test]
+    fn slice_rows_clamps_and_copies() {
+        let t = int_table(10);
+        let s = t.slice_rows(3, 7);
+        assert_eq!(s.num_rows(), 4);
+        assert_eq!(s.row(0), vec![Value::Int(3)]);
+        assert_eq!(t.slice_rows(8, 100).num_rows(), 2);
+        assert_eq!(t.slice_rows(5, 5).num_rows(), 0);
+    }
+
+    #[test]
+    fn appended_table_wire_form_matches_rebuilt() {
+        // Scans, serialization, and equality all go through consolidated
+        // columns, so the chunked table is externally indistinguishable.
+        let base = sample();
+        let appended = base
+            .append_rows(
+                vec![
+                    vec![Value::Int(5), Value::Str("p".into())],
+                    vec![Value::Int(6), Value::Null],
+                ],
+                2,
+            )
+            .unwrap();
+        let mut rebuilt = sample();
+        rebuilt
+            .push_row(vec![Value::Int(5), Value::Str("p".into())])
+            .unwrap();
+        rebuilt.push_row(vec![Value::Int(6), Value::Null]).unwrap();
+        assert_eq!(
+            crate::wire::table_to_json(&appended),
+            crate::wire::table_to_json(&rebuilt)
+        );
     }
 }

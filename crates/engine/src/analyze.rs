@@ -122,6 +122,14 @@ pub fn analyze_query_cached(query: &Query, catalog: &Catalog) -> AnalysisResult 
     memo.get_or_insert_with(&key, || std::sync::Arc::new(analyze_query(query, catalog)))
 }
 
+/// Drop every memoized analysis keyed to a retired catalogue fingerprint —
+/// the analysis leg of the epoch-tagged eviction sweep after an append.
+pub fn evict_analyses_for(catalog_fingerprint: u64) {
+    if let Some(memo) = ANALYZE_MEMO.get() {
+        memo.retain(|(fp, _), _| *fp != catalog_fingerprint);
+    }
+}
+
 fn analyze_with_outer(
     query: &Query,
     catalog: &Catalog,

@@ -1,0 +1,892 @@
+//! Incremental view maintenance (IVM) over append-only catalogues.
+//!
+//! When a catalogue version is produced by [`pi2_data::Catalog::append_rows`],
+//! a cached query result can often be brought up to date by executing only
+//! the appended rows and merging, instead of rescanning the whole table.
+//! This module implements that for the two shapes that dominate generated
+//! interfaces:
+//!
+//! - **Aggregates** (`GROUP BY` + `count/sum/count(*)/avg/min/max`, with
+//!   `WHERE`/`HAVING`/`ORDER BY`/`LIMIT`/`DISTINCT`): per-group accumulators
+//!   absorb the delta rows; `avg` merges via sum + count.
+//! - **Projections** (`SELECT …  WHERE …` with no `DISTINCT`/`ORDER BY`/
+//!   `LIMIT`): the filter is row-local, so the delta's output rows append to
+//!   the cached output (zero-copy, via [`Table::append_table`]).
+//!
+//! Everything else — joins, subqueries, `DISTINCT` projections — reports
+//! unsupported and the caller falls back to full re-execution.
+//!
+//! **The contract is byte-identity with the scalar reference executor**: for
+//! a supported query, `build` + any sequence of `absorb`s + `finalize`
+//! produces exactly the table `execute_scalar` produces over the fully
+//! appended catalogue — same rows, same order, same cell values (float
+//! accumulators fold in row order so even sums match bit-for-bit). The
+//! differential tests below pin this; anything that errs mid-absorb simply
+//! falls back, so an IVM bug can degrade performance but never results.
+
+use crate::analyze::analyze_query_cached;
+use crate::error::EngineError;
+use crate::eval::{
+    apply_binary, apply_scalar_function, apply_unary, eval_between, eval_expr, eval_logical, Scope,
+};
+use crate::exec::{coerce_row, derive_schema, execute_scalar, ExecContext};
+use pi2_data::{DataType, Table, Value};
+use pi2_sql::ast::{is_aggregate_function, BinOp, Expr, Query, SelectItem, TableRef};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Every base table the query reads, lowercased — including tables named
+/// inside subqueries at any depth. A cached result for `query` stays valid
+/// across an append exactly when the appended table is not in this set.
+pub fn referenced_tables(query: &Query) -> BTreeSet<String> {
+    fn walk_query(q: &Query, out: &mut BTreeSet<String>) {
+        for tref in &q.from {
+            match tref {
+                TableRef::Table { name, .. } => {
+                    out.insert(name.to_ascii_lowercase());
+                }
+                TableRef::Subquery { query, .. } => walk_query(query, out),
+            }
+        }
+        let exprs = q
+            .select
+            .iter()
+            .filter_map(|item| match item {
+                SelectItem::Expr { expr, .. } => Some(expr),
+                SelectItem::Star => None,
+            })
+            .chain(q.where_clause.iter())
+            .chain(q.group_by.iter())
+            .chain(q.having.iter())
+            .chain(q.order_by.iter().map(|o| &o.expr));
+        for e in exprs {
+            walk_expr(e, out);
+        }
+    }
+    fn walk_expr(e: &Expr, out: &mut BTreeSet<String>) {
+        match e {
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => walk_expr(expr, out),
+            Expr::Binary { left, right, .. } => {
+                walk_expr(left, out);
+                walk_expr(right, out);
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                walk_expr(expr, out);
+                walk_expr(low, out);
+                walk_expr(high, out);
+            }
+            Expr::InList { expr, list, .. } => {
+                walk_expr(expr, out);
+                list.iter().for_each(|e| walk_expr(e, out));
+            }
+            Expr::Func { args, .. } => args.iter().for_each(|e| walk_expr(e, out)),
+            Expr::InSubquery { expr, query, .. } => {
+                walk_expr(expr, out);
+                walk_query(query, out);
+            }
+            Expr::ScalarSubquery(q) => walk_query(q, out),
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Star => {}
+        }
+    }
+    let mut out = BTreeSet::new();
+    walk_query(query, &mut out);
+    out
+}
+
+fn expr_has_subquery(e: &Expr) -> bool {
+    match e {
+        Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => true,
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => expr_has_subquery(expr),
+        Expr::Binary { left, right, .. } => expr_has_subquery(left) || expr_has_subquery(right),
+        Expr::Between {
+            expr, low, high, ..
+        } => expr_has_subquery(expr) || expr_has_subquery(low) || expr_has_subquery(high),
+        Expr::InList { expr, list, .. } => {
+            expr_has_subquery(expr) || list.iter().any(expr_has_subquery)
+        }
+        Expr::Func { args, .. } => args.iter().any(expr_has_subquery),
+        Expr::Column { .. } | Expr::Literal(_) | Expr::Star => false,
+    }
+}
+
+/// The single base table an IVM-shaped query scans (lowercased), or `None`
+/// when the query's *structure* rules IVM out: multi-table FROM, subqueries
+/// anywhere, or (for non-aggregates) `DISTINCT`/`ORDER BY`/`LIMIT`, none of
+/// which distribute over appends row-locally.
+pub fn ivm_table(query: &Query) -> Option<String> {
+    let [TableRef::Table { name, .. }] = query.from.as_slice() else {
+        return None;
+    };
+    let exprs = query
+        .select
+        .iter()
+        .filter_map(|item| match item {
+            SelectItem::Expr { expr, .. } => Some(expr),
+            SelectItem::Star => None,
+        })
+        .chain(query.where_clause.iter())
+        .chain(query.group_by.iter())
+        .chain(query.having.iter())
+        .chain(query.order_by.iter().map(|o| &o.expr));
+    for e in exprs {
+        if expr_has_subquery(e) {
+            return None;
+        }
+    }
+    if query.is_aggregate() {
+        // `SELECT *` under GROUP BY is an executor error; leave it to the
+        // full path so both paths fail identically.
+        if query.select.iter().any(|i| matches!(i, SelectItem::Star)) {
+            return None;
+        }
+    } else if query.distinct || !query.order_by.is_empty() || query.limit.is_some() {
+        return None;
+    }
+    Some(name.to_ascii_lowercase())
+}
+
+/// Whether IVM can maintain `query` against `catalog`: the shape qualifies
+/// ([`ivm_table`]) *and* static analysis succeeds, which guarantees a stable
+/// output schema across appends (appends never change column types).
+pub fn supported(query: &Query, catalog: &pi2_data::Catalog) -> bool {
+    ivm_table(query).is_some() && analyze_query_cached(query, catalog).is_ok()
+}
+
+/// Which aggregate an accumulator implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AggKind {
+    CountStar,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// One aggregate call site in the query, in fixed traversal order.
+struct AggSite<'q> {
+    kind: AggKind,
+    arg: Option<&'q Expr>,
+}
+
+/// Per-site accumulator state. Folding mirrors `eval_aggregate` in
+/// `crate::eval` exactly: NULL arguments are skipped everywhere, `sum`/`avg`
+/// accumulate `as_f64` values in row order onto a running total (so float
+/// results are bit-identical to the reference's left-fold), `min` keeps the
+/// first minimal value and `max` the last maximal one (matching
+/// `Iterator::min`/`max` tie-breaking), and `avg` divides by the non-null
+/// count — `avg` over appends is exactly sum + count.
+#[derive(Debug, Clone)]
+enum Acc {
+    CountStar(i64),
+    Count(i64),
+    SumAvg {
+        total: f64,
+        n: i64,
+        all_int: bool,
+        avg: bool,
+    },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Acc {
+    fn fresh(kind: AggKind) -> Acc {
+        match kind {
+            AggKind::CountStar => Acc::CountStar(0),
+            AggKind::Count => Acc::Count(0),
+            AggKind::Sum | AggKind::Avg => Acc::SumAvg {
+                total: 0.0,
+                n: 0,
+                all_int: true,
+                avg: kind == AggKind::Avg,
+            },
+            AggKind::Min => Acc::Min(None),
+            AggKind::Max => Acc::Max(None),
+        }
+    }
+
+    fn fold(
+        &mut self,
+        site: &AggSite<'_>,
+        scope: &Scope<'_>,
+        ctx: &ExecContext<'_>,
+    ) -> Result<(), EngineError> {
+        if let Acc::CountStar(n) = self {
+            *n += 1;
+            return Ok(());
+        }
+        let arg = site
+            .arg
+            .ok_or_else(|| EngineError::BadFunction("aggregate needs an argument".to_string()))?;
+        let v = eval_expr(arg, scope, ctx)?;
+        if v.is_null() {
+            return Ok(());
+        }
+        match self {
+            Acc::CountStar(_) => unreachable!("handled above"),
+            Acc::Count(n) => *n += 1,
+            Acc::SumAvg {
+                total, n, all_int, ..
+            } => {
+                *all_int &= matches!(v, Value::Int(_));
+                if let Some(f) = v.as_f64() {
+                    *total += f;
+                }
+                *n += 1;
+            }
+            Acc::Min(cur) => match cur {
+                Some(m) if v.cmp(m).is_lt() => *cur = Some(v),
+                None => *cur = Some(v),
+                _ => {}
+            },
+            Acc::Max(cur) => match cur {
+                Some(m) if v.cmp(m).is_ge() => *cur = Some(v),
+                None => *cur = Some(v),
+                _ => {}
+            },
+        }
+        Ok(())
+    }
+
+    fn value(&self) -> Value {
+        match self {
+            Acc::CountStar(n) | Acc::Count(n) => Value::Int(*n),
+            Acc::SumAvg { n: 0, .. } => Value::Null,
+            Acc::SumAvg {
+                total,
+                n,
+                avg: true,
+                ..
+            } => Value::Float(*total / *n as f64),
+            Acc::SumAvg {
+                total,
+                all_int,
+                avg: false,
+                ..
+            } => {
+                if *all_int {
+                    Value::Int(*total as i64)
+                } else {
+                    Value::Float(*total)
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// All aggregate sites of the query plus, per clause, the index of its
+/// first site — so finalize-time substitution can start its cursor at the
+/// right offset regardless of clause evaluation order.
+struct SitePlan<'q> {
+    sites: Vec<AggSite<'q>>,
+    select_offsets: Vec<usize>,
+    having_offset: usize,
+    order_offsets: Vec<usize>,
+}
+
+/// Collect aggregate sites in the exact positions `eval_grouped` treats as
+/// aggregates: it recurses through unary/binary/BETWEEN operators and
+/// non-aggregate function arguments, and stops at every other node (those
+/// evaluate against the representative row). Sites hidden under stop nodes
+/// are never collected — the reference evaluator errors on them, and so
+/// does finalize, by taking the same `eval_expr` path.
+fn site_plan(query: &Query) -> SitePlan<'_> {
+    fn walk<'q>(e: &'q Expr, out: &mut Vec<AggSite<'q>>) {
+        match e {
+            Expr::Func { name, args } if is_aggregate_function(name) => {
+                let lname = name.to_ascii_lowercase();
+                if lname == "count" && matches!(args.first(), Some(Expr::Star) | None) {
+                    out.push(AggSite {
+                        kind: AggKind::CountStar,
+                        arg: None,
+                    });
+                } else {
+                    let kind = match lname.as_str() {
+                        "count" => AggKind::Count,
+                        "sum" => AggKind::Sum,
+                        "avg" => AggKind::Avg,
+                        "min" => AggKind::Min,
+                        _ => AggKind::Max,
+                    };
+                    out.push(AggSite {
+                        kind,
+                        arg: args.first(),
+                    });
+                }
+            }
+            Expr::Unary { expr, .. } => walk(expr, out),
+            Expr::Binary { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                walk(expr, out);
+                walk(low, out);
+                walk(high, out);
+            }
+            Expr::Func { args, .. } => args.iter().for_each(|a| walk(a, out)),
+            _ => {}
+        }
+    }
+    let mut sites = Vec::new();
+    let mut select_offsets = Vec::with_capacity(query.select.len());
+    for item in &query.select {
+        select_offsets.push(sites.len());
+        if let SelectItem::Expr { expr, .. } = item {
+            walk(expr, &mut sites);
+        }
+    }
+    let having_offset = sites.len();
+    if let Some(h) = &query.having {
+        walk(h, &mut sites);
+    }
+    let mut order_offsets = Vec::with_capacity(query.order_by.len());
+    for o in &query.order_by {
+        order_offsets.push(sites.len());
+        walk(&o.expr, &mut sites);
+    }
+    SitePlan {
+        sites,
+        select_offsets,
+        having_offset,
+        order_offsets,
+    }
+}
+
+/// Number of aggregate sites inside `e` (for advancing the substitution
+/// cursor past a short-circuited subtree).
+fn count_sites(e: &Expr) -> usize {
+    let mut v = Vec::new();
+    fn collect<'q>(e: &'q Expr, out: &mut Vec<AggSite<'q>>) {
+        match e {
+            Expr::Func { name, .. } if is_aggregate_function(name) => out.push(AggSite {
+                kind: AggKind::CountStar,
+                arg: None,
+            }),
+            Expr::Unary { expr, .. } => collect(expr, out),
+            Expr::Binary { left, right, .. } => {
+                collect(left, out);
+                collect(right, out);
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                collect(expr, out);
+                collect(low, out);
+                collect(high, out);
+            }
+            Expr::Func { args, .. } => args.iter().for_each(|a| collect(a, out)),
+            _ => {}
+        }
+    }
+    collect(e, &mut v);
+    v.len()
+}
+
+/// `eval_grouped` with accumulator substitution: aggregate sites yield their
+/// accumulated value (advancing `cursor` in traversal order — including past
+/// subtrees skipped by logical short-circuit), everything else mirrors the
+/// reference evaluator against the group's representative row.
+fn eval_ivm(
+    e: &Expr,
+    vals: &[Value],
+    cursor: &mut usize,
+    repr: &Scope<'_>,
+    ctx: &ExecContext<'_>,
+) -> Result<Value, EngineError> {
+    match e {
+        Expr::Func { name, .. } if is_aggregate_function(name) => {
+            let v = vals[*cursor].clone();
+            *cursor += 1;
+            Ok(v)
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_ivm(expr, vals, cursor, repr, ctx)?;
+            apply_unary(*op, v)
+        }
+        Expr::Binary { left, op, right } => {
+            if *op == BinOp::And || *op == BinOp::Or {
+                let l = eval_ivm(left, vals, cursor, repr, ctx)?;
+                let lb = if l.is_null() { None } else { l.as_bool() };
+                // Mirror the reference's short-circuit, keeping the cursor
+                // in sync with collection order by skipping the subtree.
+                if (*op == BinOp::And && lb == Some(false))
+                    || (*op == BinOp::Or && lb == Some(true))
+                {
+                    *cursor += count_sites(right);
+                    return Ok(Value::Bool(*op == BinOp::Or));
+                }
+                return eval_logical(*op, l, || eval_ivm(right, vals, cursor, repr, ctx));
+            }
+            let l = eval_ivm(left, vals, cursor, repr, ctx)?;
+            let r = eval_ivm(right, vals, cursor, repr, ctx)?;
+            apply_binary(*op, l, r)
+        }
+        Expr::Between {
+            expr,
+            negated,
+            low,
+            high,
+        } => {
+            let v = eval_ivm(expr, vals, cursor, repr, ctx)?;
+            let lo = eval_ivm(low, vals, cursor, repr, ctx)?;
+            let hi = eval_ivm(high, vals, cursor, repr, ctx)?;
+            eval_between(&v, &lo, &hi, *negated)
+        }
+        Expr::Func { name, args } => {
+            let vs = args
+                .iter()
+                .map(|a| eval_ivm(a, vals, cursor, repr, ctx))
+                .collect::<Result<Vec<_>, _>>()?;
+            apply_scalar_function(name, &vs, ctx)
+        }
+        other => eval_expr(other, repr, ctx),
+    }
+}
+
+/// One group's maintained state: its representative row (the first member
+/// encountered, exactly like the reference's group build) and one
+/// accumulator per aggregate site.
+#[derive(Debug, Clone)]
+struct Group {
+    repr: Vec<Value>,
+    accs: Vec<Acc>,
+}
+
+/// Maintained state for an aggregate-shaped query.
+#[derive(Debug, Clone)]
+pub struct AggState {
+    /// `(binding, column)` pairs of the scanned table, as `eval_from` tags
+    /// them (alias or table name).
+    cols: Vec<(String, String)>,
+    types: Vec<DataType>,
+    index: HashMap<Vec<Value>, usize>,
+    groups: Vec<Group>,
+}
+
+impl AggState {
+    fn new(query: &Query, ctx: &ExecContext<'_>) -> Result<AggState, EngineError> {
+        let [TableRef::Table { name, alias }] = query.from.as_slice() else {
+            return Err(EngineError::Unsupported("IVM needs a single table".into()));
+        };
+        let meta = ctx.catalog.require_table(name)?;
+        let binding = alias.clone().unwrap_or_else(|| name.clone());
+        let cols = meta
+            .table
+            .schema
+            .columns
+            .iter()
+            .map(|c| (binding.clone(), c.name.clone()))
+            .collect();
+        let types = meta.table.schema.columns.iter().map(|c| c.dtype).collect();
+        Ok(AggState {
+            cols,
+            types,
+            index: HashMap::new(),
+            groups: Vec::new(),
+        })
+    }
+
+    fn absorb(
+        &mut self,
+        query: &Query,
+        rows: &Table,
+        ctx: &ExecContext<'_>,
+    ) -> Result<(), EngineError> {
+        let plan = site_plan(query);
+        for i in 0..rows.num_rows() {
+            let row = rows.row(i);
+            let scope = Scope {
+                cols: &self.cols,
+                row: &row,
+                parent: None,
+            };
+            if let Some(pred) = &query.where_clause {
+                if eval_expr(pred, &scope, ctx)?.as_bool() != Some(true) {
+                    continue;
+                }
+            }
+            let key: Vec<Value> = query
+                .group_by
+                .iter()
+                .map(|g| eval_expr(g, &scope, ctx))
+                .collect::<Result<_, _>>()?;
+            let gi = match self.index.get(&key) {
+                Some(&gi) => gi,
+                None => {
+                    self.index.insert(key, self.groups.len());
+                    self.groups.push(Group {
+                        repr: row.clone(),
+                        accs: plan.sites.iter().map(|s| Acc::fresh(s.kind)).collect(),
+                    });
+                    self.groups.len() - 1
+                }
+            };
+            let group = &mut self.groups[gi];
+            for (site, acc) in plan.sites.iter().zip(group.accs.iter_mut()) {
+                acc.fold(site, &scope, ctx)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn finalize(&self, query: &Query, ctx: &ExecContext<'_>) -> Result<Table, EngineError> {
+        let plan = site_plan(query);
+        // The implicit single group: no GROUP BY and zero input rows still
+        // aggregates (count(*) = 0, sum = NULL).
+        let synthesized;
+        let groups: &[Group] = if query.group_by.is_empty() && self.groups.is_empty() {
+            synthesized = [Group {
+                repr: Vec::new(),
+                accs: plan.sites.iter().map(|s| Acc::fresh(s.kind)).collect(),
+            }];
+            &synthesized
+        } else {
+            &self.groups
+        };
+        let mut out_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+        for group in groups {
+            let vals: Vec<Value> = group.accs.iter().map(Acc::value).collect();
+            let repr = Scope {
+                cols: &self.cols,
+                row: &group.repr,
+                parent: None,
+            };
+            if let Some(h) = &query.having {
+                let mut cursor = plan.having_offset;
+                if eval_ivm(h, &vals, &mut cursor, &repr, ctx)?.as_bool() != Some(true) {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(query.select.len());
+            for (item, off) in query.select.iter().zip(&plan.select_offsets) {
+                match item {
+                    SelectItem::Star => {
+                        return Err(EngineError::Unsupported("SELECT * with GROUP BY".into()))
+                    }
+                    SelectItem::Expr { expr, .. } => {
+                        let mut cursor = *off;
+                        out.push(eval_ivm(expr, &vals, &mut cursor, &repr, ctx)?);
+                    }
+                }
+            }
+            let keys = query
+                .order_by
+                .iter()
+                .zip(&plan.order_offsets)
+                .map(|(o, off)| {
+                    let mut cursor = *off;
+                    eval_ivm(&o.expr, &vals, &mut cursor, &repr, ctx)
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            out_rows.push((out, keys));
+        }
+        if query.distinct {
+            let mut seen = HashSet::new();
+            out_rows.retain(|(row, _)| seen.insert(row.clone()));
+        }
+        if !query.order_by.is_empty() {
+            let descs: Vec<bool> = query.order_by.iter().map(|o| o.desc).collect();
+            out_rows.sort_by(|(_, ka), (_, kb)| {
+                for (i, (a, b)) in ka.iter().zip(kb.iter()).enumerate() {
+                    let ord = a.cmp(b);
+                    let ord = if descs[i] { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        if let Some(l) = query.limit {
+            out_rows.truncate(l as usize);
+        }
+        let schema = derive_schema(
+            query,
+            ctx,
+            &self.cols,
+            &self.types,
+            out_rows.first().map(|(r, _)| r.as_slice()),
+        );
+        let mut table = Table::new(schema);
+        for (row, _) in out_rows {
+            table.push_row(coerce_row(row, &table.schema))?;
+        }
+        Ok(table)
+    }
+}
+
+/// Maintained state for a projection-shaped query: the output so far. The
+/// filter/projection is row-local, so the delta's output simply appends —
+/// and the append is zero-copy chunk sharing, not a rebuild.
+#[derive(Debug, Clone)]
+pub struct ProjState {
+    table: Table,
+}
+
+impl ProjState {
+    fn absorb(
+        &mut self,
+        query: &Query,
+        name: &str,
+        rows: &Table,
+        ctx: &ExecContext<'_>,
+    ) -> Result<(), EngineError> {
+        // Execute the query over a catalogue where the scanned table holds
+        // only the delta rows. Registration is keyed by the same name, so
+        // analysis resolves identically; column types are unchanged, so the
+        // statically derived output schema matches the cached one.
+        let meta = ctx.catalog.require_table(name)?;
+        let registered = meta.name.clone();
+        let pk: Vec<String> = meta.primary_key.clone();
+        let mut delta_catalog = ctx.catalog.clone();
+        delta_catalog.add_table(
+            registered,
+            rows.clone(),
+            pk.iter().map(String::as_str).collect(),
+        );
+        let delta_ctx = ExecContext {
+            catalog: &delta_catalog,
+            ..*ctx
+        };
+        let out = execute_scalar(query, &delta_ctx)?;
+        if out.schema != self.table.schema {
+            return Err(EngineError::Unsupported(
+                "IVM projection schema drifted".into(),
+            ));
+        }
+        self.table = self.table.append_table(&out, pi2_data::chunk_rows())?;
+        Ok(())
+    }
+}
+
+/// Maintained state for one supported query: build once, absorb each
+/// append's delta rows, finalize to the full result.
+#[derive(Debug, Clone)]
+pub enum IvmState {
+    /// Aggregate shape (per-group accumulators).
+    Aggregate(AggState),
+    /// Projection shape (append-only output).
+    Projection(ProjState),
+}
+
+impl IvmState {
+    /// Build the state from the catalogue's current table contents. The
+    /// query must satisfy [`supported`].
+    pub fn build(query: &Query, ctx: &ExecContext<'_>) -> Result<IvmState, EngineError> {
+        if query.is_aggregate() {
+            let name = ivm_table(query)
+                .ok_or_else(|| EngineError::Unsupported("query shape not IVM-able".into()))?;
+            let mut state = AggState::new(query, ctx)?;
+            let table = ctx.catalog.require_table(&name)?.table.clone();
+            state.absorb(query, &table, ctx)?;
+            Ok(IvmState::Aggregate(state))
+        } else {
+            Ok(IvmState::Projection(ProjState {
+                table: execute_scalar(query, ctx)?,
+            }))
+        }
+    }
+
+    /// Fold one append's rows (of table `name`, already lowercased) into the
+    /// state. `ctx.catalog` must be the *post-append* catalogue. On error the
+    /// state may be partially updated — clone before absorbing and discard
+    /// the clone to fall back.
+    pub fn absorb(
+        &mut self,
+        query: &Query,
+        name: &str,
+        rows: &Table,
+        ctx: &ExecContext<'_>,
+    ) -> Result<(), EngineError> {
+        match self {
+            IvmState::Aggregate(state) => state.absorb(query, rows, ctx),
+            IvmState::Projection(state) => state.absorb(query, name, rows, ctx),
+        }
+    }
+
+    /// Materialize the maintained result (byte-identical to full scalar
+    /// execution over `ctx.catalog`).
+    pub fn finalize(&self, query: &Query, ctx: &ExecContext<'_>) -> Result<Table, EngineError> {
+        match self {
+            IvmState::Aggregate(state) => state.finalize(query, ctx),
+            IvmState::Projection(state) => Ok(state.table.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pi2_data::wire::table_to_json;
+    use pi2_data::{Catalog, Value};
+    use pi2_sql::parse_query;
+
+    fn base_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let t = Table::from_rows(
+            vec![
+                ("id", DataType::Int),
+                ("region", DataType::Str),
+                ("amount", DataType::Float),
+                ("qty", DataType::Int),
+            ],
+            vec![
+                vec![
+                    Value::Int(1),
+                    Value::Str("east".into()),
+                    Value::Float(10.5),
+                    Value::Int(3),
+                ],
+                vec![
+                    Value::Int(2),
+                    Value::Str("west".into()),
+                    Value::Float(20.0),
+                    Value::Null,
+                ],
+                vec![
+                    Value::Int(3),
+                    Value::Str("east".into()),
+                    Value::Null,
+                    Value::Int(7),
+                ],
+            ],
+        )
+        .unwrap();
+        c.add_table("sales", t, vec!["id"]);
+        c
+    }
+
+    fn delta_rows(rows: Vec<Vec<Value>>) -> Table {
+        Table::from_rows(
+            vec![
+                ("id", DataType::Int),
+                ("region", DataType::Str),
+                ("amount", DataType::Float),
+                ("qty", DataType::Int),
+            ],
+            rows,
+        )
+        .unwrap()
+    }
+
+    /// Build on the base, absorb two appends, and pin the finalized result
+    /// byte-identical to full scalar execution over the appended catalogue.
+    fn pin_ivm(sql: &str) {
+        let c0 = base_catalog();
+        let query = parse_query(sql).unwrap();
+        assert!(supported(&query, &c0), "query must be IVM-supported: {sql}");
+        let ctx0 = ExecContext::scalar(&c0);
+        let mut state = IvmState::build(&query, &ctx0).unwrap();
+        let d1 = delta_rows(vec![
+            vec![
+                Value::Int(4),
+                Value::Str("north".into()),
+                Value::Float(5.0),
+                Value::Int(1),
+            ],
+            vec![
+                Value::Int(5),
+                Value::Str("east".into()),
+                Value::Float(2.5),
+                Value::Int(2),
+            ],
+        ]);
+        let c1 = c0.append_rows("sales", d1.clone()).unwrap();
+        let ctx1 = ExecContext::scalar(&c1);
+        state.absorb(&query, "sales", &d1, &ctx1).unwrap();
+        let d2 = delta_rows(vec![vec![
+            Value::Int(6),
+            Value::Str("west".into()),
+            Value::Null,
+            Value::Int(9),
+        ]]);
+        let c2 = c1.append_rows("sales", d2.clone()).unwrap();
+        let ctx2 = ExecContext::scalar(&c2);
+        state.absorb(&query, "sales", &d2, &ctx2).unwrap();
+        let ivm = state.finalize(&query, &ctx2).unwrap();
+        let full = execute_scalar(&query, &ctx2).unwrap();
+        assert_eq!(
+            table_to_json(&ivm),
+            table_to_json(&full),
+            "IVM diverged from full execution for: {sql}"
+        );
+    }
+
+    #[test]
+    fn grouped_aggregates_match_full_execution() {
+        pin_ivm("SELECT region, count(*), sum(amount), avg(amount), min(qty), max(qty) FROM sales GROUP BY region");
+    }
+
+    #[test]
+    fn where_having_order_limit_match() {
+        pin_ivm(
+            "SELECT region, sum(amount) AS total FROM sales WHERE qty IS NOT NULL \
+             GROUP BY region HAVING count(*) >= 1 ORDER BY sum(amount) DESC LIMIT 2",
+        );
+    }
+
+    #[test]
+    fn implicit_single_group_matches() {
+        pin_ivm("SELECT count(*), avg(qty) FROM sales WHERE amount > 100.0");
+    }
+
+    #[test]
+    fn expression_over_aggregates_matches() {
+        pin_ivm("SELECT region, sum(amount) / count(*) FROM sales GROUP BY region");
+    }
+
+    #[test]
+    fn projection_shape_matches() {
+        pin_ivm("SELECT id, amount FROM sales WHERE region = 'east'");
+    }
+
+    #[test]
+    fn star_projection_matches() {
+        pin_ivm("SELECT * FROM sales WHERE qty > 1");
+    }
+
+    #[test]
+    fn unsupported_shapes_are_rejected() {
+        let c = base_catalog();
+        for sql in [
+            "SELECT DISTINCT region FROM sales",
+            "SELECT id FROM sales ORDER BY id",
+            "SELECT id FROM sales LIMIT 3",
+            "SELECT id FROM sales WHERE id IN (SELECT id FROM sales)",
+            "SELECT s.id, t.id FROM sales AS s, sales AS t",
+            "SELECT region FROM sales GROUP BY region HAVING sum(amount) > (SELECT avg(amount) FROM sales)",
+        ] {
+            let q = parse_query(sql).unwrap();
+            assert!(!supported(&q, &c), "must reject: {sql}");
+        }
+        // DISTINCT over aggregates IS supported (finalize re-derives it).
+        let q = parse_query("SELECT DISTINCT region FROM sales GROUP BY region").unwrap();
+        assert!(supported(&q, &c));
+        pin_ivm("SELECT DISTINCT region FROM sales GROUP BY region");
+    }
+
+    #[test]
+    fn referenced_tables_sees_through_subqueries() {
+        let q = parse_query(
+            "SELECT id FROM sales WHERE qty > (SELECT avg(qty) FROM inventory) \
+             AND id IN (SELECT id FROM orders)",
+        )
+        .unwrap();
+        let tables = referenced_tables(&q);
+        assert_eq!(
+            tables.into_iter().collect::<Vec<_>>(),
+            vec!["inventory", "orders", "sales"]
+        );
+    }
+
+    #[test]
+    fn aliased_table_binding_matches() {
+        pin_ivm("SELECT s.region, count(*) FROM sales AS s GROUP BY s.region");
+    }
+}

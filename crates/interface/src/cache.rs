@@ -19,11 +19,11 @@ use crate::flat::{flatten_node, FlatSchema};
 use crate::vis::{vis_mapping_candidates, VisMapping};
 use crate::widget::{widget_candidates, WidgetCandidate};
 use pi2_data::hash::fnv1a_64;
-use pi2_data::{Catalog, ShardedMemo, Table};
+use pi2_data::{Catalog, CatalogDelta, ShardedMemo, Table};
 use pi2_difftree::{
     infer_types_cached, result_schema, BindingMap, Forest, ResultSchema, Tree, TypeMap, Workload,
 };
-use pi2_engine::{execute, ExecContext};
+use pi2_engine::{execute, ExecContext, IvmState};
 use pi2_sql::ast::Query;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -60,10 +60,39 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+/// Counters for the live-data subsystem, surfaced under `live{…}` in
+/// `/metrics`. All relaxed-atomic; monotone over the process lifetime.
+#[derive(Debug, Default)]
+pub struct LiveCounters {
+    append_rows: AtomicU64,
+    epoch_bumps: AtomicU64,
+    ivm_hits: AtomicU64,
+    ivm_fallbacks: AtomicU64,
+    invalidated_views: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`LiveCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LiveStats {
+    /// Rows appended through the live subsystem.
+    pub append_rows: u64,
+    /// Catalogue epoch bumps (one per successful append).
+    pub epoch_bumps: u64,
+    /// Result lookups served incrementally (state absorbed a delta, or was
+    /// built fresh and will absorb the next one).
+    pub ivm_hits: u64,
+    /// Lookups whose table was touched by an append but whose query shape
+    /// forced a full re-execution.
+    pub ivm_fallbacks: u64,
+    /// Cached result entries dropped by epoch-eviction sweeps.
+    pub invalidated_views: u64,
+}
+
 /// Lock-sharded memo shared process-wide: per-tree mapping artifacts keyed
-/// by (tree fp, qset hash, catalogue fp), and executed query results keyed
-/// by (catalogue fp, resolved-SQL fingerprint). Both are the generic
-/// cap-checked [`ShardedMemo`] from `pi2-data` (see the module docs).
+/// by (tree fp, qset hash, catalogue fp), executed query results keyed by
+/// (catalogue fp, resolved-SQL fingerprint), and incremental-view states
+/// keyed like results. All are the generic cap-checked [`ShardedMemo`]
+/// from `pi2-data` (see the module docs).
 ///
 /// The result memo is keyed by the *text* of the resolved query, so every
 /// interaction state a session can reach shares one execution with every
@@ -72,8 +101,13 @@ pub struct CacheStats {
 pub struct EvalCache {
     artifacts: ShardedMemo<(u64, u64, u64), Option<Arc<TreeArtifacts>>>,
     results: ShardedMemo<(u64, u64), Option<Arc<Table>>>,
+    /// Incremental view-maintenance state per (catalogue fp, resolved-SQL
+    /// fp): the accumulators that produced the result cached under the same
+    /// key, ready to absorb the *next* append's delta.
+    ivm: ShardedMemo<(u64, u64), Arc<IvmState>>,
     result_hits: AtomicU64,
     result_misses: AtomicU64,
+    live: LiveCounters,
 }
 
 impl Default for EvalCache {
@@ -81,8 +115,10 @@ impl Default for EvalCache {
         EvalCache {
             artifacts: ShardedMemo::new(MAX_ENTRIES_PER_SHARD),
             results: ShardedMemo::new(MAX_ENTRIES_PER_SHARD),
+            ivm: ShardedMemo::new(MAX_ENTRIES_PER_SHARD),
             result_hits: AtomicU64::new(0),
             result_misses: AtomicU64::new(0),
+            live: LiveCounters::default(),
         }
     }
 }
@@ -163,6 +199,32 @@ impl EvalCache {
             self.result_hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
+        // Append-aware paths: when this catalogue version was produced by
+        // an append, the previous version's cache may still serve us —
+        // unchanged tables carry entries forward, and IVM-shaped queries
+        // absorb just the delta.
+        if let Some(delta) = catalog.delta() {
+            let referenced = pi2_engine::referenced_tables(query);
+            let touched = delta.tables.keys().any(|t| referenced.contains(t));
+            if !touched {
+                // The append cannot have changed this result: copy the old
+                // entry (including cached failures) to the new key.
+                if let Some(prev) = self.results.get(&(delta.prev_fingerprint, sql_fp)) {
+                    self.results.insert(key, prev.clone());
+                    self.result_hits.fetch_add(1, Ordering::Relaxed);
+                    return prev;
+                }
+            } else if pi2_engine::ivm::supported(query, catalog) {
+                if let Some(value) = self.try_ivm(catalog, delta, sql_fp, query) {
+                    self.live.ivm_hits.fetch_add(1, Ordering::Relaxed);
+                    self.result_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(value);
+                }
+                self.live.ivm_fallbacks.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.live.ivm_fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         // Local miss: in a fleet, ask the key's owning peer before
         // executing (read-through). A remote fill counts as a hit — the
         // query is served from the shared memo, just a remote shard of it.
@@ -187,6 +249,82 @@ impl EvalCache {
             }
         }
         value
+    }
+
+    /// Serve one lookup incrementally: absorb the append's delta rows into
+    /// the previous epoch's maintained state (or build the state fresh from
+    /// the current catalogue when this query was never maintained), then
+    /// cache both the finalized result and the state under the new
+    /// fingerprint. `None` on any internal error — the caller falls back to
+    /// full execution, so IVM can only ever degrade performance, never
+    /// results.
+    fn try_ivm(
+        &self,
+        catalog: &Catalog,
+        delta: &CatalogDelta,
+        sql_fp: u64,
+        query: &Query,
+    ) -> Option<Arc<Table>> {
+        let (name, table_delta) = delta.tables.iter().next()?;
+        let ctx = ExecContext::new(catalog);
+        let prev_key = (delta.prev_fingerprint, sql_fp);
+        let state = match self.ivm.get(&prev_key) {
+            Some(prev) => {
+                // Clone-then-absorb: a failed absorb discards the clone,
+                // leaving the previous epoch's state intact.
+                let mut state = (*prev).clone();
+                state.absorb(query, name, &table_delta.rows, &ctx).ok()?;
+                state
+            }
+            None => IvmState::build(query, &ctx).ok()?,
+        };
+        let table = Arc::new(state.finalize(query, &ctx).ok()?);
+        let key = (catalog.fingerprint(), sql_fp);
+        self.results.insert(key, Some(Arc::clone(&table)));
+        self.ivm.insert(key, Arc::new(state));
+        Some(table)
+    }
+
+    /// Record a successful append (rows added + one epoch bump) in the
+    /// live counters.
+    pub fn note_append(&self, rows: usize) {
+        self.live
+            .append_rows
+            .fetch_add(rows as u64, Ordering::Relaxed);
+        self.live.epoch_bumps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The epoch-tagged eviction sweep: drop every memo entry keyed to a
+    /// retired catalogue fingerprint (two appends old — see
+    /// `pi2_data::live`), including the analysis memo in `pi2-engine`.
+    /// Dropped result entries count as invalidated views.
+    pub fn evict_catalog(&self, catalog_fingerprint: u64) {
+        let mut dropped: u64 = 0;
+        self.results.retain(|(fp, _), _| {
+            let keep = *fp != catalog_fingerprint;
+            if !keep {
+                dropped += 1;
+            }
+            keep
+        });
+        self.ivm.retain(|(fp, _), _| *fp != catalog_fingerprint);
+        self.artifacts
+            .retain(|(_, _, fp), _| *fp != catalog_fingerprint);
+        pi2_engine::analyze::evict_analyses_for(catalog_fingerprint);
+        self.live
+            .invalidated_views
+            .fetch_add(dropped, Ordering::Relaxed);
+    }
+
+    /// A snapshot of the live-data counters.
+    pub fn live_stats(&self) -> LiveStats {
+        LiveStats {
+            append_rows: self.live.append_rows.load(Ordering::Relaxed),
+            epoch_bumps: self.live.epoch_bumps.load(Ordering::Relaxed),
+            ivm_hits: self.live.ivm_hits.load(Ordering::Relaxed),
+            ivm_fallbacks: self.live.ivm_fallbacks.load(Ordering::Relaxed),
+            invalidated_views: self.live.invalidated_views.load(Ordering::Relaxed),
+        }
     }
 
     /// Local-only lookup by raw key parts, bypassing counters and the
@@ -337,6 +475,112 @@ mod tests {
         let b = cache.query_result(&w, 0).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
         assert!(a.num_rows() > 0);
+    }
+
+    fn delta_rows(vals: &[(i64, i64)]) -> Table {
+        Table::from_rows(
+            vec![("a", DataType::Int), ("b", DataType::Int)],
+            vals.iter()
+                .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn untouched_queries_carry_forward_across_appends() {
+        let mut base = Catalog::new();
+        base.add_table("t", delta_rows(&[(1, 10), (2, 20)]), vec![]);
+        base.add_table("u", delta_rows(&[(7, 70)]), vec![]);
+        let cache = EvalCache::default();
+        let q = parse_query("SELECT a, b FROM u").unwrap();
+        let before = cache.resolved_result(&base, &q).unwrap();
+
+        // Appending to `t` must not re-execute a query over `u`.
+        let next = base.append_rows("t", delta_rows(&[(3, 30)])).unwrap();
+        let misses_before = cache.result_stats().misses;
+        let after = cache.resolved_result(&next, &q).unwrap();
+        assert!(
+            Arc::ptr_eq(&before, &after),
+            "entry must be carried forward"
+        );
+        assert_eq!(cache.result_stats().misses, misses_before);
+        assert_eq!(cache.live_stats().ivm_fallbacks, 0);
+    }
+
+    #[test]
+    fn supported_shapes_are_served_incrementally() {
+        let mut base = Catalog::new();
+        base.add_table("t", delta_rows(&[(1, 10), (2, 20), (1, 5)]), vec![]);
+        let cache = EvalCache::default();
+        let q = parse_query("SELECT a, sum(b) FROM t GROUP BY a").unwrap();
+        cache.resolved_result(&base, &q).unwrap();
+
+        let next = base
+            .append_rows("t", delta_rows(&[(2, 7), (3, 1)]))
+            .unwrap();
+        let misses_before = cache.result_stats().misses;
+        let incr = cache.resolved_result(&next, &q).unwrap();
+        assert_eq!(cache.result_stats().misses, misses_before, "no execution");
+        assert!(cache.live_stats().ivm_hits >= 1);
+        assert_eq!(cache.live_stats().ivm_fallbacks, 0);
+
+        // The incremental result matches a from-scratch execution.
+        let full = pi2_engine::execute_scalar(&q, &ExecContext::new(&next)).unwrap();
+        assert_eq!(*incr, full);
+
+        // A second append keeps absorbing into the maintained state.
+        let third = next.append_rows("t", delta_rows(&[(3, 2)])).unwrap();
+        let again = cache.resolved_result(&third, &q).unwrap();
+        let full = pi2_engine::execute_scalar(&q, &ExecContext::new(&third)).unwrap();
+        assert_eq!(*again, full);
+        assert!(cache.live_stats().ivm_hits >= 2);
+    }
+
+    #[test]
+    fn unsupported_shapes_fall_back_to_full_execution() {
+        let mut base = Catalog::new();
+        base.add_table("t", delta_rows(&[(1, 10), (2, 20)]), vec![]);
+        let cache = EvalCache::default();
+        // DISTINCT projection is outside the IVM-supported shapes.
+        let q = parse_query("SELECT DISTINCT a FROM t").unwrap();
+        cache.resolved_result(&base, &q).unwrap();
+
+        let next = base.append_rows("t", delta_rows(&[(3, 30)])).unwrap();
+        let misses_before = cache.result_stats().misses;
+        let got = cache.resolved_result(&next, &q).unwrap();
+        assert_eq!(cache.result_stats().misses, misses_before + 1);
+        assert_eq!(cache.live_stats().ivm_fallbacks, 1);
+        let full = pi2_engine::execute_scalar(&q, &ExecContext::new(&next)).unwrap();
+        assert_eq!(*got, full);
+    }
+
+    #[test]
+    fn eviction_sweeps_a_retired_fingerprint() {
+        let mut base = Catalog::new();
+        base.add_table("t", delta_rows(&[(1, 10)]), vec![]);
+        let cache = EvalCache::default();
+        let q = parse_query("SELECT a FROM t").unwrap();
+        cache.resolved_result(&base, &q).unwrap();
+        let sql_fp = fnv1a_64(q.to_string().as_bytes());
+        assert!(cache.peek_result(base.fingerprint(), sql_fp).is_some());
+
+        cache.evict_catalog(base.fingerprint());
+        assert!(cache.peek_result(base.fingerprint(), sql_fp).is_none());
+        assert_eq!(cache.live_stats().invalidated_views, 1);
+        // Sweeping an unknown fingerprint is a no-op.
+        cache.evict_catalog(0xdead_beef);
+        assert_eq!(cache.live_stats().invalidated_views, 1);
+    }
+
+    #[test]
+    fn note_append_feeds_the_counters() {
+        let cache = EvalCache::default();
+        cache.note_append(5);
+        cache.note_append(2);
+        let s = cache.live_stats();
+        assert_eq!(s.append_rows, 7);
+        assert_eq!(s.epoch_bumps, 2);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod vis;
 pub mod widget;
 
 pub use cache::{
-    global_eval_cache, set_remote_result_tier, CacheStats, EvalCache, RemoteResultTier,
+    global_eval_cache, set_remote_result_tier, CacheStats, EvalCache, LiveStats, RemoteResultTier,
     TreeArtifacts,
 };
 pub use cost::{fitts_time, interface_cost, manipulation_cost, widget_poly, CostParams};

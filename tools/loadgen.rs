@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen [--workload covid|sales|…] [--rows N] [--sessions 8]
 //!         [--events 200] [--addr HOST:PORT] [--ws] [--cluster N]
-//!         [--fail-on-errors]
+//!         [--append-every N] [--fail-on-errors]
 //! ```
 //!
 //! Without `--addr`, boots an in-process `pi2::server` over loopback,
@@ -32,6 +32,14 @@
 //! (writer send → own response) and push (writer send → subscriber
 //! receive) — since push latency is the figure of merit for streaming.
 //!
+//! `--append-every N` mixes writes into the replay: every Nth request
+//! per session becomes a protocol v2 `append` of one synthesized row to
+//! a table the workload's queries read (so each write invalidates at
+//! least one view). Read and write latency percentiles are reported as
+//! separate distributions — an append pays catalogue versioning and
+//! fan-out that a memo-served read never sees. CI's append-mix smoke
+//! runs this with `--fail-on-errors`.
+//!
 //! `--cluster N` boots an N-process fleet instead: N `pi2-node` siblings
 //! (the binary must sit next to `loadgen` in the target directory —
 //! `cargo build -p pi2-cluster` first) joined over loopback, the load
@@ -53,7 +61,7 @@ use std::sync::Arc;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: loadgen [--workload covid] [--rows N] [--sessions 8] [--events 200] \
-         [--addr HOST:PORT] [--ws] [--cluster N] [--fail-on-errors]"
+         [--addr HOST:PORT] [--ws] [--cluster N] [--append-every N] [--fail-on-errors]"
     );
     ExitCode::from(2)
 }
@@ -181,6 +189,7 @@ fn main() -> ExitCode {
     let mut addr: Option<String> = None;
     let mut ws = false;
     let mut cluster: Option<usize> = None;
+    let mut append_every: usize = 0;
     let mut fail_on_errors = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -210,16 +219,26 @@ fn main() -> ExitCode {
                 Some(v) => cluster = Some(v),
                 None => return usage(),
             },
+            "--append-every" => match it.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                Some(v) => append_every = v,
+                None => return usage(),
+            },
             "--fail-on-errors" => fail_on_errors = true,
             _ => return usage(),
         }
     }
     if let Some(n) = cluster {
-        if addr.is_some() || rows.is_some() || ws {
-            eprintln!("loadgen: --cluster is incompatible with --addr, --rows, and --ws");
+        if addr.is_some() || rows.is_some() || ws || append_every > 0 {
+            eprintln!(
+                "loadgen: --cluster is incompatible with --addr, --rows, --ws, and --append-every"
+            );
             return ExitCode::from(2);
         }
         return run_cluster(n, &workload, sessions, events, fail_on_errors);
+    }
+    if append_every > 0 && ws {
+        eprintln!("loadgen: --append-every drives the HTTP path; drop --ws");
+        return ExitCode::from(2);
     }
     let generation = match rows {
         Some(n) => {
@@ -249,6 +268,25 @@ fn main() -> ExitCode {
         cycle.len(),
         generation.interface.interactions.len()
     );
+    // --append-every: synthesize the write payload before the generation
+    // is handed to the server.
+    let append_payload = if append_every > 0 {
+        match load::append_payload(&generation) {
+            Some((table, delta)) => {
+                eprintln!(
+                    "loadgen: every {append_every}th request appends {} row(s) to {table}",
+                    delta.num_rows()
+                );
+                Some((table, delta))
+            }
+            None => {
+                eprintln!("loadgen: no referenced non-empty table to append to");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
 
     // Self-contained mode boots a server; --addr targets an external one.
     let (target, local) = match addr {
@@ -285,7 +323,35 @@ fn main() -> ExitCode {
         }
     };
 
-    let code = if ws {
+    let code = if let Some((table, delta)) = append_payload {
+        match load::run_mixed_load(
+            target,
+            &workload,
+            &cycle,
+            sessions,
+            events,
+            append_every,
+            &table,
+            &delta,
+        ) {
+            Ok(report) => {
+                println!("loadgen[{workload},mix={append_every}]: {report}");
+                if fail_on_errors && report.errors() > 0 {
+                    eprintln!(
+                        "loadgen: FAIL — {} read + {} append errors",
+                        report.read.errors, report.write.errors
+                    );
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("loadgen: mixed run failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else if ws {
         match load::run_ws_load(target, &workload, &cycle, sessions, events) {
             Ok(report) => {
                 println!("loadgen[{workload},ws]: {report}");
